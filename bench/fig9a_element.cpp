@@ -1,0 +1,134 @@
+// dbll bench -- Figure 9a: running times of the *element kernel* for
+// {Direct, Struct (flat), SortedStruct} x {Native, LLVM, LLVM-fix, DBrew,
+// DBrew+LLVM}.
+//
+// Expected shape (paper values in parentheses, Haswell/GCC5.4/LLVM3.7):
+//  * Direct: all modes equal (10.5/10.5/10.7 s) except DBrew, which loses
+//    some ground on re-encoded scalar code (21.7 s).
+//  * Struct: generic code is ~4x slower than Direct (38.5 vs 10.5); LLVM-fix
+//    reaches Direct (38.6); DBrew helps (100.9 -> 54.9 relative to its
+//    unspecialized base); DBrew+LLVM reaches Direct (44.0 -> ~10.5 class).
+//  * SortedStruct: LLVM-fix degrades (nested pointers not propagated);
+//    DBrew+LLVM reaches Direct.
+#include <cstdint>
+#include <vector>
+
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+
+namespace {
+
+struct Kernel {
+  const char* name;
+  std::uint64_t fn;
+  const void* st;
+  std::size_t st_size;
+  /// Second fixed region (the nested group array of the sorted structure);
+  /// only DBrew can exploit it (paper Sec. IV limitation for LLVM-fix).
+  const void* st2 = nullptr;
+  std::size_t st2_size = 0;
+};
+
+Expected<std::uint64_t> LlvmMode(lift::Jit& jit, const Kernel& k, bool fix) {
+  lift::Lifter lifter;
+  DBLL_TRY(lift::LiftedFunction lifted, lifter.Lift(k.fn, KernelSignature()));
+  if (fix && k.st != nullptr) {
+    DBLL_TRY_STATUS(lifted.SpecializeParamToConstMem(0, k.st, k.st_size));
+  }
+  return lifted.Compile(jit);
+}
+
+Expected<std::uint64_t> DbrewMode(std::vector<dbrew::Rewriter>& keep,
+                                  const Kernel& k) {
+  keep.emplace_back(k.fn);
+  dbrew::Rewriter& rewriter = keep.back();
+  if (k.st != nullptr) {
+    rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(k.st));
+    rewriter.SetMemRange(k.st,
+                         static_cast<const char*>(k.st) + k.st_size);
+  }
+  if (k.st2 != nullptr) {
+    rewriter.SetMemRange(k.st2,
+                         static_cast<const char*>(k.st2) + k.st2_size);
+  }
+  return rewriter.Rewrite();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = JacobiIterations(argc, argv);
+  std::printf(
+      "dbll fig9a: element-kernel running times, %d Jacobi iterations on a "
+      "%ldx%ld grid (paper: 50000 iterations)\n",
+      iters, kMatrixSize, kMatrixSize);
+  PrintHeader("Figure 9a -- element kernel");
+
+  const Kernel kernels[] = {
+      {"Direct", reinterpret_cast<std::uint64_t>(&stencil_apply_direct),
+       nullptr, 0},
+      {"Struct", reinterpret_cast<std::uint64_t>(&stencil_apply_flat),
+       &FourPointFlat(), sizeof(FlatStencil)},
+      {"SortedStruct",
+       reinterpret_cast<std::uint64_t>(&stencil_apply_sorted_ptr),
+       &FourPointSortedPtr(), sizeof(PtrSortedStencil),
+       FourPointSortedPtr().groups, sizeof(SortedGroup)},
+  };
+
+  lift::Jit jit;
+  std::vector<dbrew::Rewriter> rewriters;  // keep generated code alive
+  rewriters.reserve(16);
+
+  double reference_checksum = 0;
+  {
+    JacobiGrid grid;
+    grid.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct),
+                    nullptr, iters);
+    reference_checksum = grid.Checksum();
+  }
+
+  for (const Kernel& k : kernels) {
+    double native_time = 0;
+
+    auto report = [&](const char* mode, Expected<std::uint64_t> entry,
+                      const void* stencil_arg) {
+      Row row;
+      row.kernel = k.name;
+      row.mode = mode;
+      if (!entry.has_value()) {
+        row.ok = false;
+        row.note = entry.error().Format();
+        PrintRow(row);
+        return;
+      }
+      row.seconds = TimeElement(*entry, stencil_arg, iters, &row.checksum);
+      row.ok = ChecksumOk(row.checksum, reference_checksum);
+      if (native_time == 0) native_time = row.seconds;
+      row.vs_native = row.seconds / native_time;
+      PrintRow(row);
+    };
+
+    report("Native", k.fn, k.st);
+    report("LLVM", LlvmMode(jit, k, /*fix=*/false), k.st);
+    if (k.st != nullptr) {
+      report("LLVM-fix", LlvmMode(jit, k, /*fix=*/true), nullptr);
+    } else {
+      report("LLVM-fix", LlvmMode(jit, k, /*fix=*/false), nullptr);
+    }
+    auto dbrew_entry = DbrewMode(rewriters, k);
+    report("DBrew", dbrew_entry, k.st);
+    if (dbrew_entry.has_value()) {
+      lift::Lifter lifter;
+      auto lifted = lifter.Lift(*dbrew_entry, KernelSignature());
+      if (lifted.has_value()) {
+        report("DBrew+LLVM", lifted->Compile(jit), k.st);
+      } else {
+        report("DBrew+LLVM", Expected<std::uint64_t>(lifted.error()), k.st);
+      }
+    }
+  }
+  return 0;
+}

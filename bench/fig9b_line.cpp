@@ -1,0 +1,139 @@
+// dbll bench -- Figure 9b: running times of the *line kernel*.
+//
+// Mode inputs follow the paper (Sec. VI): Native/LLVM/LLVM-fix use the
+// compiler-inlined line kernels; DBrew uses the variant whose element
+// computation is a separate function that the rewriter inlines (preventing
+// unrolling of the unknown-bound column loop); DBrew+LLVM lifts the DBrew
+// output.
+//
+// Expected shape (paper values): Direct 21.4 / 21.4 / - / 38.98 (DBrew, no
+// vectorization + move overhead) / 29.25; Struct: 86.5 native generic,
+// LLVM-fix improves markedly but stays above Direct (missing vectorization);
+// DBrew+LLVM close to LLVM-fix; SortedStruct similar with DBrew+LLVM ==
+// LLVM-fix.
+#include <cstdint>
+#include <vector>
+
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+
+namespace {
+
+struct Kernel {
+  const char* name;
+  std::uint64_t inline_fn;    // compiler-inlined loop (Native/LLVM input)
+  std::uint64_t outlined_fn;  // outlined element (DBrew input)
+  const void* st;
+  std::size_t st_size;
+  const void* st2 = nullptr;  // nested region, DBrew only
+  std::size_t st2_size = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = JacobiIterations(argc, argv);
+  std::printf(
+      "dbll fig9b: line-kernel running times, %d Jacobi iterations on a "
+      "%ldx%ld grid (paper: 50000 iterations)\n",
+      iters, kMatrixSize, kMatrixSize);
+  PrintHeader("Figure 9b -- line kernel");
+
+  const Kernel kernels[] = {
+      {"Direct", reinterpret_cast<std::uint64_t>(&stencil_line_direct),
+       reinterpret_cast<std::uint64_t>(&stencil_line_direct_outlined),
+       nullptr, 0},
+      {"Struct", reinterpret_cast<std::uint64_t>(&stencil_line_flat),
+       reinterpret_cast<std::uint64_t>(&stencil_line_flat_outlined),
+       &FourPointFlat(), sizeof(FlatStencil)},
+      {"SortedStruct",
+       reinterpret_cast<std::uint64_t>(&stencil_line_sorted_ptr),
+       reinterpret_cast<std::uint64_t>(&stencil_line_sorted_ptr_outlined),
+       &FourPointSortedPtr(), sizeof(PtrSortedStencil),
+       FourPointSortedPtr().groups, sizeof(SortedGroup)},
+  };
+
+  lift::Jit jit;
+  std::vector<dbrew::Rewriter> rewriters;
+  rewriters.reserve(16);
+
+  double reference_checksum = 0;
+  {
+    JacobiGrid grid;
+    grid.RunLine(reinterpret_cast<LineKernel>(&stencil_line_direct), nullptr,
+                 iters);
+    reference_checksum = grid.Checksum();
+  }
+
+  for (const Kernel& k : kernels) {
+    double native_time = 0;
+    auto report = [&](const char* mode, Expected<std::uint64_t> entry,
+                      const void* stencil_arg) {
+      Row row;
+      row.kernel = k.name;
+      row.mode = mode;
+      if (!entry.has_value()) {
+        row.ok = false;
+        row.note = entry.error().Format();
+        PrintRow(row);
+        return;
+      }
+      row.seconds = TimeLine(*entry, stencil_arg, iters, &row.checksum);
+      row.ok = ChecksumOk(row.checksum, reference_checksum);
+      if (native_time == 0) native_time = row.seconds;
+      row.vs_native = row.seconds / native_time;
+      PrintRow(row);
+    };
+
+    report("Native", k.inline_fn, k.st);
+
+    {
+      lift::Lifter lifter;
+      auto lifted = lifter.Lift(k.inline_fn, KernelSignature());
+      report("LLVM", lifted.has_value()
+                         ? lifted->Compile(jit)
+                         : Expected<std::uint64_t>(lifted.error()),
+             k.st);
+    }
+    if (k.st != nullptr) {
+      lift::Lifter lifter;
+      auto lifted = lifter.Lift(k.inline_fn, KernelSignature());
+      if (lifted.has_value()) {
+        auto fixed = lifted->SpecializeParamToConstMem(0, k.st, k.st_size);
+        report("LLVM-fix", fixed.ok()
+                               ? lifted->Compile(jit)
+                               : Expected<std::uint64_t>(fixed.error()),
+               nullptr);
+      } else {
+        report("LLVM-fix", Expected<std::uint64_t>(lifted.error()), nullptr);
+      }
+    }
+
+    // DBrew on the outlined variant (inlines the element function).
+    rewriters.emplace_back(k.outlined_fn);
+    dbrew::Rewriter& rewriter = rewriters.back();
+    if (k.st != nullptr) {
+      rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(k.st));
+      rewriter.SetMemRange(k.st, static_cast<const char*>(k.st) + k.st_size);
+    }
+    if (k.st2 != nullptr) {
+      rewriter.SetMemRange(k.st2,
+                           static_cast<const char*>(k.st2) + k.st2_size);
+    }
+    auto dbrew_entry = rewriter.Rewrite();
+    report("DBrew", dbrew_entry, k.st);
+
+    if (dbrew_entry.has_value()) {
+      lift::Lifter lifter;
+      auto lifted = lifter.Lift(*dbrew_entry, KernelSignature());
+      report("DBrew+LLVM", lifted.has_value()
+                               ? lifted->Compile(jit)
+                               : Expected<std::uint64_t>(lifted.error()),
+             k.st);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// dbll bench -- design-decision ablations (DESIGN.md D1-D3) and the pass
+// study the paper announces as future work (Sec. VIII: "which specific
+// optimization passes are most essential"): the flat element kernel is
+// lifted with individual features disabled or with reduced pass pipelines,
+// then timed on the Jacobi iteration.
+#include <cstdint>
+
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+
+int main(int argc, char** argv) {
+  const int iters = JacobiIterations(argc, argv);
+  std::printf(
+      "dbll fig_ablation: lifter feature and pass-pipeline ablations on the "
+      "flat element kernel (LLVM-fix mode), %d Jacobi iterations\n",
+      iters);
+  PrintHeader("Ablations -- D1 facets / D2 flag cache / D3 GEP / pass study");
+
+  const std::uint64_t kernel =
+      reinterpret_cast<std::uint64_t>(&stencil_apply_flat);
+  const void* st = &FourPointFlat();
+
+  double reference = 0;
+  double baseline_time = 0;
+  {
+    Row row;
+    row.kernel = "Struct-elem";
+    row.mode = "Native";
+    row.seconds = TimeElement(kernel, st, iters, &row.checksum);
+    reference = row.checksum;
+    baseline_time = row.seconds;
+    row.vs_native = 1.0;
+    PrintRow(row);
+  }
+
+  struct Variant {
+    const char* name;
+    lift::LiftConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "full-O3";
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no-facet-cache";  // D1
+    v.config.facet_cache = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no-flag-cache";  // D2
+    v.config.flag_cache = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no-gep";  // D3
+    v.config.use_gep = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "no-fast-math";
+    v.config.fast_math = false;
+    variants.push_back(v);
+  }
+  for (const char* preset : {"none", "basic", "o1", "o2", "novec"}) {
+    Variant v;
+    v.name = preset;
+    v.config.pass_preset = preset;
+    variants.push_back(v);
+  }
+
+  for (const Variant& variant : variants) {
+    Row row;
+    row.kernel = "Struct-elem";
+    row.mode = variant.name;
+    lift::Jit jit;
+    lift::Lifter lifter(variant.config);
+    auto lifted = lifter.Lift(kernel, KernelSignature());
+    if (!lifted.has_value()) {
+      row.ok = false;
+      row.note = lifted.error().Format();
+      PrintRow(row);
+      continue;
+    }
+    auto fixed =
+        lifted->SpecializeParamToConstMem(0, st, sizeof(FlatStencil));
+    if (!fixed.ok()) {
+      row.ok = false;
+      row.note = fixed.error().Format();
+      PrintRow(row);
+      continue;
+    }
+    auto compiled = lifted->Compile(jit);
+    if (!compiled.has_value()) {
+      row.ok = false;
+      row.note = compiled.error().Format();
+      PrintRow(row);
+      continue;
+    }
+    row.seconds = TimeElement(*compiled, nullptr, iters, &row.checksum);
+    row.vs_native = row.seconds / baseline_time;
+    // Fast-math variants may legally reassociate; accept tiny deviations.
+    row.ok = std::abs(row.checksum - reference) <=
+             1e-6 * std::max(1.0, std::abs(reference));
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// dbll bench -- E8 (beyond the paper): the explicit element-to-line kernel
+// transformation the paper proposes as future work (Sec. VIII: "provide
+// explicit APIs, such as a way to transform scalar kernels into vectorized
+// kernels"). An element kernel is lifted and wrapped into a generated,
+// vectorization-annotated IR loop; compared against the native line kernel
+// and the identity-lifted line kernel.
+#include <cstdint>
+
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+
+int main(int argc, char** argv) {
+  const int iters = JacobiIterations(argc, argv);
+  std::printf(
+      "dbll fig_linegen: generated line kernels from element kernels, %d "
+      "Jacobi iterations\n",
+      iters);
+  PrintHeader("E8 -- element-to-line transformation (Sec. VIII future work)");
+
+  lift::Jit jit;
+
+  double reference = 0;
+  double native_time = 0;
+  {
+    Row row;
+    row.kernel = "Direct";
+    row.mode = "Native-line";
+    row.seconds = TimeLine(
+        reinterpret_cast<std::uint64_t>(&stencil_line_direct), nullptr, iters,
+        &row.checksum);
+    reference = row.checksum;
+    native_time = row.seconds;
+    row.vs_native = 1.0;
+    PrintRow(row);
+  }
+
+  auto report = [&](const char* kernel, const char* mode,
+                    Expected<std::uint64_t> entry, const void* st) {
+    Row row;
+    row.kernel = kernel;
+    row.mode = mode;
+    if (!entry.has_value()) {
+      row.ok = false;
+      row.note = entry.error().Format();
+      PrintRow(row);
+      return;
+    }
+    row.seconds = TimeLine(*entry, st, iters, &row.checksum);
+    row.vs_native = row.seconds / native_time;
+    row.ok = ChecksumOk(row.checksum, reference);
+    PrintRow(row);
+  };
+
+  // Generated line loop around the hard-coded element kernel.
+  {
+    lift::Lifter lifter;
+    auto lifted = lifter.LiftElementAsLine(
+        reinterpret_cast<std::uint64_t>(&stencil_apply_direct), kMatrixSize,
+        1, kMatrixSize - 1);
+    report("Direct", "Gen-line",
+           lifted.has_value() ? lifted->Compile(jit)
+                              : Expected<std::uint64_t>(lifted.error()),
+           nullptr);
+  }
+  // Generated line loop around the generic flat element kernel.
+  {
+    lift::Lifter lifter;
+    auto lifted = lifter.LiftElementAsLine(
+        reinterpret_cast<std::uint64_t>(&stencil_apply_flat), kMatrixSize, 1,
+        kMatrixSize - 1);
+    report("Struct", "Gen-line",
+           lifted.has_value() ? lifted->Compile(jit)
+                              : Expected<std::uint64_t>(lifted.error()),
+           &FourPointFlat());
+  }
+  // Generated + specialized: the full pipeline the paper aims at.
+  {
+    lift::Lifter lifter;
+    auto lifted = lifter.LiftElementAsLine(
+        reinterpret_cast<std::uint64_t>(&stencil_apply_flat), kMatrixSize, 1,
+        kMatrixSize - 1);
+    if (lifted.has_value()) {
+      (void)lifted->SpecializeParamToConstMem(0, &FourPointFlat(),
+                                              sizeof(FlatStencil));
+      report("Struct", "Gen-line-fix", lifted->Compile(jit), nullptr);
+    }
+  }
+  // Baseline for comparison: identity-lifted native line kernel.
+  {
+    lift::Lifter lifter;
+    auto lifted = lifter.Lift(
+        reinterpret_cast<std::uint64_t>(&stencil_line_flat),
+        KernelSignature());
+    report("Struct", "LLVM-line",
+           lifted.has_value() ? lifted->Compile(jit)
+                              : Expected<std::uint64_t>(lifted.error()),
+           &FourPointFlat());
+  }
+  return 0;
+}

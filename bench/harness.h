@@ -1,0 +1,109 @@
+// dbll bench -- shared harness for the figure-reproduction benchmarks.
+//
+// Every bench binary prints the rows of one paper table/figure. Iteration
+// counts are scaled down from the paper's 50 000 Jacobi sweeps (the shapes
+// are iteration-count invariant); override with DBLL_BENCH_ITERS or argv[1].
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/stencil/stencil.h"
+
+namespace dbll::bench {
+
+inline int JacobiIterations(int argc, char** argv, int fallback = 60) {
+  if (const char* env = std::getenv("DBLL_BENCH_ITERS")) {
+    return std::atoi(env);
+  }
+  if (argc > 1) {
+    return std::atoi(argv[1]);
+  }
+  return fallback;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The kernel signature shared by all stencil benchmarks:
+/// void(const void* stencil, const double* m1, double* m2, long).
+inline lift::Signature KernelSignature() {
+  return lift::Signature{{lift::ArgKind::kInt, lift::ArgKind::kInt,
+                          lift::ArgKind::kInt, lift::ArgKind::kInt},
+                         lift::RetKind::kVoid};
+}
+
+/// Times one element-kernel Jacobi run and verifies the checksum.
+inline double TimeElement(std::uint64_t kernel, const void* stencil,
+                          int iterations, double* checksum) {
+  stencil::JacobiGrid grid;
+  Timer timer;
+  grid.RunElement(reinterpret_cast<stencil::ElementKernel>(kernel), stencil,
+                  iterations);
+  const double elapsed = timer.Seconds();
+  *checksum = grid.Checksum();
+  return elapsed;
+}
+
+inline double TimeLine(std::uint64_t kernel, const void* stencil,
+                       int iterations, double* checksum) {
+  stencil::JacobiGrid grid;
+  Timer timer;
+  grid.RunLine(reinterpret_cast<stencil::LineKernel>(kernel), stencil,
+               iterations);
+  const double elapsed = timer.Seconds();
+  *checksum = grid.Checksum();
+  return elapsed;
+}
+
+/// One row of a Fig. 9-style table.
+struct Row {
+  std::string kernel;   // Direct / Struct / SortedStruct
+  std::string mode;     // Native / LLVM / LLVM-fix / DBrew / DBrew+LLVM
+  double seconds = 0;
+  double vs_native = 0;  // ratio to the same kernel's Native time
+  double checksum = 0;
+  bool ok = true;        // checksum matched the reference
+  std::string note;
+};
+
+/// Checksum comparison: fast-math post-processing (which the paper enables,
+/// Sec. IV: "similar to the -ffast-math compiler flag") may legally
+/// reassociate FP sums, so checksums are compared with a tight relative
+/// tolerance rather than bit-exactly.
+inline bool ChecksumOk(double got, double reference) {
+  const double scale = std::max(1.0, std::abs(reference));
+  return std::abs(got - reference) <= 1e-9 * scale;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("## %s\n", title);
+  std::printf("%-14s %-12s %10s %10s  %s\n", "kernel", "mode", "time[s]",
+              "vs-native", "status");
+}
+
+inline void PrintRow(const Row& row) {
+  std::printf("%-14s %-12s %10.3f %10.2f  %s%s%s\n", row.kernel.c_str(),
+              row.mode.c_str(), row.seconds, row.vs_native,
+              row.ok ? "ok" : "CHECKSUM-MISMATCH",
+              row.note.empty() ? "" : "  # ", row.note.c_str());
+}
+
+}  // namespace dbll::bench

@@ -1,0 +1,107 @@
+// dbll bench -- google-benchmark micro-benchmarks of the rewriting
+// infrastructure itself: decode, encode, CFG discovery, DBrew rewriting,
+// lifting, and JIT compilation throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/stencil/stencil.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/decoder.h"
+#include "dbll/x86/encoder.h"
+
+namespace {
+
+using namespace dbll;
+using namespace dbll::stencil;
+
+lift::Signature KernelSig() {
+  return lift::Signature{{lift::ArgKind::kInt, lift::ArgKind::kInt,
+                          lift::ArgKind::kInt, lift::ArgKind::kInt},
+                         lift::RetKind::kVoid};
+}
+
+void BM_DecodeOne(benchmark::State& state) {
+  // movsd xmm0, [rsi + 8*rax - 8]
+  const std::uint8_t bytes[] = {0xf2, 0x0f, 0x10, 0x44, 0xc6, 0xf8};
+  for (auto _ : state) {
+    auto instr = x86::Decoder::DecodeOne(bytes, 0x1000);
+    benchmark::DoNotOptimize(instr);
+  }
+}
+BENCHMARK(BM_DecodeOne);
+
+void BM_EncodeOne(benchmark::State& state) {
+  const std::uint8_t bytes[] = {0xf2, 0x0f, 0x10, 0x44, 0xc6, 0xf8};
+  auto instr = x86::Decoder::DecodeOne(bytes, 0x1000);
+  std::uint8_t buffer[16];
+  for (auto _ : state) {
+    auto length = x86::Encoder::Encode(*instr, buffer, 0x1000);
+    benchmark::DoNotOptimize(length);
+  }
+}
+BENCHMARK(BM_EncodeOne);
+
+void BM_BuildCfgElementKernel(benchmark::State& state) {
+  const std::uint64_t entry =
+      reinterpret_cast<std::uint64_t>(&stencil_apply_flat);
+  for (auto _ : state) {
+    auto cfg = x86::BuildCfg(entry);
+    benchmark::DoNotOptimize(cfg);
+  }
+}
+BENCHMARK(BM_BuildCfgElementKernel);
+
+void BM_DbrewRewriteElementKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    dbrew::Rewriter rewriter(
+        reinterpret_cast<std::uint64_t>(&stencil_apply_flat));
+    rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&FourPointFlat()));
+    rewriter.SetMemRange(&FourPointFlat(), &FourPointFlat() + 1);
+    auto entry = rewriter.Rewrite();
+    benchmark::DoNotOptimize(entry);
+  }
+}
+BENCHMARK(BM_DbrewRewriteElementKernel);
+
+void BM_LiftElementKernelIrOnly(benchmark::State& state) {
+  const std::uint64_t entry =
+      reinterpret_cast<std::uint64_t>(&stencil_apply_flat);
+  for (auto _ : state) {
+    lift::Lifter lifter;
+    auto lifted = lifter.Lift(entry, KernelSig());
+    benchmark::DoNotOptimize(lifted);
+  }
+}
+BENCHMARK(BM_LiftElementKernelIrOnly);
+
+void BM_LiftOptimizeJit(benchmark::State& state) {
+  const std::uint64_t entry =
+      reinterpret_cast<std::uint64_t>(&stencil_apply_flat);
+  for (auto _ : state) {
+    lift::Jit jit;
+    lift::Lifter lifter;
+    auto lifted = lifter.Lift(entry, KernelSig());
+    if (lifted.has_value()) {
+      auto compiled = lifted->Compile(jit);
+      benchmark::DoNotOptimize(compiled);
+    }
+  }
+}
+BENCHMARK(BM_LiftOptimizeJit);
+
+void BM_JacobiSweepNativeDirect(benchmark::State& state) {
+  JacobiGrid grid;
+  for (auto _ : state) {
+    grid.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct),
+                    nullptr, 1);
+    benchmark::DoNotOptimize(grid.front());
+  }
+}
+BENCHMARK(BM_JacobiSweepNativeDirect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

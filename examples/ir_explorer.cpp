@@ -1,0 +1,97 @@
+// dbll example -- IR explorer: disassemble any of the bundled kernels and
+// show the LLVM-IR the lifter produces for it, before and after the -O3
+// pipeline. Useful for studying how the facet model, flag cache, and GEP
+// addressing shape the IR (paper Sec. III).
+//
+// Usage: ir_explorer [kernel] [--no-flag-cache] [--no-facets] [--no-gep] [--raw]
+//   kernel: max | clamp | dot | stencil (default: max)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "dbll/lift/lifter.h"
+#include "dbll/stencil/stencil.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/printer.h"
+
+namespace {
+
+__attribute__((noinline)) long MaxFn(long a, long b) { return a > b ? a : b; }
+
+__attribute__((noinline)) long Clamp(long x, long lo) {
+  const long hi = lo + 100;
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+__attribute__((noinline)) double Dot4(const double* a, const double* b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* kernel = argc > 1 ? argv[1] : "max";
+  dbll::lift::LiftConfig config;
+  bool raw = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-flag-cache") == 0) config.flag_cache = false;
+    if (std::strcmp(argv[i], "--no-facets") == 0) config.facet_cache = false;
+    if (std::strcmp(argv[i], "--no-gep") == 0) config.use_gep = false;
+    if (std::strcmp(argv[i], "--raw") == 0) raw = true;
+  }
+
+  std::uint64_t entry = 0;
+  dbll::lift::Signature sig = dbll::lift::Signature::Ints(2);
+  if (std::strcmp(kernel, "max") == 0) {
+    entry = reinterpret_cast<std::uint64_t>(&MaxFn);
+  } else if (std::strcmp(kernel, "clamp") == 0) {
+    entry = reinterpret_cast<std::uint64_t>(&Clamp);
+  } else if (std::strcmp(kernel, "dot") == 0) {
+    entry = reinterpret_cast<std::uint64_t>(&Dot4);
+    sig.ret = dbll::lift::RetKind::kF64;
+  } else if (std::strcmp(kernel, "stencil") == 0) {
+    entry = reinterpret_cast<std::uint64_t>(&dbll::stencil::stencil_apply_flat);
+    sig = dbll::lift::Signature::Ints(4, dbll::lift::RetKind::kVoid);
+  } else {
+    std::printf("unknown kernel '%s' (use: max | clamp | dot | stencil)\n",
+                kernel);
+    return 1;
+  }
+
+  std::printf("== dbll ir_explorer: kernel '%s' (flag cache %s, facets %s, "
+              "gep %s) ==\n\n",
+              kernel, config.flag_cache ? "on" : "off",
+              config.facet_cache ? "on" : "off", config.use_gep ? "on" : "off");
+
+  std::printf("--- x86-64 input ---\n");
+  auto cfg = dbll::x86::BuildCfg(entry);
+  if (cfg.has_value()) {
+    for (const auto& [address, block] : cfg->blocks) {
+      if (cfg->blocks.size() > 1) std::printf("block_%lx:\n", address);
+      for (const auto& instr : block.instrs) {
+        std::printf("  %s\n", dbll::x86::PrintInstr(instr).c_str());
+      }
+    }
+  }
+
+  dbll::lift::Lifter lifter(config);
+  auto lifted = lifter.Lift(entry, sig, "explored");
+  if (!lifted.has_value()) {
+    std::printf("lift failed: %s\n", lifted.error().Format().c_str());
+    return 1;
+  }
+  if (raw) {
+    std::printf("\n--- raw lifted LLVM-IR (before optimization) ---\n%s",
+                lifted->GetIr().c_str());
+  }
+  auto ir = lifted->OptimizeAndGetIr();
+  if (!ir.has_value()) {
+    std::printf("optimization failed: %s\n", ir.error().Format().c_str());
+    return 1;
+  }
+  std::printf("\n--- optimized LLVM-IR (-O%d) ---\n%s", config.opt_level,
+              ir->c_str());
+  return 0;
+}

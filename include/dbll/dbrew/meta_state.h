@@ -1,0 +1,111 @@
+// dbll -- meta-emulation state for binary specialization.
+//
+// The DBrew rewriter (paper Sec. II and [7]) partially evaluates a compiled
+// function: values derived from the rewriter configuration (fixed parameters,
+// fixed memory ranges) are *known* at rewrite time; everything else is
+// *unknown* and handled by emitting the original instruction into the new
+// code stream. MetaState tracks, for every architectural resource, whether
+// its value is known and whether the runtime register content will actually
+// hold that value ("materialized").
+//
+// Invariants the emulator maintains:
+//  * A known value always equals the value the ORIGINAL program would have
+//    computed at this point.
+//  * materialized == true means the emitted code leaves the real register
+//    holding exactly the known value, so emitted instructions may read it.
+//  * Stack-relative values (rsp/rbp frame pointers) are always materialized:
+//    every instruction that manipulates the stack pointer is emitted.
+//  * All stores are emitted, so runtime memory is always consistent; the
+//    stack slot map is purely an optimization for folding later loads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbll/x86/insn.h"
+
+namespace dbll::dbrew {
+
+/// Tracked knowledge about one 64-bit general-purpose register.
+struct MetaValue {
+  enum class Kind : std::uint8_t {
+    kUnknown = 0,  ///< runtime value only; register content is valid
+    kConst,        ///< value known at rewrite time
+    kStackRel,     ///< entry-rsp + delta; always materialized
+  };
+
+  Kind kind = Kind::kUnknown;
+  std::uint64_t value = 0;   ///< constant value (kConst) or delta (kStackRel)
+  bool materialized = true;  ///< runtime register holds `value`
+
+  static MetaValue Unknown() { return MetaValue{}; }
+  static MetaValue Const(std::uint64_t value, bool materialized = false) {
+    return MetaValue{Kind::kConst, value, materialized};
+  }
+  static MetaValue StackRel(std::int64_t delta) {
+    return MetaValue{Kind::kStackRel, static_cast<std::uint64_t>(delta), true};
+  }
+
+  bool is_unknown() const { return kind == Kind::kUnknown; }
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_stack_rel() const { return kind == Kind::kStackRel; }
+  std::int64_t stack_delta() const { return static_cast<std::int64_t>(value); }
+};
+
+/// Tracked knowledge about one 128-bit SSE register.
+struct MetaXmm {
+  bool known = false;
+  bool materialized = true;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Tracked knowledge about one status flag.
+struct MetaFlag {
+  bool known = false;
+  bool value = false;
+};
+
+/// A known byte stored to the emulated stack. All stores are also emitted,
+/// so this map never represents state the runtime stack does not have.
+using StackMap = std::map<std::int64_t, std::uint8_t>;
+
+/// Complete rewrite-time machine state.
+struct MetaState {
+  MetaValue gp[x86::kGpRegCount];
+  MetaXmm vec[x86::kVecRegCount];
+  MetaFlag flags[x86::kFlagCount];
+  /// Known bytes on the stack, keyed by delta from the entry stack pointer.
+  StackMap stack;
+  /// Return addresses of calls currently being inlined (innermost last).
+  /// Inlined calls do not move the runtime stack pointer: the call push and
+  /// the ret pop are both elided, which cancels out for register-argument
+  /// functions (the supported subset).
+  std::vector<std::uint64_t> return_stack;
+
+  MetaState() {
+    gp[x86::kRsp.index] = MetaValue::StackRel(0);
+  }
+
+  MetaValue& Gp(x86::Reg reg) { return gp[reg.index & 15]; }
+  const MetaValue& Gp(x86::Reg reg) const { return gp[reg.index & 15]; }
+  MetaXmm& Vec(x86::Reg reg) { return vec[reg.index & 15]; }
+  const MetaXmm& Vec(x86::Reg reg) const { return vec[reg.index & 15]; }
+  MetaFlag& FlagRef(x86::Flag flag) { return flags[static_cast<int>(flag)]; }
+  const MetaFlag& FlagRef(x86::Flag flag) const {
+    return flags[static_cast<int>(flag)];
+  }
+
+  void ClearFlags() {
+    for (auto& flag : flags) flag = MetaFlag{};
+  }
+
+  /// Serializes the state into a stable key used to de-duplicate
+  /// specialization targets (same original address + same key => the already
+  /// emitted block can be branched to).
+  std::string Key(std::uint64_t address) const;
+};
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,126 @@
+// dbll -- the DBrew-style binary rewriter (paper Sec. II, re-implementing the
+// behaviour of [7] Weidendorfer/Breitbart 2016).
+//
+// A Rewriter produces a drop-in replacement for an existing compiled function
+// with the same signature. Values configured as fixed (function parameters,
+// memory ranges) are propagated through the code at rewrite time: instructions
+// whose inputs are all known are folded away, conditional branches with known
+// conditions are resolved (fully unrolling loops), and direct calls are
+// inlined. Everything else is re-emitted.
+//
+//   dbll::dbrew::Rewriter r(reinterpret_cast<std::uint64_t>(&func));
+//   r.SetParam(0, 42);                      // first argument fixed to 42
+//   r.SetMemRange(ptr, ptr + size);         // *ptr..*(ptr+size) assumed const
+//   auto fn = r.RewriteOrOriginal();        // falls back to &func on failure
+//
+// The generated code lives in a CodeBuffer owned by the Rewriter; the
+// Rewriter must outlive any call through the returned pointer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/error.h"
+
+namespace dbll::dbrew {
+
+/// Resource limits and behaviour switches for one rewrite.
+struct RewriterConfig {
+  /// Size of the buffer for generated code (paper: the default error handler
+  /// may enlarge this and restart).
+  std::size_t code_buffer_size = 64 * 1024;
+  /// Maximum number of emitted specialization blocks; guards against
+  /// run-away unrolling.
+  std::size_t max_blocks = 4096;
+  /// Number of times the same original address may be re-specialized before
+  /// the state is widened (changed register values are materialized and
+  /// forgotten; loop-invariant knowledge survives). Known-trip-count loops
+  /// fold their branches and are not affected by this cap.
+  std::size_t unroll_cap = 32;
+  /// Maximum depth of inlined direct calls; deeper calls are emitted as
+  /// calls instead of being inlined.
+  int max_inline_depth = 8;
+  /// Emit one-line commentary of emulation decisions to stderr.
+  bool verbose = false;
+};
+
+/// A memory range whose contents are assumed constant at rewrite time.
+struct FixedMemRange {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  // exclusive
+
+  bool Contains(std::uint64_t address, std::size_t size) const {
+    return address >= start && address + size <= end;
+  }
+};
+
+class Rewriter {
+ public:
+  /// `function` is the entry address of a compiled function adhering to the
+  /// System-V AMD64 ABI.
+  explicit Rewriter(std::uint64_t function);
+
+  template <typename Ret, typename... Args>
+  explicit Rewriter(Ret (*function)(Args...))
+      : Rewriter(reinterpret_cast<std::uint64_t>(function)) {}
+
+  /// Fixes integer/pointer parameter `index` (0-based, register parameters
+  /// only: rdi, rsi, rdx, rcx, r8, r9) to `value`. The rewritten function
+  /// ignores the actual argument. (dbrew_setpar)
+  void SetParam(int index, std::uint64_t value);
+
+  /// Declares [start, end) to hold values that do not change between rewrite
+  /// time and any later call of the rewritten function. (dbrew_setmem)
+  void SetMemRange(std::uint64_t start, std::uint64_t end);
+  void SetMemRange(const void* start, const void* end) {
+    SetMemRange(reinterpret_cast<std::uint64_t>(start),
+                reinterpret_cast<std::uint64_t>(end));
+  }
+
+  RewriterConfig& config() { return config_; }
+
+  /// Runs the rewrite. On success returns the entry address of the generated
+  /// replacement; on failure returns the error (the caller decides how to
+  /// recover). May be called repeatedly; each call regenerates the code.
+  Expected<std::uint64_t> Rewrite();
+
+  /// The paper's default error-handler behaviour: returns the rewritten
+  /// entry on success and the *original* function on any failure, after
+  /// retrying once with a doubled code buffer on kResourceLimit.
+  std::uint64_t RewriteOrOriginal();
+
+  template <typename Fn>
+  Fn RewriteOrOriginalAs() {
+    return reinterpret_cast<Fn>(RewriteOrOriginal());
+  }
+
+  /// Error of the last Rewrite() call (ok when it succeeded).
+  const Error& last_error() const { return last_error_; }
+
+  /// Statistics of the last successful rewrite.
+  struct Stats {
+    std::size_t emulated_instrs = 0;  ///< instructions stepped through
+    std::size_t emitted_instrs = 0;   ///< instructions written to new code
+    std::size_t folded_instrs = 0;    ///< instructions removed entirely
+    std::size_t inlined_calls = 0;
+    std::size_t blocks = 0;
+    std::size_t code_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Generated code of the last successful rewrite (for disassembly dumps).
+  std::span<const std::uint8_t> code() const;
+
+ private:
+  std::uint64_t function_;
+  RewriterConfig config_;
+  std::vector<std::pair<int, std::uint64_t>> fixed_params_;
+  std::vector<FixedMemRange> fixed_ranges_;
+  CodeBuffer buffer_;
+  Error last_error_;
+  Stats stats_;
+};
+
+}  // namespace dbll::dbrew

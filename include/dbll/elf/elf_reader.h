@@ -1,0 +1,110 @@
+// dbll -- minimal ELF64 reader.
+//
+// Supports the paper's Sec. VII observation that the x86-64 -> LLVM-IR
+// transformation is usable for reverse engineering: functions can be
+// extracted from object files / executables on disk and fed to the
+// disassembler and the lifter without executing the file.
+//
+// The reader understands little-endian ELF64 relocatable and executable
+// files: section headers, the symbol table, and enough layout to build an
+// analysis image (all allocatable PROGBITS/NOBITS sections copied at their
+// virtual-address offsets) so that intra-image RIP-relative references and
+// direct calls resolve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbll/support/error.h"
+
+namespace dbll::elf {
+
+struct Section {
+  std::string name;
+  std::uint32_t type = 0;
+  std::uint64_t flags = 0;
+  std::uint64_t vaddr = 0;
+  std::uint64_t offset = 0;  // file offset
+  std::uint64_t size = 0;
+
+  bool is_alloc() const { return (flags & 0x2) != 0; }  // SHF_ALLOC
+  bool is_progbits() const { return type == 1; }        // SHT_PROGBITS
+  bool is_nobits() const { return type == 8; }          // SHT_NOBITS
+};
+
+struct Symbol {
+  std::string name;
+  std::uint64_t value = 0;  // virtual address (executables) or section offset
+  std::uint64_t size = 0;
+  std::uint16_t section_index = 0;
+  bool is_function = false;
+  bool is_global = false;
+};
+
+/// A copy of the file's allocatable sections laid out at their virtual-
+/// address offsets, so code can be decoded with consistent cross-references.
+class Image {
+ public:
+  Image() = default;
+
+  /// Base virtual address of the image (lowest allocatable section).
+  std::uint64_t base_vaddr() const { return base_vaddr_; }
+  std::uint64_t size() const { return bytes_.size(); }
+
+  /// Host pointer corresponding to `vaddr`; null when out of range.
+  const std::uint8_t* Translate(std::uint64_t vaddr) const {
+    if (vaddr < base_vaddr_ || vaddr >= base_vaddr_ + bytes_.size()) {
+      return nullptr;
+    }
+    return bytes_.data() + (vaddr - base_vaddr_);
+  }
+
+  /// Host address for `vaddr` as an integer (for the decoder/lifter, which
+  /// work on live memory).
+  std::uint64_t HostAddress(std::uint64_t vaddr) const {
+    const std::uint8_t* p = Translate(vaddr);
+    return reinterpret_cast<std::uint64_t>(p);
+  }
+
+ private:
+  friend class ElfFile;
+  std::uint64_t base_vaddr_ = 0;
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ElfFile {
+ public:
+  /// Reads and parses the file; fails with kBadConfig on malformed or
+  /// non-x86-64 ELF input.
+  static Expected<ElfFile> Open(const std::string& path);
+
+  /// Parses an in-memory ELF image (e.g. for tests).
+  static Expected<ElfFile> Parse(std::vector<std::uint8_t> contents);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  bool is_relocatable() const { return type_ == 1; }  // ET_REL
+
+  /// Looks up a function symbol by (exact) name.
+  Expected<Symbol> FindFunction(const std::string& name) const;
+
+  /// Virtual address of a symbol: for executables the symbol value, for
+  /// relocatable files the containing section's assigned address plus the
+  /// symbol's offset (sections are assigned consecutive addresses).
+  Expected<std::uint64_t> SymbolVirtualAddress(const Symbol& symbol) const;
+
+  /// Builds the analysis image (see Image).
+  Expected<Image> LoadImage() const;
+
+ private:
+  std::vector<std::uint8_t> contents_;
+  std::uint16_t type_ = 0;
+  std::vector<Section> sections_;
+  std::vector<Symbol> symbols_;
+  /// For relocatable files: synthetic base address assigned to each section.
+  std::vector<std::uint64_t> section_vaddr_;
+};
+
+}  // namespace dbll::elf

@@ -1,0 +1,197 @@
+// dbll -- x86-64 to LLVM-IR lifter (the paper's primary contribution,
+// Sections III & IV).
+//
+// The lifter transforms a compiled function into LLVM-IR designed for
+// *performance* (not merely correctness):
+//  * registers are modeled per facet (i64/i32/ptr for GP, scalar and vector
+//    element types for SSE) with a facet cache so the optimizer never has to
+//    see casts through the bitwise representation (Sec. III-C, Fig. 4);
+//  * the six status flags are individual i1 values, with a flag cache that
+//    re-materializes signed comparisons as icmp instead of SF^OF bit
+//    arithmetic (Sec. III-D, Fig. 6);
+//  * memory operands become getelementptr chains off pointer facets, and
+//    constant addresses are rebased onto a global symbol for alias analysis
+//    (Sec. III-E);
+//  * the stack is a function-local alloca (Sec. III-F);
+//  * direct calls are lifted recursively and left to the LLVM inliner
+//    (Sec. III-B);
+//  * specialization can be applied at the IR level: parameter fixation via an
+//    always-inline wrapper, and constant memory regions cloned into the
+//    module as global constants (Sec. IV).
+//
+// Every configuration knob corresponds to a design decision evaluated in the
+// benchmarks (see DESIGN.md, D1-D5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbll/support/error.h"
+
+namespace dbll::lift {
+
+/// Argument classification for the lifted function's public signature
+/// (System-V: integers/pointers in rdi..r9, floating point in xmm0..).
+enum class ArgKind : std::uint8_t { kInt, kF64 };
+enum class RetKind : std::uint8_t { kVoid, kInt, kF64 };
+
+struct Signature {
+  std::vector<ArgKind> args;
+  RetKind ret = RetKind::kInt;
+
+  static Signature Ints(int count, RetKind ret = RetKind::kInt) {
+    Signature sig;
+    sig.args.assign(static_cast<std::size_t>(count), ArgKind::kInt);
+    sig.ret = ret;
+    return sig;
+  }
+};
+
+struct LiftConfig {
+  /// D2: reconstruct comparison semantics via the flag cache.
+  bool flag_cache = true;
+  /// D1: cache register facets; when off, every access round-trips through
+  /// the bitwise i64/i128 representation.
+  bool facet_cache = true;
+  /// D3: build addresses with getelementptr off pointer facets; when off,
+  /// use integer arithmetic + inttoptr.
+  bool use_gep = true;
+  /// Apply -ffast-math-style flags to generated FP operations.
+  bool fast_math = true;
+  /// Optimization level of the post-lift pipeline (0..3).
+  int opt_level = 3;
+  /// Size of the virtual stack alloca in bytes (Sec. III-F).
+  std::uint32_t stack_size = 8192;
+  /// Recursively lift direct call targets into the same module and let the
+  /// LLVM inliner decide (Sec. III-B); when off, calls are an error.
+  bool lift_calls = true;
+  int max_call_depth = 16;
+  /// Maximum number of instructions lifted per function (resource guard).
+  std::size_t max_instructions = 100000;
+  /// Restrict the O3 pipeline to a named subset of passes (ablation bench);
+  /// empty = full default pipeline. Understood values: "none", "basic"
+  /// (SROA+InstCombine+SimplifyCFG), "o1", "o2", "novec".
+  std::string pass_preset;
+  /// Paper Sec. III-E future work: emit all memory accesses as volatile so
+  /// the optimizer cannot reorder or eliminate them. Costs most of the
+  /// post-processing benefit; useful for I/O-mapped or concurrently
+  /// modified memory.
+  bool volatile_memory = false;
+  /// Paper Sec. VIII future work: attach llvm.loop.vectorize.enable to every
+  /// lifted loop back-edge, asking the vectorizer to ignore its cost model
+  /// (the programmatic form of the paper's -force-vector-width experiment).
+  bool vectorize_hint = false;
+};
+
+class LifterImpl;
+class Jit;
+
+/// A lifted function: an LLVM module owning the IR until it is compiled.
+class LiftedFunction {
+ public:
+  ~LiftedFunction();
+  LiftedFunction(LiftedFunction&&) noexcept;
+  LiftedFunction& operator=(LiftedFunction&&) noexcept;
+
+  /// Textual LLVM-IR as produced by the lifter (before optimization).
+  std::string GetIr() const;
+
+  /// Sec. IV: fixes integer parameter `index` to `value` by interposing an
+  /// always-inline wrapper; the optimizer propagates the constant.
+  Status SpecializeParam(int index, std::uint64_t value);
+
+  /// Sec. IV: fixes pointer parameter `index` to the contents of
+  /// [data, data+size): the bytes are copied into the module as a global
+  /// constant and the parameter is redirected to it. Nested pointers inside
+  /// the region are not followed (the paper's documented limitation).
+  Status SpecializeParamToConstMem(int index, const void* data,
+                                   std::size_t size);
+
+  /// Runs the optimization pipeline and compiles via the JIT; returns the
+  /// native entry point. The LiftedFunction is consumed.
+  Expected<std::uint64_t> Compile(Jit& jit);
+
+  /// Runs only the optimization pipeline and returns the optimized IR
+  /// (used by the Fig. 6 / Fig. 8 dumps).
+  Expected<std::string> OptimizeAndGetIr();
+
+  template <typename Fn>
+  Expected<Fn> CompileAs(Jit& jit) {
+    DBLL_TRY(std::uint64_t entry, Compile(jit));
+    return reinterpret_cast<Fn>(entry);
+  }
+
+ private:
+  friend class Lifter;
+  struct Impl;
+  explicit LiftedFunction(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The lifter front-end. One Lifter may lift many functions; each result is
+/// an independent module.
+class Lifter {
+ public:
+  explicit Lifter(LiftConfig config = {});
+  ~Lifter();
+
+  Lifter(const Lifter&) = delete;
+  Lifter& operator=(const Lifter&) = delete;
+
+  /// Lifts the compiled function at `address` with the given public
+  /// signature. `name` is the symbol name of the produced function (a unique
+  /// name is generated when empty).
+  Expected<LiftedFunction> Lift(std::uint64_t address, const Signature& sig,
+                                std::string name = {});
+
+  template <typename Ret, typename... Args>
+  Expected<LiftedFunction> Lift(Ret (*fn)(Args...), const Signature& sig,
+                                std::string name = {}) {
+    return Lift(reinterpret_cast<std::uint64_t>(fn), sig, std::move(name));
+  }
+
+  /// Paper Sec. VIII future work, made explicit: lifts an *element* kernel
+  /// `void f(const void* desc, const double* src, double* dst, long index)`
+  /// and wraps it in a generated IR loop over one row,
+  /// `index = row*stride + col` for col in [col_begin, col_end), producing
+  /// `void g(const void* desc, const double* src, double* dst, long row)`.
+  /// The loop carries vectorization metadata, and because the loop body is
+  /// typed IR (not binary code), the LLVM vectorizer has everything the
+  /// paper found missing in Sec. VI-B. Specialization calls
+  /// (SpecializeParam/SpecializeParamToConstMem) apply as usual.
+  Expected<LiftedFunction> LiftElementAsLine(std::uint64_t element_kernel,
+                                             long stride, long col_begin,
+                                             long col_end,
+                                             std::string name = {});
+
+  const LiftConfig& config() const { return config_; }
+
+ private:
+  LiftConfig config_;
+};
+
+/// Sets a global LLVM command-line option (e.g. "force-vector-width=2",
+/// matching the paper's Sec. VI-B vectorization experiment). Affects every
+/// subsequent optimization in the process.
+Status SetLlvmOption(const std::string& option);
+
+/// JIT execution engine (LLVM ORC LLJIT). Compiled code remains valid for
+/// the lifetime of the Jit object.
+class Jit {
+ public:
+  Jit();
+  ~Jit();
+
+  Jit(const Jit&) = delete;
+  Jit& operator=(const Jit&) = delete;
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dbll::lift

@@ -1,0 +1,73 @@
+// dbll -- second case study: sparse matrix-vector product (CSR) with a
+// runtime-known sparsity pattern.
+//
+// The paper's introduction motivates runtime specialization with "input
+// data, exact target architecture, specific features of I/O devices" known
+// only at runtime. A sparse matrix is the classic HPC instance: the
+// sparsity pattern is fixed for the whole solver run but unknown at compile
+// time. The generic CSR kernel traverses index arrays per row; declaring
+// the pattern (and optionally the values) fixed lets DBrew unroll each row
+// and fold the index loads away -- the binary-level analogue of
+// pattern-specialized SpMV code generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbll::spmv {
+
+/// Compressed sparse row matrix. All arrays are plain so the kernels stay in
+/// the decodable subset.
+struct CsrMatrix {
+  long rows = 0;
+  long cols = 0;
+  /// row_start[r] .. row_start[r+1] index into cols_idx/values.
+  const long* row_start = nullptr;
+  const long* col_idx = nullptr;
+  const double* values = nullptr;
+};
+
+/// Owning builder for CsrMatrix (test/bench convenience).
+class CsrBuilder {
+ public:
+  CsrBuilder(long rows, long cols) : rows_(rows), cols_(cols) {
+    row_start_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  }
+
+  /// Adds an entry; rows must be filled in increasing order.
+  void Add(long row, long col, double value);
+
+  /// Finalizes and returns a view (valid while the builder lives).
+  CsrMatrix Finish();
+
+  /// A banded test matrix: diagonals at the given offsets.
+  static CsrBuilder Banded(long n, std::initializer_list<long> offsets,
+                           double base_value = 1.0);
+  /// A pseudo-random pattern with `per_row` entries per row.
+  static CsrBuilder Random(long n, int per_row, std::uint64_t seed);
+
+ private:
+  long rows_;
+  long cols_;
+  long current_row_ = 0;
+  std::vector<long> row_start_;
+  std::vector<long> col_idx_;
+  std::vector<double> values_;
+};
+
+extern "C" {
+
+/// Generic CSR row kernel: y[row] = sum_j values[j] * x[col_idx[j]].
+/// Compiled with controlled flags (see CMakeLists); the specialization
+/// target of this case study.
+void spmv_row(const CsrMatrix* m, const double* x, double* y, long row);
+
+/// Generic full product looping over all rows (native baseline).
+void spmv_full(const CsrMatrix* m, const double* x, double* y, long rows);
+
+}  // extern "C"
+
+/// Reference product computed with plain C++ (for verification).
+void SpmvReference(const CsrMatrix& m, const double* x, double* y);
+
+}  // namespace dbll::spmv

@@ -1,0 +1,168 @@
+// dbll -- the paper's case study: specializing a generic 2-D stencil
+// (Sec. V, Fig. 7).
+//
+// A stencil is described as a data structure (flat: one factor per point;
+// sorted: points grouped by common factor) and applied by *generic* compiled
+// code. The rewriting techniques specialize this generic code for one
+// concrete stencil at runtime. The hard-coded "direct" kernels are the
+// statically specialized reference the paper compares against.
+//
+// The kernels live in a separate translation unit compiled with controlled
+// flags (no CET landing pads, no stack protector) so they stay within the
+// instruction subset the decoder and lifter support; see
+// src/stencil/kernels.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbll::stencil {
+
+/// Matrix side length: a 9x9 base grid with 80 interlines,
+/// (9-1)*(80+1)+1 = 649 (paper Sec. VI).
+inline constexpr long kMatrixSize = 649;
+
+/// Maximum points/groups in the fixed-capacity stencil descriptions. The
+/// paper uses C flexible array members; fixed capacities are layout-
+/// compatible for all stencils used here and keep the types valid C++.
+inline constexpr int kMaxPoints = 8;
+inline constexpr int kMaxGroups = 4;
+
+// --- Flat representation (paper Fig. 7, struct FS/FP) ----------------------
+
+struct FlatPoint {
+  double factor;
+  int dx;
+  int dy;
+};
+
+struct FlatStencil {
+  int point_count;
+  FlatPoint points[kMaxPoints];
+};
+
+// --- Sorted representation (paper Fig. 7, struct SS/SG/SP) -----------------
+
+struct SortedPoint {
+  int dx;
+  int dy;
+};
+
+struct SortedGroup {
+  double factor;
+  int point_count;
+  SortedPoint points[kMaxPoints];
+};
+
+struct SortedStencil {
+  int group_count;
+  SortedGroup groups[kMaxGroups];
+};
+
+/// Sorted representation with a *nested pointer* to the group array. This
+/// matches the paper's evaluation behaviour: IR-level specialization copies
+/// only the directly referenced region, so loads through the nested pointer
+/// do not constant-fold ("nested pointers will not be marked as constant"),
+/// while DBrew's memory ranges can cover both regions.
+struct PtrSortedStencil {
+  int group_count;
+  const SortedGroup* groups;
+};
+
+/// The 4-point Jacobi stencil used throughout the evaluation.
+const FlatStencil& FourPointFlat();
+const SortedStencil& FourPointSorted();
+const PtrSortedStencil& FourPointSortedPtr();
+
+/// An 8-point (box) stencil exercising multiple factor groups.
+const FlatStencil& EightPointFlat();
+const SortedStencil& EightPointSorted();
+
+// --- Kernels (defined in kernels.cpp with controlled codegen) --------------
+
+extern "C" {
+
+/// Generic element kernel, flat structure (paper Fig. 7 apply_flat).
+void stencil_apply_flat(const FlatStencil* s, const double* m1, double* m2,
+                        long index);
+
+/// Generic element kernel, sorted structure (two nested loops).
+void stencil_apply_sorted(const SortedStencil* s, const double* m1,
+                          double* m2, long index);
+
+/// Generic element kernel, pointer-based sorted structure.
+void stencil_apply_sorted_ptr(const PtrSortedStencil* s, const double* m1,
+                              double* m2, long index);
+
+/// Hard-coded 4-point element kernel ("Direct" in Fig. 9).
+void stencil_apply_direct(const void* unused, const double* m1, double* m2,
+                          long index);
+
+/// Line kernels: compute one matrix row (columns 1..N-2). The stencil code
+/// is inlined by the compiler -- the input for Native/LLVM modes.
+void stencil_line_flat(const FlatStencil* s, const double* m1, double* m2,
+                       long row);
+void stencil_line_sorted(const SortedStencil* s, const double* m1, double* m2,
+                         long row);
+void stencil_line_sorted_ptr(const PtrSortedStencil* s, const double* m1,
+                             double* m2, long row);
+void stencil_line_direct(const void* unused, const double* m1, double* m2,
+                         long row);
+
+/// Line kernels whose element computation is a separate noinline function.
+/// This is the input for DBrew on the line kernel: the rewriter inlines the
+/// element function but cannot unroll the (unknown-bound) column loop
+/// (paper Sec. VI: "the actual computation of an element is moved to a
+/// separate function which is inlined by DBrew").
+void stencil_line_flat_outlined(const FlatStencil* s, const double* m1,
+                                double* m2, long row);
+void stencil_line_sorted_outlined(const SortedStencil* s, const double* m1,
+                                  double* m2, long row);
+void stencil_line_sorted_ptr_outlined(const PtrSortedStencil* s,
+                                      const double* m1, double* m2, long row);
+void stencil_line_direct_outlined(const void* unused, const double* m1,
+                                  double* m2, long row);
+
+}  // extern "C"
+
+/// Uniform function-pointer types: the first parameter is the stencil
+/// description (ignored by the direct kernels).
+using ElementKernel = void (*)(const void*, const double*, double*, long);
+using LineKernel = void (*)(const void*, const double*, double*, long);
+
+// --- Jacobi driver (paper Sec. VI) -----------------------------------------
+
+/// Two matrices of kMatrixSize^2 doubles with fixed boundary values; the
+/// Jacobi iteration alternates between them.
+class JacobiGrid {
+ public:
+  explicit JacobiGrid(long size = kMatrixSize);
+
+  /// Heat-distribution boundary: top edge 1.0 decreasing to 0 on the other
+  /// edges; interior starts at 0.
+  void Reset();
+
+  /// Runs `iterations` Jacobi sweeps with an element kernel.
+  void RunElement(ElementKernel kernel, const void* stencil, int iterations);
+  /// Runs `iterations` Jacobi sweeps with a line kernel.
+  void RunLine(LineKernel kernel, const void* stencil, int iterations);
+
+  long size() const { return size_; }
+  const double* front() const { return front_; }
+  double* front() { return front_; }
+
+  /// Sum over the current matrix; used to verify that two kernel variants
+  /// computed identical iterations.
+  double Checksum() const;
+  /// Maximum absolute difference to another grid's front matrix.
+  double MaxDifference(const JacobiGrid& other) const;
+
+ private:
+  long size_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  double* front_;
+  double* back_;
+};
+
+}  // namespace dbll::stencil

@@ -1,0 +1,78 @@
+// dbll -- executable memory management.
+//
+// Generated code is written into a CodeBuffer, which owns page-aligned mmap'd
+// memory. The buffer follows a W^X discipline: it is writable while code is
+// being emitted and is flipped to read+execute by Seal(). DBrew-style error
+// handlers can react to kResourceLimit by allocating a larger buffer and
+// restarting the rewrite (paper, Sec. II).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "dbll/support/error.h"
+
+namespace dbll {
+
+/// Page-aligned, owning executable code region.
+class CodeBuffer {
+ public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+  CodeBuffer(CodeBuffer&& other) noexcept;
+  CodeBuffer& operator=(CodeBuffer&& other) noexcept;
+
+  /// Allocates a writable region of at least `size` bytes (rounded up to the
+  /// page size).
+  static Expected<CodeBuffer> Allocate(std::size_t size);
+
+  /// Allocates near `hint` (within rel32 range when possible) so that
+  /// generated code can keep RIP-relative references to the original image.
+  /// Falls back to an arbitrary placement when no nearby region is free.
+  static Expected<CodeBuffer> AllocateNear(std::uint64_t hint, std::size_t size);
+
+  /// Appends `code` to the buffer. Fails with kResourceLimit when full.
+  Expected<std::uint8_t*> Append(std::span<const std::uint8_t> code);
+
+  /// Reserves `size` bytes and returns a pointer the caller may write to
+  /// directly (e.g. an in-place encoder). Advances the write cursor.
+  Expected<std::uint8_t*> Reserve(std::size_t size);
+
+  /// Rewinds the write cursor to `pos` (used when a rewrite is restarted).
+  void Reset(std::size_t pos = 0);
+
+  /// Makes the region read+execute. After sealing, Append/Reserve fail.
+  Status Seal();
+
+  /// Makes a sealed region writable again (for buffer reuse in benchmarks).
+  Status Unseal();
+
+  const std::uint8_t* data() const noexcept { return base_; }
+  std::uint8_t* data() noexcept { return base_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t remaining() const noexcept { return capacity_ - used_; }
+  bool sealed() const noexcept { return sealed_; }
+
+  /// Casts a position inside the buffer to a callable function pointer.
+  /// The buffer must outlive any use of the returned pointer.
+  template <typename Fn>
+  Fn EntryAs(std::size_t offset = 0) const {
+    return reinterpret_cast<Fn>(const_cast<std::uint8_t*>(base_ + offset));
+  }
+
+ private:
+  CodeBuffer(std::uint8_t* base, std::size_t capacity)
+      : base_(base), capacity_(capacity) {}
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace dbll

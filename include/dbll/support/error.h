@@ -1,0 +1,131 @@
+// dbll -- error handling primitives.
+//
+// Re-writing and lifting are expected to fail on unsupported input (the paper,
+// Sec. II: "We expect that re-writing may fail: each of the internal steps
+// 'decoding', 'emulation' and 'encoding' may not be covered for a given
+// instruction"). Failures are therefore values, not exceptions: every fallible
+// API returns Expected<T>, and the rewriter's default error handler falls back
+// to the original function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dbll {
+
+/// Broad classification of a failure; used by error handlers to decide on a
+/// recovery strategy (e.g. enlarge a buffer and retry vs. give up).
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,
+  kDecode,        ///< byte sequence is not a supported instruction
+  kUnsupported,   ///< decoded fine, but the consumer cannot handle it
+  kEncode,        ///< instruction cannot be re-encoded
+  kEmulate,       ///< meta-emulation cannot proceed
+  kLift,          ///< x86 -> LLVM-IR transformation failed
+  kJit,           ///< LLVM JIT compilation failed
+  kResourceLimit, ///< configured limit exceeded (code buffer, stack, depth...)
+  kBadConfig,     ///< invalid rewriter/lifter configuration
+  kInternal,      ///< invariant violation; indicates a bug in dbll itself
+};
+
+/// Returns a stable, human-readable name for an ErrorKind.
+std::string_view ToString(ErrorKind kind) noexcept;
+
+/// An error value carrying a classification, a message, and (where it makes
+/// sense) the code address the failure was observed at.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorKind kind, std::string message, std::uint64_t address = 0)
+      : kind_(kind), message_(std::move(message)), address_(address) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& message() const noexcept { return message_; }
+  std::uint64_t address() const noexcept { return address_; }
+  bool ok() const noexcept { return kind_ == ErrorKind::kNone; }
+
+  /// Formats as "kind: message (at 0x...)" for logs and test failures.
+  std::string Format() const;
+
+ private:
+  ErrorKind kind_ = ErrorKind::kNone;
+  std::string message_;
+  std::uint64_t address_ = 0;
+};
+
+/// Minimal expected-type (std::expected is C++23; we target C++20).
+/// Holds either a T or an Error. Access to value() on an error aborts, so
+/// callers must check has_value() / operator bool first.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const& { return std::get<Error>(storage_); }
+  Error&& error() && { return std::get<Error>(std::move(storage_)); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Expected<void> analogue for operations with no result payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const noexcept { return error_.ok(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace dbll
+
+#define DBLL_CONCAT_INNER(a, b) a##b
+#define DBLL_CONCAT(a, b) DBLL_CONCAT_INNER(a, b)
+
+/// Propagates the error of an Expected/Status expression to the caller.
+/// Usage: DBLL_TRY(auto instr, decoder.Decode(p));
+#define DBLL_TRY_IMPL(tmp, decl, expr) \
+  auto&& tmp = (expr);                 \
+  if (!tmp) {                          \
+    return std::move(tmp).error();     \
+  }                                    \
+  decl = std::move(tmp).value()
+
+#define DBLL_TRY(decl, expr) \
+  DBLL_TRY_IMPL(DBLL_CONCAT(dbll_try_tmp_, __COUNTER__), decl, expr)
+
+#define DBLL_TRY_STATUS(expr)                          \
+  do {                                                 \
+    auto&& dbll_status_tmp = (expr);                   \
+    if (!dbll_status_tmp) {                            \
+      return std::move(dbll_status_tmp).error();       \
+    }                                                  \
+  } while (0)

@@ -1,0 +1,20 @@
+// dbll -- byte formatting helpers used by the disassembly printer, logs, and
+// the Fig. 8 code-excerpt benchmark.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dbll {
+
+/// Formats bytes as lowercase hex separated by spaces: "48 89 f8".
+std::string HexBytes(std::span<const std::uint8_t> bytes);
+
+/// Formats a classic 16-byte-per-line hexdump with an address column.
+std::string HexDump(std::span<const std::uint8_t> bytes, std::uint64_t base_address = 0);
+
+/// Formats a value as "0x..." with no leading zeros.
+std::string HexValue(std::uint64_t value);
+
+}  // namespace dbll

@@ -1,0 +1,71 @@
+// dbll -- function-level control-flow discovery (paper Sec. III-B).
+//
+// A compiled function is decoded into basic blocks starting from its entry
+// point. Direct jumps and conditional jumps are followed; a jump into the
+// middle of an existing block splits that block, so every decoded instruction
+// belongs to exactly one block (the paper's de-duplication guarantee).
+// Indirect jumps are rejected, calls are recorded but not followed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "dbll/support/error.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::x86 {
+
+/// A straight-line run of instructions ending with a control-flow change or
+/// immediately before another block's leader.
+struct BasicBlock {
+  std::uint64_t start = 0;
+  std::vector<Instr> instrs;
+
+  /// Address of the taken successor for jmp/jcc (0 when none).
+  std::uint64_t branch_target = 0;
+  /// Address of the fall-through successor (0 when none, e.g. after ret/jmp).
+  std::uint64_t fall_through = 0;
+
+  std::uint64_t end() const noexcept {
+    return instrs.empty() ? start : instrs.back().end();
+  }
+  const Instr& terminator() const { return instrs.back(); }
+  bool EndsWithRet() const {
+    return !instrs.empty() && instrs.back().mnemonic == Mnemonic::kRet;
+  }
+};
+
+/// The decoded control-flow graph of one function.
+struct Cfg {
+  std::uint64_t entry = 0;
+  /// Blocks keyed by start address (iteration order == address order).
+  std::map<std::uint64_t, BasicBlock> blocks;
+  /// Unique direct call targets observed anywhere in the function.
+  std::vector<std::uint64_t> call_targets;
+  /// Total number of decoded instructions.
+  std::size_t instr_count = 0;
+
+  const BasicBlock& entry_block() const { return blocks.at(entry); }
+};
+
+struct CfgOptions {
+  /// Upper bound on decoded instructions; exceeds -> kResourceLimit. Guards
+  /// against running off into non-code bytes.
+  std::size_t max_instructions = 100000;
+};
+
+/// Decodes the function whose first instruction lives at `entry` in the
+/// current process image.
+Expected<Cfg> BuildCfg(std::uint64_t entry, const CfgOptions& options = {});
+
+/// Decodes a function from a buffer: `code[i]` is the byte at virtual address
+/// `base_address + i`. Jump targets outside the buffer are an error.
+Expected<Cfg> BuildCfgFromBuffer(std::span<const std::uint8_t> code,
+                                 std::uint64_t base_address,
+                                 std::uint64_t entry,
+                                 const CfgOptions& options = {});
+
+}  // namespace dbll::x86

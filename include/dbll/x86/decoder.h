@@ -1,0 +1,32 @@
+// dbll -- x86-64 instruction decoder.
+//
+// Covers the instruction subset emitted by current C compilers for integer
+// and SSE/SSE2 floating-point code (the paper's supported subset: Linux
+// System-V ABI, no AVX, no string instructions). Decoding is the first of the
+// three fallible steps of a rewrite (decode / emulate / encode); unsupported
+// byte sequences produce ErrorKind::kDecode with the offending address.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dbll/support/error.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::x86 {
+
+class Decoder {
+ public:
+  /// Decodes a single instruction starting at `code.data()`, which is assumed
+  /// to live at virtual address `address` (used to resolve RIP-relative
+  /// operands and direct branch targets into Instr::target).
+  static Expected<Instr> DecodeOne(std::span<const std::uint8_t> code,
+                                   std::uint64_t address);
+
+  /// Convenience overload reading directly from live memory at `address`.
+  /// `max_length` bounds the read (an instruction is at most 15 bytes).
+  static Expected<Instr> DecodeAt(std::uint64_t address,
+                                  std::size_t max_length = 15);
+};
+
+}  // namespace dbll::x86

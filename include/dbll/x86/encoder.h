@@ -1,0 +1,33 @@
+// dbll -- x86-64 instruction encoder.
+//
+// Re-emits the decoded instruction representation as machine code. This is
+// the "encoding" step of a DBrew rewrite: instructions that survive
+// meta-emulation unchanged (or with operands replaced by immediates) are
+// encoded into the new code buffer. The encoder covers the same subset as the
+// decoder; Encode(Decode(x)) is semantically equivalent to x (not necessarily
+// byte-identical, e.g. branches are always emitted in rel32 form).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dbll/support/error.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::x86 {
+
+class Encoder {
+ public:
+  /// Encodes `instr` into `buffer`, assuming the first emitted byte will live
+  /// at virtual address `address` (needed for RIP-relative operands and
+  /// direct branches, which are re-materialized from Instr::target).
+  /// Returns the encoded length.
+  static Expected<std::size_t> Encode(const Instr& instr,
+                                      std::span<std::uint8_t> buffer,
+                                      std::uint64_t address);
+
+  /// Maximum length of any encoding this encoder produces.
+  static constexpr std::size_t kMaxLength = 15;
+};
+
+}  // namespace dbll::x86

@@ -1,0 +1,449 @@
+// dbll -- x86-64 instruction representation.
+//
+// A decoded instruction is a fully explicit value type: mnemonic, condition
+// code (for Jcc/SETcc/CMOVcc), and up to three operands with explicit access
+// sizes. The same representation is consumed by the printer, the encoder (for
+// the plain-DBrew backend), the meta-emulator, and the LLVM-IR lifter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbll::x86 {
+
+// ---------------------------------------------------------------------------
+// Registers
+// ---------------------------------------------------------------------------
+
+/// Architectural register file class.
+enum class RegClass : std::uint8_t {
+  kNone = 0,
+  kGp,    ///< general purpose: rax..r15 (64-bit each)
+  kIp,    ///< instruction pointer
+  kVec,   ///< SSE vector registers: xmm0..xmm15 (128-bit each)
+};
+
+/// A register identity, independent of the accessed width ("facet" in the
+/// paper's terms). Width lives on the operand.
+struct Reg {
+  RegClass cls = RegClass::kNone;
+  std::uint8_t index = 0;
+
+  constexpr bool valid() const noexcept { return cls != RegClass::kNone; }
+  constexpr bool operator==(const Reg&) const noexcept = default;
+};
+
+// GP register indices follow hardware encoding (REX extension adds 8).
+inline constexpr Reg kNoReg{RegClass::kNone, 0};
+inline constexpr Reg kRax{RegClass::kGp, 0};
+inline constexpr Reg kRcx{RegClass::kGp, 1};
+inline constexpr Reg kRdx{RegClass::kGp, 2};
+inline constexpr Reg kRbx{RegClass::kGp, 3};
+inline constexpr Reg kRsp{RegClass::kGp, 4};
+inline constexpr Reg kRbp{RegClass::kGp, 5};
+inline constexpr Reg kRsi{RegClass::kGp, 6};
+inline constexpr Reg kRdi{RegClass::kGp, 7};
+inline constexpr Reg kR8{RegClass::kGp, 8};
+inline constexpr Reg kR9{RegClass::kGp, 9};
+inline constexpr Reg kR10{RegClass::kGp, 10};
+inline constexpr Reg kR11{RegClass::kGp, 11};
+inline constexpr Reg kR12{RegClass::kGp, 12};
+inline constexpr Reg kR13{RegClass::kGp, 13};
+inline constexpr Reg kR14{RegClass::kGp, 14};
+inline constexpr Reg kR15{RegClass::kGp, 15};
+inline constexpr Reg kRip{RegClass::kIp, 0};
+
+constexpr Reg Gp(std::uint8_t index) { return Reg{RegClass::kGp, index}; }
+constexpr Reg Xmm(std::uint8_t index) { return Reg{RegClass::kVec, index}; }
+
+/// Number of registers modeled per class.
+inline constexpr int kGpRegCount = 16;
+inline constexpr int kVecRegCount = 16;
+
+// ---------------------------------------------------------------------------
+// Condition codes (hardware encoding, used by Jcc / SETcc / CMOVcc)
+// ---------------------------------------------------------------------------
+
+enum class Cond : std::uint8_t {
+  kO = 0x0,   ///< overflow
+  kNo = 0x1,
+  kB = 0x2,   ///< below (unsigned <), aka C
+  kAe = 0x3,  ///< above-or-equal (unsigned >=), aka NC
+  kE = 0x4,   ///< equal / zero
+  kNe = 0x5,
+  kBe = 0x6,  ///< below-or-equal (unsigned <=)
+  kA = 0x7,   ///< above (unsigned >)
+  kS = 0x8,   ///< sign
+  kNs = 0x9,
+  kP = 0xa,   ///< parity even
+  kNp = 0xb,
+  kL = 0xc,   ///< less (signed <): SF != OF
+  kGe = 0xd,  ///< greater-or-equal (signed >=)
+  kLe = 0xe,  ///< less-or-equal (signed <=)
+  kG = 0xf,   ///< greater (signed >)
+};
+
+/// Returns the suffix used in assembly mnemonics, e.g. "l" for Cond::kL.
+const char* CondName(Cond cond) noexcept;
+
+/// Returns the inverse condition (flip of the low encoding bit).
+constexpr Cond Invert(Cond cond) {
+  return static_cast<Cond>(static_cast<std::uint8_t>(cond) ^ 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Status flags
+// ---------------------------------------------------------------------------
+
+/// The six user-visible status flags modeled by dbll (paper Sec. III-D).
+enum class Flag : std::uint8_t { kZf = 0, kSf, kCf, kOf, kPf, kAf };
+inline constexpr int kFlagCount = 6;
+
+/// Bitmask helpers for describing which flags an instruction writes/reads.
+enum FlagMask : std::uint8_t {
+  kFlagNone = 0,
+  kFlagZ = 1u << 0,
+  kFlagS = 1u << 1,
+  kFlagC = 1u << 2,
+  kFlagO = 1u << 3,
+  kFlagP = 1u << 4,
+  kFlagA = 1u << 5,
+  kFlagAll = 0x3f,
+};
+
+/// Flags read by a condition code.
+std::uint8_t CondFlagUses(Cond cond) noexcept;
+
+// ---------------------------------------------------------------------------
+// Mnemonics
+// ---------------------------------------------------------------------------
+
+// X-macro: mnemonic identifier, assembly name.
+#define DBLL_X86_MNEMONIC_LIST(X)                                     \
+  /* pseudo */                                                        \
+  X(kInvalid, "(invalid)")                                            \
+  X(kNop, "nop")                                                      \
+  X(kEndbr64, "endbr64")                                              \
+  X(kUd2, "ud2")                                                      \
+  /* data movement */                                                 \
+  X(kMov, "mov")                                                      \
+  X(kMovzx, "movzx")                                                  \
+  X(kMovsx, "movsx")                                                  \
+  X(kMovsxd, "movsxd")                                                \
+  X(kLea, "lea")                                                      \
+  X(kXchg, "xchg")                                                    \
+  X(kPush, "push")                                                    \
+  X(kPop, "pop")                                                      \
+  X(kLeave, "leave")                                                  \
+  X(kCbw, "cbw")                                                      \
+  X(kCwde, "cwde")                                                    \
+  X(kCdqe, "cdqe")                                                    \
+  X(kCwd, "cwd")                                                      \
+  X(kCdq, "cdq")                                                      \
+  X(kCqo, "cqo")                                                      \
+  X(kBswap, "bswap")                                                  \
+  X(kStc, "stc")                                                      \
+  X(kClc, "clc")                                                      \
+  /* integer arithmetic */                                            \
+  X(kAdd, "add")                                                      \
+  X(kAdc, "adc")                                                      \
+  X(kSub, "sub")                                                      \
+  X(kSbb, "sbb")                                                      \
+  X(kCmp, "cmp")                                                      \
+  X(kTest, "test")                                                    \
+  X(kAnd, "and")                                                      \
+  X(kOr, "or")                                                        \
+  X(kXor, "xor")                                                      \
+  X(kNot, "not")                                                      \
+  X(kNeg, "neg")                                                      \
+  X(kInc, "inc")                                                      \
+  X(kDec, "dec")                                                      \
+  X(kImul, "imul")                                                    \
+  X(kMul, "mul")                                                      \
+  X(kIdiv, "idiv")                                                    \
+  X(kDiv, "div")                                                      \
+  X(kShl, "shl")                                                      \
+  X(kShr, "shr")                                                      \
+  X(kSar, "sar")                                                      \
+  X(kRol, "rol")                                                      \
+  X(kRor, "ror")                                                      \
+  X(kBt, "bt")                                                        \
+  X(kBts, "bts")                                                      \
+  X(kBtr, "btr")                                                      \
+  X(kBtc, "btc")                                                      \
+  X(kBsf, "bsf")                                                      \
+  X(kBsr, "bsr")                                                      \
+  X(kTzcnt, "tzcnt")                                                  \
+  X(kPopcnt, "popcnt")                                                \
+  X(kShld, "shld")                                                    \
+  X(kShrd, "shrd")                                                    \
+  X(kLfence, "lfence")                                                \
+  X(kCmpxchg, "cmpxchg")                                              \
+  X(kXadd, "xadd")                                                    \
+  X(kRdtsc, "rdtsc")                                                  \
+  X(kCpuid, "cpuid")                                                  \
+  X(kInt3, "int3")                                                    \
+  X(kMfence, "mfence")                                                \
+  X(kSfence, "sfence")                                                \
+  /* control flow */                                                  \
+  X(kJmp, "jmp")                                                      \
+  X(kJcc, "jcc")                                                      \
+  X(kCall, "call")                                                    \
+  X(kRet, "ret")                                                      \
+  X(kSetcc, "setcc")                                                  \
+  X(kCmovcc, "cmovcc")                                                \
+  /* SSE data movement */                                             \
+  X(kMovss, "movss")                                                  \
+  X(kMovsdX, "movsd")                                                 \
+  X(kMovaps, "movaps")                                                \
+  X(kMovapd, "movapd")                                                \
+  X(kMovups, "movups")                                                \
+  X(kMovupd, "movupd")                                                \
+  X(kMovdqa, "movdqa")                                                \
+  X(kMovdqu, "movdqu")                                                \
+  X(kMovd, "movd")                                                    \
+  X(kMovq, "movq")                                                    \
+  X(kMovlps, "movlps")                                                \
+  X(kMovhps, "movhps")                                                \
+  X(kMovlpd, "movlpd")                                                \
+  X(kMovhpd, "movhpd")                                                \
+  X(kMovhlps, "movhlps")                                              \
+  X(kMovlhps, "movlhps")                                              \
+  /* SSE scalar float arithmetic */                                   \
+  X(kAddss, "addss")                                                  \
+  X(kAddsd, "addsd")                                                  \
+  X(kSubss, "subss")                                                  \
+  X(kSubsd, "subsd")                                                  \
+  X(kMulss, "mulss")                                                  \
+  X(kMulsd, "mulsd")                                                  \
+  X(kDivss, "divss")                                                  \
+  X(kDivsd, "divsd")                                                  \
+  X(kMinss, "minss")                                                  \
+  X(kMinsd, "minsd")                                                  \
+  X(kMaxss, "maxss")                                                  \
+  X(kMaxsd, "maxsd")                                                  \
+  X(kSqrtss, "sqrtss")                                                \
+  X(kSqrtsd, "sqrtsd")                                                \
+  /* SSE packed float arithmetic */                                   \
+  X(kAddps, "addps")                                                  \
+  X(kAddpd, "addpd")                                                  \
+  X(kSubps, "subps")                                                  \
+  X(kSubpd, "subpd")                                                  \
+  X(kMulps, "mulps")                                                  \
+  X(kMulpd, "mulpd")                                                  \
+  X(kDivps, "divps")                                                  \
+  X(kDivpd, "divpd")                                                  \
+  X(kSqrtps, "sqrtps")                                                \
+  X(kSqrtpd, "sqrtpd")                                                \
+  /* SSE bitwise */                                                   \
+  X(kAndps, "andps")                                                  \
+  X(kAndpd, "andpd")                                                  \
+  X(kAndnps, "andnps")                                                \
+  X(kAndnpd, "andnpd")                                                \
+  X(kOrps, "orps")                                                    \
+  X(kOrpd, "orpd")                                                    \
+  X(kXorps, "xorps")                                                  \
+  X(kXorpd, "xorpd")                                                  \
+  X(kPand, "pand")                                                    \
+  X(kPandn, "pandn")                                                  \
+  X(kPor, "por")                                                      \
+  X(kPxor, "pxor")                                                    \
+  /* SSE integer arithmetic */                                        \
+  X(kPaddb, "paddb")                                                  \
+  X(kPaddw, "paddw")                                                  \
+  X(kPaddd, "paddd")                                                  \
+  X(kPaddq, "paddq")                                                  \
+  X(kPsubb, "psubb")                                                  \
+  X(kPsubw, "psubw")                                                  \
+  X(kPsubd, "psubd")                                                  \
+  X(kPsubq, "psubq")                                                  \
+  X(kPmullw, "pmullw")                                                \
+  X(kPmuludq, "pmuludq")                                              \
+  X(kPminub, "pminub")                                                \
+  X(kPmaxub, "pmaxub")                                                \
+  X(kPminsw, "pminsw")                                                \
+  X(kPmaxsw, "pmaxsw")                                                \
+  X(kPavgb, "pavgb")                                                  \
+  X(kPavgw, "pavgw")                                                  \
+  /* SSE integer compares */                                          \
+  X(kPcmpeqb, "pcmpeqb")                                              \
+  X(kPcmpeqw, "pcmpeqw")                                              \
+  X(kPcmpeqd, "pcmpeqd")                                              \
+  X(kPcmpgtb, "pcmpgtb")                                              \
+  X(kPcmpgtw, "pcmpgtw")                                              \
+  X(kPcmpgtd, "pcmpgtd")                                              \
+  /* SSE shifts */                                                    \
+  X(kPsllw, "psllw")                                                  \
+  X(kPslld, "pslld")                                                  \
+  X(kPsllq, "psllq")                                                  \
+  X(kPsrlw, "psrlw")                                                  \
+  X(kPsrld, "psrld")                                                  \
+  X(kPsrlq, "psrlq")                                                  \
+  X(kPsraw, "psraw")                                                  \
+  X(kPsrad, "psrad")                                                  \
+  X(kPslldq, "pslldq")                                                \
+  X(kPsrldq, "psrldq")                                                \
+  /* SSE mask extraction */                                           \
+  X(kPmovmskb, "pmovmskb")                                            \
+  X(kMovmskps, "movmskps")                                            \
+  X(kMovmskpd, "movmskpd")                                            \
+  /* SSE float compares with predicate */                             \
+  X(kCmpss, "cmpss")                                                  \
+  X(kCmpsd, "cmpsd")                                                  \
+  X(kCmpps, "cmpps")                                                  \
+  X(kCmppd, "cmppd")                                                  \
+  /* rounding-mode conversions */                                     \
+  X(kCvtss2si, "cvtss2si")                                            \
+  X(kCvtsd2si, "cvtsd2si")                                            \
+  /* SSE shuffles */                                                  \
+  X(kUnpcklps, "unpcklps")                                            \
+  X(kUnpcklpd, "unpcklpd")                                            \
+  X(kUnpckhps, "unpckhps")                                            \
+  X(kUnpckhpd, "unpckhpd")                                            \
+  X(kShufps, "shufps")                                                \
+  X(kShufpd, "shufpd")                                                \
+  X(kPshufd, "pshufd")                                                \
+  X(kPunpcklqdq, "punpcklqdq")                                        \
+  X(kPunpckhqdq, "punpckhqdq")                                        \
+  X(kPunpcklbw, "punpcklbw")                                          \
+  X(kPunpcklwd, "punpcklwd")                                          \
+  X(kPunpckldq, "punpckldq")                                          \
+  X(kPunpckhbw, "punpckhbw")                                          \
+  X(kPunpckhwd, "punpckhwd")                                          \
+  X(kPunpckhdq, "punpckhdq")                                          \
+  /* SSE compare / convert */                                         \
+  X(kUcomiss, "ucomiss")                                              \
+  X(kUcomisd, "ucomisd")                                              \
+  X(kComiss, "comiss")                                                \
+  X(kComisd, "comisd")                                                \
+  X(kCvtsi2ss, "cvtsi2ss")                                            \
+  X(kCvtsi2sd, "cvtsi2sd")                                            \
+  X(kCvttss2si, "cvttss2si")                                          \
+  X(kCvttsd2si, "cvttsd2si")                                          \
+  X(kCvtss2sd, "cvtss2sd")                                            \
+  X(kCvtsd2ss, "cvtsd2ss")                                            \
+  X(kCvtdq2pd, "cvtdq2pd")                                            \
+  X(kCvtdq2ps, "cvtdq2ps")                                            \
+  X(kCvtps2pd, "cvtps2pd")                                            \
+  X(kCvtpd2ps, "cvtpd2ps")
+
+enum class Mnemonic : std::uint16_t {
+#define DBLL_X86_ENUM(id, name) id,
+  DBLL_X86_MNEMONIC_LIST(DBLL_X86_ENUM)
+#undef DBLL_X86_ENUM
+      kCount,
+};
+
+/// Returns the base assembly name ("jcc"/"setcc"/"cmovcc" for the
+/// condition-carrying families; PrintInstr appends the condition suffix).
+const char* MnemonicName(Mnemonic mnemonic) noexcept;
+
+// ---------------------------------------------------------------------------
+// Operands
+// ---------------------------------------------------------------------------
+
+enum class OpKind : std::uint8_t { kNone = 0, kReg, kImm, kMem };
+
+/// Segment override prefix relevant for addressing (thread-local storage).
+enum class Segment : std::uint8_t { kNone = 0, kFs, kGs };
+
+/// A memory operand: [base + index*scale + disp], optionally RIP-relative or
+/// segment-prefixed. When `base == kRip`, `disp` is relative to the *end* of
+/// the instruction, and Decoder resolves it into `Instr::mem_target`.
+struct MemOperand {
+  Reg base = kNoReg;
+  Reg index = kNoReg;
+  std::uint8_t scale = 1;  // 1, 2, 4 or 8
+  std::int32_t disp = 0;
+  Segment segment = Segment::kNone;
+
+  constexpr bool operator==(const MemOperand&) const noexcept = default;
+};
+
+/// An instruction operand with its access size in bytes (the "facet" width).
+/// `high8` marks the legacy high-byte registers ah/ch/dh/bh.
+struct Operand {
+  OpKind kind = OpKind::kNone;
+  std::uint8_t size = 0;  // access width in bytes: 1,2,4,8 for GP; 4,8,16 vec
+  bool high8 = false;
+  Reg reg;
+  std::int64_t imm = 0;
+  MemOperand mem;
+
+  static Operand RegOp(Reg r, std::uint8_t size, bool high8 = false) {
+    Operand op;
+    op.kind = OpKind::kReg;
+    op.reg = r;
+    op.size = size;
+    op.high8 = high8;
+    return op;
+  }
+  static Operand ImmOp(std::int64_t value, std::uint8_t size) {
+    Operand op;
+    op.kind = OpKind::kImm;
+    op.imm = value;
+    op.size = size;
+    return op;
+  }
+  static Operand MemOp(MemOperand mem, std::uint8_t size) {
+    Operand op;
+    op.kind = OpKind::kMem;
+    op.mem = mem;
+    op.size = size;
+    return op;
+  }
+
+  bool is_reg() const noexcept { return kind == OpKind::kReg; }
+  bool is_imm() const noexcept { return kind == OpKind::kImm; }
+  bool is_mem() const noexcept { return kind == OpKind::kMem; }
+  bool is_none() const noexcept { return kind == OpKind::kNone; }
+};
+
+// ---------------------------------------------------------------------------
+// Instruction
+// ---------------------------------------------------------------------------
+
+/// A fully decoded instruction. Operand 0 is the destination (where one
+/// exists); source operands follow.
+struct Instr {
+  std::uint64_t address = 0;   ///< virtual address of the first byte
+  std::uint8_t length = 0;     ///< encoded length in bytes
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  Cond cond = Cond::kO;        ///< valid for kJcc / kSetcc / kCmovcc
+  std::uint8_t op_count = 0;
+  Operand ops[3];
+
+  /// Resolved absolute target for direct jumps/calls and RIP-relative memory
+  /// operands (0 when not applicable).
+  std::uint64_t target = 0;
+
+  std::uint64_t end() const noexcept { return address + length; }
+
+  bool IsBranch() const noexcept {
+    return mnemonic == Mnemonic::kJmp || mnemonic == Mnemonic::kJcc;
+  }
+  bool IsBlockTerminator() const noexcept {
+    return IsBranch() || mnemonic == Mnemonic::kRet ||
+           mnemonic == Mnemonic::kUd2;
+  }
+  bool HasRipOperand() const noexcept {
+    for (int i = 0; i < op_count; ++i) {
+      if (ops[i].is_mem() && ops[i].mem.base == kRip) return true;
+    }
+    return false;
+  }
+};
+
+/// Flag behaviour metadata: which status flags a mnemonic writes and whether
+/// it leaves some flags undefined. Used by the meta-emulator and the flag
+/// cache invalidation logic.
+struct FlagEffects {
+  std::uint8_t written = kFlagNone;    ///< flags given defined values
+  std::uint8_t undefined = kFlagNone;  ///< flags left in an undefined state
+  bool reads_carry = false;            ///< adc/sbb read CF
+};
+
+/// Returns the flag effects for `mnemonic`.
+FlagEffects FlagEffectsOf(Mnemonic mnemonic) noexcept;
+
+}  // namespace dbll::x86

@@ -1,0 +1,27 @@
+// dbll -- Intel-syntax disassembly printer.
+//
+// Used by the Fig. 8 code-excerpt benchmark, the examples, test diagnostics,
+// and DBrew's verbose mode. The output format matches common disassemblers:
+// "add rax, 1", "movsd xmm0, qword ptr [rsi + 8*rax]".
+#pragma once
+
+#include <string>
+
+#include "dbll/x86/insn.h"
+
+namespace dbll::x86 {
+
+/// Returns the assembly name of a register at a given access width, e.g.
+/// PrintReg(kRax, 4) == "eax", PrintReg(Xmm(3), 16) == "xmm3".
+std::string PrintReg(Reg reg, std::uint8_t size, bool high8 = false);
+
+/// Formats one operand ("rax", "0x2a", "qword ptr [rbp - 0xc]").
+std::string PrintOperand(const Operand& op);
+
+/// Formats a full instruction without address/bytes columns.
+std::string PrintInstr(const Instr& instr);
+
+/// Formats "address: bytes  mnemonic ops" (objdump-like single line).
+std::string PrintInstrWithBytes(const Instr& instr, const std::uint8_t* bytes);
+
+}  // namespace dbll::x86

@@ -1,0 +1,9 @@
+#!/bin/sh
+# dbll -- full verification: configure, build, test, bench smoke.
+set -e
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 > /dev/null
+echo "dbll: build, tests, and benchmark smoke all passed"

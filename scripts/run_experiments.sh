@@ -1,0 +1,25 @@
+#!/bin/sh
+# dbll -- regenerate every paper figure and the extension experiments.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [iters]
+# Results go to stdout; EXPERIMENTS.md documents the expected shapes.
+set -e
+BUILD="${1:-build}"
+ITERS="${2:-150}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+export DBLL_BENCH_ITERS="$ITERS"
+export DBLL_BENCH_REPS=30
+
+for b in fig6_flagcache fig8_codegen fig9a_element fig9b_line \
+         fig10_compiletime fig_vectorize fig_ablation fig_linegen fig_spmv; do
+  echo "===== $b ====="
+  "$BUILD/bench/$b"
+  echo
+done
+echo "===== micro_bench ====="
+"$BUILD/bench/micro_bench" --benchmark_min_time=0.1

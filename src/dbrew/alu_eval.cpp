@@ -1,0 +1,886 @@
+#include "alu_eval.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace dbll::dbrew {
+namespace {
+
+using x86::Flag;
+using x86::Mnemonic;
+
+std::uint64_t MsbMask(std::uint8_t size) {
+  return 1ull << (size * 8 - 1);
+}
+
+bool Parity8(std::uint64_t value) {
+  return (std::popcount(value & 0xff) % 2) == 0;
+}
+
+void SetFlag(IntResult& r, Flag flag, bool value) {
+  r.flags[static_cast<int>(flag)] = MetaFlag{true, value};
+}
+
+/// Sets ZF/SF/PF from a result value.
+void SetZsp(IntResult& r, std::uint64_t value, std::uint8_t size) {
+  SetFlag(r, Flag::kZf, MaskToSize(value, size) == 0);
+  SetFlag(r, Flag::kSf, (value & MsbMask(size)) != 0);
+  SetFlag(r, Flag::kPf, Parity8(value));
+}
+
+IntResult Add(std::uint64_t a, std::uint64_t b, std::uint8_t size, bool cin) {
+  IntResult r;
+  r.writes_flags = true;
+  a = MaskToSize(a, size);
+  b = MaskToSize(b, size);
+  const std::uint64_t sum = a + b + (cin ? 1 : 0);
+  r.value = MaskToSize(sum, size);
+  SetZsp(r, r.value, size);
+  // CF: unsigned overflow out of `size` bytes.
+  const bool carry = size == 8
+                         ? (sum < a || (cin && sum == a))
+                         : (sum >> (size * 8)) != 0;
+  SetFlag(r, Flag::kCf, carry);
+  // OF: signs of operands equal and differ from result sign.
+  const bool of = ((~(a ^ b) & (a ^ r.value)) & MsbMask(size)) != 0;
+  SetFlag(r, Flag::kOf, of);
+  SetFlag(r, Flag::kAf, (((a ^ b ^ r.value) >> 4) & 1) != 0);
+  return r;
+}
+
+IntResult Sub(std::uint64_t a, std::uint64_t b, std::uint8_t size, bool bin) {
+  IntResult r;
+  r.writes_flags = true;
+  a = MaskToSize(a, size);
+  b = MaskToSize(b, size);
+  const std::uint64_t diff = a - b - (bin ? 1 : 0);
+  r.value = MaskToSize(diff, size);
+  SetZsp(r, r.value, size);
+  // Borrow: a < b for sub, a <= b for sbb-with-borrow (a - b - 1 wraps when
+  // a == b as well).
+  const bool cf = bin ? a <= b : a < b;
+  SetFlag(r, Flag::kCf, cf);
+  const bool of = (((a ^ b) & (a ^ r.value)) & MsbMask(size)) != 0;
+  SetFlag(r, Flag::kOf, of);
+  SetFlag(r, Flag::kAf, (((a ^ b ^ r.value) >> 4) & 1) != 0);
+  return r;
+}
+
+IntResult Logic(Mnemonic m, std::uint64_t a, std::uint64_t b, std::uint8_t size) {
+  IntResult r;
+  r.writes_flags = true;
+  switch (m) {
+    case Mnemonic::kAnd:
+    case Mnemonic::kTest: r.value = a & b; break;
+    case Mnemonic::kOr: r.value = a | b; break;
+    case Mnemonic::kXor: r.value = a ^ b; break;
+    default: break;
+  }
+  r.value = MaskToSize(r.value, size);
+  SetZsp(r, r.value, size);
+  SetFlag(r, Flag::kCf, false);
+  SetFlag(r, Flag::kOf, false);
+  // AF undefined for logic ops: leave unknown.
+  return r;
+}
+
+IntResult Shift(Mnemonic m, std::uint64_t a, std::uint64_t count,
+                std::uint8_t size) {
+  IntResult r;
+  count &= size == 8 ? 63 : 31;
+  a = MaskToSize(a, size);
+  if (count == 0) {
+    // Zero-count shifts do not modify flags.
+    r.value = a;
+    r.writes_flags = false;
+    return r;
+  }
+  r.writes_flags = true;
+  bool last_out = false;
+  switch (m) {
+    case Mnemonic::kShl:
+      last_out = (a >> (size * 8 - count)) & 1;
+      r.value = MaskToSize(a << count, size);
+      break;
+    case Mnemonic::kShr:
+      last_out = (a >> (count - 1)) & 1;
+      r.value = a >> count;
+      break;
+    case Mnemonic::kSar: {
+      const std::int64_t sa = SignExtend(a, size);
+      last_out = (sa >> (count - 1)) & 1;
+      r.value = MaskToSize(static_cast<std::uint64_t>(sa >> count), size);
+      break;
+    }
+    case Mnemonic::kRol: {
+      const unsigned bits = size * 8;
+      const unsigned c = count % bits;
+      r.value = MaskToSize((a << c) | (a >> (bits - c)), size);
+      last_out = r.value & 1;
+      break;
+    }
+    case Mnemonic::kRor: {
+      const unsigned bits = size * 8;
+      const unsigned c = count % bits;
+      r.value = MaskToSize((a >> c) | (a << (bits - c)), size);
+      last_out = (r.value & MsbMask(size)) != 0;
+      break;
+    }
+    default: break;
+  }
+  SetZsp(r, r.value, size);
+  SetFlag(r, Flag::kCf, last_out);
+  // OF defined only for 1-bit shifts; conservatively unknown.
+  return r;
+}
+
+IntResult Imul2(std::uint64_t a, std::uint64_t b, std::uint8_t size) {
+  IntResult r;
+  r.writes_flags = true;
+  const std::int64_t sa = SignExtend(a, size);
+  const std::int64_t sb = SignExtend(b, size);
+  const __int128 wide = static_cast<__int128>(sa) * sb;
+  r.value = MaskToSize(static_cast<std::uint64_t>(wide), size);
+  const bool overflow = wide != SignExtend(r.value, size);
+  SetFlag(r, Flag::kCf, overflow);
+  SetFlag(r, Flag::kOf, overflow);
+  // ZF/SF/PF/AF undefined.
+  return r;
+}
+
+double BitsToDouble(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+std::uint64_t DoubleToBits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+float BitsToFloat(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+std::uint32_t FloatToBits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  return bits;
+}
+
+void SetVecFlag(VecResult& r, Flag flag, bool value) {
+  r.flags[static_cast<int>(flag)] = MetaFlag{true, value};
+}
+
+/// addsd/subsd/... on the low double lane, upper preserved.
+Vec128 ScalarD(Mnemonic m, Vec128 dst, Vec128 src) {
+  const double a = BitsToDouble(dst.lo);
+  const double b = BitsToDouble(src.lo);
+  double out = 0.0;
+  switch (m) {
+    case Mnemonic::kAddsd: out = a + b; break;
+    case Mnemonic::kSubsd: out = a - b; break;
+    case Mnemonic::kMulsd: out = a * b; break;
+    case Mnemonic::kDivsd: out = a / b; break;
+    // min/maxsd return the *source* when the compare is false or unordered
+    // (NaN, equal zeros): result = (dst OP src) ? dst : src.
+    case Mnemonic::kMinsd: out = a < b ? a : b; break;
+    case Mnemonic::kMaxsd: out = a > b ? a : b; break;
+    case Mnemonic::kSqrtsd: out = std::sqrt(b); break;
+    default: break;
+  }
+  return Vec128{DoubleToBits(out), dst.hi};
+}
+
+Vec128 ScalarS(Mnemonic m, Vec128 dst, Vec128 src) {
+  const float a = BitsToFloat(static_cast<std::uint32_t>(dst.lo));
+  const float b = BitsToFloat(static_cast<std::uint32_t>(src.lo));
+  float out = 0.0f;
+  switch (m) {
+    case Mnemonic::kAddss: out = a + b; break;
+    case Mnemonic::kSubss: out = a - b; break;
+    case Mnemonic::kMulss: out = a * b; break;
+    case Mnemonic::kDivss: out = a / b; break;
+    case Mnemonic::kMinss: out = a < b ? a : b; break;
+    case Mnemonic::kMaxss: out = a > b ? a : b; break;
+    case Mnemonic::kSqrtss: out = std::sqrt(b); break;
+    default: break;
+  }
+  return Vec128{(dst.lo & ~0xffffffffull) | FloatToBits(out), dst.hi};
+}
+
+Vec128 PackedD(Mnemonic m, Vec128 dst, Vec128 src) {
+  auto op = [&](std::uint64_t x, std::uint64_t y) {
+    const double a = BitsToDouble(x);
+    const double b = BitsToDouble(y);
+    switch (m) {
+      case Mnemonic::kAddpd: return DoubleToBits(a + b);
+      case Mnemonic::kSubpd: return DoubleToBits(a - b);
+      case Mnemonic::kMulpd: return DoubleToBits(a * b);
+      case Mnemonic::kDivpd: return DoubleToBits(a / b);
+      case Mnemonic::kSqrtpd: return DoubleToBits(std::sqrt(b));
+      default: return std::uint64_t{0};
+    }
+  };
+  return Vec128{op(dst.lo, src.lo), op(dst.hi, src.hi)};
+}
+
+Vec128 PackedS(Mnemonic m, Vec128 dst, Vec128 src) {
+  auto lane = [&](std::uint32_t x, std::uint32_t y) {
+    const float a = BitsToFloat(x);
+    const float b = BitsToFloat(y);
+    switch (m) {
+      case Mnemonic::kAddps: return FloatToBits(a + b);
+      case Mnemonic::kSubps: return FloatToBits(a - b);
+      case Mnemonic::kMulps: return FloatToBits(a * b);
+      case Mnemonic::kDivps: return FloatToBits(a / b);
+      case Mnemonic::kSqrtps: return FloatToBits(std::sqrt(b));
+      default: return std::uint32_t{0};
+    }
+  };
+  Vec128 r;
+  r.lo = lane(static_cast<std::uint32_t>(dst.lo), static_cast<std::uint32_t>(src.lo)) |
+         (static_cast<std::uint64_t>(lane(static_cast<std::uint32_t>(dst.lo >> 32),
+                                          static_cast<std::uint32_t>(src.lo >> 32)))
+          << 32);
+  r.hi = lane(static_cast<std::uint32_t>(dst.hi), static_cast<std::uint32_t>(src.hi)) |
+         (static_cast<std::uint64_t>(lane(static_cast<std::uint32_t>(dst.hi >> 32),
+                                          static_cast<std::uint32_t>(src.hi >> 32)))
+          << 32);
+  return r;
+}
+
+Vec128 PackedInt(Mnemonic m, Vec128 dst, Vec128 src) {
+  auto bin = [&](std::uint64_t a, std::uint64_t b, int lane_bytes) {
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; i += lane_bytes) {
+      const std::uint64_t mask =
+          lane_bytes == 8 ? ~0ull : ((1ull << (lane_bytes * 8)) - 1);
+      const std::uint64_t x = (a >> (i * 8)) & mask;
+      const std::uint64_t y = (b >> (i * 8)) & mask;
+      std::uint64_t v = 0;
+      switch (m) {
+        case Mnemonic::kPaddb: case Mnemonic::kPaddw:
+        case Mnemonic::kPaddd: case Mnemonic::kPaddq: v = x + y; break;
+        case Mnemonic::kPsubb: case Mnemonic::kPsubw:
+        case Mnemonic::kPsubd: case Mnemonic::kPsubq: v = x - y; break;
+        default: break;
+      }
+      out |= (v & mask) << (i * 8);
+    }
+    return out;
+  };
+  int lane_bytes = 0;
+  switch (m) {
+    case Mnemonic::kPaddb: case Mnemonic::kPsubb: lane_bytes = 1; break;
+    case Mnemonic::kPaddw: case Mnemonic::kPsubw: lane_bytes = 2; break;
+    case Mnemonic::kPaddd: case Mnemonic::kPsubd: lane_bytes = 4; break;
+    default: lane_bytes = 8; break;
+  }
+  return Vec128{bin(dst.lo, src.lo, lane_bytes), bin(dst.hi, src.hi, lane_bytes)};
+}
+
+/// Generic lane-wise binary operation over the 128-bit value.
+template <typename Fn>
+Vec128 LaneWise(Vec128 a, Vec128 b, int lane_bytes, Fn&& fn) {
+  auto half = [&](std::uint64_t x, std::uint64_t y) {
+    std::uint64_t out = 0;
+    const std::uint64_t mask =
+        lane_bytes == 8 ? ~0ull : ((1ull << (lane_bytes * 8)) - 1);
+    for (int i = 0; i < 8; i += lane_bytes) {
+      const std::uint64_t lx = (x >> (i * 8)) & mask;
+      const std::uint64_t ly = (y >> (i * 8)) & mask;
+      out |= (fn(lx, ly) & mask) << (i * 8);
+    }
+    return out;
+  };
+  return Vec128{half(a.lo, b.lo), half(a.hi, b.hi)};
+}
+
+/// Shifts every lane by `count` bits (count >= lane width yields 0, or the
+/// sign fill for arithmetic shifts).
+Vec128 LaneShift(Mnemonic m, Vec128 a, std::uint64_t count) {
+  int lane_bytes = 2;
+  switch (m) {
+    case Mnemonic::kPsllw: case Mnemonic::kPsrlw: case Mnemonic::kPsraw:
+      lane_bytes = 2;
+      break;
+    case Mnemonic::kPslld: case Mnemonic::kPsrld: case Mnemonic::kPsrad:
+      lane_bytes = 4;
+      break;
+    default:
+      lane_bytes = 8;
+      break;
+  }
+  const unsigned bits = lane_bytes * 8;
+  return LaneWise(a, Vec128{}, lane_bytes,
+                  [&](std::uint64_t x, std::uint64_t) -> std::uint64_t {
+    switch (m) {
+      case Mnemonic::kPsllw: case Mnemonic::kPslld: case Mnemonic::kPsllq:
+        return count >= bits ? 0 : x << count;
+      case Mnemonic::kPsrlw: case Mnemonic::kPsrld: case Mnemonic::kPsrlq:
+        return count >= bits ? 0 : x >> count;
+      default: {  // arithmetic
+        const std::int64_t sx =
+            SignExtend(x, static_cast<std::uint8_t>(lane_bytes));
+        const std::uint64_t c = count >= bits - 1 ? bits - 1 : count;
+        return static_cast<std::uint64_t>(sx >> c);
+      }
+    }
+  });
+}
+
+/// Whole-register byte shifts (pslldq/psrldq).
+Vec128 ByteShift(Mnemonic m, Vec128 a, std::uint64_t count) {
+  if (count > 15) return Vec128{};
+  std::uint8_t bytes[16];
+  std::memcpy(bytes, &a.lo, 8);
+  std::memcpy(bytes + 8, &a.hi, 8);
+  std::uint8_t out[16] = {};
+  for (int i = 0; i < 16; ++i) {
+    const int src = m == Mnemonic::kPslldq ? i - static_cast<int>(count)
+                                           : i + static_cast<int>(count);
+    if (src >= 0 && src < 16) out[i] = bytes[src];
+  }
+  Vec128 r;
+  std::memcpy(&r.lo, out, 8);
+  std::memcpy(&r.hi, out + 8, 8);
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t MaskToSize(std::uint64_t value, std::uint8_t size) {
+  if (size >= 8) return value;
+  return value & ((1ull << (size * 8)) - 1);
+}
+
+std::int64_t SignExtend(std::uint64_t value, std::uint8_t size) {
+  switch (size) {
+    case 1: return static_cast<std::int8_t>(value);
+    case 2: return static_cast<std::int16_t>(value);
+    case 4: return static_cast<std::int32_t>(value);
+    default: return static_cast<std::int64_t>(value);
+  }
+}
+
+std::optional<IntResult> EvalInt(Mnemonic mnemonic, std::uint64_t a,
+                                 std::uint64_t b, std::uint8_t size,
+                                 bool carry_in) {
+  switch (mnemonic) {
+    case Mnemonic::kAdd: return Add(a, b, size, false);
+    case Mnemonic::kAdc: return Add(a, b, size, carry_in);
+    case Mnemonic::kSub:
+    case Mnemonic::kCmp: return Sub(a, b, size, false);
+    case Mnemonic::kSbb: return Sub(a, b, size, carry_in);
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+    case Mnemonic::kXor:
+    case Mnemonic::kTest: return Logic(mnemonic, a, b, size);
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar:
+    case Mnemonic::kRol:
+    case Mnemonic::kRor: return Shift(mnemonic, a, b, size);
+    case Mnemonic::kInc: {
+      IntResult r = Add(a, 1, size, false);
+      // inc preserves CF.
+      r.flags[static_cast<int>(Flag::kCf)] = MetaFlag{};
+      return r;
+    }
+    case Mnemonic::kDec: {
+      IntResult r = Sub(a, 1, size, false);
+      r.flags[static_cast<int>(Flag::kCf)] = MetaFlag{};
+      return r;
+    }
+    case Mnemonic::kNeg: {
+      IntResult r = Sub(0, a, size, false);
+      return r;
+    }
+    case Mnemonic::kNot: {
+      IntResult r;
+      r.value = MaskToSize(~a, size);
+      r.writes_flags = false;
+      return r;
+    }
+    case Mnemonic::kImul: return Imul2(a, b, size);
+    case Mnemonic::kBswap: {
+      IntResult r;
+      std::uint64_t v = a;
+      std::uint64_t out = 0;
+      for (std::uint8_t i = 0; i < size; ++i) {
+        out = (out << 8) | (v & 0xff);
+        v >>= 8;
+      }
+      r.value = out;
+      return r;
+    }
+    case Mnemonic::kBt: {
+      IntResult r;
+      r.writes_flags = true;
+      const unsigned bit = static_cast<unsigned>(b) % (size * 8u);
+      r.flags[static_cast<int>(Flag::kCf)] = MetaFlag{true, ((a >> bit) & 1) != 0};
+      r.value = MaskToSize(a, size);  // bt does not write its operand
+      return r;
+    }
+    case Mnemonic::kPopcnt: {
+      IntResult r;
+      r.writes_flags = true;
+      r.value = static_cast<std::uint64_t>(std::popcount(MaskToSize(a, size)));
+      r.flags[static_cast<int>(Flag::kZf)] = MetaFlag{true, r.value == 0};
+      r.flags[static_cast<int>(Flag::kCf)] = MetaFlag{true, false};
+      return r;
+    }
+    case Mnemonic::kTzcnt: {
+      IntResult r;
+      r.writes_flags = true;
+      const std::uint64_t m = MaskToSize(a, size);
+      r.value = m == 0 ? size * 8u
+                       : static_cast<std::uint64_t>(std::countr_zero(m));
+      r.flags[static_cast<int>(Flag::kCf)] = MetaFlag{true, m == 0};
+      r.flags[static_cast<int>(Flag::kZf)] = MetaFlag{true, r.value == 0};
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> EvalCond(x86::Cond cond, const MetaFlag* flags) {
+  auto flag = [&](Flag f) -> std::optional<bool> {
+    const MetaFlag& mf = flags[static_cast<int>(f)];
+    if (!mf.known) return std::nullopt;
+    return mf.value;
+  };
+  using x86::Cond;
+  std::optional<bool> result;
+  switch (cond) {
+    case Cond::kO: result = flag(Flag::kOf); break;
+    case Cond::kNo: if (auto v = flag(Flag::kOf)) result = !*v; break;
+    case Cond::kB: result = flag(Flag::kCf); break;
+    case Cond::kAe: if (auto v = flag(Flag::kCf)) result = !*v; break;
+    case Cond::kE: result = flag(Flag::kZf); break;
+    case Cond::kNe: if (auto v = flag(Flag::kZf)) result = !*v; break;
+    case Cond::kBe: {
+      auto c = flag(Flag::kCf), z = flag(Flag::kZf);
+      if (c && z) result = *c || *z;
+      break;
+    }
+    case Cond::kA: {
+      auto c = flag(Flag::kCf), z = flag(Flag::kZf);
+      if (c && z) result = !*c && !*z;
+      break;
+    }
+    case Cond::kS: result = flag(Flag::kSf); break;
+    case Cond::kNs: if (auto v = flag(Flag::kSf)) result = !*v; break;
+    case Cond::kP: result = flag(Flag::kPf); break;
+    case Cond::kNp: if (auto v = flag(Flag::kPf)) result = !*v; break;
+    case Cond::kL: {
+      auto s = flag(Flag::kSf), o = flag(Flag::kOf);
+      if (s && o) result = *s != *o;
+      break;
+    }
+    case Cond::kGe: {
+      auto s = flag(Flag::kSf), o = flag(Flag::kOf);
+      if (s && o) result = *s == *o;
+      break;
+    }
+    case Cond::kLe: {
+      auto s = flag(Flag::kSf), o = flag(Flag::kOf), z = flag(Flag::kZf);
+      if (s && o && z) result = *z || (*s != *o);
+      break;
+    }
+    case Cond::kG: {
+      auto s = flag(Flag::kSf), o = flag(Flag::kOf), z = flag(Flag::kZf);
+      if (s && o && z) result = !*z && (*s == *o);
+      break;
+    }
+  }
+  return result;
+}
+
+CondResolution ResolveCond(x86::Cond cond, const MetaFlag* flags) {
+  using x86::Cond;
+  auto known = [&](Flag f) { return flags[static_cast<int>(f)].known; };
+  auto value = [&](Flag f) { return flags[static_cast<int>(f)].value; };
+  auto boolean = [](bool b) {
+    return CondResolution{b ? CondResolution::Kind::kTrue
+                            : CondResolution::Kind::kFalse};
+  };
+  auto residual = [](Cond c) {
+    return CondResolution{CondResolution::Kind::kCond, c};
+  };
+  const CondResolution unresolved{CondResolution::Kind::kUnresolved};
+
+  // Fully known first.
+  if (auto full = EvalCond(cond, flags)) return boolean(*full);
+
+  switch (cond) {
+    // Single-flag conditions: not fully known means the flag is runtime.
+    case Cond::kE: case Cond::kNe:
+    case Cond::kB: case Cond::kAe:
+    case Cond::kS: case Cond::kNs:
+    case Cond::kO: case Cond::kNo:
+    case Cond::kP: case Cond::kNp:
+      return residual(cond);
+
+    case Cond::kBe:  // CF | ZF
+    case Cond::kA:   // !CF & !ZF
+    {
+      const bool want_a = cond == Cond::kA;
+      if (known(Flag::kZf)) {
+        if (value(Flag::kZf)) return boolean(!want_a);
+        return residual(want_a ? Cond::kAe : Cond::kB);
+      }
+      if (known(Flag::kCf)) {
+        if (value(Flag::kCf)) return boolean(!want_a);
+        return residual(want_a ? Cond::kNe : Cond::kE);
+      }
+      return residual(cond);  // both runtime
+    }
+
+    case Cond::kL:   // SF ^ OF
+    case Cond::kGe:  // !(SF ^ OF)
+    {
+      const bool want_ge = cond == Cond::kGe;
+      if (known(Flag::kSf)) {
+        const bool sf = value(Flag::kSf);
+        // L = sf ^ OF: sf=0 -> OF (kO), sf=1 -> !OF (kNo); GE negates.
+        return residual(sf != want_ge ? Cond::kNo : Cond::kO);
+      }
+      if (known(Flag::kOf)) {
+        const bool of = value(Flag::kOf);
+        return residual(of != want_ge ? Cond::kNs : Cond::kS);
+      }
+      return residual(cond);
+    }
+
+    case Cond::kLe:  // ZF | (SF ^ OF)
+    case Cond::kG:   // !ZF & (SF == OF)
+    {
+      const bool want_g = cond == Cond::kG;
+      if (known(Flag::kZf)) {
+        if (value(Flag::kZf)) return boolean(!want_g);
+        return ResolveCond(want_g ? Cond::kGe : Cond::kL, flags);
+      }
+      if (known(Flag::kSf) && known(Flag::kOf)) {
+        const bool less = value(Flag::kSf) != value(Flag::kOf);
+        if (less) return boolean(!want_g);
+        // Residual: LE == ZF, G == !ZF.
+        return residual(want_g ? Cond::kNe : Cond::kE);
+      }
+      return known(Flag::kSf) || known(Flag::kOf) ? unresolved
+                                                  : residual(cond);
+    }
+  }
+  return unresolved;
+}
+
+std::optional<VecResult> EvalVec(Mnemonic mnemonic, Vec128 dst, Vec128 src,
+                                 std::uint8_t src_size, std::uint8_t imm) {
+  using M = Mnemonic;
+  VecResult r;
+  switch (mnemonic) {
+    case M::kMovss:
+      r.value = Vec128{(dst.lo & ~0xffffffffull) | (src.lo & 0xffffffff), dst.hi};
+      // movss xmm, m32 zeroes the rest; handled by the caller via src_size.
+      if (src_size == 4) r.value = Vec128{src.lo & 0xffffffff, 0};
+      return r;
+    case M::kMovsdX:
+      if (src_size == 8) {
+        // movsd xmm, m64 zeroes the upper half.
+        r.value = Vec128{src.lo, 0};
+      } else {
+        r.value = Vec128{src.lo, dst.hi};
+      }
+      return r;
+    case M::kMovaps: case M::kMovapd: case M::kMovups: case M::kMovupd:
+    case M::kMovdqa: case M::kMovdqu:
+      r.value = src;
+      return r;
+    case M::kMovq:
+      r.value = Vec128{src.lo, 0};
+      return r;
+    case M::kMovd:
+      r.value = Vec128{src.lo & 0xffffffff, 0};
+      return r;
+    case M::kMovlps: case M::kMovlpd:
+      r.value = Vec128{src.lo, dst.hi};
+      return r;
+    case M::kMovhps: case M::kMovhpd:
+      r.value = Vec128{dst.lo, src.lo};
+      return r;
+    case M::kMovhlps:
+      r.value = Vec128{src.hi, dst.hi};
+      return r;
+    case M::kMovlhps:
+      r.value = Vec128{dst.lo, src.lo};
+      return r;
+    case M::kAddsd: case M::kSubsd: case M::kMulsd: case M::kDivsd:
+    case M::kMinsd: case M::kMaxsd: case M::kSqrtsd:
+      r.value = ScalarD(mnemonic, dst, src);
+      return r;
+    case M::kAddss: case M::kSubss: case M::kMulss: case M::kDivss:
+    case M::kMinss: case M::kMaxss: case M::kSqrtss:
+      r.value = ScalarS(mnemonic, dst, src);
+      return r;
+    case M::kAddpd: case M::kSubpd: case M::kMulpd: case M::kDivpd:
+    case M::kSqrtpd:
+      r.value = PackedD(mnemonic, dst, src);
+      return r;
+    case M::kAddps: case M::kSubps: case M::kMulps: case M::kDivps:
+    case M::kSqrtps:
+      r.value = PackedS(mnemonic, dst, src);
+      return r;
+    case M::kAndps: case M::kAndpd: case M::kPand:
+      r.value = Vec128{dst.lo & src.lo, dst.hi & src.hi};
+      return r;
+    case M::kAndnps: case M::kAndnpd: case M::kPandn:
+      r.value = Vec128{~dst.lo & src.lo, ~dst.hi & src.hi};
+      return r;
+    case M::kOrps: case M::kOrpd: case M::kPor:
+      r.value = Vec128{dst.lo | src.lo, dst.hi | src.hi};
+      return r;
+    case M::kXorps: case M::kXorpd: case M::kPxor:
+      r.value = Vec128{dst.lo ^ src.lo, dst.hi ^ src.hi};
+      return r;
+    case M::kPaddb: case M::kPaddw: case M::kPaddd: case M::kPaddq:
+    case M::kPsubb: case M::kPsubw: case M::kPsubd: case M::kPsubq:
+      r.value = PackedInt(mnemonic, dst, src);
+      return r;
+    case M::kUnpcklpd: case M::kPunpcklqdq:
+      r.value = Vec128{dst.lo, src.lo};
+      return r;
+    case M::kUnpckhpd: case M::kPunpckhqdq:
+      r.value = Vec128{dst.hi, src.hi};
+      return r;
+    case M::kUnpcklps: {
+      const std::uint32_t d0 = static_cast<std::uint32_t>(dst.lo);
+      const std::uint32_t d1 = static_cast<std::uint32_t>(dst.lo >> 32);
+      const std::uint32_t s0 = static_cast<std::uint32_t>(src.lo);
+      const std::uint32_t s1 = static_cast<std::uint32_t>(src.lo >> 32);
+      r.value = Vec128{d0 | (static_cast<std::uint64_t>(s0) << 32),
+                       d1 | (static_cast<std::uint64_t>(s1) << 32)};
+      return r;
+    }
+    case M::kUnpckhps: {
+      const std::uint32_t d2 = static_cast<std::uint32_t>(dst.hi);
+      const std::uint32_t d3 = static_cast<std::uint32_t>(dst.hi >> 32);
+      const std::uint32_t s2 = static_cast<std::uint32_t>(src.hi);
+      const std::uint32_t s3 = static_cast<std::uint32_t>(src.hi >> 32);
+      r.value = Vec128{d2 | (static_cast<std::uint64_t>(s2) << 32),
+                       d3 | (static_cast<std::uint64_t>(s3) << 32)};
+      return r;
+    }
+    case M::kPshufd: {
+      auto lane = [&](Vec128 v, int i) -> std::uint32_t {
+        const std::uint64_t half = i < 2 ? v.lo : v.hi;
+        return static_cast<std::uint32_t>(half >> ((i & 1) * 32));
+      };
+      std::uint32_t out[4];
+      for (int i = 0; i < 4; ++i) out[i] = lane(src, (imm >> (2 * i)) & 3);
+      r.value = Vec128{out[0] | (static_cast<std::uint64_t>(out[1]) << 32),
+                       out[2] | (static_cast<std::uint64_t>(out[3]) << 32)};
+      return r;
+    }
+    case M::kShufpd: {
+      r.value = Vec128{(imm & 1) ? dst.hi : dst.lo, (imm & 2) ? src.hi : src.lo};
+      return r;
+    }
+    case M::kUcomisd: case M::kComisd: {
+      double a, b;
+      std::memcpy(&a, &dst.lo, 8);
+      std::memcpy(&b, &src.lo, 8);
+      r.writes_flags = true;
+      const bool unordered = std::isnan(a) || std::isnan(b);
+      SetVecFlag(r, Flag::kZf, unordered || a == b);
+      SetVecFlag(r, Flag::kPf, unordered);
+      SetVecFlag(r, Flag::kCf, unordered || a < b);
+      SetVecFlag(r, Flag::kOf, false);
+      SetVecFlag(r, Flag::kSf, false);
+      SetVecFlag(r, Flag::kAf, false);
+      r.value = dst;
+      return r;
+    }
+    case M::kUcomiss: case M::kComiss: {
+      float a, b;
+      const std::uint32_t abits = static_cast<std::uint32_t>(dst.lo);
+      const std::uint32_t bbits = static_cast<std::uint32_t>(src.lo);
+      std::memcpy(&a, &abits, 4);
+      std::memcpy(&b, &bbits, 4);
+      r.writes_flags = true;
+      const bool unordered = std::isnan(a) || std::isnan(b);
+      SetVecFlag(r, Flag::kZf, unordered || a == b);
+      SetVecFlag(r, Flag::kPf, unordered);
+      SetVecFlag(r, Flag::kCf, unordered || a < b);
+      SetVecFlag(r, Flag::kOf, false);
+      SetVecFlag(r, Flag::kSf, false);
+      SetVecFlag(r, Flag::kAf, false);
+      r.value = dst;
+      return r;
+    }
+    case M::kCvtss2sd: {
+      float f;
+      const std::uint32_t bits = static_cast<std::uint32_t>(src.lo);
+      std::memcpy(&f, &bits, 4);
+      const double d = static_cast<double>(f);
+      std::uint64_t out;
+      std::memcpy(&out, &d, 8);
+      r.value = Vec128{out, dst.hi};
+      return r;
+    }
+    case M::kCvtsd2ss: {
+      double d;
+      std::memcpy(&d, &src.lo, 8);
+      const float f = static_cast<float>(d);
+      std::uint32_t out;
+      std::memcpy(&out, &f, 4);
+      r.value = Vec128{(dst.lo & ~0xffffffffull) | out, dst.hi};
+      return r;
+    }
+    case M::kPcmpeqb: case M::kPcmpeqw: case M::kPcmpeqd: {
+      const int lane = mnemonic == M::kPcmpeqb ? 1
+                       : mnemonic == M::kPcmpeqw ? 2 : 4;
+      const std::uint64_t ones = lane == 8 ? ~0ull : (1ull << (lane * 8)) - 1;
+      r.value = LaneWise(dst, src, lane, [&](std::uint64_t a, std::uint64_t b) {
+        return a == b ? ones : 0ull;
+      });
+      return r;
+    }
+    case M::kPcmpgtb: case M::kPcmpgtw: case M::kPcmpgtd: {
+      const int lane = mnemonic == M::kPcmpgtb ? 1
+                       : mnemonic == M::kPcmpgtw ? 2 : 4;
+      const std::uint64_t ones = (1ull << (lane * 8)) - 1;
+      const std::uint8_t lane8 = static_cast<std::uint8_t>(lane);
+      r.value = LaneWise(dst, src, lane, [&](std::uint64_t a, std::uint64_t b) {
+        return SignExtend(a, lane8) > SignExtend(b, lane8) ? ones : 0ull;
+      });
+      return r;
+    }
+    case M::kPsllw: case M::kPslld: case M::kPsllq:
+    case M::kPsrlw: case M::kPsrld: case M::kPsrlq:
+    case M::kPsraw: case M::kPsrad:
+      // src_size == 1 marks the immediate form; otherwise the count is the
+      // low 64 bits of the source register.
+      r.value = LaneShift(mnemonic, dst, src.lo);
+      return r;
+    case M::kPslldq: case M::kPsrldq:
+      r.value = ByteShift(mnemonic, dst, src.lo);
+      return r;
+    case M::kPmullw:
+      r.value = LaneWise(dst, src, 2, [](std::uint64_t a, std::uint64_t b) {
+        return a * b;
+      });
+      return r;
+    case M::kPmuludq: {
+      // Multiplies the even 32-bit lanes into 64-bit results.
+      const std::uint64_t lo = (dst.lo & 0xffffffff) * (src.lo & 0xffffffff);
+      const std::uint64_t hi = (dst.hi & 0xffffffff) * (src.hi & 0xffffffff);
+      r.value = Vec128{lo, hi};
+      return r;
+    }
+    case M::kPminub:
+      r.value = LaneWise(dst, src, 1, [](std::uint64_t a, std::uint64_t b) {
+        return a < b ? a : b;
+      });
+      return r;
+    case M::kPmaxub:
+      r.value = LaneWise(dst, src, 1, [](std::uint64_t a, std::uint64_t b) {
+        return a > b ? a : b;
+      });
+      return r;
+    case M::kPminsw:
+      r.value = LaneWise(dst, src, 2, [](std::uint64_t a, std::uint64_t b) {
+        return SignExtend(a, 2) < SignExtend(b, 2) ? a : b;
+      });
+      return r;
+    case M::kPmaxsw:
+      r.value = LaneWise(dst, src, 2, [](std::uint64_t a, std::uint64_t b) {
+        return SignExtend(a, 2) > SignExtend(b, 2) ? a : b;
+      });
+      return r;
+    case M::kPavgb:
+      r.value = LaneWise(dst, src, 1, [](std::uint64_t a, std::uint64_t b) {
+        return (a + b + 1) >> 1;
+      });
+      return r;
+    case M::kPavgw:
+      r.value = LaneWise(dst, src, 2, [](std::uint64_t a, std::uint64_t b) {
+        return (a + b + 1) >> 1;
+      });
+      return r;
+    case M::kPunpcklbw: case M::kPunpcklwd: case M::kPunpckldq:
+    case M::kPunpckhbw: case M::kPunpckhwd: case M::kPunpckhdq: {
+      const int lane = (mnemonic == M::kPunpcklbw || mnemonic == M::kPunpckhbw)
+                           ? 1
+                       : (mnemonic == M::kPunpcklwd || mnemonic == M::kPunpckhwd)
+                           ? 2
+                           : 4;
+      const bool high = mnemonic == M::kPunpckhbw ||
+                        mnemonic == M::kPunpckhwd ||
+                        mnemonic == M::kPunpckhdq;
+      std::uint8_t a[16], b[16], out[16];
+      std::memcpy(a, &dst.lo, 8);
+      std::memcpy(a + 8, &dst.hi, 8);
+      std::memcpy(b, &src.lo, 8);
+      std::memcpy(b + 8, &src.hi, 8);
+      const int base = high ? 8 : 0;
+      int at = 0;
+      for (int i = 0; i < 8 / lane; ++i) {
+        for (int j = 0; j < lane; ++j) out[at++] = a[base + i * lane + j];
+        for (int j = 0; j < lane; ++j) out[at++] = b[base + i * lane + j];
+      }
+      std::memcpy(&r.value.lo, out, 8);
+      std::memcpy(&r.value.hi, out + 8, 8);
+      return r;
+    }
+    case M::kCmpsd: case M::kCmpss: {
+      // imm selects the predicate: 0 eq, 1 lt, 2 le, 3 unord, 4 neq,
+      // 5 nlt, 6 nle, 7 ord.
+      bool result;
+      if (mnemonic == M::kCmpsd) {
+        double a, bb;
+        std::memcpy(&a, &dst.lo, 8);
+        std::memcpy(&bb, &src.lo, 8);
+        const bool unord = std::isnan(a) || std::isnan(bb);
+        switch (imm & 7) {
+          case 0: result = a == bb; break;
+          case 1: result = a < bb; break;
+          case 2: result = a <= bb; break;
+          case 3: result = unord; break;
+          case 4: result = !(a == bb); break;
+          case 5: result = !(a < bb); break;
+          case 6: result = !(a <= bb); break;
+          default: result = !unord; break;
+        }
+        r.value = Vec128{result ? ~0ull : 0ull, dst.hi};
+      } else {
+        float a, bb;
+        const std::uint32_t ab = static_cast<std::uint32_t>(dst.lo);
+        const std::uint32_t bbits = static_cast<std::uint32_t>(src.lo);
+        std::memcpy(&a, &ab, 4);
+        std::memcpy(&bb, &bbits, 4);
+        const bool unord = std::isnan(a) || std::isnan(bb);
+        switch (imm & 7) {
+          case 0: result = a == bb; break;
+          case 1: result = a < bb; break;
+          case 2: result = a <= bb; break;
+          case 3: result = unord; break;
+          case 4: result = !(a == bb); break;
+          case 5: result = !(a < bb); break;
+          case 6: result = !(a <= bb); break;
+          default: result = !unord; break;
+        }
+        r.value = Vec128{(dst.lo & ~0xffffffffull) | (result ? 0xffffffffull : 0),
+                         dst.hi};
+      }
+      return r;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,77 @@
+// dbll -- rewrite-time evaluation of instruction semantics (internal).
+//
+// Pure value-level semantics used by the DBrew meta-emulator to fold
+// instructions whose inputs are all known. Every function here mirrors the
+// architectural behaviour including flag results; flags an instruction leaves
+// undefined are reported as unknown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dbll/dbrew/meta_state.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::dbrew {
+
+/// Result of evaluating an integer instruction: the (size-masked) value and
+/// the six status flags. `flag_known[i]` is false for flags the instruction
+/// leaves undefined or does not write.
+struct IntResult {
+  std::uint64_t value = 0;
+  bool writes_flags = false;
+  MetaFlag flags[x86::kFlagCount];
+};
+
+/// Masks `value` to `size` bytes.
+std::uint64_t MaskToSize(std::uint64_t value, std::uint8_t size);
+
+/// Sign-extends the `size`-byte value to 64 bits.
+std::int64_t SignExtend(std::uint64_t value, std::uint8_t size);
+
+/// Evaluates a binary/unary integer ALU operation with known inputs.
+/// `a` is the destination/first operand, `b` the source (ignored for unary
+/// ops). `carry_in` must be provided for adc/sbb. Returns std::nullopt when
+/// the mnemonic has no rewrite-time evaluator.
+std::optional<IntResult> EvalInt(x86::Mnemonic mnemonic, std::uint64_t a,
+                                 std::uint64_t b, std::uint8_t size,
+                                 bool carry_in = false);
+
+/// Evaluates a condition code against known flags. Returns std::nullopt when
+/// any required flag is unknown.
+std::optional<bool> EvalCond(x86::Cond cond, const MetaFlag* flags);
+
+/// Partial evaluation of a condition against a *mix* of known and runtime
+/// flags: a known flag may decide the condition outright or reduce it to a
+/// residual condition that only reads runtime flags (e.g. `a` with ZF known
+/// to be 0 becomes `ae`). kUnresolved means the mix is not expressible as a
+/// single condition code.
+struct CondResolution {
+  enum class Kind { kTrue, kFalse, kCond, kUnresolved } kind;
+  x86::Cond cond = x86::Cond::kO;  // valid for kCond
+};
+CondResolution ResolveCond(x86::Cond cond, const MetaFlag* flags);
+
+/// 128-bit value for SSE evaluation.
+struct Vec128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Result of evaluating an SSE instruction with known inputs.
+struct VecResult {
+  Vec128 value;
+  bool writes_flags = false;  // ucomis*/comis*
+  MetaFlag flags[x86::kFlagCount];
+};
+
+/// Evaluates an SSE operation: `dst` is the first (destination) register
+/// value, `src` the second operand value (for memory operands of fewer than
+/// 16 bytes, the loaded bytes are in `src.lo`). `imm` carries the immediate
+/// of shufps/shufpd/pshufd. Returns std::nullopt when the mnemonic has no
+/// evaluator.
+std::optional<VecResult> EvalVec(x86::Mnemonic mnemonic, Vec128 dst,
+                                 Vec128 src, std::uint8_t src_size,
+                                 std::uint8_t imm = 0);
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,73 @@
+#include "dbll/dbrew/capi.h"
+
+#include <string>
+
+#include "dbll/dbrew/rewriter.h"
+
+struct dbrew_rewriter {
+  explicit dbrew_rewriter(std::uint64_t function) : impl(function) {}
+  dbll::dbrew::Rewriter impl;
+  std::string last_error;
+};
+
+extern "C" {
+
+dbrew_rewriter* dbrew_new(void* func) {
+  return new dbrew_rewriter(reinterpret_cast<std::uint64_t>(func));
+}
+
+void dbrew_setpar(dbrew_rewriter* r, int index, uint64_t value) {
+  r->impl.SetParam(index - 1, value);  // paper examples are 1-based
+}
+
+void dbrew_setmem(dbrew_rewriter* r, const void* start, const void* end) {
+  r->impl.SetMemRange(reinterpret_cast<std::uint64_t>(start),
+                      reinterpret_cast<std::uint64_t>(end));
+}
+
+void dbrew_set_buffer_size(dbrew_rewriter* r, uint64_t bytes) {
+  r->impl.config().code_buffer_size = bytes;
+}
+
+void dbrew_set_verbose(dbrew_rewriter* r, int verbose) {
+  r->impl.config().verbose = verbose != 0;
+}
+
+void* dbrew_rewrite(dbrew_rewriter* r) {
+  const std::uint64_t entry = r->impl.RewriteOrOriginal();
+  r->last_error = r->impl.last_error().ok() ? std::string()
+                                            : r->impl.last_error().Format();
+  return reinterpret_cast<void*>(entry);
+}
+
+const char* dbrew_last_error(dbrew_rewriter* r) {
+  return r->last_error.c_str();
+}
+
+void dbrew_set_unroll_cap(dbrew_rewriter* r, uint64_t cap) {
+  r->impl.config().unroll_cap = cap;
+}
+
+void dbrew_set_inline_depth(dbrew_rewriter* r, int depth) {
+  r->impl.config().max_inline_depth = depth;
+}
+
+uint64_t dbrew_stat_emitted(dbrew_rewriter* r) {
+  return r->impl.stats().emitted_instrs;
+}
+
+uint64_t dbrew_stat_folded(dbrew_rewriter* r) {
+  return r->impl.stats().folded_instrs;
+}
+
+uint64_t dbrew_stat_inlined_calls(dbrew_rewriter* r) {
+  return r->impl.stats().inlined_calls;
+}
+
+uint64_t dbrew_stat_code_bytes(dbrew_rewriter* r) {
+  return r->impl.stats().code_bytes;
+}
+
+void dbrew_free(dbrew_rewriter* r) { delete r; }
+
+}  // extern "C"

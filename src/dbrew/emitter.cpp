@@ -1,0 +1,138 @@
+#include "emitter.h"
+
+#include <cstring>
+
+#include "dbll/x86/encoder.h"
+
+namespace dbll::dbrew {
+
+void CodeEmitter::AppendPoolLoad(int block, const x86::Instr& instr,
+                                 std::uint64_t lo, std::uint64_t hi) {
+  std::size_t index = pool_.size();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i].lo == lo && pool_[i].hi == hi) {
+      index = i;
+      break;
+    }
+  }
+  if (index == pool_.size()) {
+    pool_.push_back({lo, hi});
+  }
+  EmitEntry entry;
+  entry.kind = EmitEntry::Kind::kPoolLoad;
+  entry.instr = instr;
+  entry.pool_index = index;
+  blocks_[static_cast<std::size_t>(block)].entries.push_back(entry);
+}
+
+std::size_t CodeEmitter::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block.entries.size();
+  return total;
+}
+
+Expected<std::uint64_t> CodeEmitter::Layout(CodeBuffer& buffer) {
+  struct Fixup {
+    std::uint64_t patch_address;  // address of the rel32/disp32 field
+    int target_block = -1;        // branch fixup
+    std::size_t pool_index = 0;   // pool fixup (when target_block < 0)
+  };
+  std::vector<Fixup> fixups;
+
+  const std::uint64_t start =
+      reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+
+  for (auto& block : blocks_) {
+    block.address = reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+    for (std::size_t ei = 0; ei < block.entries.size(); ++ei) {
+      EmitEntry& entry = block.entries[ei];
+      const std::uint64_t address =
+          reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+      switch (entry.kind) {
+        case EmitEntry::Kind::kInstr: {
+          DBLL_TRY(std::uint8_t * dest, buffer.Reserve(x86::Encoder::kMaxLength));
+          DBLL_TRY(std::size_t length,
+                   x86::Encoder::Encode(entry.instr,
+                                        {dest, x86::Encoder::kMaxLength}, address));
+          buffer.Reset(buffer.used() - (x86::Encoder::kMaxLength - length));
+          break;
+        }
+        case EmitEntry::Kind::kBranch: {
+          // Skip a trailing unconditional jump to the block that is laid out
+          // immediately after this one.
+          const bool is_last = ei + 1 == block.entries.size();
+          const bool next_is_sequential =
+              entry.block ==
+              static_cast<int>(&block - blocks_.data()) + 1;
+          if (entry.instr.mnemonic == x86::Mnemonic::kJmp && is_last &&
+              next_is_sequential) {
+            break;
+          }
+          const std::size_t length =
+              entry.instr.mnemonic == x86::Mnemonic::kJmp ? 5u : 6u;
+          DBLL_TRY(std::uint8_t * dest, buffer.Reserve(length));
+          if (entry.instr.mnemonic == x86::Mnemonic::kJmp) {
+            dest[0] = 0xe9;
+          } else {
+            dest[0] = 0x0f;
+            dest[1] = static_cast<std::uint8_t>(
+                0x80 | static_cast<std::uint8_t>(entry.instr.cond));
+          }
+          std::memset(dest + length - 4, 0, 4);
+          fixups.push_back(Fixup{address + length - 4, entry.block, 0});
+          break;
+        }
+        case EmitEntry::Kind::kPoolLoad: {
+          // Encode with a zero RIP displacement, then patch.
+          x86::Instr instr = entry.instr;
+          DBLL_TRY(std::uint8_t * dest, buffer.Reserve(x86::Encoder::kMaxLength));
+          instr.target = address;  // rel 0 placeholder, always in range
+          DBLL_TRY(std::size_t length,
+                   x86::Encoder::Encode(instr, {dest, x86::Encoder::kMaxLength},
+                                        address));
+          buffer.Reset(buffer.used() - (x86::Encoder::kMaxLength - length));
+          // The disp32 of a RIP-relative operand without immediate is the
+          // last 4 bytes of the encoding (no pool instruction carries an
+          // immediate).
+          fixups.push_back(Fixup{address + length - 4, -1, entry.pool_index});
+          break;
+        }
+      }
+    }
+  }
+
+  // Constant pool, 16-byte aligned.
+  const std::size_t misalign = buffer.used() % 16;
+  if (misalign != 0) {
+    DBLL_TRY(std::uint8_t * pad, buffer.Reserve(16 - misalign));
+    std::memset(pad, 0xcc, 16 - misalign);
+  }
+  std::vector<std::uint64_t> pool_addresses;
+  pool_addresses.reserve(pool_.size());
+  for (const PoolEntry& entry : pool_) {
+    const std::uint64_t address =
+        reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+    DBLL_TRY(std::uint8_t * dest, buffer.Reserve(16));
+    std::memcpy(dest, &entry.lo, 8);
+    std::memcpy(dest + 8, &entry.hi, 8);
+    pool_addresses.push_back(address);
+  }
+
+  for (const Fixup& fixup : fixups) {
+    const std::uint64_t target =
+        fixup.target_block >= 0
+            ? blocks_[static_cast<std::size_t>(fixup.target_block)].address
+            : pool_addresses[fixup.pool_index];
+    const std::int64_t rel = static_cast<std::int64_t>(target) -
+                             static_cast<std::int64_t>(fixup.patch_address + 4);
+    if (rel < INT32_MIN || rel > INT32_MAX) {
+      return Error(ErrorKind::kEncode, "layout fixup out of rel32 range");
+    }
+    const std::int32_t rel32 = static_cast<std::int32_t>(rel);
+    std::memcpy(reinterpret_cast<void*>(fixup.patch_address), &rel32, 4);
+  }
+
+  return start;
+}
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,85 @@
+// dbll -- staged code emission for the DBrew backend (internal).
+//
+// Emulation appends instructions to EmitBlocks; branches between blocks are
+// recorded symbolically (by block id) because target addresses are unknown
+// until layout. Layout() places all blocks into a CodeBuffer, encodes the
+// instructions, appends the constant pool (used to materialize known SSE
+// values), and patches every recorded fixup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/error.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::dbrew {
+
+/// One emitted element: a regular instruction, a branch to another emitted
+/// block, or a constant-pool reference (RIP-relative load patched at layout).
+struct EmitEntry {
+  enum class Kind : std::uint8_t {
+    kInstr,      ///< encode as-is (Instr::target already absolute if used)
+    kBranch,     ///< jmp/jcc to `block` (rel32 patched at layout)
+    kPoolLoad,   ///< RIP-relative load from constant pool entry `pool_index`
+  };
+
+  Kind kind = Kind::kInstr;
+  x86::Instr instr;
+  int block = -1;
+  std::size_t pool_index = 0;
+};
+
+struct EmitBlock {
+  std::vector<EmitEntry> entries;
+  /// Layout result: address of the first encoded byte.
+  std::uint64_t address = 0;
+};
+
+class CodeEmitter {
+ public:
+  int NewBlock() {
+    blocks_.emplace_back();
+    return static_cast<int>(blocks_.size() - 1);
+  }
+  EmitBlock& Block(int id) { return blocks_[static_cast<std::size_t>(id)]; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  void Append(int block, const x86::Instr& instr) {
+    EmitEntry entry;
+    entry.instr = instr;
+    blocks_[static_cast<std::size_t>(block)].entries.push_back(entry);
+  }
+  /// Appends `jmp <target block>` (or `jcc` when instr.mnemonic == kJcc).
+  void AppendBranch(int block, x86::Mnemonic mnemonic, x86::Cond cond,
+                    int target) {
+    EmitEntry entry;
+    entry.kind = EmitEntry::Kind::kBranch;
+    entry.instr.mnemonic = mnemonic;
+    entry.instr.cond = cond;
+    entry.block = target;
+    blocks_[static_cast<std::size_t>(block)].entries.push_back(entry);
+  }
+  /// Appends an instruction whose memory operand must point at 16 bytes of
+  /// constant data; returns nothing, data is pooled and deduplicated.
+  void AppendPoolLoad(int block, const x86::Instr& instr, std::uint64_t lo,
+                      std::uint64_t hi);
+
+  /// Total number of emitted instructions across all blocks.
+  std::size_t TotalEntries() const;
+
+  /// Encodes all blocks into `buffer` in block-id order, appends the constant
+  /// pool, patches branch and pool fixups, and returns the address of block 0.
+  Expected<std::uint64_t> Layout(CodeBuffer& buffer);
+
+ private:
+  std::vector<EmitBlock> blocks_;
+  struct PoolEntry {
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  std::vector<PoolEntry> pool_;
+};
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,1591 @@
+#include "emulator.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "dbll/x86/decoder.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll::dbrew {
+namespace {
+
+using x86::Cond;
+using x86::Flag;
+using x86::Instr;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::OpKind;
+using x86::Operand;
+using x86::Reg;
+using x86::RegClass;
+
+/// SysV AMD64 integer argument registers, by parameter index.
+constexpr Reg kParamRegs[6] = {x86::kRdi, x86::kRsi, x86::kRdx,
+                               x86::kRcx, x86::kR8,  x86::kR9};
+
+bool FitsInt32(std::uint64_t value, std::uint8_t size) {
+  // An imm32 is sign-extended to the operand size; substitution is valid iff
+  // the extension reproduces the desired value.
+  const std::int64_t wanted = SignExtend(value, size);
+  return wanted >= INT32_MIN && wanted <= INT32_MAX;
+}
+
+/// True when the instruction writes its first operand (register or memory).
+bool WritesFirstOperand(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kCmp: case Mnemonic::kTest: case Mnemonic::kBt:
+    case Mnemonic::kUcomiss: case Mnemonic::kUcomisd:
+    case Mnemonic::kComiss: case Mnemonic::kComisd:
+    case Mnemonic::kPush: case Mnemonic::kJmp: case Mnemonic::kJcc:
+    case Mnemonic::kCall: case Mnemonic::kRet:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// True for pure data moves: the value written to the first operand is
+/// exactly the second operand (so a store's known value can be recorded).
+bool IsPlainStore(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kMov: case Mnemonic::kMovss: case Mnemonic::kMovsdX:
+    case Mnemonic::kMovaps: case Mnemonic::kMovapd: case Mnemonic::kMovups:
+    case Mnemonic::kMovupd: case Mnemonic::kMovdqa: case Mnemonic::kMovdqu:
+    case Mnemonic::kMovd: case Mnemonic::kMovq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for mnemonics whose second operand accepts an immediate encoding.
+bool AllowsImmSource(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kAdd: case Mnemonic::kAdc: case Mnemonic::kSub:
+    case Mnemonic::kSbb: case Mnemonic::kCmp: case Mnemonic::kAnd:
+    case Mnemonic::kOr: case Mnemonic::kXor: case Mnemonic::kTest:
+    case Mnemonic::kMov:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetaState::Key
+// ---------------------------------------------------------------------------
+
+std::string MetaState::Key(std::uint64_t address) const {
+  std::string key;
+  key.reserve(256);
+  auto put64 = [&key](std::uint64_t v) {
+    key.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  put64(address);
+  for (const MetaValue& v : gp) {
+    key.push_back(static_cast<char>(v.kind));
+    if (!v.is_unknown()) {
+      put64(v.value);
+      key.push_back(v.materialized ? 1 : 0);
+    }
+  }
+  for (const MetaXmm& v : vec) {
+    key.push_back(v.known ? 1 : 0);
+    if (v.known) {
+      put64(v.lo);
+      put64(v.hi);
+      key.push_back(v.materialized ? 1 : 0);
+    }
+  }
+  for (const MetaFlag& f : flags) {
+    key.push_back(static_cast<char>((f.known ? 2 : 0) | (f.value ? 1 : 0)));
+  }
+  put64(stack.size());
+  for (const auto& [delta, byte] : stack) {
+    put64(static_cast<std::uint64_t>(delta));
+    key.push_back(static_cast<char>(byte));
+  }
+  put64(return_stack.size());
+  for (std::uint64_t addr : return_stack) put64(addr);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / main loop
+// ---------------------------------------------------------------------------
+
+Emulator::Emulator(std::uint64_t function, const RewriterConfig& config,
+                   std::span<const std::pair<int, std::uint64_t>> fixed_params,
+                   std::span<const FixedMemRange> fixed_ranges,
+                   CodeEmitter& emitter)
+    : function_(function),
+      config_(config),
+      fixed_params_(fixed_params.begin(), fixed_params.end()),
+      fixed_ranges_(fixed_ranges.begin(), fixed_ranges.end()),
+      emitter_(emitter) {}
+
+Status Emulator::Run() {
+  MetaState init;
+  for (const auto& [index, value] : fixed_params_) {
+    if (index < 0 || index >= 6) {
+      return Error(ErrorKind::kBadConfig,
+                   "only register parameters 0..5 can be fixed");
+    }
+    init.Gp(kParamRegs[index]) = MetaValue::Const(value, /*materialized=*/false);
+  }
+
+  DBLL_TRY(int entry, StartBlock(function_, init));
+  if (entry != 0) {
+    return Error(ErrorKind::kInternal, "entry block must be block 0");
+  }
+  while (!worklist_.empty()) {
+    WorkItem item = std::move(worklist_.back());
+    worklist_.pop_back();
+    DBLL_TRY_STATUS(ProcessItem(std::move(item)));
+  }
+  stats_.blocks = emitter_.block_count();
+  return Status::Ok();
+}
+
+Expected<int> Emulator::StartBlock(std::uint64_t address,
+                                   const MetaState& state) {
+  const std::string key = state.Key(address);
+  auto it = visited_.find(key);
+  if (it != visited_.end()) {
+    return it->second;
+  }
+  if (emitter_.block_count() >= config_.max_blocks) {
+    return Error(ErrorKind::kResourceLimit,
+                 "specialization block limit exceeded", address);
+  }
+  if (++specialize_count_[address] == 1) {
+    first_seen_.emplace(address, state);
+  }
+  const int id = emitter_.NewBlock();
+  visited_.emplace(key, id);
+  worklist_.push_back(WorkItem{address, state, id});
+  return id;
+}
+
+Status Emulator::MaybeWiden(std::uint64_t address) {
+  auto it = specialize_count_.find(address);
+  if (it == specialize_count_.end() || it->second < config_.unroll_cap) {
+    return Status::Ok();
+  }
+  Widen(address);
+  return Status::Ok();
+}
+
+void Emulator::Widen(std::uint64_t address) {
+  if (config_.verbose) {
+    std::fprintf(stderr, "dbrew: widening state (unroll cap reached)\n");
+  }
+  auto seen_it = first_seen_.find(address);
+  const MetaState* seen = seen_it != first_seen_.end() ? &seen_it->second
+                                                       : nullptr;
+
+  for (int i = 0; i < x86::kGpRegCount; ++i) {
+    MetaValue& v = state_.gp[i];
+    if (!v.is_const()) continue;
+    // Loop-invariant knowledge survives widening: if the register held the
+    // same constant at the first specialization of this address, later
+    // visits will too. Materialize it (canonical state) but keep the value.
+    const bool invariant = seen != nullptr && seen->gp[i].is_const() &&
+                           seen->gp[i].value == v.value;
+    if (!v.materialized) {
+      AppendMov(x86::Gp(static_cast<std::uint8_t>(i)), v.value);
+      v.materialized = true;
+    }
+    if (!invariant) {
+      v = MetaValue::Unknown();
+    }
+  }
+  for (int i = 0; i < x86::kVecRegCount; ++i) {
+    MetaXmm& v = state_.vec[i];
+    if (!v.known) continue;
+    const bool invariant = seen != nullptr && seen->vec[i].known &&
+                           seen->vec[i].lo == v.lo && seen->vec[i].hi == v.hi;
+    if (!v.materialized) {
+      (void)MaterializeVec(x86::Xmm(static_cast<std::uint8_t>(i)));
+      v.materialized = true;
+    }
+    if (!invariant) {
+      v = MetaXmm{};
+    }
+  }
+  // Stack knowledge: keep only bytes identical to the first visit.
+  if (seen != nullptr) {
+    for (auto it2 = state_.stack.begin(); it2 != state_.stack.end();) {
+      auto ref = seen->stack.find(it2->first);
+      if (ref == seen->stack.end() || ref->second != it2->second) {
+        it2 = state_.stack.erase(it2);
+      } else {
+        ++it2;
+      }
+    }
+  } else {
+    state_.stack.clear();
+  }
+}
+
+Status Emulator::ProcessItem(WorkItem item) {
+  state_ = std::move(item.state);
+  cur_block_ = item.block;
+  std::uint64_t pc = item.address;
+
+  for (;;) {
+    if (stats_.emulated_instrs > config_.max_blocks * 4096) {
+      return Error(ErrorKind::kResourceLimit,
+                   "emulated instruction budget exhausted", pc);
+    }
+    DBLL_TRY(Instr instr, x86::Decoder::DecodeAt(pc));
+    ++stats_.emulated_instrs;
+    if (config_.verbose) {
+      std::fprintf(stderr, "dbrew: [%d] %s\n", cur_block_,
+                   x86::PrintInstr(instr).c_str());
+    }
+    DBLL_TRY(StepResult out, Step(instr));
+    switch (out.kind) {
+      case StepKind::kNext:
+        pc = instr.end();
+        break;
+      case StepKind::kGoto: {
+        DBLL_TRY_STATUS(MaybeWiden(out.target));
+        const std::string key = state_.Key(out.target);
+        auto it = visited_.find(key);
+        if (it != visited_.end()) {
+          emitter_.AppendBranch(cur_block_, Mnemonic::kJmp, Cond::kO,
+                                it->second);
+          return Status::Ok();
+        }
+        if (emitter_.block_count() >= config_.max_blocks) {
+          return Error(ErrorKind::kResourceLimit,
+                       "specialization block limit exceeded", out.target);
+        }
+        if (++specialize_count_[out.target] == 1) {
+          first_seen_.emplace(out.target, state_);
+        }
+        const int id = emitter_.NewBlock();
+        visited_.emplace(key, id);
+        emitter_.AppendBranch(cur_block_, Mnemonic::kJmp, Cond::kO, id);
+        cur_block_ = id;
+        pc = out.target;
+        break;
+      }
+      case StepKind::kSplit: {
+        DBLL_TRY_STATUS(MaybeWiden(out.target));
+        DBLL_TRY_STATUS(MaybeWiden(out.fall_through));
+        DBLL_TRY(int taken, StartBlock(out.target, state_));
+        DBLL_TRY(int fall, StartBlock(out.fall_through, state_));
+        emitter_.AppendBranch(cur_block_, Mnemonic::kJcc, out.cond, taken);
+        emitter_.AppendBranch(cur_block_, Mnemonic::kJmp, Cond::kO, fall);
+        return Status::Ok();
+      }
+      case StepKind::kDone:
+        return Status::Ok();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Address resolution and memory knowledge
+// ---------------------------------------------------------------------------
+
+Emulator::AddrInfo Emulator::Resolve(const Instr& instr,
+                                     const MemOperand& mem) const {
+  if (mem.segment != x86::Segment::kNone) {
+    return AddrInfo{};  // thread-local storage: runtime only
+  }
+  bool is_const = true;
+  bool is_stack = false;
+  std::uint64_t abs = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(mem.disp));
+  std::int64_t delta = mem.disp;
+
+  auto accumulate = [&](Reg reg, std::uint64_t scale) {
+    if (reg == x86::kRip) {
+      // Instr::target holds the resolved absolute address (disp included),
+      // so undo the disp we pre-added.
+      abs = instr.target;
+      delta = 0;
+      return;
+    }
+    const MetaValue& v = state_.Gp(reg);
+    if (v.is_const()) {
+      abs += v.value * scale;
+      delta += static_cast<std::int64_t>(v.value * scale);
+    } else if (v.is_stack_rel() && scale == 1 && !is_stack) {
+      is_stack = true;
+      is_const = false;
+      delta += v.stack_delta();
+    } else {
+      is_const = false;
+      is_stack = false;
+      abs = 0;
+    }
+  };
+
+  if (mem.base.valid()) accumulate(mem.base, 1);
+  if (mem.index.valid()) {
+    // A stack-relative index register is possible but not useful; treat a
+    // second stack-relative component as runtime.
+    const MetaValue& v = state_.Gp(mem.index);
+    if (v.is_const()) {
+      abs += v.value * mem.scale;
+      delta += static_cast<std::int64_t>(v.value) * mem.scale;
+    } else {
+      is_const = false;
+      is_stack = false;
+    }
+  }
+
+  AddrInfo info;
+  if (mem.base == x86::kRip) {
+    info.kind = AddrInfo::Kind::kConst;
+    info.abs = instr.target;
+  } else if (is_const) {
+    info.kind = AddrInfo::Kind::kConst;
+    info.abs = abs;
+  } else if (is_stack) {
+    info.kind = AddrInfo::Kind::kStack;
+    info.delta = delta;
+  } else {
+    info.kind = AddrInfo::Kind::kRuntime;
+  }
+  return info;
+}
+
+bool Emulator::InFixedRange(std::uint64_t address, std::size_t size) const {
+  for (const FixedMemRange& range : fixed_ranges_) {
+    if (range.Contains(address, size)) return true;
+  }
+  return false;
+}
+
+bool Emulator::ReadStackBytes(std::int64_t delta, std::size_t size,
+                              std::uint64_t* value) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    auto it = state_.stack.find(delta + static_cast<std::int64_t>(i));
+    if (it == state_.stack.end()) return false;
+    out |= static_cast<std::uint64_t>(it->second) << (8 * i);
+  }
+  *value = out;
+  return true;
+}
+
+void Emulator::WriteStackBytes(std::int64_t delta, std::size_t size,
+                               std::uint64_t value) {
+  for (std::size_t i = 0; i < size; ++i) {
+    state_.stack[delta + static_cast<std::int64_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void Emulator::EraseStackBytes(std::int64_t delta, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    state_.stack.erase(delta + static_cast<std::int64_t>(i));
+  }
+}
+
+bool Emulator::ReadKnown(const Instr& instr, const Operand& op,
+                         std::uint64_t* value) const {
+  switch (op.kind) {
+    case OpKind::kImm:
+      // The decoder stores immediates sign-extended to 64 bits; the consumer
+      // masks to the destination width.
+      *value = static_cast<std::uint64_t>(op.imm);
+      return true;
+    case OpKind::kReg: {
+      if (op.reg.cls != RegClass::kGp) return false;
+      const MetaValue& v = state_.Gp(op.reg);
+      if (!v.is_const()) return false;
+      std::uint64_t raw = v.value;
+      if (op.high8) raw >>= 8;
+      *value = MaskToSize(raw, op.size);
+      return true;
+    }
+    case OpKind::kMem: {
+      const AddrInfo addr = Resolve(instr, op.mem);
+      if (addr.kind == AddrInfo::Kind::kConst &&
+          InFixedRange(addr.abs, op.size)) {
+        std::uint64_t out = 0;
+        std::memcpy(&out, reinterpret_cast<const void*>(addr.abs), op.size);
+        *value = MaskToSize(out, op.size);
+        return true;
+      }
+      if (addr.kind == AddrInfo::Kind::kStack) {
+        return ReadStackBytes(addr.delta, op.size, value);
+      }
+      return false;
+    }
+    case OpKind::kNone:
+      return false;
+  }
+  return false;
+}
+
+bool Emulator::ReadKnownVec(const Instr& instr, const Operand& op,
+                            std::uint64_t* lo, std::uint64_t* hi) const {
+  if (op.is_reg() && op.reg.cls == RegClass::kVec) {
+    const MetaXmm& v = state_.Vec(op.reg);
+    if (!v.known) return false;
+    *lo = v.lo;
+    *hi = v.hi;
+    return true;
+  }
+  if (op.is_mem()) {
+    const AddrInfo addr = Resolve(instr, op.mem);
+    if (addr.kind == AddrInfo::Kind::kConst &&
+        InFixedRange(addr.abs, op.size)) {
+      std::uint64_t buf[2] = {0, 0};
+      std::memcpy(buf, reinterpret_cast<const void*>(addr.abs), op.size);
+      *lo = buf[0];
+      *hi = buf[1];
+      return true;
+    }
+    if (addr.kind == AddrInfo::Kind::kStack && op.size <= 8) {
+      std::uint64_t value = 0;
+      if (!ReadStackBytes(addr.delta, op.size, &value)) return false;
+      *lo = value;
+      *hi = 0;
+      return true;
+    }
+    if (addr.kind == AddrInfo::Kind::kStack && op.size == 16) {
+      std::uint64_t a = 0, b = 0;
+      if (!ReadStackBytes(addr.delta, 8, &a) ||
+          !ReadStackBytes(addr.delta + 8, 8, &b)) {
+        return false;
+      }
+      *lo = a;
+      *hi = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Meta-state mutation
+// ---------------------------------------------------------------------------
+
+bool Emulator::FoldWriteGp(const Operand& op, std::uint64_t value) {
+  if (!op.is_reg() || op.reg.cls != RegClass::kGp) return false;
+  MetaValue& v = state_.Gp(op.reg);
+  switch (op.size) {
+    case 8:
+      v = MetaValue::Const(value, false);
+      return true;
+    case 4:
+      // 32-bit writes zero the upper half.
+      v = MetaValue::Const(value & 0xffffffffull, false);
+      return true;
+    case 2:
+    case 1: {
+      if (!v.is_const()) return false;  // cannot merge into unknown content
+      std::uint64_t mask = op.size == 2 ? 0xffffull : 0xffull;
+      unsigned shift = 0;
+      if (op.high8) {
+        mask = 0xff00ull;
+        shift = 8;
+      }
+      v = MetaValue::Const((v.value & ~mask) | ((value << shift) & mask), false);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void Emulator::RuntimeWriteGp(const Operand& op) {
+  if (op.is_reg() && op.reg.cls == RegClass::kGp) {
+    state_.Gp(op.reg) = MetaValue::Unknown();
+  }
+}
+
+void Emulator::RuntimeWriteVec(const Operand& op) {
+  if (op.is_reg() && op.reg.cls == RegClass::kVec) {
+    state_.Vec(op.reg) = MetaXmm{};
+  }
+}
+
+void Emulator::SetFlags(const MetaFlag* flags, bool writes_flags) {
+  if (!writes_flags) return;
+  for (int i = 0; i < x86::kFlagCount; ++i) {
+    // Defined results become known; undefined results become unknown. A
+    // flag the instruction does not write at all keeps its previous state
+    // only when the semantics say so (handled by the evaluator leaving it
+    // unknown and the caller merging) -- here a simple overwrite of the six
+    // flags matches the behaviour of the supported flag-writing mnemonics
+    // except inc/dec, whose evaluator reports CF as unknown; preserve the
+    // previous CF in that case via the caller.
+    state_.flags[i] = flags[i];
+  }
+}
+
+void Emulator::ClobberFlags(const Instr& instr) {
+  const x86::FlagEffects effects = x86::FlagEffectsOf(instr.mnemonic);
+  const std::uint8_t touched = effects.written | effects.undefined;
+  auto clobber = [&](Flag flag, std::uint8_t mask) {
+    if (touched & mask) state_.FlagRef(flag) = MetaFlag{};
+  };
+  clobber(Flag::kZf, x86::kFlagZ);
+  clobber(Flag::kSf, x86::kFlagS);
+  clobber(Flag::kCf, x86::kFlagC);
+  clobber(Flag::kOf, x86::kFlagO);
+  clobber(Flag::kPf, x86::kFlagP);
+  clobber(Flag::kAf, x86::kFlagA);
+}
+
+void Emulator::ClobberCallerSaved() {
+  // rax, rcx, rdx, rsi, rdi, r8-r11 and all vector registers are
+  // caller-saved in the SysV ABI; a called function may also leave any flag
+  // state behind.
+  for (std::uint8_t index : {0, 1, 2, 6, 7, 8, 9, 10, 11}) {
+    state_.gp[index] = MetaValue::Unknown();
+  }
+  for (auto& v : state_.vec) v = MetaXmm{};
+  state_.ClearFlags();
+  state_.stack.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------------
+
+void Emulator::AppendMov(Reg reg, std::uint64_t value) {
+  Instr mov;
+  mov.mnemonic = Mnemonic::kMov;
+  mov.op_count = 2;
+  if (value <= 0xffffffffull) {
+    // mov r32, imm32 zero-extends and is the shortest encoding.
+    mov.ops[0] = Operand::RegOp(reg, 4);
+    mov.ops[1] = Operand::ImmOp(static_cast<std::int64_t>(value), 4);
+  } else {
+    mov.ops[0] = Operand::RegOp(reg, 8);
+    mov.ops[1] = Operand::ImmOp(static_cast<std::int64_t>(value), 8);
+  }
+  emitter_.Append(cur_block_, mov);
+  ++stats_.emitted_instrs;
+}
+
+Status Emulator::MaterializeGp(Reg reg) {
+  MetaValue& v = state_.Gp(reg);
+  if (!v.is_const() || v.materialized) return Status::Ok();
+  AppendMov(reg, v.value);
+  v.materialized = true;
+  return Status::Ok();
+}
+
+Status Emulator::MaterializeVec(Reg reg) {
+  MetaXmm& v = state_.Vec(reg);
+  if (!v.known || v.materialized) return Status::Ok();
+  if (v.lo == 0 && v.hi == 0) {
+    // Zero is materialized with the classic idiom instead of a pool load.
+    Instr zero;
+    zero.mnemonic = Mnemonic::kPxor;
+    zero.op_count = 2;
+    zero.ops[0] = Operand::RegOp(reg, 16);
+    zero.ops[1] = Operand::RegOp(reg, 16);
+    emitter_.Append(cur_block_, zero);
+    ++stats_.emitted_instrs;
+    v.materialized = true;
+    return Status::Ok();
+  }
+  Instr load;
+  load.mnemonic = Mnemonic::kMovaps;
+  load.op_count = 2;
+  load.ops[0] = Operand::RegOp(reg, 16);
+  MemOperand mem;
+  mem.base = x86::kRip;
+  load.ops[1] = Operand::MemOp(mem, 16);
+  emitter_.AppendPoolLoad(cur_block_, load, v.lo, v.hi);
+  ++stats_.emitted_instrs;
+  v.materialized = true;
+  return Status::Ok();
+}
+
+Status Emulator::EmitInstr(Instr instr) {
+  // 1. Memory operands: fold known components into the displacement where
+  //    possible, otherwise materialize the registers they reference.
+  for (int i = 0; i < instr.op_count; ++i) {
+    Operand& op = instr.ops[i];
+    if (!op.is_mem()) continue;
+    MemOperand& mem = op.mem;
+    if (mem.base == x86::kRip) {
+      // Already absolute via instr.target; if it fits into a disp32, rewrite
+      // to absolute addressing so the code does not depend on its own
+      // placement (matches the paper's Fig. 8 output).
+      if (instr.target <= 0x7fffffffull) {
+        mem.base = x86::kNoReg;
+        mem.disp = static_cast<std::int32_t>(instr.target);
+        instr.target = 0;
+      }
+      continue;
+    }
+    // Fold a known index into the displacement.
+    if (mem.index.valid()) {
+      const MetaValue& v = state_.Gp(mem.index);
+      if (v.is_const() && !v.materialized) {
+        const std::int64_t folded =
+            static_cast<std::int64_t>(mem.disp) +
+            static_cast<std::int64_t>(v.value) * mem.scale;
+        if (folded >= INT32_MIN && folded <= INT32_MAX) {
+          mem.disp = static_cast<std::int32_t>(folded);
+          mem.index = x86::kNoReg;
+          mem.scale = 1;
+        } else {
+          DBLL_TRY_STATUS(MaterializeGp(mem.index));
+        }
+      } else if (v.is_const()) {
+        // Materialized: the register holds the value; leave as-is.
+      }
+    }
+    if (mem.base.valid()) {
+      const MetaValue& v = state_.Gp(mem.base);
+      if (v.is_const() && !v.materialized) {
+        const std::int64_t folded = static_cast<std::int64_t>(mem.disp) +
+                                    static_cast<std::int64_t>(v.value);
+        if (!mem.index.valid() && folded >= 0 && folded <= INT32_MAX) {
+          // Absolute [disp32] operand.
+          mem.disp = static_cast<std::int32_t>(folded);
+          mem.base = x86::kNoReg;
+        } else {
+          DBLL_TRY_STATUS(MaterializeGp(mem.base));
+        }
+      }
+    }
+  }
+
+  // 2. Register source operands: substitute immediates or materialize.
+  //    The destination of a read-modify-write instruction is also an input.
+  const bool dst_is_input = [&] {
+    switch (instr.mnemonic) {
+      case Mnemonic::kMov: case Mnemonic::kMovzx: case Mnemonic::kMovsx:
+      case Mnemonic::kMovsxd: case Mnemonic::kLea: case Mnemonic::kPop:
+      case Mnemonic::kSetcc: case Mnemonic::kMovd:
+        return false;
+      case Mnemonic::kMovq:
+        return false;
+      default:
+        return true;
+    }
+  }();
+
+  for (int i = 0; i < instr.op_count; ++i) {
+    Operand& op = instr.ops[i];
+    if (op.is_reg() && op.reg.cls == RegClass::kGp) {
+      // A sub-dword register write preserves the remaining bits, so the old
+      // content is an input even for "pure" destinations (e.g. setcc al on
+      // a register whose upper bits are known but not materialized).
+      const bool partial_write = i == 0 && op.size < 4;
+      const bool is_pure_dst =
+          i == 0 && !dst_is_input && !op.is_mem() && !partial_write;
+      if (is_pure_dst) continue;
+      if (partial_write && !dst_is_input) {
+        DBLL_TRY_STATUS(MaterializeGp(op.reg));
+        continue;
+      }
+      const MetaValue& v = state_.Gp(op.reg);
+      if (v.is_const() && !v.materialized) {
+        // Try immediate substitution for the classic source slot.
+        std::uint64_t value = v.value;
+        if (op.high8) value >>= 8;
+        value = MaskToSize(value, op.size);
+        if (i == 1 && AllowsImmSource(instr.mnemonic) &&
+            (op.size == 1 || FitsInt32(value, op.size))) {
+          op = Operand::ImmOp(SignExtend(value, op.size), op.size == 1 ? 1 : 4);
+          continue;
+        }
+        if ((instr.mnemonic == Mnemonic::kShl ||
+             instr.mnemonic == Mnemonic::kShr ||
+             instr.mnemonic == Mnemonic::kSar ||
+             instr.mnemonic == Mnemonic::kRol ||
+             instr.mnemonic == Mnemonic::kRor) &&
+            i == 1) {
+          op = Operand::ImmOp(static_cast<std::int64_t>(value & 0x3f), 1);
+          continue;
+        }
+        DBLL_TRY_STATUS(MaterializeGp(op.reg));
+      }
+    } else if (op.is_reg() && op.reg.cls == RegClass::kVec) {
+      const bool is_pure_dst = i == 0 && !dst_is_input;
+      const MetaXmm& v = state_.Vec(op.reg);
+      if (!is_pure_dst && v.known && !v.materialized) {
+        DBLL_TRY_STATUS(MaterializeVec(op.reg));
+      }
+    }
+  }
+
+  // 3. Record stores into the stack map (all stores are emitted, so the map
+  //    stays consistent); runtime stores may alias the stack, so they clear
+  //    the map. Only plain moves carry a recordable value; read-modify-write
+  //    memory destinations (add [mem], ...) invalidate their bytes.
+  if (instr.op_count > 0 && instr.ops[0].is_mem() &&
+      WritesFirstOperand(instr.mnemonic)) {
+    const AddrInfo addr = Resolve(instr, instr.ops[0].mem);
+    if (addr.kind == AddrInfo::Kind::kStack) {
+      std::uint64_t value = 0;
+      std::uint64_t lo = 0, hi = 0;
+      if (!IsPlainStore(instr.mnemonic)) {
+        // Read-modify-write on a tracked slot: when the old bytes and the
+        // source are known and the operation has an evaluator, the new slot
+        // content is still known (e.g. `add qword [rbp-0x10], 1` on an -O0
+        // loop counter). The instruction itself is emitted regardless.
+        std::uint64_t old_value = 0;
+        std::uint64_t src_value = 0;
+        const bool unary = instr.op_count == 1;
+        if (ReadStackBytes(addr.delta, instr.ops[0].size, &old_value) &&
+            (unary || ReadKnown(instr, instr.ops[1], &src_value))) {
+          auto result = EvalInt(instr.mnemonic, old_value, src_value,
+                                instr.ops[0].size);
+          if (result.has_value()) {
+            WriteStackBytes(addr.delta, instr.ops[0].size, result->value);
+          } else {
+            EraseStackBytes(addr.delta, instr.ops[0].size);
+          }
+        } else {
+          EraseStackBytes(addr.delta, instr.ops[0].size);
+        }
+      } else if (instr.op_count > 1 && instr.ops[1].is_imm()) {
+        WriteStackBytes(addr.delta, instr.ops[0].size,
+                        static_cast<std::uint64_t>(instr.ops[1].imm));
+      } else if (instr.op_count > 1 && instr.ops[1].is_reg() &&
+                 instr.ops[1].reg.cls == RegClass::kVec) {
+        if (ReadKnownVec(instr, instr.ops[1], &lo, &hi)) {
+          WriteStackBytes(addr.delta, std::min<std::size_t>(instr.ops[0].size, 8), lo);
+          if (instr.ops[0].size == 16) WriteStackBytes(addr.delta + 8, 8, hi);
+        } else {
+          EraseStackBytes(addr.delta, instr.ops[0].size);
+        }
+      } else if (instr.op_count > 1 && ReadKnown(instr, instr.ops[1], &value)) {
+        WriteStackBytes(addr.delta, instr.ops[0].size, value);
+      } else {
+        EraseStackBytes(addr.delta, instr.ops[0].size);
+      }
+    } else if (addr.kind == AddrInfo::Kind::kRuntime) {
+      state_.stack.clear();
+    }
+  }
+
+  // 4. Mark written registers and flags as runtime values.
+  if (instr.op_count > 0 && instr.ops[0].is_reg() &&
+      WritesFirstOperand(instr.mnemonic)) {
+    if (instr.ops[0].reg.cls == RegClass::kGp) {
+      RuntimeWriteGp(instr.ops[0]);
+    } else {
+      RuntimeWriteVec(instr.ops[0]);
+    }
+  }
+  ClobberFlags(instr);
+
+  emitter_.Append(cur_block_, instr);
+  ++stats_.emitted_instrs;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction stepping
+// ---------------------------------------------------------------------------
+
+Expected<Emulator::StepResult> Emulator::Step(const Instr& instr) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kNop:
+    case M::kEndbr64:
+      return StepResult{};  // dropped from the output entirely
+
+    case M::kJmp:
+    case M::kJcc:
+    case M::kCall:
+    case M::kRet:
+    case M::kUd2:
+      return StepBranch(instr);
+
+    case M::kPush:
+    case M::kPop:
+    case M::kLeave:
+      return StepStack(instr);
+
+    case M::kMov:
+    case M::kMovzx:
+    case M::kMovsx:
+    case M::kMovsxd:
+    case M::kLea:
+    case M::kXchg:
+    case M::kCmovcc:
+    case M::kSetcc:
+    case M::kCwde:
+    case M::kCbw:
+    case M::kCdqe:
+    case M::kCwd:
+    case M::kCdq:
+    case M::kCqo:
+      return StepMov(instr);
+
+    case M::kAdd: case M::kAdc: case M::kSub: case M::kSbb:
+    case M::kCmp: case M::kTest: case M::kAnd: case M::kOr: case M::kXor:
+    case M::kNot: case M::kNeg: case M::kInc: case M::kDec:
+    case M::kShl: case M::kShr: case M::kSar: case M::kRol: case M::kRor:
+    case M::kBswap: case M::kBt: case M::kBsf: case M::kBsr:
+    case M::kTzcnt: case M::kPopcnt: case M::kStc: case M::kClc:
+      return StepIntAlu(instr);
+
+    case M::kImul:
+      if (instr.op_count == 1) return StepMulDiv(instr);
+      return StepIntAlu(instr);
+    case M::kMul: case M::kIdiv: case M::kDiv:
+      return StepMulDiv(instr);
+
+    default:
+      // Everything else is SSE.
+      return StepSse(instr);
+  }
+}
+
+Expected<Emulator::StepResult> Emulator::StepBranch(const Instr& instr) {
+  using M = Mnemonic;
+  StepResult out;
+  switch (instr.mnemonic) {
+    case M::kUd2: {
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      out.kind = StepKind::kDone;
+      return out;
+    }
+    case M::kRet: {
+      if (!state_.return_stack.empty()) {
+        if (instr.op_count != 0) {
+          return Error(ErrorKind::kUnsupported,
+                       "ret imm cannot be inlined", instr.address);
+        }
+        out.kind = StepKind::kGoto;
+        out.target = state_.return_stack.back();
+        state_.return_stack.pop_back();
+        return out;
+      }
+      // The SysV return registers must hold their actual values; anything
+      // still known-but-unmaterialized is materialized now.
+      DBLL_TRY_STATUS(MaterializeGp(x86::kRax));
+      DBLL_TRY_STATUS(MaterializeGp(x86::kRdx));
+      DBLL_TRY_STATUS(MaterializeVec(x86::Xmm(0)));
+      DBLL_TRY_STATUS(MaterializeVec(x86::Xmm(1)));
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      out.kind = StepKind::kDone;
+      return out;
+    }
+    case M::kJmp: {
+      if (instr.op_count == 1 && !instr.ops[0].is_imm()) {
+        // Indirect: only a rewrite-time-known target can be followed.
+        std::uint64_t target = 0;
+        if (instr.ops[0].is_reg()) {
+          const MetaValue& v = state_.Gp(instr.ops[0].reg);
+          if (v.is_const()) target = v.value;
+        } else if (instr.ops[0].is_mem()) {
+          ReadKnown(instr, instr.ops[0], &target);
+        }
+        if (target == 0) {
+          return Error(ErrorKind::kUnsupported,
+                       "indirect jump with unknown target", instr.address);
+        }
+        out.kind = StepKind::kGoto;
+        out.target = target;
+        return out;
+      }
+      out.kind = StepKind::kGoto;
+      out.target = instr.target;
+      return out;
+    }
+    case M::kJcc: {
+      // Partial evaluation of the condition: decided outright, reduced to a
+      // residual condition on runtime flags, or unresolvable.
+      const CondResolution res = ResolveCond(instr.cond, state_.flags);
+      switch (res.kind) {
+        case CondResolution::Kind::kTrue:
+        case CondResolution::Kind::kFalse:
+          ++stats_.folded_instrs;
+          out.kind = StepKind::kGoto;
+          out.target = res.kind == CondResolution::Kind::kTrue ? instr.target
+                                                               : instr.end();
+          return out;
+        case CondResolution::Kind::kCond:
+          out.kind = StepKind::kSplit;
+          out.cond = res.cond;
+          out.target = instr.target;
+          out.fall_through = instr.end();
+          return out;
+        case CondResolution::Kind::kUnresolved:
+          return Error(ErrorKind::kEmulate,
+                       "conditional branch mixes known and runtime flags",
+                       instr.address);
+      }
+      return Error(ErrorKind::kInternal, "bad condition resolution");
+    }
+    case M::kCall: {
+      std::uint64_t target = 0;
+      bool have_target = false;
+      if (instr.op_count == 1 && instr.ops[0].is_imm()) {
+        target = instr.target;
+        have_target = true;
+      } else if (instr.op_count == 1) {
+        // Indirect call: follow when the target is known (this is the
+        // "tight coupling of separately compiled functions" feature).
+        if (instr.ops[0].is_reg()) {
+          const MetaValue& v = state_.Gp(instr.ops[0].reg);
+          if (v.is_const()) {
+            target = v.value;
+            have_target = true;
+          }
+        } else if (instr.ops[0].is_mem()) {
+          have_target = ReadKnown(instr, instr.ops[0], &target);
+        }
+      }
+      if (have_target &&
+          static_cast<int>(state_.return_stack.size()) <
+              config_.max_inline_depth) {
+        state_.return_stack.push_back(instr.end());
+        ++stats_.inlined_calls;
+        out.kind = StepKind::kGoto;
+        out.target = target;
+        return out;
+      }
+      // Emit the call (direct or with runtime target): the callee receives
+      // its arguments in registers, so every known-but-unmaterialized
+      // argument register must hold its real value first.
+      for (Reg reg : kParamRegs) {
+        DBLL_TRY_STATUS(MaterializeGp(reg));
+      }
+      for (std::uint8_t i = 0; i < 8; ++i) {
+        DBLL_TRY_STATUS(MaterializeVec(x86::Xmm(i)));
+      }
+      if (!have_target && instr.ops[0].is_reg() &&
+          state_.Gp(instr.ops[0].reg).is_const()) {
+        DBLL_TRY_STATUS(MaterializeGp(instr.ops[0].reg));
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      ClobberCallerSaved();
+      return StepResult{};
+    }
+    default:
+      return Error(ErrorKind::kInternal, "StepBranch on non-branch");
+  }
+}
+
+Expected<Emulator::StepResult> Emulator::StepStack(const Instr& instr) {
+  using M = Mnemonic;
+  const MetaValue rsp = state_.Gp(x86::kRsp);
+  switch (instr.mnemonic) {
+    case M::kPush: {
+      if (!rsp.is_stack_rel()) {
+        DBLL_TRY_STATUS(EmitInstr(instr));
+        return StepResult{};
+      }
+      const std::int64_t slot = rsp.stack_delta() - 8;
+      std::uint64_t value = 0;
+      const bool known = ReadKnown(instr, instr.ops[0], &value);
+      // Convert a push of a known register into push imm when possible.
+      Instr emit = instr;
+      if (known && instr.ops[0].is_reg() &&
+          !state_.Gp(instr.ops[0].reg).materialized) {
+        if (FitsInt32(value, 8)) {
+          emit.ops[0] = Operand::ImmOp(SignExtend(value, 8), 4);
+        } else {
+          DBLL_TRY_STATUS(MaterializeGp(instr.ops[0].reg));
+        }
+      }
+      DBLL_TRY_STATUS(EmitInstr(emit));
+      state_.Gp(x86::kRsp) = MetaValue::StackRel(slot);
+      if (known) {
+        // Pushed immediates/values are sign-extended to the 8-byte slot.
+        const std::uint8_t src_size =
+            instr.ops[0].size == 0 ? 8 : instr.ops[0].size;
+        WriteStackBytes(
+            slot, 8, static_cast<std::uint64_t>(SignExtend(value, src_size)));
+      } else {
+        EraseStackBytes(slot, 8);
+      }
+      return StepResult{};
+    }
+    case M::kPop: {
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      if (rsp.is_stack_rel()) {
+        std::uint64_t value = 0;
+        if (instr.ops[0].is_reg() &&
+            ReadStackBytes(rsp.stack_delta(), 8, &value)) {
+          // The emitted pop loads the true value, so it is materialized.
+          state_.Gp(instr.ops[0].reg) = MetaValue::Const(value, true);
+        }
+        EraseStackBytes(rsp.stack_delta(), 8);
+        state_.Gp(x86::kRsp) = MetaValue::StackRel(rsp.stack_delta() + 8);
+      }
+      return StepResult{};
+    }
+    case M::kLeave: {
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      const MetaValue rbp = state_.Gp(x86::kRbp);
+      if (rbp.is_stack_rel()) {
+        const std::int64_t slot = rbp.stack_delta();
+        std::uint64_t value = 0;
+        if (ReadStackBytes(slot, 8, &value)) {
+          state_.Gp(x86::kRbp) = MetaValue::Const(value, true);
+        } else {
+          state_.Gp(x86::kRbp) = MetaValue::Unknown();
+        }
+        EraseStackBytes(slot, 8);
+        state_.Gp(x86::kRsp) = MetaValue::StackRel(slot + 8);
+      } else {
+        state_.Gp(x86::kRbp) = MetaValue::Unknown();
+        state_.Gp(x86::kRsp) = MetaValue::Unknown();
+        state_.stack.clear();
+      }
+      return StepResult{};
+    }
+    default:
+      return Error(ErrorKind::kInternal, "StepStack on non-stack op");
+  }
+}
+
+Expected<Emulator::StepResult> Emulator::StepIntAlu(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& dst = instr.ops[0];
+  const bool is_unary = instr.op_count == 1 || instr.mnemonic == M::kBswap;
+  const bool writes_dst = instr.mnemonic != M::kCmp &&
+                          instr.mnemonic != M::kTest &&
+                          instr.mnemonic != M::kBt;
+
+  if (instr.mnemonic == M::kStc || instr.mnemonic == M::kClc) {
+    state_.FlagRef(Flag::kCf) = MetaFlag{true, instr.mnemonic == M::kStc};
+    ++stats_.folded_instrs;
+    return StepResult{};
+  }
+
+  // xor reg, reg and sub reg, reg produce zero regardless of the register
+  // content (idiom for zeroing). The instruction is *emitted* (it is the
+  // canonical cheap way to zero a register and it keeps the runtime flags
+  // in sync -- the paper's Fig. 8 output also keeps its pxor idioms), but
+  // the zero value is recorded as known and already materialized.
+  if ((instr.mnemonic == M::kXor || instr.mnemonic == M::kSub) &&
+      instr.op_count == 2 && dst.is_reg() && instr.ops[1].is_reg() &&
+      dst.reg == instr.ops[1].reg && dst.high8 == instr.ops[1].high8 &&
+      dst.reg.cls == RegClass::kGp && dst.size >= 4) {
+    emitter_.Append(cur_block_, instr);
+    ++stats_.emitted_instrs;
+    state_.Gp(dst.reg) = MetaValue::Const(0, /*materialized=*/true);
+    ClobberFlags(instr);  // runtime flags now valid
+    return StepResult{};
+  }
+
+  // bsf/bsr/tzcnt/popcnt compute from their *source*; route it into `a`.
+  const bool src_computes =
+      instr.mnemonic == M::kBsf || instr.mnemonic == M::kBsr ||
+      instr.mnemonic == M::kTzcnt || instr.mnemonic == M::kPopcnt;
+  // Three-operand imul: dst = ops[1] * ops[2]; the destination is pure.
+  const bool is_imul3 = instr.mnemonic == M::kImul && instr.op_count == 3;
+
+  std::uint64_t a = 0, b = 0;
+  const bool a_known = ReadKnown(
+      instr, (src_computes || is_imul3) ? instr.ops[1] : dst, &a);
+  const bool b_known =
+      is_unary || src_computes ||
+      (is_imul3 ? ReadKnown(instr, instr.ops[2], &b)
+                : (instr.op_count < 2 || ReadKnown(instr, instr.ops[1], &b)));
+
+  // adc/sbb need the carry flag.
+  bool carry_in = false;
+  bool carry_usable = true;
+  if (instr.mnemonic == M::kAdc || instr.mnemonic == M::kSbb) {
+    const MetaFlag& cf = state_.FlagRef(Flag::kCf);
+    if (cf.known) {
+      carry_in = cf.value;
+    } else {
+      carry_usable = false;  // runtime flag: folding impossible
+    }
+  }
+
+  if (a_known && b_known && carry_usable && (!dst.is_mem() || !writes_dst)) {
+    auto result = EvalInt(instr.mnemonic, a, b, dst.size, carry_in);
+    if (result.has_value()) {
+      bool folded = true;
+      if (writes_dst) {
+        folded = FoldWriteGp(dst, result->value);
+      }
+      if (folded) {
+        // inc/dec leave CF untouched: the evaluator reports it unknown, but
+        // the architectural behaviour is "preserved", so keep the old value.
+        MetaFlag saved_cf = state_.FlagRef(Flag::kCf);
+        SetFlags(result->flags, result->writes_flags);
+        if ((instr.mnemonic == M::kInc || instr.mnemonic == M::kDec) &&
+            result->writes_flags) {
+          state_.FlagRef(Flag::kCf) = saved_cf;
+        }
+        ++stats_.folded_instrs;
+        return StepResult{};
+      }
+    }
+  }
+
+  // adc/sbb with a known carry but unknown values: re-establish the carry
+  // flag at runtime, then emit.
+  if ((instr.mnemonic == M::kAdc || instr.mnemonic == M::kSbb) &&
+      state_.FlagRef(Flag::kCf).known) {
+    Instr setcf;
+    setcf.mnemonic = state_.FlagRef(Flag::kCf).value ? M::kStc : M::kClc;
+    DBLL_TRY_STATUS(EmitInstr(setcf));
+  }
+
+  DBLL_TRY_STATUS(EmitInstr(instr));
+  return StepResult{};
+}
+
+Expected<Emulator::StepResult> Emulator::StepMov(const Instr& instr) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kMov: case M::kMovzx: case M::kMovsx: case M::kMovsxd: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      // Full-width register copies propagate the stack-relative tag
+      // (mov rbp, rsp and friends); the mov itself is emitted, so the
+      // runtime register is valid.
+      if (instr.mnemonic == M::kMov && dst.is_reg() && src.is_reg() &&
+          dst.size == 8 && dst.reg.cls == RegClass::kGp &&
+          src.reg.cls == RegClass::kGp &&
+          state_.Gp(src.reg).is_stack_rel()) {
+        DBLL_TRY_STATUS(EmitInstr(instr));
+        state_.Gp(dst.reg) =
+            MetaValue::StackRel(state_.Gp(src.reg).stack_delta());
+        return StepResult{};
+      }
+      // SSE moves never reach here; GP only.
+      std::uint64_t value = 0;
+      if (ReadKnown(instr, src, &value) && dst.is_reg()) {
+        std::uint64_t out = value;
+        if (instr.mnemonic == M::kMovsx || instr.mnemonic == M::kMovsxd) {
+          out = MaskToSize(
+              static_cast<std::uint64_t>(SignExtend(value, src.size)),
+              dst.size);
+        }
+        if (FoldWriteGp(dst, out)) {
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      return StepResult{};
+    }
+    case M::kLea: {
+      const AddrInfo addr = Resolve(instr, instr.ops[1].mem);
+      if (addr.kind == AddrInfo::Kind::kConst) {
+        if (FoldWriteGp(instr.ops[0],
+                        MaskToSize(addr.abs, instr.ops[0].size))) {
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      if (addr.kind == AddrInfo::Kind::kStack && instr.ops[0].size == 8 &&
+          instr.ops[0].is_reg()) {
+        state_.Gp(instr.ops[0].reg) = MetaValue::StackRel(addr.delta);
+      }
+      return StepResult{};
+    }
+    case M::kXchg: {
+      const Operand& a = instr.ops[0];
+      const Operand& b = instr.ops[1];
+      if (a.is_reg() && b.is_reg() && a.size == 8 &&
+          a.reg.cls == RegClass::kGp && b.reg.cls == RegClass::kGp) {
+        MetaValue va = state_.Gp(a.reg);
+        MetaValue vb = state_.Gp(b.reg);
+        if (va.is_const() && vb.is_const() && !va.materialized &&
+            !vb.materialized) {
+          std::swap(state_.Gp(a.reg), state_.Gp(b.reg));
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+        // Emit and swap the meta view: the runtime swap makes each register
+        // hold the other's previous (runtime-consistent) content.
+        DBLL_TRY_STATUS(MaterializeGp(a.reg));
+        DBLL_TRY_STATUS(MaterializeGp(b.reg));
+        va = state_.Gp(a.reg);
+        vb = state_.Gp(b.reg);
+        Instr emit = instr;
+        emitter_.Append(cur_block_, emit);
+        ++stats_.emitted_instrs;
+        state_.Gp(a.reg) = vb;
+        state_.Gp(b.reg) = va;
+        return StepResult{};
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      if (instr.ops[1].is_reg()) RuntimeWriteGp(instr.ops[1]);
+      return StepResult{};
+    }
+    case M::kCmovcc: {
+      const CondResolution res = ResolveCond(instr.cond, state_.flags);
+      switch (res.kind) {
+        case CondResolution::Kind::kFalse:
+          ++stats_.folded_instrs;
+          return StepResult{};  // no move
+        case CondResolution::Kind::kTrue: {
+          ++stats_.folded_instrs;
+          Instr mov = instr;
+          mov.mnemonic = M::kMov;
+          return StepMov(mov);
+        }
+        case CondResolution::Kind::kCond: {
+          Instr emit = instr;
+          emit.cond = res.cond;
+          DBLL_TRY_STATUS(EmitInstr(emit));
+          return StepResult{};
+        }
+        case CondResolution::Kind::kUnresolved:
+          return Error(ErrorKind::kEmulate,
+                       "cmovcc mixes known and runtime flags", instr.address);
+      }
+      return Error(ErrorKind::kInternal, "bad condition resolution");
+    }
+    case M::kSetcc: {
+      const CondResolution res = ResolveCond(instr.cond, state_.flags);
+      switch (res.kind) {
+        case CondResolution::Kind::kTrue:
+        case CondResolution::Kind::kFalse: {
+          ++stats_.folded_instrs;
+          Instr mov;
+          mov.mnemonic = M::kMov;
+          mov.op_count = 2;
+          mov.ops[0] = instr.ops[0];
+          mov.ops[1] = Operand::ImmOp(
+              res.kind == CondResolution::Kind::kTrue ? 1 : 0, 1);
+          return StepMov(mov);
+        }
+        case CondResolution::Kind::kCond: {
+          Instr emit = instr;
+          emit.cond = res.cond;
+          DBLL_TRY_STATUS(EmitInstr(emit));
+          return StepResult{};
+        }
+        case CondResolution::Kind::kUnresolved:
+          return Error(ErrorKind::kEmulate,
+                       "setcc mixes known and runtime flags", instr.address);
+      }
+      return Error(ErrorKind::kInternal, "bad condition resolution");
+    }
+    case M::kCwde: case M::kCbw: case M::kCdqe: {
+      const MetaValue rax = state_.Gp(x86::kRax);
+      if (rax.is_const()) {
+        std::uint64_t out = 0;
+        if (instr.mnemonic == M::kCbw) {
+          out = (rax.value & ~0xffffull) |
+                MaskToSize(static_cast<std::uint64_t>(SignExtend(rax.value, 1)), 2);
+        } else if (instr.mnemonic == M::kCwde) {
+          out = MaskToSize(static_cast<std::uint64_t>(SignExtend(rax.value, 2)), 4);
+        } else {
+          out = static_cast<std::uint64_t>(SignExtend(rax.value, 4));
+        }
+        state_.Gp(x86::kRax) = MetaValue::Const(out, false);
+        ++stats_.folded_instrs;
+        return StepResult{};
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      state_.Gp(x86::kRax) = MetaValue::Unknown();
+      return StepResult{};
+    }
+    case M::kCwd: case M::kCdq: case M::kCqo: {
+      const MetaValue rax = state_.Gp(x86::kRax);
+      const std::uint8_t size =
+          instr.mnemonic == M::kCwd ? 2 : (instr.mnemonic == M::kCdq ? 4 : 8);
+      if (rax.is_const()) {
+        const bool negative = SignExtend(rax.value, size) < 0;
+        const std::uint64_t fill = negative ? MaskToSize(~0ull, size) : 0;
+        // rdx's upper part is zeroed for cdq (32-bit write); preserved for cwd.
+        if (size == 2) {
+          MetaValue rdx = state_.Gp(x86::kRdx);
+          if (!rdx.is_const()) {
+            DBLL_TRY_STATUS(EmitInstr(instr));
+            state_.Gp(x86::kRdx) = MetaValue::Unknown();
+            return StepResult{};
+          }
+          state_.Gp(x86::kRdx) =
+              MetaValue::Const((rdx.value & ~0xffffull) | fill, false);
+        } else {
+          state_.Gp(x86::kRdx) = MetaValue::Const(fill, false);
+        }
+        ++stats_.folded_instrs;
+        return StepResult{};
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      state_.Gp(x86::kRdx) = MetaValue::Unknown();
+      return StepResult{};
+    }
+    default:
+      return Error(ErrorKind::kInternal, "StepMov on unsupported mnemonic");
+  }
+}
+
+Expected<Emulator::StepResult> Emulator::StepMulDiv(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& src = instr.ops[0];
+  const std::uint8_t size = src.size;
+  std::uint64_t a = 0, b = 0;
+  const bool rax_known = state_.Gp(x86::kRax).is_const();
+  const bool rdx_known = state_.Gp(x86::kRdx).is_const();
+  const bool src_known = ReadKnown(instr, src, &b);
+  if (rax_known) a = MaskToSize(state_.Gp(x86::kRax).value, size);
+
+  if (instr.mnemonic == M::kImul || instr.mnemonic == M::kMul) {
+    if (rax_known && src_known && size >= 4) {
+      unsigned __int128 wide;
+      if (instr.mnemonic == M::kImul) {
+        wide = static_cast<unsigned __int128>(
+            static_cast<__int128>(SignExtend(a, size)) *
+            SignExtend(b, size));
+      } else {
+        wide = static_cast<unsigned __int128>(a) * b;
+      }
+      const std::uint64_t lo = MaskToSize(static_cast<std::uint64_t>(wide), size);
+      const std::uint64_t hi =
+          MaskToSize(static_cast<std::uint64_t>(wide >> (size * 8)), size);
+      state_.Gp(x86::kRax) = MetaValue::Const(lo, false);
+      state_.Gp(x86::kRdx) = MetaValue::Const(hi, false);
+      // CF/OF indicate a significant upper half; ZF/SF/PF/AF are undefined
+      // by the ISA, so folding may leave them as stale runtime values.
+      bool upper_significant;
+      if (instr.mnemonic == M::kImul) {
+        upper_significant =
+            SignExtend(hi, size) !=
+            (SignExtend(lo, size) < 0 ? -1 : 0);
+      } else {
+        upper_significant = hi != 0;
+      }
+      state_.ClearFlags();
+      state_.FlagRef(Flag::kCf) = MetaFlag{true, upper_significant};
+      state_.FlagRef(Flag::kOf) = MetaFlag{true, upper_significant};
+      ++stats_.folded_instrs;
+      return StepResult{};
+    }
+  } else {  // div / idiv
+    if (rax_known && rdx_known && src_known && b != 0 && size >= 4) {
+      const std::uint64_t d = MaskToSize(state_.Gp(x86::kRdx).value, size);
+      if (instr.mnemonic == M::kIdiv) {
+        const __int128 dividend =
+            (static_cast<__int128>(SignExtend(d, size)) << (size * 8)) |
+            static_cast<__int128>(a);
+        const std::int64_t divisor = SignExtend(b, size);
+        const __int128 quot = dividend / divisor;
+        const __int128 rem = dividend % divisor;
+        state_.Gp(x86::kRax) =
+            MetaValue::Const(MaskToSize(static_cast<std::uint64_t>(quot), size), false);
+        state_.Gp(x86::kRdx) =
+            MetaValue::Const(MaskToSize(static_cast<std::uint64_t>(rem), size), false);
+      } else {
+        const unsigned __int128 dividend =
+            (static_cast<unsigned __int128>(d) << (size * 8)) | a;
+        const unsigned __int128 quot = dividend / b;
+        const unsigned __int128 rem = dividend % b;
+        state_.Gp(x86::kRax) =
+            MetaValue::Const(MaskToSize(static_cast<std::uint64_t>(quot), size), false);
+        state_.Gp(x86::kRdx) =
+            MetaValue::Const(MaskToSize(static_cast<std::uint64_t>(rem), size), false);
+      }
+      state_.ClearFlags();
+      ++stats_.folded_instrs;
+      return StepResult{};
+    }
+    // Emitted divides need rax and rdx live.
+    DBLL_TRY_STATUS(MaterializeGp(x86::kRax));
+    DBLL_TRY_STATUS(MaterializeGp(x86::kRdx));
+    DBLL_TRY_STATUS(EmitInstr(instr));
+    state_.Gp(x86::kRax) = MetaValue::Unknown();
+    state_.Gp(x86::kRdx) = MetaValue::Unknown();
+    return StepResult{};
+  }
+
+  DBLL_TRY_STATUS(MaterializeGp(x86::kRax));
+  DBLL_TRY_STATUS(EmitInstr(instr));
+  state_.Gp(x86::kRax) = MetaValue::Unknown();
+  state_.Gp(x86::kRdx) = MetaValue::Unknown();
+  return StepResult{};
+}
+
+Expected<Emulator::StepResult> Emulator::StepSse(const Instr& instr) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kInvalid:
+      return Error(ErrorKind::kUnsupported, "unsupported instruction",
+                   instr.address);
+    case M::kCmpxchg:
+    case M::kXadd:
+    case M::kRdtsc:
+    case M::kCpuid:
+    case M::kInt3:
+      // Decodable for tooling, but their implicit-register / atomic /
+      // nondeterministic semantics are outside the rewriting subset.
+      return Error(ErrorKind::kUnsupported,
+                   std::string(x86::MnemonicName(instr.mnemonic)) +
+                       " cannot be rewritten",
+                   instr.address);
+    default:
+      break;
+  }
+
+  // Mixed GP <-> vector conversions handled directly.
+  switch (instr.mnemonic) {
+    case M::kCvtsi2sd: case M::kCvtsi2ss: {
+      std::uint64_t value = 0;
+      if (ReadKnown(instr, instr.ops[1], &value) && instr.ops[0].is_reg()) {
+        const std::int64_t sv = SignExtend(value, instr.ops[1].size);
+        MetaXmm& dst = state_.Vec(instr.ops[0].reg);
+        if (dst.known) {
+          std::uint64_t bits = 0;
+          if (instr.mnemonic == M::kCvtsi2sd) {
+            const double d = static_cast<double>(sv);
+            std::memcpy(&bits, &d, 8);
+            dst.lo = bits;
+          } else {
+            const float f = static_cast<float>(sv);
+            std::uint32_t fb = 0;
+            std::memcpy(&fb, &f, 4);
+            dst.lo = (dst.lo & ~0xffffffffull) | fb;
+          }
+          dst.materialized = false;
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      return StepResult{};
+    }
+    case M::kCvttsd2si: case M::kCvttss2si: {
+      std::uint64_t lo = 0, hi = 0;
+      if (ReadKnownVec(instr, instr.ops[1], &lo, &hi)) {
+        std::int64_t result = 0;
+        if (instr.mnemonic == M::kCvttsd2si) {
+          double d;
+          std::memcpy(&d, &lo, 8);
+          result = static_cast<std::int64_t>(d);
+        } else {
+          float f;
+          const std::uint32_t fb = static_cast<std::uint32_t>(lo);
+          std::memcpy(&f, &fb, 4);
+          result = static_cast<std::int64_t>(f);
+        }
+        if (FoldWriteGp(instr.ops[0],
+                        MaskToSize(static_cast<std::uint64_t>(result),
+                                   instr.ops[0].size))) {
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+      }
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      return StepResult{};
+    }
+    case M::kMovd: case M::kMovq: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      const std::uint8_t width = instr.mnemonic == M::kMovq ? 8 : 4;
+      if (dst.is_reg() && dst.reg.cls == RegClass::kVec) {
+        // Load into vector register.
+        std::uint64_t value = 0;
+        bool known = false;
+        if (src.is_reg() && src.reg.cls == RegClass::kVec) {
+          std::uint64_t lo = 0, hi = 0;
+          known = ReadKnownVec(instr, src, &lo, &hi);
+          value = lo;
+        } else {
+          known = ReadKnown(instr, src, &value);
+        }
+        if (known) {
+          state_.Vec(dst.reg) =
+              MetaXmm{true, false, MaskToSize(value, width), 0};
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+        DBLL_TRY_STATUS(EmitInstr(instr));
+        return StepResult{};
+      }
+      if (dst.is_reg() && dst.reg.cls == RegClass::kGp) {
+        std::uint64_t lo = 0, hi = 0;
+        if (ReadKnownVec(instr, src, &lo, &hi) &&
+            FoldWriteGp(dst, MaskToSize(lo, width))) {
+          ++stats_.folded_instrs;
+          return StepResult{};
+        }
+        DBLL_TRY_STATUS(EmitInstr(instr));
+        return StepResult{};
+      }
+      // Store to memory.
+      DBLL_TRY_STATUS(EmitInstr(instr));
+      return StepResult{};
+    }
+    default:
+      break;
+  }
+
+  // Pure vector operations (possibly with a memory operand).
+  const Operand& dst = instr.ops[0];
+  const bool is_store = dst.is_mem();
+
+  if (!is_store && dst.is_reg() && dst.reg.cls == RegClass::kVec) {
+    std::uint64_t dlo = 0, dhi = 0, slo = 0, shi = 0;
+    const bool d_known = ReadKnownVec(instr, dst, &dlo, &dhi);
+    bool s_known;
+    if (instr.op_count < 2) {
+      s_known = true;
+    } else if (instr.ops[1].is_imm()) {
+      // Immediate second operand (vector shift counts): route the count
+      // through the source value.
+      slo = static_cast<std::uint64_t>(instr.ops[1].imm);
+      s_known = true;
+    } else if (instr.ops[1].is_reg() || instr.ops[1].is_mem()) {
+      s_known = ReadKnownVec(instr, instr.ops[1], &slo, &shi);
+    } else {
+      s_known = true;
+    }
+    // Zeroing idiom: pxor/xorps xmm, same-xmm.
+    const bool zero_idiom =
+        (instr.mnemonic == M::kPxor || instr.mnemonic == M::kXorps ||
+         instr.mnemonic == M::kXorpd) &&
+        instr.op_count == 2 && instr.ops[1].is_reg() &&
+        instr.ops[1].reg == dst.reg;
+    if (zero_idiom) {
+      // Emit the idiom (as the paper's DBrew does) and record the zero as
+      // known and materialized; vector bitwise ops do not write flags.
+      emitter_.Append(cur_block_, instr);
+      ++stats_.emitted_instrs;
+      state_.Vec(dst.reg) = MetaXmm{true, true, 0, 0};
+      return StepResult{};
+    }
+    // Full-overwrite operations (plain loads/moves) do not need the old
+    // destination value to fold.
+    const bool full_overwrite =
+        IsPlainStore(instr.mnemonic) ||
+        ((instr.mnemonic == M::kMovss || instr.mnemonic == M::kMovsdX) &&
+         instr.ops[1].is_mem());
+    if ((d_known || full_overwrite) && s_known) {
+      std::uint8_t imm = 0;
+      if (instr.op_count == 3 && instr.ops[2].is_imm()) {
+        imm = static_cast<std::uint8_t>(instr.ops[2].imm);
+      }
+      auto result = EvalVec(instr.mnemonic, Vec128{dlo, dhi}, Vec128{slo, shi},
+                            instr.op_count >= 2 ? instr.ops[1].size : 16, imm);
+      if (result.has_value()) {
+        if (result->writes_flags) {
+          SetFlags(result->flags, true);
+        }
+        const bool is_compare =
+            instr.mnemonic == M::kUcomisd || instr.mnemonic == M::kUcomiss ||
+            instr.mnemonic == M::kComisd || instr.mnemonic == M::kComiss;
+        if (!is_compare) {
+          state_.Vec(dst.reg) =
+              MetaXmm{true, false, result->value.lo, result->value.hi};
+        }
+        ++stats_.folded_instrs;
+        return StepResult{};
+      }
+    }
+  }
+
+  DBLL_TRY_STATUS(EmitInstr(instr));
+  return StepResult{};
+}
+
+}  // namespace dbll::dbrew

@@ -1,0 +1,142 @@
+// dbll -- the DBrew meta-emulation engine (internal).
+//
+// Partially evaluates a compiled function under a specialization
+// configuration. See include/dbll/dbrew/meta_state.h for the state model and
+// rewriter.h for the public API. The engine walks the original instruction
+// stream, folding instructions whose inputs are known at rewrite time and
+// re-emitting (with operands rewritten to immediates where possible)
+// everything else. Conditional branches with known conditions are resolved,
+// which fully unrolls loops over known trip counts; branches with unknown
+// conditions split the specialization into per-state blocks that are
+// de-duplicated by (address, state) keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alu_eval.h"
+#include "dbll/dbrew/meta_state.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/support/error.h"
+#include "emitter.h"
+
+namespace dbll::dbrew {
+
+class Emulator {
+ public:
+  Emulator(std::uint64_t function, const RewriterConfig& config,
+           std::span<const std::pair<int, std::uint64_t>> fixed_params,
+           std::span<const FixedMemRange> fixed_ranges, CodeEmitter& emitter);
+
+  /// Runs the specialization; on success block 0 of the emitter is the entry.
+  Status Run();
+
+  const Rewriter::Stats& stats() const { return stats_; }
+
+ private:
+  // -- Resolution of memory addresses against the meta state ---------------
+  struct AddrInfo {
+    enum class Kind { kConst, kStack, kRuntime } kind = Kind::kRuntime;
+    std::uint64_t abs = 0;      // kConst
+    std::int64_t delta = 0;     // kStack: offset from entry rsp
+  };
+  AddrInfo Resolve(const x86::Instr& instr, const x86::MemOperand& mem) const;
+
+  bool InFixedRange(std::uint64_t address, std::size_t size) const;
+
+  /// Reads up to 8 known bytes through an operand; returns false when the
+  /// value is not known at rewrite time.
+  bool ReadKnown(const x86::Instr& instr, const x86::Operand& op,
+                 std::uint64_t* value) const;
+  /// Reads a known 16/8/4-byte vector operand (register or memory).
+  bool ReadKnownVec(const x86::Instr& instr, const x86::Operand& op,
+                    std::uint64_t* lo, std::uint64_t* hi) const;
+
+  bool ReadStackBytes(std::int64_t delta, std::size_t size,
+                      std::uint64_t* value) const;
+  void WriteStackBytes(std::int64_t delta, std::size_t size,
+                       std::uint64_t value);
+  void EraseStackBytes(std::int64_t delta, std::size_t size);
+
+  // -- Meta-state mutation --------------------------------------------------
+  /// Records a known value produced by a *folded* write to a register.
+  /// Returns false when the write cannot be folded (partial write on an
+  /// unknown register).
+  bool FoldWriteGp(const x86::Operand& op, std::uint64_t value);
+  /// Marks a register as runtime-written by an emitted instruction.
+  void RuntimeWriteGp(const x86::Operand& op);
+  void RuntimeWriteVec(const x86::Operand& op);
+  /// Installs flag results from a folded instruction.
+  void SetFlags(const MetaFlag* flags, bool writes_flags);
+  void ClobberFlags(const x86::Instr& instr);
+  void ClobberCallerSaved();
+
+  // -- Emission helpers -----------------------------------------------------
+  Status MaterializeGp(x86::Reg reg);
+  Status MaterializeVec(x86::Reg reg);
+  /// Prepares and appends `instr` to the current block: materializes or
+  /// immediate-folds known-but-unmaterialized inputs, rewrites memory
+  /// operands, updates meta state for written registers and flags, and
+  /// updates the stack map for stores.
+  Status EmitInstr(x86::Instr instr);
+  /// Appends a synthesized `mov reg, imm` materialization.
+  void AppendMov(x86::Reg reg, std::uint64_t value);
+
+  // -- Control flow ---------------------------------------------------------
+  struct WorkItem {
+    std::uint64_t address;
+    MetaState state;
+    int block;
+  };
+
+  /// Returns the emit-block id for (address, state); creates the block and
+  /// queues a work item when the pair has not been seen. `created` reports
+  /// whether a new block was made.
+  Expected<int> StartBlock(std::uint64_t address, const MetaState& state);
+  /// Widens the current state if `address` has been specialized too often:
+  /// known register values that *changed* since the first visit of the
+  /// address (e.g. unrolled loop counters) are materialized into the code
+  /// and forgotten; loop-invariant knowledge (e.g. a fixed descriptor
+  /// pointer) survives, so inlining through it keeps working.
+  Status MaybeWiden(std::uint64_t address);
+  void Widen(std::uint64_t address);
+
+  Status ProcessItem(WorkItem item);
+
+  enum class StepKind { kNext, kGoto, kSplit, kDone };
+  struct StepResult {
+    StepKind kind = StepKind::kNext;
+    std::uint64_t target = 0;       // kGoto / kSplit taken successor
+    std::uint64_t fall_through = 0; // kSplit not-taken successor
+    x86::Cond cond = x86::Cond::kO; // kSplit condition
+  };
+  Expected<StepResult> Step(const x86::Instr& instr);
+
+  Expected<StepResult> StepIntAlu(const x86::Instr& instr);
+  Expected<StepResult> StepMov(const x86::Instr& instr);
+  Expected<StepResult> StepSse(const x86::Instr& instr);
+  Expected<StepResult> StepMulDiv(const x86::Instr& instr);
+  Expected<StepResult> StepStack(const x86::Instr& instr);
+  Expected<StepResult> StepBranch(const x86::Instr& instr);
+
+  std::uint64_t function_;
+  const RewriterConfig& config_;
+  std::vector<std::pair<int, std::uint64_t>> fixed_params_;
+  std::vector<FixedMemRange> fixed_ranges_;
+  CodeEmitter& emitter_;
+
+  MetaState state_;
+  int cur_block_ = -1;
+  std::vector<WorkItem> worklist_;
+  std::map<std::string, int> visited_;
+  std::map<std::uint64_t, std::size_t> specialize_count_;
+  /// State at the first specialization of each address, for value-aware
+  /// widening.
+  std::map<std::uint64_t, MetaState> first_seen_;
+  Rewriter::Stats stats_;
+};
+
+}  // namespace dbll::dbrew

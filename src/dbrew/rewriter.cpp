@@ -1,0 +1,79 @@
+#include "dbll/dbrew/rewriter.h"
+
+#include <cstdio>
+
+#include "emitter.h"
+#include "emulator.h"
+
+namespace dbll::dbrew {
+
+Rewriter::Rewriter(std::uint64_t function) : function_(function) {}
+
+void Rewriter::SetParam(int index, std::uint64_t value) {
+  for (auto& [existing_index, existing_value] : fixed_params_) {
+    if (existing_index == index) {
+      existing_value = value;
+      return;
+    }
+  }
+  fixed_params_.emplace_back(index, value);
+}
+
+void Rewriter::SetMemRange(std::uint64_t start, std::uint64_t end) {
+  fixed_ranges_.push_back(FixedMemRange{start, end});
+}
+
+Expected<std::uint64_t> Rewriter::Rewrite() {
+  last_error_ = Error();
+  stats_ = Stats{};
+
+  DBLL_TRY(CodeBuffer buffer,
+           CodeBuffer::AllocateNear(function_, config_.code_buffer_size));
+  buffer_ = std::move(buffer);
+
+  CodeEmitter emitter;
+  Emulator emulator(function_, config_, fixed_params_, fixed_ranges_, emitter);
+  {
+    Status status = emulator.Run();
+    if (!status.ok()) {
+      last_error_ = status.error();
+      return status.error();
+    }
+  }
+  stats_ = emulator.stats();
+
+  auto entry = emitter.Layout(buffer_);
+  if (!entry) {
+    last_error_ = entry.error();
+    return std::move(entry).error();
+  }
+  stats_.code_bytes = buffer_.used();
+
+  {
+    Status status = buffer_.Seal();
+    if (!status.ok()) {
+      last_error_ = status.error();
+      return status.error();
+    }
+  }
+  return *entry;
+}
+
+std::uint64_t Rewriter::RewriteOrOriginal() {
+  auto result = Rewrite();
+  if (result) return *result;
+  if (result.error().kind() == ErrorKind::kResourceLimit) {
+    // The paper's suggested recovery: enlarge the buffer and retry once.
+    config_.code_buffer_size *= 4;
+    config_.max_blocks *= 4;
+    auto retry = Rewrite();
+    if (retry) return *retry;
+  }
+  return function_;
+}
+
+std::span<const std::uint8_t> Rewriter::code() const {
+  return {buffer_.data(), buffer_.used()};
+}
+
+}  // namespace dbll::dbrew

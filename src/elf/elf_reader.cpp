@@ -1,0 +1,315 @@
+#include "dbll/elf/elf_reader.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace dbll::elf {
+namespace {
+
+// ELF64 structures (little-endian x86-64 subset).
+struct Ehdr {
+  std::uint8_t ident[16];
+  std::uint16_t type;
+  std::uint16_t machine;
+  std::uint32_t version;
+  std::uint64_t entry;
+  std::uint64_t phoff;
+  std::uint64_t shoff;
+  std::uint32_t flags;
+  std::uint16_t ehsize;
+  std::uint16_t phentsize;
+  std::uint16_t phnum;
+  std::uint16_t shentsize;
+  std::uint16_t shnum;
+  std::uint16_t shstrndx;
+};
+
+struct Shdr {
+  std::uint32_t name;
+  std::uint32_t type;
+  std::uint64_t flags;
+  std::uint64_t addr;
+  std::uint64_t offset;
+  std::uint64_t size;
+  std::uint32_t link;
+  std::uint32_t info;
+  std::uint64_t addralign;
+  std::uint64_t entsize;
+};
+
+struct Sym {
+  std::uint32_t name;
+  std::uint8_t info;
+  std::uint8_t other;
+  std::uint16_t shndx;
+  std::uint64_t value;
+  std::uint64_t size;
+};
+
+struct Rela {
+  std::uint64_t offset;
+  std::uint64_t info;
+  std::int64_t addend;
+};
+
+constexpr std::uint16_t kMachineX8664 = 62;
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::uint32_t kShtStrtab = 3;
+constexpr std::uint32_t kShtRela = 4;
+
+// x86-64 relocation types the analysis image resolves.
+constexpr std::uint32_t kR_X86_64_64 = 1;
+constexpr std::uint32_t kR_X86_64_PC32 = 2;
+constexpr std::uint32_t kR_X86_64_PLT32 = 4;
+constexpr std::uint32_t kR_X86_64_32 = 10;
+constexpr std::uint32_t kR_X86_64_32S = 11;
+
+Error Malformed(const char* what) {
+  return Error(ErrorKind::kBadConfig, std::string("malformed ELF: ") + what);
+}
+
+}  // namespace
+
+Expected<ElfFile> ElfFile::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorKind::kBadConfig, "cannot open file: " + path);
+  }
+  std::vector<std::uint8_t> contents(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return Parse(std::move(contents));
+}
+
+Expected<ElfFile> ElfFile::Parse(std::vector<std::uint8_t> contents) {
+  ElfFile file;
+  file.contents_ = std::move(contents);
+  const std::vector<std::uint8_t>& data = file.contents_;
+
+  if (data.size() < sizeof(Ehdr)) return Malformed("truncated header");
+  Ehdr ehdr;
+  std::memcpy(&ehdr, data.data(), sizeof(ehdr));
+  if (std::memcmp(ehdr.ident, "\x7f" "ELF", 4) != 0) {
+    return Malformed("bad magic");
+  }
+  if (ehdr.ident[4] != 2) return Malformed("not ELF64");
+  if (ehdr.ident[5] != 1) return Malformed("not little-endian");
+  if (ehdr.machine != kMachineX8664) {
+    return Error(ErrorKind::kUnsupported, "not an x86-64 ELF file");
+  }
+  file.type_ = ehdr.type;
+
+  if (ehdr.shoff == 0 || ehdr.shnum == 0) return Malformed("no sections");
+  if (ehdr.shentsize != sizeof(Shdr)) return Malformed("bad shentsize");
+  if (ehdr.shoff + static_cast<std::uint64_t>(ehdr.shnum) * sizeof(Shdr) >
+      data.size()) {
+    return Malformed("section headers out of range");
+  }
+
+  std::vector<Shdr> shdrs(ehdr.shnum);
+  std::memcpy(shdrs.data(), data.data() + ehdr.shoff,
+              shdrs.size() * sizeof(Shdr));
+
+  if (ehdr.shstrndx >= shdrs.size()) return Malformed("bad shstrndx");
+  const Shdr& shstr = shdrs[ehdr.shstrndx];
+  if (shstr.offset + shstr.size > data.size()) {
+    return Malformed("section string table out of range");
+  }
+  auto section_name = [&](std::uint32_t off) -> std::string {
+    if (off >= shstr.size) return {};
+    const char* start =
+        reinterpret_cast<const char*>(data.data() + shstr.offset + off);
+    const std::size_t max = shstr.size - off;
+    return std::string(start, strnlen(start, max));
+  };
+
+  // Assign synthetic virtual addresses to allocatable sections of
+  // relocatable files (they have addr == 0): consecutive, 64-byte aligned.
+  std::uint64_t reloc_cursor = 0x10000;
+  file.section_vaddr_.resize(shdrs.size(), 0);
+
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    const Shdr& shdr = shdrs[i];
+    Section section;
+    section.name = section_name(shdr.name);
+    section.type = shdr.type;
+    section.flags = shdr.flags;
+    section.offset = shdr.offset;
+    section.size = shdr.size;
+    if (file.is_relocatable() && section.is_alloc()) {
+      reloc_cursor = (reloc_cursor + 63) & ~63ull;
+      section.vaddr = reloc_cursor;
+      reloc_cursor += shdr.size;
+    } else {
+      section.vaddr = shdr.addr;
+    }
+    file.section_vaddr_[i] = section.vaddr;
+    if (section.is_progbits() && !section.is_nobits() &&
+        shdr.type != 8 /*NOBITS*/ &&
+        section.offset + section.size > data.size()) {
+      return Malformed("section data out of range");
+    }
+    file.sections_.push_back(std::move(section));
+  }
+
+  // Symbol table.
+  for (std::size_t i = 0; i < shdrs.size(); ++i) {
+    const Shdr& shdr = shdrs[i];
+    if (shdr.type != kShtSymtab) continue;
+    if (shdr.entsize != sizeof(Sym) || shdr.link >= shdrs.size()) {
+      return Malformed("bad symbol table");
+    }
+    const Shdr& strtab = shdrs[shdr.link];
+    if (strtab.type != kShtStrtab ||
+        strtab.offset + strtab.size > data.size()) {
+      return Malformed("bad symbol string table");
+    }
+    if (shdr.offset + shdr.size > data.size()) {
+      return Malformed("symbol table out of range");
+    }
+    const std::size_t count = shdr.size / sizeof(Sym);
+    for (std::size_t s = 0; s < count; ++s) {
+      Sym sym;
+      std::memcpy(&sym, data.data() + shdr.offset + s * sizeof(Sym),
+                  sizeof(sym));
+      Symbol symbol;
+      if (sym.name < strtab.size) {
+        const char* start = reinterpret_cast<const char*>(
+            data.data() + strtab.offset + sym.name);
+        symbol.name.assign(start, strnlen(start, strtab.size - sym.name));
+      }
+      symbol.value = sym.value;
+      symbol.size = sym.size;
+      symbol.section_index = sym.shndx;
+      symbol.is_function = (sym.info & 0xf) == 2;  // STT_FUNC
+      symbol.is_global = (sym.info >> 4) == 1;     // STB_GLOBAL
+      file.symbols_.push_back(std::move(symbol));
+    }
+  }
+
+  return file;
+}
+
+Expected<Symbol> ElfFile::FindFunction(const std::string& name) const {
+  for (const Symbol& symbol : symbols_) {
+    if (symbol.is_function && symbol.name == name) {
+      return symbol;
+    }
+  }
+  return Error(ErrorKind::kBadConfig, "no function symbol named " + name);
+}
+
+Expected<std::uint64_t> ElfFile::SymbolVirtualAddress(
+    const Symbol& symbol) const {
+  if (!is_relocatable()) {
+    return symbol.value;
+  }
+  if (symbol.section_index >= sections_.size()) {
+    return Error(ErrorKind::kBadConfig, "symbol has no section");
+  }
+  return section_vaddr_[symbol.section_index] + symbol.value;
+}
+
+Expected<Image> ElfFile::LoadImage() const {
+  std::uint64_t lo = UINT64_MAX;
+  std::uint64_t hi = 0;
+  for (const Section& section : sections_) {
+    if (!section.is_alloc() || section.size == 0) continue;
+    lo = std::min(lo, section.vaddr);
+    hi = std::max(hi, section.vaddr + section.size);
+  }
+  if (lo >= hi) {
+    return Error(ErrorKind::kBadConfig, "no allocatable sections");
+  }
+  if (hi - lo > (1ull << 31)) {
+    return Error(ErrorKind::kResourceLimit, "image larger than 2 GiB");
+  }
+  Image image;
+  image.base_vaddr_ = lo;
+  image.bytes_.assign(hi - lo, 0);
+  for (const Section& section : sections_) {
+    if (!section.is_alloc() || section.size == 0) continue;
+    if (section.is_nobits()) continue;  // .bss stays zeroed
+    std::memcpy(image.bytes_.data() + (section.vaddr - lo),
+                contents_.data() + section.offset, section.size);
+  }
+
+  // Relocatable files: resolve intra-file relocations against the synthetic
+  // section layout so direct calls/jumps and data references work inside
+  // the analysis image. References to undefined (external) symbols are left
+  // untouched; following them reports a precise decode error.
+  if (is_relocatable()) {
+    for (std::size_t si = 0; si < sections_.size(); ++si) {
+      const Section& rela_sec = sections_[si];
+      if (rela_sec.type != kShtRela) continue;
+      // sh_info names the section the relocations apply to; we stored it
+      // implicitly by name convention ".rela<target>". Re-read the header
+      // fields we kept: link -> symtab index is not stored in Section, so
+      // parse the raw header again.
+      if (rela_sec.offset + rela_sec.size > contents_.size()) continue;
+      // Find the target section by name (".rela.text" -> ".text").
+      if (rela_sec.name.rfind(".rela", 0) != 0) continue;
+      const std::string target_name = rela_sec.name.substr(5);
+      const Section* target = nullptr;
+      for (const Section& candidate : sections_) {
+        if (candidate.name == target_name && candidate.is_alloc()) {
+          target = &candidate;
+          break;
+        }
+      }
+      if (target == nullptr || target->size == 0) continue;
+
+      const std::size_t count = rela_sec.size / sizeof(Rela);
+      for (std::size_t i = 0; i < count; ++i) {
+        Rela rela;
+        std::memcpy(&rela, contents_.data() + rela_sec.offset + i * sizeof(Rela),
+                    sizeof(rela));
+        const std::uint32_t sym_index =
+            static_cast<std::uint32_t>(rela.info >> 32);
+        const std::uint32_t type = static_cast<std::uint32_t>(rela.info);
+        if (sym_index >= symbols_.size()) continue;
+        const Symbol& sym = symbols_[sym_index];
+        if (sym.section_index == 0 || sym.section_index >= sections_.size()) {
+          continue;  // undefined/external: leave unresolved
+        }
+        const std::uint64_t s_value =
+            section_vaddr_[sym.section_index] + sym.value;
+        const std::uint64_t place = target->vaddr + rela.offset;
+        const std::uint64_t patch_size = type == kR_X86_64_64 ? 8 : 4;
+        if (place < lo || place + patch_size > lo + image.bytes_.size()) {
+          continue;
+        }
+        std::uint8_t* patch = image.bytes_.data() + (place - lo);
+        switch (type) {
+          case kR_X86_64_PC32:
+          case kR_X86_64_PLT32: {
+            const std::int64_t value = static_cast<std::int64_t>(s_value) +
+                                       rela.addend -
+                                       static_cast<std::int64_t>(place);
+            const std::int32_t v32 = static_cast<std::int32_t>(value);
+            std::memcpy(patch, &v32, 4);
+            break;
+          }
+          case kR_X86_64_32:
+          case kR_X86_64_32S: {
+            const std::int64_t value =
+                static_cast<std::int64_t>(s_value) + rela.addend;
+            const std::int32_t v32 = static_cast<std::int32_t>(value);
+            std::memcpy(patch, &v32, 4);
+            break;
+          }
+          case kR_X86_64_64: {
+            const std::int64_t value =
+                static_cast<std::int64_t>(s_value) + rela.addend;
+            std::memcpy(patch, &value, 8);
+            break;
+          }
+          default:
+            break;  // GOT/TLS flavours: leave unresolved
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace dbll::elf

@@ -1,0 +1,2573 @@
+// dbll -- the x86-64 to LLVM-IR function lifter (paper Sections III & IV).
+//
+// Structure: ModuleLifter lifts a set of functions (the requested entry plus
+// reachable direct callees) into one llvm::Module using the internal
+// register-file signature; BodyLifter lifts one function body block by
+// block, maintaining per-block register/flag states in SSA form with
+// Φ-nodes at block entries and a facet cache per register.
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <llvm/IR/InlineAsm.h>
+#include <llvm/IR/Intrinsics.h>
+#include <llvm/IR/IntrinsicsX86.h>
+#include <llvm/IR/Verifier.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/insn.h"
+#include "dbll/x86/printer.h"
+#include "lift_internal.h"
+
+namespace dbll::lift {
+namespace {
+
+using x86::Cond;
+using x86::Flag;
+using x86::Instr;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+using x86::RegClass;
+
+namespace L = llvm;
+
+// Facet indices (paper Fig. 4). The first entry of each family is the
+// canonical bitwise representation that always exists.
+enum GpFacet {
+  kGpI64 = 0,
+  kGpI32,
+  kGpI16,
+  kGpI8,
+  kGpPtr,
+  kGpFacetCount,
+};
+
+GpFacet GpFacetForSize(std::uint8_t size) {
+  switch (size) {
+    case 4: return kGpI32;
+    case 2: return kGpI16;
+    case 1: return kGpI8;
+    default: return kGpI64;
+  }
+}
+enum VecFacet {
+  kVecI128 = 0,
+  kVecF64,   // scalar double in lane 0
+  kVecF32,   // scalar float in lane 0
+  kVecV2F64,
+  kVecV4F32,
+  kVecV2I64,
+  kVecV4I32,
+  kVecFacetCount,
+};
+
+/// GP registers transferred through the internal register-file signature:
+/// rax, rdi, rsi, rdx, rcx, r8, r9, r10, r11 (all caller-saved GP regs).
+constexpr std::uint8_t kGpTransferIndex[kGpTransferRegs] = {0, 7, 6, 2,  1,
+                                                            8, 9, 10, 11};
+/// SysV integer *argument* registers in order (used by the wrapper).
+constexpr std::uint8_t kIntArgIndex[kMaxIntArgs] = {7, 6, 2, 1, 8, 9};
+
+struct BlockState {
+  L::Value* gp[x86::kGpRegCount][kGpFacetCount] = {};
+  L::Value* vec[x86::kVecRegCount][kVecFacetCount] = {};
+  L::Value* flags[x86::kFlagCount] = {};
+
+  // Flag cache (paper Sec. III-D): operands of the latest cmp/sub, so
+  // conditions can be reconstructed as a single icmp.
+  L::Value* cmp_lhs = nullptr;
+  L::Value* cmp_rhs = nullptr;
+  bool cmp_valid = false;
+
+  void InvalidateCmp() {
+    cmp_valid = false;
+    cmp_lhs = nullptr;
+    cmp_rhs = nullptr;
+  }
+};
+
+class ModuleLifter;
+
+/// Lifts one function body.
+class BodyLifter {
+ public:
+  BodyLifter(ModuleLifter& parent, L::Function* fn, const x86::Cfg& cfg,
+             int call_depth)
+      : parent_(parent), fn_(fn), cfg_(cfg), call_depth_(call_depth) {}
+
+  Status Run();
+
+ private:
+  struct BlockInfo {
+    L::BasicBlock* bb = nullptr;
+    BlockState entry;   // phi nodes (non-entry blocks)
+    BlockState exit;    // state at terminator
+    bool lifted = false;
+  };
+
+  // State accessors ---------------------------------------------------------
+  L::LLVMContext& ctx();
+  L::IRBuilder<>& b();
+  const LiftConfig& config() const;
+
+  L::Type* I1() { return L::Type::getInt1Ty(ctx()); }
+  L::Type* I8() { return L::Type::getInt8Ty(ctx()); }
+  L::Type* I16() { return L::Type::getInt16Ty(ctx()); }
+  L::Type* I32() { return L::Type::getInt32Ty(ctx()); }
+  L::Type* I64() { return L::Type::getInt64Ty(ctx()); }
+  L::Type* I128() { return L::Type::getInt128Ty(ctx()); }
+  L::Type* F32T() { return L::Type::getFloatTy(ctx()); }
+  L::Type* F64T() { return L::Type::getDoubleTy(ctx()); }
+  L::Type* IntN(unsigned bytes) {
+    return L::Type::getIntNTy(ctx(), bytes * 8);
+  }
+  L::Type* FacetType(VecFacet facet) {
+    switch (facet) {
+      case kVecI128: return I128();
+      case kVecF64: return F64T();
+      case kVecF32: return F32T();
+      case kVecV2F64: return L::FixedVectorType::get(F64T(), 2);
+      case kVecV4F32: return L::FixedVectorType::get(F32T(), 4);
+      case kVecV2I64: return L::FixedVectorType::get(I64(), 2);
+      case kVecV4I32: return L::FixedVectorType::get(I32(), 4);
+      default: return I128();
+    }
+  }
+
+  L::Value* Undef(L::Type* type) { return L::UndefValue::get(type); }
+  L::Constant* CI(L::Type* type, std::uint64_t v) {
+    return L::ConstantInt::get(type, v);
+  }
+
+  // Register access ---------------------------------------------------------
+  L::Value* GpBase(Reg reg) { return state_->gp[reg.index][kGpI64]; }
+  void SetGpBase(Reg reg, L::Value* value) {
+    state_->gp[reg.index][kGpI64] = value;
+    for (int f = 1; f < kGpFacetCount; ++f) {
+      state_->gp[reg.index][f] = nullptr;
+    }
+  }
+  /// Caches a sub-dword facet value just produced by an instruction
+  /// (paper Fig. 4a: "we additionally cache the values of the facets as
+  /// produced by the instructions").
+  void CacheGpFacet(Reg reg, GpFacet facet, L::Value* value) {
+    if (config().facet_cache && facet != kGpI64) {
+      state_->gp[reg.index][facet] = value;
+    }
+  }
+  /// Returns the pointer facet, creating it (entry phi or inttoptr).
+  L::Value* GpPtr(Reg reg);
+  void SetGpPtr(Reg reg, L::Value* ptr) {
+    state_->gp[reg.index][kGpPtr] = ptr;
+  }
+
+  L::Value* VecBase(Reg reg) { return state_->vec[reg.index][kVecI128]; }
+  /// Reads a vector register in the requested facet (paper Fig. 4b/4c).
+  L::Value* VecRead(Reg reg, VecFacet facet);
+  /// Writes a vector register through one facet; other facets are dropped
+  /// and the canonical i128 is recomputed.
+  void VecWrite(Reg reg, VecFacet facet, L::Value* value);
+
+  L::Value* GetFlag(Flag flag) {
+    return state_->flags[static_cast<int>(flag)];
+  }
+  void SetFlag(Flag flag, L::Value* value) {
+    state_->flags[static_cast<int>(flag)] = value;
+  }
+  /// Marks every flag written by an instruction we do not model bit-exactly.
+  void UndefFlags() {
+    for (auto& flag : state_->flags) flag = Undef(I1());
+    state_->InvalidateCmp();
+  }
+
+  // Facet casts -------------------------------------------------------------
+  L::Value* CastFromI128(L::Value* base, VecFacet facet);
+  L::Value* CastToI128(L::Value* value, VecFacet facet);
+
+  // Operand access ----------------------------------------------------------
+  /// Integer read of a reg/imm/mem operand as iN (N = op.size * 8).
+  Expected<L::Value*> ReadInt(const Instr& instr, const Operand& op);
+  /// Integer write to a reg/mem operand with x86 merge semantics.
+  Status WriteInt(const Instr& instr, const Operand& op, L::Value* value);
+  /// Builds an i8* (or segment address space) pointer for a memory operand.
+  Expected<L::Value*> BuildPointer(const Instr& instr, const MemOperand& mem);
+  /// Typed pointer for a load/store of `type`.
+  Expected<L::Value*> TypedPointer(const Instr& instr, const MemOperand& mem,
+                                   L::Type* type);
+  /// Reads a vector operand (register facet or memory load).
+  Expected<L::Value*> ReadVec(const Instr& instr, const Operand& op,
+                              VecFacet facet, unsigned mem_bytes);
+  unsigned LoadAlign(Mnemonic m) {
+    return (m == Mnemonic::kMovaps || m == Mnemonic::kMovapd ||
+            m == Mnemonic::kMovdqa)
+               ? 16
+               : 1;
+  }
+
+  // Flag computation --------------------------------------------------------
+  void FlagsAddSub(L::Value* lhs, L::Value* rhs, L::Value* res, bool is_sub);
+  void FlagsLogic(L::Value* res);
+  void FlagsZSP(L::Value* res);
+  L::Value* EvalCondIr(Cond cond);
+
+  // Instruction lifting -----------------------------------------------------
+  Status LiftBlock(const x86::BasicBlock& block, BlockInfo& info);
+  Status LiftInstr(const Instr& instr, bool* terminated);
+  Status LiftIntAlu(const Instr& instr);
+  Status LiftShift(const Instr& instr);
+  Status LiftMovFamily(const Instr& instr);
+  Status LiftMulDiv(const Instr& instr);
+  Status LiftStack(const Instr& instr);
+  Status LiftSse(const Instr& instr);
+  Status LiftCall(const Instr& instr);
+  Status LiftRet(const Instr& instr);
+
+  void ApplyFastMath(L::Value* value) {
+    if (config().fast_math) {
+      if (auto* op = L::dyn_cast<L::Instruction>(value)) {
+        if (L::isa<L::FPMathOperator>(op)) {
+          L::FastMathFlags fmf;
+          fmf.setFast();
+          op->setFastMathFlags(fmf);
+        }
+      }
+    }
+  }
+
+  // Phi plumbing ------------------------------------------------------------
+  void CreateEntryPhis(BlockInfo& info);
+  Status FillPhis();
+  /// Value of `slot` at the end of `pred`, materializing missing facets just
+  /// before the terminator.
+  L::Value* ExitGpFacet(BlockInfo& pred, int reg, int facet);
+  L::Value* ExitVecFacet(BlockInfo& pred, int reg, int facet);
+
+  ModuleLifter& parent_;
+  L::Function* fn_;
+  const x86::Cfg& cfg_;
+  int call_depth_;
+
+  BlockInfo setup_;  ///< synthetic entry: arguments + virtual stack
+  std::map<std::uint64_t, BlockInfo> blocks_;
+  BlockInfo* cur_ = nullptr;
+  BlockState* state_ = nullptr;
+  std::size_t lifted_instrs_ = 0;
+};
+
+/// Lifts a set of functions into one module.
+class ModuleLifter {
+ public:
+  ModuleLifter(ModuleBundle& bundle) : bundle_(bundle), builder_(ctx()) {}
+
+  Status LiftAll(std::uint64_t entry_address);
+
+  L::LLVMContext& ctx() { return *bundle_.context; }
+  L::Module& module() { return *bundle_.module; }
+  L::IRBuilder<>& builder() { return builder_; }
+  const LiftConfig& config() const { return bundle_.config; }
+
+  /// The internal register-file function type.
+  L::FunctionType* RegFileType();
+
+  /// Returns (declaring + queueing for definition) the lifted function for
+  /// a call target.
+  Expected<L::Function*> GetOrDeclare(std::uint64_t address, int depth);
+
+  /// Pointer into the rebased constant-address global (paper Sec. III-E).
+  L::Value* MemBasePointer(std::uint64_t address);
+
+  /// Lifts the function at `entry_address` and all reachable callees;
+  /// returns the root internal function (no public wrapper yet).
+  Expected<L::Function*> LiftBodies(std::uint64_t entry_address);
+
+  Status BuildWrapper(L::Function* internal);
+  /// Builds the row-loop wrapper of LiftLineLoopInto.
+  Status BuildLineWrapper(L::Function* internal, long stride, long col_begin,
+                          long col_end);
+  Status Verify();
+
+ private:
+
+  ModuleBundle& bundle_;
+  L::IRBuilder<> builder_;
+  std::map<std::uint64_t, L::Function*> functions_;
+  std::vector<std::pair<std::uint64_t, int>> pending_;  // address, depth
+  L::GlobalVariable* membase_ = nullptr;
+};
+
+// ===========================================================================
+// BodyLifter implementation
+// ===========================================================================
+
+L::LLVMContext& BodyLifter::ctx() { return parent_.ctx(); }
+L::IRBuilder<>& BodyLifter::b() { return parent_.builder(); }
+const LiftConfig& BodyLifter::config() const { return parent_.config(); }
+
+L::Value* BodyLifter::GpPtr(Reg reg) {
+  L::Value*& cached = state_->gp[reg.index][kGpPtr];
+  if (config().facet_cache && cached != nullptr) return cached;
+  L::Value* ptr = b().CreateIntToPtr(GpBase(reg), I8()->getPointerTo());
+  if (config().facet_cache) cached = ptr;
+  return ptr;
+}
+
+L::Value* BodyLifter::CastFromI128(L::Value* base, VecFacet facet) {
+  switch (facet) {
+    case kVecI128:
+      return base;
+    case kVecF64:
+      return b().CreateExtractElement(
+          b().CreateBitCast(base, FacetType(kVecV2F64)), std::uint64_t{0});
+    case kVecF32:
+      return b().CreateExtractElement(
+          b().CreateBitCast(base, FacetType(kVecV4F32)), std::uint64_t{0});
+    default:
+      return b().CreateBitCast(base, FacetType(facet));
+  }
+}
+
+L::Value* BodyLifter::CastToI128(L::Value* value, VecFacet facet) {
+  switch (facet) {
+    case kVecI128:
+      return value;
+    case kVecF64: {
+      L::Value* vec = b().CreateInsertElement(
+          L::Constant::getNullValue(FacetType(kVecV2F64)), value,
+          std::uint64_t{0});
+      return b().CreateBitCast(vec, I128());
+    }
+    case kVecF32: {
+      L::Value* vec = b().CreateInsertElement(
+          L::Constant::getNullValue(FacetType(kVecV4F32)), value,
+          std::uint64_t{0});
+      return b().CreateBitCast(vec, I128());
+    }
+    default:
+      return b().CreateBitCast(value, I128());
+  }
+}
+
+L::Value* BodyLifter::VecRead(Reg reg, VecFacet facet) {
+  L::Value*& cached = state_->vec[reg.index][facet];
+  if (config().facet_cache && cached != nullptr) return cached;
+  L::Value* value = CastFromI128(VecBase(reg), facet);
+  if (config().facet_cache) cached = value;
+  return value;
+}
+
+void BodyLifter::VecWrite(Reg reg, VecFacet facet, L::Value* value) {
+  for (auto& slot : state_->vec[reg.index]) slot = nullptr;
+  state_->vec[reg.index][kVecI128] = CastToI128(value, facet);
+  if (config().facet_cache && facet != kVecI128) {
+    state_->vec[reg.index][facet] = value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operand access
+// ---------------------------------------------------------------------------
+
+Expected<L::Value*> BodyLifter::BuildPointer(const Instr& instr,
+                                             const MemOperand& mem) {
+  // Segment-prefixed accesses live in the x86 address spaces 257 (fs) and
+  // 256 (gs) (paper Sec. III-E).
+  if (mem.segment != x86::Segment::kNone) {
+    const unsigned kAddrSpace = mem.segment == x86::Segment::kFs ? 257 : 256;
+    L::Value* addr = CI(I64(), static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(mem.disp)));
+    if (mem.base.valid() && mem.base != x86::kRip) {
+      addr = b().CreateAdd(addr, GpBase(mem.base));
+    }
+    if (mem.index.valid()) {
+      addr = b().CreateAdd(
+          addr, b().CreateMul(GpBase(mem.index), CI(I64(), mem.scale)));
+    }
+    return b().CreateIntToPtr(addr, I8()->getPointerTo(kAddrSpace));
+  }
+
+  // RIP-relative and absolute addresses rebase onto the module's memory
+  // base global so alias analysis sees a proper global object.
+  if (mem.base == x86::kRip) {
+    return parent_.MemBasePointer(instr.target);
+  }
+  if (!mem.base.valid() && !mem.index.valid()) {
+    return parent_.MemBasePointer(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp)));
+  }
+
+  if (!config().use_gep) {
+    // Ablation D3: integer arithmetic + inttoptr.
+    L::Value* addr = CI(I64(), static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(mem.disp)));
+    if (mem.base.valid()) addr = b().CreateAdd(addr, GpBase(mem.base));
+    if (mem.index.valid()) {
+      addr = b().CreateAdd(
+          addr, b().CreateMul(GpBase(mem.index), CI(I64(), mem.scale)));
+    }
+    return b().CreateIntToPtr(addr, I8()->getPointerTo());
+  }
+
+  // GEP path: offset off the base register's pointer facet.
+  L::Value* base_ptr = nullptr;
+  L::Value* offset =
+      CI(I64(), static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp)));
+  if (mem.base.valid()) {
+    base_ptr = GpPtr(mem.base);
+    if (mem.index.valid()) {
+      offset = b().CreateAdd(
+          offset, b().CreateMul(GpBase(mem.index), CI(I64(), mem.scale)));
+    }
+  } else {
+    // Index without base: only usable as pointer when unscaled.
+    if (mem.scale == 1) {
+      base_ptr = GpPtr(mem.index);
+    } else {
+      L::Value* addr =
+          b().CreateAdd(offset, b().CreateMul(GpBase(mem.index),
+                                              CI(I64(), mem.scale)));
+      return b().CreateIntToPtr(addr, I8()->getPointerTo());
+    }
+  }
+  return b().CreateGEP(I8(), base_ptr, offset);
+}
+
+Expected<L::Value*> BodyLifter::TypedPointer(const Instr& instr,
+                                             const MemOperand& mem,
+                                             L::Type* type) {
+  DBLL_TRY(L::Value * ptr, BuildPointer(instr, mem));
+  const unsigned addr_space = ptr->getType()->getPointerAddressSpace();
+  return b().CreateBitCast(ptr, type->getPointerTo(addr_space));
+}
+
+Expected<L::Value*> BodyLifter::ReadInt(const Instr& instr,
+                                        const Operand& op) {
+  L::Type* type = IntN(op.size);
+  switch (op.kind) {
+    case x86::OpKind::kImm:
+      // ConstantInt truncates the sign-extended value to the type width.
+      return static_cast<L::Value*>(
+          CI(type, static_cast<std::uint64_t>(op.imm)));
+    case x86::OpKind::kReg: {
+      if (op.size == 8) return GpBase(op.reg);
+      if (op.high8) {
+        L::Value* shifted = b().CreateLShr(GpBase(op.reg), CI(I64(), 8));
+        return b().CreateTrunc(shifted, type);
+      }
+      const GpFacet facet = GpFacetForSize(op.size);
+      L::Value*& cached = state_->gp[op.reg.index][facet];
+      if (config().facet_cache && cached != nullptr) return cached;
+      L::Value* value = b().CreateTrunc(GpBase(op.reg), type);
+      if (config().facet_cache) cached = value;
+      return value;
+    }
+    case x86::OpKind::kMem: {
+      DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, type));
+      return static_cast<L::Value*>(b().CreateAlignedLoad(
+          type, ptr, L::Align(1), config().volatile_memory));
+    }
+    default:
+      return Error(ErrorKind::kLift, "cannot read operand", instr.address);
+  }
+}
+
+Status BodyLifter::WriteInt(const Instr& instr, const Operand& op,
+                            L::Value* value) {
+  if (op.is_mem()) {
+    DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, value->getType()));
+    b().CreateAlignedStore(value, ptr, L::Align(1),
+                           config().volatile_memory);
+    return Status::Ok();
+  }
+  if (!op.is_reg() || op.reg.cls != RegClass::kGp) {
+    return Error(ErrorKind::kLift, "cannot write operand", instr.address);
+  }
+  switch (op.size) {
+    case 8:
+      SetGpBase(op.reg, value);
+      return Status::Ok();
+    case 4:
+      // 32-bit writes zero the upper half (paper Fig. 4a).
+      SetGpBase(op.reg, b().CreateZExt(value, I64()));
+      CacheGpFacet(op.reg, kGpI32, value);
+      return Status::Ok();
+    case 2:
+    case 1: {
+      std::uint64_t mask = op.size == 2 ? 0xffff : 0xff;
+      unsigned shift = 0;
+      if (op.high8) {
+        mask = 0xff00;
+        shift = 8;
+      }
+      L::Value* wide = b().CreateZExt(value, I64());
+      if (shift != 0) wide = b().CreateShl(wide, CI(I64(), shift));
+      L::Value* kept = b().CreateAnd(GpBase(op.reg), CI(I64(), ~mask));
+      SetGpBase(op.reg, b().CreateOr(kept, wide));
+      if (!op.high8) {
+        CacheGpFacet(op.reg, op.size == 2 ? kGpI16 : kGpI8, value);
+      }
+      return Status::Ok();
+    }
+    default:
+      return Error(ErrorKind::kLift, "bad write size", instr.address);
+  }
+}
+
+Expected<L::Value*> BodyLifter::ReadVec(const Instr& instr, const Operand& op,
+                                        VecFacet facet, unsigned mem_bytes) {
+  if (op.is_reg() && op.reg.cls == RegClass::kVec) {
+    return VecRead(op.reg, facet);
+  }
+  if (op.is_mem()) {
+    L::Type* type = FacetType(facet);
+    // Memory operands narrower than the facet load the low element(s).
+    if (facet == kVecF64 || facet == kVecF32) {
+      DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, type));
+      return static_cast<L::Value*>(b().CreateAlignedLoad(
+          type, ptr, L::Align(1), config().volatile_memory));
+    }
+    if (mem_bytes == 16) {
+      DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, type));
+      return static_cast<L::Value*>(b().CreateAlignedLoad(
+          type, ptr, L::Align(LoadAlign(instr.mnemonic)),
+          config().volatile_memory));
+    }
+    // Partial vector load (e.g. movq/movlps m64): load and widen with zeros.
+    L::Type* narrow = IntN(mem_bytes);
+    DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, narrow));
+    L::Value* loaded = b().CreateAlignedLoad(narrow, ptr, L::Align(1));
+    L::Value* wide = b().CreateZExt(loaded, I128());
+    return CastFromI128(wide, facet);
+  }
+  return Error(ErrorKind::kLift, "cannot read vector operand", instr.address);
+}
+
+// ---------------------------------------------------------------------------
+// Flags (paper Sec. III-D)
+// ---------------------------------------------------------------------------
+
+void BodyLifter::FlagsZSP(L::Value* res) {
+  L::Type* type = res->getType();
+  SetFlag(Flag::kZf, b().CreateICmpEQ(res, L::Constant::getNullValue(type)));
+  SetFlag(Flag::kSf, b().CreateICmpSLT(res, L::Constant::getNullValue(type)));
+  // PF counts bits of the low byte via llvm.ctpop.i8 (paper Sec. III-D).
+  L::Value* low = res;
+  if (type != I8()) low = b().CreateTrunc(res, I8());
+  L::Value* pop = b().CreateUnaryIntrinsic(L::Intrinsic::ctpop, low);
+  SetFlag(Flag::kPf,
+          b().CreateICmpEQ(b().CreateAnd(pop, CI(I8(), 1)), CI(I8(), 0)));
+}
+
+void BodyLifter::FlagsAddSub(L::Value* lhs, L::Value* rhs, L::Value* res,
+                             bool is_sub) {
+  FlagsZSP(res);
+  L::Type* type = res->getType();
+  if (is_sub) {
+    SetFlag(Flag::kCf, b().CreateICmpULT(lhs, rhs));
+    // OF via bitwise reconstruction (paper Fig. 6b).
+    L::Value* tmp =
+        b().CreateAnd(b().CreateXor(lhs, rhs), b().CreateXor(lhs, res));
+    SetFlag(Flag::kOf,
+            b().CreateICmpSLT(tmp, L::Constant::getNullValue(type)));
+  } else {
+    SetFlag(Flag::kCf, b().CreateICmpULT(res, lhs));
+    L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
+                                  b().CreateXor(lhs, res));
+    SetFlag(Flag::kOf,
+            b().CreateICmpSLT(tmp, L::Constant::getNullValue(type)));
+  }
+  // AF from the nibble carry.
+  L::Value* af =
+      b().CreateAnd(b().CreateXor(b().CreateXor(lhs, rhs), res),
+                    CI(type, 0x10));
+  SetFlag(Flag::kAf, b().CreateICmpNE(af, L::Constant::getNullValue(type)));
+}
+
+void BodyLifter::FlagsLogic(L::Value* res) {
+  FlagsZSP(res);
+  SetFlag(Flag::kCf, CI(I1(), 0));
+  SetFlag(Flag::kOf, CI(I1(), 0));
+  SetFlag(Flag::kAf, Undef(I1()));
+}
+
+L::Value* BodyLifter::EvalCondIr(Cond cond) {
+  // Flag cache hit: rebuild the comparison directly (paper Fig. 6c).
+  if (config().flag_cache && state_->cmp_valid) {
+    L::Value* lhs = state_->cmp_lhs;
+    L::Value* rhs = state_->cmp_rhs;
+    switch (cond) {
+      case Cond::kE: return b().CreateICmpEQ(lhs, rhs);
+      case Cond::kNe: return b().CreateICmpNE(lhs, rhs);
+      case Cond::kL: return b().CreateICmpSLT(lhs, rhs);
+      case Cond::kGe: return b().CreateICmpSGE(lhs, rhs);
+      case Cond::kLe: return b().CreateICmpSLE(lhs, rhs);
+      case Cond::kG: return b().CreateICmpSGT(lhs, rhs);
+      case Cond::kB: return b().CreateICmpULT(lhs, rhs);
+      case Cond::kAe: return b().CreateICmpUGE(lhs, rhs);
+      case Cond::kBe: return b().CreateICmpULE(lhs, rhs);
+      case Cond::kA: return b().CreateICmpUGT(lhs, rhs);
+      default:
+        break;  // sign/overflow/parity conditions use the flag bits
+    }
+  }
+  auto flag = [&](Flag f) { return GetFlag(f); };
+  switch (cond) {
+    case Cond::kO: return flag(Flag::kOf);
+    case Cond::kNo: return b().CreateNot(flag(Flag::kOf));
+    case Cond::kB: return flag(Flag::kCf);
+    case Cond::kAe: return b().CreateNot(flag(Flag::kCf));
+    case Cond::kE: return flag(Flag::kZf);
+    case Cond::kNe: return b().CreateNot(flag(Flag::kZf));
+    case Cond::kBe: return b().CreateOr(flag(Flag::kCf), flag(Flag::kZf));
+    case Cond::kA:
+      return b().CreateNot(b().CreateOr(flag(Flag::kCf), flag(Flag::kZf)));
+    case Cond::kS: return flag(Flag::kSf);
+    case Cond::kNs: return b().CreateNot(flag(Flag::kSf));
+    case Cond::kP: return flag(Flag::kPf);
+    case Cond::kNp: return b().CreateNot(flag(Flag::kPf));
+    case Cond::kL: return b().CreateXor(flag(Flag::kSf), flag(Flag::kOf));
+    case Cond::kGe:
+      return b().CreateNot(b().CreateXor(flag(Flag::kSf), flag(Flag::kOf)));
+    case Cond::kLe:
+      return b().CreateOr(flag(Flag::kZf),
+                          b().CreateXor(flag(Flag::kSf), flag(Flag::kOf)));
+    case Cond::kG:
+      return b().CreateNot(
+          b().CreateOr(flag(Flag::kZf),
+                       b().CreateXor(flag(Flag::kSf), flag(Flag::kOf))));
+  }
+  return Undef(I1());
+}
+
+// ---------------------------------------------------------------------------
+// Instruction lifting
+// ---------------------------------------------------------------------------
+
+Status BodyLifter::LiftIntAlu(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& dst = instr.ops[0];
+
+  switch (instr.mnemonic) {
+    case M::kStc:
+      SetFlag(Flag::kCf, CI(I1(), 1));
+      state_->InvalidateCmp();
+      return Status::Ok();
+    case M::kClc:
+      SetFlag(Flag::kCf, CI(I1(), 0));
+      state_->InvalidateCmp();
+      return Status::Ok();
+    default:
+      break;
+  }
+
+  DBLL_TRY(L::Value * lhs, ReadInt(instr, dst));
+
+  // Unary operations.
+  switch (instr.mnemonic) {
+    case M::kNot: {
+      DBLL_TRY_STATUS(WriteInt(instr, dst, b().CreateNot(lhs)));
+      return Status::Ok();  // not does not modify flags
+    }
+    case M::kNeg: {
+      L::Value* zero = L::Constant::getNullValue(lhs->getType());
+      L::Value* res = b().CreateSub(zero, lhs);
+      FlagsAddSub(zero, lhs, res, /*is_sub=*/true);
+      // CF for neg: set unless the operand was zero.
+      SetFlag(Flag::kCf, b().CreateICmpNE(lhs, zero));
+      state_->InvalidateCmp();
+      DBLL_TRY_STATUS(WriteInt(instr, dst, res));
+      return Status::Ok();
+    }
+    case M::kInc:
+    case M::kDec: {
+      L::Value* one = CI(lhs->getType(), 1);
+      const bool is_dec = instr.mnemonic == M::kDec;
+      L::Value* res =
+          is_dec ? b().CreateSub(lhs, one) : b().CreateAdd(lhs, one);
+      L::Value* saved_cf = GetFlag(Flag::kCf);  // inc/dec preserve CF
+      FlagsAddSub(lhs, one, res, is_dec);
+      SetFlag(Flag::kCf, saved_cf);
+      state_->InvalidateCmp();
+      DBLL_TRY_STATUS(WriteInt(instr, dst, res));
+      return Status::Ok();
+    }
+    case M::kBswap: {
+      L::Value* res = b().CreateUnaryIntrinsic(L::Intrinsic::bswap, lhs);
+      DBLL_TRY_STATUS(WriteInt(instr, dst, res));
+      return Status::Ok();
+    }
+    default:
+      break;
+  }
+
+  DBLL_TRY(L::Value * rhs, ReadInt(instr, instr.ops[1]));
+  // Immediates are sign-extended to the operand width.
+  if (instr.ops[1].is_imm() && instr.ops[1].size < dst.size) {
+    rhs = CI(lhs->getType(),
+             static_cast<std::uint64_t>(instr.ops[1].imm));
+  } else if (rhs->getType() != lhs->getType()) {
+    rhs = b().CreateSExtOrTrunc(rhs, lhs->getType());
+  }
+
+  L::Value* res = nullptr;
+  switch (instr.mnemonic) {
+    case M::kAdd:
+      res = b().CreateAdd(lhs, rhs);
+      FlagsAddSub(lhs, rhs, res, false);
+      state_->InvalidateCmp();
+      break;
+    case M::kSub:
+    case M::kCmp:
+      res = b().CreateSub(lhs, rhs);
+      FlagsAddSub(lhs, rhs, res, true);
+      // The flag cache captures cmp AND sub (paper Sec. III-D).
+      state_->cmp_lhs = lhs;
+      state_->cmp_rhs = rhs;
+      state_->cmp_valid = true;
+      break;
+    case M::kAdc:
+    case M::kSbb: {
+      L::Value* carry = b().CreateZExt(GetFlag(Flag::kCf), lhs->getType());
+      if (instr.mnemonic == M::kAdc) {
+        res = b().CreateAdd(b().CreateAdd(lhs, rhs), carry);
+        // Carry out: res < lhs, or res == lhs with carry-in and rhs != 0;
+        // compute via the wide sum to stay exact.
+        L::Type* wide = L::Type::getIntNTy(ctx(), lhs->getType()->getIntegerBitWidth() + 1);
+        L::Value* ws = b().CreateAdd(
+            b().CreateAdd(b().CreateZExt(lhs, wide), b().CreateZExt(rhs, wide)),
+            b().CreateZExt(carry, wide));
+        FlagsZSP(res);
+        SetFlag(Flag::kCf,
+                b().CreateICmpNE(
+                    b().CreateLShr(ws, CI(wide, lhs->getType()->getIntegerBitWidth())),
+                    L::Constant::getNullValue(wide)));
+        L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
+                                      b().CreateXor(lhs, res));
+        SetFlag(Flag::kOf, b().CreateICmpSLT(
+                               tmp, L::Constant::getNullValue(lhs->getType())));
+        SetFlag(Flag::kAf, Undef(I1()));
+      } else {
+        res = b().CreateSub(b().CreateSub(lhs, rhs), carry);
+        L::Type* wide = L::Type::getIntNTy(ctx(), lhs->getType()->getIntegerBitWidth() + 1);
+        L::Value* wd = b().CreateSub(
+            b().CreateSub(b().CreateZExt(lhs, wide), b().CreateZExt(rhs, wide)),
+            b().CreateZExt(carry, wide));
+        FlagsZSP(res);
+        SetFlag(Flag::kCf,
+                b().CreateICmpNE(
+                    b().CreateLShr(wd, CI(wide, lhs->getType()->getIntegerBitWidth())),
+                    L::Constant::getNullValue(wide)));
+        L::Value* tmp = b().CreateAnd(b().CreateXor(lhs, rhs),
+                                      b().CreateXor(lhs, res));
+        SetFlag(Flag::kOf, b().CreateICmpSLT(
+                               tmp, L::Constant::getNullValue(lhs->getType())));
+        SetFlag(Flag::kAf, Undef(I1()));
+      }
+      state_->InvalidateCmp();
+      break;
+    }
+    case M::kAnd:
+    case M::kTest:
+      res = b().CreateAnd(lhs, rhs);
+      FlagsLogic(res);
+      state_->InvalidateCmp();
+      break;
+    case M::kOr:
+      res = b().CreateOr(lhs, rhs);
+      FlagsLogic(res);
+      state_->InvalidateCmp();
+      break;
+    case M::kXor:
+      res = b().CreateXor(lhs, rhs);
+      FlagsLogic(res);
+      state_->InvalidateCmp();
+      break;
+    case M::kImul: {
+      // Two- and three-operand forms: truncating signed multiply.
+      L::Value* a = lhs;
+      L::Value* mul_rhs = rhs;
+      if (instr.op_count == 3) {
+        DBLL_TRY(L::Value * src1, ReadInt(instr, instr.ops[1]));
+        a = src1;
+        mul_rhs = CI(a->getType(), static_cast<std::uint64_t>(instr.ops[2].imm));
+      }
+      res = b().CreateMul(a, mul_rhs);
+      // CF=OF = result does not fit; via wide multiply comparison.
+      const unsigned bits = a->getType()->getIntegerBitWidth();
+      L::Type* wide = L::Type::getIntNTy(ctx(), bits * 2);
+      L::Value* wm = b().CreateMul(b().CreateSExt(a, wide),
+                                   b().CreateSExt(mul_rhs, wide));
+      L::Value* fits = b().CreateICmpEQ(wm, b().CreateSExt(res, wide));
+      SetFlag(Flag::kOf, b().CreateNot(fits));
+      SetFlag(Flag::kCf, b().CreateNot(fits));
+      SetFlag(Flag::kZf, Undef(I1()));
+      SetFlag(Flag::kSf, Undef(I1()));
+      SetFlag(Flag::kPf, Undef(I1()));
+      SetFlag(Flag::kAf, Undef(I1()));
+      state_->InvalidateCmp();
+      break;
+    }
+    case M::kBt: case M::kBts: case M::kBtr: case M::kBtc: {
+      L::Value* bit = b().CreateAnd(
+          rhs, CI(rhs->getType(), dst.size * 8 - 1));
+      L::Value* shifted = b().CreateLShr(lhs, bit);
+      SetFlag(Flag::kCf, b().CreateTrunc(shifted, I1()));
+      state_->InvalidateCmp();
+      if (instr.mnemonic == M::kBt) {
+        return Status::Ok();  // bt writes no operand
+      }
+      L::Value* mask = b().CreateShl(CI(lhs->getType(), 1), bit);
+      L::Value* out = nullptr;
+      if (instr.mnemonic == M::kBts) {
+        out = b().CreateOr(lhs, mask);
+      } else if (instr.mnemonic == M::kBtr) {
+        out = b().CreateAnd(lhs, b().CreateNot(mask));
+      } else {
+        out = b().CreateXor(lhs, mask);
+      }
+      DBLL_TRY_STATUS(WriteInt(instr, dst, out));
+      return Status::Ok();
+    }
+    case M::kBsf:
+    case M::kTzcnt: {
+      L::Value* ctz = b().CreateBinaryIntrinsic(L::Intrinsic::cttz, rhs,
+                                                CI(I1(), 0));
+      res = ctz;
+      SetFlag(Flag::kZf, b().CreateICmpEQ(
+                             rhs, L::Constant::getNullValue(rhs->getType())));
+      if (instr.mnemonic == M::kTzcnt) {
+        SetFlag(Flag::kCf, b().CreateICmpEQ(
+                               rhs, L::Constant::getNullValue(rhs->getType())));
+      } else {
+        SetFlag(Flag::kCf, Undef(I1()));
+      }
+      SetFlag(Flag::kSf, Undef(I1()));
+      SetFlag(Flag::kOf, Undef(I1()));
+      SetFlag(Flag::kPf, Undef(I1()));
+      SetFlag(Flag::kAf, Undef(I1()));
+      state_->InvalidateCmp();
+      break;
+    }
+    case M::kBsr: {
+      L::Value* clz = b().CreateBinaryIntrinsic(L::Intrinsic::ctlz, rhs,
+                                                CI(I1(), 0));
+      res = b().CreateSub(CI(rhs->getType(), dst.size * 8 - 1), clz);
+      SetFlag(Flag::kZf, b().CreateICmpEQ(
+                             rhs, L::Constant::getNullValue(rhs->getType())));
+      SetFlag(Flag::kCf, Undef(I1()));
+      SetFlag(Flag::kSf, Undef(I1()));
+      SetFlag(Flag::kOf, Undef(I1()));
+      SetFlag(Flag::kPf, Undef(I1()));
+      SetFlag(Flag::kAf, Undef(I1()));
+      state_->InvalidateCmp();
+      break;
+    }
+    case M::kPopcnt: {
+      res = b().CreateUnaryIntrinsic(L::Intrinsic::ctpop, rhs);
+      SetFlag(Flag::kZf, b().CreateICmpEQ(
+                             rhs, L::Constant::getNullValue(rhs->getType())));
+      SetFlag(Flag::kCf, CI(I1(), 0));
+      SetFlag(Flag::kSf, CI(I1(), 0));
+      SetFlag(Flag::kOf, CI(I1(), 0));
+      SetFlag(Flag::kPf, Undef(I1()));
+      SetFlag(Flag::kAf, CI(I1(), 0));
+      state_->InvalidateCmp();
+      break;
+    }
+    default:
+      return Error(ErrorKind::kLift, "unhandled ALU mnemonic", instr.address);
+  }
+
+  if (instr.mnemonic != M::kCmp && instr.mnemonic != M::kTest) {
+    // add/sub on a register with a pointer facet also produce a pointer
+    // facet via GEP, aiding alias analysis (paper Sec. III-C).
+    const bool ptr_arith =
+        config().use_gep && dst.is_reg() && dst.size == 8 &&
+        (instr.mnemonic == M::kAdd || instr.mnemonic == M::kSub) &&
+        state_->gp[dst.reg.index][kGpPtr] != nullptr;
+    L::Value* old_ptr =
+        ptr_arith ? state_->gp[dst.reg.index][kGpPtr] : nullptr;
+    DBLL_TRY_STATUS(WriteInt(instr, dst, res));
+    if (ptr_arith) {
+      L::Value* off = rhs;
+      if (instr.mnemonic == M::kSub) off = b().CreateNeg(rhs);
+      SetGpPtr(dst.reg, b().CreateGEP(I8(), old_ptr, off));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftShift(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& dst = instr.ops[0];
+
+  if (instr.mnemonic == M::kShld || instr.mnemonic == M::kShrd) {
+    // Double-precision shifts map onto the funnel-shift intrinsics:
+    //   shld dst, src, n == fshl(dst, src, n)
+    //   shrd dst, src, n == fshr(src, dst, n)
+    DBLL_TRY(L::Value * a, ReadInt(instr, dst));
+    DBLL_TRY(L::Value * c, ReadInt(instr, instr.ops[1]));
+    DBLL_TRY(L::Value * n_raw, ReadInt(instr, instr.ops[2]));
+    L::Value* n = b().CreateZExt(n_raw, a->getType());
+    const unsigned bits = a->getType()->getIntegerBitWidth();
+    n = b().CreateAnd(n, CI(a->getType(), bits == 64 ? 63 : 31));
+    L::Value* res =
+        instr.mnemonic == M::kShld
+            ? b().CreateIntrinsic(L::Intrinsic::fshl, {a->getType()},
+                                  {a, c, n})
+            : b().CreateIntrinsic(L::Intrinsic::fshr, {a->getType()},
+                                  {c, a, n});
+    FlagsZSP(res);
+    SetFlag(Flag::kCf, Undef(I1()));
+    SetFlag(Flag::kOf, Undef(I1()));
+    SetFlag(Flag::kAf, Undef(I1()));
+    state_->InvalidateCmp();
+    return WriteInt(instr, dst, res);
+  }
+
+  DBLL_TRY(L::Value * lhs, ReadInt(instr, dst));
+  DBLL_TRY(L::Value * amount_raw, ReadInt(instr, instr.ops[1]));
+  L::Value* amount = amount_raw;
+  if (amount->getType() != lhs->getType()) {
+    amount = b().CreateZExt(amount, lhs->getType());
+  }
+  const unsigned bits = lhs->getType()->getIntegerBitWidth();
+  amount = b().CreateAnd(amount, CI(lhs->getType(), bits == 64 ? 63 : 31));
+
+  // x86 masks the count to 5/6 bits *before* comparing against the operand
+  // width, so an 8/16-bit shift by up to 31 is architecturally defined
+  // (shifting everything out). IR shifts are poison at count >= width;
+  // perform narrow shifts in 32 bits.
+  L::Value* shift_lhs = lhs;
+  L::Value* shift_amount = amount;
+  if (bits < 32 && (instr.mnemonic == M::kShl || instr.mnemonic == M::kShr ||
+                    instr.mnemonic == M::kSar)) {
+    shift_lhs = instr.mnemonic == M::kSar ? b().CreateSExt(lhs, I32())
+                                          : b().CreateZExt(lhs, I32());
+    shift_amount = b().CreateZExt(amount, I32());
+  }
+
+  L::Value* res = nullptr;
+  switch (instr.mnemonic) {
+    case M::kShl:
+      res = b().CreateShl(shift_lhs, shift_amount);
+      break;
+    case M::kShr:
+      res = b().CreateLShr(shift_lhs, shift_amount);
+      break;
+    case M::kSar:
+      res = b().CreateAShr(shift_lhs, shift_amount);
+      break;
+    case M::kRol: {
+      res = b().CreateIntrinsic(L::Intrinsic::fshl, {lhs->getType()},
+                                {lhs, lhs, amount});
+      break;
+    }
+    case M::kRor: {
+      res = b().CreateIntrinsic(L::Intrinsic::fshr, {lhs->getType()},
+                                {lhs, lhs, amount});
+      break;
+    }
+    default:
+      return Error(ErrorKind::kLift, "unhandled shift", instr.address);
+  }
+  if (res->getType() != lhs->getType()) {
+    res = b().CreateTrunc(res, lhs->getType());
+  }
+  // Architectural shift flags: a zero count leaves every flag untouched;
+  // non-zero counts set ZF/SF/PF from the result and CF from the last bit
+  // shifted out (OF is only defined for one-bit shifts and stays undef).
+  if (instr.mnemonic == M::kShl || instr.mnemonic == M::kShr ||
+      instr.mnemonic == M::kSar) {
+    L::Value* zero_count = b().CreateICmpEQ(
+        amount, L::Constant::getNullValue(amount->getType()));
+    L::Value* old_zf = GetFlag(Flag::kZf);
+    L::Value* old_sf = GetFlag(Flag::kSf);
+    L::Value* old_pf = GetFlag(Flag::kPf);
+    L::Value* old_cf = GetFlag(Flag::kCf);
+    FlagsZSP(res);
+    // CF: shl -> bit (bits - count); shr/sar -> bit (count - 1).
+    L::Type* cf_ty = shift_lhs->getType();
+    L::Value* wide_amount = shift_amount;
+    const unsigned cf_bits = cf_ty->getIntegerBitWidth();
+    L::Value* cf_bit_index =
+        instr.mnemonic == M::kShl
+            ? b().CreateSub(CI(cf_ty, bits), wide_amount)
+            : b().CreateSub(wide_amount, CI(cf_ty, 1));
+    // Guard the shift against a poison out-of-range index on count == 0
+    // (shl path yields index == bits): clamp, then select the old flag.
+    L::Value* clamped = b().CreateAnd(cf_bit_index, CI(cf_ty, cf_bits - 1));
+    L::Value* cf_source =
+        instr.mnemonic == M::kSar
+            ? b().CreateAShr(shift_lhs, clamped)
+            : b().CreateLShr(shift_lhs, clamped);
+    L::Value* new_cf = b().CreateTrunc(cf_source, I1());
+    SetFlag(Flag::kZf, b().CreateSelect(zero_count, old_zf, GetFlag(Flag::kZf)));
+    SetFlag(Flag::kSf, b().CreateSelect(zero_count, old_sf, GetFlag(Flag::kSf)));
+    SetFlag(Flag::kPf, b().CreateSelect(zero_count, old_pf, GetFlag(Flag::kPf)));
+    SetFlag(Flag::kCf, b().CreateSelect(zero_count, old_cf, new_cf));
+    SetFlag(Flag::kOf, Undef(I1()));
+    SetFlag(Flag::kAf, Undef(I1()));
+  } else {
+    SetFlag(Flag::kCf, Undef(I1()));
+    SetFlag(Flag::kOf, Undef(I1()));
+  }
+  state_->InvalidateCmp();
+  DBLL_TRY_STATUS(WriteInt(instr, dst, res));
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftMovFamily(const Instr& instr) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kMov: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      // Full-width register-to-register moves copy every facet, including
+      // the pointer facet.
+      if (dst.is_reg() && src.is_reg() && dst.size == 8 &&
+          dst.reg.cls == RegClass::kGp && src.reg.cls == RegClass::kGp) {
+        for (int f = 0; f < kGpFacetCount; ++f) {
+          state_->gp[dst.reg.index][f] = state_->gp[src.reg.index][f];
+        }
+        return Status::Ok();
+      }
+      DBLL_TRY(L::Value * value, ReadInt(instr, src));
+      // Immediates stored to wider slots are sign-extended.
+      if (src.is_imm() && src.size < dst.size) {
+        value = CI(IntN(dst.size), static_cast<std::uint64_t>(src.imm));
+      }
+      return WriteInt(instr, dst, value);
+    }
+    case M::kMovzx: {
+      DBLL_TRY(L::Value * value, ReadInt(instr, instr.ops[1]));
+      return WriteInt(instr, instr.ops[0],
+                      b().CreateZExt(value, IntN(instr.ops[0].size)));
+    }
+    case M::kMovsx:
+    case M::kMovsxd: {
+      DBLL_TRY(L::Value * value, ReadInt(instr, instr.ops[1]));
+      return WriteInt(instr, instr.ops[0],
+                      b().CreateSExt(value, IntN(instr.ops[0].size)));
+    }
+    case M::kLea: {
+      const MemOperand& mem = instr.ops[1].mem;
+      const Operand& dst = instr.ops[0];
+      // Integer facet.
+      L::Value* addr;
+      if (mem.base == x86::kRip) {
+        addr = CI(I64(), instr.target);
+      } else {
+        addr = CI(I64(), static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(mem.disp)));
+        if (mem.base.valid()) addr = b().CreateAdd(GpBase(mem.base), addr);
+        if (mem.index.valid()) {
+          addr = b().CreateAdd(
+              addr, b().CreateMul(GpBase(mem.index), CI(I64(), mem.scale)));
+        }
+      }
+      L::Value* ptr = nullptr;
+      if (config().use_gep && dst.size == 8) {
+        // lea sets both facets (paper Sec. III-C).
+        auto built = BuildPointer(instr, mem);
+        if (built) ptr = *built;
+      }
+      if (dst.size == 8) {
+        SetGpBase(dst.reg, addr);
+      } else {
+        DBLL_TRY_STATUS(WriteInt(instr, dst, b().CreateTrunc(addr, IntN(dst.size))));
+      }
+      if (ptr != nullptr) SetGpPtr(dst.reg, ptr);
+      return Status::Ok();
+    }
+    case M::kXchg: {
+      const Operand& a = instr.ops[0];
+      const Operand& bop = instr.ops[1];
+      if (a.is_reg() && bop.is_reg() && a.size == 8) {
+        for (int f = 0; f < kGpFacetCount; ++f) {
+          std::swap(state_->gp[a.reg.index][f], state_->gp[bop.reg.index][f]);
+        }
+        return Status::Ok();
+      }
+      DBLL_TRY(L::Value * av, ReadInt(instr, a));
+      DBLL_TRY(L::Value * bv, ReadInt(instr, bop));
+      DBLL_TRY_STATUS(WriteInt(instr, a, bv));
+      return WriteInt(instr, bop, av);
+    }
+    case M::kCmovcc: {
+      DBLL_TRY(L::Value * src, ReadInt(instr, instr.ops[1]));
+      DBLL_TRY(L::Value * old, ReadInt(instr, instr.ops[0]));
+      L::Value* cond = EvalCondIr(instr.cond);
+      return WriteInt(instr, instr.ops[0], b().CreateSelect(cond, src, old));
+    }
+    case M::kSetcc: {
+      L::Value* cond = EvalCondIr(instr.cond);
+      return WriteInt(instr, instr.ops[0], b().CreateZExt(cond, I8()));
+    }
+    case M::kCbw: {
+      L::Value* al = b().CreateTrunc(GpBase(x86::kRax), I8());
+      Operand ax = Operand::RegOp(x86::kRax, 2);
+      return WriteInt(instr, ax, b().CreateSExt(al, I16()));
+    }
+    case M::kCwde: {
+      L::Value* ax = b().CreateTrunc(GpBase(x86::kRax), I16());
+      Operand eax = Operand::RegOp(x86::kRax, 4);
+      return WriteInt(instr, eax, b().CreateSExt(ax, I32()));
+    }
+    case M::kCdqe: {
+      L::Value* eax = b().CreateTrunc(GpBase(x86::kRax), I32());
+      SetGpBase(x86::kRax, b().CreateSExt(eax, I64()));
+      return Status::Ok();
+    }
+    case M::kCwd:
+    case M::kCdq:
+    case M::kCqo: {
+      const unsigned bytes =
+          instr.mnemonic == M::kCwd ? 2 : (instr.mnemonic == M::kCdq ? 4 : 8);
+      L::Value* value = GpBase(x86::kRax);
+      if (bytes != 8) value = b().CreateTrunc(value, IntN(bytes));
+      L::Value* fill = b().CreateAShr(value, CI(IntN(bytes), bytes * 8 - 1));
+      Operand dx = Operand::RegOp(x86::kRdx, static_cast<std::uint8_t>(bytes));
+      return WriteInt(instr, dx, fill);
+    }
+    default:
+      return Error(ErrorKind::kLift, "unhandled mov-family mnemonic",
+                   instr.address);
+  }
+}
+
+Status BodyLifter::LiftMulDiv(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& src = instr.ops[0];
+  const unsigned bytes = src.size;
+  const unsigned bits = bytes * 8;
+  DBLL_TRY(L::Value * rhs, ReadInt(instr, src));
+  L::Value* rax = GpBase(x86::kRax);
+  if (bytes != 8) rax = b().CreateTrunc(rax, IntN(bytes));
+
+  if (instr.mnemonic == M::kMul || instr.mnemonic == M::kImul) {
+    L::Type* wide = L::Type::getIntNTy(ctx(), bits * 2);
+    const bool is_signed = instr.mnemonic == M::kImul;
+    L::Value* wl = is_signed ? b().CreateSExt(rax, wide)
+                             : b().CreateZExt(rax, wide);
+    L::Value* wr = is_signed ? b().CreateSExt(rhs, wide)
+                             : b().CreateZExt(rhs, wide);
+    L::Value* wm = b().CreateMul(wl, wr);
+    L::Value* lo = b().CreateTrunc(wm, IntN(bytes));
+    L::Value* hi = b().CreateTrunc(b().CreateLShr(wm, CI(wide, bits)), IntN(bytes));
+    Operand rax_op = Operand::RegOp(x86::kRax, static_cast<std::uint8_t>(bytes));
+    Operand rdx_op = Operand::RegOp(x86::kRdx, static_cast<std::uint8_t>(bytes));
+    DBLL_TRY_STATUS(WriteInt(instr, rax_op, lo));
+    DBLL_TRY_STATUS(WriteInt(instr, rdx_op, hi));
+    UndefFlags();
+    return Status::Ok();
+  }
+
+  // div / idiv: rdx:rax / src.
+  L::Type* wide = L::Type::getIntNTy(ctx(), bits * 2);
+  L::Value* rdx = GpBase(x86::kRdx);
+  if (bytes != 8) rdx = b().CreateTrunc(rdx, IntN(bytes));
+  L::Value* dividend = b().CreateOr(
+      b().CreateShl(b().CreateZExt(rdx, wide), CI(wide, bits)),
+      b().CreateZExt(rax, wide));
+  L::Value* divisor = instr.mnemonic == M::kIdiv ? b().CreateSExt(rhs, wide)
+                                                 : b().CreateZExt(rhs, wide);
+  L::Value* quot;
+  L::Value* rem;
+  if (instr.mnemonic == M::kIdiv) {
+    quot = b().CreateSDiv(dividend, divisor);
+    rem = b().CreateSRem(dividend, divisor);
+  } else {
+    quot = b().CreateUDiv(dividend, divisor);
+    rem = b().CreateURem(dividend, divisor);
+  }
+  Operand rax_op = Operand::RegOp(x86::kRax, static_cast<std::uint8_t>(bytes));
+  Operand rdx_op = Operand::RegOp(x86::kRdx, static_cast<std::uint8_t>(bytes));
+  DBLL_TRY_STATUS(WriteInt(instr, rax_op, b().CreateTrunc(quot, IntN(bytes))));
+  DBLL_TRY_STATUS(WriteInt(instr, rdx_op, b().CreateTrunc(rem, IntN(bytes))));
+  UndefFlags();
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftStack(const Instr& instr) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kPush: {
+      DBLL_TRY(L::Value * value, ReadInt(instr, instr.ops[0]));
+      if (instr.ops[0].is_imm() || instr.ops[0].size < 8) {
+        value = b().CreateSExt(value, I64());
+      }
+      if (instr.ops[0].size == 8 && !instr.ops[0].is_imm()) {
+        // already i64
+      }
+      L::Value* new_rsp = b().CreateSub(GpBase(x86::kRsp), CI(I64(), 8));
+      L::Value* new_ptr = b().CreateGEP(I8(), GpPtr(x86::kRsp),
+                                        CI(I64(), static_cast<std::uint64_t>(-8)));
+      SetGpBase(x86::kRsp, new_rsp);
+      SetGpPtr(x86::kRsp, new_ptr);
+      L::Value* slot = b().CreateBitCast(new_ptr, I64()->getPointerTo());
+      b().CreateAlignedStore(value, slot, L::Align(8));
+      return Status::Ok();
+    }
+    case M::kPop: {
+      L::Value* old_ptr = GpPtr(x86::kRsp);
+      L::Value* slot = b().CreateBitCast(old_ptr, I64()->getPointerTo());
+      L::Value* value = b().CreateAlignedLoad(I64(), slot, L::Align(8));
+      L::Value* new_rsp = b().CreateAdd(GpBase(x86::kRsp), CI(I64(), 8));
+      L::Value* new_ptr = b().CreateGEP(I8(), old_ptr, CI(I64(), 8));
+      SetGpBase(x86::kRsp, new_rsp);
+      SetGpPtr(x86::kRsp, new_ptr);
+      if (instr.ops[0].is_reg()) {
+        SetGpBase(instr.ops[0].reg, value);
+      } else {
+        DBLL_TRY_STATUS(WriteInt(instr, instr.ops[0], value));
+      }
+      return Status::Ok();
+    }
+    case M::kLeave: {
+      // mov rsp, rbp; pop rbp.
+      for (int f = 0; f < kGpFacetCount; ++f) {
+        state_->gp[x86::kRsp.index][f] = state_->gp[x86::kRbp.index][f];
+      }
+      L::Value* slot =
+          b().CreateBitCast(GpPtr(x86::kRsp), I64()->getPointerTo());
+      L::Value* value = b().CreateAlignedLoad(I64(), slot, L::Align(8));
+      L::Value* new_ptr = b().CreateGEP(I8(), GpPtr(x86::kRsp), CI(I64(), 8));
+      SetGpBase(x86::kRsp, b().CreateAdd(GpBase(x86::kRsp), CI(I64(), 8)));
+      SetGpPtr(x86::kRsp, new_ptr);
+      SetGpBase(x86::kRbp, value);
+      return Status::Ok();
+    }
+    default:
+      return Error(ErrorKind::kLift, "unhandled stack op", instr.address);
+  }
+}
+
+Status BodyLifter::LiftSse(const Instr& instr) {
+  using M = Mnemonic;
+  const Operand& dst = instr.ops[0];
+  const Operand& src = instr.op_count > 1 ? instr.ops[1] : instr.ops[0];
+
+  // Helper: store a vector-typed value to a memory destination.
+  auto store_vec = [&](L::Value* value, unsigned bytes) -> Status {
+    L::Type* type = value->getType();
+    DBLL_TRY(L::Value * ptr, TypedPointer(instr, dst.mem, type));
+    b().CreateAlignedStore(
+        value, ptr, L::Align(bytes == 16 ? LoadAlign(instr.mnemonic) : 1),
+        config().volatile_memory);
+    return Status::Ok();
+  };
+
+  // Scalar double/float arithmetic (paper Fig. 5 bottom).
+  auto scalar_arith = [&](VecFacet facet) -> Status {
+    DBLL_TRY(L::Value * a, ReadVec(instr, dst, facet, facet == kVecF64 ? 8 : 4));
+    DBLL_TRY(L::Value * c,
+             ReadVec(instr, src, facet, facet == kVecF64 ? 8 : 4));
+    L::Value* res = nullptr;
+    switch (instr.mnemonic) {
+      case M::kAddsd: case M::kAddss: res = b().CreateFAdd(a, c); break;
+      case M::kSubsd: case M::kSubss: res = b().CreateFSub(a, c); break;
+      case M::kMulsd: case M::kMulss: res = b().CreateFMul(a, c); break;
+      case M::kDivsd: case M::kDivss: res = b().CreateFDiv(a, c); break;
+      // min/maxsd return the *source* on false/unordered compares (NaN,
+      // signed zeros): result = (dst OP src) ? dst : src.
+      case M::kMinsd: case M::kMinss:
+        res = b().CreateSelect(b().CreateFCmpOLT(a, c), a, c);
+        break;
+      case M::kMaxsd: case M::kMaxss:
+        res = b().CreateSelect(b().CreateFCmpOGT(a, c), a, c);
+        break;
+      case M::kSqrtsd: case M::kSqrtss:
+        res = b().CreateUnaryIntrinsic(L::Intrinsic::sqrt, c);
+        break;
+      default:
+        return Error(ErrorKind::kLift, "bad scalar arith", instr.address);
+    }
+    ApplyFastMath(res);
+    // Insert into the untouched destination vector (upper preserved).
+    const VecFacet vec_facet = facet == kVecF64 ? kVecV2F64 : kVecV4F32;
+    L::Value* whole = VecRead(dst.reg, vec_facet);
+    L::Value* merged = b().CreateInsertElement(whole, res, std::uint64_t{0});
+    VecWrite(dst.reg, vec_facet, merged);
+    if (config().facet_cache) state_->vec[dst.reg.index][facet] = res;
+    return Status::Ok();
+  };
+
+  auto packed_arith = [&](VecFacet facet) -> Status {
+    DBLL_TRY(L::Value * a, ReadVec(instr, dst, facet, 16));
+    DBLL_TRY(L::Value * c, ReadVec(instr, src, facet, 16));
+    L::Value* res = nullptr;
+    switch (instr.mnemonic) {
+      case M::kAddpd: case M::kAddps: res = b().CreateFAdd(a, c); break;
+      case M::kSubpd: case M::kSubps: res = b().CreateFSub(a, c); break;
+      case M::kMulpd: case M::kMulps: res = b().CreateFMul(a, c); break;
+      case M::kDivpd: case M::kDivps: res = b().CreateFDiv(a, c); break;
+      case M::kSqrtpd: case M::kSqrtps:
+        res = b().CreateUnaryIntrinsic(L::Intrinsic::sqrt, c);
+        break;
+      case M::kPaddb: case M::kPaddw: case M::kPaddd: case M::kPaddq:
+        res = b().CreateAdd(a, c);
+        break;
+      case M::kPsubb: case M::kPsubw: case M::kPsubd: case M::kPsubq:
+        res = b().CreateSub(a, c);
+        break;
+      default:
+        return Error(ErrorKind::kLift, "bad packed arith", instr.address);
+    }
+    ApplyFastMath(res);
+    VecWrite(dst.reg, facet, res);
+    return Status::Ok();
+  };
+
+  auto bitwise = [&](bool negate_first) -> Status {
+    DBLL_TRY(L::Value * a, ReadVec(instr, dst, kVecV2I64, 16));
+    DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV2I64, 16));
+    if (negate_first) a = b().CreateNot(a);
+    L::Value* res = nullptr;
+    switch (instr.mnemonic) {
+      case M::kAndps: case M::kAndpd: case M::kPand:
+      case M::kAndnps: case M::kAndnpd: case M::kPandn:
+        res = b().CreateAnd(a, c);
+        break;
+      case M::kOrps: case M::kOrpd: case M::kPor:
+        res = b().CreateOr(a, c);
+        break;
+      case M::kXorps: case M::kXorpd: case M::kPxor:
+        res = b().CreateXor(a, c);
+        break;
+      default:
+        return Error(ErrorKind::kLift, "bad bitwise", instr.address);
+    }
+    VecWrite(dst.reg, kVecV2I64, res);
+    return Status::Ok();
+  };
+
+  switch (instr.mnemonic) {
+    // --- moves ---
+    case M::kMovss:
+    case M::kMovsdX: {
+      const VecFacet sf = instr.mnemonic == M::kMovss ? kVecF32 : kVecF64;
+      const VecFacet vf = instr.mnemonic == M::kMovss ? kVecV4F32 : kVecV2F64;
+      if (dst.is_mem()) {
+        L::Value* value = VecRead(src.reg, sf);
+        DBLL_TRY(L::Value * ptr, TypedPointer(instr, dst.mem, value->getType()));
+        b().CreateAlignedStore(value, ptr, L::Align(1),
+                               config().volatile_memory);
+        return Status::Ok();
+      }
+      if (src.is_mem()) {
+        // Load form zeroes the untouched part (paper Sec. III-C.2).
+        DBLL_TRY(L::Value * value,
+                 ReadVec(instr, src, sf, sf == kVecF64 ? 8 : 4));
+        VecWrite(dst.reg, sf, value);
+        return Status::Ok();
+      }
+      // Register form preserves the upper part.
+      L::Value* scalar = VecRead(src.reg, sf);
+      L::Value* whole = VecRead(dst.reg, vf);
+      L::Value* merged =
+          b().CreateInsertElement(whole, scalar, std::uint64_t{0});
+      VecWrite(dst.reg, vf, merged);
+      if (config().facet_cache) state_->vec[dst.reg.index][sf] = scalar;
+      return Status::Ok();
+    }
+    case M::kMovaps: case M::kMovapd: case M::kMovups: case M::kMovupd:
+    case M::kMovdqa: case M::kMovdqu: {
+      if (dst.is_mem()) {
+        // Prefer a typed store when a facet is cached; default to v2i64.
+        L::Value* value = VecRead(src.reg, kVecV2I64);
+        return store_vec(value, 16);
+      }
+      if (src.is_mem()) {
+        const VecFacet facet =
+            (instr.mnemonic == M::kMovdqa || instr.mnemonic == M::kMovdqu)
+                ? kVecV2I64
+                : (instr.mnemonic == M::kMovaps || instr.mnemonic == M::kMovups
+                       ? kVecV4F32
+                       : kVecV2F64);
+        DBLL_TRY(L::Value * value, ReadVec(instr, src, facet, 16));
+        VecWrite(dst.reg, facet, value);
+        return Status::Ok();
+      }
+      // Register move: copy all facets.
+      for (int f = 0; f < kVecFacetCount; ++f) {
+        state_->vec[dst.reg.index][f] = state_->vec[src.reg.index][f];
+      }
+      return Status::Ok();
+    }
+    case M::kMovq:
+    case M::kMovd: {
+      const unsigned bytes = instr.mnemonic == M::kMovq ? 8 : 4;
+      if (dst.is_reg() && dst.reg.cls == RegClass::kVec) {
+        L::Value* low = nullptr;
+        if (src.is_reg() && src.reg.cls == RegClass::kVec) {
+          low = b().CreateExtractElement(VecRead(src.reg, kVecV2I64),
+                                         std::uint64_t{0});
+        } else {
+          DBLL_TRY(L::Value * v, ReadInt(instr, src));
+          low = v;
+        }
+        if (bytes == 4) low = b().CreateZExt(low, I64());
+        // Zero the untouched part via insert into a zero vector.
+        L::Value* vec = b().CreateInsertElement(
+            L::Constant::getNullValue(FacetType(kVecV2I64)), low,
+            std::uint64_t{0});
+        VecWrite(dst.reg, kVecV2I64, vec);
+        return Status::Ok();
+      }
+      // Store / GP destination.
+      L::Value* low = b().CreateExtractElement(VecRead(src.reg, kVecV2I64),
+                                               std::uint64_t{0});
+      if (bytes == 4) low = b().CreateTrunc(low, I32());
+      return WriteInt(instr, dst, low);
+    }
+    case M::kMovlps: case M::kMovlpd: {
+      if (dst.is_mem()) {
+        L::Value* scalar = VecRead(src.reg, kVecF64);
+        DBLL_TRY(L::Value * ptr, TypedPointer(instr, dst.mem, F64T()));
+        b().CreateAlignedStore(scalar, ptr, L::Align(1),
+                               config().volatile_memory);
+        return Status::Ok();
+      }
+      DBLL_TRY(L::Value * value, ReadVec(instr, src, kVecF64, 8));
+      L::Value* whole = VecRead(dst.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateInsertElement(whole, value, std::uint64_t{0}));
+      return Status::Ok();
+    }
+    case M::kMovhps: case M::kMovhpd: {
+      if (dst.is_mem()) {
+        L::Value* high = b().CreateExtractElement(VecRead(src.reg, kVecV2F64),
+                                                  std::uint64_t{1});
+        DBLL_TRY(L::Value * ptr, TypedPointer(instr, dst.mem, F64T()));
+        b().CreateAlignedStore(high, ptr, L::Align(1),
+                               config().volatile_memory);
+        return Status::Ok();
+      }
+      DBLL_TRY(L::Value * value, ReadVec(instr, src, kVecF64, 8));
+      L::Value* whole = VecRead(dst.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateInsertElement(whole, value, std::uint64_t{1}));
+      return Status::Ok();
+    }
+    case M::kMovhlps: {
+      L::Value* a = VecRead(dst.reg, kVecV2F64);
+      L::Value* c = VecRead(src.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateShuffleVector(c, a, L::ArrayRef<int>{1, 3}));
+      return Status::Ok();
+    }
+    case M::kMovlhps: {
+      L::Value* a = VecRead(dst.reg, kVecV2F64);
+      L::Value* c = VecRead(src.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateShuffleVector(a, c, L::ArrayRef<int>{0, 2}));
+      return Status::Ok();
+    }
+
+    // --- arithmetic ---
+    case M::kAddsd: case M::kSubsd: case M::kMulsd: case M::kDivsd:
+    case M::kMinsd: case M::kMaxsd: case M::kSqrtsd:
+      return scalar_arith(kVecF64);
+    case M::kAddss: case M::kSubss: case M::kMulss: case M::kDivss:
+    case M::kMinss: case M::kMaxss: case M::kSqrtss:
+      return scalar_arith(kVecF32);
+    case M::kAddpd: case M::kSubpd: case M::kMulpd: case M::kDivpd:
+    case M::kSqrtpd:
+      return packed_arith(kVecV2F64);
+    case M::kAddps: case M::kSubps: case M::kMulps: case M::kDivps:
+    case M::kSqrtps:
+      return packed_arith(kVecV4F32);
+    case M::kPaddb: case M::kPsubb:
+    case M::kPaddw: case M::kPsubw: {
+      // Byte/word lanes have no named facet: go through an explicit bitcast
+      // so carries stay inside the lanes.
+      const bool is_byte =
+          instr.mnemonic == M::kPaddb || instr.mnemonic == M::kPsubb;
+      L::Type* vec_ty = L::FixedVectorType::get(is_byte ? I8() : I16(),
+                                                is_byte ? 16 : 8);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      L::Value* c = b().CreateBitCast(s, vec_ty);
+      const bool is_add =
+          instr.mnemonic == M::kPaddb || instr.mnemonic == M::kPaddw;
+      L::Value* res = is_add ? b().CreateAdd(a, c) : b().CreateSub(a, c);
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(res, FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPaddd: case M::kPsubd:
+      return packed_arith(kVecV4I32);
+    case M::kPaddq: case M::kPsubq:
+      return packed_arith(kVecV2I64);
+    case M::kAndps: case M::kAndpd: case M::kPand:
+      return bitwise(false);
+    case M::kAndnps: case M::kAndnpd: case M::kPandn:
+      return bitwise(true);
+    case M::kOrps: case M::kOrpd: case M::kPor:
+    case M::kXorps: case M::kXorpd: case M::kPxor:
+      return bitwise(false);
+
+    // --- shuffles ---
+    case M::kUnpcklpd: case M::kPunpcklqdq: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV2F64, 16));
+      L::Value* a = VecRead(dst.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateShuffleVector(a, c, L::ArrayRef<int>{0, 2}));
+      return Status::Ok();
+    }
+    case M::kUnpckhpd: case M::kPunpckhqdq: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV2F64, 16));
+      L::Value* a = VecRead(dst.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateShuffleVector(a, c, L::ArrayRef<int>{1, 3}));
+      return Status::Ok();
+    }
+    case M::kUnpcklps: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV4F32, 16));
+      L::Value* a = VecRead(dst.reg, kVecV4F32);
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateShuffleVector(a, c, L::ArrayRef<int>{0, 4, 1, 5}));
+      return Status::Ok();
+    }
+    case M::kUnpckhps: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV4F32, 16));
+      L::Value* a = VecRead(dst.reg, kVecV4F32);
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateShuffleVector(a, c, L::ArrayRef<int>{2, 6, 3, 7}));
+      return Status::Ok();
+    }
+    case M::kShufpd: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV2F64, 16));
+      L::Value* a = VecRead(dst.reg, kVecV2F64);
+      const int imm = static_cast<int>(instr.ops[2].imm);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateShuffleVector(
+                   a, c, L::ArrayRef<int>{imm & 1, 2 + ((imm >> 1) & 1)}));
+      return Status::Ok();
+    }
+    case M::kShufps: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV4F32, 16));
+      L::Value* a = VecRead(dst.reg, kVecV4F32);
+      const int imm = static_cast<int>(instr.ops[2].imm);
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateShuffleVector(
+                   a, c,
+                   L::ArrayRef<int>{imm & 3, (imm >> 2) & 3,
+                                    4 + ((imm >> 4) & 3), 4 + ((imm >> 6) & 3)}));
+      return Status::Ok();
+    }
+    case M::kPshufd: {
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, kVecV4I32, 16));
+      const int imm = static_cast<int>(instr.ops[2].imm);
+      VecWrite(dst.reg, kVecV4I32,
+               b().CreateShuffleVector(
+                   c, c,
+                   L::ArrayRef<int>{imm & 3, (imm >> 2) & 3, (imm >> 4) & 3,
+                                    (imm >> 6) & 3}));
+      return Status::Ok();
+    }
+
+    // --- compares / conversions ---
+    case M::kUcomisd: case M::kComisd:
+    case M::kUcomiss: case M::kComiss: {
+      const bool is_double =
+          instr.mnemonic == M::kUcomisd || instr.mnemonic == M::kComisd;
+      const VecFacet facet = is_double ? kVecF64 : kVecF32;
+      DBLL_TRY(L::Value * a, ReadVec(instr, dst, facet, is_double ? 8 : 4));
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, facet, is_double ? 8 : 4));
+      // ZF = unordered-or-equal, PF = unordered, CF = unordered-or-less.
+      SetFlag(Flag::kZf, b().CreateFCmpUEQ(a, c));
+      SetFlag(Flag::kPf, b().CreateFCmpUNO(a, c));
+      SetFlag(Flag::kCf, b().CreateFCmpULT(a, c));
+      SetFlag(Flag::kOf, CI(I1(), 0));
+      SetFlag(Flag::kSf, CI(I1(), 0));
+      SetFlag(Flag::kAf, CI(I1(), 0));
+      state_->InvalidateCmp();
+      return Status::Ok();
+    }
+    case M::kCvtsi2sd: case M::kCvtsi2ss: {
+      DBLL_TRY(L::Value * v, ReadInt(instr, src));
+      const bool is_double = instr.mnemonic == M::kCvtsi2sd;
+      L::Value* fp = b().CreateSIToFP(v, is_double ? F64T() : F32T());
+      const VecFacet vf = is_double ? kVecV2F64 : kVecV4F32;
+      L::Value* whole = VecRead(dst.reg, vf);
+      VecWrite(dst.reg, vf,
+               b().CreateInsertElement(whole, fp, std::uint64_t{0}));
+      if (config().facet_cache) {
+        state_->vec[dst.reg.index][is_double ? kVecF64 : kVecF32] = fp;
+      }
+      return Status::Ok();
+    }
+    case M::kCvttsd2si: case M::kCvttss2si: {
+      // fptosi is poison for out-of-range inputs, but the hardware returns
+      // the integer-indefinite value; the x86 intrinsics model this exactly.
+      const bool is_double = instr.mnemonic == M::kCvttsd2si;
+      const bool is_64 = instr.ops[0].size == 8;
+      L::Value* v = nullptr;
+      if (src.is_mem()) {
+        DBLL_TRY(L::Value * scalar,
+                 ReadVec(instr, src, is_double ? kVecF64 : kVecF32,
+                         is_double ? 8 : 4));
+        v = b().CreateInsertElement(
+            Undef(FacetType(is_double ? kVecV2F64 : kVecV4F32)), scalar,
+            std::uint64_t{0});
+      } else {
+        v = VecRead(src.reg, is_double ? kVecV2F64 : kVecV4F32);
+      }
+      L::Intrinsic::ID id;
+      if (is_double) {
+        id = is_64 ? L::Intrinsic::x86_sse2_cvttsd2si64
+                   : L::Intrinsic::x86_sse2_cvttsd2si;
+      } else {
+        id = is_64 ? L::Intrinsic::x86_sse_cvttss2si64
+                   : L::Intrinsic::x86_sse_cvttss2si;
+      }
+      return WriteInt(instr, dst, b().CreateIntrinsic(id, {}, {v}));
+    }
+    case M::kCvtss2sd: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecF32, 4));
+      L::Value* d = b().CreateFPExt(v, F64T());
+      L::Value* whole = VecRead(dst.reg, kVecV2F64);
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateInsertElement(whole, d, std::uint64_t{0}));
+      if (config().facet_cache) state_->vec[dst.reg.index][kVecF64] = d;
+      return Status::Ok();
+    }
+    case M::kCvtsd2ss: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecF64, 8));
+      L::Value* f = b().CreateFPTrunc(v, F32T());
+      L::Value* whole = VecRead(dst.reg, kVecV4F32);
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateInsertElement(whole, f, std::uint64_t{0}));
+      if (config().facet_cache) state_->vec[dst.reg.index][kVecF32] = f;
+      return Status::Ok();
+    }
+    case M::kCvtps2pd: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecV4F32, 8));
+      L::Value* low = b().CreateShuffleVector(v, v, L::ArrayRef<int>{0, 1});
+      VecWrite(dst.reg, kVecV2F64, b().CreateFPExt(low, FacetType(kVecV2F64)));
+      return Status::Ok();
+    }
+    case M::kCvtpd2ps: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecV2F64, 16));
+      L::Value* trunc = b().CreateFPTrunc(
+          v, L::FixedVectorType::get(F32T(), 2));
+      L::Value* zero = L::Constant::getNullValue(
+          L::FixedVectorType::get(F32T(), 2));
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateShuffleVector(trunc, zero, L::ArrayRef<int>{0, 1, 2, 3}));
+      return Status::Ok();
+    }
+    case M::kCvtdq2pd: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecV4I32, 8));
+      L::Value* low = b().CreateShuffleVector(v, v, L::ArrayRef<int>{0, 1});
+      VecWrite(dst.reg, kVecV2F64,
+               b().CreateSIToFP(low, FacetType(kVecV2F64)));
+      return Status::Ok();
+    }
+    case M::kCvtdq2ps: {
+      DBLL_TRY(L::Value * v, ReadVec(instr, src, kVecV4I32, 16));
+      VecWrite(dst.reg, kVecV4F32,
+               b().CreateSIToFP(v, FacetType(kVecV4F32)));
+      return Status::Ok();
+    }
+
+    // --- SSE2 integer extension pack ---
+    case M::kPcmpeqb: case M::kPcmpeqw: case M::kPcmpeqd:
+    case M::kPcmpgtb: case M::kPcmpgtw: case M::kPcmpgtd: {
+      const int lane_bits =
+          (instr.mnemonic == M::kPcmpeqb || instr.mnemonic == M::kPcmpgtb)
+              ? 8
+              : (instr.mnemonic == M::kPcmpeqw ||
+                 instr.mnemonic == M::kPcmpgtw)
+                    ? 16
+                    : 32;
+      L::Type* vec_ty = L::FixedVectorType::get(
+          L::Type::getIntNTy(ctx(), lane_bits), 128 / lane_bits);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      L::Value* c = b().CreateBitCast(s, vec_ty);
+      const bool is_eq = instr.mnemonic == M::kPcmpeqb ||
+                         instr.mnemonic == M::kPcmpeqw ||
+                         instr.mnemonic == M::kPcmpeqd;
+      L::Value* mask = is_eq ? b().CreateICmpEQ(a, c) : b().CreateICmpSGT(a, c);
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateSExt(mask, vec_ty),
+                                 FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPmullw: {
+      L::Type* vec_ty = L::FixedVectorType::get(I16(), 8);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      L::Value* c = b().CreateBitCast(s, vec_ty);
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateMul(a, c), FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPmuludq: {
+      // Even 32-bit lanes multiplied into 64-bit results: mask the high
+      // halves and use a 64-bit lane multiply.
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = VecRead(dst.reg, kVecV2I64);
+      L::Value* mask = L::ConstantVector::getSplat(
+          L::ElementCount::getFixed(2), CI(I64(), 0xffffffffull));
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateMul(b().CreateAnd(a, mask), b().CreateAnd(s, mask)));
+      return Status::Ok();
+    }
+    case M::kPminub: case M::kPmaxub:
+    case M::kPminsw: case M::kPmaxsw: {
+      const bool is_byte = instr.mnemonic == M::kPminub ||
+                           instr.mnemonic == M::kPmaxub;
+      const bool is_min = instr.mnemonic == M::kPminub ||
+                          instr.mnemonic == M::kPminsw;
+      L::Type* vec_ty = L::FixedVectorType::get(is_byte ? I8() : I16(),
+                                                is_byte ? 16 : 8);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      L::Value* c = b().CreateBitCast(s, vec_ty);
+      L::Value* cmp = is_byte
+                          ? (is_min ? b().CreateICmpULT(a, c)
+                                    : b().CreateICmpUGT(a, c))
+                          : (is_min ? b().CreateICmpSLT(a, c)
+                                    : b().CreateICmpSGT(a, c));
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateSelect(cmp, a, c),
+                                 FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPavgb: case M::kPavgw: {
+      const bool is_byte = instr.mnemonic == M::kPavgb;
+      L::Type* narrow = L::FixedVectorType::get(is_byte ? I8() : I16(),
+                                                is_byte ? 16 : 8);
+      L::Type* wide = L::FixedVectorType::get(is_byte ? I16() : I32(),
+                                              is_byte ? 16 : 8);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateZExt(
+          b().CreateBitCast(VecRead(dst.reg, kVecV2I64), narrow), wide);
+      L::Value* c =
+          b().CreateZExt(b().CreateBitCast(s, narrow), wide);
+      L::Value* one = L::ConstantInt::get(wide, 1);
+      L::Value* avg =
+          b().CreateLShr(b().CreateAdd(b().CreateAdd(a, c), one), one);
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateTrunc(avg, narrow),
+                                 FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPsllw: case M::kPslld: case M::kPsllq:
+    case M::kPsrlw: case M::kPsrld: case M::kPsrlq:
+    case M::kPsraw: case M::kPsrad: {
+      const int lane_bits =
+          (instr.mnemonic == M::kPsllw || instr.mnemonic == M::kPsrlw ||
+           instr.mnemonic == M::kPsraw)
+              ? 16
+              : (instr.mnemonic == M::kPslld || instr.mnemonic == M::kPsrld ||
+                 instr.mnemonic == M::kPsrad)
+                    ? 32
+                    : 64;
+      L::Type* vec_ty = L::FixedVectorType::get(
+          L::Type::getIntNTy(ctx(), lane_bits), 128 / lane_bits);
+      // Count: immediate or the low 64 bits of an xmm/m128 operand.
+      L::Value* count = nullptr;
+      if (src.is_imm()) {
+        count = CI(I64(), static_cast<std::uint64_t>(src.imm));
+      } else {
+        DBLL_TRY(L::Value * cv, ReadVec(instr, src, kVecV2I64, 16));
+        count = b().CreateExtractElement(cv, std::uint64_t{0});
+      }
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      // Architectural semantics: counts >= lane width zero the result (or
+      // replicate the sign); clamp to keep the IR shift defined.
+      L::Value* oob = b().CreateICmpUGE(count, CI(I64(), lane_bits));
+      const bool is_arith = instr.mnemonic == M::kPsraw ||
+                            instr.mnemonic == M::kPsrad;
+      L::Value* clamped = b().CreateSelect(
+          oob, CI(I64(), is_arith ? lane_bits - 1 : 0), count);
+      L::Value* splat = b().CreateVectorSplat(
+          static_cast<unsigned>(128 / lane_bits),
+          b().CreateTrunc(clamped, L::Type::getIntNTy(ctx(), lane_bits)));
+      L::Value* res;
+      switch (instr.mnemonic) {
+        case M::kPsllw: case M::kPslld: case M::kPsllq:
+          res = b().CreateShl(a, splat);
+          break;
+        case M::kPsraw: case M::kPsrad:
+          res = b().CreateAShr(a, splat);
+          break;
+        default:
+          res = b().CreateLShr(a, splat);
+          break;
+      }
+      if (!is_arith) {
+        L::Value* zero = L::Constant::getNullValue(vec_ty);
+        res = b().CreateSelect(oob, zero, res);
+      }
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(res, FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPslldq: case M::kPsrldq: {
+      const int count = static_cast<int>(instr.ops[1].imm);
+      L::Type* bytes_ty = L::FixedVectorType::get(I8(), 16);
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), bytes_ty);
+      L::Value* zero = L::Constant::getNullValue(bytes_ty);
+      int mask[16];
+      for (int i = 0; i < 16; ++i) {
+        // Shuffle of (a, zero): indices 0..15 pick from a, 16.. pick zero.
+        const int from = instr.mnemonic == M::kPslldq ? i - count : i + count;
+        mask[i] = (from >= 0 && from < 16) ? from : 16;
+      }
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateShuffleVector(a, zero, mask),
+                                 FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPunpcklbw: case M::kPunpcklwd: case M::kPunpckldq:
+    case M::kPunpckhbw: case M::kPunpckhwd: case M::kPunpckhdq: {
+      const bool high = instr.mnemonic == M::kPunpckhbw ||
+                        instr.mnemonic == M::kPunpckhwd ||
+                        instr.mnemonic == M::kPunpckhdq;
+      const int lane_bits =
+          (instr.mnemonic == M::kPunpcklbw || instr.mnemonic == M::kPunpckhbw)
+              ? 8
+              : (instr.mnemonic == M::kPunpcklwd ||
+                 instr.mnemonic == M::kPunpckhwd)
+                    ? 16
+                    : 32;
+      const int lanes = 128 / lane_bits;
+      L::Type* vec_ty = L::FixedVectorType::get(
+          L::Type::getIntNTy(ctx(), lane_bits), lanes);
+      DBLL_TRY(L::Value * s, ReadVec(instr, src, kVecV2I64, 16));
+      L::Value* a = b().CreateBitCast(VecRead(dst.reg, kVecV2I64), vec_ty);
+      L::Value* c = b().CreateBitCast(s, vec_ty);
+      std::vector<int> mask;
+      const int base = high ? lanes / 2 : 0;
+      for (int i = 0; i < lanes / 2; ++i) {
+        mask.push_back(base + i);
+        mask.push_back(lanes + base + i);
+      }
+      VecWrite(dst.reg, kVecV2I64,
+               b().CreateBitCast(b().CreateShuffleVector(a, c, mask),
+                                 FacetType(kVecV2I64)));
+      return Status::Ok();
+    }
+    case M::kPmovmskb: case M::kMovmskps: case M::kMovmskpd: {
+      const int lane_bits = instr.mnemonic == M::kPmovmskb
+                                ? 8
+                                : instr.mnemonic == M::kMovmskps ? 32 : 64;
+      const int lanes = 128 / lane_bits;
+      L::Type* vec_ty = L::FixedVectorType::get(
+          L::Type::getIntNTy(ctx(), lane_bits), lanes);
+      L::Value* v = b().CreateBitCast(VecRead(src.reg, kVecV2I64), vec_ty);
+      L::Value* signs =
+          b().CreateICmpSLT(v, L::Constant::getNullValue(vec_ty));
+      L::Value* bits = b().CreateBitCast(
+          signs, L::Type::getIntNTy(ctx(), static_cast<unsigned>(lanes)));
+      return WriteInt(instr, dst, b().CreateZExt(bits, I32()));
+    }
+    case M::kCmpss: case M::kCmpsd: {
+      const bool is_double = instr.mnemonic == M::kCmpsd;
+      const VecFacet facet = is_double ? kVecF64 : kVecF32;
+      DBLL_TRY(L::Value * a, ReadVec(instr, dst, facet, is_double ? 8 : 4));
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, facet, is_double ? 8 : 4));
+      L::Value* cond = nullptr;
+      switch (instr.ops[2].imm & 7) {
+        case 0: cond = b().CreateFCmpOEQ(a, c); break;
+        case 1: cond = b().CreateFCmpOLT(a, c); break;
+        case 2: cond = b().CreateFCmpOLE(a, c); break;
+        case 3: cond = b().CreateFCmpUNO(a, c); break;
+        case 4: cond = b().CreateFCmpUNE(a, c); break;
+        case 5: cond = b().CreateFCmpUGE(a, c); break;
+        case 6: cond = b().CreateFCmpUGT(a, c); break;
+        default: cond = b().CreateFCmpORD(a, c); break;
+      }
+      L::Type* lane = is_double ? I64() : I32();
+      L::Value* bitmask = b().CreateSExt(cond, lane);
+      L::Value* whole = VecRead(dst.reg, is_double ? kVecV2I64 : kVecV4I32);
+      VecWrite(dst.reg, is_double ? kVecV2I64 : kVecV4I32,
+               b().CreateInsertElement(whole, bitmask, std::uint64_t{0}));
+      return Status::Ok();
+    }
+    case M::kCmpps: case M::kCmppd: {
+      const bool is_double = instr.mnemonic == M::kCmppd;
+      const VecFacet facet = is_double ? kVecV2F64 : kVecV4F32;
+      DBLL_TRY(L::Value * c, ReadVec(instr, src, facet, 16));
+      L::Value* a = VecRead(dst.reg, facet);
+      L::Value* cond = nullptr;
+      switch (instr.ops[2].imm & 7) {
+        case 0: cond = b().CreateFCmpOEQ(a, c); break;
+        case 1: cond = b().CreateFCmpOLT(a, c); break;
+        case 2: cond = b().CreateFCmpOLE(a, c); break;
+        case 3: cond = b().CreateFCmpUNO(a, c); break;
+        case 4: cond = b().CreateFCmpUNE(a, c); break;
+        case 5: cond = b().CreateFCmpUGE(a, c); break;
+        case 6: cond = b().CreateFCmpUGT(a, c); break;
+        default: cond = b().CreateFCmpORD(a, c); break;
+      }
+      L::Type* int_vec =
+          is_double ? FacetType(kVecV2I64) : FacetType(kVecV4I32);
+      VecWrite(dst.reg, is_double ? kVecV2I64 : kVecV4I32,
+               b().CreateSExt(cond, int_vec));
+      return Status::Ok();
+    }
+    case M::kCvtss2si: case M::kCvtsd2si: {
+      // Uses the current rounding mode (round-to-nearest-even by default);
+      // the x86-specific intrinsics model this exactly.
+      const bool is_double = instr.mnemonic == M::kCvtsd2si;
+      const bool is_64 = instr.ops[0].size == 8;
+      L::Value* v = nullptr;
+      if (src.is_mem()) {
+        // The memory form reads only the scalar; widen it into a vector for
+        // the intrinsic.
+        DBLL_TRY(L::Value * scalar,
+                 ReadVec(instr, src, is_double ? kVecF64 : kVecF32,
+                         is_double ? 8 : 4));
+        v = b().CreateInsertElement(
+            Undef(FacetType(is_double ? kVecV2F64 : kVecV4F32)), scalar,
+            std::uint64_t{0});
+      } else {
+        v = VecRead(src.reg, is_double ? kVecV2F64 : kVecV4F32);
+      }
+      L::Intrinsic::ID id;
+      if (is_double) {
+        id = is_64 ? L::Intrinsic::x86_sse2_cvtsd2si64
+                   : L::Intrinsic::x86_sse2_cvtsd2si;
+      } else {
+        id = is_64 ? L::Intrinsic::x86_sse_cvtss2si64
+                   : L::Intrinsic::x86_sse_cvtss2si;
+      }
+      L::Value* result = b().CreateIntrinsic(id, {}, {v});
+      return WriteInt(instr, dst, result);
+    }
+
+    default:
+      return Error(ErrorKind::kUnsupported,
+                   std::string("cannot lift ") +
+                       x86::MnemonicName(instr.mnemonic),
+                   instr.address);
+  }
+}
+
+Status BodyLifter::LiftCall(const Instr& instr) {
+  if (!config().lift_calls) {
+    return Error(ErrorKind::kUnsupported, "calls disabled by configuration",
+                 instr.address);
+  }
+  if (instr.op_count != 1 || !instr.ops[0].is_imm()) {
+    return Error(ErrorKind::kUnsupported,
+                 "indirect calls cannot be lifted", instr.address);
+  }
+  if (call_depth_ + 1 > config().max_call_depth) {
+    return Error(ErrorKind::kResourceLimit, "call depth limit exceeded",
+                 instr.address);
+  }
+  DBLL_TRY(L::Function * callee,
+           parent_.GetOrDeclare(instr.target, call_depth_ + 1));
+
+  // Pass the argument registers; the LLVM inliner decides about inlining
+  // (paper Sec. III-B).
+  std::vector<L::Value*> args;
+  for (int i = 0; i < kGpTransferRegs; ++i) {
+    args.push_back(GpBase(x86::Gp(kGpTransferIndex[i])));
+  }
+  for (int i = 0; i < kVecTransferRegs; ++i) {
+    args.push_back(VecBase(x86::Xmm(static_cast<std::uint8_t>(i))));
+  }
+  L::CallInst* call = b().CreateCall(callee, args);
+
+  // The callee returns the complete caller-saved register file; registers it
+  // never wrote pass through unchanged (correct under GCC -fipa-ra).
+  for (int i = 0; i < kGpTransferRegs; ++i) {
+    SetGpBase(x86::Gp(kGpTransferIndex[i]),
+              b().CreateExtractValue(call, static_cast<unsigned>(i)));
+  }
+  for (int i = 0; i < kVecTransferRegs; ++i) {
+    for (auto& slot : state_->vec[i]) slot = nullptr;
+    state_->vec[i][kVecI128] = b().CreateExtractValue(
+        call, static_cast<unsigned>(kGpTransferRegs + i));
+  }
+  UndefFlags();
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftRet(const Instr&) {
+  // The public wrapper extracts what the signature needs; the internal
+  // register-file function returns the full caller-saved register file.
+  L::Value* ret = Undef(fn_->getReturnType());
+  for (int i = 0; i < kGpTransferRegs; ++i) {
+    ret = b().CreateInsertValue(ret, GpBase(x86::Gp(kGpTransferIndex[i])),
+                                static_cast<unsigned>(i));
+  }
+  for (int i = 0; i < kVecTransferRegs; ++i) {
+    ret = b().CreateInsertValue(
+        ret, VecBase(x86::Xmm(static_cast<std::uint8_t>(i))),
+        static_cast<unsigned>(kGpTransferRegs + i));
+  }
+  b().CreateRet(ret);
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftInstr(const Instr& instr, bool* terminated) {
+  using M = Mnemonic;
+  *terminated = false;
+  switch (instr.mnemonic) {
+    case M::kNop:
+    case M::kEndbr64:
+      return Status::Ok();
+    case M::kUd2:
+      b().CreateIntrinsic(L::Intrinsic::trap, {}, {});
+      b().CreateUnreachable();
+      *terminated = true;
+      return Status::Ok();
+    case M::kRet:
+      DBLL_TRY_STATUS(LiftRet(instr));
+      *terminated = true;
+      return Status::Ok();
+    case M::kCall:
+      return LiftCall(instr);
+    case M::kJmp:
+    case M::kJcc:
+      // Handled as block terminators by LiftBlock.
+      return Status::Ok();
+
+    case M::kPush:
+    case M::kPop:
+    case M::kLeave:
+      return LiftStack(instr);
+
+    case M::kMov: case M::kMovzx: case M::kMovsx: case M::kMovsxd:
+    case M::kLea: case M::kXchg: case M::kCmovcc: case M::kSetcc:
+    case M::kCbw: case M::kCwde: case M::kCdqe:
+    case M::kCwd: case M::kCdq: case M::kCqo:
+      // SSE movq/movd share mnemonics with GP moves only via distinct
+      // mnemonic ids, so this is purely the GP family.
+      return LiftMovFamily(instr);
+
+    case M::kAdd: case M::kAdc: case M::kSub: case M::kSbb:
+    case M::kCmp: case M::kTest: case M::kAnd: case M::kOr: case M::kXor:
+    case M::kNot: case M::kNeg: case M::kInc: case M::kDec:
+    case M::kBswap: case M::kBt: case M::kBts: case M::kBtr: case M::kBtc:
+    case M::kBsf: case M::kBsr:
+    case M::kTzcnt: case M::kPopcnt: case M::kStc: case M::kClc:
+      return LiftIntAlu(instr);
+
+    case M::kShl: case M::kShr: case M::kSar: case M::kRol: case M::kRor:
+    case M::kShld: case M::kShrd:
+      return LiftShift(instr);
+
+    case M::kLfence: case M::kMfence: case M::kSfence:
+      // Single-threaded lifted execution: a full fence is a safe
+      // over-approximation of all three.
+      b().CreateFence(L::AtomicOrdering::SequentiallyConsistent);
+      return Status::Ok();
+
+    case M::kImul:
+      if (instr.op_count == 1) return LiftMulDiv(instr);
+      return LiftIntAlu(instr);
+    case M::kMul: case M::kIdiv: case M::kDiv:
+      return LiftMulDiv(instr);
+
+    default:
+      return LiftSse(instr);
+  }
+}
+
+Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
+  cur_ = &info;
+  state_ = &info.exit;
+  b().SetInsertPoint(info.bb);
+
+  bool terminated = false;
+  for (const Instr& instr : block.instrs) {
+    if (++lifted_instrs_ > config().max_instructions) {
+      return Error(ErrorKind::kResourceLimit,
+                   "lift instruction budget exhausted", instr.address);
+    }
+    DBLL_TRY_STATUS(LiftInstr(instr, &terminated));
+    if (terminated) break;
+  }
+  if (terminated) {
+    info.lifted = true;
+    return Status::Ok();
+  }
+
+  // Terminator.
+  const Instr& last = block.instrs.back();
+  if (last.mnemonic == Mnemonic::kJcc) {
+    if (block.branch_target == block.fall_through) {
+      b().CreateBr(blocks_.at(block.branch_target).bb);
+    } else {
+      L::Value* cond = EvalCondIr(last.cond);
+      b().CreateCondBr(cond, blocks_.at(block.branch_target).bb,
+                       blocks_.at(block.fall_through).bb);
+    }
+  } else if (last.mnemonic == Mnemonic::kJmp) {
+    b().CreateBr(blocks_.at(block.branch_target).bb);
+  } else if (block.fall_through != 0) {
+    b().CreateBr(blocks_.at(block.fall_through).bb);
+  } else {
+    return Error(ErrorKind::kInternal, "block without terminator",
+                 block.start);
+  }
+  info.lifted = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Phi plumbing
+// ---------------------------------------------------------------------------
+
+void BodyLifter::CreateEntryPhis(BlockInfo& info) {
+  // Φ-nodes for every register in every facet (paper Sec. III-C: "each basic
+  // block has a set of Φ-nodes at the beginning, where the values of the
+  // registers in all facets of the predecessors are merged"). Unused ones
+  // are removed by the optimizer.
+  b().SetInsertPoint(info.bb);
+  for (int r = 0; r < x86::kGpRegCount; ++r) {
+    info.entry.gp[r][kGpI64] = b().CreatePHI(I64(), 2);
+    if (config().facet_cache) {
+      info.entry.gp[r][kGpI32] = b().CreatePHI(I32(), 2);
+      info.entry.gp[r][kGpI16] = b().CreatePHI(I16(), 2);
+      info.entry.gp[r][kGpI8] = b().CreatePHI(I8(), 2);
+      info.entry.gp[r][kGpPtr] = b().CreatePHI(I8()->getPointerTo(), 2);
+    }
+  }
+  for (int r = 0; r < x86::kVecRegCount; ++r) {
+    info.entry.vec[r][kVecI128] = b().CreatePHI(I128(), 2);
+    if (config().facet_cache) {
+      for (int f = 1; f < kVecFacetCount; ++f) {
+        info.entry.vec[r][f] =
+            b().CreatePHI(FacetType(static_cast<VecFacet>(f)), 2);
+      }
+    }
+  }
+  for (int f = 0; f < x86::kFlagCount; ++f) {
+    info.entry.flags[f] = b().CreatePHI(I1(), 2);
+  }
+  info.exit = info.entry;
+  // The flag cache does not survive block boundaries.
+  info.exit.InvalidateCmp();
+}
+
+L::Value* BodyLifter::ExitGpFacet(BlockInfo& pred, int reg, int facet) {
+  if (pred.exit.gp[reg][facet] != nullptr) return pred.exit.gp[reg][facet];
+  // Materialize the facet from the base just before the terminator.
+  L::Instruction* term = pred.bb->getTerminator();
+  b().SetInsertPoint(term);
+  L::Value* base = pred.exit.gp[reg][kGpI64];
+  L::Value* value = nullptr;
+  switch (static_cast<GpFacet>(facet)) {
+    case kGpPtr:
+      value = b().CreateIntToPtr(base, I8()->getPointerTo());
+      break;
+    case kGpI32:
+      value = b().CreateTrunc(base, I32());
+      break;
+    case kGpI16:
+      value = b().CreateTrunc(base, I16());
+      break;
+    case kGpI8:
+      value = b().CreateTrunc(base, I8());
+      break;
+    default:
+      value = base;
+      break;
+  }
+  pred.exit.gp[reg][facet] = value;
+  return value;
+}
+
+L::Value* BodyLifter::ExitVecFacet(BlockInfo& pred, int reg, int facet) {
+  if (pred.exit.vec[reg][facet] != nullptr) return pred.exit.vec[reg][facet];
+  L::Instruction* term = pred.bb->getTerminator();
+  b().SetInsertPoint(term);
+  L::Value* value = CastFromI128(pred.exit.vec[reg][kVecI128],
+                                 static_cast<VecFacet>(facet));
+  pred.exit.vec[reg][facet] = value;
+  return value;
+}
+
+Status BodyLifter::FillPhis() {
+  struct Edge {
+    BlockInfo* pred;
+    std::uint64_t succ;
+  };
+  std::vector<Edge> edges;
+  edges.push_back(Edge{&setup_, cfg_.entry});
+  for (const auto& [address, block] : cfg_.blocks) {
+    BlockInfo& pred = blocks_.at(address);
+    const Instr& last = block.instrs.back();
+    if (last.mnemonic == Mnemonic::kJcc) {
+      edges.push_back(Edge{&pred, block.branch_target});
+      if (block.branch_target != block.fall_through) {
+        edges.push_back(Edge{&pred, block.fall_through});
+      }
+    } else if (last.mnemonic == Mnemonic::kJmp) {
+      edges.push_back(Edge{&pred, block.branch_target});
+    } else if (block.fall_through != 0 && !last.IsBlockTerminator()) {
+      edges.push_back(Edge{&pred, block.fall_through});
+    }
+  }
+  for (const Edge& edge : edges) {
+    BlockInfo& pred = *edge.pred;
+    BlockInfo& succ = blocks_.at(edge.succ);
+    for (int r = 0; r < x86::kGpRegCount; ++r) {
+      L::cast<L::PHINode>(succ.entry.gp[r][kGpI64])
+          ->addIncoming(pred.exit.gp[r][kGpI64], pred.bb);
+      for (int f = 1; f < kGpFacetCount; ++f) {
+        if (succ.entry.gp[r][f] != nullptr) {
+          L::cast<L::PHINode>(succ.entry.gp[r][f])
+              ->addIncoming(ExitGpFacet(pred, r, f), pred.bb);
+        }
+      }
+    }
+    for (int r = 0; r < x86::kVecRegCount; ++r) {
+      L::cast<L::PHINode>(succ.entry.vec[r][kVecI128])
+          ->addIncoming(pred.exit.vec[r][kVecI128], pred.bb);
+      for (int f = 1; f < kVecFacetCount; ++f) {
+        if (succ.entry.vec[r][f] != nullptr) {
+          L::cast<L::PHINode>(succ.entry.vec[r][f])
+              ->addIncoming(ExitVecFacet(pred, r, f), pred.bb);
+        }
+      }
+    }
+    for (int f = 0; f < x86::kFlagCount; ++f) {
+      L::cast<L::PHINode>(succ.entry.flags[f])
+          ->addIncoming(pred.exit.flags[f], pred.bb);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BodyLifter::Run() {
+  // A synthetic setup block receives the arguments and the virtual stack;
+  // the x86 entry block is a regular phi-carrying block so that loops may
+  // branch back to the function entry.
+  setup_.bb = L::BasicBlock::Create(ctx(), "setup", fn_);
+
+  for (const auto& [address, block] : cfg_.blocks) {
+    BlockInfo info;
+    char name[32];
+    std::snprintf(name, sizeof(name), "bb_%llx",
+                  static_cast<unsigned long long>(address));
+    info.bb = L::BasicBlock::Create(ctx(), name, fn_);
+    blocks_.emplace(address, info);
+  }
+
+  // Setup state: arguments land in their ABI registers, the virtual stack
+  // (paper Sec. III-F) is a fresh alloca, everything else is undef.
+  {
+    b().SetInsertPoint(setup_.bb);
+    BlockState& st = setup_.exit;
+    for (int r = 0; r < x86::kGpRegCount; ++r) {
+      st.gp[r][kGpI64] = Undef(I64());
+    }
+    for (int r = 0; r < x86::kVecRegCount; ++r) {
+      st.vec[r][kVecI128] = Undef(I128());
+    }
+    for (int f = 0; f < x86::kFlagCount; ++f) {
+      st.flags[f] = Undef(I1());
+    }
+    auto arg = fn_->arg_begin();
+    for (int i = 0; i < kGpTransferRegs; ++i, ++arg) {
+      st.gp[kGpTransferIndex[i]][kGpI64] = &*arg;
+    }
+    for (int i = 0; i < kVecTransferRegs; ++i, ++arg) {
+      st.vec[i][kVecI128] = &*arg;
+    }
+    // Virtual stack: the entry rsp points at the top minus the slot where
+    // the return address would live.
+    L::AllocaInst* stack = b().CreateAlloca(
+        L::ArrayType::get(I8(), config().stack_size), nullptr, "stack");
+    stack->setAlignment(L::Align(16));
+    L::Value* top = b().CreateGEP(
+        I8(), b().CreateBitCast(stack, I8()->getPointerTo()),
+        CI(I64(), config().stack_size - 8));
+    st.gp[x86::kRsp.index][kGpPtr] = top;
+    st.gp[x86::kRsp.index][kGpI64] = b().CreatePtrToInt(top, I64());
+    b().CreateBr(blocks_.at(cfg_.entry).bb);
+  }
+
+  // Entry phis for every block (including the x86 entry).
+  for (auto& [address, info] : blocks_) {
+    CreateEntryPhis(info);
+  }
+
+  // Lift the bodies in address order.
+  for (const auto& [address, block] : cfg_.blocks) {
+    DBLL_TRY_STATUS(LiftBlock(block, blocks_.at(address)));
+  }
+
+  DBLL_TRY_STATUS(FillPhis());
+
+  if (config().vectorize_hint) {
+    // Mark every back edge (branch to a block at a lower address) with
+    // llvm.loop.vectorize.enable, overriding the vectorizer's cost model
+    // (paper Sec. VIII / the -force-vector-width=2 experiment).
+    for (const auto& [address, block] : cfg_.blocks) {
+      const bool backwards =
+          (block.branch_target != 0 && block.branch_target <= address);
+      if (!backwards) continue;
+      L::Instruction* term = blocks_.at(address).bb->getTerminator();
+      if (term == nullptr) continue;
+      L::LLVMContext& c = ctx();
+      L::MDNode* enable = L::MDNode::get(
+          c, {L::MDString::get(c, "llvm.loop.vectorize.enable"),
+              L::ConstantAsMetadata::get(
+                  L::ConstantInt::getTrue(L::Type::getInt1Ty(c)))});
+      L::MDNode* loop_id = L::MDNode::getDistinct(c, {nullptr, enable});
+      loop_id->replaceOperandWith(0, loop_id);
+      term->setMetadata(L::LLVMContext::MD_loop, loop_id);
+    }
+  }
+  return Status::Ok();
+}
+
+// ===========================================================================
+// ModuleLifter implementation
+// ===========================================================================
+
+L::FunctionType* ModuleLifter::RegFileType() {
+  L::Type* i64 = L::Type::getInt64Ty(ctx());
+  L::Type* i128 = L::Type::getInt128Ty(ctx());
+  std::vector<L::Type*> params;
+  for (int i = 0; i < kGpTransferRegs; ++i) params.push_back(i64);
+  for (int i = 0; i < kVecTransferRegs; ++i) params.push_back(i128);
+  // The return type mirrors the parameters: the complete caller-saved file.
+  std::vector<L::Type*> ret_elems = params;
+  L::StructType* ret = L::StructType::get(ctx(), ret_elems);
+  return L::FunctionType::get(ret, params, /*isVarArg=*/false);
+}
+
+Expected<L::Function*> ModuleLifter::GetOrDeclare(std::uint64_t address,
+                                                  int depth) {
+  auto it = functions_.find(address);
+  if (it != functions_.end()) return it->second;
+  char name[32];
+  std::snprintf(name, sizeof(name), "l_%llx",
+                static_cast<unsigned long long>(address));
+  L::Function* fn = L::Function::Create(
+      RegFileType(), L::GlobalValue::InternalLinkage, name, module());
+  fn->addFnAttr(L::Attribute::AlwaysInline);
+  functions_.emplace(address, fn);
+  pending_.emplace_back(address, depth);
+  return fn;
+}
+
+L::Value* ModuleLifter::MemBasePointer(std::uint64_t address) {
+  // Constant addresses are rebased onto a global symbol so that alias
+  // analysis sees accesses into one global object (paper Sec. III-E: "the
+  // base pointer is set to the first constant address found").
+  if (membase_ == nullptr) {
+    bundle_.membase_value = address;
+    bundle_.membase_symbol = bundle_.wrapper_name + "_membase";
+    membase_ = new L::GlobalVariable(
+        module(), L::Type::getInt8Ty(ctx()), /*isConstant=*/false,
+        L::GlobalValue::ExternalLinkage, /*Initializer=*/nullptr,
+        bundle_.membase_symbol);
+  }
+  const std::int64_t offset = static_cast<std::int64_t>(address) -
+                              static_cast<std::int64_t>(bundle_.membase_value);
+  return builder_.CreateGEP(
+      L::Type::getInt8Ty(ctx()), membase_,
+      L::ConstantInt::get(L::Type::getInt64Ty(ctx()),
+                          static_cast<std::uint64_t>(offset)));
+}
+
+Status ModuleLifter::BuildWrapper(L::Function* internal) {
+  const Signature& sig = bundle_.signature;
+  L::Type* i64 = L::Type::getInt64Ty(ctx());
+  L::Type* i128 = L::Type::getInt128Ty(ctx());
+  L::Type* f64 = L::Type::getDoubleTy(ctx());
+
+  int int_args = 0;
+  int sse_args = 0;
+  std::vector<L::Type*> params;
+  for (ArgKind kind : sig.args) {
+    if (kind == ArgKind::kInt) {
+      if (++int_args > kMaxIntArgs) {
+        return Error(ErrorKind::kBadConfig, "too many integer arguments");
+      }
+      params.push_back(i64);
+    } else {
+      if (++sse_args > kMaxSseArgs) {
+        return Error(ErrorKind::kBadConfig, "too many SSE arguments");
+      }
+      params.push_back(f64);
+    }
+  }
+  L::Type* ret_type = sig.ret == RetKind::kVoid
+                          ? L::Type::getVoidTy(ctx())
+                          : (sig.ret == RetKind::kInt ? i64 : f64);
+  L::FunctionType* type = L::FunctionType::get(ret_type, params, false);
+  L::Function* wrapper =
+      L::Function::Create(type, L::GlobalValue::ExternalLinkage,
+                          bundle_.wrapper_name, module());
+  L::BasicBlock* bb = L::BasicBlock::Create(ctx(), "entry", wrapper);
+  builder_.SetInsertPoint(bb);
+
+  std::vector<L::Value*> args(
+      static_cast<std::size_t>(kGpTransferRegs + kVecTransferRegs));
+  for (int i = 0; i < kGpTransferRegs; ++i) args[i] = L::UndefValue::get(i64);
+  for (int i = 0; i < kVecTransferRegs; ++i) {
+    args[kGpTransferRegs + i] = L::UndefValue::get(i128);
+  }
+  // Map each SysV integer argument register to its slot in the transfer
+  // order (rax, rdi, rsi, rdx, rcx, r8, r9, r10, r11).
+  constexpr int kIntArgSlot[kMaxIntArgs] = {1, 2, 3, 4, 5, 6};
+  int int_at = 0;
+  int sse_at = 0;
+  int arg_index = 0;
+  for (ArgKind kind : sig.args) {
+    L::Value* incoming = wrapper->getArg(arg_index++);
+    if (kind == ArgKind::kInt) {
+      args[kIntArgSlot[int_at++]] = incoming;
+    } else {
+      // Bit-pattern of the double into lane 0 of the xmm register.
+      L::Value* bits = builder_.CreateBitCast(incoming, i64);
+      args[kGpTransferRegs + sse_at++] = builder_.CreateZExt(bits, i128);
+    }
+  }
+  L::CallInst* call = builder_.CreateCall(internal, args);
+  switch (sig.ret) {
+    case RetKind::kVoid:
+      builder_.CreateRetVoid();
+      break;
+    case RetKind::kInt:
+      // rax is transfer slot 0.
+      builder_.CreateRet(builder_.CreateExtractValue(call, 0));
+      break;
+    case RetKind::kF64: {
+      // xmm0 is the first vector slot.
+      L::Value* low = builder_.CreateTrunc(
+          builder_.CreateExtractValue(call, kGpTransferRegs), i64);
+      builder_.CreateRet(builder_.CreateBitCast(low, f64));
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Expected<L::Function*> ModuleLifter::LiftBodies(std::uint64_t entry_address) {
+  DBLL_TRY(L::Function * root, GetOrDeclare(entry_address, 0));
+  while (!pending_.empty()) {
+    auto [address, depth] = pending_.back();
+    pending_.pop_back();
+    L::Function* fn = functions_.at(address);
+    if (!fn->empty()) continue;
+
+    x86::CfgOptions cfg_options;
+    cfg_options.max_instructions = config().max_instructions;
+    auto cfg = x86::BuildCfg(address, cfg_options);
+    if (!cfg) {
+      return Error(ErrorKind::kLift,
+                   "cannot decode function: " + cfg.error().Format(), address);
+    }
+    BodyLifter body(*this, fn, *cfg, depth);
+    DBLL_TRY_STATUS(body.Run());
+  }
+  return root;
+}
+
+Status ModuleLifter::Verify() {
+  std::string verify_log;
+  L::raw_string_ostream os(verify_log);
+  if (L::verifyModule(module(), &os)) {
+    os.flush();
+    return Error(ErrorKind::kLift, "module verification failed: " + verify_log);
+  }
+  return Status::Ok();
+}
+
+Status ModuleLifter::LiftAll(std::uint64_t entry_address) {
+  DBLL_TRY(L::Function * root, LiftBodies(entry_address));
+  DBLL_TRY_STATUS(BuildWrapper(root));
+  return Verify();
+}
+
+Status ModuleLifter::BuildLineWrapper(L::Function* internal, long stride,
+                                      long col_begin, long col_end) {
+  L::Type* i64 = L::Type::getInt64Ty(ctx());
+  L::Type* i128 = L::Type::getInt128Ty(ctx());
+  L::FunctionType* type = L::FunctionType::get(
+      L::Type::getVoidTy(ctx()), {i64, i64, i64, i64}, false);
+  L::Function* wrapper =
+      L::Function::Create(type, L::GlobalValue::ExternalLinkage,
+                          bundle_.wrapper_name, module());
+
+  L::BasicBlock* entry = L::BasicBlock::Create(ctx(), "entry", wrapper);
+  L::BasicBlock* loop = L::BasicBlock::Create(ctx(), "line_loop", wrapper);
+  L::BasicBlock* exit = L::BasicBlock::Create(ctx(), "exit", wrapper);
+
+  builder_.SetInsertPoint(entry);
+  L::Value* base = builder_.CreateMul(
+      wrapper->getArg(3), L::ConstantInt::get(i64, static_cast<std::uint64_t>(stride)));
+  builder_.CreateBr(loop);
+
+  builder_.SetInsertPoint(loop);
+  L::PHINode* col = builder_.CreatePHI(i64, 2, "col");
+  col->addIncoming(L::ConstantInt::get(i64, static_cast<std::uint64_t>(col_begin)), entry);
+  L::Value* index = builder_.CreateAdd(base, col, "index");
+
+  // Register-file call: rdi/rsi/rdx hold the kernel's pointer arguments,
+  // rcx the element index.
+  std::vector<L::Value*> args(
+      static_cast<std::size_t>(kGpTransferRegs + kVecTransferRegs));
+  for (int i = 0; i < kGpTransferRegs; ++i) args[i] = L::UndefValue::get(i64);
+  for (int i = 0; i < kVecTransferRegs; ++i) {
+    args[kGpTransferRegs + i] = L::UndefValue::get(i128);
+  }
+  args[1] = wrapper->getArg(0);  // rdi
+  args[2] = wrapper->getArg(1);  // rsi
+  args[3] = wrapper->getArg(2);  // rdx
+  args[4] = index;               // rcx
+  builder_.CreateCall(internal, args);
+
+  L::Value* next = builder_.CreateAdd(col, L::ConstantInt::get(i64, 1));
+  col->addIncoming(next, loop);
+  L::Value* done = builder_.CreateICmpEQ(
+      next, L::ConstantInt::get(i64, static_cast<std::uint64_t>(col_end)));
+  L::Instruction* latch = builder_.CreateCondBr(done, exit, loop);
+
+  // Ask the vectorizer to ignore its cost model for this loop: the lifted
+  // body is typed IR, which is exactly the meta-information the paper found
+  // missing at the binary level (Sec. VI-B / VIII).
+  L::MDNode* enable = L::MDNode::get(
+      ctx(), {L::MDString::get(ctx(), "llvm.loop.vectorize.enable"),
+              L::ConstantAsMetadata::get(
+                  L::ConstantInt::getTrue(L::Type::getInt1Ty(ctx())))});
+  L::MDNode* loop_id = L::MDNode::getDistinct(ctx(), {nullptr, enable});
+  loop_id->replaceOperandWith(0, loop_id);
+  latch->setMetadata(L::LLVMContext::MD_loop, loop_id);
+
+  builder_.SetInsertPoint(exit);
+  builder_.CreateRetVoid();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status LiftFunctionInto(ModuleBundle& bundle, std::uint64_t address) {
+  ModuleLifter lifter(bundle);
+  return lifter.LiftAll(address);
+}
+
+Status LiftLineLoopInto(ModuleBundle& bundle, std::uint64_t address,
+                        long stride, long col_begin, long col_end) {
+  if (bundle.signature.args.size() != 4 ||
+      bundle.signature.ret != RetKind::kVoid) {
+    return Error(ErrorKind::kBadConfig,
+                 "line-loop lifting requires the 4-int-arg void signature");
+  }
+  ModuleLifter lifter(bundle);
+  DBLL_TRY(llvm::Function * root, lifter.LiftBodies(address));
+  DBLL_TRY_STATUS(lifter.BuildLineWrapper(root, stride, col_begin, col_end));
+  return lifter.Verify();
+}
+
+}  // namespace dbll::lift

@@ -1,0 +1,94 @@
+// dbll -- ORC JIT wrapper (paper Fig. 1: the optimized LLVM-IR is compiled
+// to new binary code using the JIT compiler of LLVM).
+#include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+#include <llvm/Support/Host.h>
+#include <llvm/Support/TargetSelect.h>
+
+#include <mutex>
+
+#include "jit_internal.h"
+
+namespace dbll::lift {
+
+void EnsureLlvmInit() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    llvm::InitializeNativeTarget();
+    llvm::InitializeNativeTargetAsmPrinter();
+    llvm::InitializeNativeTargetAsmParser();
+  });
+}
+
+Jit::Jit() : impl_(std::make_unique<Impl>()) {
+  EnsureLlvmInit();
+  // Match the paper's -mno-avx environment: the lifter (and the DBrew
+  // decoder, which may re-consume JIT output) supports the SSE subset only,
+  // so the JIT must not emit VEX-encoded code. The generic x86-64 target
+  // (SSE2 baseline) guarantees that.
+  llvm::orc::JITTargetMachineBuilder jtmb(
+      llvm::Triple(llvm::sys::getProcessTriple()));
+  jtmb.setCPU("x86-64");
+  auto jit = llvm::orc::LLJITBuilder()
+                 .setJITTargetMachineBuilder(std::move(jtmb))
+                 .create();
+  if (!jit) {
+    // Creation only fails when the native target is unavailable, which is a
+    // build configuration problem; surface it on first use instead.
+    impl_->init_error = llvm::toString(jit.takeError());
+    return;
+  }
+  impl_->lljit = std::move(*jit);
+  // The optimizer may introduce libc calls (memset/memcpy from idiom
+  // recognition); resolve them against the host process.
+  auto generator =
+      llvm::orc::DynamicLibrarySearchGenerator::GetForCurrentProcess(
+          impl_->lljit->getDataLayout().getGlobalPrefix());
+  if (generator) {
+    impl_->lljit->getMainJITDylib().addGenerator(std::move(*generator));
+  } else {
+    impl_->init_error = llvm::toString(generator.takeError());
+    impl_->lljit.reset();
+  }
+}
+
+Jit::~Jit() = default;
+
+Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle) {
+  namespace orc = llvm::orc;
+  Jit::Impl& impl = jit.impl();
+  if (impl.lljit == nullptr) {
+    return Error(ErrorKind::kJit, "LLJIT unavailable: " + impl.init_error);
+  }
+
+  bundle.module->setDataLayout(impl.lljit->getDataLayout());
+
+  // The memory-rebasing global resolves to the absolute base address chosen
+  // during lifting.
+  if (!bundle.membase_symbol.empty()) {
+    orc::SymbolMap symbols;
+    symbols[impl.lljit->mangleAndIntern(bundle.membase_symbol)] =
+        llvm::JITEvaluatedSymbol(bundle.membase_value,
+                                 llvm::JITSymbolFlags::Exported);
+    if (llvm::Error err = impl.lljit->getMainJITDylib().define(
+            orc::absoluteSymbols(std::move(symbols)))) {
+      return Error(ErrorKind::kJit,
+                   "defining membase failed: " + llvm::toString(std::move(err)));
+    }
+  }
+
+  orc::ThreadSafeModule tsm(std::move(bundle.module),
+                            std::move(bundle.context));
+  if (llvm::Error err = impl.lljit->addIRModule(std::move(tsm))) {
+    return Error(ErrorKind::kJit,
+                 "addIRModule failed: " + llvm::toString(std::move(err)));
+  }
+  auto symbol = impl.lljit->lookup(bundle.wrapper_name);
+  if (!symbol) {
+    return Error(ErrorKind::kJit,
+                 "symbol lookup failed: " + llvm::toString(symbol.takeError()));
+  }
+  return static_cast<std::uint64_t>(symbol->getAddress());
+}
+
+}  // namespace dbll::lift

@@ -1,0 +1,24 @@
+// dbll -- internal JIT plumbing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+
+#include "lift_internal.h"
+
+namespace dbll::lift {
+
+struct Jit::Impl {
+  std::unique_ptr<llvm::orc::LLJIT> lljit;
+  std::string init_error;
+};
+
+/// One-time native target initialization.
+void EnsureLlvmInit();
+
+/// Moves the bundle's module into the JIT and resolves the public wrapper.
+Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle);
+
+}  // namespace dbll::lift

@@ -1,0 +1,63 @@
+// dbll -- internal plumbing shared by the lifter, pipeline, and JIT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+
+#include "dbll/lift/lifter.h"
+#include "dbll/support/error.h"
+
+namespace dbll::lift {
+
+/// The internal "register file" signature used for every lifted function
+/// transfers the complete caller-saved register state:
+///   { 9 x i64, 8 x i128 } @l_<addr>(9 x i64, 8 x i128)
+/// GP order: rax, rdi, rsi, rdx, rcx, r8, r9, r10, r11; vectors: xmm0..xmm7.
+/// Passing the whole set (instead of only the ABI argument registers) keeps
+/// lifted call boundaries correct even for compilers that shrink the
+/// clobber set of local callees (GCC -fipa-ra): untouched registers pass
+/// through the callee unchanged. A thin public wrapper adapts this to the
+/// user-visible Signature; after always-inlining the struct traffic
+/// disappears entirely. Stack arguments are unsupported (documented).
+inline constexpr int kGpTransferRegs = 9;
+inline constexpr int kVecTransferRegs = 8;
+/// ABI argument register limits for the public wrapper.
+inline constexpr int kMaxIntArgs = 6;
+inline constexpr int kMaxSseArgs = 8;
+
+/// Everything a LiftedFunction owns: context + module + bookkeeping needed
+/// for specialization and JIT symbol definition.
+struct ModuleBundle {
+  std::unique_ptr<llvm::LLVMContext> context;
+  std::unique_ptr<llvm::Module> module;
+  std::string wrapper_name;     // public symbol
+  Signature signature;
+  LiftConfig config;
+  /// Base chosen for the memory-rebasing global (first constant address the
+  /// lifter saw); 0 when the function has no constant addresses.
+  std::uint64_t membase_value = 0;
+  std::string membase_symbol;   // unique global name, empty when unused
+  bool optimized = false;
+};
+
+/// Lifts the function at `address` (plus reachable direct callees) into the
+/// bundle's module and creates the public wrapper. On success the module
+/// verifies.
+Status LiftFunctionInto(ModuleBundle& bundle, std::uint64_t address);
+
+/// Lifts the element kernel at `address` and builds a row-loop wrapper
+/// (see Lifter::LiftElementAsLine). The bundle's signature must be the
+/// four-integer-argument void signature.
+Status LiftLineLoopInto(ModuleBundle& bundle, std::uint64_t address,
+                        long stride, long col_begin, long col_end);
+
+/// Runs the post-lift optimization pipeline (O3 by default, or the
+/// configured ablation preset).
+Status RunPipeline(ModuleBundle& bundle);
+
+}  // namespace dbll::lift

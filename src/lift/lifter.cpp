@@ -1,0 +1,192 @@
+// dbll -- public lifter API (glue between the header and the internals).
+#include "dbll/lift/lifter.h"
+
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/Support/Host.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include <atomic>
+#include <cinttypes>
+
+#include "jit_internal.h"
+#include "lift_internal.h"
+
+namespace dbll::lift {
+
+struct LiftedFunction::Impl {
+  ModuleBundle bundle;
+};
+
+LiftedFunction::LiftedFunction(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+LiftedFunction::~LiftedFunction() = default;
+LiftedFunction::LiftedFunction(LiftedFunction&&) noexcept = default;
+LiftedFunction& LiftedFunction::operator=(LiftedFunction&&) noexcept = default;
+
+std::string LiftedFunction::GetIr() const {
+  std::string out;
+  llvm::raw_string_ostream os(out);
+  impl_->bundle.module->print(os, nullptr);
+  os.flush();
+  return out;
+}
+
+namespace {
+
+/// Locates the single call of the lifted function inside the wrapper and the
+/// register-file argument slot of the `index`-th public parameter.
+Expected<std::pair<llvm::CallInst*, unsigned>> FindWrapperSlot(
+    ModuleBundle& bundle, int index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= bundle.signature.args.size()) {
+    return Error(ErrorKind::kBadConfig, "parameter index out of range");
+  }
+  llvm::Function* wrapper = bundle.module->getFunction(bundle.wrapper_name);
+  if (wrapper == nullptr || wrapper->empty()) {
+    return Error(ErrorKind::kInternal, "wrapper function missing");
+  }
+  llvm::CallInst* call = nullptr;
+  for (llvm::BasicBlock& block : *wrapper) {
+    for (llvm::Instruction& instr : block) {
+      if (auto* candidate = llvm::dyn_cast<llvm::CallInst>(&instr)) {
+        call = candidate;
+        break;
+      }
+    }
+    if (call != nullptr) break;
+  }
+  if (call == nullptr) {
+    return Error(ErrorKind::kInternal, "wrapper call missing");
+  }
+  // Map the public parameter index to the register-file argument slot.
+  int int_before = 0;
+  int sse_before = 0;
+  for (int i = 0; i < index; ++i) {
+    if (bundle.signature.args[static_cast<std::size_t>(i)] == ArgKind::kInt) {
+      ++int_before;
+    } else {
+      ++sse_before;
+    }
+  }
+  const bool is_int =
+      bundle.signature.args[static_cast<std::size_t>(index)] == ArgKind::kInt;
+  // Transfer order: rax, rdi, rsi, rdx, rcx, r8, r9, r10, r11, xmm0..7 --
+  // integer arguments start at slot 1 (rdi), vectors after the GP block.
+  const unsigned slot =
+      is_int ? static_cast<unsigned>(1 + int_before)
+             : static_cast<unsigned>(kGpTransferRegs + sse_before);
+  return std::make_pair(call, slot);
+}
+
+}  // namespace
+
+Status LiftedFunction::SpecializeParam(int index, std::uint64_t value) {
+  ModuleBundle& bundle = impl_->bundle;
+  if (bundle.optimized) {
+    return Error(ErrorKind::kBadConfig,
+                 "cannot specialize after optimization");
+  }
+  if (bundle.signature.args[static_cast<std::size_t>(
+          std::max(index, 0))] != ArgKind::kInt) {
+    return Error(ErrorKind::kBadConfig,
+                 "only integer parameters can be fixed to a value");
+  }
+  DBLL_TRY(auto slot, FindWrapperSlot(bundle, index));
+  auto [call, position] = slot;
+  call->setArgOperand(
+      position,
+      llvm::ConstantInt::get(llvm::Type::getInt64Ty(*bundle.context), value));
+  return Status::Ok();
+}
+
+Status LiftedFunction::SpecializeParamToConstMem(int index, const void* data,
+                                                 std::size_t size) {
+  ModuleBundle& bundle = impl_->bundle;
+  if (bundle.optimized) {
+    return Error(ErrorKind::kBadConfig,
+                 "cannot specialize after optimization");
+  }
+  DBLL_TRY(auto slot, FindWrapperSlot(bundle, index));
+  auto [call, position] = slot;
+  // Copy the region into the module as a constant global (paper Sec. IV).
+  llvm::LLVMContext& ctx = *bundle.context;
+  llvm::Constant* init = llvm::ConstantDataArray::get(
+      ctx, llvm::ArrayRef<std::uint8_t>(
+               static_cast<const std::uint8_t*>(data), size));
+  auto* global = new llvm::GlobalVariable(
+      *bundle.module, init->getType(), /*isConstant=*/true,
+      llvm::GlobalValue::PrivateLinkage, init,
+      bundle.wrapper_name + "_constmem");
+  global->setAlignment(llvm::Align(16));
+  llvm::IRBuilder<> builder(call);
+  call->setArgOperand(
+      position,
+      builder.CreatePtrToInt(global, llvm::Type::getInt64Ty(ctx)));
+  return Status::Ok();
+}
+
+Expected<std::string> LiftedFunction::OptimizeAndGetIr() {
+  DBLL_TRY_STATUS(RunPipeline(impl_->bundle));
+  return GetIr();
+}
+
+Expected<std::uint64_t> LiftedFunction::Compile(Jit& jit) {
+  DBLL_TRY_STATUS(RunPipeline(impl_->bundle));
+  return JitCompile(jit, impl_->bundle);
+}
+
+Lifter::Lifter(LiftConfig config) : config_(std::move(config)) {
+  EnsureLlvmInit();
+}
+Lifter::~Lifter() = default;
+
+Expected<LiftedFunction> Lifter::LiftElementAsLine(
+    std::uint64_t element_kernel, long stride, long col_begin, long col_end,
+    std::string name) {
+  Signature sig = Signature::Ints(4, RetKind::kVoid);
+  auto impl = std::make_unique<LiftedFunction::Impl>();
+  ModuleBundle& bundle = impl->bundle;
+  bundle.context = std::make_unique<llvm::LLVMContext>();
+  bundle.module =
+      std::make_unique<llvm::Module>("dbll_lifted_line", *bundle.context);
+  bundle.module->setTargetTriple(llvm::sys::getProcessTriple());
+  bundle.signature = sig;
+  bundle.config = config_;
+  static std::atomic<std::uint64_t> line_counter{0};
+  if (name.empty()) name = "dbll_line";
+  name += "_" + std::to_string(line_counter.fetch_add(1));
+  bundle.wrapper_name = name;
+  DBLL_TRY_STATUS(
+      LiftLineLoopInto(bundle, element_kernel, stride, col_begin, col_end));
+  return LiftedFunction(std::move(impl));
+}
+
+Expected<LiftedFunction> Lifter::Lift(std::uint64_t address,
+                                      const Signature& sig, std::string name) {
+  auto impl = std::make_unique<LiftedFunction::Impl>();
+  ModuleBundle& bundle = impl->bundle;
+  bundle.context = std::make_unique<llvm::LLVMContext>();
+  bundle.module =
+      std::make_unique<llvm::Module>("dbll_lifted", *bundle.context);
+  bundle.module->setTargetTriple(llvm::sys::getProcessTriple());
+  bundle.signature = sig;
+  bundle.config = config_;
+  // The counter is process-wide: symbols must stay unique even across
+  // Lifter instances that share one JIT session.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t unique = counter.fetch_add(1);
+  if (name.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "dbll_fn_%" PRIx64 "_%" PRIu64, address,
+                  unique);
+    name = buf;
+  } else {
+    // Keep symbols unique across modules in one JIT session.
+    name += "_" + std::to_string(unique);
+  }
+  bundle.wrapper_name = name;
+
+  DBLL_TRY_STATUS(LiftFunctionInto(bundle, address));
+  return LiftedFunction(std::move(impl));
+}
+
+}  // namespace dbll::lift

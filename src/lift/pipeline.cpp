@@ -1,0 +1,91 @@
+// dbll -- post-lift optimization pipeline (paper Sec. IV: "the standard
+// optimization pipeline with level 3, similar to the -O3 compiler option, is
+// applied. The optimizations are also necessary to remove the overhead
+// introduced by the transformation.")
+#include <llvm/Passes/PassBuilder.h>
+#include <llvm/Support/CommandLine.h>
+
+#include "lift_internal.h"
+
+namespace dbll::lift {
+
+Status RunPipeline(ModuleBundle& bundle) {
+  if (bundle.optimized) return Status::Ok();
+
+  namespace L = llvm;
+  L::OptimizationLevel level;
+  switch (bundle.config.opt_level) {
+    case 0: level = L::OptimizationLevel::O0; break;
+    case 1: level = L::OptimizationLevel::O1; break;
+    case 2: level = L::OptimizationLevel::O2; break;
+    default: level = L::OptimizationLevel::O3; break;
+  }
+
+  L::PipelineTuningOptions tuning;
+  const std::string& preset = bundle.config.pass_preset;
+  if (preset == "novec") {
+    tuning.LoopVectorization = false;
+    tuning.SLPVectorization = false;
+  }
+
+  L::PassBuilder pb(nullptr, tuning);
+  L::LoopAnalysisManager lam;
+  L::FunctionAnalysisManager fam;
+  L::CGSCCAnalysisManager cgam;
+  L::ModuleAnalysisManager mam;
+  pb.registerModuleAnalyses(mam);
+  pb.registerCGSCCAnalyses(cgam);
+  pb.registerFunctionAnalyses(fam);
+  pb.registerLoopAnalyses(lam);
+  pb.crossRegisterProxies(lam, fam, cgam, mam);
+
+  L::ModulePassManager mpm;
+  if (preset == "none") {
+    // Always-inlining must still run so the wrapper becomes self-contained.
+    mpm = pb.buildO0DefaultPipeline(L::OptimizationLevel::O0);
+  } else if (preset == "basic") {
+    // Minimal cleanup: inline, promote the virtual stack, fold casts.
+    auto parsed = pb.parsePassPipeline(
+        mpm,
+        "always-inline,function(sroa,instcombine,simplifycfg,dce)");
+    if (parsed) {
+      return Error(ErrorKind::kJit, "cannot parse basic pass preset");
+    }
+  } else if (preset == "o1") {
+    mpm = pb.buildPerModuleDefaultPipeline(
+        L::OptimizationLevel::O1);
+  } else if (preset == "o2") {
+    mpm = pb.buildPerModuleDefaultPipeline(
+        L::OptimizationLevel::O2);
+  } else if (bundle.config.opt_level == 0) {
+    mpm = pb.buildO0DefaultPipeline(L::OptimizationLevel::O0);
+  } else {
+    mpm = pb.buildPerModuleDefaultPipeline(level);
+  }
+
+  mpm.run(*bundle.module, mam);
+  bundle.optimized = true;
+  return Status::Ok();
+}
+
+Status SetLlvmOption(const std::string& option) {
+  const std::size_t eq = option.find('=');
+  const std::string name = option.substr(0, eq);
+  const std::string value =
+      eq == std::string::npos ? std::string() : option.substr(eq + 1);
+  auto& registered = llvm::cl::getRegisteredOptions();
+  auto it = registered.find(name);
+  if (it == registered.end()) {
+    return Error(ErrorKind::kBadConfig, "unknown LLVM option: " + name);
+  }
+  // Allow repeated programmatic updates (cl options default to Optional,
+  // which rejects a second occurrence).
+  it->second->setNumOccurrencesFlag(llvm::cl::ZeroOrMore);
+  if (it->second->addOccurrence(0, name, value)) {
+    return Error(ErrorKind::kBadConfig,
+                 "invalid value for LLVM option: " + option);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbll::lift

@@ -1,0 +1,33 @@
+// dbll -- SpMV case-study kernels; compiled with the controlled flag set so
+// they stay within the supported instruction subset.
+#include "dbll/spmv/spmv.h"
+
+namespace dbll::spmv {
+
+extern "C" {
+
+void spmv_row(const CsrMatrix* m, const double* x, double* y, long row) {
+  double acc = 0.0;
+  const long begin = m->row_start[row];
+  const long end = m->row_start[row + 1];
+  for (long j = begin; j < end; j++) {
+    acc += m->values[j] * x[m->col_idx[j]];
+  }
+  y[row] = acc;
+}
+
+void spmv_full(const CsrMatrix* m, const double* x, double* y, long rows) {
+  for (long row = 0; row < rows; row++) {
+    double acc = 0.0;
+    const long begin = m->row_start[row];
+    const long end = m->row_start[row + 1];
+    for (long j = begin; j < end; j++) {
+      acc += m->values[j] * x[m->col_idx[j]];
+    }
+    y[row] = acc;
+  }
+}
+
+}  // extern "C"
+
+}  // namespace dbll::spmv

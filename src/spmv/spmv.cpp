@@ -1,0 +1,77 @@
+// dbll -- SpMV builder and reference implementation.
+#include "dbll/spmv/spmv.h"
+
+#include <random>
+#include <set>
+
+namespace dbll::spmv {
+
+void CsrBuilder::Add(long row, long col, double value) {
+  while (current_row_ < row) {
+    ++current_row_;
+    row_start_[static_cast<std::size_t>(current_row_) + 1] =
+        row_start_[static_cast<std::size_t>(current_row_)];
+  }
+  col_idx_.push_back(col);
+  values_.push_back(value);
+  row_start_[static_cast<std::size_t>(row) + 1] =
+      static_cast<long>(col_idx_.size());
+}
+
+CsrMatrix CsrBuilder::Finish() {
+  while (current_row_ < rows_ - 1) {
+    ++current_row_;
+    row_start_[static_cast<std::size_t>(current_row_) + 1] =
+        row_start_[static_cast<std::size_t>(current_row_)];
+  }
+  CsrMatrix m;
+  m.rows = rows_;
+  m.cols = cols_;
+  m.row_start = row_start_.data();
+  m.col_idx = col_idx_.data();
+  m.values = values_.data();
+  return m;
+}
+
+CsrBuilder CsrBuilder::Banded(long n, std::initializer_list<long> offsets,
+                              double base_value) {
+  CsrBuilder builder(n, n);
+  for (long r = 0; r < n; ++r) {
+    for (long offset : offsets) {
+      const long c = r + offset;
+      if (c >= 0 && c < n) {
+        builder.Add(r, c, base_value / (1.0 + static_cast<double>(
+                                                  offset < 0 ? -offset
+                                                             : offset)));
+      }
+    }
+  }
+  return builder;
+}
+
+CsrBuilder CsrBuilder::Random(long n, int per_row, std::uint64_t seed) {
+  CsrBuilder builder(n, n);
+  std::mt19937_64 rng(seed);
+  for (long r = 0; r < n; ++r) {
+    std::set<long> cols;
+    while (static_cast<int>(cols.size()) < per_row) {
+      cols.insert(static_cast<long>(rng() % static_cast<std::uint64_t>(n)));
+    }
+    for (long c : cols) {
+      builder.Add(r, c, 0.25 + static_cast<double>((rng() % 100)) * 0.01);
+    }
+  }
+  return builder;
+}
+
+void SpmvReference(const CsrMatrix& m, const double* x, double* y) {
+  for (long r = 0; r < m.rows; ++r) {
+    double acc = 0.0;
+    for (long j = m.row_start[r]; j < m.row_start[r + 1]; ++j) {
+      acc += m.values[j] * x[m.col_idx[j]];
+    }
+    y[r] = acc;
+  }
+}
+
+}  // namespace dbll::spmv

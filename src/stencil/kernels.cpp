@@ -1,0 +1,184 @@
+// dbll -- stencil kernels (paper Fig. 7).
+//
+// This translation unit is compiled with controlled flags (see
+// CMakeLists.txt: -O2 -fcf-protection=none -fno-stack-protector) so the
+// generated machine code stays within the instruction subset supported by
+// the decoder, the DBrew emulator, and the lifter -- the same constraint as
+// the paper's -mno-avx setup with GCC 5.4.
+//
+// The *_outlined element helpers are noinline on purpose: they are the
+// building blocks the rewriters inline at runtime.
+#include "dbll/stencil/stencil.h"
+
+namespace dbll::stencil {
+
+extern "C" {
+
+void stencil_apply_flat(const FlatStencil* s, const double* m1, double* m2,
+                        long index) {
+  double v = 0.0;
+  for (int i = 0; i < s->point_count; i++) {
+    const FlatPoint* p = s->points + i;
+    v += p->factor * m1[index + p->dx + kMatrixSize * p->dy];
+  }
+  m2[index] = v;
+}
+
+void stencil_apply_sorted(const SortedStencil* s, const double* m1,
+                          double* m2, long index) {
+  double v = 0.0;
+  for (int g = 0; g < s->group_count; g++) {
+    const SortedGroup* grp = s->groups + g;
+    double gv = 0.0;
+    for (int i = 0; i < grp->point_count; i++) {
+      const SortedPoint* p = grp->points + i;
+      gv += m1[index + p->dx + kMatrixSize * p->dy];
+    }
+    v += grp->factor * gv;
+  }
+  m2[index] = v;
+}
+
+void stencil_apply_sorted_ptr(const PtrSortedStencil* s, const double* m1,
+                              double* m2, long index) {
+  double v = 0.0;
+  for (int g = 0; g < s->group_count; g++) {
+    const SortedGroup* grp = s->groups + g;
+    double gv = 0.0;
+    for (int i = 0; i < grp->point_count; i++) {
+      const SortedPoint* p = grp->points + i;
+      gv += m1[index + p->dx + kMatrixSize * p->dy];
+    }
+    v += grp->factor * gv;
+  }
+  m2[index] = v;
+}
+
+void stencil_apply_direct(const void*, const double* m1, double* m2,
+                          long index) {
+  m2[index] = 0.25 * (m1[index - 1] + m1[index + 1] +
+                      m1[index - kMatrixSize] + m1[index + kMatrixSize]);
+}
+
+// --- Line kernels: compiler-inlined stencil code ---------------------------
+
+void stencil_line_flat(const FlatStencil* s, const double* m1, double* m2,
+                       long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    double v = 0.0;
+    for (int i = 0; i < s->point_count; i++) {
+      const FlatPoint* p = s->points + i;
+      v += p->factor * m1[base + x + p->dx + kMatrixSize * p->dy];
+    }
+    m2[base + x] = v;
+  }
+}
+
+void stencil_line_sorted(const SortedStencil* s, const double* m1, double* m2,
+                         long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    double v = 0.0;
+    for (int g = 0; g < s->group_count; g++) {
+      const SortedGroup* grp = s->groups + g;
+      double gv = 0.0;
+      for (int i = 0; i < grp->point_count; i++) {
+        const SortedPoint* p = grp->points + i;
+        gv += m1[base + x + p->dx + kMatrixSize * p->dy];
+      }
+      v += grp->factor * gv;
+    }
+    m2[base + x] = v;
+  }
+}
+
+void stencil_line_sorted_ptr(const PtrSortedStencil* s, const double* m1,
+                             double* m2, long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    double v = 0.0;
+    for (int g = 0; g < s->group_count; g++) {
+      const SortedGroup* grp = s->groups + g;
+      double gv = 0.0;
+      for (int i = 0; i < grp->point_count; i++) {
+        const SortedPoint* p = grp->points + i;
+        gv += m1[base + x + p->dx + kMatrixSize * p->dy];
+      }
+      v += grp->factor * gv;
+    }
+    m2[base + x] = v;
+  }
+}
+
+void stencil_line_direct(const void*, const double* m1, double* m2,
+                         long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    const long i = base + x;
+    m2[i] = 0.25 * (m1[i - 1] + m1[i + 1] + m1[i - kMatrixSize] +
+                    m1[i + kMatrixSize]);
+  }
+}
+
+// --- Line kernels with outlined element computation ------------------------
+
+__attribute__((noinline)) static void element_flat(const FlatStencil* s,
+                                                   const double* m1,
+                                                   double* m2, long index) {
+  stencil_apply_flat(s, m1, m2, index);
+}
+
+__attribute__((noinline)) static void element_sorted(const SortedStencil* s,
+                                                     const double* m1,
+                                                     double* m2, long index) {
+  stencil_apply_sorted(s, m1, m2, index);
+}
+
+__attribute__((noinline)) static void element_sorted_ptr(
+    const PtrSortedStencil* s, const double* m1, double* m2, long index) {
+  stencil_apply_sorted_ptr(s, m1, m2, index);
+}
+
+__attribute__((noinline)) static void element_direct(const void* s,
+                                                     const double* m1,
+                                                     double* m2, long index) {
+  stencil_apply_direct(s, m1, m2, index);
+}
+
+void stencil_line_flat_outlined(const FlatStencil* s, const double* m1,
+                                double* m2, long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    element_flat(s, m1, m2, base + x);
+  }
+}
+
+void stencil_line_sorted_outlined(const SortedStencil* s, const double* m1,
+                                  double* m2, long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    element_sorted(s, m1, m2, base + x);
+  }
+}
+
+void stencil_line_sorted_ptr_outlined(const PtrSortedStencil* s,
+                                      const double* m1, double* m2,
+                                      long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    element_sorted_ptr(s, m1, m2, base + x);
+  }
+}
+
+void stencil_line_direct_outlined(const void* s, const double* m1, double* m2,
+                                  long row) {
+  const long base = row * kMatrixSize;
+  for (long x = 1; x < kMatrixSize - 1; x++) {
+    element_direct(s, m1, m2, base + x);
+  }
+}
+
+}  // extern "C"
+
+}  // namespace dbll::stencil

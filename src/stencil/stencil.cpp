@@ -1,0 +1,120 @@
+// dbll -- stencil descriptions and the Jacobi driver (paper Sec. V/VI).
+#include "dbll/stencil/stencil.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace dbll::stencil {
+
+const FlatStencil& FourPointFlat() {
+  static const FlatStencil s = {4,
+                                {{0.25, -1, 0},
+                                 {0.25, 1, 0},
+                                 {0.25, 0, -1},
+                                 {0.25, 0, 1}}};
+  return s;
+}
+
+const SortedStencil& FourPointSorted() {
+  static const SortedStencil s = {
+      1, {{0.25, 4, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}}}};
+  return s;
+}
+
+const PtrSortedStencil& FourPointSortedPtr() {
+  // The group array lives behind a nested pointer, like the paper's
+  // flexible-array sorted structure.
+  static const SortedGroup groups[1] = {
+      {0.25, 4, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}}};
+  static const PtrSortedStencil s = {1, groups};
+  return s;
+}
+
+const FlatStencil& EightPointFlat() {
+  static const FlatStencil s = {8,
+                                {{0.15, -1, 0},
+                                 {0.15, 1, 0},
+                                 {0.15, 0, -1},
+                                 {0.15, 0, 1},
+                                 {0.1, -1, -1},
+                                 {0.1, 1, -1},
+                                 {0.1, -1, 1},
+                                 {0.1, 1, 1}}};
+  return s;
+}
+
+const SortedStencil& EightPointSorted() {
+  static const SortedStencil s = {
+      2,
+      {{0.15, 4, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}},
+       {0.1, 4, {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}}}}};
+  return s;
+}
+
+JacobiGrid::JacobiGrid(long size)
+    : size_(size),
+      a_(static_cast<std::size_t>(size * size)),
+      b_(static_cast<std::size_t>(size * size)),
+      front_(a_.data()),
+      back_(b_.data()) {
+  Reset();
+}
+
+void JacobiGrid::Reset() {
+  const long n = size_;
+  std::memset(a_.data(), 0, a_.size() * sizeof(double));
+  std::memset(b_.data(), 0, b_.size() * sizeof(double));
+  // Heat distribution: hot top edge with a linear falloff on the sides.
+  for (long x = 0; x < n; x++) {
+    const double v = 1.0 - std::fabs(2.0 * static_cast<double>(x) / (n - 1) - 1.0);
+    a_[static_cast<std::size_t>(x)] = v;
+    b_[static_cast<std::size_t>(x)] = v;
+  }
+  front_ = a_.data();
+  back_ = b_.data();
+}
+
+void JacobiGrid::RunElement(ElementKernel kernel, const void* stencil,
+                            int iterations) {
+  const long n = size_;
+  for (int iter = 0; iter < iterations; iter++) {
+    for (long y = 1; y < n - 1; y++) {
+      const long base = y * n;
+      for (long x = 1; x < n - 1; x++) {
+        kernel(stencil, front_, back_, base + x);
+      }
+    }
+    std::swap(front_, back_);
+  }
+}
+
+void JacobiGrid::RunLine(LineKernel kernel, const void* stencil,
+                         int iterations) {
+  const long n = size_;
+  for (int iter = 0; iter < iterations; iter++) {
+    for (long y = 1; y < n - 1; y++) {
+      kernel(stencil, front_, back_, y);
+    }
+    std::swap(front_, back_);
+  }
+}
+
+double JacobiGrid::Checksum() const {
+  double sum = 0.0;
+  const std::size_t total = static_cast<std::size_t>(size_ * size_);
+  for (std::size_t i = 0; i < total; i++) {
+    sum += front_[i];
+  }
+  return sum;
+}
+
+double JacobiGrid::MaxDifference(const JacobiGrid& other) const {
+  double max_diff = 0.0;
+  const std::size_t total = static_cast<std::size_t>(size_ * size_);
+  for (std::size_t i = 0; i < total; i++) {
+    max_diff = std::max(max_diff, std::fabs(front_[i] - other.front_[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace dbll::stencil

@@ -1,0 +1,151 @@
+#include "dbll/support/code_buffer.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dbll {
+namespace {
+
+std::size_t PageSize() {
+  static const std::size_t kPage = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+std::size_t RoundUpToPage(std::size_t size) {
+  const std::size_t page = PageSize();
+  return (size + page - 1) / page * page;
+}
+
+}  // namespace
+
+CodeBuffer::~CodeBuffer() {
+  if (base_ != nullptr) {
+    ::munmap(base_, capacity_);
+  }
+}
+
+CodeBuffer::CodeBuffer(CodeBuffer&& other) noexcept
+    : base_(other.base_),
+      capacity_(other.capacity_),
+      used_(other.used_),
+      sealed_(other.sealed_) {
+  other.base_ = nullptr;
+  other.capacity_ = 0;
+  other.used_ = 0;
+  other.sealed_ = false;
+}
+
+CodeBuffer& CodeBuffer::operator=(CodeBuffer&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(base_, capacity_);
+    }
+    base_ = other.base_;
+    capacity_ = other.capacity_;
+    used_ = other.used_;
+    sealed_ = other.sealed_;
+    other.base_ = nullptr;
+    other.capacity_ = 0;
+    other.used_ = 0;
+    other.sealed_ = false;
+  }
+  return *this;
+}
+
+Expected<CodeBuffer> CodeBuffer::Allocate(std::size_t size) {
+  if (size == 0) {
+    return Error(ErrorKind::kBadConfig, "code buffer size must be non-zero");
+  }
+  const std::size_t capacity = RoundUpToPage(size);
+  void* mem = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Error(ErrorKind::kResourceLimit,
+                 std::string("mmap failed: ") + std::strerror(errno));
+  }
+  return CodeBuffer(static_cast<std::uint8_t*>(mem), capacity);
+}
+
+Expected<CodeBuffer> CodeBuffer::AllocateNear(std::uint64_t hint,
+                                              std::size_t size) {
+  if (size == 0) {
+    return Error(ErrorKind::kBadConfig, "code buffer size must be non-zero");
+  }
+  const std::size_t capacity = RoundUpToPage(size);
+  // Probe a few offsets around the hint; the kernel takes the address as a
+  // suggestion and may place the mapping elsewhere, so verify the distance.
+  const std::int64_t kProbeOffsets[] = {
+      1 << 24, -(1 << 24), 1 << 26, -(1 << 26), 1 << 28, -(1 << 28),
+  };
+  for (std::int64_t offset : kProbeOffsets) {
+    const std::uint64_t candidate =
+        (hint + static_cast<std::uint64_t>(offset)) & ~0xfffull;
+    void* mem = ::mmap(reinterpret_cast<void*>(candidate), capacity,
+                       PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) continue;
+    const std::int64_t distance =
+        static_cast<std::int64_t>(reinterpret_cast<std::uint64_t>(mem)) -
+        static_cast<std::int64_t>(hint);
+    if (distance > INT32_MIN / 2 && distance < INT32_MAX / 2) {
+      return CodeBuffer(static_cast<std::uint8_t*>(mem), capacity);
+    }
+    ::munmap(mem, capacity);
+  }
+  return Allocate(size);
+}
+
+Expected<std::uint8_t*> CodeBuffer::Append(std::span<const std::uint8_t> code) {
+  DBLL_TRY(std::uint8_t * dest, Reserve(code.size()));
+  std::memcpy(dest, code.data(), code.size());
+  return dest;
+}
+
+Expected<std::uint8_t*> CodeBuffer::Reserve(std::size_t size) {
+  if (sealed_) {
+    return Error(ErrorKind::kBadConfig, "cannot write to a sealed code buffer");
+  }
+  if (size > remaining()) {
+    return Error(ErrorKind::kResourceLimit,
+                 "code buffer exhausted (used " + std::to_string(used_) +
+                     " of " + std::to_string(capacity_) + " bytes, need " +
+                     std::to_string(size) + " more)");
+  }
+  std::uint8_t* dest = base_ + used_;
+  used_ += size;
+  return dest;
+}
+
+void CodeBuffer::Reset(std::size_t pos) {
+  if (pos <= capacity_) {
+    used_ = pos;
+  }
+}
+
+Status CodeBuffer::Seal() {
+  if (base_ == nullptr) {
+    return Error(ErrorKind::kBadConfig, "cannot seal an empty code buffer");
+  }
+  if (::mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0) {
+    return Error(ErrorKind::kResourceLimit,
+                 std::string("mprotect(rx) failed: ") + std::strerror(errno));
+  }
+  sealed_ = true;
+  return Status::Ok();
+}
+
+Status CodeBuffer::Unseal() {
+  if (base_ == nullptr) {
+    return Error(ErrorKind::kBadConfig, "cannot unseal an empty code buffer");
+  }
+  if (::mprotect(base_, capacity_, PROT_READ | PROT_WRITE) != 0) {
+    return Error(ErrorKind::kResourceLimit,
+                 std::string("mprotect(rw) failed: ") + std::strerror(errno));
+  }
+  sealed_ = false;
+  return Status::Ok();
+}
+
+}  // namespace dbll

@@ -1,0 +1,36 @@
+#include "dbll/support/error.h"
+
+#include <cstdio>
+
+namespace dbll {
+
+std::string_view ToString(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kNone: return "ok";
+    case ErrorKind::kDecode: return "decode";
+    case ErrorKind::kUnsupported: return "unsupported";
+    case ErrorKind::kEncode: return "encode";
+    case ErrorKind::kEmulate: return "emulate";
+    case ErrorKind::kLift: return "lift";
+    case ErrorKind::kJit: return "jit";
+    case ErrorKind::kResourceLimit: return "resource-limit";
+    case ErrorKind::kBadConfig: return "bad-config";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::Format() const {
+  std::string out(ToString(kind_));
+  out += ": ";
+  out += message_;
+  if (address_ != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (at 0x%llx)",
+                  static_cast<unsigned long long>(address_));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dbll

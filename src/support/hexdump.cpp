@@ -1,0 +1,41 @@
+#include "dbll/support/hexdump.h"
+
+#include <cstdio>
+
+namespace dbll {
+
+std::string HexBytes(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  char buf[4];
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), i == 0 ? "%02x" : " %02x", bytes[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string HexDump(std::span<const std::uint8_t> bytes, std::uint64_t base_address) {
+  std::string out;
+  char buf[32];
+  for (std::size_t line = 0; line < bytes.size(); line += 16) {
+    std::snprintf(buf, sizeof(buf), "%016llx  ",
+                  static_cast<unsigned long long>(base_address + line));
+    out += buf;
+    const std::size_t end = std::min(line + 16, bytes.size());
+    for (std::size_t i = line; i < end; ++i) {
+      std::snprintf(buf, sizeof(buf), "%02x ", bytes[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string HexValue(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace dbll

@@ -1,0 +1,171 @@
+#include "dbll/x86/cfg.h"
+
+#include <algorithm>
+
+#include "dbll/x86/decoder.h"
+
+namespace dbll::x86 {
+namespace {
+
+/// Source of instruction bytes: either live process memory or a buffer with a
+/// virtual base address.
+class ByteSource {
+ public:
+  // Live-memory source.
+  ByteSource() = default;
+  // Buffer source.
+  ByteSource(std::span<const std::uint8_t> code, std::uint64_t base)
+      : code_(code), base_(base), buffered_(true) {}
+
+  Expected<Instr> Decode(std::uint64_t address) const {
+    if (!buffered_) {
+      return Decoder::DecodeAt(address);
+    }
+    if (address < base_ || address >= base_ + code_.size()) {
+      return Error(ErrorKind::kDecode, "address outside of code buffer", address);
+    }
+    const std::size_t offset = address - base_;
+    return Decoder::DecodeOne(code_.subspan(offset), address);
+  }
+
+  bool Contains(std::uint64_t address) const {
+    if (!buffered_) return true;
+    return address >= base_ && address < base_ + code_.size();
+  }
+
+ private:
+  std::span<const std::uint8_t> code_;
+  std::uint64_t base_ = 0;
+  bool buffered_ = false;
+};
+
+Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
+                        const CfgOptions& options) {
+  Cfg cfg;
+  cfg.entry = entry;
+
+  // Pass 1: decode every reachable instruction exactly once.
+  std::map<std::uint64_t, Instr> instrs;
+  std::set<std::uint64_t> leaders{entry};
+  std::set<std::uint64_t> call_targets;
+  std::vector<std::uint64_t> worklist{entry};
+
+  while (!worklist.empty()) {
+    std::uint64_t address = worklist.back();
+    worklist.pop_back();
+
+    while (true) {
+      if (instrs.count(address) != 0) break;  // already decoded from here
+      if (instrs.size() >= options.max_instructions) {
+        return Error(ErrorKind::kResourceLimit,
+                     "instruction limit exceeded while decoding function",
+                     address);
+      }
+      DBLL_TRY(Instr instr, source.Decode(address));
+      instrs.emplace(address, instr);
+
+      switch (instr.mnemonic) {
+        case Mnemonic::kJmp:
+          if (instr.op_count != 0 && !instr.ops[0].is_imm()) {
+            return Error(ErrorKind::kUnsupported,
+                         "indirect jumps are not supported", address);
+          }
+          if (!source.Contains(instr.target)) {
+            return Error(ErrorKind::kUnsupported,
+                         "jump target outside of function buffer", address);
+          }
+          leaders.insert(instr.target);
+          worklist.push_back(instr.target);
+          break;
+        case Mnemonic::kJcc:
+          if (!source.Contains(instr.target)) {
+            return Error(ErrorKind::kUnsupported,
+                         "jump target outside of function buffer", address);
+          }
+          leaders.insert(instr.target);
+          worklist.push_back(instr.target);
+          leaders.insert(instr.end());  // fall-through starts a block
+          worklist.push_back(instr.end());
+          break;
+        case Mnemonic::kCall:
+          if (instr.op_count != 0 && instr.ops[0].is_imm()) {
+            call_targets.insert(instr.target);
+          }
+          break;
+        default:
+          break;
+      }
+      if (instr.IsBlockTerminator()) break;
+      address = instr.end();
+    }
+  }
+
+  // Sanity: every leader must be the start of a decoded instruction;
+  // otherwise some jump targets the middle of an instruction (overlapping
+  // decode), which we do not support.
+  for (std::uint64_t leader : leaders) {
+    if (instrs.count(leader) == 0) {
+      return Error(ErrorKind::kUnsupported,
+                   "jump into the middle of an instruction", leader);
+    }
+  }
+  for (const auto& [address, instr] : instrs) {
+    for (std::uint64_t inner = address + 1; inner < instr.end(); ++inner) {
+      if (leaders.count(inner) != 0) {
+        return Error(ErrorKind::kUnsupported,
+                     "jump into the middle of an instruction", inner);
+      }
+    }
+  }
+
+  // Pass 2: form blocks between leaders.
+  for (std::uint64_t leader : leaders) {
+    BasicBlock block;
+    block.start = leader;
+    std::uint64_t address = leader;
+    while (true) {
+      auto it = instrs.find(address);
+      if (it == instrs.end()) {
+        return Error(ErrorKind::kInternal, "decoded instruction map has a gap",
+                     address);
+      }
+      const Instr& instr = it->second;
+      block.instrs.push_back(instr);
+      if (instr.IsBlockTerminator()) {
+        if (instr.mnemonic == Mnemonic::kJmp) {
+          block.branch_target = instr.target;
+        } else if (instr.mnemonic == Mnemonic::kJcc) {
+          block.branch_target = instr.target;
+          block.fall_through = instr.end();
+        }
+        break;
+      }
+      address = instr.end();
+      if (leaders.count(address) != 0) {
+        // Split point: the next instruction starts another block.
+        block.fall_through = address;
+        break;
+      }
+    }
+    cfg.instr_count += block.instrs.size();
+    cfg.blocks.emplace(leader, std::move(block));
+  }
+
+  cfg.call_targets.assign(call_targets.begin(), call_targets.end());
+  return cfg;
+}
+
+}  // namespace
+
+Expected<Cfg> BuildCfg(std::uint64_t entry, const CfgOptions& options) {
+  return BuildImpl(ByteSource(), entry, options);
+}
+
+Expected<Cfg> BuildCfgFromBuffer(std::span<const std::uint8_t> code,
+                                 std::uint64_t base_address,
+                                 std::uint64_t entry,
+                                 const CfgOptions& options) {
+  return BuildImpl(ByteSource(code, base_address), entry, options);
+}
+
+}  // namespace dbll::x86

@@ -1,0 +1,1282 @@
+#include "dbll/x86/decoder.h"
+
+#include <cstring>
+
+namespace dbll::x86 {
+namespace {
+
+// REX prefix bit masks.
+constexpr std::uint8_t kRexW = 0x8;
+constexpr std::uint8_t kRexR = 0x4;
+constexpr std::uint8_t kRexX = 0x2;
+constexpr std::uint8_t kRexB = 0x1;
+
+/// Decoder state for one instruction: byte cursor plus collected prefixes.
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  std::uint64_t address;
+
+  bool has_rex = false;
+  std::uint8_t rex = 0;
+  bool osz = false;    // 0x66 operand-size override
+  bool rep = false;    // 0xF3
+  bool repne = false;  // 0xF2
+  Segment segment = Segment::kNone;
+
+  Error Err(const char* message) const {
+    return Error(ErrorKind::kDecode, message, address);
+  }
+
+  Expected<std::uint8_t> U8() {
+    if (pos >= size) return Err("instruction truncated");
+    return data[pos++];
+  }
+  Expected<std::uint8_t> Peek() const {
+    if (pos >= size) return Err("instruction truncated");
+    return data[pos];
+  }
+  Expected<std::int32_t> S8() {
+    DBLL_TRY(std::uint8_t b, U8());
+    return static_cast<std::int32_t>(static_cast<std::int8_t>(b));
+  }
+  Expected<std::int32_t> S16() {
+    if (pos + 2 > size) return Err("instruction truncated");
+    std::uint16_t v;
+    std::memcpy(&v, data + pos, 2);
+    pos += 2;
+    return static_cast<std::int32_t>(static_cast<std::int16_t>(v));
+  }
+  Expected<std::int32_t> S32() {
+    if (pos + 4 > size) return Err("instruction truncated");
+    std::uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    return static_cast<std::int32_t>(v);
+  }
+  Expected<std::int64_t> S64() {
+    if (pos + 8 > size) return Err("instruction truncated");
+    std::uint64_t v;
+    std::memcpy(&v, data + pos, 8);
+    pos += 8;
+    return static_cast<std::int64_t>(v);
+  }
+
+  /// Effective GP operand size in bytes given prefixes (non-byte ops).
+  std::uint8_t OpSize() const {
+    if (rex & kRexW) return 8;
+    if (osz) return 2;
+    return 4;
+  }
+};
+
+/// Parsed ModRM byte with resolved register/memory operand.
+struct ModRm {
+  std::uint8_t mod = 0;
+  std::uint8_t reg_field = 0;  // includes REX.R extension
+  std::uint8_t rm_field = 0;   // includes REX.B extension (register form)
+  bool is_mem = false;
+  MemOperand mem;
+};
+
+Expected<ModRm> ParseModRm(Cursor& cur) {
+  DBLL_TRY(std::uint8_t modrm, cur.U8());
+  ModRm out;
+  out.mod = modrm >> 6;
+  out.reg_field = static_cast<std::uint8_t>(((modrm >> 3) & 7) | ((cur.rex & kRexR) ? 8 : 0));
+  const std::uint8_t rm = modrm & 7;
+
+  if (out.mod == 3) {
+    out.rm_field = static_cast<std::uint8_t>(rm | ((cur.rex & kRexB) ? 8 : 0));
+    return out;
+  }
+
+  out.is_mem = true;
+  out.mem.segment = cur.segment;
+
+  if (rm == 4) {
+    // SIB byte follows.
+    DBLL_TRY(std::uint8_t sib, cur.U8());
+    const std::uint8_t scale_bits = sib >> 6;
+    const std::uint8_t index = static_cast<std::uint8_t>(((sib >> 3) & 7) | ((cur.rex & kRexX) ? 8 : 0));
+    const std::uint8_t base = static_cast<std::uint8_t>((sib & 7) | ((cur.rex & kRexB) ? 8 : 0));
+    out.mem.scale = static_cast<std::uint8_t>(1u << scale_bits);
+    if (index != 4) {  // index==4 (no REX.X) means "no index"
+      out.mem.index = Gp(index);
+    } else {
+      out.mem.scale = 1;
+    }
+    if ((sib & 7) == 5 && out.mod == 0) {
+      // No base register, disp32 follows.
+      DBLL_TRY(std::int32_t disp, cur.S32());
+      out.mem.disp = disp;
+    } else {
+      out.mem.base = Gp(base);
+    }
+  } else if (rm == 5 && out.mod == 0) {
+    // RIP-relative addressing; disp resolved by the caller via Instr::target.
+    out.mem.base = kRip;
+    DBLL_TRY(std::int32_t disp, cur.S32());
+    out.mem.disp = disp;
+  } else {
+    out.mem.base = Gp(static_cast<std::uint8_t>(rm | ((cur.rex & kRexB) ? 8 : 0)));
+  }
+
+  if (out.mod == 1) {
+    DBLL_TRY(std::int32_t disp, cur.S8());
+    out.mem.disp = disp;
+  } else if (out.mod == 2) {
+    DBLL_TRY(std::int32_t disp, cur.S32());
+    out.mem.disp = disp;
+  }
+  return out;
+}
+
+/// Builds the r/m operand (register or memory) at access width `size`.
+Operand RmOperand(const Cursor& cur, const ModRm& modrm, std::uint8_t size,
+                  RegClass cls = RegClass::kGp) {
+  if (modrm.is_mem) {
+    return Operand::MemOp(modrm.mem, size);
+  }
+  if (cls == RegClass::kVec) {
+    return Operand::RegOp(Xmm(modrm.rm_field), 16);
+  }
+  // Without a REX prefix, byte registers 4..7 are the legacy high-byte regs.
+  const bool high8 = size == 1 && !cur.has_rex && modrm.rm_field >= 4 &&
+                     modrm.rm_field <= 7;
+  const std::uint8_t index = high8 ? static_cast<std::uint8_t>(modrm.rm_field - 4)
+                                   : modrm.rm_field;
+  return Operand::RegOp(Gp(index), size, high8);
+}
+
+/// Builds the reg-field operand at access width `size`.
+Operand RegOperand(const Cursor& cur, const ModRm& modrm, std::uint8_t size,
+                   RegClass cls = RegClass::kGp) {
+  if (cls == RegClass::kVec) {
+    return Operand::RegOp(Xmm(modrm.reg_field), 16);
+  }
+  const bool high8 = size == 1 && !cur.has_rex && modrm.reg_field >= 4 &&
+                     modrm.reg_field <= 7;
+  const std::uint8_t index = high8 ? static_cast<std::uint8_t>(modrm.reg_field - 4)
+                                   : modrm.reg_field;
+  return Operand::RegOp(Gp(index), size, high8);
+}
+
+/// Reads an immediate of the standard width for the current operand size
+/// (imm16 for 16-bit, imm32 otherwise -- sign-extended for 64-bit ops).
+Expected<std::int64_t> ReadImmZ(Cursor& cur) {
+  if (cur.osz && !(cur.rex & kRexW)) {
+    DBLL_TRY(std::int32_t v, cur.S16());
+    return static_cast<std::int64_t>(v);
+  }
+  DBLL_TRY(std::int32_t v, cur.S32());
+  return static_cast<std::int64_t>(v);
+}
+
+const Mnemonic kAluGroup[8] = {Mnemonic::kAdd, Mnemonic::kOr,  Mnemonic::kAdc,
+                               Mnemonic::kSbb, Mnemonic::kAnd, Mnemonic::kSub,
+                               Mnemonic::kXor, Mnemonic::kCmp};
+const Mnemonic kShiftGroup[8] = {Mnemonic::kRol, Mnemonic::kRor,
+                                 Mnemonic::kInvalid, Mnemonic::kInvalid,
+                                 Mnemonic::kShl, Mnemonic::kShr,
+                                 Mnemonic::kShl, Mnemonic::kSar};
+
+/// Selects among the {none, 66, F3, F2}-prefixed variants of an SSE opcode.
+Mnemonic SsePick(const Cursor& cur, Mnemonic none, Mnemonic osz, Mnemonic f3,
+                 Mnemonic f2) {
+  if (cur.rep) return f3;
+  if (cur.repne) return f2;
+  if (cur.osz) return osz;
+  return none;
+}
+
+struct Builder {
+  Instr instr;
+
+  Builder(std::uint64_t address) { instr.address = address; }
+
+  Builder& M(Mnemonic mnemonic) {
+    instr.mnemonic = mnemonic;
+    return *this;
+  }
+  Builder& C(Cond cond) {
+    instr.cond = cond;
+    return *this;
+  }
+  Builder& Op(Operand op) {
+    instr.ops[instr.op_count++] = op;
+    return *this;
+  }
+};
+
+Expected<Instr> DecodeTwoByte(Cursor& cur, Builder& b);
+
+Expected<Instr> Finish(Cursor& cur, Builder& b) {
+  b.instr.length = static_cast<std::uint8_t>(cur.pos);
+  // Resolve RIP-relative memory operands now that the length is known.
+  for (int i = 0; i < b.instr.op_count; ++i) {
+    Operand& op = b.instr.ops[i];
+    if (op.is_mem() && op.mem.base == kRip) {
+      b.instr.target = cur.address + b.instr.length +
+                       static_cast<std::int64_t>(op.mem.disp);
+    }
+  }
+  return b.instr;
+}
+
+/// Finishes a rel8/rel32 branch: target = end-of-instruction + displacement.
+Expected<Instr> FinishBranch(Cursor& cur, Builder& b, std::int64_t rel) {
+  b.instr.length = static_cast<std::uint8_t>(cur.pos);
+  b.instr.target = cur.address + b.instr.length + rel;
+  b.Op(Operand::ImmOp(rel, 4));
+  b.instr.length = static_cast<std::uint8_t>(cur.pos);
+  return b.instr;
+}
+
+Expected<Instr> DecodeOneByte(Cursor& cur, Builder& b, std::uint8_t opcode) {
+  // ALU block 0x00..0x3D: add/or/adc/sbb/and/sub/xor/cmp.
+  if (opcode < 0x40 && (opcode & 7) <= 5) {
+    const Mnemonic mnemonic = kAluGroup[(opcode >> 3) & 7];
+    const std::uint8_t form = opcode & 7;
+    switch (form) {
+      case 0: {  // op r/m8, r8
+        DBLL_TRY(ModRm modrm, ParseModRm(cur));
+        b.M(mnemonic).Op(RmOperand(cur, modrm, 1)).Op(RegOperand(cur, modrm, 1));
+        return Finish(cur, b);
+      }
+      case 1: {  // op r/m, r
+        DBLL_TRY(ModRm modrm, ParseModRm(cur));
+        const std::uint8_t size = cur.OpSize();
+        b.M(mnemonic).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+        return Finish(cur, b);
+      }
+      case 2: {  // op r8, r/m8
+        DBLL_TRY(ModRm modrm, ParseModRm(cur));
+        b.M(mnemonic).Op(RegOperand(cur, modrm, 1)).Op(RmOperand(cur, modrm, 1));
+        return Finish(cur, b);
+      }
+      case 3: {  // op r, r/m
+        DBLL_TRY(ModRm modrm, ParseModRm(cur));
+        const std::uint8_t size = cur.OpSize();
+        b.M(mnemonic).Op(RegOperand(cur, modrm, size)).Op(RmOperand(cur, modrm, size));
+        return Finish(cur, b);
+      }
+      case 4: {  // op al, imm8
+        DBLL_TRY(std::int32_t imm, cur.S8());
+        b.M(mnemonic).Op(Operand::RegOp(kRax, 1)).Op(Operand::ImmOp(imm, 1));
+        return Finish(cur, b);
+      }
+      case 5: {  // op eax/rax, immz
+        const std::uint8_t size = cur.OpSize();
+        DBLL_TRY(std::int64_t imm, ReadImmZ(cur));
+        b.M(mnemonic).Op(Operand::RegOp(kRax, size)).Op(Operand::ImmOp(imm, 4));
+        return Finish(cur, b);
+      }
+    }
+  }
+
+  switch (opcode) {
+    case 0x50: case 0x51: case 0x52: case 0x53:
+    case 0x54: case 0x55: case 0x56: case 0x57: {
+      const std::uint8_t index = static_cast<std::uint8_t>((opcode - 0x50) | ((cur.rex & kRexB) ? 8 : 0));
+      b.M(Mnemonic::kPush).Op(Operand::RegOp(Gp(index), 8));
+      return Finish(cur, b);
+    }
+    case 0x58: case 0x59: case 0x5a: case 0x5b:
+    case 0x5c: case 0x5d: case 0x5e: case 0x5f: {
+      const std::uint8_t index = static_cast<std::uint8_t>((opcode - 0x58) | ((cur.rex & kRexB) ? 8 : 0));
+      b.M(Mnemonic::kPop).Op(Operand::RegOp(Gp(index), 8));
+      return Finish(cur, b);
+    }
+    case 0x63: {  // movsxd r, r/m32
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kMovsxd)
+          .Op(RegOperand(cur, modrm, cur.OpSize()))
+          .Op(RmOperand(cur, modrm, 4));
+      return Finish(cur, b);
+    }
+    case 0x68: {  // push imm32
+      DBLL_TRY(std::int32_t imm, cur.S32());
+      b.M(Mnemonic::kPush).Op(Operand::ImmOp(imm, 4));
+      return Finish(cur, b);
+    }
+    case 0x69: {  // imul r, r/m, imm32
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int64_t imm, ReadImmZ(cur));
+      b.M(Mnemonic::kImul)
+          .Op(RegOperand(cur, modrm, size))
+          .Op(RmOperand(cur, modrm, size))
+          .Op(Operand::ImmOp(imm, 4));
+      return Finish(cur, b);
+    }
+    case 0x6a: {  // push imm8
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kPush).Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0x6b: {  // imul r, r/m, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kImul)
+          .Op(RegOperand(cur, modrm, size))
+          .Op(RmOperand(cur, modrm, size))
+          .Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0x70: case 0x71: case 0x72: case 0x73:
+    case 0x74: case 0x75: case 0x76: case 0x77:
+    case 0x78: case 0x79: case 0x7a: case 0x7b:
+    case 0x7c: case 0x7d: case 0x7e: case 0x7f: {  // jcc rel8
+      DBLL_TRY(std::int32_t rel, cur.S8());
+      b.M(Mnemonic::kJcc).C(static_cast<Cond>(opcode & 0xf));
+      return FinishBranch(cur, b, rel);
+    }
+    case 0x80: {  // grp1 r/m8, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(kAluGroup[modrm.reg_field & 7])
+          .Op(RmOperand(cur, modrm, 1))
+          .Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0x81: {  // grp1 r/m, immz
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int64_t imm, ReadImmZ(cur));
+      b.M(kAluGroup[modrm.reg_field & 7])
+          .Op(RmOperand(cur, modrm, size))
+          .Op(Operand::ImmOp(imm, 4));
+      return Finish(cur, b);
+    }
+    case 0x83: {  // grp1 r/m, imm8 (sign-extended)
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(kAluGroup[modrm.reg_field & 7])
+          .Op(RmOperand(cur, modrm, size))
+          .Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0x84: {  // test r/m8, r8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kTest).Op(RmOperand(cur, modrm, 1)).Op(RegOperand(cur, modrm, 1));
+      return Finish(cur, b);
+    }
+    case 0x85: {  // test r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kTest).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0x86: case 0x87: {  // xchg
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = opcode == 0x86 ? 1 : cur.OpSize();
+      b.M(Mnemonic::kXchg).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0x88: {  // mov r/m8, r8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kMov).Op(RmOperand(cur, modrm, 1)).Op(RegOperand(cur, modrm, 1));
+      return Finish(cur, b);
+    }
+    case 0x89: {  // mov r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kMov).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0x8a: {  // mov r8, r/m8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kMov).Op(RegOperand(cur, modrm, 1)).Op(RmOperand(cur, modrm, 1));
+      return Finish(cur, b);
+    }
+    case 0x8b: {  // mov r, r/m
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kMov).Op(RegOperand(cur, modrm, size)).Op(RmOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0x8d: {  // lea r, m
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (!modrm.is_mem) return cur.Err("lea with register operand");
+      b.M(Mnemonic::kLea)
+          .Op(RegOperand(cur, modrm, cur.OpSize()))
+          .Op(Operand::MemOp(modrm.mem, 0));
+      return Finish(cur, b);
+    }
+    case 0x8f: {  // pop r/m
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kPop).Op(RmOperand(cur, modrm, 8));
+      return Finish(cur, b);
+    }
+    case 0x90: {
+      if (cur.rex & kRexB) {
+        b.M(Mnemonic::kXchg)
+            .Op(Operand::RegOp(kRax, cur.OpSize()))
+            .Op(Operand::RegOp(Gp(8), cur.OpSize()));
+        return Finish(cur, b);
+      }
+      b.M(Mnemonic::kNop);  // also covers "pause" (F3 90)
+      return Finish(cur, b);
+    }
+    case 0x91: case 0x92: case 0x93:
+    case 0x94: case 0x95: case 0x96: case 0x97: {
+      const std::uint8_t index = static_cast<std::uint8_t>((opcode - 0x90) | ((cur.rex & kRexB) ? 8 : 0));
+      b.M(Mnemonic::kXchg)
+          .Op(Operand::RegOp(kRax, cur.OpSize()))
+          .Op(Operand::RegOp(Gp(index), cur.OpSize()));
+      return Finish(cur, b);
+    }
+    case 0x98:
+      b.M((cur.rex & kRexW) ? Mnemonic::kCdqe
+                            : (cur.osz ? Mnemonic::kCbw : Mnemonic::kCwde));
+      return Finish(cur, b);
+    case 0x99:
+      b.M((cur.rex & kRexW) ? Mnemonic::kCqo
+                            : (cur.osz ? Mnemonic::kCwd : Mnemonic::kCdq));
+      return Finish(cur, b);
+    case 0xa8: {  // test al, imm8
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kTest).Op(Operand::RegOp(kRax, 1)).Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0xa9: {  // test eax/rax, immz
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int64_t imm, ReadImmZ(cur));
+      b.M(Mnemonic::kTest).Op(Operand::RegOp(kRax, size)).Op(Operand::ImmOp(imm, 4));
+      return Finish(cur, b);
+    }
+    case 0xb0: case 0xb1: case 0xb2: case 0xb3:
+    case 0xb4: case 0xb5: case 0xb6: case 0xb7: {  // mov r8, imm8
+      std::uint8_t index = static_cast<std::uint8_t>(opcode - 0xb0);
+      const bool high8 = !cur.has_rex && index >= 4;
+      if (high8) index -= 4;
+      if (cur.rex & kRexB) index |= 8;
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kMov)
+          .Op(Operand::RegOp(Gp(index), 1, high8))
+          .Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0xb8: case 0xb9: case 0xba: case 0xbb:
+    case 0xbc: case 0xbd: case 0xbe: case 0xbf: {  // mov r, imm (imm64 w/ REX.W)
+      const std::uint8_t index = static_cast<std::uint8_t>((opcode - 0xb8) | ((cur.rex & kRexB) ? 8 : 0));
+      const std::uint8_t size = cur.OpSize();
+      std::int64_t imm;
+      if (size == 8) {
+        DBLL_TRY(std::int64_t v, cur.S64());
+        imm = v;
+      } else {
+        DBLL_TRY(std::int64_t v, ReadImmZ(cur));
+        imm = v;
+      }
+      b.M(Mnemonic::kMov)
+          .Op(Operand::RegOp(Gp(index), size))
+          .Op(Operand::ImmOp(imm, size));
+      return Finish(cur, b);
+    }
+    case 0xc0: case 0xc1: {  // grp2 r/m, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const Mnemonic mnemonic = kShiftGroup[modrm.reg_field & 7];
+      if (mnemonic == Mnemonic::kInvalid) return cur.Err("unsupported shift group op");
+      const std::uint8_t size = opcode == 0xc0 ? 1 : cur.OpSize();
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(mnemonic).Op(RmOperand(cur, modrm, size)).Op(Operand::ImmOp(imm & 0x3f, 1));
+      return Finish(cur, b);
+    }
+    case 0xc2: {  // ret imm16
+      DBLL_TRY(std::int32_t imm, cur.S16());
+      b.M(Mnemonic::kRet).Op(Operand::ImmOp(imm, 2));
+      return Finish(cur, b);
+    }
+    case 0xc3:
+      b.M(Mnemonic::kRet);
+      return Finish(cur, b);
+    case 0xc6: {  // mov r/m8, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (modrm.reg_field & 7) return cur.Err("unsupported C6 group op");
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kMov).Op(RmOperand(cur, modrm, 1)).Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0xc7: {  // mov r/m, immz
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (modrm.reg_field & 7) return cur.Err("unsupported C7 group op");
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int64_t imm, ReadImmZ(cur));
+      b.M(Mnemonic::kMov).Op(RmOperand(cur, modrm, size)).Op(Operand::ImmOp(imm, 4));
+      return Finish(cur, b);
+    }
+    case 0xc9:
+      b.M(Mnemonic::kLeave);
+      return Finish(cur, b);
+    case 0xd0: case 0xd1: {  // grp2 r/m, 1
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const Mnemonic mnemonic = kShiftGroup[modrm.reg_field & 7];
+      if (mnemonic == Mnemonic::kInvalid) return cur.Err("unsupported shift group op");
+      const std::uint8_t size = opcode == 0xd0 ? 1 : cur.OpSize();
+      b.M(mnemonic).Op(RmOperand(cur, modrm, size)).Op(Operand::ImmOp(1, 1));
+      return Finish(cur, b);
+    }
+    case 0xd2: case 0xd3: {  // grp2 r/m, cl
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const Mnemonic mnemonic = kShiftGroup[modrm.reg_field & 7];
+      if (mnemonic == Mnemonic::kInvalid) return cur.Err("unsupported shift group op");
+      const std::uint8_t size = opcode == 0xd2 ? 1 : cur.OpSize();
+      b.M(mnemonic).Op(RmOperand(cur, modrm, size)).Op(Operand::RegOp(kRcx, 1));
+      return Finish(cur, b);
+    }
+    case 0xe8: {  // call rel32
+      DBLL_TRY(std::int32_t rel, cur.S32());
+      b.M(Mnemonic::kCall);
+      return FinishBranch(cur, b, rel);
+    }
+    case 0xe9: {  // jmp rel32
+      DBLL_TRY(std::int32_t rel, cur.S32());
+      b.M(Mnemonic::kJmp);
+      return FinishBranch(cur, b, rel);
+    }
+    case 0xeb: {  // jmp rel8
+      DBLL_TRY(std::int32_t rel, cur.S8());
+      b.M(Mnemonic::kJmp);
+      return FinishBranch(cur, b, rel);
+    }
+    case 0xcc:
+      b.M(Mnemonic::kInt3);
+      return Finish(cur, b);
+    case 0xf8:
+      b.M(Mnemonic::kClc);
+      return Finish(cur, b);
+    case 0xf9:
+      b.M(Mnemonic::kStc);
+      return Finish(cur, b);
+    case 0xf6: case 0xf7: {  // grp3
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = opcode == 0xf6 ? 1 : cur.OpSize();
+      switch (modrm.reg_field & 7) {
+        case 0: case 1: {  // test r/m, imm
+          std::int64_t imm;
+          if (size == 1) {
+            DBLL_TRY(std::int32_t v, cur.S8());
+            imm = v;
+          } else {
+            DBLL_TRY(std::int64_t v, ReadImmZ(cur));
+            imm = v;
+          }
+          b.M(Mnemonic::kTest).Op(RmOperand(cur, modrm, size)).Op(Operand::ImmOp(imm, 4));
+          return Finish(cur, b);
+        }
+        case 2:
+          b.M(Mnemonic::kNot).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 3:
+          b.M(Mnemonic::kNeg).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 4:
+          b.M(Mnemonic::kMul).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 5:
+          b.M(Mnemonic::kImul).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 6:
+          b.M(Mnemonic::kDiv).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 7:
+          b.M(Mnemonic::kIdiv).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+      }
+      return cur.Err("unsupported F6/F7 group op");
+    }
+    case 0xfe: {  // grp4: inc/dec r/m8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      switch (modrm.reg_field & 7) {
+        case 0:
+          b.M(Mnemonic::kInc).Op(RmOperand(cur, modrm, 1));
+          return Finish(cur, b);
+        case 1:
+          b.M(Mnemonic::kDec).Op(RmOperand(cur, modrm, 1));
+          return Finish(cur, b);
+      }
+      return cur.Err("unsupported FE group op");
+    }
+    case 0xff: {  // grp5
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      switch (modrm.reg_field & 7) {
+        case 0:
+          b.M(Mnemonic::kInc).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 1:
+          b.M(Mnemonic::kDec).Op(RmOperand(cur, modrm, size));
+          return Finish(cur, b);
+        case 2:  // call r/m64 (indirect)
+          b.M(Mnemonic::kCall).Op(RmOperand(cur, modrm, 8));
+          return Finish(cur, b);
+        case 4:  // jmp r/m64 (indirect)
+          b.M(Mnemonic::kJmp).Op(RmOperand(cur, modrm, 8));
+          return Finish(cur, b);
+        case 6:
+          b.M(Mnemonic::kPush).Op(RmOperand(cur, modrm, 8));
+          return Finish(cur, b);
+      }
+      return cur.Err("unsupported FF group op");
+    }
+    default:
+      return cur.Err("unsupported one-byte opcode");
+  }
+}
+
+Expected<Instr> DecodeTwoByte(Cursor& cur, Builder& b) {
+  DBLL_TRY(std::uint8_t opcode, cur.U8());
+
+  // Jcc rel32 / SETcc / CMOVcc blocks.
+  if (opcode >= 0x80 && opcode <= 0x8f) {
+    DBLL_TRY(std::int32_t rel, cur.S32());
+    b.M(Mnemonic::kJcc).C(static_cast<Cond>(opcode & 0xf));
+    return FinishBranch(cur, b, rel);
+  }
+  if (opcode >= 0x90 && opcode <= 0x9f) {
+    DBLL_TRY(ModRm modrm, ParseModRm(cur));
+    b.M(Mnemonic::kSetcc).C(static_cast<Cond>(opcode & 0xf)).Op(RmOperand(cur, modrm, 1));
+    return Finish(cur, b);
+  }
+  if (opcode >= 0x40 && opcode <= 0x4f) {
+    DBLL_TRY(ModRm modrm, ParseModRm(cur));
+    const std::uint8_t size = cur.OpSize();
+    b.M(Mnemonic::kCmovcc)
+        .C(static_cast<Cond>(opcode & 0xf))
+        .Op(RegOperand(cur, modrm, size))
+        .Op(RmOperand(cur, modrm, size));
+    return Finish(cur, b);
+  }
+  if (opcode >= 0xc8 && opcode <= 0xcf) {
+    const std::uint8_t index = static_cast<std::uint8_t>((opcode - 0xc8) | ((cur.rex & kRexB) ? 8 : 0));
+    b.M(Mnemonic::kBswap).Op(Operand::RegOp(Gp(index), cur.OpSize()));
+    return Finish(cur, b);
+  }
+
+  // Helper lambdas for the common SSE operand shapes.
+  auto sse_rr = [&](Mnemonic mnemonic, std::uint8_t mem_size) -> Expected<Instr> {
+    if (mnemonic == Mnemonic::kInvalid) return cur.Err("unsupported SSE variant");
+    DBLL_TRY(ModRm modrm, ParseModRm(cur));
+    b.M(mnemonic)
+        .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+        .Op(RmOperand(cur, modrm, mem_size, RegClass::kVec));
+    return Finish(cur, b);
+  };
+  auto sse_store = [&](Mnemonic mnemonic, std::uint8_t mem_size) -> Expected<Instr> {
+    if (mnemonic == Mnemonic::kInvalid) return cur.Err("unsupported SSE variant");
+    DBLL_TRY(ModRm modrm, ParseModRm(cur));
+    b.M(mnemonic)
+        .Op(RmOperand(cur, modrm, mem_size, RegClass::kVec))
+        .Op(RegOperand(cur, modrm, 16, RegClass::kVec));
+    return Finish(cur, b);
+  };
+  const Mnemonic kInv = Mnemonic::kInvalid;
+
+  switch (opcode) {
+    case 0x05:
+      return cur.Err("syscall is not supported");
+    case 0x31:
+      b.M(Mnemonic::kRdtsc);
+      return Finish(cur, b);
+    case 0xa2:
+      b.M(Mnemonic::kCpuid);
+      return Finish(cur, b);
+    case 0xb0: case 0xb1: {  // cmpxchg r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = opcode == 0xb0 ? 1 : cur.OpSize();
+      b.M(Mnemonic::kCmpxchg)
+          .Op(RmOperand(cur, modrm, size))
+          .Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xc0: case 0xc1: {  // xadd r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = opcode == 0xc0 ? 1 : cur.OpSize();
+      b.M(Mnemonic::kXadd)
+          .Op(RmOperand(cur, modrm, size))
+          .Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0x0b:
+      b.M(Mnemonic::kUd2);
+      return Finish(cur, b);
+    case 0xa4: case 0xa5: case 0xac: case 0xad: {  // shld/shrd
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      const Mnemonic m =
+          opcode < 0xac ? Mnemonic::kShld : Mnemonic::kShrd;
+      b.M(m).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      if (opcode == 0xa4 || opcode == 0xac) {
+        DBLL_TRY(std::int32_t imm, cur.S8());
+        b.Op(Operand::ImmOp(imm & 0x3f, 1));
+      } else {
+        b.Op(Operand::RegOp(kRcx, 1));
+      }
+      return Finish(cur, b);
+    }
+    case 0xab: {  // bts r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kBts).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xb3: {  // btr r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kBtr).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xbb: {  // btc r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kBtc).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xae: {  // fences (mod=3 group)
+      DBLL_TRY(std::uint8_t modrm, cur.U8());
+      if (modrm == 0xe8) { b.M(Mnemonic::kLfence); return Finish(cur, b); }
+      if (modrm == 0xf0) { b.M(Mnemonic::kMfence); return Finish(cur, b); }
+      if (modrm == 0xf8) { b.M(Mnemonic::kSfence); return Finish(cur, b); }
+      return cur.Err("unsupported 0FAE group op");
+    }
+    case 0x50: {  // movmskps/movmskpd r32, xmm
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (modrm.is_mem) return cur.Err("movmsk requires a register source");
+      b.M(cur.osz ? Mnemonic::kMovmskpd : Mnemonic::kMovmskps)
+          .Op(RegOperand(cur, modrm, 4, RegClass::kGp))
+          .Op(Operand::RegOp(Xmm(modrm.rm_field), 16));
+      return Finish(cur, b);
+    }
+    case 0xd7: {  // pmovmskb r32, xmm
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (modrm.is_mem) return cur.Err("pmovmskb requires a register source");
+      b.M(Mnemonic::kPmovmskb)
+          .Op(RegOperand(cur, modrm, 4, RegClass::kGp))
+          .Op(Operand::RegOp(Xmm(modrm.rm_field), 16));
+      return Finish(cur, b);
+    }
+    case 0xc2: {  // cmpps/cmppd/cmpss/cmpsd xmm, xmm/m, imm8
+      const Mnemonic m = SsePick(cur, Mnemonic::kCmpps, Mnemonic::kCmppd,
+                                 Mnemonic::kCmpss, Mnemonic::kCmpsd);
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(m)
+          .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(RmOperand(cur, modrm, cur.rep ? 4 : (cur.repne ? 8 : 16),
+                        RegClass::kVec))
+          .Op(Operand::ImmOp(imm & 7, 1));
+      return Finish(cur, b);
+    }
+    case 0x2d: {  // cvtss2si / cvtsd2si (current rounding mode)
+      const Mnemonic m = cur.rep ? Mnemonic::kCvtss2si
+                                 : (cur.repne ? Mnemonic::kCvtsd2si
+                                              : Mnemonic::kInvalid);
+      if (m == Mnemonic::kInvalid) return cur.Err("unsupported 0F2D variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = (cur.rex & kRexW) ? 8 : 4;
+      b.M(m)
+          .Op(RegOperand(cur, modrm, size, RegClass::kGp))
+          .Op(RmOperand(cur, modrm, cur.rep ? 4 : 8, RegClass::kVec));
+      return Finish(cur, b);
+    }
+    case 0x71: case 0x72: case 0x73: {  // vector shift immediate groups
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (modrm.is_mem) return cur.Err("shift group requires a register");
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      Mnemonic m = Mnemonic::kInvalid;
+      const std::uint8_t group = modrm.reg_field & 7;
+      if (opcode == 0x71) {
+        if (group == 2) m = Mnemonic::kPsrlw;
+        if (group == 4) m = Mnemonic::kPsraw;
+        if (group == 6) m = Mnemonic::kPsllw;
+      } else if (opcode == 0x72) {
+        if (group == 2) m = Mnemonic::kPsrld;
+        if (group == 4) m = Mnemonic::kPsrad;
+        if (group == 6) m = Mnemonic::kPslld;
+      } else {
+        if (group == 2) m = Mnemonic::kPsrlq;
+        if (group == 3) m = Mnemonic::kPsrldq;
+        if (group == 6) m = Mnemonic::kPsllq;
+        if (group == 7) m = Mnemonic::kPslldq;
+      }
+      if (m == Mnemonic::kInvalid) return cur.Err("unsupported shift group");
+      b.M(m)
+          .Op(Operand::RegOp(Xmm(modrm.rm_field), 16))
+          .Op(Operand::ImmOp(imm & 0xff, 1));
+      return Finish(cur, b);
+    }
+    case 0x10: {  // movups/movupd/movss/movsd xmm, xmm/m
+      const Mnemonic m = SsePick(cur, Mnemonic::kMovups, Mnemonic::kMovupd,
+                                 Mnemonic::kMovss, Mnemonic::kMovsdX);
+      const std::uint8_t mem_size = cur.rep ? 4 : (cur.repne ? 8 : 16);
+      return sse_rr(m, mem_size);
+    }
+    case 0x11: {  // store forms
+      const Mnemonic m = SsePick(cur, Mnemonic::kMovups, Mnemonic::kMovupd,
+                                 Mnemonic::kMovss, Mnemonic::kMovsdX);
+      const std::uint8_t mem_size = cur.rep ? 4 : (cur.repne ? 8 : 16);
+      return sse_store(m, mem_size);
+    }
+    case 0x12: {  // movlps/movlpd xmm, m64; movhlps xmm, xmm
+      DBLL_TRY(ModRm peek, ParseModRm(cur));
+      if (!peek.is_mem && !cur.osz && !cur.rep && !cur.repne) {
+        b.M(Mnemonic::kMovhlps)
+            .Op(Operand::RegOp(Xmm(peek.reg_field), 16))
+            .Op(Operand::RegOp(Xmm(peek.rm_field), 16));
+        return Finish(cur, b);
+      }
+      if (!peek.is_mem) return cur.Err("unsupported 0F12 form");
+      b.M(cur.osz ? Mnemonic::kMovlpd : Mnemonic::kMovlps)
+          .Op(Operand::RegOp(Xmm(peek.reg_field), 16))
+          .Op(Operand::MemOp(peek.mem, 8));
+      return Finish(cur, b);
+    }
+    case 0x13: {  // movlps/movlpd m64, xmm
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (!modrm.is_mem) return cur.Err("unsupported 0F13 form");
+      b.M(cur.osz ? Mnemonic::kMovlpd : Mnemonic::kMovlps)
+          .Op(Operand::MemOp(modrm.mem, 8))
+          .Op(Operand::RegOp(Xmm(modrm.reg_field), 16));
+      return Finish(cur, b);
+    }
+    case 0x14:
+      return sse_rr(cur.osz ? Mnemonic::kUnpcklpd : Mnemonic::kUnpcklps, 16);
+    case 0x15:
+      return sse_rr(cur.osz ? Mnemonic::kUnpckhpd : Mnemonic::kUnpckhps, 16);
+    case 0x16: {  // movhps/movhpd xmm, m64; movlhps xmm, xmm
+      DBLL_TRY(ModRm peek, ParseModRm(cur));
+      if (!peek.is_mem && !cur.osz && !cur.rep && !cur.repne) {
+        b.M(Mnemonic::kMovlhps)
+            .Op(Operand::RegOp(Xmm(peek.reg_field), 16))
+            .Op(Operand::RegOp(Xmm(peek.rm_field), 16));
+        return Finish(cur, b);
+      }
+      if (!peek.is_mem) return cur.Err("unsupported 0F16 form");
+      b.M(cur.osz ? Mnemonic::kMovhpd : Mnemonic::kMovhps)
+          .Op(Operand::RegOp(Xmm(peek.reg_field), 16))
+          .Op(Operand::MemOp(peek.mem, 8));
+      return Finish(cur, b);
+    }
+    case 0x17: {  // movhps/movhpd m64, xmm
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      if (!modrm.is_mem) return cur.Err("unsupported 0F17 form");
+      b.M(cur.osz ? Mnemonic::kMovhpd : Mnemonic::kMovhps)
+          .Op(Operand::MemOp(modrm.mem, 8))
+          .Op(Operand::RegOp(Xmm(modrm.reg_field), 16));
+      return Finish(cur, b);
+    }
+    case 0x18: case 0x19: case 0x1a: case 0x1b:
+    case 0x1c: case 0x1d: {  // prefetch / hint nops with modrm
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      (void)modrm;
+      b.M(Mnemonic::kNop);
+      return Finish(cur, b);
+    }
+    case 0x1e: {  // endbr64 (F3 0F 1E FA) and related hint forms
+      DBLL_TRY(std::uint8_t next, cur.U8());
+      if (cur.rep && next == 0xfa) {
+        b.M(Mnemonic::kEndbr64);
+        return Finish(cur, b);
+      }
+      return cur.Err("unsupported 0F1E form");
+    }
+    case 0x1f: {  // multi-byte nop
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      (void)modrm;
+      b.M(Mnemonic::kNop);
+      return Finish(cur, b);
+    }
+    case 0x28:  // movaps/movapd xmm, xmm/m
+      return sse_rr(cur.osz ? Mnemonic::kMovapd : Mnemonic::kMovaps, 16);
+    case 0x29:
+      return sse_store(cur.osz ? Mnemonic::kMovapd : Mnemonic::kMovaps, 16);
+    case 0x2a: {  // cvtsi2ss/sd xmm, r/m32|64
+      const Mnemonic m = cur.rep ? Mnemonic::kCvtsi2ss
+                                 : (cur.repne ? Mnemonic::kCvtsi2sd : kInv);
+      if (m == kInv) return cur.Err("unsupported 0F2A variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = (cur.rex & kRexW) ? 8 : 4;
+      b.M(m)
+          .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(RmOperand(cur, modrm, size, RegClass::kGp));
+      return Finish(cur, b);
+    }
+    case 0x2c: {  // cvttss2si/cvttsd2si r, xmm/m
+      const Mnemonic m = cur.rep ? Mnemonic::kCvttss2si
+                                 : (cur.repne ? Mnemonic::kCvttsd2si : kInv);
+      if (m == kInv) return cur.Err("unsupported 0F2C variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = (cur.rex & kRexW) ? 8 : 4;
+      b.M(m)
+          .Op(RegOperand(cur, modrm, size, RegClass::kGp))
+          .Op(RmOperand(cur, modrm, cur.rep ? 4 : 8, RegClass::kVec));
+      return Finish(cur, b);
+    }
+    case 0x2e:
+      return sse_rr(cur.osz ? Mnemonic::kUcomisd : Mnemonic::kUcomiss,
+                    cur.osz ? 8 : 4);
+    case 0x2f:
+      return sse_rr(cur.osz ? Mnemonic::kComisd : Mnemonic::kComiss,
+                    cur.osz ? 8 : 4);
+    case 0x51: {
+      const Mnemonic m = SsePick(cur, Mnemonic::kSqrtps, Mnemonic::kSqrtpd,
+                                 Mnemonic::kSqrtss, Mnemonic::kSqrtsd);
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : 16));
+    }
+    case 0x54:
+      return sse_rr(cur.osz ? Mnemonic::kAndpd : Mnemonic::kAndps, 16);
+    case 0x55:
+      return sse_rr(cur.osz ? Mnemonic::kAndnpd : Mnemonic::kAndnps, 16);
+    case 0x56:
+      return sse_rr(cur.osz ? Mnemonic::kOrpd : Mnemonic::kOrps, 16);
+    case 0x57:
+      return sse_rr(cur.osz ? Mnemonic::kXorpd : Mnemonic::kXorps, 16);
+    case 0x58: {
+      const Mnemonic m = SsePick(cur, Mnemonic::kAddps, Mnemonic::kAddpd,
+                                 Mnemonic::kAddss, Mnemonic::kAddsd);
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : 16));
+    }
+    case 0x59: {
+      const Mnemonic m = SsePick(cur, Mnemonic::kMulps, Mnemonic::kMulpd,
+                                 Mnemonic::kMulss, Mnemonic::kMulsd);
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : 16));
+    }
+    case 0x5a: {  // cvt between float widths
+      const Mnemonic m = SsePick(cur, Mnemonic::kCvtps2pd, Mnemonic::kCvtpd2ps,
+                                 Mnemonic::kCvtss2sd, Mnemonic::kCvtsd2ss);
+      // Memory widths: cvtps2pd m64, cvtpd2ps m128, cvtss2sd m32, cvtsd2ss m64.
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : (cur.osz ? 16 : 8)));
+    }
+    case 0x5b: {
+      if (cur.osz || cur.rep || cur.repne) return cur.Err("unsupported 0F5B variant");
+      return sse_rr(Mnemonic::kCvtdq2ps, 16);
+    }
+    case 0x5c: {
+      const Mnemonic m = SsePick(cur, Mnemonic::kSubps, Mnemonic::kSubpd,
+                                 Mnemonic::kSubss, Mnemonic::kSubsd);
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : 16));
+    }
+    case 0x5d: {
+      const Mnemonic m = SsePick(cur, kInv, kInv, Mnemonic::kMinss, Mnemonic::kMinsd);
+      return sse_rr(m, cur.rep ? 4 : 8);
+    }
+    case 0x5e: {
+      const Mnemonic m = SsePick(cur, Mnemonic::kDivps, Mnemonic::kDivpd,
+                                 Mnemonic::kDivss, Mnemonic::kDivsd);
+      return sse_rr(m, cur.rep ? 4 : (cur.repne ? 8 : 16));
+    }
+    case 0x5f: {
+      const Mnemonic m = SsePick(cur, kInv, kInv, Mnemonic::kMaxss, Mnemonic::kMaxsd);
+      return sse_rr(m, cur.rep ? 4 : 8);
+    }
+    case 0x60:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpcklbw, 16);
+    case 0x61:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpcklwd, 16);
+    case 0x62:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpckldq, 16);
+    case 0x64:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpgtb, 16);
+    case 0x65:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpgtw, 16);
+    case 0x66:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpgtd, 16);
+    case 0x68:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpckhbw, 16);
+    case 0x69:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpckhwd, 16);
+    case 0x6a:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPunpckhdq, 16);
+    case 0x74:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpeqb, 16);
+    case 0x75:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpeqw, 16);
+    case 0x76:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPcmpeqd, 16);
+    case 0x6c:
+      if (!cur.osz) return cur.Err("unsupported 0F6C variant");
+      return sse_rr(Mnemonic::kPunpcklqdq, 16);
+    case 0x6d:
+      if (!cur.osz) return cur.Err("unsupported 0F6D variant");
+      return sse_rr(Mnemonic::kPunpckhqdq, 16);
+    case 0x6e: {  // movd/movq xmm, r/m
+      if (!cur.osz) return cur.Err("unsupported 0F6E variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = (cur.rex & kRexW) ? 8 : 4;
+      b.M(size == 8 ? Mnemonic::kMovq : Mnemonic::kMovd)
+          .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(RmOperand(cur, modrm, size, RegClass::kGp));
+      return Finish(cur, b);
+    }
+    case 0x6f:  // movdqa (66) / movdqu (F3) xmm, xmm/m128
+      if (cur.osz) return sse_rr(Mnemonic::kMovdqa, 16);
+      if (cur.rep) return sse_rr(Mnemonic::kMovdqu, 16);
+      return cur.Err("MMX moves are not supported");
+    case 0x70: {  // pshufd xmm, xmm/m128, imm8
+      if (!cur.osz) return cur.Err("unsupported 0F70 variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(Mnemonic::kPshufd)
+          .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(RmOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(Operand::ImmOp(imm & 0xff, 1));
+      return Finish(cur, b);
+    }
+    case 0x7e: {
+      if (cur.rep) {  // movq xmm, xmm/m64 (zero upper)
+        return sse_rr(Mnemonic::kMovq, 8);
+      }
+      if (cur.osz) {  // movd/movq r/m, xmm
+        DBLL_TRY(ModRm modrm, ParseModRm(cur));
+        const std::uint8_t size = (cur.rex & kRexW) ? 8 : 4;
+        b.M(size == 8 ? Mnemonic::kMovq : Mnemonic::kMovd)
+            .Op(RmOperand(cur, modrm, size, RegClass::kGp))
+            .Op(RegOperand(cur, modrm, 16, RegClass::kVec));
+        return Finish(cur, b);
+      }
+      return cur.Err("MMX moves are not supported");
+    }
+    case 0x7f:  // movdqa/movdqu store
+      if (cur.osz) return sse_store(Mnemonic::kMovdqa, 16);
+      if (cur.rep) return sse_store(Mnemonic::kMovdqu, 16);
+      return cur.Err("MMX moves are not supported");
+    case 0xa3: {  // bt r/m, r
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kBt).Op(RmOperand(cur, modrm, size)).Op(RegOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xaf: {  // imul r, r/m
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kImul).Op(RegOperand(cur, modrm, size)).Op(RmOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xb6: case 0xb7: {  // movzx r, r/m8|16
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kMovzx)
+          .Op(RegOperand(cur, modrm, cur.OpSize()))
+          .Op(RmOperand(cur, modrm, opcode == 0xb6 ? 1 : 2));
+      return Finish(cur, b);
+    }
+    case 0xb8: {  // popcnt (F3)
+      if (!cur.rep) return cur.Err("unsupported 0FB8 variant");
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kPopcnt).Op(RegOperand(cur, modrm, size)).Op(RmOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xba: {  // grp8: bt/bts/btr/btc r/m, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      Mnemonic m = Mnemonic::kInvalid;
+      switch (modrm.reg_field & 7) {
+        case 4: m = Mnemonic::kBt; break;
+        case 5: m = Mnemonic::kBts; break;
+        case 6: m = Mnemonic::kBtr; break;
+        case 7: m = Mnemonic::kBtc; break;
+        default: return cur.Err("unsupported 0FBA group op");
+      }
+      const std::uint8_t size = cur.OpSize();
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(m).Op(RmOperand(cur, modrm, size)).Op(Operand::ImmOp(imm, 1));
+      return Finish(cur, b);
+    }
+    case 0xbc: {  // bsf / tzcnt (F3)
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(cur.rep ? Mnemonic::kTzcnt : Mnemonic::kBsf)
+          .Op(RegOperand(cur, modrm, size))
+          .Op(RmOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xbd: {  // bsr
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      const std::uint8_t size = cur.OpSize();
+      b.M(Mnemonic::kBsr).Op(RegOperand(cur, modrm, size)).Op(RmOperand(cur, modrm, size));
+      return Finish(cur, b);
+    }
+    case 0xbe: case 0xbf: {  // movsx r, r/m8|16
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      b.M(Mnemonic::kMovsx)
+          .Op(RegOperand(cur, modrm, cur.OpSize()))
+          .Op(RmOperand(cur, modrm, opcode == 0xbe ? 1 : 2));
+      return Finish(cur, b);
+    }
+    case 0xc6: {  // shufps/shufpd xmm, xmm/m, imm8
+      DBLL_TRY(ModRm modrm, ParseModRm(cur));
+      DBLL_TRY(std::int32_t imm, cur.S8());
+      b.M(cur.osz ? Mnemonic::kShufpd : Mnemonic::kShufps)
+          .Op(RegOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(RmOperand(cur, modrm, 16, RegClass::kVec))
+          .Op(Operand::ImmOp(imm & 0xff, 1));
+      return Finish(cur, b);
+    }
+    case 0xd1:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsrlw, 16);
+    case 0xd2:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsrld, 16);
+    case 0xd3:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsrlq, 16);
+    case 0xd5:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPmullw, 16);
+    case 0xda:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPminub, 16);
+    case 0xde:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPmaxub, 16);
+    case 0xe0:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPavgb, 16);
+    case 0xe1:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsraw, 16);
+    case 0xe2:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsrad, 16);
+    case 0xe3:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPavgw, 16);
+    case 0xea:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPminsw, 16);
+    case 0xee:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPmaxsw, 16);
+    case 0xf1:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsllw, 16);
+    case 0xf2:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPslld, 16);
+    case 0xf3:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsllq, 16);
+    case 0xf4:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPmuludq, 16);
+    case 0xd4:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPaddq, 16);
+    case 0xd6: {  // movq xmm/m64, xmm (store)
+      if (!cur.osz) return cur.Err("unsupported 0FD6 variant");
+      return sse_store(Mnemonic::kMovq, 8);
+    }
+    case 0xdb:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPand, 16);
+    case 0xdf:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPandn, 16);
+    case 0xe6:
+      if (cur.rep) return sse_rr(Mnemonic::kCvtdq2pd, 8);
+      return cur.Err("unsupported 0FE6 variant");
+    case 0xeb:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPor, 16);
+    case 0xef:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPxor, 16);
+    case 0xf8:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsubb, 16);
+    case 0xf9:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsubw, 16);
+    case 0xfa:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsubd, 16);
+    case 0xfb:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPsubq, 16);
+    case 0xfc:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPaddb, 16);
+    case 0xfd:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPaddw, 16);
+    case 0xfe:
+      if (!cur.osz) return cur.Err("MMX is not supported");
+      return sse_rr(Mnemonic::kPaddd, 16);
+    default:
+      return cur.Err("unsupported two-byte opcode");
+  }
+}
+
+}  // namespace
+
+Expected<Instr> Decoder::DecodeOne(std::span<const std::uint8_t> code,
+                                   std::uint64_t address) {
+  Cursor cur{code.data(), code.size(), 0, address};
+
+  // Legacy prefixes, then REX.
+  for (;;) {
+    DBLL_TRY(std::uint8_t byte, cur.Peek());
+    switch (byte) {
+      case 0x66: cur.osz = true; break;
+      case 0xf2: cur.repne = true; break;
+      case 0xf3: cur.rep = true; break;
+      case 0x64: cur.segment = Segment::kFs; break;
+      case 0x65: cur.segment = Segment::kGs; break;
+      case 0x2e: case 0x3e: case 0x26: case 0x36: break;  // branch hints: ignore
+      case 0x67:
+        return cur.Err("address-size override is not supported");
+      case 0xf0:
+        return cur.Err("lock prefix is not supported");
+      default:
+        goto prefixes_done;
+    }
+    ++cur.pos;
+  }
+prefixes_done:
+
+  {
+    DBLL_TRY(std::uint8_t byte, cur.Peek());
+    if ((byte & 0xf0) == 0x40) {
+      cur.has_rex = true;
+      cur.rex = byte & 0x0f;
+      ++cur.pos;
+    }
+  }
+
+  DBLL_TRY(std::uint8_t opcode, cur.U8());
+  Builder b(address);
+  if (opcode == 0x0f) {
+    DBLL_TRY(std::uint8_t next, cur.Peek());
+    if (next == 0x38 || next == 0x3a) {
+      return cur.Err("three-byte opcode maps are not supported");
+    }
+    return DecodeTwoByte(cur, b);
+  }
+  return DecodeOneByte(cur, b, opcode);
+}
+
+Expected<Instr> Decoder::DecodeAt(std::uint64_t address, std::size_t max_length) {
+  const auto* ptr = reinterpret_cast<const std::uint8_t*>(address);
+  return DecodeOne({ptr, max_length}, address);
+}
+
+}  // namespace dbll::x86

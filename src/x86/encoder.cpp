@@ -1,0 +1,1121 @@
+#include "dbll/x86/encoder.h"
+
+#include <cstring>
+
+namespace dbll::x86 {
+namespace {
+
+constexpr std::uint8_t kRexW = 0x8;
+constexpr std::uint8_t kRexR = 0x4;
+constexpr std::uint8_t kRexX = 0x2;
+constexpr std::uint8_t kRexB = 0x1;
+
+/// Staged encoding of one instruction. Bytes are accumulated into fixed
+/// slots (prefixes, REX, opcodes, ModRM/SIB, disp, imm) and assembled by
+/// Finish(), which also patches RIP-relative displacements.
+class Enc {
+ public:
+  explicit Enc(const Instr& instr) : instr_(instr) {}
+
+  Enc& Prefix(std::uint8_t byte) {
+    prefixes_[prefix_count_++] = byte;
+    return *this;
+  }
+  Enc& P66() { return Prefix(0x66); }
+  Enc& PF2() { return Prefix(0xf2); }
+  Enc& PF3() { return Prefix(0xf3); }
+
+  Enc& RexW() {
+    rex_ |= kRexW;
+    return *this;
+  }
+  /// Applies the 0x66 prefix / REX.W bit for a GP operand size.
+  Enc& GpSize(std::uint8_t size) {
+    if (size == 2) P66();
+    if (size == 8) RexW();
+    return *this;
+  }
+
+  Enc& Op(std::uint8_t byte) {
+    opcodes_[opcode_count_++] = byte;
+    return *this;
+  }
+  Enc& Op0F(std::uint8_t byte) {
+    Op(0x0f);
+    return Op(byte);
+  }
+
+  /// Registers a plain register in the ModRM reg field (or opcode +r slot).
+  Enc& RegField(std::uint8_t index) {
+    if (index & 8) rex_ |= kRexR;
+    reg_field_ = index & 7;
+    return *this;
+  }
+
+  /// Notes the use of a byte-width GP register so REX presence rules can be
+  /// enforced (spl..dil require REX; ah..bh forbid it).
+  Enc& ByteReg(const Operand& op) {
+    if (!op.is_reg() || op.reg.cls != RegClass::kGp || op.size != 1) return *this;
+    if (op.high8) {
+      forbid_rex_ = true;
+    } else if (op.reg.index >= 4 && op.reg.index <= 7) {
+      need_rex_ = true;
+    }
+    return *this;
+  }
+
+  /// Encodes the r/m slot from a register operand.
+  Enc& RmReg(std::uint8_t index) {
+    if (index & 8) rex_ |= kRexB;
+    modrm_ = static_cast<std::uint8_t>(0xc0 | (reg_field_ << 3) | (index & 7));
+    has_modrm_ = true;
+    return *this;
+  }
+
+  /// Encodes the r/m slot from a memory operand.
+  Status RmMem(const MemOperand& mem) {
+    has_modrm_ = true;
+    if (mem.segment == Segment::kFs) Prefix(0x64);
+    if (mem.segment == Segment::kGs) Prefix(0x65);
+
+    if (mem.base == kRip) {
+      // mod=00 rm=101: RIP-relative disp32, patched in Finish().
+      modrm_ = static_cast<std::uint8_t>((reg_field_ << 3) | 5);
+      disp_size_ = 4;
+      rip_relative_ = true;
+      return Status::Ok();
+    }
+
+    const bool has_base = mem.base.valid();
+    const bool has_index = mem.index.valid();
+    if (has_index && mem.index == kRsp) {
+      return Error(ErrorKind::kEncode, "rsp cannot be an index register");
+    }
+    if (has_index && mem.scale != 1 && mem.scale != 2 && mem.scale != 4 &&
+        mem.scale != 8) {
+      return Error(ErrorKind::kEncode, "invalid scale factor");
+    }
+
+    // Choose displacement size.
+    std::uint8_t mod;
+    if (!has_base) {
+      mod = 0;  // absolute disp32 (with SIB, base=101)
+      disp_size_ = 4;
+    } else if (mem.disp == 0 && (mem.base.index & 7) != 5) {
+      mod = 0;
+      disp_size_ = 0;
+    } else if (mem.disp >= -128 && mem.disp <= 127) {
+      mod = 1;
+      disp_size_ = 1;
+    } else {
+      mod = 2;
+      disp_size_ = 4;
+    }
+    disp_ = mem.disp;
+
+    const bool need_sib =
+        has_index || !has_base || (has_base && (mem.base.index & 7) == 4);
+    if (!need_sib) {
+      if (mem.base.index & 8) rex_ |= kRexB;
+      modrm_ = static_cast<std::uint8_t>((mod << 6) | (reg_field_ << 3) |
+                                         (mem.base.index & 7));
+      return Status::Ok();
+    }
+
+    std::uint8_t scale_bits = 0;
+    switch (mem.scale) {
+      case 1: scale_bits = 0; break;
+      case 2: scale_bits = 1; break;
+      case 4: scale_bits = 2; break;
+      case 8: scale_bits = 3; break;
+    }
+    std::uint8_t index_bits = 4;  // "no index"
+    if (has_index) {
+      if (mem.index.index & 8) rex_ |= kRexX;
+      index_bits = mem.index.index & 7;
+    }
+    std::uint8_t base_bits = 5;  // "no base" (requires mod=00 + disp32)
+    if (has_base) {
+      if (mem.base.index & 8) rex_ |= kRexB;
+      base_bits = mem.base.index & 7;
+    }
+    modrm_ = static_cast<std::uint8_t>((mod << 6) | (reg_field_ << 3) | 4);
+    sib_ = static_cast<std::uint8_t>((scale_bits << 6) | (index_bits << 3) |
+                                     base_bits);
+    has_sib_ = true;
+    return Status::Ok();
+  }
+
+  /// Encodes the r/m slot from either kind of operand.
+  Status Rm(const Operand& op) {
+    if (op.is_reg()) {
+      std::uint8_t index = op.reg.index;
+      if (op.reg.cls == RegClass::kGp && op.size == 1 && op.high8) {
+        index = static_cast<std::uint8_t>(index + 4);  // ah..bh encode as 4..7
+      }
+      RmReg(index);
+      return Status::Ok();
+    }
+    if (op.is_mem()) return RmMem(op.mem);
+    return Error(ErrorKind::kEncode, "operand is not an r/m operand");
+  }
+
+  /// Registers the ModRM reg-field operand (GP or XMM register).
+  Status Reg(const Operand& op) {
+    if (!op.is_reg()) {
+      return Error(ErrorKind::kEncode, "operand is not a register");
+    }
+    std::uint8_t index = op.reg.index;
+    if (op.reg.cls == RegClass::kGp && op.size == 1 && op.high8) {
+      index = static_cast<std::uint8_t>(index + 4);
+    }
+    RegField(index);
+    return Status::Ok();
+  }
+
+  Enc& Imm(std::int64_t value, std::uint8_t size) {
+    imm_ = value;
+    imm_size_ = size;
+    return *this;
+  }
+
+  Expected<std::size_t> Finish(std::span<std::uint8_t> buffer,
+                               std::uint64_t address) {
+    if (forbid_rex_ && (rex_ != 0 || need_rex_)) {
+      return Error(ErrorKind::kEncode,
+                   "cannot encode high-byte register together with REX");
+    }
+    const bool emit_rex = rex_ != 0 || need_rex_;
+    const std::size_t length = prefix_count_ + (emit_rex ? 1u : 0u) +
+                               opcode_count_ + (has_modrm_ ? 1u : 0u) +
+                               (has_sib_ ? 1u : 0u) + disp_size_ + imm_size_;
+    if (length > buffer.size()) {
+      return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+    }
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < prefix_count_; ++i) buffer[pos++] = prefixes_[i];
+    if (emit_rex) buffer[pos++] = static_cast<std::uint8_t>(0x40 | rex_);
+    for (std::size_t i = 0; i < opcode_count_; ++i) buffer[pos++] = opcodes_[i];
+    if (has_modrm_) buffer[pos++] = modrm_;
+    if (has_sib_) buffer[pos++] = sib_;
+    if (disp_size_ != 0) {
+      std::int32_t disp = disp_;
+      if (rip_relative_) {
+        const std::int64_t rel =
+            static_cast<std::int64_t>(instr_.target) -
+            static_cast<std::int64_t>(address + length);
+        if (rel < INT32_MIN || rel > INT32_MAX) {
+          return Error(ErrorKind::kEncode, "RIP-relative target out of range",
+                       address);
+        }
+        disp = static_cast<std::int32_t>(rel);
+      }
+      if (disp_size_ == 1) {
+        buffer[pos++] = static_cast<std::uint8_t>(disp);
+      } else {
+        std::memcpy(buffer.data() + pos, &disp, 4);
+        pos += 4;
+      }
+    }
+    if (imm_size_ != 0) {
+      std::memcpy(buffer.data() + pos, &imm_, imm_size_);
+      pos += imm_size_;
+    }
+    return pos;
+  }
+
+ private:
+  const Instr& instr_;
+  std::uint8_t prefixes_[4] = {};
+  std::size_t prefix_count_ = 0;
+  std::uint8_t rex_ = 0;
+  bool need_rex_ = false;
+  bool forbid_rex_ = false;
+  std::uint8_t opcodes_[3] = {};
+  std::size_t opcode_count_ = 0;
+  std::uint8_t reg_field_ = 0;
+  std::uint8_t modrm_ = 0;
+  bool has_modrm_ = false;
+  std::uint8_t sib_ = 0;
+  bool has_sib_ = false;
+  std::int32_t disp_ = 0;
+  std::uint8_t disp_size_ = 0;
+  bool rip_relative_ = false;
+  std::int64_t imm_ = 0;
+  std::uint8_t imm_size_ = 0;
+};
+
+bool FitsInt8(std::int64_t v) { return v >= -128 && v <= 127; }
+bool FitsInt32(std::int64_t v) { return v >= INT32_MIN && v <= INT32_MAX; }
+
+/// ALU group index for the 0x80..0x83 immediate group and 0x00.. opcodes.
+int AluIndex(Mnemonic mnemonic) {
+  switch (mnemonic) {
+    case Mnemonic::kAdd: return 0;
+    case Mnemonic::kOr: return 1;
+    case Mnemonic::kAdc: return 2;
+    case Mnemonic::kSbb: return 3;
+    case Mnemonic::kAnd: return 4;
+    case Mnemonic::kSub: return 5;
+    case Mnemonic::kXor: return 6;
+    case Mnemonic::kCmp: return 7;
+    default: return -1;
+  }
+}
+
+Expected<std::size_t> EncodeAlu(const Instr& instr,
+                                std::span<std::uint8_t> buffer,
+                                std::uint64_t address) {
+  const int idx = AluIndex(instr.mnemonic);
+  const Operand& dst = instr.ops[0];
+  const Operand& src = instr.ops[1];
+  const std::uint8_t size = dst.size;
+  Enc enc(instr);
+  enc.GpSize(size).ByteReg(dst).ByteReg(src);
+
+  if (src.is_imm()) {
+    if (size == 1) {
+      enc.Op(0x80);
+    } else if (FitsInt8(src.imm)) {
+      enc.Op(0x83);
+    } else if (FitsInt32(src.imm)) {
+      enc.Op(0x81);
+    } else {
+      return Error(ErrorKind::kEncode, "ALU immediate does not fit in 32 bits");
+    }
+    enc.RegField(static_cast<std::uint8_t>(idx));
+    DBLL_TRY_STATUS(enc.Rm(dst));
+    if (size == 1 || FitsInt8(src.imm)) {
+      enc.Imm(src.imm, 1);
+    } else {
+      enc.Imm(src.imm, size == 2 ? 2 : 4);
+    }
+    return enc.Finish(buffer, address);
+  }
+  if (src.is_reg() && (dst.is_reg() || dst.is_mem())) {
+    // op r/m, r
+    enc.Op(static_cast<std::uint8_t>(8 * idx + (size == 1 ? 0 : 1)));
+    DBLL_TRY_STATUS(enc.Reg(src));
+    DBLL_TRY_STATUS(enc.Rm(dst));
+    return enc.Finish(buffer, address);
+  }
+  if (dst.is_reg() && src.is_mem()) {
+    // op r, r/m
+    enc.Op(static_cast<std::uint8_t>(8 * idx + (size == 1 ? 2 : 3)));
+    DBLL_TRY_STATUS(enc.Reg(dst));
+    DBLL_TRY_STATUS(enc.Rm(src));
+    return enc.Finish(buffer, address);
+  }
+  return Error(ErrorKind::kEncode, "unsupported ALU operand combination");
+}
+
+Expected<std::size_t> EncodeMov(const Instr& instr,
+                                std::span<std::uint8_t> buffer,
+                                std::uint64_t address) {
+  const Operand& dst = instr.ops[0];
+  const Operand& src = instr.ops[1];
+  const std::uint8_t size = dst.size;
+  Enc enc(instr);
+  enc.GpSize(size).ByteReg(dst).ByteReg(src);
+
+  if (src.is_imm()) {
+    if (dst.is_reg()) {
+      if (size == 8 && !FitsInt32(src.imm)) {
+        // movabs r64, imm64: REX.W(+B) B8+r imm64, emitted directly because
+        // the +r register slot is not expressible through the Enc helper.
+        std::uint8_t rex = 0x48;
+        if (dst.reg.index & 8) rex |= 0x01;
+        if (buffer.size() < 10) {
+          return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+        }
+        buffer[0] = rex;
+        buffer[1] = static_cast<std::uint8_t>(0xb8 | (dst.reg.index & 7));
+        std::memcpy(buffer.data() + 2, &src.imm, 8);
+        return std::size_t{10};
+      }
+      // mov r/m, imm (C6/C7) keeps the encoding uniform and sign-extends.
+      enc.Op(size == 1 ? 0xc6 : 0xc7);
+      enc.RegField(0);
+      DBLL_TRY_STATUS(enc.Rm(dst));
+      enc.Imm(src.imm, size == 1 ? 1 : (size == 2 ? 2 : 4));
+      return enc.Finish(buffer, address);
+    }
+    if (dst.is_mem()) {
+      if (size == 8 && !FitsInt32(src.imm)) {
+        return Error(ErrorKind::kEncode, "64-bit store immediate does not fit");
+      }
+      enc.Op(size == 1 ? 0xc6 : 0xc7);
+      enc.RegField(0);
+      DBLL_TRY_STATUS(enc.Rm(dst));
+      enc.Imm(src.imm, size == 1 ? 1 : (size == 2 ? 2 : 4));
+      return enc.Finish(buffer, address);
+    }
+  }
+  if (src.is_reg() && (dst.is_reg() || dst.is_mem())) {
+    enc.Op(size == 1 ? 0x88 : 0x89);
+    DBLL_TRY_STATUS(enc.Reg(src));
+    DBLL_TRY_STATUS(enc.Rm(dst));
+    return enc.Finish(buffer, address);
+  }
+  if (dst.is_reg() && src.is_mem()) {
+    enc.Op(size == 1 ? 0x8a : 0x8b);
+    DBLL_TRY_STATUS(enc.Reg(dst));
+    DBLL_TRY_STATUS(enc.Rm(src));
+    return enc.Finish(buffer, address);
+  }
+  return Error(ErrorKind::kEncode, "unsupported mov operand combination");
+}
+
+/// Encoding descriptor for the uniform SSE opcodes.
+struct SseOp {
+  std::uint8_t prefix;  // 0 = none, otherwise 0x66/0xF2/0xF3
+  std::uint8_t opcode;  // second byte after 0F
+};
+
+Expected<SseOp> SseOpcode(Mnemonic m) {
+  using M = Mnemonic;
+  switch (m) {
+    case M::kAddps: return SseOp{0x00, 0x58};
+    case M::kAddpd: return SseOp{0x66, 0x58};
+    case M::kAddss: return SseOp{0xf3, 0x58};
+    case M::kAddsd: return SseOp{0xf2, 0x58};
+    case M::kMulps: return SseOp{0x00, 0x59};
+    case M::kMulpd: return SseOp{0x66, 0x59};
+    case M::kMulss: return SseOp{0xf3, 0x59};
+    case M::kMulsd: return SseOp{0xf2, 0x59};
+    case M::kSubps: return SseOp{0x00, 0x5c};
+    case M::kSubpd: return SseOp{0x66, 0x5c};
+    case M::kSubss: return SseOp{0xf3, 0x5c};
+    case M::kSubsd: return SseOp{0xf2, 0x5c};
+    case M::kDivps: return SseOp{0x00, 0x5e};
+    case M::kDivpd: return SseOp{0x66, 0x5e};
+    case M::kDivss: return SseOp{0xf3, 0x5e};
+    case M::kDivsd: return SseOp{0xf2, 0x5e};
+    case M::kMinss: return SseOp{0xf3, 0x5d};
+    case M::kMinsd: return SseOp{0xf2, 0x5d};
+    case M::kMaxss: return SseOp{0xf3, 0x5f};
+    case M::kMaxsd: return SseOp{0xf2, 0x5f};
+    case M::kSqrtps: return SseOp{0x00, 0x51};
+    case M::kSqrtpd: return SseOp{0x66, 0x51};
+    case M::kSqrtss: return SseOp{0xf3, 0x51};
+    case M::kSqrtsd: return SseOp{0xf2, 0x51};
+    case M::kAndps: return SseOp{0x00, 0x54};
+    case M::kAndpd: return SseOp{0x66, 0x54};
+    case M::kAndnps: return SseOp{0x00, 0x55};
+    case M::kAndnpd: return SseOp{0x66, 0x55};
+    case M::kOrps: return SseOp{0x00, 0x56};
+    case M::kOrpd: return SseOp{0x66, 0x56};
+    case M::kXorps: return SseOp{0x00, 0x57};
+    case M::kXorpd: return SseOp{0x66, 0x57};
+    case M::kPand: return SseOp{0x66, 0xdb};
+    case M::kPandn: return SseOp{0x66, 0xdf};
+    case M::kPor: return SseOp{0x66, 0xeb};
+    case M::kPxor: return SseOp{0x66, 0xef};
+    case M::kPaddb: return SseOp{0x66, 0xfc};
+    case M::kPaddw: return SseOp{0x66, 0xfd};
+    case M::kPaddd: return SseOp{0x66, 0xfe};
+    case M::kPaddq: return SseOp{0x66, 0xd4};
+    case M::kPsubb: return SseOp{0x66, 0xf8};
+    case M::kPsubw: return SseOp{0x66, 0xf9};
+    case M::kPsubd: return SseOp{0x66, 0xfa};
+    case M::kPsubq: return SseOp{0x66, 0xfb};
+    case M::kPmullw: return SseOp{0x66, 0xd5};
+    case M::kPmuludq: return SseOp{0x66, 0xf4};
+    case M::kPminub: return SseOp{0x66, 0xda};
+    case M::kPmaxub: return SseOp{0x66, 0xde};
+    case M::kPminsw: return SseOp{0x66, 0xea};
+    case M::kPmaxsw: return SseOp{0x66, 0xee};
+    case M::kPavgb: return SseOp{0x66, 0xe0};
+    case M::kPavgw: return SseOp{0x66, 0xe3};
+    case M::kPcmpeqb: return SseOp{0x66, 0x74};
+    case M::kPcmpeqw: return SseOp{0x66, 0x75};
+    case M::kPcmpeqd: return SseOp{0x66, 0x76};
+    case M::kPcmpgtb: return SseOp{0x66, 0x64};
+    case M::kPcmpgtw: return SseOp{0x66, 0x65};
+    case M::kPcmpgtd: return SseOp{0x66, 0x66};
+    case M::kPsllw: return SseOp{0x66, 0xf1};
+    case M::kPslld: return SseOp{0x66, 0xf2};
+    case M::kPsllq: return SseOp{0x66, 0xf3};
+    case M::kPsrlw: return SseOp{0x66, 0xd1};
+    case M::kPsrld: return SseOp{0x66, 0xd2};
+    case M::kPsrlq: return SseOp{0x66, 0xd3};
+    case M::kPsraw: return SseOp{0x66, 0xe1};
+    case M::kPsrad: return SseOp{0x66, 0xe2};
+    case M::kPunpcklbw: return SseOp{0x66, 0x60};
+    case M::kPunpcklwd: return SseOp{0x66, 0x61};
+    case M::kPunpckldq: return SseOp{0x66, 0x62};
+    case M::kPunpckhbw: return SseOp{0x66, 0x68};
+    case M::kPunpckhwd: return SseOp{0x66, 0x69};
+    case M::kPunpckhdq: return SseOp{0x66, 0x6a};
+    case M::kCmpps: return SseOp{0x00, 0xc2};
+    case M::kCmppd: return SseOp{0x66, 0xc2};
+    case M::kCmpss: return SseOp{0xf3, 0xc2};
+    case M::kCmpsd: return SseOp{0xf2, 0xc2};
+    case M::kUcomiss: return SseOp{0x00, 0x2e};
+    case M::kUcomisd: return SseOp{0x66, 0x2e};
+    case M::kComiss: return SseOp{0x00, 0x2f};
+    case M::kComisd: return SseOp{0x66, 0x2f};
+    case M::kCvtss2sd: return SseOp{0xf3, 0x5a};
+    case M::kCvtsd2ss: return SseOp{0xf2, 0x5a};
+    case M::kCvtps2pd: return SseOp{0x00, 0x5a};
+    case M::kCvtpd2ps: return SseOp{0x66, 0x5a};
+    case M::kCvtdq2ps: return SseOp{0x00, 0x5b};
+    case M::kCvtdq2pd: return SseOp{0xf3, 0xe6};
+    case M::kUnpcklps: return SseOp{0x00, 0x14};
+    case M::kUnpcklpd: return SseOp{0x66, 0x14};
+    case M::kUnpckhps: return SseOp{0x00, 0x15};
+    case M::kUnpckhpd: return SseOp{0x66, 0x15};
+    case M::kPunpcklqdq: return SseOp{0x66, 0x6c};
+    case M::kPunpckhqdq: return SseOp{0x66, 0x6d};
+    default:
+      return Error(ErrorKind::kEncode, "not a uniform SSE opcode");
+  }
+}
+
+Expected<std::size_t> EncodeSseRr(const Instr& instr, SseOp op,
+                                  std::span<std::uint8_t> buffer,
+                                  std::uint64_t address) {
+  Enc enc(instr);
+  if (op.prefix != 0) enc.Prefix(op.prefix);
+  enc.Op0F(op.opcode);
+  DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+  DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+  if (instr.op_count == 3) {
+    if (!instr.ops[2].is_imm()) {
+      return Error(ErrorKind::kEncode, "third SSE operand must be immediate");
+    }
+    enc.Imm(instr.ops[2].imm, 1);
+  }
+  return enc.Finish(buffer, address);
+}
+
+/// SSE moves whose load and store forms use adjacent opcodes.
+struct SseMove {
+  std::uint8_t prefix;
+  std::uint8_t load_op;
+  std::uint8_t store_op;
+};
+
+Expected<SseMove> SseMoveOpcode(Mnemonic m) {
+  using M = Mnemonic;
+  switch (m) {
+    case M::kMovups: return SseMove{0x00, 0x10, 0x11};
+    case M::kMovupd: return SseMove{0x66, 0x10, 0x11};
+    case M::kMovss: return SseMove{0xf3, 0x10, 0x11};
+    case M::kMovsdX: return SseMove{0xf2, 0x10, 0x11};
+    case M::kMovaps: return SseMove{0x00, 0x28, 0x29};
+    case M::kMovapd: return SseMove{0x66, 0x28, 0x29};
+    case M::kMovdqa: return SseMove{0x66, 0x6f, 0x7f};
+    case M::kMovdqu: return SseMove{0xf3, 0x6f, 0x7f};
+    case M::kMovlps: return SseMove{0x00, 0x12, 0x13};
+    case M::kMovlpd: return SseMove{0x66, 0x12, 0x13};
+    case M::kMovhps: return SseMove{0x00, 0x16, 0x17};
+    case M::kMovhpd: return SseMove{0x66, 0x16, 0x17};
+    default:
+      return Error(ErrorKind::kEncode, "not an SSE move");
+  }
+}
+
+Expected<std::size_t> EncodeShift(const Instr& instr,
+                                  std::span<std::uint8_t> buffer,
+                                  std::uint64_t address) {
+  int group;
+  switch (instr.mnemonic) {
+    case Mnemonic::kRol: group = 0; break;
+    case Mnemonic::kRor: group = 1; break;
+    case Mnemonic::kShl: group = 4; break;
+    case Mnemonic::kShr: group = 5; break;
+    case Mnemonic::kSar: group = 7; break;
+    default:
+      return Error(ErrorKind::kEncode, "not a shift");
+  }
+  const Operand& dst = instr.ops[0];
+  const Operand& amount = instr.ops[1];
+  Enc enc(instr);
+  enc.GpSize(dst.size).ByteReg(dst);
+  enc.RegField(static_cast<std::uint8_t>(group));
+  if (amount.is_imm()) {
+    enc.Op(dst.size == 1 ? 0xc0 : 0xc1);
+    DBLL_TRY_STATUS(enc.Rm(dst));
+    enc.Imm(amount.imm, 1);
+    return enc.Finish(buffer, address);
+  }
+  if (amount.is_reg() && amount.reg == kRcx) {
+    enc.Op(dst.size == 1 ? 0xd2 : 0xd3);
+    DBLL_TRY_STATUS(enc.Rm(dst));
+    return enc.Finish(buffer, address);
+  }
+  return Error(ErrorKind::kEncode, "shift amount must be imm8 or cl");
+}
+
+}  // namespace
+
+Expected<std::size_t> Encoder::Encode(const Instr& instr,
+                                      std::span<std::uint8_t> buffer,
+                                      std::uint64_t address) {
+  using M = Mnemonic;
+  switch (instr.mnemonic) {
+    case M::kNop: {
+      Enc enc(instr);
+      enc.Op(0x90);
+      return enc.Finish(buffer, address);
+    }
+    case M::kEndbr64: {
+      if (buffer.size() < 4) {
+        return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+      }
+      const std::uint8_t bytes[4] = {0xf3, 0x0f, 0x1e, 0xfa};
+      std::memcpy(buffer.data(), bytes, 4);
+      return std::size_t{4};
+    }
+    case M::kUd2: {
+      Enc enc(instr);
+      enc.Op0F(0x0b);
+      return enc.Finish(buffer, address);
+    }
+    case M::kRet: {
+      Enc enc(instr);
+      if (instr.op_count == 1) {
+        enc.Op(0xc2).Imm(instr.ops[0].imm, 2);
+      } else {
+        enc.Op(0xc3);
+      }
+      return enc.Finish(buffer, address);
+    }
+    case M::kLeave: {
+      Enc enc(instr);
+      enc.Op(0xc9);
+      return enc.Finish(buffer, address);
+    }
+    case M::kInt3: {
+      Enc enc(instr);
+      enc.Op(0xcc);
+      return enc.Finish(buffer, address);
+    }
+    case M::kRdtsc: {
+      Enc enc(instr);
+      enc.Op0F(0x31);
+      return enc.Finish(buffer, address);
+    }
+    case M::kCpuid: {
+      Enc enc(instr);
+      enc.Op0F(0xa2);
+      return enc.Finish(buffer, address);
+    }
+    case M::kCmpxchg: case M::kXadd: {
+      Enc enc(instr);
+      const std::uint8_t size = instr.ops[0].size;
+      enc.GpSize(size).ByteReg(instr.ops[0]).ByteReg(instr.ops[1]);
+      const std::uint8_t base = instr.mnemonic == M::kCmpxchg ? 0xb0 : 0xc0;
+      enc.Op0F(static_cast<std::uint8_t>(base | (size == 1 ? 0 : 1)));
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kClc: case M::kStc: {
+      Enc enc(instr);
+      enc.Op(instr.mnemonic == M::kClc ? 0xf8 : 0xf9);
+      return enc.Finish(buffer, address);
+    }
+    case M::kCwde: case M::kCbw: case M::kCdqe: {
+      Enc enc(instr);
+      if (instr.mnemonic == M::kCdqe) enc.RexW();
+      if (instr.mnemonic == M::kCbw) enc.P66();
+      enc.Op(0x98);
+      return enc.Finish(buffer, address);
+    }
+    case M::kCdq: case M::kCwd: case M::kCqo: {
+      Enc enc(instr);
+      if (instr.mnemonic == M::kCqo) enc.RexW();
+      if (instr.mnemonic == M::kCwd) enc.P66();
+      enc.Op(0x99);
+      return enc.Finish(buffer, address);
+    }
+
+    case M::kAdd: case M::kAdc: case M::kSub: case M::kSbb:
+    case M::kCmp: case M::kAnd: case M::kOr: case M::kXor:
+      return EncodeAlu(instr, buffer, address);
+
+    case M::kMov:
+      return EncodeMov(instr, buffer, address);
+
+    case M::kMovzx: case M::kMovsx: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      Enc enc(instr);
+      enc.GpSize(dst.size).ByteReg(src);
+      const bool from8 = src.size == 1;
+      enc.Op0F(instr.mnemonic == M::kMovzx ? (from8 ? 0xb6 : 0xb7)
+                                           : (from8 ? 0xbe : 0xbf));
+      DBLL_TRY_STATUS(enc.Reg(dst));
+      DBLL_TRY_STATUS(enc.Rm(src));
+      return enc.Finish(buffer, address);
+    }
+    case M::kMovsxd: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      enc.Op(0x63);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kLea: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      enc.Op(0x8d);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kTest: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      Enc enc(instr);
+      enc.GpSize(dst.size).ByteReg(dst).ByteReg(src);
+      if (src.is_imm()) {
+        enc.Op(dst.size == 1 ? 0xf6 : 0xf7);
+        enc.RegField(0);
+        DBLL_TRY_STATUS(enc.Rm(dst));
+        enc.Imm(src.imm, dst.size == 1 ? 1 : (dst.size == 2 ? 2 : 4));
+        return enc.Finish(buffer, address);
+      }
+      enc.Op(dst.size == 1 ? 0x84 : 0x85);
+      DBLL_TRY_STATUS(enc.Reg(src));
+      DBLL_TRY_STATUS(enc.Rm(dst));
+      return enc.Finish(buffer, address);
+    }
+    case M::kXchg: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size).ByteReg(instr.ops[0]).ByteReg(instr.ops[1]);
+      enc.Op(instr.ops[0].size == 1 ? 0x86 : 0x87);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kNot: case M::kNeg: case M::kMul: case M::kImul:
+    case M::kDiv: case M::kIdiv: {
+      // imul with 2/3 operands handled below; the unary forms land here.
+      if (instr.mnemonic == M::kImul && instr.op_count >= 2) {
+        const Operand& dst = instr.ops[0];
+        Enc enc(instr);
+        enc.GpSize(dst.size);
+        if (instr.op_count == 2) {
+          enc.Op0F(0xaf);
+          DBLL_TRY_STATUS(enc.Reg(dst));
+          DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+          return enc.Finish(buffer, address);
+        }
+        const std::int64_t imm = instr.ops[2].imm;
+        enc.Op(FitsInt8(imm) ? 0x6b : 0x69);
+        DBLL_TRY_STATUS(enc.Reg(dst));
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+        enc.Imm(imm, FitsInt8(imm) ? 1 : (dst.size == 2 ? 2 : 4));
+        return enc.Finish(buffer, address);
+      }
+      int group;
+      switch (instr.mnemonic) {
+        case M::kNot: group = 2; break;
+        case M::kNeg: group = 3; break;
+        case M::kMul: group = 4; break;
+        case M::kImul: group = 5; break;
+        case M::kDiv: group = 6; break;
+        default: group = 7; break;  // idiv
+      }
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size).ByteReg(instr.ops[0]);
+      enc.Op(instr.ops[0].size == 1 ? 0xf6 : 0xf7);
+      enc.RegField(static_cast<std::uint8_t>(group));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kInc: case M::kDec: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size).ByteReg(instr.ops[0]);
+      enc.Op(instr.ops[0].size == 1 ? 0xfe : 0xff);
+      enc.RegField(instr.mnemonic == M::kInc ? 0 : 1);
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kShl: case M::kShr: case M::kSar: case M::kRol: case M::kRor:
+      return EncodeShift(instr, buffer, address);
+
+    case M::kPush: {
+      const Operand& op = instr.ops[0];
+      Enc enc(instr);
+      if (op.is_reg()) {
+        if (op.reg.index & 8) {
+          // +r encoding needs REX.B; reuse RmReg's REX.B via a direct path.
+          std::uint8_t bytes[2] = {0x41,
+                                   static_cast<std::uint8_t>(0x50 | (op.reg.index & 7))};
+          if (buffer.size() < 2) {
+            return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+          }
+          std::memcpy(buffer.data(), bytes, 2);
+          return std::size_t{2};
+        }
+        enc.Op(static_cast<std::uint8_t>(0x50 | op.reg.index));
+        return enc.Finish(buffer, address);
+      }
+      if (op.is_imm()) {
+        if (FitsInt8(op.imm)) {
+          enc.Op(0x6a).Imm(op.imm, 1);
+        } else {
+          enc.Op(0x68).Imm(op.imm, 4);
+        }
+        return enc.Finish(buffer, address);
+      }
+      enc.Op(0xff);
+      enc.RegField(6);
+      DBLL_TRY_STATUS(enc.Rm(op));
+      return enc.Finish(buffer, address);
+    }
+    case M::kPop: {
+      const Operand& op = instr.ops[0];
+      Enc enc(instr);
+      if (op.is_reg()) {
+        if (op.reg.index & 8) {
+          std::uint8_t bytes[2] = {0x41,
+                                   static_cast<std::uint8_t>(0x58 | (op.reg.index & 7))};
+          if (buffer.size() < 2) {
+            return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+          }
+          std::memcpy(buffer.data(), bytes, 2);
+          return std::size_t{2};
+        }
+        enc.Op(static_cast<std::uint8_t>(0x58 | op.reg.index));
+        return enc.Finish(buffer, address);
+      }
+      enc.Op(0x8f);
+      enc.RegField(0);
+      DBLL_TRY_STATUS(enc.Rm(op));
+      return enc.Finish(buffer, address);
+    }
+
+    case M::kJmp: {
+      if (instr.op_count == 1 && !instr.ops[0].is_imm()) {
+        // Indirect jump: FF /4.
+        Enc enc(instr);
+        enc.Op(0xff);
+        enc.RegField(4);
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+        return enc.Finish(buffer, address);
+      }
+      // rel32, patched from target.
+      if (buffer.size() < 5) {
+        return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+      }
+      const std::int64_t rel = static_cast<std::int64_t>(instr.target) -
+                               static_cast<std::int64_t>(address + 5);
+      if (!FitsInt32(rel)) {
+        return Error(ErrorKind::kEncode, "jump target out of rel32 range");
+      }
+      buffer[0] = 0xe9;
+      const std::int32_t rel32 = static_cast<std::int32_t>(rel);
+      std::memcpy(buffer.data() + 1, &rel32, 4);
+      return std::size_t{5};
+    }
+    case M::kJcc: {
+      if (buffer.size() < 6) {
+        return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+      }
+      const std::int64_t rel = static_cast<std::int64_t>(instr.target) -
+                               static_cast<std::int64_t>(address + 6);
+      if (!FitsInt32(rel)) {
+        return Error(ErrorKind::kEncode, "jump target out of rel32 range");
+      }
+      buffer[0] = 0x0f;
+      buffer[1] = static_cast<std::uint8_t>(0x80 | static_cast<std::uint8_t>(instr.cond));
+      const std::int32_t rel32 = static_cast<std::int32_t>(rel);
+      std::memcpy(buffer.data() + 2, &rel32, 4);
+      return std::size_t{6};
+    }
+    case M::kCall: {
+      if (instr.op_count == 1 && !instr.ops[0].is_imm()) {
+        // Indirect call: FF /2.
+        Enc enc(instr);
+        enc.Op(0xff);
+        enc.RegField(2);
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+        return enc.Finish(buffer, address);
+      }
+      if (buffer.size() < 5) {
+        return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+      }
+      const std::int64_t rel = static_cast<std::int64_t>(instr.target) -
+                               static_cast<std::int64_t>(address + 5);
+      if (!FitsInt32(rel)) {
+        return Error(ErrorKind::kEncode, "call target out of rel32 range");
+      }
+      buffer[0] = 0xe8;
+      const std::int32_t rel32 = static_cast<std::int32_t>(rel);
+      std::memcpy(buffer.data() + 1, &rel32, 4);
+      return std::size_t{5};
+    }
+    case M::kSetcc: {
+      Enc enc(instr);
+      enc.ByteReg(instr.ops[0]);
+      enc.Op0F(static_cast<std::uint8_t>(0x90 | static_cast<std::uint8_t>(instr.cond)));
+      enc.RegField(0);
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kCmovcc: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      enc.Op0F(static_cast<std::uint8_t>(0x40 | static_cast<std::uint8_t>(instr.cond)));
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kBswap: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      if (instr.ops[0].reg.index & 8) {
+        // Needs REX.B on a +r opcode: emit manually.
+        std::uint8_t rex = instr.ops[0].size == 8 ? 0x49 : 0x41;
+        if (buffer.size() < 3) {
+          return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+        }
+        buffer[0] = rex;
+        buffer[1] = 0x0f;
+        buffer[2] = static_cast<std::uint8_t>(0xc8 | (instr.ops[0].reg.index & 7));
+        return std::size_t{3};
+      }
+      enc.Op0F(static_cast<std::uint8_t>(0xc8 | instr.ops[0].reg.index));
+      return enc.Finish(buffer, address);
+    }
+    case M::kBt: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      if (instr.ops[1].is_imm()) {
+        enc.Op0F(0xba);
+        enc.RegField(4);
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+        enc.Imm(instr.ops[1].imm, 1);
+        return enc.Finish(buffer, address);
+      }
+      enc.Op0F(0xa3);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kBsf: case M::kBsr: case M::kTzcnt: case M::kPopcnt: {
+      Enc enc(instr);
+      if (instr.mnemonic == M::kTzcnt || instr.mnemonic == M::kPopcnt) enc.PF3();
+      enc.GpSize(instr.ops[0].size);
+      enc.Op0F(instr.mnemonic == M::kBsr
+                   ? 0xbd
+                   : (instr.mnemonic == M::kPopcnt ? 0xb8 : 0xbc));
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+
+    // --- SSE moves with load/store opcode pairs ---
+    case M::kMovups: case M::kMovupd: case M::kMovss: case M::kMovsdX:
+    case M::kMovaps: case M::kMovapd: case M::kMovdqa: case M::kMovdqu:
+    case M::kMovlps: case M::kMovlpd: case M::kMovhps: case M::kMovhpd: {
+      DBLL_TRY(SseMove move, SseMoveOpcode(instr.mnemonic));
+      const bool is_store = instr.ops[0].is_mem();
+      Enc enc(instr);
+      if (move.prefix != 0) enc.Prefix(move.prefix);
+      if (is_store) {
+        enc.Op0F(move.store_op);
+        DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      } else {
+        enc.Op0F(move.load_op);
+        DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      }
+      return enc.Finish(buffer, address);
+    }
+    case M::kMovhlps: case M::kMovlhps: {
+      Enc enc(instr);
+      enc.Op0F(instr.mnemonic == M::kMovhlps ? 0x12 : 0x16);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kMovd: case M::kMovq: {
+      const Operand& dst = instr.ops[0];
+      const Operand& src = instr.ops[1];
+      const bool is64 = instr.mnemonic == M::kMovq;
+      Enc enc(instr);
+      if (dst.is_reg() && dst.reg.cls == RegClass::kVec) {
+        if (src.is_reg() && src.reg.cls == RegClass::kGp) {
+          enc.P66();
+          if (is64) enc.RexW();
+          enc.Op0F(0x6e);
+          DBLL_TRY_STATUS(enc.Reg(dst));
+          DBLL_TRY_STATUS(enc.Rm(src));
+          return enc.Finish(buffer, address);
+        }
+        if (is64) {
+          // movq xmm, xmm/m64 (F3 0F 7E)
+          enc.PF3();
+          enc.Op0F(0x7e);
+        } else {
+          enc.P66();
+          enc.Op0F(0x6e);
+        }
+        DBLL_TRY_STATUS(enc.Reg(dst));
+        DBLL_TRY_STATUS(enc.Rm(src));
+        return enc.Finish(buffer, address);
+      }
+      // Store forms: dst is GP reg or memory, src is xmm.
+      if (dst.is_reg() && dst.reg.cls == RegClass::kGp) {
+        enc.P66();
+        if (is64) enc.RexW();
+        enc.Op0F(0x7e);
+        DBLL_TRY_STATUS(enc.Reg(src));
+        DBLL_TRY_STATUS(enc.Rm(dst));
+        return enc.Finish(buffer, address);
+      }
+      if (dst.is_mem()) {
+        if (is64) {
+          enc.P66();
+          enc.Op0F(0xd6);  // movq m64, xmm
+        } else {
+          enc.P66();
+          enc.Op0F(0x7e);  // movd m32, xmm
+        }
+        DBLL_TRY_STATUS(enc.Reg(src));
+        DBLL_TRY_STATUS(enc.Rm(dst));
+        return enc.Finish(buffer, address);
+      }
+      return Error(ErrorKind::kEncode, "unsupported movd/movq operands");
+    }
+    case M::kCvtsi2ss: case M::kCvtsi2sd: {
+      Enc enc(instr);
+      enc.Prefix(instr.mnemonic == M::kCvtsi2ss ? 0xf3 : 0xf2);
+      if (instr.ops[1].size == 8) enc.RexW();
+      enc.Op0F(0x2a);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kShld: case M::kShrd: {
+      const bool is_shld = instr.mnemonic == M::kShld;
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      const bool by_cl = instr.ops[2].is_reg();
+      enc.Op0F(static_cast<std::uint8_t>((is_shld ? 0xa4 : 0xac) |
+                                         (by_cl ? 1 : 0)));
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      if (!by_cl) enc.Imm(instr.ops[2].imm, 1);
+      return enc.Finish(buffer, address);
+    }
+    case M::kBts: case M::kBtr: case M::kBtc: {
+      Enc enc(instr);
+      enc.GpSize(instr.ops[0].size);
+      if (instr.ops[1].is_imm()) {
+        enc.Op0F(0xba);
+        enc.RegField(instr.mnemonic == M::kBts
+                         ? 5
+                         : (instr.mnemonic == M::kBtr ? 6 : 7));
+        DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+        enc.Imm(instr.ops[1].imm, 1);
+        return enc.Finish(buffer, address);
+      }
+      enc.Op0F(instr.mnemonic == M::kBts
+                   ? 0xab
+                   : (instr.mnemonic == M::kBtr ? 0xb3 : 0xbb));
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[1]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kLfence: case M::kMfence: case M::kSfence: {
+      if (buffer.size() < 3) {
+        return Error(ErrorKind::kResourceLimit, "encode buffer too small");
+      }
+      buffer[0] = 0x0f;
+      buffer[1] = 0xae;
+      buffer[2] = instr.mnemonic == M::kLfence
+                      ? 0xe8
+                      : (instr.mnemonic == M::kMfence ? 0xf0 : 0xf8);
+      return std::size_t{3};
+    }
+    case M::kMovmskps: case M::kMovmskpd: case M::kPmovmskb: {
+      Enc enc(instr);
+      if (instr.mnemonic != M::kMovmskps) enc.P66();
+      enc.Op0F(instr.mnemonic == M::kPmovmskb ? 0xd7 : 0x50);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kPsllw: case M::kPslld: case M::kPsllq:
+    case M::kPsrlw: case M::kPsrld: case M::kPsrlq:
+    case M::kPsraw: case M::kPsrad:
+    case M::kPslldq: case M::kPsrldq: {
+      if (!instr.ops[1].is_imm()) {
+        // Register-count forms use the uniform opcode table.
+        DBLL_TRY(SseOp op, SseOpcode(instr.mnemonic));
+        return EncodeSseRr(instr, op, buffer, address);
+      }
+      // Immediate forms: 66 0F 71/72/73 /group ib.
+      std::uint8_t opcode = 0;
+      std::uint8_t group = 0;
+      switch (instr.mnemonic) {
+        case M::kPsrlw: opcode = 0x71; group = 2; break;
+        case M::kPsraw: opcode = 0x71; group = 4; break;
+        case M::kPsllw: opcode = 0x71; group = 6; break;
+        case M::kPsrld: opcode = 0x72; group = 2; break;
+        case M::kPsrad: opcode = 0x72; group = 4; break;
+        case M::kPslld: opcode = 0x72; group = 6; break;
+        case M::kPsrlq: opcode = 0x73; group = 2; break;
+        case M::kPsrldq: opcode = 0x73; group = 3; break;
+        case M::kPsllq: opcode = 0x73; group = 6; break;
+        case M::kPslldq: opcode = 0x73; group = 7; break;
+        default: break;
+      }
+      Enc enc(instr);
+      enc.P66();
+      enc.Op0F(opcode);
+      enc.RegField(group);
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[0]));
+      enc.Imm(instr.ops[1].imm, 1);
+      return enc.Finish(buffer, address);
+    }
+    case M::kCvtss2si: case M::kCvtsd2si: {
+      Enc enc(instr);
+      enc.Prefix(instr.mnemonic == M::kCvtss2si ? 0xf3 : 0xf2);
+      if (instr.ops[0].size == 8) enc.RexW();
+      enc.Op0F(0x2d);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kCvttss2si: case M::kCvttsd2si: {
+      Enc enc(instr);
+      enc.Prefix(instr.mnemonic == M::kCvttss2si ? 0xf3 : 0xf2);
+      if (instr.ops[0].size == 8) enc.RexW();
+      enc.Op0F(0x2c);
+      DBLL_TRY_STATUS(enc.Reg(instr.ops[0]));
+      DBLL_TRY_STATUS(enc.Rm(instr.ops[1]));
+      return enc.Finish(buffer, address);
+    }
+    case M::kShufps: case M::kShufpd: case M::kPshufd: {
+      SseOp op{};
+      if (instr.mnemonic == M::kShufps) op = {0x00, 0xc6};
+      if (instr.mnemonic == M::kShufpd) op = {0x66, 0xc6};
+      if (instr.mnemonic == M::kPshufd) op = {0x66, 0x70};
+      return EncodeSseRr(instr, op, buffer, address);
+    }
+
+    default: {
+      // Uniform SSE register-register/memory opcodes.
+      auto op = SseOpcode(instr.mnemonic);
+      if (op) {
+        return EncodeSseRr(instr, *op, buffer, address);
+      }
+      return Error(ErrorKind::kEncode,
+                   std::string("no encoding for mnemonic ") +
+                       MnemonicName(instr.mnemonic),
+                   instr.address);
+    }
+  }
+}
+
+}  // namespace dbll::x86

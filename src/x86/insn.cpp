@@ -1,0 +1,136 @@
+#include "dbll/x86/insn.h"
+
+namespace dbll::x86 {
+
+const char* MnemonicName(Mnemonic mnemonic) noexcept {
+  switch (mnemonic) {
+#define DBLL_X86_NAME(id, name) \
+  case Mnemonic::id:            \
+    return name;
+    DBLL_X86_MNEMONIC_LIST(DBLL_X86_NAME)
+#undef DBLL_X86_NAME
+    default:
+      return "(unknown)";
+  }
+}
+
+const char* CondName(Cond cond) noexcept {
+  switch (cond) {
+    case Cond::kO: return "o";
+    case Cond::kNo: return "no";
+    case Cond::kB: return "b";
+    case Cond::kAe: return "ae";
+    case Cond::kE: return "e";
+    case Cond::kNe: return "ne";
+    case Cond::kBe: return "be";
+    case Cond::kA: return "a";
+    case Cond::kS: return "s";
+    case Cond::kNs: return "ns";
+    case Cond::kP: return "p";
+    case Cond::kNp: return "np";
+    case Cond::kL: return "l";
+    case Cond::kGe: return "ge";
+    case Cond::kLe: return "le";
+    case Cond::kG: return "g";
+  }
+  return "?";
+}
+
+std::uint8_t CondFlagUses(Cond cond) noexcept {
+  switch (cond) {
+    case Cond::kO:
+    case Cond::kNo:
+      return kFlagO;
+    case Cond::kB:
+    case Cond::kAe:
+      return kFlagC;
+    case Cond::kE:
+    case Cond::kNe:
+      return kFlagZ;
+    case Cond::kBe:
+    case Cond::kA:
+      return kFlagC | kFlagZ;
+    case Cond::kS:
+    case Cond::kNs:
+      return kFlagS;
+    case Cond::kP:
+    case Cond::kNp:
+      return kFlagP;
+    case Cond::kL:
+    case Cond::kGe:
+      return kFlagS | kFlagO;
+    case Cond::kLe:
+    case Cond::kG:
+      return kFlagS | kFlagO | kFlagZ;
+  }
+  return kFlagNone;
+}
+
+FlagEffects FlagEffectsOf(Mnemonic mnemonic) noexcept {
+  using M = Mnemonic;
+  switch (mnemonic) {
+    // Full arithmetic: ZF SF CF OF PF AF all defined.
+    case M::kAdd:
+    case M::kSub:
+    case M::kCmp:
+    case M::kNeg:
+      return {kFlagAll, kFlagNone, false};
+    case M::kAdc:
+    case M::kSbb:
+      return {kFlagAll, kFlagNone, true};
+    // Logic ops: CF=OF=0, ZF/SF/PF defined, AF undefined.
+    case M::kAnd:
+    case M::kOr:
+    case M::kXor:
+    case M::kTest:
+      return {kFlagZ | kFlagS | kFlagC | kFlagO | kFlagP, kFlagA, false};
+    // inc/dec preserve CF.
+    case M::kInc:
+    case M::kDec:
+      return {kFlagZ | kFlagS | kFlagO | kFlagP | kFlagA, kFlagNone, false};
+    // Shifts: flags written (CF from last bit shifted out); OF defined only
+    // for 1-bit shifts, AF undefined. We conservatively mark O/A undefined.
+    case M::kShl:
+    case M::kShr:
+    case M::kSar:
+      return {kFlagZ | kFlagS | kFlagC | kFlagP, kFlagO | kFlagA, false};
+    case M::kRol:
+    case M::kRor:
+      return {kFlagC, kFlagO, false};
+    // Multiplies: CF/OF defined, rest undefined.
+    case M::kImul:
+    case M::kMul:
+      return {kFlagC | kFlagO, kFlagZ | kFlagS | kFlagP | kFlagA, false};
+    // Divides leave all flags undefined.
+    case M::kIdiv:
+    case M::kDiv:
+      return {kFlagNone, kFlagAll, false};
+    case M::kBt:
+    case M::kBts:
+    case M::kBtr:
+    case M::kBtc:
+      return {kFlagC, kFlagO | kFlagS | kFlagP | kFlagA, false};
+    case M::kShld:
+    case M::kShrd:
+      return {kFlagZ | kFlagS | kFlagC | kFlagP, kFlagO | kFlagA, false};
+    case M::kStc:
+    case M::kClc:
+      return {kFlagC, kFlagNone, false};
+    case M::kBsf:
+    case M::kBsr:
+      return {kFlagZ, kFlagC | kFlagO | kFlagS | kFlagP | kFlagA, false};
+    case M::kTzcnt:
+    case M::kPopcnt:
+      return {kFlagZ | kFlagC, kFlagO | kFlagS | kFlagP | kFlagA, false};
+    // Ordered/unordered float compares set ZF/PF/CF, clear OF/SF/AF.
+    case M::kUcomiss:
+    case M::kUcomisd:
+    case M::kComiss:
+    case M::kComisd:
+      return {kFlagAll, kFlagNone, false};
+    default:
+      return {kFlagNone, kFlagNone, false};
+  }
+}
+
+}  // namespace dbll::x86

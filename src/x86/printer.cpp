@@ -1,0 +1,171 @@
+#include "dbll/x86/printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "dbll/support/hexdump.h"
+
+namespace dbll::x86 {
+namespace {
+
+const char* const kGpNames64[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                    "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                    "r12", "r13", "r14", "r15"};
+const char* const kGpNames32[16] = {"eax",  "ecx",  "edx",  "ebx", "esp",
+                                    "ebp",  "esi",  "edi",  "r8d", "r9d",
+                                    "r10d", "r11d", "r12d", "r13d", "r14d",
+                                    "r15d"};
+const char* const kGpNames16[16] = {"ax",   "cx",   "dx",   "bx",  "sp",
+                                    "bp",   "si",   "di",   "r8w", "r9w",
+                                    "r10w", "r11w", "r12w", "r13w", "r14w",
+                                    "r15w"};
+const char* const kGpNames8[16] = {"al",   "cl",   "dl",   "bl",  "spl",
+                                   "bpl",  "sil",  "dil",  "r8b", "r9b",
+                                   "r10b", "r11b", "r12b", "r13b", "r14b",
+                                   "r15b"};
+const char* const kGpNames8High[4] = {"ah", "ch", "dh", "bh"};
+
+const char* SizePrefix(std::uint8_t size) {
+  switch (size) {
+    case 1: return "byte ptr ";
+    case 2: return "word ptr ";
+    case 4: return "dword ptr ";
+    case 8: return "qword ptr ";
+    case 16: return "xmmword ptr ";
+    default: return "";
+  }
+}
+
+void AppendSignedHex(std::string& out, std::int64_t value) {
+  char buf[32];
+  if (value < 0) {
+    std::snprintf(buf, sizeof(buf), "-0x%" PRIx64, static_cast<std::uint64_t>(-value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, static_cast<std::uint64_t>(value));
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string PrintReg(Reg reg, std::uint8_t size, bool high8) {
+  switch (reg.cls) {
+    case RegClass::kGp: {
+      const unsigned i = reg.index & 15u;
+      if (high8 && size == 1 && i < 4) return kGpNames8High[i];
+      switch (size) {
+        case 1: return kGpNames8[i];
+        case 2: return kGpNames16[i];
+        case 4: return kGpNames32[i];
+        default: return kGpNames64[i];
+      }
+    }
+    case RegClass::kVec:
+      return "xmm" + std::to_string(reg.index & 15u);
+    case RegClass::kIp:
+      return "rip";
+    case RegClass::kNone:
+      break;
+  }
+  return "(noreg)";
+}
+
+std::string PrintOperand(const Operand& op) {
+  switch (op.kind) {
+    case OpKind::kReg:
+      return PrintReg(op.reg, op.size, op.high8);
+    case OpKind::kImm: {
+      std::string out;
+      AppendSignedHex(out, op.imm);
+      return out;
+    }
+    case OpKind::kMem: {
+      std::string out = SizePrefix(op.size);
+      if (op.mem.segment == Segment::kFs) out += "fs:";
+      if (op.mem.segment == Segment::kGs) out += "gs:";
+      out += '[';
+      bool need_plus = false;
+      if (op.mem.base.valid()) {
+        out += PrintReg(op.mem.base, 8);
+        need_plus = true;
+      }
+      if (op.mem.index.valid()) {
+        if (need_plus) out += " + ";
+        if (op.mem.scale != 1) {
+          out += std::to_string(op.mem.scale);
+          out += '*';
+        }
+        out += PrintReg(op.mem.index, 8);
+        need_plus = true;
+      }
+      if (op.mem.disp != 0 || !need_plus) {
+        if (need_plus) {
+          out += op.mem.disp < 0 ? " - " : " + ";
+          AppendSignedHex(out, op.mem.disp < 0 ? -static_cast<std::int64_t>(op.mem.disp)
+                                               : op.mem.disp);
+        } else {
+          AppendSignedHex(out, op.mem.disp);
+        }
+      }
+      out += ']';
+      return out;
+    }
+    case OpKind::kNone:
+      break;
+  }
+  return "(none)";
+}
+
+std::string PrintInstr(const Instr& instr) {
+  std::string out;
+  switch (instr.mnemonic) {
+    case Mnemonic::kJcc:
+      out = "j";
+      out += CondName(instr.cond);
+      break;
+    case Mnemonic::kSetcc:
+      out = "set";
+      out += CondName(instr.cond);
+      break;
+    case Mnemonic::kCmovcc:
+      out = "cmov";
+      out += CondName(instr.cond);
+      break;
+    default:
+      out = MnemonicName(instr.mnemonic);
+      break;
+  }
+  // Direct branch/call targets print as resolved absolute addresses.
+  if ((instr.IsBranch() || instr.mnemonic == Mnemonic::kCall) &&
+      instr.op_count == 1 && instr.ops[0].is_imm()) {
+    out += ' ';
+    out += dbll::HexValue(instr.target);
+    return out;
+  }
+  for (int i = 0; i < instr.op_count; ++i) {
+    out += i == 0 ? " " : ", ";
+    // RIP-relative operands print their resolved target for readability.
+    if (instr.ops[i].is_mem() && instr.ops[i].mem.base == kRip) {
+      out += SizePrefix(instr.ops[i].size);
+      out += '[';
+      out += dbll::HexValue(instr.target);
+      out += ']';
+    } else {
+      out += PrintOperand(instr.ops[i]);
+    }
+  }
+  return out;
+}
+
+std::string PrintInstrWithBytes(const Instr& instr, const std::uint8_t* bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%12" PRIx64 ":  ", instr.address);
+  std::string out = buf;
+  std::string hex = dbll::HexBytes({bytes, instr.length});
+  hex.resize(32, ' ');
+  out += hex;
+  out += PrintInstr(instr);
+  return out;
+}
+
+}  // namespace dbll::x86

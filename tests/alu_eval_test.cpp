@@ -1,0 +1,620 @@
+// dbll tests -- rewrite-time ALU evaluation, checked against the host CPU.
+//
+// Property tests: for each supported operation, run the *actual hardware
+// instruction* via inline assembly, capture the result and the flags, and
+// compare with EvalInt/EvalVec. This validates the DBrew folding semantics
+// against the architecture itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "../src/dbrew/alu_eval.h"
+
+namespace dbll::dbrew {
+namespace {
+
+using x86::Flag;
+using x86::Mnemonic;
+
+struct HwResult {
+  std::uint64_t value;
+  std::uint64_t rflags;
+};
+
+constexpr std::uint64_t kCfBit = 1u << 0;
+constexpr std::uint64_t kPfBit = 1u << 2;
+constexpr std::uint64_t kAfBit = 1u << 4;
+constexpr std::uint64_t kZfBit = 1u << 6;
+constexpr std::uint64_t kSfBit = 1u << 7;
+constexpr std::uint64_t kOfBit = 1u << 11;
+
+#define HW_BINOP(name, insn)                                        \
+  HwResult name(std::uint64_t a, std::uint64_t b) {                 \
+    std::uint64_t flags;                                            \
+    asm volatile(insn " %2, %0\n\tpushfq\n\tpopq %1"                \
+                 : "+r"(a), "=r"(flags)                             \
+                 : "r"(b)                                           \
+                 : "cc");                                           \
+    return {a, flags};                                              \
+  }
+
+HW_BINOP(HwAdd64, "addq")
+HW_BINOP(HwSub64, "subq")
+HW_BINOP(HwAnd64, "andq")
+HW_BINOP(HwOr64, "orq")
+HW_BINOP(HwXor64, "xorq")
+
+HwResult HwAdd32(std::uint64_t a, std::uint64_t b) {
+  std::uint32_t lo = static_cast<std::uint32_t>(a);
+  std::uint64_t flags;
+  asm volatile("addl %2, %0\n\tpushfq\n\tpopq %1"
+               : "+r"(lo), "=r"(flags)
+               : "r"(static_cast<std::uint32_t>(b))
+               : "cc");
+  return {lo, flags};
+}
+
+HwResult HwSub8(std::uint64_t a, std::uint64_t b) {
+  std::uint8_t lo = static_cast<std::uint8_t>(a);
+  std::uint64_t flags;
+  asm volatile("subb %2, %0\n\tpushfq\n\tpopq %1"
+               : "+q"(lo), "=r"(flags)
+               : "q"(static_cast<std::uint8_t>(b))
+               : "cc");
+  return {lo, flags};
+}
+
+void ExpectFlagsMatch(const IntResult& eval, const HwResult& hw,
+                      const char* what, std::uint64_t a, std::uint64_t b) {
+  auto check = [&](Flag flag, std::uint64_t bit, const char* flag_name) {
+    const MetaFlag& mf = eval.flags[static_cast<int>(flag)];
+    if (!mf.known) return;  // undefined by the evaluator: anything goes
+    EXPECT_EQ(mf.value, (hw.rflags & bit) != 0)
+        << what << " flag " << flag_name << " a=" << a << " b=" << b;
+  };
+  check(Flag::kZf, kZfBit, "ZF");
+  check(Flag::kSf, kSfBit, "SF");
+  check(Flag::kCf, kCfBit, "CF");
+  check(Flag::kOf, kOfBit, "OF");
+  check(Flag::kPf, kPfBit, "PF");
+  check(Flag::kAf, kAfBit, "AF");
+}
+
+struct HwCase {
+  const char* name;
+  Mnemonic mnemonic;
+  HwResult (*hw)(std::uint64_t, std::uint64_t);
+  std::uint8_t size;
+};
+
+class HwCompareTest : public testing::TestWithParam<HwCase> {};
+
+TEST_P(HwCompareTest, MatchesHardwareOnRandomInputs) {
+  const HwCase& c = GetParam();
+  std::mt19937_64 rng(12345);
+  // Include adversarial values plus random ones.
+  std::vector<std::uint64_t> interesting = {
+      0, 1, 2, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000,
+      0x7fffffff, 0x80000000, 0xffffffff, 0x100000000ull,
+      0x7fffffffffffffffull, 0x8000000000000000ull, 0xffffffffffffffffull};
+  for (int i = 0; i < 200; ++i) interesting.push_back(rng());
+
+  for (std::uint64_t a : interesting) {
+    for (std::uint64_t b : {interesting[1], interesting[5], interesting[12],
+                            rng(), rng()}) {
+      auto eval = EvalInt(c.mnemonic, a, b, c.size);
+      ASSERT_TRUE(eval.has_value());
+      const HwResult hw = c.hw(a, b);
+      EXPECT_EQ(eval->value, MaskToSize(hw.value, c.size))
+          << c.name << " a=" << a << " b=" << b;
+      ExpectFlagsMatch(*eval, hw, c.name, a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, HwCompareTest,
+    testing::Values(HwCase{"add64", Mnemonic::kAdd, HwAdd64, 8},
+                    HwCase{"sub64", Mnemonic::kSub, HwSub64, 8},
+                    HwCase{"and64", Mnemonic::kAnd, HwAnd64, 8},
+                    HwCase{"or64", Mnemonic::kOr, HwOr64, 8},
+                    HwCase{"xor64", Mnemonic::kXor, HwXor64, 8},
+                    HwCase{"add32", Mnemonic::kAdd, HwAdd32, 4},
+                    HwCase{"sub8", Mnemonic::kSub, HwSub8, 1}),
+    [](const testing::TestParamInfo<HwCase>& info) {
+      return info.param.name;
+    });
+
+// --- Shifts against hardware -------------------------------------------------
+
+TEST(AluEvalTest, ShiftsMatchHardware) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t count = rng() % 64;
+    if (count == 0) continue;  // zero-count flag semantics differ
+    std::uint64_t hw_value = a;
+    std::uint64_t flags = 0;
+    asm volatile(
+        "movq %2, %%rcx\n\tshlq %%cl, %0\n\tpushfq\n\tpopq %1"
+        : "+r"(hw_value), "=r"(flags)
+        : "r"(count)
+        : "rcx", "cc");
+    auto eval = EvalInt(Mnemonic::kShl, a, count, 8);
+    ASSERT_TRUE(eval.has_value());
+    EXPECT_EQ(eval->value, hw_value) << "a=" << a << " count=" << count;
+    EXPECT_EQ(eval->flags[static_cast<int>(Flag::kCf)].value,
+              (flags & kCfBit) != 0)
+        << "a=" << a << " count=" << count;
+  }
+}
+
+TEST(AluEvalTest, SarIsArithmetic) {
+  auto r = EvalInt(Mnemonic::kSar, 0xffffffffffffff00ull, 4, 8);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 0xfffffffffffffff0ull);
+  auto r32 = EvalInt(Mnemonic::kSar, 0x80000000ull, 1, 4);
+  ASSERT_TRUE(r32.has_value());
+  EXPECT_EQ(r32->value, 0xc0000000ull);
+}
+
+TEST(AluEvalTest, ZeroCountShiftKeepsFlags) {
+  auto r = EvalInt(Mnemonic::kShl, 42, 0, 8);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->writes_flags);
+  EXPECT_EQ(r->value, 42u);
+}
+
+// --- inc/dec/neg -------------------------------------------------------------
+
+TEST(AluEvalTest, IncLeavesCarryUnknown) {
+  auto r = EvalInt(Mnemonic::kInc, 0xffffffffffffffffull, 0, 8);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 0u);
+  EXPECT_TRUE(r->flags[static_cast<int>(Flag::kZf)].known);
+  EXPECT_TRUE(r->flags[static_cast<int>(Flag::kZf)].value);
+  // CF must be reported unknown so the caller preserves the previous value.
+  EXPECT_FALSE(r->flags[static_cast<int>(Flag::kCf)].known);
+}
+
+TEST(AluEvalTest, NegCarry) {
+  auto zero = EvalInt(Mnemonic::kNeg, 0, 0, 8);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero->flags[static_cast<int>(Flag::kCf)].value);
+  auto nonzero = EvalInt(Mnemonic::kNeg, 5, 0, 8);
+  ASSERT_TRUE(nonzero.has_value());
+  EXPECT_TRUE(nonzero->flags[static_cast<int>(Flag::kCf)].value);
+  EXPECT_EQ(nonzero->value, static_cast<std::uint64_t>(-5));
+}
+
+// --- imul overflow -----------------------------------------------------------
+
+TEST(AluEvalTest, ImulOverflowFlag) {
+  auto fits = EvalInt(Mnemonic::kImul, 1000, 1000, 8);
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_FALSE(fits->flags[static_cast<int>(Flag::kOf)].value);
+  auto overflows = EvalInt(Mnemonic::kImul, INT64_MAX, 2, 8);
+  ASSERT_TRUE(overflows.has_value());
+  EXPECT_TRUE(overflows->flags[static_cast<int>(Flag::kOf)].value);
+}
+
+// --- Condition evaluation ------------------------------------------------
+
+TEST(AluEvalTest, CondAfterCmpMatchesComparison) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t a = static_cast<std::int64_t>(rng());
+    const std::int64_t b = static_cast<std::int64_t>(rng());
+    auto cmp = EvalInt(Mnemonic::kCmp, static_cast<std::uint64_t>(a),
+                       static_cast<std::uint64_t>(b), 8);
+    ASSERT_TRUE(cmp.has_value());
+    auto expect = [&](x86::Cond cond, bool want) {
+      auto got = EvalCond(cond, cmp->flags);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, want) << "a=" << a << " b=" << b << " cond="
+                            << x86::CondName(cond);
+    };
+    expect(x86::Cond::kE, a == b);
+    expect(x86::Cond::kNe, a != b);
+    expect(x86::Cond::kL, a < b);
+    expect(x86::Cond::kLe, a <= b);
+    expect(x86::Cond::kG, a > b);
+    expect(x86::Cond::kGe, a >= b);
+    expect(x86::Cond::kB, static_cast<std::uint64_t>(a) <
+                              static_cast<std::uint64_t>(b));
+    expect(x86::Cond::kAe, static_cast<std::uint64_t>(a) >=
+                               static_cast<std::uint64_t>(b));
+    expect(x86::Cond::kBe, static_cast<std::uint64_t>(a) <=
+                               static_cast<std::uint64_t>(b));
+    expect(x86::Cond::kA, static_cast<std::uint64_t>(a) >
+                              static_cast<std::uint64_t>(b));
+  }
+}
+
+TEST(AluEvalTest, CondWithUnknownFlagIsNullopt) {
+  MetaFlag flags[x86::kFlagCount] = {};
+  flags[static_cast<int>(Flag::kZf)] = {true, true};
+  EXPECT_TRUE(EvalCond(x86::Cond::kE, flags).has_value());
+  EXPECT_FALSE(EvalCond(x86::Cond::kL, flags).has_value());  // needs SF/OF
+  EXPECT_FALSE(EvalCond(x86::Cond::kB, flags).has_value());  // needs CF
+}
+
+// --- Vector evaluation ---------------------------------------------------
+
+double BitsToD(std::uint64_t bits) {
+  double d;
+  __builtin_memcpy(&d, &bits, 8);
+  return d;
+}
+std::uint64_t DToBits(double d) {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &d, 8);
+  return bits;
+}
+
+TEST(VecEvalTest, ScalarDoubleOps) {
+  const Vec128 a{DToBits(3.5), DToBits(99.0)};
+  const Vec128 b{DToBits(1.25), DToBits(-1.0)};
+  auto add = EvalVec(Mnemonic::kAddsd, a, b, 16);
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ(BitsToD(add->value.lo), 4.75);
+  EXPECT_EQ(add->value.hi, a.hi) << "upper half must be preserved";
+  auto mul = EvalVec(Mnemonic::kMulsd, a, b, 16);
+  EXPECT_EQ(BitsToD(mul->value.lo), 4.375);
+  auto div = EvalVec(Mnemonic::kDivsd, a, b, 16);
+  EXPECT_EQ(BitsToD(div->value.lo), 2.8);
+}
+
+TEST(VecEvalTest, MovsdFromMemoryZeroesUpper) {
+  const Vec128 dst{DToBits(1.0), DToBits(2.0)};
+  const Vec128 src{DToBits(7.0), 0};
+  auto mem = EvalVec(Mnemonic::kMovsdX, dst, src, /*src_size=*/8);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ(BitsToD(mem->value.lo), 7.0);
+  EXPECT_EQ(mem->value.hi, 0u);
+  auto reg = EvalVec(Mnemonic::kMovsdX, dst, src, /*src_size=*/16);
+  EXPECT_EQ(reg->value.hi, dst.hi) << "register form preserves upper";
+}
+
+TEST(VecEvalTest, PackedDouble) {
+  const Vec128 a{DToBits(1.0), DToBits(2.0)};
+  const Vec128 b{DToBits(10.0), DToBits(20.0)};
+  auto add = EvalVec(Mnemonic::kAddpd, a, b, 16);
+  EXPECT_EQ(BitsToD(add->value.lo), 11.0);
+  EXPECT_EQ(BitsToD(add->value.hi), 22.0);
+}
+
+TEST(VecEvalTest, Bitwise) {
+  const Vec128 a{0xff00ff00ff00ff00ull, 0x0123456789abcdefull};
+  const Vec128 b{0x0ff00ff00ff00ff0ull, 0xffffffffffffffffull};
+  auto x = EvalVec(Mnemonic::kPxor, a, b, 16);
+  EXPECT_EQ(x->value.lo, a.lo ^ b.lo);
+  EXPECT_EQ(x->value.hi, a.hi ^ b.hi);
+  auto andn = EvalVec(Mnemonic::kPandn, a, b, 16);
+  EXPECT_EQ(andn->value.lo, ~a.lo & b.lo);
+}
+
+TEST(VecEvalTest, UnpckAndShuffle) {
+  const Vec128 a{1, 2};
+  const Vec128 b{3, 4};
+  auto lo = EvalVec(Mnemonic::kUnpcklpd, a, b, 16);
+  EXPECT_EQ(lo->value.lo, 1u);
+  EXPECT_EQ(lo->value.hi, 3u);
+  auto hi = EvalVec(Mnemonic::kUnpckhpd, a, b, 16);
+  EXPECT_EQ(hi->value.lo, 2u);
+  EXPECT_EQ(hi->value.hi, 4u);
+  auto shuf = EvalVec(Mnemonic::kShufpd, a, b, 16, 0b01);
+  EXPECT_EQ(shuf->value.lo, 2u);
+  EXPECT_EQ(shuf->value.hi, 3u);
+}
+
+TEST(VecEvalTest, UcomisdFlags) {
+  const Vec128 a{DToBits(1.0), 0};
+  const Vec128 b{DToBits(2.0), 0};
+  auto less = EvalVec(Mnemonic::kUcomisd, a, b, 8);
+  ASSERT_TRUE(less.has_value());
+  EXPECT_TRUE(less->writes_flags);
+  EXPECT_TRUE(less->flags[static_cast<int>(Flag::kCf)].value);
+  EXPECT_FALSE(less->flags[static_cast<int>(Flag::kZf)].value);
+  auto equal = EvalVec(Mnemonic::kUcomisd, a, a, 8);
+  EXPECT_TRUE(equal->flags[static_cast<int>(Flag::kZf)].value);
+  EXPECT_FALSE(equal->flags[static_cast<int>(Flag::kCf)].value);
+
+  const Vec128 nan{DToBits(__builtin_nan("")), 0};
+  auto unordered = EvalVec(Mnemonic::kUcomisd, a, nan, 8);
+  EXPECT_TRUE(unordered->flags[static_cast<int>(Flag::kPf)].value);
+  EXPECT_TRUE(unordered->flags[static_cast<int>(Flag::kZf)].value);
+  EXPECT_TRUE(unordered->flags[static_cast<int>(Flag::kCf)].value);
+}
+
+TEST(VecEvalTest, PaddLanes) {
+  const Vec128 a{0x00ff00ff00ff00ffull, 1};
+  const Vec128 b{0x0001000100010001ull, 2};
+  auto w = EvalVec(Mnemonic::kPaddw, a, b, 16);
+  EXPECT_EQ(w->value.lo, 0x0100010001000100ull) << "no carry across lanes";
+  EXPECT_EQ(w->value.hi, 3u);
+  auto bsum = EvalVec(Mnemonic::kPaddb, Vec128{0xff, 0}, Vec128{0x01, 0}, 16);
+  EXPECT_EQ(bsum->value.lo & 0xffff, 0x00u) << "byte lane wraps";
+}
+
+TEST(VecEvalTest, UnsupportedReturnsNullopt) {
+  EXPECT_FALSE(EvalVec(Mnemonic::kCvtdq2pd, {}, {}, 8).has_value());
+  EXPECT_FALSE(EvalInt(Mnemonic::kMovzx, 0, 0, 8).has_value());
+}
+
+// --- MaskToSize / SignExtend ----------------------------------------------
+
+TEST(AluEvalTest, MaskAndExtend) {
+  EXPECT_EQ(MaskToSize(0x1234567890abcdefull, 4), 0x90abcdefull);
+  EXPECT_EQ(MaskToSize(0x1234567890abcdefull, 1), 0xefull);
+  EXPECT_EQ(MaskToSize(0x1234567890abcdefull, 8), 0x1234567890abcdefull);
+  EXPECT_EQ(SignExtend(0x80, 1), -128);
+  EXPECT_EQ(SignExtend(0x7f, 1), 127);
+  EXPECT_EQ(SignExtend(0xffffffff, 4), -1);
+  EXPECT_EQ(SignExtend(0x80000000, 4), INT32_MIN);
+}
+
+}  // namespace
+}  // namespace dbll::dbrew
+
+// --- New SSE2 ops validated against the hardware --------------------------
+
+#include <emmintrin.h>
+
+namespace dbll::dbrew {
+namespace {
+
+Vec128 FromM128i(__m128i v) {
+  Vec128 out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&out), v);
+  return out;
+}
+__m128i ToM128i(Vec128 v) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&v));
+}
+
+struct HwVecCase {
+  const char* name;
+  x86::Mnemonic mnemonic;
+  __m128i (*hw)(__m128i, __m128i);
+};
+
+class HwVecCompareTest : public testing::TestWithParam<HwVecCase> {};
+
+TEST_P(HwVecCompareTest, MatchesHardware) {
+  const HwVecCase& c = GetParam();
+  std::mt19937_64 rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    const Vec128 a{rng(), rng()};
+    const Vec128 b{rng(), rng()};
+    auto eval = EvalVec(c.mnemonic, a, b, 16);
+    ASSERT_TRUE(eval.has_value()) << c.name;
+    const Vec128 hw = FromM128i(c.hw(ToM128i(a), ToM128i(b)));
+    EXPECT_EQ(eval->value.lo, hw.lo) << c.name << " round " << round;
+    EXPECT_EQ(eval->value.hi, hw.hi) << c.name << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, HwVecCompareTest,
+    testing::Values(
+        HwVecCase{"pcmpeqb", x86::Mnemonic::kPcmpeqb,
+                  [](__m128i a, __m128i b) { return _mm_cmpeq_epi8(a, b); }},
+        HwVecCase{"pcmpeqw", x86::Mnemonic::kPcmpeqw,
+                  [](__m128i a, __m128i b) { return _mm_cmpeq_epi16(a, b); }},
+        HwVecCase{"pcmpeqd", x86::Mnemonic::kPcmpeqd,
+                  [](__m128i a, __m128i b) { return _mm_cmpeq_epi32(a, b); }},
+        HwVecCase{"pcmpgtb", x86::Mnemonic::kPcmpgtb,
+                  [](__m128i a, __m128i b) { return _mm_cmpgt_epi8(a, b); }},
+        HwVecCase{"pcmpgtw", x86::Mnemonic::kPcmpgtw,
+                  [](__m128i a, __m128i b) { return _mm_cmpgt_epi16(a, b); }},
+        HwVecCase{"pcmpgtd", x86::Mnemonic::kPcmpgtd,
+                  [](__m128i a, __m128i b) { return _mm_cmpgt_epi32(a, b); }},
+        HwVecCase{"pmullw", x86::Mnemonic::kPmullw,
+                  [](__m128i a, __m128i b) { return _mm_mullo_epi16(a, b); }},
+        HwVecCase{"pmuludq", x86::Mnemonic::kPmuludq,
+                  [](__m128i a, __m128i b) { return _mm_mul_epu32(a, b); }},
+        HwVecCase{"pminub", x86::Mnemonic::kPminub,
+                  [](__m128i a, __m128i b) { return _mm_min_epu8(a, b); }},
+        HwVecCase{"pmaxub", x86::Mnemonic::kPmaxub,
+                  [](__m128i a, __m128i b) { return _mm_max_epu8(a, b); }},
+        HwVecCase{"pminsw", x86::Mnemonic::kPminsw,
+                  [](__m128i a, __m128i b) { return _mm_min_epi16(a, b); }},
+        HwVecCase{"pmaxsw", x86::Mnemonic::kPmaxsw,
+                  [](__m128i a, __m128i b) { return _mm_max_epi16(a, b); }},
+        HwVecCase{"pavgb", x86::Mnemonic::kPavgb,
+                  [](__m128i a, __m128i b) { return _mm_avg_epu8(a, b); }},
+        HwVecCase{"pavgw", x86::Mnemonic::kPavgw,
+                  [](__m128i a, __m128i b) { return _mm_avg_epu16(a, b); }},
+        HwVecCase{"punpcklbw", x86::Mnemonic::kPunpcklbw,
+                  [](__m128i a, __m128i b) { return _mm_unpacklo_epi8(a, b); }},
+        HwVecCase{"punpckhwd", x86::Mnemonic::kPunpckhwd,
+                  [](__m128i a, __m128i b) { return _mm_unpackhi_epi16(a, b); }},
+        HwVecCase{"punpckldq", x86::Mnemonic::kPunpckldq,
+                  [](__m128i a, __m128i b) { return _mm_unpacklo_epi32(a, b); }},
+        HwVecCase{"paddb", x86::Mnemonic::kPaddb,
+                  [](__m128i a, __m128i b) { return _mm_add_epi8(a, b); }},
+        HwVecCase{"psubw", x86::Mnemonic::kPsubw,
+                  [](__m128i a, __m128i b) { return _mm_sub_epi16(a, b); }}),
+    [](const testing::TestParamInfo<HwVecCase>& info) {
+      return info.param.name;
+    });
+
+TEST(HwVecShiftTest, ShiftsMatchHardware) {
+  std::mt19937_64 rng(31337);
+  for (int round = 0; round < 100; ++round) {
+    const Vec128 a{rng(), rng()};
+    for (std::uint64_t count : {0ull, 1ull, 7ull, 15ull, 16ull, 31ull, 32ull,
+                                63ull, 64ull, 200ull}) {
+      const Vec128 cnt{count, 0};
+      auto check = [&](x86::Mnemonic m, __m128i hw) {
+        auto eval = EvalVec(m, a, cnt, 16);
+        ASSERT_TRUE(eval.has_value());
+        const Vec128 want = FromM128i(hw);
+        EXPECT_EQ(eval->value.lo, want.lo)
+            << x86::MnemonicName(m) << " count=" << count;
+        EXPECT_EQ(eval->value.hi, want.hi)
+            << x86::MnemonicName(m) << " count=" << count;
+      };
+      const __m128i va = ToM128i(a);
+      const __m128i vc = ToM128i(cnt);
+      check(x86::Mnemonic::kPsllw, _mm_sll_epi16(va, vc));
+      check(x86::Mnemonic::kPslld, _mm_sll_epi32(va, vc));
+      check(x86::Mnemonic::kPsllq, _mm_sll_epi64(va, vc));
+      check(x86::Mnemonic::kPsrlw, _mm_srl_epi16(va, vc));
+      check(x86::Mnemonic::kPsrld, _mm_srl_epi32(va, vc));
+      check(x86::Mnemonic::kPsrlq, _mm_srl_epi64(va, vc));
+      check(x86::Mnemonic::kPsraw, _mm_sra_epi16(va, vc));
+      check(x86::Mnemonic::kPsrad, _mm_sra_epi32(va, vc));
+    }
+  }
+}
+
+TEST(HwVecShiftTest, ByteShiftsMatchHardware) {
+  std::mt19937_64 rng(4242);
+  const Vec128 a{rng(), rng()};
+  auto expect = [&](x86::Mnemonic m, std::uint64_t count, __m128i hw) {
+    auto eval = EvalVec(m, a, Vec128{count, 0}, 16);
+    ASSERT_TRUE(eval.has_value());
+    const Vec128 want = FromM128i(hw);
+    EXPECT_EQ(eval->value.lo, want.lo) << x86::MnemonicName(m) << count;
+    EXPECT_EQ(eval->value.hi, want.hi) << x86::MnemonicName(m) << count;
+  };
+  const __m128i va = ToM128i(a);
+  expect(x86::Mnemonic::kPslldq, 0, _mm_slli_si128(va, 0));
+  expect(x86::Mnemonic::kPslldq, 5, _mm_slli_si128(va, 5));
+  expect(x86::Mnemonic::kPslldq, 15, _mm_slli_si128(va, 15));
+  expect(x86::Mnemonic::kPsrldq, 3, _mm_srli_si128(va, 3));
+  expect(x86::Mnemonic::kPsrldq, 8, _mm_srli_si128(va, 8));
+  expect(x86::Mnemonic::kPsrldq, 16, _mm_srli_si128(va, 16));
+}
+
+}  // namespace
+}  // namespace dbll::dbrew
+
+// --- Partial condition resolution (mixed known/runtime flags) --------------
+
+namespace dbll::dbrew {
+namespace {
+
+TEST(ResolveCondTest, SingleFlagResidual) {
+  MetaFlag flags[x86::kFlagCount] = {};  // everything runtime
+  auto r = ResolveCond(x86::Cond::kE, flags);
+  EXPECT_EQ(r.kind, CondResolution::Kind::kCond);
+  EXPECT_EQ(r.cond, x86::Cond::kE);
+}
+
+TEST(ResolveCondTest, AboveWithKnownZeroFlag) {
+  MetaFlag flags[x86::kFlagCount] = {};
+  flags[static_cast<int>(x86::Flag::kZf)] = {true, false};
+  // a == !CF && !ZF; with ZF=0 it reduces to !CF == ae.
+  auto r = ResolveCond(x86::Cond::kA, flags);
+  EXPECT_EQ(r.kind, CondResolution::Kind::kCond);
+  EXPECT_EQ(r.cond, x86::Cond::kAe);
+  // With ZF=1, a is decided false and be is decided true.
+  flags[static_cast<int>(x86::Flag::kZf)] = {true, true};
+  EXPECT_EQ(ResolveCond(x86::Cond::kA, flags).kind,
+            CondResolution::Kind::kFalse);
+  EXPECT_EQ(ResolveCond(x86::Cond::kBe, flags).kind,
+            CondResolution::Kind::kTrue);
+}
+
+TEST(ResolveCondTest, SignedWithKnownSignFlag) {
+  MetaFlag flags[x86::kFlagCount] = {};
+  flags[static_cast<int>(x86::Flag::kSf)] = {true, false};
+  // l == SF^OF; with SF=0 it reduces to OF.
+  auto r = ResolveCond(x86::Cond::kL, flags);
+  EXPECT_EQ(r.kind, CondResolution::Kind::kCond);
+  EXPECT_EQ(r.cond, x86::Cond::kO);
+  auto ge = ResolveCond(x86::Cond::kGe, flags);
+  EXPECT_EQ(ge.cond, x86::Cond::kNo);
+  flags[static_cast<int>(x86::Flag::kSf)] = {true, true};
+  EXPECT_EQ(ResolveCond(x86::Cond::kL, flags).cond, x86::Cond::kNo);
+  EXPECT_EQ(ResolveCond(x86::Cond::kGe, flags).cond, x86::Cond::kO);
+}
+
+TEST(ResolveCondTest, LessEqualReductions) {
+  MetaFlag flags[x86::kFlagCount] = {};
+  flags[static_cast<int>(x86::Flag::kZf)] = {true, true};
+  EXPECT_EQ(ResolveCond(x86::Cond::kLe, flags).kind,
+            CondResolution::Kind::kTrue);
+  EXPECT_EQ(ResolveCond(x86::Cond::kG, flags).kind,
+            CondResolution::Kind::kFalse);
+  // ZF=0: le reduces to l; with SF also known it reduces further.
+  flags[static_cast<int>(x86::Flag::kZf)] = {true, false};
+  flags[static_cast<int>(x86::Flag::kSf)] = {true, true};
+  auto le = ResolveCond(x86::Cond::kLe, flags);
+  EXPECT_EQ(le.kind, CondResolution::Kind::kCond);
+  EXPECT_EQ(le.cond, x86::Cond::kNo);
+  // SF and OF known, ZF runtime: g reduces to ne / decided false.
+  MetaFlag mixed[x86::kFlagCount] = {};
+  mixed[static_cast<int>(x86::Flag::kSf)] = {true, false};
+  mixed[static_cast<int>(x86::Flag::kOf)] = {true, false};
+  auto g = ResolveCond(x86::Cond::kG, mixed);
+  EXPECT_EQ(g.kind, CondResolution::Kind::kCond);
+  EXPECT_EQ(g.cond, x86::Cond::kNe);
+  mixed[static_cast<int>(x86::Flag::kOf)] = {true, true};
+  EXPECT_EQ(ResolveCond(x86::Cond::kG, mixed).kind,
+            CondResolution::Kind::kFalse);
+}
+
+TEST(ResolveCondTest, UnresolvableMix) {
+  // le with ZF runtime and only SF known cannot be one condition code.
+  MetaFlag flags[x86::kFlagCount] = {};
+  flags[static_cast<int>(x86::Flag::kSf)] = {true, false};
+  EXPECT_EQ(ResolveCond(x86::Cond::kLe, flags).kind,
+            CondResolution::Kind::kUnresolved);
+}
+
+TEST(ResolveCondTest, ResidualAgreesWithTruthTable) {
+  // Exhaustive: for every cond and every partial assignment of
+  // {ZF, SF, CF, OF, PF}, the resolution must agree with brute force over
+  // the runtime flags.
+  for (int cc = 0; cc < 16; ++cc) {
+    const auto cond = static_cast<x86::Cond>(cc);
+    for (int known_mask = 0; known_mask < 32; ++known_mask) {
+      for (int known_vals = 0; known_vals < 32; ++known_vals) {
+        if ((known_vals & ~known_mask) != 0) continue;
+        MetaFlag flags[x86::kFlagCount] = {};
+        const x86::Flag order[5] = {x86::Flag::kZf, x86::Flag::kSf,
+                                    x86::Flag::kCf, x86::Flag::kOf,
+                                    x86::Flag::kPf};
+        for (int b = 0; b < 5; ++b) {
+          if (known_mask & (1 << b)) {
+            flags[static_cast<int>(order[b])] = {true,
+                                                 (known_vals >> b & 1) != 0};
+          }
+        }
+        const CondResolution res = ResolveCond(cond, flags);
+        if (res.kind == CondResolution::Kind::kUnresolved) continue;
+        // Brute force every runtime completion.
+        for (int rt = 0; rt < 32; ++rt) {
+          MetaFlag full[x86::kFlagCount] = {};
+          for (int b = 0; b < 5; ++b) {
+            const bool value = (known_mask & (1 << b))
+                                   ? (known_vals >> b & 1) != 0
+                                   : (rt >> b & 1) != 0;
+            full[static_cast<int>(order[b])] = {true, value};
+          }
+          const bool want = *EvalCond(cond, full);
+          bool got = false;
+          switch (res.kind) {
+            case CondResolution::Kind::kTrue: got = true; break;
+            case CondResolution::Kind::kFalse: got = false; break;
+            case CondResolution::Kind::kCond:
+              got = *EvalCond(res.cond, full);
+              break;
+            default: break;
+          }
+          ASSERT_EQ(got, want)
+              << "cond=" << x86::CondName(cond) << " known_mask=" << known_mask
+              << " known_vals=" << known_vals << " rt=" << rt;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbll::dbrew

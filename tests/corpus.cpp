@@ -1,0 +1,472 @@
+// dbll tests -- corpus definitions. Compiled with the controlled kernel
+// flags (see CMakeLists.txt) so the code is decodable and liftable.
+#include "corpus.h"
+
+#define NOINLINE __attribute__((noinline))
+
+extern "C" {
+
+NOINLINE long c_add3(long a, long b, long c) { return a + b + c; }
+
+NOINLINE long c_arith_mix(long a, long b) {
+  return (a + b) * 3 - (a - b) * 5 + (a ^ b);
+}
+
+NOINLINE long c_imul_chain(long a, long b) {
+  return a * b * 7 + a * 100 + b * -3;
+}
+
+NOINLINE long c_shifts(long a, long b) {
+  return (a << (b & 63)) ^ (a >> (b & 31)) ^
+         static_cast<long>(static_cast<unsigned long>(a) >> ((b + 1) & 63));
+}
+
+NOINLINE long c_shift_const(long a) {
+  return (a << 5) + (a >> 3) - static_cast<long>(
+             static_cast<unsigned long>(a) >> 17);
+}
+
+NOINLINE long c_bits(long a, long b) {
+  return (a & b) | (a ^ ~b) | (a & ~b);
+}
+
+NOINLINE long c_neg_not(long a) { return -a + ~a; }
+
+NOINLINE long c_abs(long a) { return a < 0 ? -a : a; }
+
+NOINLINE long c_min_signed(long a, long b) { return a < b ? a : b; }
+
+NOINLINE long c_max_unsigned(unsigned long a, unsigned long b) {
+  return static_cast<long>(a > b ? a : b);
+}
+
+NOINLINE long c_cmp_chain(long a, long b) {
+  long r = 0;
+  if (a == b) r += 1;
+  if (a != b) r += 2;
+  if (a < b) r += 4;
+  if (a <= b) r += 8;
+  if (a > b) r += 16;
+  if (a >= b) r += 32;
+  if (static_cast<unsigned long>(a) < static_cast<unsigned long>(b)) r += 64;
+  if (static_cast<unsigned long>(a) >= static_cast<unsigned long>(b)) r += 128;
+  return r;
+}
+
+NOINLINE long c_div_mod(long a, long b) {
+  if (b == 0 || (a == INT64_MIN && b == -1)) return 0;
+  return a / b + a % b;
+}
+
+NOINLINE long c_udiv_mod(unsigned long a, unsigned long b) {
+  if (b == 0) return 0;
+  return static_cast<long>(a / b + a % b);
+}
+
+NOINLINE long c_mul_wide(long a, long b) {
+  return static_cast<long>((static_cast<__int128>(a) * b) >> 64);
+}
+
+NOINLINE int c_narrow32(int a, int b) { return a * b + (a >> 2) - (b << 1); }
+
+NOINLINE int c_u8_ops(unsigned char a, unsigned char b) {
+  unsigned char c = static_cast<unsigned char>(a + b);
+  unsigned char d = static_cast<unsigned char>(a * 3);
+  return c ^ d;
+}
+
+NOINLINE int c_i16_ops(short a, short b) {
+  short c = static_cast<short>(a - b);
+  return c * 2 + (a & b);
+}
+
+NOINLINE long c_sext_zext(int a, unsigned int b) {
+  return static_cast<long>(a) + static_cast<long>(b);
+}
+
+NOINLINE long c_select(long a, long b) { return a > 0 ? b : -b; }
+
+NOINLINE long c_setcc_sum(long a, long b) {
+  return (a < b) + (a == b) * 2 + (a > b) * 4;
+}
+
+NOINLINE long c_branch_tree(long a) {
+  if (a < -100) return 1;
+  if (a < 0) return 2;
+  if (a == 0) return 3;
+  if (a < 100) return 4;
+  return 5;
+}
+
+NOINLINE long c_loop_sum(long n) {
+  long s = 0;
+  for (long i = 0; i < n; i++) s += i;
+  return s;
+}
+
+NOINLINE long c_loop_fib(long n) {
+  long a = 0;
+  long b = 1;
+  for (long i = 0; i < n; i++) {
+    long t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+NOINLINE long c_gcd(long a, long b) {
+  while (b != 0) {
+    long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+NOINLINE long c_collatz_steps(long n) {
+  long steps = 0;
+  while (n > 1 && steps < 1000) {
+    n = (n % 2 == 0) ? n / 2 : 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+
+NOINLINE long c_nested_loops(long n, long m) {
+  long s = 0;
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < m; j++) {
+      s += i * j + 1;
+    }
+  }
+  return s;
+}
+
+NOINLINE long c_early_return(long a, long b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return a * b;
+}
+
+NOINLINE long c_short_circuit(long a, long b) {
+  if (a > 0 && b > 0) return 1;
+  if (a < 0 || b < 0) return -1;
+  return 0;
+}
+
+NOINLINE long c_loop_to_entry(long n) {
+  // With -O2 the loop test lands at (or next to) the function entry.
+  long s = 1;
+  do {
+    s = s * 3 + 1;
+    n--;
+  } while (n > 0);
+  return s;
+}
+
+NOINLINE long c_array_sum(const long* data, long count) {
+  long s = 0;
+  for (long i = 0; i < count; i++) s += data[i];
+  return s;
+}
+
+NOINLINE long c_array_index(const long* data, long index) {
+  return data[index * 2] + data[index + 3];
+}
+
+NOINLINE double c_array_sum_f64(const double* data, long count) {
+  double s = 0.0;
+  for (long i = 0; i < count; i++) s += data[i];
+  return s;
+}
+
+NOINLINE long c_strlen_like(const char* text) {
+  long n = 0;
+  while (text[n] != 0) n++;
+  return n;
+}
+
+NOINLINE void c_store_fields(long* out, long a, long b) {
+  out[0] = a + b;
+  out[1] = a - b;
+  out[2] = a * b;
+}
+
+NOINLINE long c_stack_spill(long a, long b, long c, long d, long e, long f) {
+  long t1 = a * b;
+  long t2 = c * d;
+  long t3 = e * f;
+  long t4 = a + c + e;
+  long t5 = b + d + f;
+  long t6 = t1 ^ t2;
+  long t7 = t3 ^ t4;
+  return t1 + t2 + t3 + t4 + t5 + t6 + t7 + (t1 * t5) + (t2 * t4) +
+         (t3 * t7) + (t6 * t7);
+}
+
+NOINLINE long c_struct_walk(const void* s) {
+  const CorpusNode* nodes = static_cast<const CorpusNode*>(s);
+  long total = 0;
+  for (int i = 0; i < 4; i++) {
+    total += nodes[i].value * nodes[i].weight;
+  }
+  return total;
+}
+
+NOINLINE double c_poly(double x) {
+  return ((2.0 * x + 3.0) * x - 5.0) * x + 7.0;
+}
+
+NOINLINE double c_fp_mix(double a, double b) {
+  return a * b + a / (b * b + 1.0) - (a - b);
+}
+
+NOINLINE double c_fp_sqrt(double a) { return __builtin_sqrt(a * a + 1.0); }
+
+NOINLINE double c_fp_minmax(double a, double b) {
+  double lo = a < b ? a : b;
+  double hi = a > b ? a : b;
+  return hi - lo;
+}
+
+NOINLINE double c_int_to_fp(long a, long b) {
+  return static_cast<double>(a) / (static_cast<double>(b) + 0.5);
+}
+
+NOINLINE long c_fp_to_int(double a) {
+  return static_cast<long>(a * 3.5);
+}
+
+NOINLINE float c_float_ops(float a, float b) {
+  return a * b - a / (b + 1.0f);
+}
+
+NOINLINE double c_float_to_double(float a) {
+  return static_cast<double>(a) * 2.0;
+}
+
+NOINLINE double c_fp_branch(double a, double b) {
+  if (a < b) return b - a;
+  if (a > b * 2.0) return a * 0.5;
+  return a + b;
+}
+
+NOINLINE double c_dot3(const double* a, const double* b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+NOINLINE static long helper_scale(long a) { return a * 17 + 1; }
+NOINLINE static long helper_combine(long a, long b) { return a * 31 + b; }
+
+NOINLINE long c_call_helper(long a, long b) {
+  return helper_scale(a) + helper_scale(b);
+}
+
+NOINLINE long c_call_chain(long a) {
+  return helper_combine(helper_scale(a), helper_scale(a + 1));
+}
+
+NOINLINE long c_factorial(long n) {
+  if (n <= 1) return 1;
+  return n * c_factorial(n - 1);
+}
+
+}  // extern "C"
+
+namespace dbll_tests {
+
+const IntFn kIntCorpus[] = {
+    {"add3_partial", [](long a, long b) { return c_add3(a, b, 7); }},
+    {"arith_mix", c_arith_mix},
+    {"imul_chain", c_imul_chain},
+    {"shifts", c_shifts},
+    {"bits", c_bits},
+    {"min_signed", c_min_signed},
+    {"cmp_chain", c_cmp_chain},
+    {"div_mod", c_div_mod},
+    {"mul_wide", c_mul_wide},
+    {"select", c_select},
+    {"setcc_sum", c_setcc_sum},
+    {"early_return", c_early_return},
+    {"short_circuit", c_short_circuit},
+    {"gcd", c_gcd},
+    {"nested_loops",
+     [](long a, long b) { return c_nested_loops(a & 15, b & 15); }},
+};
+const int kIntCorpusSize = static_cast<int>(sizeof(kIntCorpus) / sizeof(kIntCorpus[0]));
+
+const FpFn kFpCorpus[] = {
+    {"fp_mix", c_fp_mix},
+    {"fp_minmax", c_fp_minmax},
+    {"fp_branch", c_fp_branch},
+    {"poly_partial", [](double a, double) { return c_poly(a); }},
+};
+const int kFpCorpusSize = static_cast<int>(sizeof(kFpCorpus) / sizeof(kFpCorpus[0]));
+
+}  // namespace dbll_tests
+
+// --- Vector corpus -----------------------------------------------------------
+
+#include <emmintrin.h>
+
+extern "C" {
+
+NOINLINE long v_paddd_sum(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  __m128i sum = _mm_add_epi32(va, vb);
+  sum = _mm_add_epi32(sum, _mm_srli_si128(sum, 8));
+  sum = _mm_add_epi32(sum, _mm_srli_si128(sum, 4));
+  return _mm_cvtsi128_si32(sum);
+}
+
+NOINLINE long v_cmp_mask(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  const int eq = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb));
+  const int gt = _mm_movemask_epi8(_mm_cmpgt_epi16(va, vb));
+  return (static_cast<long>(eq) << 16) | gt;
+}
+
+NOINLINE long v_minmax_bytes(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  __m128i mn = _mm_min_epu8(va, vb);
+  __m128i mx = _mm_max_epu8(va, vb);
+  __m128i mw = _mm_max_epi16(_mm_min_epi16(va, vb), mn);
+  return _mm_movemask_epi8(_mm_cmpeq_epi8(mn, mx)) +
+         _mm_cvtsi128_si32(mw);
+}
+
+NOINLINE long v_shift_mix(const void* a, long count) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i imm = _mm_xor_si128(_mm_slli_epi32(va, 5), _mm_srli_epi64(va, 9));
+  imm = _mm_xor_si128(imm, _mm_srai_epi16(va, 3));
+  __m128i cnt = _mm_cvtsi32_si128(static_cast<int>(count & 31));
+  imm = _mm_xor_si128(imm, _mm_sll_epi32(va, cnt));
+  imm = _mm_xor_si128(imm, _mm_srl_epi16(va, cnt));
+  imm = _mm_xor_si128(imm, _mm_slli_si128(va, 3));
+  long lo;
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(&lo), imm);
+  return lo;
+}
+
+NOINLINE long v_mul_lanes(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  __m128i w = _mm_mullo_epi16(va, vb);
+  __m128i q = _mm_mul_epu32(va, vb);
+  __m128i mix = _mm_xor_si128(w, q);
+  long lo;
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(&lo), mix);
+  return lo;
+}
+
+NOINLINE long v_unpack_digest(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  __m128i lo8 = _mm_unpacklo_epi8(va, vb);
+  __m128i hi16 = _mm_unpackhi_epi16(va, vb);
+  __m128i d32 = _mm_unpacklo_epi32(lo8, hi16);
+  d32 = _mm_add_epi64(d32, _mm_unpackhi_epi64(va, vb));
+  long lo;
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(&lo), d32);
+  return lo;
+}
+
+NOINLINE long v_avg_bytes(const void* a, const void* b) {
+  __m128i va = _mm_loadu_si128(static_cast<const __m128i*>(a));
+  __m128i vb = _mm_loadu_si128(static_cast<const __m128i*>(b));
+  __m128i avg = _mm_avg_epu8(va, vb);
+  avg = _mm_add_epi16(avg, _mm_avg_epu16(va, vb));
+  long lo;
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(&lo), avg);
+  return lo;
+}
+
+NOINLINE long v_memchr_like(const void* data, long byte) {
+  // Classic vectorized byte scan: pcmpeqb + pmovmskb + tzcnt.
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(byte));
+  const char* p = static_cast<const char*>(data);
+  for (long off = 0; off < 256; off += 16) {
+    __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + off));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, needle));
+    if (mask != 0) {
+      return off + __builtin_ctz(static_cast<unsigned>(mask));
+    }
+  }
+  return -1;
+}
+
+NOINLINE long v_shld(long a, long b) {
+  unsigned long lo = static_cast<unsigned long>(a);
+  asm("shldq $13, %1, %0" : "+r"(lo) : "r"(b) : "cc");
+  unsigned long cl = static_cast<unsigned long>(b) & 63;
+  asm("movq %1, %%rcx\n\tshldq %%cl, %1, %0"
+      : "+r"(lo)
+      : "r"(cl)
+      : "rcx", "cc");
+  return static_cast<long>(lo);
+}
+
+NOINLINE long v_shrd(long a, long b) {
+  unsigned long lo = static_cast<unsigned long>(a);
+  asm("shrdq $7, %1, %0" : "+r"(lo) : "r"(b) : "cc");
+  return static_cast<long>(lo);
+}
+
+NOINLINE long v_bittest(long a, long b) {
+  unsigned long v = static_cast<unsigned long>(a);
+  unsigned char c1, c2, c3;
+  asm("btsq %2, %0\n\tsetc %1" : "+r"(v), "=q"(c1) : "r"(b & 63) : "cc");
+  asm("btrq $5, %0\n\tsetc %1" : "+r"(v), "=q"(c2) : : "cc");
+  asm("btcq %2, %0\n\tsetc %1" : "+r"(v), "=q"(c3) : "r"((b >> 6) & 63) : "cc");
+  return static_cast<long>(v) + c1 + 2 * c2 + 4 * c3;
+}
+
+NOINLINE double v_cmpsd_select(double a, double b) {
+  __m128d va = _mm_set_sd(a);
+  __m128d vb = _mm_set_sd(b);
+  __m128d mask = _mm_cmplt_sd(va, vb);           // cmpsd imm=1
+  __m128d sel = _mm_or_pd(_mm_and_pd(mask, vb),  // max via mask
+                          _mm_andnot_pd(mask, va));
+  return _mm_cvtsd_f64(sel);
+}
+
+NOINLINE long v_movmskpd(double a, double b) {
+  __m128d v = _mm_set_pd(a, b);
+  return _mm_movemask_pd(v);
+}
+
+NOINLINE long cb_affine(long x, const long* p) { return x * p[0] + p[1]; }
+
+NOINLINE long cb_poly(long x, const long* p) {
+  return (x + p[0]) * (x + p[1]);
+}
+
+NOINLINE long cb_apply(const CbConfig* config, long count) {
+  long acc = 0;
+  for (long i = 0; i < count; i++) {
+    acc += config->fn(i, config->params);
+  }
+  return acc;
+}
+
+}  // extern "C"
+
+namespace dbll_tests {
+
+const VecFn kVecCorpus[] = {
+    {"paddd_sum", v_paddd_sum},
+    {"cmp_mask", v_cmp_mask},
+    {"minmax_bytes", v_minmax_bytes},
+    {"mul_lanes", v_mul_lanes},
+    {"unpack_digest", v_unpack_digest},
+    {"avg_bytes", v_avg_bytes},
+};
+const int kVecCorpusSize =
+    static_cast<int>(sizeof(kVecCorpus) / sizeof(kVecCorpus[0]));
+
+}  // namespace dbll_tests

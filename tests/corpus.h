@@ -1,0 +1,136 @@
+// dbll tests -- corpus of compiled functions used by the DBrew and lifter
+// equivalence tests. Definitions live in corpus.cpp, which is compiled with
+// the controlled kernel flags so the machine code stays within the supported
+// instruction subset.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+// Integer arithmetic and bit manipulation.
+long c_add3(long a, long b, long c);
+long c_arith_mix(long a, long b);
+long c_imul_chain(long a, long b);
+long c_shifts(long a, long b);
+long c_shift_const(long a);
+long c_bits(long a, long b);
+long c_neg_not(long a);
+long c_abs(long a);
+long c_min_signed(long a, long b);
+long c_max_unsigned(unsigned long a, unsigned long b);
+long c_cmp_chain(long a, long b);
+long c_div_mod(long a, long b);
+long c_udiv_mod(unsigned long a, unsigned long b);
+long c_mul_wide(long a, long b);
+int c_narrow32(int a, int b);
+int c_u8_ops(unsigned char a, unsigned char b);
+int c_i16_ops(short a, short b);
+long c_sext_zext(int a, unsigned int b);
+long c_select(long a, long b);
+long c_setcc_sum(long a, long b);
+
+// Control flow.
+long c_branch_tree(long a);
+long c_loop_sum(long n);
+long c_loop_fib(long n);
+long c_gcd(long a, long b);
+long c_collatz_steps(long n);
+long c_nested_loops(long n, long m);
+long c_early_return(long a, long b);
+long c_short_circuit(long a, long b);
+long c_loop_to_entry(long n);
+
+// Memory.
+long c_array_sum(const long* data, long count);
+long c_array_index(const long* data, long index);
+double c_array_sum_f64(const double* data, long count);
+long c_strlen_like(const char* text);
+void c_store_fields(long* out, long a, long b);
+long c_stack_spill(long a, long b, long c, long d, long e, long f);
+long c_struct_walk(const void* s);
+
+// Floating point.
+double c_poly(double x);
+double c_fp_mix(double a, double b);
+double c_fp_sqrt(double a);
+double c_fp_minmax(double a, double b);
+double c_int_to_fp(long a, long b);
+long c_fp_to_int(double a);
+float c_float_ops(float a, float b);
+double c_float_to_double(float a);
+double c_fp_branch(double a, double b);
+double c_dot3(const double* a, const double* b);
+
+// Calls.
+long c_call_helper(long a, long b);
+long c_call_chain(long a);
+long c_factorial(long n);
+
+// The struct used by c_struct_walk.
+struct CorpusNode {
+  long value;
+  long weight;
+};
+
+}  // extern "C"
+
+namespace dbll_tests {
+
+/// Number of (int -> int) corpus entries for parameterized sweeps.
+struct IntFn {
+  const char* name;
+  long (*fn)(long, long);
+};
+
+/// Two-argument integer corpus table (defined in corpus.cpp).
+extern const IntFn kIntCorpus[];
+extern const int kIntCorpusSize;
+
+struct FpFn {
+  const char* name;
+  double (*fn)(double, double);
+};
+extern const FpFn kFpCorpus[];
+extern const int kFpCorpusSize;
+
+}  // namespace dbll_tests
+
+// --- Vector corpus (SSE2 intrinsics / inline asm; defined in corpus.cpp) ---
+extern "C" {
+long v_paddd_sum(const void* a, const void* b);
+long v_cmp_mask(const void* a, const void* b);
+long v_minmax_bytes(const void* a, const void* b);
+long v_shift_mix(const void* a, long count);
+long v_mul_lanes(const void* a, const void* b);
+long v_unpack_digest(const void* a, const void* b);
+long v_avg_bytes(const void* a, const void* b);
+long v_memchr_like(const void* data, long byte);
+long v_shld(long a, long b);
+long v_shrd(long a, long b);
+long v_bittest(long a, long b);
+double v_cmpsd_select(double a, double b);
+long v_movmskpd(double a, double b);
+
+// Callback-fusion fixtures (generic routine + callbacks, see dbrew_test).
+typedef long (*CbFn)(long, const long*);
+struct CbConfig {
+  CbFn fn;
+  const long* params;
+};
+long cb_affine(long x, const long* p);
+long cb_poly(long x, const long* p);
+long cb_apply(const CbConfig* config, long count);
+}
+
+namespace dbll_tests {
+
+/// (const void*, const void*) -> long vector corpus for equivalence sweeps.
+struct VecFn {
+  const char* name;
+  long (*fn)(const void*, const void*);
+};
+extern const VecFn kVecCorpus[];
+extern const int kVecCorpusSize;
+
+}  // namespace dbll_tests

@@ -1,0 +1,72 @@
+// dbll tests -- unoptimized corpus: compiled at -O0 these functions use
+// rbp-based frames, keep every local on the stack, and spill arguments --
+// stressing the virtual stack (lifter) and the stack map (DBrew) far more
+// than the -O2 corpus.
+#include "corpus_o0.h"
+
+#define NOINLINE __attribute__((noinline))
+
+extern "C" {
+
+NOINLINE long o0_locals(long a, long b) {
+  long x = a + 1;
+  long y = b - 2;
+  long z = x * y;
+  long w = z + x - y;
+  return w * 3 + z;
+}
+
+NOINLINE long o0_branchy(long a, long b) {
+  long result = 0;
+  if (a > b) {
+    result = a - b;
+  } else if (a < b) {
+    result = b - a;
+  } else {
+    result = a + b;
+  }
+  if (result > 100) {
+    result = result / 2;
+  }
+  return result;
+}
+
+NOINLINE long o0_loop(long n) {
+  long sum = 0;
+  for (long i = 0; i < n; i++) {
+    long square = i * i;
+    sum += square;
+  }
+  return sum;
+}
+
+NOINLINE double o0_float(double a, double b) {
+  double t1 = a * 2.0;
+  double t2 = b + 0.5;
+  double t3 = t1 / t2;
+  return t3 - a + b;
+}
+
+NOINLINE long o0_array(const long* data, long n) {
+  long best = data[0];
+  for (long i = 1; i < n; i++) {
+    long v = data[i];
+    if (v > best) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+static NOINLINE long o0_helper(long x) {
+  long doubled = x * 2;
+  return doubled + 1;
+}
+
+NOINLINE long o0_calls(long a) {
+  long first = o0_helper(a);
+  long second = o0_helper(first);
+  return first + second;
+}
+
+}  // extern "C"

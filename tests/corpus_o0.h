@@ -1,0 +1,11 @@
+// dbll tests -- -O0 corpus declarations (see corpus_o0.cpp).
+#pragma once
+
+extern "C" {
+long o0_locals(long a, long b);
+long o0_branchy(long a, long b);
+long o0_loop(long n);
+double o0_float(double a, double b);
+long o0_array(const long* data, long n);
+long o0_calls(long a);
+}

@@ -1,0 +1,414 @@
+// dbll tests -- the DBrew rewriter: specialization semantics, equivalence
+// with the original code, loop unrolling, inlining, error recovery.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "corpus.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll::dbrew {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+/// Rewrites without any specialization; result must behave identically.
+class IdentityRewriteTest
+    : public testing::TestWithParam<dbll_tests::IntFn> {};
+
+TEST_P(IdentityRewriteTest, BehavesLikeOriginal) {
+  const auto& entry = GetParam();
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(entry.fn));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value())
+      << entry.name << ": " << rewritten.error().Format();
+  auto fn = reinterpret_cast<IntFn2>(*rewritten);
+
+  std::mt19937_64 rng(42);
+  const long interesting[] = {0, 1, -1, 2, 7, -13, 100, -100, 1 << 20,
+                              -(1 << 20), INT32_MAX, INT32_MIN};
+  for (long a : interesting) {
+    for (long b : interesting) {
+      EXPECT_EQ(fn(a, b), entry.fn(a, b))
+          << entry.name << "(" << a << ", " << b << ")";
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), entry.fn(a, b))
+        << entry.name << "(" << a << ", " << b << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, IdentityRewriteTest,
+    testing::ValuesIn(dbll_tests::kIntCorpus,
+                      dbll_tests::kIntCorpus + dbll_tests::kIntCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::IntFn>& info) {
+      return info.param.name;
+    });
+
+/// Fixing parameter 0: rewritten(x, b) must equal original(fixed, b).
+class ParamFixationTest : public testing::TestWithParam<dbll_tests::IntFn> {};
+
+TEST_P(ParamFixationTest, FixedParameterWins) {
+  const auto& entry = GetParam();
+  const long fixed = 37;
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(entry.fn));
+  rewriter.SetParam(0, static_cast<std::uint64_t>(fixed));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value())
+      << entry.name << ": " << rewritten.error().Format();
+  auto fn = reinterpret_cast<IntFn2>(*rewritten);
+
+  std::mt19937_64 rng(43);
+  for (int i = 0; i < 60; ++i) {
+    const long junk = static_cast<long>(rng());
+    const long b = static_cast<long>(rng() % 4096) - 2048;
+    EXPECT_EQ(fn(junk, b), entry.fn(fixed, b))
+        << entry.name << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParamFixationTest,
+    testing::ValuesIn(dbll_tests::kIntCorpus,
+                      dbll_tests::kIntCorpus + dbll_tests::kIntCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::IntFn>& info) {
+      return info.param.name;
+    });
+
+// --- Loop unrolling ----------------------------------------------------------
+
+TEST(DbrewTest, KnownTripCountFullyUnrolls) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_loop_sum));
+  rewriter.SetParam(0, 10);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*rewritten);
+  EXPECT_EQ(fn(999, 0), 45);
+
+  // A fully unrolled counted loop needs no conditional branches at all:
+  // everything folds to a constant return.
+  auto cfg = x86::BuildCfg(*rewritten);
+  ASSERT_TRUE(cfg.has_value());
+  for (const auto& [address, block] : cfg->blocks) {
+    for (const auto& instr : block.instrs) {
+      EXPECT_NE(instr.mnemonic, x86::Mnemonic::kJcc)
+          << "unexpected branch: " << x86::PrintInstr(instr);
+    }
+  }
+}
+
+TEST(DbrewTest, UnknownTripCountStillWorks) {
+  // No fixation: the loop condition is unknown, so the rewriter must emit a
+  // real loop (exercising state widening/deduplication).
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_loop_fib));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*rewritten);
+  for (long n : {0L, 1L, 2L, 10L, 30L}) {
+    EXPECT_EQ(fn(n, 0), c_loop_fib(n)) << "n=" << n;
+  }
+  EXPECT_GT(rewriter.stats().blocks, 1u);
+}
+
+TEST(DbrewTest, PartialFixationUnrollsOuterLoopOnly) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_nested_loops));
+  rewriter.SetParam(0, 3);  // outer bound known, inner bound unknown
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*rewritten);
+  for (long m : {0L, 1L, 5L, 11L}) {
+    EXPECT_EQ(fn(999, m), c_nested_loops(3, m)) << "m=" << m;
+  }
+}
+
+// --- Fixed memory ranges -------------------------------------------------
+
+TEST(DbrewTest, FixedMemoryFoldsLoads) {
+  static const CorpusNode nodes[4] = {{2, 3}, {5, 7}, {11, 13}, {17, 19}};
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_struct_walk));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(nodes));
+  rewriter.SetMemRange(nodes, nodes + 4);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const void*)>(*rewritten);
+  EXPECT_EQ(fn(nullptr), c_struct_walk(nodes));
+  // All loads folded: no memory reads of the node array remain, the result
+  // is a constant. The whole function usually reduces to mov+ret.
+  EXPECT_LE(rewriter.stats().emitted_instrs, 4u);
+}
+
+TEST(DbrewTest, PointerWithoutMemRangeDoesNotFoldLoads) {
+  static const CorpusNode nodes[4] = {{2, 3}, {5, 7}, {11, 13}, {17, 19}};
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_struct_walk));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(nodes));
+  // No SetMemRange: loads must stay, values may change before the call.
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const void*)>(*rewritten);
+  EXPECT_EQ(fn(nullptr), c_struct_walk(nodes));
+  EXPECT_GT(rewriter.stats().emitted_instrs, 4u);
+}
+
+// --- Call inlining ---------------------------------------------------------
+
+TEST(DbrewTest, DirectCallsAreInlined) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_call_helper));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*rewritten);
+  EXPECT_EQ(fn(3, 4), c_call_helper(3, 4));
+  EXPECT_GE(rewriter.stats().inlined_calls, 2u);
+
+  // The generated code must not contain call instructions.
+  auto cfg = x86::BuildCfg(*rewritten);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_TRUE(cfg->call_targets.empty());
+}
+
+TEST(DbrewTest, CallChainInlines) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_call_chain));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long)>(*rewritten);
+  for (long a : {0L, 1L, -7L, 1000L}) {
+    EXPECT_EQ(fn(a), c_call_chain(a));
+  }
+}
+
+TEST(DbrewTest, RecursionBeyondDepthEmitsCall) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_factorial));
+  rewriter.config().max_inline_depth = 3;
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(long)>(*rewritten);
+  EXPECT_EQ(fn(10), c_factorial(10));
+  EXPECT_EQ(fn(1), 1);
+}
+
+// --- Floating point ----------------------------------------------------------
+
+TEST(DbrewTest, FloatingPointIdentity) {
+  for (int i = 0; i < dbll_tests::kFpCorpusSize; ++i) {
+    const auto& entry = dbll_tests::kFpCorpus[i];
+    Rewriter rewriter(reinterpret_cast<std::uint64_t>(entry.fn));
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value())
+        << entry.name << ": " << rewritten.error().Format();
+    auto fn = reinterpret_cast<double (*)(double, double)>(*rewritten);
+    for (double a : {0.0, 1.5, -2.25, 1e10, -1e-5}) {
+      for (double b : {1.0, -3.5, 0.125, 7.0}) {
+        EXPECT_EQ(fn(a, b), entry.fn(a, b))
+            << entry.name << "(" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+// --- Error handling ----------------------------------------------------------
+
+TEST(DbrewTest, DefaultHandlerFallsBackToOriginal) {
+  // A tiny buffer forces kResourceLimit; RewriteOrOriginal retries with a
+  // larger buffer and, if that also fails, returns the original function.
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_arith_mix));
+  rewriter.config().code_buffer_size = 64;
+  rewriter.config().max_blocks = 1;  // also cripple the retry
+  const std::uint64_t result = rewriter.RewriteOrOriginal();
+  auto fn = reinterpret_cast<long (*)(long, long)>(result);
+  EXPECT_EQ(fn(5, 6), c_arith_mix(5, 6));
+}
+
+TEST(DbrewTest, BadParamIndexReported) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_add3));
+  rewriter.SetParam(9, 1);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_FALSE(rewritten.has_value());
+  EXPECT_EQ(rewritten.error().kind(), ErrorKind::kBadConfig);
+}
+
+TEST(DbrewTest, StatsArePopulated) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_loop_sum));
+  rewriter.SetParam(0, 5);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value());
+  const auto& stats = rewriter.stats();
+  EXPECT_GT(stats.emulated_instrs, 0u);
+  EXPECT_GT(stats.folded_instrs, 0u);
+  EXPECT_GT(stats.code_bytes, 0u);
+  EXPECT_GE(stats.blocks, 1u);
+}
+
+TEST(DbrewTest, RepeatedRewriteIsStable) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_arith_mix));
+  auto first = rewriter.Rewrite();
+  ASSERT_TRUE(first.has_value());
+  auto second = rewriter.Rewrite();
+  ASSERT_TRUE(second.has_value());
+  auto fn = reinterpret_cast<long (*)(long, long)>(*second);
+  EXPECT_EQ(fn(3, 9), c_arith_mix(3, 9));
+}
+
+// --- C API (paper Fig. 2 / Fig. 3) -------------------------------------------
+
+TEST(CApiTest, BasicUsage) {
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_min_signed));
+  void* rewritten = dbrew_rewrite(r);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_STREQ(dbrew_last_error(r), "");
+  auto fn = reinterpret_cast<long (*)(long, long)>(rewritten);
+  EXPECT_EQ(fn(3, 9), 3);
+  dbrew_free(r);
+}
+
+TEST(CApiTest, SetParIsOneBased) {
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_min_signed));
+  dbrew_setpar(r, 1, 42);  // first parameter, matching the paper's examples
+  auto fn = reinterpret_cast<long (*)(long, long)>(dbrew_rewrite(r));
+  EXPECT_EQ(fn(0, 100), 42);   // min(42, 100)
+  EXPECT_EQ(fn(0, 7), 7);      // min(42, 7)
+  dbrew_free(r);
+}
+
+TEST(CApiTest, SetMem) {
+  static const CorpusNode nodes[4] = {{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_struct_walk));
+  dbrew_setpar(r, 1, reinterpret_cast<uint64_t>(nodes));
+  dbrew_setmem(r, nodes, nodes + 4);
+  auto fn = reinterpret_cast<long (*)(const void*)>(dbrew_rewrite(r));
+  EXPECT_EQ(fn(nullptr), 1 * 2 + 3 * 4 + 5 * 6 + 7 * 8);
+  dbrew_free(r);
+}
+
+TEST(CApiTest, ConfigAndStats) {
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_loop_sum));
+  dbrew_set_unroll_cap(r, 64);
+  dbrew_set_inline_depth(r, 4);
+  dbrew_setpar(r, 1, 6);
+  auto fn = reinterpret_cast<long (*)(long, long)>(dbrew_rewrite(r));
+  EXPECT_EQ(fn(0, 0), 15);  // 0+1+..+5
+  EXPECT_GT(dbrew_stat_folded(r), 0u);
+  EXPECT_GT(dbrew_stat_emitted(r), 0u);
+  EXPECT_GT(dbrew_stat_code_bytes(r), 0u);
+  EXPECT_EQ(dbrew_stat_inlined_calls(r), 0u);
+  dbrew_free(r);
+}
+
+TEST(CApiTest, InlinedCallStat) {
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_call_helper));
+  auto fn = reinterpret_cast<long (*)(long, long)>(dbrew_rewrite(r));
+  EXPECT_EQ(fn(2, 3), c_call_helper(2, 3));
+  EXPECT_GE(dbrew_stat_inlined_calls(r), 2u);
+  dbrew_free(r);
+}
+
+TEST(CApiTest, ErrorFallsBackToOriginal) {
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_gcd));
+  dbrew_set_buffer_size(r, 1u << 30);  // absurd but allocatable; fine
+  auto fn = reinterpret_cast<long (*)(long, long)>(dbrew_rewrite(r));
+  EXPECT_EQ(fn(48, 18), 6);
+  dbrew_free(r);
+}
+
+// --- Generated code inspection (paper Fig. 8 shape) -------------------------
+
+TEST(DbrewTest, GeneratedCodeIsAvailableForDumping) {
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_min_signed));
+  rewriter.SetParam(0, 42);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value());
+  EXPECT_FALSE(rewriter.code().empty());
+  EXPECT_EQ(rewriter.code().size(), rewriter.stats().code_bytes);
+}
+
+}  // namespace
+}  // namespace dbll::dbrew
+
+// --- Indirect-call inlining & value-aware widening (callback fusion) --------
+
+namespace dbll::dbrew {
+namespace {
+
+TEST(CallbackFusionTest, IndirectCallThroughFixedMemoryIsInlined) {
+  static const long params[2] = {3, 11};
+  static const CbConfig config{&cb_affine, params};
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&cb_apply));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&config));
+  rewriter.SetMemRange(&config, &config + 1);
+  rewriter.SetMemRange(params, params + 2);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  EXPECT_GT(rewriter.stats().inlined_calls, 0u);
+
+  // No call instructions survive: the callback body is fused into the loop.
+  auto cfg = x86::BuildCfg(*rewritten);
+  ASSERT_TRUE(cfg.has_value());
+  for (const auto& [address, block] : cfg->blocks) {
+    for (const auto& instr : block.instrs) {
+      EXPECT_NE(instr.mnemonic, x86::Mnemonic::kCall)
+          << "unfused call at " << std::hex << instr.address;
+    }
+  }
+
+  auto fn = reinterpret_cast<long (*)(const CbConfig*, long)>(*rewritten);
+  for (long n : {0L, 1L, 7L, 100L, 1000L}) {
+    EXPECT_EQ(fn(nullptr, n), cb_apply(&config, n)) << "n=" << n;
+  }
+}
+
+TEST(CallbackFusionTest, SecondCallbackGetsItsOwnSpecialization) {
+  static const long params[2] = {-4, 9};
+  static const CbConfig config{&cb_poly, params};
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&cb_apply));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&config));
+  rewriter.SetMemRange(&config, &config + 1);
+  rewriter.SetMemRange(params, params + 2);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const CbConfig*, long)>(*rewritten);
+  EXPECT_EQ(fn(nullptr, 50), cb_apply(&config, 50));
+}
+
+TEST(CallbackFusionTest, WideningKeepsLoopInvariants) {
+  // A small unroll cap forces widening almost immediately; the invariant
+  // descriptor pointer must survive so inlining continues to work.
+  static const long params[2] = {2, 5};
+  static const CbConfig config{&cb_affine, params};
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&cb_apply));
+  rewriter.config().unroll_cap = 2;
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&config));
+  rewriter.SetMemRange(&config, &config + 1);
+  rewriter.SetMemRange(params, params + 2);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto cfg = x86::BuildCfg(*rewritten);
+  ASSERT_TRUE(cfg.has_value());
+  for (const auto& [address, block] : cfg->blocks) {
+    for (const auto& instr : block.instrs) {
+      EXPECT_NE(instr.mnemonic, x86::Mnemonic::kCall);
+    }
+  }
+  auto fn = reinterpret_cast<long (*)(const CbConfig*, long)>(*rewritten);
+  EXPECT_EQ(fn(nullptr, 200), cb_apply(&config, 200));
+}
+
+TEST(CallbackFusionTest, UnknownPointerKeepsIndirectCall) {
+  // Without fixation the target is unknown: the indirect call must be
+  // re-emitted as-is and still work.
+  Rewriter rewriter(reinterpret_cast<std::uint64_t>(&cb_apply));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  static const long params[2] = {1, 2};
+  const CbConfig config{&cb_affine, params};
+  auto fn = reinterpret_cast<long (*)(const CbConfig*, long)>(*rewritten);
+  EXPECT_EQ(fn(&config, 30), cb_apply(&config, 30));
+}
+
+}  // namespace
+}  // namespace dbll::dbrew

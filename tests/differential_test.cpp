@@ -1,0 +1,655 @@
+// dbll tests -- differential fuzzing: random straight-line instruction
+// sequences are synthesized with the encoder, executed natively, and then
+// compared against (a) the lifted + O3 + JIT version and (b) the DBrew
+// rewrite (identity and with a fixed first parameter).
+//
+// The generator only emits instructions whose architectural results are
+// fully defined for the given inputs (no divides, conditional operations
+// only while the flags are defined), over the caller-saved register set,
+// plus loads/stores into a private scratch buffer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/support/code_buffer.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/encoder.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll {
+namespace {
+
+using x86::Cond;
+using x86::Instr;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+
+/// Scratch memory the generated code may read and write ([r11 + 0..184]).
+alignas(16) thread_local std::uint8_t g_scratch[256];
+
+constexpr Reg kGpMenu[] = {x86::kRax, x86::kRcx, x86::kRdx,
+                           x86::kRsi, x86::kRdi, x86::kR8,
+                           x86::kR9,  x86::kR10};
+
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Builds a random function body; returns the instruction list (without
+  /// the final ret).
+  std::vector<Instr> Build(int length) {
+    std::vector<Instr> out;
+    // r11 = scratch base (the only absolute constant in the stream).
+    Instr lead;
+    lead.mnemonic = Mnemonic::kMov;
+    lead.op_count = 2;
+    lead.ops[0] = Operand::RegOp(x86::kR11, 8);
+    lead.ops[1] = Operand::ImmOp(
+        static_cast<std::int64_t>(reinterpret_cast<std::uint64_t>(g_scratch)),
+        8);
+    out.push_back(lead);
+    // Deterministically initialize every register in the menu from the four
+    // arguments so the generated code never reads native garbage (which the
+    // lifted version would model as undef).
+    const Reg args[] = {x86::kRdi, x86::kRsi, x86::kRdx, x86::kRcx};
+    const Reg inits[] = {x86::kRax, x86::kR8, x86::kR9, x86::kR10};
+    for (int i = 0; i < 4; ++i) {
+      Instr init;
+      init.mnemonic = Mnemonic::kMov;
+      init.op_count = 2;
+      init.ops[0] = Operand::RegOp(inits[i], 8);
+      init.ops[1] = Operand::RegOp(args[i], 8);
+      out.push_back(init);
+    }
+    for (std::uint8_t i = 0; i < 8; ++i) {
+      Instr init;
+      init.mnemonic = Mnemonic::kMovq;
+      init.op_count = 2;
+      init.ops[0] = Operand::RegOp(x86::Xmm(i), 16);
+      init.ops[1] = Operand::RegOp(args[i % 4], 8);
+      out.push_back(init);
+    }
+    for (int i = 0; i < length; ++i) {
+      out.push_back(Next());
+    }
+    return out;
+  }
+
+ private:
+  Reg Gp() { return kGpMenu[rng_() % (sizeof(kGpMenu) / sizeof(Reg))]; }
+  Reg Xmm() { return x86::Xmm(static_cast<std::uint8_t>(rng_() % 8)); }
+  std::uint8_t GpSize() {
+    const std::uint8_t sizes[] = {1, 2, 4, 8};
+    return sizes[rng_() % 4];
+  }
+  Operand ScratchMem(std::uint8_t size) {
+    MemOperand mem;
+    mem.base = x86::kR11;
+    mem.disp = static_cast<std::int32_t>((rng_() % 20) * 8);
+    return Operand::MemOp(mem, size);
+  }
+
+  Instr Binary(Mnemonic m, Operand dst, Operand src) {
+    Instr instr;
+    instr.mnemonic = m;
+    instr.op_count = 2;
+    instr.ops[0] = dst;
+    instr.ops[1] = src;
+    return instr;
+  }
+
+  Instr Next() {
+    for (;;) {
+      switch (rng_() % 23) {
+        case 0: case 1: case 2: {  // ALU reg, reg
+          const Mnemonic ops[] = {Mnemonic::kAdd, Mnemonic::kSub,
+                                  Mnemonic::kAnd, Mnemonic::kOr,
+                                  Mnemonic::kXor};
+          const std::uint8_t size = GpSize();
+          flags_defined_ = true;
+          return Binary(ops[rng_() % 5], Operand::RegOp(Gp(), size),
+                        Operand::RegOp(Gp(), size));
+        }
+        case 3: {  // ALU reg, imm
+          const Mnemonic ops[] = {Mnemonic::kAdd, Mnemonic::kSub,
+                                  Mnemonic::kAnd, Mnemonic::kXor,
+                                  Mnemonic::kCmp};
+          const std::uint8_t size = GpSize();
+          flags_defined_ = true;
+          return Binary(
+              ops[rng_() % 5], Operand::RegOp(Gp(), size),
+              Operand::ImmOp(static_cast<std::int32_t>(rng_()), size == 1 ? 1 : 4));
+        }
+        case 4: {  // mov forms
+          const std::uint8_t size = GpSize();
+          switch (rng_() % 3) {
+            case 0:
+              return Binary(Mnemonic::kMov, Operand::RegOp(Gp(), size),
+                            Operand::RegOp(Gp(), size));
+            case 1:
+              return Binary(Mnemonic::kMov, Operand::RegOp(Gp(), size),
+                            ScratchMem(size));
+            default:
+              return Binary(Mnemonic::kMov, ScratchMem(size),
+                            Operand::RegOp(Gp(), size));
+          }
+        }
+        case 5: {  // movzx/movsx
+          const std::uint8_t narrow = rng_() % 2 ? 1 : 2;
+          return Binary(rng_() % 2 ? Mnemonic::kMovzx : Mnemonic::kMovsx,
+                        Operand::RegOp(Gp(), rng_() % 2 ? 4 : 8),
+                        Operand::RegOp(Gp(), narrow));
+        }
+        case 6: {  // shift by immediate (incl. counts beyond narrow widths)
+          const Mnemonic ops[] = {Mnemonic::kShl, Mnemonic::kShr,
+                                  Mnemonic::kSar, Mnemonic::kRol,
+                                  Mnemonic::kRor};
+          const Mnemonic m = ops[rng_() % 5];
+          const std::uint8_t size = GpSize();
+          flags_defined_ = false;  // OF modeled as undef
+          // x86 masks the count to 5 bits before the width check, so 8/16
+          // bit shifts by up to 31 are architecturally defined.
+          const int max_count =
+              (m == Mnemonic::kRol || m == Mnemonic::kRor)
+                  ? size * 8 - 1
+                  : (size == 8 ? 63 : 31);
+          return Binary(m, Operand::RegOp(Gp(), size),
+                        Operand::ImmOp(1 + static_cast<int>(rng_() % max_count), 1));
+        }
+        case 21: {  // shift by cl (variable count, zero included)
+          const Mnemonic ops[] = {Mnemonic::kShl, Mnemonic::kShr,
+                                  Mnemonic::kSar};
+          const std::uint8_t size = GpSize();
+          flags_defined_ = false;
+          return Binary(ops[rng_() % 3], Operand::RegOp(Gp(), size),
+                        Operand::RegOp(x86::kRcx, 1));
+        }
+        case 7: {  // unary
+          const Mnemonic ops[] = {Mnemonic::kNot, Mnemonic::kNeg,
+                                  Mnemonic::kInc, Mnemonic::kDec,
+                                  Mnemonic::kBswap};
+          const Mnemonic m = ops[rng_() % 5];
+          Instr instr;
+          instr.mnemonic = m;
+          instr.op_count = 1;
+          instr.ops[0] = Operand::RegOp(
+              Gp(), m == Mnemonic::kBswap ? (rng_() % 2 ? 4 : 8) : GpSize());
+          if (m == Mnemonic::kNeg) flags_defined_ = true;
+          if (m == Mnemonic::kInc || m == Mnemonic::kDec ||
+              m == Mnemonic::kBswap) {
+            // inc/dec leave CF stale; bswap leaves flags alone -- safe
+            // either way, flag-definedness unchanged.
+          }
+          return instr;
+        }
+        case 8: {  // imul
+          const std::uint8_t size = rng_() % 2 ? 4 : 8;
+          flags_defined_ = false;  // ZF/SF undefined after imul
+          if (rng_() % 2) {
+            return Binary(Mnemonic::kImul, Operand::RegOp(Gp(), size),
+                          Operand::RegOp(Gp(), size));
+          }
+          Instr instr;
+          instr.mnemonic = Mnemonic::kImul;
+          instr.op_count = 3;
+          instr.ops[0] = Operand::RegOp(Gp(), size);
+          instr.ops[1] = Operand::RegOp(Gp(), size);
+          instr.ops[2] = Operand::ImmOp(static_cast<std::int8_t>(rng_()), 1);
+          return instr;
+        }
+        case 9: {  // cmovcc / setcc, only on defined flags
+          if (!flags_defined_) continue;
+          const Cond cond = static_cast<Cond>(rng_() % 16);
+          if (cond == Cond::kP || cond == Cond::kNp) continue;  // PF: skip
+          if (rng_() % 2) {
+            Instr instr = Binary(Mnemonic::kCmovcc,
+                                 Operand::RegOp(Gp(), rng_() % 2 ? 4 : 8),
+                                 Operand::RegOp(Gp(), 0));
+            instr.ops[1].size = instr.ops[0].size;
+            instr.cond = cond;
+            return instr;
+          }
+          Instr instr;
+          instr.mnemonic = Mnemonic::kSetcc;
+          instr.cond = cond;
+          instr.op_count = 1;
+          instr.ops[0] = Operand::RegOp(Gp(), 1);
+          return instr;
+        }
+        case 10: {  // test/cmp reg, reg
+          const std::uint8_t size = GpSize();
+          flags_defined_ = true;
+          return Binary(rng_() % 2 ? Mnemonic::kTest : Mnemonic::kCmp,
+                        Operand::RegOp(Gp(), size),
+                        Operand::RegOp(Gp(), size));
+        }
+        case 11: {  // SSE scalar double arithmetic
+          const Mnemonic ops[] = {Mnemonic::kAddsd, Mnemonic::kSubsd,
+                                  Mnemonic::kMulsd, Mnemonic::kMinsd,
+                                  Mnemonic::kMaxsd};
+          return Binary(ops[rng_() % 5], Operand::RegOp(Xmm(), 16),
+                        Operand::RegOp(Xmm(), 16));
+        }
+        case 12: {  // SSE bitwise / packed int
+          const Mnemonic ops[] = {Mnemonic::kPxor,  Mnemonic::kPand,
+                                  Mnemonic::kPor,   Mnemonic::kPaddb,
+                                  Mnemonic::kPaddw, Mnemonic::kPaddd,
+                                  Mnemonic::kPaddq, Mnemonic::kPsubd,
+                                  Mnemonic::kPsubq, Mnemonic::kPminub,
+                                  Mnemonic::kPmaxub, Mnemonic::kPavgb,
+                                  Mnemonic::kPmullw, Mnemonic::kPmuludq,
+                                  Mnemonic::kPcmpeqb, Mnemonic::kPcmpeqd,
+                                  Mnemonic::kPcmpgtw, Mnemonic::kPminsw};
+          return Binary(ops[rng_() % 18], Operand::RegOp(Xmm(), 16),
+                        Operand::RegOp(Xmm(), 16));
+        }
+        case 13: {  // SSE shuffles
+          switch (rng_() % 4) {
+            case 0: {
+              Instr instr = Binary(Mnemonic::kPshufd,
+                                   Operand::RegOp(Xmm(), 16),
+                                   Operand::RegOp(Xmm(), 16));
+              instr.op_count = 3;
+              instr.ops[2] = Operand::ImmOp(static_cast<int>(rng_() % 256), 1);
+              return instr;
+            }
+            case 1:
+              return Binary(Mnemonic::kUnpcklpd, Operand::RegOp(Xmm(), 16),
+                            Operand::RegOp(Xmm(), 16));
+            case 2:
+              return Binary(Mnemonic::kPunpcklbw, Operand::RegOp(Xmm(), 16),
+                            Operand::RegOp(Xmm(), 16));
+            default:
+              return Binary(Mnemonic::kPunpckhdq, Operand::RegOp(Xmm(), 16),
+                            Operand::RegOp(Xmm(), 16));
+          }
+        }
+        case 14: {  // SSE vector shift by immediate
+          const Mnemonic ops[] = {Mnemonic::kPsllw, Mnemonic::kPslld,
+                                  Mnemonic::kPsllq, Mnemonic::kPsrlw,
+                                  Mnemonic::kPsrld, Mnemonic::kPsrlq,
+                                  Mnemonic::kPsraw, Mnemonic::kPsrad,
+                                  Mnemonic::kPslldq, Mnemonic::kPsrldq};
+          return Binary(ops[rng_() % 10], Operand::RegOp(Xmm(), 16),
+                        Operand::ImmOp(static_cast<int>(rng_() % 70), 1));
+        }
+        case 15: {  // SSE loads/stores
+          switch (rng_() % 4) {
+            case 0:
+              return Binary(Mnemonic::kMovsdX, Operand::RegOp(Xmm(), 16),
+                            ScratchMem(8));
+            case 1:
+              return Binary(Mnemonic::kMovsdX, ScratchMem(8),
+                            Operand::RegOp(Xmm(), 16));
+            case 2: {
+              MemOperand mem;
+              mem.base = x86::kR11;
+              mem.disp = static_cast<std::int32_t>((rng_() % 10) * 16);
+              return Binary(Mnemonic::kMovdqu, Operand::RegOp(Xmm(), 16),
+                            Operand::MemOp(mem, 16));
+            }
+            default: {
+              MemOperand mem;
+              mem.base = x86::kR11;
+              mem.disp = static_cast<std::int32_t>((rng_() % 10) * 16);
+              return Binary(Mnemonic::kMovdqu, Operand::MemOp(mem, 16),
+                            Operand::RegOp(Xmm(), 16));
+            }
+          }
+        }
+        case 16: {  // GP <-> XMM transfers
+          if (rng_() % 2) {
+            return Binary(Mnemonic::kMovq, Operand::RegOp(Xmm(), 16),
+                          Operand::RegOp(Gp(), 8));
+          }
+          return Binary(Mnemonic::kMovq, Operand::RegOp(Gp(), 8),
+                        Operand::RegOp(Xmm(), 16));
+        }
+        case 17: {  // cvtsi2sd (always defined)
+          return Binary(Mnemonic::kCvtsi2sd, Operand::RegOp(Xmm(), 16),
+                        Operand::RegOp(Gp(), 8));
+        }
+        case 18: {  // pmovmskb / movmskpd
+          flags_defined_ = flags_defined_;  // unchanged
+          return Binary(rng_() % 2 ? Mnemonic::kPmovmskb
+                                   : Mnemonic::kMovmskpd,
+                        Operand::RegOp(Gp(), 4), Operand::RegOp(Xmm(), 16));
+        }
+        case 19: {  // lea with base+index*scale+disp
+          Instr instr;
+          instr.mnemonic = Mnemonic::kLea;
+          instr.op_count = 2;
+          instr.ops[0] = Operand::RegOp(Gp(), 8);
+          MemOperand mem;
+          mem.base = Gp();
+          mem.index = Gp();
+          if (mem.index == x86::kRsp) continue;
+          const std::uint8_t scales[] = {1, 2, 4, 8};
+          mem.scale = scales[rng_() % 4];
+          mem.disp = static_cast<std::int32_t>(rng_() % 4096) - 2048;
+          instr.ops[1] = Operand::MemOp(mem, 0);
+          return instr;
+        }
+        case 20: {  // xchg reg, reg
+          const std::uint8_t size = rng_() % 2 ? 4 : 8;
+          return Binary(Mnemonic::kXchg, Operand::RegOp(Gp(), size),
+                        Operand::RegOp(Gp(), size));
+        }
+        default: {  // shld/shrd by immediate
+          const std::uint8_t size = rng_() % 2 ? 4 : 8;
+          Instr instr = Binary(rng_() % 2 ? Mnemonic::kShld : Mnemonic::kShrd,
+                               Operand::RegOp(Gp(), size),
+                               Operand::RegOp(Gp(), size));
+          instr.op_count = 3;
+          instr.ops[2] =
+              Operand::ImmOp(1 + static_cast<int>(rng_() % (size * 8 - 1)), 1);
+          flags_defined_ = false;
+          return instr;
+        }
+      }
+    }
+  }
+
+  std::mt19937_64 rng_;
+  bool flags_defined_ = false;
+};
+
+struct RunResult {
+  long rax;
+  double xmm0;
+};
+
+using GeneratedFn = long (*)(long, long, long, long);
+
+RunResult Execute(std::uint64_t entry, std::uint64_t scratch_seed) {
+  std::mt19937_64 rng(scratch_seed);
+  for (auto& byte : g_scratch) byte = static_cast<std::uint8_t>(rng());
+  RunResult result;
+  // The generated code takes four integer args (rdi, rsi, rdx, rcx).
+  result.rax = reinterpret_cast<GeneratedFn>(entry)(
+      static_cast<long>(rng()), static_cast<long>(rng()),
+      static_cast<long>(rng()), static_cast<long>(rng()));
+  // Digest the scratch buffer into the comparison as well.
+  long digest = 0;
+  for (std::size_t i = 0; i < sizeof(g_scratch); i += 8) {
+    long word;
+    std::memcpy(&word, g_scratch + i, 8);
+    digest = digest * 1099511628211ull + word;
+  }
+  result.xmm0 = static_cast<double>(digest);
+  return result;
+}
+
+class DifferentialTest : public testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, LiftAndRewriteMatchNative) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Generator generator(seed * 7919 + 17);
+  const std::vector<Instr> body = generator.Build(24);
+
+  // Encode into an executable buffer, appending `ret`.
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  std::uint64_t at = reinterpret_cast<std::uint64_t>(buffer->data());
+  std::string listing;
+  for (const Instr& instr : body) {
+    auto dest = buffer->Reserve(x86::Encoder::kMaxLength);
+    ASSERT_TRUE(dest.has_value());
+    auto len = x86::Encoder::Encode(instr, {*dest, x86::Encoder::kMaxLength}, at);
+    ASSERT_TRUE(len.has_value())
+        << x86::PrintInstr(instr) << ": " << len.error().Format();
+    buffer->Reset(buffer->used() - (x86::Encoder::kMaxLength - *len));
+    listing += "  " + x86::PrintInstr(instr) + "\n";
+    at += *len;
+  }
+  {
+    const std::uint8_t ret = 0xc3;
+    ASSERT_TRUE(buffer->Append({&ret, 1}).has_value());
+  }
+  ASSERT_TRUE(buffer->Seal().ok());
+  const std::uint64_t native_entry =
+      reinterpret_cast<std::uint64_t>(buffer->data());
+
+  const RunResult native = Execute(native_entry, seed);
+  const RunResult native2 = Execute(native_entry, seed);
+  ASSERT_EQ(native.rax, native2.rax) << "generated code is nondeterministic";
+
+  // Lift + O3 + JIT.
+  {
+    static lift::Jit jit;
+    // Bit-exact differential comparison: fast-math legally permits FP
+    // divergence, so it must be off here.
+    lift::LiftConfig config;
+    config.fast_math = false;
+    lift::Lifter lifter(config);
+    auto lifted = lifter.Lift(native_entry, lift::Signature::Ints(4));
+    ASSERT_TRUE(lifted.has_value())
+        << "seed " << seed << "\n" << listing << lifted.error().Format();
+    auto compiled = lifted->Compile(jit);
+    ASSERT_TRUE(compiled.has_value())
+        << "seed " << seed << "\n" << listing << compiled.error().Format();
+    const RunResult got = Execute(*compiled, seed);
+    EXPECT_EQ(got.rax, native.rax) << "seed " << seed << "\n" << listing;
+    EXPECT_EQ(got.xmm0, native.xmm0)
+        << "scratch memory diverged, seed " << seed << "\n" << listing;
+  }
+
+  // DBrew identity rewrite.
+  {
+    dbrew::Rewriter rewriter(native_entry);
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value())
+        << "seed " << seed << "\n" << listing << rewritten.error().Format();
+    const RunResult got = Execute(*rewritten, seed);
+    EXPECT_EQ(got.rax, native.rax) << "seed " << seed << "\n" << listing;
+    EXPECT_EQ(got.xmm0, native.xmm0)
+        << "scratch memory diverged, seed " << seed << "\n" << listing;
+  }
+
+  // DBrew with the first parameter fixed: must equal native(fixed, ...).
+  {
+    dbrew::Rewriter rewriter(native_entry);
+    rewriter.SetParam(0, 123456789);
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value())
+        << "seed " << seed << "\n" << listing << rewritten.error().Format();
+    // Reference: patch rdi at call time.
+    std::mt19937_64 rng(seed);
+    for (auto& byte : g_scratch) byte = static_cast<std::uint8_t>(rng());
+    long a = static_cast<long>(rng());
+    long b = static_cast<long>(rng());
+    long c = static_cast<long>(rng());
+    long d = static_cast<long>(rng());
+    (void)a;
+    const long want =
+        reinterpret_cast<GeneratedFn>(native_entry)(123456789, b, c, d);
+    std::mt19937_64 rng2(seed);
+    for (auto& byte : g_scratch) byte = static_cast<std::uint8_t>(rng2());
+    (void)rng2();  // a
+    const long got = reinterpret_cast<GeneratedFn>(*rewritten)(
+        0xdeadbeef, b, c, d);
+    EXPECT_EQ(got, want) << "seed " << seed << "\n" << listing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, testing::Range(0, 60));
+
+}  // namespace
+}  // namespace dbll
+
+// --- Branchy differential fuzzing --------------------------------------------
+//
+// Structured conditional blocks stress the CFG builder, the lifter's Φ
+// construction, and DBrew's state merging: [cmp; jcc over body; body]
+// nests, with every register defined on all paths.
+
+namespace dbll {
+namespace {
+
+class BranchyProgram {
+ public:
+  explicit BranchyProgram(std::uint64_t seed) : rng_(seed) {}
+
+  /// Encodes a branchy function into the buffer; returns its entry.
+  Expected<std::uint64_t> EncodeInto(CodeBuffer& buffer, std::string* listing) {
+    // Init section (same as the straight-line fuzzer).
+    Generator init_gen(rng_());
+    std::vector<Instr> init = init_gen.Build(0);
+    for (const Instr& instr : init) {
+      DBLL_TRY_STATUS(Emit(buffer, instr, listing));
+    }
+    DBLL_TRY_STATUS(EmitBlock(buffer, /*depth=*/0, listing));
+    // Epilogue: ret.
+    const std::uint8_t ret = 0xc3;
+    DBLL_TRY(std::uint8_t * dest, buffer.Append({&ret, 1}));
+    (void)dest;
+    *listing += "  ret\n";
+    return reinterpret_cast<std::uint64_t>(buffer.data());
+  }
+
+ private:
+  Status Emit(CodeBuffer& buffer, const Instr& instr, std::string* listing) {
+    const std::uint64_t at =
+        reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+    DBLL_TRY(std::uint8_t * dest, buffer.Reserve(x86::Encoder::kMaxLength));
+    DBLL_TRY(std::size_t length,
+             x86::Encoder::Encode(instr, {dest, x86::Encoder::kMaxLength}, at));
+    buffer.Reset(buffer.used() - (x86::Encoder::kMaxLength - length));
+    *listing += "  " + x86::PrintInstr(instr) + "\n";
+    return Status::Ok();
+  }
+
+  /// Emits: cmp rA, rB; jcc L; <straight-line body>; L: <tail ops> and
+  /// recursively one nested level.
+  Status EmitBlock(CodeBuffer& buffer, int depth, std::string* listing) {
+    const Reg regs[] = {x86::kRax, x86::kRcx, x86::kRdx, x86::kRsi,
+                        x86::kRdi, x86::kR8,  x86::kR9,  x86::kR10};
+    auto reg = [&] { return regs[rng_() % 8]; };
+
+    // Flag-setting compare.
+    Instr cmp;
+    cmp.mnemonic = Mnemonic::kCmp;
+    cmp.op_count = 2;
+    cmp.ops[0] = Operand::RegOp(reg(), 8);
+    cmp.ops[1] = Operand::RegOp(reg(), 8);
+    DBLL_TRY_STATUS(Emit(buffer, cmp, listing));
+
+    // Forward jcc with a placeholder target, patched after the body.
+    const Cond cond = static_cast<Cond>(rng_() % 10 < 8
+                                            ? (rng_() % 8 + 4) & 0xf
+                                            : rng_() % 16);
+    const std::uint64_t jcc_at =
+        reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+    DBLL_TRY(std::uint8_t * jcc_bytes, buffer.Reserve(6));
+    jcc_bytes[0] = 0x0f;
+    jcc_bytes[1] = static_cast<std::uint8_t>(
+        0x80 | static_cast<std::uint8_t>(cond));
+    std::memset(jcc_bytes + 2, 0, 4);
+    *listing += "  j" + std::string(x86::CondName(cond)) + " <forward>\n";
+
+    // Body: a few straight-line ops (registers only; all already defined).
+    Generator body_gen(rng_());
+    // Build() emits the r11/init lead again -- harmless (idempotent), and it
+    // keeps every register defined on the taken path as well.
+    std::vector<Instr> body = body_gen.Build(static_cast<int>(rng_() % 6 + 2));
+    for (const Instr& instr : body) {
+      DBLL_TRY_STATUS(Emit(buffer, instr, listing));
+    }
+    if (depth < 1 && rng_() % 2 == 0) {
+      DBLL_TRY_STATUS(EmitBlock(buffer, depth + 1, listing));
+    }
+
+    // Patch the jcc to land here (join point).
+    const std::uint64_t here =
+        reinterpret_cast<std::uint64_t>(buffer.data()) + buffer.used();
+    const std::int32_t rel = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(here) -
+        static_cast<std::int64_t>(jcc_at + 6));
+    std::memcpy(reinterpret_cast<void*>(jcc_at + 2), &rel, 4);
+    *listing += "<join>\n";
+
+    // Tail ops after the join: exercise the Φ-merged state.
+    Generator tail_gen(rng_());
+    std::vector<Instr> tail = tail_gen.Build(static_cast<int>(rng_() % 4 + 1));
+    for (const Instr& instr : tail) {
+      DBLL_TRY_STATUS(Emit(buffer, instr, listing));
+    }
+    return Status::Ok();
+  }
+
+  std::mt19937_64 rng_;
+};
+
+class BranchyDifferentialTest : public testing::TestWithParam<int> {};
+
+TEST_P(BranchyDifferentialTest, LiftAndRewriteMatchNative) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  auto buffer = CodeBuffer::Allocate(16384);
+  ASSERT_TRUE(buffer.has_value());
+  std::string listing;
+  BranchyProgram program(seed * 31337 + 5);
+  auto entry = program.EncodeInto(*buffer, &listing);
+  ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  ASSERT_TRUE(buffer->Seal().ok());
+
+  const RunResult native = Execute(*entry, seed);
+
+  {
+    static lift::Jit jit;
+    lift::LiftConfig config;
+    config.fast_math = false;
+    lift::Lifter lifter(config);
+    auto lifted = lifter.Lift(*entry, lift::Signature::Ints(4));
+    ASSERT_TRUE(lifted.has_value())
+        << "seed " << seed << "\n" << listing << lifted.error().Format();
+    auto compiled = lifted->Compile(jit);
+    ASSERT_TRUE(compiled.has_value())
+        << "seed " << seed << "\n" << listing << compiled.error().Format();
+    const RunResult got = Execute(*compiled, seed);
+    EXPECT_EQ(got.rax, native.rax) << "seed " << seed << "\n" << listing;
+    EXPECT_EQ(got.xmm0, native.xmm0) << "seed " << seed << "\n" << listing;
+  }
+  {
+    dbrew::Rewriter rewriter(*entry);
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value())
+        << "seed " << seed << "\n" << listing << rewritten.error().Format();
+    const RunResult got = Execute(*rewritten, seed);
+    EXPECT_EQ(got.rax, native.rax) << "seed " << seed << "\n" << listing;
+    EXPECT_EQ(got.xmm0, native.xmm0) << "seed " << seed << "\n" << listing;
+  }
+  {
+    // Fixing an argument exercises specialization through the branches.
+    dbrew::Rewriter rewriter(*entry);
+    rewriter.SetParam(1, 777);
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value())
+        << "seed " << seed << "\n" << listing << rewritten.error().Format();
+    std::mt19937_64 rng(seed);
+    for (auto& byte : g_scratch) byte = static_cast<std::uint8_t>(rng());
+    long a = static_cast<long>(rng());
+    (void)rng();  // b replaced by the fixed value
+    long c = static_cast<long>(rng());
+    long d = static_cast<long>(rng());
+    const long want =
+        reinterpret_cast<GeneratedFn>(*entry)(a, 777, c, d);
+    std::mt19937_64 rng2(seed);
+    for (auto& byte : g_scratch) byte = static_cast<std::uint8_t>(rng2());
+    const long got = reinterpret_cast<GeneratedFn>(*rewritten)(
+        a, 0xbadbeef, c, d);
+    EXPECT_EQ(got, want) << "seed " << seed << "\n" << listing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchyDifferentialTest,
+                         testing::Range(100, 160));
+
+}  // namespace
+}  // namespace dbll

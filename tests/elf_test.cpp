@@ -1,0 +1,339 @@
+// dbll tests -- ELF reader: parsing, symbol lookup, image building, and
+// lifting a function extracted from a file (without executing the file).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dbll/elf/elf_reader.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/x86/cfg.h"
+
+extern "C" __attribute__((noinline, used)) long dbll_elf_fixture_fn(long a,
+                                                                    long b) {
+  long acc = a * 3 + b;
+  for (int i = 0; i < 4; i++) acc = acc * 2 + i;
+  return acc;
+}
+
+namespace dbll::elf {
+namespace {
+
+// --- Synthetic relocatable ELF builder (hermetic fixture) --------------------
+
+/// Builds a minimal ET_REL ELF64 with one .text section containing `code`
+/// and one global function symbol `name` at offset 0.
+std::vector<std::uint8_t> BuildRelocatable(const std::vector<std::uint8_t>& code,
+                                           const std::string& name) {
+  std::vector<std::uint8_t> out;
+  auto put = [&](const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + size);
+  };
+  auto put16 = [&](std::uint16_t v) { put(&v, 2); };
+  auto put32 = [&](std::uint32_t v) { put(&v, 4); };
+  auto put64 = [&](std::uint64_t v) { put(&v, 8); };
+
+  // Layout: ehdr | .text | .strtab | .symtab | .shstrtab | shdrs
+  const std::size_t ehdr_size = 64;
+  const std::size_t text_off = ehdr_size;
+  const std::string strtab = std::string("\0", 1) + name + std::string("\0", 1);
+  const std::size_t strtab_off = text_off + code.size();
+  const std::size_t sym_size = 24;
+  const std::size_t symtab_off = (strtab_off + strtab.size() + 7) & ~7ull;
+  const std::size_t symtab_size = 2 * sym_size;  // null + function
+  const std::string shstrtab =
+      std::string("\0.text\0.strtab\0.symtab\0.shstrtab\0", 33);
+  const std::size_t shstrtab_off = symtab_off + symtab_size;
+  const std::size_t shoff = (shstrtab_off + shstrtab.size() + 7) & ~7ull;
+
+  // --- ehdr
+  const std::uint8_t ident[16] = {0x7f, 'E', 'L', 'F', 2, 1, 1, 0,
+                                  0,    0,   0,   0,   0, 0, 0, 0};
+  put(ident, 16);
+  put16(1);    // ET_REL
+  put16(62);   // EM_X86_64
+  put32(1);    // version
+  put64(0);    // entry
+  put64(0);    // phoff
+  put64(shoff);
+  put32(0);    // flags
+  put16(64);   // ehsize
+  put16(0);    // phentsize
+  put16(0);    // phnum
+  put16(64);   // shentsize
+  put16(5);    // shnum
+  put16(4);    // shstrndx
+
+  // --- section bodies
+  put(code.data(), code.size());
+  put(strtab.data(), strtab.size());
+  while (out.size() < symtab_off) out.push_back(0);
+  // null symbol
+  for (int i = 0; i < 24; ++i) out.push_back(0);
+  // function symbol: name offset 1, STB_GLOBAL|STT_FUNC, section 1, value 0
+  put32(1);
+  out.push_back(0x12);  // GLOBAL FUNC
+  out.push_back(0);
+  put16(1);
+  put64(0);
+  put64(code.size());
+  put(shstrtab.data(), shstrtab.size());
+  while (out.size() < shoff) out.push_back(0);
+
+  // --- section headers: null, .text, .strtab, .symtab, .shstrtab
+  auto shdr = [&](std::uint32_t name_off, std::uint32_t type,
+                  std::uint64_t flags, std::uint64_t offset,
+                  std::uint64_t size, std::uint32_t link,
+                  std::uint64_t entsize) {
+    put32(name_off);
+    put32(type);
+    put64(flags);
+    put64(0);  // addr
+    put64(offset);
+    put64(size);
+    put32(link);
+    put32(0);  // info
+    put64(8);  // align
+    put64(entsize);
+  };
+  shdr(0, 0, 0, 0, 0, 0, 0);                                   // null
+  shdr(1, 1, 0x6, text_off, code.size(), 0, 0);                // .text AX
+  shdr(7, 3, 0, strtab_off, strtab.size(), 0, 0);              // .strtab
+  shdr(15, 2, 0, symtab_off, symtab_size, 2, sym_size);        // .symtab
+  shdr(23, 3, 0, shstrtab_off, shstrtab.size(), 0, 0);         // .shstrtab
+  return out;
+}
+
+TEST(ElfTest, ParsesOwnExecutable) {
+  auto file = ElfFile::Open("/proc/self/exe");
+  ASSERT_TRUE(file.has_value()) << file.error().Format();
+  EXPECT_FALSE(file->is_relocatable());
+  EXPECT_GT(file->sections().size(), 4u);
+  EXPECT_GT(file->symbols().size(), 10u);
+}
+
+TEST(ElfTest, FindsFixtureFunction) {
+  auto file = ElfFile::Open("/proc/self/exe");
+  ASSERT_TRUE(file.has_value());
+  auto symbol = file->FindFunction("dbll_elf_fixture_fn");
+  ASSERT_TRUE(symbol.has_value()) << symbol.error().Format();
+  EXPECT_TRUE(symbol->is_function);
+  EXPECT_GT(symbol->size, 4u);
+}
+
+TEST(ElfTest, ImageBytesMatchLiveFunction) {
+  auto file = ElfFile::Open("/proc/self/exe");
+  ASSERT_TRUE(file.has_value());
+  auto symbol = file->FindFunction("dbll_elf_fixture_fn");
+  ASSERT_TRUE(symbol.has_value());
+  auto vaddr = file->SymbolVirtualAddress(*symbol);
+  ASSERT_TRUE(vaddr.has_value());
+  auto image = file->LoadImage();
+  ASSERT_TRUE(image.has_value()) << image.error().Format();
+
+  const std::uint8_t* from_file = image->Translate(*vaddr);
+  ASSERT_NE(from_file, nullptr);
+  const auto* live =
+      reinterpret_cast<const std::uint8_t*>(&dbll_elf_fixture_fn);
+  EXPECT_EQ(std::memcmp(from_file, live, symbol->size), 0)
+      << "file image differs from the loaded code";
+}
+
+TEST(ElfTest, LiftsFunctionFromFileImage) {
+  auto file = ElfFile::Open("/proc/self/exe");
+  ASSERT_TRUE(file.has_value());
+  auto symbol = file->FindFunction("dbll_elf_fixture_fn");
+  ASSERT_TRUE(symbol.has_value());
+  auto vaddr = file->SymbolVirtualAddress(*symbol);
+  auto image = file->LoadImage();
+  ASSERT_TRUE(vaddr.has_value());
+  ASSERT_TRUE(image.has_value());
+
+  static lift::Jit jit;
+  lift::Lifter lifter;
+  auto lifted =
+      lifter.Lift(image->HostAddress(*vaddr), lift::Signature::Ints(2));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(jit);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  for (long a : {0L, 1L, -5L, 1000L}) {
+    for (long b : {0L, 7L, -3L}) {
+      EXPECT_EQ(fn(a, b), dbll_elf_fixture_fn(a, b)) << a << " " << b;
+    }
+  }
+}
+
+TEST(ElfTest, SyntheticRelocatableRoundTrip) {
+  // lea rax, [rdi + rsi]; add rax, 7; ret
+  const std::vector<std::uint8_t> code = {0x48, 0x8d, 0x04, 0x37,
+                                          0x48, 0x83, 0xc0, 0x07, 0xc3};
+  auto file = ElfFile::Parse(BuildRelocatable(code, "tiny_add"));
+  ASSERT_TRUE(file.has_value()) << file.error().Format();
+  EXPECT_TRUE(file->is_relocatable());
+
+  auto symbol = file->FindFunction("tiny_add");
+  ASSERT_TRUE(symbol.has_value()) << symbol.error().Format();
+  auto vaddr = file->SymbolVirtualAddress(*symbol);
+  ASSERT_TRUE(vaddr.has_value());
+  auto image = file->LoadImage();
+  ASSERT_TRUE(image.has_value()) << image.error().Format();
+  const std::uint8_t* bytes = image->Translate(*vaddr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(std::memcmp(bytes, code.data(), code.size()), 0);
+
+  // Decode the extracted function.
+  auto cfg = x86::BuildCfg(image->HostAddress(*vaddr));
+  ASSERT_TRUE(cfg.has_value()) << cfg.error().Format();
+  EXPECT_EQ(cfg->instr_count, 3u);
+}
+
+/// Builds an ET_REL file with two functions and one PLT32 relocation:
+///   callee: ret                      (offset 0)
+///   caller: call <callee>; ret       (offset 8)
+std::vector<std::uint8_t> BuildRelocatableWithCall() {
+  // Code: [c3 + 7 pad] [e8 00 00 00 00 c3]
+  std::vector<std::uint8_t> code = {0xc3, 0x90, 0x90, 0x90, 0x90, 0x90,
+                                    0x90, 0x90, 0xe8, 0x00, 0x00, 0x00,
+                                    0x00, 0xc3};
+  std::vector<std::uint8_t> out;
+  auto put = [&](const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + size);
+  };
+  auto put16 = [&](std::uint16_t v) { put(&v, 2); };
+  auto put32 = [&](std::uint32_t v) { put(&v, 4); };
+  auto put64 = [&](std::uint64_t v) { put(&v, 8); };
+
+  const std::string strtab =
+      std::string("\0", 1) + "callee" + std::string("\0", 1) + "caller" +
+      std::string("\0", 1);
+  const std::size_t text_off = 64;
+  const std::size_t strtab_off = text_off + code.size();
+  const std::size_t symtab_off = (strtab_off + strtab.size() + 7) & ~7ull;
+  const std::size_t symtab_size = 3 * 24;  // null + callee + caller
+  const std::size_t rela_off = symtab_off + symtab_size;
+  const std::size_t rela_size = 24;
+  const std::string shstrtab = std::string(
+      "\0.text\0.strtab\0.symtab\0.rela.text\0.shstrtab\0", 44);
+  const std::size_t shstrtab_off = rela_off + rela_size;
+  const std::size_t shoff = (shstrtab_off + shstrtab.size() + 7) & ~7ull;
+
+  const std::uint8_t ident[16] = {0x7f, 'E', 'L', 'F', 2, 1, 1, 0,
+                                  0,    0,   0,   0,   0, 0, 0, 0};
+  put(ident, 16);
+  put16(1);
+  put16(62);
+  put32(1);
+  put64(0);
+  put64(0);
+  put64(shoff);
+  put32(0);
+  put16(64);
+  put16(0);
+  put16(0);
+  put16(64);
+  put16(6);
+  put16(5);
+
+  put(code.data(), code.size());
+  put(strtab.data(), strtab.size());
+  while (out.size() < symtab_off) out.push_back(0);
+  // null symbol
+  for (int i = 0; i < 24; ++i) out.push_back(0);
+  // callee: name 1, GLOBAL FUNC, sec 1, value 0, size 1
+  put32(1);
+  out.push_back(0x12);
+  out.push_back(0);
+  put16(1);
+  put64(0);
+  put64(1);
+  // caller: name 8, GLOBAL FUNC, sec 1, value 8, size 6
+  put32(8);
+  out.push_back(0x12);
+  out.push_back(0);
+  put16(1);
+  put64(8);
+  put64(6);
+  // rela: patch rel32 at offset 9 (inside the call), PLT32 sym 1, addend -4
+  put64(9);
+  put64((static_cast<std::uint64_t>(1) << 32) | 4);
+  const std::int64_t addend = -4;
+  put(&addend, 8);
+  put(shstrtab.data(), shstrtab.size());
+  while (out.size() < shoff) out.push_back(0);
+
+  auto shdr = [&](std::uint32_t name_off, std::uint32_t type,
+                  std::uint64_t flags, std::uint64_t offset,
+                  std::uint64_t size, std::uint32_t link, std::uint32_t info,
+                  std::uint64_t entsize) {
+    put32(name_off);
+    put32(type);
+    put64(flags);
+    put64(0);
+    put64(offset);
+    put64(size);
+    put32(link);
+    put32(info);
+    put64(8);
+    put64(entsize);
+  };
+  shdr(0, 0, 0, 0, 0, 0, 0, 0);                                  // null
+  shdr(1, 1, 0x6, text_off, code.size(), 0, 0, 0);               // .text
+  shdr(7, 3, 0, strtab_off, strtab.size(), 0, 0, 0);             // .strtab
+  shdr(15, 2, 0, symtab_off, symtab_size, 2, 1, 24);             // .symtab
+  shdr(23, 4, 0, rela_off, rela_size, 3, 1, 24);                 // .rela.text
+  shdr(34, 3, 0, shstrtab_off, shstrtab.size(), 0, 0, 0);        // .shstrtab
+  return out;
+}
+
+TEST(ElfTest, RelocationsResolveIntraFileCalls) {
+  auto file = ElfFile::Parse(BuildRelocatableWithCall());
+  ASSERT_TRUE(file.has_value()) << file.error().Format();
+  auto caller = file->FindFunction("caller");
+  auto callee = file->FindFunction("callee");
+  ASSERT_TRUE(caller.has_value());
+  ASSERT_TRUE(callee.has_value());
+  auto caller_va = file->SymbolVirtualAddress(*caller);
+  auto callee_va = file->SymbolVirtualAddress(*callee);
+  auto image = file->LoadImage();
+  ASSERT_TRUE(image.has_value()) << image.error().Format();
+
+  // The call's rel32 must have been patched to reach the callee.
+  auto cfg = x86::BuildCfg(image->HostAddress(*caller_va));
+  ASSERT_TRUE(cfg.has_value()) << cfg.error().Format();
+  ASSERT_EQ(cfg->call_targets.size(), 1u);
+  EXPECT_EQ(cfg->call_targets[0], image->HostAddress(*callee_va));
+}
+
+TEST(ElfTest, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage(200, 0xab);
+  auto file = ElfFile::Parse(garbage);
+  EXPECT_FALSE(file.has_value());
+}
+
+TEST(ElfTest, RejectsTruncated) {
+  auto good = BuildRelocatable({0xc3}, "f");
+  good.resize(80);
+  auto file = ElfFile::Parse(good);
+  EXPECT_FALSE(file.has_value());
+}
+
+TEST(ElfTest, RejectsWrongMachine) {
+  auto good = BuildRelocatable({0xc3}, "f");
+  good[18] = 40;  // EM_ARM
+  auto file = ElfFile::Parse(good);
+  ASSERT_FALSE(file.has_value());
+  EXPECT_EQ(file.error().kind(), ErrorKind::kUnsupported);
+}
+
+TEST(ElfTest, MissingSymbolReported) {
+  auto file = ElfFile::Parse(BuildRelocatable({0xc3}, "present"));
+  ASSERT_TRUE(file.has_value());
+  auto missing = file->FindFunction("absent");
+  EXPECT_FALSE(missing.has_value());
+}
+
+}  // namespace
+}  // namespace dbll::elf

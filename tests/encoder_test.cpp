@@ -1,0 +1,266 @@
+// dbll tests -- encoder: synthesized-operand sweeps and re-encode checks.
+//
+// The decoder vector table covers decode->encode round trips; these tests
+// sweep synthesized instructions (registers x widths x addressing forms)
+// through encode->decode to pin the ModRM/SIB/REX logic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "dbll/x86/decoder.h"
+#include "dbll/x86/encoder.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll::x86 {
+namespace {
+
+Expected<Instr> RoundTrip(const Instr& instr, std::uint64_t address = 0x1000) {
+  std::uint8_t buffer[Encoder::kMaxLength];
+  DBLL_TRY(std::size_t length, Encoder::Encode(instr, buffer, address));
+  return Decoder::DecodeOne({buffer, length}, address);
+}
+
+Instr MakeBinary(Mnemonic m, Operand dst, Operand src) {
+  Instr instr;
+  instr.mnemonic = m;
+  instr.op_count = 2;
+  instr.ops[0] = dst;
+  instr.ops[1] = src;
+  return instr;
+}
+
+// --- Register-register ALU sweep over all 16x16 registers -------------------
+
+class RegRegSweep
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RegRegSweep, EncodesAndDecodesBack) {
+  const auto [dst_index, src_index, size_sel] = GetParam();
+  const std::uint8_t sizes[] = {1, 2, 4, 8};
+  const std::uint8_t size = sizes[size_sel];
+  const Instr instr = MakeBinary(
+      Mnemonic::kAdd,
+      Operand::RegOp(Gp(static_cast<std::uint8_t>(dst_index)), size),
+      Operand::RegOp(Gp(static_cast<std::uint8_t>(src_index)), size));
+  auto back = RoundTrip(instr);
+  ASSERT_TRUE(back.has_value()) << back.error().Format();
+  EXPECT_EQ(PrintInstr(*back), PrintInstr(instr));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisters, RegRegSweep,
+                         testing::Combine(testing::Range(0, 16),
+                                          testing::Range(0, 16),
+                                          testing::Range(0, 4)));
+
+// --- Memory addressing form sweep -------------------------------------------
+
+struct MemForm {
+  const char* name;
+  MemOperand mem;
+};
+
+const MemForm kMemForms[] = {
+    {"base", {kRbx, kNoReg, 1, 0, Segment::kNone}},
+    {"base_disp8", {kRbx, kNoReg, 1, 0x10, Segment::kNone}},
+    {"base_disp32", {kRbx, kNoReg, 1, 0x12345, Segment::kNone}},
+    {"base_negdisp", {kRbx, kNoReg, 1, -0x20, Segment::kNone}},
+    {"rsp_base", {kRsp, kNoReg, 1, 8, Segment::kNone}},
+    {"rbp_base", {kRbp, kNoReg, 1, 0, Segment::kNone}},
+    {"r12_base", {kR12, kNoReg, 1, 0, Segment::kNone}},
+    {"r13_base", {kR13, kNoReg, 1, 0, Segment::kNone}},
+    {"base_index", {kRbx, kRcx, 1, 0, Segment::kNone}},
+    {"base_index2", {kRbx, kRcx, 2, 0, Segment::kNone}},
+    {"base_index4_disp", {kRsi, kRax, 4, -8, Segment::kNone}},
+    {"base_index8", {kRdi, kRdx, 8, 0x40, Segment::kNone}},
+    {"index_only", {kNoReg, kRcx, 8, 0x10, Segment::kNone}},
+    {"abs32", {kNoReg, kNoReg, 1, 0x1234, Segment::kNone}},
+    {"r8_index", {kRax, kR8, 4, 4, Segment::kNone}},
+    {"r15_base_r14_index", {kR15, kR14, 2, -4, Segment::kNone}},
+    {"fs_abs", {kNoReg, kNoReg, 1, 0x28, Segment::kFs}},
+    {"gs_base", {kRbx, kNoReg, 1, 0, Segment::kGs}},
+};
+
+class MemFormSweep : public testing::TestWithParam<MemForm> {};
+
+TEST_P(MemFormSweep, LoadRoundTrips) {
+  const Instr instr =
+      MakeBinary(Mnemonic::kMov, Operand::RegOp(kRax, 8),
+                 Operand::MemOp(GetParam().mem, 8));
+  auto back = RoundTrip(instr);
+  ASSERT_TRUE(back.has_value()) << back.error().Format();
+  EXPECT_EQ(PrintInstr(*back), PrintInstr(instr));
+}
+
+TEST_P(MemFormSweep, StoreRoundTrips) {
+  const Instr instr =
+      MakeBinary(Mnemonic::kMov, Operand::MemOp(GetParam().mem, 4),
+                 Operand::RegOp(kRdx, 4));
+  auto back = RoundTrip(instr);
+  ASSERT_TRUE(back.has_value()) << back.error().Format();
+  EXPECT_EQ(PrintInstr(*back), PrintInstr(instr));
+}
+
+TEST_P(MemFormSweep, SseLoadRoundTrips) {
+  const Instr instr =
+      MakeBinary(Mnemonic::kMovsdX, Operand::RegOp(Xmm(3), 16),
+                 Operand::MemOp(GetParam().mem, 8));
+  auto back = RoundTrip(instr);
+  ASSERT_TRUE(back.has_value()) << back.error().Format();
+  EXPECT_EQ(PrintInstr(*back), PrintInstr(instr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Forms, MemFormSweep, testing::ValuesIn(kMemForms),
+                         [](const testing::TestParamInfo<MemForm>& info) {
+                           return info.param.name;
+                         });
+
+// --- Immediate width selection ----------------------------------------------
+
+TEST(EncoderTest, ChoosesImm8WhenPossible) {
+  const Instr instr = MakeBinary(Mnemonic::kAdd, Operand::RegOp(kRax, 8),
+                                 Operand::ImmOp(5, 1));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  ASSERT_TRUE(length.has_value());
+  EXPECT_EQ(*length, 4u);  // REX 83 /0 imm8
+  EXPECT_EQ(buffer[1], 0x83);
+}
+
+TEST(EncoderTest, ChoosesImm32WhenNeeded) {
+  const Instr instr = MakeBinary(Mnemonic::kAdd, Operand::RegOp(kRax, 8),
+                                 Operand::ImmOp(0x1234, 4));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  ASSERT_TRUE(length.has_value());
+  EXPECT_EQ(buffer[1], 0x81);
+}
+
+TEST(EncoderTest, MovAbs64) {
+  const Instr instr = MakeBinary(Mnemonic::kMov, Operand::RegOp(kR9, 8),
+                                 Operand::ImmOp(0x1122334455667788LL, 8));
+  auto back = RoundTrip(instr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ops[1].imm, 0x1122334455667788LL);
+  EXPECT_EQ(back->ops[0].reg, kR9);
+}
+
+TEST(EncoderTest, Mov64SignExtendedImm32) {
+  const Instr instr = MakeBinary(Mnemonic::kMov, Operand::RegOp(kRax, 8),
+                                 Operand::ImmOp(-2, 8));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  ASSERT_TRUE(length.has_value());
+  EXPECT_EQ(*length, 7u);  // REX C7 /0 imm32, not the 10-byte movabs
+  auto back = Decoder::DecodeOne({buffer, *length}, 0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ops[1].imm, -2);
+}
+
+TEST(EncoderTest, StoreImm64DoesNotFit) {
+  MemOperand mem;
+  mem.base = kRax;
+  const Instr instr = MakeBinary(Mnemonic::kMov, Operand::MemOp(mem, 8),
+                                 Operand::ImmOp(0x1122334455667788LL, 8));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  EXPECT_FALSE(length.has_value());
+}
+
+// --- Branches ---------------------------------------------------------------
+
+TEST(EncoderTest, JmpRel32Patched) {
+  Instr instr;
+  instr.mnemonic = Mnemonic::kJmp;
+  instr.target = 0x2000;
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0x1000);
+  ASSERT_TRUE(length.has_value());
+  auto back = Decoder::DecodeOne({buffer, *length}, 0x1000);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->target, 0x2000u);
+}
+
+TEST(EncoderTest, JccAllConditions) {
+  for (int cc = 0; cc < 16; ++cc) {
+    Instr instr;
+    instr.mnemonic = Mnemonic::kJcc;
+    instr.cond = static_cast<Cond>(cc);
+    instr.target = 0x1234;
+    std::uint8_t buffer[Encoder::kMaxLength];
+    auto length = Encoder::Encode(instr, buffer, 0x1000);
+    ASSERT_TRUE(length.has_value()) << cc;
+    auto back = Decoder::DecodeOne({buffer, *length}, 0x1000);
+    ASSERT_TRUE(back.has_value()) << cc;
+    EXPECT_EQ(back->cond, instr.cond);
+    EXPECT_EQ(back->target, 0x1234u);
+  }
+}
+
+TEST(EncoderTest, RipRelativePatched) {
+  // movsd xmm0, [rip -> 0x5000] encoded at 0x1000.
+  Instr instr;
+  instr.mnemonic = Mnemonic::kMovsdX;
+  instr.op_count = 2;
+  instr.ops[0] = Operand::RegOp(Xmm(0), 16);
+  MemOperand mem;
+  mem.base = kRip;
+  instr.ops[1] = Operand::MemOp(mem, 8);
+  instr.target = 0x5000;
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0x1000);
+  ASSERT_TRUE(length.has_value());
+  auto back = Decoder::DecodeOne({buffer, *length}, 0x1000);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->target, 0x5000u);
+}
+
+TEST(EncoderTest, RipOutOfRangeFails) {
+  Instr instr;
+  instr.mnemonic = Mnemonic::kMovsdX;
+  instr.op_count = 2;
+  instr.ops[0] = Operand::RegOp(Xmm(0), 16);
+  MemOperand mem;
+  mem.base = kRip;
+  instr.ops[1] = Operand::MemOp(mem, 8);
+  instr.target = 0x7fff00000000ull;
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0x1000);
+  EXPECT_FALSE(length.has_value());
+}
+
+// --- Error paths ------------------------------------------------------------
+
+TEST(EncoderTest, HighByteWithRexFails) {
+  // mov ah, r9b is unencodable: ah forbids REX, r9b requires it.
+  const Instr instr =
+      MakeBinary(Mnemonic::kMov, Operand::RegOp(kRax, 1, /*high8=*/true),
+                 Operand::RegOp(Gp(9), 1));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  EXPECT_FALSE(length.has_value());
+}
+
+TEST(EncoderTest, BufferTooSmall) {
+  const Instr instr = MakeBinary(Mnemonic::kAdd, Operand::RegOp(kRax, 8),
+                                 Operand::RegOp(kRbx, 8));
+  std::uint8_t buffer[2];
+  auto length = Encoder::Encode(instr, {buffer, 2}, 0);
+  EXPECT_FALSE(length.has_value());
+  EXPECT_EQ(length.error().kind(), ErrorKind::kResourceLimit);
+}
+
+TEST(EncoderTest, RspIndexRejected) {
+  MemOperand mem;
+  mem.base = kRax;
+  mem.index = kRsp;
+  const Instr instr = MakeBinary(Mnemonic::kMov, Operand::RegOp(kRax, 8),
+                                 Operand::MemOp(mem, 8));
+  std::uint8_t buffer[Encoder::kMaxLength];
+  auto length = Encoder::Encode(instr, buffer, 0);
+  EXPECT_FALSE(length.has_value());
+}
+
+}  // namespace
+}  // namespace dbll::x86

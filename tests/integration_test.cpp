@@ -1,0 +1,218 @@
+// dbll tests -- end-to-end integration: every rewriting mode of the paper's
+// evaluation (Native / LLVM / LLVM-fix / DBrew / DBrew+LLVM) applied to
+// every kernel variant must compute bit-identical Jacobi iterations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/stencil/stencil.h"
+
+namespace dbll {
+namespace {
+
+using stencil::ElementKernel;
+using stencil::FlatStencil;
+using stencil::FourPointFlat;
+using stencil::FourPointSorted;
+using stencil::JacobiGrid;
+using stencil::LineKernel;
+using stencil::SortedStencil;
+
+constexpr int kIters = 3;
+
+lift::Signature KernelSig() {
+  return lift::Signature{{lift::ArgKind::kInt, lift::ArgKind::kInt,
+                          lift::ArgKind::kInt, lift::ArgKind::kInt},
+                         lift::RetKind::kVoid};
+}
+
+lift::Jit& SharedJit() {
+  static lift::Jit jit;
+  return jit;
+}
+
+double Reference() {
+  static const double value = [] {
+    JacobiGrid grid;
+    grid.RunElement(reinterpret_cast<ElementKernel>(&stencil::stencil_apply_direct),
+                    nullptr, kIters);
+    return grid.Checksum();
+  }();
+  return value;
+}
+
+double RunKernel(std::uint64_t entry, const void* st, bool line) {
+  JacobiGrid grid;
+  if (line) {
+    grid.RunLine(reinterpret_cast<LineKernel>(entry), st, kIters);
+  } else {
+    grid.RunElement(reinterpret_cast<ElementKernel>(entry), st, kIters);
+  }
+  return grid.Checksum();
+}
+
+struct KernelCase {
+  const char* name;
+  void* fn;
+  const void* stencil;
+  std::size_t stencil_size;
+  bool line;
+  bool dbrew_input;  // suitable input for DBrew (element or outlined line)
+};
+
+const KernelCase kKernels[] = {
+    {"elem_direct", reinterpret_cast<void*>(&stencil::stencil_apply_direct),
+     nullptr, 0, false, true},
+    {"elem_flat", reinterpret_cast<void*>(&stencil::stencil_apply_flat),
+     &FourPointFlat(), sizeof(FlatStencil), false, true},
+    {"elem_sorted", reinterpret_cast<void*>(&stencil::stencil_apply_sorted),
+     &FourPointSorted(), sizeof(SortedStencil), false, true},
+    {"line_direct", reinterpret_cast<void*>(&stencil::stencil_line_direct),
+     nullptr, 0, true, false},
+    {"line_flat", reinterpret_cast<void*>(&stencil::stencil_line_flat),
+     &FourPointFlat(), sizeof(FlatStencil), true, false},
+    {"line_sorted", reinterpret_cast<void*>(&stencil::stencil_line_sorted),
+     &FourPointSorted(), sizeof(SortedStencil), true, false},
+    {"line_direct_outl",
+     reinterpret_cast<void*>(&stencil::stencil_line_direct_outlined), nullptr,
+     0, true, true},
+    {"line_flat_outl",
+     reinterpret_cast<void*>(&stencil::stencil_line_flat_outlined),
+     &FourPointFlat(), sizeof(FlatStencil), true, true},
+    {"line_sorted_outl",
+     reinterpret_cast<void*>(&stencil::stencil_line_sorted_outlined),
+     &FourPointSorted(), sizeof(SortedStencil), true, true},
+};
+
+class ModeMatrixTest : public testing::TestWithParam<KernelCase> {};
+
+TEST_P(ModeMatrixTest, LlvmIdentityTransform) {
+  const KernelCase& k = GetParam();
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(k.fn), KernelSig());
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  EXPECT_EQ(RunKernel(*compiled, k.stencil, k.line), Reference()) << k.name;
+}
+
+TEST_P(ModeMatrixTest, LlvmWithParameterFixation) {
+  const KernelCase& k = GetParam();
+  if (k.stencil == nullptr) GTEST_SKIP() << "direct kernel has no parameter";
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(k.fn), KernelSig());
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  ASSERT_TRUE(
+      lifted->SpecializeParamToConstMem(0, k.stencil, k.stencil_size).ok());
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  // The fixed variant ignores its first argument.
+  EXPECT_EQ(RunKernel(*compiled, nullptr, k.line), Reference()) << k.name;
+}
+
+TEST_P(ModeMatrixTest, DbrewSpecialization) {
+  const KernelCase& k = GetParam();
+  if (!k.dbrew_input) GTEST_SKIP() << "not a DBrew input variant";
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(k.fn));
+  if (k.stencil != nullptr) {
+    rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(k.stencil));
+    rewriter.SetMemRange(
+        k.stencil, static_cast<const char*>(k.stencil) + k.stencil_size);
+  }
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  EXPECT_EQ(RunKernel(*rewritten, k.stencil, k.line), Reference()) << k.name;
+}
+
+TEST_P(ModeMatrixTest, DbrewPlusLlvm) {
+  const KernelCase& k = GetParam();
+  if (!k.dbrew_input) GTEST_SKIP() << "not a DBrew input variant";
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(k.fn));
+  if (k.stencil != nullptr) {
+    rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(k.stencil));
+    rewriter.SetMemRange(
+        k.stencil, static_cast<const char*>(k.stencil) + k.stencil_size);
+  }
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(*rewritten, KernelSig());
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  EXPECT_EQ(RunKernel(*compiled, k.stencil, k.line), Reference()) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ModeMatrixTest,
+                         testing::ValuesIn(kKernels),
+                         [](const testing::TestParamInfo<KernelCase>& info) {
+                           return info.param.name;
+                         });
+
+// --- Eight-point stencil cross-check -----------------------------------------
+
+TEST(IntegrationTest, EightPointStencilAllModes) {
+  JacobiGrid reference;
+  reference.RunElement(
+      reinterpret_cast<ElementKernel>(&stencil::stencil_apply_flat),
+      &stencil::EightPointFlat(), kIters);
+  const double want = reference.Checksum();
+
+  // DBrew on the flat 8-point stencil.
+  dbrew::Rewriter rewriter(
+      reinterpret_cast<std::uint64_t>(&stencil::stencil_apply_flat));
+  rewriter.SetParam(
+      0, reinterpret_cast<std::uint64_t>(&stencil::EightPointFlat()));
+  rewriter.SetMemRange(&stencil::EightPointFlat(),
+                       &stencil::EightPointFlat() + 1);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  {
+    JacobiGrid grid;
+    grid.RunElement(reinterpret_cast<ElementKernel>(*rewritten),
+                    &stencil::EightPointFlat(), kIters);
+    EXPECT_EQ(grid.Checksum(), want);
+  }
+
+  // LLVM-fix on the sorted 8-point stencil.
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(
+      reinterpret_cast<std::uint64_t>(&stencil::stencil_apply_sorted),
+      KernelSig());
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  ASSERT_TRUE(lifted
+                  ->SpecializeParamToConstMem(0, &stencil::EightPointSorted(),
+                                              sizeof(SortedStencil))
+                  .ok());
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  {
+    JacobiGrid grid;
+    grid.RunElement(reinterpret_cast<ElementKernel>(*compiled), nullptr,
+                    kIters);
+    EXPECT_NEAR(grid.Checksum(), want, 1e-9);
+  }
+}
+
+// --- Chained rewrites ----------------------------------------------------------
+
+TEST(IntegrationTest, LiftingDbrewOutputOfDbrewOutput) {
+  // DBrew output is itself valid input: rewrite the rewritten code.
+  dbrew::Rewriter first(
+      reinterpret_cast<std::uint64_t>(&stencil::stencil_apply_flat));
+  first.SetParam(0, reinterpret_cast<std::uint64_t>(&FourPointFlat()));
+  first.SetMemRange(&FourPointFlat(), &FourPointFlat() + 1);
+  auto once = first.Rewrite();
+  ASSERT_TRUE(once.has_value()) << once.error().Format();
+
+  dbrew::Rewriter second(*once);
+  auto twice = second.Rewrite();
+  ASSERT_TRUE(twice.has_value()) << twice.error().Format();
+  EXPECT_EQ(RunKernel(*twice, nullptr, false), Reference());
+}
+
+}  // namespace
+}  // namespace dbll

@@ -1,0 +1,469 @@
+// dbll tests -- the x86-64 -> LLVM-IR lifter: lift-and-execute equivalence,
+// IR shape properties (flag cache, facets, GEP), IR-level specialization,
+// and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "corpus.h"
+#include "dbll/lift/lifter.h"
+
+namespace dbll::lift {
+namespace {
+
+Signature IntSig2() { return Signature::Ints(2); }
+
+Jit& SharedJit() {
+  static Jit jit;
+  return jit;
+}
+
+Expected<std::uint64_t> LiftAndCompile(std::uint64_t address,
+                                       const Signature& sig,
+                                       LiftConfig config = {}) {
+  Lifter lifter(config);
+  DBLL_TRY(LiftedFunction lifted, lifter.Lift(address, sig));
+  return lifted.Compile(SharedJit());
+}
+
+// --- Equivalence over the integer corpus -------------------------------------
+
+class LiftEquivalenceTest
+    : public testing::TestWithParam<dbll_tests::IntFn> {};
+
+TEST_P(LiftEquivalenceTest, MatchesNative) {
+  const auto& entry = GetParam();
+  auto compiled =
+      LiftAndCompile(reinterpret_cast<std::uint64_t>(entry.fn), IntSig2());
+  ASSERT_TRUE(compiled.has_value())
+      << entry.name << ": " << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+
+  std::mt19937_64 rng(7);
+  const long interesting[] = {0, 1, -1, 2, -2, 63, 64, 255, -128,
+                              INT32_MAX, INT32_MIN, 1L << 40};
+  for (long a : interesting) {
+    for (long b : interesting) {
+      EXPECT_EQ(fn(a, b), entry.fn(a, b))
+          << entry.name << "(" << a << ", " << b << ")";
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), entry.fn(a, b))
+        << entry.name << "(" << a << ", " << b << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LiftEquivalenceTest,
+    testing::ValuesIn(dbll_tests::kIntCorpus,
+                      dbll_tests::kIntCorpus + dbll_tests::kIntCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::IntFn>& info) {
+      return info.param.name;
+    });
+
+/// Equivalence must also hold with every optimization knob turned off.
+class LiftAblationTest : public testing::TestWithParam<dbll_tests::IntFn> {};
+
+TEST_P(LiftAblationTest, MatchesNativeWithoutCaches) {
+  const auto& entry = GetParam();
+  LiftConfig config;
+  config.flag_cache = false;
+  config.facet_cache = false;
+  config.use_gep = false;
+  config.fast_math = false;
+  auto compiled = LiftAndCompile(reinterpret_cast<std::uint64_t>(entry.fn),
+                                 IntSig2(), config);
+  ASSERT_TRUE(compiled.has_value())
+      << entry.name << ": " << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), entry.fn(a, b)) << entry.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LiftAblationTest,
+    testing::ValuesIn(dbll_tests::kIntCorpus,
+                      dbll_tests::kIntCorpus + dbll_tests::kIntCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::IntFn>& info) {
+      return info.param.name;
+    });
+
+// --- Loops, memory, narrow types ----------------------------------------------
+
+TEST(LifterTest, LoopsWork) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_loop_fib), Signature::Ints(1));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long)>(*compiled);
+  for (long n : {0L, 1L, 2L, 20L, 50L}) {
+    EXPECT_EQ(fn(n), c_loop_fib(n));
+  }
+}
+
+TEST(LifterTest, LoopBackToEntryWorks) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_loop_to_entry), Signature::Ints(1));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long)>(*compiled);
+  for (long n : {1L, 2L, 5L, 17L}) {
+    EXPECT_EQ(fn(n), c_loop_to_entry(n));
+  }
+}
+
+TEST(LifterTest, MemoryReadsAndWrites) {
+  auto sum = LiftAndCompile(reinterpret_cast<std::uint64_t>(&c_array_sum),
+                            Signature::Ints(2));
+  ASSERT_TRUE(sum.has_value()) << sum.error().Format();
+  long data[16];
+  for (int i = 0; i < 16; ++i) data[i] = i * i - 5;
+  auto sum_fn = reinterpret_cast<long (*)(const long*, long)>(*sum);
+  EXPECT_EQ(sum_fn(data, 16), c_array_sum(data, 16));
+  EXPECT_EQ(sum_fn(data, 0), 0);
+
+  auto store = LiftAndCompile(reinterpret_cast<std::uint64_t>(&c_store_fields),
+                              Signature{{ArgKind::kInt, ArgKind::kInt,
+                                         ArgKind::kInt}, RetKind::kVoid});
+  ASSERT_TRUE(store.has_value()) << store.error().Format();
+  long out[3] = {};
+  reinterpret_cast<void (*)(long*, long, long)>(*store)(out, 6, 4);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 24);
+}
+
+TEST(LifterTest, ByteAndWordOperations) {
+  auto u8 = LiftAndCompile(reinterpret_cast<std::uint64_t>(&c_u8_ops),
+                           Signature::Ints(2));
+  ASSERT_TRUE(u8.has_value()) << u8.error().Format();
+  auto u8_fn = reinterpret_cast<int (*)(int, int)>(*u8);
+  for (int a = 0; a < 256; a += 17) {
+    for (int b = 0; b < 256; b += 31) {
+      EXPECT_EQ(u8_fn(a, b),
+                c_u8_ops(static_cast<unsigned char>(a),
+                         static_cast<unsigned char>(b)));
+    }
+  }
+
+  auto i16 = LiftAndCompile(reinterpret_cast<std::uint64_t>(&c_i16_ops),
+                            Signature::Ints(2));
+  ASSERT_TRUE(i16.has_value()) << i16.error().Format();
+  auto i16_fn = reinterpret_cast<int (*)(int, int)>(*i16);
+  for (int a : {-32768, -100, 0, 100, 32767}) {
+    for (int b : {-32768, -7, 0, 9, 32767}) {
+      EXPECT_EQ(i16_fn(a, b),
+                c_i16_ops(static_cast<short>(a), static_cast<short>(b)));
+    }
+  }
+}
+
+TEST(LifterTest, StrlenLike) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_strlen_like), Signature::Ints(1));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(const char*)>(*compiled);
+  EXPECT_EQ(fn(""), 0);
+  EXPECT_EQ(fn("a"), 1);
+  EXPECT_EQ(fn("hello world"), 11);
+}
+
+TEST(LifterTest, StackSpills) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_stack_spill), Signature::Ints(6));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn =
+      reinterpret_cast<long (*)(long, long, long, long, long, long)>(*compiled);
+  EXPECT_EQ(fn(1, 2, 3, 4, 5, 6), c_stack_spill(1, 2, 3, 4, 5, 6));
+  EXPECT_EQ(fn(-9, 8, -7, 6, -5, 4), c_stack_spill(-9, 8, -7, 6, -5, 4));
+}
+
+// --- Floating point -----------------------------------------------------------
+
+class LiftFpTest : public testing::TestWithParam<dbll_tests::FpFn> {};
+
+TEST_P(LiftFpTest, MatchesNative) {
+  const auto& entry = GetParam();
+  LiftConfig config;
+  config.fast_math = false;  // bit-exact comparison
+  Signature sig;
+  sig.args = {ArgKind::kF64, ArgKind::kF64};
+  sig.ret = RetKind::kF64;
+  auto compiled = LiftAndCompile(reinterpret_cast<std::uint64_t>(entry.fn),
+                                 sig, config);
+  ASSERT_TRUE(compiled.has_value())
+      << entry.name << ": " << compiled.error().Format();
+  auto fn = reinterpret_cast<double (*)(double, double)>(*compiled);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int i = 0; i < 100; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng);
+    EXPECT_EQ(fn(a, b), entry.fn(a, b))
+        << entry.name << "(" << a << ", " << b << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LiftFpTest,
+    testing::ValuesIn(dbll_tests::kFpCorpus,
+                      dbll_tests::kFpCorpus + dbll_tests::kFpCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::FpFn>& info) {
+      return info.param.name;
+    });
+
+TEST(LifterTest, FpConversions) {
+  LiftConfig config;
+  config.fast_math = false;
+  {
+    Signature sig = Signature::Ints(2, RetKind::kF64);
+    auto compiled = LiftAndCompile(
+        reinterpret_cast<std::uint64_t>(&c_int_to_fp), sig, config);
+    ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+    auto fn = reinterpret_cast<double (*)(long, long)>(*compiled);
+    EXPECT_EQ(fn(7, 2), c_int_to_fp(7, 2));
+    EXPECT_EQ(fn(-100, 3), c_int_to_fp(-100, 3));
+  }
+  {
+    Signature sig;
+    sig.args = {ArgKind::kF64};
+    sig.ret = RetKind::kInt;
+    auto compiled = LiftAndCompile(
+        reinterpret_cast<std::uint64_t>(&c_fp_to_int), sig, config);
+    ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+    auto fn = reinterpret_cast<long (*)(double)>(*compiled);
+    EXPECT_EQ(fn(10.3), c_fp_to_int(10.3));
+    EXPECT_EQ(fn(-99.9), c_fp_to_int(-99.9));
+  }
+  {
+    Signature sig;
+    sig.args = {ArgKind::kF64};
+    sig.ret = RetKind::kF64;
+    auto compiled = LiftAndCompile(
+        reinterpret_cast<std::uint64_t>(&c_fp_sqrt), sig, config);
+    ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+    auto fn = reinterpret_cast<double (*)(double)>(*compiled);
+    EXPECT_EQ(fn(3.0), c_fp_sqrt(3.0));
+  }
+}
+
+TEST(LifterTest, DotProduct) {
+  LiftConfig config;
+  config.fast_math = false;
+  Signature sig = Signature::Ints(2, RetKind::kF64);
+  auto compiled = LiftAndCompile(reinterpret_cast<std::uint64_t>(&c_dot3),
+                                 sig, config);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<double (*)(const double*, const double*)>(*compiled);
+  const double a[3] = {1.5, -2.0, 4.0};
+  const double b[3] = {2.0, 0.5, -1.0};
+  EXPECT_EQ(fn(a, b), c_dot3(a, b));
+}
+
+// --- Calls --------------------------------------------------------------------
+
+TEST(LifterTest, DirectCallsAreLifted) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_call_helper), Signature::Ints(2));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  EXPECT_EQ(fn(3, 4), c_call_helper(3, 4));
+  EXPECT_EQ(fn(-100, 100), c_call_helper(-100, 100));
+}
+
+TEST(LifterTest, RecursionIsLifted) {
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_factorial), Signature::Ints(1));
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long)>(*compiled);
+  EXPECT_EQ(fn(0), 1);
+  EXPECT_EQ(fn(10), c_factorial(10));
+}
+
+TEST(LifterTest, CallsDisabledReportsError) {
+  LiftConfig config;
+  config.lift_calls = false;
+  Lifter lifter(config);
+  auto lifted = lifter.Lift(
+      reinterpret_cast<std::uint64_t>(&c_call_helper), Signature::Ints(2));
+  ASSERT_FALSE(lifted.has_value());
+  EXPECT_EQ(lifted.error().kind(), ErrorKind::kUnsupported);
+}
+
+// --- IR shape (paper Figs. 5 and 6) -------------------------------------------
+
+TEST(LifterTest, FlagCacheProducesSingleIcmp) {
+  Lifter lifter;  // flag cache on by default
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_min_signed),
+                            IntSig2(), "shape_fc");
+  ASSERT_TRUE(lifted.has_value());
+  auto ir = lifted->OptimizeAndGetIr();
+  ASSERT_TRUE(ir.has_value());
+  // Fig. 6c: one comparison, one select, no xor-based flag reconstruction.
+  EXPECT_NE(ir->find("icmp"), std::string::npos);
+  EXPECT_NE(ir->find("select"), std::string::npos);
+  EXPECT_EQ(ir->find("xor"), std::string::npos) << *ir;
+}
+
+TEST(LifterTest, NoFlagCacheLeavesBitwiseReconstruction) {
+  LiftConfig config;
+  config.flag_cache = false;
+  Lifter lifter(config);
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_min_signed),
+                            IntSig2(), "shape_nofc");
+  ASSERT_TRUE(lifted.has_value());
+  auto ir = lifted->OptimizeAndGetIr();
+  ASSERT_TRUE(ir.has_value());
+  // Fig. 6b: the SF^OF computation survives optimization as xor chains.
+  EXPECT_NE(ir->find("xor"), std::string::npos) << *ir;
+}
+
+TEST(LifterTest, GepUsedForAddressing) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_array_index),
+                            IntSig2(), "shape_gep");
+  ASSERT_TRUE(lifted.has_value());
+  const std::string ir = lifted->GetIr();
+  EXPECT_NE(ir.find("getelementptr"), std::string::npos);
+}
+
+TEST(LifterTest, NoGepAblationUsesIntToPtr) {
+  LiftConfig config;
+  config.use_gep = false;
+  Lifter lifter(config);
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_array_index),
+                            IntSig2(), "shape_nogep");
+  ASSERT_TRUE(lifted.has_value());
+  const std::string ir = lifted->GetIr();
+  EXPECT_NE(ir.find("inttoptr"), std::string::npos);
+}
+
+TEST(LifterTest, PhiNodesAtBlockEntries) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_loop_fib),
+                            Signature::Ints(1), "shape_phi");
+  ASSERT_TRUE(lifted.has_value());
+  const std::string ir = lifted->GetIr();
+  EXPECT_NE(ir.find("phi"), std::string::npos);
+}
+
+TEST(LifterTest, VirtualStackIsAlloca) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_stack_spill),
+                            Signature::Ints(6), "shape_stack");
+  ASSERT_TRUE(lifted.has_value());
+  const std::string ir = lifted->GetIr();
+  EXPECT_NE(ir.find("alloca"), std::string::npos);
+}
+
+// --- IR-level specialization (paper Sec. IV) ----------------------------------
+
+TEST(SpecializeTest, ParamFixation) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_min_signed),
+                            IntSig2());
+  ASSERT_TRUE(lifted.has_value());
+  ASSERT_TRUE(lifted->SpecializeParam(0, 42).ok());
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  EXPECT_EQ(fn(0, 100), 42);
+  EXPECT_EQ(fn(0, 3), 3);
+}
+
+TEST(SpecializeTest, LoopBoundFixationFoldsToConstant) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_loop_sum),
+                            Signature::Ints(1));
+  ASSERT_TRUE(lifted.has_value());
+  ASSERT_TRUE(lifted->SpecializeParam(0, 10).ok());
+  auto ir = lifted->OptimizeAndGetIr();
+  ASSERT_TRUE(ir.has_value());
+  // Full constant propagation: the function returns the literal 45.
+  EXPECT_NE(ir->find("ret i64 45"), std::string::npos) << *ir;
+}
+
+TEST(SpecializeTest, ConstMemoryFoldsLoads) {
+  static const CorpusNode nodes[4] = {{2, 3}, {5, 7}, {11, 13}, {17, 19}};
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_struct_walk),
+                            Signature::Ints(1));
+  ASSERT_TRUE(lifted.has_value());
+  ASSERT_TRUE(
+      lifted->SpecializeParamToConstMem(0, nodes, sizeof(nodes)).ok());
+  auto ir = lifted->OptimizeAndGetIr();
+  ASSERT_TRUE(ir.has_value());
+  const long expected = c_struct_walk(nodes);
+  EXPECT_NE(ir->find("ret i64 " + std::to_string(expected)),
+            std::string::npos)
+      << *ir;
+}
+
+TEST(SpecializeTest, BadIndexRejected) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_min_signed),
+                            IntSig2());
+  ASSERT_TRUE(lifted.has_value());
+  EXPECT_FALSE(lifted->SpecializeParam(5, 1).ok());
+  EXPECT_FALSE(lifted->SpecializeParam(-1, 1).ok());
+}
+
+TEST(SpecializeTest, AfterOptimizationRejected) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_min_signed),
+                            IntSig2());
+  ASSERT_TRUE(lifted.has_value());
+  ASSERT_TRUE(lifted->OptimizeAndGetIr().has_value());
+  EXPECT_FALSE(lifted->SpecializeParam(0, 1).ok());
+}
+
+// --- Configuration / error paths -----------------------------------------------
+
+TEST(LifterTest, TooManyArgsRejected) {
+  Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_add3),
+                            Signature::Ints(9));
+  EXPECT_FALSE(lifted.has_value());
+}
+
+TEST(LifterTest, InstructionBudgetEnforced) {
+  LiftConfig config;
+  config.max_instructions = 2;
+  Lifter lifter(config);
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_stack_spill),
+                            Signature::Ints(6));
+  EXPECT_FALSE(lifted.has_value());
+}
+
+TEST(LifterTest, OptLevelZeroStillCorrect) {
+  LiftConfig config;
+  config.opt_level = 0;
+  auto compiled = LiftAndCompile(
+      reinterpret_cast<std::uint64_t>(&c_arith_mix), IntSig2(), config);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  EXPECT_EQ(fn(12, -5), c_arith_mix(12, -5));
+}
+
+TEST(LifterTest, PassPresetsRun) {
+  for (const char* preset : {"none", "basic", "o1", "o2", "novec"}) {
+    LiftConfig config;
+    config.pass_preset = preset;
+    auto compiled = LiftAndCompile(
+        reinterpret_cast<std::uint64_t>(&c_poly),
+        Signature{{ArgKind::kF64}, RetKind::kF64}, config);
+    ASSERT_TRUE(compiled.has_value())
+        << preset << ": " << compiled.error().Format();
+    auto fn = reinterpret_cast<double (*)(double)>(*compiled);
+    EXPECT_EQ(fn(2.0), c_poly(2.0)) << preset;
+  }
+}
+
+}  // namespace
+}  // namespace dbll::lift

@@ -1,0 +1,128 @@
+// dbll tests -- unoptimized (-O0) input code: rbp frames, stack locals,
+// argument spills. Exercises leave, rbp-based addressing, and dense stack
+// traffic in both the rewriter and the lifter.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "corpus_o0.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+
+namespace dbll {
+namespace {
+
+lift::Jit& SharedJit() {
+  static lift::Jit jit;
+  return jit;
+}
+
+using Fn2 = long (*)(long, long);
+
+struct Case {
+  const char* name;
+  Fn2 fn;
+};
+
+const Case kCases[] = {
+    {"locals", o0_locals},
+    {"branchy", o0_branchy},
+    {"loop", [](long a, long b) { return o0_loop((a & 63) + (b & 0)); }},
+    {"calls", [](long a, long) { return o0_calls(a & 0xffff); }},
+};
+
+class O0Test : public testing::TestWithParam<Case> {};
+
+TEST_P(O0Test, DbrewIdentity) {
+  const Case& c = GetParam();
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(c.fn));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << c.name << ": "
+                                     << rewritten.error().Format();
+  auto fn = reinterpret_cast<Fn2>(*rewritten);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), c.fn(a, b)) << c.name;
+  }
+}
+
+TEST_P(O0Test, DbrewParamFixation) {
+  const Case& c = GetParam();
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(c.fn));
+  rewriter.SetParam(0, 23);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << c.name << ": "
+                                     << rewritten.error().Format();
+  auto fn = reinterpret_cast<Fn2>(*rewritten);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 40; ++i) {
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(0xdead, b), c.fn(23, b)) << c.name;
+  }
+}
+
+TEST_P(O0Test, LiftedMatchesNative) {
+  const Case& c = GetParam();
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(c.fn),
+                            lift::Signature::Ints(2));
+  ASSERT_TRUE(lifted.has_value()) << c.name << ": "
+                                  << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << c.name << ": "
+                                    << compiled.error().Format();
+  auto fn = reinterpret_cast<Fn2>(*compiled);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), c.fn(a, b)) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, O0Test, testing::ValuesIn(kCases),
+                         [](const testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+TEST(O0Test, FloatFunction) {
+  lift::Lifter lifter;
+  lift::Signature sig;
+  sig.args = {lift::ArgKind::kF64, lift::ArgKind::kF64};
+  sig.ret = lift::RetKind::kF64;
+  auto lifted =
+      lifter.Lift(reinterpret_cast<std::uint64_t>(&o0_float), sig);
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<double (*)(double, double)>(*compiled);
+  EXPECT_EQ(fn(3.0, 4.0), o0_float(3.0, 4.0));
+  EXPECT_EQ(fn(-1.5, 0.25), o0_float(-1.5, 0.25));
+}
+
+TEST(O0Test, ArrayFunction) {
+  long data[16];
+  for (int i = 0; i < 16; ++i) data[i] = (i * 37) % 101 - 50;
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&o0_array));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const long*, long)>(*rewritten);
+  EXPECT_EQ(fn(data, 16), o0_array(data, 16));
+  EXPECT_EQ(fn(data, 1), o0_array(data, 1));
+
+  // Stack-heavy -O0 loop also folds when everything is known.
+  dbrew::Rewriter fixed(reinterpret_cast<std::uint64_t>(&o0_array));
+  fixed.SetParam(0, reinterpret_cast<std::uint64_t>(data));
+  fixed.SetParam(1, 16);
+  fixed.SetMemRange(data, data + 16);
+  auto spec = fixed.Rewrite();
+  ASSERT_TRUE(spec.has_value()) << spec.error().Format();
+  auto sfn = reinterpret_cast<long (*)(const long*, long)>(*spec);
+  EXPECT_EQ(sfn(nullptr, 0), o0_array(data, 16));
+  EXPECT_GT(fixed.stats().folded_instrs, 10u);
+}
+
+}  // namespace
+}  // namespace dbll

@@ -1,0 +1,215 @@
+// dbll tests -- differential decoder validation against GNU objdump.
+//
+// For every corpus function, objdump disassembles this test binary and the
+// dbll decoder decodes the same live bytes; instruction start offsets,
+// lengths, and mnemonics must agree. Skips gracefully when objdump is not
+// installed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/decoder.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll::x86 {
+namespace {
+
+bool ObjdumpAvailable() {
+  static const bool available = [] {
+    return std::system("objdump --version > /dev/null 2>&1") == 0;
+  }();
+  return available;
+}
+
+struct ObjdumpInsn {
+  std::uint64_t offset;  // from function start
+  std::size_t length;
+  std::string mnemonic;
+};
+
+/// Path of this test binary. /proc/self/exe must be resolved here: passing
+/// it to objdump verbatim would make objdump disassemble *itself*.
+std::string SelfPath() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = 0;
+  return buf;
+}
+
+/// Parses `objdump -d --disassemble=<symbol> <this-binary>`.
+std::vector<ObjdumpInsn> Objdump(const std::string& symbol) {
+  std::vector<ObjdumpInsn> out;
+  const std::string cmd = "objdump -d -M att --disassemble=" + symbol + " '" +
+                          SelfPath() + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return out;
+  char line[512];
+  std::uint64_t base = 0;
+  bool in_function = false;
+  while (fgets(line, sizeof(line), pipe) != nullptr) {
+    std::string text(line);
+    // Function header: "0000000000001234 <symbol>:"
+    const std::string needle = "<" + symbol + ">:";
+    if (text.find(needle) != std::string::npos) {
+      base = std::stoull(text, nullptr, 16);
+      in_function = true;
+      continue;
+    }
+    if (!in_function) continue;
+    // Instruction lines look like "  1234:\t48 89 f8  \tmov ..."
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos || text.find('\t') == std::string::npos) {
+      if (text == "\n") break;  // end of function listing
+      continue;
+    }
+    std::uint64_t address = 0;
+    try {
+      address = std::stoull(text.substr(0, colon), nullptr, 16);
+    } catch (...) {
+      continue;
+    }
+    const std::size_t bytes_begin = text.find('\t', colon);
+    const std::size_t bytes_end = text.find('\t', bytes_begin + 1);
+    if (bytes_begin == std::string::npos) continue;
+    // Count hex byte pairs.
+    std::istringstream bytes(
+        text.substr(bytes_begin + 1, bytes_end == std::string::npos
+                                         ? std::string::npos
+                                         : bytes_end - bytes_begin - 1));
+    std::size_t count = 0;
+    std::string token;
+    while (bytes >> token) {
+      if (token.size() == 2 && isxdigit(static_cast<unsigned char>(token[0])) &&
+          isxdigit(static_cast<unsigned char>(token[1]))) {
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    std::string mnemonic;
+    if (bytes_end != std::string::npos) {
+      std::istringstream rest(text.substr(bytes_end + 1));
+      rest >> mnemonic;
+    }
+    // Continuation lines (long instructions) have no mnemonic: merge.
+    if (mnemonic.empty() && !out.empty()) {
+      out.back().length += count;
+      continue;
+    }
+    out.push_back(ObjdumpInsn{address - base, count, mnemonic});
+  }
+  pclose(pipe);
+  return out;
+}
+
+/// Normalizes an AT&T mnemonic from objdump for comparison against ours:
+/// strips width suffixes (addq -> add) where our Intel name has none.
+bool MnemonicsAgree(const std::string& objdump_name, std::string ours) {
+  if (objdump_name == ours) return true;
+  // Our conditional families print e.g. "jne"/"setg"/"cmovl", same as
+  // objdump. Suffixed AT&T forms: try stripping one trailing width letter.
+  const std::string suffixes = "bwlq";
+  if (!objdump_name.empty() &&
+      suffixes.find(objdump_name.back()) != std::string::npos &&
+      objdump_name.substr(0, objdump_name.size() - 1) == ours) {
+    return true;
+  }
+  // movabs vs mov, movslq vs movsxd, cltq/cdqe etc.
+  static const std::map<std::string, std::string> aliases = {
+      {"movabs", "mov"},   {"movslq", "movsxd"}, {"movsbq", "movsx"},
+      {"movsbl", "movsx"}, {"movswl", "movsx"},  {"movswq", "movsx"},
+      {"movzbl", "movzx"}, {"movzwl", "movzx"},  {"movzbq", "movzx"},
+      {"movzwq", "movzx"}, {"cltq", "cdqe"},     {"cqto", "cqo"},
+      {"cltd", "cdq"},     {"nopw", "nop"},      {"nopl", "nop"},
+      {"endbr64", "endbr64"}};
+  auto it = aliases.find(objdump_name);
+  if (it != aliases.end() && it->second == ours) return true;
+  // Padding idioms: objdump renders 66 90 as "xchg %ax,%ax" and prints the
+  // cs-prefixed multi-byte nop as "cs nopw"; we canonicalize all of them to
+  // nop (the lengths already matched above).
+  if (ours == "nop" &&
+      (objdump_name == "xchg" || objdump_name == "cs" ||
+       objdump_name.rfind("nop", 0) == 0)) {
+    return true;
+  }
+  return false;
+}
+
+struct NamedFn {
+  const char* name;
+  std::uint64_t address;
+};
+
+class ObjdumpDiffTest : public testing::TestWithParam<NamedFn> {};
+
+TEST_P(ObjdumpDiffTest, DecoderAgreesWithObjdump) {
+  if (!ObjdumpAvailable()) GTEST_SKIP() << "objdump not installed";
+  const NamedFn& fn = GetParam();
+  const std::vector<ObjdumpInsn> reference = Objdump(fn.name);
+  ASSERT_FALSE(reference.empty())
+      << "objdump produced no instructions for " << fn.name;
+
+  // Decode the same bytes with the dbll decoder, linearly (objdump order).
+  std::uint64_t offset = 0;
+  std::size_t matched = 0;
+  for (const ObjdumpInsn& ref : reference) {
+    ASSERT_EQ(offset, ref.offset)
+        << fn.name << ": lost sync before " << ref.mnemonic;
+    auto instr = Decoder::DecodeAt(fn.address + offset);
+    ASSERT_TRUE(instr.has_value())
+        << fn.name << " +0x" << std::hex << offset << " (" << ref.mnemonic
+        << "): " << instr.error().Format();
+    EXPECT_EQ(instr->length, ref.length)
+        << fn.name << " +0x" << std::hex << offset << " " << ref.mnemonic
+        << " decoded as " << PrintInstr(*instr);
+    const std::string ours =
+        PrintInstr(*instr).substr(0, PrintInstr(*instr).find(' '));
+    EXPECT_TRUE(MnemonicsAgree(ref.mnemonic, ours))
+        << fn.name << ": objdump says '" << ref.mnemonic << "', dbll says '"
+        << ours << "'";
+    offset += ref.length;
+    ++matched;
+  }
+  EXPECT_EQ(matched, reference.size());
+}
+
+// Exercise a representative slice of the corpus: integer, FP, vector,
+// control flow, memory.
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ObjdumpDiffTest,
+    testing::Values(
+        NamedFn{"c_arith_mix", reinterpret_cast<std::uint64_t>(&c_arith_mix)},
+        NamedFn{"c_shifts", reinterpret_cast<std::uint64_t>(&c_shifts)},
+        NamedFn{"c_cmp_chain", reinterpret_cast<std::uint64_t>(&c_cmp_chain)},
+        NamedFn{"c_div_mod", reinterpret_cast<std::uint64_t>(&c_div_mod)},
+        NamedFn{"c_loop_fib", reinterpret_cast<std::uint64_t>(&c_loop_fib)},
+        NamedFn{"c_gcd", reinterpret_cast<std::uint64_t>(&c_gcd)},
+        NamedFn{"c_array_sum", reinterpret_cast<std::uint64_t>(&c_array_sum)},
+        NamedFn{"c_stack_spill",
+                reinterpret_cast<std::uint64_t>(&c_stack_spill)},
+        NamedFn{"c_poly", reinterpret_cast<std::uint64_t>(&c_poly)},
+        NamedFn{"c_fp_mix", reinterpret_cast<std::uint64_t>(&c_fp_mix)},
+        NamedFn{"c_dot3", reinterpret_cast<std::uint64_t>(&c_dot3)},
+        NamedFn{"c_u8_ops", reinterpret_cast<std::uint64_t>(&c_u8_ops)},
+        NamedFn{"v_paddd_sum", reinterpret_cast<std::uint64_t>(&v_paddd_sum)},
+        NamedFn{"v_cmp_mask", reinterpret_cast<std::uint64_t>(&v_cmp_mask)},
+        NamedFn{"v_shift_mix", reinterpret_cast<std::uint64_t>(&v_shift_mix)},
+        NamedFn{"v_mul_lanes", reinterpret_cast<std::uint64_t>(&v_mul_lanes)},
+        NamedFn{"v_memchr_like",
+                reinterpret_cast<std::uint64_t>(&v_memchr_like)},
+        NamedFn{"cb_apply", reinterpret_cast<std::uint64_t>(&cb_apply)}),
+    [](const testing::TestParamInfo<NamedFn>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dbll::x86

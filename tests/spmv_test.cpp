@@ -1,0 +1,177 @@
+// dbll tests -- SpMV case study: CSR construction, kernel numerics, and
+// pattern specialization through DBrew and the lifter.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/spmv/spmv.h"
+#include "dbll/x86/cfg.h"
+
+namespace dbll::spmv {
+namespace {
+
+std::vector<double> RandomVector(long n, std::uint64_t seed) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::mt19937_64 rng(seed);
+  for (auto& v : x) v = static_cast<double>(rng() % 1000) * 0.001 - 0.5;
+  return x;
+}
+
+TEST(CsrBuilderTest, BandedPattern) {
+  CsrBuilder builder = CsrBuilder::Banded(8, {-1, 0, 1});
+  CsrMatrix m = builder.Finish();
+  EXPECT_EQ(m.rows, 8);
+  // Interior rows have 3 entries, the two boundary rows 2.
+  EXPECT_EQ(m.row_start[8], 3 * 8 - 2);
+  EXPECT_EQ(m.col_idx[0], 0);
+  EXPECT_EQ(m.col_idx[1], 1);
+}
+
+TEST(CsrBuilderTest, EmptyRowsAreHandled) {
+  CsrBuilder builder(4, 4);
+  builder.Add(0, 1, 2.0);
+  builder.Add(3, 2, 5.0);  // rows 1 and 2 stay empty
+  CsrMatrix m = builder.Finish();
+  EXPECT_EQ(m.row_start[1], 1);
+  EXPECT_EQ(m.row_start[2], 1);
+  EXPECT_EQ(m.row_start[3], 1);
+  EXPECT_EQ(m.row_start[4], 2);
+}
+
+TEST(SpmvKernelTest, MatchesReference) {
+  CsrBuilder builder = CsrBuilder::Random(64, 6, 99);
+  CsrMatrix m = builder.Finish();
+  const std::vector<double> x = RandomVector(64, 1);
+  std::vector<double> y_ref(64), y_row(64), y_full(64);
+  SpmvReference(m, x.data(), y_ref.data());
+  for (long r = 0; r < m.rows; ++r) {
+    spmv_row(&m, x.data(), y_row.data(), r);
+  }
+  spmv_full(&m, x.data(), y_full.data(), m.rows);
+  EXPECT_EQ(y_row, y_ref);
+  EXPECT_EQ(y_full, y_ref);
+}
+
+TEST(SpmvSpecializeTest, DbrewUnrollsRow) {
+  // The matrix (pattern AND values) is fixed: a single row kernel
+  // specialized for row 3 must fold all index loads and the loop.
+  static CsrBuilder builder = CsrBuilder::Banded(16, {-1, 0, 1});
+  static const CsrMatrix m = builder.Finish();
+
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&spmv_row));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&m));
+  rewriter.SetParam(3, 3);  // row fixed
+  rewriter.SetMemRange(&m, &m + 1);
+  rewriter.SetMemRange(m.row_start, m.row_start + m.rows + 1);
+  rewriter.SetMemRange(m.col_idx, m.col_idx + m.row_start[m.rows]);
+  rewriter.SetMemRange(m.values, m.values + m.row_start[m.rows]);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+
+  // Fully unrolled: no conditional branches left.
+  auto cfg = x86::BuildCfg(*rewritten);
+  ASSERT_TRUE(cfg.has_value());
+  for (const auto& [address, block] : cfg->blocks) {
+    for (const auto& instr : block.instrs) {
+      EXPECT_NE(instr.mnemonic, x86::Mnemonic::kJcc);
+    }
+  }
+
+  const std::vector<double> x = RandomVector(16, 7);
+  std::vector<double> y_ref(16, 0.0), y_got(16, 0.0);
+  spmv_row(&m, x.data(), y_ref.data(), 3);
+  reinterpret_cast<void (*)(const CsrMatrix*, const double*, double*, long)>(
+      *rewritten)(nullptr, x.data(), y_got.data(), 999);
+  EXPECT_EQ(y_got[3], y_ref[3]);
+}
+
+TEST(SpmvSpecializeTest, PatternOnlySpecializationKeepsValueLoads) {
+  // Only the *pattern* is fixed; the values array may change between calls
+  // (e.g. during matrix assembly). Value loads must stay live.
+  static CsrBuilder builder = CsrBuilder::Banded(16, {0, 2});
+  static CsrMatrix m = builder.Finish();
+
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&spmv_row));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&m));
+  rewriter.SetParam(3, 5);
+  rewriter.SetMemRange(&m, &m + 1);
+  rewriter.SetMemRange(m.row_start, m.row_start + m.rows + 1);
+  rewriter.SetMemRange(m.col_idx, m.col_idx + m.row_start[m.rows]);
+  // NOT fixing m.values.
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+
+  const std::vector<double> x = RandomVector(16, 13);
+  std::vector<double> y_ref(16, 0.0), y_got(16, 0.0);
+  auto fn =
+      reinterpret_cast<void (*)(const CsrMatrix*, const double*, double*,
+                                long)>(*rewritten);
+  spmv_row(&m, x.data(), y_ref.data(), 5);
+  fn(nullptr, x.data(), y_got.data(), 0);
+  EXPECT_EQ(y_got[5], y_ref[5]);
+
+  // Mutate a value the row uses; the specialized kernel must see the change.
+  const_cast<double*>(m.values)[m.row_start[5]] += 1.5;
+  spmv_row(&m, x.data(), y_ref.data(), 5);
+  fn(nullptr, x.data(), y_got.data(), 0);
+  EXPECT_EQ(y_got[5], y_ref[5]);
+  const_cast<double*>(m.values)[m.row_start[5]] -= 1.5;
+}
+
+TEST(SpmvSpecializeTest, LifterFixesFullProduct) {
+  static CsrBuilder builder = CsrBuilder::Random(32, 4, 5);
+  static const CsrMatrix m = builder.Finish();
+
+  static lift::Jit jit;
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&spmv_full),
+                            lift::Signature::Ints(4, lift::RetKind::kVoid));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(jit);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+
+  const std::vector<double> x = RandomVector(32, 21);
+  std::vector<double> y_ref(32), y_got(32);
+  SpmvReference(m, x.data(), y_ref.data());
+  reinterpret_cast<void (*)(const CsrMatrix*, const double*, double*, long)>(
+      *compiled)(&m, x.data(), y_got.data(), m.rows);
+  EXPECT_EQ(y_got, y_ref);
+}
+
+TEST(SpmvSpecializeTest, DbrewPlusLlvmOnFullProduct) {
+  static CsrBuilder builder = CsrBuilder::Banded(24, {-2, 0, 2});
+  static const CsrMatrix m = builder.Finish();
+
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&spmv_full));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(&m));
+  rewriter.SetParam(3, m.rows);  // row count fixed -> outer loop unrolls
+  rewriter.SetMemRange(&m, &m + 1);
+  rewriter.SetMemRange(m.row_start, m.row_start + m.rows + 1);
+  rewriter.SetMemRange(m.col_idx, m.col_idx + m.row_start[m.rows]);
+  rewriter.SetMemRange(m.values, m.values + m.row_start[m.rows]);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+
+  static lift::Jit jit;
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(*rewritten,
+                            lift::Signature::Ints(4, lift::RetKind::kVoid));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(jit);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+
+  const std::vector<double> x = RandomVector(24, 3);
+  std::vector<double> y_ref(24), y_dbrew(24), y_llvm(24);
+  SpmvReference(m, x.data(), y_ref.data());
+  using Fn = void (*)(const CsrMatrix*, const double*, double*, long);
+  reinterpret_cast<Fn>(*rewritten)(nullptr, x.data(), y_dbrew.data(), 0);
+  reinterpret_cast<Fn>(*compiled)(nullptr, x.data(), y_llvm.data(), 0);
+  EXPECT_EQ(y_dbrew, y_ref);
+  EXPECT_EQ(y_llvm, y_ref);
+}
+
+}  // namespace
+}  // namespace dbll::spmv

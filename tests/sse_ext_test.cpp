@@ -1,0 +1,220 @@
+// dbll tests -- SSE2 extension pack: lift-and-execute and rewrite-and-execute
+// equivalence for vector integer instructions (pcmp/pmin/pmax/pavg/pmul,
+// vector shifts, unpacks, movmsk, cmpsd) plus shld/shrd and bts/btr/btc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+
+#include "corpus.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+
+namespace dbll {
+namespace {
+
+lift::Jit& SharedJit() {
+  static lift::Jit jit;
+  return jit;
+}
+
+void FillRandom(std::uint8_t* data, std::size_t size, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>(rng());
+  }
+}
+
+// --- Vector corpus equivalence: lifted and rewritten code vs native ---------
+
+class VecEquivalenceTest : public testing::TestWithParam<dbll_tests::VecFn> {};
+
+TEST_P(VecEquivalenceTest, LiftedMatchesNative) {
+  const auto& entry = GetParam();
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(entry.fn),
+                            lift::Signature::Ints(2));
+  ASSERT_TRUE(lifted.has_value())
+      << entry.name << ": " << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value())
+      << entry.name << ": " << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(const void*, const void*)>(*compiled);
+
+  alignas(16) std::uint8_t a[16];
+  alignas(16) std::uint8_t b[16];
+  for (int round = 0; round < 64; ++round) {
+    FillRandom(a, sizeof(a), 1000 + round);
+    FillRandom(b, sizeof(b), 2000 + round);
+    EXPECT_EQ(fn(a, b), entry.fn(a, b)) << entry.name << " round " << round;
+  }
+  // Edge patterns: all-zero, all-ones, sign bits.
+  std::memset(a, 0, sizeof(a));
+  std::memset(b, 0xff, sizeof(b));
+  EXPECT_EQ(fn(a, b), entry.fn(a, b)) << entry.name << " zeros/ones";
+  std::memset(a, 0x80, sizeof(a));
+  EXPECT_EQ(fn(a, b), entry.fn(a, b)) << entry.name << " sign bits";
+}
+
+TEST_P(VecEquivalenceTest, RewrittenMatchesNative) {
+  const auto& entry = GetParam();
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(entry.fn));
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value())
+      << entry.name << ": " << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const void*, const void*)>(*rewritten);
+
+  alignas(16) std::uint8_t a[16];
+  alignas(16) std::uint8_t b[16];
+  for (int round = 0; round < 32; ++round) {
+    FillRandom(a, sizeof(a), 3000 + round);
+    FillRandom(b, sizeof(b), 4000 + round);
+    EXPECT_EQ(fn(a, b), entry.fn(a, b)) << entry.name << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, VecEquivalenceTest,
+    testing::ValuesIn(dbll_tests::kVecCorpus,
+                      dbll_tests::kVecCorpus + dbll_tests::kVecCorpusSize),
+    [](const testing::TestParamInfo<dbll_tests::VecFn>& info) {
+      return info.param.name;
+    });
+
+// --- Targeted instructions ----------------------------------------------------
+
+template <typename Fn>
+Fn LiftAs(Fn native, lift::Signature sig) {
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(native), sig);
+  if (!lifted.has_value()) {
+    ADD_FAILURE() << lifted.error().Format();
+    return nullptr;
+  }
+  auto compiled = lifted->Compile(SharedJit());
+  if (!compiled.has_value()) {
+    ADD_FAILURE() << compiled.error().Format();
+    return nullptr;
+  }
+  return reinterpret_cast<Fn>(*compiled);
+}
+
+TEST(SseExtTest, VectorShifts) {
+  auto fn = LiftAs(&v_shift_mix, lift::Signature::Ints(2));
+  ASSERT_NE(fn, nullptr);
+  alignas(16) std::uint8_t a[16];
+  for (long count : {0L, 1L, 5L, 15L, 16L, 31L, 32L, 63L, 64L, 1000L}) {
+    FillRandom(a, sizeof(a), 7 + static_cast<std::uint64_t>(count));
+    EXPECT_EQ(fn(a, count), v_shift_mix(a, count)) << "count=" << count;
+  }
+}
+
+TEST(SseExtTest, MemchrLike) {
+  auto fn = LiftAs(&v_memchr_like, lift::Signature::Ints(2));
+  ASSERT_NE(fn, nullptr);
+  std::uint8_t data[256];
+  FillRandom(data, sizeof(data), 99);
+  for (long needle : {data[0], data[100], data[255]}) {
+    EXPECT_EQ(fn(data, needle), v_memchr_like(data, needle));
+  }
+  std::memset(data, 0x41, sizeof(data));
+  EXPECT_EQ(fn(data, 0x42), -1);
+  EXPECT_EQ(fn(data, 0x41), 0);
+  data[200] = 0x42;
+  EXPECT_EQ(fn(data, 0x42), 200);
+}
+
+TEST(SseExtTest, ShldShrd) {
+  auto shld = LiftAs(&v_shld, lift::Signature::Ints(2));
+  auto shrd = LiftAs(&v_shrd, lift::Signature::Ints(2));
+  ASSERT_NE(shld, nullptr);
+  ASSERT_NE(shrd, nullptr);
+  std::mt19937_64 rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(shld(a, b), v_shld(a, b)) << a << " " << b;
+    EXPECT_EQ(shrd(a, b), v_shrd(a, b)) << a << " " << b;
+  }
+}
+
+TEST(SseExtTest, BitTestAndModify) {
+  auto fn = LiftAs(&v_bittest, lift::Signature::Ints(2));
+  ASSERT_NE(fn, nullptr);
+  std::mt19937_64 rng(37);
+  for (int i = 0; i < 200; ++i) {
+    const long a = static_cast<long>(rng());
+    const long b = static_cast<long>(rng());
+    EXPECT_EQ(fn(a, b), v_bittest(a, b)) << a << " " << b;
+  }
+}
+
+TEST(SseExtTest, CmpsdSelect) {
+  lift::Signature sig;
+  sig.args = {lift::ArgKind::kF64, lift::ArgKind::kF64};
+  sig.ret = lift::RetKind::kF64;
+  auto fn = LiftAs(&v_cmpsd_select, sig);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(1.0, 2.0), 2.0);
+  EXPECT_EQ(fn(5.0, -1.0), 5.0);
+  EXPECT_EQ(fn(3.5, 3.5), 3.5);
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> dist(-1e9, 1e9);
+  for (int i = 0; i < 100; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng);
+    EXPECT_EQ(fn(a, b), v_cmpsd_select(a, b));
+  }
+}
+
+TEST(SseExtTest, Movmskpd) {
+  lift::Signature sig;
+  sig.args = {lift::ArgKind::kF64, lift::ArgKind::kF64};
+  sig.ret = lift::RetKind::kInt;
+  auto fn = LiftAs(&v_movmskpd, sig);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(1.0, 1.0), v_movmskpd(1.0, 1.0));
+  EXPECT_EQ(fn(-1.0, 1.0), v_movmskpd(-1.0, 1.0));
+  EXPECT_EQ(fn(1.0, -1.0), v_movmskpd(1.0, -1.0));
+  EXPECT_EQ(fn(-0.0, -3.0), v_movmskpd(-0.0, -3.0));
+}
+
+// --- DBrew on the bit/shift asm corpus ----------------------------------------
+
+TEST(SseExtTest, DbrewRewritesShldAndBittest) {
+  for (auto native : {&v_shld, &v_shrd, &v_bittest}) {
+    dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(native));
+    auto rewritten = rewriter.Rewrite();
+    ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+    auto fn = reinterpret_cast<long (*)(long, long)>(*rewritten);
+    std::mt19937_64 rng(53);
+    for (int i = 0; i < 50; ++i) {
+      const long a = static_cast<long>(rng());
+      const long b = static_cast<long>(rng());
+      EXPECT_EQ(fn(a, b), native(a, b));
+    }
+  }
+}
+
+TEST(SseExtTest, DbrewFoldsVectorOpsWithKnownInput) {
+  // With both buffers in fixed memory, the whole digest folds to a constant.
+  static std::uint8_t a[16];
+  static std::uint8_t b[16];
+  FillRandom(a, sizeof(a), 77);
+  FillRandom(b, sizeof(b), 78);
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&v_paddd_sum));
+  rewriter.SetParam(0, reinterpret_cast<std::uint64_t>(a));
+  rewriter.SetParam(1, reinterpret_cast<std::uint64_t>(b));
+  rewriter.SetMemRange(a, a + 16);
+  rewriter.SetMemRange(b, b + 16);
+  auto rewritten = rewriter.Rewrite();
+  ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
+  auto fn = reinterpret_cast<long (*)(const void*, const void*)>(*rewritten);
+  EXPECT_EQ(fn(nullptr, nullptr), v_paddd_sum(a, b));
+  // The vector additions and shifts should have folded away.
+  EXPECT_GT(rewriter.stats().folded_instrs, 4u);
+}
+
+}  // namespace
+}  // namespace dbll

@@ -1,0 +1,207 @@
+// dbll tests -- stencil case study: kernel numerics, grid behaviour, and
+// cross-kernel consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbll/stencil/stencil.h"
+
+namespace dbll::stencil {
+namespace {
+
+TEST(StencilDefsTest, FourPointIsNormalized) {
+  const FlatStencil& flat = FourPointFlat();
+  ASSERT_EQ(flat.point_count, 4);
+  double sum = 0.0;
+  for (int i = 0; i < flat.point_count; ++i) sum += flat.points[i].factor;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+
+  const SortedStencil& sorted = FourPointSorted();
+  ASSERT_EQ(sorted.group_count, 1);
+  EXPECT_EQ(sorted.groups[0].point_count, 4);
+  EXPECT_DOUBLE_EQ(sorted.groups[0].factor, 0.25);
+}
+
+TEST(StencilDefsTest, EightPointIsNormalized) {
+  const FlatStencil& flat = EightPointFlat();
+  double sum = 0.0;
+  for (int i = 0; i < flat.point_count; ++i) sum += flat.points[i].factor;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  const SortedStencil& sorted = EightPointSorted();
+  double sorted_sum = 0.0;
+  for (int g = 0; g < sorted.group_count; ++g) {
+    sorted_sum += sorted.groups[g].factor * sorted.groups[g].point_count;
+  }
+  EXPECT_NEAR(sorted_sum, 1.0, 1e-12);
+}
+
+TEST(KernelTest, FlatMatchesDirectOnSingleElement) {
+  std::vector<double> m1(kMatrixSize * kMatrixSize);
+  std::vector<double> m2a(m1.size(), 0.0);
+  std::vector<double> m2b(m1.size(), 0.0);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = std::sin(static_cast<double>(i));
+  }
+  const long index = 3 * kMatrixSize + 17;
+  stencil_apply_direct(nullptr, m1.data(), m2a.data(), index);
+  stencil_apply_flat(&FourPointFlat(), m1.data(), m2b.data(), index);
+  EXPECT_DOUBLE_EQ(m2a[index], m2b[index]);
+}
+
+TEST(KernelTest, SortedMatchesDirectOnSingleElement) {
+  std::vector<double> m1(kMatrixSize * kMatrixSize);
+  std::vector<double> m2a(m1.size(), 0.0);
+  std::vector<double> m2b(m1.size(), 0.0);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = static_cast<double>((i * 2654435761u) % 1000) / 1000.0;
+  }
+  const long index = 100 * kMatrixSize + 200;
+  stencil_apply_direct(nullptr, m1.data(), m2a.data(), index);
+  stencil_apply_sorted(&FourPointSorted(), m1.data(), m2b.data(), index);
+  EXPECT_DOUBLE_EQ(m2a[index], m2b[index]);
+}
+
+TEST(KernelTest, FlatAndSortedEightPointAgree) {
+  std::vector<double> m1(kMatrixSize * kMatrixSize);
+  std::vector<double> m2a(m1.size(), 0.0);
+  std::vector<double> m2b(m1.size(), 0.0);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = static_cast<double>(i % 97) * 0.125;
+  }
+  const long index = 7 * kMatrixSize + 9;
+  stencil_apply_flat(&EightPointFlat(), m1.data(), m2a.data(), index);
+  stencil_apply_sorted(&EightPointSorted(), m1.data(), m2b.data(), index);
+  EXPECT_NEAR(m2a[index], m2b[index], 1e-12);
+}
+
+TEST(KernelTest, LineKernelsMatchElementSweep) {
+  std::vector<double> m1(kMatrixSize * kMatrixSize);
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = static_cast<double>(i % 13) - 6.0;
+  }
+  const long row = 42;
+
+  std::vector<double> by_element(m1.size(), 0.0);
+  for (long x = 1; x < kMatrixSize - 1; ++x) {
+    stencil_apply_flat(&FourPointFlat(), m1.data(), by_element.data(),
+                       row * kMatrixSize + x);
+  }
+
+  std::vector<double> by_line(m1.size(), 0.0);
+  stencil_line_flat(&FourPointFlat(), m1.data(), by_line.data(), row);
+  std::vector<double> by_outlined(m1.size(), 0.0);
+  stencil_line_flat_outlined(&FourPointFlat(), m1.data(), by_outlined.data(),
+                             row);
+  std::vector<double> by_direct(m1.size(), 0.0);
+  stencil_line_direct(nullptr, m1.data(), by_direct.data(), row);
+
+  for (long x = 1; x < kMatrixSize - 1; ++x) {
+    const long i = row * kMatrixSize + x;
+    EXPECT_DOUBLE_EQ(by_line[i], by_element[i]) << "x=" << x;
+    EXPECT_DOUBLE_EQ(by_outlined[i], by_element[i]) << "x=" << x;
+    EXPECT_DOUBLE_EQ(by_direct[i], by_element[i]) << "x=" << x;
+  }
+}
+
+// --- JacobiGrid ----------------------------------------------------------------
+
+TEST(JacobiGridTest, ResetSetsBoundary) {
+  JacobiGrid grid;
+  EXPECT_EQ(grid.size(), kMatrixSize);
+  // Peak of the heat source at the middle of the top edge.
+  EXPECT_NEAR(grid.front()[kMatrixSize / 2], 1.0, 2.0 / kMatrixSize);
+  EXPECT_DOUBLE_EQ(grid.front()[0], 0.0);
+  // Interior is zero.
+  EXPECT_DOUBLE_EQ(grid.front()[kMatrixSize + 5], 0.0);
+}
+
+TEST(JacobiGridTest, IterationConvergesMonotonically) {
+  JacobiGrid grid;
+  grid.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct),
+                  nullptr, 1);
+  const double after1 = grid.Checksum();
+  grid.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct),
+                  nullptr, 9);
+  const double after10 = grid.Checksum();
+  EXPECT_GT(after1, 0.0);
+  EXPECT_GT(after10, after1) << "heat must spread into the interior";
+}
+
+TEST(JacobiGridTest, ElementAndLineDriversAgree) {
+  JacobiGrid by_element;
+  by_element.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_flat),
+                        &FourPointFlat(), 5);
+  JacobiGrid by_line;
+  by_line.RunLine(reinterpret_cast<LineKernel>(&stencil_line_flat),
+                  &FourPointFlat(), 5);
+  EXPECT_EQ(by_element.MaxDifference(by_line), 0.0);
+}
+
+TEST(JacobiGridTest, AllNativeKernelsAgreeAfterIterations) {
+  const int iters = 4;
+  JacobiGrid reference;
+  reference.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct),
+                       nullptr, iters);
+  const double want = reference.Checksum();
+
+  struct Case {
+    const char* name;
+    bool line;
+    void* kernel;
+    const void* stencil;
+  };
+  const Case cases[] = {
+      {"elem_flat", false, reinterpret_cast<void*>(&stencil_apply_flat),
+       &FourPointFlat()},
+      {"elem_sorted", false, reinterpret_cast<void*>(&stencil_apply_sorted),
+       &FourPointSorted()},
+      {"line_flat", true, reinterpret_cast<void*>(&stencil_line_flat),
+       &FourPointFlat()},
+      {"line_sorted", true, reinterpret_cast<void*>(&stencil_line_sorted),
+       &FourPointSorted()},
+      {"line_direct", true, reinterpret_cast<void*>(&stencil_line_direct),
+       nullptr},
+      {"line_flat_outlined", true,
+       reinterpret_cast<void*>(&stencil_line_flat_outlined), &FourPointFlat()},
+      {"line_sorted_outlined", true,
+       reinterpret_cast<void*>(&stencil_line_sorted_outlined),
+       &FourPointSorted()},
+      {"line_direct_outlined", true,
+       reinterpret_cast<void*>(&stencil_line_direct_outlined), nullptr},
+  };
+  for (const Case& c : cases) {
+    JacobiGrid grid;
+    if (c.line) {
+      grid.RunLine(reinterpret_cast<LineKernel>(c.kernel), c.stencil, iters);
+    } else {
+      grid.RunElement(reinterpret_cast<ElementKernel>(c.kernel), c.stencil,
+                      iters);
+    }
+    EXPECT_EQ(grid.Checksum(), want) << c.name;
+  }
+}
+
+TEST(JacobiGridTest, ChecksumIsDeterministic) {
+  JacobiGrid a;
+  JacobiGrid b;
+  a.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct), nullptr,
+               3);
+  b.RunElement(reinterpret_cast<ElementKernel>(&stencil_apply_direct), nullptr,
+               3);
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+  EXPECT_EQ(a.MaxDifference(b), 0.0);
+}
+
+TEST(JacobiGridTest, SmallGridBoundary) {
+  // The built-in kernels hard-code the 649 row stride, so a small grid can
+  // only be checked structurally (boundary values, zero interior).
+  JacobiGrid grid(9);
+  EXPECT_EQ(grid.size(), 9);
+  EXPECT_NEAR(grid.front()[4], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(grid.front()[9 + 4], 0.0);
+  EXPECT_GT(grid.Checksum(), 0.0);
+}
+
+}  // namespace
+}  // namespace dbll::stencil

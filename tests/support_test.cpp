@@ -1,0 +1,192 @@
+// dbll tests -- support primitives: Error/Expected/Status, CodeBuffer,
+// hex formatting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/error.h"
+#include "dbll/support/hexdump.h"
+
+namespace dbll {
+namespace {
+
+TEST(ErrorTest, DefaultIsOk) {
+  Error error;
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(error.kind(), ErrorKind::kNone);
+}
+
+TEST(ErrorTest, FormatIncludesKindMessageAddress) {
+  Error error(ErrorKind::kDecode, "bad byte", 0x1234);
+  const std::string text = error.Format();
+  EXPECT_NE(text.find("decode"), std::string::npos);
+  EXPECT_NE(text.find("bad byte"), std::string::npos);
+  EXPECT_NE(text.find("0x1234"), std::string::npos);
+}
+
+TEST(ErrorTest, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(ErrorKind::kInternal); ++k) {
+    EXPECT_NE(ToString(static_cast<ErrorKind>(k)), "unknown");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e(Error(ErrorKind::kEncode, "nope"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().kind(), ErrorKind::kEncode);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(ExpectedTest, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(5));
+  ASSERT_TRUE(e.has_value());
+  std::unique_ptr<int> taken = std::move(e).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Error(ErrorKind::kLift, "x");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind(), ErrorKind::kLift);
+}
+
+Expected<int> TryHelper(bool fail) {
+  Expected<int> source = fail ? Expected<int>(Error(ErrorKind::kJit, "inner"))
+                              : Expected<int>(10);
+  DBLL_TRY(int value, std::move(source));
+  DBLL_TRY(int doubled, Expected<int>(value * 2));
+  return doubled;
+}
+
+TEST(TryMacroTest, PropagatesAndUnwraps) {
+  auto good = TryHelper(false);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, 20);
+  auto bad = TryHelper(true);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().kind(), ErrorKind::kJit);
+}
+
+// --- CodeBuffer --------------------------------------------------------------
+
+TEST(CodeBufferTest, AllocateRoundsToPage) {
+  auto buffer = CodeBuffer::Allocate(100);
+  ASSERT_TRUE(buffer.has_value());
+  EXPECT_GE(buffer->capacity(), 100u);
+  EXPECT_EQ(buffer->capacity() % 4096, 0u);
+  EXPECT_EQ(buffer->used(), 0u);
+}
+
+TEST(CodeBufferTest, ZeroSizeFails) {
+  auto buffer = CodeBuffer::Allocate(0);
+  EXPECT_FALSE(buffer.has_value());
+}
+
+TEST(CodeBufferTest, AppendAdvances) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint8_t code[] = {0x90, 0x90, 0xc3};
+  auto dest = buffer->Append(code);
+  ASSERT_TRUE(dest.has_value());
+  EXPECT_EQ(buffer->used(), 3u);
+  EXPECT_EQ(std::memcmp(*dest, code, 3), 0);
+}
+
+TEST(CodeBufferTest, ExhaustionReportsResourceLimit) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  auto big = buffer->Reserve(buffer->capacity() + 1);
+  ASSERT_FALSE(big.has_value());
+  EXPECT_EQ(big.error().kind(), ErrorKind::kResourceLimit);
+}
+
+TEST(CodeBufferTest, SealedBufferExecutes) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  // mov eax, 42; ret
+  const std::uint8_t code[] = {0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3};
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  ASSERT_TRUE(buffer->Seal().ok());
+  auto fn = buffer->EntryAs<int (*)()>();
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(CodeBufferTest, SealedBufferRejectsWrites) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint8_t code[] = {0xc3};
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  ASSERT_TRUE(buffer->Seal().ok());
+  EXPECT_FALSE(buffer->Append(code).has_value());
+  ASSERT_TRUE(buffer->Unseal().ok());
+  EXPECT_TRUE(buffer->Append(code).has_value());
+}
+
+TEST(CodeBufferTest, ResetRewinds) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint8_t code[] = {1, 2, 3, 4};
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  buffer->Reset(2);
+  EXPECT_EQ(buffer->used(), 2u);
+  buffer->Reset();
+  EXPECT_EQ(buffer->used(), 0u);
+}
+
+TEST(CodeBufferTest, MoveTransfersOwnership) {
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint8_t code[] = {0xc3};
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  CodeBuffer moved = std::move(*buffer);
+  EXPECT_EQ(moved.used(), 1u);
+  EXPECT_EQ(buffer->data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(CodeBufferTest, AllocateNearIsWithinRel32) {
+  const std::uint64_t hint = reinterpret_cast<std::uint64_t>(&ToString);
+  auto buffer = CodeBuffer::AllocateNear(hint, 4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::int64_t distance =
+      static_cast<std::int64_t>(reinterpret_cast<std::uint64_t>(buffer->data())) -
+      static_cast<std::int64_t>(hint);
+  // AllocateNear may fall back to an arbitrary placement, but on a machine
+  // with normal address-space pressure the probe succeeds.
+  EXPECT_LT(distance, INT32_MAX);
+  EXPECT_GT(distance, INT32_MIN);
+}
+
+// --- Hexdump -----------------------------------------------------------------
+
+TEST(HexTest, HexBytes) {
+  const std::uint8_t bytes[] = {0x48, 0x89, 0xf8};
+  EXPECT_EQ(HexBytes(bytes), "48 89 f8");
+  EXPECT_EQ(HexBytes({}), "");
+}
+
+TEST(HexTest, HexValue) {
+  EXPECT_EQ(HexValue(0), "0x0");
+  EXPECT_EQ(HexValue(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(HexTest, HexDumpLines) {
+  std::uint8_t bytes[20];
+  for (int i = 0; i < 20; ++i) bytes[i] = static_cast<std::uint8_t>(i);
+  const std::string dump = HexDump(bytes, 0x1000);
+  EXPECT_NE(dump.find("0000000000001000"), std::string::npos);
+  EXPECT_NE(dump.find("0000000000001010"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace dbll

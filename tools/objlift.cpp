@@ -1,0 +1,202 @@
+// dbll-objlift -- extract a function from an ELF file, disassemble it, and
+// lift it to LLVM-IR without executing the file (the paper's Sec. VII
+// reverse-engineering use case).
+//
+// Usage:
+//   dbll-objlift <elf-file> <function-symbol> [--disasm] [--ir] [--ir-opt]
+//                [--rewrite] [--no-flag-cache] [--no-facets] [--no-gep]
+//                [--list]
+//
+// Default output is --disasm --ir-opt. --rewrite runs the DBrew identity
+// rewrite on the extracted function and disassembles the result.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/elf/elf_reader.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/printer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbll-objlift <elf-file> <function> [--disasm] [--ir] "
+               "[--ir-opt] [--no-flag-cache] [--no-facets] [--no-gep]\n"
+               "       dbll-objlift <elf-file> --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[1];
+  const std::string symbol_name = argv[2];
+
+  bool want_disasm = false;
+  bool want_ir = false;
+  bool want_ir_opt = false;
+  bool want_rewrite = false;
+  dbll::lift::LiftConfig config;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--disasm") == 0) want_disasm = true;
+    else if (std::strcmp(argv[i], "--ir") == 0) want_ir = true;
+    else if (std::strcmp(argv[i], "--ir-opt") == 0) want_ir_opt = true;
+    else if (std::strcmp(argv[i], "--rewrite") == 0) want_rewrite = true;
+    else if (std::strcmp(argv[i], "--no-flag-cache") == 0) config.flag_cache = false;
+    else if (std::strcmp(argv[i], "--no-facets") == 0) config.facet_cache = false;
+    else if (std::strcmp(argv[i], "--no-gep") == 0) config.use_gep = false;
+    else return Usage();
+  }
+  if (!want_disasm && !want_ir && !want_ir_opt && !want_rewrite) {
+    want_disasm = true;
+    want_ir_opt = true;
+  }
+
+  auto file = dbll::elf::ElfFile::Open(path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "error: %s\n", file.error().Format().c_str());
+    return 1;
+  }
+
+  if (symbol_name == "--all") {
+    // Robustness sweep: try to disassemble and lift every function symbol.
+    auto image_all = file->LoadImage();
+    if (!image_all.has_value()) {
+      std::fprintf(stderr, "error: cannot build analysis image\n");
+      return 1;
+    }
+    int total = 0;
+    int decoded = 0;
+    int lifted_ok = 0;
+    for (const auto& sym : file->symbols()) {
+      if (!sym.is_function || sym.name.empty() || sym.size == 0) continue;
+      auto va = file->SymbolVirtualAddress(sym);
+      if (!va.has_value()) continue;
+      const std::uint64_t h = image_all->HostAddress(*va);
+      if (h == 0) continue;
+      ++total;
+      auto cfg = dbll::x86::BuildCfg(h);
+      const bool dec_ok = cfg.has_value();
+      if (dec_ok) ++decoded;
+      bool lift_ok = false;
+      if (dec_ok) {
+        dbll::lift::Lifter lifter(config);
+        auto lifted = lifter.Lift(h, dbll::lift::Signature::Ints(4));
+        lift_ok = lifted.has_value();
+        if (lift_ok) ++lifted_ok;
+        if (!lift_ok) {
+          std::printf("LIFT-FAIL  %-32s %s\n", sym.name.c_str(),
+                      lifted.error().Format().c_str());
+        }
+      } else {
+        std::printf("DEC-FAIL   %-32s %s\n", sym.name.c_str(),
+                    cfg.error().Format().c_str());
+      }
+    }
+    std::printf("\n%d functions: %d decoded (%.0f%%), %d lifted (%.0f%%)\n",
+                total, decoded, total ? 100.0 * decoded / total : 0.0,
+                lifted_ok, total ? 100.0 * lifted_ok / total : 0.0);
+    return 0;
+  }
+
+  if (symbol_name == "--list") {
+    for (const auto& symbol : file->symbols()) {
+      if (symbol.is_function && !symbol.name.empty()) {
+        std::printf("%8llu  %s\n",
+                    static_cast<unsigned long long>(symbol.size),
+                    symbol.name.c_str());
+      }
+    }
+    return 0;
+  }
+
+  auto symbol = file->FindFunction(symbol_name);
+  if (!symbol.has_value()) {
+    std::fprintf(stderr, "error: %s\n", symbol.error().Format().c_str());
+    return 1;
+  }
+  auto vaddr = file->SymbolVirtualAddress(*symbol);
+  auto image = file->LoadImage();
+  if (!vaddr.has_value() || !image.has_value()) {
+    std::fprintf(stderr, "error: cannot build analysis image\n");
+    return 1;
+  }
+  const std::uint64_t host = image->HostAddress(*vaddr);
+  if (host == 0) {
+    std::fprintf(stderr, "error: symbol outside the loaded image\n");
+    return 1;
+  }
+
+  std::printf("; %s from %s (vaddr 0x%llx, %llu bytes)\n\n",
+              symbol_name.c_str(), path.c_str(),
+              static_cast<unsigned long long>(*vaddr),
+              static_cast<unsigned long long>(symbol->size));
+
+  if (want_disasm) {
+    auto cfg = dbll::x86::BuildCfg(host);
+    if (!cfg.has_value()) {
+      std::fprintf(stderr, "disassembly failed: %s\n",
+                   cfg.error().Format().c_str());
+      return 1;
+    }
+    for (const auto& [address, block] : cfg->blocks) {
+      std::printf("block_0x%llx:\n",
+                  static_cast<unsigned long long>(address - host + *vaddr));
+      for (const auto& instr : block.instrs) {
+        std::printf("  %s\n", dbll::x86::PrintInstr(instr).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (want_rewrite) {
+    dbll::dbrew::Rewriter rewriter(host);
+    auto rewritten = rewriter.Rewrite();
+    if (!rewritten.has_value()) {
+      std::fprintf(stderr, "rewrite failed: %s\n",
+                   rewritten.error().Format().c_str());
+      return 1;
+    }
+    std::printf("; --- DBrew identity rewrite (%zu emitted, %zu folded) ---\n",
+                rewriter.stats().emitted_instrs,
+                rewriter.stats().folded_instrs);
+    auto cfg2 = dbll::x86::BuildCfg(*rewritten);
+    if (cfg2.has_value()) {
+      for (const auto& [address, block] : cfg2->blocks) {
+        for (const auto& instr : block.instrs) {
+          std::printf("  %s\n", dbll::x86::PrintInstr(instr).c_str());
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (want_ir || want_ir_opt) {
+    // Reverse-engineering default signature: four integer args, int return.
+    dbll::lift::Lifter lifter(config);
+    auto lifted = lifter.Lift(host, dbll::lift::Signature::Ints(4),
+                              symbol_name);
+    if (!lifted.has_value()) {
+      std::fprintf(stderr, "lift failed: %s\n",
+                   lifted.error().Format().c_str());
+      return 1;
+    }
+    if (want_ir) {
+      std::printf("; --- raw lifted IR ---\n%s\n", lifted->GetIr().c_str());
+    }
+    if (want_ir_opt) {
+      auto ir = lifted->OptimizeAndGetIr();
+      if (!ir.has_value()) {
+        std::fprintf(stderr, "optimization failed: %s\n",
+                     ir.error().Format().c_str());
+        return 1;
+      }
+      std::printf("; --- optimized IR ---\n%s", ir->c_str());
+    }
+  }
+  return 0;
+}
