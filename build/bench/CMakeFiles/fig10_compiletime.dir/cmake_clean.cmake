@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compiletime.dir/fig10_compiletime.cpp.o"
+  "CMakeFiles/fig10_compiletime.dir/fig10_compiletime.cpp.o.d"
+  "fig10_compiletime"
+  "fig10_compiletime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compiletime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

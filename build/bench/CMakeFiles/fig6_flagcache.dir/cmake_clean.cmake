@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_flagcache.dir/fig6_flagcache.cpp.o"
+  "CMakeFiles/fig6_flagcache.dir/fig6_flagcache.cpp.o.d"
+  "fig6_flagcache"
+  "fig6_flagcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_flagcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

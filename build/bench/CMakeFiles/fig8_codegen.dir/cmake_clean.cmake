@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_codegen.dir/fig8_codegen.cpp.o"
+  "CMakeFiles/fig8_codegen.dir/fig8_codegen.cpp.o.d"
+  "fig8_codegen"
+  "fig8_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_element.dir/fig9a_element.cpp.o"
+  "CMakeFiles/fig9a_element.dir/fig9a_element.cpp.o.d"
+  "fig9a_element"
+  "fig9a_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

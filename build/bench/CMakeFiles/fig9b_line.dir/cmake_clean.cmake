@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_line.dir/fig9b_line.cpp.o"
+  "CMakeFiles/fig9b_line.dir/fig9b_line.cpp.o.d"
+  "fig9b_line"
+  "fig9b_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

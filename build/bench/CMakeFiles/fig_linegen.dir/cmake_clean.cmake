@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_linegen.dir/fig_linegen.cpp.o"
+  "CMakeFiles/fig_linegen.dir/fig_linegen.cpp.o.d"
+  "fig_linegen"
+  "fig_linegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_linegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

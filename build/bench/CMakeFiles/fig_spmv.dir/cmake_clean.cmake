@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_spmv.dir/fig_spmv.cpp.o"
+  "CMakeFiles/fig_spmv.dir/fig_spmv.cpp.o.d"
+  "fig_spmv"
+  "fig_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

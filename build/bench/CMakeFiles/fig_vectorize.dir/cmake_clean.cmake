@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_vectorize.dir/fig_vectorize.cpp.o"
+  "CMakeFiles/fig_vectorize.dir/fig_vectorize.cpp.o.d"
+  "fig_vectorize"
+  "fig_vectorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_vectorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

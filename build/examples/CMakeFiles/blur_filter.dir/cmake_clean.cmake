@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blur_filter.dir/blur_filter.cpp.o"
+  "CMakeFiles/blur_filter.dir/blur_filter.cpp.o.d"
+  "blur_filter"
+  "blur_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blur_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callback_fusion.dir/callback_fusion.cpp.o"
+  "CMakeFiles/callback_fusion.dir/callback_fusion.cpp.o.d"
+  "callback_fusion"
+  "callback_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callback_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_explorer.dir/ir_explorer.cpp.o"
+  "CMakeFiles/ir_explorer.dir/ir_explorer.cpp.o.d"
+  "ir_explorer"
+  "ir_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

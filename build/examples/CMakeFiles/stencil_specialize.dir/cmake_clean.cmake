@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_specialize.dir/stencil_specialize.cpp.o"
+  "CMakeFiles/stencil_specialize.dir/stencil_specialize.cpp.o.d"
+  "stencil_specialize"
+  "stencil_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

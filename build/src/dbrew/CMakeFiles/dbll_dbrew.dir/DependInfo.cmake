@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbrew/alu_eval.cpp" "src/dbrew/CMakeFiles/dbll_dbrew.dir/alu_eval.cpp.o" "gcc" "src/dbrew/CMakeFiles/dbll_dbrew.dir/alu_eval.cpp.o.d"
+  "/root/repo/src/dbrew/capi.cpp" "src/dbrew/CMakeFiles/dbll_dbrew.dir/capi.cpp.o" "gcc" "src/dbrew/CMakeFiles/dbll_dbrew.dir/capi.cpp.o.d"
+  "/root/repo/src/dbrew/emitter.cpp" "src/dbrew/CMakeFiles/dbll_dbrew.dir/emitter.cpp.o" "gcc" "src/dbrew/CMakeFiles/dbll_dbrew.dir/emitter.cpp.o.d"
+  "/root/repo/src/dbrew/emulator.cpp" "src/dbrew/CMakeFiles/dbll_dbrew.dir/emulator.cpp.o" "gcc" "src/dbrew/CMakeFiles/dbll_dbrew.dir/emulator.cpp.o.d"
+  "/root/repo/src/dbrew/rewriter.cpp" "src/dbrew/CMakeFiles/dbll_dbrew.dir/rewriter.cpp.o" "gcc" "src/dbrew/CMakeFiles/dbll_dbrew.dir/rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x86/CMakeFiles/dbll_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dbll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

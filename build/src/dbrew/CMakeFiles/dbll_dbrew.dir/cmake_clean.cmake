@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_dbrew.dir/alu_eval.cpp.o"
+  "CMakeFiles/dbll_dbrew.dir/alu_eval.cpp.o.d"
+  "CMakeFiles/dbll_dbrew.dir/capi.cpp.o"
+  "CMakeFiles/dbll_dbrew.dir/capi.cpp.o.d"
+  "CMakeFiles/dbll_dbrew.dir/emitter.cpp.o"
+  "CMakeFiles/dbll_dbrew.dir/emitter.cpp.o.d"
+  "CMakeFiles/dbll_dbrew.dir/emulator.cpp.o"
+  "CMakeFiles/dbll_dbrew.dir/emulator.cpp.o.d"
+  "CMakeFiles/dbll_dbrew.dir/rewriter.cpp.o"
+  "CMakeFiles/dbll_dbrew.dir/rewriter.cpp.o.d"
+  "libdbll_dbrew.a"
+  "libdbll_dbrew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_dbrew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

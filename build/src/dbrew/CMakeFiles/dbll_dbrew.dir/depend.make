@@ -1,0 +1,2 @@
+# Empty dependencies file for dbll_dbrew.
+# This may be replaced when dependencies are built.

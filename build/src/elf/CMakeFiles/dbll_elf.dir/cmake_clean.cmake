@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_elf.dir/elf_reader.cpp.o"
+  "CMakeFiles/dbll_elf.dir/elf_reader.cpp.o.d"
+  "libdbll_elf.a"
+  "libdbll_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_lift.dir/function_lifter.cpp.o"
+  "CMakeFiles/dbll_lift.dir/function_lifter.cpp.o.d"
+  "CMakeFiles/dbll_lift.dir/jit.cpp.o"
+  "CMakeFiles/dbll_lift.dir/jit.cpp.o.d"
+  "CMakeFiles/dbll_lift.dir/lifter.cpp.o"
+  "CMakeFiles/dbll_lift.dir/lifter.cpp.o.d"
+  "CMakeFiles/dbll_lift.dir/pipeline.cpp.o"
+  "CMakeFiles/dbll_lift.dir/pipeline.cpp.o.d"
+  "libdbll_lift.a"
+  "libdbll_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

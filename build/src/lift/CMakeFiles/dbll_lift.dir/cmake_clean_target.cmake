@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbll_lift.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_spmv.dir/kernels.cpp.o"
+  "CMakeFiles/dbll_spmv.dir/kernels.cpp.o.d"
+  "CMakeFiles/dbll_spmv.dir/spmv.cpp.o"
+  "CMakeFiles/dbll_spmv.dir/spmv.cpp.o.d"
+  "libdbll_spmv.a"
+  "libdbll_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbll_spmv.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_stencil.dir/kernels.cpp.o"
+  "CMakeFiles/dbll_stencil.dir/kernels.cpp.o.d"
+  "CMakeFiles/dbll_stencil.dir/stencil.cpp.o"
+  "CMakeFiles/dbll_stencil.dir/stencil.cpp.o.d"
+  "libdbll_stencil.a"
+  "libdbll_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

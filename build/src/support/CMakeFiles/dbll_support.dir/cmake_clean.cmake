@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_support.dir/code_buffer.cpp.o"
+  "CMakeFiles/dbll_support.dir/code_buffer.cpp.o.d"
+  "CMakeFiles/dbll_support.dir/error.cpp.o"
+  "CMakeFiles/dbll_support.dir/error.cpp.o.d"
+  "CMakeFiles/dbll_support.dir/hexdump.cpp.o"
+  "CMakeFiles/dbll_support.dir/hexdump.cpp.o.d"
+  "libdbll_support.a"
+  "libdbll_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

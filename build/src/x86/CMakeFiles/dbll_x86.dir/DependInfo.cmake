@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/cfg.cpp" "src/x86/CMakeFiles/dbll_x86.dir/cfg.cpp.o" "gcc" "src/x86/CMakeFiles/dbll_x86.dir/cfg.cpp.o.d"
+  "/root/repo/src/x86/decoder.cpp" "src/x86/CMakeFiles/dbll_x86.dir/decoder.cpp.o" "gcc" "src/x86/CMakeFiles/dbll_x86.dir/decoder.cpp.o.d"
+  "/root/repo/src/x86/encoder.cpp" "src/x86/CMakeFiles/dbll_x86.dir/encoder.cpp.o" "gcc" "src/x86/CMakeFiles/dbll_x86.dir/encoder.cpp.o.d"
+  "/root/repo/src/x86/insn.cpp" "src/x86/CMakeFiles/dbll_x86.dir/insn.cpp.o" "gcc" "src/x86/CMakeFiles/dbll_x86.dir/insn.cpp.o.d"
+  "/root/repo/src/x86/printer.cpp" "src/x86/CMakeFiles/dbll_x86.dir/printer.cpp.o" "gcc" "src/x86/CMakeFiles/dbll_x86.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dbll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_x86.dir/cfg.cpp.o"
+  "CMakeFiles/dbll_x86.dir/cfg.cpp.o.d"
+  "CMakeFiles/dbll_x86.dir/decoder.cpp.o"
+  "CMakeFiles/dbll_x86.dir/decoder.cpp.o.d"
+  "CMakeFiles/dbll_x86.dir/encoder.cpp.o"
+  "CMakeFiles/dbll_x86.dir/encoder.cpp.o.d"
+  "CMakeFiles/dbll_x86.dir/insn.cpp.o"
+  "CMakeFiles/dbll_x86.dir/insn.cpp.o.d"
+  "CMakeFiles/dbll_x86.dir/printer.cpp.o"
+  "CMakeFiles/dbll_x86.dir/printer.cpp.o.d"
+  "libdbll_x86.a"
+  "libdbll_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

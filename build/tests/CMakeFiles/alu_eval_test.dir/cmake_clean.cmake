@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_eval_test.dir/alu_eval_test.cpp.o"
+  "CMakeFiles/alu_eval_test.dir/alu_eval_test.cpp.o.d"
+  "alu_eval_test"
+  "alu_eval_test.pdb"
+  "alu_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

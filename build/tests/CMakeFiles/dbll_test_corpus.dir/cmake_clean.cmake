@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_test_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/dbll_test_corpus.dir/corpus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll_test_corpus_o0.dir/corpus_o0.cpp.o"
+  "CMakeFiles/dbll_test_corpus_o0.dir/corpus_o0.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll_test_corpus_o0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbll_test_corpus_o0.
+# This may be replaced when dependencies are built.

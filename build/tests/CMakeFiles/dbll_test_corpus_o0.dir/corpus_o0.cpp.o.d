@@ -1,0 +1,3 @@
+tests/CMakeFiles/dbll_test_corpus_o0.dir/corpus_o0.cpp.o: \
+ /root/repo/tests/corpus_o0.cpp /usr/include/stdc-predef.h \
+ /root/repo/tests/corpus_o0.h

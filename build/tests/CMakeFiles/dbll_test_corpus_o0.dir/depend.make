@@ -1,0 +1,2 @@
+# Empty dependencies file for dbll_test_corpus_o0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbrew_test.dir/dbrew_test.cpp.o"
+  "CMakeFiles/dbrew_test.dir/dbrew_test.cpp.o.d"
+  "dbrew_test"
+  "dbrew_test.pdb"
+  "dbrew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbrew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

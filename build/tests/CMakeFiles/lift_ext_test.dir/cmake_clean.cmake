@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lift_ext_test.dir/lift_ext_test.cpp.o"
+  "CMakeFiles/lift_ext_test.dir/lift_ext_test.cpp.o.d"
+  "lift_ext_test"
+  "lift_ext_test.pdb"
+  "lift_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lift_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

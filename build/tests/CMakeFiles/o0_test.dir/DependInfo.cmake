@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/o0_test.cpp" "tests/CMakeFiles/o0_test.dir/o0_test.cpp.o" "gcc" "tests/CMakeFiles/o0_test.dir/o0_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lift/CMakeFiles/dbll_lift.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbrew/CMakeFiles/dbll_dbrew.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/dbll_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/dbll_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dbll_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o0_test.dir/o0_test.cpp.o"
+  "CMakeFiles/o0_test.dir/o0_test.cpp.o.d"
+  "o0_test"
+  "o0_test.pdb"
+  "o0_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

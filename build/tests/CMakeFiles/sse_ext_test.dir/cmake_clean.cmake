@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sse_ext_test.dir/sse_ext_test.cpp.o"
+  "CMakeFiles/sse_ext_test.dir/sse_ext_test.cpp.o.d"
+  "sse_ext_test"
+  "sse_ext_test.pdb"
+  "sse_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sse_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

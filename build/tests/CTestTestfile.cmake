@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/alu_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/dbrew_test[1]_include.cmake")
+include("/root/repo/build/tests/lifter_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sse_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/elf_test[1]_include.cmake")
+include("/root/repo/build/tests/lift_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/objdump_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/spmv_test[1]_include.cmake")
+include("/root/repo/build/tests/o0_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbll-objlift.dir/objlift.cpp.o"
+  "CMakeFiles/dbll-objlift.dir/objlift.cpp.o.d"
+  "dbll-objlift"
+  "dbll-objlift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbll-objlift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
