@@ -1,0 +1,230 @@
+// dbll bench -- the specialization-cache amortization curve (extends the
+// paper's Fig. 10 compile-time story to a serving scenario).
+//
+// Measures, on the flat line-kernel specialization the paper evaluates:
+//   1. uncached request latency: full lift -> O3 -> JIT on every request;
+//   2. cached request latency: the same request as a hash lookup;
+//   3. the async path: the first request returns the *generic* entry
+//      immediately (never blocks), and the Jacobi driver picks up the
+//      specialized kernel mid-run once the background compile installs it;
+//   4. calls-to-breakeven: how many specialized calls amortize one compile;
+//   5. concurrent-requester throughput on a warm cache.
+//
+// Results are printed and written to BENCH_cache.json (median/p95 ns per
+// request, breakeven call count) for scripts/check.sh and CI trending.
+// `--smoke` (or DBLL_BENCH_REPS) shrinks the repetition counts.
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "dbll/runtime/compile_service.h"
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+
+namespace {
+
+runtime::CompileRequest LineRequest() {
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&stencil_line_flat), KernelSignature());
+  request.FixConstMem(0, &FourPointFlat(), sizeof(FlatStencil));
+  return request;
+}
+
+double TimeRequestNs(runtime::CompileService& service,
+                     const runtime::CompileRequest& request) {
+  Timer timer;
+  auto handle = service.Request(request);
+  (void)handle.wait();
+  return timer.Seconds() * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 20;
+  if (const char* env = std::getenv("DBLL_BENCH_REPS")) reps = std::atoi(env);
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) reps = 5;
+  if (reps < 2) reps = 2;
+
+  std::printf("dbll fig_cache: specialization cache + async compile service "
+              "(%d compile reps)\n\n", reps);
+
+  // --- 1+2: uncached vs cached request latency -----------------------------
+  runtime::CompileService service({/*workers=*/1, /*capacity=*/256});
+  const runtime::CompileRequest request = LineRequest();
+
+  std::vector<double> uncached_ns;
+  for (int i = 0; i < reps; ++i) {
+    service.Clear();  // force the miss path; the JIT session stays warm
+    uncached_ns.push_back(TimeRequestNs(service, request));
+  }
+
+  const int lookup_reps = reps * 500;
+  std::vector<double> cached_ns;
+  cached_ns.reserve(static_cast<std::size_t>(lookup_reps));
+  for (int i = 0; i < lookup_reps; ++i) {
+    cached_ns.push_back(TimeRequestNs(service, request));
+  }
+
+  const double uncached_median = Median(uncached_ns);
+  const double cached_median = Median(cached_ns);
+  const double speedup =
+      cached_median > 0 ? uncached_median / cached_median : 0.0;
+  std::printf("uncached request (lift+O3+JIT): median %10.0f ns  p95 %10.0f ns\n",
+              uncached_median, Percentile(uncached_ns, 95));
+  std::printf("cached request (hash lookup):   median %10.0f ns  p95 %10.0f ns\n",
+              cached_median, Percentile(cached_ns, 95));
+  std::printf("cache-hit speedup: %.0fx %s\n\n", speedup,
+              speedup >= 100.0 ? "(ok, >= 100x)" : "(BELOW the 100x target)");
+
+  // --- 3: async path never blocks the caller -------------------------------
+  runtime::CompileService async_service({1, 256});
+  const std::uint64_t generic =
+      reinterpret_cast<std::uint64_t>(&stencil_line_flat);
+  Timer request_timer;
+  auto handle = async_service.Request(LineRequest());
+  const double request_ns = request_timer.Seconds() * 1e9;
+  const std::uint64_t first_target = handle.target();
+  const bool first_call_generic = first_target == generic;
+
+  // Drive the Jacobi workload while the compile runs in the background; the
+  // provider observes the atomic swap between sweeps.
+  JacobiGrid grid;
+  int sweeps_before_swap = 0;
+  bool counting = true;
+  grid.RunLineAdaptive(
+      [&]() -> LineKernel {
+        if (counting && !handle.specialized()) ++sweeps_before_swap;
+        else counting = false;
+        return handle.as<LineKernel>();
+      },
+      &FourPointFlat(), 40);
+  (void)handle.wait();
+  const runtime::StageTimes times = handle.times();
+  std::printf("async: Request() returned in %.0f ns; first call target was "
+              "%s; %d generic sweeps served during compile\n",
+              request_ns, first_call_generic ? "the generic entry"
+                                             : "already specialized",
+              sweeps_before_swap);
+  std::printf("stage times: lift %.2f ms, opt %.2f ms, jit %.2f ms\n\n",
+              times.lift_ns / 1e6, times.opt_ns / 1e6, times.jit_ns / 1e6);
+
+  // --- 4: calls-to-breakeven ------------------------------------------------
+  // Per-call cost of the generic vs the specialized line kernel on one row.
+  const auto specialized = handle.as<LineKernel>();
+  JacobiGrid cost_grid;
+  const int call_reps = 2000;
+  Timer generic_timer;
+  for (int i = 0; i < call_reps; ++i) {
+    stencil_line_flat(&FourPointFlat(), cost_grid.front(), cost_grid.front(),
+                      1);
+  }
+  const double generic_call_ns = generic_timer.Seconds() * 1e9 / call_reps;
+  Timer spec_timer;
+  for (int i = 0; i < call_reps; ++i) {
+    specialized(&FourPointFlat(), cost_grid.front(), cost_grid.front(), 1);
+  }
+  const double spec_call_ns = spec_timer.Seconds() * 1e9 / call_reps;
+  const double compile_ns = static_cast<double>(times.total_ns());
+  const double gain_ns = generic_call_ns - spec_call_ns;
+  const double breakeven =
+      gain_ns > 0 ? compile_ns / gain_ns : -1.0;
+  std::printf("per-call: generic %.0f ns, specialized %.0f ns, compile %.2f ms\n",
+              generic_call_ns, spec_call_ns, compile_ns / 1e6);
+  if (breakeven >= 0) {
+    std::printf("breakeven after ~%.0f specialized calls\n\n", breakeven);
+  } else {
+    std::printf("breakeven: n/a (specialized kernel not faster on this run)\n\n");
+  }
+
+  // --- 5: concurrent requesters on a warm cache -----------------------------
+  const int threads = 4;
+  const int per_thread = reps * 2000;
+  std::atomic<std::uint64_t> sink{0};
+  Timer concurrent_timer;
+  {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        std::uint64_t local = 0;
+        for (int i = 0; i < per_thread; ++i) {
+          auto h = service.Request(request);
+          local ^= h.target();
+        }
+        sink += local;
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  const double concurrent_s = concurrent_timer.Seconds();
+  const double total_requests = static_cast<double>(threads) * per_thread;
+  std::printf("concurrent: %d threads x %d requests in %.3f s "
+              "(%.0f requests/s)\n",
+              threads, per_thread, concurrent_s,
+              total_requests / concurrent_s);
+
+  const runtime::CacheStats stats = service.stats();
+  std::printf("stats: %llu hits, %llu coalesced, %llu misses, %llu "
+              "evictions, %llu compiles, %llu failures\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.compiles),
+              static_cast<unsigned long long>(stats.failures));
+
+  JsonObject json;
+  json.Put("bench", "fig_cache").Put("reps", reps);
+  JsonObject uncached;
+  uncached.Put("median_ns", uncached_median)
+      .Put("p95_ns", Percentile(uncached_ns, 95))
+      .Put("reps", static_cast<std::uint64_t>(uncached_ns.size()));
+  json.Put("uncached_request", uncached);
+  JsonObject cached;
+  cached.Put("median_ns", cached_median)
+      .Put("p95_ns", Percentile(cached_ns, 95))
+      .Put("reps", static_cast<std::uint64_t>(cached_ns.size()));
+  json.Put("cached_request", cached);
+  json.Put("hit_speedup_median", speedup);
+  json.Put("hit_speedup_ok", speedup >= 100.0);
+  JsonObject async;
+  async.Put("request_ns", request_ns)
+      .Put("first_call_generic", first_call_generic)
+      .Put("generic_sweeps_during_compile",
+           static_cast<std::uint64_t>(sweeps_before_swap))
+      .Put("lift_ns", static_cast<std::uint64_t>(times.lift_ns))
+      .Put("opt_ns", static_cast<std::uint64_t>(times.opt_ns))
+      .Put("jit_ns", static_cast<std::uint64_t>(times.jit_ns));
+  json.Put("async", async);
+  JsonObject amortization;
+  amortization.Put("generic_call_ns", generic_call_ns)
+      .Put("specialized_call_ns", spec_call_ns)
+      .Put("compile_ns", compile_ns)
+      .Put("breakeven_calls", breakeven);
+  json.Put("amortization", amortization);
+  JsonObject concurrent;
+  concurrent.Put("threads", threads)
+      .Put("requests", static_cast<std::uint64_t>(total_requests))
+      .Put("requests_per_sec", total_requests / concurrent_s);
+  json.Put("concurrent", concurrent);
+  JsonObject stats_json;
+  stats_json.Put("hits", stats.hits)
+      .Put("coalesced", stats.coalesced)
+      .Put("misses", stats.misses)
+      .Put("evictions", stats.evictions)
+      .Put("compiles", stats.compiles)
+      .Put("failures", stats.failures);
+  json.Put("stats", stats_json);
+
+  const char* out_path = "BENCH_cache.json";
+  if (WriteJsonFile(out_path, json)) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("FAILED to write %s\n", out_path);
+    return 1;
+  }
+  return speedup >= 100.0 && first_call_generic ? 0 : 2;
+}

@@ -5,12 +5,16 @@
 // are iteration-count invariant); override with DBLL_BENCH_ITERS or argv[1].
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/lift/lifter.h"
@@ -104,6 +108,90 @@ inline void PrintRow(const Row& row) {
               row.mode.c_str(), row.seconds, row.vs_native,
               row.ok ? "ok" : "CHECKSUM-MISMATCH",
               row.note.empty() ? "" : "  # ", row.note.c_str());
+}
+
+// --- Machine-readable output (BENCH_*.json) ---------------------------------
+
+/// Percentile of a sample set (nearest-rank); `p` in [0, 100]. Sorts a copy.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+inline double Median(const std::vector<double>& samples) {
+  return Percentile(samples, 50.0);
+}
+
+/// Minimal JSON object builder for the BENCH_*.json result files consumed by
+/// scripts/check.sh and CI tooling. Keys are emitted in insertion order;
+/// values are numbers, booleans, strings, or nested objects.
+class JsonObject {
+ public:
+  JsonObject& Put(const std::string& key, double value) {
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    return PutRaw(key, buf);
+  }
+  JsonObject& Put(const std::string& key, std::uint64_t value) {
+    return PutRaw(key, std::to_string(value));
+  }
+  JsonObject& Put(const std::string& key, int value) {
+    return PutRaw(key, std::to_string(value));
+  }
+  JsonObject& Put(const std::string& key, bool value) {
+    return PutRaw(key, value ? "true" : "false");
+  }
+  JsonObject& Put(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return PutRaw(key, quoted);
+  }
+  JsonObject& Put(const std::string& key, const char* value) {
+    return Put(key, std::string(value));
+  }
+  JsonObject& Put(const std::string& key, const JsonObject& object) {
+    return PutRaw(key, object.Str());
+  }
+
+  std::string Str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  JsonObject& PutRaw(const std::string& key, std::string raw) {
+    fields_.emplace_back(key, std::move(raw));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `object` to `path` (pretty-printed enough for humans: one line).
+/// Returns false on I/O failure.
+inline bool WriteJsonFile(const std::string& path, const JsonObject& object) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = object.Str() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return std::fclose(file) == 0 && ok;
 }
 
 }  // namespace dbll::bench

@@ -107,6 +107,9 @@ class Rewriter {
     std::size_t inlined_calls = 0;
     std::size_t blocks = 0;
     std::size_t code_bytes = 0;
+    /// Wall time of the whole rewrite (decode+emulate+encode), for the
+    /// runtime stats layer's amortization accounting.
+    std::uint64_t rewrite_ns = 0;
   };
   const Stats& stats() const { return stats_; }
 

@@ -85,6 +85,12 @@ struct LiftConfig {
   bool vectorize_hint = false;
 };
 
+/// Stable 64-bit fingerprint over every semantic field of a LiftConfig.
+/// Two configs with equal fingerprints lift identically; used by the runtime
+/// specialization cache (include/dbll/runtime/spec_cache.h) as a memoization
+/// key component.
+std::uint64_t Fingerprint(const LiftConfig& config);
+
 class LifterImpl;
 class Jit;
 
@@ -112,6 +118,12 @@ class LiftedFunction {
   /// Runs the optimization pipeline and compiles via the JIT; returns the
   /// native entry point. The LiftedFunction is consumed.
   Expected<std::uint64_t> Compile(Jit& jit);
+
+  /// Runs only the optimization pipeline (idempotent; Compile afterwards
+  /// performs pure JIT codegen). Lets callers -- the runtime compile service,
+  /// the stage-breakdown benches -- time the optimize and JIT stages
+  /// separately.
+  Status Optimize();
 
   /// Runs only the optimization pipeline and returns the optimized IR
   /// (used by the Fig. 6 / Fig. 8 dumps).

@@ -1,0 +1,150 @@
+// dbll -- specialization cache + asynchronous compile service.
+//
+// The seed re-ran the full lift -> O3 -> JIT chain synchronously on every
+// request; this subsystem makes runtime rewriting deployable under load:
+//
+//  * SpecializationCache: requests are memoized on SpecKey (spec_cache.h), so
+//    a repeated specialization is a hash lookup, not an LLVM run.
+//  * Async compiles: Request() enqueues the work on a worker pool and returns
+//    a FunctionHandle immediately. The handle's target() is the *original*
+//    generic entry until the specialized code is installed with an atomic
+//    pointer swap -- callers never stall during warm-up (BAAR-style "keep
+//    serving the generic version while the accelerator compiles").
+//  * Exactly-one compile: concurrent requests for one key coalesce onto the
+//    same in-flight job.
+//  * Stats (stats.h): hits/misses/evictions plus per-stage wall times,
+//    dumped by bench/fig_cache.
+//
+// The JIT session lives as long as the service; evicting a cache entry drops
+// the table slot (bounding lookup structures), while already-emitted code
+// stays valid for handles that still point at it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dbll/runtime/spec_cache.h"
+#include "dbll/runtime/stats.h"
+#include "dbll/support/error.h"
+
+namespace dbll::runtime {
+
+/// Shared view of one cache entry. Copies are cheap (shared_ptr); a handle
+/// keeps its entry alive across eviction.
+class FunctionHandle {
+ public:
+  enum class State : std::uint8_t { kPending, kSpecialized, kFailed };
+
+  FunctionHandle() = default;
+  bool valid() const { return slot_ != nullptr; }
+
+  /// Current best entry point: the original generic function until the
+  /// specialized one is installed (atomic swap), the specialized entry
+  /// afterwards, and the generic one again permanently on failure. Safe to
+  /// call from any thread at any time.
+  std::uint64_t target() const;
+
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(target());
+  }
+
+  State state() const;
+  bool specialized() const { return state() == State::kSpecialized; }
+
+  /// Blocks until the compile reached a terminal state; returns target().
+  std::uint64_t wait() const;
+
+  /// Compile error; meaningful once state() == kFailed.
+  Error error() const;
+
+  /// Per-stage compile times; meaningful once the compile finished.
+  StageTimes times() const;
+
+ private:
+  friend class CompileService;
+  struct Slot;
+  explicit FunctionHandle(std::shared_ptr<Slot> slot) : slot_(std::move(slot)) {}
+  std::shared_ptr<Slot> slot_;
+};
+
+class CompileService {
+ public:
+  struct Options {
+    /// Worker threads performing lift/optimize/JIT off the caller's thread.
+    int workers = 1;
+    /// Maximum memoized entries before LRU eviction (0 = unbounded).
+    std::size_t capacity = 256;
+  };
+
+  // Two constructors instead of `Options options = {}`: a default argument
+  // cannot use a nested class's member initializers before the enclosing
+  // class is complete. The default constructor (defined out of line) uses
+  // Options's own defaults.
+  CompileService();
+  explicit CompileService(Options options);
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Non-blocking: returns immediately with a handle whose target() serves
+  /// the generic entry until the specialized one is ready. A cache hit
+  /// returns the installed entry with no compile at all.
+  FunctionHandle Request(const CompileRequest& request);
+
+  /// Blocking convenience: Request() + wait(). Returns the specialized entry
+  /// on success, the compile error on failure. Results are cached like any
+  /// other request.
+  Expected<std::uint64_t> CompileSync(const CompileRequest& request);
+
+  /// Blocks until no compile is queued or running (test/bench barrier).
+  void WaitIdle();
+
+  /// Drops every cached entry (counted as evictions). In-flight compiles
+  /// finish and install into their handles, but are forgotten by the table.
+  void Clear();
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+  lift::Jit& jit() { return jit_; }
+
+ private:
+  struct Job {
+    CompileRequest request;
+    std::shared_ptr<FunctionHandle::Slot> slot;
+  };
+  struct TableEntry {
+    std::shared_ptr<FunctionHandle::Slot> slot;
+    std::list<SpecKey>::iterator lru_pos;
+  };
+
+  void WorkerLoop();
+  void CompileOne(Job& job);
+  void EvictIfNeeded();  // caller holds mutex_
+
+  Options options_;
+  lift::Jit jit_;
+
+  mutable std::mutex mutex_;  // guards table_, lru_, queue_, counters
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<SpecKey, TableEntry, SpecKey::Hash> table_;
+  std::list<SpecKey> lru_;  // front = most recently used
+  std::deque<Job> queue_;
+  int active_jobs_ = 0;
+  bool stopping_ = false;
+  CacheStats stats_;
+  std::mutex jit_mutex_;  // serializes module installation into the JIT
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dbll::runtime

@@ -1,0 +1,79 @@
+// dbll -- specialization requests and the cache key scheme.
+//
+// A compiled specialization is fully determined by
+//   (target address, public signature, LiftConfig, ordered specializations),
+// where a specialization is either a parameter fixation (index, value) or a
+// constant-memory fixation (index, region *contents*). Two requests with the
+// same key are interchangeable, so the compile service memoizes on it: the
+// repeated case degenerates to a hash lookup instead of a multi-millisecond
+// lift -> O3 -> JIT run (paper Sec. V: rewriting time must be amortized over
+// the calls of the specialized function).
+//
+// Constant-memory regions are *copied* at request time: the key hashes the
+// bytes, matching the semantic contract that the region is constant for the
+// lifetime of the specialized code. If the caller later changes the region
+// and requests again, the content hash differs and a fresh compile runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dbll/lift/lifter.h"
+
+namespace dbll::runtime {
+
+/// One IR-level specialization step, applied in request order.
+struct SpecAction {
+  enum class Kind : std::uint8_t { kParam, kConstMem };
+  Kind kind = Kind::kParam;
+  int index = 0;                    ///< public parameter index (0-based)
+  std::uint64_t value = 0;          ///< kParam: the fixed value
+  std::vector<std::uint8_t> bytes;  ///< kConstMem: region contents (copied)
+};
+
+/// Everything needed to produce (and identify) one specialized compile.
+struct CompileRequest {
+  std::uint64_t address = 0;   ///< entry of the compiled generic function
+  lift::Signature signature;
+  lift::LiftConfig config;
+  std::vector<SpecAction> specs;
+
+  CompileRequest() = default;
+  CompileRequest(std::uint64_t entry_address, lift::Signature entry_signature,
+                 lift::LiftConfig lift_config = {})
+      : address(entry_address),
+        signature(std::move(entry_signature)),
+        config(std::move(lift_config)) {}
+
+  /// Fixes integer parameter `index` to `value`
+  /// (LiftedFunction::SpecializeParam).
+  CompileRequest& FixParam(int index, std::uint64_t value);
+
+  /// Fixes pointer parameter `index` to the contents of [data, data+size)
+  /// (LiftedFunction::SpecializeParamToConstMem). The bytes are copied now.
+  CompileRequest& FixConstMem(int index, const void* data, std::size_t size);
+};
+
+/// Value-type cache key. Equality compares the full serialized request (no
+/// reliance on hash uniqueness); the hash is precomputed for map use.
+class SpecKey {
+ public:
+  explicit SpecKey(const CompileRequest& request);
+
+  std::uint64_t hash() const { return hash_; }
+  bool operator==(const SpecKey& other) const {
+    return hash_ == other.hash_ && blob_ == other.blob_;
+  }
+
+  struct Hash {
+    std::size_t operator()(const SpecKey& key) const {
+      return static_cast<std::size_t>(key.hash());
+    }
+  };
+
+ private:
+  std::vector<std::uint8_t> blob_;  ///< canonical serialization of the request
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace dbll::runtime

@@ -1,0 +1,39 @@
+// dbll -- statistics for the runtime specialization cache and compile
+// service (see compile_service.h).
+//
+// The paper's Sec. V amortization argument ("the increased rewriting time
+// pays off only when the specialized function is called often enough") makes
+// compile-time observability a first-class concern: every cache decision and
+// every pipeline stage is counted here so benches can measure the
+// amortization curve instead of guessing it.
+#pragma once
+
+#include <cstdint>
+
+namespace dbll::runtime {
+
+/// Wall-clock nanoseconds spent in each stage of one lift->O3->JIT compile.
+/// Decoding is part of the lift stage (the lifter drives the decoder).
+struct StageTimes {
+  std::uint64_t lift_ns = 0;  ///< decode + x86->LLVM-IR (+ specialization)
+  std::uint64_t opt_ns = 0;   ///< optimization pipeline (-O3 by default)
+  std::uint64_t jit_ns = 0;   ///< ORC JIT codegen + symbol resolution
+
+  std::uint64_t total_ns() const { return lift_ns + opt_ns + jit_ns; }
+};
+
+/// Snapshot of the cache/service counters. All counts are cumulative since
+/// service construction; `stage_total` sums the StageTimes of every compile
+/// (successful or not), so `stage_total.total_ns() / compiles` is the mean
+/// cost of a cache miss.
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< request served by an installed entry
+  std::uint64_t coalesced = 0;   ///< request joined an in-flight compile
+  std::uint64_t misses = 0;      ///< request started a new compile
+  std::uint64_t evictions = 0;   ///< entries dropped by LRU capacity
+  std::uint64_t failures = 0;    ///< compiles that ended in an error
+  std::uint64_t compiles = 0;    ///< compiles actually executed
+  StageTimes stage_total;
+};
+
+}  // namespace dbll::runtime

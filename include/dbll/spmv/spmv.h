@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace dbll::spmv {
@@ -69,5 +70,16 @@ void spmv_full(const CsrMatrix* m, const double* x, double* y, long rows);
 
 /// Reference product computed with plain C++ (for verification).
 void SpmvReference(const CsrMatrix& m, const double* x, double* y);
+
+/// Row-kernel type matching spmv_row, usable with specialized entries.
+using RowKernel = void (*)(const CsrMatrix*, const double*, double*, long);
+
+/// Adaptive full product: the provider is re-polled every `poll_rows` rows,
+/// so a runtime::FunctionHandle target can be swapped in mid-product once
+/// the asynchronously compiled specialization is installed. With the
+/// generic spmv_row as initial target the product is always correct.
+void SpmvAdaptive(const CsrMatrix& m, const double* x, double* y,
+                  const std::function<RowKernel()>& provider,
+                  long poll_rows = 64);
 
 }  // namespace dbll::spmv

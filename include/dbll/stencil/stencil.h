@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace dbll::stencil {
@@ -130,6 +131,13 @@ void stencil_line_direct_outlined(const void* unused, const double* m1,
 using ElementKernel = void (*)(const void*, const double*, double*, long);
 using LineKernel = void (*)(const void*, const double*, double*, long);
 
+/// Kernel providers for adaptive runs: re-polled once per Jacobi sweep, so a
+/// runtime::FunctionHandle can serve the generic kernel while the
+/// specialized compile is still in flight and be picked up the moment the
+/// atomic entry swap happens (zero-stall warm-up).
+using ElementKernelProvider = std::function<ElementKernel()>;
+using LineKernelProvider = std::function<LineKernel()>;
+
 // --- Jacobi driver (paper Sec. VI) -----------------------------------------
 
 /// Two matrices of kMatrixSize^2 doubles with fixed boundary values; the
@@ -146,6 +154,14 @@ class JacobiGrid {
   void RunElement(ElementKernel kernel, const void* stencil, int iterations);
   /// Runs `iterations` Jacobi sweeps with a line kernel.
   void RunLine(LineKernel kernel, const void* stencil, int iterations);
+
+  /// Adaptive variants: the provider is polled before every sweep, letting
+  /// the caller swap in a better kernel mid-run (e.g. when the runtime
+  /// compile service installs the specialized entry).
+  void RunElementAdaptive(const ElementKernelProvider& provider,
+                          const void* stencil, int iterations);
+  void RunLineAdaptive(const LineKernelProvider& provider, const void* stencil,
+                       int iterations);
 
   long size() const { return size_; }
   const double* front() const { return front_; }

@@ -1,9 +1,15 @@
 #!/bin/sh
-# dbll -- full verification: configure, build, test, bench smoke.
+# dbll -- full verification: configure, build, tier-1 tests, bench smoke.
+#
+# The tier-1 gate is the ctest suite; the cache smoke bench additionally
+# exercises the runtime specialization cache end-to-end and leaves its
+# machine-readable results in BENCH_cache.json (see docs/runtime_cache.md).
 set -e
 BUILD="${1:-build}"
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure
+"$BUILD/bench/fig_cache" --smoke
+echo "dbll: BENCH_cache.json written by fig_cache"
 DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 > /dev/null
-echo "dbll: build, tests, and benchmark smoke all passed"
+echo "dbll: build, tier-1 tests, and benchmark smoke all passed"

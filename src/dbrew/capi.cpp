@@ -3,11 +3,33 @@
 #include <string>
 
 #include "dbll/dbrew/rewriter.h"
+#include "dbll/runtime/compile_service.h"
 
 struct dbrew_rewriter {
   explicit dbrew_rewriter(std::uint64_t function) : impl(function) {}
   dbll::dbrew::Rewriter impl;
   std::string last_error;
+};
+
+struct dbll_cache {
+  explicit dbll_cache(dbll::runtime::CompileService::Options options)
+      : impl(options) {}
+  dbll::runtime::CompileService impl;
+};
+
+struct dbll_cache_req {
+  dbll_cache* cache = nullptr;
+  dbll::runtime::CompileRequest request;
+  dbll::runtime::FunctionHandle handle;  // valid once submitted
+  bool submitted = false;
+  std::string last_error;
+
+  void Submit() {
+    if (!submitted) {
+      handle = cache->impl.Request(request);
+      submitted = true;
+    }
+  }
 };
 
 extern "C" {
@@ -69,5 +91,82 @@ uint64_t dbrew_stat_code_bytes(dbrew_rewriter* r) {
 }
 
 void dbrew_free(dbrew_rewriter* r) { delete r; }
+
+// --- dbll_cache_*: specialization cache + async compile service ------------
+
+dbll_cache* dbll_cache_new(int workers, uint64_t capacity) {
+  dbll::runtime::CompileService::Options options;
+  options.workers = workers;
+  options.capacity = static_cast<std::size_t>(capacity);
+  return new dbll_cache(options);
+}
+
+void dbll_cache_free(dbll_cache* c) { delete c; }
+
+dbll_cache_req* dbll_cache_request(dbll_cache* c, void* func, int int_args,
+                                   int returns_value) {
+  auto* q = new dbll_cache_req;
+  q->cache = c;
+  q->request.address = reinterpret_cast<std::uint64_t>(func);
+  q->request.signature = dbll::lift::Signature::Ints(
+      int_args, returns_value != 0 ? dbll::lift::RetKind::kInt
+                                   : dbll::lift::RetKind::kVoid);
+  return q;
+}
+
+void dbll_cache_req_setpar(dbll_cache_req* q, int index, uint64_t value) {
+  q->request.FixParam(index - 1, value);  // paper examples are 1-based
+}
+
+void dbll_cache_req_setmem(dbll_cache_req* q, int index, const void* data,
+                           uint64_t size) {
+  q->request.FixConstMem(index - 1, data, static_cast<std::size_t>(size));
+}
+
+void* dbll_cache_call_target(dbll_cache_req* q) {
+  q->Submit();
+  return reinterpret_cast<void*>(q->handle.target());
+}
+
+void* dbll_cache_wait(dbll_cache_req* q) {
+  q->Submit();
+  return reinterpret_cast<void*>(q->handle.wait());
+}
+
+int dbll_cache_ready(dbll_cache_req* q) {
+  q->Submit();
+  return q->handle.specialized() ? 1 : 0;
+}
+
+const char* dbll_cache_req_error(dbll_cache_req* q) {
+  using State = dbll::runtime::FunctionHandle::State;
+  if (q->submitted && q->handle.state() == State::kFailed) {
+    q->last_error = q->handle.error().Format();
+  } else {
+    q->last_error.clear();
+  }
+  return q->last_error.c_str();
+}
+
+void dbll_cache_req_free(dbll_cache_req* q) { delete q; }
+
+uint64_t dbll_cache_stat_hits(dbll_cache* c) {
+  const auto stats = c->impl.stats();
+  return stats.hits + stats.coalesced;
+}
+
+uint64_t dbll_cache_stat_misses(dbll_cache* c) { return c->impl.stats().misses; }
+
+uint64_t dbll_cache_stat_evictions(dbll_cache* c) {
+  return c->impl.stats().evictions;
+}
+
+uint64_t dbll_cache_stat_compiles(dbll_cache* c) {
+  return c->impl.stats().compiles;
+}
+
+uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
+  return c->impl.stats().stage_total.total_ns();
+}
 
 }  // extern "C"

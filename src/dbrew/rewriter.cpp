@@ -1,5 +1,6 @@
 #include "dbll/dbrew/rewriter.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "emitter.h"
@@ -24,6 +25,13 @@ void Rewriter::SetMemRange(std::uint64_t start, std::uint64_t end) {
 }
 
 Expected<std::uint64_t> Rewriter::Rewrite() {
+  const auto rewrite_start = std::chrono::steady_clock::now();
+  const auto record_time = [&] {
+    stats_.rewrite_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - rewrite_start)
+            .count());
+  };
   last_error_ = Error();
   stats_ = Stats{};
 
@@ -56,6 +64,7 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
       return status.error();
     }
   }
+  record_time();
   return *entry;
 }
 

@@ -124,6 +124,8 @@ Status LiftedFunction::SpecializeParamToConstMem(int index, const void* data,
   return Status::Ok();
 }
 
+Status LiftedFunction::Optimize() { return RunPipeline(impl_->bundle); }
+
 Expected<std::string> LiftedFunction::OptimizeAndGetIr() {
   DBLL_TRY_STATUS(RunPipeline(impl_->bundle));
   return GetIr();
@@ -132,6 +134,33 @@ Expected<std::string> LiftedFunction::OptimizeAndGetIr() {
 Expected<std::uint64_t> LiftedFunction::Compile(Jit& jit) {
   DBLL_TRY_STATUS(RunPipeline(impl_->bundle));
   return JitCompile(jit, impl_->bundle);
+}
+
+std::uint64_t Fingerprint(const LiftConfig& config) {
+  // FNV-1a over every field that influences the produced IR or code. A new
+  // LiftConfig knob must be mixed in here, otherwise the runtime cache would
+  // alias configs that lift differently.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(config.flag_cache);
+  mix(config.facet_cache);
+  mix(config.use_gep);
+  mix(config.fast_math);
+  mix(static_cast<std::uint64_t>(config.opt_level));
+  mix(config.stack_size);
+  mix(config.lift_calls);
+  mix(static_cast<std::uint64_t>(config.max_call_depth));
+  mix(config.max_instructions);
+  mix(config.pass_preset.size());
+  for (char c : config.pass_preset) mix(static_cast<std::uint8_t>(c));
+  mix(config.volatile_memory);
+  mix(config.vectorize_hint);
+  return hash;
 }
 
 Lifter::Lifter(LiftConfig config) : config_(std::move(config)) {

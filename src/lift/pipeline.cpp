@@ -2,68 +2,116 @@
 // optimization pipeline with level 3, similar to the -O3 compiler option, is
 // applied. The optimizations are also necessary to remove the overhead
 // introduced by the transformation.")
+//
+// Pipeline setup (PassBuilder construction, analysis registration, building
+// the pass sequence) is hoisted into a per-thread cache keyed by
+// (opt_level, preset): the runtime compile service's cache-miss path and the
+// repetition benches optimize many modules with the same configuration, and
+// must not pay the setup for each one. Analysis caches are dropped after
+// every run so no analysis result can dangle into a destroyed module.
 #include <llvm/Passes/PassBuilder.h>
 #include <llvm/Support/CommandLine.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "lift_internal.h"
 
 namespace dbll::lift {
 
+namespace {
+
+/// One reusable (PassBuilder + analysis managers + pass sequence) combo for a
+/// fixed (opt_level, preset). Not thread-safe; cached thread_local.
+class ReusablePipeline {
+ public:
+  ReusablePipeline(int opt_level, const std::string& preset) {
+    namespace L = llvm;
+    L::OptimizationLevel level;
+    switch (opt_level) {
+      case 0: level = L::OptimizationLevel::O0; break;
+      case 1: level = L::OptimizationLevel::O1; break;
+      case 2: level = L::OptimizationLevel::O2; break;
+      default: level = L::OptimizationLevel::O3; break;
+    }
+
+    L::PipelineTuningOptions tuning;
+    if (preset == "novec") {
+      tuning.LoopVectorization = false;
+      tuning.SLPVectorization = false;
+    }
+
+    pb_ = std::make_unique<L::PassBuilder>(nullptr, tuning);
+    pb_->registerModuleAnalyses(mam_);
+    pb_->registerCGSCCAnalyses(cgam_);
+    pb_->registerFunctionAnalyses(fam_);
+    pb_->registerLoopAnalyses(lam_);
+    pb_->crossRegisterProxies(lam_, fam_, cgam_, mam_);
+
+    if (preset == "none") {
+      // Always-inlining must still run so the wrapper becomes self-contained.
+      mpm_ = pb_->buildO0DefaultPipeline(L::OptimizationLevel::O0);
+    } else if (preset == "basic") {
+      // Minimal cleanup: inline, promote the virtual stack, fold casts.
+      const char* text = "always-inline,function(sroa,instcombine,simplifycfg,dce)";
+      if (L::Error err = pb_->parsePassPipeline(mpm_, text)) {
+        setup_error_ = "cannot parse basic pass preset: " +
+                       L::toString(std::move(err));
+      }
+    } else if (preset == "o1") {
+      mpm_ = pb_->buildPerModuleDefaultPipeline(L::OptimizationLevel::O1);
+    } else if (preset == "o2") {
+      mpm_ = pb_->buildPerModuleDefaultPipeline(L::OptimizationLevel::O2);
+    } else if (opt_level == 0) {
+      mpm_ = pb_->buildO0DefaultPipeline(L::OptimizationLevel::O0);
+    } else {
+      mpm_ = pb_->buildPerModuleDefaultPipeline(level);
+    }
+  }
+
+  Status Run(llvm::Module& module) {
+    if (!setup_error_.empty()) {
+      return Error(ErrorKind::kJit, setup_error_);
+    }
+    mpm_.run(module, mam_);
+    // The pass sequence is reusable, cached analysis results are not: they
+    // reference IR of the module just optimized, which the caller may free.
+    lam_.clear();
+    cgam_.clear();
+    fam_.clear();
+    mam_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  llvm::LoopAnalysisManager lam_;
+  llvm::FunctionAnalysisManager fam_;
+  llvm::CGSCCAnalysisManager cgam_;
+  llvm::ModuleAnalysisManager mam_;
+  std::unique_ptr<llvm::PassBuilder> pb_;
+  llvm::ModulePassManager mpm_;
+  std::string setup_error_;
+};
+
+}  // namespace
+
 Status RunPipeline(ModuleBundle& bundle) {
   if (bundle.optimized) return Status::Ok();
 
-  namespace L = llvm;
-  L::OptimizationLevel level;
-  switch (bundle.config.opt_level) {
-    case 0: level = L::OptimizationLevel::O0; break;
-    case 1: level = L::OptimizationLevel::O1; break;
-    case 2: level = L::OptimizationLevel::O2; break;
-    default: level = L::OptimizationLevel::O3; break;
+  // thread_local keeps the compile service's workers lock-free here; the
+  // handful of (level, preset) combos in use bounds the cache size.
+  thread_local std::map<std::pair<int, std::string>,
+                        std::unique_ptr<ReusablePipeline>>
+      pipelines;
+  auto key = std::make_pair(bundle.config.opt_level, bundle.config.pass_preset);
+  std::unique_ptr<ReusablePipeline>& slot = pipelines[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<ReusablePipeline>(bundle.config.opt_level,
+                                              bundle.config.pass_preset);
   }
-
-  L::PipelineTuningOptions tuning;
-  const std::string& preset = bundle.config.pass_preset;
-  if (preset == "novec") {
-    tuning.LoopVectorization = false;
-    tuning.SLPVectorization = false;
-  }
-
-  L::PassBuilder pb(nullptr, tuning);
-  L::LoopAnalysisManager lam;
-  L::FunctionAnalysisManager fam;
-  L::CGSCCAnalysisManager cgam;
-  L::ModuleAnalysisManager mam;
-  pb.registerModuleAnalyses(mam);
-  pb.registerCGSCCAnalyses(cgam);
-  pb.registerFunctionAnalyses(fam);
-  pb.registerLoopAnalyses(lam);
-  pb.crossRegisterProxies(lam, fam, cgam, mam);
-
-  L::ModulePassManager mpm;
-  if (preset == "none") {
-    // Always-inlining must still run so the wrapper becomes self-contained.
-    mpm = pb.buildO0DefaultPipeline(L::OptimizationLevel::O0);
-  } else if (preset == "basic") {
-    // Minimal cleanup: inline, promote the virtual stack, fold casts.
-    auto parsed = pb.parsePassPipeline(
-        mpm,
-        "always-inline,function(sroa,instcombine,simplifycfg,dce)");
-    if (parsed) {
-      return Error(ErrorKind::kJit, "cannot parse basic pass preset");
-    }
-  } else if (preset == "o1") {
-    mpm = pb.buildPerModuleDefaultPipeline(
-        L::OptimizationLevel::O1);
-  } else if (preset == "o2") {
-    mpm = pb.buildPerModuleDefaultPipeline(
-        L::OptimizationLevel::O2);
-  } else if (bundle.config.opt_level == 0) {
-    mpm = pb.buildO0DefaultPipeline(L::OptimizationLevel::O0);
-  } else {
-    mpm = pb.buildPerModuleDefaultPipeline(level);
-  }
-
-  mpm.run(*bundle.module, mam);
+  DBLL_TRY_STATUS(slot->Run(*bundle.module));
   bundle.optimized = true;
   return Status::Ok();
 }

@@ -1,0 +1,278 @@
+// dbll -- asynchronous compile service (see
+// include/dbll/runtime/compile_service.h for the design).
+#include "dbll/runtime/compile_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace dbll::runtime {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Shared state of one cache entry. `target` starts as the generic entry and
+/// is atomically swapped to the specialized one; readers on hot paths touch
+/// nothing else. The mutex/cv pair only serves blocking waiters.
+struct FunctionHandle::Slot {
+  std::atomic<std::uint64_t> target{0};
+  std::atomic<std::uint8_t> state{
+      static_cast<std::uint8_t>(FunctionHandle::State::kPending)};
+  std::uint64_t generic = 0;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  Error error;       // written once before the terminal state is published
+  StageTimes times;  // ditto
+
+  void Finish(FunctionHandle::State terminal, std::uint64_t entry,
+              Error err, StageTimes stage_times) {
+    {
+      // The stores happen under the mutex so a waiter cannot check the state
+      // and park between them and the notify; lock-free target()/state()
+      // readers are unaffected.
+      std::lock_guard<std::mutex> lock(mutex);
+      error = std::move(err);
+      times = stage_times;
+      if (terminal == FunctionHandle::State::kSpecialized) {
+        // The swap: from now on every target() reader calls specialized code.
+        target.store(entry, std::memory_order_release);
+      }
+      state.store(static_cast<std::uint8_t>(terminal),
+                  std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+};
+
+std::uint64_t FunctionHandle::target() const {
+  return slot_->target.load(std::memory_order_acquire);
+}
+
+FunctionHandle::State FunctionHandle::state() const {
+  return static_cast<State>(slot_->state.load(std::memory_order_acquire));
+}
+
+std::uint64_t FunctionHandle::wait() const {
+  std::unique_lock<std::mutex> lock(slot_->mutex);
+  slot_->cv.wait(lock, [&] { return state() != State::kPending; });
+  lock.unlock();
+  return target();
+}
+
+Error FunctionHandle::error() const {
+  std::lock_guard<std::mutex> lock(slot_->mutex);
+  return slot_->error;
+}
+
+StageTimes FunctionHandle::times() const {
+  std::lock_guard<std::mutex> lock(slot_->mutex);
+  return slot_->times;
+}
+
+CompileService::CompileService() : CompileService(Options{}) {}
+
+CompileService::CompileService(Options options) : options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Jobs never started still have waiters parked on their slots: fail them
+    // so wait() cannot deadlock against a dead pool.
+    for (Job& job : queue_) {
+      job.slot->Finish(FunctionHandle::State::kFailed, 0,
+                       Error(ErrorKind::kInternal,
+                             "compile service shut down before compiling"),
+                       StageTimes{});
+    }
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+FunctionHandle CompileService::Request(const CompileRequest& request) {
+  SpecKey key(request);
+  std::shared_ptr<FunctionHandle::Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      // Touch the LRU position and classify the hit.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      it->second.lru_pos = lru_.begin();
+      const auto state = static_cast<FunctionHandle::State>(
+          it->second.slot->state.load(std::memory_order_acquire));
+      if (state == FunctionHandle::State::kPending) {
+        ++stats_.coalesced;
+      } else {
+        ++stats_.hits;
+      }
+      return FunctionHandle(it->second.slot);
+    }
+    ++stats_.misses;
+    slot = std::make_shared<FunctionHandle::Slot>();
+    slot->generic = request.address;
+    slot->target.store(request.address, std::memory_order_release);
+    lru_.push_front(key);
+    table_.emplace(std::move(key), TableEntry{slot, lru_.begin()});
+    EvictIfNeeded();
+    queue_.push_back(Job{request, slot});
+  }
+  work_cv_.notify_one();
+  return FunctionHandle(slot);
+}
+
+Expected<std::uint64_t> CompileService::CompileSync(
+    const CompileRequest& request) {
+  FunctionHandle handle = Request(request);
+  const std::uint64_t entry = handle.wait();
+  if (handle.state() == FunctionHandle::State::kFailed) {
+    return handle.error();
+  }
+  return entry;
+}
+
+void CompileService::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_jobs_ == 0; });
+}
+
+void CompileService::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evictions += table_.size();
+  table_.clear();
+  lru_.clear();
+}
+
+CacheStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CompileService::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+void CompileService::EvictIfNeeded() {
+  if (options_.capacity == 0) return;
+  // Walk from the least-recently-used end; pending entries are pinned (their
+  // compile is still running and must stay discoverable for coalescing).
+  auto it = lru_.end();
+  while (table_.size() > options_.capacity && it != lru_.begin()) {
+    --it;
+    auto found = table_.find(*it);
+    if (found == table_.end()) {  // defensive; table_ and lru_ move together
+      it = lru_.erase(it);
+      continue;
+    }
+    const auto state = static_cast<FunctionHandle::State>(
+        found->second.slot->state.load(std::memory_order_acquire));
+    if (state == FunctionHandle::State::kPending) continue;
+    table_.erase(found);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void CompileService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_jobs_;
+    }
+    CompileOne(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_jobs_;
+      if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void CompileService::CompileOne(Job& job) {
+  const CompileRequest& request = job.request;
+  StageTimes times;
+  Error failure;
+
+  // Stage 1: decode + lift (+ IR-level specialization, which mutates the
+  // pre-optimization module and is therefore part of this stage).
+  const std::uint64_t t0 = NowNs();
+  lift::Lifter lifter(request.config);
+  auto lifted = lifter.Lift(request.address, request.signature);
+  if (!lifted.has_value()) {
+    failure = std::move(lifted).error();
+  } else {
+    for (const SpecAction& spec : request.specs) {
+      Status status =
+          spec.kind == SpecAction::Kind::kParam
+              ? lifted->SpecializeParam(spec.index, spec.value)
+              : lifted->SpecializeParamToConstMem(spec.index,
+                                                  spec.bytes.data(),
+                                                  spec.bytes.size());
+      if (!status.ok()) {
+        failure = status.error();
+        break;
+      }
+    }
+  }
+  times.lift_ns = NowNs() - t0;
+
+  // Stage 2: optimization pipeline.
+  std::uint64_t entry = 0;
+  if (failure.ok()) {
+    const std::uint64_t t1 = NowNs();
+    Status status = lifted->Optimize();
+    times.opt_ns = NowNs() - t1;
+    if (!status.ok()) failure = status.error();
+
+    // Stage 3: JIT codegen. Module installation into the shared LLJIT
+    // session is serialized; lift and optimize above run fully parallel.
+    if (failure.ok()) {
+      const std::uint64_t t2 = NowNs();
+      std::lock_guard<std::mutex> jit_lock(jit_mutex_);
+      auto compiled = lifted->Compile(jit_);
+      times.jit_ns = NowNs() - t2;
+      if (compiled.has_value()) {
+        entry = *compiled;
+      } else {
+        failure = std::move(compiled).error();
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.compiles;
+    stats_.stage_total.lift_ns += times.lift_ns;
+    stats_.stage_total.opt_ns += times.opt_ns;
+    stats_.stage_total.jit_ns += times.jit_ns;
+    if (!failure.ok()) ++stats_.failures;
+  }
+  job.slot->Finish(failure.ok() ? FunctionHandle::State::kSpecialized
+                                : FunctionHandle::State::kFailed,
+                   entry, std::move(failure), times);
+}
+
+}  // namespace dbll::runtime

@@ -1,0 +1,73 @@
+// dbll -- cache key construction (see include/dbll/runtime/spec_cache.h).
+#include "dbll/runtime/spec_cache.h"
+
+#include <cstring>
+
+namespace dbll::runtime {
+
+CompileRequest& CompileRequest::FixParam(int index, std::uint64_t value) {
+  SpecAction action;
+  action.kind = SpecAction::Kind::kParam;
+  action.index = index;
+  action.value = value;
+  specs.push_back(std::move(action));
+  return *this;
+}
+
+CompileRequest& CompileRequest::FixConstMem(int index, const void* data,
+                                            std::size_t size) {
+  SpecAction action;
+  action.kind = SpecAction::Kind::kConstMem;
+  action.index = index;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  action.bytes.assign(bytes, bytes + size);
+  specs.push_back(std::move(action));
+  return *this;
+}
+
+namespace {
+
+void Append64(std::vector<std::uint8_t>& blob, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    blob.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+/// FNV-1a over the canonical blob: cheap, stable across runs of one process
+/// (addresses are process-specific anyway), and collision-checked by the
+/// full-blob equality comparison.
+std::uint64_t Fnv1a(const std::vector<std::uint8_t>& blob) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : blob) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+SpecKey::SpecKey(const CompileRequest& request) {
+  blob_.reserve(64);
+  Append64(blob_, request.address);
+  blob_.push_back(static_cast<std::uint8_t>(request.signature.ret));
+  Append64(blob_, request.signature.args.size());
+  for (lift::ArgKind arg : request.signature.args) {
+    blob_.push_back(static_cast<std::uint8_t>(arg));
+  }
+  Append64(blob_, lift::Fingerprint(request.config));
+  Append64(blob_, request.specs.size());
+  for (const SpecAction& spec : request.specs) {
+    blob_.push_back(static_cast<std::uint8_t>(spec.kind));
+    Append64(blob_, static_cast<std::uint64_t>(spec.index));
+    if (spec.kind == SpecAction::Kind::kParam) {
+      Append64(blob_, spec.value);
+    } else {
+      Append64(blob_, spec.bytes.size());
+      blob_.insert(blob_.end(), spec.bytes.begin(), spec.bytes.end());
+    }
+  }
+  hash_ = Fnv1a(blob_);
+}
+
+}  // namespace dbll::runtime

@@ -1,6 +1,7 @@
 // dbll -- SpMV builder and reference implementation.
 #include "dbll/spmv/spmv.h"
 
+#include <algorithm>
 #include <random>
 #include <set>
 
@@ -71,6 +72,18 @@ void SpmvReference(const CsrMatrix& m, const double* x, double* y) {
       acc += m.values[j] * x[m.col_idx[j]];
     }
     y[r] = acc;
+  }
+}
+
+void SpmvAdaptive(const CsrMatrix& m, const double* x, double* y,
+                  const std::function<RowKernel()>& provider, long poll_rows) {
+  if (poll_rows < 1) poll_rows = 1;
+  for (long r = 0; r < m.rows;) {
+    RowKernel kernel = provider();
+    const long chunk_end = std::min(m.rows, r + poll_rows);
+    for (; r < chunk_end; ++r) {
+      kernel(&m, x, y, r);
+    }
   }
 }
 

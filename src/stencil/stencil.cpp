@@ -99,6 +99,33 @@ void JacobiGrid::RunLine(LineKernel kernel, const void* stencil,
   }
 }
 
+void JacobiGrid::RunElementAdaptive(const ElementKernelProvider& provider,
+                                    const void* stencil, int iterations) {
+  const long n = size_;
+  for (int iter = 0; iter < iterations; iter++) {
+    ElementKernel kernel = provider();
+    for (long y = 1; y < n - 1; y++) {
+      const long base = y * n;
+      for (long x = 1; x < n - 1; x++) {
+        kernel(stencil, front_, back_, base + x);
+      }
+    }
+    std::swap(front_, back_);
+  }
+}
+
+void JacobiGrid::RunLineAdaptive(const LineKernelProvider& provider,
+                                 const void* stencil, int iterations) {
+  const long n = size_;
+  for (int iter = 0; iter < iterations; iter++) {
+    LineKernel kernel = provider();
+    for (long y = 1; y < n - 1; y++) {
+      kernel(stencil, front_, back_, y);
+    }
+    std::swap(front_, back_);
+  }
+}
+
 double JacobiGrid::Checksum() const {
   double sum = 0.0;
   const std::size_t total = static_cast<std::size_t>(size_ * size_);

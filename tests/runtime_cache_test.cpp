@@ -1,0 +1,291 @@
+// dbll tests -- the runtime specialization cache + async compile service:
+// hit/miss semantics, key separation (params, const-mem contents,
+// LiftConfig), the generic->specialized atomic handoff, single-compile
+// coalescing under concurrency, LRU eviction, and failure fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/runtime/compile_service.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+CompileRequest ArithRequest(lift::LiftConfig config = {}) {
+  return CompileRequest(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                        lift::Signature::Ints(2), std::move(config));
+}
+
+TEST(SpecKeyTest, IdenticalRequestsShareAKey) {
+  CompileRequest a = ArithRequest();
+  a.FixParam(0, 42);
+  CompileRequest b = ArithRequest();
+  b.FixParam(0, 42);
+  EXPECT_TRUE(SpecKey(a) == SpecKey(b));
+}
+
+TEST(SpecKeyTest, DistinctParamValuesDistinctKeys) {
+  CompileRequest a = ArithRequest();
+  a.FixParam(0, 42);
+  CompileRequest b = ArithRequest();
+  b.FixParam(0, 43);
+  EXPECT_FALSE(SpecKey(a) == SpecKey(b));
+
+  // Same value on a different parameter index is also distinct.
+  CompileRequest c = ArithRequest();
+  c.FixParam(1, 42);
+  EXPECT_FALSE(SpecKey(a) == SpecKey(c));
+}
+
+TEST(SpecKeyTest, ConfigFingerprintSeparatesKeys) {
+  lift::LiftConfig flags_off;
+  flags_off.flag_cache = false;
+  EXPECT_FALSE(SpecKey(ArithRequest()) == SpecKey(ArithRequest(flags_off)));
+
+  lift::LiftConfig o0;
+  o0.opt_level = 0;
+  EXPECT_FALSE(SpecKey(ArithRequest()) == SpecKey(ArithRequest(o0)));
+  EXPECT_NE(lift::Fingerprint(lift::LiftConfig{}), lift::Fingerprint(o0));
+}
+
+TEST(SpecKeyTest, ConstMemContentsSeparateKeys) {
+  const long region_a[4] = {1, 2, 3, 4};
+  const long region_b[4] = {1, 2, 3, 5};
+  CompileRequest a = ArithRequest();
+  a.FixConstMem(0, region_a, sizeof(region_a));
+  CompileRequest b = ArithRequest();
+  b.FixConstMem(0, region_b, sizeof(region_b));
+  CompileRequest a2 = ArithRequest();
+  a2.FixConstMem(0, region_a, sizeof(region_a));
+  EXPECT_FALSE(SpecKey(a) == SpecKey(b));
+  EXPECT_TRUE(SpecKey(a) == SpecKey(a2));
+}
+
+TEST(CompileServiceTest, HitMissSemantics) {
+  CompileService service;
+  const CompileRequest request = ArithRequest();
+
+  auto first = service.CompileSync(request);
+  ASSERT_TRUE(first.has_value()) << first.error().Format();
+  auto second = service.CompileSync(request);
+  ASSERT_TRUE(second.has_value()) << second.error().Format();
+  EXPECT_EQ(*first, *second);
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(service.size(), 1u);
+  EXPECT_GT(stats.stage_total.total_ns(), 0u);
+
+  auto fn = reinterpret_cast<IntFn2>(*first);
+  for (long a = -3; a <= 3; ++a) {
+    EXPECT_EQ(fn(a, 17), c_arith_mix(a, 17));
+  }
+}
+
+TEST(CompileServiceTest, DistinctSpecializationsCompileSeparately) {
+  CompileService service;
+  CompileRequest fixed5 = ArithRequest();
+  fixed5.FixParam(0, 5);
+  CompileRequest fixed9 = ArithRequest();
+  fixed9.FixParam(0, 9);
+
+  auto entry5 = service.CompileSync(fixed5);
+  auto entry9 = service.CompileSync(fixed9);
+  ASSERT_TRUE(entry5.has_value()) << entry5.error().Format();
+  ASSERT_TRUE(entry9.has_value()) << entry9.error().Format();
+  EXPECT_NE(*entry5, *entry9);
+  EXPECT_EQ(service.stats().misses, 2u);
+  EXPECT_EQ(service.stats().compiles, 2u);
+
+  // The fixed parameter wins over whatever the caller passes.
+  auto fn5 = reinterpret_cast<IntFn2>(*entry5);
+  auto fn9 = reinterpret_cast<IntFn2>(*entry9);
+  EXPECT_EQ(fn5(1234, 7), c_arith_mix(5, 7));
+  EXPECT_EQ(fn9(1234, 7), c_arith_mix(9, 7));
+}
+
+TEST(CompileServiceTest, DistinctLiftConfigsCompileSeparately) {
+  CompileService service;
+  lift::LiftConfig o0;
+  o0.opt_level = 0;
+  auto opt = service.CompileSync(ArithRequest());
+  auto unopt = service.CompileSync(ArithRequest(o0));
+  ASSERT_TRUE(opt.has_value()) << opt.error().Format();
+  ASSERT_TRUE(unopt.has_value()) << unopt.error().Format();
+  EXPECT_NE(*opt, *unopt);
+  EXPECT_EQ(service.stats().misses, 2u);
+
+  auto fn = reinterpret_cast<IntFn2>(*unopt);
+  EXPECT_EQ(fn(21, 4), c_arith_mix(21, 4));
+}
+
+TEST(CompileServiceTest, ConstMemSpecializationFoldsContents) {
+  CompileService service;
+  const long data_a[4] = {10, 20, 30, 40};
+  const long data_b[4] = {1, 1, 1, 1};
+
+  CompileRequest sum_a(reinterpret_cast<std::uint64_t>(&c_array_sum),
+                       lift::Signature::Ints(2));
+  sum_a.FixConstMem(0, data_a, sizeof(data_a)).FixParam(1, 4);
+  CompileRequest sum_b(reinterpret_cast<std::uint64_t>(&c_array_sum),
+                       lift::Signature::Ints(2));
+  sum_b.FixConstMem(0, data_b, sizeof(data_b)).FixParam(1, 4);
+
+  auto entry_a = service.CompileSync(sum_a);
+  auto entry_b = service.CompileSync(sum_b);
+  ASSERT_TRUE(entry_a.has_value()) << entry_a.error().Format();
+  ASSERT_TRUE(entry_b.has_value()) << entry_b.error().Format();
+  EXPECT_EQ(service.stats().compiles, 2u);
+
+  auto fn_a = reinterpret_cast<IntFn2>(*entry_a);
+  auto fn_b = reinterpret_cast<IntFn2>(*entry_b);
+  EXPECT_EQ(fn_a(0, 0), 100);  // 10+20+30+40, args ignored
+  EXPECT_EQ(fn_b(0, 0), 4);
+}
+
+TEST(CompileServiceTest, AsyncRequestServesGenericUntilInstalled) {
+  CompileService service;
+  const CompileRequest request = ArithRequest();
+  FunctionHandle handle = service.Request(request);
+  ASSERT_TRUE(handle.valid());
+
+  // Whatever the compile state, the target is callable right now: it is the
+  // original function until the specialized entry is swapped in.
+  const std::uint64_t immediate = handle.target();
+  if (!handle.specialized()) {
+    EXPECT_EQ(immediate, request.address);
+  }
+  auto early = reinterpret_cast<IntFn2>(immediate);
+  EXPECT_EQ(early(3, 4), c_arith_mix(3, 4));
+
+  const std::uint64_t installed = handle.wait();
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_NE(installed, request.address);
+  EXPECT_EQ(installed, handle.target());
+  auto fn = reinterpret_cast<IntFn2>(installed);
+  EXPECT_EQ(fn(3, 4), c_arith_mix(3, 4));
+  EXPECT_GT(handle.times().total_ns(), 0u);
+}
+
+TEST(CompileServiceTest, ConcurrentRequestersCompileExactlyOnce) {
+  CompileService service({/*workers=*/2, /*capacity=*/256});
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 77);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::uint64_t entries[kThreads] = {};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      FunctionHandle handle = service.Request(request);
+      entries[t] = handle.wait();
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : pool) t.join();
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.compiles, 1u) << "N concurrent requests must coalesce";
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(entries[t], entries[0]);
+  }
+  auto fn = reinterpret_cast<IntFn2>(entries[0]);
+  EXPECT_EQ(fn(0, 6), c_arith_mix(77, 6));
+}
+
+TEST(CompileServiceTest, LruEvictionBoundsTheTable) {
+  CompileService service({/*workers=*/1, /*capacity=*/2});
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    CompileRequest request = ArithRequest();
+    request.FixParam(0, v);
+    auto entry = service.CompileSync(request);
+    ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  }
+  EXPECT_LE(service.size(), 2u);
+  EXPECT_GE(service.stats().evictions, 1u);
+
+  // The evicted (least recently used) specialization recompiles on re-request.
+  CompileRequest oldest = ArithRequest();
+  oldest.FixParam(0, 0);
+  ASSERT_TRUE(service.CompileSync(oldest).has_value());
+  EXPECT_EQ(service.stats().compiles, 4u);
+}
+
+TEST(CompileServiceTest, FailedCompileFallsBackToGeneric) {
+  // Data bytes are not a liftable function; the lift stage fails and the
+  // handle keeps serving the original address.
+  alignas(16) static const std::uint8_t garbage[16] = {0x06, 0x06, 0x06};
+  CompileService service;
+  CompileRequest request(reinterpret_cast<std::uint64_t>(garbage),
+                         lift::Signature::Ints(2));
+  FunctionHandle handle = service.Request(request);
+  const std::uint64_t target = handle.wait();
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kFailed);
+  EXPECT_EQ(target, request.address);
+  EXPECT_FALSE(handle.error().ok());
+  EXPECT_EQ(service.stats().failures, 1u);
+
+  auto sync = service.CompileSync(request);
+  EXPECT_FALSE(sync.has_value());
+}
+
+TEST(CompileServiceTest, ClearCountsEvictionsAndForcesRecompiles) {
+  CompileService service;
+  ASSERT_TRUE(service.CompileSync(ArithRequest()).has_value());
+  EXPECT_EQ(service.size(), 1u);
+  service.Clear();
+  EXPECT_EQ(service.size(), 0u);
+  EXPECT_EQ(service.stats().evictions, 1u);
+  ASSERT_TRUE(service.CompileSync(ArithRequest()).has_value());
+  EXPECT_EQ(service.stats().compiles, 2u);
+}
+
+// --- C API ------------------------------------------------------------------
+
+TEST(CacheCApiTest, RoundTrip) {
+  dbll_cache* cache = dbll_cache_new(1, 16);
+  dbll_cache_req* req = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, /*returns_value=*/1);
+  dbll_cache_req_setpar(req, 1, 33);  // 1-based, like dbrew_setpar
+
+  auto immediate = reinterpret_cast<IntFn2>(dbll_cache_call_target(req));
+  EXPECT_EQ(immediate(33, 2), c_arith_mix(33, 2));  // generic or specialized
+
+  auto fn = reinterpret_cast<IntFn2>(dbll_cache_wait(req));
+  EXPECT_EQ(dbll_cache_ready(req), 1);
+  EXPECT_STREQ(dbll_cache_req_error(req), "");
+  EXPECT_EQ(fn(0, 2), c_arith_mix(33, 2));
+
+  // A second identical request is a hit.
+  dbll_cache_req* again = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_setpar(again, 1, 33);
+  EXPECT_EQ(dbll_cache_wait(again), reinterpret_cast<void*>(fn));
+  EXPECT_EQ(dbll_cache_stat_misses(cache), 1u);
+  EXPECT_EQ(dbll_cache_stat_hits(cache), 1u);
+  EXPECT_EQ(dbll_cache_stat_compiles(cache), 1u);
+  EXPECT_GT(dbll_cache_stat_compile_ns(cache), 0u);
+
+  dbll_cache_req_free(req);
+  dbll_cache_req_free(again);
+  dbll_cache_free(cache);
+}
+
+}  // namespace
+}  // namespace dbll::runtime
