@@ -68,7 +68,10 @@ class Rewriter {
 
   /// Fixes integer/pointer parameter `index` (0-based, register parameters
   /// only: rdi, rsi, rdx, rcx, r8, r9) to `value`. The rewritten function
-  /// ignores the actual argument. (dbrew_setpar)
+  /// ignores the actual argument. Note the index convention: the C++ API is
+  /// 0-based, while the C API (dbrew_setpar / dbll_rewriter_setpar) is
+  /// 1-based to match the paper's examples. An out-of-range index makes
+  /// Rewrite() fail with kBadConfig naming both conventions.
   void SetParam(int index, std::uint64_t value);
 
   /// Declares [start, end) to hold values that do not change between rewrite

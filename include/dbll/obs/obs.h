@@ -1,0 +1,265 @@
+// dbll -- process-wide observability: span tracing + metrics registry.
+//
+// The paper's evaluation (Fig. 10) is a per-stage cost breakdown of the
+// decode -> CFG -> lift -> O3 -> JIT pipeline; this subsystem makes that
+// breakdown a first-class, always-available measurement instead of
+// bench-local timers.
+//
+// Two facilities, one header:
+//
+//  * Span tracer. `DBLL_TRACE_SPAN("lift.function");` opens an RAII span
+//    that records {name, start, duration, thread, nesting depth} when
+//    tracing is enabled and costs a single relaxed atomic load + branch when
+//    it is not (the macro compiles out entirely under
+//    -DDBLL_OBS_DISABLE_TRACING). Collected spans export as
+//    chrome://tracing trace-event JSON (load the file via ui.perfetto.dev or
+//    chrome://tracing) or as a flat per-name text summary.
+//
+//    Activation: programmatic (Tracer::Default().Enable()), via the
+//    dbll_obs_* C API, or by environment variable -- DBLL_TRACE=out.json
+//    enables tracing at load time and writes the JSON at process exit
+//    (DBLL_TRACE_SUMMARY=path-or-"stderr" additionally writes the text
+//    summary). See docs/observability.md for the span naming scheme.
+//
+//  * Metrics registry. Named counters / gauges / histograms with a single
+//    enumerable snapshot API. The pipeline publishes its legacy statistics
+//    (dbrew::Rewriter::Stats, runtime::CacheStats, per-stage wall times)
+//    here as well, so benches and the C API read one surface:
+//
+//      for (const auto& e : dbll::obs::Registry::Default().Snapshot())
+//        printf("%s = %llu\n", e.name.c_str(), e.value);
+//
+// Thread safety: everything in this header is safe to use from any thread.
+// Span recording is per-thread buffered; registry handles are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbll::obs {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Returns a stable, human-readable name for a MetricKind.
+std::string_view ToString(MetricKind kind) noexcept;
+
+/// Monotonic event count. Handles returned by the registry stay valid for
+/// the process lifetime, so hot paths may cache the pointer.
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, cache size, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Streaming distribution summary: count, sum, min, max. Used for the
+/// per-stage wall times (sum/count = mean stage cost).
+class Histogram {
+ public:
+  void Record(std::uint64_t sample);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  ///< 0 when no sample was recorded
+  std::uint64_t max() const;
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One metric in a registry snapshot. `value` is the counter/gauge value; a
+/// histogram reports its sum there and fills count/min/max as well.
+struct SnapshotEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+/// Process-wide named-metric table. Metric handles are created on first use
+/// and never move or disappear; re-requesting a name returns the same
+/// handle. Requesting an existing name as a different kind aborts in debug
+/// builds and returns a detached dummy handle otherwise.
+class Registry {
+ public:
+  /// The process-wide default registry (leaky singleton: safe to use from
+  /// static initializers and atexit handlers).
+  static Registry& Default();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Enumerates every registered metric, sorted by name.
+  std::vector<SnapshotEntry> Snapshot() const;
+
+  /// Convenience: the value of one metric (0 when unknown). Histograms
+  /// report their sum, matching SnapshotEntry::value.
+  std::uint64_t Value(std::string_view name) const;
+
+  /// Flat "name = value" text rendering of Snapshot().
+  std::string FormatSnapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid). Test support;
+  /// production code should read deltas between snapshots instead.
+  void Reset();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // raw: the default registry intentionally leaks
+};
+
+// ---------------------------------------------------------------------------
+// Span tracer
+// ---------------------------------------------------------------------------
+
+/// One finished span. Timestamps are steady-clock nanoseconds; `tid` is a
+/// small dense id assigned per recording thread (0, 1, ...); `depth` is the
+/// span nesting level on that thread (0 = top level).
+struct SpanEvent {
+  const char* name = nullptr;  ///< static string passed to DBLL_TRACE_SPAN
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+namespace internal {
+/// Global tracing switch, read by every DBLL_TRACE_SPAN with a relaxed
+/// load. Implementation detail: toggle via Tracer, never directly.
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// Process-wide span collector. Enabled/disabled at runtime; recording
+/// threads append to thread-local buffers, so spans on distinct threads
+/// never contend.
+class Tracer {
+ public:
+  /// The process-wide default tracer (leaky singleton, like Registry).
+  static Tracer& Default();
+
+  void Enable();
+  void Disable();
+  bool enabled() const {
+    return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every recorded span (buffers of live threads stay registered).
+  void Clear();
+
+  /// Copies out every finished span, sorted by start time.
+  std::vector<SpanEvent> Events() const;
+
+  /// Records one pre-measured span on the calling thread's buffer; for
+  /// durations that cross threads (e.g. queue wait measured at dequeue).
+  /// No-op while tracing is disabled.
+  void RecordManual(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns);
+
+  /// chrome://tracing "trace event" JSON of every recorded span.
+  std::string ChromeTraceJson() const;
+
+  /// Per-name count/total/mean text table.
+  std::string TextSummary() const;
+
+  /// Writes ChromeTraceJson() to `path`; returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Steady-clock nanoseconds, the tracer's time base.
+  static std::uint64_t NowNs();
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  friend class SpanGuard;
+  struct Impl;
+  Impl* impl_;  // raw: the default tracer intentionally leaks
+};
+
+/// RAII span. Prefer the DBLL_TRACE_SPAN macro; `name` must be a string with
+/// static storage duration (the tracer stores the pointer, not a copy).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      Begin(name);
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) End();
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  void Begin(const char* name);  // out of line: touches thread-local state
+  void End();
+
+  const char* name_ = nullptr;  // non-null while the span is recording
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace dbll::obs
+
+#define DBLL_OBS_CONCAT_IMPL(a, b) a##b
+#define DBLL_OBS_CONCAT(a, b) DBLL_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (or otherwise static). Compiled out entirely when
+/// DBLL_OBS_DISABLE_TRACING is defined.
+#if defined(DBLL_OBS_DISABLE_TRACING)
+#define DBLL_TRACE_SPAN(name) ((void)0)
+#else
+#define DBLL_TRACE_SPAN(name) \
+  ::dbll::obs::SpanGuard DBLL_OBS_CONCAT(dbll_obs_span_, __LINE__)(name)
+#endif

@@ -115,12 +115,18 @@ class CompileService {
   CacheStats stats() const;
   std::size_t size() const;
 
+  /// Error of the most recently *finished failing* compile (ok when no
+  /// compile has failed yet). Per-request errors live on FunctionHandle;
+  /// this is the service-level view backing dbll_cache_last_error.
+  Error last_error() const;
+
   lift::Jit& jit() { return jit_; }
 
  private:
   struct Job {
     CompileRequest request;
     std::shared_ptr<FunctionHandle::Slot> slot;
+    std::uint64_t enqueue_ns = 0;  ///< for the cache.queue_wait span/metric
   };
   struct TableEntry {
     std::shared_ptr<FunctionHandle::Slot> slot;
@@ -143,6 +149,7 @@ class CompileService {
   int active_jobs_ = 0;
   bool stopping_ = false;
   CacheStats stats_;
+  Error last_error_;  // most recent failed compile; guarded by mutex_
   std::mutex jit_mutex_;  // serializes module installation into the JIT
   std::vector<std::thread> workers_;
 };

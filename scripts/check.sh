@@ -11,5 +11,11 @@ cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure
 "$BUILD/bench/fig_cache" --smoke
 echo "dbll: BENCH_cache.json written by fig_cache"
+# Traced smoke: the same cache workload with span tracing on must export a
+# structurally valid chrome://tracing JSON containing every pipeline stage
+# (see docs/observability.md and scripts/validate_trace.py).
+DBLL_TRACE="$BUILD/trace_smoke.json" DBLL_BENCH_REPS=2 \
+  "$BUILD/bench/fig_cache" --smoke > /dev/null
+python3 scripts/validate_trace.py "$BUILD/trace_smoke.json"
 DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 > /dev/null
 echo "dbll: build, tier-1 tests, and benchmark smoke all passed"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Structural validation of a dbll chrome://tracing export.
+
+Usage: validate_trace.py TRACE.json [--require NAME ...]
+
+Checks that the file is valid trace-event JSON, that every event is well
+formed (complete "X" events with non-negative microsecond timestamps and a
+thread id), that nesting depths are consistent per thread, and that the
+required pipeline span families are present. The default requirement set
+matches the acceptance criteria for a traced specialization run: decode,
+cfg, lift, optimize, jit, and cache install spans must all appear.
+
+Exit status 0 on success; 1 with a message on the first violation. Only the
+standard library is used, so the script runs anywhere CPython does.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+DEFAULT_REQUIRED = [
+    "cfg.decode",
+    "cfg.build",
+    "lift.function",
+    "optimize.pipeline",
+    "jit.compile",
+    "cache.install",
+]
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="chrome-trace JSON file to validate")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="span name that must be present (repeatable; "
+        "default: the pipeline acceptance set)",
+    )
+    args = parser.parse_args()
+    required = args.require if args.require is not None else DEFAULT_REQUIRED
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot parse {args.trace}: {error}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('top-level "traceEvents" array missing')
+    if not events:
+        return fail("trace contains no events")
+
+    names = collections.Counter()
+    per_thread_depths = collections.defaultdict(set)
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "tid", "pid"):
+            if key not in event:
+                return fail(f"event {i} lacks required key {key!r}")
+        if event["ph"] != "X":
+            return fail(f"event {i} has phase {event['ph']!r}, expected 'X'")
+        if event["ts"] < 0 or event["dur"] < 0:
+            return fail(f"event {i} has negative ts/dur")
+        names[event["name"]] += 1
+        depth = event.get("args", {}).get("depth")
+        if depth is not None:
+            if not isinstance(depth, int) or depth < 0:
+                return fail(f"event {i} has bad depth {depth!r}")
+            per_thread_depths[event["tid"]].add(depth)
+
+    missing = [name for name in required if names[name] == 0]
+    if missing:
+        return fail(
+            f"required span(s) missing: {', '.join(missing)}; "
+            f"present: {', '.join(sorted(names))}"
+        )
+
+    # Depths on a thread must start at 0 and be gap-free: a span at depth n
+    # is always enclosed by one at depth n-1.
+    for tid, depths in per_thread_depths.items():
+        if depths and sorted(depths) != list(range(max(depths) + 1)):
+            return fail(f"thread {tid} has gapped nesting depths {sorted(depths)}")
+
+    threads = {event["tid"] for event in events}
+    print(
+        f"validate_trace: OK: {sum(names.values())} spans, "
+        f"{len(names)} distinct names, {len(threads)} thread(s); "
+        f"all {len(required)} required span(s) present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,14 @@
 #include "dbll/dbrew/capi.h"
 
 #include <string>
+#include <vector>
 
 #include "dbll/dbrew/rewriter.h"
+#include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
 
-struct dbrew_rewriter {
-  explicit dbrew_rewriter(std::uint64_t function) : impl(function) {}
+struct dbll_rewriter {
+  explicit dbll_rewriter(std::uint64_t function) : impl(function) {}
   dbll::dbrew::Rewriter impl;
   std::string last_error;
 };
@@ -15,6 +17,7 @@ struct dbll_cache {
   explicit dbll_cache(dbll::runtime::CompileService::Options options)
       : impl(options) {}
   dbll::runtime::CompileService impl;
+  std::string last_error;  // backing store for dbll_cache_last_error
 };
 
 struct dbll_cache_req {
@@ -32,67 +35,126 @@ struct dbll_cache_req {
   }
 };
 
+struct dbll_obs_snapshot {
+  std::vector<dbll::obs::SnapshotEntry> entries;
+};
+
 extern "C" {
 
-dbrew_rewriter* dbrew_new(void* func) {
-  return new dbrew_rewriter(reinterpret_cast<std::uint64_t>(func));
+/* --- dbll_rewriter_*: canonical rewriter surface ------------------------- */
+
+dbll_rewriter* dbll_rewriter_new(void* func) {
+  return new dbll_rewriter(reinterpret_cast<std::uint64_t>(func));
 }
 
-void dbrew_setpar(dbrew_rewriter* r, int index, uint64_t value) {
+void dbll_rewriter_setpar(dbll_rewriter* r, int index, uint64_t value) {
   r->impl.SetParam(index - 1, value);  // paper examples are 1-based
 }
 
-void dbrew_setmem(dbrew_rewriter* r, const void* start, const void* end) {
+void dbll_rewriter_setmem(dbll_rewriter* r, const void* start,
+                          const void* end) {
   r->impl.SetMemRange(reinterpret_cast<std::uint64_t>(start),
                       reinterpret_cast<std::uint64_t>(end));
 }
 
-void dbrew_set_buffer_size(dbrew_rewriter* r, uint64_t bytes) {
+void dbll_rewriter_set_buffer_size(dbll_rewriter* r, uint64_t bytes) {
   r->impl.config().code_buffer_size = bytes;
 }
 
-void dbrew_set_verbose(dbrew_rewriter* r, int verbose) {
+void dbll_rewriter_set_verbose(dbll_rewriter* r, int verbose) {
   r->impl.config().verbose = verbose != 0;
 }
 
-void* dbrew_rewrite(dbrew_rewriter* r) {
+void* dbll_rewriter_rewrite(dbll_rewriter* r) {
   const std::uint64_t entry = r->impl.RewriteOrOriginal();
   r->last_error = r->impl.last_error().ok() ? std::string()
                                             : r->impl.last_error().Format();
   return reinterpret_cast<void*>(entry);
 }
 
-const char* dbrew_last_error(dbrew_rewriter* r) {
+const char* dbll_rewriter_last_error(dbll_rewriter* r) {
   return r->last_error.c_str();
 }
 
-void dbrew_set_unroll_cap(dbrew_rewriter* r, uint64_t cap) {
+void dbll_rewriter_set_unroll_cap(dbll_rewriter* r, uint64_t cap) {
   r->impl.config().unroll_cap = cap;
 }
 
-void dbrew_set_inline_depth(dbrew_rewriter* r, int depth) {
+void dbll_rewriter_set_inline_depth(dbll_rewriter* r, int depth) {
   r->impl.config().max_inline_depth = depth;
 }
 
-uint64_t dbrew_stat_emitted(dbrew_rewriter* r) {
+uint64_t dbll_rewriter_stat_emitted(dbll_rewriter* r) {
   return r->impl.stats().emitted_instrs;
 }
 
-uint64_t dbrew_stat_folded(dbrew_rewriter* r) {
+uint64_t dbll_rewriter_stat_folded(dbll_rewriter* r) {
   return r->impl.stats().folded_instrs;
 }
 
-uint64_t dbrew_stat_inlined_calls(dbrew_rewriter* r) {
+uint64_t dbll_rewriter_stat_inlined_calls(dbll_rewriter* r) {
   return r->impl.stats().inlined_calls;
 }
 
-uint64_t dbrew_stat_code_bytes(dbrew_rewriter* r) {
+uint64_t dbll_rewriter_stat_code_bytes(dbll_rewriter* r) {
   return r->impl.stats().code_bytes;
 }
 
-void dbrew_free(dbrew_rewriter* r) { delete r; }
+void dbll_rewriter_free(dbll_rewriter* r) { delete r; }
 
-// --- dbll_cache_*: specialization cache + async compile service ------------
+/* --- dbrew_*: deprecated aliases ------------------------------------------ */
+
+dbrew_rewriter* dbrew_new(void* func) { return dbll_rewriter_new(func); }
+
+void dbrew_setpar(dbrew_rewriter* r, int index, uint64_t value) {
+  dbll_rewriter_setpar(r, index, value);
+}
+
+void dbrew_setmem(dbrew_rewriter* r, const void* start, const void* end) {
+  dbll_rewriter_setmem(r, start, end);
+}
+
+void dbrew_set_buffer_size(dbrew_rewriter* r, uint64_t bytes) {
+  dbll_rewriter_set_buffer_size(r, bytes);
+}
+
+void dbrew_set_verbose(dbrew_rewriter* r, int verbose) {
+  dbll_rewriter_set_verbose(r, verbose);
+}
+
+void* dbrew_rewrite(dbrew_rewriter* r) { return dbll_rewriter_rewrite(r); }
+
+const char* dbrew_last_error(dbrew_rewriter* r) {
+  return dbll_rewriter_last_error(r);
+}
+
+void dbrew_set_unroll_cap(dbrew_rewriter* r, uint64_t cap) {
+  dbll_rewriter_set_unroll_cap(r, cap);
+}
+
+void dbrew_set_inline_depth(dbrew_rewriter* r, int depth) {
+  dbll_rewriter_set_inline_depth(r, depth);
+}
+
+uint64_t dbrew_stat_emitted(dbrew_rewriter* r) {
+  return dbll_rewriter_stat_emitted(r);
+}
+
+uint64_t dbrew_stat_folded(dbrew_rewriter* r) {
+  return dbll_rewriter_stat_folded(r);
+}
+
+uint64_t dbrew_stat_inlined_calls(dbrew_rewriter* r) {
+  return dbll_rewriter_stat_inlined_calls(r);
+}
+
+uint64_t dbrew_stat_code_bytes(dbrew_rewriter* r) {
+  return dbll_rewriter_stat_code_bytes(r);
+}
+
+void dbrew_free(dbrew_rewriter* r) { dbll_rewriter_free(r); }
+
+/* --- dbll_cache_*: specialization cache + async compile service ----------- */
 
 dbll_cache* dbll_cache_new(int workers, uint64_t capacity) {
   dbll::runtime::CompileService::Options options;
@@ -138,7 +200,7 @@ int dbll_cache_ready(dbll_cache_req* q) {
   return q->handle.specialized() ? 1 : 0;
 }
 
-const char* dbll_cache_req_error(dbll_cache_req* q) {
+const char* dbll_cache_req_last_error(dbll_cache_req* q) {
   using State = dbll::runtime::FunctionHandle::State;
   if (q->submitted && q->handle.state() == State::kFailed) {
     q->last_error = q->handle.error().Format();
@@ -148,7 +210,17 @@ const char* dbll_cache_req_error(dbll_cache_req* q) {
   return q->last_error.c_str();
 }
 
+const char* dbll_cache_req_error(dbll_cache_req* q) {
+  return dbll_cache_req_last_error(q);
+}
+
 void dbll_cache_req_free(dbll_cache_req* q) { delete q; }
+
+const char* dbll_cache_last_error(dbll_cache* c) {
+  const dbll::Error error = c->impl.last_error();
+  c->last_error = error.ok() ? std::string() : error.Format();
+  return c->last_error.c_str();
+}
 
 uint64_t dbll_cache_stat_hits(dbll_cache* c) {
   const auto stats = c->impl.stats();
@@ -168,5 +240,47 @@ uint64_t dbll_cache_stat_compiles(dbll_cache* c) {
 uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
   return c->impl.stats().stage_total.total_ns();
 }
+
+/* --- dbll_obs_*: observability -------------------------------------------- */
+
+void dbll_obs_trace_enable(void) { dbll::obs::Tracer::Default().Enable(); }
+
+void dbll_obs_trace_disable(void) { dbll::obs::Tracer::Default().Disable(); }
+
+int dbll_obs_trace_enabled(void) {
+  return dbll::obs::Tracer::Default().enabled() ? 1 : 0;
+}
+
+void dbll_obs_trace_clear(void) { dbll::obs::Tracer::Default().Clear(); }
+
+int dbll_obs_trace_write(const char* path) {
+  return dbll::obs::Tracer::Default().WriteChromeTrace(path) ? 0 : 1;
+}
+
+uint64_t dbll_obs_value(const char* name) {
+  return dbll::obs::Registry::Default().Value(name);
+}
+
+dbll_obs_snapshot* dbll_obs_snapshot_new(void) {
+  auto* s = new dbll_obs_snapshot;
+  s->entries = dbll::obs::Registry::Default().Snapshot();
+  return s;
+}
+
+uint64_t dbll_obs_snapshot_size(const dbll_obs_snapshot* s) {
+  return s->entries.size();
+}
+
+const char* dbll_obs_snapshot_name(const dbll_obs_snapshot* s, uint64_t i) {
+  if (i >= s->entries.size()) return nullptr;
+  return s->entries[static_cast<std::size_t>(i)].name.c_str();
+}
+
+uint64_t dbll_obs_snapshot_value(const dbll_obs_snapshot* s, uint64_t i) {
+  if (i >= s->entries.size()) return 0;
+  return s->entries[static_cast<std::size_t>(i)].value;
+}
+
+void dbll_obs_snapshot_free(dbll_obs_snapshot* s) { delete s; }
 
 }  // extern "C"

@@ -3,10 +3,40 @@
 #include <chrono>
 #include <cstdio>
 
+#include "dbll/obs/obs.h"
 #include "emitter.h"
 #include "emulator.h"
 
 namespace dbll::dbrew {
+
+namespace {
+
+/// Mirrors one successful rewrite's Stats into the process-wide metrics
+/// registry (cumulative across every Rewriter in the process). Handles are
+/// resolved once; the adds are relaxed atomics.
+void PublishStats(const Rewriter::Stats& stats) {
+  namespace obs = dbll::obs;
+  obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter& rewrites = registry.GetCounter("rewriter.rewrites");
+  static obs::Counter& emulated =
+      registry.GetCounter("rewriter.emulated_instrs");
+  static obs::Counter& emitted = registry.GetCounter("rewriter.emitted_instrs");
+  static obs::Counter& folded = registry.GetCounter("rewriter.folded_instrs");
+  static obs::Counter& inlined = registry.GetCounter("rewriter.inlined_calls");
+  static obs::Counter& blocks = registry.GetCounter("rewriter.blocks");
+  static obs::Counter& code_bytes = registry.GetCounter("rewriter.code_bytes");
+  static obs::Histogram& wall = registry.GetHistogram("rewriter.rewrite_ns");
+  rewrites.Add(1);
+  emulated.Add(stats.emulated_instrs);
+  emitted.Add(stats.emitted_instrs);
+  folded.Add(stats.folded_instrs);
+  inlined.Add(stats.inlined_calls);
+  blocks.Add(stats.blocks);
+  code_bytes.Add(stats.code_bytes);
+  wall.Record(stats.rewrite_ns);
+}
+
+}  // namespace
 
 Rewriter::Rewriter(std::uint64_t function) : function_(function) {}
 
@@ -25,6 +55,7 @@ void Rewriter::SetMemRange(std::uint64_t start, std::uint64_t end) {
 }
 
 Expected<std::uint64_t> Rewriter::Rewrite() {
+  DBLL_TRACE_SPAN("rewrite");
   const auto rewrite_start = std::chrono::steady_clock::now();
   const auto record_time = [&] {
     stats_.rewrite_ns = static_cast<std::uint64_t>(
@@ -35,6 +66,20 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
   last_error_ = Error();
   stats_ = Stats{};
 
+  // The C++ surface is 0-based (register parameters rdi..r9); the C
+  // dbrew_setpar/dbll_rewriter_setpar convention is 1-based.
+  for (const auto& [index, value] : fixed_params_) {
+    (void)value;
+    if (index < 0 || index > 5) {
+      last_error_ = Error(
+          ErrorKind::kBadConfig,
+          "parameter index " + std::to_string(index) +
+              " out of range: Rewriter::SetParam is 0-based (0..5); the C "
+              "APIs dbrew_setpar/dbll_rewriter_setpar are 1-based (1..6)");
+      return last_error_;
+    }
+  }
+
   DBLL_TRY(CodeBuffer buffer,
            CodeBuffer::AllocateNear(function_, config_.code_buffer_size));
   buffer_ = std::move(buffer);
@@ -42,6 +87,8 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
   CodeEmitter emitter;
   Emulator emulator(function_, config_, fixed_params_, fixed_ranges_, emitter);
   {
+    // Decode + meta-emulation: the emulator drives the decoder directly.
+    DBLL_TRACE_SPAN("rewrite.emulate");
     Status status = emulator.Run();
     if (!status.ok()) {
       last_error_ = status.error();
@@ -50,14 +97,17 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
   }
   stats_ = emulator.stats();
 
-  auto entry = emitter.Layout(buffer_);
-  if (!entry) {
-    last_error_ = entry.error();
-    return std::move(entry).error();
-  }
-  stats_.code_bytes = buffer_.used();
-
+  std::uint64_t entry_address = 0;
   {
+    DBLL_TRACE_SPAN("rewrite.encode");
+    auto entry = emitter.Layout(buffer_);
+    if (!entry) {
+      last_error_ = entry.error();
+      return std::move(entry).error();
+    }
+    entry_address = *entry;
+    stats_.code_bytes = buffer_.used();
+
     Status status = buffer_.Seal();
     if (!status.ok()) {
       last_error_ = status.error();
@@ -65,7 +115,8 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
     }
   }
   record_time();
-  return *entry;
+  PublishStats(stats_);
+  return entry_address;
 }
 
 std::uint64_t Rewriter::RewriteOrOriginal() {

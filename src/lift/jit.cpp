@@ -7,6 +7,7 @@
 
 #include <mutex>
 
+#include "dbll/obs/obs.h"
 #include "jit_internal.h"
 
 namespace dbll::lift {
@@ -55,6 +56,8 @@ Jit::Jit() : impl_(std::make_unique<Impl>()) {
 Jit::~Jit() = default;
 
 Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle) {
+  DBLL_TRACE_SPAN("jit.compile");
+  const std::uint64_t jit_start_ns = dbll::obs::Tracer::NowNs();
   namespace orc = llvm::orc;
   Jit::Impl& impl = jit.impl();
   if (impl.lljit == nullptr) {
@@ -88,6 +91,9 @@ Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle) {
     return Error(ErrorKind::kJit,
                  "symbol lookup failed: " + llvm::toString(symbol.takeError()));
   }
+  dbll::obs::Registry::Default()
+      .GetHistogram("jit.wall_ns")
+      .Record(dbll::obs::Tracer::NowNs() - jit_start_ns);
   return static_cast<std::uint64_t>(symbol->getAddress());
 }
 

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cinttypes>
 
+#include "dbll/obs/obs.h"
 #include "jit_internal.h"
 #include "lift_internal.h"
 
@@ -38,7 +39,11 @@ namespace {
 Expected<std::pair<llvm::CallInst*, unsigned>> FindWrapperSlot(
     ModuleBundle& bundle, int index) {
   if (index < 0 || static_cast<std::size_t>(index) >= bundle.signature.args.size()) {
-    return Error(ErrorKind::kBadConfig, "parameter index out of range");
+    return Error(
+        ErrorKind::kBadConfig,
+        "parameter index " + std::to_string(index) +
+            " out of range: the C++ specialization APIs are 0-based; the C "
+            "APIs dbll_cache_req_setpar/dbrew_setpar are 1-based");
   }
   llvm::Function* wrapper = bundle.module->getFunction(bundle.wrapper_name);
   if (wrapper == nullptr || wrapper->empty()) {
@@ -80,13 +85,24 @@ Expected<std::pair<llvm::CallInst*, unsigned>> FindWrapperSlot(
 }  // namespace
 
 Status LiftedFunction::SpecializeParam(int index, std::uint64_t value) {
+  DBLL_TRACE_SPAN("lift.specialize");
   ModuleBundle& bundle = impl_->bundle;
   if (bundle.optimized) {
     return Error(ErrorKind::kBadConfig,
                  "cannot specialize after optimization");
   }
-  if (bundle.signature.args[static_cast<std::size_t>(
-          std::max(index, 0))] != ArgKind::kInt) {
+  if (index < 0 ||
+      static_cast<std::size_t>(index) >= bundle.signature.args.size()) {
+    return Error(
+        ErrorKind::kBadConfig,
+        "parameter index " + std::to_string(index) +
+            " out of range: SpecializeParam is 0-based (0.." +
+            std::to_string(
+                static_cast<int>(bundle.signature.args.size()) - 1) +
+            "); the C APIs dbll_cache_req_setpar/dbrew_setpar are 1-based");
+  }
+  if (bundle.signature.args[static_cast<std::size_t>(index)] !=
+      ArgKind::kInt) {
     return Error(ErrorKind::kBadConfig,
                  "only integer parameters can be fixed to a value");
   }
@@ -100,6 +116,7 @@ Status LiftedFunction::SpecializeParam(int index, std::uint64_t value) {
 
 Status LiftedFunction::SpecializeParamToConstMem(int index, const void* data,
                                                  std::size_t size) {
+  DBLL_TRACE_SPAN("lift.specialize");
   ModuleBundle& bundle = impl_->bundle;
   if (bundle.optimized) {
     return Error(ErrorKind::kBadConfig,
@@ -171,6 +188,8 @@ Lifter::~Lifter() = default;
 Expected<LiftedFunction> Lifter::LiftElementAsLine(
     std::uint64_t element_kernel, long stride, long col_begin, long col_end,
     std::string name) {
+  DBLL_TRACE_SPAN("lift.function");
+  const std::uint64_t start_ns = obs::Tracer::NowNs();
   Signature sig = Signature::Ints(4, RetKind::kVoid);
   auto impl = std::make_unique<LiftedFunction::Impl>();
   ModuleBundle& bundle = impl->bundle;
@@ -186,11 +205,16 @@ Expected<LiftedFunction> Lifter::LiftElementAsLine(
   bundle.wrapper_name = name;
   DBLL_TRY_STATUS(
       LiftLineLoopInto(bundle, element_kernel, stride, col_begin, col_end));
+  obs::Registry::Default()
+      .GetHistogram("lift.wall_ns")
+      .Record(obs::Tracer::NowNs() - start_ns);
   return LiftedFunction(std::move(impl));
 }
 
 Expected<LiftedFunction> Lifter::Lift(std::uint64_t address,
                                       const Signature& sig, std::string name) {
+  DBLL_TRACE_SPAN("lift.function");
+  const std::uint64_t start_ns = obs::Tracer::NowNs();
   auto impl = std::make_unique<LiftedFunction::Impl>();
   ModuleBundle& bundle = impl->bundle;
   bundle.context = std::make_unique<llvm::LLVMContext>();
@@ -215,6 +239,9 @@ Expected<LiftedFunction> Lifter::Lift(std::uint64_t address,
   bundle.wrapper_name = name;
 
   DBLL_TRY_STATUS(LiftFunctionInto(bundle, address));
+  obs::Registry::Default()
+      .GetHistogram("lift.wall_ns")
+      .Record(obs::Tracer::NowNs() - start_ns);
   return LiftedFunction(std::move(impl));
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "dbll/obs/obs.h"
 #include "lift_internal.h"
 
 namespace dbll::lift {
@@ -99,6 +100,8 @@ class ReusablePipeline {
 
 Status RunPipeline(ModuleBundle& bundle) {
   if (bundle.optimized) return Status::Ok();
+  DBLL_TRACE_SPAN("optimize.pipeline");
+  const std::uint64_t start_ns = obs::Tracer::NowNs();
 
   // thread_local keeps the compile service's workers lock-free here; the
   // handful of (level, preset) combos in use bounds the cache size.
@@ -108,11 +111,19 @@ Status RunPipeline(ModuleBundle& bundle) {
   auto key = std::make_pair(bundle.config.opt_level, bundle.config.pass_preset);
   std::unique_ptr<ReusablePipeline>& slot = pipelines[key];
   if (slot == nullptr) {
+    // One-time per (thread, level, preset): PassBuilder + analysis setup.
+    DBLL_TRACE_SPAN("optimize.setup");
     slot = std::make_unique<ReusablePipeline>(bundle.config.opt_level,
                                               bundle.config.pass_preset);
   }
-  DBLL_TRY_STATUS(slot->Run(*bundle.module));
+  {
+    DBLL_TRACE_SPAN("optimize.run");
+    DBLL_TRY_STATUS(slot->Run(*bundle.module));
+  }
   bundle.optimized = true;
+  obs::Registry::Default()
+      .GetHistogram("opt.wall_ns")
+      .Record(obs::Tracer::NowNs() - start_ns);
   return Status::Ok();
 }
 

@@ -1,0 +1,179 @@
+// dbll -- the metrics registry (see include/dbll/obs/obs.h).
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+#include "dbll/obs/obs.h"
+
+namespace dbll::obs {
+
+std::string_view ToString(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void Histogram::Record(std::uint64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t raw = min_.load(std::memory_order_relaxed);
+  return raw == ~0ULL ? 0 : raw;
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  using Metric = std::variant<Counter, Gauge, Histogram>;
+
+  mutable std::mutex mutex;
+  // std::map: node-based, so metric addresses are stable across inserts
+  // (handles are cached by hot paths) and Snapshot() comes out name-sorted.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics;
+
+  // Mis-kinded re-requests return these detached dummies instead of
+  // corrupting the real metric.
+  Counter orphan_counter;
+  Gauge orphan_gauge;
+  Histogram orphan_histogram;
+
+  template <typename T>
+  T& Get(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      it = metrics.emplace(std::string(name),
+                           std::make_unique<Metric>(std::in_place_type<T>))
+               .first;
+    }
+    T* metric = std::get_if<T>(it->second.get());
+    assert(metric != nullptr && "metric re-requested as a different kind");
+    if (metric == nullptr) {
+      if constexpr (std::is_same_v<T, Counter>) return orphan_counter;
+      if constexpr (std::is_same_v<T, Gauge>) return orphan_gauge;
+      if constexpr (std::is_same_v<T, Histogram>) return orphan_histogram;
+    }
+    return *metric;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry;  // leak: usable during atexit
+  return *instance;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  return impl_->Get<Counter>(name);
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  return impl_->Get<Gauge>(name);
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  return impl_->Get<Histogram>(name);
+}
+
+std::vector<SnapshotEntry> Registry::Snapshot() const {
+  std::vector<SnapshotEntry> out;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.reserve(impl_->metrics.size());
+  for (const auto& [name, metric] : impl_->metrics) {
+    SnapshotEntry entry;
+    entry.name = name;
+    if (const Counter* c = std::get_if<Counter>(metric.get())) {
+      entry.kind = MetricKind::kCounter;
+      entry.value = c->value();
+    } else if (const Gauge* g = std::get_if<Gauge>(metric.get())) {
+      entry.kind = MetricKind::kGauge;
+      entry.value = static_cast<std::uint64_t>(g->value());
+    } else if (const Histogram* h = std::get_if<Histogram>(metric.get())) {
+      entry.kind = MetricKind::kHistogram;
+      entry.value = h->sum();
+      entry.count = h->count();
+      entry.min = h->min();
+      entry.max = h->max();
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::uint64_t Registry::Value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) return 0;
+  if (const Counter* c = std::get_if<Counter>(it->second.get())) {
+    return c->value();
+  }
+  if (const Gauge* g = std::get_if<Gauge>(it->second.get())) {
+    return static_cast<std::uint64_t>(g->value());
+  }
+  if (const Histogram* h = std::get_if<Histogram>(it->second.get())) {
+    return h->sum();
+  }
+  return 0;
+}
+
+std::string Registry::FormatSnapshot() const {
+  std::string out;
+  for (const SnapshotEntry& e : Snapshot()) {
+    char line[256];
+    if (e.kind == MetricKind::kHistogram) {
+      const std::uint64_t mean = e.count > 0 ? e.value / e.count : 0;
+      std::snprintf(line, sizeof(line),
+                    "%-40s %12llu  (count %llu, mean %llu, min %llu, max "
+                    "%llu)\n",
+                    e.name.c_str(), static_cast<unsigned long long>(e.value),
+                    static_cast<unsigned long long>(e.count),
+                    static_cast<unsigned long long>(mean),
+                    static_cast<unsigned long long>(e.min),
+                    static_cast<unsigned long long>(e.max));
+    } else {
+      std::snprintf(line, sizeof(line), "%-40s %12llu\n", e.name.c_str(),
+                    static_cast<unsigned long long>(e.value));
+    }
+    out += line;
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, metric] : impl_->metrics) {
+    if (Counter* c = std::get_if<Counter>(metric.get())) {
+      c->value_.store(0, std::memory_order_relaxed);
+    } else if (Gauge* g = std::get_if<Gauge>(metric.get())) {
+      g->value_.store(0, std::memory_order_relaxed);
+    } else if (Histogram* h = std::get_if<Histogram>(metric.get())) {
+      h->count_.store(0, std::memory_order_relaxed);
+      h->sum_.store(0, std::memory_order_relaxed);
+      h->min_.store(~0ULL, std::memory_order_relaxed);
+      h->max_.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dbll::obs

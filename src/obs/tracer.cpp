@@ -1,0 +1,260 @@
+// dbll -- the span tracer (see include/dbll/obs/obs.h).
+//
+// Recording path: each thread owns a ThreadBuffer (registered once, kept
+// alive past thread exit by shared_ptr) and appends finished spans under its
+// own mutex -- threads never contend with each other, only with an exporting
+// reader. The global enable flag is the only cross-thread state a disabled
+// span ever touches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dbll/obs/obs.h"
+
+namespace dbll::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanEvent> events;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // only touched by the owning thread
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mutex;  // guards the buffer list and tid assignment
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+
+  ThreadBuffer& LocalBuffer() {
+    thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+      auto buffer = std::make_shared<ThreadBuffer>();
+      std::lock_guard<std::mutex> lock(mutex);
+      buffer->tid = next_tid++;
+      buffers.push_back(buffer);
+      return buffer;
+    }();
+    return *local;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::Default() {
+  static Tracer* instance = new Tracer;  // leak: usable during atexit
+  return *instance;
+}
+
+std::uint64_t Tracer::NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::Enable() {
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<SpanEvent> Tracer::Events() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+void Tracer::RecordManual(const char* name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = impl_->LocalBuffer();
+  SpanEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = buffer.tid;
+  event.depth = buffer.depth;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+void SpanGuard::Begin(const char* name) {
+  Tracer& tracer = Tracer::Default();
+  ThreadBuffer& buffer = tracer.impl_->LocalBuffer();
+  name_ = name;
+  depth_ = buffer.depth++;
+  start_ns_ = Tracer::NowNs();
+}
+
+void SpanGuard::End() {
+  const std::uint64_t end_ns = Tracer::NowNs();
+  Tracer& tracer = Tracer::Default();
+  ThreadBuffer& buffer = tracer.impl_->LocalBuffer();
+  // Unbalanced Enable() between Begin and a nested Begin cannot underflow:
+  // depth_ was captured from this thread's counter at Begin.
+  buffer.depth = depth_;
+  SpanEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  event.tid = buffer.tid;
+  event.depth = depth_;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(event);
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ChromeTraceJson() const {
+  // Trace-event format: one complete ("X") event per span, timestamps in
+  // microseconds. chrome://tracing / Perfetto reconstruct the nesting from
+  // the ts/dur intervals per (pid, tid) lane.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : Events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, e.name);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"args\":{\"depth\":%u}}",
+                  e.tid, static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.depth);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+std::string Tracer::TextSummary() const {
+  struct Row {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  // std::map for deterministic (name-sorted) output.
+  std::map<std::string, Row> rows;
+  for (const SpanEvent& e : Events()) {
+    Row& row = rows[e.name];
+    ++row.count;
+    row.total_ns += e.dur_ns;
+  }
+  std::string out =
+      "span                                        count      total_ns       "
+      "mean_ns\n";
+  for (const auto& [name, row] : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-40s %8llu %13llu %13llu\n",
+                  name.c_str(), static_cast<unsigned long long>(row.count),
+                  static_cast<unsigned long long>(row.total_ns),
+                  static_cast<unsigned long long>(
+                      row.count > 0 ? row.total_ns / row.count : 0));
+    out += line;
+  }
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok && written != json.size()) std::fclose(file);
+  return ok;
+}
+
+namespace {
+
+/// DBLL_TRACE=path enables tracing for the whole process and writes the
+/// chrome trace at exit; DBLL_TRACE_SUMMARY=path-or-"stderr" writes the flat
+/// text summary. Runs at load time of any binary linking dbll_obs.
+struct EnvActivation {
+  EnvActivation() {
+    const char* trace = std::getenv("DBLL_TRACE");
+    const char* summary = std::getenv("DBLL_TRACE_SUMMARY");
+    if (trace == nullptr && summary == nullptr) return;
+    Tracer::Default().Enable();
+    std::atexit([] {
+      const Tracer& tracer = Tracer::Default();
+      if (const char* path = std::getenv("DBLL_TRACE")) {
+        if (!tracer.WriteChromeTrace(path)) {
+          std::fprintf(stderr, "dbll: cannot write DBLL_TRACE file %s\n",
+                       path);
+        }
+      }
+      if (const char* path = std::getenv("DBLL_TRACE_SUMMARY")) {
+        const std::string text = tracer.TextSummary();
+        if (std::string_view(path) == "stderr") {
+          std::fputs(text.c_str(), stderr);
+        } else if (std::FILE* file = std::fopen(path, "w")) {
+          std::fwrite(text.data(), 1, text.size(), file);
+          std::fclose(file);
+        } else {
+          std::fprintf(stderr,
+                       "dbll: cannot write DBLL_TRACE_SUMMARY file %s\n",
+                       path);
+        }
+      }
+    });
+  }
+};
+
+EnvActivation g_env_activation;
+
+}  // namespace
+
+}  // namespace dbll::obs

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <utility>
 
+#include "dbll/obs/obs.h"
+
 namespace dbll::runtime {
 
 namespace {
@@ -16,6 +18,44 @@ std::uint64_t NowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Process-wide mirror of CacheStats in the obs registry: the service
+/// increments these at the same points as its per-service stats_, so a
+/// Registry snapshot enumerates the cache alongside every other subsystem.
+/// Handles are resolved once (registry pointers are stable).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& coalesced;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& failures;
+  obs::Counter& compiles;
+  obs::Counter& lift_ns;
+  obs::Counter& opt_ns;
+  obs::Counter& jit_ns;
+  obs::Counter& installs;
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& install_ns;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* instance = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return new CacheMetrics{r.GetCounter("cache.hits"),
+                              r.GetCounter("cache.coalesced"),
+                              r.GetCounter("cache.misses"),
+                              r.GetCounter("cache.evictions"),
+                              r.GetCounter("cache.failures"),
+                              r.GetCounter("cache.compiles"),
+                              r.GetCounter("cache.lift_ns"),
+                              r.GetCounter("cache.opt_ns"),
+                              r.GetCounter("cache.jit_ns"),
+                              r.GetCounter("cache.installs"),
+                              r.GetHistogram("cache.queue_wait_ns"),
+                              r.GetHistogram("cache.install_ns")};
+    }();
+    return *instance;
+  }
+};
 
 }  // namespace
 
@@ -120,19 +160,22 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
           it->second.slot->state.load(std::memory_order_acquire));
       if (state == FunctionHandle::State::kPending) {
         ++stats_.coalesced;
+        CacheMetrics::Get().coalesced.Add(1);
       } else {
         ++stats_.hits;
+        CacheMetrics::Get().hits.Add(1);
       }
       return FunctionHandle(it->second.slot);
     }
     ++stats_.misses;
+    CacheMetrics::Get().misses.Add(1);
     slot = std::make_shared<FunctionHandle::Slot>();
     slot->generic = request.address;
     slot->target.store(request.address, std::memory_order_release);
     lru_.push_front(key);
     table_.emplace(std::move(key), TableEntry{slot, lru_.begin()});
     EvictIfNeeded();
-    queue_.push_back(Job{request, slot});
+    queue_.push_back(Job{request, slot, NowNs()});
   }
   work_cv_.notify_one();
   return FunctionHandle(slot);
@@ -156,6 +199,7 @@ void CompileService::WaitIdle() {
 void CompileService::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.evictions += table_.size();
+  CacheMetrics::Get().evictions.Add(table_.size());
   table_.clear();
   lru_.clear();
 }
@@ -168,6 +212,11 @@ CacheStats CompileService::stats() const {
 std::size_t CompileService::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return table_.size();
+}
+
+Error CompileService::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
 }
 
 void CompileService::EvictIfNeeded() {
@@ -188,6 +237,7 @@ void CompileService::EvictIfNeeded() {
     table_.erase(found);
     it = lru_.erase(it);
     ++stats_.evictions;
+    CacheMetrics::Get().evictions.Add(1);
   }
 }
 
@@ -212,9 +262,19 @@ void CompileService::WorkerLoop() {
 }
 
 void CompileService::CompileOne(Job& job) {
+  DBLL_TRACE_SPAN("cache.compile");
   const CompileRequest& request = job.request;
   StageTimes times;
   Error failure;
+
+  // How long the job sat in the queue behind other compiles. The interval
+  // starts on the requesting thread and ends here on the worker, so it is
+  // recorded manually rather than with an RAII span.
+  const std::uint64_t dequeue_ns = NowNs();
+  const std::uint64_t queue_wait_ns = dequeue_ns - job.enqueue_ns;
+  obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
+                                      queue_wait_ns);
+  CacheMetrics::Get().queue_wait_ns.Record(queue_wait_ns);
 
   // Stage 1: decode + lift (+ IR-level specialization, which mutates the
   // pre-optimization module and is therefore part of this stage).
@@ -268,11 +328,28 @@ void CompileService::CompileOne(Job& job) {
     stats_.stage_total.lift_ns += times.lift_ns;
     stats_.stage_total.opt_ns += times.opt_ns;
     stats_.stage_total.jit_ns += times.jit_ns;
-    if (!failure.ok()) ++stats_.failures;
+    if (!failure.ok()) {
+      ++stats_.failures;
+      last_error_ = failure;
+    }
   }
-  job.slot->Finish(failure.ok() ? FunctionHandle::State::kSpecialized
-                                : FunctionHandle::State::kFailed,
-                   entry, std::move(failure), times);
+  CacheMetrics& metrics = CacheMetrics::Get();
+  metrics.compiles.Add(1);
+  metrics.lift_ns.Add(times.lift_ns);
+  metrics.opt_ns.Add(times.opt_ns);
+  metrics.jit_ns.Add(times.jit_ns);
+  if (!failure.ok()) metrics.failures.Add(1);
+
+  {
+    // The swap-install: publishing the terminal state and waking waiters.
+    DBLL_TRACE_SPAN("cache.install");
+    const std::uint64_t install_start_ns = NowNs();
+    job.slot->Finish(failure.ok() ? FunctionHandle::State::kSpecialized
+                                  : FunctionHandle::State::kFailed,
+                     entry, std::move(failure), times);
+    metrics.installs.Add(1);
+    metrics.install_ns.Record(NowNs() - install_start_ns);
+  }
 }
 
 }  // namespace dbll::runtime

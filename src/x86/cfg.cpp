@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dbll/obs/obs.h"
 #include "dbll/x86/decoder.h"
 
 namespace dbll::x86 {
@@ -41,6 +42,7 @@ class ByteSource {
 
 Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
                         const CfgOptions& options) {
+  DBLL_TRACE_SPAN("cfg.build");
   Cfg cfg;
   cfg.entry = entry;
 
@@ -50,53 +52,56 @@ Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
   std::set<std::uint64_t> call_targets;
   std::vector<std::uint64_t> worklist{entry};
 
-  while (!worklist.empty()) {
-    std::uint64_t address = worklist.back();
-    worklist.pop_back();
+  {
+    DBLL_TRACE_SPAN("cfg.decode");
+    while (!worklist.empty()) {
+      std::uint64_t address = worklist.back();
+      worklist.pop_back();
 
-    while (true) {
-      if (instrs.count(address) != 0) break;  // already decoded from here
-      if (instrs.size() >= options.max_instructions) {
-        return Error(ErrorKind::kResourceLimit,
-                     "instruction limit exceeded while decoding function",
-                     address);
-      }
-      DBLL_TRY(Instr instr, source.Decode(address));
-      instrs.emplace(address, instr);
+      while (true) {
+        if (instrs.count(address) != 0) break;  // already decoded from here
+        if (instrs.size() >= options.max_instructions) {
+          return Error(ErrorKind::kResourceLimit,
+                       "instruction limit exceeded while decoding function",
+                       address);
+        }
+        DBLL_TRY(Instr instr, source.Decode(address));
+        instrs.emplace(address, instr);
 
-      switch (instr.mnemonic) {
-        case Mnemonic::kJmp:
-          if (instr.op_count != 0 && !instr.ops[0].is_imm()) {
-            return Error(ErrorKind::kUnsupported,
-                         "indirect jumps are not supported", address);
-          }
-          if (!source.Contains(instr.target)) {
-            return Error(ErrorKind::kUnsupported,
-                         "jump target outside of function buffer", address);
-          }
-          leaders.insert(instr.target);
-          worklist.push_back(instr.target);
-          break;
-        case Mnemonic::kJcc:
-          if (!source.Contains(instr.target)) {
-            return Error(ErrorKind::kUnsupported,
-                         "jump target outside of function buffer", address);
-          }
-          leaders.insert(instr.target);
-          worklist.push_back(instr.target);
-          leaders.insert(instr.end());  // fall-through starts a block
-          worklist.push_back(instr.end());
-          break;
-        case Mnemonic::kCall:
-          if (instr.op_count != 0 && instr.ops[0].is_imm()) {
-            call_targets.insert(instr.target);
-          }
-          break;
-        default:
-          break;
+        switch (instr.mnemonic) {
+          case Mnemonic::kJmp:
+            if (instr.op_count != 0 && !instr.ops[0].is_imm()) {
+              return Error(ErrorKind::kUnsupported,
+                           "indirect jumps are not supported", address);
+            }
+            if (!source.Contains(instr.target)) {
+              return Error(ErrorKind::kUnsupported,
+                           "jump target outside of function buffer", address);
+            }
+            leaders.insert(instr.target);
+            worklist.push_back(instr.target);
+            break;
+          case Mnemonic::kJcc:
+            if (!source.Contains(instr.target)) {
+              return Error(ErrorKind::kUnsupported,
+                           "jump target outside of function buffer", address);
+            }
+            leaders.insert(instr.target);
+            worklist.push_back(instr.target);
+            leaders.insert(instr.end());  // fall-through starts a block
+            worklist.push_back(instr.end());
+            break;
+          case Mnemonic::kCall:
+            if (instr.op_count != 0 && instr.ops[0].is_imm()) {
+              call_targets.insert(instr.target);
+            }
+            break;
+          default:
+            break;
+        }
+        if (instr.IsBlockTerminator()) break;
+        address = instr.end();
       }
-      if (instr.IsBlockTerminator()) break;
-      address = instr.end();
     }
   }
 

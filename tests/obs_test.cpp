@@ -1,0 +1,456 @@
+// dbll tests -- the observability layer (include/dbll/obs/obs.h): span
+// recording, nesting and thread attribution, chrome-trace JSON export,
+// disabled-mode cost, the metrics registry, its agreement with the legacy
+// Rewriter::Stats / CacheStats surfaces, and the dbll_obs_* / dbll_rewriter_*
+// C API contracts.
+//
+// Tracing is process-global state; every test that enables it restores the
+// disabled default before finishing (TraceSession below), so tests compose
+// in one binary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/compile_service.h"
+
+namespace dbll::obs {
+namespace {
+
+/// Enables tracing on an empty buffer; disables and clears on destruction.
+class TraceSession {
+ public:
+  TraceSession() {
+    Tracer::Default().Clear();
+    Tracer::Default().Enable();
+  }
+  ~TraceSession() {
+    Tracer::Default().Disable();
+    Tracer::Default().Clear();
+  }
+};
+
+std::uint64_t CountEvents(const std::vector<SpanEvent>& events,
+                          const std::string& name) {
+  std::uint64_t count = 0;
+  for (const SpanEvent& e : events) {
+    if (name == e.name) ++count;
+  }
+  return count;
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledSpansEmitNothing) {
+  Tracer::Default().Clear();
+  ASSERT_FALSE(Tracer::Default().enabled());
+  {
+    DBLL_TRACE_SPAN("should.not.appear");
+    DBLL_TRACE_SPAN("neither.should.this");
+  }
+  EXPECT_TRUE(Tracer::Default().Events().empty());
+
+  // RecordManual is also a no-op while disabled.
+  Tracer::Default().RecordManual("manual", 1, 2);
+  EXPECT_TRUE(Tracer::Default().Events().empty());
+}
+
+TEST(TracerTest, RecordsNestedSpansWithDepth) {
+  TraceSession session;
+  {
+    DBLL_TRACE_SPAN("outer");
+    {
+      DBLL_TRACE_SPAN("inner");
+    }
+    {
+      DBLL_TRACE_SPAN("inner");
+    }
+  }
+  const auto events = Tracer::Default().Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(CountEvents(events, "outer"), 1u);
+  EXPECT_EQ(CountEvents(events, "inner"), 2u);
+  for (const SpanEvent& e : events) {
+    if (std::string("outer") == e.name) {
+      EXPECT_EQ(e.depth, 0u);
+    } else {
+      EXPECT_EQ(e.depth, 1u);
+    }
+  }
+  // Events() is sorted by start time: outer opened first.
+  EXPECT_STREQ(events.front().name, "outer");
+  // The outer span covers both inner spans.
+  const SpanEvent& outer = events.front();
+  for (const SpanEvent& e : events) {
+    EXPECT_GE(e.start_ns, outer.start_ns);
+    EXPECT_LE(e.start_ns + e.dur_ns, outer.start_ns + outer.dur_ns);
+  }
+}
+
+TEST(TracerTest, AttributesSpansToThreads) {
+  TraceSession session;
+  {
+    DBLL_TRACE_SPAN("main.span");
+  }
+  std::thread other([] { DBLL_TRACE_SPAN("other.span"); });
+  other.join();
+
+  const auto events = Tracer::Default().Events();
+  ASSERT_EQ(events.size(), 2u);
+  std::uint32_t main_tid = 0;
+  std::uint32_t other_tid = 0;
+  for (const SpanEvent& e : events) {
+    if (std::string("main.span") == e.name) main_tid = e.tid;
+    if (std::string("other.span") == e.name) other_tid = e.tid;
+  }
+  EXPECT_NE(main_tid, other_tid);
+  // Both threads start their own nesting at depth 0.
+  for (const SpanEvent& e : events) EXPECT_EQ(e.depth, 0u);
+}
+
+TEST(TracerTest, ClearDropsRecordedSpans) {
+  TraceSession session;
+  {
+    DBLL_TRACE_SPAN("to.be.dropped");
+  }
+  ASSERT_EQ(Tracer::Default().Events().size(), 1u);
+  Tracer::Default().Clear();
+  EXPECT_TRUE(Tracer::Default().Events().empty());
+}
+
+TEST(TracerTest, ChromeTraceJsonContainsEventNames) {
+  TraceSession session;
+  {
+    DBLL_TRACE_SPAN("json.outer");
+    DBLL_TRACE_SPAN("json.inner");
+  }
+  const std::string json = Tracer::Default().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Structural sanity: braces and brackets balance and the document is one
+  // object (a cheap stand-in for a full JSON parser; scripts/
+  // validate_trace.py runs the real one in CI).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TracerTest, TextSummaryAggregatesPerName) {
+  TraceSession session;
+  for (int i = 0; i < 3; ++i) {
+    DBLL_TRACE_SPAN("summary.span");
+  }
+  const std::string summary = Tracer::Default().TextSummary();
+  EXPECT_NE(summary.find("summary.span"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(RegistryTest, CountersGaugesHistograms) {
+  Registry registry;  // private registry: no cross-test interference
+  registry.GetCounter("test.counter").Add(2);
+  registry.GetCounter("test.counter").Add(3);
+  EXPECT_EQ(registry.GetCounter("test.counter").value(), 5u);
+
+  registry.GetGauge("test.gauge").Set(42);
+  registry.GetGauge("test.gauge").Add(-2);
+  EXPECT_EQ(registry.GetGauge("test.gauge").value(), 40);
+
+  Histogram& histogram = registry.GetHistogram("test.histogram");
+  histogram.Record(10);
+  histogram.Record(30);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_EQ(histogram.sum(), 40u);
+  EXPECT_EQ(histogram.min(), 10u);
+  EXPECT_EQ(histogram.max(), 30u);
+
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // Snapshot is sorted by name.
+  EXPECT_EQ(snapshot[0].name, "test.counter");
+  EXPECT_EQ(snapshot[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snapshot[0].value, 5u);
+  EXPECT_EQ(snapshot[1].name, "test.gauge");
+  EXPECT_EQ(snapshot[2].name, "test.histogram");
+  EXPECT_EQ(snapshot[2].value, 40u);
+  EXPECT_EQ(snapshot[2].count, 2u);
+
+  EXPECT_EQ(registry.Value("test.counter"), 5u);
+  EXPECT_EQ(registry.Value("test.histogram"), 40u);
+  EXPECT_EQ(registry.Value("no.such.metric"), 0u);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Value("test.counter"), 0u);
+  EXPECT_EQ(registry.GetHistogram("test.histogram").count(), 0u);
+  EXPECT_EQ(registry.GetHistogram("test.histogram").min(), 0u);
+}
+
+TEST(RegistryTest, HandlesAreStableAcrossInserts) {
+  Registry registry;
+  Counter& first = registry.GetCounter("stable.a");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("stable.fill." + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.GetCounter("stable.a"));
+}
+
+// --- Registry agreement with the legacy stats surfaces ----------------------
+
+TEST(RegistryPipelineTest, RewriterStatsMatchRegistryDeltas) {
+  Registry& registry = Registry::Default();
+  const std::uint64_t emitted0 = registry.Value("rewriter.emitted_instrs");
+  const std::uint64_t folded0 = registry.Value("rewriter.folded_instrs");
+  const std::uint64_t code0 = registry.Value("rewriter.code_bytes");
+  const std::uint64_t rewrites0 = registry.Value("rewriter.rewrites");
+
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_loop_sum));
+  rewriter.SetParam(0, 10);
+  auto result = rewriter.Rewrite();
+  ASSERT_TRUE(result.has_value()) << rewriter.last_error().Format();
+
+  const dbrew::Rewriter::Stats& stats = rewriter.stats();
+  EXPECT_EQ(registry.Value("rewriter.rewrites") - rewrites0, 1u);
+  EXPECT_EQ(registry.Value("rewriter.emitted_instrs") - emitted0,
+            stats.emitted_instrs);
+  EXPECT_EQ(registry.Value("rewriter.folded_instrs") - folded0,
+            stats.folded_instrs);
+  EXPECT_EQ(registry.Value("rewriter.code_bytes") - code0, stats.code_bytes);
+}
+
+TEST(RegistryPipelineTest, CacheStatsMatchRegistryDeltas) {
+  Registry& registry = Registry::Default();
+  const std::uint64_t hits0 = registry.Value("cache.hits");
+  const std::uint64_t misses0 = registry.Value("cache.misses");
+  const std::uint64_t compiles0 = registry.Value("cache.compiles");
+  const std::uint64_t lift0 = registry.Value("cache.lift_ns");
+  const std::uint64_t opt0 = registry.Value("cache.opt_ns");
+  const std::uint64_t jit0 = registry.Value("cache.jit_ns");
+
+  runtime::CompileService service({/*workers=*/1, /*capacity=*/16});
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&c_arith_mix), lift::Signature::Ints(2));
+  request.FixParam(0, 7);
+  auto first = service.CompileSync(request);
+  ASSERT_TRUE(first.has_value()) << first.error().Format();
+  (void)service.Request(request).wait();  // hit
+  service.WaitIdle();
+
+  const runtime::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(registry.Value("cache.hits") - hits0, stats.hits);
+  EXPECT_EQ(registry.Value("cache.misses") - misses0, stats.misses);
+  EXPECT_EQ(registry.Value("cache.compiles") - compiles0, stats.compiles);
+  EXPECT_EQ(registry.Value("cache.lift_ns") - lift0,
+            stats.stage_total.lift_ns);
+  EXPECT_EQ(registry.Value("cache.opt_ns") - opt0, stats.stage_total.opt_ns);
+  EXPECT_EQ(registry.Value("cache.jit_ns") - jit0, stats.stage_total.jit_ns);
+}
+
+TEST(RegistryPipelineTest, TracedCompileProducesPipelineSpans) {
+  TraceSession session;
+  runtime::CompileService service({/*workers=*/1, /*capacity=*/16});
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&c_loop_fib), lift::Signature::Ints(1));
+  auto entry = service.CompileSync(request);
+  ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  // wait() returns as soon as the result is published, which is *inside* the
+  // worker's cache.compile/cache.install spans; drain the worker so those
+  // guards have closed before we read the event list.
+  service.WaitIdle();
+
+  const auto events = Tracer::Default().Events();
+  EXPECT_GE(CountEvents(events, "cache.compile"), 1u);
+  EXPECT_GE(CountEvents(events, "cache.queue_wait"), 1u);
+  EXPECT_GE(CountEvents(events, "cache.install"), 1u);
+  EXPECT_GE(CountEvents(events, "lift.function"), 1u);
+  EXPECT_GE(CountEvents(events, "cfg.build"), 1u);
+  EXPECT_GE(CountEvents(events, "cfg.decode"), 1u);
+  EXPECT_GE(CountEvents(events, "optimize.pipeline"), 1u);
+  EXPECT_GE(CountEvents(events, "jit.compile"), 1u);
+
+  // Nesting: the pipeline stages run inside the worker's cache.compile span.
+  for (const SpanEvent& e : events) {
+    if (std::string("lift.function") == e.name ||
+        std::string("jit.compile") == e.name) {
+      EXPECT_GE(e.depth, 1u) << e.name;
+    }
+  }
+}
+
+// --- Index-convention errors ------------------------------------------------
+
+TEST(IndexConventionTest, RewriterRejectsOutOfRangeParam) {
+  dbrew::Rewriter rewriter(reinterpret_cast<std::uint64_t>(&c_arith_mix));
+  rewriter.SetParam(6, 1);  // only rdi..r9 (0..5) exist
+  auto result = rewriter.Rewrite();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind(), ErrorKind::kBadConfig);
+  EXPECT_NE(result.error().Format().find("0-based"), std::string::npos);
+  EXPECT_NE(result.error().Format().find("1-based"), std::string::npos);
+}
+
+TEST(IndexConventionTest, SpecializeParamRejectsOutOfRange) {
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                            lift::Signature::Ints(2));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+
+  Status status = lifted->SpecializeParam(2, 1);  // valid range is 0..1
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind(), ErrorKind::kBadConfig);
+  EXPECT_NE(status.error().Format().find("0-based"), std::string::npos);
+  EXPECT_NE(status.error().Format().find("1-based"), std::string::npos);
+
+  status = lifted->SpecializeParam(-1, 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().kind(), ErrorKind::kBadConfig);
+}
+
+TEST(IndexConventionTest, CApiOneBasedMapsToCppZeroBased) {
+  // dbll_rewriter_setpar(r, 1, v) must fix the *first* argument.
+  dbll_rewriter* r =
+      dbll_rewriter_new(reinterpret_cast<void*>(&c_arith_mix));
+  dbll_rewriter_setpar(r, 1, 21);
+  using Fn = long (*)(long, long);
+  Fn fn = reinterpret_cast<Fn>(dbll_rewriter_rewrite(r));
+  EXPECT_STREQ(dbll_rewriter_last_error(r), "");
+  EXPECT_EQ(fn(/*ignored*/ 0, 5), c_arith_mix(21, 5));
+  dbll_rewriter_free(r);
+}
+
+// --- C API: canonical names, aliases, error contract ------------------------
+
+TEST(CApiTest, RewriterAliasesShareTheObject) {
+  // dbrew_* and dbll_rewriter_* are the same functions on the same object.
+  dbrew_rewriter* r = dbrew_new(reinterpret_cast<void*>(&c_loop_sum));
+  dbll_rewriter_setpar(r, 1, 10);  // mix families on one object
+  void* fn = dbrew_rewrite(r);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_STREQ(dbrew_last_error(r), "");
+  EXPECT_EQ(dbrew_stat_emitted(r), dbll_rewriter_stat_emitted(r));
+  EXPECT_EQ(dbrew_stat_code_bytes(r), dbll_rewriter_stat_code_bytes(r));
+  using Fn = long (*)(long);
+  EXPECT_EQ(reinterpret_cast<Fn>(fn)(0), c_loop_sum(10));
+  dbll_rewriter_free(r);  // alias-free through the canonical name
+}
+
+TEST(CApiTest, LastErrorContractAcrossObjectTypes) {
+  // Rewriter: error set on failure, cleared by the next success.
+  dbll_rewriter* r = dbll_rewriter_new(reinterpret_cast<void*>(&c_arith_mix));
+  dbll_rewriter_setpar(r, 7, 1);  // out of range (1-based: 1..6)
+  (void)dbll_rewriter_rewrite(r);
+  EXPECT_NE(std::string(dbll_rewriter_last_error(r)).find("1-based"),
+            std::string::npos);
+  dbll_rewriter_free(r);
+
+  // Cache request: failure message carries the convention note too.
+  dbll_cache* cache = dbll_cache_new(1, 16);
+  dbll_cache_req* req =
+      dbll_cache_request(cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_setpar(req, 3, 1);  // out of range (1-based: 1..2)
+  (void)dbll_cache_wait(req);
+  const std::string req_error = dbll_cache_req_last_error(req);
+  EXPECT_NE(req_error.find("1-based"), std::string::npos);
+  // Deprecated alias returns the same message.
+  EXPECT_EQ(req_error, dbll_cache_req_error(req));
+  // Service-level last_error reports the most recent failed compile.
+  EXPECT_NE(std::string(dbll_cache_last_error(cache)).find("1-based"),
+            std::string::npos);
+  dbll_cache_req_free(req);
+
+  // A successful request leaves its own error empty; the service-level
+  // error keeps reporting the last *failure*.
+  dbll_cache_req* good =
+      dbll_cache_request(cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_setpar(good, 1, 3);
+  (void)dbll_cache_wait(good);
+  EXPECT_STREQ(dbll_cache_req_last_error(good), "");
+  EXPECT_NE(std::string(dbll_cache_last_error(cache)).size(), 0u);
+  dbll_cache_req_free(good);
+  dbll_cache_free(cache);
+}
+
+TEST(CApiTest, ObsSnapshotEnumeratesMetrics) {
+  // Ensure at least one metric exists.
+  Registry::Default().GetCounter("capi.test.counter").Add(4);
+
+  dbll_obs_snapshot* snapshot = dbll_obs_snapshot_new();
+  const std::uint64_t size = dbll_obs_snapshot_size(snapshot);
+  ASSERT_GT(size, 0u);
+  bool found = false;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const char* name = dbll_obs_snapshot_name(snapshot, i);
+    ASSERT_NE(name, nullptr);
+    if (std::string(name) == "capi.test.counter") {
+      found = true;
+      EXPECT_GE(dbll_obs_snapshot_value(snapshot, i), 4u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(dbll_obs_snapshot_name(snapshot, size), nullptr);
+  EXPECT_EQ(dbll_obs_snapshot_value(snapshot, size), 0u);
+  dbll_obs_snapshot_free(snapshot);
+
+  EXPECT_GE(dbll_obs_value("capi.test.counter"), 4u);
+  EXPECT_EQ(dbll_obs_value("no.such.metric"), 0u);
+}
+
+TEST(CApiTest, TraceControlAndWrite) {
+  ASSERT_EQ(dbll_obs_trace_enabled(), 0);
+  dbll_obs_trace_clear();
+  dbll_obs_trace_enable();
+  ASSERT_EQ(dbll_obs_trace_enabled(), 1);
+  {
+    DBLL_TRACE_SPAN("capi.trace.span");
+  }
+  dbll_obs_trace_disable();
+
+  const std::string path =
+      ::testing::TempDir() + "/dbll_obs_capi_trace.json";
+  ASSERT_EQ(dbll_obs_trace_write(path.c_str()), 0);
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("capi.trace.span"), std::string::npos);
+
+  // Unwritable path reports failure.
+  EXPECT_NE(dbll_obs_trace_write("/nonexistent-dir/trace.json"), 0);
+  dbll_obs_trace_clear();
+}
+
+}  // namespace
+}  // namespace dbll::obs
