@@ -12,12 +12,21 @@
 //    serving the generic version while the accelerator compiles").
 //  * Exactly-one compile: concurrent requests for one key coalesce onto the
 //    same in-flight job.
-//  * Stats (stats.h): hits/misses/evictions plus per-stage wall times,
-//    dumped by bench/fig_cache.
+//  * Tiered degradation (fallback.h): a Tier-0 (LLVM) failure degrades to a
+//    plain-DBrew rewrite (Tier 1) and finally to the original generic entry
+//    (Tier 2); a handle always resolves to *something* callable. Transient
+//    failures get one retry with decorrelated backoff; deterministic
+//    failures are negative-cached so repeated requests never re-run LLVM.
+//  * Bounded resources: per-request deadlines (a wedged LLVM run is timed
+//    out by a monitor thread and degraded, the straggler's late result is
+//    discarded via a slot generation check) and a bounded compile queue
+//    (overflow serves Tier 2 immediately instead of growing without bound).
+//  * Stats (stats.h): hits/misses/evictions/degradations plus per-stage wall
+//    times, dumped by bench/fig_cache.
 //
 // The JIT session lives as long as the service; evicting a cache entry drops
 // the table slot (bounding lookup structures), while already-emitted code
-// stays valid for handles that still point at it.
+// (JIT or DBrew fallback) stays valid until the service is destroyed.
 #pragma once
 
 #include <condition_variable>
@@ -30,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dbll/runtime/fallback.h"
 #include "dbll/runtime/spec_cache.h"
 #include "dbll/runtime/stats.h"
 #include "dbll/support/error.h"
@@ -37,7 +47,10 @@
 namespace dbll::runtime {
 
 /// Shared view of one cache entry. Copies are cheap (shared_ptr); a handle
-/// keeps its entry alive across eviction.
+/// keeps its entry alive across eviction. A default-constructed handle is
+/// inert: valid() is false and every accessor returns a safe terminal value
+/// (target() == 0, state() == kFailed, error() == kBadConfig) instead of
+/// dereferencing a null slot.
 class FunctionHandle {
  public:
   enum class State : std::uint8_t { kPending, kSpecialized, kFailed };
@@ -45,10 +58,10 @@ class FunctionHandle {
   FunctionHandle() = default;
   bool valid() const { return slot_ != nullptr; }
 
-  /// Current best entry point: the original generic function until the
-  /// specialized one is installed (atomic swap), the specialized entry
-  /// afterwards, and the generic one again permanently on failure. Safe to
-  /// call from any thread at any time.
+  /// Current best entry point: the original generic function until a
+  /// specialized one (Tier 0 or Tier 1) is installed (atomic swap), and the
+  /// generic one again permanently when every tier failed. Safe to call from
+  /// any thread at any time.
   std::uint64_t target() const;
 
   template <typename Fn>
@@ -59,11 +72,24 @@ class FunctionHandle {
   State state() const;
   bool specialized() const { return state() == State::kSpecialized; }
 
+  /// Which tier target() currently resolves to: kGeneric while pending (the
+  /// generic entry serves during warm-up), then whatever tier the compile
+  /// degraded to. Lock-free.
+  Tier tier() const;
+
   /// Blocks until the compile reached a terminal state; returns target().
   std::uint64_t wait() const;
 
-  /// Compile error; meaningful once state() == kFailed.
+  /// First error of the chain (the root cause -- the Tier-0 failure);
+  /// meaningful once the compile degraded or failed.
   Error error() const;
+
+  /// Every per-tier failure collected while degrading, in tier order:
+  /// [tier0 error (or kTimeout), tier1 error if Tier 1 was attempted and
+  /// failed]. Empty when Tier 0 succeeded cleanly; a lone kResourceLimit
+  /// entry with state kSpecialized/tier kLlvm records a transient failure
+  /// that succeeded on retry.
+  std::vector<Error> error_chain() const;
 
   /// Per-stage compile times; meaningful once the compile finished.
   StageTimes times() const;
@@ -82,6 +108,28 @@ class CompileService {
     int workers = 1;
     /// Maximum memoized entries before LRU eviction (0 = unbounded).
     std::size_t capacity = 256;
+    /// Pending-compile bound; a request arriving while `max_queue` jobs are
+    /// already queued is served Tier 2 immediately (kResourceLimit, counted
+    /// as cache.queue_rejected) instead of growing the queue without bound.
+    /// 0 = unbounded.
+    std::size_t max_queue = 0;
+    /// Default Tier-0 wall-clock budget in milliseconds for requests that do
+    /// not set CompileRequest::deadline_ms; 0 = no deadline. Overruns are
+    /// detected by a monitor thread, marked kTimeout, and degraded to
+    /// Tier 1; the straggling compile's late result is discarded.
+    std::uint32_t default_deadline_ms = 0;
+    /// Base of the decorrelated backoff slept before the single retry of a
+    /// transiently failed (kResourceLimit) Tier-0 attempt. The actual sleep
+    /// is uniform in [base, 3*base], capped at 50ms.
+    std::uint32_t retry_backoff_ms = 2;
+    /// Degrade Tier-0 failures to a plain-DBrew rewrite before pinning the
+    /// generic entry. Off = the pre-tiering behaviour (fail straight to the
+    /// generic entry).
+    bool tier1_fallback = true;
+    /// Bound of the deterministic-failure (negative) cache; the cache is
+    /// flushed wholesale when it would exceed this. 0 disables negative
+    /// caching.
+    std::size_t negative_capacity = 1024;
   };
 
   // Two constructors instead of `Options options = {}`: a default argument
@@ -101,8 +149,8 @@ class CompileService {
   FunctionHandle Request(const CompileRequest& request);
 
   /// Blocking convenience: Request() + wait(). Returns the specialized entry
-  /// on success, the compile error on failure. Results are cached like any
-  /// other request.
+  /// (Tier 0 or Tier 1) on success, the root-cause compile error when every
+  /// tier failed. Results are cached like any other request.
   Expected<std::uint64_t> CompileSync(const CompileRequest& request);
 
   /// Blocks until no compile is queued or running (test/bench barrier).
@@ -110,7 +158,14 @@ class CompileService {
 
   /// Drops every cached entry (counted as evictions). In-flight compiles
   /// finish and install into their handles, but are forgotten by the table.
+  /// The negative cache is kept: a deterministic Tier-0 failure stays true
+  /// across table resets, and re-running LLVM to rediscover it is exactly
+  /// what negative caching exists to avoid.
   void Clear();
+
+  /// Updates the service-wide default Tier-0 deadline for requests submitted
+  /// from now on (backs dbll_cache_set_deadline_ms).
+  void set_default_deadline_ms(std::uint32_t deadline_ms);
 
   CacheStats stats() const;
   std::size_t size() const;
@@ -126,32 +181,75 @@ class CompileService {
   struct Job {
     CompileRequest request;
     std::shared_ptr<FunctionHandle::Slot> slot;
-    std::uint64_t enqueue_ns = 0;  ///< for the cache.queue_wait span/metric
+    SpecKey key;                       ///< for the negative cache
+    std::uint64_t enqueue_ns = 0;      ///< for the cache.queue_wait span/metric
+    std::uint32_t deadline_ms = 0;     ///< resolved request/service deadline
+    bool skip_tier0 = false;           ///< negative-cache hit: go straight to Tier 1
+    Error negative_error;              ///< the remembered Tier-0 failure
   };
   struct TableEntry {
     std::shared_ptr<FunctionHandle::Slot> slot;
     std::list<SpecKey>::iterator lru_pos;
   };
+  /// One deadline-carrying compile currently running on a worker, watched by
+  /// the monitor thread.
+  struct InFlight {
+    std::shared_ptr<FunctionHandle::Slot> slot;
+    CompileRequest request;        ///< copy: the monitor degrades from it
+    std::uint64_t deadline_ns = 0; ///< absolute steady-clock expiry
+    std::uint32_t deadline_ms = 0; ///< for the kTimeout message
+    bool fired = false;            ///< monitor already took this one over
+  };
 
   void WorkerLoop();
+  void MonitorLoop();
   void CompileOne(Job& job);
+  /// Tier-0: lift + specialize + optimize + JIT. Returns the failure (ok on
+  /// success) and fills entry/times.
+  Error TryTier0(const CompileRequest& request, StageTimes& times,
+                 std::uint64_t* entry);
+  /// Tier-1 / Tier-2: runs the DBrew fallback and installs the outcome into
+  /// the slot if its generation still matches. Shared by workers (after a
+  /// Tier-0 failure) and the monitor (after a deadline overrun).
+  void Degrade(const std::shared_ptr<FunctionHandle::Slot>& slot,
+               std::uint32_t expected_generation,
+               const CompileRequest& request, std::vector<Error> chain,
+               StageTimes times);
+  /// Deadline overrun: bumps the slot generation (so the straggling worker's
+  /// eventual result is discarded) and degrades on the monitor thread.
+  void TakeOver(const std::shared_ptr<FunctionHandle::Slot>& slot,
+                const CompileRequest& request, std::uint32_t deadline_ms);
+  /// Finishes `slot` as Tier-2/kFailed without any compile (queue overflow,
+  /// enqueue fault). Caller must not hold mutex_.
+  void RejectImmediately(const std::shared_ptr<FunctionHandle::Slot>& slot,
+                         Error error);
   void EvictIfNeeded();  // caller holds mutex_
 
   Options options_;
   lift::Jit jit_;
 
-  mutable std::mutex mutex_;  // guards table_, lru_, queue_, counters
+  mutable std::mutex mutex_;  // guards table_, lru_, queue_, negative_,
+                              // inflight_, counters, options_.default_deadline_ms
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable monitor_cv_;
   std::unordered_map<SpecKey, TableEntry, SpecKey::Hash> table_;
   std::list<SpecKey> lru_;  // front = most recently used
   std::deque<Job> queue_;
+  /// Deterministic Tier-0 failures by key: a re-request (after eviction or
+  /// Clear) skips straight past Tier 0 instead of re-running LLVM.
+  std::unordered_map<SpecKey, Error, SpecKey::Hash> negative_;
+  std::list<InFlight> inflight_;
+  /// Keep-alive for Tier-1 code buffers: the documented lifetime is "code is
+  /// owned by the service", so fallback Rewriters survive slot eviction.
+  std::vector<std::unique_ptr<dbrew::Rewriter>> tier1_code_;
   int active_jobs_ = 0;
   bool stopping_ = false;
   CacheStats stats_;
   Error last_error_;  // most recent failed compile; guarded by mutex_
   std::mutex jit_mutex_;  // serializes module installation into the JIT
   std::vector<std::thread> workers_;
+  std::thread monitor_;
 };
 
 }  // namespace dbll::runtime

@@ -1,0 +1,79 @@
+// dbll -- the tiered degradation chain of the compile service.
+//
+// The paper's deployment promise (Sec. II) is that runtime rewriting is
+// *optional* acceleration: a rewrite that cannot complete must never break
+// the program, because the original compiled function is always a correct
+// answer. The compile service realizes that promise as an explicit chain of
+// tiers, each a strictly cheaper, strictly more robust implementation of the
+// same specialization request:
+//
+//   Tier 0 (kLlvm)    lift -> O3 -> JIT: the paper's full pipeline, fastest
+//                     code, most failure modes (decode, lift, verify, JIT).
+//   Tier 1 (kDbrew)   plain DBrew rewrite: decode -> meta-emulate -> encode,
+//                     no LLVM at all. Slower code than Tier 0, but immune to
+//                     every LLVM failure mode and orders of magnitude
+//                     cheaper to produce.
+//   Tier 2 (kGeneric) the original generic entry: always correct, no
+//                     specialization benefit.
+//
+// A tier failure degrades to the next tier; which tier ultimately serves is
+// recorded on the handle (FunctionHandle::tier()), along with the per-tier
+// Error chain (FunctionHandle::error_chain()). Degradations surface in the
+// obs registry as fallback.tier0_fail / fallback.tier1_serve /
+// fallback.tier2_serve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "dbll/support/error.h"
+
+namespace dbll::dbrew {
+class Rewriter;
+}  // namespace dbll::dbrew
+
+namespace dbll::runtime {
+
+struct CompileRequest;
+
+/// Which implementation serves a handle's target(). Values are stable (they
+/// cross the C API as plain ints via dbll_handle_tier).
+enum class Tier : std::uint8_t {
+  kLlvm = 0,     ///< Tier 0: lift -> O3 -> JIT specialized code
+  kDbrew = 1,    ///< Tier 1: plain-DBrew rewritten code (no LLVM)
+  kGeneric = 2,  ///< Tier 2: the original generic entry
+};
+
+/// Returns a stable, human-readable name for a Tier.
+std::string_view ToString(Tier tier) noexcept;
+
+/// True for failures worth one retry before degrading (the failure may not
+/// repeat: resource limits, deadline overruns of a contended run).
+bool IsTransient(ErrorKind kind) noexcept;
+
+/// True for failures that will repeat on any re-run of the same request
+/// (decode/lift/JIT rejections of the same bytes). These are negative-cached
+/// by the compile service so repeated requests skip straight past Tier 0
+/// instead of re-running LLVM.
+bool IsDeterministic(ErrorKind kind) noexcept;
+
+/// A successful Tier-1 rewrite. The Rewriter owns the code buffer; it must
+/// stay alive for as long as `entry` may be called (the compile service
+/// keeps it until service destruction, preserving the documented "generated
+/// code is owned by the service" lifetime).
+struct Tier1Result {
+  std::uint64_t entry = 0;
+  std::unique_ptr<dbrew::Rewriter> rewriter;
+};
+
+/// Runs the request through the plain DBrew rewriter: parameter fixations
+/// map to Rewriter::SetParam, const-memory fixations to SetParam (the
+/// original region address) + SetMemRange. Fails with kUnsupported when the
+/// request cannot be expressed in DBrew terms (FP parameter fixation, a
+/// const-mem region whose live contents no longer match the bytes captured
+/// at request time) and with the rewrite error otherwise. Retries once with
+/// enlarged buffers on kResourceLimit, mirroring RewriteOrOriginal.
+Expected<Tier1Result> Tier1Rewrite(const CompileRequest& request);
+
+}  // namespace dbll::runtime

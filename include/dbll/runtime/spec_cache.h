@@ -29,6 +29,11 @@ struct SpecAction {
   int index = 0;                    ///< public parameter index (0-based)
   std::uint64_t value = 0;          ///< kParam: the fixed value
   std::vector<std::uint8_t> bytes;  ///< kConstMem: region contents (copied)
+  /// kConstMem: the live source address the bytes were copied from. Not part
+  /// of the cache key (the *contents* are what the key hashes); kept so the
+  /// Tier-1 DBrew fallback (fallback.h) can re-express the fixation as a
+  /// SetParam + SetMemRange on the original region.
+  std::uint64_t mem_addr = 0;
 };
 
 /// Everything needed to produce (and identify) one specialized compile.
@@ -37,6 +42,14 @@ struct CompileRequest {
   lift::Signature signature;
   lift::LiftConfig config;
   std::vector<SpecAction> specs;
+  /// Wall-clock budget for the Tier-0 (lift -> O3 -> JIT) attempt in
+  /// milliseconds; 0 uses the service-wide default
+  /// (CompileService::Options::default_deadline_ms). A compile that overruns
+  /// is marked kTimeout and degraded to Tier 1 while the straggling LLVM run
+  /// finishes in the background (its late result is discarded). Not part of
+  /// the cache key: the deadline shapes *when* a result exists, not what it
+  /// is.
+  std::uint32_t deadline_ms = 0;
 
   CompileRequest() = default;
   CompileRequest(std::uint64_t entry_address, lift::Signature entry_signature,
@@ -58,6 +71,11 @@ struct CompileRequest {
 /// reliance on hash uniqueness); the hash is precomputed for map use.
 class SpecKey {
  public:
+  /// Empty key; compares equal only to other empty keys. Exists so key
+  /// fields can live in default-constructed aggregates (compile-service
+  /// jobs); every key actually used for lookup is built from a request.
+  SpecKey() = default;
+
   explicit SpecKey(const CompileRequest& request);
 
   std::uint64_t hash() const { return hash_; }

@@ -18,8 +18,13 @@ struct StageTimes {
   std::uint64_t lift_ns = 0;  ///< decode + x86->LLVM-IR (+ specialization)
   std::uint64_t opt_ns = 0;   ///< optimization pipeline (-O3 by default)
   std::uint64_t jit_ns = 0;   ///< ORC JIT codegen + symbol resolution
+  /// Tier-1 fallback rewrite (plain DBrew, no LLVM); nonzero only when the
+  /// job degraded past Tier 0 (see fallback.h).
+  std::uint64_t tier1_ns = 0;
 
-  std::uint64_t total_ns() const { return lift_ns + opt_ns + jit_ns; }
+  std::uint64_t total_ns() const {
+    return lift_ns + opt_ns + jit_ns + tier1_ns;
+  }
 };
 
 /// Snapshot of the cache/service counters. All counts are cumulative since
@@ -31,8 +36,18 @@ struct CacheStats {
   std::uint64_t coalesced = 0;   ///< request joined an in-flight compile
   std::uint64_t misses = 0;      ///< request started a new compile
   std::uint64_t evictions = 0;   ///< entries dropped by LRU capacity
-  std::uint64_t failures = 0;    ///< compiles that ended in an error
-  std::uint64_t compiles = 0;    ///< compiles actually executed
+  std::uint64_t failures = 0;    ///< compiles whose terminal state is kFailed
+  std::uint64_t compiles = 0;    ///< Tier-0 compiles actually executed
+  // Degradation chain (see fallback.h). Mirrored process-wide in the obs
+  // registry as fallback.* / cache.queue_rejected.
+  std::uint64_t tier0_failures = 0;  ///< Tier-0 attempts that failed
+  std::uint64_t tier1_serves = 0;    ///< handles served by DBrew fallback code
+  std::uint64_t tier2_serves = 0;    ///< handles pinned to the generic entry
+  std::uint64_t retries = 0;         ///< transient-failure retries performed
+  std::uint64_t timeouts = 0;        ///< compiles degraded by deadline overrun
+  std::uint64_t negative_hits = 0;   ///< requests that skipped Tier 0 via the
+                                     ///< deterministic-failure cache
+  std::uint64_t queue_rejected = 0;  ///< requests bounced by the queue bound
   StageTimes stage_total;
 };
 

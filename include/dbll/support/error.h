@@ -29,6 +29,7 @@ enum class ErrorKind : std::uint8_t {
   kResourceLimit, ///< configured limit exceeded (code buffer, stack, depth...)
   kBadConfig,     ///< invalid rewriter/lifter configuration
   kInternal,      ///< invariant violation; indicates a bug in dbll itself
+  kTimeout,       ///< compile deadline exceeded; the job was degraded
 };
 
 /// Returns a stable, human-readable name for an ErrorKind.

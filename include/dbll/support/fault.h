@@ -1,0 +1,129 @@
+// dbll -- fault-injection framework.
+//
+// Graceful degradation is only trustworthy if every failure path is
+// *reachable from a test*. Most of the pipeline's error branches (a JIT that
+// refuses a module, a decoder meeting bytes it cannot parse mid-rewrite, a
+// wedged LLVM run) are hard or impossible to provoke naturally, so the
+// fallible stages carry named fault points:
+//
+//   Expected<Instr> Decoder::DecodeOne(...) {
+//     DBLL_FAULT_POINT("decode.insn");   // one relaxed atomic load when idle
+//     ...
+//   }
+//
+// A test (or operator) arms a site programmatically,
+//
+//   dbll::fault::Arm("jit.compile", {ErrorKind::kJit});
+//
+// or via the environment: DBLL_FAULT=jit.compile:kJit:0 arms the site at
+// load time (grammar below). When an armed site is hit, DBLL_FAULT_POINT
+// returns an injected Error from the enclosing function exactly as a real
+// failure would, so the caller's recovery path -- retry, degrade to a lower
+// tier, negative-cache -- executes for real. A Spec with kind == kNone and a
+// nonzero delay_ms turns the site into a stall instead of a failure
+// (simulating a wedged stage for deadline/timeout testing).
+//
+// Cost when no site is armed: a single relaxed atomic load + branch per
+// fault point. Compiling with -DDBLL_FAULT_DISABLE removes the check (and
+// any possibility of injection) entirely.
+//
+// DBLL_FAULT grammar (comma-separated list):
+//   site:kind[:after_n[:probability]]
+// where `kind` is an ErrorKind name in either enum form ("kJit") or display
+// form ("jit", "resource-limit"), `after_n` skips the first N hits of the
+// site (default 0 = fire from the first hit), and `probability` in [0,1]
+// fires each eligible hit with that chance (default 1). Example:
+//   DBLL_FAULT=jit.compile:kJit:0,decode.insn:kDecode:100:0.5
+//
+// Thread safety: all functions are safe to call from any thread. Sites armed
+// with a probability draw from a per-site PRNG seeded deterministically at
+// Arm() time, so runs are reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dbll/support/error.h"
+
+namespace dbll::fault {
+
+/// What an armed site does when hit.
+struct Spec {
+  /// Error kind of the injected failure. kNone injects nothing (useful with
+  /// delay_ms to simulate a stalled stage that eventually succeeds).
+  ErrorKind kind = ErrorKind::kInternal;
+  /// Skip the first `after_n` hits; the site starts firing on hit after_n
+  /// (0-based), matching the env grammar's `n`.
+  std::uint64_t after_n = 0;
+  /// Chance in [0,1] that an eligible hit fires.
+  double probability = 1.0;
+  /// Stop firing after this many fires (0 = unlimited). `max_fires = 1`
+  /// models a transient failure: first hit fails, the retry succeeds.
+  std::uint64_t max_fires = 0;
+  /// Sleep this long at the site on every fire, before (optionally)
+  /// injecting the error. Simulates a wedged stage for deadline tests.
+  std::uint32_t delay_ms = 0;
+};
+
+/// Arms (or re-arms, resetting counters) the named site.
+void Arm(std::string_view site, Spec spec);
+
+/// Arms one `site:kind[:after_n[:probability]]` directive. Returns false
+/// (and fills *error when non-null) on a malformed directive.
+bool ArmFromString(std::string_view directive, std::string* error = nullptr);
+
+/// Arms every comma-separated directive in `env` (the DBLL_FAULT format).
+/// Returns the number of sites armed; malformed directives are skipped with
+/// a one-line note on stderr (an operator typo must not abort the process).
+int ArmFromEnv(std::string_view env);
+
+/// Disarms one site / every site. Hit/fire counters are discarded.
+void Disarm(std::string_view site);
+void DisarmAll();
+
+/// Times the site was evaluated / actually fired since it was armed
+/// (0 for unknown or disarmed sites).
+std::uint64_t HitCount(std::string_view site);
+std::uint64_t FireCount(std::string_view site);
+
+/// Parses an ErrorKind name ("kJit" or "jit"); nullopt when unknown.
+std::optional<ErrorKind> ParseErrorKind(std::string_view name);
+
+/// The slow path behind DBLL_FAULT_POINT: evaluates the named site and
+/// returns the injected error if it fires (after any configured delay).
+/// Prefer the macro; call this directly only where the enclosing function
+/// cannot `return Error` (e.g. its result is not Expected/Status).
+std::optional<Error> Hit(std::string_view site);
+
+namespace internal {
+/// Number of currently armed sites; the fast-path gate for every fault
+/// point. Implementation detail: modify via Arm/Disarm only.
+extern std::atomic<int> g_armed_sites;
+}  // namespace internal
+
+/// True when at least one site is armed (one relaxed load).
+inline bool AnyArmed() {
+  return internal::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace dbll::fault
+
+/// Evaluates the named fault site; when armed and firing, returns the
+/// injected Error from the enclosing function (which must return Status or
+/// Expected<T>). Costs one relaxed atomic load + branch when nothing is
+/// armed; compiled out entirely under -DDBLL_FAULT_DISABLE.
+#if defined(DBLL_FAULT_DISABLE)
+#define DBLL_FAULT_POINT(site) ((void)0)
+#else
+#define DBLL_FAULT_POINT(site)                                    \
+  do {                                                            \
+    if (::dbll::fault::AnyArmed()) {                              \
+      if (auto dbll_fault_injected_ = ::dbll::fault::Hit(site)) { \
+        return *std::move(dbll_fault_injected_);                  \
+      }                                                           \
+    }                                                             \
+  } while (0)
+#endif

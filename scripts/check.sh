@@ -1,5 +1,6 @@
 #!/bin/sh
-# dbll -- full verification: configure, build, tier-1 tests, bench smoke.
+# dbll -- full verification: configure, build, tier-1 tests, bench smoke,
+# fault-injection smoke, and a sanitized robustness pass.
 #
 # The tier-1 gate is the ctest suite; the cache smoke bench additionally
 # exercises the runtime specialization cache end-to-end and leaves its
@@ -18,4 +19,21 @@ DBLL_TRACE="$BUILD/trace_smoke.json" DBLL_BENCH_REPS=2 \
   "$BUILD/bench/fig_cache" --smoke > /dev/null
 python3 scripts/validate_trace.py "$BUILD/trace_smoke.json"
 DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 > /dev/null
-echo "dbll: build, tier-1 tests, and benchmark smoke all passed"
+# Degradation smoke (docs/robustness.md): with the JIT stage failing by
+# injection, a specialization request must still come back as a working
+# callable served by the DBrew tier -- and cleanly Tier-0 without the fault.
+"$BUILD/tools/fault_smoke"
+DBLL_FAULT=jit.compile:kJit:0 "$BUILD/tools/fault_smoke"
+echo "dbll: fault-injection smoke passed"
+# Sanitized robustness pass: the decoder fuzz and the fallback/fault tests
+# under ASan+UBSan (any sanitizer report aborts, failing the run).
+# detect_leaks=0: the obs Registry/Tracer are intentional leaky singletons.
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "$ASAN_BUILD" -S . -DDBLL_SANITIZE=ON \
+  -DDBLL_BUILD_BENCHMARKS=OFF -DDBLL_BUILD_EXAMPLES=OFF
+cmake --build "$ASAN_BUILD" -j "$(nproc)" \
+  --target decoder_fuzz_test fallback_test
+ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/decoder_fuzz_test"
+ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/fallback_test"
+echo "dbll: sanitized fuzz + fallback tests passed"
+echo "dbll: build, tier-1 tests, benchmark and robustness smoke all passed"

@@ -6,6 +6,7 @@
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
+#include "dbll/support/fault.h"
 
 struct dbll_rewriter {
   explicit dbll_rewriter(std::uint64_t function) : impl(function) {}
@@ -200,6 +201,16 @@ int dbll_cache_ready(dbll_cache_req* q) {
   return q->handle.specialized() ? 1 : 0;
 }
 
+int dbll_handle_tier(dbll_cache_req* q) {
+  q->Submit();
+  q->handle.wait();  // tier is meaningful once terminal
+  return static_cast<int>(q->handle.tier());
+}
+
+void dbll_cache_req_set_deadline_ms(dbll_cache_req* q, uint32_t deadline_ms) {
+  q->request.deadline_ms = deadline_ms;
+}
+
 const char* dbll_cache_req_last_error(dbll_cache_req* q) {
   using State = dbll::runtime::FunctionHandle::State;
   if (q->submitted && q->handle.state() == State::kFailed) {
@@ -239,6 +250,28 @@ uint64_t dbll_cache_stat_compiles(dbll_cache* c) {
 
 uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
   return c->impl.stats().stage_total.total_ns();
+}
+
+void dbll_cache_set_deadline_ms(dbll_cache* c, uint32_t deadline_ms) {
+  c->impl.set_default_deadline_ms(deadline_ms);
+}
+
+/* --- dbll_fault_*: fault injection ----------------------------------------- */
+
+int dbll_fault_arm(const char* site, const char* kind, uint64_t after_n) {
+  auto parsed = dbll::fault::ParseErrorKind(kind != nullptr ? kind : "");
+  if (!parsed.has_value()) return 1;
+  dbll::fault::Spec spec;
+  spec.kind = *parsed;
+  spec.after_n = after_n;
+  dbll::fault::Arm(site != nullptr ? site : "", spec);
+  return 0;
+}
+
+void dbll_fault_disarm_all(void) { dbll::fault::DisarmAll(); }
+
+uint64_t dbll_fault_fire_count(const char* site) {
+  return dbll::fault::FireCount(site != nullptr ? site : "");
 }
 
 /* --- dbll_obs_*: observability -------------------------------------------- */

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
 #include "emitter.h"
 #include "emulator.h"
 
@@ -65,6 +66,15 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
   };
   last_error_ = Error();
   stats_ = Stats{};
+
+  // Manual fault site (not DBLL_FAULT_POINT): the injected error must also
+  // land in last_error_, which the macro's plain `return` would skip.
+  if (fault::AnyArmed()) {
+    if (auto injected = fault::Hit("rewrite.function")) {
+      last_error_ = *std::move(injected);
+      return last_error_;
+    }
+  }
 
   // The C++ surface is 0-based (register parameters rdi..r9); the C
   // dbrew_setpar/dbll_rewriter_setpar convention is 1-based.

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
 #include "jit_internal.h"
 
 namespace dbll::lift {
@@ -57,6 +58,7 @@ Jit::~Jit() = default;
 
 Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle) {
   DBLL_TRACE_SPAN("jit.compile");
+  DBLL_FAULT_POINT("jit.compile");
   const std::uint64_t jit_start_ns = dbll::obs::Tracer::NowNs();
   namespace orc = llvm::orc;
   Jit::Impl& impl = jit.impl();

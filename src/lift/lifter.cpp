@@ -9,6 +9,7 @@
 #include <cinttypes>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
 #include "jit_internal.h"
 #include "lift_internal.h"
 
@@ -189,6 +190,7 @@ Expected<LiftedFunction> Lifter::LiftElementAsLine(
     std::uint64_t element_kernel, long stride, long col_begin, long col_end,
     std::string name) {
   DBLL_TRACE_SPAN("lift.function");
+  DBLL_FAULT_POINT("lift.function");
   const std::uint64_t start_ns = obs::Tracer::NowNs();
   Signature sig = Signature::Ints(4, RetKind::kVoid);
   auto impl = std::make_unique<LiftedFunction::Impl>();
@@ -214,6 +216,7 @@ Expected<LiftedFunction> Lifter::LiftElementAsLine(
 Expected<LiftedFunction> Lifter::Lift(std::uint64_t address,
                                       const Signature& sig, std::string name) {
   DBLL_TRACE_SPAN("lift.function");
+  DBLL_FAULT_POINT("lift.function");
   const std::uint64_t start_ns = obs::Tracer::NowNs();
   auto impl = std::make_unique<LiftedFunction::Impl>();
   ModuleBundle& bundle = impl->bundle;

@@ -9,8 +9,10 @@
 // repetition benches optimize many modules with the same configuration, and
 // must not pay the setup for each one. Analysis caches are dropped after
 // every run so no analysis result can dangle into a destroyed module.
+#include <llvm/IR/Verifier.h>
 #include <llvm/Passes/PassBuilder.h>
 #include <llvm/Support/CommandLine.h>
+#include <llvm/Support/raw_ostream.h>
 
 #include <map>
 #include <memory>
@@ -18,6 +20,7 @@
 #include <utility>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
 #include "lift_internal.h"
 
 namespace dbll::lift {
@@ -96,12 +99,35 @@ class ReusablePipeline {
   std::string setup_error_;
 };
 
+/// Robustness gate: a module that fails the LLVM verifier would crash (or
+/// miscompile) deep inside the pass pipeline / codegen, far from the actual
+/// bug. Catching it here converts a latent crash into an Error the compile
+/// service can degrade on (fallback.h tier chain). `kind` attributes the
+/// break to the stage that produced the IR.
+Status VerifyGate(llvm::Module& module, ErrorKind kind, const char* stage) {
+  std::string report;
+  llvm::raw_string_ostream os(report);
+  if (llvm::verifyModule(module, &os)) {
+    os.flush();
+    // The verifier report can span many lines; the first is the diagnosis.
+    const std::size_t eol = report.find('\n');
+    if (eol != std::string::npos) report.resize(eol);
+    return Error(kind, std::string("IR verification failed ") + stage + ": " +
+                           report);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status RunPipeline(ModuleBundle& bundle) {
   if (bundle.optimized) return Status::Ok();
   DBLL_TRACE_SPAN("optimize.pipeline");
+  DBLL_FAULT_POINT("opt.pipeline");
   const std::uint64_t start_ns = obs::Tracer::NowNs();
+
+  DBLL_TRY_STATUS(VerifyGate(*bundle.module, ErrorKind::kLift,
+                             "after lift/specialization (pre-optimization)"));
 
   // thread_local keeps the compile service's workers lock-free here; the
   // handful of (level, preset) combos in use bounds the cache size.
@@ -120,6 +146,8 @@ Status RunPipeline(ModuleBundle& bundle) {
     DBLL_TRACE_SPAN("optimize.run");
     DBLL_TRY_STATUS(slot->Run(*bundle.module));
   }
+  DBLL_TRY_STATUS(
+      VerifyGate(*bundle.module, ErrorKind::kJit, "after optimization"));
   bundle.optimized = true;
   obs::Registry::Default()
       .GetHistogram("opt.wall_ns")

@@ -4,9 +4,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <random>
+#include <string>
+#include <thread>
 #include <utility>
 
+#include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
 
 namespace dbll::runtime {
 
@@ -33,7 +38,15 @@ struct CacheMetrics {
   obs::Counter& lift_ns;
   obs::Counter& opt_ns;
   obs::Counter& jit_ns;
+  obs::Counter& tier1_ns;
   obs::Counter& installs;
+  obs::Counter& tier0_fail;
+  obs::Counter& tier1_serve;
+  obs::Counter& tier2_serve;
+  obs::Counter& negative_hit;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& queue_rejected;
   obs::Histogram& queue_wait_ns;
   obs::Histogram& install_ns;
 
@@ -49,7 +62,15 @@ struct CacheMetrics {
                               r.GetCounter("cache.lift_ns"),
                               r.GetCounter("cache.opt_ns"),
                               r.GetCounter("cache.jit_ns"),
+                              r.GetCounter("cache.tier1_ns"),
                               r.GetCounter("cache.installs"),
+                              r.GetCounter("fallback.tier0_fail"),
+                              r.GetCounter("fallback.tier1_serve"),
+                              r.GetCounter("fallback.tier2_serve"),
+                              r.GetCounter("fallback.negative_hit"),
+                              r.GetCounter("fallback.retries"),
+                              r.GetCounter("fallback.timeouts"),
+                              r.GetCounter("cache.queue_rejected"),
                               r.GetHistogram("cache.queue_wait_ns"),
                               r.GetHistogram("cache.install_ns")};
     }();
@@ -57,51 +78,97 @@ struct CacheMetrics {
   }
 };
 
+/// Decorrelated backoff before a transient-failure retry: uniform in
+/// [base, 3*base] ms, capped at 50ms so a retry can never stall the queue
+/// for long. Per-thread PRNG; the seed does not need to be reproducible
+/// (only the *decision* to retry is deterministic, the jitter is not).
+std::uint32_t BackoffMs(std::uint32_t base_ms) {
+  if (base_ms == 0) return 0;
+  static thread_local std::mt19937_64 rng(
+      0xdb11b0ffULL ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  std::uniform_int_distribution<std::uint32_t> dist(base_ms, 3 * base_ms);
+  std::uint32_t ms = dist(rng);
+  return ms > 50 ? 50u : ms;
+}
+
 }  // namespace
 
 /// Shared state of one cache entry. `target` starts as the generic entry and
 /// is atomically swapped to the specialized one; readers on hot paths touch
 /// nothing else. The mutex/cv pair only serves blocking waiters.
+///
+/// `generation` implements straggler discard: the deadline monitor bumps it
+/// when it takes a wedged compile over, so the worker's eventual Finish()
+/// (carrying the generation it started with) is rejected and cannot clobber
+/// the already-installed fallback.
 struct FunctionHandle::Slot {
   std::atomic<std::uint64_t> target{0};
   std::atomic<std::uint8_t> state{
       static_cast<std::uint8_t>(FunctionHandle::State::kPending)};
+  std::atomic<std::uint8_t> tier{static_cast<std::uint8_t>(Tier::kGeneric)};
+  std::atomic<std::uint32_t> generation{0};
   std::uint64_t generic = 0;
 
   mutable std::mutex mutex;
   std::condition_variable cv;
-  Error error;       // written once before the terminal state is published
-  StageTimes times;  // ditto
+  std::vector<Error> errors;  // per-tier failure chain, root cause first
+  StageTimes times;           // written once before the terminal state
 
-  void Finish(FunctionHandle::State terminal, std::uint64_t entry,
-              Error err, StageTimes stage_times) {
+  /// Publishes a terminal state iff `expected_generation` still matches (and
+  /// the slot is still pending). Returns false when the result was discarded
+  /// -- the monitor degraded this slot while the caller was computing.
+  bool Finish(std::uint32_t expected_generation,
+              FunctionHandle::State terminal, Tier serving_tier,
+              std::uint64_t entry, std::vector<Error> chain,
+              StageTimes stage_times) {
     {
       // The stores happen under the mutex so a waiter cannot check the state
       // and park between them and the notify; lock-free target()/state()
-      // readers are unaffected.
+      // readers are unaffected. The generation check shares the same mutex
+      // with the monitor's bump, so take-over and finish serialize cleanly.
       std::lock_guard<std::mutex> lock(mutex);
-      error = std::move(err);
+      if (generation.load(std::memory_order_relaxed) != expected_generation) {
+        return false;
+      }
+      if (static_cast<FunctionHandle::State>(
+              state.load(std::memory_order_relaxed)) !=
+          FunctionHandle::State::kPending) {
+        return false;
+      }
+      errors = std::move(chain);
       times = stage_times;
       if (terminal == FunctionHandle::State::kSpecialized) {
         // The swap: from now on every target() reader calls specialized code.
         target.store(entry, std::memory_order_release);
       }
+      tier.store(static_cast<std::uint8_t>(serving_tier),
+                 std::memory_order_release);
       state.store(static_cast<std::uint8_t>(terminal),
                   std::memory_order_release);
     }
     cv.notify_all();
+    return true;
   }
 };
 
 std::uint64_t FunctionHandle::target() const {
+  if (!slot_) return 0;
   return slot_->target.load(std::memory_order_acquire);
 }
 
 FunctionHandle::State FunctionHandle::state() const {
+  if (!slot_) return State::kFailed;
   return static_cast<State>(slot_->state.load(std::memory_order_acquire));
 }
 
+Tier FunctionHandle::tier() const {
+  if (!slot_) return Tier::kGeneric;
+  return static_cast<Tier>(slot_->tier.load(std::memory_order_acquire));
+}
+
 std::uint64_t FunctionHandle::wait() const {
+  if (!slot_) return 0;
   std::unique_lock<std::mutex> lock(slot_->mutex);
   slot_->cv.wait(lock, [&] { return state() != State::kPending; });
   lock.unlock();
@@ -109,11 +176,23 @@ std::uint64_t FunctionHandle::wait() const {
 }
 
 Error FunctionHandle::error() const {
+  if (!slot_) {
+    return Error(ErrorKind::kBadConfig,
+                 "invalid (default-constructed) FunctionHandle");
+  }
   std::lock_guard<std::mutex> lock(slot_->mutex);
-  return slot_->error;
+  if (slot_->errors.empty()) return Error();
+  return slot_->errors.front();
+}
+
+std::vector<Error> FunctionHandle::error_chain() const {
+  if (!slot_) return {};
+  std::lock_guard<std::mutex> lock(slot_->mutex);
+  return slot_->errors;
 }
 
 StageTimes FunctionHandle::times() const {
+  if (!slot_) return {};
   std::lock_guard<std::mutex> lock(slot_->mutex);
   return slot_->times;
 }
@@ -126,6 +205,7 @@ CompileService::CompileService(Options options) : options_(options) {
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  monitor_ = std::thread([this] { MonitorLoop(); });
 }
 
 CompileService::~CompileService() {
@@ -135,20 +215,26 @@ CompileService::~CompileService() {
     // Jobs never started still have waiters parked on their slots: fail them
     // so wait() cannot deadlock against a dead pool.
     for (Job& job : queue_) {
-      job.slot->Finish(FunctionHandle::State::kFailed, 0,
-                       Error(ErrorKind::kInternal,
-                             "compile service shut down before compiling"),
-                       StageTimes{});
+      job.slot->Finish(
+          job.slot->generation.load(std::memory_order_relaxed),
+          FunctionHandle::State::kFailed, Tier::kGeneric, 0,
+          {Error(ErrorKind::kInternal,
+                 "compile service shut down before compiling")},
+          StageTimes{});
     }
     queue_.clear();
   }
   work_cv_.notify_all();
+  monitor_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  monitor_.join();
 }
 
 FunctionHandle CompileService::Request(const CompileRequest& request) {
   SpecKey key(request);
   std::shared_ptr<FunctionHandle::Slot> slot;
+  bool rejected = false;
+  Error reject_error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = table_.find(key);
@@ -172,12 +258,55 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
     slot = std::make_shared<FunctionHandle::Slot>();
     slot->generic = request.address;
     slot->target.store(request.address, std::memory_order_release);
-    lru_.push_front(key);
-    table_.emplace(std::move(key), TableEntry{slot, lru_.begin()});
-    EvictIfNeeded();
-    queue_.push_back(Job{request, slot, NowNs()});
+
+    // Admission control happens *before* the table insert: a rejected
+    // request must not pin its failure into the cache -- the next request
+    // for the same key deserves a fresh try once the queue drains.
+    if (fault::AnyArmed()) {
+      if (auto injected = fault::Hit("cache.enqueue")) {
+        rejected = true;
+        reject_error = *std::move(injected);
+      }
+    }
+    if (!rejected && options_.max_queue != 0 &&
+        queue_.size() >= options_.max_queue) {
+      rejected = true;
+      ++stats_.queue_rejected;
+      CacheMetrics::Get().queue_rejected.Add(1);
+      reject_error = Error(
+          ErrorKind::kResourceLimit,
+          "compile queue is full (max_queue=" +
+              std::to_string(options_.max_queue) +
+              "); serving the generic entry",
+          request.address);
+    }
+    if (!rejected) {
+      lru_.push_front(key);
+      table_.emplace(key, TableEntry{slot, lru_.begin()});
+      EvictIfNeeded();
+      Job job;
+      job.request = request;
+      job.slot = slot;
+      job.key = std::move(key);
+      job.enqueue_ns = NowNs();
+      job.deadline_ms = request.deadline_ms != 0
+                            ? request.deadline_ms
+                            : options_.default_deadline_ms;
+      auto negative = negative_.find(job.key);
+      if (negative != negative_.end()) {
+        job.skip_tier0 = true;
+        job.negative_error = negative->second;
+        ++stats_.negative_hits;
+        CacheMetrics::Get().negative_hit.Add(1);
+      }
+      queue_.push_back(std::move(job));
+    }
   }
-  work_cv_.notify_one();
+  if (rejected) {
+    RejectImmediately(slot, std::move(reject_error));
+  } else {
+    work_cv_.notify_one();
+  }
   return FunctionHandle(slot);
 }
 
@@ -202,6 +331,11 @@ void CompileService::Clear() {
   CacheMetrics::Get().evictions.Add(table_.size());
   table_.clear();
   lru_.clear();
+}
+
+void CompileService::set_default_deadline_ms(std::uint32_t deadline_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.default_deadline_ms = deadline_ms;
 }
 
 CacheStats CompileService::stats() const {
@@ -261,20 +395,9 @@ void CompileService::WorkerLoop() {
   }
 }
 
-void CompileService::CompileOne(Job& job) {
-  DBLL_TRACE_SPAN("cache.compile");
-  const CompileRequest& request = job.request;
-  StageTimes times;
+Error CompileService::TryTier0(const CompileRequest& request,
+                               StageTimes& times, std::uint64_t* entry) {
   Error failure;
-
-  // How long the job sat in the queue behind other compiles. The interval
-  // starts on the requesting thread and ends here on the worker, so it is
-  // recorded manually rather than with an RAII span.
-  const std::uint64_t dequeue_ns = NowNs();
-  const std::uint64_t queue_wait_ns = dequeue_ns - job.enqueue_ns;
-  obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
-                                      queue_wait_ns);
-  CacheMetrics::Get().queue_wait_ns.Record(queue_wait_ns);
 
   // Stage 1: decode + lift (+ IR-level specialization, which mutates the
   // pre-optimization module and is therefore part of this stage).
@@ -297,14 +420,13 @@ void CompileService::CompileOne(Job& job) {
       }
     }
   }
-  times.lift_ns = NowNs() - t0;
+  times.lift_ns += NowNs() - t0;
 
   // Stage 2: optimization pipeline.
-  std::uint64_t entry = 0;
   if (failure.ok()) {
     const std::uint64_t t1 = NowNs();
     Status status = lifted->Optimize();
-    times.opt_ns = NowNs() - t1;
+    times.opt_ns += NowNs() - t1;
     if (!status.ok()) failure = status.error();
 
     // Stage 3: JIT codegen. Module installation into the shared LLJIT
@@ -313,42 +435,300 @@ void CompileService::CompileOne(Job& job) {
       const std::uint64_t t2 = NowNs();
       std::lock_guard<std::mutex> jit_lock(jit_mutex_);
       auto compiled = lifted->Compile(jit_);
-      times.jit_ns = NowNs() - t2;
+      times.jit_ns += NowNs() - t2;
       if (compiled.has_value()) {
-        entry = *compiled;
+        *entry = *compiled;
       } else {
         failure = std::move(compiled).error();
       }
     }
   }
+  return failure;
+}
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.compiles;
-    stats_.stage_total.lift_ns += times.lift_ns;
-    stats_.stage_total.opt_ns += times.opt_ns;
-    stats_.stage_total.jit_ns += times.jit_ns;
-    if (!failure.ok()) {
-      ++stats_.failures;
-      last_error_ = failure;
+void CompileService::CompileOne(Job& job) {
+  DBLL_TRACE_SPAN("cache.compile");
+  const CompileRequest& request = job.request;
+  CacheMetrics& metrics = CacheMetrics::Get();
+  StageTimes times;
+  std::vector<Error> chain;
+  const std::uint32_t gen =
+      job.slot->generation.load(std::memory_order_acquire);
+
+  // How long the job sat in the queue behind other compiles. The interval
+  // starts on the requesting thread and ends here on the worker, so it is
+  // recorded manually rather than with an RAII span.
+  const std::uint64_t dequeue_ns = NowNs();
+  const std::uint64_t queue_wait_ns = dequeue_ns - job.enqueue_ns;
+  obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
+                                      queue_wait_ns);
+  metrics.queue_wait_ns.Record(queue_wait_ns);
+
+  std::uint64_t entry = 0;
+  bool tier0_ok = false;
+  if (job.skip_tier0) {
+    // Negative-cache hit: the deterministic Tier-0 failure was remembered at
+    // Request time; go straight to the fallback without touching LLVM.
+    chain.push_back(job.negative_error);
+  } else {
+    // Register with the deadline monitor for the whole Tier-0 effort
+    // (including the one transient retry).
+    bool watched = false;
+    if (job.deadline_ms > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.push_front(
+          InFlight{job.slot, request,
+                   NowNs() + std::uint64_t{job.deadline_ms} * 1'000'000ULL,
+                   job.deadline_ms, false});
+      watched = true;
+      monitor_cv_.notify_one();
+    }
+
+    auto account_attempt = [&](const StageTimes& attempt,
+                               const Error& failure) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.compiles;
+        stats_.stage_total.lift_ns += attempt.lift_ns;
+        stats_.stage_total.opt_ns += attempt.opt_ns;
+        stats_.stage_total.jit_ns += attempt.jit_ns;
+        if (!failure.ok()) ++stats_.tier0_failures;
+      }
+      metrics.compiles.Add(1);
+      metrics.lift_ns.Add(attempt.lift_ns);
+      metrics.opt_ns.Add(attempt.opt_ns);
+      metrics.jit_ns.Add(attempt.jit_ns);
+      if (!failure.ok()) metrics.tier0_fail.Add(1);
+    };
+
+    StageTimes attempt;
+    Error failure = TryTier0(request, attempt, &entry);
+    account_attempt(attempt, failure);
+    times.lift_ns += attempt.lift_ns;
+    times.opt_ns += attempt.opt_ns;
+    times.jit_ns += attempt.jit_ns;
+
+    if (!failure.ok() && IsTransient(failure.kind())) {
+      // One retry with decorrelated backoff: transient failures (resource
+      // pressure) are the one class where trying again can help.
+      chain.push_back(failure);
+      const std::uint32_t backoff = BackoffMs(options_.retry_backoff_ms);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.retries;
+      }
+      metrics.retries.Add(1);
+      StageTimes retry_attempt;
+      entry = 0;
+      failure = TryTier0(request, retry_attempt, &entry);
+      account_attempt(retry_attempt, failure);
+      times.lift_ns += retry_attempt.lift_ns;
+      times.opt_ns += retry_attempt.opt_ns;
+      times.jit_ns += retry_attempt.jit_ns;
+      if (failure.ok()) {
+        tier0_ok = true;  // chain keeps the transient error as history
+      } else {
+        chain.push_back(failure);
+      }
+    } else if (!failure.ok()) {
+      chain.push_back(failure);
+      if (IsDeterministic(failure.kind()) && options_.negative_capacity > 0) {
+        // This failure will recur on every identical request: remember it so
+        // a re-request (after eviction/Clear) skips Tier 0 entirely.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (negative_.size() >= options_.negative_capacity) {
+          negative_.clear();  // crude bound; correctness only needs "cached"
+        }
+        negative_.emplace(job.key, failure);
+      }
+    } else {
+      tier0_ok = true;
+    }
+
+    if (watched) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->slot == job.slot) {
+          inflight_.erase(it);
+          break;
+        }
+      }
+    }
+
+    // The monitor may have taken this slot over mid-compile (deadline
+    // overrun). The generation mismatch makes any Finish below a no-op; skip
+    // the degrade too -- the monitor already ran it.
+    if (job.slot->generation.load(std::memory_order_acquire) != gen) {
+      return;
     }
   }
-  CacheMetrics& metrics = CacheMetrics::Get();
-  metrics.compiles.Add(1);
-  metrics.lift_ns.Add(times.lift_ns);
-  metrics.opt_ns.Add(times.opt_ns);
-  metrics.jit_ns.Add(times.jit_ns);
-  if (!failure.ok()) metrics.failures.Add(1);
 
-  {
+  if (tier0_ok) {
     // The swap-install: publishing the terminal state and waking waiters.
     DBLL_TRACE_SPAN("cache.install");
     const std::uint64_t install_start_ns = NowNs();
-    job.slot->Finish(failure.ok() ? FunctionHandle::State::kSpecialized
-                                  : FunctionHandle::State::kFailed,
-                     entry, std::move(failure), times);
-    metrics.installs.Add(1);
-    metrics.install_ns.Record(NowNs() - install_start_ns);
+    if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
+                         Tier::kLlvm, entry, std::move(chain), times)) {
+      metrics.installs.Add(1);
+      metrics.install_ns.Record(NowNs() - install_start_ns);
+    }
+    return;
+  }
+
+  Degrade(job.slot, gen, request, std::move(chain), times);
+}
+
+void CompileService::Degrade(
+    const std::shared_ptr<FunctionHandle::Slot>& slot,
+    std::uint32_t expected_generation, const CompileRequest& request,
+    std::vector<Error> chain, StageTimes times) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  if (options_.tier1_fallback) {
+    const std::uint64_t t = NowNs();
+    auto tier1 = Tier1Rewrite(request);
+    times.tier1_ns += NowNs() - t;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.stage_total.tier1_ns += times.tier1_ns;
+    }
+    metrics.tier1_ns.Add(times.tier1_ns);
+    if (tier1.has_value()) {
+      const std::uint64_t entry = tier1->entry;
+      {
+        // The rewriter owns the emitted code buffer; park it on the service
+        // so the documented "code lives until the service is destroyed"
+        // lifetime holds for fallback code too (even across slot eviction).
+        std::lock_guard<std::mutex> lock(mutex_);
+        tier1_code_.push_back(std::move(tier1->rewriter));
+        ++stats_.tier1_serves;
+      }
+      metrics.tier1_serve.Add(1);
+      DBLL_TRACE_SPAN("cache.install");
+      const std::uint64_t install_start_ns = NowNs();
+      if (slot->Finish(expected_generation,
+                       FunctionHandle::State::kSpecialized, Tier::kDbrew,
+                       entry, std::move(chain), times)) {
+        metrics.installs.Add(1);
+        metrics.install_ns.Record(NowNs() - install_start_ns);
+      }
+      return;
+    }
+    chain.push_back(std::move(tier1).error());
+  }
+
+  // Tier 2: every tier exhausted; the handle pins the generic entry and the
+  // terminal state is kFailed, with the whole per-tier chain attached.
+  const Error root = chain.empty() ? Error(ErrorKind::kInternal,
+                                           "degraded with an empty chain")
+                                   : chain.front();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.tier2_serves;
+    ++stats_.failures;
+    last_error_ = root;
+  }
+  metrics.tier2_serve.Add(1);
+  metrics.failures.Add(1);
+  slot->Finish(expected_generation, FunctionHandle::State::kFailed,
+               Tier::kGeneric, 0, std::move(chain), times);
+}
+
+void CompileService::RejectImmediately(
+    const std::shared_ptr<FunctionHandle::Slot>& slot, Error error) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.tier2_serves;
+    ++stats_.failures;
+    last_error_ = error;
+  }
+  metrics.tier2_serve.Add(1);
+  metrics.failures.Add(1);
+  slot->Finish(slot->generation.load(std::memory_order_relaxed),
+               FunctionHandle::State::kFailed, Tier::kGeneric, 0,
+               {std::move(error)}, StageTimes{});
+}
+
+void CompileService::TakeOver(
+    const std::shared_ptr<FunctionHandle::Slot>& slot,
+    const CompileRequest& request, std::uint32_t deadline_ms) {
+  std::uint32_t new_generation;
+  {
+    // Serialize against the worker's Finish: whoever gets the slot mutex
+    // first wins. If the worker finished a hair before the deadline fired,
+    // its result stands and there is nothing to take over.
+    std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    if (static_cast<FunctionHandle::State>(
+            slot->state.load(std::memory_order_relaxed)) !=
+        FunctionHandle::State::kPending) {
+      return;
+    }
+    new_generation =
+        slot->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.timeouts;
+  }
+  CacheMetrics::Get().timeouts.Add(1);
+  Error timeout(ErrorKind::kTimeout,
+                "Tier-0 compile exceeded its " + std::to_string(deadline_ms) +
+                    "ms deadline; degrading",
+                request.address);
+  Degrade(slot, new_generation, request, {std::move(timeout)}, StageTimes{});
+}
+
+void CompileService::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    // Earliest pending deadline decides how long to sleep; no deadlines
+    // means sleeping until a worker registers one (or shutdown).
+    std::uint64_t next_deadline = 0;
+    for (const InFlight& flight : inflight_) {
+      if (flight.fired) continue;
+      if (next_deadline == 0 || flight.deadline_ns < next_deadline) {
+        next_deadline = flight.deadline_ns;
+      }
+    }
+    if (next_deadline == 0) {
+      monitor_cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t now = NowNs();
+    if (now < next_deadline) {
+      monitor_cv_.wait_for(lock,
+                           std::chrono::nanoseconds(next_deadline - now));
+      continue;
+    }
+    // Collect everything expired, then process outside mutex_ (the degrade
+    // runs a real DBrew rewrite). `fired` keeps an entry from being taken
+    // over twice; the owning worker still erases it on its way out.
+    struct Expired {
+      std::shared_ptr<FunctionHandle::Slot> slot;
+      CompileRequest request;
+      std::uint32_t deadline_ms;
+    };
+    std::vector<Expired> expired;
+    for (InFlight& flight : inflight_) {
+      if (!flight.fired && flight.deadline_ns <= now) {
+        flight.fired = true;
+        expired.push_back({flight.slot, flight.request, flight.deadline_ms});
+      }
+    }
+    // The degrades count as active work so WaitIdle() cannot return while a
+    // take-over is still installing the fallback.
+    active_jobs_ += static_cast<int>(expired.size());
+    lock.unlock();
+    for (Expired& e : expired) {
+      TakeOver(e.slot, e.request, e.deadline_ms);
+    }
+    lock.lock();
+    active_jobs_ -= static_cast<int>(expired.size());
+    if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
   }
 }
 

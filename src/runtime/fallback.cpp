@@ -1,0 +1,109 @@
+// dbll -- Tier-1 (plain DBrew) degradation path of the compile service
+// (see include/dbll/runtime/fallback.h for the tier chain design).
+#include "dbll/runtime/fallback.h"
+
+#include <cstring>
+
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/spec_cache.h"
+
+namespace dbll::runtime {
+
+std::string_view ToString(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kLlvm: return "tier0-llvm";
+    case Tier::kDbrew: return "tier1-dbrew";
+    case Tier::kGeneric: return "tier2-generic";
+  }
+  return "unknown";
+}
+
+bool IsTransient(ErrorKind kind) noexcept {
+  return kind == ErrorKind::kResourceLimit;
+}
+
+bool IsDeterministic(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kDecode:
+    case ErrorKind::kUnsupported:
+    case ErrorKind::kEncode:
+    case ErrorKind::kEmulate:
+    case ErrorKind::kLift:
+    case ErrorKind::kJit:
+    case ErrorKind::kBadConfig:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Maps a public (Signature-ordered) parameter index to the DBrew SetParam
+/// index, which counts GP argument registers only (rdi..r9). Mirrors the
+/// int/sse split of the lifter's FindWrapperSlot.
+Expected<int> GpParamIndex(const lift::Signature& signature, int index) {
+  if (index < 0 ||
+      static_cast<std::size_t>(index) >= signature.args.size()) {
+    return Error(ErrorKind::kBadConfig,
+                 "parameter index " + std::to_string(index) +
+                     " out of range for the request signature");
+  }
+  if (signature.args[static_cast<std::size_t>(index)] != lift::ArgKind::kInt) {
+    return Error(ErrorKind::kUnsupported,
+                 "DBrew can only fix integer/pointer register parameters; "
+                 "parameter " + std::to_string(index) + " is floating-point");
+  }
+  int gp_before = 0;
+  for (int i = 0; i < index; ++i) {
+    if (signature.args[static_cast<std::size_t>(i)] == lift::ArgKind::kInt) {
+      ++gp_before;
+    }
+  }
+  return gp_before;
+}
+
+}  // namespace
+
+Expected<Tier1Result> Tier1Rewrite(const CompileRequest& request) {
+  DBLL_TRACE_SPAN("fallback.tier1");
+  auto rewriter = std::make_unique<dbrew::Rewriter>(request.address);
+  for (const SpecAction& spec : request.specs) {
+    DBLL_TRY(int gp_index, GpParamIndex(request.signature, spec.index));
+    if (spec.kind == SpecAction::Kind::kParam) {
+      rewriter->SetParam(gp_index, spec.value);
+    } else {
+      // The LLVM tier redirects the parameter to a *copy* of the region
+      // taken at request time; DBrew reads the live original. The two are
+      // interchangeable only while the live contents still equal the copy.
+      if (spec.mem_addr == 0) {
+        return Error(ErrorKind::kUnsupported,
+                     "const-mem specialization carries no live source "
+                     "address; cannot degrade to a DBrew rewrite");
+      }
+      if (std::memcmp(reinterpret_cast<const void*>(spec.mem_addr),
+                      spec.bytes.data(), spec.bytes.size()) != 0) {
+        return Error(ErrorKind::kUnsupported,
+                     "const-mem region changed since the request was made; "
+                     "refusing a stale DBrew specialization",
+                     spec.mem_addr);
+      }
+      rewriter->SetParam(gp_index, spec.mem_addr);
+      rewriter->SetMemRange(spec.mem_addr, spec.mem_addr + spec.bytes.size());
+    }
+  }
+
+  auto entry = rewriter->Rewrite();
+  if (!entry && entry.error().kind() == ErrorKind::kResourceLimit) {
+    // The paper's suggested recovery, as in RewriteOrOriginal: enlarge the
+    // buffers and retry once before giving up on this tier.
+    rewriter->config().code_buffer_size *= 4;
+    rewriter->config().max_blocks *= 4;
+    entry = rewriter->Rewrite();
+  }
+  if (!entry) return std::move(entry).error();
+  return Tier1Result{*entry, std::move(rewriter)};
+}
+
+}  // namespace dbll::runtime

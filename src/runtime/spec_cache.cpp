@@ -21,6 +21,7 @@ CompileRequest& CompileRequest::FixConstMem(int index, const void* data,
   action.index = index;
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   action.bytes.assign(bytes, bytes + size);
+  action.mem_addr = reinterpret_cast<std::uint64_t>(data);
   specs.push_back(std::move(action));
   return *this;
 }

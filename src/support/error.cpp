@@ -16,6 +16,7 @@ std::string_view ToString(ErrorKind kind) noexcept {
     case ErrorKind::kResourceLimit: return "resource-limit";
     case ErrorKind::kBadConfig: return "bad-config";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kTimeout: return "timeout";
   }
   return "unknown";
 }

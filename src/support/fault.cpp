@@ -1,0 +1,237 @@
+// dbll -- fault-injection framework (see include/dbll/support/fault.h).
+#include "dbll/support/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace dbll::fault {
+
+namespace internal {
+std::atomic<int> g_armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::mt19937_64 rng;  // per-site, deterministically seeded at Arm()
+};
+
+struct Registry {
+  std::mutex mutex;
+  // std::less<> enables lookups by string_view without a temporary string.
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+/// Leaky function-local singleton: usable from static initializers (the env
+/// armer below) and from atexit-time code without ordering hazards.
+Registry& Reg() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+std::uint64_t SeedFor(std::string_view site) {
+  // FNV-1a of the site name XORed into a fixed seed: distinct sites get
+  // distinct, reproducible streams.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash ^ 0xdb11'fa17'0000'0000ULL;
+}
+
+/// Arms every directive found in $DBLL_FAULT before main() runs, so a plain
+/// `DBLL_FAULT=jit.compile:kJit:0 ./app` needs no code changes in the app.
+struct EnvArmer {
+  EnvArmer() {
+    const char* env = std::getenv("DBLL_FAULT");
+    if (env != nullptr && env[0] != '\0') ArmFromEnv(env);
+  }
+} g_env_armer;
+
+}  // namespace
+
+std::optional<ErrorKind> ParseErrorKind(std::string_view name) {
+  if (!name.empty() && name.front() == 'k') name.remove_prefix(1);
+  static constexpr std::pair<std::string_view, ErrorKind> kNames[] = {
+      {"None", ErrorKind::kNone},
+      {"none", ErrorKind::kNone},
+      {"ok", ErrorKind::kNone},
+      {"Decode", ErrorKind::kDecode},
+      {"decode", ErrorKind::kDecode},
+      {"Unsupported", ErrorKind::kUnsupported},
+      {"unsupported", ErrorKind::kUnsupported},
+      {"Encode", ErrorKind::kEncode},
+      {"encode", ErrorKind::kEncode},
+      {"Emulate", ErrorKind::kEmulate},
+      {"emulate", ErrorKind::kEmulate},
+      {"Lift", ErrorKind::kLift},
+      {"lift", ErrorKind::kLift},
+      {"Jit", ErrorKind::kJit},
+      {"jit", ErrorKind::kJit},
+      {"ResourceLimit", ErrorKind::kResourceLimit},
+      {"resource-limit", ErrorKind::kResourceLimit},
+      {"BadConfig", ErrorKind::kBadConfig},
+      {"bad-config", ErrorKind::kBadConfig},
+      {"Internal", ErrorKind::kInternal},
+      {"internal", ErrorKind::kInternal},
+      {"Timeout", ErrorKind::kTimeout},
+      {"timeout", ErrorKind::kTimeout},
+  };
+  for (const auto& [candidate, kind] : kNames) {
+    if (candidate == name) return kind;
+  }
+  return std::nullopt;
+}
+
+void Arm(std::string_view site, Spec spec) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) {
+    it = reg.sites.emplace(std::string(site), SiteState{}).first;
+    internal::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second.spec = spec;
+  it->second.hits = 0;
+  it->second.fires = 0;
+  it->second.rng.seed(SeedFor(site));
+}
+
+bool ArmFromString(std::string_view directive, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  // site:kind[:after_n[:probability]]
+  const std::size_t kind_sep = directive.find(':');
+  if (kind_sep == std::string_view::npos || kind_sep == 0) {
+    return fail("expected site:kind[:after_n[:probability]], got \"" +
+                std::string(directive) + "\"");
+  }
+  const std::string_view site = directive.substr(0, kind_sep);
+  std::string_view rest = directive.substr(kind_sep + 1);
+  const std::size_t n_sep = rest.find(':');
+  const std::string_view kind_name = rest.substr(0, n_sep);
+  const auto kind = ParseErrorKind(kind_name);
+  if (!kind.has_value()) {
+    return fail("unknown error kind \"" + std::string(kind_name) + "\"");
+  }
+  Spec spec;
+  spec.kind = *kind;
+  if (n_sep != std::string_view::npos) {
+    rest.remove_prefix(n_sep + 1);
+    const std::size_t p_sep = rest.find(':');
+    const std::string after(rest.substr(0, p_sep));
+    char* end = nullptr;
+    spec.after_n = std::strtoull(after.c_str(), &end, 10);
+    if (end == after.c_str() || *end != '\0') {
+      return fail("after_n is not a number: \"" + after + "\"");
+    }
+    if (p_sep != std::string_view::npos) {
+      const std::string prob(rest.substr(p_sep + 1));
+      end = nullptr;
+      spec.probability = std::strtod(prob.c_str(), &end);
+      if (end == prob.c_str() || *end != '\0' || spec.probability < 0.0 ||
+          spec.probability > 1.0) {
+        return fail("probability must be in [0,1]: \"" + prob + "\"");
+      }
+    }
+  }
+  Arm(site, spec);
+  return true;
+}
+
+int ArmFromEnv(std::string_view env) {
+  int armed = 0;
+  while (!env.empty()) {
+    const std::size_t comma = env.find(',');
+    const std::string_view directive = env.substr(0, comma);
+    if (!directive.empty()) {
+      std::string error;
+      if (ArmFromString(directive, &error)) {
+        ++armed;
+      } else {
+        std::fprintf(stderr, "dbll: ignoring DBLL_FAULT directive: %s\n",
+                     error.c_str());
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    env.remove_prefix(comma + 1);
+  }
+  return armed;
+}
+
+void Disarm(std::string_view site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  reg.sites.erase(it);
+  internal::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  internal::g_armed_sites.fetch_sub(static_cast<int>(reg.sites.size()),
+                                    std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+std::uint64_t HitCount(std::string_view site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FireCount(std::string_view site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::optional<Error> Hit(std::string_view site) {
+  std::uint32_t delay_ms = 0;
+  std::optional<Error> injected;
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return std::nullopt;
+    SiteState& state = it->second;
+    const std::uint64_t ordinal = state.hits++;
+    if (ordinal < state.spec.after_n) return std::nullopt;
+    if (state.spec.max_fires != 0 && state.fires >= state.spec.max_fires) {
+      return std::nullopt;
+    }
+    if (state.spec.probability < 1.0) {
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      if (uniform(state.rng) >= state.spec.probability) return std::nullopt;
+    }
+    ++state.fires;
+    delay_ms = state.spec.delay_ms;
+    if (state.spec.kind != ErrorKind::kNone) {
+      injected = Error(state.spec.kind,
+                       "injected fault at site " + std::string(site));
+    }
+  }
+  // The stall happens outside the registry lock so concurrent fault points
+  // on other sites are not serialized behind a sleeping one.
+  if (delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
+}
+
+}  // namespace dbll::fault

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "dbll/support/fault.h"
+
 namespace dbll::x86 {
 namespace {
 
@@ -1230,6 +1232,7 @@ Expected<Instr> DecodeTwoByte(Cursor& cur, Builder& b) {
 
 Expected<Instr> Decoder::DecodeOne(std::span<const std::uint8_t> code,
                                    std::uint64_t address) {
+  DBLL_FAULT_POINT("decode.insn");
   Cursor cur{code.data(), code.size(), 0, address};
 
   // Legacy prefixes, then REX.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "dbll/support/fault.h"
+
 namespace dbll::x86 {
 namespace {
 
@@ -553,6 +555,7 @@ Expected<std::size_t> EncodeShift(const Instr& instr,
 Expected<std::size_t> Encoder::Encode(const Instr& instr,
                                       std::span<std::uint8_t> buffer,
                                       std::uint64_t address) {
+  DBLL_FAULT_POINT("encode.insn");
   using M = Mnemonic;
   switch (instr.mnemonic) {
     case M::kNop: {

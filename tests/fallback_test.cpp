@@ -1,0 +1,330 @@
+// dbll tests -- the tiered fallback pipeline (fallback.h) and the fault
+// injection framework (support/fault.h) that makes its paths reachable:
+// Tier-0 -> Tier-1 -> Tier-2 degradation, transient retry, negative caching,
+// deadline timeouts with straggler discard, queue-overflow admission control,
+// the null-handle hardening, and the dbll_fault_* / dbll_handle_tier C API.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/support/fault.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+CompileRequest ArithRequest(lift::LiftConfig config = {}) {
+  return CompileRequest(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                        lift::Signature::Ints(2), std::move(config));
+}
+
+std::uint64_t ObsValue(const char* name) {
+  return obs::Registry::Default().Value(name);
+}
+
+/// Every test disarms on both ends: a leaked armed site would make an
+/// unrelated test fail mysteriously.
+class FallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DisarmAll(); }
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_F(FallbackTest, LiftFaultDegradesToTier1) {
+  const std::uint64_t tier1_before = ObsValue("fallback.tier1_serve");
+  fault::Arm("lift.function", {ErrorKind::kLift});
+
+  CompileService service;
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(handle.tier(), Tier::kDbrew);
+  ASSERT_EQ(handle.error_chain().size(), 1u);
+  EXPECT_EQ(handle.error_chain()[0].kind(), ErrorKind::kLift);
+  EXPECT_GT(handle.times().tier1_ns, 0u);
+
+  // The fallback code is a real specialization: parameter 0 is burned in.
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(100, 7), c_arith_mix(5, 7));
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.tier0_failures, 1u);
+  EXPECT_EQ(stats.tier1_serves, 1u);
+  EXPECT_EQ(stats.tier2_serves, 0u);
+  EXPECT_EQ(stats.failures, 0u);  // a served handle is not a failure
+  EXPECT_EQ(ObsValue("fallback.tier1_serve"), tier1_before + 1);
+}
+
+TEST_F(FallbackTest, RewriteFaultExhaustsTiersToTier2) {
+  fault::Arm("lift.function", {ErrorKind::kLift});
+  fault::Arm("rewrite.function", {ErrorKind::kEncode});
+
+  CompileService service;
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  const std::uint64_t target = handle.wait();
+
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kFailed);
+  EXPECT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(target, request.address);  // pinned to the generic entry
+  ASSERT_EQ(handle.error_chain().size(), 2u);
+  EXPECT_EQ(handle.error_chain()[0].kind(), ErrorKind::kLift);
+  EXPECT_EQ(handle.error_chain()[1].kind(), ErrorKind::kEncode);
+  EXPECT_EQ(handle.error().kind(), ErrorKind::kLift);  // root cause first
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.tier2_serves, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(service.last_error().kind(), ErrorKind::kLift);
+}
+
+TEST_F(FallbackTest, TransientFailureRetriesThenSucceeds) {
+  // max_fires = 1: the first Tier-0 attempt fails with the transient kind,
+  // the in-worker retry passes the (now exhausted) site cleanly.
+  fault::Spec spec;
+  spec.kind = ErrorKind::kResourceLimit;
+  spec.max_fires = 1;
+  fault::Arm("lift.function", spec);
+
+  CompileService service;
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(handle.tier(), Tier::kLlvm);  // Tier 0 after all, via the retry
+  ASSERT_EQ(handle.error_chain().size(), 1u);
+  EXPECT_EQ(handle.error_chain()[0].kind(), ErrorKind::kResourceLimit);
+  EXPECT_EQ(fault::FireCount("lift.function"), 1u);
+
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(100, 7), c_arith_mix(5, 7));
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.compiles, 2u);  // both Tier-0 attempts count
+  EXPECT_EQ(stats.tier0_failures, 1u);
+  EXPECT_EQ(stats.tier1_serves, 0u);
+}
+
+TEST_F(FallbackTest, DeterministicFailureIsNegativeCached) {
+  fault::Arm("lift.function", {ErrorKind::kLift});
+
+  CompileService service;
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle first = service.Request(request);
+  first.wait();
+  EXPECT_EQ(first.tier(), Tier::kDbrew);
+  EXPECT_EQ(service.stats().compiles, 1u);
+
+  // Forget the table entry AND remove the fault: if the second request
+  // re-ran Tier 0 it would now succeed -- serving Tier 1 again proves the
+  // negative cache skipped LLVM entirely.
+  service.Clear();
+  fault::DisarmAll();
+
+  FunctionHandle second = service.Request(request);
+  second.wait();
+  EXPECT_EQ(second.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(second.tier(), Tier::kDbrew);
+  ASSERT_EQ(second.error_chain().size(), 1u);
+  EXPECT_EQ(second.error_chain()[0].kind(), ErrorKind::kLift);
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.compiles, 1u);  // LLVM ran exactly once, for the first try
+  EXPECT_EQ(stats.tier1_serves, 2u);
+}
+
+TEST_F(FallbackTest, DeadlineTimeoutDegradesAndDiscardsStraggler) {
+  // kNone + delay: the JIT stage stalls 400ms and then *succeeds* -- the
+  // classic straggler. The 60ms deadline must degrade to Tier 1 long before,
+  // and the late Tier-0 result must not clobber the installed fallback.
+  fault::Spec stall;
+  stall.kind = ErrorKind::kNone;
+  stall.delay_ms = 400;
+  fault::Arm("jit.compile", stall);
+
+  CompileService service;
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  request.deadline_ms = 60;
+  const auto start = std::chrono::steady_clock::now();
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  const auto waited = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(handle.tier(), Tier::kDbrew);
+  ASSERT_GE(handle.error_chain().size(), 1u);
+  EXPECT_EQ(handle.error_chain()[0].kind(), ErrorKind::kTimeout);
+  // Served by the monitor at ~deadline, not by the 400ms straggler.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            350);
+
+  const std::uint64_t installed = handle.target();
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(100, 7), c_arith_mix(5, 7));
+
+  // Let the wedged Tier-0 compile finish; its late result must be discarded.
+  service.WaitIdle();
+  EXPECT_EQ(handle.target(), installed);
+  EXPECT_EQ(handle.tier(), Tier::kDbrew);
+  EXPECT_EQ(service.stats().timeouts, 1u);
+}
+
+TEST_F(FallbackTest, QueueOverflowServesTier2Immediately) {
+  // Slow every compile down (the lift stage stalls 150ms without failing) so
+  // the single worker is provably busy while we fill the 1-slot queue.
+  fault::Spec stall;
+  stall.kind = ErrorKind::kNone;
+  stall.delay_ms = 150;
+  fault::Arm("lift.function", stall);
+
+  CompileService::Options options;
+  options.workers = 1;
+  options.max_queue = 1;
+  CompileService service(options);
+
+  CompileRequest a = ArithRequest();
+  a.FixParam(0, 1);
+  CompileRequest b = ArithRequest();
+  b.FixParam(0, 2);
+  CompileRequest c = ArithRequest();
+  c.FixParam(0, 3);
+
+  FunctionHandle ha = service.Request(a);
+  // Give the worker time to dequeue `a` (it then stalls inside the lift).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  FunctionHandle hb = service.Request(b);  // fills the queue
+  FunctionHandle hc = service.Request(c);  // bounced
+
+  // The rejection is synchronous: no wait needed for a terminal state.
+  EXPECT_EQ(hc.state(), FunctionHandle::State::kFailed);
+  EXPECT_EQ(hc.tier(), Tier::kGeneric);
+  EXPECT_EQ(hc.wait(), c.address);
+  ASSERT_EQ(hc.error_chain().size(), 1u);
+  EXPECT_EQ(hc.error_chain()[0].kind(), ErrorKind::kResourceLimit);
+  EXPECT_EQ(service.stats().queue_rejected, 1u);
+  // Rejected requests are not cached: the table only holds a and b.
+  EXPECT_EQ(service.size(), 2u);
+
+  // The admitted requests still complete normally.
+  ha.wait();
+  hb.wait();
+  EXPECT_EQ(ha.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(hb.state(), FunctionHandle::State::kSpecialized);
+  service.WaitIdle();
+}
+
+TEST_F(FallbackTest, NullHandleAccessorsAreSafe) {
+  FunctionHandle handle;  // default-constructed: no slot behind it
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(handle.target(), 0u);
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kFailed);
+  EXPECT_FALSE(handle.specialized());
+  EXPECT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(handle.wait(), 0u);  // must not block or crash
+  EXPECT_EQ(handle.error().kind(), ErrorKind::kBadConfig);
+  EXPECT_TRUE(handle.error_chain().empty());
+  EXPECT_EQ(handle.times().total_ns(), 0u);
+}
+
+// --- fault framework surface ------------------------------------------------
+
+TEST_F(FallbackTest, FaultDirectiveParsing) {
+  EXPECT_TRUE(fault::ArmFromString("jit.compile:kJit"));
+  EXPECT_TRUE(fault::ArmFromString("decode.insn:decode:100:0.5"));
+  EXPECT_TRUE(fault::ArmFromString("x:resource-limit:3"));
+
+  std::string error;
+  EXPECT_FALSE(fault::ArmFromString("nonsense", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fault::ArmFromString("site:kBogusKind", &error));
+  EXPECT_FALSE(fault::ArmFromString("site:kJit:notanumber", &error));
+  EXPECT_FALSE(fault::ArmFromString("site:kJit:0:2.5", &error));  // p > 1
+
+  // Env string: malformed entries are skipped, valid ones armed.
+  fault::DisarmAll();
+  EXPECT_EQ(fault::ArmFromEnv("a:kJit,b:bogus,c:kLift:2"), 2);
+  EXPECT_TRUE(fault::AnyArmed());
+  fault::DisarmAll();
+  EXPECT_FALSE(fault::AnyArmed());
+}
+
+TEST_F(FallbackTest, FaultCountersAndAfterN) {
+  fault::Spec spec;
+  spec.kind = ErrorKind::kDecode;
+  spec.after_n = 2;
+  fault::Arm("test.site", spec);
+
+  EXPECT_FALSE(fault::Hit("test.site").has_value());  // hit 0: skipped
+  EXPECT_FALSE(fault::Hit("test.site").has_value());  // hit 1: skipped
+  auto injected = fault::Hit("test.site");            // hit 2: fires
+  ASSERT_TRUE(injected.has_value());
+  EXPECT_EQ(injected->kind(), ErrorKind::kDecode);
+  EXPECT_EQ(fault::HitCount("test.site"), 3u);
+  EXPECT_EQ(fault::FireCount("test.site"), 1u);
+
+  fault::Disarm("test.site");
+  EXPECT_FALSE(fault::Hit("test.site").has_value());
+  EXPECT_EQ(fault::FireCount("test.site"), 0u);  // counters die with the arm
+}
+
+// --- C API ------------------------------------------------------------------
+
+// The issue's acceptance scenario, end to end through the C surface: with
+// the JIT stage failing by injection, a specialization request still returns
+// a working callable served by the DBrew tier.
+TEST_F(FallbackTest, CApiFaultArmAndTier) {
+  const std::uint64_t tier1_before = ObsValue("fallback.tier1_serve");
+  ASSERT_EQ(dbll_fault_arm("jit.compile", "kJit", 0), 0);
+  EXPECT_NE(dbll_fault_arm("jit.compile", "kNotAKind", 0), 0);
+
+  dbll_cache* cache = dbll_cache_new(1, 16);
+  dbll_cache_req* req = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, /*returns_value=*/1);
+  dbll_cache_req_setpar(req, 1, 5);  // 1-based, like dbrew_setpar
+
+  EXPECT_EQ(dbll_handle_tier(req), 1);  // served by the DBrew fallback
+  auto fn = reinterpret_cast<IntFn2>(dbll_cache_wait(req));
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(100, 7), c_arith_mix(5, 7));
+  EXPECT_EQ(ObsValue("fallback.tier1_serve"), tier1_before + 1);
+  EXPECT_GE(dbll_fault_fire_count("jit.compile"), 1u);
+
+  dbll_fault_disarm_all();
+  dbll_cache_req_free(req);
+  dbll_cache_free(cache);
+}
+
+TEST_F(FallbackTest, CApiDeadlineSetters) {
+  dbll_cache* cache = dbll_cache_new(1, 16);
+  dbll_cache_set_deadline_ms(cache, 5000);  // smoke: service-wide default
+  dbll_cache_req* req = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_set_deadline_ms(req, 10000);  // per-request override
+  auto fn = reinterpret_cast<IntFn2>(dbll_cache_wait(req));
+  EXPECT_EQ(dbll_handle_tier(req), 0);  // generous deadlines: Tier 0 serves
+  EXPECT_EQ(fn(4, 7), c_arith_mix(4, 7));
+  dbll_cache_req_free(req);
+  dbll_cache_free(cache);
+}
+
+}  // namespace
+}  // namespace dbll::runtime
