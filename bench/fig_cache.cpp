@@ -13,10 +13,15 @@
 // Results are printed and written to BENCH_cache.json (median/p95 ns per
 // request, breakeven call count) for scripts/check.sh and CI trending.
 // `--smoke` (or DBLL_BENCH_REPS) shrinks the repetition counts.
+//
+// A sixth section measures the static-analysis tentpole (flag liveness,
+// docs/static_analysis.md): Tier-0 lift wall time and pre-O3 IR size with
+// and without flag-liveness pruning, written to BENCH_analysis.json.
 #include <atomic>
 #include <cstring>
 #include <thread>
 
+#include "dbll/lift/lifter.h"
 #include "dbll/runtime/compile_service.h"
 #include "harness.h"
 
@@ -176,6 +181,66 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.compiles),
               static_cast<unsigned long long>(stats.failures));
 
+  // --- 6: flag-liveness pruning in the lifter -------------------------------
+  // Pre-O3 IR size and lift wall time for the paper's line kernel, with the
+  // static flag-liveness analysis on vs off (LiftConfig::flag_liveness).
+  const std::uint64_t line_entry =
+      reinterpret_cast<std::uint64_t>(&stencil_line_flat);
+  lift::LiftConfig flag_on;
+  flag_on.flag_liveness = true;
+  lift::LiftConfig flag_off;
+  flag_off.flag_liveness = false;
+  std::size_t ir_pruned = 0;
+  std::size_t ir_unpruned = 0;
+  std::vector<double> lift_on_ns;
+  std::vector<double> lift_off_ns;
+  bool analysis_ok = true;
+  for (int i = 0; i < reps; ++i) {
+    lift::Lifter lifter_on(flag_on);
+    Timer on_timer;
+    auto lifted_on = lifter_on.Lift(line_entry, KernelSignature());
+    lift_on_ns.push_back(on_timer.Seconds() * 1e9);
+    lift::Lifter lifter_off(flag_off);
+    Timer off_timer;
+    auto lifted_off = lifter_off.Lift(line_entry, KernelSignature());
+    lift_off_ns.push_back(off_timer.Seconds() * 1e9);
+    if (!lifted_on.has_value() || !lifted_off.has_value()) {
+      analysis_ok = false;
+      break;
+    }
+    ir_pruned = lifted_on->IrInstructionCount();
+    ir_unpruned = lifted_off->IrInstructionCount();
+  }
+  const double ir_reduction_pct =
+      ir_unpruned > 0
+          ? 100.0 * (1.0 - static_cast<double>(ir_pruned) /
+                               static_cast<double>(ir_unpruned))
+          : 0.0;
+  analysis_ok = analysis_ok && ir_pruned < ir_unpruned;
+  std::printf("flag liveness: pre-O3 IR %zu -> %zu instrs (-%.1f%%), "
+              "lift median %.0f ns (on) vs %.0f ns (off) %s\n\n",
+              ir_unpruned, ir_pruned, ir_reduction_pct, Median(lift_on_ns),
+              Median(lift_off_ns),
+              analysis_ok ? "(ok, pruning reduces IR)"
+                          : "(FAIL: no IR reduction)");
+
+  JsonObject analysis_json;
+  analysis_json.Put("kernel", "stencil_line_flat")
+      .Put("ir_instrs_unpruned", static_cast<std::uint64_t>(ir_unpruned))
+      .Put("ir_instrs_pruned", static_cast<std::uint64_t>(ir_pruned))
+      .Put("ir_reduction_pct", ir_reduction_pct)
+      .Put("lift_median_ns_flag_liveness_on", Median(lift_on_ns))
+      .Put("lift_median_ns_flag_liveness_off", Median(lift_off_ns))
+      .Put("reps", static_cast<std::uint64_t>(lift_on_ns.size()))
+      .Put("pruning_ok", analysis_ok);
+  const char* analysis_path = "BENCH_analysis.json";
+  if (WriteJsonFile(analysis_path, analysis_json)) {
+    std::printf("wrote %s\n", analysis_path);
+  } else {
+    std::printf("FAILED to write %s\n", analysis_path);
+    return 1;
+  }
+
   JsonObject json;
   json.Put("bench", "fig_cache").Put("reps", reps);
   JsonObject uncached;
@@ -226,5 +291,5 @@ int main(int argc, char** argv) {
     std::printf("FAILED to write %s\n", out_path);
     return 1;
   }
-  return speedup >= 100.0 && first_call_generic ? 0 : 2;
+  return speedup >= 100.0 && first_call_generic && analysis_ok ? 0 : 2;
 }

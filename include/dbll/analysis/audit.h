@@ -1,0 +1,80 @@
+// dbll -- lift-eligibility audit (static pre-flight for the tiered pipeline).
+//
+// A doomed Tier-0 attempt used to burn a full lift -> verify -> O3 run before
+// the negative cache (docs/robustness.md) learned anything. The auditor
+// classifies decoded instructions and CFG shapes the LLVM lifter cannot
+// handle *before* any LLVM work: CompileService consults it ahead of Tier-0,
+// routes kFatal functions straight to the DBrew tier, and seeds the negative
+// cache with the kUnsupported root cause. The dbll-lint tool prints the same
+// diagnostics with disassembly context for offline use.
+//
+// Counters: analysis.audits (entry points audited), analysis.diagnostics
+// (records produced), analysis.fatal (audits with at least one kFatal);
+// every audit runs under a DBLL_TRACE_SPAN("analysis.audit").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbll/x86/cfg.h"
+
+namespace dbll::analysis {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kFatal = 2 };
+
+enum class DiagKind : std::uint8_t {
+  kDecodeFailure,       ///< bytes are not a decodable instruction
+  kUnsupportedOpcode,   ///< decodes, but the lifter has no semantics for it
+  kIndirectJump,        ///< jump through register/memory: CFG undiscoverable
+  kIndirectCall,        ///< call through register/memory: lifter rejects
+  kMidInstructionJump,  ///< branch into the middle of an instruction
+  kJumpOutOfRange,      ///< branch target outside the provided buffer
+  kRipWrite,            ///< RIP-relative memory write (position-dependent)
+  kResourceLimit,       ///< function exceeds the decoded-instruction budget
+};
+
+const char* ToString(Severity severity) noexcept;
+const char* ToString(DiagKind kind) noexcept;
+
+/// One classified finding, anchored at a code address.
+struct Diagnostic {
+  std::uint64_t site = 0;
+  Severity severity = Severity::kInfo;
+  DiagKind kind = DiagKind::kDecodeFailure;
+  std::string message;
+};
+
+struct AuditReport {
+  std::vector<Diagnostic> diagnostics;
+
+  Severity worst() const;
+  /// True when nothing blocks a Tier-0 (LLVM) lift attempt.
+  bool lift_eligible() const { return worst() != Severity::kFatal; }
+  const Diagnostic* first_fatal() const;
+};
+
+struct AuditOptions {
+  x86::CfgOptions cfg;
+  /// Audit direct call targets transitively (the lifter lifts them too when
+  /// LiftConfig::lift_calls is set, so a bad callee dooms the lift).
+  bool follow_calls = true;
+  int max_call_depth = 16;
+};
+
+/// Audits the function at `entry` in the current process image.
+AuditReport AuditFunction(std::uint64_t entry, const AuditOptions& options = {});
+
+/// Audits a function decoded from a buffer (`code[i]` lives at
+/// `base_address + i`). Calls are not followed outside the buffer.
+AuditReport AuditBuffer(std::span<const std::uint8_t> code,
+                        std::uint64_t base_address, std::uint64_t entry,
+                        const AuditOptions& options = {});
+
+/// Instruction/shape checks over an already-built CFG (no decode errors --
+/// those surface while building). Does not follow calls and does not touch
+/// the analysis.* counters; the entry points above wrap this.
+void AuditCfg(const x86::Cfg& cfg, AuditReport& report);
+
+}  // namespace dbll::analysis

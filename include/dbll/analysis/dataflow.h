@@ -1,0 +1,168 @@
+// dbll -- generic dataflow framework over decoded x86 CFGs.
+//
+// The lattice is the powerset of a fixed 38-element location universe: the 16
+// general-purpose registers, the 16 SSE vector registers, and the six status
+// flags the pipeline models (paper Sec. III-D). A set fits in one word, so
+// transfer functions are two bit-ops and the worklist solver converges in a
+// handful of passes even on loopy CFGs.
+//
+// The solver is direction-agnostic (union meet, i.e. "may" analyses): clients
+// provide per-block gen/kill summaries plus the block graph in adjacency form
+// and get per-block in/out sets back. Concrete analyses built on top live in
+// liveness.h (flag/register liveness) and audit.h (lift-eligibility); see
+// docs/static_analysis.md for how to add one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::analysis {
+
+/// A set of dataflow locations, bit-packed into one word. Bit layout:
+/// [0,16) GP registers, [16,32) XMM registers, [32,38) flags in x86::Flag
+/// enumeration order (which matches the x86::FlagMask bit order).
+class LocSet {
+ public:
+  static constexpr int kGpBase = 0;
+  static constexpr int kVecBase = x86::kGpRegCount;
+  static constexpr int kFlagBase = kVecBase + x86::kVecRegCount;
+  static constexpr int kLocCount = kFlagBase + x86::kFlagCount;
+
+  constexpr LocSet() = default;
+
+  static constexpr LocSet Gp(int index) { return LocSet(Bit(kGpBase + index)); }
+  static constexpr LocSet Vec(int index) {
+    return LocSet(Bit(kVecBase + index));
+  }
+  static constexpr LocSet FlagLoc(x86::Flag flag) {
+    return LocSet(Bit(kFlagBase + static_cast<int>(flag)));
+  }
+  /// GP or XMM register to its location; other classes (rip, none) map to the
+  /// empty set.
+  static LocSet FromReg(x86::Reg reg);
+  /// From an x86::FlagMask bitmask. The Flag enum order and the FlagMask bit
+  /// order agree, so this is a plain shift.
+  static constexpr LocSet FromFlagMask(std::uint8_t mask) {
+    return LocSet(static_cast<std::uint64_t>(mask & x86::kFlagAll)
+                  << kFlagBase);
+  }
+  static constexpr LocSet AllGp() {
+    return LocSet(0xffffull << kGpBase);
+  }
+  static constexpr LocSet AllVec() {
+    return LocSet(0xffffull << kVecBase);
+  }
+  static constexpr LocSet AllFlags() {
+    return LocSet(static_cast<std::uint64_t>(x86::kFlagAll) << kFlagBase);
+  }
+  static constexpr LocSet All() {
+    return AllGp() | AllVec() | AllFlags();
+  }
+
+  constexpr bool empty() const { return bits_ == 0; }
+  int count() const;
+  constexpr bool Test(int loc) const { return (bits_ >> loc) & 1u; }
+  constexpr bool TestGp(int index) const { return Test(kGpBase + index); }
+  constexpr bool TestVec(int index) const { return Test(kVecBase + index); }
+  constexpr bool TestFlag(x86::Flag flag) const {
+    return Test(kFlagBase + static_cast<int>(flag));
+  }
+  constexpr bool ContainsAll(LocSet other) const {
+    return (other.bits_ & ~bits_) == 0;
+  }
+  constexpr bool Intersects(LocSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  /// The flag sub-set as an x86::FlagMask bitmask.
+  constexpr std::uint8_t FlagMask() const {
+    return static_cast<std::uint8_t>((bits_ >> kFlagBase) & x86::kFlagAll);
+  }
+
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr friend LocSet operator|(LocSet a, LocSet b) {
+    return LocSet(a.bits_ | b.bits_);
+  }
+  constexpr friend LocSet operator&(LocSet a, LocSet b) {
+    return LocSet(a.bits_ & b.bits_);
+  }
+  /// Set difference.
+  constexpr friend LocSet operator-(LocSet a, LocSet b) {
+    return LocSet(a.bits_ & ~b.bits_);
+  }
+  LocSet& operator|=(LocSet other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  LocSet& operator&=(LocSet other) {
+    bits_ &= other.bits_;
+    return *this;
+  }
+  LocSet& operator-=(LocSet other) {
+    bits_ &= ~other.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const LocSet&) const = default;
+
+  /// Human-readable listing ("rax rcx xmm0 ZF CF"), for lint output and test
+  /// failure messages.
+  std::string ToString() const;
+
+ private:
+  explicit constexpr LocSet(std::uint64_t bits) : bits_(bits) {}
+  static constexpr std::uint64_t Bit(int loc) { return 1ull << loc; }
+
+  std::uint64_t bits_ = 0;
+};
+
+/// Per-block transfer function in gen/kill form. For a backward analysis the
+/// block equation is in = gen | (out - kill); forward is out = gen | (in -
+/// kill).
+struct Transfer {
+  LocSet gen;
+  LocSet kill;
+};
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+
+/// Block graph in adjacency form over dense indices [0, n). Both edge
+/// directions are stored so either solve direction walks O(edges).
+struct Graph {
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+  int entry = 0;
+
+  std::size_t size() const { return succs.size(); }
+};
+
+struct DataflowResult {
+  std::vector<LocSet> in;   ///< value at block entry
+  std::vector<LocSet> out;  ///< value at block exit
+  /// Worklist pops until the fixpoint was reached (solver-convergence tests).
+  int iterations = 0;
+};
+
+/// Union-meet worklist solver. `boundary` seeds the out-set of exit blocks
+/// (no successors) for backward problems, and the in-set of entry blocks (no
+/// predecessors) for forward ones.
+DataflowResult Solve(Direction direction, const Graph& graph,
+                     const std::vector<Transfer>& transfer, LocSet boundary);
+
+/// Dense-index view of an x86::Cfg: blocks numbered in address order, with
+/// the adjacency lists derived from branch_target/fall_through (successors)
+/// and BasicBlock::predecessors (predecessors).
+struct CfgIndex {
+  std::vector<const x86::BasicBlock*> blocks;
+  std::unordered_map<std::uint64_t, int> block_of;  ///< start address -> index
+  Graph graph;
+
+  explicit CfgIndex(const x86::Cfg& cfg);
+};
+
+}  // namespace dbll::analysis

@@ -1,0 +1,80 @@
+// dbll -- register and flag liveness over a decoded function.
+//
+// A backward may-analysis on the dataflow.h framework: a location is live at
+// a program point when some path to an exit reads it before overwriting it.
+// Two consumers:
+//
+//  * The lifter queries the per-instruction live-flag mask to skip
+//    materializing EFLAGS definitions nothing reads (LiftConfig::
+//    flag_liveness) -- the static complement of the paper's dynamic flag
+//    cache, which only recovers comparisons that *are* consumed.
+//  * The DBrew rewriter prunes emitted instructions whose defined registers
+//    and flags are all dead (src/dbrew/prune.cpp), and tests assert lifter
+//    reads against live-in sets.
+//
+// Soundness direction: uses are over- and kills under-approximated, so
+// "dead" is a proof and "live" merely an upper bound. Unknown instructions
+// read everything and kill nothing. ABI boundaries follow what the pipeline
+// itself implements: calls kill all six flags (the lifter undefines them,
+// SysV leaves them unspecified) and conservatively read every register;
+// ret reads the return registers (rax, rdx, xmm0, xmm1), the stack pointer,
+// and the callee-saved set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dbll/analysis/dataflow.h"
+
+namespace dbll::analysis {
+
+/// Read/write summary of one instruction over the LocSet universe.
+struct InstrEffects {
+  LocSet uses;  ///< locations read (over-approximated when unsure)
+  LocSet defs;  ///< locations written
+  LocSet kills; ///< subset of defs that fully overwrite the old value
+  bool writes_memory = false;  ///< stores, pushes, calls
+  /// False when the mnemonic fell through to the fully conservative default
+  /// (reads everything, kills nothing). Such instructions are never
+  /// candidates for dead-store pruning.
+  bool known = true;
+};
+
+/// Effects of `instr`, derived from its operands, the implicit-register
+/// conventions of the mnemonic, and x86::FlagEffectsOf.
+InstrEffects EffectsOf(const x86::Instr& instr);
+
+/// Liveness solution for one function. Sets are keyed by address so the
+/// result outlives the Cfg it was computed from.
+struct Liveness {
+  /// Live locations at block entry / exit, keyed by block start address.
+  std::unordered_map<std::uint64_t, LocSet> block_in;
+  std::unordered_map<std::uint64_t, LocSet> block_out;
+  /// Live locations immediately *after* each instruction (what a definition
+  /// at that instruction must satisfy to matter).
+  std::unordered_map<std::uint64_t, LocSet> after_instr;
+  /// Solver worklist pops until convergence.
+  int iterations = 0;
+
+  /// Lookup with a conservative everything-live default for addresses the
+  /// analysis never saw.
+  LocSet AfterInstr(std::uint64_t address) const {
+    auto it = after_instr.find(address);
+    return it != after_instr.end() ? it->second : LocSet::All();
+  }
+  /// Flags live right after the instruction, as an x86::FlagMask bitmask.
+  std::uint8_t LiveFlagsAfter(std::uint64_t address) const {
+    return AfterInstr(address).FlagMask();
+  }
+  /// Flags live at block entry (x86::FlagMask); conservative default.
+  std::uint8_t LiveFlagsIn(std::uint64_t block_start) const {
+    auto it = block_in.find(block_start);
+    if (it == block_in.end()) return x86::kFlagAll;
+    return it->second.FlagMask();
+  }
+};
+
+/// Runs backward liveness over `cfg`.
+Liveness ComputeLiveness(const x86::Cfg& cfg);
+
+}  // namespace dbll::analysis

@@ -44,6 +44,10 @@ struct RewriterConfig {
   int max_inline_depth = 8;
   /// Emit one-line commentary of emulation decisions to stderr.
   bool verbose = false;
+  /// Run static liveness (src/analysis) over the staged code and delete
+  /// emitted instructions whose results nothing observes -- leftovers of
+  /// specialization such as flag updates of a folded comparison.
+  bool prune_dead_stores = true;
 };
 
 /// A memory range whose contents are assumed constant at rewrite time.
@@ -107,6 +111,9 @@ class Rewriter {
     std::size_t emulated_instrs = 0;  ///< instructions stepped through
     std::size_t emitted_instrs = 0;   ///< instructions written to new code
     std::size_t folded_instrs = 0;    ///< instructions removed entirely
+    /// Emitted instructions deleted afterwards by dead-store liveness
+    /// pruning (RewriterConfig::prune_dead_stores).
+    std::size_t pruned_instrs = 0;
     std::size_t inlined_calls = 0;
     std::size_t blocks = 0;
     std::size_t code_bytes = 0;

@@ -83,6 +83,11 @@ struct LiftConfig {
   /// lifted loop back-edge, asking the vectorizer to ignore its cost model
   /// (the programmatic form of the paper's -force-vector-width experiment).
   bool vectorize_hint = false;
+  /// Run static flag liveness (src/analysis) before lifting and skip the IR
+  /// for EFLAGS definitions no successor reads -- the static complement of
+  /// the dynamic flag cache (D2), shrinking the pre-O3 module the optimizer
+  /// has to chew through.
+  bool flag_liveness = true;
 };
 
 /// Stable 64-bit fingerprint over every semantic field of a LiftConfig.
@@ -103,6 +108,11 @@ class LiftedFunction {
 
   /// Textual LLVM-IR as produced by the lifter (before optimization).
   std::string GetIr() const;
+
+  /// Number of IR instructions currently in the module. Before Optimize()
+  /// this measures raw lifter output -- the quantity flag-liveness pruning
+  /// reduces (BENCH_analysis.json reports it with the knob on and off).
+  std::size_t IrInstructionCount() const;
 
   /// Sec. IV: fixes integer parameter `index` to `value` by interposing an
   /// always-inline wrapper; the optimizer propagates the constant.

@@ -130,6 +130,11 @@ class CompileService {
     /// flushed wholesale when it would exceed this. 0 disables negative
     /// caching.
     std::size_t negative_capacity = 1024;
+    /// Run the static lift-eligibility audit (src/analysis) before Tier 0.
+    /// A kFatal verdict routes the job straight to the Tier-1 fallback and
+    /// seeds the negative cache without constructing a single LLVM object;
+    /// see docs/static_analysis.md.
+    bool audit = true;
   };
 
   // Two constructors instead of `Options options = {}`: a default argument

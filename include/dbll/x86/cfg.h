@@ -28,6 +28,11 @@ struct BasicBlock {
   std::uint64_t branch_target = 0;
   /// Address of the fall-through successor (0 when none, e.g. after ret/jmp).
   std::uint64_t fall_through = 0;
+  /// Start addresses of every predecessor block, including the implicit
+  /// fall-through edge created when a jump target splits a block mid-stream.
+  /// Deduplicated (a jcc whose target equals its fall-through contributes one
+  /// edge). Backward dataflow (src/analysis) walks these.
+  std::vector<std::uint64_t> predecessors;
 
   std::uint64_t end() const noexcept {
     return instrs.empty() ? start : instrs.back().end();

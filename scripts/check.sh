@@ -10,6 +10,20 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure
+# Static-analysis gate (docs/static_analysis.md): every corpus function must
+# stay Tier-0 lift-eligible -- dbll-lint exits nonzero on any fatal verdict.
+"$BUILD/tools/dbll-lint" --all-corpus
+echo "dbll: lift-eligibility lint passed"
+# clang-tidy (bugprone/performance/concurrency, config in .clang-tidy) over
+# the analysis subsystem; skipped where the tool is not installed.
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  clang-tidy -p "$BUILD" --quiet \
+    src/analysis/*.cpp src/dbrew/prune.cpp tools/dbll_lint.cpp
+  echo "dbll: clang-tidy passed"
+else
+  echo "dbll: clang-tidy not installed, skipping"
+fi
 "$BUILD/bench/fig_cache" --smoke
 echo "dbll: BENCH_cache.json written by fig_cache"
 # Traced smoke: the same cache workload with span tracing on must export a

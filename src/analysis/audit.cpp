@@ -1,0 +1,234 @@
+#include "dbll/analysis/audit.h"
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "dbll/analysis/liveness.h"
+#include "dbll/obs/obs.h"
+#include "dbll/x86/printer.h"
+
+namespace dbll::analysis {
+namespace {
+
+using x86::Mnemonic;
+
+/// Counters resolved once (same pattern as the compile service's
+/// CacheMetrics): the registry lookup takes a lock, the Add() is atomic.
+struct AuditMetrics {
+  obs::Counter& audits;
+  obs::Counter& diagnostics;
+  obs::Counter& fatal;
+
+  static AuditMetrics& Get() {
+    static AuditMetrics metrics{
+        obs::Registry::Default().GetCounter("analysis.audits"),
+        obs::Registry::Default().GetCounter("analysis.diagnostics"),
+        obs::Registry::Default().GetCounter("analysis.fatal"),
+    };
+    return metrics;
+  }
+};
+
+/// Mnemonics that decode but have no lifter semantics: they fall through to
+/// the "cannot lift" default in function_lifter.cpp (and are likewise
+/// rejected by the DBrew meta-emulator).
+bool LifterSupports(Mnemonic mnemonic) {
+  switch (mnemonic) {
+    case Mnemonic::kInvalid:
+    case Mnemonic::kCmpxchg:
+    case Mnemonic::kXadd:
+    case Mnemonic::kRdtsc:
+    case Mnemonic::kCpuid:
+    case Mnemonic::kInt3:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Maps a CFG-construction failure onto a diagnostic. BuildCfg fails fast, so
+/// a structural problem yields exactly one (fatal) record.
+Diagnostic FromError(const Error& error) {
+  Diagnostic diag;
+  diag.site = error.address();
+  diag.severity = Severity::kFatal;
+  diag.message = error.message();
+  switch (error.kind()) {
+    case ErrorKind::kDecode:
+      diag.kind = DiagKind::kDecodeFailure;
+      break;
+    case ErrorKind::kResourceLimit:
+      diag.kind = DiagKind::kResourceLimit;
+      break;
+    default:
+      if (Contains(error.message(), "indirect jump")) {
+        diag.kind = DiagKind::kIndirectJump;
+      } else if (Contains(error.message(), "middle of an instruction")) {
+        diag.kind = DiagKind::kMidInstructionJump;
+      } else if (Contains(error.message(), "outside of function buffer")) {
+        diag.kind = DiagKind::kJumpOutOfRange;
+      } else {
+        diag.kind = DiagKind::kUnsupportedOpcode;
+      }
+      break;
+  }
+  return diag;
+}
+
+void Add(AuditReport& report, std::uint64_t site, Severity severity,
+         DiagKind kind, std::string message) {
+  report.diagnostics.push_back(
+      Diagnostic{site, severity, kind, std::move(message)});
+}
+
+/// Shared driver: audits `entry` and, when requested, every direct call
+/// target reachable from it, using `build` to construct each CFG and
+/// `reachable` to decide which call targets can be audited at all (buffer
+/// audits skip out-of-buffer callees instead of failing on them).
+AuditReport AuditImpl(
+    std::uint64_t entry, const AuditOptions& options,
+    const std::function<Expected<x86::Cfg>(std::uint64_t)>& build,
+    const std::function<bool(std::uint64_t)>& reachable) {
+  DBLL_TRACE_SPAN("analysis.audit");
+  AuditReport report;
+
+  std::set<std::uint64_t> visited;
+  std::deque<std::pair<std::uint64_t, int>> worklist{{entry, 0}};
+  while (!worklist.empty()) {
+    const auto [address, depth] = worklist.front();
+    worklist.pop_front();
+    if (!visited.insert(address).second) continue;
+
+    Expected<x86::Cfg> cfg = build(address);
+    if (!cfg) {
+      report.diagnostics.push_back(FromError(cfg.error()));
+      continue;
+    }
+    AuditCfg(*cfg, report);
+    if (options.follow_calls && depth + 1 < options.max_call_depth) {
+      for (std::uint64_t target : cfg->call_targets) {
+        if (reachable(target)) worklist.emplace_back(target, depth + 1);
+      }
+    }
+  }
+
+  AuditMetrics& metrics = AuditMetrics::Get();
+  metrics.audits.Add(1);
+  metrics.diagnostics.Add(report.diagnostics.size());
+  if (report.worst() == Severity::kFatal) metrics.fatal.Add(1);
+  return report;
+}
+
+}  // namespace
+
+const char* ToString(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+const char* ToString(DiagKind kind) noexcept {
+  switch (kind) {
+    case DiagKind::kDecodeFailure:
+      return "decode-failure";
+    case DiagKind::kUnsupportedOpcode:
+      return "unsupported-opcode";
+    case DiagKind::kIndirectJump:
+      return "indirect-jump";
+    case DiagKind::kIndirectCall:
+      return "indirect-call";
+    case DiagKind::kMidInstructionJump:
+      return "mid-instruction-jump";
+    case DiagKind::kJumpOutOfRange:
+      return "jump-out-of-range";
+    case DiagKind::kRipWrite:
+      return "rip-relative-write";
+    case DiagKind::kResourceLimit:
+      return "resource-limit";
+  }
+  return "?";
+}
+
+Severity AuditReport::worst() const {
+  Severity worst = Severity::kInfo;
+  for (const Diagnostic& diag : diagnostics) {
+    if (diag.severity > worst) worst = diag.severity;
+  }
+  return worst;
+}
+
+const Diagnostic* AuditReport::first_fatal() const {
+  for (const Diagnostic& diag : diagnostics) {
+    if (diag.severity == Severity::kFatal) return &diag;
+  }
+  return nullptr;
+}
+
+void AuditCfg(const x86::Cfg& cfg, AuditReport& report) {
+  for (const auto& [start, block] : cfg.blocks) {
+    for (const x86::Instr& instr : block.instrs) {
+      if (!LifterSupports(instr.mnemonic)) {
+        Add(report, instr.address, Severity::kFatal,
+            DiagKind::kUnsupportedOpcode,
+            std::string("lifter has no semantics for '") +
+                x86::MnemonicName(instr.mnemonic) + "'");
+        continue;
+      }
+      if (instr.mnemonic == Mnemonic::kCall && instr.op_count != 0 &&
+          !instr.ops[0].is_imm()) {
+        Add(report, instr.address, Severity::kFatal, DiagKind::kIndirectCall,
+            "indirect call (" + x86::PrintOperand(instr.ops[0]) +
+                ") cannot be lifted");
+        continue;
+      }
+      if (instr.HasRipOperand() && instr.mnemonic != Mnemonic::kPush &&
+          instr.mnemonic != Mnemonic::kCall && instr.ops[0].is_mem() &&
+          instr.ops[0].mem.base == x86::kRip &&
+          EffectsOf(instr).writes_memory) {
+        Add(report, instr.address, Severity::kWarning, DiagKind::kRipWrite,
+            "RIP-relative memory write is position-dependent: " +
+                x86::PrintInstr(instr));
+      } else if (instr.HasRipOperand()) {
+        Add(report, instr.address, Severity::kInfo, DiagKind::kRipWrite,
+            "RIP-relative data reference: " + x86::PrintInstr(instr));
+      }
+    }
+  }
+}
+
+AuditReport AuditFunction(std::uint64_t entry, const AuditOptions& options) {
+  return AuditImpl(
+      entry, options,
+      [&options](std::uint64_t address) {
+        return x86::BuildCfg(address, options.cfg);
+      },
+      [](std::uint64_t) { return true; });
+}
+
+AuditReport AuditBuffer(std::span<const std::uint8_t> code,
+                        std::uint64_t base_address, std::uint64_t entry,
+                        const AuditOptions& options) {
+  auto in_buffer = [code, base_address](std::uint64_t address) {
+    return address >= base_address && address < base_address + code.size();
+  };
+  return AuditImpl(entry, options,
+                   [&options, code, base_address](std::uint64_t address) {
+                     return x86::BuildCfgFromBuffer(code, base_address,
+                                                    address, options.cfg);
+                   },
+                   in_buffer);
+}
+
+}  // namespace dbll::analysis

@@ -1,0 +1,122 @@
+#include "dbll/analysis/dataflow.h"
+
+#include <bit>
+#include <deque>
+
+#include "dbll/x86/printer.h"
+
+namespace dbll::analysis {
+
+LocSet LocSet::FromReg(x86::Reg reg) {
+  switch (reg.cls) {
+    case x86::RegClass::kGp:
+      return Gp(reg.index);
+    case x86::RegClass::kVec:
+      return Vec(reg.index);
+    default:
+      return LocSet();
+  }
+}
+
+int LocSet::count() const { return std::popcount(bits_); }
+
+std::string LocSet::ToString() const {
+  static constexpr const char* kFlagNames[x86::kFlagCount] = {"ZF", "SF", "CF",
+                                                              "OF", "PF", "AF"};
+  std::string out;
+  auto append = [&out](const std::string& name) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  for (int i = 0; i < x86::kGpRegCount; ++i) {
+    if (TestGp(i)) append(x86::PrintReg(x86::Gp(static_cast<std::uint8_t>(i)), 8));
+  }
+  for (int i = 0; i < x86::kVecRegCount; ++i) {
+    if (TestVec(i)) append(x86::PrintReg(x86::Xmm(static_cast<std::uint8_t>(i)), 16));
+  }
+  for (int f = 0; f < x86::kFlagCount; ++f) {
+    if (TestFlag(static_cast<x86::Flag>(f))) append(kFlagNames[f]);
+  }
+  if (out.empty()) out = "(none)";
+  return out;
+}
+
+DataflowResult Solve(Direction direction, const Graph& graph,
+                     const std::vector<Transfer>& transfer, LocSet boundary) {
+  const int n = static_cast<int>(graph.size());
+  DataflowResult result;
+  result.in.assign(static_cast<std::size_t>(n), LocSet());
+  result.out.assign(static_cast<std::size_t>(n), LocSet());
+  if (n == 0) return result;
+
+  const bool backward = direction == Direction::kBackward;
+  // For a backward problem we propagate against the edges: a block's input
+  // comes from its successors, and changing its result re-queues its
+  // predecessors. Forward is the mirror image.
+  const auto& sources = backward ? graph.succs : graph.preds;
+  const auto& dependents = backward ? graph.preds : graph.succs;
+
+  std::deque<int> worklist;
+  std::vector<char> queued(static_cast<std::size_t>(n), 1);
+  // Seed in reverse order for backward problems so exit blocks are processed
+  // first; purely a convergence-speed heuristic, the fixpoint is unique.
+  for (int i = 0; i < n; ++i) worklist.push_back(backward ? n - 1 - i : i);
+
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(b)] = 0;
+    ++result.iterations;
+
+    LocSet meet = sources[static_cast<std::size_t>(b)].empty() ? boundary
+                                                               : LocSet();
+    for (int s : sources[static_cast<std::size_t>(b)]) {
+      meet |= backward ? result.in[static_cast<std::size_t>(s)]
+                       : result.out[static_cast<std::size_t>(s)];
+    }
+    const Transfer& t = transfer[static_cast<std::size_t>(b)];
+    const LocSet applied = t.gen | (meet - t.kill);
+
+    LocSet& meet_slot = backward ? result.out[static_cast<std::size_t>(b)]
+                                 : result.in[static_cast<std::size_t>(b)];
+    LocSet& applied_slot = backward ? result.in[static_cast<std::size_t>(b)]
+                                    : result.out[static_cast<std::size_t>(b)];
+    meet_slot = meet;
+    if (applied == applied_slot) continue;
+    applied_slot = applied;
+    for (int d : dependents[static_cast<std::size_t>(b)]) {
+      if (!queued[static_cast<std::size_t>(d)]) {
+        queued[static_cast<std::size_t>(d)] = 1;
+        worklist.push_back(d);
+      }
+    }
+  }
+  return result;
+}
+
+CfgIndex::CfgIndex(const x86::Cfg& cfg) {
+  blocks.reserve(cfg.blocks.size());
+  for (const auto& [start, block] : cfg.blocks) {
+    block_of.emplace(start, static_cast<int>(blocks.size()));
+    blocks.push_back(&block);
+  }
+  const std::size_t n = blocks.size();
+  graph.succs.assign(n, {});
+  graph.preds.assign(n, {});
+  graph.entry = block_of.count(cfg.entry) != 0 ? block_of.at(cfg.entry) : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const x86::BasicBlock& block = *blocks[i];
+    if (block.branch_target != 0) {
+      graph.succs[i].push_back(block_of.at(block.branch_target));
+    }
+    if (block.fall_through != 0 &&
+        block.fall_through != block.branch_target) {
+      graph.succs[i].push_back(block_of.at(block.fall_through));
+    }
+    for (std::uint64_t pred : block.predecessors) {
+      graph.preds[i].push_back(block_of.at(pred));
+    }
+  }
+}
+
+}  // namespace dbll::analysis

@@ -1,0 +1,461 @@
+#include "dbll/analysis/liveness.h"
+
+namespace dbll::analysis {
+namespace {
+
+using x86::Instr;
+using x86::Mnemonic;
+using x86::Operand;
+
+void UseMem(const x86::MemOperand& mem, InstrEffects& e) {
+  e.uses |= LocSet::FromReg(mem.base);
+  e.uses |= LocSet::FromReg(mem.index);
+}
+
+void UseOp(const Operand& op, InstrEffects& e) {
+  if (op.is_reg()) {
+    e.uses |= LocSet::FromReg(op.reg);
+  } else if (op.is_mem()) {
+    UseMem(op.mem, e);
+  }
+}
+
+/// A register write fully replaces the old value when it covers the whole
+/// architectural register: 64-bit writes, and 32-bit GP writes (which
+/// zero-extend). 8/16-bit GP writes and high-byte accesses merge.
+bool GpWriteKills(const Operand& op) {
+  return op.reg.cls == x86::RegClass::kGp && op.size >= 4 && !op.high8;
+}
+
+/// Destination handling shared by most groups. `read` marks read-modify-write
+/// destinations, `vec_kill` marks full 128-bit vector overwrites.
+void DefDest(const Operand& op, InstrEffects& e, bool read, bool vec_kill) {
+  if (op.is_reg()) {
+    if (read) e.uses |= LocSet::FromReg(op.reg);
+    e.defs |= LocSet::FromReg(op.reg);
+    if ((op.reg.cls == x86::RegClass::kGp && GpWriteKills(op)) ||
+        (op.reg.cls == x86::RegClass::kVec && vec_kill)) {
+      e.kills |= LocSet::FromReg(op.reg);
+    }
+  } else if (op.is_mem()) {
+    UseMem(op.mem, e);
+    e.writes_memory = true;
+  }
+}
+
+bool IsShiftFamily(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar:
+    case Mnemonic::kRol:
+    case Mnemonic::kRor:
+    case Mnemonic::kShld:
+    case Mnemonic::kShrd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A variable-count shift with count 0 leaves EFLAGS untouched, so its flag
+/// writes must not count as kills (kills are under-approximated). Immediate
+/// nonzero counts kill reliably.
+bool ShiftFlagKillOk(const Instr& instr) {
+  const Operand& count = instr.mnemonic == Mnemonic::kShld ||
+                                 instr.mnemonic == Mnemonic::kShrd
+                             ? instr.ops[2]
+                             : instr.ops[1];
+  if (!count.is_imm()) return false;
+  const std::int64_t mask = instr.ops[0].size == 8 ? 0x3f : 0x1f;
+  return (count.imm & mask) != 0;
+}
+
+}  // namespace
+
+InstrEffects EffectsOf(const Instr& instr) {
+  InstrEffects e;
+  const Operand& op0 = instr.ops[0];
+  const Operand& op1 = instr.ops[1];
+
+  switch (instr.mnemonic) {
+    // No register or flag effects.
+    case Mnemonic::kNop:
+    case Mnemonic::kEndbr64:
+    case Mnemonic::kUd2:
+    case Mnemonic::kLfence:
+    case Mnemonic::kMfence:
+    case Mnemonic::kSfence:
+      return e;
+
+    // Destination written without being read; sources used.
+    case Mnemonic::kMov:
+    case Mnemonic::kMovzx:
+    case Mnemonic::kMovsx:
+    case Mnemonic::kMovsxd:
+    case Mnemonic::kLea:  // memory operand is an address computation, no load
+    case Mnemonic::kBsf:
+    case Mnemonic::kBsr:
+    case Mnemonic::kTzcnt:
+    case Mnemonic::kPopcnt:
+    case Mnemonic::kCvtss2si:
+    case Mnemonic::kCvtsd2si:
+    case Mnemonic::kCvttss2si:
+    case Mnemonic::kCvttsd2si:
+    case Mnemonic::kPmovmskb:
+    case Mnemonic::kMovmskps:
+    case Mnemonic::kMovmskpd:
+      DefDest(op0, e, /*read=*/false, /*vec_kill=*/false);
+      for (int i = 1; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    // Full-width vector (or GP) overwrites.
+    case Mnemonic::kMovaps:
+    case Mnemonic::kMovapd:
+    case Mnemonic::kMovups:
+    case Mnemonic::kMovupd:
+    case Mnemonic::kMovdqa:
+    case Mnemonic::kMovdqu:
+    case Mnemonic::kMovd:
+    case Mnemonic::kMovq:
+    case Mnemonic::kPshufd:
+    case Mnemonic::kSqrtps:
+    case Mnemonic::kSqrtpd:
+    case Mnemonic::kCvtdq2pd:
+    case Mnemonic::kCvtdq2ps:
+    case Mnemonic::kCvtps2pd:
+    case Mnemonic::kCvtpd2ps:
+      DefDest(op0, e, /*read=*/false, /*vec_kill=*/true);
+      for (int i = 1; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    // Merging vector writes: the destination's untouched lanes survive.
+    case Mnemonic::kMovss:
+    case Mnemonic::kMovsdX:
+    case Mnemonic::kMovlps:
+    case Mnemonic::kMovhps:
+    case Mnemonic::kMovlpd:
+    case Mnemonic::kMovhpd:
+    case Mnemonic::kMovhlps:
+    case Mnemonic::kMovlhps:
+    case Mnemonic::kCvtsi2ss:
+    case Mnemonic::kCvtsi2sd:
+    case Mnemonic::kCvtss2sd:
+    case Mnemonic::kCvtsd2ss:
+    case Mnemonic::kSqrtss:
+    case Mnemonic::kSqrtsd:
+      DefDest(op0, e, /*read=*/true, /*vec_kill=*/false);
+      for (int i = 1; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    // Compares: no destination, flags only.
+    case Mnemonic::kCmp:
+    case Mnemonic::kTest:
+    case Mnemonic::kBt:
+    case Mnemonic::kUcomiss:
+    case Mnemonic::kUcomisd:
+    case Mnemonic::kComiss:
+    case Mnemonic::kComisd:
+      for (int i = 0; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    // GP read-modify-write ALU.
+    case Mnemonic::kAdd:
+    case Mnemonic::kAdc:
+    case Mnemonic::kSub:
+    case Mnemonic::kSbb:
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+    case Mnemonic::kXor:
+    case Mnemonic::kNot:
+    case Mnemonic::kNeg:
+    case Mnemonic::kInc:
+    case Mnemonic::kDec:
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar:
+    case Mnemonic::kRol:
+    case Mnemonic::kRor:
+    case Mnemonic::kBts:
+    case Mnemonic::kBtr:
+    case Mnemonic::kBtc:
+    case Mnemonic::kBswap:
+    case Mnemonic::kShld:
+    case Mnemonic::kShrd:
+      DefDest(op0, e, /*read=*/true, /*vec_kill=*/false);
+      for (int i = 1; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    case Mnemonic::kImul:
+      if (instr.op_count == 1) {
+        UseOp(op0, e);
+        e.uses |= LocSet::Gp(x86::kRax.index);
+        e.defs |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+        e.kills |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      } else if (instr.op_count == 2) {
+        DefDest(op0, e, /*read=*/true, /*vec_kill=*/false);
+        UseOp(op1, e);
+      } else {
+        DefDest(op0, e, /*read=*/false, /*vec_kill=*/false);
+        UseOp(op1, e);
+      }
+      break;
+
+    case Mnemonic::kMul:
+      UseOp(op0, e);
+      e.uses |= LocSet::Gp(x86::kRax.index);
+      e.defs |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      e.kills |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      break;
+
+    case Mnemonic::kDiv:
+    case Mnemonic::kIdiv:
+      UseOp(op0, e);
+      e.uses |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      e.defs |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      e.kills |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index);
+      break;
+
+    case Mnemonic::kXchg:
+      DefDest(op0, e, /*read=*/true, /*vec_kill=*/false);
+      DefDest(op1, e, /*read=*/true, /*vec_kill=*/false);
+      break;
+
+    case Mnemonic::kPush:
+      UseOp(op0, e);
+      e.uses |= LocSet::Gp(x86::kRsp.index);
+      e.defs |= LocSet::Gp(x86::kRsp.index);
+      e.kills |= LocSet::Gp(x86::kRsp.index);
+      e.writes_memory = true;
+      break;
+
+    case Mnemonic::kPop:
+      e.uses |= LocSet::Gp(x86::kRsp.index);
+      e.defs |= LocSet::Gp(x86::kRsp.index);
+      e.kills |= LocSet::Gp(x86::kRsp.index);
+      DefDest(op0, e, /*read=*/false, /*vec_kill=*/false);
+      break;
+
+    case Mnemonic::kLeave:
+      e.uses |= LocSet::Gp(x86::kRbp.index);
+      e.defs |= LocSet::Gp(x86::kRsp.index) | LocSet::Gp(x86::kRbp.index);
+      e.kills |= LocSet::Gp(x86::kRsp.index) | LocSet::Gp(x86::kRbp.index);
+      break;
+
+    case Mnemonic::kCbw:
+    case Mnemonic::kCwde:
+    case Mnemonic::kCdqe:
+      e.uses |= LocSet::Gp(x86::kRax.index);
+      e.defs |= LocSet::Gp(x86::kRax.index);
+      if (instr.mnemonic != Mnemonic::kCbw) {
+        e.kills |= LocSet::Gp(x86::kRax.index);
+      }
+      break;
+
+    case Mnemonic::kCwd:
+    case Mnemonic::kCdq:
+    case Mnemonic::kCqo:
+      e.uses |= LocSet::Gp(x86::kRax.index);
+      e.defs |= LocSet::Gp(x86::kRdx.index);
+      if (instr.mnemonic != Mnemonic::kCwd) {
+        e.kills |= LocSet::Gp(x86::kRdx.index);
+      }
+      break;
+
+    case Mnemonic::kStc:
+    case Mnemonic::kClc:
+      break;  // flags handled below
+
+    case Mnemonic::kJmp:
+      UseOp(op0, e);  // indirect targets read the register/memory operand
+      break;
+
+    case Mnemonic::kJcc:
+      break;  // condition flags handled below
+
+    case Mnemonic::kSetcc:
+      DefDest(op0, e, /*read=*/false, /*vec_kill=*/false);
+      break;
+
+    case Mnemonic::kCmovcc:
+      // The move is conditional: the old destination value can survive, so
+      // this is a def without a kill (which keeps the destination live).
+      DefDest(op0, e, /*read=*/false, /*vec_kill=*/false);
+      e.kills -= LocSet::FromReg(op0.reg);
+      UseOp(op1, e);
+      break;
+
+    case Mnemonic::kCall:
+      // Callee behaviour is unknown: conservatively read every register.
+      // Flags do not cross the boundary in either direction -- the SysV ABI
+      // leaves them unspecified and the lifter undefines them after a call.
+      e.uses |= LocSet::AllGp() | LocSet::AllVec();
+      e.defs |= LocSet::AllFlags();
+      e.kills |= LocSet::AllFlags();
+      e.writes_memory = true;
+      break;
+
+    case Mnemonic::kRet:
+      // ABI exit: return registers, the stack pointer, and the callee-saved
+      // set must hold their expected values.
+      e.uses |= LocSet::Gp(x86::kRax.index) | LocSet::Gp(x86::kRdx.index) |
+                LocSet::Gp(x86::kRsp.index) | LocSet::Gp(x86::kRbx.index) |
+                LocSet::Gp(x86::kRbp.index) | LocSet::Gp(x86::kR12.index) |
+                LocSet::Gp(x86::kR13.index) | LocSet::Gp(x86::kR14.index) |
+                LocSet::Gp(x86::kR15.index) | LocSet::Vec(0) | LocSet::Vec(1);
+      e.defs |= LocSet::Gp(x86::kRsp.index);
+      e.kills |= LocSet::Gp(x86::kRsp.index);
+      break;
+
+    // Vector read-modify-write: arithmetic, bitwise, packed integer,
+    // compares, shifts, shuffles, unpacks.
+    case Mnemonic::kAddss:
+    case Mnemonic::kAddsd:
+    case Mnemonic::kSubss:
+    case Mnemonic::kSubsd:
+    case Mnemonic::kMulss:
+    case Mnemonic::kMulsd:
+    case Mnemonic::kDivss:
+    case Mnemonic::kDivsd:
+    case Mnemonic::kMinss:
+    case Mnemonic::kMinsd:
+    case Mnemonic::kMaxss:
+    case Mnemonic::kMaxsd:
+    case Mnemonic::kAddps:
+    case Mnemonic::kAddpd:
+    case Mnemonic::kSubps:
+    case Mnemonic::kSubpd:
+    case Mnemonic::kMulps:
+    case Mnemonic::kMulpd:
+    case Mnemonic::kDivps:
+    case Mnemonic::kDivpd:
+    case Mnemonic::kAndps:
+    case Mnemonic::kAndpd:
+    case Mnemonic::kAndnps:
+    case Mnemonic::kAndnpd:
+    case Mnemonic::kOrps:
+    case Mnemonic::kOrpd:
+    case Mnemonic::kXorps:
+    case Mnemonic::kXorpd:
+    case Mnemonic::kPand:
+    case Mnemonic::kPandn:
+    case Mnemonic::kPor:
+    case Mnemonic::kPxor:
+    case Mnemonic::kPaddb:
+    case Mnemonic::kPaddw:
+    case Mnemonic::kPaddd:
+    case Mnemonic::kPaddq:
+    case Mnemonic::kPsubb:
+    case Mnemonic::kPsubw:
+    case Mnemonic::kPsubd:
+    case Mnemonic::kPsubq:
+    case Mnemonic::kPmullw:
+    case Mnemonic::kPmuludq:
+    case Mnemonic::kPminub:
+    case Mnemonic::kPmaxub:
+    case Mnemonic::kPminsw:
+    case Mnemonic::kPmaxsw:
+    case Mnemonic::kPavgb:
+    case Mnemonic::kPavgw:
+    case Mnemonic::kPcmpeqb:
+    case Mnemonic::kPcmpeqw:
+    case Mnemonic::kPcmpeqd:
+    case Mnemonic::kPcmpgtb:
+    case Mnemonic::kPcmpgtw:
+    case Mnemonic::kPcmpgtd:
+    case Mnemonic::kPsllw:
+    case Mnemonic::kPslld:
+    case Mnemonic::kPsllq:
+    case Mnemonic::kPsrlw:
+    case Mnemonic::kPsrld:
+    case Mnemonic::kPsrlq:
+    case Mnemonic::kPsraw:
+    case Mnemonic::kPsrad:
+    case Mnemonic::kPslldq:
+    case Mnemonic::kPsrldq:
+    case Mnemonic::kUnpcklps:
+    case Mnemonic::kUnpcklpd:
+    case Mnemonic::kUnpckhps:
+    case Mnemonic::kUnpckhpd:
+    case Mnemonic::kShufps:
+    case Mnemonic::kShufpd:
+    case Mnemonic::kPunpcklqdq:
+    case Mnemonic::kPunpckhqdq:
+    case Mnemonic::kPunpcklbw:
+    case Mnemonic::kPunpcklwd:
+    case Mnemonic::kPunpckldq:
+    case Mnemonic::kPunpckhbw:
+    case Mnemonic::kPunpckhwd:
+    case Mnemonic::kPunpckhdq:
+    case Mnemonic::kCmpss:
+    case Mnemonic::kCmpsd:
+    case Mnemonic::kCmpps:
+    case Mnemonic::kCmppd:
+      DefDest(op0, e, /*read=*/true, /*vec_kill=*/false);
+      for (int i = 1; i < instr.op_count; ++i) UseOp(instr.ops[i], e);
+      break;
+
+    default:
+      // kInvalid, kCmpxchg, kXadd, kRdtsc, kCpuid, kInt3, and anything the
+      // pipeline grows later: reads everything, kills nothing.
+      e.uses |= LocSet::All();
+      e.defs |= LocSet::All();
+      e.writes_memory = true;
+      e.known = false;
+      return e;
+  }
+
+  // Flag effects from the shared mnemonic metadata.
+  const x86::FlagEffects fe = x86::FlagEffectsOf(instr.mnemonic);
+  const std::uint8_t flag_writes = fe.written | fe.undefined;
+  if (flag_writes != 0) {
+    e.defs |= LocSet::FromFlagMask(flag_writes);
+    if (!IsShiftFamily(instr.mnemonic) || ShiftFlagKillOk(instr)) {
+      e.kills |= LocSet::FromFlagMask(flag_writes);
+    }
+  }
+  if (fe.reads_carry) e.uses |= LocSet::FlagLoc(x86::Flag::kCf);
+  if (instr.mnemonic == Mnemonic::kJcc ||
+      instr.mnemonic == Mnemonic::kSetcc ||
+      instr.mnemonic == Mnemonic::kCmovcc) {
+    e.uses |= LocSet::FromFlagMask(x86::CondFlagUses(instr.cond));
+  }
+  return e;
+}
+
+Liveness ComputeLiveness(const x86::Cfg& cfg) {
+  const CfgIndex index(cfg);
+  const std::size_t n = index.blocks.size();
+
+  std::vector<Transfer> transfer(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LocSet gen;
+    LocSet kill;
+    for (const Instr& instr : index.blocks[i]->instrs) {
+      const InstrEffects e = EffectsOf(instr);
+      gen |= e.uses - kill;  // upward-exposed uses
+      kill |= e.kills;
+    }
+    transfer[i] = Transfer{gen, kill};
+  }
+
+  const DataflowResult solved =
+      Solve(Direction::kBackward, index.graph, transfer, LocSet());
+
+  Liveness live;
+  live.iterations = solved.iterations;
+  for (std::size_t i = 0; i < n; ++i) {
+    const x86::BasicBlock& block = *index.blocks[i];
+    live.block_in.emplace(block.start, solved.in[i]);
+    live.block_out.emplace(block.start, solved.out[i]);
+    LocSet cur = solved.out[i];
+    for (auto it = block.instrs.rbegin(); it != block.instrs.rend(); ++it) {
+      live.after_instr.emplace(it->address, cur);
+      const InstrEffects e = EffectsOf(*it);
+      cur = (cur - e.kills) | e.uses;
+    }
+  }
+  return live;
+}
+
+}  // namespace dbll::analysis

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "dbll/analysis/audit.h"
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
@@ -254,6 +255,37 @@ uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
 
 void dbll_cache_set_deadline_ms(dbll_cache* c, uint32_t deadline_ms) {
   c->impl.set_default_deadline_ms(deadline_ms);
+}
+
+/* --- dbll_analyze_*: static lift-eligibility audit ------------------------- */
+
+/// Backing store for dbll_analyze_last_error. Thread-local because the audit
+/// has no object to hang the error on; the pointer stays valid until the
+/// same thread audits again.
+static thread_local std::string g_analyze_last_error;
+
+int dbll_analyze_function(void* func, int* worst_severity) {
+  if (worst_severity != nullptr) *worst_severity = DBLL_ANALYZE_INFO;
+  if (func == nullptr) {
+    g_analyze_last_error = "dbll_analyze_function: func is NULL";
+    return -1;
+  }
+  const dbll::analysis::AuditReport report = dbll::analysis::AuditFunction(
+      reinterpret_cast<std::uint64_t>(func), dbll::analysis::AuditOptions{});
+  if (worst_severity != nullptr) {
+    *worst_severity = static_cast<int>(report.worst());
+  }
+  const dbll::analysis::Diagnostic* fatal = report.first_fatal();
+  g_analyze_last_error =
+      fatal != nullptr
+          ? std::string(dbll::analysis::ToString(fatal->kind)) + ": " +
+                fatal->message
+          : std::string();
+  return static_cast<int>(report.diagnostics.size());
+}
+
+const char* dbll_analyze_last_error(void) {
+  return g_analyze_last_error.c_str();
 }
 
 /* --- dbll_fault_*: fault injection ----------------------------------------- */

@@ -82,4 +82,13 @@ class CodeEmitter {
   std::vector<PoolEntry> pool_;
 };
 
+/// Deletes emitted instructions whose results are provably never observed:
+/// backward register/flag liveness (src/analysis) over the emitted blocks,
+/// then a reverse sweep dropping side-effect-free instructions none of whose
+/// definitions are live. Specialization routinely leaves such stores behind --
+/// an address computation feeding a folded branch, flag updates of a resolved
+/// comparison. Runs between emulation and Layout(); returns the number of
+/// entries removed. (src/dbrew/prune.cpp)
+std::size_t PruneDeadStores(CodeEmitter& emitter);
+
 }  // namespace dbll::dbrew

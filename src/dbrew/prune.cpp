@@ -1,0 +1,161 @@
+// dbll -- dead-store elimination over the DBrew emitter's staged code.
+//
+// The meta-emulator folds instructions whose *inputs* are known, but it
+// re-emits every instruction whose result it cannot compute -- including ones
+// whose result is never used again because the consumer itself was folded
+// (a comparison resolved at rewrite time, an address computation feeding an
+// unrolled branch). This pass runs the analysis library's backward liveness
+// over the emitted blocks and deletes those leftovers before layout.
+//
+// Deletion is only applied where the effect summary is exact and side-effect
+// free: the mnemonic is fully modeled (InstrEffects::known), it writes no
+// memory, and -- except for constant-pool loads, whose source is always
+// readable -- touches no memory operand at all, so removing it cannot
+// suppress a fault. For such instructions `defs` covers everything written
+// (registers from the operand/implicit-register conventions, flags from
+// x86::FlagEffectsOf), which is what makes "defs all dead => removable"
+// sound. div/idiv stay regardless because they can raise #DE.
+#include <cstddef>
+#include <vector>
+
+#include "dbll/analysis/dataflow.h"
+#include "dbll/analysis/liveness.h"
+#include "dbll/x86/insn.h"
+#include "emitter.h"
+
+namespace dbll::dbrew {
+namespace {
+
+using analysis::InstrEffects;
+using analysis::LocSet;
+using x86::Mnemonic;
+
+/// Effects of one staged entry. Symbolic branches carry no encodable operands
+/// yet: a jcc reads its condition's flags, an unconditional jmp reads nothing.
+InstrEffects EntryEffects(const EmitEntry& entry) {
+  if (entry.kind == EmitEntry::Kind::kBranch) {
+    InstrEffects effects;
+    if (entry.instr.mnemonic == Mnemonic::kJcc) {
+      effects.uses = LocSet::FromFlagMask(x86::CondFlagUses(entry.instr.cond));
+    }
+    return effects;
+  }
+  return analysis::EffectsOf(entry.instr);
+}
+
+bool HasMemOperand(const x86::Instr& instr) {
+  for (int i = 0; i < instr.op_count; ++i) {
+    if (instr.ops[i].is_mem()) return true;
+  }
+  return false;
+}
+
+/// True when deleting the entry is observationally equivalent provided all of
+/// its definitions are dead.
+bool Deletable(const EmitEntry& entry, const InstrEffects& effects) {
+  if (entry.kind == EmitEntry::Kind::kBranch) return false;
+  if (!effects.known || effects.writes_memory) return false;
+  if (effects.defs.empty()) return false;  // nop-likes: nothing to gain
+  switch (entry.instr.mnemonic) {
+    case Mnemonic::kCall:
+    case Mnemonic::kRet:
+    case Mnemonic::kDiv:   // may raise #DE even with a dead quotient
+    case Mnemonic::kIdiv:
+      return false;
+    default:
+      break;
+  }
+  // Loads can fault; only the constant pool is known-readable.
+  if (entry.kind == EmitEntry::Kind::kInstr && HasMemOperand(entry.instr)) {
+    return false;
+  }
+  return true;
+}
+
+/// True when control cannot fall off the end of the block into the next one.
+bool EndsWithUnconditionalExit(const EmitBlock& block) {
+  if (block.entries.empty()) return false;
+  const EmitEntry& last = block.entries.back();
+  if (last.kind == EmitEntry::Kind::kBranch) {
+    return last.instr.mnemonic == Mnemonic::kJmp;
+  }
+  return last.instr.mnemonic == Mnemonic::kRet;
+}
+
+}  // namespace
+
+std::size_t PruneDeadStores(CodeEmitter& emitter) {
+  const std::size_t block_count = emitter.block_count();
+  if (block_count == 0) return 0;
+
+  // Successor edges: every symbolic branch target, plus the implicit
+  // fall-through to the next block in layout order (blocks are encoded in id
+  // order) unless the block ends with jmp or ret.
+  analysis::Graph graph;
+  graph.succs.resize(block_count);
+  graph.preds.resize(block_count);
+  for (std::size_t i = 0; i < block_count; ++i) {
+    const EmitBlock& block = emitter.Block(static_cast<int>(i));
+    for (const EmitEntry& entry : block.entries) {
+      if (entry.kind == EmitEntry::Kind::kBranch && entry.block >= 0) {
+        graph.succs[i].push_back(entry.block);
+      }
+    }
+    if (i + 1 < block_count && !EndsWithUnconditionalExit(block)) {
+      graph.succs[i].push_back(static_cast<int>(i + 1));
+    }
+  }
+  for (std::size_t i = 0; i < block_count; ++i) {
+    for (int succ : graph.succs[i]) {
+      graph.preds[static_cast<std::size_t>(succ)].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  // Per-block transfer by forward composition, exactly as in liveness.cpp.
+  std::vector<analysis::Transfer> transfers(block_count);
+  for (std::size_t i = 0; i < block_count; ++i) {
+    const EmitBlock& block = emitter.Block(static_cast<int>(i));
+    analysis::Transfer& t = transfers[i];
+    for (const EmitEntry& entry : block.entries) {
+      const InstrEffects effects = EntryEffects(entry);
+      t.gen |= effects.uses - t.kill;
+      t.kill |= effects.kills;
+    }
+  }
+
+  // Exit liveness is carried by the ret instructions themselves (EffectsOf
+  // models the ABI return/callee-saved reads), so the boundary is empty.
+  const analysis::DataflowResult solution = analysis::Solve(
+      analysis::Direction::kBackward, graph, transfers, LocSet());
+
+  // Reverse sweep: a deletable entry with no live definition is dropped and
+  // contributes nothing to the running live set.
+  std::size_t pruned = 0;
+  for (std::size_t i = 0; i < block_count; ++i) {
+    EmitBlock& block = emitter.Block(static_cast<int>(i));
+    LocSet live = solution.out[i];
+    std::vector<bool> keep(block.entries.size(), true);
+    std::size_t pruned_here = 0;
+    for (std::size_t e = block.entries.size(); e-- > 0;) {
+      const EmitEntry& entry = block.entries[e];
+      const InstrEffects effects = EntryEffects(entry);
+      if (Deletable(entry, effects) && !live.Intersects(effects.defs)) {
+        keep[e] = false;
+        ++pruned_here;
+        continue;
+      }
+      live = (live - effects.kills) | effects.uses;
+    }
+    if (pruned_here == 0) continue;
+    pruned += pruned_here;
+    std::size_t out = 0;
+    for (std::size_t e = 0; e < block.entries.size(); ++e) {
+      if (keep[e]) block.entries[out++] = block.entries[e];
+    }
+    block.entries.resize(out);
+  }
+  return pruned;
+}
+
+}  // namespace dbll::dbrew

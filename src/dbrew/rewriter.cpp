@@ -23,6 +23,7 @@ void PublishStats(const Rewriter::Stats& stats) {
       registry.GetCounter("rewriter.emulated_instrs");
   static obs::Counter& emitted = registry.GetCounter("rewriter.emitted_instrs");
   static obs::Counter& folded = registry.GetCounter("rewriter.folded_instrs");
+  static obs::Counter& pruned = registry.GetCounter("rewriter.pruned_instrs");
   static obs::Counter& inlined = registry.GetCounter("rewriter.inlined_calls");
   static obs::Counter& blocks = registry.GetCounter("rewriter.blocks");
   static obs::Counter& code_bytes = registry.GetCounter("rewriter.code_bytes");
@@ -31,6 +32,7 @@ void PublishStats(const Rewriter::Stats& stats) {
   emulated.Add(stats.emulated_instrs);
   emitted.Add(stats.emitted_instrs);
   folded.Add(stats.folded_instrs);
+  pruned.Add(stats.pruned_instrs);
   inlined.Add(stats.inlined_calls);
   blocks.Add(stats.blocks);
   code_bytes.Add(stats.code_bytes);
@@ -106,6 +108,12 @@ Expected<std::uint64_t> Rewriter::Rewrite() {
     }
   }
   stats_ = emulator.stats();
+
+  if (config_.prune_dead_stores) {
+    DBLL_TRACE_SPAN("rewrite.prune");
+    stats_.pruned_instrs = PruneDeadStores(emitter);
+    stats_.emitted_instrs -= stats_.pruned_instrs;
+  }
 
   std::uint64_t entry_address = 0;
   {

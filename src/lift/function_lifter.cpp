@@ -15,6 +15,7 @@
 #include <llvm/IR/Verifier.h>
 #include <llvm/Support/raw_ostream.h>
 
+#include "dbll/analysis/liveness.h"
 #include "dbll/x86/cfg.h"
 #include "dbll/x86/insn.h"
 #include "dbll/x86/printer.h"
@@ -95,8 +96,12 @@ class ModuleLifter;
 class BodyLifter {
  public:
   BodyLifter(ModuleLifter& parent, L::Function* fn, const x86::Cfg& cfg,
-             int call_depth)
-      : parent_(parent), fn_(fn), cfg_(cfg), call_depth_(call_depth) {}
+             int call_depth, const analysis::Liveness* liveness)
+      : parent_(parent),
+        fn_(fn),
+        cfg_(cfg),
+        call_depth_(call_depth),
+        liveness_(liveness) {}
 
   Status Run();
 
@@ -182,6 +187,18 @@ class BodyLifter {
     for (auto& flag : state_->flags) flag = Undef(I1());
     state_->InvalidateCmp();
   }
+  /// True when static liveness proved no successor reads `flag` after the
+  /// instruction being lifted: its definition may be an undef instead of a
+  /// computed value. Always false without LiftConfig::flag_liveness.
+  bool FlagDead(Flag flag) const {
+    return (live_flags_ & (1u << static_cast<int>(flag))) == 0;
+  }
+  /// Skips the flag computation entirely when the flag is statically dead
+  /// (the thunk only runs for live flags).
+  template <typename Fn>
+  void SetFlagLazy(Flag flag, Fn&& compute) {
+    SetFlag(flag, FlagDead(flag) ? Undef(I1()) : compute());
+  }
 
   // Facet casts -------------------------------------------------------------
   L::Value* CastFromI128(L::Value* base, VecFacet facet);
@@ -238,7 +255,7 @@ class BodyLifter {
   }
 
   // Phi plumbing ------------------------------------------------------------
-  void CreateEntryPhis(BlockInfo& info);
+  void CreateEntryPhis(std::uint64_t address, BlockInfo& info);
   Status FillPhis();
   /// Value of `slot` at the end of `pred`, materializing missing facets just
   /// before the terminator.
@@ -249,11 +266,15 @@ class BodyLifter {
   L::Function* fn_;
   const x86::Cfg& cfg_;
   int call_depth_;
+  /// Flag-liveness solution for cfg_ (null when pruning is disabled).
+  const analysis::Liveness* liveness_;
 
   BlockInfo setup_;  ///< synthetic entry: arguments + virtual stack
   std::map<std::uint64_t, BlockInfo> blocks_;
   BlockInfo* cur_ = nullptr;
   BlockState* state_ = nullptr;
+  /// FlagMask of flags live after the instruction currently being lifted.
+  std::uint8_t live_flags_ = x86::kFlagAll;
   std::size_t lifted_instrs_ = 0;
 };
 
@@ -549,15 +570,23 @@ Expected<L::Value*> BodyLifter::ReadVec(const Instr& instr, const Operand& op,
 // ---------------------------------------------------------------------------
 
 void BodyLifter::FlagsZSP(L::Value* res) {
+  // Each flag is only computed when static liveness says a successor reads
+  // it; dead definitions become undef without emitting any IR
+  // (LiftConfig::flag_liveness -- the static complement of the flag cache).
   L::Type* type = res->getType();
-  SetFlag(Flag::kZf, b().CreateICmpEQ(res, L::Constant::getNullValue(type)));
-  SetFlag(Flag::kSf, b().CreateICmpSLT(res, L::Constant::getNullValue(type)));
+  SetFlagLazy(Flag::kZf, [&] {
+    return b().CreateICmpEQ(res, L::Constant::getNullValue(type));
+  });
+  SetFlagLazy(Flag::kSf, [&] {
+    return b().CreateICmpSLT(res, L::Constant::getNullValue(type));
+  });
   // PF counts bits of the low byte via llvm.ctpop.i8 (paper Sec. III-D).
-  L::Value* low = res;
-  if (type != I8()) low = b().CreateTrunc(res, I8());
-  L::Value* pop = b().CreateUnaryIntrinsic(L::Intrinsic::ctpop, low);
-  SetFlag(Flag::kPf,
-          b().CreateICmpEQ(b().CreateAnd(pop, CI(I8(), 1)), CI(I8(), 0)));
+  SetFlagLazy(Flag::kPf, [&] {
+    L::Value* low = res;
+    if (type != I8()) low = b().CreateTrunc(res, I8());
+    L::Value* pop = b().CreateUnaryIntrinsic(L::Intrinsic::ctpop, low);
+    return b().CreateICmpEQ(b().CreateAnd(pop, CI(I8(), 1)), CI(I8(), 0));
+  });
 }
 
 void BodyLifter::FlagsAddSub(L::Value* lhs, L::Value* rhs, L::Value* res,
@@ -565,24 +594,28 @@ void BodyLifter::FlagsAddSub(L::Value* lhs, L::Value* rhs, L::Value* res,
   FlagsZSP(res);
   L::Type* type = res->getType();
   if (is_sub) {
-    SetFlag(Flag::kCf, b().CreateICmpULT(lhs, rhs));
+    SetFlagLazy(Flag::kCf, [&] { return b().CreateICmpULT(lhs, rhs); });
     // OF via bitwise reconstruction (paper Fig. 6b).
-    L::Value* tmp =
-        b().CreateAnd(b().CreateXor(lhs, rhs), b().CreateXor(lhs, res));
-    SetFlag(Flag::kOf,
-            b().CreateICmpSLT(tmp, L::Constant::getNullValue(type)));
+    SetFlagLazy(Flag::kOf, [&] {
+      L::Value* tmp =
+          b().CreateAnd(b().CreateXor(lhs, rhs), b().CreateXor(lhs, res));
+      return b().CreateICmpSLT(tmp, L::Constant::getNullValue(type));
+    });
   } else {
-    SetFlag(Flag::kCf, b().CreateICmpULT(res, lhs));
-    L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
-                                  b().CreateXor(lhs, res));
-    SetFlag(Flag::kOf,
-            b().CreateICmpSLT(tmp, L::Constant::getNullValue(type)));
+    SetFlagLazy(Flag::kCf, [&] { return b().CreateICmpULT(res, lhs); });
+    SetFlagLazy(Flag::kOf, [&] {
+      L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
+                                    b().CreateXor(lhs, res));
+      return b().CreateICmpSLT(tmp, L::Constant::getNullValue(type));
+    });
   }
-  // AF from the nibble carry.
-  L::Value* af =
-      b().CreateAnd(b().CreateXor(b().CreateXor(lhs, rhs), res),
-                    CI(type, 0x10));
-  SetFlag(Flag::kAf, b().CreateICmpNE(af, L::Constant::getNullValue(type)));
+  // AF from the nibble carry. No modeled mnemonic ever reads AF, so this is
+  // statically dead whenever flag liveness runs.
+  SetFlagLazy(Flag::kAf, [&] {
+    L::Value* af = b().CreateAnd(b().CreateXor(b().CreateXor(lhs, rhs), res),
+                                 CI(type, 0x10));
+    return b().CreateICmpNE(af, L::Constant::getNullValue(type));
+  });
 }
 
 void BodyLifter::FlagsLogic(L::Value* res) {
@@ -675,7 +708,7 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
       L::Value* res = b().CreateSub(zero, lhs);
       FlagsAddSub(zero, lhs, res, /*is_sub=*/true);
       // CF for neg: set unless the operand was zero.
-      SetFlag(Flag::kCf, b().CreateICmpNE(lhs, zero));
+      SetFlagLazy(Flag::kCf, [&] { return b().CreateICmpNE(lhs, zero); });
       state_->InvalidateCmp();
       DBLL_TRY_STATUS(WriteInt(instr, dst, res));
       return Status::Ok();
@@ -732,37 +765,49 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
       L::Value* carry = b().CreateZExt(GetFlag(Flag::kCf), lhs->getType());
       if (instr.mnemonic == M::kAdc) {
         res = b().CreateAdd(b().CreateAdd(lhs, rhs), carry);
+        FlagsZSP(res);
         // Carry out: res < lhs, or res == lhs with carry-in and rhs != 0;
         // compute via the wide sum to stay exact.
-        L::Type* wide = L::Type::getIntNTy(ctx(), lhs->getType()->getIntegerBitWidth() + 1);
-        L::Value* ws = b().CreateAdd(
-            b().CreateAdd(b().CreateZExt(lhs, wide), b().CreateZExt(rhs, wide)),
-            b().CreateZExt(carry, wide));
-        FlagsZSP(res);
-        SetFlag(Flag::kCf,
-                b().CreateICmpNE(
-                    b().CreateLShr(ws, CI(wide, lhs->getType()->getIntegerBitWidth())),
-                    L::Constant::getNullValue(wide)));
-        L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
-                                      b().CreateXor(lhs, res));
-        SetFlag(Flag::kOf, b().CreateICmpSLT(
-                               tmp, L::Constant::getNullValue(lhs->getType())));
+        SetFlagLazy(Flag::kCf, [&] {
+          L::Type* wide = L::Type::getIntNTy(
+              ctx(), lhs->getType()->getIntegerBitWidth() + 1);
+          L::Value* ws = b().CreateAdd(
+              b().CreateAdd(b().CreateZExt(lhs, wide),
+                            b().CreateZExt(rhs, wide)),
+              b().CreateZExt(carry, wide));
+          return b().CreateICmpNE(
+              b().CreateLShr(ws,
+                             CI(wide, lhs->getType()->getIntegerBitWidth())),
+              L::Constant::getNullValue(wide));
+        });
+        SetFlagLazy(Flag::kOf, [&] {
+          L::Value* tmp = b().CreateAnd(b().CreateNot(b().CreateXor(lhs, rhs)),
+                                        b().CreateXor(lhs, res));
+          return b().CreateICmpSLT(tmp,
+                                   L::Constant::getNullValue(lhs->getType()));
+        });
         SetFlag(Flag::kAf, Undef(I1()));
       } else {
         res = b().CreateSub(b().CreateSub(lhs, rhs), carry);
-        L::Type* wide = L::Type::getIntNTy(ctx(), lhs->getType()->getIntegerBitWidth() + 1);
-        L::Value* wd = b().CreateSub(
-            b().CreateSub(b().CreateZExt(lhs, wide), b().CreateZExt(rhs, wide)),
-            b().CreateZExt(carry, wide));
         FlagsZSP(res);
-        SetFlag(Flag::kCf,
-                b().CreateICmpNE(
-                    b().CreateLShr(wd, CI(wide, lhs->getType()->getIntegerBitWidth())),
-                    L::Constant::getNullValue(wide)));
-        L::Value* tmp = b().CreateAnd(b().CreateXor(lhs, rhs),
-                                      b().CreateXor(lhs, res));
-        SetFlag(Flag::kOf, b().CreateICmpSLT(
-                               tmp, L::Constant::getNullValue(lhs->getType())));
+        SetFlagLazy(Flag::kCf, [&] {
+          L::Type* wide = L::Type::getIntNTy(
+              ctx(), lhs->getType()->getIntegerBitWidth() + 1);
+          L::Value* wd = b().CreateSub(
+              b().CreateSub(b().CreateZExt(lhs, wide),
+                            b().CreateZExt(rhs, wide)),
+              b().CreateZExt(carry, wide));
+          return b().CreateICmpNE(
+              b().CreateLShr(wd,
+                             CI(wide, lhs->getType()->getIntegerBitWidth())),
+              L::Constant::getNullValue(wide));
+        });
+        SetFlagLazy(Flag::kOf, [&] {
+          L::Value* tmp = b().CreateAnd(b().CreateXor(lhs, rhs),
+                                        b().CreateXor(lhs, res));
+          return b().CreateICmpSLT(tmp,
+                                   L::Constant::getNullValue(lhs->getType()));
+        });
         SetFlag(Flag::kAf, Undef(I1()));
       }
       state_->InvalidateCmp();
@@ -794,14 +839,20 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
         mul_rhs = CI(a->getType(), static_cast<std::uint64_t>(instr.ops[2].imm));
       }
       res = b().CreateMul(a, mul_rhs);
-      // CF=OF = result does not fit; via wide multiply comparison.
-      const unsigned bits = a->getType()->getIntegerBitWidth();
-      L::Type* wide = L::Type::getIntNTy(ctx(), bits * 2);
-      L::Value* wm = b().CreateMul(b().CreateSExt(a, wide),
-                                   b().CreateSExt(mul_rhs, wide));
-      L::Value* fits = b().CreateICmpEQ(wm, b().CreateSExt(res, wide));
-      SetFlag(Flag::kOf, b().CreateNot(fits));
-      SetFlag(Flag::kCf, b().CreateNot(fits));
+      // CF=OF = result does not fit; via wide multiply comparison. The wide
+      // multiply is shared, so emit it once iff either flag is live.
+      if (!FlagDead(Flag::kOf) || !FlagDead(Flag::kCf)) {
+        const unsigned bits = a->getType()->getIntegerBitWidth();
+        L::Type* wide = L::Type::getIntNTy(ctx(), bits * 2);
+        L::Value* wm = b().CreateMul(b().CreateSExt(a, wide),
+                                     b().CreateSExt(mul_rhs, wide));
+        L::Value* fits = b().CreateICmpEQ(wm, b().CreateSExt(res, wide));
+        SetFlag(Flag::kOf, b().CreateNot(fits));
+        SetFlag(Flag::kCf, b().CreateNot(fits));
+      } else {
+        SetFlag(Flag::kOf, Undef(I1()));
+        SetFlag(Flag::kCf, Undef(I1()));
+      }
       SetFlag(Flag::kZf, Undef(I1()));
       SetFlag(Flag::kSf, Undef(I1()));
       SetFlag(Flag::kPf, Undef(I1()));
@@ -812,8 +863,9 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
     case M::kBt: case M::kBts: case M::kBtr: case M::kBtc: {
       L::Value* bit = b().CreateAnd(
           rhs, CI(rhs->getType(), dst.size * 8 - 1));
-      L::Value* shifted = b().CreateLShr(lhs, bit);
-      SetFlag(Flag::kCf, b().CreateTrunc(shifted, I1()));
+      SetFlagLazy(Flag::kCf, [&] {
+        return b().CreateTrunc(b().CreateLShr(lhs, bit), I1());
+      });
       state_->InvalidateCmp();
       if (instr.mnemonic == M::kBt) {
         return Status::Ok();  // bt writes no operand
@@ -835,11 +887,15 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
       L::Value* ctz = b().CreateBinaryIntrinsic(L::Intrinsic::cttz, rhs,
                                                 CI(I1(), 0));
       res = ctz;
-      SetFlag(Flag::kZf, b().CreateICmpEQ(
-                             rhs, L::Constant::getNullValue(rhs->getType())));
+      SetFlagLazy(Flag::kZf, [&] {
+        return b().CreateICmpEQ(rhs,
+                                L::Constant::getNullValue(rhs->getType()));
+      });
       if (instr.mnemonic == M::kTzcnt) {
-        SetFlag(Flag::kCf, b().CreateICmpEQ(
-                               rhs, L::Constant::getNullValue(rhs->getType())));
+        SetFlagLazy(Flag::kCf, [&] {
+          return b().CreateICmpEQ(rhs,
+                                  L::Constant::getNullValue(rhs->getType()));
+        });
       } else {
         SetFlag(Flag::kCf, Undef(I1()));
       }
@@ -854,8 +910,10 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
       L::Value* clz = b().CreateBinaryIntrinsic(L::Intrinsic::ctlz, rhs,
                                                 CI(I1(), 0));
       res = b().CreateSub(CI(rhs->getType(), dst.size * 8 - 1), clz);
-      SetFlag(Flag::kZf, b().CreateICmpEQ(
-                             rhs, L::Constant::getNullValue(rhs->getType())));
+      SetFlagLazy(Flag::kZf, [&] {
+        return b().CreateICmpEQ(rhs,
+                                L::Constant::getNullValue(rhs->getType()));
+      });
       SetFlag(Flag::kCf, Undef(I1()));
       SetFlag(Flag::kSf, Undef(I1()));
       SetFlag(Flag::kOf, Undef(I1()));
@@ -866,8 +924,10 @@ Status BodyLifter::LiftIntAlu(const Instr& instr) {
     }
     case M::kPopcnt: {
       res = b().CreateUnaryIntrinsic(L::Intrinsic::ctpop, rhs);
-      SetFlag(Flag::kZf, b().CreateICmpEQ(
-                             rhs, L::Constant::getNullValue(rhs->getType())));
+      SetFlagLazy(Flag::kZf, [&] {
+        return b().CreateICmpEQ(rhs,
+                                L::Constant::getNullValue(rhs->getType()));
+      });
       SetFlag(Flag::kCf, CI(I1(), 0));
       SetFlag(Flag::kSf, CI(I1(), 0));
       SetFlag(Flag::kOf, CI(I1(), 0));
@@ -981,33 +1041,48 @@ Status BodyLifter::LiftShift(const Instr& instr) {
   // shifted out (OF is only defined for one-bit shifts and stays undef).
   if (instr.mnemonic == M::kShl || instr.mnemonic == M::kShr ||
       instr.mnemonic == M::kSar) {
-    L::Value* zero_count = b().CreateICmpEQ(
-        amount, L::Constant::getNullValue(amount->getType()));
-    L::Value* old_zf = GetFlag(Flag::kZf);
-    L::Value* old_sf = GetFlag(Flag::kSf);
-    L::Value* old_pf = GetFlag(Flag::kPf);
-    L::Value* old_cf = GetFlag(Flag::kCf);
+    // Liveness never kills flags across a variable-count shift (count == 0
+    // preserves them), so whenever one of these flags is live after the
+    // shift its old value below is a real definition, never a pruned undef.
+    const bool any_live = !FlagDead(Flag::kZf) || !FlagDead(Flag::kSf) ||
+                          !FlagDead(Flag::kPf) || !FlagDead(Flag::kCf);
+    L::Value* zero_count =
+        any_live ? b().CreateICmpEQ(
+                       amount, L::Constant::getNullValue(amount->getType()))
+                 : nullptr;
+    L::Value* old_zf = FlagDead(Flag::kZf) ? nullptr : GetFlag(Flag::kZf);
+    L::Value* old_sf = FlagDead(Flag::kSf) ? nullptr : GetFlag(Flag::kSf);
+    L::Value* old_pf = FlagDead(Flag::kPf) ? nullptr : GetFlag(Flag::kPf);
+    L::Value* old_cf = FlagDead(Flag::kCf) ? nullptr : GetFlag(Flag::kCf);
     FlagsZSP(res);
-    // CF: shl -> bit (bits - count); shr/sar -> bit (count - 1).
-    L::Type* cf_ty = shift_lhs->getType();
-    L::Value* wide_amount = shift_amount;
-    const unsigned cf_bits = cf_ty->getIntegerBitWidth();
-    L::Value* cf_bit_index =
-        instr.mnemonic == M::kShl
-            ? b().CreateSub(CI(cf_ty, bits), wide_amount)
-            : b().CreateSub(wide_amount, CI(cf_ty, 1));
-    // Guard the shift against a poison out-of-range index on count == 0
-    // (shl path yields index == bits): clamp, then select the old flag.
-    L::Value* clamped = b().CreateAnd(cf_bit_index, CI(cf_ty, cf_bits - 1));
-    L::Value* cf_source =
-        instr.mnemonic == M::kSar
-            ? b().CreateAShr(shift_lhs, clamped)
-            : b().CreateLShr(shift_lhs, clamped);
-    L::Value* new_cf = b().CreateTrunc(cf_source, I1());
-    SetFlag(Flag::kZf, b().CreateSelect(zero_count, old_zf, GetFlag(Flag::kZf)));
-    SetFlag(Flag::kSf, b().CreateSelect(zero_count, old_sf, GetFlag(Flag::kSf)));
-    SetFlag(Flag::kPf, b().CreateSelect(zero_count, old_pf, GetFlag(Flag::kPf)));
-    SetFlag(Flag::kCf, b().CreateSelect(zero_count, old_cf, new_cf));
+    SetFlagLazy(Flag::kZf, [&] {
+      return b().CreateSelect(zero_count, old_zf, GetFlag(Flag::kZf));
+    });
+    SetFlagLazy(Flag::kSf, [&] {
+      return b().CreateSelect(zero_count, old_sf, GetFlag(Flag::kSf));
+    });
+    SetFlagLazy(Flag::kPf, [&] {
+      return b().CreateSelect(zero_count, old_pf, GetFlag(Flag::kPf));
+    });
+    SetFlagLazy(Flag::kCf, [&] {
+      // CF: shl -> bit (bits - count); shr/sar -> bit (count - 1).
+      L::Type* cf_ty = shift_lhs->getType();
+      L::Value* wide_amount = shift_amount;
+      const unsigned cf_bits = cf_ty->getIntegerBitWidth();
+      L::Value* cf_bit_index =
+          instr.mnemonic == M::kShl
+              ? b().CreateSub(CI(cf_ty, bits), wide_amount)
+              : b().CreateSub(wide_amount, CI(cf_ty, 1));
+      // Guard the shift against a poison out-of-range index on count == 0
+      // (shl path yields index == bits): clamp, then select the old flag.
+      L::Value* clamped = b().CreateAnd(cf_bit_index, CI(cf_ty, cf_bits - 1));
+      L::Value* cf_source =
+          instr.mnemonic == M::kSar
+              ? b().CreateAShr(shift_lhs, clamped)
+              : b().CreateLShr(shift_lhs, clamped);
+      L::Value* new_cf = b().CreateTrunc(cf_source, I1());
+      return b().CreateSelect(zero_count, old_cf, new_cf);
+    });
     SetFlag(Flag::kOf, Undef(I1()));
     SetFlag(Flag::kAf, Undef(I1()));
   } else {
@@ -1579,9 +1654,9 @@ Status BodyLifter::LiftSse(const Instr& instr) {
       DBLL_TRY(L::Value * a, ReadVec(instr, dst, facet, is_double ? 8 : 4));
       DBLL_TRY(L::Value * c, ReadVec(instr, src, facet, is_double ? 8 : 4));
       // ZF = unordered-or-equal, PF = unordered, CF = unordered-or-less.
-      SetFlag(Flag::kZf, b().CreateFCmpUEQ(a, c));
-      SetFlag(Flag::kPf, b().CreateFCmpUNO(a, c));
-      SetFlag(Flag::kCf, b().CreateFCmpULT(a, c));
+      SetFlagLazy(Flag::kZf, [&] { return b().CreateFCmpUEQ(a, c); });
+      SetFlagLazy(Flag::kPf, [&] { return b().CreateFCmpUNO(a, c); });
+      SetFlagLazy(Flag::kCf, [&] { return b().CreateFCmpULT(a, c); });
       SetFlag(Flag::kOf, CI(I1(), 0));
       SetFlag(Flag::kSf, CI(I1(), 0));
       SetFlag(Flag::kAf, CI(I1(), 0));
@@ -2088,6 +2163,10 @@ Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
       return Error(ErrorKind::kResourceLimit,
                    "lift instruction budget exhausted", instr.address);
     }
+    // Flags nothing reads between here and every exit need no IR at all
+    // (see FlagDead / SetFlagLazy).
+    live_flags_ =
+        liveness_ ? liveness_->LiveFlagsAfter(instr.address) : x86::kFlagAll;
     DBLL_TRY_STATUS(LiftInstr(instr, &terminated));
     if (terminated) break;
   }
@@ -2122,7 +2201,7 @@ Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
 // Phi plumbing
 // ---------------------------------------------------------------------------
 
-void BodyLifter::CreateEntryPhis(BlockInfo& info) {
+void BodyLifter::CreateEntryPhis(std::uint64_t address, BlockInfo& info) {
   // Φ-nodes for every register in every facet (paper Sec. III-C: "each basic
   // block has a set of Φ-nodes at the beginning, where the values of the
   // registers in all facets of the predecessors are merged"). Unused ones
@@ -2146,8 +2225,17 @@ void BodyLifter::CreateEntryPhis(BlockInfo& info) {
       }
     }
   }
+  // Flag phis only exist for flags live at block entry. A flag that is dead
+  // on entry but live at some exit is necessarily redefined inside the block
+  // (liveness would otherwise propagate it into the entry set), so starting
+  // it as undef is sound and FillPhis skips the missing phi.
+  const std::uint8_t live_in =
+      liveness_ ? liveness_->LiveFlagsIn(address) : x86::kFlagAll;
   for (int f = 0; f < x86::kFlagCount; ++f) {
-    info.entry.flags[f] = b().CreatePHI(I1(), 2);
+    info.entry.flags[f] =
+        (live_in & (1u << f)) != 0
+            ? static_cast<L::Value*>(b().CreatePHI(I1(), 2))
+            : Undef(I1());
   }
   info.exit = info.entry;
   // The flag cache does not survive block boundaries.
@@ -2237,8 +2325,10 @@ Status BodyLifter::FillPhis() {
       }
     }
     for (int f = 0; f < x86::kFlagCount; ++f) {
-      L::cast<L::PHINode>(succ.entry.flags[f])
-          ->addIncoming(pred.exit.flags[f], pred.bb);
+      // Dead-on-entry flags have an undef placeholder instead of a phi.
+      if (auto* phi = L::dyn_cast<L::PHINode>(succ.entry.flags[f])) {
+        phi->addIncoming(pred.exit.flags[f], pred.bb);
+      }
     }
   }
   return Status::Ok();
@@ -2295,7 +2385,7 @@ Status BodyLifter::Run() {
 
   // Entry phis for every block (including the x86 entry).
   for (auto& [address, info] : blocks_) {
-    CreateEntryPhis(info);
+    CreateEntryPhis(address, info);
   }
 
   // Lift the bodies in address order.
@@ -2468,7 +2558,15 @@ Expected<L::Function*> ModuleLifter::LiftBodies(std::uint64_t entry_address) {
       return Error(ErrorKind::kLift,
                    "cannot decode function: " + cfg.error().Format(), address);
     }
-    BodyLifter body(*this, fn, *cfg, depth);
+    // Static flag liveness feeds the per-instruction pruning in the body
+    // lifter; null disables it (every flag permanently live).
+    analysis::Liveness liveness;
+    const analysis::Liveness* liveness_ptr = nullptr;
+    if (config().flag_liveness) {
+      liveness = analysis::ComputeLiveness(*cfg);
+      liveness_ptr = &liveness;
+    }
+    BodyLifter body(*this, fn, *cfg, depth, liveness_ptr);
     DBLL_TRY_STATUS(body.Run());
   }
   return root;

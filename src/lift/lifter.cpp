@@ -33,6 +33,16 @@ std::string LiftedFunction::GetIr() const {
   return out;
 }
 
+std::size_t LiftedFunction::IrInstructionCount() const {
+  std::size_t count = 0;
+  for (const llvm::Function& fn : *impl_->bundle.module) {
+    for (const llvm::BasicBlock& block : fn) {
+      count += block.size();
+    }
+  }
+  return count;
+}
+
 namespace {
 
 /// Locates the single call of the lifted function inside the wrapper and the
@@ -178,6 +188,7 @@ std::uint64_t Fingerprint(const LiftConfig& config) {
   for (char c : config.pass_preset) mix(static_cast<std::uint8_t>(c));
   mix(config.volatile_memory);
   mix(config.vectorize_hint);
+  mix(config.flag_liveness);
   return hash;
 }
 

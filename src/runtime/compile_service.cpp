@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "dbll/analysis/audit.h"
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/support/fault.h"
@@ -463,6 +464,35 @@ void CompileService::CompileOne(Job& job) {
   obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
                                       queue_wait_ns);
   metrics.queue_wait_ns.Record(queue_wait_ns);
+
+  // Static lift-eligibility audit (Options::audit): a kFatal diagnostic
+  // proves Tier 0 would fail deterministically, so the job is routed to the
+  // Tier-1 fallback -- and the negative cache seeded -- without constructing
+  // a single LLVM object. Worst-case cost is one CFG walk per audited
+  // function; it runs here on the worker so Request() stays non-blocking.
+  if (!job.skip_tier0 && options_.audit) {
+    analysis::AuditOptions audit_options;
+    audit_options.cfg.max_instructions = request.config.max_instructions;
+    audit_options.follow_calls = request.config.lift_calls;
+    audit_options.max_call_depth = request.config.max_call_depth;
+    const analysis::AuditReport report =
+        analysis::AuditFunction(request.address, audit_options);
+    if (const analysis::Diagnostic* fatal = report.first_fatal()) {
+      job.skip_tier0 = true;
+      job.negative_error =
+          Error(ErrorKind::kUnsupported,
+                std::string("lift-eligibility audit: ") +
+                    analysis::ToString(fatal->kind) + ": " + fatal->message,
+                fatal->site);
+      if (options_.negative_capacity > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (negative_.size() >= options_.negative_capacity) {
+          negative_.clear();
+        }
+        negative_.emplace(job.key, job.negative_error);
+      }
+    }
+  }
 
   std::uint64_t entry = 0;
   bool tier0_ok = false;

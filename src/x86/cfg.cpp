@@ -156,6 +156,19 @@ Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
     cfg.blocks.emplace(leader, std::move(block));
   }
 
+  // Pass 3: record predecessor edges. Every successor pointer -- the branch
+  // target and the fall-through, including the fall-through a mid-block split
+  // introduces -- gets mirrored as a predecessor, so backward dataflow can
+  // walk the graph against the edge direction.
+  for (const auto& [start, block] : cfg.blocks) {
+    if (block.branch_target != 0) {
+      cfg.blocks.at(block.branch_target).predecessors.push_back(start);
+    }
+    if (block.fall_through != 0 && block.fall_through != block.branch_target) {
+      cfg.blocks.at(block.fall_through).predecessors.push_back(start);
+    }
+  }
+
   cfg.call_targets.assign(call_targets.begin(), call_targets.end());
   return cfg;
 }

@@ -1,0 +1,16 @@
+// dbll tests -- analysis fixtures (see analysis_fixtures.h). This TU is
+// compiled with the corpus codegen flags (tests/CMakeLists.txt).
+#include "analysis_fixtures.h"
+
+extern "C" {
+
+long af_double(long x) { return x * 2 + 1; }
+
+volatile AfFn af_indirect_target = &af_double;
+
+// The +1 after the call keeps it out of tail position: a tail call would be
+// compiled to `jmp *%rax` (a different diagnostic kind) instead of an
+// indirect call.
+long af_indirect_call(long x) { return af_indirect_target(x + 1) + 1; }
+
+}  // extern "C"

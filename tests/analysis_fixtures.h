@@ -1,0 +1,25 @@
+// dbll tests -- fixtures for the static-analysis suite (analysis_test.cpp).
+//
+// Compiled in a separate TU (analysis_fixtures.cpp) with the controlled
+// corpus flags so the generated code stays within the decoder's supported
+// subset -- except for the deliberate violation: af_indirect_call calls
+// through a volatile function pointer, which -O2 must leave as an indirect
+// call. The auditor flags it kFatal (kIndirectCall) while the DBrew tier
+// handles it fine (the pointer is in live memory at rewrite time), which is
+// exactly the audit-gate scenario the CompileService tests exercise.
+#pragma once
+
+extern "C" {
+
+typedef long (*AfFn)(long);
+
+/// Plain liftable helper; also the value of af_indirect_target.
+long af_double(long x);
+
+/// Volatile so the compiler cannot devirtualize the call in af_indirect_call.
+extern volatile AfFn af_indirect_target;
+
+/// Calls through af_indirect_target: statically not lift-eligible.
+long af_indirect_call(long x);
+
+}  // extern "C"

@@ -1,0 +1,588 @@
+// dbll tests -- the static-analysis framework (src/analysis): dataflow
+// solver convergence, instruction effect summaries, flag/register liveness,
+// the lift-eligibility auditor, the CompileService audit gate, DBrew
+// dead-store pruning, and differential equivalence of flag-liveness-pruned
+// lifts against unpruned ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "analysis_fixtures.h"
+#include "corpus.h"
+#include "dbll/analysis/audit.h"
+#include "dbll/analysis/dataflow.h"
+#include "dbll/analysis/liveness.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/dbrew/rewriter.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/stencil/stencil.h"
+#include "dbll/x86/decoder.h"
+#include "dbrew/emitter.h"  // internal: emitter-level prune unit tests
+
+namespace dbll::analysis {
+namespace {
+
+std::uint64_t Addr(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+
+// --- LocSet ------------------------------------------------------------------
+
+TEST(LocSetTest, ClassesAreDisjoint) {
+  EXPECT_FALSE(LocSet::AllGp().Intersects(LocSet::AllVec()));
+  EXPECT_FALSE(LocSet::AllGp().Intersects(LocSet::AllFlags()));
+  EXPECT_FALSE(LocSet::AllVec().Intersects(LocSet::AllFlags()));
+  EXPECT_EQ((LocSet::AllGp() | LocSet::AllVec() | LocSet::AllFlags()),
+            LocSet::All());
+  EXPECT_EQ(LocSet::All().count(), LocSet::kLocCount);
+}
+
+TEST(LocSetTest, FlagMaskRoundTrips) {
+  for (std::uint8_t mask = 0; mask <= x86::kFlagAll; ++mask) {
+    EXPECT_EQ(LocSet::FromFlagMask(mask).FlagMask(), mask);
+  }
+  // The per-flag constructor and the mask view agree on the bit order.
+  EXPECT_EQ(LocSet::FlagLoc(x86::Flag::kZf).FlagMask(), x86::kFlagZ);
+  EXPECT_EQ(LocSet::FlagLoc(x86::Flag::kAf).FlagMask(), x86::kFlagA);
+}
+
+TEST(LocSetTest, SetAlgebra) {
+  const LocSet a = LocSet::Gp(0) | LocSet::Gp(1) | LocSet::Vec(3);
+  const LocSet b = LocSet::Gp(1) | LocSet::FlagLoc(x86::Flag::kCf);
+  EXPECT_EQ((a & b), LocSet::Gp(1));
+  EXPECT_EQ((a - b), (LocSet::Gp(0) | LocSet::Vec(3)));
+  EXPECT_TRUE(a.ContainsAll(LocSet::Gp(0)));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_NE(a.ToString().find("xmm3"), std::string::npos);
+}
+
+// --- Worklist solver ---------------------------------------------------------
+
+// Diamond: 0 -> {1, 2} -> 3. Backward liveness-style problem.
+TEST(SolverTest, DiamondReachesFixpoint) {
+  Graph graph;
+  graph.succs = {{1, 2}, {3}, {3}, {}};
+  graph.preds = {{}, {0}, {0}, {1, 2}};
+  // Block 3 reads rax (gen); block 1 overwrites rax (kill); block 2 is
+  // pass-through. So rax must be live into blocks 0, 2, 3 but not 1.
+  std::vector<Transfer> transfer(4);
+  transfer[3].gen = LocSet::Gp(0);
+  transfer[1].kill = LocSet::Gp(0);
+  const DataflowResult result =
+      Solve(Direction::kBackward, graph, transfer, LocSet());
+  EXPECT_TRUE(result.in[0].TestGp(0));
+  EXPECT_FALSE(result.in[1].TestGp(0));
+  EXPECT_TRUE(result.in[2].TestGp(0));
+  EXPECT_TRUE(result.in[3].TestGp(0));
+  EXPECT_TRUE(result.out[1].TestGp(0));  // live after the kill again
+  // An acyclic 4-block graph converges in a handful of pops.
+  EXPECT_LE(result.iterations, 8);
+}
+
+// Loop: 0 -> 1 <-> 1 -> 2 (self loop on 1).
+TEST(SolverTest, LoopConverges) {
+  Graph graph;
+  graph.succs = {{1}, {1, 2}, {}};
+  graph.preds = {{}, {0, 1}, {1}};
+  // The loop body reads rdi before overwriting it, and the exit reads rax.
+  std::vector<Transfer> transfer(3);
+  transfer[1].gen = LocSet::Gp(7);  // rdi
+  transfer[1].kill = LocSet::Gp(7);
+  transfer[2].gen = LocSet::Gp(0);  // rax
+  const DataflowResult result =
+      Solve(Direction::kBackward, graph, transfer, LocSet());
+  // rdi is live around the back edge; rax is live everywhere before exit.
+  EXPECT_TRUE(result.in[1].TestGp(7));
+  EXPECT_TRUE(result.out[1].TestGp(7));  // via the back edge
+  EXPECT_TRUE(result.in[0].TestGp(7));
+  EXPECT_TRUE(result.in[0].TestGp(0));
+  // Fixpoint: re-solving changes nothing, and iterations stay bounded by a
+  // small multiple of the block count.
+  EXPECT_LE(result.iterations, 3 * 4);
+}
+
+TEST(SolverTest, ForwardDirectionUsesEntryBoundary) {
+  // Forward reaching-style: boundary seeds the entry block.
+  Graph graph;
+  graph.succs = {{1}, {}};
+  graph.preds = {{}, {0}};
+  std::vector<Transfer> transfer(2);
+  transfer[0].kill = LocSet::Gp(0);
+  const DataflowResult result = Solve(Direction::kForward, graph, transfer,
+                                      LocSet::Gp(0) | LocSet::Gp(1));
+  EXPECT_TRUE(result.in[0].TestGp(0));
+  EXPECT_FALSE(result.out[0].TestGp(0));  // killed in block 0
+  EXPECT_TRUE(result.out[0].TestGp(1));   // flows through
+  EXPECT_FALSE(result.in[1].TestGp(0));
+}
+
+// --- Instruction effects -----------------------------------------------------
+
+x86::Instr DecodeBytes(const std::vector<std::uint8_t>& bytes) {
+  auto instr = x86::Decoder::DecodeOne(bytes, 0x1000);
+  EXPECT_TRUE(instr.has_value()) << instr.error().Format();
+  return *instr;
+}
+
+TEST(EffectsTest, AddReadsBothKillsDestAndFlags) {
+  // add rax, rsi
+  const InstrEffects e = EffectsOf(DecodeBytes({0x48, 0x01, 0xf0}));
+  EXPECT_TRUE(e.known);
+  EXPECT_FALSE(e.writes_memory);
+  EXPECT_TRUE(e.uses.TestGp(0));   // rax (read-modify-write)
+  EXPECT_TRUE(e.uses.TestGp(6));   // rsi
+  EXPECT_TRUE(e.kills.TestGp(0));
+  EXPECT_EQ((e.kills & LocSet::AllFlags()), LocSet::AllFlags());
+  EXPECT_FALSE(e.uses.Intersects(LocSet::AllFlags()));
+}
+
+TEST(EffectsTest, MovDoesNotTouchFlags) {
+  // mov rax, rdi
+  const InstrEffects e = EffectsOf(DecodeBytes({0x48, 0x89, 0xf8}));
+  EXPECT_TRUE(e.kills.TestGp(0));
+  EXPECT_TRUE(e.uses.TestGp(7));
+  EXPECT_FALSE(e.defs.Intersects(LocSet::AllFlags()));
+}
+
+TEST(EffectsTest, JccReadsItsConditionFlags) {
+  // je +0
+  const InstrEffects e = EffectsOf(DecodeBytes({0x74, 0x00}));
+  EXPECT_TRUE(e.uses.TestFlag(x86::Flag::kZf));
+  EXPECT_TRUE(e.defs.empty());
+}
+
+TEST(EffectsTest, VariableShiftNeverKillsFlags) {
+  // shl rax, cl: with cl == 0 the flags survive untouched, so a sound
+  // summary must not report them killed (it may report them defined).
+  const InstrEffects e = EffectsOf(DecodeBytes({0x48, 0xd3, 0xe0}));
+  EXPECT_TRUE(e.uses.TestGp(1));  // rcx
+  EXPECT_TRUE(e.uses.TestGp(0));
+  EXPECT_FALSE(e.kills.Intersects(LocSet::AllFlags()));
+}
+
+TEST(EffectsTest, StoreWritesMemory) {
+  // mov [rdi], rax
+  const InstrEffects e = EffectsOf(DecodeBytes({0x48, 0x89, 0x07}));
+  EXPECT_TRUE(e.writes_memory);
+  EXPECT_TRUE(e.uses.TestGp(7));
+  EXPECT_TRUE(e.uses.TestGp(0));
+}
+
+// --- Flag liveness over real CFGs -------------------------------------------
+
+Liveness LivenessOf(const std::vector<std::uint8_t>& code) {
+  auto cfg = x86::BuildCfgFromBuffer(code, 0x1000, 0x1000);
+  EXPECT_TRUE(cfg.has_value()) << cfg.error().Format();
+  return ComputeLiveness(*cfg);
+}
+
+TEST(LivenessTest, CmpFeedingJccKeepsItsFlagLive) {
+  //   1000: 48 39 f7   cmp rdi, rsi
+  //   1003: 74 02      je 1007
+  //   1005: 31 c0      xor eax, eax
+  //   1007: c3         ret
+  const Liveness live = LivenessOf({0x48, 0x39, 0xf7, 0x74, 0x02, 0x31, 0xc0,
+                                    0xc3});
+  EXPECT_TRUE(live.LiveFlagsAfter(0x1000) & x86::kFlagZ);
+  // After the je nothing reads any flag.
+  EXPECT_EQ(live.LiveFlagsAfter(0x1003), 0);
+  EXPECT_EQ(live.LiveFlagsAfter(0x1005), 0);
+}
+
+TEST(LivenessTest, ArithmeticFlagsDeadWithoutConsumer) {
+  //   1000: 48 01 f0   add rax, rsi
+  //   1003: 48 01 f8   add rax, rdi
+  //   1006: c3         ret
+  const Liveness live = LivenessOf({0x48, 0x01, 0xf0, 0x48, 0x01, 0xf8, 0xc3});
+  // The second add kills every flag before anything could read the first
+  // add's definitions; ret reads no flags.
+  EXPECT_EQ(live.LiveFlagsAfter(0x1000), 0);
+  EXPECT_EQ(live.LiveFlagsAfter(0x1003), 0);
+  // But rax is live throughout (the ret reads the return register).
+  EXPECT_TRUE(live.AfterInstr(0x1003).TestGp(0));
+}
+
+TEST(LivenessTest, LoopCarriesFlagsAroundBackEdge) {
+  //   1000: 31 c0      xor eax, eax
+  //   1002: 48 01 f8   add rax, rdi
+  //   1005: 48 ff cf   dec rdi
+  //   1008: 75 f8      jne 1002
+  //   100a: c3         ret
+  const Liveness live =
+      LivenessOf({0x31, 0xc0, 0x48, 0x01, 0xf8, 0x48, 0xff, 0xcf, 0x75, 0xf8,
+                  0xc3});
+  // The dec feeds the jne: ZF live after the dec.
+  EXPECT_TRUE(live.LiveFlagsAfter(0x1005) & x86::kFlagZ);
+  // The add's flags are clobbered by the dec before any read -- dead even
+  // inside the loop.
+  EXPECT_EQ(live.LiveFlagsAfter(0x1002), 0);
+  // Block-entry view: the loop head needs no flag from its predecessors.
+  EXPECT_EQ(live.LiveFlagsIn(0x1002), 0);
+}
+
+TEST(LivenessTest, UnknownAddressIsConservative) {
+  const Liveness live = LivenessOf({0xc3});
+  EXPECT_EQ(live.AfterInstr(0xdead), LocSet::All());
+  EXPECT_EQ(live.LiveFlagsIn(0xdead), x86::kFlagAll);
+}
+
+// --- Auditor -----------------------------------------------------------------
+
+TEST(AuditTest, CorpusIsLiftEligible) {
+  for (int i = 0; i < dbll_tests::kIntCorpusSize; ++i) {
+    const AuditReport report = AuditFunction(Addr(
+        reinterpret_cast<const void*>(dbll_tests::kIntCorpus[i].fn)));
+    EXPECT_TRUE(report.lift_eligible()) << dbll_tests::kIntCorpus[i].name;
+  }
+  for (int i = 0; i < dbll_tests::kFpCorpusSize; ++i) {
+    const AuditReport report = AuditFunction(Addr(
+        reinterpret_cast<const void*>(dbll_tests::kFpCorpus[i].fn)));
+    EXPECT_TRUE(report.lift_eligible()) << dbll_tests::kFpCorpus[i].name;
+  }
+}
+
+TEST(AuditTest, IndirectCallIsFatal) {
+  const AuditReport report =
+      AuditFunction(Addr(reinterpret_cast<const void*>(&af_indirect_call)));
+  EXPECT_FALSE(report.lift_eligible());
+  ASSERT_NE(report.first_fatal(), nullptr);
+  EXPECT_EQ(report.first_fatal()->kind, DiagKind::kIndirectCall);
+  EXPECT_EQ(report.worst(), Severity::kFatal);
+}
+
+TEST(AuditTest, IndirectJumpBufferIsFatal) {
+  // jmp rax
+  const std::vector<std::uint8_t> code = {0xff, 0xe0};
+  const AuditReport report = AuditBuffer(code, 0x1000, 0x1000);
+  EXPECT_FALSE(report.lift_eligible());
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.diagnostics[0].kind, DiagKind::kIndirectJump);
+}
+
+TEST(AuditTest, ResourceLimitSurfacesAsFatal) {
+  std::vector<std::uint8_t> code(64, 0x90);
+  code.push_back(0xc3);
+  AuditOptions options;
+  options.cfg.max_instructions = 10;
+  const AuditReport report = AuditBuffer(code, 0x1000, 0x1000, options);
+  EXPECT_FALSE(report.lift_eligible());
+  ASSERT_NE(report.first_fatal(), nullptr);
+  EXPECT_EQ(report.first_fatal()->kind, DiagKind::kResourceLimit);
+}
+
+TEST(AuditTest, CountersAdvance) {
+  auto& registry = obs::Registry::Default();
+  const std::uint64_t audits = registry.Value("analysis.audits");
+  const std::uint64_t fatal = registry.Value("analysis.fatal");
+  (void)AuditFunction(Addr(reinterpret_cast<const void*>(&af_indirect_call)));
+  EXPECT_EQ(registry.Value("analysis.audits"), audits + 1);
+  EXPECT_EQ(registry.Value("analysis.fatal"), fatal + 1);
+}
+
+// --- CompileService audit gate ----------------------------------------------
+
+using IntFn1 = long (*)(long);
+
+TEST(AuditGateTest, FatalAuditRoutesToTier1WithoutLlvm) {
+  auto& registry = obs::Registry::Default();
+  const std::uint64_t fatal_before = registry.Value("analysis.fatal");
+  const std::uint64_t lift_ns_before = registry.Value("cache.lift_ns");
+  const std::uint64_t compiles_before = registry.Value("cache.compiles");
+  const std::uint64_t lifts_before =
+      registry.GetHistogram("lift.wall_ns").count();
+
+  runtime::CompileService service;  // audit defaults to on
+  runtime::CompileRequest request(Addr(reinterpret_cast<const void*>(
+                                      &af_indirect_call)),
+                                  lift::Signature::Ints(1));
+  runtime::FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  // Served by the DBrew tier, root cause kUnsupported from the audit.
+  EXPECT_EQ(handle.tier(), runtime::Tier::kDbrew);
+  EXPECT_EQ(handle.error().kind(), ErrorKind::kUnsupported);
+  auto fn = handle.as<IntFn1>();
+  EXPECT_EQ(fn(5), af_indirect_call(5));
+  EXPECT_EQ(fn(-3), af_indirect_call(-3));
+
+  // The audit fired; Tier 0 never ran: the lifter was never invoked (no
+  // lift.wall_ns sample) and no compile time/count was booked.
+  EXPECT_GT(registry.Value("analysis.fatal"), fatal_before);
+  EXPECT_EQ(registry.GetHistogram("lift.wall_ns").count(), lifts_before);
+  EXPECT_EQ(registry.Value("cache.lift_ns"), lift_ns_before);
+  EXPECT_EQ(registry.Value("cache.compiles"), compiles_before);
+}
+
+TEST(AuditGateTest, FatalAuditSeedsNegativeCache) {
+  auto& registry = obs::Registry::Default();
+  runtime::CompileService service;
+  runtime::CompileRequest request(Addr(reinterpret_cast<const void*>(
+                                      &af_indirect_call)),
+                                  lift::Signature::Ints(1));
+  service.Request(request).wait();
+
+  // Clear() drops the table but keeps the negative cache: a re-request
+  // goes straight to Tier 1 off the negative entry -- not a second audit.
+  service.Clear();
+  const std::uint64_t audits_before = registry.Value("analysis.audits");
+  const std::uint64_t negative_before =
+      registry.Value("fallback.negative_hit");
+  runtime::FunctionHandle handle = service.Request(request);
+  handle.wait();
+  EXPECT_EQ(handle.tier(), runtime::Tier::kDbrew);
+  EXPECT_EQ(registry.Value("analysis.audits"), audits_before);
+  EXPECT_EQ(registry.Value("fallback.negative_hit"), negative_before + 1);
+}
+
+TEST(AuditGateTest, AuditOffRunsTier0AndFails) {
+  runtime::CompileService::Options options;
+  options.audit = false;
+  runtime::CompileService service(options);
+  runtime::CompileRequest request(Addr(reinterpret_cast<const void*>(
+                                      &af_indirect_call)),
+                                  lift::Signature::Ints(1));
+  runtime::FunctionHandle handle = service.Request(request);
+  handle.wait();
+  // Same serving tier, but the root cause now comes from the lifter itself
+  // (it ran and rejected the indirect call).
+  EXPECT_EQ(handle.tier(), runtime::Tier::kDbrew);
+  ASSERT_FALSE(handle.error_chain().empty());
+  auto fn = handle.as<IntFn1>();
+  EXPECT_EQ(fn(9), af_indirect_call(9));
+}
+
+TEST(AuditGateTest, EligibleFunctionStillReachesTier0) {
+  runtime::CompileService service;
+  runtime::CompileRequest request(Addr(reinterpret_cast<const void*>(
+                                      &c_arith_mix)),
+                                  lift::Signature::Ints(2));
+  runtime::FunctionHandle handle = service.Request(request);
+  handle.wait();
+  EXPECT_EQ(handle.tier(), runtime::Tier::kLlvm);
+  auto fn = handle.as<long (*)(long, long)>();
+  EXPECT_EQ(fn(3, 4), c_arith_mix(3, 4));
+}
+
+// --- Flag-liveness pruning in the lifter -------------------------------------
+
+lift::Jit& SharedJit() {
+  static lift::Jit jit;
+  return jit;
+}
+
+TEST(FlagPruneTest, ReducesIrOnIntCorpus) {
+  // Aggregate over the corpus: pruning must never add instructions, and
+  // must remove some overall (nearly every function defines flags nothing
+  // reads).
+  std::size_t with = 0;
+  std::size_t without = 0;
+  for (int i = 0; i < dbll_tests::kIntCorpusSize; ++i) {
+    const std::uint64_t address = Addr(
+        reinterpret_cast<const void*>(dbll_tests::kIntCorpus[i].fn));
+    lift::LiftConfig on;
+    on.flag_liveness = true;
+    lift::LiftConfig off;
+    off.flag_liveness = false;
+    lift::Lifter lifter_on(on);
+    lift::Lifter lifter_off(off);
+    auto lifted_on = lifter_on.Lift(address, lift::Signature::Ints(2));
+    auto lifted_off = lifter_off.Lift(address, lift::Signature::Ints(2));
+    ASSERT_TRUE(lifted_on.has_value()) << dbll_tests::kIntCorpus[i].name;
+    ASSERT_TRUE(lifted_off.has_value()) << dbll_tests::kIntCorpus[i].name;
+    const std::size_t n_on = lifted_on->IrInstructionCount();
+    const std::size_t n_off = lifted_off->IrInstructionCount();
+    EXPECT_LE(n_on, n_off) << dbll_tests::kIntCorpus[i].name;
+    with += n_on;
+    without += n_off;
+  }
+  EXPECT_LT(with, without);
+}
+
+TEST(FlagPruneTest, DifferentialEquivalenceIntCorpus) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < dbll_tests::kIntCorpusSize; ++i) {
+    const auto& entry = dbll_tests::kIntCorpus[i];
+    lift::LiftConfig pruned;
+    pruned.flag_liveness = true;
+    lift::LiftConfig unpruned;
+    unpruned.flag_liveness = false;
+    lift::Lifter lifter_p(pruned);
+    lift::Lifter lifter_u(unpruned);
+    auto fp = lifter_p.Lift(Addr(reinterpret_cast<const void*>(entry.fn)),
+                            lift::Signature::Ints(2));
+    auto fu = lifter_u.Lift(Addr(reinterpret_cast<const void*>(entry.fn)),
+                            lift::Signature::Ints(2));
+    ASSERT_TRUE(fp.has_value()) << entry.name;
+    ASSERT_TRUE(fu.has_value()) << entry.name;
+    auto cp = fp->Compile(SharedJit());
+    auto cu = fu->Compile(SharedJit());
+    ASSERT_TRUE(cp.has_value()) << entry.name;
+    ASSERT_TRUE(cu.has_value()) << entry.name;
+    auto fn_p = reinterpret_cast<long (*)(long, long)>(*cp);
+    auto fn_u = reinterpret_cast<long (*)(long, long)>(*cu);
+    const long interesting[] = {0, 1, -1, 2, 63, -128, INT32_MAX, INT32_MIN};
+    for (long a : interesting) {
+      for (long b : interesting) {
+        EXPECT_EQ(fn_p(a, b), entry.fn(a, b)) << entry.name;
+        EXPECT_EQ(fn_p(a, b), fn_u(a, b)) << entry.name;
+      }
+    }
+    for (int trial = 0; trial < 25; ++trial) {
+      const long a = static_cast<long>(rng());
+      const long b = static_cast<long>(rng());
+      EXPECT_EQ(fn_p(a, b), entry.fn(a, b)) << entry.name;
+    }
+  }
+}
+
+TEST(FlagPruneTest, DifferentialEquivalenceStencilLine) {
+  // The Jacobi line kernel from the paper's case study: prune must reduce
+  // the pre-O3 IR and keep the numerics bit-identical.
+  const std::uint64_t address =
+      Addr(reinterpret_cast<const void*>(&stencil::stencil_line_flat));
+  const lift::Signature sig =
+      lift::Signature::Ints(4, lift::RetKind::kVoid);
+  lift::LiftConfig pruned;
+  pruned.flag_liveness = true;
+  lift::LiftConfig unpruned;
+  unpruned.flag_liveness = false;
+  lift::Lifter lifter_p(pruned);
+  lift::Lifter lifter_u(unpruned);
+  auto fp = lifter_p.Lift(address, sig);
+  auto fu = lifter_u.Lift(address, sig);
+  ASSERT_TRUE(fp.has_value()) << fp.error().Format();
+  ASSERT_TRUE(fu.has_value()) << fu.error().Format();
+  EXPECT_LT(fp->IrInstructionCount(), fu->IrInstructionCount());
+
+  auto cp = fp->Compile(SharedJit());
+  auto cu = fu->Compile(SharedJit());
+  ASSERT_TRUE(cp.has_value());
+  ASSERT_TRUE(cu.has_value());
+  using LineFn = void (*)(const stencil::FlatStencil*, const double*,
+                          double*, long);
+  auto fn_p = reinterpret_cast<LineFn>(*cp);
+  auto fn_u = reinterpret_cast<LineFn>(*cu);
+
+  const long n = stencil::kMatrixSize;
+  std::vector<double> m1(static_cast<std::size_t>(n * n));
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    m1[i] = std::sin(static_cast<double>(i) * 0.01);
+  }
+  std::vector<double> out_p(m1.size(), 0.0);
+  std::vector<double> out_u(m1.size(), 0.0);
+  std::vector<double> out_ref(m1.size(), 0.0);
+  for (long row = 1; row < 4; ++row) {
+    fn_p(&stencil::FourPointFlat(), m1.data(), out_p.data(), row);
+    fn_u(&stencil::FourPointFlat(), m1.data(), out_u.data(), row);
+    stencil::stencil_line_flat(&stencil::FourPointFlat(), m1.data(),
+                               out_ref.data(), row);
+  }
+  EXPECT_EQ(out_p, out_ref);
+  EXPECT_EQ(out_p, out_u);
+}
+
+// --- DBrew dead-store pruning ------------------------------------------------
+
+TEST(DbrewPruneTest, DeletesOverwrittenConstantStore) {
+  // Hand-built emitted block:
+  //   mov rax, 1     <- dead: overwritten before any read
+  //   add rax, rax   <- dead flags, dead rax: overwritten by the mov below
+  //   mov rax, 2     <- live: the ret reads rax
+  //   ret
+  dbrew::CodeEmitter emitter;
+  const int block = emitter.NewBlock();
+  auto decode = [](std::initializer_list<std::uint8_t> bytes) {
+    auto instr = x86::Decoder::DecodeOne(
+        std::vector<std::uint8_t>(bytes), 0x1000);
+    EXPECT_TRUE(instr.has_value());
+    return *instr;
+  };
+  emitter.Append(block, decode({0x48, 0xc7, 0xc0, 0x01, 0x00, 0x00, 0x00}));
+  emitter.Append(block, decode({0x48, 0x01, 0xc0}));
+  emitter.Append(block, decode({0x48, 0xc7, 0xc0, 0x02, 0x00, 0x00, 0x00}));
+  emitter.Append(block, decode({0xc3}));
+  const std::size_t pruned = dbrew::PruneDeadStores(emitter);
+  EXPECT_EQ(pruned, 2u);
+  EXPECT_EQ(emitter.TotalEntries(), 2u);
+}
+
+TEST(DbrewPruneTest, KeepsStoresAndLiveDefs) {
+  //   mov [rdi], rax  <- memory write: never pruned
+  //   mov rax, 2      <- live via ret
+  //   ret
+  dbrew::CodeEmitter emitter;
+  const int block = emitter.NewBlock();
+  auto decode = [](std::initializer_list<std::uint8_t> bytes) {
+    auto instr = x86::Decoder::DecodeOne(
+        std::vector<std::uint8_t>(bytes), 0x1000);
+    EXPECT_TRUE(instr.has_value());
+    return *instr;
+  };
+  emitter.Append(block, decode({0x48, 0x89, 0x07}));
+  emitter.Append(block, decode({0x48, 0xc7, 0xc0, 0x02, 0x00, 0x00, 0x00}));
+  emitter.Append(block, decode({0xc3}));
+  EXPECT_EQ(dbrew::PruneDeadStores(emitter), 0u);
+  EXPECT_EQ(emitter.TotalEntries(), 3u);
+}
+
+TEST(DbrewPruneTest, RewriterDifferentialWithAndWithoutPrune) {
+  for (int i = 0; i < dbll_tests::kIntCorpusSize; ++i) {
+    const auto& entry = dbll_tests::kIntCorpus[i];
+    dbrew::Rewriter on(entry.fn);
+    on.SetParam(0, 7);
+    dbrew::Rewriter off(entry.fn);
+    off.SetParam(0, 7);
+    off.config().prune_dead_stores = false;
+    auto r_on = on.Rewrite();
+    auto r_off = off.Rewrite();
+    if (!r_on.has_value() || !r_off.has_value()) {
+      // Not every corpus function is a DBrew input; but prune must never
+      // change *whether* a rewrite succeeds.
+      EXPECT_EQ(r_on.has_value(), r_off.has_value()) << entry.name;
+      continue;
+    }
+    auto fn_on = reinterpret_cast<long (*)(long, long)>(*r_on);
+    auto fn_off = reinterpret_cast<long (*)(long, long)>(*r_off);
+    for (long b : {0L, 1L, -1L, 1000L, -77L}) {
+      EXPECT_EQ(fn_on(7, b), entry.fn(7, b)) << entry.name;
+      EXPECT_EQ(fn_on(7, b), fn_off(7, b)) << entry.name;
+    }
+    EXPECT_LE(on.stats().emitted_instrs, off.stats().emitted_instrs)
+        << entry.name;
+  }
+}
+
+// --- C API -------------------------------------------------------------------
+
+TEST(CApiTest, AnalyzeFunctionReportsSeverity) {
+  int worst = -1;
+  const int count = dbll_analyze_function(
+      reinterpret_cast<void*>(&af_indirect_call), &worst);
+  EXPECT_GE(count, 1);
+  EXPECT_EQ(worst, DBLL_ANALYZE_FATAL);
+  EXPECT_NE(dbll_analyze_last_error()[0], '\0');
+
+  worst = -1;
+  const int clean = dbll_analyze_function(
+      reinterpret_cast<void*>(&c_arith_mix), &worst);
+  EXPECT_GE(clean, 0);
+  EXPECT_LT(worst, DBLL_ANALYZE_FATAL);
+  EXPECT_EQ(dbll_analyze_last_error()[0], '\0');
+}
+
+TEST(CApiTest, AnalyzeFunctionNullIsAnError) {
+  int worst = 99;
+  EXPECT_EQ(dbll_analyze_function(nullptr, &worst), -1);
+  EXPECT_EQ(worst, DBLL_ANALYZE_INFO);
+  EXPECT_NE(dbll_analyze_last_error()[0], '\0');
+  // The out-param is optional.
+  EXPECT_EQ(dbll_analyze_function(nullptr, nullptr), -1);
+}
+
+}  // namespace
+}  // namespace dbll::analysis

@@ -155,6 +155,45 @@ TEST(CfgTest, InstructionLimitEnforced) {
   EXPECT_EQ(cfg.error().kind(), ErrorKind::kResourceLimit);
 }
 
+TEST(CfgTest, PredecessorsRecordedOnSplit) {
+  // Same layout as JumpIntoBlockSplitsIt: the jl splits the linear run at
+  // 0x1005. The split must leave the entry block as a *fall-through*
+  // predecessor of the loop head -- the regression was dropping exactly this
+  // edge, which under-approximates liveness at the loop head.
+  auto cfg = Build({0xb8, 0x01, 0x00, 0x00, 0x00, 0xff, 0xc0, 0x83, 0xf8,
+                    0x0a, 0x7c, 0xf9, 0xc3});
+  ASSERT_TRUE(cfg.has_value()) << cfg.error().Format();
+  const BasicBlock& head = cfg->blocks.at(0x1005);
+  // Predecessors: the entry block (fall-through after the split) and the
+  // loop body itself (back edge of the jl).
+  std::set<std::uint64_t> preds(head.predecessors.begin(),
+                                head.predecessors.end());
+  EXPECT_EQ(preds, (std::set<std::uint64_t>{0x1000u, 0x1005u}));
+  // The exit block is reached only by falling through the jl.
+  const BasicBlock& exit = cfg->blocks.at(0x100c);
+  ASSERT_EQ(exit.predecessors.size(), 1u);
+  EXPECT_EQ(exit.predecessors[0], 0x1005u);
+  // The entry block has no predecessor.
+  EXPECT_TRUE(cfg->entry_block().predecessors.empty());
+}
+
+TEST(CfgTest, PredecessorsOnLoopBackEdge) {
+  // Layout of LoopBackEdge: entry [0,2), body [2,a) with a jne back edge,
+  // exit [a,..). The body has two predecessors (entry fall-through + its own
+  // back edge); each predecessor appears exactly once.
+  auto cfg = Build({0x31, 0xc0, 0x48, 0x01, 0xf8, 0x48, 0xff, 0xcf, 0x75,
+                    0xf8, 0xc3});
+  ASSERT_TRUE(cfg.has_value()) << cfg.error().Format();
+  const BasicBlock& body = cfg->blocks.at(0x1002);
+  std::set<std::uint64_t> preds(body.predecessors.begin(),
+                                body.predecessors.end());
+  EXPECT_EQ(preds, (std::set<std::uint64_t>{0x1000u, 0x1002u}));
+  EXPECT_EQ(body.predecessors.size(), 2u);  // no duplicate edges
+  const BasicBlock& exit = cfg->blocks.at(0x100a);
+  ASSERT_EQ(exit.predecessors.size(), 1u);
+  EXPECT_EQ(exit.predecessors[0], 0x1002u);
+}
+
 // Local helper the live-decode test points at.
 __attribute__((noinline, used)) static long LiveProbe(long a, long b) {
   return a + b;

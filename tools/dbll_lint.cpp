@@ -1,0 +1,178 @@
+// dbll-lint -- offline lift-eligibility linter (src/analysis auditor as a
+// CLI). Answers "will Tier 0 take this function?" without constructing a
+// single LLVM object, and prints each finding with Intel-syntax disassembly
+// context so the offending instruction is visible at a glance.
+//
+// Usage:
+//   dbll-lint <elf-file> <function-symbol>   audit a function from an ELF
+//   dbll-lint --corpus <name>                audit one built-in corpus entry
+//   dbll-lint --all-corpus                   audit every corpus entry
+//
+// Options: --no-follow-calls (audit only the entry function).
+//
+// Exit status: 0 when nothing fatal was found, 1 on at least one kFatal
+// diagnostic (or a usage/IO error). scripts/check.sh runs --all-corpus and
+// expects zero fatals: every corpus function must stay Tier-0 eligible.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/analysis/audit.h"
+#include "dbll/elf/elf_reader.h"
+#include "dbll/x86/decoder.h"
+#include "dbll/x86/printer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbll-lint <elf-file> <function> [--no-follow-calls]\n"
+               "       dbll-lint --corpus <name> [--no-follow-calls]\n"
+               "       dbll-lint --all-corpus [--no-follow-calls]\n");
+  return 1;
+}
+
+void PrintDiagnostic(const dbll::analysis::Diagnostic& diag) {
+  std::printf("  [%s] %s @ 0x%llx: %s\n",
+              dbll::analysis::ToString(diag.severity),
+              dbll::analysis::ToString(diag.kind),
+              static_cast<unsigned long long>(diag.site),
+              diag.message.c_str());
+  // Disassembly context: the site is a code address in this process (the
+  // corpus, or the loaded ELF image), so one instruction can be re-decoded
+  // in place. A kDecodeFailure site has no decodable instruction -- skip.
+  auto instr = dbll::x86::Decoder::DecodeAt(diag.site);
+  if (instr.has_value()) {
+    std::printf("      > %s\n", dbll::x86::PrintInstr(*instr).c_str());
+  }
+}
+
+/// Audits one entry point and prints its report. Returns the worst severity.
+dbll::analysis::Severity Lint(const char* name, std::uint64_t entry,
+                              const dbll::analysis::AuditOptions& options) {
+  const dbll::analysis::AuditReport report =
+      dbll::analysis::AuditFunction(entry, options);
+  const dbll::analysis::Severity worst = report.worst();
+  const char* verdict = report.lift_eligible()
+                            ? (report.diagnostics.empty() ? "clean" : "eligible")
+                            : "NOT LIFT-ELIGIBLE";
+  std::printf("%-24s %s (%zu diagnostic%s)\n", name, verdict,
+              report.diagnostics.size(),
+              report.diagnostics.size() == 1 ? "" : "s");
+  for (const auto& diag : report.diagnostics) PrintDiagnostic(diag);
+  return worst;
+}
+
+struct NamedFn {
+  const char* name;
+  std::uint64_t entry;
+};
+
+/// Flattens the three corpus tables into one name -> entry list.
+std::vector<NamedFn> CorpusEntries() {
+  std::vector<NamedFn> entries;
+  for (int i = 0; i < dbll_tests::kIntCorpusSize; ++i) {
+    entries.push_back({dbll_tests::kIntCorpus[i].name,
+                       reinterpret_cast<std::uint64_t>(
+                           dbll_tests::kIntCorpus[i].fn)});
+  }
+  for (int i = 0; i < dbll_tests::kFpCorpusSize; ++i) {
+    entries.push_back({dbll_tests::kFpCorpus[i].name,
+                       reinterpret_cast<std::uint64_t>(
+                           dbll_tests::kFpCorpus[i].fn)});
+  }
+  for (int i = 0; i < dbll_tests::kVecCorpusSize; ++i) {
+    entries.push_back({dbll_tests::kVecCorpus[i].name,
+                       reinterpret_cast<std::uint64_t>(
+                           dbll_tests::kVecCorpus[i].fn)});
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all_corpus = false;
+  std::string corpus_name;
+  std::string elf_path;
+  std::string symbol_name;
+  dbll::analysis::AuditOptions options;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-follow-calls") == 0) {
+      options.follow_calls = false;
+    } else if (std::strcmp(argv[i], "--all-corpus") == 0) {
+      all_corpus = true;
+    } else if (std::strcmp(argv[i], "--corpus") == 0) {
+      if (i + 1 >= argc) return Usage();
+      corpus_name = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  if (all_corpus) {
+    if (!positional.empty() || !corpus_name.empty()) return Usage();
+    int fatal = 0;
+    const std::vector<NamedFn> entries = CorpusEntries();
+    for (const NamedFn& fn : entries) {
+      if (Lint(fn.name, fn.entry, options) ==
+          dbll::analysis::Severity::kFatal) {
+        ++fatal;
+      }
+    }
+    std::printf("\n%zu corpus functions audited, %d not lift-eligible\n",
+                entries.size(), fatal);
+    return fatal == 0 ? 0 : 1;
+  }
+
+  if (!corpus_name.empty()) {
+    if (!positional.empty()) return Usage();
+    for (const NamedFn& fn : CorpusEntries()) {
+      if (corpus_name == fn.name) {
+        return Lint(fn.name, fn.entry, options) ==
+                       dbll::analysis::Severity::kFatal
+                   ? 1
+                   : 0;
+      }
+    }
+    std::fprintf(stderr, "error: no corpus function named '%s'\n",
+                 corpus_name.c_str());
+    return 1;
+  }
+
+  if (positional.size() != 2) return Usage();
+  elf_path = positional[0];
+  symbol_name = positional[1];
+
+  auto file = dbll::elf::ElfFile::Open(elf_path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "error: %s\n", file.error().Format().c_str());
+    return 1;
+  }
+  auto symbol = file->FindFunction(symbol_name);
+  if (!symbol.has_value()) {
+    std::fprintf(stderr, "error: %s\n", symbol.error().Format().c_str());
+    return 1;
+  }
+  auto vaddr = file->SymbolVirtualAddress(*symbol);
+  auto image = file->LoadImage();
+  if (!vaddr.has_value() || !image.has_value()) {
+    std::fprintf(stderr, "error: cannot build analysis image\n");
+    return 1;
+  }
+  const std::uint64_t host = image->HostAddress(*vaddr);
+  if (host == 0) {
+    std::fprintf(stderr, "error: symbol outside the loaded image\n");
+    return 1;
+  }
+  return Lint(symbol_name.c_str(), host, options) ==
+                 dbll::analysis::Severity::kFatal
+             ? 1
+             : 0;
+}
