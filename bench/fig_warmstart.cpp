@@ -1,0 +1,230 @@
+// dbll bench -- warm-start: time-to-first-specialized-call, cold vs warm
+// (the persistent object cache's reason to exist).
+//
+// The paper's amortization argument (Sec. V) is re-paid on every process
+// start while the specialization cache is purely in-memory. This bench
+// measures what the on-disk object store (object_store.h) buys back, on the
+// two paper workloads:
+//   * the Jacobi stencil line kernel, specialized on the flat 4-point
+//     stencil descriptor (Fig. 9b's shape), and
+//   * the CSR SpMV kernel, specialized on the row count.
+//
+// Cold = a fresh CompileService with an *empty* persistent cache directory:
+// the first specialized call pays decode + lift + O3 + JIT. Warm = another
+// fresh service over the now-populated directory (a new service is a new
+// JIT session -- the same isolation a new process would have; tools/
+// warm_smoke.cpp covers the literal two-process case): the first specialized
+// call pays one disk read + object re-install only.
+//
+// Results go to BENCH_warmstart.json. The acceptance target is warm >= 5x
+// lower median time-to-first-specialized-call; exit status 2 when missed,
+// and the warm runs must actually be served from disk with zero compiles.
+// `--smoke` (or DBLL_BENCH_REPS) shrinks the repetition counts.
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "dbll/runtime/compile_service.h"
+#include "dbll/spmv/spmv.h"
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+using dbll::spmv::CsrBuilder;
+using dbll::spmv::CsrMatrix;
+using dbll::spmv::spmv_full;
+
+namespace {
+
+constexpr long kSpmvRows = 256;
+
+runtime::CompileService::Options ServiceOptions(const std::string& dir) {
+  runtime::CompileService::Options options;
+  options.workers = 1;
+  options.capacity = 64;
+  options.persist_dir = dir;
+  return options;
+}
+
+/// One cold/warm measurement pair for a workload. `verify` is handed the
+/// specialized entry and must confirm it computes the same thing as the
+/// generic kernel -- a warm start that loads a wrong object would otherwise
+/// look like a very fast success.
+struct Workload {
+  std::string name;
+  std::function<runtime::CompileRequest()> make_request;
+  std::function<bool(std::uint64_t entry)> verify;
+};
+
+struct WorkloadResult {
+  std::vector<double> cold_ns;
+  std::vector<double> warm_ns;
+  bool warm_from_disk = true;  ///< every warm run: disk hit, zero compiles
+  bool correct = true;         ///< every specialized entry verified
+};
+
+double TimeToFirstSpecializedCallNs(runtime::CompileService& service,
+                                    const runtime::CompileRequest& request,
+                                    std::uint64_t* entry) {
+  Timer timer;
+  auto handle = service.Request(request);
+  *entry = handle.wait();
+  return timer.Seconds() * 1e9;
+}
+
+WorkloadResult RunWorkload(const Workload& workload, const std::string& dir,
+                           int reps) {
+  WorkloadResult result;
+  for (int i = 0; i < reps; ++i) {
+    auto purged = runtime::ObjectStore::Purge(dir);
+    if (!purged.has_value()) {
+      std::fprintf(stderr, "purge failed: %s\n",
+                   purged.error().Format().c_str());
+      result.warm_from_disk = false;
+      return result;
+    }
+
+    std::uint64_t entry = 0;
+    {
+      runtime::CompileService cold(ServiceOptions(dir));
+      const runtime::CompileRequest request = workload.make_request();
+      result.cold_ns.push_back(
+          TimeToFirstSpecializedCallNs(cold, request, &entry));
+      result.correct = result.correct && workload.verify(entry);
+      // The disk write-back happens on the worker after the handle finishes;
+      // settle it before the warm service opens the same directory.
+      cold.WaitIdle();
+      const runtime::CacheStats stats = cold.stats();
+      if (stats.compiles != 1 || stats.disk_stores != 1) {
+        result.warm_from_disk = false;
+      }
+    }
+    {
+      runtime::CompileService warm(ServiceOptions(dir));
+      const runtime::CompileRequest request = workload.make_request();
+      result.warm_ns.push_back(
+          TimeToFirstSpecializedCallNs(warm, request, &entry));
+      result.correct = result.correct && workload.verify(entry);
+      const runtime::CacheStats stats = warm.stats();
+      if (stats.disk_hits != 1 || stats.compiles != 0 ||
+          stats.stage_total.total_ns() != 0) {
+        result.warm_from_disk = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 10;
+  if (const char* env = std::getenv("DBLL_BENCH_REPS")) reps = std::atoi(env);
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) reps = 3;
+  if (reps < 2) reps = 2;
+
+  char dir_template[] = "/tmp/dbll_warmstart_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  std::printf("dbll fig_warmstart: cold vs warm time-to-first-specialized-"
+              "call (%d reps, cache dir %s)\n\n", reps, dir.c_str());
+
+  // Jacobi workload: specialize the flat line kernel on the stencil
+  // descriptor contents; verify against the generic kernel on one row.
+  JacobiGrid grid;
+  const long n = grid.size();
+  Workload jacobi;
+  jacobi.name = "jacobi_line_flat";
+  jacobi.make_request = [] {
+    runtime::CompileRequest request(
+        reinterpret_cast<std::uint64_t>(&stencil_line_flat),
+        KernelSignature());
+    request.FixConstMem(0, &FourPointFlat(), sizeof(FlatStencil));
+    return request;
+  };
+  jacobi.verify = [&grid, n](std::uint64_t entry) {
+    std::vector<double> ref(static_cast<std::size_t>(n * n), 0.0);
+    std::vector<double> got(static_cast<std::size_t>(n * n), 0.0);
+    stencil_line_flat(&FourPointFlat(), grid.front(), ref.data(), 1);
+    reinterpret_cast<LineKernel>(entry)(&FourPointFlat(), grid.front(),
+                                        got.data(), 1);
+    return ref == got;
+  };
+
+  // SpMV workload: specialize the full product on the row count; verify the
+  // product against the generic kernel.
+  CsrBuilder builder = CsrBuilder::Banded(kSpmvRows, {-16, -1, 0, 1, 16});
+  const CsrMatrix matrix = builder.Finish();
+  std::vector<double> x(static_cast<std::size_t>(kSpmvRows));
+  for (long i = 0; i < kSpmvRows; ++i) {
+    x[static_cast<std::size_t>(i)] = 0.5 + 0.001 * static_cast<double>(i);
+  }
+  Workload spmv;
+  spmv.name = "spmv_full";
+  spmv.make_request = [] {
+    runtime::CompileRequest request(
+        reinterpret_cast<std::uint64_t>(&spmv_full), KernelSignature());
+    request.FixParam(3, static_cast<std::uint64_t>(kSpmvRows));
+    return request;
+  };
+  spmv.verify = [&matrix, &x](std::uint64_t entry) {
+    std::vector<double> ref(static_cast<std::size_t>(kSpmvRows), 0.0);
+    std::vector<double> got(static_cast<std::size_t>(kSpmvRows), 0.0);
+    spmv_full(&matrix, x.data(), ref.data(), kSpmvRows);
+    using SpmvFn = void (*)(const CsrMatrix*, const double*, double*, long);
+    reinterpret_cast<SpmvFn>(entry)(&matrix, x.data(), got.data(), 0);
+    return ref == got;
+  };
+
+  JsonObject json;
+  json.Put("bench", "fig_warmstart")
+      .Put("reps", reps)
+      .Put("speedup_target", 5.0);
+  bool all_ok = true;
+  for (const Workload* workload : {&jacobi, &spmv}) {
+    const WorkloadResult result = RunWorkload(*workload, dir, reps);
+    const double cold_median = Median(result.cold_ns);
+    const double warm_median = Median(result.warm_ns);
+    const double speedup = warm_median > 0 ? cold_median / warm_median : 0.0;
+    const bool ok = speedup >= 5.0 && result.warm_from_disk && result.correct;
+    all_ok = all_ok && ok;
+    std::printf("%-18s cold median %10.0f ns   warm median %10.0f ns   "
+                "%5.1fx %s%s%s\n",
+                workload->name.c_str(), cold_median, warm_median, speedup,
+                ok ? "(ok)" : "(FAIL",
+                !result.warm_from_disk ? ", warm run not served from disk"
+                                       : "",
+                !ok ? ")" : "");
+    JsonObject entry;
+    entry.Put("cold_median_ns", cold_median)
+        .Put("cold_p95_ns", Percentile(result.cold_ns, 95))
+        .Put("warm_median_ns", warm_median)
+        .Put("warm_p95_ns", Percentile(result.warm_ns, 95))
+        .Put("speedup", speedup)
+        .Put("warm_from_disk", result.warm_from_disk)
+        .Put("correct", result.correct)
+        .Put("ok", ok);
+    json.Put(workload->name, entry);
+  }
+  json.Put("ok", all_ok);
+
+  (void)runtime::ObjectStore::Purge(dir);
+  ::rmdir(dir.c_str());
+
+  const char* out_path = "BENCH_warmstart.json";
+  if (WriteJsonFile(out_path, json)) {
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nFAILED to write %s\n", out_path);
+    return 1;
+  }
+  return all_ok ? 0 : 2;
+}

@@ -145,6 +145,18 @@ class LiftedFunction {
     return reinterpret_cast<Fn>(entry);
   }
 
+  /// Tags this module for the JIT's object-capture cache: during Compile()
+  /// the emitted relocatable object is filed under `tag` and can be fetched
+  /// once with TakeCapturedObject(). Untagged modules are never captured.
+  /// Backs the persistent object cache (include/dbll/runtime/object_store.h).
+  void SetCacheTag(const std::string& tag);
+
+  /// Metadata the persistent cache stores next to a captured object so it
+  /// can be re-installed without any IR (see LoadCachedObject).
+  const std::string& wrapper_name() const;
+  const std::string& membase_symbol() const;
+  std::uint64_t membase_value() const;
+
  private:
   friend class Lifter;
   struct Impl;
@@ -193,6 +205,28 @@ class Lifter {
  private:
   LiftConfig config_;
 };
+
+/// Toolchain stamps folded into persistent-cache fingerprints: the LLVM
+/// version this binary was built against and the CPU the JIT targets. A
+/// change in either invalidates every cached object (object_store.h).
+const std::string& LlvmVersionString();
+const std::string& JitTargetCpu();
+
+/// Takes (removes and returns) the object buffer captured under `tag` by the
+/// most recent Compile() of a SetCacheTag()ed module; empty when nothing was
+/// captured (e.g. capture disabled or tag never compiled).
+std::vector<std::uint8_t> TakeCapturedObject(Jit& jit, const std::string& tag);
+
+/// Warm-start path: installs a previously captured relocatable object into
+/// the JIT and resolves its public wrapper -- no decode, no lift, no O3, no
+/// codegen. The object is linked into a fresh JITDylib (wrapper names are
+/// only unique within the process that emitted them) with the memory-rebase
+/// global bound to `membase_value`. Returns the entry point.
+Expected<std::uint64_t> LoadCachedObject(Jit& jit,
+                                         const std::vector<std::uint8_t>& object,
+                                         const std::string& wrapper_name,
+                                         const std::string& membase_symbol,
+                                         std::uint64_t membase_value);
 
 /// Sets a global LLVM command-line option (e.g. "force-vector-width=2",
 /// matching the paper's Sec. VI-B vectorization experiment). Affects every

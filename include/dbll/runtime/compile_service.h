@@ -29,6 +29,7 @@
 // (JIT or DBrew fallback) stays valid until the service is destroyed.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "dbll/runtime/fallback.h"
+#include "dbll/runtime/object_store.h"
 #include "dbll/runtime/spec_cache.h"
 #include "dbll/runtime/stats.h"
 #include "dbll/support/error.h"
@@ -135,6 +137,17 @@ class CompileService {
     /// seeds the negative cache without constructing a single LLVM object;
     /// see docs/static_analysis.md.
     bool audit = true;
+    /// Directory of the persistent compiled-object cache (object_store.h).
+    /// Empty consults the DBLL_CACHE_DIR environment variable; when that is
+    /// unset too, persistence is off and the cache is purely in-memory. A
+    /// disk hit installs the specialization on the requesting thread with no
+    /// queue and no worker; disk writes happen on the worker after a
+    /// successful Tier-0 compile. Disk trouble of any kind degrades to the
+    /// in-memory behaviour.
+    std::string persist_dir;
+    /// Size caps forwarded to ObjectStore::Options (0 = unbounded).
+    std::uint64_t persist_max_bytes = 256ull << 20;
+    std::uint64_t persist_max_entries = 4096;
   };
 
   // Two constructors instead of `Options options = {}`: a default argument
@@ -172,6 +185,20 @@ class CompileService {
   /// from now on (backs dbll_cache_set_deadline_ms).
   void set_default_deadline_ms(std::uint32_t deadline_ms);
 
+  /// Enables (or redirects) the persistent object cache at runtime, backing
+  /// dbll_cache_set_persist_dir. Requests already submitted keep using the
+  /// store they saw. On failure (directory cannot be created/used) the error
+  /// is returned, recorded as last_error(), and the previous store -- if any
+  /// -- stays active.
+  Status set_persist_dir(const std::string& dir);
+
+  /// True when a usable persistent store is attached.
+  bool persist_enabled() const;
+
+  /// Counters of the persistent store (zeros when persistence is off);
+  /// backs dbll_cache_persist_stats.
+  ObjectStoreStats persist_stats() const;
+
   CacheStats stats() const;
   std::size_t size() const;
 
@@ -191,10 +218,41 @@ class CompileService {
     std::uint32_t deadline_ms = 0;     ///< resolved request/service deadline
     bool skip_tier0 = false;           ///< negative-cache hit: go straight to Tier 1
     Error negative_error;              ///< the remembered Tier-0 failure
+    /// Persistent-cache fingerprint (object_store.h); nonzero only when a
+    /// store was attached at request time, in which case the worker tags the
+    /// module, captures the emitted object, and writes it to disk after a
+    /// successful Tier-0 compile.
+    std::uint64_t fingerprint = 0;
+    bool persist = false;
   };
   struct TableEntry {
     std::shared_ptr<FunctionHandle::Slot> slot;
     std::list<SpecKey>::iterator lru_pos;
+    /// Steady-clock stamp of the last hit/insert; the cross-shard eviction
+    /// compares these to recover the *global* LRU order from per-shard lists.
+    std::uint64_t last_used_ns = 0;
+  };
+  /// One bucket of the sharded in-memory table. Requests hash to a shard by
+  /// SpecKey and take only that shard's mutex on the hot hit path, so
+  /// concurrent drivers stop serializing on one service-wide lock. Each
+  /// shard keeps its own LRU list; the *global* capacity bound is enforced
+  /// by entry_count_ + cross-shard victim selection on the slots'
+  /// last-used timestamps (EvictIfNeeded), preserving the unsharded
+  /// global-LRU eviction order.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SpecKey, TableEntry, SpecKey::Hash> table;
+    std::list<SpecKey> lru;  ///< front = most recently used (in this shard)
+  };
+  static constexpr std::size_t kShardCount = 16;
+  /// All cumulative counters are atomics: the hit path touches them without
+  /// any service-wide lock, stats() assembles a CacheStats snapshot.
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0}, coalesced{0}, misses{0},
+        evictions{0}, failures{0}, compiles{0}, tier0_failures{0},
+        tier1_serves{0}, tier2_serves{0}, retries{0}, timeouts{0},
+        negative_hits{0}, queue_rejected{0}, lift_ns{0}, opt_ns{0},
+        jit_ns{0}, tier1_ns{0};
   };
   /// One deadline-carrying compile currently running on a worker, watched by
   /// the monitor thread.
@@ -210,9 +268,13 @@ class CompileService {
   void MonitorLoop();
   void CompileOne(Job& job);
   /// Tier-0: lift + specialize + optimize + JIT. Returns the failure (ok on
-  /// success) and fills entry/times.
+  /// success) and fills entry/times. When `captured` is non-null the module
+  /// is tagged with `cache_tag` and the emitted relocatable object (plus the
+  /// metadata needed to re-install it) is captured into it for the
+  /// persistent store.
   Error TryTier0(const CompileRequest& request, StageTimes& times,
-                 std::uint64_t* entry);
+                 std::uint64_t* entry, const std::string& cache_tag = {},
+                 ObjectEntry* captured = nullptr);
   /// Tier-1 / Tier-2: runs the DBrew fallback and installs the outcome into
   /// the slot if its generation still matches. Shared by workers (after a
   /// Tier-0 failure) and the monitor (after a deadline overrun).
@@ -228,18 +290,35 @@ class CompileService {
   /// enqueue fault). Caller must not hold mutex_.
   void RejectImmediately(const std::shared_ptr<FunctionHandle::Slot>& slot,
                          Error error);
-  void EvictIfNeeded();  // caller holds mutex_
+  /// Enforces the global capacity by evicting the globally least-recently-
+  /// used non-pending entry across all shards. Locks one shard at a time;
+  /// caller must hold no shard mutex and not mutex_.
+  void EvictIfNeeded();
+  Shard& ShardFor(const SpecKey& key) {
+    return shards_[key.hash() % kShardCount];
+  }
+  /// Snapshot of the current store (swap point of set_persist_dir).
+  std::shared_ptr<ObjectStore> store() const;
+  /// Disk-probe half of Request(): on a warm hit, installs the cached object
+  /// on the calling thread and publishes `slot` into the shard. Returns true
+  /// when the request was fully served from disk.
+  bool TryDiskLoad(const CompileRequest& request, const SpecKey& key,
+                   std::uint64_t fingerprint,
+                   const std::shared_ptr<FunctionHandle::Slot>& slot);
 
   Options options_;
   lift::Jit jit_;
 
-  mutable std::mutex mutex_;  // guards table_, lru_, queue_, negative_,
-                              // inflight_, counters, options_.default_deadline_ms
+  mutable std::mutex mutex_;  // guards queue_, negative_, inflight_,
+                              // tier1_code_, active_jobs_, stopping_,
+                              // last_error_, store_,
+                              // options_.default_deadline_ms
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::condition_variable monitor_cv_;
-  std::unordered_map<SpecKey, TableEntry, SpecKey::Hash> table_;
-  std::list<SpecKey> lru_;  // front = most recently used
+  Shard shards_[kShardCount];
+  std::atomic<std::size_t> entry_count_{0};
+  std::shared_ptr<ObjectStore> store_;  // null = persistence off
   std::deque<Job> queue_;
   /// Deterministic Tier-0 failures by key: a re-request (after eviction or
   /// Clear) skips straight past Tier 0 instead of re-running LLVM.
@@ -250,7 +329,7 @@ class CompileService {
   std::vector<std::unique_ptr<dbrew::Rewriter>> tier1_code_;
   int active_jobs_ = 0;
   bool stopping_ = false;
-  CacheStats stats_;
+  Counters counters_;
   Error last_error_;  // most recent failed compile; guarded by mutex_
   std::mutex jit_mutex_;  // serializes module installation into the JIT
   std::vector<std::thread> workers_;

@@ -1,0 +1,154 @@
+// dbll -- persistent compiled-object cache (the warm-start store).
+//
+// The paper's amortization argument (Sec. V: ~40ms of lift -> -O3 -> JIT per
+// kernel) is re-paid on *every process start* as long as the specialization
+// cache is purely in-memory. This store closes that gap: the relocatable
+// object LLVM emitted for a specialization in one run is written to disk and
+// re-installed in the next, skipping decode, lift, O3 and codegen entirely
+// (LeanBin-style "lifted binaries are cacheable artifacts").
+//
+// Keying. An entry is addressed by a 64-bit fingerprint over everything that
+// determines the emitted object:
+//   * the SpecKey blob (target address, signature, LiftConfig fingerprint,
+//     ordered specializations incl. const-memory *contents*),
+//   * a bounded window of the target function's machine code bytes (so a
+//     recompiled/patched target invalidates naturally),
+//   * the LLVM version string and the JIT target CPU (a toolchain update or
+//     codegen-target change invalidates the whole cache).
+// Because the SpecKey contains raw virtual addresses (and lifted code bakes
+// absolute rebased addresses in), warm hits require a stable address layout
+// across runs -- same binary, ASLR disabled or compensated by the embedder
+// (tools/warm_smoke.cpp shows the personality(ADDR_NO_RANDOMIZE) pattern).
+// A layout change simply misses; it can never produce a wrong kernel.
+//
+// Durability contract:
+//   * writes are temp-file + atomic rename: readers and crashes never see a
+//     torn entry under its published name;
+//   * every entry is self-validating (magic, format version, fingerprint,
+//     payload length + FNV-1a checksum, LLVM version, CPU): anything that
+//     fails validation is treated as a miss and deleted, never trusted and
+//     never fatal;
+//   * a flock(2)-guarded manifest provides cross-process LRU timestamps; the
+//     directory listing (not the manifest) is ground truth for eviction and
+//     stats, so a lost manifest only costs recency info.
+//
+// Failure semantics: every disk problem degrades to the in-memory behaviour
+// (compile again), surfaced only through stats()/obs counters. See
+// docs/runtime_cache.md and docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbll/runtime/spec_cache.h"
+#include "dbll/support/error.h"
+
+namespace dbll::runtime {
+
+/// One decoded cache entry: the relocatable object plus the metadata needed
+/// to re-install it into the JIT without any IR.
+struct ObjectEntry {
+  std::uint64_t fingerprint = 0;
+  std::string wrapper_name;     ///< public symbol to resolve after loading
+  std::string membase_symbol;   ///< memory-rebasing global ("" = unused)
+  std::uint64_t membase_value = 0;
+  std::vector<std::uint8_t> object;  ///< the emitted relocatable object file
+};
+
+/// Per-process counters of one ObjectStore (all monotonic).
+struct ObjectStoreStats {
+  std::uint64_t hits = 0;        ///< Load found a valid entry
+  std::uint64_t misses = 0;      ///< Load found nothing for the fingerprint
+  std::uint64_t stores = 0;      ///< entries published
+  std::uint64_t evictions = 0;   ///< entries removed by the size/count cap
+  std::uint64_t corrupt_dropped = 0;  ///< invalid entries deleted on load
+  std::uint64_t errors = 0;      ///< I/O failures swallowed (degraded)
+  std::uint64_t load_ns = 0;     ///< wall time inside Load
+  std::uint64_t store_ns = 0;    ///< wall time inside Store
+};
+
+/// Result of validating one on-disk entry (dbll-cachectl's unit of output).
+struct ObjectScanEntry {
+  std::string file;              ///< file name inside the cache dir
+  std::uint64_t fingerprint = 0; ///< from the header (0 when unparseable)
+  std::uint64_t file_size = 0;
+  std::uint64_t payload_size = 0;
+  std::string wrapper_name;
+  std::string llvm_version;
+  std::string target_cpu;
+  bool valid = false;
+  std::string detail;            ///< why validation failed ("" when valid)
+};
+
+class ObjectStore {
+ public:
+  struct Options {
+    std::string dir;
+    /// Byte cap over the sum of entry file sizes (0 = unbounded). Exceeding
+    /// it after a Store evicts least-recently-used entries first.
+    std::uint64_t max_bytes = 256ull << 20;
+    /// Entry-count cap (0 = unbounded); evaluated together with max_bytes.
+    std::uint64_t max_entries = 4096;
+  };
+
+  explicit ObjectStore(Options options);
+
+  /// Whether the directory could be created/used. A failed store stays
+  /// constructed and degrades: every Load misses, every Store is a no-op.
+  const Status& init_status() const { return init_; }
+  const std::string& dir() const { return options_.dir; }
+
+  /// Looks the fingerprint up on disk; true on a valid hit (fills *out).
+  /// A plain miss, a corrupt/truncated entry (deleted on the way out), a
+  /// version/CPU mismatch, an armed `objcache.load` fault, and any I/O
+  /// error all report false -- distinguishable only via stats(). Never
+  /// throws, never crashes on hostile file contents.
+  bool Load(std::uint64_t fingerprint, ObjectEntry* out);
+
+  /// Publishes the entry atomically and applies the LRU cap. Failures are
+  /// swallowed into stats (the in-memory entry is already installed; disk is
+  /// an optimization).
+  void Store(const ObjectEntry& entry);
+
+  ObjectStoreStats stats() const;
+
+  /// --- offline/tooling interface (dbll-cachectl, tests) ---
+
+  /// Validates every entry file in `dir` without touching the manifest.
+  static Expected<std::vector<ObjectScanEntry>> Scan(const std::string& dir);
+
+  /// Deletes every cache artifact (entries, manifest, lock, stray temps) in
+  /// `dir`; returns the number of entry files removed.
+  static Expected<std::uint64_t> Purge(const std::string& dir);
+
+  /// Serializes and atomically publishes one entry under `dir` with an
+  /// explicit LLVM-version/CPU stamp. The instance Store() uses the real
+  /// toolchain stamp; tests use this to fabricate version-mismatched
+  /// entries.
+  static Status WriteEntry(const std::string& dir, const ObjectEntry& entry,
+                           const std::string& llvm_version,
+                           const std::string& target_cpu);
+
+  /// Entry file name for a fingerprint ("<16 hex digits>.dbo").
+  static std::string EntryFileName(std::uint64_t fingerprint);
+
+ private:
+  void TouchManifest(std::uint64_t fingerprint);
+  void EvictLocked();  // caller holds the directory flock
+
+  Options options_;
+  Status init_;
+  mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
+      evictions_{0}, corrupt_dropped_{0}, errors_{0}, load_ns_{0},
+      store_ns_{0};
+};
+
+/// Stable on-disk fingerprint of one compile request: FNV-1a over the
+/// SpecKey blob, a bounded window of the target function's code bytes, the
+/// LLVM version string, and the JIT target CPU. See the file comment for the
+/// invalidation rules this encodes.
+std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address);
+
+}  // namespace dbll::runtime

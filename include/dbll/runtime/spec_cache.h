@@ -79,6 +79,9 @@ class SpecKey {
   explicit SpecKey(const CompileRequest& request);
 
   std::uint64_t hash() const { return hash_; }
+  /// Canonical serialization of the request; the persistent object cache
+  /// (object_store.h) folds it into its on-disk fingerprint.
+  const std::vector<std::uint8_t>& blob() const { return blob_; }
   bool operator==(const SpecKey& other) const {
     return hash_ == other.hash_ && blob_ == other.blob_;
   }

@@ -48,6 +48,16 @@ struct CacheStats {
   std::uint64_t negative_hits = 0;   ///< requests that skipped Tier 0 via the
                                      ///< deterministic-failure cache
   std::uint64_t queue_rejected = 0;  ///< requests bounced by the queue bound
+  // Persistent object cache (object_store.h). A disk hit is *also* an
+  // in-memory miss (the invariant hits + coalesced + misses == requests is
+  // preserved); it just skips the compile queue entirely. Mirrored
+  // process-wide in the obs registry as cache.disk_*.
+  std::uint64_t disk_hits = 0;       ///< misses served from the object store
+  std::uint64_t disk_misses = 0;     ///< store probes that found nothing usable
+  std::uint64_t disk_stores = 0;     ///< objects persisted after Tier-0 success
+  std::uint64_t disk_evictions = 0;  ///< on-disk entries removed by the cap
+  std::uint64_t disk_load_ns = 0;    ///< wall time probing/loading the store
+  std::uint64_t disk_store_ns = 0;   ///< wall time persisting objects
   StageTimes stage_total;
 };
 

@@ -30,6 +30,7 @@ enum class ErrorKind : std::uint8_t {
   kBadConfig,     ///< invalid rewriter/lifter configuration
   kInternal,      ///< invariant violation; indicates a bug in dbll itself
   kTimeout,       ///< compile deadline exceeded; the job was degraded
+  kIo,            ///< filesystem/OS I/O failure (persistent cache, tooling)
 };
 
 /// Returns a stable, human-readable name for an ErrorKind.

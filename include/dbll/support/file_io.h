@@ -1,0 +1,77 @@
+// dbll -- small POSIX file I/O helpers for the persistent object cache
+// (include/dbll/runtime/object_store.h) and its tooling.
+//
+// Everything here is failure-as-value (Expected/Status, error.h) and built
+// for the cache's durability contract:
+//  * WriteFileAtomic publishes a file with temp-file + rename(2), so a
+//    concurrent reader (or a crash mid-write) can never observe a torn
+//    entry -- it sees either the old file, no file, or the complete new one.
+//  * FileLock wraps flock(2) so multi-process manifest updates serialize.
+//  * SafeReadMemory probes the *own* address space via process_vm_readv(2),
+//    so fingerprinting a function's code bytes near the end of a mapping
+//    cannot fault.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbll/support/error.h"
+
+namespace dbll::support {
+
+/// Reads the whole regular file into a byte vector. kIo on any failure
+/// (missing file, permission, short read race).
+Expected<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path);
+
+/// Writes `size` bytes to `path` atomically: the data goes to a unique
+/// temporary in the same directory first and is rename(2)d over the target.
+/// Readers never see a partial file. No fsync -- after a power loss a torn
+/// temp can linger, but the *published* name is always complete (callers
+/// additionally checksum their payloads; see object_store.cpp).
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       std::size_t size);
+
+/// Creates the directory (and parents) if needed; ok when it already exists.
+Status EnsureDir(const std::string& path);
+
+/// Deletes a file, ignoring ENOENT. kIo on other failures.
+Status RemoveFile(const std::string& path);
+
+/// Lists the regular files (names, not paths) directly inside `dir`.
+Expected<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// True when `path` exists and is a directory.
+bool DirExists(const std::string& path);
+
+/// Size of a regular file; kIo when it does not exist.
+Expected<std::uint64_t> FileSize(const std::string& path);
+
+/// RAII flock(2) on a dedicated lock file. Blocking exclusive acquisition in
+/// the constructor; use ok() to check that the lock file could be opened.
+/// A held lock serializes cooperating dbll processes; it does not protect
+/// against non-cooperating writers (standard advisory-lock semantics).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& lock_path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Copies up to `size` bytes from address `addr` of *this* process into
+/// `out`, stopping at the first unmapped page, and returns the number of
+/// bytes actually readable. Unlike a plain memcpy this never faults: the
+/// kernel performs the copy (process_vm_readv on ourselves) and reports how
+/// much was transferable. Used to hash a bounded window of function bytes
+/// whose mapping length is unknown.
+std::size_t SafeReadMemory(std::uint64_t addr, void* out, std::size_t size);
+
+}  // namespace dbll::support

@@ -39,6 +39,19 @@ DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 
 "$BUILD/tools/fault_smoke"
 DBLL_FAULT=jit.compile:kJit:0 "$BUILD/tools/fault_smoke"
 echo "dbll: fault-injection smoke passed"
+# Warm-start smoke (docs/runtime_cache.md): two runs of the same binary over
+# one persistent cache directory. The first compiles and persists; the second
+# must be served from disk with zero Tier-0 compiles and zero lift work
+# (asserted inside warm_smoke via the metrics registry), and the bench
+# records the cold/warm ratio in BENCH_warmstart.json.
+WARM_DIR="$BUILD/warm_smoke_cache"
+rm -rf "$WARM_DIR"
+"$BUILD/tools/warm_smoke" "$WARM_DIR"
+"$BUILD/tools/warm_smoke" "$WARM_DIR" --expect-warm
+"$BUILD/tools/dbll-cachectl" verify "$WARM_DIR"
+rm -rf "$WARM_DIR"
+DBLL_BENCH_REPS=3 "$BUILD/bench/fig_warmstart" --smoke
+echo "dbll: warm-start smoke passed (BENCH_warmstart.json written)"
 # Sanitized robustness pass: the decoder fuzz and the fallback/fault tests
 # under ASan+UBSan (any sanitizer report aborts, failing the run).
 # detect_leaks=0: the obs Registry/Tracer are intentional leaky singletons.

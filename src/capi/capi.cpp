@@ -257,6 +257,31 @@ void dbll_cache_set_deadline_ms(dbll_cache* c, uint32_t deadline_ms) {
   c->impl.set_default_deadline_ms(deadline_ms);
 }
 
+int dbll_cache_set_persist_dir(dbll_cache* c, const char* dir) {
+  const dbll::Status status =
+      c->impl.set_persist_dir(dir != nullptr ? dir : "");
+  return status.ok() ? 0 : -1;  // cause via dbll_cache_last_error
+}
+
+int dbll_cache_persist_enabled(dbll_cache* c) {
+  return c->impl.persist_enabled() ? 1 : 0;
+}
+
+void dbll_cache_wait_idle(dbll_cache* c) { c->impl.WaitIdle(); }
+
+void dbll_cache_persist_stats(dbll_cache* c, dbll_persist_stats* out) {
+  if (out == nullptr) return;
+  const dbll::runtime::ObjectStoreStats stats = c->impl.persist_stats();
+  out->hits = stats.hits;
+  out->misses = stats.misses;
+  out->stores = stats.stores;
+  out->evictions = stats.evictions;
+  out->corrupt_dropped = stats.corrupt_dropped;
+  out->errors = stats.errors;
+  out->load_ns = stats.load_ns;
+  out->store_ns = stats.store_ns;
+}
+
 /* --- dbll_analyze_*: static lift-eligibility audit ------------------------- */
 
 /// Backing store for dbll_analyze_last_error. Thread-local because the audit

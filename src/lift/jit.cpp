@@ -1,8 +1,20 @@
 // dbll -- ORC JIT wrapper (paper Fig. 1: the optimized LLVM-IR is compiled
 // to new binary code using the JIT compiler of LLVM).
+//
+// Two extra responsibilities beyond plain compilation back the persistent
+// object cache (include/dbll/runtime/object_store.h):
+//  * a CaptureObjectCache hangs off the LLJIT compile function and files the
+//    emitted relocatable object of every SetCacheTag()ed module, so the
+//    runtime can persist it;
+//  * LoadCachedObject() re-installs such an object in a later run without
+//    constructing any IR -- the warm-start path that makes a second process
+//    start skip decode/lift/O3/codegen entirely.
+#include <llvm/Config/llvm-config.h>
+#include <llvm/ExecutionEngine/Orc/CompileUtils.h>
 #include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
 #include <llvm/ExecutionEngine/Orc/LLJIT.h>
 #include <llvm/Support/Host.h>
+#include <llvm/Support/MemoryBuffer.h>
 #include <llvm/Support/TargetSelect.h>
 
 #include <mutex>
@@ -13,6 +25,22 @@
 
 namespace dbll::lift {
 
+namespace {
+/// Paper's -mno-avx environment (see the Jit constructor): generic x86-64,
+/// SSE2 baseline, no VEX. Also a persistent-cache fingerprint component.
+constexpr char kTargetCpu[] = "x86-64";
+}  // namespace
+
+const std::string& LlvmVersionString() {
+  static const std::string version = LLVM_VERSION_STRING;
+  return version;
+}
+
+const std::string& JitTargetCpu() {
+  static const std::string cpu = kTargetCpu;
+  return cpu;
+}
+
 void EnsureLlvmInit() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -20,6 +48,34 @@ void EnsureLlvmInit() {
     llvm::InitializeNativeTargetAsmPrinter();
     llvm::InitializeNativeTargetAsmParser();
   });
+}
+
+void CaptureObjectCache::notifyObjectCompiled(const llvm::Module* module,
+                                              llvm::MemoryBufferRef object) {
+  const llvm::StringRef id = module->getModuleIdentifier();
+  if (!id.startswith(kCaptureTagPrefix)) return;  // untagged: not captured
+  const auto* begin =
+      reinterpret_cast<const std::uint8_t*>(object.getBufferStart());
+  std::lock_guard<std::mutex> lock(mutex_);
+  captured_[id.str()].assign(begin, begin + object.getBufferSize());
+}
+
+std::unique_ptr<llvm::MemoryBuffer> CaptureObjectCache::getObject(
+    const llvm::Module*) {
+  // Always miss: reuse happens via LoadCachedObject in a later run, not by
+  // short-circuiting an IR recompilation in this one (the in-memory spec
+  // cache already guarantees each key is compiled at most once per process).
+  return nullptr;
+}
+
+std::vector<std::uint8_t> CaptureObjectCache::Take(
+    const std::string& module_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = captured_.find(module_id);
+  if (it == captured_.end()) return {};
+  std::vector<std::uint8_t> bytes = std::move(it->second);
+  captured_.erase(it);
+  return bytes;
 }
 
 Jit::Jit() : impl_(std::make_unique<Impl>()) {
@@ -30,10 +86,23 @@ Jit::Jit() : impl_(std::make_unique<Impl>()) {
   // (SSE2 baseline) guarantees that.
   llvm::orc::JITTargetMachineBuilder jtmb(
       llvm::Triple(llvm::sys::getProcessTriple()));
-  jtmb.setCPU("x86-64");
-  auto jit = llvm::orc::LLJITBuilder()
-                 .setJITTargetMachineBuilder(std::move(jtmb))
-                 .create();
+  jtmb.setCPU(kTargetCpu);
+  CaptureObjectCache* capture = &impl_->capture;
+  auto jit =
+      llvm::orc::LLJITBuilder()
+          .setJITTargetMachineBuilder(std::move(jtmb))
+          // Same compiler LLJIT would build by default, with the capture
+          // cache attached so tagged modules leave a persistable object.
+          .setCompileFunctionCreator(
+              [capture](llvm::orc::JITTargetMachineBuilder jtmb2)
+                  -> llvm::Expected<std::unique_ptr<
+                      llvm::orc::IRCompileLayer::IRCompiler>> {
+                auto tm = jtmb2.createTargetMachine();
+                if (!tm) return tm.takeError();
+                return std::make_unique<llvm::orc::TMOwningSimpleCompiler>(
+                    std::move(*tm), capture);
+              })
+          .create();
   if (!jit) {
     // Creation only fails when the native target is unavailable, which is a
     // build configuration problem; surface it on first use instead.
@@ -96,6 +165,68 @@ Expected<std::uint64_t> JitCompile(Jit& jit, ModuleBundle& bundle) {
   dbll::obs::Registry::Default()
       .GetHistogram("jit.wall_ns")
       .Record(dbll::obs::Tracer::NowNs() - jit_start_ns);
+  return static_cast<std::uint64_t>(symbol->getAddress());
+}
+
+std::vector<std::uint8_t> TakeCapturedObject(Jit& jit,
+                                             const std::string& tag) {
+  return jit.impl().capture.Take(std::string(kCaptureTagPrefix) + tag);
+}
+
+Expected<std::uint64_t> LoadCachedObject(
+    Jit& jit, const std::vector<std::uint8_t>& object,
+    const std::string& wrapper_name, const std::string& membase_symbol,
+    std::uint64_t membase_value) {
+  DBLL_TRACE_SPAN("jit.objcache.install");
+  namespace orc = llvm::orc;
+  Jit::Impl& impl = jit.impl();
+  if (impl.lljit == nullptr) {
+    return Error(ErrorKind::kJit, "LLJIT unavailable: " + impl.init_error);
+  }
+
+  // Each cached object gets its own JITDylib: wrapper/membase names restart
+  // per emitting process, so loading two cached objects (or a cached object
+  // next to a fresh compile) into the main dylib could collide. The fresh
+  // dylib still resolves libc symbols through the main one.
+  std::string dylib_name;
+  {
+    std::lock_guard<std::mutex> lock(impl.dylib_mutex);
+    dylib_name = "dbll_objcache_" + std::to_string(impl.dylib_counter++);
+  }
+  auto created = impl.lljit->createJITDylib(dylib_name);
+  if (!created) {
+    return Error(ErrorKind::kJit, "createJITDylib failed: " +
+                                      llvm::toString(created.takeError()));
+  }
+  orc::JITDylib& dylib = *created;
+  dylib.addToLinkOrder(impl.lljit->getMainJITDylib());
+
+  if (!membase_symbol.empty()) {
+    orc::SymbolMap symbols;
+    symbols[impl.lljit->mangleAndIntern(membase_symbol)] =
+        llvm::JITEvaluatedSymbol(membase_value,
+                                 llvm::JITSymbolFlags::Exported);
+    if (llvm::Error err =
+            dylib.define(orc::absoluteSymbols(std::move(symbols)))) {
+      return Error(ErrorKind::kJit,
+                   "defining membase failed: " + llvm::toString(std::move(err)));
+    }
+  }
+
+  auto buffer = llvm::MemoryBuffer::getMemBufferCopy(
+      llvm::StringRef(reinterpret_cast<const char*>(object.data()),
+                      object.size()),
+      dylib_name);
+  if (llvm::Error err =
+          impl.lljit->addObjectFile(dylib, std::move(buffer))) {
+    return Error(ErrorKind::kJit,
+                 "addObjectFile failed: " + llvm::toString(std::move(err)));
+  }
+  auto symbol = impl.lljit->lookup(dylib, wrapper_name);
+  if (!symbol) {
+    return Error(ErrorKind::kJit, "cached-object symbol lookup failed: " +
+                                      llvm::toString(symbol.takeError()));
+  }
   return static_cast<std::uint64_t>(symbol->getAddress());
 }
 

@@ -1,18 +1,55 @@
 // dbll -- internal JIT plumbing.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include <llvm/ExecutionEngine/ObjectCache.h>
 #include <llvm/ExecutionEngine/Orc/LLJIT.h>
 
 #include "lift_internal.h"
 
 namespace dbll::lift {
 
+/// Module-identifier prefix marking a module whose emitted object should be
+/// captured (LiftedFunction::SetCacheTag). Modules without it pass through
+/// the compiler uncaptured, so plain Compile() users pay nothing.
+inline constexpr char kCaptureTagPrefix[] = "dbll-obj:";
+
+/// llvm::ObjectCache that *captures* emitted objects instead of serving
+/// them: notifyObjectCompiled files the buffer of tagged modules under the
+/// module identifier; getObject always misses (the warm path re-installs
+/// objects via LoadCachedObject, never through IR recompilation). One
+/// instance per Jit, wired into the LLJIT's compile function.
+class CaptureObjectCache : public llvm::ObjectCache {
+ public:
+  void notifyObjectCompiled(const llvm::Module* module,
+                            llvm::MemoryBufferRef object) override;
+  std::unique_ptr<llvm::MemoryBuffer> getObject(
+      const llvm::Module* module) override;
+
+  /// Removes and returns the buffer filed under the full module identifier
+  /// (prefix + tag); empty when absent.
+  std::vector<std::uint8_t> Take(const std::string& module_id);
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> captured_;
+};
+
 struct Jit::Impl {
   std::unique_ptr<llvm::orc::LLJIT> lljit;
   std::string init_error;
+  CaptureObjectCache capture;
+  /// Names the per-object JITDylibs created by LoadCachedObject (each cached
+  /// object links into its own dylib: wrapper symbol names are only unique
+  /// within the emitting process).
+  std::uint64_t dylib_counter = 0;
+  std::mutex dylib_mutex;
 };
 
 /// One-time native target initialization.

@@ -164,6 +164,26 @@ Expected<std::uint64_t> LiftedFunction::Compile(Jit& jit) {
   return JitCompile(jit, impl_->bundle);
 }
 
+void LiftedFunction::SetCacheTag(const std::string& tag) {
+  // The capture cache keys on the module identifier: only identifiers with
+  // the capture prefix are filed (jit_internal.h), so tagging is opt-in per
+  // module and costless for everything else.
+  impl_->bundle.module->setModuleIdentifier(std::string(kCaptureTagPrefix) +
+                                            tag);
+}
+
+const std::string& LiftedFunction::wrapper_name() const {
+  return impl_->bundle.wrapper_name;
+}
+
+const std::string& LiftedFunction::membase_symbol() const {
+  return impl_->bundle.membase_symbol;
+}
+
+std::uint64_t LiftedFunction::membase_value() const {
+  return impl_->bundle.membase_value;
+}
+
 std::uint64_t Fingerprint(const LiftConfig& config) {
   // FNV-1a over every field that influences the produced IR or code. A new
   // LiftConfig knob must be mixed in here, otherwise the runtime cache would

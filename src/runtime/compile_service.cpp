@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <thread>
@@ -26,7 +28,7 @@ std::uint64_t NowNs() {
 }
 
 /// Process-wide mirror of CacheStats in the obs registry: the service
-/// increments these at the same points as its per-service stats_, so a
+/// increments these at the same points as its per-service counters_, so a
 /// Registry snapshot enumerates the cache alongside every other subsystem.
 /// Handles are resolved once (registry pointers are stable).
 struct CacheMetrics {
@@ -79,6 +81,31 @@ struct CacheMetrics {
   }
 };
 
+/// Per-shard view of the in-memory table in the obs registry:
+/// cache.shard_NN.hits (hot-path hits landing on the shard) and
+/// cache.shard_NN.entries (current table size). A skewed hit distribution
+/// here is the observable symptom of keys clustering on one shard mutex.
+struct ShardMetrics {
+  obs::Counter* hits[16];
+  obs::Gauge* entries[16];
+
+  static ShardMetrics& Get() {
+    static ShardMetrics* instance = [] {
+      auto* m = new ShardMetrics;
+      obs::Registry& r = obs::Registry::Default();
+      for (int i = 0; i < 16; ++i) {
+        char name[40];
+        std::snprintf(name, sizeof(name), "cache.shard_%02d.hits", i);
+        m->hits[i] = &r.GetCounter(name);
+        std::snprintf(name, sizeof(name), "cache.shard_%02d.entries", i);
+        m->entries[i] = &r.GetGauge(name);
+      }
+      return m;
+    }();
+    return *instance;
+  }
+};
+
 /// Decorrelated backoff before a transient-failure retry: uniform in
 /// [base, 3*base] ms, capped at 50ms so a retry can never stall the queue
 /// for long. Per-thread PRNG; the seed does not need to be reproducible
@@ -91,6 +118,15 @@ std::uint32_t BackoffMs(std::uint32_t base_ms) {
   std::uniform_int_distribution<std::uint32_t> dist(base_ms, 3 * base_ms);
   std::uint32_t ms = dist(rng);
   return ms > 50 ? 50u : ms;
+}
+
+/// Module tag for the JIT's object capture (jit_internal.h): unique per
+/// fingerprint, so the worker can retrieve exactly the object it compiled.
+std::string CacheTag(std::uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
 }
 
 }  // namespace
@@ -202,6 +238,23 @@ CompileService::CompileService() : CompileService(Options{}) {}
 
 CompileService::CompileService(Options options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
+  // Resolve the persistent store: explicit option first, DBLL_CACHE_DIR
+  // second, otherwise persistence stays off. A directory that cannot be
+  // created degrades to the in-memory behaviour (recorded as last_error_),
+  // matching the "disk trouble never breaks compilation" contract.
+  std::string dir = options_.persist_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("DBLL_CACHE_DIR")) dir = env;
+  }
+  if (!dir.empty()) {
+    auto store = std::make_shared<ObjectStore>(ObjectStore::Options{
+        dir, options_.persist_max_bytes, options_.persist_max_entries});
+    if (store->init_status().ok()) {
+      store_ = std::move(store);
+    } else {
+      last_error_ = store->init_status().error();
+    }
+  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -231,38 +284,63 @@ CompileService::~CompileService() {
   monitor_.join();
 }
 
+std::shared_ptr<ObjectStore> CompileService::store() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
 FunctionHandle CompileService::Request(const CompileRequest& request) {
   SpecKey key(request);
-  std::shared_ptr<FunctionHandle::Slot> slot;
+  const std::size_t shard_index =
+      static_cast<std::size_t>(key.hash()) % kShardCount;
+  Shard& shard = shards_[shard_index];
+  {
+    // Hot path: one shard mutex, no service-wide lock.
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      it->second.lru_pos = shard.lru.begin();
+      it->second.last_used_ns = NowNs();
+      const auto state = static_cast<FunctionHandle::State>(
+          it->second.slot->state.load(std::memory_order_acquire));
+      if (state == FunctionHandle::State::kPending) {
+        counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::Get().coalesced.Add(1);
+      } else {
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::Get().hits.Add(1);
+        ShardMetrics::Get().hits[shard_index]->Add(1);
+      }
+      return FunctionHandle(it->second.slot);
+    }
+  }
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses.Add(1);
+
+  auto slot = std::make_shared<FunctionHandle::Slot>();
+  slot->generic = request.address;
+  slot->target.store(request.address, std::memory_order_release);
+
+  // Persistent-store probe: a warm hit installs the finished object on this
+  // thread -- no queue, no worker, no LLVM -- and publishes the slot.
+  std::uint64_t fingerprint = 0;
+  bool persist = false;
+  if (std::shared_ptr<ObjectStore> st = store()) {
+    fingerprint = PersistFingerprint(key, request.address);
+    persist = true;
+    if (TryDiskLoad(request, key, fingerprint, slot)) {
+      return FunctionHandle(slot);
+    }
+  }
+
+  // Admission control happens *before* the table insert: a rejected
+  // request must not pin its failure into the cache -- the next request
+  // for the same key deserves a fresh try once the queue drains.
   bool rejected = false;
   Error reject_error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-      // Touch the LRU position and classify the hit.
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      it->second.lru_pos = lru_.begin();
-      const auto state = static_cast<FunctionHandle::State>(
-          it->second.slot->state.load(std::memory_order_acquire));
-      if (state == FunctionHandle::State::kPending) {
-        ++stats_.coalesced;
-        CacheMetrics::Get().coalesced.Add(1);
-      } else {
-        ++stats_.hits;
-        CacheMetrics::Get().hits.Add(1);
-      }
-      return FunctionHandle(it->second.slot);
-    }
-    ++stats_.misses;
-    CacheMetrics::Get().misses.Add(1);
-    slot = std::make_shared<FunctionHandle::Slot>();
-    slot->generic = request.address;
-    slot->target.store(request.address, std::memory_order_release);
-
-    // Admission control happens *before* the table insert: a rejected
-    // request must not pin its failure into the cache -- the next request
-    // for the same key deserves a fresh try once the queue drains.
     if (fault::AnyArmed()) {
       if (auto injected = fault::Hit("cache.enqueue")) {
         rejected = true;
@@ -272,7 +350,7 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
     if (!rejected && options_.max_queue != 0 &&
         queue_.size() >= options_.max_queue) {
       rejected = true;
-      ++stats_.queue_rejected;
+      counters_.queue_rejected.fetch_add(1, std::memory_order_relaxed);
       CacheMetrics::Get().queue_rejected.Add(1);
       reject_error = Error(
           ErrorKind::kResourceLimit,
@@ -281,34 +359,106 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
               "); serving the generic entry",
           request.address);
     }
-    if (!rejected) {
-      lru_.push_front(key);
-      table_.emplace(key, TableEntry{slot, lru_.begin()});
-      EvictIfNeeded();
-      Job job;
-      job.request = request;
-      job.slot = slot;
-      job.key = std::move(key);
-      job.enqueue_ns = NowNs();
-      job.deadline_ms = request.deadline_ms != 0
-                            ? request.deadline_ms
-                            : options_.default_deadline_ms;
-      auto negative = negative_.find(job.key);
-      if (negative != negative_.end()) {
-        job.skip_tier0 = true;
-        job.negative_error = negative->second;
-        ++stats_.negative_hits;
-        CacheMetrics::Get().negative_hit.Add(1);
-      }
-      queue_.push_back(std::move(job));
-    }
   }
   if (rejected) {
     RejectImmediately(slot, std::move(reject_error));
-  } else {
-    work_cv_.notify_one();
+    return FunctionHandle(slot);
   }
+
+  // Publish into the shard. Two threads can race past the miss check for the
+  // same key; the emplace winner proceeds to enqueue the compile, the loser
+  // coalesces onto the winner's slot (still exactly one compile per key).
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      it->second.lru_pos = shard.lru.begin();
+      it->second.last_used_ns = NowNs();
+      return FunctionHandle(it->second.slot);
+    }
+    shard.lru.push_front(key);
+    shard.table.emplace(key, TableEntry{slot, shard.lru.begin(), NowNs()});
+    ShardMetrics::Get().entries[shard_index]->Set(
+        static_cast<std::int64_t>(shard.table.size()));
+  }
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  EvictIfNeeded();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job job;
+    job.request = request;
+    job.slot = slot;
+    job.key = std::move(key);
+    job.enqueue_ns = NowNs();
+    job.deadline_ms = request.deadline_ms != 0 ? request.deadline_ms
+                                               : options_.default_deadline_ms;
+    job.fingerprint = fingerprint;
+    job.persist = persist;
+    auto negative = negative_.find(job.key);
+    if (negative != negative_.end()) {
+      job.skip_tier0 = true;
+      job.negative_error = negative->second;
+      counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().negative_hit.Add(1);
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
   return FunctionHandle(slot);
+}
+
+bool CompileService::TryDiskLoad(
+    const CompileRequest& request, const SpecKey& key,
+    std::uint64_t fingerprint,
+    const std::shared_ptr<FunctionHandle::Slot>& slot) {
+  std::shared_ptr<ObjectStore> st = store();
+  if (st == nullptr) return false;
+  ObjectEntry entry;
+  if (!st->Load(fingerprint, &entry)) return false;
+
+  // Re-install the finished relocatable object. Installation shares the JIT
+  // with worker compiles, so it serializes on jit_mutex_ like any other
+  // module -- but there is no decode, no lift, no O3 and no codegen here.
+  Expected<std::uint64_t> installed = [&]() -> Expected<std::uint64_t> {
+    std::lock_guard<std::mutex> jit_lock(jit_mutex_);
+    return lift::LoadCachedObject(jit_, entry.object, entry.wrapper_name,
+                                  entry.membase_symbol, entry.membase_value);
+  }();
+  if (!installed.has_value()) {
+    // The object validated on disk but the JIT refused it (e.g. dylib/session
+    // trouble). Degrade to the normal compile path; the store already counted
+    // the probe.
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_error_ = installed.error();
+    return false;
+  }
+
+  slot->Finish(slot->generation.load(std::memory_order_relaxed),
+               FunctionHandle::State::kSpecialized, Tier::kLlvm, *installed,
+               {}, StageTimes{});
+  CacheMetrics::Get().installs.Add(1);
+
+  const std::size_t shard_index =
+      static_cast<std::size_t>(key.hash()) % kShardCount;
+  Shard& shard = shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      // A racing request published first; its slot serves future lookups and
+      // ours stays valid for the handle already returned.
+      return true;
+    }
+    shard.lru.push_front(key);
+    shard.table.emplace(key, TableEntry{slot, shard.lru.begin(), NowNs()});
+    ShardMetrics::Get().entries[shard_index]->Set(
+        static_cast<std::int64_t>(shard.table.size()));
+  }
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  EvictIfNeeded();
+  return true;
 }
 
 Expected<std::uint64_t> CompileService::CompileSync(
@@ -327,11 +477,17 @@ void CompileService::WaitIdle() {
 }
 
 void CompileService::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.evictions += table_.size();
-  CacheMetrics::Get().evictions.Add(table_.size());
-  table_.clear();
-  lru_.clear();
+  std::size_t cleared = 0;
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    cleared += shards_[i].table.size();
+    shards_[i].table.clear();
+    shards_[i].lru.clear();
+    ShardMetrics::Get().entries[i]->Set(0);
+  }
+  entry_count_.fetch_sub(cleared, std::memory_order_relaxed);
+  counters_.evictions.fetch_add(cleared, std::memory_order_relaxed);
+  CacheMetrics::Get().evictions.Add(cleared);
 }
 
 void CompileService::set_default_deadline_ms(std::uint32_t deadline_ms) {
@@ -339,14 +495,69 @@ void CompileService::set_default_deadline_ms(std::uint32_t deadline_ms) {
   options_.default_deadline_ms = deadline_ms;
 }
 
-CacheStats CompileService::stats() const {
+Status CompileService::set_persist_dir(const std::string& dir) {
+  auto store = std::make_shared<ObjectStore>(ObjectStore::Options{
+      dir, options_.persist_max_bytes, options_.persist_max_entries});
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  if (!store->init_status().ok()) {
+    last_error_ = store->init_status().error();
+    return last_error_;
+  }
+  store_ = std::move(store);
+  return Status::Ok();
+}
+
+bool CompileService::persist_enabled() const {
+  std::shared_ptr<ObjectStore> st = store();
+  return st != nullptr && st->init_status().ok();
+}
+
+ObjectStoreStats CompileService::persist_stats() const {
+  std::shared_ptr<ObjectStore> st = store();
+  return st != nullptr ? st->stats() : ObjectStoreStats{};
+}
+
+CacheStats CompileService::stats() const {
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  CacheStats s;
+  s.hits = get(counters_.hits);
+  s.coalesced = get(counters_.coalesced);
+  s.misses = get(counters_.misses);
+  s.evictions = get(counters_.evictions);
+  s.failures = get(counters_.failures);
+  s.compiles = get(counters_.compiles);
+  s.tier0_failures = get(counters_.tier0_failures);
+  s.tier1_serves = get(counters_.tier1_serves);
+  s.tier2_serves = get(counters_.tier2_serves);
+  s.retries = get(counters_.retries);
+  s.timeouts = get(counters_.timeouts);
+  s.negative_hits = get(counters_.negative_hits);
+  s.queue_rejected = get(counters_.queue_rejected);
+  s.stage_total.lift_ns = get(counters_.lift_ns);
+  s.stage_total.opt_ns = get(counters_.opt_ns);
+  s.stage_total.jit_ns = get(counters_.jit_ns);
+  s.stage_total.tier1_ns = get(counters_.tier1_ns);
+  // The disk view belongs to the *current* store; redirecting the cache with
+  // set_persist_dir starts these from zero again (documented).
+  const ObjectStoreStats disk = persist_stats();
+  s.disk_hits = disk.hits;
+  s.disk_misses = disk.misses;
+  s.disk_stores = disk.stores;
+  s.disk_evictions = disk.evictions;
+  s.disk_load_ns = disk.load_ns;
+  s.disk_store_ns = disk.store_ns;
+  return s;
 }
 
 std::size_t CompileService::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return table_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.table.size();
+  }
+  return total;
 }
 
 Error CompileService::last_error() const {
@@ -356,22 +567,47 @@ Error CompileService::last_error() const {
 
 void CompileService::EvictIfNeeded() {
   if (options_.capacity == 0) return;
-  // Walk from the least-recently-used end; pending entries are pinned (their
-  // compile is still running and must stay discoverable for coalescing).
-  auto it = lru_.end();
-  while (table_.size() > options_.capacity && it != lru_.begin()) {
-    --it;
-    auto found = table_.find(*it);
-    if (found == table_.end()) {  // defensive; table_ and lru_ move together
-      it = lru_.erase(it);
-      continue;
+  // Cross-shard global LRU: pick each shard's oldest non-pending entry (its
+  // LRU tail-ward walk) and evict the globally oldest of those. Pending
+  // entries are pinned -- their compile is still running and must stay
+  // discoverable for coalescing. Bounded retries keep a racing hit (which
+  // can move the chosen victim) from livelocking us.
+  int attempts = 0;
+  while (entry_count_.load(std::memory_order_relaxed) > options_.capacity &&
+         attempts++ < static_cast<int>(4 * kShardCount)) {
+    std::size_t victim_shard = kShardCount;
+    SpecKey victim_key;
+    std::uint64_t victim_used = ~0ULL;
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mutex);
+      for (auto it = shards_[i].lru.rbegin(); it != shards_[i].lru.rend();
+           ++it) {
+        auto found = shards_[i].table.find(*it);
+        if (found == shards_[i].table.end()) continue;  // defensive
+        const auto state = static_cast<FunctionHandle::State>(
+            found->second.slot->state.load(std::memory_order_acquire));
+        if (state == FunctionHandle::State::kPending) continue;
+        if (found->second.last_used_ns < victim_used) {
+          victim_used = found->second.last_used_ns;
+          victim_key = *it;
+          victim_shard = i;
+        }
+        break;  // oldest non-pending entry of this shard found
+      }
     }
+    if (victim_shard == kShardCount) return;  // everything pending
+    std::lock_guard<std::mutex> lock(shards_[victim_shard].mutex);
+    auto found = shards_[victim_shard].table.find(victim_key);
+    if (found == shards_[victim_shard].table.end()) continue;  // raced away
     const auto state = static_cast<FunctionHandle::State>(
         found->second.slot->state.load(std::memory_order_acquire));
-    if (state == FunctionHandle::State::kPending) continue;
-    table_.erase(found);
-    it = lru_.erase(it);
-    ++stats_.evictions;
+    if (state == FunctionHandle::State::kPending) continue;  // raced to pend?
+    shards_[victim_shard].lru.erase(found->second.lru_pos);
+    shards_[victim_shard].table.erase(found);
+    ShardMetrics::Get().entries[victim_shard]->Set(
+        static_cast<std::int64_t>(shards_[victim_shard].table.size()));
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.evictions.fetch_add(1, std::memory_order_relaxed);
     CacheMetrics::Get().evictions.Add(1);
   }
 }
@@ -397,7 +633,9 @@ void CompileService::WorkerLoop() {
 }
 
 Error CompileService::TryTier0(const CompileRequest& request,
-                               StageTimes& times, std::uint64_t* entry) {
+                               StageTimes& times, std::uint64_t* entry,
+                               const std::string& cache_tag,
+                               ObjectEntry* captured) {
   Error failure;
 
   // Stage 1: decode + lift (+ IR-level specialization, which mutates the
@@ -433,12 +671,24 @@ Error CompileService::TryTier0(const CompileRequest& request,
     // Stage 3: JIT codegen. Module installation into the shared LLJIT
     // session is serialized; lift and optimize above run fully parallel.
     if (failure.ok()) {
+      // Tagging makes the compile leave its relocatable object behind for
+      // the persistent store (LiftedFunction::SetCacheTag). Must happen
+      // before Compile(): the capture keys on the module identifier.
+      if (captured != nullptr && !cache_tag.empty()) {
+        lifted->SetCacheTag(cache_tag);
+      }
       const std::uint64_t t2 = NowNs();
       std::lock_guard<std::mutex> jit_lock(jit_mutex_);
       auto compiled = lifted->Compile(jit_);
       times.jit_ns += NowNs() - t2;
       if (compiled.has_value()) {
         *entry = *compiled;
+        if (captured != nullptr && !cache_tag.empty()) {
+          captured->object = lift::TakeCapturedObject(jit_, cache_tag);
+          captured->wrapper_name = lifted->wrapper_name();
+          captured->membase_symbol = lifted->membase_symbol();
+          captured->membase_value = lifted->membase_value();
+        }
       } else {
         failure = std::move(compiled).error();
       }
@@ -496,6 +746,10 @@ void CompileService::CompileOne(Job& job) {
 
   std::uint64_t entry = 0;
   bool tier0_ok = false;
+  ObjectEntry captured;
+  const std::string cache_tag =
+      job.persist ? CacheTag(job.fingerprint) : std::string();
+  ObjectEntry* capture_into = job.persist ? &captured : nullptr;
   if (job.skip_tier0) {
     // Negative-cache hit: the deterministic Tier-0 failure was remembered at
     // Request time; go straight to the fallback without touching LLVM.
@@ -516,13 +770,12 @@ void CompileService::CompileOne(Job& job) {
 
     auto account_attempt = [&](const StageTimes& attempt,
                                const Error& failure) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.compiles;
-        stats_.stage_total.lift_ns += attempt.lift_ns;
-        stats_.stage_total.opt_ns += attempt.opt_ns;
-        stats_.stage_total.jit_ns += attempt.jit_ns;
-        if (!failure.ok()) ++stats_.tier0_failures;
+      counters_.compiles.fetch_add(1, std::memory_order_relaxed);
+      counters_.lift_ns.fetch_add(attempt.lift_ns, std::memory_order_relaxed);
+      counters_.opt_ns.fetch_add(attempt.opt_ns, std::memory_order_relaxed);
+      counters_.jit_ns.fetch_add(attempt.jit_ns, std::memory_order_relaxed);
+      if (!failure.ok()) {
+        counters_.tier0_failures.fetch_add(1, std::memory_order_relaxed);
       }
       metrics.compiles.Add(1);
       metrics.lift_ns.Add(attempt.lift_ns);
@@ -532,7 +785,7 @@ void CompileService::CompileOne(Job& job) {
     };
 
     StageTimes attempt;
-    Error failure = TryTier0(request, attempt, &entry);
+    Error failure = TryTier0(request, attempt, &entry, cache_tag, capture_into);
     account_attempt(attempt, failure);
     times.lift_ns += attempt.lift_ns;
     times.opt_ns += attempt.opt_ns;
@@ -546,14 +799,12 @@ void CompileService::CompileOne(Job& job) {
       if (backoff > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.retries;
-      }
+      counters_.retries.fetch_add(1, std::memory_order_relaxed);
       metrics.retries.Add(1);
       StageTimes retry_attempt;
       entry = 0;
-      failure = TryTier0(request, retry_attempt, &entry);
+      failure = TryTier0(request, retry_attempt, &entry, cache_tag,
+                         capture_into);
       account_attempt(retry_attempt, failure);
       times.lift_ns += retry_attempt.lift_ns;
       times.opt_ns += retry_attempt.opt_ns;
@@ -598,12 +849,21 @@ void CompileService::CompileOne(Job& job) {
 
   if (tier0_ok) {
     // The swap-install: publishing the terminal state and waking waiters.
-    DBLL_TRACE_SPAN("cache.install");
-    const std::uint64_t install_start_ns = NowNs();
-    if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
-                         Tier::kLlvm, entry, std::move(chain), times)) {
-      metrics.installs.Add(1);
-      metrics.install_ns.Record(NowNs() - install_start_ns);
+    {
+      DBLL_TRACE_SPAN("cache.install");
+      const std::uint64_t install_start_ns = NowNs();
+      if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
+                           Tier::kLlvm, entry, std::move(chain), times)) {
+        metrics.installs.Add(1);
+        metrics.install_ns.Record(NowNs() - install_start_ns);
+      }
+    }
+    // Persist *after* the install: the caller already has the specialized
+    // entry; the disk write is a warm-start optimization for the next
+    // process and must never delay this one's swap.
+    if (job.persist && !captured.object.empty()) {
+      captured.fingerprint = job.fingerprint;
+      if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
     }
     return;
   }
@@ -620,10 +880,7 @@ void CompileService::Degrade(
     const std::uint64_t t = NowNs();
     auto tier1 = Tier1Rewrite(request);
     times.tier1_ns += NowNs() - t;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stats_.stage_total.tier1_ns += times.tier1_ns;
-    }
+    counters_.tier1_ns.fetch_add(times.tier1_ns, std::memory_order_relaxed);
     metrics.tier1_ns.Add(times.tier1_ns);
     if (tier1.has_value()) {
       const std::uint64_t entry = tier1->entry;
@@ -633,8 +890,8 @@ void CompileService::Degrade(
         // lifetime holds for fallback code too (even across slot eviction).
         std::lock_guard<std::mutex> lock(mutex_);
         tier1_code_.push_back(std::move(tier1->rewriter));
-        ++stats_.tier1_serves;
       }
+      counters_.tier1_serves.fetch_add(1, std::memory_order_relaxed);
       metrics.tier1_serve.Add(1);
       DBLL_TRACE_SPAN("cache.install");
       const std::uint64_t install_start_ns = NowNs();
@@ -654,10 +911,10 @@ void CompileService::Degrade(
   const Error root = chain.empty() ? Error(ErrorKind::kInternal,
                                            "degraded with an empty chain")
                                    : chain.front();
+  counters_.tier2_serves.fetch_add(1, std::memory_order_relaxed);
+  counters_.failures.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.tier2_serves;
-    ++stats_.failures;
     last_error_ = root;
   }
   metrics.tier2_serve.Add(1);
@@ -669,10 +926,10 @@ void CompileService::Degrade(
 void CompileService::RejectImmediately(
     const std::shared_ptr<FunctionHandle::Slot>& slot, Error error) {
   CacheMetrics& metrics = CacheMetrics::Get();
+  counters_.tier2_serves.fetch_add(1, std::memory_order_relaxed);
+  counters_.failures.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.tier2_serves;
-    ++stats_.failures;
     last_error_ = error;
   }
   metrics.tier2_serve.Add(1);
@@ -699,10 +956,7 @@ void CompileService::TakeOver(
     new_generation =
         slot->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.timeouts;
-  }
+  counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
   CacheMetrics::Get().timeouts.Add(1);
   Error timeout(ErrorKind::kTimeout,
                 "Tier-0 compile exceeded its " + std::to_string(deadline_ms) +

@@ -1,0 +1,496 @@
+// dbll -- persistent compiled-object cache (see
+// include/dbll/runtime/object_store.h for the design and contracts).
+#include "dbll/runtime/object_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "dbll/lift/lifter.h"
+#include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
+#include "dbll/support/file_io.h"
+
+namespace dbll::runtime {
+
+namespace {
+
+using support::FileLock;
+
+/// Entry container layout (all integers little-endian):
+///   magic   8B  "DBLLOBJ1"
+///   version u32 (kFormatVersion)
+///   fingerprint u64
+///   llvm_version    u32 len + bytes
+///   target_cpu      u32 len + bytes
+///   wrapper_name    u32 len + bytes
+///   membase_symbol  u32 len + bytes
+///   membase_value   u64
+///   payload_size    u64
+///   payload_fnv     u64  (FNV-1a over the payload bytes)
+///   payload         payload_size bytes
+/// Header fields are validated structurally (bounded lengths, exact file
+/// size); the payload is validated by length + checksum. Anything off is
+/// "corrupt", which the loader treats as a miss and deletes.
+constexpr char kMagic[8] = {'D', 'B', 'L', 'L', 'O', 'B', 'J', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kMaxStringLen = 4096;
+constexpr std::uint64_t kMaxPayload = 1ull << 30;
+/// Window of target-function code bytes folded into the fingerprint. Large
+/// enough to catch any real recompile of a kernel, small enough to stay off
+/// the hot path; bounded by the mapping via SafeReadMemory.
+constexpr std::size_t kCodeWindowBytes = 512;
+
+const char kManifestName[] = "manifest.tsv";
+const char kLockName[] = ".lock";
+
+std::uint64_t Fnv1aBytes(const std::uint8_t* data, std::size_t size,
+                         std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t NowNs() { return obs::Tracer::NowNs(); }
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutStr(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader over a byte buffer.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ReadU32(std::uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(std::uint64_t* v) {
+    if (size_ - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool ReadStr(std::string* s) {
+    std::uint32_t len = 0;
+    if (!ReadU32(&len) || len > kMaxStringLen || size_ - pos_ < len) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  std::size_t remaining() const { return size_ - pos_; }
+  const std::uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> Serialize(const ObjectEntry& entry,
+                                    const std::string& llvm_version,
+                                    const std::string& target_cpu) {
+  std::vector<std::uint8_t> out;
+  out.reserve(entry.object.size() + 256);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  PutU32(out, kFormatVersion);
+  PutU64(out, entry.fingerprint);
+  PutStr(out, llvm_version);
+  PutStr(out, target_cpu);
+  PutStr(out, entry.wrapper_name);
+  PutStr(out, entry.membase_symbol);
+  PutU64(out, entry.membase_value);
+  PutU64(out, entry.object.size());
+  PutU64(out, Fnv1aBytes(entry.object.data(), entry.object.size()));
+  out.insert(out.end(), entry.object.begin(), entry.object.end());
+  return out;
+}
+
+/// Parses and fully validates one serialized entry. On failure, *detail
+/// explains the first violated check.
+bool Deserialize(const std::vector<std::uint8_t>& bytes, ObjectEntry* out,
+                 std::string* llvm_version, std::string* target_cpu,
+                 std::string* detail) {
+  Reader reader(bytes.data(), bytes.size());
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    *detail = "bad magic";
+    return false;
+  }
+  Reader body(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
+  std::uint32_t version = 0;
+  if (!body.ReadU32(&version) || version != kFormatVersion) {
+    *detail = "unknown format version";
+    return false;
+  }
+  std::uint64_t payload_size = 0, payload_fnv = 0;
+  if (!body.ReadU64(&out->fingerprint) || !body.ReadStr(llvm_version) ||
+      !body.ReadStr(target_cpu) || !body.ReadStr(&out->wrapper_name) ||
+      !body.ReadStr(&out->membase_symbol) ||
+      !body.ReadU64(&out->membase_value) || !body.ReadU64(&payload_size) ||
+      !body.ReadU64(&payload_fnv)) {
+    *detail = "truncated header";
+    return false;
+  }
+  if (payload_size > kMaxPayload || body.remaining() != payload_size) {
+    *detail = "payload length mismatch";
+    return false;
+  }
+  if (Fnv1aBytes(body.cursor(), static_cast<std::size_t>(payload_size)) !=
+      payload_fnv) {
+    *detail = "payload checksum mismatch";
+    return false;
+  }
+  out->object.assign(body.cursor(), body.cursor() + payload_size);
+  detail->clear();
+  return true;
+}
+
+/// manifest.tsv: one "<16-hex-fingerprint>\t<last-used-ns>" line per entry,
+/// advisory recency data only -- the directory listing is ground truth.
+std::map<std::uint64_t, std::uint64_t> ReadManifest(const std::string& dir) {
+  std::map<std::uint64_t, std::uint64_t> used;
+  auto bytes = support::ReadFileBytes(dir + "/" + kManifestName);
+  if (!bytes.has_value()) return used;
+  std::istringstream in(
+      std::string(bytes->begin(), bytes->end()));
+  std::string line;
+  while (std::getline(in, line)) {
+    std::uint64_t fp = 0, ns = 0;
+    if (std::sscanf(line.c_str(), "%lx\t%lu", &fp, &ns) == 2) used[fp] = ns;
+  }
+  return used;
+}
+
+void WriteManifest(const std::string& dir,
+                   const std::map<std::uint64_t, std::uint64_t>& used) {
+  std::string text;
+  char buf[64];
+  for (const auto& [fp, ns] : used) {
+    std::snprintf(buf, sizeof(buf), "%016lx\t%lu\n", fp, ns);
+    text += buf;
+  }
+  (void)support::WriteFileAtomic(dir + "/" + kManifestName, text.data(),
+                                 text.size());
+}
+
+bool ParseEntryFileName(const std::string& name, std::uint64_t* fp) {
+  if (name.size() != 20 || name.substr(16) != ".dbo") return false;
+  std::uint64_t value = 0;
+  for (char c : name.substr(0, 16)) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  *fp = value;
+  return true;
+}
+
+struct ObjcacheMetrics {
+  obs::Counter& disk_hits;
+  obs::Counter& disk_misses;
+  obs::Counter& disk_stores;
+  obs::Counter& disk_evictions;
+  obs::Counter& disk_errors;
+  obs::Counter& disk_load_ns;
+  obs::Counter& disk_store_ns;
+
+  static ObjcacheMetrics& Get() {
+    static ObjcacheMetrics* instance = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return new ObjcacheMetrics{
+          r.GetCounter("cache.disk_hits"),   r.GetCounter("cache.disk_misses"),
+          r.GetCounter("cache.disk_stores"), r.GetCounter("cache.disk_evictions"),
+          r.GetCounter("cache.disk_errors"), r.GetCounter("cache.disk_load_ns"),
+          r.GetCounter("cache.disk_store_ns")};
+    }();
+    return *instance;
+  }
+};
+
+}  // namespace
+
+std::string ObjectStore::EntryFileName(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016lx.dbo", fingerprint);
+  return buf;
+}
+
+ObjectStore::ObjectStore(Options options) : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    init_ = Error(ErrorKind::kBadConfig, "ObjectStore: empty directory");
+    return;
+  }
+  init_ = support::EnsureDir(options_.dir);
+}
+
+bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
+  if (!init_.ok()) return false;
+  DBLL_TRACE_SPAN("jit.objcache.load");
+  const std::uint64_t t0 = NowNs();
+  bool hit = false;
+  const std::string path = options_.dir + "/" + EntryFileName(fingerprint);
+  do {
+    // Fault site for the robustness suite: a firing `objcache.load` behaves
+    // as an I/O error -- a degraded miss. The file is *kept* (it is not
+    // corrupt; the disk is pretending to be unreadable).
+    if (fault::AnyArmed()) {
+      if (fault::Hit("objcache.load")) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ObjcacheMetrics::Get().disk_errors.Add(1);
+        break;
+      }
+    }
+    auto bytes = support::ReadFileBytes(path);
+    if (!bytes.has_value()) break;  // plain miss (or unreadable: same thing)
+    std::string llvm_version, target_cpu, detail;
+    ObjectEntry entry;
+    if (!Deserialize(*bytes, &entry, &llvm_version, &target_cpu, &detail) ||
+        entry.fingerprint != fingerprint) {
+      // Hostile/corrupt/truncated entry: drop it so it cannot waste another
+      // read, and count it. Never fatal, never trusted.
+      (void)support::RemoveFile(path);
+      corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ObjcacheMetrics::Get().disk_errors.Add(1);
+      break;
+    }
+    if (llvm_version != lift::LlvmVersionString() ||
+        target_cpu != lift::JitTargetCpu()) {
+      // A different toolchain wrote this entry. It is a *valid* file that a
+      // matching toolchain could still use -- but under fingerprint keying
+      // (which folds in the version) it is unreachable garbage: delete it.
+      (void)support::RemoveFile(path);
+      corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ObjcacheMetrics::Get().disk_errors.Add(1);
+      break;
+    }
+    *out = std::move(entry);
+    hit = true;
+  } while (false);
+
+  const std::uint64_t elapsed = NowNs() - t0;
+  load_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  ObjcacheMetrics::Get().disk_load_ns.Add(elapsed);
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ObjcacheMetrics::Get().disk_hits.Add(1);
+    TouchManifest(fingerprint);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ObjcacheMetrics::Get().disk_misses.Add(1);
+  }
+  return hit;
+}
+
+void ObjectStore::Store(const ObjectEntry& entry) {
+  if (!init_.ok()) return;
+  DBLL_TRACE_SPAN("jit.objcache.store");
+  const std::uint64_t t0 = NowNs();
+  Status status = WriteEntry(options_.dir, entry, lift::LlvmVersionString(),
+                             lift::JitTargetCpu());
+  if (!status.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    ObjcacheMetrics::Get().disk_errors.Add(1);
+  } else {
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    ObjcacheMetrics::Get().disk_stores.Add(1);
+    FileLock lock(options_.dir + "/" + kLockName);
+    if (lock.ok()) {
+      auto used = ReadManifest(options_.dir);
+      used[entry.fingerprint] = NowNs();
+      WriteManifest(options_.dir, used);
+      EvictLocked();
+    }
+  }
+  const std::uint64_t elapsed = NowNs() - t0;
+  store_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  ObjcacheMetrics::Get().disk_store_ns.Add(elapsed);
+}
+
+void ObjectStore::TouchManifest(std::uint64_t fingerprint) {
+  FileLock lock(options_.dir + "/" + kLockName);
+  if (!lock.ok()) return;
+  auto used = ReadManifest(options_.dir);
+  used[fingerprint] = NowNs();
+  WriteManifest(options_.dir, used);
+}
+
+void ObjectStore::EvictLocked() {
+  if (options_.max_bytes == 0 && options_.max_entries == 0) return;
+  auto names = support::ListDir(options_.dir);
+  if (!names.has_value()) return;
+  struct OnDisk {
+    std::uint64_t fp;
+    std::uint64_t size;
+    std::uint64_t last_used;
+  };
+  auto used = ReadManifest(options_.dir);
+  std::vector<OnDisk> entries;
+  std::uint64_t total_bytes = 0;
+  const std::uint64_t now = NowNs();
+  for (const std::string& name : *names) {
+    std::uint64_t fp = 0;
+    if (!ParseEntryFileName(name, &fp)) continue;
+    auto size = support::FileSize(options_.dir + "/" + name);
+    if (!size.has_value()) continue;
+    const auto it = used.find(fp);
+    // Unknown to the manifest = written by a racing process whose manifest
+    // update we beat; treat as freshest so we never evict a brand-new entry.
+    entries.push_back({fp, *size, it != used.end() ? it->second : now});
+    total_bytes += *size;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const OnDisk& a, const OnDisk& b) {
+              return a.last_used < b.last_used;
+            });
+  std::size_t victim = 0;
+  bool changed = false;
+  while (victim < entries.size() &&
+         ((options_.max_bytes != 0 && total_bytes > options_.max_bytes) ||
+          (options_.max_entries != 0 &&
+           entries.size() - victim > options_.max_entries))) {
+    const OnDisk& target = entries[victim++];
+    if (support::RemoveFile(options_.dir + "/" + EntryFileName(target.fp))
+            .ok()) {
+      total_bytes -= target.size;
+      used.erase(target.fp);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ObjcacheMetrics::Get().disk_evictions.Add(1);
+      changed = true;
+    }
+  }
+  if (changed) WriteManifest(options_.dir, used);
+}
+
+ObjectStoreStats ObjectStore::stats() const {
+  ObjectStoreStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.load_ns = load_ns_.load(std::memory_order_relaxed);
+  s.store_ns = store_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status ObjectStore::WriteEntry(const std::string& dir,
+                               const ObjectEntry& entry,
+                               const std::string& llvm_version,
+                               const std::string& target_cpu) {
+  DBLL_TRY_STATUS(support::EnsureDir(dir));
+  const std::vector<std::uint8_t> bytes =
+      Serialize(entry, llvm_version, target_cpu);
+  return support::WriteFileAtomic(dir + "/" + EntryFileName(entry.fingerprint),
+                                  bytes.data(), bytes.size());
+}
+
+Expected<std::vector<ObjectScanEntry>> ObjectStore::Scan(
+    const std::string& dir) {
+  // A never-created cache directory is a valid, empty cache.
+  if (!support::DirExists(dir)) return std::vector<ObjectScanEntry>{};
+  DBLL_TRY(std::vector<std::string> names, support::ListDir(dir));
+  std::vector<ObjectScanEntry> result;
+  for (const std::string& name : names) {
+    std::uint64_t name_fp = 0;
+    if (!ParseEntryFileName(name, &name_fp)) continue;
+    ObjectScanEntry scan;
+    scan.file = name;
+    auto bytes = support::ReadFileBytes(dir + "/" + name);
+    if (!bytes.has_value()) {
+      scan.detail = bytes.error().message();
+      result.push_back(std::move(scan));
+      continue;
+    }
+    scan.file_size = bytes->size();
+    ObjectEntry entry;
+    std::string detail;
+    if (Deserialize(*bytes, &entry, &scan.llvm_version, &scan.target_cpu,
+                    &detail)) {
+      scan.fingerprint = entry.fingerprint;
+      scan.payload_size = entry.object.size();
+      scan.wrapper_name = entry.wrapper_name;
+      if (entry.fingerprint != name_fp) {
+        scan.detail = "fingerprint does not match file name";
+      } else {
+        scan.valid = true;
+      }
+    } else {
+      scan.fingerprint = name_fp;
+      scan.detail = detail;
+    }
+    result.push_back(std::move(scan));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ObjectScanEntry& a, const ObjectScanEntry& b) {
+              return a.file < b.file;
+            });
+  return result;
+}
+
+Expected<std::uint64_t> ObjectStore::Purge(const std::string& dir) {
+  if (!support::DirExists(dir)) return std::uint64_t{0};
+  DBLL_TRY(std::vector<std::string> names, support::ListDir(dir));
+  std::uint64_t removed = 0;
+  for (const std::string& name : names) {
+    std::uint64_t fp = 0;
+    const bool is_entry = ParseEntryFileName(name, &fp);
+    const bool is_meta = name == kManifestName || name == kLockName ||
+                         name.find(".tmp.") != std::string::npos;
+    if (!is_entry && !is_meta) continue;
+    if (support::RemoveFile(dir + "/" + name).ok() && is_entry) ++removed;
+  }
+  return removed;
+}
+
+std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
+  std::uint64_t hash = Fnv1aBytes(key.blob().data(), key.blob().size());
+  // Window of the target's machine code: a recompiled/patched function must
+  // change the fingerprint even at an identical address. SafeReadMemory
+  // bounds the window at the end of the mapping instead of faulting.
+  std::uint8_t code[kCodeWindowBytes];
+  const std::size_t read = support::SafeReadMemory(address, code, sizeof(code));
+  std::uint64_t n = read;
+  hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(&n), sizeof(n), hash);
+  hash = Fnv1aBytes(code, read, hash);
+  const std::string& llvm_version = lift::LlvmVersionString();
+  const std::string& cpu = lift::JitTargetCpu();
+  hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(llvm_version.data()),
+                    llvm_version.size(), hash);
+  hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(cpu.data()),
+                    cpu.size(), hash);
+  return hash;
+}
+
+}  // namespace dbll::runtime

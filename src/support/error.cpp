@@ -17,6 +17,7 @@ std::string_view ToString(ErrorKind kind) noexcept {
     case ErrorKind::kBadConfig: return "bad-config";
     case ErrorKind::kInternal: return "internal";
     case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kIo: return "io";
   }
   return "unknown";
 }

@@ -85,6 +85,8 @@ std::optional<ErrorKind> ParseErrorKind(std::string_view name) {
       {"internal", ErrorKind::kInternal},
       {"Timeout", ErrorKind::kTimeout},
       {"timeout", ErrorKind::kTimeout},
+      {"Io", ErrorKind::kIo},
+      {"io", ErrorKind::kIo},
   };
   for (const auto& [candidate, kind] : kNames) {
     if (candidate == name) return kind;

@@ -1,0 +1,189 @@
+// dbll -- POSIX file I/O helpers (see include/dbll/support/file_io.h).
+#include "dbll/support/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace dbll::support {
+
+namespace {
+
+Error IoError(const std::string& what, const std::string& path, int err) {
+  return Error(ErrorKind::kIo,
+               what + " '" + path + "': " + std::strerror(err));
+}
+
+}  // namespace
+
+Expected<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError("open", path, errno);
+  std::vector<std::uint8_t> bytes;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    bytes.reserve(static_cast<std::size_t>(st.st_size));
+  }
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return IoError("read", path, err);
+    }
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data,
+                       std::size_t size) {
+  // Unique temp in the target's directory: rename(2) must not cross
+  // filesystems, and the unique name keeps concurrent writers of the same
+  // target from clobbering each other's in-progress temp.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("open", tmp, errno);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoError("write", tmp, err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return IoError("close", tmp, err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return IoError("rename", path, err);
+  }
+  return Status::Ok();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (path.empty()) {
+    return Error(ErrorKind::kBadConfig, "EnsureDir: empty path");
+  }
+  // Create each prefix in turn (mkdir -p); EEXIST at any level is fine.
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return IoError("mkdir", prefix, errno);
+    }
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return IoError("not a directory", path, ENOTDIR);
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoError("unlink", path, errno);
+  }
+  return Status::Ok();
+}
+
+Expected<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir", dir, errno);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+bool DirExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Expected<std::uint64_t> FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return IoError("stat", path, errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+FileLock::FileLock(const std::string& lock_path) {
+  fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, LOCK_EX) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+std::size_t SafeReadMemory(std::uint64_t addr, void* out, std::size_t size) {
+  if (size == 0) return 0;
+  // Kernel-mediated copy from our own address space: an unmapped page makes
+  // the syscall return a short count (or fail) instead of faulting us.
+  // Reading page by page turns "fails at page N" into "returns N pages".
+  const std::uint64_t kPage = 4096;
+  std::size_t total = 0;
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (total < size) {
+    const std::uint64_t cursor = addr + total;
+    const std::uint64_t page_room = kPage - (cursor % kPage);
+    const std::size_t chunk =
+        static_cast<std::size_t>(page_room) < size - total
+            ? static_cast<std::size_t>(page_room)
+            : size - total;
+    struct iovec local {
+      dst + total, chunk
+    };
+    struct iovec remote {
+      reinterpret_cast<void*>(cursor), chunk
+    };
+    const ssize_t n = ::process_vm_readv(::getpid(), &local, 1, &remote, 1, 0);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < chunk) break;
+  }
+  return total;
+}
+
+}  // namespace dbll::support

@@ -1,0 +1,369 @@
+// dbll tests -- the persistent compiled-object cache (object_store.h):
+// round-trip persistence, warm-start service integration (zero lift work on
+// a disk hit), and the hostile-state contract -- truncated entries, bad
+// checksums, toolchain-version mismatches, racing writers, tiny eviction
+// caps, and injected I/O faults must all degrade to a miss, never to a crash
+// and never to a wrong kernel.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/object_store.h"
+#include "dbll/support/fault.h"
+#include "dbll/support/file_io.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+/// Fresh scratch cache directory per test, removed on teardown.
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/dbll_objstore_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    (void)ObjectStore::Purge(dir_);
+    ::rmdir(dir_.c_str());
+  }
+
+  ObjectStore MakeStore(std::uint64_t max_bytes = 0,
+                        std::uint64_t max_entries = 0) {
+    return ObjectStore(ObjectStore::Options{dir_, max_bytes, max_entries});
+  }
+
+  static ObjectEntry FakeEntry(std::uint64_t fingerprint,
+                               std::size_t payload = 64) {
+    ObjectEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.wrapper_name = "wrapper";
+    entry.membase_symbol = "membase";
+    entry.membase_value = 0x1000;
+    entry.object.assign(payload, static_cast<std::uint8_t>(fingerprint));
+    return entry;
+  }
+
+  std::string EntryPath(std::uint64_t fingerprint) const {
+    return dir_ + "/" + ObjectStore::EntryFileName(fingerprint);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ObjectStoreTest, StoreThenLoadRoundTrips) {
+  ObjectStore store = MakeStore();
+  ASSERT_TRUE(store.init_status().ok());
+  const ObjectEntry entry = FakeEntry(0x1111);
+  store.Store(entry);
+
+  ObjectEntry loaded;
+  EXPECT_TRUE(store.Load(0x1111, &loaded));
+  EXPECT_EQ(loaded.fingerprint, entry.fingerprint);
+  EXPECT_EQ(loaded.wrapper_name, entry.wrapper_name);
+  EXPECT_EQ(loaded.membase_symbol, entry.membase_symbol);
+  EXPECT_EQ(loaded.membase_value, entry.membase_value);
+  EXPECT_EQ(loaded.object, entry.object);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().stores, 1u);
+
+  EXPECT_FALSE(store.Load(0x2222, &loaded));  // plain miss
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(ObjectStoreTest, TruncatedEntryMissesAndIsDeleted) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x3333));
+  auto bytes = support::ReadFileBytes(EntryPath(0x3333));
+  ASSERT_TRUE(bytes.has_value());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, bytes->size() / 2,
+                          bytes->size() - 1}) {
+    ASSERT_TRUE(support::WriteFileAtomic(EntryPath(0x3333), bytes->data(), cut)
+                    .ok());
+    ObjectEntry loaded;
+    EXPECT_FALSE(store.Load(0x3333, &loaded)) << "cut at " << cut;
+    // The invalid file was dropped so it cannot waste another read.
+    EXPECT_FALSE(support::FileSize(EntryPath(0x3333)).has_value());
+  }
+  EXPECT_EQ(store.stats().corrupt_dropped, 4u);
+}
+
+TEST_F(ObjectStoreTest, BadChecksumMissesAndIsDeleted) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x4444));
+  auto bytes = support::ReadFileBytes(EntryPath(0x4444));
+  ASSERT_TRUE(bytes.has_value());
+  bytes->back() ^= 0xff;  // flip one payload byte; header stays intact
+  ASSERT_TRUE(support::WriteFileAtomic(EntryPath(0x4444), bytes->data(),
+                                       bytes->size())
+                  .ok());
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0x4444, &loaded));
+  EXPECT_EQ(store.stats().corrupt_dropped, 1u);
+  EXPECT_FALSE(support::FileSize(EntryPath(0x4444)).has_value());
+}
+
+TEST_F(ObjectStoreTest, WrongLlvmVersionMissesAndIsDeleted) {
+  // A structurally valid entry stamped by a different toolchain: under
+  // fingerprint keying it is unreachable garbage, so the loader deletes it.
+  ASSERT_TRUE(ObjectStore::WriteEntry(dir_, FakeEntry(0x5555), "0.0.0-other",
+                                      lift::JitTargetCpu())
+                  .ok());
+  ObjectStore store = MakeStore();
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0x5555, &loaded));
+  EXPECT_EQ(store.stats().corrupt_dropped, 1u);
+  EXPECT_FALSE(support::FileSize(EntryPath(0x5555)).has_value());
+
+  // Same for a matching version but a different target CPU.
+  ASSERT_TRUE(ObjectStore::WriteEntry(dir_, FakeEntry(0x6666),
+                                      lift::LlvmVersionString(), "skylake-avx512")
+                  .ok());
+  EXPECT_FALSE(store.Load(0x6666, &loaded));
+  EXPECT_EQ(store.stats().corrupt_dropped, 2u);
+}
+
+TEST_F(ObjectStoreTest, ScanReportsValidityPerEntry) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x7777));
+  ASSERT_TRUE(ObjectStore::WriteEntry(dir_, FakeEntry(0x8888), "0.0.0-other",
+                                      lift::JitTargetCpu())
+                  .ok());
+  const char garbage[] = "not an entry";
+  ASSERT_TRUE(support::WriteFileAtomic(EntryPath(0x9999), garbage,
+                                       sizeof(garbage))
+                  .ok());
+
+  auto scan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(scan.has_value());
+  ASSERT_EQ(scan->size(), 3u);
+  int valid = 0;
+  for (const ObjectScanEntry& e : *scan) valid += e.valid ? 1 : 0;
+  // Scan validates structure only (it has no toolchain to compare against),
+  // so the version-mismatched entry still parses; the garbage one must not.
+  EXPECT_EQ(valid, 2);
+
+  auto purged = ObjectStore::Purge(dir_);
+  ASSERT_TRUE(purged.has_value());
+  EXPECT_EQ(*purged, 3u);
+  auto rescan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(rescan.has_value());
+  EXPECT_TRUE(rescan->empty());
+}
+
+TEST_F(ObjectStoreTest, ConcurrentWritersNeverProduceATornEntry) {
+  // Two threads hammer the same directory (including the same fingerprints);
+  // atomic publication means every file a scan ever sees is complete.
+  const int kPerThread = 40;
+  std::thread a([&] {
+    ObjectStore store = MakeStore();
+    for (int i = 0; i < kPerThread; ++i) {
+      store.Store(FakeEntry(static_cast<std::uint64_t>(i % 8), 2048));
+    }
+  });
+  std::thread b([&] {
+    ObjectStore store = MakeStore();
+    for (int i = 0; i < kPerThread; ++i) {
+      store.Store(FakeEntry(static_cast<std::uint64_t>(i % 8), 2048));
+    }
+  });
+  a.join();
+  b.join();
+
+  auto scan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->size(), 8u);
+  for (const ObjectScanEntry& e : *scan) {
+    EXPECT_TRUE(e.valid) << e.file << ": " << e.detail;
+  }
+  ObjectStore reader = MakeStore();
+  for (std::uint64_t fp = 0; fp < 8; ++fp) {
+    ObjectEntry loaded;
+    EXPECT_TRUE(reader.Load(fp, &loaded));
+    EXPECT_EQ(loaded.object.size(), 2048u);
+  }
+}
+
+TEST_F(ObjectStoreTest, EvictionHoldsTheEntryCap) {
+  ObjectStore store = MakeStore(/*max_bytes=*/0, /*max_entries=*/1);
+  store.Store(FakeEntry(0xaaaa));
+  store.Store(FakeEntry(0xbbbb));
+  EXPECT_GE(store.stats().evictions, 1u);
+  auto scan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->size(), 1u);
+  // The surviving entry is the most recently stored one.
+  ObjectEntry loaded;
+  EXPECT_TRUE(store.Load(0xbbbb, &loaded));
+}
+
+TEST_F(ObjectStoreTest, ByteCapEvictsOldEntries) {
+  // Each entry is ~2KiB; a 3KiB cap keeps exactly the newest one.
+  ObjectStore store = MakeStore(/*max_bytes=*/3 << 10, /*max_entries=*/0);
+  store.Store(FakeEntry(0x1, 2048));
+  store.Store(FakeEntry(0x2, 2048));
+  auto scan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->size(), 1u);
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST_F(ObjectStoreTest, LoadFaultDegradesWithoutDroppingTheEntry) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0xcccc));
+  // An armed `objcache.load` behaves as an I/O error: a miss that *keeps*
+  // the (perfectly good) file, unlike corruption.
+  ASSERT_TRUE(fault::ArmFromString("objcache.load:kIo"));
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0xcccc, &loaded));
+  EXPECT_EQ(store.stats().errors, 1u);
+  EXPECT_TRUE(support::FileSize(EntryPath(0xcccc)).has_value());
+
+  fault::DisarmAll();
+  EXPECT_TRUE(store.Load(0xcccc, &loaded));
+}
+
+// --- service integration: the warm-start path ------------------------------
+
+CompileRequest ArithRequest() {
+  CompileRequest request(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                         lift::Signature::Ints(2));
+  request.FixParam(1, 7);
+  return request;
+}
+
+CompileService::Options PersistOptions(const std::string& dir) {
+  CompileService::Options options;
+  options.persist_dir = dir;
+  return options;
+}
+
+TEST_F(ObjectStoreTest, WarmServiceStartDoesZeroLiftWork) {
+  const long expected = c_arith_mix(5, 7);
+  {
+    CompileService cold(PersistOptions(dir_));
+    ASSERT_TRUE(cold.persist_enabled());
+    auto entry = cold.CompileSync(ArithRequest());
+    ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+    EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), expected);
+    cold.WaitIdle();  // settle the worker's disk write-back
+    const CacheStats stats = cold.stats();
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.disk_stores, 1u);
+  }
+  {
+    // A fresh service over the populated directory: the same request must be
+    // served from disk with zero compiles and zero lift/opt/JIT wall time.
+    CompileService warm(PersistOptions(dir_));
+    auto entry = warm.CompileSync(ArithRequest());
+    ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+    EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), expected);
+    const CacheStats stats = warm.stats();
+    EXPECT_EQ(stats.disk_hits, 1u);
+    EXPECT_EQ(stats.compiles, 0u);
+    EXPECT_EQ(stats.stage_total.total_ns(), 0u);
+    // The disk hit is also an in-memory miss (documented invariant)...
+    EXPECT_EQ(stats.misses, 1u);
+    // ...and the entry it installed serves later requests as plain hits.
+    auto again = warm.CompileSync(ArithRequest());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *entry);
+    EXPECT_EQ(warm.stats().hits, 1u);
+  }
+}
+
+TEST_F(ObjectStoreTest, CorruptEntryFallsBackToACorrectCompile) {
+  {
+    CompileService cold(PersistOptions(dir_));
+    auto entry = cold.CompileSync(ArithRequest());
+    ASSERT_TRUE(entry.has_value());
+    cold.WaitIdle();
+  }
+  // Corrupt every stored entry's payload; the warm service must silently
+  // recompile and still produce a correct kernel.
+  auto scan = ObjectStore::Scan(dir_);
+  ASSERT_TRUE(scan.has_value());
+  ASSERT_FALSE(scan->empty());
+  for (const ObjectScanEntry& e : *scan) {
+    auto bytes = support::ReadFileBytes(dir_ + "/" + e.file);
+    ASSERT_TRUE(bytes.has_value());
+    bytes->back() ^= 0xff;
+    ASSERT_TRUE(support::WriteFileAtomic(dir_ + "/" + e.file, bytes->data(),
+                                         bytes->size())
+                    .ok());
+  }
+  CompileService warm(PersistOptions(dir_));
+  auto entry = warm.CompileSync(ArithRequest());
+  ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), c_arith_mix(5, 7));
+  const CacheStats stats = warm.stats();
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.compiles, 1u);
+}
+
+TEST_F(ObjectStoreTest, LoadFaultInServiceDegradesToCompile) {
+  {
+    CompileService cold(PersistOptions(dir_));
+    ASSERT_TRUE(cold.CompileSync(ArithRequest()).has_value());
+    cold.WaitIdle();
+  }
+  ASSERT_TRUE(fault::ArmFromString("objcache.load:kIo"));
+  CompileService warm(PersistOptions(dir_));
+  auto entry = warm.CompileSync(ArithRequest());
+  ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), c_arith_mix(5, 7));
+  EXPECT_EQ(warm.stats().disk_hits, 0u);
+  EXPECT_EQ(warm.stats().compiles, 1u);
+  fault::DisarmAll();
+  // The entry survived the fault (I/O error, not corruption): a third
+  // service start is warm again.
+  CompileService retry(PersistOptions(dir_));
+  ASSERT_TRUE(retry.CompileSync(ArithRequest()).has_value());
+  EXPECT_EQ(retry.stats().disk_hits, 1u);
+}
+
+TEST_F(ObjectStoreTest, SetPersistDirRejectsUnusablePath) {
+  CompileService service;
+  EXPECT_FALSE(service.persist_enabled());
+  // A path under a regular file can never become a directory.
+  const std::string file = dir_ + "/plain_file";
+  ASSERT_TRUE(support::WriteFileAtomic(file, "x", 1).ok());
+  const Status status = service.set_persist_dir(file + "/sub");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(service.persist_enabled());
+  EXPECT_FALSE(service.last_error().ok());
+
+  // A usable directory attaches and starts serving.
+  ASSERT_TRUE(service.set_persist_dir(dir_).ok());
+  EXPECT_TRUE(service.persist_enabled());
+  ASSERT_TRUE(service.CompileSync(ArithRequest()).has_value());
+  service.WaitIdle();
+  EXPECT_EQ(service.persist_stats().stores, 1u);
+  (void)support::RemoveFile(file);  // let TearDown's rmdir succeed
+}
+
+TEST_F(ObjectStoreTest, PersistFingerprintSeparatesSpecializations) {
+  CompileRequest a(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                   lift::Signature::Ints(2));
+  a.FixParam(1, 7);
+  CompileRequest b(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                   lift::Signature::Ints(2));
+  b.FixParam(1, 8);
+  EXPECT_NE(PersistFingerprint(SpecKey(a), a.address),
+            PersistFingerprint(SpecKey(b), b.address));
+  EXPECT_EQ(PersistFingerprint(SpecKey(a), a.address),
+            PersistFingerprint(SpecKey(a), a.address));
+}
+
+}  // namespace
+}  // namespace dbll::runtime

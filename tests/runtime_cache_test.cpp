@@ -6,11 +6,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "corpus.h"
 #include "dbll/dbrew/capi.h"
+#include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
 
 namespace dbll::runtime {
@@ -207,6 +209,55 @@ TEST(CompileServiceTest, ConcurrentRequestersCompileExactlyOnce) {
   }
   auto fn = reinterpret_cast<IntFn2>(entries[0]);
   EXPECT_EQ(fn(0, 6), c_arith_mix(77, 6));
+}
+
+TEST(CompileServiceTest, ShardCountersSumToServiceTotals) {
+  // The sharded table mirrors per-shard activity into the obs registry
+  // (cache.shard_NN.hits / .entries); the shard view must add up to the
+  // service's own counters. Registry counters are process-cumulative, so
+  // measure the delta across this test's work.
+  obs::Registry& registry = obs::Registry::Default();
+  const auto shard_hit_values = [&registry] {
+    std::vector<std::uint64_t> values(16);
+    for (int s = 0; s < 16; ++s) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "cache.shard_%02d.hits", s);
+      values[static_cast<std::size_t>(s)] = registry.Value(name);
+    }
+    return values;
+  };
+  const std::vector<std::uint64_t> hits_before = shard_hit_values();
+
+  CompileService service({/*workers=*/2, /*capacity=*/256});
+  constexpr std::uint64_t kKeys = 24;  // spread over several shards
+  for (std::uint64_t v = 0; v < kKeys; ++v) {
+    CompileRequest request = ArithRequest();
+    request.FixParam(0, v);
+    ASSERT_TRUE(service.CompileSync(request).has_value());
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t v = 0; v < kKeys; ++v) {
+      CompileRequest request = ArithRequest();
+      request.FixParam(0, v);
+      (void)service.Request(request);
+    }
+  }
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.misses, kKeys);
+  EXPECT_EQ(stats.hits, 3 * kKeys);
+  const std::vector<std::uint64_t> hits_after = shard_hit_values();
+  std::uint64_t delta_sum = 0;
+  int shards_hit = 0;
+  for (std::size_t s = 0; s < hits_after.size(); ++s) {
+    const std::uint64_t delta = hits_after[s] - hits_before[s];
+    delta_sum += delta;
+    shards_hit += delta > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(delta_sum, stats.hits);
+  // 24 distinct keys cannot all hash to one bucket: the work must visibly
+  // spread over multiple shard mutexes.
+  EXPECT_GE(shards_hit, 2);
 }
 
 TEST(CompileServiceTest, LruEvictionBoundsTheTable) {

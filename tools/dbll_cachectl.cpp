@@ -1,0 +1,183 @@
+// dbll-cachectl -- offline inspector for the persistent compiled-object
+// cache (include/dbll/runtime/object_store.h). Operates on a cache directory
+// with no JIT and no running service; everything it prints comes from
+// ObjectStore::Scan/Purge, so the validation rules are exactly the ones the
+// runtime applies on load.
+//
+// Usage:
+//   dbll-cachectl list   <dir> [--json]   one line per entry file
+//   dbll-cachectl verify <dir> [--json]   validate all; exit 1 on bad entries
+//   dbll-cachectl purge  <dir> [--json]   delete every cache artifact
+//   dbll-cachectl stats  <dir> [--json]   aggregate counts and sizes
+//
+// Exit status: 0 on success (for `verify`: every entry valid), 1 on invalid
+// entries or usage/IO errors. An empty or not-yet-created directory is a
+// valid, empty cache, not an error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dbll/runtime/object_store.h"
+
+namespace {
+
+using dbll::runtime::ObjectScanEntry;
+using dbll::runtime::ObjectStore;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dbll-cachectl <list|verify|purge|stats> <dir> [--json]\n");
+  return 1;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes); entry
+/// details and symbol names are the only free-form strings we emit.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintEntryJson(const ObjectScanEntry& e, bool last) {
+  std::printf("  {\"file\": \"%s\", \"fingerprint\": \"%016" PRIx64
+              "\", \"file_size\": %" PRIu64 ", \"payload_size\": %" PRIu64
+              ", \"wrapper\": \"%s\", \"llvm_version\": \"%s\", "
+              "\"target_cpu\": \"%s\", \"valid\": %s, \"detail\": \"%s\"}%s\n",
+              JsonEscape(e.file).c_str(), e.fingerprint, e.file_size,
+              e.payload_size, JsonEscape(e.wrapper_name).c_str(),
+              JsonEscape(e.llvm_version).c_str(),
+              JsonEscape(e.target_cpu).c_str(), e.valid ? "true" : "false",
+              JsonEscape(e.detail).c_str(), last ? "" : ",");
+}
+
+void PrintEntryHuman(const ObjectScanEntry& e) {
+  if (e.valid) {
+    std::printf("%-20s %8" PRIu64 " B  %-24s llvm %s/%s  ok\n",
+                e.file.c_str(), e.file_size, e.wrapper_name.c_str(),
+                e.llvm_version.c_str(), e.target_cpu.c_str());
+  } else {
+    std::printf("%-20s %8" PRIu64 " B  INVALID: %s\n", e.file.c_str(),
+                e.file_size, e.detail.c_str());
+  }
+}
+
+int RunScan(const std::string& dir, bool json, bool verify) {
+  auto scan = ObjectStore::Scan(dir);
+  if (!scan.has_value()) {
+    std::fprintf(stderr, "error: %s\n", scan.error().Format().c_str());
+    return 1;
+  }
+  std::uint64_t invalid = 0;
+  for (const ObjectScanEntry& e : *scan) invalid += e.valid ? 0 : 1;
+  if (json) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < scan->size(); ++i) {
+      PrintEntryJson((*scan)[i], i + 1 == scan->size());
+    }
+    std::printf("]\n");
+  } else {
+    for (const ObjectScanEntry& e : *scan) PrintEntryHuman(e);
+    std::printf("%zu entr%s, %" PRIu64 " invalid\n", scan->size(),
+                scan->size() == 1 ? "y" : "ies", invalid);
+  }
+  return verify && invalid != 0 ? 1 : 0;
+}
+
+int RunPurge(const std::string& dir, bool json) {
+  auto removed = ObjectStore::Purge(dir);
+  if (!removed.has_value()) {
+    std::fprintf(stderr, "error: %s\n", removed.error().Format().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\"removed\": %" PRIu64 "}\n", *removed);
+  } else {
+    std::printf("purged %" PRIu64 " entr%s from %s\n", *removed,
+                *removed == 1 ? "y" : "ies", dir.c_str());
+  }
+  return 0;
+}
+
+int RunStats(const std::string& dir, bool json) {
+  auto scan = ObjectStore::Scan(dir);
+  if (!scan.has_value()) {
+    std::fprintf(stderr, "error: %s\n", scan.error().Format().c_str());
+    return 1;
+  }
+  std::uint64_t total_bytes = 0, valid = 0, invalid = 0;
+  std::string llvm_version, target_cpu;  // of the first valid entry
+  for (const ObjectScanEntry& e : *scan) {
+    total_bytes += e.file_size;
+    if (e.valid) {
+      if (valid == 0) {
+        llvm_version = e.llvm_version;
+        target_cpu = e.target_cpu;
+      }
+      ++valid;
+    } else {
+      ++invalid;
+    }
+  }
+  if (json) {
+    std::printf("{\"dir\": \"%s\", \"entries\": %zu, \"valid\": %" PRIu64
+                ", \"invalid\": %" PRIu64 ", \"total_bytes\": %" PRIu64
+                ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\"}\n",
+                JsonEscape(dir).c_str(), scan->size(), valid, invalid,
+                total_bytes, JsonEscape(llvm_version).c_str(),
+                JsonEscape(target_cpu).c_str());
+  } else {
+    std::printf("%s: %zu entries (%" PRIu64 " valid, %" PRIu64
+                " invalid), %" PRIu64 " bytes",
+                dir.c_str(), scan->size(), valid, invalid, total_bytes);
+    if (valid != 0) {
+      std::printf(", llvm %s/%s", llvm_version.c_str(), target_cpu.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command, dir;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (command.empty()) {
+      command = argv[i];
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (command.empty() || dir.empty()) return Usage();
+
+  if (command == "list") return RunScan(dir, json, /*verify=*/false);
+  if (command == "verify") return RunScan(dir, json, /*verify=*/true);
+  if (command == "purge") return RunPurge(dir, json);
+  if (command == "stats") return RunStats(dir, json);
+  return Usage();
+}
