@@ -72,7 +72,8 @@ struct LiftConfig {
   std::size_t max_instructions = 100000;
   /// Restrict the O3 pipeline to a named subset of passes (ablation bench);
   /// empty = full default pipeline. Understood values: "none", "basic"
-  /// (SROA+InstCombine+SimplifyCFG), "o1", "o2", "novec".
+  /// (SROA+InstCombine+SimplifyCFG), "tier0a" (the fast-baseline list of the
+  /// tiering engine: basic + early-cse, no loop passes), "o1", "o2", "novec".
   std::string pass_preset;
   /// Paper Sec. III-E future work: emit all memory accesses as volatile so
   /// the optimizer cannot reorder or eliminate them. Costs most of the

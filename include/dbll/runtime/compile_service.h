@@ -44,6 +44,7 @@
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/spec_cache.h"
 #include "dbll/runtime/stats.h"
+#include "dbll/runtime/tiering.h"
 #include "dbll/support/error.h"
 
 namespace dbll::runtime {
@@ -76,8 +77,20 @@ class FunctionHandle {
 
   /// Which tier target() currently resolves to: kGeneric while pending (the
   /// generic entry serves during warm-up), then whatever tier the compile
-  /// degraded to. Lock-free.
+  /// degraded to. Under profile-guided tiering (Options::tiering) this also
+  /// moves at runtime: kBaseline once the Tier-0a baseline installs, kLlvm
+  /// after auto-promotion, and back to kGeneric after a deoptimization
+  /// (guard-detected fixed-parameter violation) while the handle
+  /// re-profiles. Lock-free.
   Tier tier() const;
+
+  /// Calls counted by the tiering profile (0 when the handle is not tiered).
+  /// Counters live on the handle's slot, so they survive Clear()/eviction
+  /// for as long as any handle is alive.
+  std::uint64_t calls() const;
+
+  /// Deoptimizations this handle went through (0 when not tiered).
+  std::uint64_t deopts() const;
 
   /// Blocks until the compile reached a terminal state; returns target().
   std::uint64_t wait() const;
@@ -148,6 +161,12 @@ class CompileService {
     /// Size caps forwarded to ObjectStore::Options (0 = unbounded).
     std::uint64_t persist_max_bytes = 256ull << 20;
     std::uint64_t persist_max_entries = 4096;
+    /// Profile-guided tiered recompilation (tiering.h): when enabled, a
+    /// cache miss first installs a cheap Tier-0a baseline, per-handle call
+    /// counters measure hotness, and the full O3 pipeline is enqueued
+    /// automatically once the promotion policy fires. DBLL_TIER_* env
+    /// overrides are applied on top at service construction.
+    TieringOptions tiering;
   };
 
   // Two constructors instead of `Options options = {}`: a default argument
@@ -185,6 +204,14 @@ class CompileService {
   /// from now on (backs dbll_cache_set_deadline_ms).
   void set_default_deadline_ms(std::uint32_t deadline_ms);
 
+  /// Reconfigures profile-guided tiering for requests submitted from now on
+  /// (backs dbll_cache_set_tiering). Handles already returned keep the
+  /// policy they were created with.
+  void set_tiering(TieringOptions tiering);
+
+  /// Current tiering policy (a copy; thread-safe).
+  TieringOptions tiering();
+
   /// Enables (or redirects) the persistent object cache at runtime, backing
   /// dbll_cache_set_persist_dir. Requests already submitted keep using the
   /// store they saw. On failure (directory cannot be created/used) the error
@@ -211,7 +238,16 @@ class CompileService {
 
  private:
   struct Job {
+    /// kNormal runs the classic miss path (request as given). kBaseline
+    /// compiles the derived Tier-0a request and installs it guarded;
+    /// kPromote re-runs the *original* request through the full pipeline
+    /// and atomically swaps it over the serving baseline.
+    enum class Kind : std::uint8_t { kNormal, kBaseline, kPromote };
+    Kind kind = Kind::kNormal;
     CompileRequest request;
+    /// kBaseline only: the user's original request (the promotion target and
+    /// the source of the guard checks). Unused otherwise.
+    CompileRequest original;
     std::shared_ptr<FunctionHandle::Slot> slot;
     SpecKey key;                       ///< for the negative cache
     std::uint64_t enqueue_ns = 0;      ///< for the cache.queue_wait span/metric
@@ -221,7 +257,9 @@ class CompileService {
     /// Persistent-cache fingerprint (object_store.h); nonzero only when a
     /// store was attached at request time, in which case the worker tags the
     /// module, captures the emitted object, and writes it to disk after a
-    /// successful Tier-0 compile.
+    /// successful Tier-0 compile. For kBaseline jobs this is the *baseline*
+    /// request's fingerprint (both tiers are cacheable, each under its own
+    /// fingerprint since the SpecKey folds the LiftConfig in).
     std::uint64_t fingerprint = 0;
     bool persist = false;
   };
@@ -252,7 +290,9 @@ class CompileService {
         evictions{0}, failures{0}, compiles{0}, tier0_failures{0},
         tier1_serves{0}, tier2_serves{0}, retries{0}, timeouts{0},
         negative_hits{0}, queue_rejected{0}, lift_ns{0}, opt_ns{0},
-        jit_ns{0}, tier1_ns{0};
+        jit_ns{0}, tier1_ns{0}, tier0a_ns{0}, tier0a_compiles{0},
+        interim_installs{0}, baseline_installs{0}, promotions{0},
+        promote_failures{0}, deopts{0};
   };
   /// One deadline-carrying compile currently running on a worker, watched by
   /// the monitor thread.
@@ -264,9 +304,39 @@ class CompileService {
     bool fired = false;            ///< monitor already took this one over
   };
 
+  /// Liveness token shared with the tiering hooks: promote/demote fire from
+  /// arbitrary caller threads via FunctionHandle::target(), possibly after
+  /// the service is gone. The destructor nulls `svc` under the mutex before
+  /// joining workers; hooks that lose the race become no-ops.
+  struct AliveToken {
+    std::mutex mutex;
+    CompileService* svc = nullptr;
+  };
+
   void WorkerLoop();
   void MonitorLoop();
   void CompileOne(Job& job);
+  /// Tier-0a baseline compile (Job::Kind::kBaseline), installed
+  /// progressively: an interim DBrew rewrite of the original request serves
+  /// first (microseconds, so wait() returns almost immediately), then the
+  /// disk probe / LLVM compile with the derived minimal config rebinds the
+  /// better body over it. Profiling starts at the first Tier-0a install. An
+  /// LLVM failure keeps the interim serving (the promotion ladder stays
+  /// open); with no interim it abandons tiering and falls through to the
+  /// classic path on the original request.
+  void CompileBaseline(Job& job);
+  /// Full-pipeline promotion (Job::Kind::kPromote): compiles the original
+  /// request at its own opt level and atomically swaps baseline->optimized.
+  /// Failure keeps the baseline serving.
+  void CompilePromote(Job& job);
+  /// Promote-hook landing point (called from the thread that crossed the
+  /// hotness threshold): re-promotes from the saved optimized entry without
+  /// a compile when one exists, otherwise enqueues a kPromote job. The
+  /// profile's in-flight latch guarantees at most one enqueue per
+  /// promotion cycle even when several threads cross simultaneously.
+  void EnqueuePromotion(const std::shared_ptr<FunctionHandle::Slot>& slot,
+                        const CompileRequest& request,
+                        std::uint64_t fingerprint, bool persist);
   /// Tier-0: lift + specialize + optimize + JIT. Returns the failure (ok on
   /// success) and fills entry/times. When `captured` is non-null the module
   /// is tagged with `cache_tag` and the emitted relocatable object (plus the
@@ -329,6 +399,11 @@ class CompileService {
   std::vector<std::unique_ptr<dbrew::Rewriter>> tier1_code_;
   int active_jobs_ = 0;
   bool stopping_ = false;
+  /// Fast gate of Request()'s tiering branch: false keeps the miss path
+  /// identical to the pre-tiering service with zero added locking. The full
+  /// TieringOptions copy (under mutex_) happens only when this is true.
+  std::atomic<bool> tiering_enabled_{false};
+  std::shared_ptr<AliveToken> alive_;
   Counters counters_;
   Error last_error_;  // most recent failed compile; guarded by mutex_
   std::mutex jit_mutex_;  // serializes module installation into the JIT

@@ -7,6 +7,12 @@
 // tiers, each a strictly cheaper, strictly more robust implementation of the
 // same specialization request:
 //
+//   Tier 0a (kBaseline) lift -> minimal pass list at a low opt level: the
+//                     fast baseline of the tiering engine (tiering.h),
+//                     installable in ~100us-1ms. Same failure modes as
+//                     Tier 0, much cheaper to produce, slower steady-state
+//                     code. Produced only by profile-guided tiering, never
+//                     by degradation.
 //   Tier 0 (kLlvm)    lift -> O3 -> JIT: the paper's full pipeline, fastest
 //                     code, most failure modes (decode, lift, verify, JIT).
 //   Tier 1 (kDbrew)   plain DBrew rewrite: decode -> meta-emulate -> encode,
@@ -43,6 +49,7 @@ enum class Tier : std::uint8_t {
   kLlvm = 0,     ///< Tier 0: lift -> O3 -> JIT specialized code
   kDbrew = 1,    ///< Tier 1: plain-DBrew rewritten code (no LLVM)
   kGeneric = 2,  ///< Tier 2: the original generic entry
+  kBaseline = 3, ///< Tier 0a: fast low-opt baseline (profile-guided tiering)
 };
 
 /// Returns a stable, human-readable name for a Tier.

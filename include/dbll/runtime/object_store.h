@@ -54,6 +54,12 @@ struct ObjectEntry {
   std::string wrapper_name;     ///< public symbol to resolve after loading
   std::string membase_symbol;   ///< memory-rebasing global ("" = unused)
   std::uint64_t membase_value = 0;
+  /// Optimization tier the object was compiled at: 0 = full O3 (Tier-0),
+  /// 1 = fast baseline (Tier-0a, see tiering.h). Informational for tooling
+  /// (dbll-cachectl stats breaks entries down by it); the fingerprint
+  /// already separates the tiers because the SpecKey folds the LiftConfig
+  /// (opt level + pass preset) in.
+  std::uint32_t opt_tier = 0;
   std::vector<std::uint8_t> object;  ///< the emitted relocatable object file
 };
 
@@ -78,6 +84,7 @@ struct ObjectScanEntry {
   std::string wrapper_name;
   std::string llvm_version;
   std::string target_cpu;
+  std::uint32_t opt_tier = 0;    ///< 0 = full O3, 1 = Tier-0a baseline
   bool valid = false;
   std::string detail;            ///< why validation failed ("" when valid)
 };

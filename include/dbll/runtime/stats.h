@@ -21,9 +21,14 @@ struct StageTimes {
   /// Tier-1 fallback rewrite (plain DBrew, no LLVM); nonzero only when the
   /// job degraded past Tier 0 (see fallback.h).
   std::uint64_t tier1_ns = 0;
+  /// Tier-0a fast-baseline compile (lift + minimal pass list at a low opt
+  /// level; see tiering.h); tracked separately from the full-O3 stage times
+  /// so the baseline's ~100us-1ms install cost is visible on its own
+  /// (mirrored process-wide as cache.tier0a_ns).
+  std::uint64_t tier0a_ns = 0;
 
   std::uint64_t total_ns() const {
-    return lift_ns + opt_ns + jit_ns + tier1_ns;
+    return lift_ns + opt_ns + jit_ns + tier1_ns + tier0a_ns;
   }
 };
 
@@ -58,6 +63,15 @@ struct CacheStats {
   std::uint64_t disk_evictions = 0;  ///< on-disk entries removed by the cap
   std::uint64_t disk_load_ns = 0;    ///< wall time probing/loading the store
   std::uint64_t disk_store_ns = 0;   ///< wall time persisting objects
+  // Profile-guided tiering (tiering.h). Mirrored process-wide in the obs
+  // registry as tiering.* (and cache.deopt for deoptimizations).
+  std::uint64_t tier0a_compiles = 0;    ///< Tier-0a baseline compiles executed
+  std::uint64_t interim_installs = 0;   ///< DBrew seeds served while the LLVM
+                                        ///< baseline was still compiling
+  std::uint64_t baseline_installs = 0;  ///< handles serving Tier-0a code
+  std::uint64_t promotions = 0;         ///< baseline -> O3 swaps completed
+  std::uint64_t promote_failures = 0;   ///< promotions that kept the baseline
+  std::uint64_t deopts = 0;             ///< guard-triggered demotions
   StageTimes stage_total;
 };
 

@@ -1,0 +1,280 @@
+// dbll -- profile-guided tiered recompilation (the auto-promotion engine).
+//
+// The paper pays the full lift -> O3 -> JIT cost up front on every
+// specialization request, which puts amortization breakeven at tens of
+// thousands of calls (BENCH_cache.json). This subsystem lets the *runtime*
+// decide what deserves that cost, BAAR-style ("measure hotness on the fly,
+// accelerate what earns it"), over an explicit tier lattice:
+//
+//   Tier-0a (kBaseline)  fast baseline, installed *progressively*: a plain
+//                        DBrew rewrite of the request serves within ~100us
+//                        (the interim seed), then the LLVM body -- lift (with
+//                        flag-liveness pruning) + a minimal pass list (the
+//                        "tier0a" preset) -- rebinds over it in-place when
+//                        ready. First calls get a real specialization win
+//                        almost immediately; the whole baseline effort is
+//                        tracked separately as cache.tier0a_ns.
+//   Tier-0  (kLlvm)      the full O3 pipeline, enqueued asynchronously once
+//                        the function proves hot, atomically swapped over the
+//                        baseline on completion.
+//   Tier-1  (kDbrew)     plain-DBrew rewrite (compile-failure fallback).
+//   Tier-2  (kGeneric)   the original entry (always correct).
+//
+// Mechanics:
+//  * Counters: every FunctionHandle::target() fetch on a tiered entry bumps
+//    a per-SpecKey atomic call counter (one relaxed fetch_add + a masked
+//    branch; budget < 5ns/call). Every `sample_period` calls the profile
+//    takes a timestamp and maintains an EWMA of the call rate.
+//  * Promotion: when calls >= hot_threshold and the EWMA rate clears
+//    min_rate_hz, the crossing thread CASes an in-flight latch (so two
+//    threads crossing simultaneously enqueue exactly one O3 job) and the
+//    full pipeline runs on a worker; the finished entry replaces the
+//    baseline with the same atomic pointer swap that serves generic ->
+//    specialized installs. A failed promotion keeps the baseline serving.
+//  * Deoptimization: integer parameter fixations are protected by a guard
+//    stub (BuildGuardStub) that compares the live argument registers against
+//    the fixed values and tail-jumps to the *generic* entry on mismatch --
+//    a wrong-value call can never reach specialized code. Guard misses are
+//    counted; the next profile sample demotes the handle to the generic
+//    entry (cache.deopt), resets the counters and re-profiles. A handle that
+//    deopts more than max_deopts times is pinned generic instead of
+//    thrashing.
+//
+// Both tiers are persistent-cacheable (object_store.h): the baseline request
+// carries a distinct LiftConfig (opt level + "tier0a" pass preset), so its
+// SpecKey -- and therefore its on-disk fingerprint -- already mixes the opt
+// tier; ObjectEntry::opt_tier records it explicitly for tooling.
+//
+// Configuration: CompileService::Options::tiering, overridable with
+// DBLL_TIER_* environment variables (see TieringOptions::ApplyEnv and
+// docs/tiering.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/error.h"
+
+namespace dbll::runtime {
+
+struct CompileRequest;
+
+/// Knobs of the profiling + promotion policy (CompileService::Options::
+/// tiering). Every field has a DBLL_TIER_* environment override resolved at
+/// service construction (ApplyEnv).
+struct TieringOptions {
+  /// Master switch (DBLL_TIER=1). Off = the pre-tiering behaviour: every
+  /// request compiles at its own opt level, nothing is counted.
+  bool enabled = false;
+  /// Opt level of the Tier-0a baseline compile (DBLL_TIER_BASELINE_LEVEL,
+  /// clamped to 0..1 -- the whole point is a cheap pipeline).
+  int baseline_opt_level = 1;
+  /// Calls before a baseline entry is promoted to the full O3 pipeline
+  /// (DBLL_TIER_THRESHOLD). 0 is clamped to 1.
+  std::uint64_t hot_threshold = 256;
+  /// Calls between profile samples (timestamp + EWMA update + deopt check);
+  /// rounded up to a power of two (DBLL_TIER_SAMPLE).
+  std::uint32_t sample_period = 16;
+  /// EWMA smoothing factor in (0,1]; applied per sample (DBLL_TIER_ALPHA).
+  double ewma_alpha = 0.3;
+  /// Minimum EWMA call rate (calls/sec) required to promote; 0 disables the
+  /// rate gate and the threshold alone decides (DBLL_TIER_MIN_RATE).
+  double min_rate_hz = 0.0;
+  /// Deopts tolerated before the handle is pinned to the generic entry
+  /// (DBLL_TIER_MAX_DEOPTS). Re-profiling after a deopt restarts counting
+  /// from zero, so a workload that alternates fixed values settles on the
+  /// generic entry instead of thrashing promote/deopt cycles.
+  std::uint32_t max_deopts = 2;
+  /// Emit guard stubs for integer parameter fixations (DBLL_TIER_GUARD).
+  /// Off = the pre-tiering semantic contract (the caller promises to pass
+  /// the fixed values); deoptimization never triggers.
+  bool guard = true;
+  /// Serve an interim DBrew rewrite as the Tier-0a seed while the LLVM
+  /// baseline compiles (DBLL_TIER_INTERIM). Off = wait() blocks until the
+  /// LLVM baseline itself is installed (the pre-interim behaviour).
+  bool interim = true;
+
+  /// Applies the DBLL_TIER_* environment overrides on top of *this and
+  /// clamps every field into its valid range. Returns *this.
+  TieringOptions& ApplyEnv();
+  /// Clamping alone (no environment); called by ApplyEnv.
+  TieringOptions& Clamp();
+};
+
+/// Lifecycle of one tiered cache entry. Terminal serving states are
+/// kBaseline, kOptimized and kPinnedGeneric; the *Queued states carry an
+/// in-flight compile.
+enum class TierPhase : std::uint8_t {
+  kBaselineQueued = 0,  ///< Tier-0a compile enqueued, generic still serving
+  kBaseline,            ///< baseline installed, profiling towards promotion
+  kPromoteQueued,       ///< hot: full O3 compile in flight, baseline serving
+  kOptimized,           ///< Tier-0 O3 code serving
+  kDeoptimized,         ///< guard fired: generic serving, re-profiling
+  kPinnedGeneric,       ///< deopted > max_deopts times: generic, permanently
+};
+
+std::string_view ToString(TierPhase phase) noexcept;
+
+/// What the caller of TierProfile::NoteCall must do next. Actions are edge-
+/// triggered: each is returned exactly once per transition (CAS-latched), so
+/// racing callers cannot double-promote or double-demote.
+enum class TierAction : std::uint8_t { kNone = 0, kPromote, kDemote };
+
+/// One guard stub: hand-assembled x86-64 that compares the live argument
+/// registers against the values a specialization fixed and tail-jumps to
+/// the specialized entry on full match, or bumps a deopt counter and
+/// tail-jumps to the generic entry on any mismatch. The stub preserves all
+/// argument registers (only rax is clobbered, which the SysV ABI allows),
+/// so both targets observe the original arguments.
+struct GuardStub {
+  CodeBuffer code;
+  std::uint64_t entry = 0;    ///< callable stub address
+  std::size_t guards = 0;     ///< number of parameter comparisons emitted
+};
+
+/// One (argument register, fixed value) pair a guard stub must check.
+struct GuardCheck {
+  int gp_index = 0;  ///< System-V integer argument register index (0 = rdi)
+  std::uint64_t value = 0;
+};
+
+/// Extracts the guardable checks of a request: every kParam fixation of an
+/// integer parameter that lives in one of the six GP argument registers.
+/// Const-memory fixations and stack-passed parameters are not guardable and
+/// are skipped (documented limitation; the semantic contract of those
+/// fixations is unchanged). Returns an empty vector when nothing is
+/// guardable -- the caller then installs the raw entry and deopt never
+/// triggers for that key.
+std::vector<GuardCheck> GuardableChecks(const CompileRequest& request);
+
+/// Emits the guard stub. `deopt_hits` must outlive the stub (it lives on the
+/// TierProfile, which the owning slot keeps alive). Fails with
+/// kResourceLimit/kInternal on allocation problems only.
+Expected<GuardStub> BuildGuardStub(const std::vector<GuardCheck>& checks,
+                                   std::uint64_t specialized_entry,
+                                   std::uint64_t generic_entry,
+                                   std::atomic<std::uint64_t>* deopt_hits);
+
+/// Per-entry profiling state. Owned (shared_ptr) by the cache slot, so it
+/// survives table eviction and Clear() for as long as any handle is alive --
+/// call counters are part of the handle's identity, not the table's.
+///
+/// Thread model: NoteCall is called concurrently from every serving thread
+/// and is lock-free; the Fire* callbacks run on whichever thread won the
+/// transition CAS; On* notifications run on compile-service workers.
+class TierProfile {
+ public:
+  TierProfile(const TieringOptions& options, std::uint64_t generic_entry);
+
+  /// The hot path: one relaxed fetch_add; every sample_period-th call takes
+  /// a timestamp, refreshes the EWMA, checks the deopt counter and the
+  /// promotion policy. Returns the (CAS-latched) action the caller must
+  /// fire, kNone otherwise.
+  TierAction NoteCall() {
+    const std::uint64_t c = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((c & sample_mask_) != 0) return TierAction::kNone;
+    return Sample(c);
+  }
+
+  /// --- wiring (compile service) ------------------------------------------
+  /// The promote hook enqueues the full O3 compile; the demote hook swaps
+  /// the slot back to the generic entry. Both are invoked at most once per
+  /// latched transition, from the calling thread of NoteCall.
+  void SetHooks(std::function<void()> promote, std::function<void()> demote);
+  void FirePromote();
+  void FireDemote();
+
+  /// --- state transitions (compile service workers) -----------------------
+  void OnBaselineInstalled(std::uint64_t guarded_entry);
+  /// The LLVM baseline replaced the interim DBrew seed in place (same tier,
+  /// same phase, better code): only the recorded entry moves. Never touches
+  /// the phase -- a promotion or deopt that landed first stays authoritative.
+  void OnBaselineRefined(std::uint64_t guarded_entry);
+  void OnPromoted(std::uint64_t guarded_entry);
+  /// Promotion failed: keep serving the baseline. Deterministic failures
+  /// latch the in-flight flag forever (re-promoting would fail identically);
+  /// transient ones release it so a later sample may retry.
+  void OnPromoteFailed(bool deterministic);
+  /// Deopt committed (slot swapped to generic): resets the counters for
+  /// re-profiling, or pins generic when the deopt budget is exhausted.
+  void OnDemoted();
+  /// Turns the profile off permanently (baseline compile failed; the classic
+  /// path owns the slot from here). NoteCall keeps counting but never fires
+  /// another action.
+  void Abandon();
+
+  /// --- observers ----------------------------------------------------------
+  TierPhase phase() const {
+    return static_cast<TierPhase>(phase_.load(std::memory_order_acquire));
+  }
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deopt_hits() const {
+    return deopt_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t deopts() const {
+    return deopts_.load(std::memory_order_relaxed);
+  }
+  /// EWMA of the call rate in calls/sec (0 until the second sample).
+  double ewma_rate_hz() const;
+  std::uint64_t threshold_crossings() const {
+    return crossings_.load(std::memory_order_relaxed);
+  }
+
+  /// The entry the current phase serves when specialized code is live
+  /// (guarded when guards exist). 0 while nothing is installed.
+  std::uint64_t baseline_entry() const {
+    return baseline_entry_.load(std::memory_order_acquire);
+  }
+  std::uint64_t optimized_entry() const {
+    return optimized_entry_.load(std::memory_order_acquire);
+  }
+
+  const TieringOptions& options() const { return options_; }
+  std::uint64_t generic_entry() const { return generic_entry_; }
+
+  /// Deopt-counter cell the guard stubs bump (stable address for the
+  /// lifetime of the profile).
+  std::atomic<std::uint64_t>* deopt_cell() { return &deopt_hits_; }
+
+  /// Parks a guard stub on the profile so its code outlives installs.
+  void AdoptGuard(GuardStub stub);
+
+ private:
+  TierAction Sample(std::uint64_t calls_now);
+
+  TieringOptions options_;
+  std::uint64_t generic_entry_ = 0;
+  std::uint64_t sample_mask_ = 15;
+
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> deopt_hits_{0};
+  std::atomic<std::uint64_t> deopt_seen_{0};   ///< hits already acted upon
+  std::atomic<std::uint64_t> crossings_{0};
+  std::atomic<std::uint32_t> deopts_{0};
+  std::atomic<std::uint8_t> phase_{
+      static_cast<std::uint8_t>(TierPhase::kBaselineQueued)};
+  std::atomic<bool> promote_inflight_{false};
+  std::atomic<bool> demote_inflight_{false};
+  std::atomic<std::uint64_t> baseline_entry_{0};
+  std::atomic<std::uint64_t> optimized_entry_{0};
+
+  /// EWMA state, only touched on sample boundaries (racy rewrites between
+  /// concurrent samplers lose one update, which the EWMA absorbs).
+  std::atomic<std::uint64_t> last_sample_ns_{0};
+  std::atomic<std::uint64_t> ewma_bits_{0};  ///< bit-cast double, calls/sec
+
+  std::mutex hook_mutex_;  ///< guards hooks + guard stub adoption
+  std::function<void()> promote_hook_;
+  std::function<void()> demote_hook_;
+  std::vector<GuardStub> guards_;  ///< stubs kept alive for installed entries
+};
+
+}  // namespace dbll::runtime

@@ -208,6 +208,16 @@ int dbll_handle_tier(dbll_cache_req* q) {
   return static_cast<int>(q->handle.tier());
 }
 
+uint64_t dbll_handle_calls(dbll_cache_req* q) {
+  q->Submit();
+  return q->handle.calls();
+}
+
+uint64_t dbll_handle_deopts(dbll_cache_req* q) {
+  q->Submit();
+  return q->handle.deopts();
+}
+
 void dbll_cache_req_set_deadline_ms(dbll_cache_req* q, uint32_t deadline_ms) {
   q->request.deadline_ms = deadline_ms;
 }
@@ -255,6 +265,33 @@ uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
 
 void dbll_cache_set_deadline_ms(dbll_cache* c, uint32_t deadline_ms) {
   c->impl.set_default_deadline_ms(deadline_ms);
+}
+
+void dbll_cache_set_tiering(dbll_cache* c, int enable, uint64_t hot_threshold) {
+  dbll::runtime::TieringOptions tiering = c->impl.tiering();
+  tiering.enabled = enable != 0;
+  if (hot_threshold != 0) tiering.hot_threshold = hot_threshold;
+  c->impl.set_tiering(tiering);
+}
+
+uint64_t dbll_cache_stat_baseline_installs(dbll_cache* c) {
+  return c->impl.stats().baseline_installs;
+}
+
+uint64_t dbll_cache_stat_interim_installs(dbll_cache* c) {
+  return c->impl.stats().interim_installs;
+}
+
+uint64_t dbll_cache_stat_promotions(dbll_cache* c) {
+  return c->impl.stats().promotions;
+}
+
+uint64_t dbll_cache_stat_deopts(dbll_cache* c) {
+  return c->impl.stats().deopts;
+}
+
+uint64_t dbll_cache_stat_tier0a_ns(dbll_cache* c) {
+  return c->impl.stats().stage_total.tier0a_ns;
 }
 
 int dbll_cache_set_persist_dir(dbll_cache* c, const char* dir) {

@@ -57,6 +57,20 @@ class ReusablePipeline {
     if (preset == "none") {
       // Always-inlining must still run so the wrapper becomes self-contained.
       mpm_ = pb_->buildO0DefaultPipeline(L::OptimizationLevel::O0);
+    } else if (preset == "tier0a") {
+      // Tier-0a fast baseline (runtime/tiering.h): the cheapest pipeline
+      // that still removes the lifter's virtual-stack and flag overhead.
+      // One loop-unroll (plus the instcombine cleanup it needs) buys most of
+      // the O3 per-call quality on the small lifted loops; deliberately no
+      // vectorization and no full loop pipeline -- install latency is the
+      // product here; the O3 run comes later via promotion.
+      const char* text =
+          "always-inline,function(sroa,early-cse,instcombine,simplifycfg,"
+          "loop-unroll,instcombine,dce)";
+      if (L::Error err = pb_->parsePassPipeline(mpm_, text)) {
+        setup_error_ = "cannot parse tier0a pass preset: " +
+                       L::toString(std::move(err));
+      }
     } else if (preset == "basic") {
       // Minimal cleanup: inline, promote the virtual stack, fold casts.
       const char* text = "always-inline,function(sroa,instcombine,simplifycfg,dce)";

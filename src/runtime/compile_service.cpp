@@ -106,6 +106,34 @@ struct ShardMetrics {
   }
 };
 
+/// Process-wide mirror of the tiering counters (tiering.h). Kept separate
+/// from CacheMetrics so the classic path never touches them; resolved once.
+struct TierMetrics {
+  obs::Counter& interim_installs;
+  obs::Counter& baseline_installs;
+  obs::Counter& promotions;
+  obs::Counter& promote_failures;
+  obs::Counter& deopts;        ///< tiering.deopts
+  obs::Counter& cache_deopt;   ///< cache.deopt (alias view, per the C API)
+  obs::Counter& tier0a_ns;
+  obs::Counter& tier0a_compiles;
+
+  static TierMetrics& Get() {
+    static TierMetrics* instance = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return new TierMetrics{r.GetCounter("tiering.interim_installs"),
+                             r.GetCounter("tiering.baseline_installs"),
+                             r.GetCounter("tiering.promotions"),
+                             r.GetCounter("tiering.promote_failures"),
+                             r.GetCounter("tiering.deopts"),
+                             r.GetCounter("cache.deopt"),
+                             r.GetCounter("cache.tier0a_ns"),
+                             r.GetCounter("cache.tier0a_compiles")};
+    }();
+    return *instance;
+  }
+};
+
 /// Decorrelated backoff before a transient-failure retry: uniform in
 /// [base, 3*base] ms, capped at 50ms so a retry can never stall the queue
 /// for long. Per-thread PRNG; the seed does not need to be reproducible
@@ -146,6 +174,10 @@ struct FunctionHandle::Slot {
   std::atomic<std::uint8_t> tier{static_cast<std::uint8_t>(Tier::kGeneric)};
   std::atomic<std::uint32_t> generation{0};
   std::uint64_t generic = 0;
+  /// Tiering profile (null = untiered slot; the common case). Assigned once
+  /// before the slot is published and never mutated afterwards, so the
+  /// lock-free read in FunctionHandle::target() is safe.
+  std::shared_ptr<TierProfile> profile;
 
   mutable std::mutex mutex;
   std::condition_variable cv;
@@ -187,11 +219,73 @@ struct FunctionHandle::Slot {
     cv.notify_all();
     return true;
   }
+
+  /// Post-terminal swap for the tiering engine: moves an already-specialized
+  /// slot to a different entry/tier (baseline -> optimized on promotion,
+  /// anything -> generic on deoptimization) with the same atomic-store
+  /// discipline as Finish. Stage times of the later compile are merged so
+  /// FunctionHandle::times() accounts the whole ladder; an optional error is
+  /// appended to the chain (failed promotions). Refuses on non-specialized
+  /// slots -- the classic terminal states are immutable. When
+  /// `expected_tier` is given, the swap additionally requires the slot to
+  /// still serve that tier: the LLVM baseline refining the interim DBrew
+  /// seed must lose against a promotion or deopt that landed first.
+  bool Rebind(Tier serving_tier, std::uint64_t entry,
+              const StageTimes& extra_times, const Error* append_error,
+              const Tier* expected_tier = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (static_cast<FunctionHandle::State>(
+            state.load(std::memory_order_relaxed)) !=
+        FunctionHandle::State::kSpecialized) {
+      return false;
+    }
+    if (expected_tier != nullptr &&
+        static_cast<Tier>(tier.load(std::memory_order_relaxed)) !=
+            *expected_tier) {
+      return false;
+    }
+    if (append_error != nullptr) errors.push_back(*append_error);
+    times.lift_ns += extra_times.lift_ns;
+    times.opt_ns += extra_times.opt_ns;
+    times.jit_ns += extra_times.jit_ns;
+    times.tier1_ns += extra_times.tier1_ns;
+    times.tier0a_ns += extra_times.tier0a_ns;
+    target.store(entry, std::memory_order_release);
+    tier.store(static_cast<std::uint8_t>(serving_tier),
+               std::memory_order_release);
+    return true;
+  }
 };
 
 std::uint64_t FunctionHandle::target() const {
   if (!slot_) return 0;
+  // Tiering hot path: untiered slots pay one pointer test; tiered slots one
+  // relaxed fetch_add plus a masked branch (<5ns/call budget, measured by
+  // bench/fig_tiering's counter-overhead histogram). Actions are rare,
+  // CAS-latched transitions.
+  if (TierProfile* profile = slot_->profile.get()) {
+    switch (profile->NoteCall()) {
+      case TierAction::kNone:
+        break;
+      case TierAction::kPromote:
+        profile->FirePromote();
+        break;
+      case TierAction::kDemote:
+        profile->FireDemote();
+        break;
+    }
+  }
   return slot_->target.load(std::memory_order_acquire);
+}
+
+std::uint64_t FunctionHandle::calls() const {
+  if (!slot_ || !slot_->profile) return 0;
+  return slot_->profile->calls();
+}
+
+std::uint64_t FunctionHandle::deopts() const {
+  if (!slot_ || !slot_->profile) return 0;
+  return slot_->profile->deopts();
 }
 
 FunctionHandle::State FunctionHandle::state() const {
@@ -238,6 +332,10 @@ CompileService::CompileService() : CompileService(Options{}) {}
 
 CompileService::CompileService(Options options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
+  options_.tiering.ApplyEnv();
+  tiering_enabled_.store(options_.tiering.enabled, std::memory_order_release);
+  alive_ = std::make_shared<AliveToken>();
+  alive_->svc = this;
   // Resolve the persistent store: explicit option first, DBLL_CACHE_DIR
   // second, otherwise persistence stays off. A directory that cannot be
   // created degrades to the in-memory behaviour (recorded as last_error_),
@@ -263,6 +361,13 @@ CompileService::CompileService(Options options) : options_(options) {
 }
 
 CompileService::~CompileService() {
+  {
+    // Detach the tiering hooks first: a promote/demote firing from a caller
+    // thread after this point sees a null service and becomes a no-op
+    // (the handle keeps serving whatever is installed).
+    std::lock_guard<std::mutex> alive_lock(alive_->mutex);
+    alive_->svc = nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -322,16 +427,96 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
   slot->generic = request.address;
   slot->target.store(request.address, std::memory_order_release);
 
+  // Profile-guided tiering (tiering.h): derive the cheap Tier-0a request.
+  // The derived config folds into its own SpecKey/fingerprint, so the two
+  // tiers never alias in any cache. Degenerate case: the user's request
+  // already *is* the baseline config -- nothing to tier, serve classically.
+  bool tiered = false;
+  TieringOptions tiering;
+  if (tiering_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tiering = options_.tiering;
+    tiered = tiering.enabled;
+  }
+  CompileRequest baseline;
+  if (tiered) {
+    baseline = request;
+    baseline.config.opt_level = tiering.baseline_opt_level;
+    baseline.config.pass_preset = "tier0a";
+    if (lift::Fingerprint(baseline.config) ==
+        lift::Fingerprint(request.config)) {
+      tiered = false;
+    }
+  }
+
   // Persistent-store probe: a warm hit installs the finished object on this
-  // thread -- no queue, no worker, no LLVM -- and publishes the slot.
+  // thread -- no queue, no worker, no LLVM -- and publishes the slot. The
+  // probe targets the *full* request's object; a hit means the expensive
+  // tier is already paid for, so tiering has nothing to add and the handle
+  // serves classically (documented in docs/tiering.md).
   std::uint64_t fingerprint = 0;
   bool persist = false;
+  std::uint64_t baseline_fingerprint = 0;
   if (std::shared_ptr<ObjectStore> st = store()) {
     fingerprint = PersistFingerprint(key, request.address);
     persist = true;
     if (TryDiskLoad(request, key, fingerprint, slot)) {
       return FunctionHandle(slot);
     }
+    if (tiered) {
+      baseline_fingerprint =
+          PersistFingerprint(SpecKey(baseline), request.address);
+    }
+  }
+
+  if (tiered) {
+    auto profile =
+        std::make_shared<TierProfile>(tiering, request.address);
+    // The hooks run on whatever caller thread crosses the threshold or
+    // samples a guard miss. They hold the slot weakly (the profile lives
+    // *on* the slot; a strong capture would leak the pair) and reach the
+    // service through the alive token so a dead service degrades to no-op.
+    std::weak_ptr<FunctionHandle::Slot> weak_slot = slot;
+    std::shared_ptr<AliveToken> alive = alive_;
+    CompileRequest promote_request = request;
+    const std::uint64_t promote_fingerprint = fingerprint;
+    const bool promote_persist = persist;
+    profile->SetHooks(
+        [alive, weak_slot, promote_request, promote_fingerprint,
+         promote_persist] {
+          std::shared_ptr<FunctionHandle::Slot> s = weak_slot.lock();
+          if (!s || !s->profile) return;
+          std::lock_guard<std::mutex> alive_lock(alive->mutex);
+          if (alive->svc == nullptr) {
+            s->profile->OnPromoteFailed(/*deterministic=*/false);
+            return;
+          }
+          alive->svc->EnqueuePromotion(s, promote_request,
+                                       promote_fingerprint, promote_persist);
+        },
+        [alive, weak_slot] {
+          std::shared_ptr<FunctionHandle::Slot> s = weak_slot.lock();
+          if (!s || !s->profile) return;
+          DBLL_TRACE_SPAN("tiering.deopt");
+          // The swap back to the generic entry is correctness-neutral (the
+          // guard already routed every mismatching call there); this commits
+          // the demotion and restarts profiling. Runs even when the service
+          // is gone -- only the counters need it alive.
+          if (s->Rebind(Tier::kGeneric, s->generic, StageTimes{}, nullptr)) {
+            s->profile->OnDemoted();
+            TierMetrics& tm = TierMetrics::Get();
+            tm.deopts.Add(1);
+            tm.cache_deopt.Add(1);
+            std::lock_guard<std::mutex> alive_lock(alive->mutex);
+            if (alive->svc != nullptr) {
+              alive->svc->counters_.deopts.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+          } else {
+            s->profile->OnDemoted();
+          }
+        });
+    slot->profile = std::move(profile);  // before any publication
   }
 
   // Admission control happens *before* the table insert: a rejected
@@ -402,6 +587,14 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
       job.negative_error = negative->second;
       counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
       CacheMetrics::Get().negative_hit.Add(1);
+      // A remembered deterministic Tier-0 failure dooms the baseline lift
+      // just the same (same decode, same lifter): skip tiering for this key.
+      if (tiered) slot->profile->Abandon();
+    } else if (tiered) {
+      job.kind = Job::Kind::kBaseline;
+      job.original = job.request;
+      job.request = std::move(baseline);
+      job.fingerprint = baseline_fingerprint;
     }
     queue_.push_back(std::move(job));
   }
@@ -495,6 +688,18 @@ void CompileService::set_default_deadline_ms(std::uint32_t deadline_ms) {
   options_.default_deadline_ms = deadline_ms;
 }
 
+void CompileService::set_tiering(TieringOptions tiering) {
+  tiering.Clamp();
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.tiering = tiering;
+  tiering_enabled_.store(tiering.enabled, std::memory_order_release);
+}
+
+TieringOptions CompileService::tiering() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.tiering;
+}
+
 Status CompileService::set_persist_dir(const std::string& dir) {
   auto store = std::make_shared<ObjectStore>(ObjectStore::Options{
       dir, options_.persist_max_bytes, options_.persist_max_entries});
@@ -539,6 +744,13 @@ CacheStats CompileService::stats() const {
   s.stage_total.opt_ns = get(counters_.opt_ns);
   s.stage_total.jit_ns = get(counters_.jit_ns);
   s.stage_total.tier1_ns = get(counters_.tier1_ns);
+  s.stage_total.tier0a_ns = get(counters_.tier0a_ns);
+  s.tier0a_compiles = get(counters_.tier0a_compiles);
+  s.interim_installs = get(counters_.interim_installs);
+  s.baseline_installs = get(counters_.baseline_installs);
+  s.promotions = get(counters_.promotions);
+  s.promote_failures = get(counters_.promote_failures);
+  s.deopts = get(counters_.deopts);
   // The disk view belongs to the *current* store; redirecting the cache with
   // set_persist_dir starts these from zero again (documented).
   const ObjectStoreStats disk = persist_stats();
@@ -623,7 +835,17 @@ void CompileService::WorkerLoop() {
       queue_.pop_front();
       ++active_jobs_;
     }
-    CompileOne(job);
+    switch (job.kind) {
+      case Job::Kind::kBaseline:
+        CompileBaseline(job);
+        break;
+      case Job::Kind::kPromote:
+        CompilePromote(job);
+        break;
+      case Job::Kind::kNormal:
+        CompileOne(job);
+        break;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_jobs_;
@@ -695,6 +917,323 @@ Error CompileService::TryTier0(const CompileRequest& request,
     }
   }
   return failure;
+}
+
+void CompileService::CompileBaseline(Job& job) {
+  DBLL_TRACE_SPAN("tiering.baseline");
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TierMetrics& tm = TierMetrics::Get();
+  const std::shared_ptr<TierProfile> profile = job.slot->profile;
+  const std::uint32_t gen =
+      job.slot->generation.load(std::memory_order_acquire);
+
+  const std::uint64_t dequeue_ns = NowNs();
+  const std::uint64_t queue_wait_ns = dequeue_ns - job.enqueue_ns;
+  obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
+                                      queue_wait_ns);
+  metrics.queue_wait_ns.Record(queue_wait_ns);
+
+  StageTimes times;
+  std::uint64_t entry = 0;
+  ObjectEntry captured;
+  const std::string cache_tag =
+      job.persist ? CacheTag(job.fingerprint) : std::string();
+
+  // Progressive install, stage 1: the interim DBrew seed. A plain rewrite
+  // of the *original* request costs tens of microseconds -- three orders of
+  // magnitude under even the minimal LLVM pipeline -- so wait() returns with
+  // real specialized code while stages 2/3 below still run. The seed serves
+  // as Tier-0a (it IS the baseline tier, just its cheapest body); the LLVM
+  // compile rebinds over it in place. Rewrite failures are non-fatal: the
+  // classic install below still happens, wait() just blocks until then.
+  bool interim = false;
+  if (profile->options().interim) {
+    DBLL_TRACE_SPAN("tiering.interim");
+    StageTimes seed_times;
+    const std::uint64_t seed_start_ns = NowNs();
+    auto tier1 = Tier1Rewrite(job.original);
+    seed_times.tier0a_ns = NowNs() - seed_start_ns;
+    counters_.tier0a_ns.fetch_add(seed_times.tier0a_ns,
+                                  std::memory_order_relaxed);
+    tm.tier0a_ns.Add(seed_times.tier0a_ns);
+    if (tier1.has_value()) {
+      std::uint64_t seed = tier1->entry;
+      if (profile->options().guard) {
+        const std::vector<GuardCheck> checks = GuardableChecks(job.original);
+        if (!checks.empty()) {
+          auto stub = BuildGuardStub(checks, tier1->entry, job.slot->generic,
+                                     profile->deopt_cell());
+          if (stub.has_value()) {
+            seed = stub->entry;
+            profile->AdoptGuard(std::move(*stub));
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tier1_code_.push_back(std::move(tier1->rewriter));
+      }
+      // Same ordering discipline as the classic install below: phase first,
+      // publication second.
+      profile->OnBaselineInstalled(seed);
+      if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
+                           Tier::kBaseline, seed, {}, seed_times)) {
+        interim = true;
+        counters_.interim_installs.fetch_add(1, std::memory_order_relaxed);
+        counters_.baseline_installs.fetch_add(1, std::memory_order_relaxed);
+        tm.interim_installs.Add(1);
+        tm.baseline_installs.Add(1);
+        metrics.installs.Add(1);
+      }
+    }
+  }
+
+  // Warm start of the *baseline* tier: the Tier-0a object is cacheable like
+  // any other (its fingerprint derives from the baseline SpecKey).
+  bool from_disk = false;
+  if (job.persist) {
+    if (std::shared_ptr<ObjectStore> st = store()) {
+      ObjectEntry disk_entry;
+      if (st->Load(job.fingerprint, &disk_entry)) {
+        Expected<std::uint64_t> installed = [&]() -> Expected<std::uint64_t> {
+          std::lock_guard<std::mutex> jit_lock(jit_mutex_);
+          return lift::LoadCachedObject(jit_, disk_entry.object,
+                                        disk_entry.wrapper_name,
+                                        disk_entry.membase_symbol,
+                                        disk_entry.membase_value);
+        }();
+        if (installed.has_value()) {
+          entry = *installed;
+          from_disk = true;
+        }
+      }
+    }
+  }
+
+  if (!from_disk) {
+    StageTimes attempt;
+    Error failure = TryTier0(job.request, attempt, &entry, cache_tag,
+                             job.persist ? &captured : nullptr);
+    // The whole baseline effort is charged to the dedicated tier0a bucket
+    // (cache.tier0a_ns), never to the O3 stage counters -- the bench's
+    // breakeven math depends on the two being separable.
+    times.tier0a_ns = attempt.lift_ns + attempt.opt_ns + attempt.jit_ns;
+    counters_.tier0a_ns.fetch_add(times.tier0a_ns, std::memory_order_relaxed);
+    counters_.tier0a_compiles.fetch_add(1, std::memory_order_relaxed);
+    tm.tier0a_ns.Add(times.tier0a_ns);
+    tm.tier0a_compiles.Add(1);
+    if (!failure.ok()) {
+      if (interim) {
+        // The LLVM baseline refused to build, but the interim seed already
+        // serves this handle -- exactly what the classic degradation chain
+        // would install after an LLVM failure. Keep it, record the failure
+        // on the handle and the service, and leave the promotion ladder
+        // open: a later hot crossing still gets its O3 attempt.
+        counters_.tier0_failures.fetch_add(1, std::memory_order_relaxed);
+        metrics.tier0_fail.Add(1);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          last_error_ = failure;
+        }
+        const Tier expected = Tier::kBaseline;
+        job.slot->Rebind(Tier::kBaseline,
+                         job.slot->target.load(std::memory_order_acquire),
+                         times, &failure, &expected);
+        return;
+      }
+      // No seed either: tiering has nothing to serve from, so the slot goes
+      // down the classic path on the original request -- full O3, then the
+      // normal degradation chain. The profile stops firing actions.
+      profile->Abandon();
+      job.kind = Job::Kind::kNormal;
+      job.request = job.original;
+      job.enqueue_ns = NowNs();
+      job.fingerprint = 0;
+      job.persist = false;  // the O3 fingerprint was not carried on this job
+      CompileOne(job);
+      return;
+    }
+  }
+
+  // Guard-wrap the entry so a violated fixed-parameter assumption routes to
+  // the generic entry (and is counted for the deopt policy) instead of
+  // reaching code specialized for different values.
+  std::uint64_t serve = entry;
+  if (profile->options().guard) {
+    const std::vector<GuardCheck> checks = GuardableChecks(job.original);
+    if (!checks.empty()) {
+      auto stub = BuildGuardStub(checks, entry, job.slot->generic,
+                                 profile->deopt_cell());
+      if (stub.has_value()) {
+        serve = stub->entry;
+        profile->AdoptGuard(std::move(*stub));
+      }
+    }
+  }
+
+  {
+    DBLL_TRACE_SPAN("cache.install");
+    const std::uint64_t install_start_ns = NowNs();
+    if (interim) {
+      // Progressive install, stage 3: the LLVM body replaces the DBrew seed
+      // in place -- same tier, same phase, better code. The expected-tier
+      // check makes this lose against any promotion or deopt that landed
+      // while the compile ran; their swap stays authoritative.
+      const Tier expected = Tier::kBaseline;
+      if (job.slot->Rebind(Tier::kBaseline, serve, times, nullptr,
+                           &expected)) {
+        profile->OnBaselineRefined(serve);
+        metrics.installs.Add(1);
+        metrics.install_ns.Record(NowNs() - install_start_ns);
+      }
+    } else {
+      // Phase first, publication second: a caller woken by Finish() must
+      // already observe TierPhase::kBaseline, or its first profile samples
+      // run against the stale queued phase and skip promotion/deopt checks.
+      // (Nothing else can finish a baseline slot, so the window where the
+      // phase says kBaseline but the slot is still pending is harmless: the
+      // guard entry is not reachable yet, and a premature promote attempt
+      // bounces off Rebind's state check.)
+      profile->OnBaselineInstalled(serve);
+      if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
+                           Tier::kBaseline, serve, {}, times)) {
+        counters_.baseline_installs.fetch_add(1, std::memory_order_relaxed);
+        tm.baseline_installs.Add(1);
+        metrics.installs.Add(1);
+        metrics.install_ns.Record(NowNs() - install_start_ns);
+      }
+    }
+  }
+  if (!from_disk && job.persist && !captured.object.empty()) {
+    captured.fingerprint = job.fingerprint;
+    captured.opt_tier = 1;
+    if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
+  }
+}
+
+void CompileService::CompilePromote(Job& job) {
+  DBLL_TRACE_SPAN("tiering.promote");
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TierMetrics& tm = TierMetrics::Get();
+  const std::shared_ptr<TierProfile> profile = job.slot->profile;
+  if (!profile) return;
+
+  const std::uint64_t dequeue_ns = NowNs();
+  const std::uint64_t queue_wait_ns = dequeue_ns - job.enqueue_ns;
+  obs::Tracer::Default().RecordManual("cache.queue_wait", job.enqueue_ns,
+                                      queue_wait_ns);
+  metrics.queue_wait_ns.Record(queue_wait_ns);
+
+  StageTimes attempt;
+  std::uint64_t entry = 0;
+  ObjectEntry captured;
+  const std::string cache_tag =
+      job.persist ? CacheTag(job.fingerprint) : std::string();
+  Error failure = TryTier0(job.request, attempt, &entry, cache_tag,
+                           job.persist ? &captured : nullptr);
+  // A promotion is a real O3 compile: account it exactly like a miss-path
+  // one so stage_total keeps meaning "every LLVM run".
+  counters_.compiles.fetch_add(1, std::memory_order_relaxed);
+  counters_.lift_ns.fetch_add(attempt.lift_ns, std::memory_order_relaxed);
+  counters_.opt_ns.fetch_add(attempt.opt_ns, std::memory_order_relaxed);
+  counters_.jit_ns.fetch_add(attempt.jit_ns, std::memory_order_relaxed);
+  metrics.compiles.Add(1);
+  metrics.lift_ns.Add(attempt.lift_ns);
+  metrics.opt_ns.Add(attempt.opt_ns);
+  metrics.jit_ns.Add(attempt.jit_ns);
+
+  if (failure.ok()) {
+    std::uint64_t serve = entry;
+    if (profile->options().guard) {
+      const std::vector<GuardCheck> checks = GuardableChecks(job.request);
+      if (!checks.empty()) {
+        auto stub = BuildGuardStub(checks, entry, job.slot->generic,
+                                   profile->deopt_cell());
+        if (stub.has_value()) {
+          serve = stub->entry;
+          profile->AdoptGuard(std::move(*stub));
+        }
+      }
+    }
+    if (job.slot->Rebind(Tier::kLlvm, serve, attempt, nullptr)) {
+      profile->OnPromoted(serve);
+      counters_.promotions.fetch_add(1, std::memory_order_relaxed);
+      tm.promotions.Add(1);
+      metrics.installs.Add(1);
+    } else {
+      profile->OnPromoteFailed(/*deterministic=*/false);
+    }
+    if (job.persist && !captured.object.empty()) {
+      captured.fingerprint = job.fingerprint;
+      captured.opt_tier = 0;
+      if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
+    }
+    return;
+  }
+
+  // Failed promotion: the baseline keeps serving -- a *working* slower
+  // entry always beats thrashing. Deterministic failures pin the ladder
+  // (re-running LLVM on the same input fails identically); transient ones
+  // release the in-flight latch so a later sample may retry.
+  counters_.tier0_failures.fetch_add(1, std::memory_order_relaxed);
+  counters_.promote_failures.fetch_add(1, std::memory_order_relaxed);
+  metrics.tier0_fail.Add(1);
+  tm.promote_failures.Add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_error_ = failure;
+  }
+  const Tier current_tier =
+      static_cast<Tier>(job.slot->tier.load(std::memory_order_acquire));
+  const std::uint64_t current_target =
+      job.slot->target.load(std::memory_order_acquire);
+  job.slot->Rebind(current_tier, current_target, StageTimes{}, &failure);
+  profile->OnPromoteFailed(IsDeterministic(failure.kind()));
+}
+
+void CompileService::EnqueuePromotion(
+    const std::shared_ptr<FunctionHandle::Slot>& slot,
+    const CompileRequest& request, std::uint64_t fingerprint, bool persist) {
+  const std::shared_ptr<TierProfile> profile = slot->profile;
+  if (!profile) return;
+  // Re-promotion after a deopt: the optimized code still exists in the JIT;
+  // swap it back in with no compile at all.
+  if (const std::uint64_t saved = profile->optimized_entry()) {
+    DBLL_TRACE_SPAN("tiering.promote");
+    if (slot->Rebind(Tier::kLlvm, saved, StageTimes{}, nullptr)) {
+      profile->OnPromoted(saved);
+      counters_.promotions.fetch_add(1, std::memory_order_relaxed);
+      TierMetrics::Get().promotions.Add(1);
+    } else {
+      profile->OnPromoteFailed(/*deterministic=*/false);
+    }
+    return;
+  }
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ ||
+        (options_.max_queue != 0 && queue_.size() >= options_.max_queue)) {
+      rejected = true;
+    } else {
+      Job job;
+      job.kind = Job::Kind::kPromote;
+      job.request = request;
+      job.slot = slot;
+      job.key = SpecKey(request);
+      job.enqueue_ns = NowNs();
+      job.fingerprint = fingerprint;
+      job.persist = persist;
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (rejected) {
+    counters_.promote_failures.fetch_add(1, std::memory_order_relaxed);
+    TierMetrics::Get().promote_failures.Add(1);
+    profile->OnPromoteFailed(/*deterministic=*/false);
+    return;
+  }
+  work_cv_.notify_one();
 }
 
 void CompileService::CompileOne(Job& job) {

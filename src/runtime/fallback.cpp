@@ -15,6 +15,7 @@ std::string_view ToString(Tier tier) noexcept {
     case Tier::kLlvm: return "tier0-llvm";
     case Tier::kDbrew: return "tier1-dbrew";
     case Tier::kGeneric: return "tier2-generic";
+    case Tier::kBaseline: return "tier0a-baseline";
   }
   return "unknown";
 }

@@ -28,14 +28,19 @@ using support::FileLock;
 ///   wrapper_name    u32 len + bytes
 ///   membase_symbol  u32 len + bytes
 ///   membase_value   u64
+///   opt_tier        u32  (0 = full O3, 1 = Tier-0a baseline; v2+)
 ///   payload_size    u64
 ///   payload_fnv     u64  (FNV-1a over the payload bytes)
 ///   payload         payload_size bytes
 /// Header fields are validated structurally (bounded lengths, exact file
 /// size); the payload is validated by length + checksum. Anything off is
 /// "corrupt", which the loader treats as a miss and deletes.
+///
+/// v1 -> v2 added the opt_tier field for the tiering engine (tiering.h).
+/// Old v1 entries fail the version check and are dropped on load -- a
+/// one-time cold start, never a wrong object.
 constexpr char kMagic[8] = {'D', 'B', 'L', 'L', 'O', 'B', 'J', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::uint32_t kMaxStringLen = 4096;
 constexpr std::uint64_t kMaxPayload = 1ull << 30;
 /// Window of target-function code bytes folded into the fingerprint. Large
@@ -129,6 +134,7 @@ std::vector<std::uint8_t> Serialize(const ObjectEntry& entry,
   PutStr(out, entry.wrapper_name);
   PutStr(out, entry.membase_symbol);
   PutU64(out, entry.membase_value);
+  PutU32(out, entry.opt_tier);
   PutU64(out, entry.object.size());
   PutU64(out, Fnv1aBytes(entry.object.data(), entry.object.size()));
   out.insert(out.end(), entry.object.begin(), entry.object.end());
@@ -156,8 +162,8 @@ bool Deserialize(const std::vector<std::uint8_t>& bytes, ObjectEntry* out,
   if (!body.ReadU64(&out->fingerprint) || !body.ReadStr(llvm_version) ||
       !body.ReadStr(target_cpu) || !body.ReadStr(&out->wrapper_name) ||
       !body.ReadStr(&out->membase_symbol) ||
-      !body.ReadU64(&out->membase_value) || !body.ReadU64(&payload_size) ||
-      !body.ReadU64(&payload_fnv)) {
+      !body.ReadU64(&out->membase_value) || !body.ReadU32(&out->opt_tier) ||
+      !body.ReadU64(&payload_size) || !body.ReadU64(&payload_fnv)) {
     *detail = "truncated header";
     return false;
   }
@@ -441,6 +447,7 @@ Expected<std::vector<ObjectScanEntry>> ObjectStore::Scan(
       scan.fingerprint = entry.fingerprint;
       scan.payload_size = entry.object.size();
       scan.wrapper_name = entry.wrapper_name;
+      scan.opt_tier = entry.opt_tier;
       if (entry.fingerprint != name_fp) {
         scan.detail = "fingerprint does not match file name";
       } else {

@@ -1,0 +1,385 @@
+// dbll -- profile-guided tiering engine (see include/dbll/runtime/tiering.h).
+#include "dbll/runtime/tiering.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/spec_cache.h"
+
+namespace dbll::runtime {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end == v) ? fallback : static_cast<std::uint64_t>(parsed);
+}
+
+double EnvF64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+/// Rounds up to the next power of two (>= 1).
+std::uint64_t Pow2Ceil(std::uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  for (int shift = 1; shift < 64; shift <<= 1) v |= v >> shift;
+  return v + 1;
+}
+
+}  // namespace
+
+TieringOptions& TieringOptions::Clamp() {
+  if (baseline_opt_level < 0) baseline_opt_level = 0;
+  if (baseline_opt_level > 1) baseline_opt_level = 1;
+  if (hot_threshold == 0) hot_threshold = 1;
+  sample_period = static_cast<std::uint32_t>(Pow2Ceil(sample_period));
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) ewma_alpha = 0.3;
+  if (min_rate_hz < 0.0) min_rate_hz = 0.0;
+  return *this;
+}
+
+TieringOptions& TieringOptions::ApplyEnv() {
+  enabled = EnvFlag("DBLL_TIER", enabled);
+  baseline_opt_level = static_cast<int>(
+      EnvU64("DBLL_TIER_BASELINE_LEVEL",
+             static_cast<std::uint64_t>(baseline_opt_level)));
+  hot_threshold = EnvU64("DBLL_TIER_THRESHOLD", hot_threshold);
+  sample_period = static_cast<std::uint32_t>(
+      EnvU64("DBLL_TIER_SAMPLE", sample_period));
+  ewma_alpha = EnvF64("DBLL_TIER_ALPHA", ewma_alpha);
+  min_rate_hz = EnvF64("DBLL_TIER_MIN_RATE", min_rate_hz);
+  max_deopts = static_cast<std::uint32_t>(
+      EnvU64("DBLL_TIER_MAX_DEOPTS", max_deopts));
+  guard = EnvFlag("DBLL_TIER_GUARD", guard);
+  interim = EnvFlag("DBLL_TIER_INTERIM", interim);
+  return Clamp();
+}
+
+std::string_view ToString(TierPhase phase) noexcept {
+  switch (phase) {
+    case TierPhase::kBaselineQueued: return "baseline-queued";
+    case TierPhase::kBaseline: return "baseline";
+    case TierPhase::kPromoteQueued: return "promote-queued";
+    case TierPhase::kOptimized: return "optimized";
+    case TierPhase::kDeoptimized: return "deoptimized";
+    case TierPhase::kPinnedGeneric: return "pinned-generic";
+  }
+  return "unknown";
+}
+
+std::vector<GuardCheck> GuardableChecks(const CompileRequest& request) {
+  std::vector<GuardCheck> checks;
+  for (const SpecAction& spec : request.specs) {
+    if (spec.kind != SpecAction::Kind::kParam) continue;  // const-mem: no guard
+    const int index = spec.index;
+    if (index < 0 ||
+        static_cast<std::size_t>(index) >= request.signature.args.size()) {
+      continue;
+    }
+    if (request.signature.args[static_cast<std::size_t>(index)] !=
+        lift::ArgKind::kInt) {
+      continue;  // FP fixations are not register-comparable here
+    }
+    // Public index -> GP argument register index (kInt args only), mirroring
+    // the int/sse split used by the lifter wrapper and the Tier-1 fallback.
+    int gp_index = 0;
+    for (int i = 0; i < index; ++i) {
+      if (request.signature.args[static_cast<std::size_t>(i)] ==
+          lift::ArgKind::kInt) {
+        ++gp_index;
+      }
+    }
+    if (gp_index > 5) continue;  // stack-passed: not guardable
+    checks.push_back(GuardCheck{gp_index, spec.value});
+  }
+  return checks;
+}
+
+namespace {
+
+/// SysV integer argument registers in order: rdi, rsi, rdx, rcx, r8, r9.
+/// Each encoded as (needs REX.B for the extended set, ModRM reg bits).
+struct GpReg {
+  bool rex_b;
+  std::uint8_t modrm;  ///< low 3 bits of the register number
+};
+constexpr GpReg kGpArgRegs[6] = {
+    {false, 7},  // rdi
+    {false, 6},  // rsi
+    {false, 2},  // rdx
+    {false, 1},  // rcx
+    {true, 0},   // r8
+    {true, 1},   // r9
+};
+
+void Emit(std::vector<std::uint8_t>& out,
+          std::initializer_list<std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void EmitImm64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void EmitImm32At(std::vector<std::uint8_t>& out, std::size_t pos,
+                 std::int32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(static_cast<std::uint32_t>(value) >> (8 * i));
+  }
+}
+
+}  // namespace
+
+Expected<GuardStub> BuildGuardStub(const std::vector<GuardCheck>& checks,
+                                   std::uint64_t specialized_entry,
+                                   std::uint64_t generic_entry,
+                                   std::atomic<std::uint64_t>* deopt_hits) {
+  if (checks.empty()) {
+    return Error(ErrorKind::kBadConfig, "guard stub needs at least one check");
+  }
+  if (deopt_hits == nullptr) {
+    return Error(ErrorKind::kInternal, "guard stub needs a deopt counter");
+  }
+
+  // Layout:
+  //   per check:  movabs rax, value        48 B8 imm64
+  //               cmp    reg, rax          48/4C 39 C0+reg  (REX.W [+B])
+  //               jne    .deopt            0F 85 rel32
+  //   match:      movabs rax, spec_entry   48 B8 imm64
+  //               jmp    rax               FF E0
+  //   .deopt:     movabs rax, &deopt_hits  48 B8 imm64
+  //               lock inc qword [rax]     F0 48 FF 00
+  //               movabs rax, generic      48 B8 imm64
+  //               jmp    rax               FF E0
+  // Only rax is clobbered (caller-saved, not an argument register), so both
+  // tails observe the original arguments unchanged.
+  std::vector<std::uint8_t> code;
+  code.reserve(32 * checks.size() + 48);
+  std::vector<std::size_t> jne_rel32_at;  // positions of rel32 to patch
+  for (const GuardCheck& check : checks) {
+    if (check.gp_index < 0 || check.gp_index > 5) {
+      return Error(ErrorKind::kInternal, "guard check register out of range");
+    }
+    const GpReg reg = kGpArgRegs[check.gp_index];
+    Emit(code, {0x48, 0xB8});  // movabs rax, imm64
+    EmitImm64(code, check.value);
+    // cmp reg, rax: REX.W (+B when reg is r8/r9), 39 /r with rax as source.
+    Emit(code, {static_cast<std::uint8_t>(reg.rex_b ? 0x49 : 0x48), 0x39,
+                static_cast<std::uint8_t>(0xC0 | reg.modrm)});
+    Emit(code, {0x0F, 0x85});  // jne rel32 (patched below)
+    jne_rel32_at.push_back(code.size());
+    Emit(code, {0x00, 0x00, 0x00, 0x00});
+  }
+  // Match tail.
+  Emit(code, {0x48, 0xB8});
+  EmitImm64(code, specialized_entry);
+  Emit(code, {0xFF, 0xE0});
+  // Deopt tail.
+  const std::size_t deopt_at = code.size();
+  Emit(code, {0x48, 0xB8});
+  EmitImm64(code, reinterpret_cast<std::uint64_t>(deopt_hits));
+  Emit(code, {0xF0, 0x48, 0xFF, 0x00});  // lock inc qword ptr [rax]
+  Emit(code, {0x48, 0xB8});
+  EmitImm64(code, generic_entry);
+  Emit(code, {0xFF, 0xE0});
+  for (const std::size_t pos : jne_rel32_at) {
+    EmitImm32At(code, pos,
+                static_cast<std::int32_t>(deopt_at - (pos + 4)));
+  }
+
+  DBLL_TRY(CodeBuffer buffer, CodeBuffer::Allocate(code.size()));
+  DBLL_TRY(std::uint8_t * base,
+           buffer.Append(std::span<const std::uint8_t>(code)));
+  DBLL_TRY_STATUS(buffer.Seal());
+  GuardStub stub;
+  stub.entry = reinterpret_cast<std::uint64_t>(base);
+  stub.guards = checks.size();
+  stub.code = std::move(buffer);
+  return stub;
+}
+
+TierProfile::TierProfile(const TieringOptions& options,
+                         std::uint64_t generic_entry)
+    : options_(options), generic_entry_(generic_entry) {
+  options_.Clamp();
+  sample_mask_ = options_.sample_period - 1;
+}
+
+void TierProfile::SetHooks(std::function<void()> promote,
+                           std::function<void()> demote) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  promote_hook_ = std::move(promote);
+  demote_hook_ = std::move(demote);
+}
+
+void TierProfile::FirePromote() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook = promote_hook_;
+  }
+  if (hook) hook();
+}
+
+void TierProfile::FireDemote() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook = demote_hook_;
+  }
+  if (hook) hook();
+}
+
+void TierProfile::AdoptGuard(GuardStub stub) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  guards_.push_back(std::move(stub));
+}
+
+double TierProfile::ewma_rate_hz() const {
+  const std::uint64_t bits = ewma_bits_.load(std::memory_order_relaxed);
+  double rate;
+  std::memcpy(&rate, &bits, sizeof rate);
+  return rate;
+}
+
+void TierProfile::OnBaselineInstalled(std::uint64_t guarded_entry) {
+  baseline_entry_.store(guarded_entry, std::memory_order_release);
+  phase_.store(static_cast<std::uint8_t>(TierPhase::kBaseline),
+               std::memory_order_release);
+}
+
+void TierProfile::OnBaselineRefined(std::uint64_t guarded_entry) {
+  baseline_entry_.store(guarded_entry, std::memory_order_release);
+}
+
+void TierProfile::OnPromoted(std::uint64_t guarded_entry) {
+  optimized_entry_.store(guarded_entry, std::memory_order_release);
+  phase_.store(static_cast<std::uint8_t>(TierPhase::kOptimized),
+               std::memory_order_release);
+  // promote_inflight_ stays latched: the optimized entry is terminal on the
+  // promote axis; only a deopt resets the ladder.
+}
+
+void TierProfile::OnPromoteFailed(bool deterministic) {
+  phase_.store(static_cast<std::uint8_t>(TierPhase::kBaseline),
+               std::memory_order_release);
+  if (!deterministic) {
+    // Transient failure: release the latch so a later sample may retry.
+    promote_inflight_.store(false, std::memory_order_release);
+  }
+}
+
+void TierProfile::OnDemoted() {
+  deopts_.fetch_add(1, std::memory_order_relaxed);
+  // Swallow the hits that triggered this demotion so the next sample does
+  // not immediately re-demote.
+  deopt_seen_.store(deopt_hits_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  calls_.store(0, std::memory_order_relaxed);
+  ewma_bits_.store(0, std::memory_order_relaxed);
+  last_sample_ns_.store(0, std::memory_order_relaxed);
+  const bool pinned =
+      deopts_.load(std::memory_order_relaxed) > options_.max_deopts;
+  phase_.store(static_cast<std::uint8_t>(pinned ? TierPhase::kPinnedGeneric
+                                                : TierPhase::kDeoptimized),
+               std::memory_order_release);
+  if (!pinned) {
+    // Re-profile: allow a later promotion of the saved optimized/baseline
+    // entry once the workload proves it is back on the fixed values.
+    promote_inflight_.store(false, std::memory_order_release);
+  }
+  demote_inflight_.store(false, std::memory_order_release);
+}
+
+void TierProfile::Abandon() {
+  phase_.store(static_cast<std::uint8_t>(TierPhase::kPinnedGeneric),
+               std::memory_order_release);
+}
+
+TierAction TierProfile::Sample(std::uint64_t calls_now) {
+  // EWMA of the call rate from the inter-sample wall time. Lost updates
+  // between concurrent samplers are fine -- this is a smoothed estimate.
+  const std::uint64_t now = NowNs();
+  const std::uint64_t prev = last_sample_ns_.load(std::memory_order_relaxed);
+  last_sample_ns_.store(now, std::memory_order_relaxed);
+  if (prev != 0 && now > prev) {
+    const double inst_rate =
+        static_cast<double>(options_.sample_period) * 1e9 /
+        static_cast<double>(now - prev);
+    const double old_rate = ewma_rate_hz();
+    const double next = old_rate == 0.0
+                            ? inst_rate
+                            : options_.ewma_alpha * inst_rate +
+                                  (1.0 - options_.ewma_alpha) * old_rate;
+    std::uint64_t bits;
+    std::memcpy(&bits, &next, sizeof bits);
+    ewma_bits_.store(bits, std::memory_order_relaxed);
+  }
+
+  const auto phase =
+      static_cast<TierPhase>(phase_.load(std::memory_order_acquire));
+
+  // Deopt detection: the guard stub bumped deopt_hits_ past what we have
+  // acted on. Latch the demote so exactly one caller fires it.
+  if (phase == TierPhase::kBaseline || phase == TierPhase::kOptimized ||
+      phase == TierPhase::kPromoteQueued) {
+    const std::uint64_t hits = deopt_hits_.load(std::memory_order_relaxed);
+    if (hits > deopt_seen_.load(std::memory_order_relaxed)) {
+      bool expected = false;
+      if (demote_inflight_.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return TierAction::kDemote;
+      }
+      return TierAction::kNone;
+    }
+  }
+
+  // Promotion: only from a serving baseline (or from re-profiling after a
+  // deopt, where the saved entries make re-promotion recompile-free).
+  if (phase != TierPhase::kBaseline && phase != TierPhase::kDeoptimized) {
+    return TierAction::kNone;
+  }
+  if (calls_now < options_.hot_threshold) return TierAction::kNone;
+  if (options_.min_rate_hz > 0.0 && ewma_rate_hz() < options_.min_rate_hz) {
+    return TierAction::kNone;
+  }
+  crossings_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::Default().GetCounter("tiering.threshold_crossings").Add(1);
+  bool expected = false;
+  if (!promote_inflight_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+    return TierAction::kNone;  // someone else already enqueued
+  }
+  phase_.store(static_cast<std::uint8_t>(TierPhase::kPromoteQueued),
+               std::memory_order_release);
+  return TierAction::kPromote;
+}
+
+}  // namespace dbll::runtime

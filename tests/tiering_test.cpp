@@ -1,0 +1,494 @@
+// dbll tests -- profile-guided tiered recompilation (runtime/tiering.h):
+// guard-stub routing, the baseline -> promote -> optimized state machine,
+// deoptimization back to the generic entry with re-profiling, the
+// no-double-enqueue promotion latch under racing callers, promotion failure
+// keeping the baseline, counter survival across Clear(), and the
+// dbll_cache_set_tiering / dbll_handle_calls C API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/dbrew/capi.h"
+#include "dbll/obs/obs.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/tiering.h"
+#include "dbll/support/fault.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+using IntFn6 = long (*)(long, long, long, long, long, long);
+
+CompileRequest ArithRequest(lift::LiftConfig config = {}) {
+  return CompileRequest(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                        lift::Signature::Ints(2), std::move(config));
+}
+
+std::uint64_t ObsValue(const char* name) {
+  return obs::Registry::Default().Value(name);
+}
+
+/// Aggressive policy so tests promote within a few thousand target() fetches.
+TieringOptions FastTiering() {
+  TieringOptions tiering;
+  tiering.enabled = true;
+  tiering.hot_threshold = 64;
+  tiering.sample_period = 8;
+  return tiering;
+}
+
+CompileService::Options TieredOptions(const TieringOptions& tiering) {
+  CompileService::Options options;
+  options.tiering = tiering;
+  return options;
+}
+
+/// Fetches target() until the handle serves `want` (draining the compile
+/// queue periodically so an enqueued promotion can land) or gives up.
+bool SpinToTier(CompileService& service, const FunctionHandle& handle,
+                Tier want, int spins = 100000) {
+  for (int i = 0; i < spins; ++i) {
+    (void)handle.target();
+    if (handle.tier() == want) return true;
+    if ((i & 1023) == 1023) service.WaitIdle();
+  }
+  service.WaitIdle();
+  return handle.tier() == want;
+}
+
+class TieringTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DisarmAll(); }
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+/// Stand-in entries for the guard-stub unit tests: the stub only jumps, so
+/// any SysV function works as a target.
+long SpecTarget2(long a, long b) { return 1000000 + a * 100 + b; }
+long GenTarget2(long a, long b) { return 2000000 + a * 100 + b; }
+long SpecTarget6(long a, long b, long c, long d, long e, long f) {
+  return 10 * (a + b + c + d + e) + f;
+}
+long GenTarget6(long a, long b, long c, long d, long e, long f) {
+  return 20 * (a + b + c + d + e) + f;
+}
+
+TEST(GuardStubTest, MatchRoutesToSpecializedMismatchCountsAndFallsBack) {
+  std::atomic<std::uint64_t> hits{0};
+  auto stub = BuildGuardStub({GuardCheck{0, 5}},
+                             reinterpret_cast<std::uint64_t>(&SpecTarget2),
+                             reinterpret_cast<std::uint64_t>(&GenTarget2),
+                             &hits);
+  ASSERT_TRUE(stub.has_value()) << stub.error().Format();
+  EXPECT_EQ(stub->guards, 1u);
+  auto fn = reinterpret_cast<IntFn2>(stub->entry);
+
+  // Match: specialized target sees the original arguments.
+  EXPECT_EQ(fn(5, 7), SpecTarget2(5, 7));
+  EXPECT_EQ(hits.load(), 0u);
+
+  // Mismatch: generic target, counted, arguments still intact.
+  EXPECT_EQ(fn(6, 7), GenTarget2(6, 7));
+  EXPECT_EQ(hits.load(), 1u);
+  EXPECT_EQ(fn(-1, 3), GenTarget2(-1, 3));
+  EXPECT_EQ(hits.load(), 2u);
+}
+
+TEST(GuardStubTest, ChecksEveryRegisterIncludingR8R9) {
+  // One check per GP argument register exercises both REX encodings
+  // (rdi/rsi/rdx/rcx and r8/r9).
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<GuardCheck> checks;
+  for (int i = 0; i < 6; ++i) {
+    checks.push_back(GuardCheck{i, static_cast<std::uint64_t>(10 + i)});
+  }
+  auto stub = BuildGuardStub(checks,
+                             reinterpret_cast<std::uint64_t>(&SpecTarget6),
+                             reinterpret_cast<std::uint64_t>(&GenTarget6),
+                             &hits);
+  ASSERT_TRUE(stub.has_value()) << stub.error().Format();
+  auto fn = reinterpret_cast<IntFn6>(stub->entry);
+
+  EXPECT_EQ(fn(10, 11, 12, 13, 14, 15), SpecTarget6(10, 11, 12, 13, 14, 15));
+  EXPECT_EQ(hits.load(), 0u);
+  // Only the last register (r9) wrong: the final check must still catch it.
+  EXPECT_EQ(fn(10, 11, 12, 13, 14, 99), GenTarget6(10, 11, 12, 13, 14, 99));
+  EXPECT_EQ(hits.load(), 1u);
+}
+
+TEST(GuardStubTest, GuardableChecksSkipsConstMemAndStackParams) {
+  CompileRequest request(0x1000, lift::Signature::Ints(8));
+  request.FixParam(1, 42);
+  request.FixParam(7, 9);  // 7th int arg is stack-passed: not guardable
+  const std::uint8_t blob[4] = {1, 2, 3, 4};
+  request.FixConstMem(0, blob, sizeof blob);  // const-mem: not guardable
+
+  const std::vector<GuardCheck> checks = GuardableChecks(request);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(checks[0].gp_index, 1);
+  EXPECT_EQ(checks[0].value, 42u);
+}
+
+TEST(TieringOptionsTest, ClampNormalizesEveryField) {
+  TieringOptions tiering;
+  tiering.baseline_opt_level = 7;
+  tiering.hot_threshold = 0;
+  tiering.sample_period = 9;
+  tiering.ewma_alpha = 2.0;
+  tiering.min_rate_hz = -1.0;
+  tiering.Clamp();
+  EXPECT_EQ(tiering.baseline_opt_level, 1);
+  EXPECT_EQ(tiering.hot_threshold, 1u);
+  EXPECT_EQ(tiering.sample_period, 16u);  // next power of two
+  EXPECT_DOUBLE_EQ(tiering.ewma_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(tiering.min_rate_hz, 0.0);
+}
+
+TEST(TieringOptionsTest, ApplyEnvReadsOverrides) {
+  ::setenv("DBLL_TIER", "1", 1);
+  ::setenv("DBLL_TIER_THRESHOLD", "123", 1);
+  ::setenv("DBLL_TIER_SAMPLE", "32", 1);
+  ::setenv("DBLL_TIER_INTERIM", "0", 1);
+  TieringOptions tiering;
+  tiering.ApplyEnv();
+  ::unsetenv("DBLL_TIER");
+  ::unsetenv("DBLL_TIER_THRESHOLD");
+  ::unsetenv("DBLL_TIER_SAMPLE");
+  ::unsetenv("DBLL_TIER_INTERIM");
+  EXPECT_TRUE(tiering.enabled);
+  EXPECT_EQ(tiering.hot_threshold, 123u);
+  EXPECT_EQ(tiering.sample_period, 32u);
+  EXPECT_FALSE(tiering.interim);
+}
+
+TEST_F(TieringTest, BaselineInstallsThenAutoPromotesToO3) {
+  const std::uint64_t crossings_before =
+      ObsValue("tiering.threshold_crossings");
+  CompileService service(TieredOptions(FastTiering()));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  // Phase 1: the fast Tier-0a baseline serves, with its cost in the
+  // dedicated bucket.
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+  EXPECT_GT(handle.times().tier0a_ns, 0u);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+
+  // Phase 2: calls alone -- no explicit specialize -- promote it to full O3.
+  EXPECT_TRUE(SpinToTier(service, handle, Tier::kLlvm));
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_GE(handle.calls(), FastTiering().hot_threshold);
+  EXPECT_GT(ObsValue("tiering.threshold_crossings"), crossings_before);
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.baseline_installs, 1u);
+  EXPECT_EQ(stats.tier0a_compiles, 1u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.deopts, 0u);
+  EXPECT_GT(stats.stage_total.tier0a_ns, 0u);
+
+  // The promoted code is the same specialization, now at O3.
+  fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, RacingThresholdCrossersEnqueueExactlyOnePromotion) {
+  TieringOptions tiering = FastTiering();
+  tiering.hot_threshold = 512;
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+
+  // Two threads hammer the counter across the threshold simultaneously; the
+  // CAS latch must admit exactly one O3 job no matter how the samples race.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&handle] {
+      for (int i = 0; i < 20000; ++i) (void)handle.target();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service.WaitIdle();
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.compiles, 1u);  // exactly one full O3 run
+  EXPECT_EQ(handle.tier(), Tier::kLlvm);
+}
+
+TEST_F(TieringTest, GuardMismatchDeoptimizesToGenericWithCorrectResults) {
+  const std::uint64_t deopt_before = ObsValue("cache.deopt");
+  TieringOptions tiering = FastTiering();
+  tiering.hot_threshold = 1u << 30;  // stay on the baseline; deopt from there
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+
+  // A call with the wrong fixed value can never reach specialized code: the
+  // guard routes it to the generic entry, so the result is the true one.
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(6, 7), c_arith_mix(6, 7));
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));  // matching calls still specialized
+
+  // The next profile samples see the guard miss and commit the demotion.
+  for (int i = 0; i < 64 && handle.tier() != Tier::kGeneric; ++i) {
+    (void)handle.target();
+  }
+  EXPECT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(handle.deopts(), 1u);
+  EXPECT_EQ(service.stats().deopts, 1u);
+  EXPECT_EQ(ObsValue("cache.deopt"), deopt_before + 1);
+
+  // Post-deopt the generic entry serves everything, still correct.
+  fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(9, 9), c_arith_mix(9, 9));
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, DeoptThenRepromoteReusesTheOptimizedEntry) {
+  CompileService service(TieredOptions(FastTiering()));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+  ASSERT_TRUE(SpinToTier(service, handle, Tier::kLlvm));
+  ASSERT_EQ(service.stats().compiles, 1u);
+
+  // Deopt from the optimized tier.
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(6, 7), c_arith_mix(6, 7));
+  for (int i = 0; i < 64 && handle.tier() != Tier::kGeneric; ++i) {
+    (void)handle.target();
+  }
+  ASSERT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(handle.deopts(), 1u);
+
+  // Re-profiling proves the workload hot again: re-promotion swaps the saved
+  // optimized entry back in with no second LLVM run.
+  EXPECT_TRUE(SpinToTier(service, handle, Tier::kLlvm));
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.compiles, 1u);  // recompile-free
+  EXPECT_EQ(stats.promotions, 2u);
+  fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, ExhaustedDeoptBudgetPinsTheGenericEntry) {
+  TieringOptions tiering = FastTiering();
+  tiering.hot_threshold = 32;
+  tiering.max_deopts = 0;  // the first deopt already exhausts the budget
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(6, 7), c_arith_mix(6, 7));
+  for (int i = 0; i < 64 && handle.tier() != Tier::kGeneric; ++i) {
+    (void)handle.target();
+  }
+  ASSERT_EQ(handle.tier(), Tier::kGeneric);
+
+  // Pinned: no amount of further traffic may promote (or thrash) again.
+  for (int i = 0; i < 5000; ++i) (void)handle.target();
+  service.WaitIdle();
+  EXPECT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(service.stats().promotions, 0u);
+}
+
+TEST_F(TieringTest, FailedPromotionKeepsTheBaselineServing) {
+  CompileService service(TieredOptions(FastTiering()));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+  service.WaitIdle();
+
+  // Arm after the baseline landed: only the promotion's O3 run faults.
+  fault::Arm("jit.compile", {ErrorKind::kJit});
+  for (int i = 0; i < 10000; ++i) (void)handle.target();
+  service.WaitIdle();
+  fault::DisarmAll();
+
+  // A working slower entry beats thrashing: the baseline keeps serving and
+  // the failure is recorded on the handle and the service.
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_GE(stats.promote_failures, 1u);
+  EXPECT_FALSE(handle.error_chain().empty());
+  EXPECT_EQ(service.last_error().kind(), ErrorKind::kJit);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, CallCountersSurviveClear) {
+  TieringOptions tiering = FastTiering();
+  tiering.hot_threshold = 1u << 30;  // pure counting, no promotion
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+
+  for (int i = 0; i < 1000; ++i) (void)handle.target();
+  const std::uint64_t before = handle.calls();
+  EXPECT_GE(before, 1000u);
+
+  // Clear() drops the memo table; the profile lives on the handle's slot, so
+  // the hotness signal -- part of the handle's identity -- persists.
+  service.Clear();
+  EXPECT_GE(handle.calls(), before);
+  for (int i = 0; i < 100; ++i) (void)handle.target();
+  EXPECT_GE(handle.calls(), before + 100);
+
+  // And the installed baseline keeps serving.
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, InterimSeedRefinesToLlvmBaselineInPlace) {
+  TieringOptions tiering = FastTiering();
+  tiering.hot_threshold = 1u << 30;  // no promotion: isolate the refine path
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  // wait() returns on the first Tier-0a install (usually the DBrew seed,
+  // possibly already the LLVM body on a slow caller); either way the tier
+  // and the results are the baseline contract.
+  EXPECT_EQ(handle.state(), FunctionHandle::State::kSpecialized);
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+
+  // After the queue drains the LLVM body has replaced the seed in place:
+  // same tier, both stage buckets accounted, exactly one install of each.
+  service.WaitIdle();
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.interim_installs, 1u);
+  EXPECT_EQ(stats.baseline_installs, 1u);
+  EXPECT_EQ(stats.tier0a_compiles, 1u);
+  EXPECT_GT(stats.stage_total.tier0a_ns, 0u);
+  EXPECT_GT(handle.times().tier0a_ns, 0u);
+}
+
+TEST_F(TieringTest, LlvmBaselineFailureKeepsInterimServingAndPromotes) {
+  // Every LLVM compile faults; the DBrew seed does not go through the JIT,
+  // so the interim must install, survive the baseline failure, and still
+  // feed the promotion ladder once the fault clears.
+  fault::Arm("jit.compile", {ErrorKind::kJit});
+  CompileService service(TieredOptions(FastTiering()));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kBaseline);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+
+  service.WaitIdle();  // the LLVM baseline attempt has failed by now
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);  // seed keeps serving
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.interim_installs, 1u);
+  EXPECT_EQ(stats.tier0a_compiles, 1u);
+  EXPECT_GE(stats.tier0_failures, 1u);
+  EXPECT_FALSE(handle.error_chain().empty());
+  EXPECT_EQ(service.last_error().kind(), ErrorKind::kJit);
+
+  // The ladder stayed open: once compiles work again, hotness still earns
+  // the full O3 promotion straight from the seed.
+  fault::DisarmAll();
+  EXPECT_TRUE(SpinToTier(service, handle, Tier::kLlvm));
+  fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, InterimDisabledBlocksUntilLlvmBaseline) {
+  TieringOptions tiering = FastTiering();
+  tiering.interim = false;
+  tiering.hot_threshold = 1u << 30;
+  CompileService service(TieredOptions(tiering));
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+
+  // Pre-interim behaviour: the first install is the LLVM baseline itself.
+  EXPECT_EQ(handle.tier(), Tier::kBaseline);
+  service.WaitIdle();  // install counters land after Finish() wakes wait()
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.interim_installs, 0u);
+  EXPECT_EQ(stats.baseline_installs, 1u);
+  EXPECT_EQ(stats.tier0a_compiles, 1u);
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+}
+
+TEST_F(TieringTest, UntieredServiceKeepsClassicBehaviour) {
+  CompileService service;  // tiering off by default
+  CompileRequest request = ArithRequest();
+  request.FixParam(0, 5);
+  FunctionHandle handle = service.Request(request);
+  handle.wait();
+  EXPECT_EQ(handle.tier(), Tier::kLlvm);  // straight to O3, no baseline
+  EXPECT_EQ(handle.calls(), 0u);          // no counter on untiered handles
+  EXPECT_EQ(service.stats().baseline_installs, 0u);
+}
+
+TEST_F(TieringTest, CApiTieredRequestPromotesAndExposesCounters) {
+  dbll_cache* cache = dbll_cache_new(2, 64);
+  dbll_cache_set_tiering(cache, 1, 32);
+  dbll_cache_req* req =
+      dbll_cache_request(cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_setpar(req, 1, 5);  // 1-based
+
+  dbll_cache_wait(req);
+  EXPECT_EQ(dbll_handle_tier(req), 3);  // Tier-0a baseline
+  auto fn = reinterpret_cast<IntFn2>(dbll_cache_call_target(req));
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+
+  for (int i = 0; i < 20000; ++i) (void)dbll_cache_call_target(req);
+  dbll_cache_wait_idle(cache);
+  EXPECT_EQ(dbll_handle_tier(req), 0);  // promoted to full O3
+  EXPECT_GE(dbll_handle_calls(req), 32u);
+  EXPECT_EQ(dbll_handle_deopts(req), 0u);
+  EXPECT_EQ(dbll_cache_stat_baseline_installs(cache), 1u);
+  EXPECT_EQ(dbll_cache_stat_promotions(cache), 1u);
+  EXPECT_EQ(dbll_cache_stat_deopts(cache), 0u);
+  EXPECT_GT(dbll_cache_stat_tier0a_ns(cache), 0u);
+
+  dbll_cache_req_free(req);
+  dbll_cache_free(cache);
+}
+
+}  // namespace
+}  // namespace dbll::runtime

@@ -56,23 +56,31 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Entry opt tier as a short label: 0 = full-O3 Tier-0 object, 1 = the fast
+/// Tier-0a baseline emitted by profile-guided tiering (docs/tiering.md).
+const char* TierLabel(std::uint32_t opt_tier) {
+  return opt_tier == 1 ? "tier0a" : "tier0";
+}
+
 void PrintEntryJson(const ObjectScanEntry& e, bool last) {
   std::printf("  {\"file\": \"%s\", \"fingerprint\": \"%016" PRIx64
               "\", \"file_size\": %" PRIu64 ", \"payload_size\": %" PRIu64
-              ", \"wrapper\": \"%s\", \"llvm_version\": \"%s\", "
+              ", \"wrapper\": \"%s\", \"opt_tier\": \"%s\", "
+              "\"llvm_version\": \"%s\", "
               "\"target_cpu\": \"%s\", \"valid\": %s, \"detail\": \"%s\"}%s\n",
               JsonEscape(e.file).c_str(), e.fingerprint, e.file_size,
               e.payload_size, JsonEscape(e.wrapper_name).c_str(),
-              JsonEscape(e.llvm_version).c_str(),
+              TierLabel(e.opt_tier), JsonEscape(e.llvm_version).c_str(),
               JsonEscape(e.target_cpu).c_str(), e.valid ? "true" : "false",
               JsonEscape(e.detail).c_str(), last ? "" : ",");
 }
 
 void PrintEntryHuman(const ObjectScanEntry& e) {
   if (e.valid) {
-    std::printf("%-20s %8" PRIu64 " B  %-24s llvm %s/%s  ok\n",
+    std::printf("%-20s %8" PRIu64 " B  %-24s %-6s llvm %s/%s  ok\n",
                 e.file.c_str(), e.file_size, e.wrapper_name.c_str(),
-                e.llvm_version.c_str(), e.target_cpu.c_str());
+                TierLabel(e.opt_tier), e.llvm_version.c_str(),
+                e.target_cpu.c_str());
   } else {
     std::printf("%-20s %8" PRIu64 " B  INVALID: %s\n", e.file.c_str(),
                 e.file_size, e.detail.c_str());
@@ -123,6 +131,12 @@ int RunStats(const std::string& dir, bool json) {
     return 1;
   }
   std::uint64_t total_bytes = 0, valid = 0, invalid = 0;
+  // Per-opt-tier breakdown of the valid entries: a warm store for a tiered
+  // workload holds a tier0a object (fast baseline) and a tier0 object (full
+  // O3) for the same specialization; the split shows how many hot keys have
+  // been promoted.
+  std::uint64_t tier0_entries = 0, tier0a_entries = 0;
+  std::uint64_t tier0_bytes = 0, tier0a_bytes = 0;
   std::string llvm_version, target_cpu;  // of the first valid entry
   for (const ObjectScanEntry& e : *scan) {
     total_bytes += e.file_size;
@@ -132,6 +146,13 @@ int RunStats(const std::string& dir, bool json) {
         target_cpu = e.target_cpu;
       }
       ++valid;
+      if (e.opt_tier == 1) {
+        ++tier0a_entries;
+        tier0a_bytes += e.file_size;
+      } else {
+        ++tier0_entries;
+        tier0_bytes += e.file_size;
+      }
     } else {
       ++invalid;
     }
@@ -139,16 +160,21 @@ int RunStats(const std::string& dir, bool json) {
   if (json) {
     std::printf("{\"dir\": \"%s\", \"entries\": %zu, \"valid\": %" PRIu64
                 ", \"invalid\": %" PRIu64 ", \"total_bytes\": %" PRIu64
+                ", \"tier0_entries\": %" PRIu64 ", \"tier0_bytes\": %" PRIu64
+                ", \"tier0a_entries\": %" PRIu64 ", \"tier0a_bytes\": %" PRIu64
                 ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\"}\n",
                 JsonEscape(dir).c_str(), scan->size(), valid, invalid,
-                total_bytes, JsonEscape(llvm_version).c_str(),
+                total_bytes, tier0_entries, tier0_bytes, tier0a_entries,
+                tier0a_bytes, JsonEscape(llvm_version).c_str(),
                 JsonEscape(target_cpu).c_str());
   } else {
     std::printf("%s: %zu entries (%" PRIu64 " valid, %" PRIu64
                 " invalid), %" PRIu64 " bytes",
                 dir.c_str(), scan->size(), valid, invalid, total_bytes);
     if (valid != 0) {
-      std::printf(", llvm %s/%s", llvm_version.c_str(), target_cpu.c_str());
+      std::printf(", %" PRIu64 " tier0 / %" PRIu64 " tier0a, llvm %s/%s",
+                  tier0_entries, tier0a_entries, llvm_version.c_str(),
+                  target_cpu.c_str());
     }
     std::printf("\n");
   }
