@@ -1,0 +1,250 @@
+// dbll bench -- fleet cache: shm hot-entry ring vs disk object store.
+//
+// The persistent object cache (fig_warmstart) removes recompiles per
+// *machine*; the shared-memory hot-entry ring (shm_ring.h) removes the
+// remaining per-process disk I/O when N processes serve from one cache
+// directory. This bench quantifies both claims:
+//
+//   * probe cost: the same populated cache directory is probed through two
+//     ObjectStores -- one fronted by the (already warm) shm ring, one
+//     disk-only. The gate is the issue's acceptance criterion: the median
+//     shm hit must be cheaper than the median disk hit.
+//   * fleet restart: the directory is exported to a DBLLBND1 bundle, purged,
+//     re-imported, and then four fresh CompileServices (a new service is a
+//     new JIT session -- the per-process isolation tools/warm_smoke.cpp
+//     measures literally) start over it. Every service must reach its first
+//     specialized call with zero Tier-0 compiles; the first one faults the
+//     entries from disk into the ring, the rest are served from shared
+//     memory. Recorded per service (informational, not gated on time).
+//
+// Results go to BENCH_fleet.json; exit status 2 when the shm<disk gate or
+// the zero-compile fleet gate is missed. `--smoke` (or DBLL_BENCH_REPS)
+// shrinks the repetition counts.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/object_store.h"
+#include "dbll/spmv/spmv.h"
+#include "harness.h"
+
+using namespace dbll;
+using namespace dbll::bench;
+using namespace dbll::stencil;
+using dbll::spmv::CsrBuilder;
+using dbll::spmv::CsrMatrix;
+using dbll::spmv::spmv_full;
+
+namespace {
+
+constexpr long kSpmvRows = 256;
+
+runtime::CompileService::Options ServiceOptions(const std::string& dir) {
+  runtime::CompileService::Options options;
+  options.workers = 1;
+  options.capacity = 64;
+  options.persist_dir = dir;
+  return options;
+}
+
+runtime::CompileRequest JacobiRequest() {
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&stencil_line_flat), KernelSignature());
+  request.FixConstMem(0, &FourPointFlat(), sizeof(FlatStencil));
+  return request;
+}
+
+runtime::CompileRequest SpmvRequest() {
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&spmv_full), KernelSignature());
+  request.FixParam(3, static_cast<std::uint64_t>(kSpmvRows));
+  return request;
+}
+
+/// Probes every fingerprint through one store `reps` times, one timing
+/// sample per Load. Returns false when any probe misses (the comparison
+/// would be between a hit and a failure).
+bool ProbeStore(runtime::ObjectStore& store,
+                const std::vector<std::uint64_t>& fingerprints, int reps,
+                std::vector<double>* samples_ns) {
+  for (int i = 0; i < reps; ++i) {
+    for (const std::uint64_t fingerprint : fingerprints) {
+      runtime::ObjectEntry entry;
+      Timer timer;
+      const bool hit = store.Load(fingerprint, &entry);
+      samples_ns->push_back(timer.Seconds() * 1e9);
+      if (!hit) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 50;
+  if (const char* env = std::getenv("DBLL_BENCH_REPS")) reps = std::atoi(env);
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) reps = 10;
+  if (reps < 2) reps = 2;
+  constexpr int kFleet = 4;
+
+  char dir_template[] = "/tmp/dbll_fleet_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_template;
+  const std::string bundle = dir + "/fleet.dbbundle";
+
+  std::printf("dbll fig_fleet: shm hot-entry ring vs disk store "
+              "(%d probe reps, %d-service fleet, cache dir %s)\n\n",
+              reps, kFleet, dir.c_str());
+
+  // Populate: one cold service compiles both paper workloads and persists
+  // them (disk entries + shm ring slots).
+  {
+    runtime::CompileService service(ServiceOptions(dir));
+    if (!service.CompileSync(JacobiRequest()).has_value() ||
+        !service.CompileSync(SpmvRequest()).has_value()) {
+      std::fprintf(stderr, "populate compile failed\n");
+      return 1;
+    }
+    service.WaitIdle();
+    const runtime::CacheStats stats = service.stats();
+    if (stats.disk_stores != 2) {
+      std::fprintf(stderr, "populate persisted %llu objects, expected 2\n",
+                   static_cast<unsigned long long>(stats.disk_stores));
+      return 1;
+    }
+  }
+
+  auto scan = runtime::ObjectStore::Scan(dir);
+  if (!scan.has_value() || scan->size() != 2) {
+    std::fprintf(stderr, "scan failed or wrong entry count\n");
+    return 1;
+  }
+  std::vector<std::uint64_t> fingerprints;
+  for (const auto& e : *scan) fingerprints.push_back(e.fingerprint);
+
+  // Probe the same entries through the ring and through the files. Both
+  // stores validate the full DBLLOBJ1 entry on every hit, so the delta is
+  // purely "shared memory vs open+read+manifest-touch".
+  std::vector<double> shm_ns, disk_ns;
+  bool probes_hit = true;
+  {
+    runtime::ObjectStore::Options shm_options;
+    shm_options.dir = dir;
+    shm_options.shm = true;
+    runtime::ObjectStore shm_store(shm_options);
+    probes_hit = ProbeStore(shm_store, fingerprints, reps, &shm_ns);
+    const runtime::ObjectStoreStats stats = shm_store.stats();
+    // Every probe must be a *shm* hit, or the comparison is meaningless.
+    if (stats.shm_hits != shm_ns.size()) probes_hit = false;
+  }
+  if (probes_hit) {
+    runtime::ObjectStore::Options disk_options;
+    disk_options.dir = dir;
+    disk_options.shm = false;
+    runtime::ObjectStore disk_store(disk_options);
+    probes_hit = ProbeStore(disk_store, fingerprints, reps, &disk_ns);
+  }
+  if (!probes_hit) {
+    std::fprintf(stderr, "probe phase had misses; no comparison possible\n");
+    return 1;
+  }
+  const double shm_median = Median(shm_ns);
+  const double disk_median = Median(disk_ns);
+  const double probe_speedup = shm_median > 0 ? disk_median / shm_median : 0.0;
+  const bool probe_ok = shm_median < disk_median;
+  std::printf("probe   shm median %8.0f ns   disk median %8.0f ns   "
+              "%4.1fx %s\n",
+              shm_median, disk_median, probe_speedup,
+              probe_ok ? "(ok)" : "(FAIL: shm hit not cheaper)");
+
+  // Fleet restart from a bundle: export -> purge (disk entries, manifest,
+  // ring -- everything) -> import -> four fresh services. Zero Tier-0
+  // compiles anywhere is the gate; per-service time-to-first-specialized-
+  // call shows the first service paying disk faults and the rest riding the
+  // ring it repopulated.
+  bool fleet_ok = true;
+  std::vector<double> fleet_ttfsc_ns;
+  std::vector<double> fleet_shm_hits;
+  {
+    auto exported = runtime::ObjectStore::ExportBundle(dir, bundle);
+    if (!exported.has_value() || *exported != 2) {
+      std::fprintf(stderr, "export failed\n");
+      return 1;
+    }
+    auto purged = runtime::ObjectStore::Purge(dir);
+    if (!purged.has_value()) {
+      std::fprintf(stderr, "purge failed\n");
+      return 1;
+    }
+    auto imported = runtime::ObjectStore::ImportBundle(bundle, dir);
+    if (!imported.has_value() || *imported != 2) {
+      std::fprintf(stderr, "import failed\n");
+      return 1;
+    }
+    for (int s = 0; s < kFleet; ++s) {
+      runtime::CompileService service(ServiceOptions(dir));
+      Timer timer;
+      auto jacobi = service.Request(JacobiRequest());
+      auto spmv = service.Request(SpmvRequest());
+      jacobi.wait();
+      spmv.wait();
+      fleet_ttfsc_ns.push_back(timer.Seconds() * 1e9);
+      service.WaitIdle();
+      const runtime::CacheStats stats = service.stats();
+      fleet_shm_hits.push_back(static_cast<double>(stats.shm_hits));
+      if (stats.compiles != 0 || stats.disk_hits != 2 ||
+          stats.stage_total.total_ns() != 0) {
+        fleet_ok = false;
+      }
+    }
+    // The restarted fleet's later services must actually ride the ring the
+    // first one repopulated -- otherwise this measures disk four times.
+    if (fleet_shm_hits.back() == 0) fleet_ok = false;
+  }
+  std::printf("fleet   %d services from bundle: ttfsc", kFleet);
+  for (const double t : fleet_ttfsc_ns) std::printf(" %8.0f ns", t);
+  std::printf("   %s\n", fleet_ok ? "(ok, zero compiles)"
+                                  : "(FAIL: compiled or missed)");
+
+  JsonObject json;
+  json.Put("bench", "fig_fleet")
+      .Put("reps", reps)
+      .Put("fleet_size", kFleet)
+      .Put("shm_probe_median_ns", shm_median)
+      .Put("shm_probe_p95_ns", Percentile(shm_ns, 95))
+      .Put("disk_probe_median_ns", disk_median)
+      .Put("disk_probe_p95_ns", Percentile(disk_ns, 95))
+      .Put("probe_speedup", probe_speedup)
+      .Put("probe_ok", probe_ok);
+  JsonObject fleet;
+  for (std::size_t s = 0; s < fleet_ttfsc_ns.size(); ++s) {
+    JsonObject per;
+    per.Put("ttfsc_ns", fleet_ttfsc_ns[s]).Put("shm_hits", fleet_shm_hits[s]);
+    fleet.Put("service_" + std::to_string(s), per);
+  }
+  json.Put("fleet", fleet).Put("fleet_ok", fleet_ok);
+  const bool all_ok = probe_ok && fleet_ok;
+  json.Put("ok", all_ok);
+
+  (void)runtime::ObjectStore::Purge(dir);
+  ::unlink(bundle.c_str());
+  ::rmdir(dir.c_str());
+
+  const char* out_path = "BENCH_fleet.json";
+  if (WriteJsonFile(out_path, json)) {
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nFAILED to write %s\n", out_path);
+    return 1;
+  }
+  return all_ok ? 0 : 2;
+}

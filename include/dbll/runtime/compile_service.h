@@ -167,6 +167,27 @@ class CompileService {
     /// automatically once the promotion policy fires. DBLL_TIER_* env
     /// overrides are applied on top at service construction.
     TieringOptions tiering;
+    /// Front the persistent store with the cross-process shared-memory
+    /// hot-entry ring (shm_ring.h): N processes over one cache directory
+    /// share installed objects without file I/O. Only meaningful when a
+    /// persist dir is in effect; a failed ring attach degrades to
+    /// disk-only. Geometry below is the *requested* one -- an already
+    /// initialized ring's file geometry wins.
+    bool shm = true;
+    std::uint32_t shm_slots = 64;
+    std::uint64_t shm_slot_bytes = 256 * 1024;
+
+    /// Applies every DBLL_* environment override in one place -- the single
+    /// centralized env-parsing path shared by the C++ constructor and the C
+    /// API (dbll_cache_new*/dbll_cache_configure):
+    ///   DBLL_CACHE_DIR            -> persist_dir (only when unset in code)
+    ///   DBLL_CACHE_DEADLINE_MS    -> default_deadline_ms
+    ///   DBLL_CACHE_SHM            -> shm (0/off/false disables)
+    ///   DBLL_CACHE_SHM_SLOTS     -> shm_slots
+    ///   DBLL_CACHE_SHM_SLOT_BYTES -> shm_slot_bytes
+    ///   DBLL_TIER_*               -> tiering (TieringOptions::ApplyEnv)
+    /// Called automatically by the CompileService constructor; idempotent.
+    Options& ApplyEnv();
   };
 
   // Two constructors instead of `Options options = {}`: a default argument
@@ -218,6 +239,14 @@ class CompileService {
   /// is returned, recorded as last_error(), and the previous store -- if any
   /// -- stays active.
   Status set_persist_dir(const std::string& dir);
+
+  /// Reconfigures the shm-ring knobs (Options::shm*) and, when a persistent
+  /// store is attached, re-attaches it so the change takes effect
+  /// immediately (store counters restart, as with set_persist_dir). Zero
+  /// `slots`/`slot_bytes` keep the current geometry. Backs the shm fields
+  /// of dbll_cache_configure.
+  void set_shm_options(bool enabled, std::uint32_t slots,
+                       std::uint64_t slot_bytes);
 
   /// True when a usable persistent store is attached.
   bool persist_enabled() const;

@@ -39,9 +39,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dbll/runtime/shm_ring.h"
 #include "dbll/runtime/spec_cache.h"
 #include "dbll/support/error.h"
 
@@ -73,6 +75,17 @@ struct ObjectStoreStats {
   std::uint64_t errors = 0;      ///< I/O failures swallowed (degraded)
   std::uint64_t load_ns = 0;     ///< wall time inside Load
   std::uint64_t store_ns = 0;    ///< wall time inside Store
+  /// Shared-memory hot-entry ring (shm_ring.h); all zero when disabled.
+  /// A shm hit also counts in `hits` above -- `hits` is "Load succeeded",
+  /// the shm_* fields say how.
+  std::uint64_t shm_attached = 0;  ///< 1 when the ring mapped successfully
+  std::uint64_t shm_slots = 0;     ///< ring geometry in effect
+  std::uint64_t shm_entries = 0;   ///< occupied slots at snapshot time
+  std::uint64_t shm_hits = 0;
+  std::uint64_t shm_misses = 0;
+  std::uint64_t shm_inserts = 0;
+  std::uint64_t shm_evictions = 0;
+  std::uint64_t shm_errors = 0;
 };
 
 /// Result of validating one on-disk entry (dbll-cachectl's unit of output).
@@ -98,6 +111,14 @@ class ObjectStore {
     std::uint64_t max_bytes = 256ull << 20;
     /// Entry-count cap (0 = unbounded); evaluated together with max_bytes.
     std::uint64_t max_entries = 4096;
+    /// Front the store with the cross-process shared-memory hot-entry ring
+    /// (shm_ring.h): Load probes the ring before disk, Store and disk hits
+    /// write through to it. Off by default at this layer so the store's
+    /// disk semantics stay exact; CompileService::Options turns it on for
+    /// the fleet-serving path.
+    bool shm = false;
+    std::uint32_t shm_slots = 64;
+    std::uint64_t shm_slot_bytes = 256 * 1024;
   };
 
   explicit ObjectStore(Options options);
@@ -107,11 +128,17 @@ class ObjectStore {
   const Status& init_status() const { return init_; }
   const std::string& dir() const { return options_.dir; }
 
-  /// Looks the fingerprint up on disk; true on a valid hit (fills *out).
-  /// A plain miss, a corrupt/truncated entry (deleted on the way out), a
-  /// version/CPU mismatch, an armed `objcache.load` fault, and any I/O
+  /// The attached shm ring, or nullptr when Options::shm is off or the
+  /// attach failed (tooling/tests; stats() carries the same counters).
+  ShmRing* shm_ring() const { return ring_.get(); }
+
+  /// Looks the fingerprint up -- shm ring first (lock-free), then disk; a
+  /// disk hit is written back into the ring so the next process on this box
+  /// skips the file I/O. True on a valid hit (fills *out). A plain miss, a
+  /// corrupt/truncated entry (deleted on the way out), a version/CPU
+  /// mismatch, an armed `objcache.load`/`objcache.shm` fault, and any I/O
   /// error all report false -- distinguishable only via stats(). Never
-  /// throws, never crashes on hostile file contents.
+  /// throws, never crashes on hostile file or shared-memory contents.
   bool Load(std::uint64_t fingerprint, ObjectEntry* out);
 
   /// Publishes the entry atomically and applies the LRU cap. Failures are
@@ -141,12 +168,28 @@ class ObjectStore {
   /// Entry file name for a fingerprint ("<16 hex digits>.dbo").
   static std::string EntryFileName(std::uint64_t fingerprint);
 
+  /// Packs every valid entry under `dir` into a single self-validating
+  /// bundle file at `path` (atomic publication): warm caches ship with
+  /// deployments. Returns the number of entries exported; invalid entry
+  /// files are skipped, not fatal. See docs/runtime_cache.md for the
+  /// DBLLBND1 format.
+  static Expected<std::uint64_t> ExportBundle(const std::string& dir,
+                                              const std::string& path);
+
+  /// Unpacks a bundle into `dir`, re-validating the bundle checksum and
+  /// every contained entry; entry files are published byte-identical to
+  /// what ExportBundle read. Returns the number of entries imported; a
+  /// bundle that fails validation imports nothing.
+  static Expected<std::uint64_t> ImportBundle(const std::string& path,
+                                              const std::string& dir);
+
  private:
   void TouchManifest(std::uint64_t fingerprint);
   void EvictLocked();  // caller holds the directory flock
 
   Options options_;
   Status init_;
+  std::unique_ptr<ShmRing> ring_;
   mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
       evictions_{0}, corrupt_dropped_{0}, errors_{0}, load_ns_{0},
       store_ns_{0};
@@ -157,5 +200,11 @@ class ObjectStore {
 /// LLVM version string, and the JIT target CPU. See the file comment for the
 /// invalidation rules this encodes.
 std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address);
+
+/// FNV-1a over the LLVM version string and the JIT target CPU: the stamp the
+/// shm ring header carries so processes built against different toolchains
+/// never exchange objects through shared memory (mirrors the per-entry
+/// version/CPU validation the disk store does).
+std::uint64_t ToolchainFingerprint();
 
 }  // namespace dbll::runtime

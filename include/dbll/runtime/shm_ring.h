@@ -1,0 +1,164 @@
+// dbll -- shared-memory hot-entry ring (the fleet cache's fast front).
+//
+// The on-disk ObjectStore removes recompiles per *machine*; this ring
+// removes the remaining per-process disk I/O when N server processes on one
+// box request the same specializations. It is a fixed-geometry array of
+// seqlock-protected slots in a file-backed MAP_SHARED mapping
+// (`<cache-dir>/hotring.dbshm`), each slot holding the *serialized* bytes of
+// one ObjectStore entry keyed by its 64-bit persist fingerprint. Lookups are
+// lock-free reads; inserts serialize on the ring file's flock(2), the same
+// advisory-lock discipline the ObjectStore manifest already uses.
+//
+// Safety model (the ring must never serve a wrong or torn object):
+//   * Each slot carries a sequence word: odd while a writer is mid-copy,
+//     bumped to a new even value when the write is published. A reader
+//     snapshots the sequence, copies the payload, and discards the copy if
+//     the sequence moved or was odd -- the classic seqlock.
+//   * The copied payload is then validated twice: a slot-level FNV-1a
+//     checksum (cheap torn-write rejection) and the full DBLLOBJ1 entry
+//     validation in the ObjectStore consumer (magic, version, fingerprint,
+//     payload checksum, toolchain stamp). A hostile or half-written slot can
+//     cost a miss, never a wrong kernel.
+//   * Writers only mutate slots while holding the exclusive flock. An *odd*
+//     sequence observed while holding that lock therefore proves the writer
+//     died mid-copy; the slot is reclaimed on the spot (crash recovery).
+//   * Attach is flock-serialized and idempotent: the first process sizes and
+//     initializes the file, publishing it with a release-store of the ready
+//     flag; a file left unpublished by a crashed initializer is re-initialized
+//     by the next attacher. A ring written by an unknown (newer) format
+//     version is refused -- the process degrades to disk-only. A ring written
+//     by a different toolchain (LLVM version / target CPU fingerprint) is
+//     re-initialized, mirroring the ObjectStore's invalidation rule.
+//
+// Failure semantics match the rest of the cache stack: every problem --
+// unmappable file, torn read, checksum mismatch, armed `objcache.shm` fault
+// -- degrades to a miss and is visible only through stats()/`shmcache.*`
+// metrics. See docs/runtime_cache.md (fleet cache) and docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbll/support/error.h"
+
+namespace dbll::runtime {
+
+/// Per-process counters of one attached ring (all monotonic).
+struct ShmRingStats {
+  std::uint64_t hits = 0;       ///< Lookup returned validated bytes
+  std::uint64_t misses = 0;     ///< no slot (or a torn slot) for the key
+  std::uint64_t inserts = 0;    ///< payloads published into a slot
+  std::uint64_t evictions = 0;  ///< occupied slots overwritten (LRU victim)
+  std::uint64_t too_big = 0;    ///< payloads skipped: larger than a slot
+  std::uint64_t stale_reclaimed = 0;  ///< dead-writer slots recovered
+  std::uint64_t errors = 0;     ///< checksum/torn/fault/IO degraded paths
+  std::uint64_t reinit = 0;     ///< attach re-initialized an unusable ring
+  std::uint64_t lookup_ns = 0;  ///< wall time inside Lookup
+  std::uint64_t insert_ns = 0;  ///< wall time inside Insert
+};
+
+/// Fleet-wide view of a ring file (header + slot scan), as read at one
+/// instant. Fleet counters live in the shared header and aggregate over
+/// every process that ever attached this ring since initialization.
+struct ShmRingOccupancy {
+  std::uint32_t format_version = 0;
+  std::uint32_t slot_count = 0;
+  std::uint64_t slot_bytes = 0;
+  std::uint64_t toolchain_fp = 0;
+  std::uint32_t used_slots = 0;
+  std::uint64_t payload_bytes = 0;  ///< sum of occupied payload sizes
+  std::uint64_t fleet_hits = 0;
+  std::uint64_t fleet_inserts = 0;
+  std::uint64_t fleet_evictions = 0;
+};
+
+class ShmRing {
+ public:
+  struct Options {
+    std::string dir;  ///< cache directory; the ring file lives inside it
+    /// Geometry requested when this process initializes the ring. When an
+    /// initialized ring already exists its file geometry wins, so every
+    /// attached process agrees on the layout.
+    std::uint32_t slots = 64;
+    std::uint64_t slot_bytes = 256 * 1024;
+  };
+
+  /// Attaches (creating/initializing/recovering as needed). On any failure
+  /// the instance stays constructed but detached: Lookup always misses,
+  /// Insert is a no-op, and init_status() says why.
+  ShmRing(Options options, std::uint64_t toolchain_fp);
+  ~ShmRing();
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  const Status& init_status() const { return init_; }
+  bool attached() const { return init_.ok(); }
+
+  /// Geometry actually in effect (the file's, which may differ from the
+  /// requested Options when another process initialized first).
+  std::uint32_t slot_count() const { return slot_count_; }
+  std::uint64_t slot_bytes() const { return slot_bytes_; }
+
+  /// Lock-free lookup. True iff a slot holds the fingerprint and the copied
+  /// payload survives the seqlock + checksum validation; fills *out with the
+  /// serialized entry bytes. Everything else -- detached ring, concurrent
+  /// writer, torn data, armed `objcache.shm` fault -- is a miss.
+  bool Lookup(std::uint64_t fingerprint, std::vector<std::uint8_t>* out);
+
+  /// Publishes serialized entry bytes under the fingerprint (flock'd).
+  /// Chooses, in order: the slot already holding this fingerprint, a free
+  /// slot, a crashed-writer slot, the least-recently-used slot. Payloads
+  /// larger than a slot are skipped (counted, not an error). Returns true
+  /// when the payload was published.
+  bool Insert(std::uint64_t fingerprint, const std::uint8_t* data,
+              std::size_t size);
+
+  ShmRingStats stats() const;
+
+  /// Point-in-time fleet view of the attached ring.
+  ShmRingOccupancy occupancy() const;
+
+  /// Reads the occupancy of an existing ring file without creating,
+  /// locking, or modifying anything (dbll-cachectl stats). Errors when no
+  /// initialized ring exists under `dir`.
+  static Expected<ShmRingOccupancy> Inspect(const std::string& dir);
+
+  /// Name of the ring file inside a cache directory ("hotring.dbshm").
+  static const char* RingFileName();
+
+  /// --- test hooks (shm_ring_test.cpp) ---
+
+  /// Index of the slot currently holding `fingerprint`, or -1.
+  int TestFindSlot(std::uint64_t fingerprint) const;
+  /// Forces a slot's sequence word (e.g. to an odd value, simulating a
+  /// writer that died mid-copy).
+  void TestSetSlotSeq(std::uint32_t slot_index, std::uint32_t seq);
+  /// Flips one byte of a slot's payload without touching its checksum.
+  void TestCorruptSlotPayload(std::uint32_t slot_index);
+
+ private:
+  struct Header;  // shared-memory layouts live in the .cpp
+  struct Slot;
+
+  Slot* SlotAt(std::uint32_t index) const;
+  bool AttachLocked(std::uint64_t toolchain_fp);
+  void InitializeLocked(std::uint64_t toolchain_fp);
+
+  Options options_;
+  Status init_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::uint64_t map_bytes_ = 0;
+  Header* header_ = nullptr;
+  std::uint32_t slot_count_ = 0;
+  std::uint64_t slot_bytes_ = 0;
+  std::uint64_t slot_stride_ = 0;
+
+  mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, inserts_{0},
+      evictions_{0}, too_big_{0}, stale_reclaimed_{0}, errors_{0}, reinit_{0},
+      lookup_ns_{0}, insert_ns_{0};
+};
+
+}  // namespace dbll::runtime

@@ -63,6 +63,17 @@ struct CacheStats {
   std::uint64_t disk_evictions = 0;  ///< on-disk entries removed by the cap
   std::uint64_t disk_load_ns = 0;    ///< wall time probing/loading the store
   std::uint64_t disk_store_ns = 0;   ///< wall time persisting objects
+  // Shared-memory hot-entry ring (shm_ring.h), the fleet-level layer in
+  // front of the disk store. A shm hit is also counted in disk_hits ("the
+  // persistent layer served this"); the shm_* fields say it never touched a
+  // file. Mirrored process-wide in the obs registry as shmcache.*.
+  std::uint64_t shm_attached = 0;   ///< 1 when the ring is mapped and usable
+  std::uint64_t shm_entries = 0;    ///< occupied ring slots at snapshot time
+  std::uint64_t shm_hits = 0;       ///< loads served from shared memory
+  std::uint64_t shm_misses = 0;     ///< ring probes that fell through to disk
+  std::uint64_t shm_inserts = 0;    ///< payloads published into the ring
+  std::uint64_t shm_evictions = 0;  ///< occupied slots overwritten (ring LRU)
+  std::uint64_t shm_errors = 0;     ///< torn/checksum/fault degraded probes
   // Profile-guided tiering (tiering.h). Mirrored process-wide in the obs
   // registry as tiering.* (and cache.deopt for deoptimizations).
   std::uint64_t tier0a_compiles = 0;    ///< Tier-0a baseline compiles executed

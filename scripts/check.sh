@@ -52,6 +52,58 @@ rm -rf "$WARM_DIR"
 rm -rf "$WARM_DIR"
 DBLL_BENCH_REPS=3 "$BUILD/bench/fig_warmstart" --smoke
 echo "dbll: warm-start smoke passed (BENCH_warmstart.json written)"
+# Fleet cache gate (docs/runtime_cache.md, fleet section): populate a cache,
+# ship it as a self-validating bundle (export -> import -> verify), then
+# start a 4-process swarm over the imported directory. Every process must be
+# served with zero Tier-0 compiles and zero lift work (asserted inside
+# warm_smoke); the first one faults entries from disk into the shm hot-entry
+# ring, the rest ride shared memory.
+FLEET_DIR="$BUILD/fleet_smoke_cache"
+FLEET_IMPORT="$BUILD/fleet_smoke_import"
+FLEET_BUNDLE="$BUILD/fleet_smoke.dbbundle"
+rm -rf "$FLEET_DIR" "$FLEET_IMPORT" "$FLEET_BUNDLE"
+"$BUILD/tools/warm_smoke" "$FLEET_DIR"
+"$BUILD/tools/dbll-cachectl" export "$FLEET_DIR" "$FLEET_BUNDLE"
+"$BUILD/tools/dbll-cachectl" import "$FLEET_BUNDLE" "$FLEET_IMPORT"
+"$BUILD/tools/dbll-cachectl" verify "$FLEET_IMPORT"
+"$BUILD/tools/dbll-cachectl" stats "$FLEET_IMPORT" --json |
+  grep -q '"schema_version": 2'
+FLEET_PIDS=""
+for i in 1 2 3 4; do
+  "$BUILD/tools/warm_smoke" "$FLEET_IMPORT" --expect-warm &
+  FLEET_PIDS="$FLEET_PIDS $!"
+done
+for pid in $FLEET_PIDS; do wait "$pid"; done
+rm -rf "$FLEET_DIR" "$FLEET_IMPORT" "$FLEET_BUNDLE"
+echo "dbll: fleet swarm gate passed (4 processes, zero compiles)"
+# Prewarm gate: bulk-compile a SpecKey manifest against the shipped kernel
+# library, then re-run it -- the second pass must be served entirely from the
+# cache (--expect-warm exits nonzero on any compile).
+PREWARM_DIR="$BUILD/prewarm_smoke_cache"
+PREWARM_MANIFEST="$BUILD/prewarm_smoke_manifest.json"
+rm -rf "$PREWARM_DIR"
+cat > "$PREWARM_MANIFEST" << EOF
+{ "schema_version": 1,
+  "lib": "$BUILD/tools/libprewarm_kernels.so",
+  "entries": [
+    { "symbol": "prewarm_saxpy", "int_args": 4, "returns_value": true,
+      "fix": [ { "index": 4, "value": 64 } ] },
+    { "symbol": "prewarm_dot3", "int_args": 3, "returns_value": true,
+      "fix": [ { "index": 3, "value": 32 } ] },
+    { "symbol": "prewarm_poly", "int_args": 4, "returns_value": true,
+      "fix": [ { "index": 2, "value": 7 }, { "index": 3, "value": 5 },
+               { "index": 4, "value": 3 } ] } ] }
+EOF
+"$BUILD/tools/dbll-cachectl" prewarm "$PREWARM_DIR" "$PREWARM_MANIFEST"
+"$BUILD/tools/dbll-cachectl" prewarm "$PREWARM_DIR" "$PREWARM_MANIFEST" \
+  --expect-warm
+rm -rf "$PREWARM_DIR" "$PREWARM_MANIFEST"
+echo "dbll: prewarm gate passed (second pass fully warm)"
+# Fleet bench smoke: shm hit must be measurably cheaper than a disk hit, and
+# a 4-service restart from a bundle must do zero Tier-0 compiles
+# (BENCH_fleet.json records the medians; nonzero exit on a missed gate).
+DBLL_BENCH_REPS=5 "$BUILD/bench/fig_fleet" --smoke
+echo "dbll: fleet cache smoke passed (BENCH_fleet.json written)"
 # Tiering smoke (docs/tiering.md): interim seed, counter-driven auto-promotion
 # and deoptimization end-to-end. The bench exits nonzero unless every gate
 # holds; the grep re-asserts the promoted-handle gate explicitly -- both

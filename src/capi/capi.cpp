@@ -1,5 +1,7 @@
 #include "dbll/dbrew/capi.h"
 
+#include <cstddef>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -158,11 +160,94 @@ void dbrew_free(dbrew_rewriter* r) { dbll_rewriter_free(r); }
 
 /* --- dbll_cache_*: specialization cache + async compile service ----------- */
 
+/// A dbll_cache_options_v1 field may only be read when the caller's binary
+/// actually contains it: its apply bit is set AND it lies inside the
+/// caller-declared struct_size prefix.
+#define DBLL_OPT_PRESENT(opts, bit, field)                 \
+  (((opts)->apply_mask & (bit)) != 0 &&                    \
+   (opts)->struct_size >=                                  \
+       offsetof(dbll_cache_options_v1, field) + sizeof((opts)->field))
+
 dbll_cache* dbll_cache_new(int workers, uint64_t capacity) {
   dbll::runtime::CompileService::Options options;
   options.workers = workers;
   options.capacity = static_cast<std::size_t>(capacity);
   return new dbll_cache(options);
+}
+
+dbll_cache* dbll_cache_new_v1(const dbll_cache_options_v1* opts) {
+  // Start from the library defaults; the CompileService constructor applies
+  // the DBLL_* environment overrides on top (the shared ApplyEnv path), so a
+  // NULL opts means "defaults + environment" with zero duplication here.
+  dbll::runtime::CompileService::Options options;
+  if (opts != nullptr && opts->struct_size >= sizeof(uint64_t)) {
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_WORKERS, workers)) {
+      options.workers = opts->workers;
+    }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_CAPACITY, capacity)) {
+      options.capacity = static_cast<std::size_t>(opts->capacity);
+    }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_DEADLINE, deadline_ms)) {
+      options.default_deadline_ms = opts->deadline_ms;
+    }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_TIERING,
+                         tiering_hot_threshold)) {
+      options.tiering.enabled = opts->tiering_enabled != 0;
+      if (opts->tiering_hot_threshold != 0) {
+        options.tiering.hot_threshold = opts->tiering_hot_threshold;
+      }
+    }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_PERSIST, persist_dir) &&
+        opts->persist_dir != nullptr) {
+      options.persist_dir = opts->persist_dir;
+    }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_SHM, shm_slot_bytes)) {
+      options.shm = opts->shm_enabled != 0;
+      if (opts->shm_slots != 0) options.shm_slots = opts->shm_slots;
+      if (opts->shm_slot_bytes != 0) {
+        options.shm_slot_bytes = opts->shm_slot_bytes;
+      }
+    }
+  }
+  return new dbll_cache(options);
+}
+
+int dbll_cache_configure(dbll_cache* c, const dbll_cache_options_v1* opts) {
+  if (c == nullptr || opts == nullptr) return -1;
+  if (opts->struct_size <
+      offsetof(dbll_cache_options_v1, apply_mask) + sizeof(opts->apply_mask)) {
+    return -1;
+  }
+  // Construction-only knobs: fail before applying anything so the call is
+  // all-or-nothing with respect to its own mask.
+  if (opts->apply_mask &
+      (DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY)) {
+    return -1;
+  }
+  if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_DEADLINE, deadline_ms)) {
+    c->impl.set_default_deadline_ms(opts->deadline_ms);
+  }
+  if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_TIERING,
+                       tiering_hot_threshold)) {
+    dbll::runtime::TieringOptions tiering = c->impl.tiering();
+    tiering.enabled = opts->tiering_enabled != 0;
+    if (opts->tiering_hot_threshold != 0) {
+      tiering.hot_threshold = opts->tiering_hot_threshold;
+    }
+    c->impl.set_tiering(tiering);
+  }
+  // Shm before persist: both re-attach the store, and a call carrying both
+  // should end up with one store built from the *new* ring knobs.
+  if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_SHM, shm_slot_bytes)) {
+    c->impl.set_shm_options(opts->shm_enabled != 0, opts->shm_slots,
+                            opts->shm_slot_bytes);
+  }
+  if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_PERSIST, persist_dir) &&
+      opts->persist_dir != nullptr) {
+    const dbll::Status status = c->impl.set_persist_dir(opts->persist_dir);
+    if (!status.ok()) return -1;  // cause via dbll_cache_last_error
+  }
+  return 0;
 }
 
 void dbll_cache_free(dbll_cache* c) { delete c; }
@@ -244,60 +329,159 @@ const char* dbll_cache_last_error(dbll_cache* c) {
   return c->last_error.c_str();
 }
 
-uint64_t dbll_cache_stat_hits(dbll_cache* c) {
-  const auto stats = c->impl.stats();
-  return stats.hits + stats.coalesced;
+int dbll_cache_get_stats(dbll_cache* c, dbll_cache_stats_v1* out) {
+  if (c == nullptr || out == nullptr) return -1;
+  const uint64_t caller_size = out->struct_size;
+  if (caller_size < sizeof(uint64_t)) return -1;
+
+  const dbll::runtime::CacheStats s = c->impl.stats();
+  dbll_cache_stats_v1 full;
+  std::memset(&full, 0, sizeof(full));
+  full.struct_size = sizeof(full);
+  full.hits = s.hits;
+  full.coalesced = s.coalesced;
+  full.misses = s.misses;
+  full.evictions = s.evictions;
+  full.failures = s.failures;
+  full.compiles = s.compiles;
+  full.tier0_failures = s.tier0_failures;
+  full.tier1_serves = s.tier1_serves;
+  full.tier2_serves = s.tier2_serves;
+  full.retries = s.retries;
+  full.timeouts = s.timeouts;
+  full.negative_hits = s.negative_hits;
+  full.queue_rejected = s.queue_rejected;
+  full.lift_ns = s.stage_total.lift_ns;
+  full.opt_ns = s.stage_total.opt_ns;
+  full.jit_ns = s.stage_total.jit_ns;
+  full.tier1_ns = s.stage_total.tier1_ns;
+  full.tier0a_ns = s.stage_total.tier0a_ns;
+  full.compile_ns = s.stage_total.total_ns();
+  full.tier0a_compiles = s.tier0a_compiles;
+  full.interim_installs = s.interim_installs;
+  full.baseline_installs = s.baseline_installs;
+  full.promotions = s.promotions;
+  full.promote_failures = s.promote_failures;
+  full.deopts = s.deopts;
+  full.disk_hits = s.disk_hits;
+  full.disk_misses = s.disk_misses;
+  full.disk_stores = s.disk_stores;
+  full.disk_evictions = s.disk_evictions;
+  full.disk_load_ns = s.disk_load_ns;
+  full.disk_store_ns = s.disk_store_ns;
+  full.shm_attached = s.shm_attached;
+  full.shm_entries = s.shm_entries;
+  full.shm_hits = s.shm_hits;
+  full.shm_misses = s.shm_misses;
+  full.shm_inserts = s.shm_inserts;
+  full.shm_evictions = s.shm_evictions;
+  full.shm_errors = s.shm_errors;
+
+  // Copy exactly the prefix both sides know; zero the tail the caller
+  // declared but this library predates.
+  const std::size_t known =
+      caller_size < sizeof(full) ? static_cast<std::size_t>(caller_size)
+                                 : sizeof(full);
+  if (caller_size > sizeof(full)) {
+    std::memset(out, 0, static_cast<std::size_t>(caller_size));
+  }
+  std::memcpy(out, &full, known);
+  return 0;
 }
 
-uint64_t dbll_cache_stat_misses(dbll_cache* c) { return c->impl.stats().misses; }
+/* Deprecated one-off getters/setters: thin wrappers over the struct API. */
+
+uint64_t dbll_cache_stat_hits(dbll_cache* c) {
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  if (dbll_cache_get_stats(c, &s) != 0) return 0;
+  return s.hits + s.coalesced;  // this getter always counted joins as hits
+}
+
+uint64_t dbll_cache_stat_misses(dbll_cache* c) {
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.misses : 0;
+}
 
 uint64_t dbll_cache_stat_evictions(dbll_cache* c) {
-  return c->impl.stats().evictions;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.evictions : 0;
 }
 
 uint64_t dbll_cache_stat_compiles(dbll_cache* c) {
-  return c->impl.stats().compiles;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.compiles : 0;
 }
 
 uint64_t dbll_cache_stat_compile_ns(dbll_cache* c) {
-  return c->impl.stats().stage_total.total_ns();
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.compile_ns : 0;
 }
 
 void dbll_cache_set_deadline_ms(dbll_cache* c, uint32_t deadline_ms) {
-  c->impl.set_default_deadline_ms(deadline_ms);
+  dbll_cache_options_v1 o;
+  std::memset(&o, 0, sizeof(o));
+  o.struct_size = sizeof(o);
+  o.apply_mask = DBLL_CACHE_APPLY_DEADLINE;
+  o.deadline_ms = deadline_ms;
+  dbll_cache_configure(c, &o);
 }
 
 void dbll_cache_set_tiering(dbll_cache* c, int enable, uint64_t hot_threshold) {
-  dbll::runtime::TieringOptions tiering = c->impl.tiering();
-  tiering.enabled = enable != 0;
-  if (hot_threshold != 0) tiering.hot_threshold = hot_threshold;
-  c->impl.set_tiering(tiering);
+  dbll_cache_options_v1 o;
+  std::memset(&o, 0, sizeof(o));
+  o.struct_size = sizeof(o);
+  o.apply_mask = DBLL_CACHE_APPLY_TIERING;
+  o.tiering_enabled = enable != 0 ? 1 : 0;
+  o.tiering_hot_threshold = hot_threshold;  // 0 = keep current threshold
+  dbll_cache_configure(c, &o);
 }
 
 uint64_t dbll_cache_stat_baseline_installs(dbll_cache* c) {
-  return c->impl.stats().baseline_installs;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.baseline_installs : 0;
 }
 
 uint64_t dbll_cache_stat_interim_installs(dbll_cache* c) {
-  return c->impl.stats().interim_installs;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.interim_installs : 0;
 }
 
 uint64_t dbll_cache_stat_promotions(dbll_cache* c) {
-  return c->impl.stats().promotions;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.promotions : 0;
 }
 
 uint64_t dbll_cache_stat_deopts(dbll_cache* c) {
-  return c->impl.stats().deopts;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.deopts : 0;
 }
 
 uint64_t dbll_cache_stat_tier0a_ns(dbll_cache* c) {
-  return c->impl.stats().stage_total.tier0a_ns;
+  dbll_cache_stats_v1 s;
+  s.struct_size = sizeof(s);
+  return dbll_cache_get_stats(c, &s) == 0 ? s.tier0a_ns : 0;
 }
 
 int dbll_cache_set_persist_dir(dbll_cache* c, const char* dir) {
-  const dbll::Status status =
-      c->impl.set_persist_dir(dir != nullptr ? dir : "");
-  return status.ok() ? 0 : -1;  // cause via dbll_cache_last_error
+  if (c == nullptr) return -1;
+  dbll_cache_options_v1 o;
+  std::memset(&o, 0, sizeof(o));
+  o.struct_size = sizeof(o);
+  o.apply_mask = DBLL_CACHE_APPLY_PERSIST;
+  // This setter's documented contract rejects NULL/"" via last_error, so
+  // NULL maps to "" (rejected by the service) instead of configure's
+  // NULL-means-keep.
+  o.persist_dir = dir != nullptr ? dir : "";
+  return dbll_cache_configure(c, &o);
 }
 
 int dbll_cache_persist_enabled(dbll_cache* c) {
@@ -317,6 +501,14 @@ void dbll_cache_persist_stats(dbll_cache* c, dbll_persist_stats* out) {
   out->errors = stats.errors;
   out->load_ns = stats.load_ns;
   out->store_ns = stats.store_ns;
+  out->shm_attached = stats.shm_attached;
+  out->shm_slots = stats.shm_slots;
+  out->shm_entries = stats.shm_entries;
+  out->shm_hits = stats.shm_hits;
+  out->shm_misses = stats.shm_misses;
+  out->shm_inserts = stats.shm_inserts;
+  out->shm_evictions = stats.shm_evictions;
+  out->shm_errors = stats.shm_errors;
 }
 
 /* --- dbll_analyze_*: static lift-eligibility audit ------------------------- */

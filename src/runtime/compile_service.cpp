@@ -15,6 +15,7 @@
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/support/fault.h"
+#include "env_util.h"
 
 namespace dbll::runtime {
 
@@ -328,25 +329,41 @@ StageTimes FunctionHandle::times() const {
   return slot_->times;
 }
 
+CompileService::Options& CompileService::Options::ApplyEnv() {
+  // persist_dir: explicit code configuration wins over the environment (the
+  // pre-existing DBLL_CACHE_DIR contract); the remaining knobs are operator
+  // overrides, so the environment wins when set.
+  if (persist_dir.empty()) persist_dir = env::Str("DBLL_CACHE_DIR", "");
+  default_deadline_ms = static_cast<std::uint32_t>(
+      env::U64("DBLL_CACHE_DEADLINE_MS", default_deadline_ms));
+  shm = env::Flag("DBLL_CACHE_SHM", shm);
+  shm_slots =
+      static_cast<std::uint32_t>(env::U64("DBLL_CACHE_SHM_SLOTS", shm_slots));
+  shm_slot_bytes = env::U64("DBLL_CACHE_SHM_SLOT_BYTES", shm_slot_bytes);
+  tiering.ApplyEnv();
+  return *this;
+}
+
 CompileService::CompileService() : CompileService(Options{}) {}
 
 CompileService::CompileService(Options options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
-  options_.tiering.ApplyEnv();
+  // Every DBLL_* override funnels through here (the C API constructs a
+  // CompileService too, so C and C++ embedders share one env grammar).
+  options_.ApplyEnv();
   tiering_enabled_.store(options_.tiering.enabled, std::memory_order_release);
   alive_ = std::make_shared<AliveToken>();
   alive_->svc = this;
   // Resolve the persistent store: explicit option first, DBLL_CACHE_DIR
-  // second, otherwise persistence stays off. A directory that cannot be
-  // created degrades to the in-memory behaviour (recorded as last_error_),
-  // matching the "disk trouble never breaks compilation" contract.
-  std::string dir = options_.persist_dir;
-  if (dir.empty()) {
-    if (const char* env = std::getenv("DBLL_CACHE_DIR")) dir = env;
-  }
-  if (!dir.empty()) {
+  // (applied by ApplyEnv) second, otherwise persistence stays off. A
+  // directory that cannot be created degrades to the in-memory behaviour
+  // (recorded as last_error_), matching the "disk trouble never breaks
+  // compilation" contract.
+  if (!options_.persist_dir.empty()) {
     auto store = std::make_shared<ObjectStore>(ObjectStore::Options{
-        dir, options_.persist_max_bytes, options_.persist_max_entries});
+        options_.persist_dir, options_.persist_max_bytes,
+        options_.persist_max_entries, options_.shm, options_.shm_slots,
+        options_.shm_slot_bytes});
     if (store->init_status().ok()) {
       store_ = std::move(store);
     } else {
@@ -700,9 +717,26 @@ TieringOptions CompileService::tiering() {
   return options_.tiering;
 }
 
+void CompileService::set_shm_options(bool enabled, std::uint32_t slots,
+                                     std::uint64_t slot_bytes) {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_.shm = enabled;
+    if (slots != 0) options_.shm_slots = slots;
+    if (slot_bytes != 0) options_.shm_slot_bytes = slot_bytes;
+    if (store_ != nullptr) dir = store_->dir();
+  }
+  // Re-attach the current store so the new ring configuration takes effect
+  // now, not at the next set_persist_dir. Counters restart from zero, the
+  // documented behaviour of re-attaching.
+  if (!dir.empty()) (void)set_persist_dir(dir);
+}
+
 Status CompileService::set_persist_dir(const std::string& dir) {
   auto store = std::make_shared<ObjectStore>(ObjectStore::Options{
-      dir, options_.persist_max_bytes, options_.persist_max_entries});
+      dir, options_.persist_max_bytes, options_.persist_max_entries,
+      options_.shm, options_.shm_slots, options_.shm_slot_bytes});
   std::lock_guard<std::mutex> lock(mutex_);
   if (!store->init_status().ok()) {
     last_error_ = store->init_status().error();
@@ -760,6 +794,13 @@ CacheStats CompileService::stats() const {
   s.disk_evictions = disk.evictions;
   s.disk_load_ns = disk.load_ns;
   s.disk_store_ns = disk.store_ns;
+  s.shm_attached = disk.shm_attached;
+  s.shm_entries = disk.shm_entries;
+  s.shm_hits = disk.shm_hits;
+  s.shm_misses = disk.shm_misses;
+  s.shm_inserts = disk.shm_inserts;
+  s.shm_evictions = disk.shm_evictions;
+  s.shm_errors = disk.shm_errors;
   return s;
 }
 

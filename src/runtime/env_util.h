@@ -1,0 +1,46 @@
+// dbll -- shared DBLL_* environment-variable parsing (internal).
+//
+// One grammar for every runtime knob, used by both configuration surfaces:
+// CompileService::Options::ApplyEnv() (which the C++ constructor and every
+// C entry point funnel through) and TieringOptions::ApplyEnv(). Flags accept
+// "0"/"off"/"false" as false and anything else non-empty as true; numeric
+// knobs fall back to the compiled default on an unparsable value rather
+// than guessing.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dbll::runtime::env {
+
+inline bool Flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+inline std::uint64_t U64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end == v) ? fallback : static_cast<std::uint64_t>(parsed);
+}
+
+inline double F64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+inline std::string Str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace dbll::runtime::env

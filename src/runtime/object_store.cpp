@@ -112,6 +112,11 @@ class Reader {
     pos_ += len;
     return true;
   }
+  bool Skip(std::uint64_t n) {
+    if (size_ - pos_ < n) return false;
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
   std::size_t remaining() const { return size_ - pos_; }
   const std::uint8_t* cursor() const { return data_ + pos_; }
 
@@ -258,6 +263,14 @@ ObjectStore::ObjectStore(Options options) : options_(std::move(options)) {
     return;
   }
   init_ = support::EnsureDir(options_.dir);
+  if (init_.ok() && options_.shm) {
+    // A failed attach (unsupported ring format, unmappable file, ...) keeps
+    // the detached ring around for stats and degrades to disk-only.
+    ring_ = std::make_unique<ShmRing>(
+        ShmRing::Options{options_.dir, options_.shm_slots,
+                         options_.shm_slot_bytes},
+        ToolchainFingerprint());
+  }
 }
 
 bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
@@ -266,6 +279,39 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
   const std::uint64_t t0 = NowNs();
   bool hit = false;
   const std::string path = options_.dir + "/" + EntryFileName(fingerprint);
+  // Rung 1 of the lookup ladder: the shared-memory hot-entry ring. The slot
+  // payload is a full serialized entry, so it passes the exact same
+  // validation as a disk read; anything off falls through to disk. A shm
+  // hit skips the manifest touch -- recency there only steers *disk*
+  // eviction, and the entry is demonstrably hot in the ring.
+  if (ring_ != nullptr) {
+    std::vector<std::uint8_t> shm_bytes;
+    if (ring_->Lookup(fingerprint, &shm_bytes)) {
+      std::string llvm_version, target_cpu, detail;
+      ObjectEntry entry;
+      if (Deserialize(shm_bytes, &entry, &llvm_version, &target_cpu,
+                      &detail) &&
+          entry.fingerprint == fingerprint &&
+          llvm_version == lift::LlvmVersionString() &&
+          target_cpu == lift::JitTargetCpu()) {
+        *out = std::move(entry);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t elapsed = NowNs() - t0;
+        load_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+        // A shm hit is a persistent-layer hit: keep the documented
+        // "shm_hits is a subset of disk_hits" invariant in the obs
+        // registry's cache.disk_* mirror as well.
+        ObjcacheMetrics::Get().disk_hits.Add(1);
+        ObjcacheMetrics::Get().disk_load_ns.Add(elapsed);
+        return true;
+      }
+      // The ring-level checksum passed but the entry itself does not hold
+      // up (possible only against a hostile or buggy peer): degraded miss,
+      // the disk path below is authoritative.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      ObjcacheMetrics::Get().disk_errors.Add(1);
+    }
+  }
   do {
     // Fault site for the robustness suite: a firing `objcache.load` behaves
     // as an I/O error -- a degraded miss. The file is *kept* (it is not
@@ -302,6 +348,9 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
     }
     *out = std::move(entry);
     hit = true;
+    // Write the disk hit back into the ring: the next process asking for
+    // this fingerprint gets it without touching the filesystem.
+    if (ring_ != nullptr) (void)ring_->Insert(fingerprint, bytes->data(), bytes->size());
   } while (false);
 
   const std::uint64_t elapsed = NowNs() - t0;
@@ -322,14 +371,22 @@ void ObjectStore::Store(const ObjectEntry& entry) {
   if (!init_.ok()) return;
   DBLL_TRACE_SPAN("jit.objcache.store");
   const std::uint64_t t0 = NowNs();
-  Status status = WriteEntry(options_.dir, entry, lift::LlvmVersionString(),
-                             lift::JitTargetCpu());
+  // Serialize once; the identical bytes go to the disk file and the shm
+  // ring, so a ring hit and a disk hit are byte-equivalent by construction.
+  const std::vector<std::uint8_t> bytes =
+      Serialize(entry, lift::LlvmVersionString(), lift::JitTargetCpu());
+  Status status = support::WriteFileAtomic(
+      options_.dir + "/" + EntryFileName(entry.fingerprint), bytes.data(),
+      bytes.size());
   if (!status.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     ObjcacheMetrics::Get().disk_errors.Add(1);
   } else {
     stores_.fetch_add(1, std::memory_order_relaxed);
     ObjcacheMetrics::Get().disk_stores.Add(1);
+    if (ring_ != nullptr) {
+      (void)ring_->Insert(entry.fingerprint, bytes.data(), bytes.size());
+    }
     FileLock lock(options_.dir + "/" + kLockName);
     if (lock.ok()) {
       auto used = ReadManifest(options_.dir);
@@ -408,6 +465,18 @@ ObjectStoreStats ObjectStore::stats() const {
   s.errors = errors_.load(std::memory_order_relaxed);
   s.load_ns = load_ns_.load(std::memory_order_relaxed);
   s.store_ns = store_ns_.load(std::memory_order_relaxed);
+  if (ring_ != nullptr && ring_->attached()) {
+    const ShmRingStats rs = ring_->stats();
+    const ShmRingOccupancy occ = ring_->occupancy();
+    s.shm_attached = 1;
+    s.shm_slots = occ.slot_count;
+    s.shm_entries = occ.used_slots;
+    s.shm_hits = rs.hits;
+    s.shm_misses = rs.misses;
+    s.shm_inserts = rs.inserts;
+    s.shm_evictions = rs.evictions;
+    s.shm_errors = rs.errors;
+  }
   return s;
 }
 
@@ -474,11 +543,116 @@ Expected<std::uint64_t> ObjectStore::Purge(const std::string& dir) {
     std::uint64_t fp = 0;
     const bool is_entry = ParseEntryFileName(name, &fp);
     const bool is_meta = name == kManifestName || name == kLockName ||
+                         name == ShmRing::RingFileName() ||
                          name.find(".tmp.") != std::string::npos;
     if (!is_entry && !is_meta) continue;
     if (support::RemoveFile(dir + "/" + name).ok() && is_entry) ++removed;
   }
   return removed;
+}
+
+///// Bundle container layout (all integers little-endian):
+///   magic   8B  "DBLLBND1"
+///   version u32 (kBundleVersion)
+///   count   u32 (number of entries)
+///   entries count x { size u64, bytes[size] }   -- exact .dbo file bytes
+///   fnv     u64  (FNV-1a over every preceding byte)
+/// Each contained entry is itself a self-validating DBLLOBJ1 container, and
+/// import re-validates both layers before publishing anything.
+namespace {
+constexpr char kBundleMagic[8] = {'D', 'B', 'L', 'L', 'B', 'N', 'D', '1'};
+constexpr std::uint32_t kBundleVersion = 1;
+constexpr std::uint32_t kBundleMaxEntries = 1u << 20;
+}  // namespace
+
+Expected<std::uint64_t> ObjectStore::ExportBundle(const std::string& dir,
+                                                  const std::string& path) {
+  DBLL_TRY(std::vector<ObjectScanEntry> scans, Scan(dir));
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kBundleMagic, kBundleMagic + sizeof(kBundleMagic));
+  PutU32(out, kBundleVersion);
+  std::uint64_t count = 0;
+  const std::size_t count_pos = out.size();
+  PutU32(out, 0);  // patched once the valid entries are known
+  for (const ObjectScanEntry& scan : scans) {
+    if (!scan.valid) continue;  // skip hostile/corrupt files, never fatal
+    auto bytes = support::ReadFileBytes(dir + "/" + scan.file);
+    if (!bytes.has_value()) continue;
+    PutU64(out, bytes->size());
+    out.insert(out.end(), bytes->begin(), bytes->end());
+    ++count;
+  }
+  for (int i = 0; i < 4; ++i) {
+    out[count_pos + i] = static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  PutU64(out, Fnv1aBytes(out.data(), out.size()));
+  DBLL_TRY_STATUS(support::WriteFileAtomic(path, out.data(), out.size()));
+  return count;
+}
+
+Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
+                                                  const std::string& dir) {
+  DBLL_TRY(std::vector<std::uint8_t> bytes, support::ReadFileBytes(path));
+  if (bytes.size() < sizeof(kBundleMagic) + 4 + 4 + 8 ||
+      std::memcmp(bytes.data(), kBundleMagic, sizeof(kBundleMagic)) != 0) {
+    return Error(ErrorKind::kIo, "not a dbll bundle: " + path);
+  }
+  const std::uint64_t body_size = bytes.size() - 8;
+  Reader trailer(bytes.data() + body_size, 8);
+  std::uint64_t fnv = 0;
+  (void)trailer.ReadU64(&fnv);
+  if (Fnv1aBytes(bytes.data(), body_size) != fnv) {
+    return Error(ErrorKind::kIo, "bundle checksum mismatch: " + path);
+  }
+  Reader body(bytes.data() + sizeof(kBundleMagic),
+              body_size - sizeof(kBundleMagic));
+  std::uint32_t version = 0, count = 0;
+  if (!body.ReadU32(&version) || version != kBundleVersion) {
+    return Error(ErrorKind::kUnsupported, "unknown bundle version: " + path);
+  }
+  if (!body.ReadU32(&count) || count > kBundleMaxEntries) {
+    return Error(ErrorKind::kIo, "implausible bundle entry count: " + path);
+  }
+  // Parse and validate everything up front: a bundle that fails any check
+  // publishes nothing (all-or-nothing, so a truncated download cannot leave
+  // a half-warm cache that masks the problem).
+  struct Pending {
+    std::uint64_t fingerprint;
+    const std::uint8_t* data;
+    std::uint64_t size;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t size = 0;
+    if (!body.ReadU64(&size) || body.remaining() < size) {
+      return Error(ErrorKind::kIo, "truncated bundle entry: " + path);
+    }
+    const std::uint8_t* data = body.cursor();
+    std::vector<std::uint8_t> entry_bytes(data, data + size);
+    ObjectEntry entry;
+    std::string llvm_version, target_cpu, detail;
+    if (!Deserialize(entry_bytes, &entry, &llvm_version, &target_cpu,
+                     &detail)) {
+      return Error(ErrorKind::kIo,
+                   "invalid entry " + std::to_string(i) + " in bundle: " +
+                       detail);
+    }
+    pending.push_back({entry.fingerprint, data, size});
+    (void)body.Skip(size);  // bounds already checked above
+  }
+  DBLL_TRY_STATUS(support::EnsureDir(dir));
+  std::uint64_t imported = 0;
+  for (const Pending& p : pending) {
+    // Publish the original bytes verbatim: export -> import round-trips are
+    // byte-identical, so fingerprints and checksums keep holding.
+    if (support::WriteFileAtomic(dir + "/" + EntryFileName(p.fingerprint),
+                                 p.data, p.size)
+            .ok()) {
+      ++imported;
+    }
+  }
+  return imported;
 }
 
 std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
@@ -495,6 +669,17 @@ std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
   const std::string& cpu = lift::JitTargetCpu();
   hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(llvm_version.data()),
                     llvm_version.size(), hash);
+  hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(cpu.data()),
+                    cpu.size(), hash);
+  return hash;
+}
+
+std::uint64_t ToolchainFingerprint() {
+  const std::string& llvm_version = lift::LlvmVersionString();
+  const std::string& cpu = lift::JitTargetCpu();
+  std::uint64_t hash = Fnv1aBytes(
+      reinterpret_cast<const std::uint8_t*>(llvm_version.data()),
+      llvm_version.size());
   hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(cpu.data()),
                     cpu.size(), hash);
   return hash;

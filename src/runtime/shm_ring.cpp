@@ -1,0 +1,580 @@
+// dbll -- shared-memory hot-entry ring (see include/dbll/runtime/shm_ring.h
+// for the design, safety model, and failure semantics).
+#include "dbll/runtime/shm_ring.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
+#include "dbll/support/file_io.h"
+
+namespace dbll::runtime {
+
+namespace {
+
+constexpr char kRingMagic[8] = {'D', 'B', 'L', 'L', 'S', 'H', 'M', '1'};
+constexpr std::uint32_t kShmFormatVersion = 1;
+constexpr const char kRingFile[] = "hotring.dbshm";
+
+/// Fixed-size regions of the ring file. The header gets a full page so the
+/// slot array starts page-aligned; each slot's bookkeeping gets one cache
+/// line so racing readers of neighbouring slots never false-share.
+constexpr std::uint64_t kHeaderBytes = 4096;
+constexpr std::uint64_t kSlotHeaderBytes = 64;
+
+/// Geometry sanity bounds, applied both to requested Options and to the
+/// header of an existing file (which is untrusted input).
+constexpr std::uint32_t kMinSlots = 1, kMaxSlots = 65536;
+constexpr std::uint64_t kMinSlotBytes = 4096;
+constexpr std::uint64_t kMaxSlotBytes = 256ull << 20;
+
+enum InitState : std::uint32_t {
+  kRaw = 0,          ///< freshly created, never initialized
+  kInitializing = 1, ///< an initializer is (or died) mid-setup
+  kReady = 2,        ///< published; safe to use
+};
+
+std::uint64_t AlignUp(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+std::uint64_t SlotStride(std::uint64_t slot_bytes) {
+  return kSlotHeaderBytes + AlignUp(slot_bytes, 64);
+}
+
+std::uint64_t FileBytes(std::uint32_t slots, std::uint64_t slot_bytes) {
+  return kHeaderBytes + slots * SlotStride(slot_bytes);
+}
+
+bool GeometrySane(std::uint32_t slots, std::uint64_t slot_bytes) {
+  return slots >= kMinSlots && slots <= kMaxSlots &&
+         slot_bytes >= kMinSlotBytes && slot_bytes <= kMaxSlotBytes;
+}
+
+std::uint64_t Fnv1aBytes(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t NowNs() { return obs::Tracer::NowNs(); }
+
+struct ShmMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+  obs::Counter& evictions;
+  obs::Counter& errors;
+  obs::Counter& attaches;
+  obs::Counter& reinits;
+  obs::Counter& lookup_ns;
+  obs::Counter& insert_ns;
+
+  static ShmMetrics& Get() {
+    static ShmMetrics* instance = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return new ShmMetrics{
+          r.GetCounter("shmcache.hits"),      r.GetCounter("shmcache.misses"),
+          r.GetCounter("shmcache.inserts"),   r.GetCounter("shmcache.evictions"),
+          r.GetCounter("shmcache.errors"),    r.GetCounter("shmcache.attaches"),
+          r.GetCounter("shmcache.reinits"),   r.GetCounter("shmcache.lookup_ns"),
+          r.GetCounter("shmcache.insert_ns")};
+    }();
+    return *instance;
+  }
+};
+
+/// Plain-old-data mirrors of the shared-memory layouts, used for untrusted
+/// pread-based header inspection before (or instead of) mapping the file.
+/// std::atomic<T> of these widths is layout-compatible with T on every
+/// supported target; the static_asserts below pin that down.
+struct HeaderImage {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t slot_count;
+  std::uint64_t slot_bytes;
+  std::uint64_t toolchain_fp;
+  std::uint32_t init_state;
+  std::uint32_t init_pid;
+  std::uint64_t clock;
+  std::uint64_t fleet_hits;
+  std::uint64_t fleet_inserts;
+  std::uint64_t fleet_evictions;
+};
+
+struct SlotImage {
+  std::uint32_t seq;
+  std::uint32_t writer_pid;
+  std::uint64_t last_used;
+  std::uint64_t fingerprint;
+  std::uint64_t payload_size;
+  std::uint64_t payload_fnv;
+};
+
+}  // namespace
+
+/// Shared ring-file header (one per cache directory, lives in page 0).
+struct ShmRing::Header {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t slot_count;
+  std::uint64_t slot_bytes;
+  std::uint64_t toolchain_fp;
+  std::atomic<std::uint32_t> init_state;
+  std::uint32_t init_pid;              ///< diagnostics: who initialized
+  std::atomic<std::uint64_t> clock;    ///< logical LRU clock (monotonic)
+  std::atomic<std::uint64_t> fleet_hits;
+  std::atomic<std::uint64_t> fleet_inserts;
+  std::atomic<std::uint64_t> fleet_evictions;
+};
+
+/// Per-slot bookkeeping; the payload follows at kSlotHeaderBytes.
+struct ShmRing::Slot {
+  std::atomic<std::uint32_t> seq;  ///< seqlock word: odd = write in progress
+  std::uint32_t writer_pid;        ///< diagnostics: last writer
+  std::atomic<std::uint64_t> last_used;  ///< logical clock at last hit/insert
+  std::atomic<std::uint64_t> fingerprint;
+  std::atomic<std::uint64_t> payload_size;  ///< 0 = slot is free
+  std::atomic<std::uint64_t> payload_fnv;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "the ring requires address-free lock-free atomics");
+
+const char* ShmRing::RingFileName() { return kRingFile; }
+
+ShmRing::Slot* ShmRing::SlotAt(std::uint32_t index) const {
+  return reinterpret_cast<Slot*>(static_cast<std::uint8_t*>(map_) +
+                                 kHeaderBytes + index * slot_stride_);
+}
+
+ShmRing::ShmRing(Options options, std::uint64_t toolchain_fp)
+    : options_(std::move(options)) {
+  static_assert(sizeof(Header) == sizeof(HeaderImage),
+                "shared header must be layout-compatible with its POD image");
+  static_assert(sizeof(Slot) == sizeof(SlotImage),
+                "shared slot must be layout-compatible with its POD image");
+  static_assert(sizeof(Header) <= kHeaderBytes);
+  static_assert(sizeof(Slot) <= kSlotHeaderBytes);
+  if (options_.dir.empty()) {
+    init_ = Error(ErrorKind::kBadConfig, "ShmRing: empty directory");
+    return;
+  }
+  init_ = support::EnsureDir(options_.dir);
+  if (!init_.ok()) return;
+  if (!GeometrySane(options_.slots, options_.slot_bytes)) {
+    init_ = Error(ErrorKind::kBadConfig, "ShmRing: geometry out of bounds");
+    return;
+  }
+  const std::string path = options_.dir + "/" + kRingFile;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    init_ = Error(ErrorKind::kIo, "ShmRing: cannot open " + path);
+    return;
+  }
+  if (::flock(fd_, LOCK_EX) != 0) {
+    init_ = Error(ErrorKind::kIo, "ShmRing: flock failed on " + path);
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  const bool ok = AttachLocked(toolchain_fp);
+  ::flock(fd_, LOCK_UN);
+  if (!ok) {
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+    header_ = nullptr;
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  ShmMetrics::Get().attaches.Add(1);
+}
+
+ShmRing::~ShmRing() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+/// Caller holds the exclusive flock. Decides between adopting an existing
+/// initialized ring, refusing an unknown newer format, and (re)initializing.
+bool ShmRing::AttachLocked(std::uint64_t toolchain_fp) {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    init_ = Error(ErrorKind::kIo, "ShmRing: fstat failed");
+    return false;
+  }
+  HeaderImage img{};
+  bool adopt = false;
+  const bool had_header =
+      st.st_size >= static_cast<off_t>(sizeof(img)) &&
+      ::pread(fd_, &img, sizeof(img), 0) == static_cast<ssize_t>(sizeof(img)) &&
+      std::memcmp(img.magic, kRingMagic, sizeof(kRingMagic)) == 0;
+  if (had_header) {
+    if (img.format_version != kShmFormatVersion && img.init_state == kReady) {
+      // A published ring owned by a format we do not speak (likely newer).
+      // Never reinterpret or destroy it -- this process degrades to disk.
+      init_ = Error(ErrorKind::kUnsupported,
+                    "ShmRing: unsupported ring format version " +
+                        std::to_string(img.format_version));
+      return false;
+    }
+    if (img.format_version == kShmFormatVersion && img.init_state == kReady &&
+        GeometrySane(img.slot_count, img.slot_bytes) &&
+        st.st_size ==
+            static_cast<off_t>(FileBytes(img.slot_count, img.slot_bytes)) &&
+        img.toolchain_fp == toolchain_fp) {
+      adopt = true;
+    }
+    // Everything else -- a crashed initializer (state != ready under the
+    // exclusive lock proves its owner died), an implausible geometry, a
+    // truncated file, or a ring stamped by a different toolchain -- is
+    // re-initialized below, same as the ObjectStore's invalidation rule.
+  }
+  slot_count_ = adopt ? img.slot_count : options_.slots;
+  slot_bytes_ = adopt ? img.slot_bytes : options_.slot_bytes;
+  slot_stride_ = SlotStride(slot_bytes_);
+  map_bytes_ = FileBytes(slot_count_, slot_bytes_);
+  if (!adopt && ::ftruncate(fd_, static_cast<off_t>(map_bytes_)) != 0) {
+    init_ = Error(ErrorKind::kIo, "ShmRing: ftruncate failed");
+    return false;
+  }
+  map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                0);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    init_ = Error(ErrorKind::kIo, "ShmRing: mmap failed");
+    return false;
+  }
+  header_ = static_cast<Header*>(map_);
+  if (!adopt) {
+    InitializeLocked(toolchain_fp);
+    if (st.st_size != 0) {
+      // There was *something* here (crashed init, stale toolchain, garbage)
+      // and we wiped it -- worth a counter, it costs the fleet its warmth.
+      reinit_.fetch_add(1, std::memory_order_relaxed);
+      ShmMetrics::Get().reinits.Add(1);
+    }
+  }
+  return true;
+}
+
+/// Caller holds the exclusive flock and a fresh ftruncate'd mapping.
+void ShmRing::InitializeLocked(std::uint64_t toolchain_fp) {
+  header_->init_state.store(kInitializing, std::memory_order_relaxed);
+  header_->init_pid = static_cast<std::uint32_t>(::getpid());
+  std::memcpy(header_->magic, kRingMagic, sizeof(kRingMagic));
+  header_->format_version = kShmFormatVersion;
+  header_->slot_count = slot_count_;
+  header_->slot_bytes = slot_bytes_;
+  header_->toolchain_fp = toolchain_fp;
+  header_->clock.store(0, std::memory_order_relaxed);
+  header_->fleet_hits.store(0, std::memory_order_relaxed);
+  header_->fleet_inserts.store(0, std::memory_order_relaxed);
+  header_->fleet_evictions.store(0, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot* slot = SlotAt(i);
+    slot->seq.store(0, std::memory_order_relaxed);
+    slot->writer_pid = 0;
+    slot->last_used.store(0, std::memory_order_relaxed);
+    slot->fingerprint.store(0, std::memory_order_relaxed);
+    slot->payload_size.store(0, std::memory_order_relaxed);
+    slot->payload_fnv.store(0, std::memory_order_relaxed);
+  }
+  // Publish: any later attacher that observes kReady (under the flock) also
+  // observes every initialization write above.
+  header_->init_state.store(kReady, std::memory_order_release);
+}
+
+bool ShmRing::Lookup(std::uint64_t fingerprint,
+                     std::vector<std::uint8_t>* out) {
+  if (!attached()) return false;
+  DBLL_TRACE_SPAN("jit.objcache.shm_load");
+  const std::uint64_t t0 = NowNs();
+  bool hit = false;
+  do {
+    // Fault site for the robustness suite: a firing `objcache.shm` makes the
+    // ring behave as unavailable -- a degraded miss, the caller falls
+    // through to the disk store.
+    if (fault::AnyArmed() && fault::Hit("objcache.shm")) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      ShmMetrics::Get().errors.Add(1);
+      break;
+    }
+    for (std::uint32_t i = 0; i < slot_count_ && !hit; ++i) {
+      Slot* slot = SlotAt(i);
+      if (slot->fingerprint.load(std::memory_order_relaxed) != fingerprint) {
+        continue;
+      }
+      // Seqlock read: snapshot an even sequence, copy, re-check. A torn or
+      // concurrently-rewritten slot simply fails the recheck (or, belt and
+      // braces, the checksum) and stays a miss.
+      const std::uint32_t seq1 = slot->seq.load(std::memory_order_acquire);
+      if (seq1 & 1u) continue;  // writer mid-copy
+      const std::uint64_t size =
+          slot->payload_size.load(std::memory_order_relaxed);
+      const std::uint64_t fnv =
+          slot->payload_fnv.load(std::memory_order_relaxed);
+      if (slot->fingerprint.load(std::memory_order_relaxed) != fingerprint ||
+          size == 0 || size > slot_bytes_) {
+        continue;
+      }
+      out->resize(static_cast<std::size_t>(size));
+      std::memcpy(out->data(),
+                  reinterpret_cast<const std::uint8_t*>(slot) +
+                      kSlotHeaderBytes,
+                  static_cast<std::size_t>(size));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot->seq.load(std::memory_order_relaxed) != seq1) continue;
+      if (Fnv1aBytes(out->data(), out->size()) != fnv) {
+        // Survived the seqlock but fails the checksum: hostile or corrupted
+        // shared memory. Count it loudly; the caller falls back to disk.
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ShmMetrics::Get().errors.Add(1);
+        continue;
+      }
+      slot->last_used.store(
+          header_->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      header_->fleet_hits.fetch_add(1, std::memory_order_relaxed);
+      hit = true;
+    }
+  } while (false);
+  const std::uint64_t elapsed = NowNs() - t0;
+  lookup_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  ShmMetrics::Get().lookup_ns.Add(elapsed);
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ShmMetrics::Get().hits.Add(1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ShmMetrics::Get().misses.Add(1);
+  }
+  return hit;
+}
+
+bool ShmRing::Insert(std::uint64_t fingerprint, const std::uint8_t* data,
+                     std::size_t size) {
+  if (!attached() || size == 0) return false;
+  DBLL_TRACE_SPAN("jit.objcache.shm_insert");
+  const std::uint64_t t0 = NowNs();
+  bool inserted = false;
+  do {
+    if (fault::AnyArmed() && fault::Hit("objcache.shm")) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      ShmMetrics::Get().errors.Add(1);
+      break;
+    }
+    if (size > slot_bytes_) {
+      // Oversized objects stay disk-only; the ring is a hot-entry cache,
+      // not the store of record.
+      too_big_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      ShmMetrics::Get().errors.Add(1);
+      break;
+    }
+    // Victim selection under the writer lock: reuse this fingerprint's slot,
+    // else reclaim a crashed writer's slot (odd sequence while *we* hold the
+    // exclusive lock proves its owner died mid-copy), else a free slot, else
+    // evict the least-recently-used.
+    int same = -1, stale = -1, free_slot = -1, lru = -1;
+    std::uint64_t lru_used = ~0ull;
+    for (std::uint32_t i = 0; i < slot_count_; ++i) {
+      Slot* slot = SlotAt(i);
+      if (slot->seq.load(std::memory_order_relaxed) & 1u) {
+        if (stale < 0) stale = static_cast<int>(i);
+        continue;
+      }
+      if (slot->payload_size.load(std::memory_order_relaxed) == 0) {
+        if (free_slot < 0) free_slot = static_cast<int>(i);
+        continue;
+      }
+      if (slot->fingerprint.load(std::memory_order_relaxed) == fingerprint) {
+        same = static_cast<int>(i);
+        break;
+      }
+      const std::uint64_t used =
+          slot->last_used.load(std::memory_order_relaxed);
+      if (lru < 0 || used < lru_used) {
+        lru_used = used;
+        lru = static_cast<int>(i);
+      }
+    }
+    const int index = same >= 0 ? same
+                      : stale >= 0 ? stale
+                      : free_slot >= 0 ? free_slot
+                                       : lru;
+    if (index < 0) {
+      ::flock(fd_, LOCK_UN);
+      break;
+    }
+    if (same < 0 && stale >= 0 && index == stale) {
+      stale_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (index == lru && same < 0 && stale < 0 && free_slot < 0) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ShmMetrics::Get().evictions.Add(1);
+      header_->fleet_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    Slot* slot = SlotAt(static_cast<std::uint32_t>(index));
+    // Seqlock write: force the sequence odd (a stale slot already is),
+    // publish the payload, then bump to the next even value. The fences give
+    // readers the store-store ordering the protocol needs; the checksum
+    // covers anything exotic.
+    const std::uint32_t begin =
+        slot->seq.load(std::memory_order_relaxed) | 1u;
+    slot->seq.store(begin, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot->writer_pid = static_cast<std::uint32_t>(::getpid());
+    slot->fingerprint.store(fingerprint, std::memory_order_relaxed);
+    slot->payload_size.store(size, std::memory_order_relaxed);
+    slot->payload_fnv.store(Fnv1aBytes(data, size),
+                            std::memory_order_relaxed);
+    std::memcpy(reinterpret_cast<std::uint8_t*>(slot) + kSlotHeaderBytes,
+                data, size);
+    slot->last_used.store(
+        header_->clock.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot->seq.store(begin + 1, std::memory_order_release);
+    header_->fleet_inserts.fetch_add(1, std::memory_order_relaxed);
+    ::flock(fd_, LOCK_UN);
+    inserted = true;
+  } while (false);
+  const std::uint64_t elapsed = NowNs() - t0;
+  insert_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  ShmMetrics::Get().insert_ns.Add(elapsed);
+  if (inserted) {
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    ShmMetrics::Get().inserts.Add(1);
+  }
+  return inserted;
+}
+
+ShmRingStats ShmRing::stats() const {
+  ShmRingStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.too_big = too_big_.load(std::memory_order_relaxed);
+  s.stale_reclaimed = stale_reclaimed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.reinit = reinit_.load(std::memory_order_relaxed);
+  s.lookup_ns = lookup_ns_.load(std::memory_order_relaxed);
+  s.insert_ns = insert_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ShmRingOccupancy ShmRing::occupancy() const {
+  ShmRingOccupancy occ;
+  if (!attached()) return occ;
+  occ.format_version = header_->format_version;
+  occ.slot_count = slot_count_;
+  occ.slot_bytes = slot_bytes_;
+  occ.toolchain_fp = header_->toolchain_fp;
+  occ.fleet_hits = header_->fleet_hits.load(std::memory_order_relaxed);
+  occ.fleet_inserts = header_->fleet_inserts.load(std::memory_order_relaxed);
+  occ.fleet_evictions =
+      header_->fleet_evictions.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot* slot = SlotAt(i);
+    if (slot->seq.load(std::memory_order_relaxed) & 1u) continue;
+    const std::uint64_t size =
+        slot->payload_size.load(std::memory_order_relaxed);
+    if (size == 0) continue;
+    ++occ.used_slots;
+    occ.payload_bytes += size;
+  }
+  return occ;
+}
+
+Expected<ShmRingOccupancy> ShmRing::Inspect(const std::string& dir) {
+  const std::string path = dir + "/" + kRingFile;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Error(ErrorKind::kIo, "no shm ring at " + path);
+  }
+  HeaderImage img{};
+  const bool header_ok =
+      ::pread(fd, &img, sizeof(img), 0) == static_cast<ssize_t>(sizeof(img)) &&
+      std::memcmp(img.magic, kRingMagic, sizeof(kRingMagic)) == 0;
+  if (!header_ok) {
+    ::close(fd);
+    return Error(ErrorKind::kIo, "unreadable shm ring header at " + path);
+  }
+  if (img.format_version != kShmFormatVersion) {
+    ::close(fd);
+    return Error(ErrorKind::kUnsupported,
+                 "shm ring format version " +
+                     std::to_string(img.format_version) + " at " + path);
+  }
+  if (img.init_state != kReady || !GeometrySane(img.slot_count,
+                                                img.slot_bytes)) {
+    ::close(fd);
+    return Error(ErrorKind::kIo, "uninitialized shm ring at " + path);
+  }
+  ShmRingOccupancy occ;
+  occ.format_version = img.format_version;
+  occ.slot_count = img.slot_count;
+  occ.slot_bytes = img.slot_bytes;
+  occ.toolchain_fp = img.toolchain_fp;
+  occ.fleet_hits = img.fleet_hits;
+  occ.fleet_inserts = img.fleet_inserts;
+  occ.fleet_evictions = img.fleet_evictions;
+  const std::uint64_t stride = SlotStride(img.slot_bytes);
+  for (std::uint32_t i = 0; i < img.slot_count; ++i) {
+    SlotImage slot{};
+    const off_t offset = static_cast<off_t>(kHeaderBytes + i * stride);
+    if (::pread(fd, &slot, sizeof(slot), offset) !=
+        static_cast<ssize_t>(sizeof(slot))) {
+      break;  // truncated file: report what we saw
+    }
+    if ((slot.seq & 1u) || slot.payload_size == 0) continue;
+    ++occ.used_slots;
+    occ.payload_bytes += slot.payload_size;
+  }
+  ::close(fd);
+  return occ;
+}
+
+int ShmRing::TestFindSlot(std::uint64_t fingerprint) const {
+  if (!attached()) return -1;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot* slot = SlotAt(i);
+    if (slot->fingerprint.load(std::memory_order_relaxed) == fingerprint &&
+        slot->payload_size.load(std::memory_order_relaxed) != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void ShmRing::TestSetSlotSeq(std::uint32_t slot_index, std::uint32_t seq) {
+  if (!attached() || slot_index >= slot_count_) return;
+  SlotAt(slot_index)->seq.store(seq, std::memory_order_relaxed);
+}
+
+void ShmRing::TestCorruptSlotPayload(std::uint32_t slot_index) {
+  if (!attached() || slot_index >= slot_count_) return;
+  Slot* slot = SlotAt(slot_index);
+  if (slot->payload_size.load(std::memory_order_relaxed) == 0) return;
+  std::uint8_t* payload =
+      reinterpret_cast<std::uint8_t*>(slot) + kSlotHeaderBytes;
+  payload[0] ^= 0xFF;
+}
+
+}  // namespace dbll::runtime

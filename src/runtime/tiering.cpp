@@ -2,11 +2,10 @@
 #include "dbll/runtime/tiering.h"
 
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/spec_cache.h"
+#include "env_util.h"
 
 namespace dbll::runtime {
 
@@ -19,28 +18,11 @@ std::uint64_t NowNs() {
           .count());
 }
 
-bool EnvFlag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-           std::strcmp(v, "false") == 0);
-}
-
-std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end == v) ? fallback : static_cast<std::uint64_t>(parsed);
-}
-
-double EnvF64(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return (end == v) ? fallback : parsed;
-}
+// The DBLL_* parsing grammar lives in env_util.h, shared with
+// CompileService::Options::ApplyEnv so C and C++ entry points agree.
+constexpr auto EnvFlag = env::Flag;
+constexpr auto EnvU64 = env::U64;
+constexpr auto EnvF64 = env::F64;
 
 /// Rounds up to the next power of two (>= 1).
 std::uint64_t Pow2Ceil(std::uint64_t v) {

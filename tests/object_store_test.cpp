@@ -16,6 +16,7 @@
 #include "dbll/lift/lifter.h"
 #include "dbll/runtime/compile_service.h"
 #include "dbll/runtime/object_store.h"
+#include "dbll/runtime/shm_ring.h"
 #include "dbll/support/fault.h"
 #include "dbll/support/file_io.h"
 
@@ -233,6 +234,97 @@ TEST_F(ObjectStoreTest, LoadFaultDegradesWithoutDroppingTheEntry) {
   EXPECT_TRUE(store.Load(0xcccc, &loaded));
 }
 
+// --- export/import bundles (the fleet-shipping path) ------------------------
+
+TEST_F(ObjectStoreTest, ExportImportRoundTripsByteIdentical) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x1010, 512));
+  store.Store(FakeEntry(0x2020, 2048));
+  auto first = support::ReadFileBytes(EntryPath(0x1010));
+  auto second = support::ReadFileBytes(EntryPath(0x2020));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+
+  const std::string bundle = dir_ + "/export.dbbundle";
+  auto exported = ObjectStore::ExportBundle(dir_, bundle);
+  ASSERT_TRUE(exported.has_value()) << exported.error().Format();
+  EXPECT_EQ(*exported, 2u);
+
+  char tmpl[] = "/tmp/dbll_objstore_import_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string other = tmpl;
+  auto imported = ObjectStore::ImportBundle(bundle, other);
+  ASSERT_TRUE(imported.has_value()) << imported.error().Format();
+  EXPECT_EQ(*imported, 2u);
+
+  // The issue's contract is byte equivalence, not just semantic equality:
+  // the imported files are exactly what ExportBundle read.
+  auto first_copy = support::ReadFileBytes(
+      other + "/" + ObjectStore::EntryFileName(0x1010));
+  auto second_copy = support::ReadFileBytes(
+      other + "/" + ObjectStore::EntryFileName(0x2020));
+  ASSERT_TRUE(first_copy.has_value());
+  ASSERT_TRUE(second_copy.has_value());
+  EXPECT_EQ(*first_copy, *first);
+  EXPECT_EQ(*second_copy, *second);
+
+  (void)ObjectStore::Purge(other);
+  ::rmdir(other.c_str());
+}
+
+TEST_F(ObjectStoreTest, CorruptOrTruncatedBundleImportsNothing) {
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x3030));
+  const std::string bundle = dir_ + "/export.dbbundle";
+  ASSERT_TRUE(ObjectStore::ExportBundle(dir_, bundle).has_value());
+  auto bytes = support::ReadFileBytes(bundle);
+  ASSERT_TRUE(bytes.has_value());
+
+  char tmpl[] = "/tmp/dbll_objstore_import_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string other = tmpl;
+
+  // One flipped byte in the middle (caught by the trailing FNV) and a
+  // truncated tail (caught by the length checks): both must import nothing
+  // -- a bundle is all-or-nothing.
+  auto flipped = *bytes;
+  flipped[flipped.size() / 2] ^= 0xff;
+  ASSERT_TRUE(support::WriteFileAtomic(bundle, flipped.data(), flipped.size())
+                  .ok());
+  EXPECT_FALSE(ObjectStore::ImportBundle(bundle, other).has_value());
+
+  ASSERT_TRUE(support::WriteFileAtomic(bundle, bytes->data(),
+                                       bytes->size() - 1)
+                  .ok());
+  EXPECT_FALSE(ObjectStore::ImportBundle(bundle, other).has_value());
+
+  auto scan = ObjectStore::Scan(other);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_TRUE(scan->empty());
+  (void)ObjectStore::Purge(other);
+  ::rmdir(other.c_str());
+}
+
+TEST_F(ObjectStoreTest, PurgeRemovesTheRingButKeepsBundles) {
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  ObjectStore store(options);
+  store.Store(FakeEntry(0x4040));
+  const std::string ring = dir_ + "/" + ShmRing::RingFileName();
+  const std::string bundle = dir_ + "/export.dbbundle";
+  ASSERT_TRUE(ObjectStore::ExportBundle(dir_, bundle).has_value());
+  ASSERT_TRUE(support::FileSize(ring).has_value());
+
+  auto purged = ObjectStore::Purge(dir_);
+  ASSERT_TRUE(purged.has_value());
+  EXPECT_EQ(*purged, 1u);  // entry files only; the ring is "meta", not entry
+  EXPECT_FALSE(support::FileSize(ring).has_value());
+  // Bundles are deployment artifacts, not cache state: purge leaves them.
+  EXPECT_TRUE(support::FileSize(bundle).has_value());
+  ::unlink(bundle.c_str());
+}
+
 // --- service integration: the warm-start path ------------------------------
 
 CompileRequest ArithRequest() {
@@ -245,6 +337,11 @@ CompileRequest ArithRequest() {
 CompileService::Options PersistOptions(const std::string& dir) {
   CompileService::Options options;
   options.persist_dir = dir;
+  // These tests pin down the *disk* store's contract (corruption, faults,
+  // eviction degrade to a recompile); the shm hot-entry ring in front of it
+  // would legitimately serve some of those loads from shared memory and is
+  // covered by its own suite (shm_ring_test.cpp).
+  options.shm = false;
   return options;
 }
 

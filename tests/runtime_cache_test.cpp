@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -335,6 +337,144 @@ TEST(CacheCApiTest, RoundTrip) {
 
   dbll_cache_req_free(req);
   dbll_cache_req_free(again);
+  dbll_cache_free(cache);
+}
+
+TEST(CacheCApiTest, DeprecatedGettersMatchTheStatsSnapshot) {
+  // The old per-counter getters are documented as thin wrappers over
+  // dbll_cache_get_stats; after real activity every pair must agree.
+  dbll_cache* cache = dbll_cache_new(1, 16);
+  dbll_cache_req* req = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, /*returns_value=*/1);
+  dbll_cache_req_setpar(req, 1, 21);
+  ASSERT_NE(dbll_cache_wait(req), nullptr);
+  dbll_cache_req* again = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, 1);
+  dbll_cache_req_setpar(again, 1, 21);
+  ASSERT_NE(dbll_cache_wait(again), nullptr);
+  dbll_cache_wait_idle(cache);
+
+  dbll_cache_stats_v1 stats;
+  stats.struct_size = sizeof(stats);
+  ASSERT_EQ(dbll_cache_get_stats(cache, &stats), 0);
+  EXPECT_EQ(dbll_cache_stat_hits(cache), stats.hits + stats.coalesced);
+  EXPECT_EQ(dbll_cache_stat_misses(cache), stats.misses);
+  EXPECT_EQ(dbll_cache_stat_compiles(cache), stats.compiles);
+  EXPECT_EQ(dbll_cache_stat_evictions(cache), stats.evictions);
+  EXPECT_EQ(dbll_cache_stat_baseline_installs(cache), stats.baseline_installs);
+  EXPECT_EQ(dbll_cache_stat_interim_installs(cache), stats.interim_installs);
+  EXPECT_EQ(dbll_cache_stat_promotions(cache), stats.promotions);
+  EXPECT_EQ(dbll_cache_stat_deopts(cache), stats.deopts);
+  EXPECT_EQ(dbll_cache_stat_tier0a_ns(cache), stats.tier0a_ns);
+  EXPECT_EQ(dbll_cache_stat_compile_ns(cache), stats.compile_ns);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GT(stats.compile_ns, 0u);
+
+  dbll_cache_req_free(req);
+  dbll_cache_req_free(again);
+  dbll_cache_free(cache);
+}
+
+TEST(CacheCApiTest, GetStatsHonorsTheCallerStructSize) {
+  dbll_cache* cache = dbll_cache_new(1, 16);
+
+  // Too small to even carry struct_size: rejected.
+  dbll_cache_stats_v1 bogus;
+  bogus.struct_size = 4;
+  EXPECT_EQ(dbll_cache_get_stats(cache, &bogus), -1);
+  EXPECT_EQ(dbll_cache_get_stats(cache, nullptr), -1);
+
+  // An "older caller" whose struct ends after `misses`: only the prefix is
+  // written; the bytes past the caller's declared size stay untouched.
+  struct OldStats {
+    uint64_t struct_size;
+    uint64_t hits, coalesced, misses;
+    uint64_t canary;
+  } old_stats;
+  old_stats.canary = 0xfeedfacefeedfaceULL;
+  old_stats.struct_size = offsetof(OldStats, canary);
+  ASSERT_EQ(dbll_cache_get_stats(
+                cache, reinterpret_cast<dbll_cache_stats_v1*>(&old_stats)),
+            0);
+  EXPECT_EQ(old_stats.canary, 0xfeedfacefeedfaceULL);
+  EXPECT_EQ(old_stats.hits, 0u);
+
+  // A "newer caller" declaring more than the library knows: the unknown tail
+  // is zeroed so it reads as "not supported here", never as garbage.
+  struct BigStats {
+    dbll_cache_stats_v1 v1;
+    uint64_t future_field;
+  } big;
+  std::memset(&big, 0xab, sizeof(big));
+  big.v1.struct_size = sizeof(big);
+  ASSERT_EQ(dbll_cache_get_stats(cache, &big.v1), 0);
+  EXPECT_EQ(big.future_field, 0u);
+
+  dbll_cache_free(cache);
+}
+
+TEST(CacheCApiTest, ConfigureAppliesMaskedFieldsAndRejectsConstructionOnly) {
+  dbll_cache_options_v1 opts;
+  std::memset(&opts, 0, sizeof(opts));
+  opts.struct_size = sizeof(opts);
+  opts.apply_mask = DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY |
+                    DBLL_CACHE_APPLY_DEADLINE;
+  opts.workers = 1;
+  opts.capacity = 8;
+  opts.deadline_ms = 1234;
+  dbll_cache* cache = dbll_cache_new_v1(&opts);
+  ASSERT_NE(cache, nullptr);
+
+  // Workers/capacity are construction-only: configure() must refuse the
+  // whole call (nothing partially applied), not silently drop the bits.
+  EXPECT_EQ(dbll_cache_configure(cache, &opts), -1);
+
+  // Reconfiguring runtime knobs succeeds...
+  std::memset(&opts, 0, sizeof(opts));
+  opts.struct_size = sizeof(opts);
+  opts.apply_mask = DBLL_CACHE_APPLY_DEADLINE | DBLL_CACHE_APPLY_TIERING;
+  opts.deadline_ms = 500;
+  opts.tiering_enabled = 1;
+  opts.tiering_hot_threshold = 3;
+  EXPECT_EQ(dbll_cache_configure(cache, &opts), 0);
+
+  // ...an unmasked field is never read (a garbage pointer proves it)...
+  std::memset(&opts, 0, sizeof(opts));
+  opts.struct_size = sizeof(opts);
+  opts.apply_mask = DBLL_CACHE_APPLY_DEADLINE;
+  opts.deadline_ms = 250;
+  opts.persist_dir = reinterpret_cast<const char*>(0x1);  // would crash if read
+  EXPECT_EQ(dbll_cache_configure(cache, &opts), 0);
+
+  // ...and basic argument errors are rejected.
+  EXPECT_EQ(dbll_cache_configure(cache, nullptr), -1);
+  EXPECT_EQ(dbll_cache_configure(nullptr, &opts), -1);
+  opts.struct_size = 4;  // cannot even hold the mask
+  EXPECT_EQ(dbll_cache_configure(cache, &opts), -1);
+
+  // An empty persist dir is rejected with a visible cause (the documented
+  // contract of the old setter, preserved by the consolidated path).
+  std::memset(&opts, 0, sizeof(opts));
+  opts.struct_size = sizeof(opts);
+  opts.apply_mask = DBLL_CACHE_APPLY_PERSIST;
+  opts.persist_dir = "";
+  EXPECT_EQ(dbll_cache_configure(cache, &opts), -1);
+  EXPECT_STRNE(dbll_cache_last_error(cache), "");
+
+  dbll_cache_free(cache);
+}
+
+TEST(CacheCApiTest, NewV1NullOptionsMatchesDefaults) {
+  dbll_cache* cache = dbll_cache_new_v1(nullptr);
+  ASSERT_NE(cache, nullptr);
+  dbll_cache_req* req = dbll_cache_request(
+      cache, reinterpret_cast<void*>(&c_arith_mix), 2, /*returns_value=*/1);
+  dbll_cache_req_setpar(req, 1, 9);
+  auto fn = reinterpret_cast<IntFn2>(dbll_cache_wait(req));
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(0, 4), c_arith_mix(9, 4));
+  dbll_cache_req_free(req);
   dbll_cache_free(cache);
 }
 

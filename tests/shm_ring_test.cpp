@@ -1,0 +1,465 @@
+// dbll tests -- the shared-memory hot-entry ring (shm_ring.h): seqlock
+// round-trips, cross-instance sharing (two mappings of one file stand in for
+// two processes), racing attach, crashed-writer and crashed-initializer
+// recovery, format-version refusal, toolchain-fingerprint reinitialization,
+// LRU eviction under a full ring, torn/corrupt slot rejection, injected
+// `objcache.shm` faults, and the ObjectStore/CompileService integration (a
+// shm hit must never touch disk; a disk hit must repopulate the ring). The
+// ring serves opaque validated bytes, so most tests use arbitrary payloads;
+// only the service-level tests need real compiled objects.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/lift/lifter.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/object_store.h"
+#include "dbll/runtime/shm_ring.h"
+#include "dbll/support/fault.h"
+#include "dbll/support/file_io.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+// Header field offsets inside hotring.dbshm (fixed by kShmFormatVersion = 1;
+// see the Header struct in src/runtime/shm_ring.cpp). The corruption tests
+// poke these bytes directly, playing the role of a crashed or newer process.
+constexpr off_t kFormatVersionOffset = 8;
+constexpr off_t kInitStateOffset = 32;
+constexpr std::uint32_t kStateInitializing = 1;
+
+/// Fresh scratch cache directory per test, removed on teardown.
+class ShmRingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/dbll_shmring_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    (void)ObjectStore::Purge(dir_);
+    ::rmdir(dir_.c_str());
+  }
+
+  ShmRing::Options RingOptions(std::uint32_t slots = 4,
+                               std::uint64_t slot_bytes = 4096) const {
+    ShmRing::Options options;
+    options.dir = dir_;
+    options.slots = slots;
+    options.slot_bytes = slot_bytes;
+    return options;
+  }
+
+  std::string RingPath() const {
+    return dir_ + "/" + ShmRing::RingFileName();
+  }
+
+  /// Overwrites raw bytes inside the published ring file (no instance may be
+  /// attached -- this simulates another process's state, not a live write).
+  void PokeRingFile(off_t offset, const void* data, std::size_t size) {
+    const int fd = ::open(RingPath().c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::pwrite(fd, data, size, offset), static_cast<ssize_t>(size));
+    ::close(fd);
+  }
+
+  static std::vector<std::uint8_t> Payload(std::uint8_t seed,
+                                           std::size_t size = 256) {
+    std::vector<std::uint8_t> bytes(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(seed + i);
+    }
+    return bytes;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShmRingTest, InsertThenLookupRoundTrips) {
+  ShmRing ring(RingOptions(), /*toolchain_fp=*/1);
+  ASSERT_TRUE(ring.attached()) << ring.init_status().error().Format();
+  const std::vector<std::uint8_t> payload = Payload(0x11);
+  EXPECT_TRUE(ring.Insert(0xaaaa, payload.data(), payload.size()));
+
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(ring.Lookup(0xaaaa, &out));
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(ring.Lookup(0xbbbb, &out));  // plain miss
+
+  const ShmRingStats stats = ring.stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  const ShmRingOccupancy occ = ring.occupancy();
+  EXPECT_EQ(occ.used_slots, 1u);
+  EXPECT_EQ(occ.payload_bytes, payload.size());
+  EXPECT_EQ(occ.fleet_inserts, 1u);
+  EXPECT_EQ(occ.fleet_hits, 1u);
+}
+
+TEST_F(ShmRingTest, ReinsertSameFingerprintReusesTheSlot) {
+  ShmRing ring(RingOptions(), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> v1 = Payload(0x01, 128);
+  const std::vector<std::uint8_t> v2 = Payload(0x02, 512);
+  EXPECT_TRUE(ring.Insert(0xcccc, v1.data(), v1.size()));
+  EXPECT_TRUE(ring.Insert(0xcccc, v2.data(), v2.size()));
+  EXPECT_EQ(ring.occupancy().used_slots, 1u);  // updated in place, no copy
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(ring.Lookup(0xcccc, &out));
+  EXPECT_EQ(out, v2);
+  EXPECT_EQ(ring.stats().evictions, 0u);  // same-key update is not an eviction
+}
+
+TEST_F(ShmRingTest, SecondAttachSharesEntriesAndAdoptsFileGeometry) {
+  // Two instances over one directory are two mappings of the same file --
+  // exactly what two processes see. The writer's geometry wins; the second
+  // attacher's differing request is ignored, not an error.
+  ShmRing writer(RingOptions(/*slots=*/4), 1);
+  ASSERT_TRUE(writer.attached());
+  const std::vector<std::uint8_t> payload = Payload(0x33);
+  ASSERT_TRUE(writer.Insert(0xdddd, payload.data(), payload.size()));
+
+  ShmRing reader(RingOptions(/*slots=*/32, /*slot_bytes=*/8192), 1);
+  ASSERT_TRUE(reader.attached());
+  EXPECT_EQ(reader.slot_count(), 4u);
+  EXPECT_EQ(reader.slot_bytes(), 4096u);
+  EXPECT_EQ(reader.stats().reinit, 0u);  // adopted, nothing wiped
+
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(reader.Lookup(0xdddd, &out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(ShmRingTest, RacingAttachersAllAgreeOnOneRing) {
+  // N constructors race on a directory with no ring file. The flock'd attach
+  // protocol lets exactly one initialize; everyone else adopts. Afterwards a
+  // payload inserted through any instance is visible through every other.
+  constexpr int kAttachers = 4;
+  std::vector<std::unique_ptr<ShmRing>> rings(kAttachers);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kAttachers; ++i) {
+    threads.emplace_back([&, i] {
+      rings[i] = std::make_unique<ShmRing>(RingOptions(), 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t reinits = 0;
+  for (const auto& ring : rings) {
+    ASSERT_TRUE(ring->attached());
+    EXPECT_EQ(ring->slot_count(), 4u);
+    reinits += ring->stats().reinit;
+  }
+  EXPECT_EQ(reinits, 0u);  // a fresh file is initialized, never re-initialized
+
+  const std::vector<std::uint8_t> payload = Payload(0x44);
+  ASSERT_TRUE(rings[0]->Insert(0xeeee, payload.data(), payload.size()));
+  for (const auto& ring : rings) {
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(ring->Lookup(0xeeee, &out));
+    EXPECT_EQ(out, payload);
+  }
+}
+
+TEST_F(ShmRingTest, CrashedWriterSlotMissesAndIsReclaimed) {
+  ShmRing ring(RingOptions(), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> payload = Payload(0x55);
+  ASSERT_TRUE(ring.Insert(0xf00d, payload.data(), payload.size()));
+  const int slot = ring.TestFindSlot(0xf00d);
+  ASSERT_GE(slot, 0);
+
+  // A writer that died mid-copy leaves the sequence word odd. Readers must
+  // treat the slot as garbage...
+  ring.TestSetSlotSeq(static_cast<std::uint32_t>(slot), 3);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(ring.Lookup(0xf00d, &out));
+
+  // ...and the next writer (who, holding the flock, *proves* the old writer
+  // is dead) reclaims it in preference to evicting a live slot.
+  const std::vector<std::uint8_t> fresh = Payload(0x66);
+  EXPECT_TRUE(ring.Insert(0xbeef, fresh.data(), fresh.size()));
+  EXPECT_EQ(ring.stats().stale_reclaimed, 1u);
+  EXPECT_EQ(ring.stats().evictions, 0u);
+  EXPECT_EQ(ring.TestFindSlot(0xf00d), -1);
+  EXPECT_TRUE(ring.Lookup(0xbeef, &out));
+  EXPECT_EQ(out, fresh);
+}
+
+TEST_F(ShmRingTest, CorruptPayloadFailsTheChecksumAndMisses) {
+  ShmRing ring(RingOptions(), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> payload = Payload(0x77);
+  ASSERT_TRUE(ring.Insert(0xabad, payload.data(), payload.size()));
+  const int slot = ring.TestFindSlot(0xabad);
+  ASSERT_GE(slot, 0);
+
+  const std::uint64_t errors_before = ring.stats().errors;
+  ring.TestCorruptSlotPayload(static_cast<std::uint32_t>(slot));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(ring.Lookup(0xabad, &out));
+  EXPECT_GT(ring.stats().errors, errors_before);
+}
+
+TEST_F(ShmRingTest, FullRingEvictsTheLeastRecentlyUsedSlot) {
+  ShmRing ring(RingOptions(/*slots=*/2), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> payload = Payload(0x88);
+  ASSERT_TRUE(ring.Insert(0x1, payload.data(), payload.size()));
+  ASSERT_TRUE(ring.Insert(0x2, payload.data(), payload.size()));
+
+  // A hit refreshes recency, so after touching 0x1 the LRU victim is 0x2.
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(ring.Lookup(0x1, &out));
+  ASSERT_TRUE(ring.Insert(0x3, payload.data(), payload.size()));
+
+  EXPECT_EQ(ring.stats().evictions, 1u);
+  EXPECT_EQ(ring.TestFindSlot(0x2), -1);
+  EXPECT_GE(ring.TestFindSlot(0x1), 0);
+  EXPECT_GE(ring.TestFindSlot(0x3), 0);
+  EXPECT_EQ(ring.occupancy().used_slots, 2u);
+  EXPECT_EQ(ring.occupancy().fleet_evictions, 1u);
+}
+
+TEST_F(ShmRingTest, OversizedPayloadIsSkippedNotAnError) {
+  ShmRing ring(RingOptions(/*slots=*/2, /*slot_bytes=*/4096), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> huge = Payload(0x99, 4097);
+  EXPECT_FALSE(ring.Insert(0x1234, huge.data(), huge.size()));
+  const ShmRingStats stats = ring.stats();
+  EXPECT_EQ(stats.too_big, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(ring.occupancy().used_slots, 0u);
+}
+
+TEST_F(ShmRingTest, OutOfBoundsGeometryIsRefusedAtConstruction) {
+  ShmRing zero_slots(RingOptions(/*slots=*/0), 1);
+  EXPECT_FALSE(zero_slots.attached());
+  EXPECT_EQ(zero_slots.init_status().error().kind(), ErrorKind::kBadConfig);
+
+  ShmRing tiny_slot(RingOptions(/*slots=*/2, /*slot_bytes=*/16), 1);
+  EXPECT_FALSE(tiny_slot.attached());
+
+  // Detached instances degrade, never crash.
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(zero_slots.Lookup(0x1, &out));
+  EXPECT_FALSE(zero_slots.Insert(0x1, out.data(), 0));
+}
+
+TEST_F(ShmRingTest, NewerFormatVersionIsRefusedAndLeftIntact) {
+  {
+    ShmRing ring(RingOptions(), 1);
+    ASSERT_TRUE(ring.attached());
+    const std::vector<std::uint8_t> payload = Payload(0xaa);
+    ASSERT_TRUE(ring.Insert(0x42, payload.data(), payload.size()));
+  }
+  // A ring published by a (hypothetical) newer release: refuse, degrade to
+  // disk-only, and leave the file alone -- the newer processes own it.
+  const std::uint32_t future_version = 99;
+  PokeRingFile(kFormatVersionOffset, &future_version, sizeof(future_version));
+
+  ShmRing ring(RingOptions(), 1);
+  EXPECT_FALSE(ring.attached());
+  EXPECT_EQ(ring.init_status().error().kind(), ErrorKind::kUnsupported);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(ring.Lookup(0x42, &out));
+
+  auto inspected = ShmRing::Inspect(dir_);
+  EXPECT_FALSE(inspected.has_value());
+
+  // The file still says version 99: nothing reinitialized it.
+  auto bytes = support::ReadFileBytes(RingPath());
+  ASSERT_TRUE(bytes.has_value());
+  std::uint32_t on_disk = 0;
+  std::memcpy(&on_disk, bytes->data() + kFormatVersionOffset, sizeof(on_disk));
+  EXPECT_EQ(on_disk, future_version);
+}
+
+TEST_F(ShmRingTest, DifferentToolchainFingerprintReinitializes) {
+  {
+    ShmRing ring(RingOptions(), /*toolchain_fp=*/1);
+    ASSERT_TRUE(ring.attached());
+    const std::vector<std::uint8_t> payload = Payload(0xbb);
+    ASSERT_TRUE(ring.Insert(0x77, payload.data(), payload.size()));
+  }
+  // A process built against a different LLVM/CPU must never consume those
+  // objects; it wipes the ring rather than adopting it (the disk store's
+  // invalidation rule, applied to shared memory).
+  ShmRing ring(RingOptions(), /*toolchain_fp=*/2);
+  ASSERT_TRUE(ring.attached());
+  EXPECT_EQ(ring.stats().reinit, 1u);
+  EXPECT_EQ(ring.TestFindSlot(0x77), -1);
+  EXPECT_EQ(ring.occupancy().toolchain_fp, 2u);
+  EXPECT_EQ(ring.occupancy().used_slots, 0u);
+}
+
+TEST_F(ShmRingTest, CrashedInitializerIsRecoveredByTheNextAttacher) {
+  {
+    ShmRing ring(RingOptions(), 1);
+    ASSERT_TRUE(ring.attached());
+    const std::vector<std::uint8_t> payload = Payload(0xcc);
+    ASSERT_TRUE(ring.Insert(0x99, payload.data(), payload.size()));
+  }
+  // A file stuck in kInitializing is an initializer that died before the
+  // ready release-store; its contents are untrustworthy by definition.
+  PokeRingFile(kInitStateOffset, &kStateInitializing,
+               sizeof(kStateInitializing));
+
+  ShmRing ring(RingOptions(), 1);
+  ASSERT_TRUE(ring.attached()) << ring.init_status().error().Format();
+  EXPECT_EQ(ring.stats().reinit, 1u);
+  EXPECT_EQ(ring.TestFindSlot(0x99), -1);  // wiped, not trusted
+  const std::vector<std::uint8_t> payload = Payload(0xdd);
+  EXPECT_TRUE(ring.Insert(0x100, payload.data(), payload.size()));
+}
+
+TEST_F(ShmRingTest, ArmedShmFaultDegradesLookupAndInsert) {
+  ShmRing ring(RingOptions(), 1);
+  ASSERT_TRUE(ring.attached());
+  const std::vector<std::uint8_t> payload = Payload(0xee);
+  ASSERT_TRUE(ring.Insert(0x55, payload.data(), payload.size()));
+
+  ASSERT_TRUE(fault::ArmFromString("objcache.shm:kIo"));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(ring.Lookup(0x55, &out));
+  EXPECT_FALSE(ring.Insert(0x56, payload.data(), payload.size()));
+  EXPECT_GE(ring.stats().errors, 2u);
+
+  fault::DisarmAll();
+  EXPECT_TRUE(ring.Lookup(0x55, &out));  // the slot itself was never harmed
+  EXPECT_EQ(out, payload);
+}
+
+// --- ObjectStore integration ------------------------------------------------
+
+ObjectEntry FakeEntry(std::uint64_t fingerprint, std::size_t payload = 64) {
+  ObjectEntry entry;
+  entry.fingerprint = fingerprint;
+  entry.wrapper_name = "wrapper";
+  entry.object.assign(payload, static_cast<std::uint8_t>(fingerprint));
+  return entry;
+}
+
+TEST_F(ShmRingTest, StoreShmHitNeverTouchesDisk) {
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  {
+    ObjectStore writer(options);
+    ASSERT_TRUE(writer.init_status().ok());
+    writer.Store(FakeEntry(0x1111));  // write-through: disk + ring
+    EXPECT_EQ(writer.stats().shm_inserts, 1u);
+  }
+  // With the disk load path fault-armed, a second store (a second process)
+  // can only succeed via shared memory -- proving the shm hit does no file
+  // I/O at all.
+  ASSERT_TRUE(fault::ArmFromString("objcache.load:kIo"));
+  ObjectStore reader(options);
+  ObjectEntry loaded;
+  EXPECT_TRUE(reader.Load(0x1111, &loaded));
+  EXPECT_EQ(loaded.object, FakeEntry(0x1111).object);
+  const ObjectStoreStats stats = reader.stats();
+  EXPECT_EQ(stats.shm_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.errors, 0u);  // the disk fault site was never reached
+}
+
+TEST_F(ShmRingTest, StoreDiskHitRepopulatesTheRing) {
+  {
+    ObjectStore::Options disk_only;
+    disk_only.dir = dir_;
+    ObjectStore writer(disk_only);
+    writer.Store(FakeEntry(0x2222));
+  }
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  ObjectStore store(options);
+  ObjectEntry loaded;
+  EXPECT_TRUE(store.Load(0x2222, &loaded));  // ring cold: disk, written back
+  ObjectStoreStats stats = store.stats();
+  EXPECT_EQ(stats.shm_misses, 1u);
+  EXPECT_EQ(stats.shm_inserts, 1u);
+  EXPECT_TRUE(store.Load(0x2222, &loaded));  // now served from the ring
+  stats = store.stats();
+  EXPECT_EQ(stats.shm_hits, 1u);
+  EXPECT_EQ(stats.shm_entries, 1u);
+  EXPECT_EQ(stats.shm_attached, 1u);
+}
+
+TEST_F(ShmRingTest, RingRejectsEntryWhoseBytesFailFullValidation) {
+  // Belt and braces: even when the slot checksum passes, the consumer
+  // re-runs the full DBLLOBJ1 validation. Publish bytes that are a valid
+  // *slot* but not a valid *entry* and make sure the store treats the probe
+  // as a miss instead of trusting shared memory.
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  ObjectStore store(options);
+  ASSERT_TRUE(store.init_status().ok());
+  ASSERT_NE(store.shm_ring(), nullptr);
+  const std::vector<std::uint8_t> garbage = Payload(0x12, 128);
+  ASSERT_TRUE(store.shm_ring()->Insert(0x3333, garbage.data(), garbage.size()));
+
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0x3333, &loaded));
+  // The ring reported a (checksum-clean) hit, but the store refused it and
+  // counted a degraded error; the overall Load is a miss, not a hit.
+  const ObjectStoreStats stats = store.stats();
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+// --- CompileService integration (two services, one box) ---------------------
+
+CompileRequest ArithRequest() {
+  CompileRequest request(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                         lift::Signature::Ints(2));
+  request.FixParam(1, 7);
+  return request;
+}
+
+TEST_F(ShmRingTest, SecondServiceIsServedFromSharedMemory) {
+  CompileService::Options options;
+  options.persist_dir = dir_;  // Options::shm defaults to true at this layer
+  const long expected = c_arith_mix(5, 7);
+  {
+    CompileService first(options);
+    ASSERT_TRUE(first.persist_enabled());
+    auto entry = first.CompileSync(ArithRequest());
+    ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+    EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), expected);
+    first.WaitIdle();  // settle the worker's write-back (disk + ring)
+    const CacheStats stats = first.stats();
+    EXPECT_EQ(stats.disk_stores, 1u);
+    EXPECT_EQ(stats.shm_inserts, 1u);
+  }
+  // The second service (same address space, so the persist fingerprint
+  // agrees) must be served from the ring: zero compiles, zero lift time,
+  // and the hit is accounted as both a persist hit and a shm hit.
+  CompileService second(options);
+  auto entry = second.CompileSync(ArithRequest());
+  ASSERT_TRUE(entry.has_value()) << entry.error().Format();
+  EXPECT_EQ(reinterpret_cast<IntFn2>(*entry)(5, 0), expected);
+  const CacheStats stats = second.stats();
+  EXPECT_EQ(stats.compiles, 0u);
+  EXPECT_EQ(stats.stage_total.total_ns(), 0u);
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.shm_hits, 1u);
+}
+
+}  // namespace
+}  // namespace dbll::runtime

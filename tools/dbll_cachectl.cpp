@@ -1,34 +1,82 @@
-// dbll-cachectl -- offline inspector for the persistent compiled-object
-// cache (include/dbll/runtime/object_store.h). Operates on a cache directory
-// with no JIT and no running service; everything it prints comes from
-// ObjectStore::Scan/Purge, so the validation rules are exactly the ones the
-// runtime applies on load.
+// dbll-cachectl -- offline tool for the persistent compiled-object cache
+// (include/dbll/runtime/object_store.h) and its shared-memory hot-entry ring
+// (include/dbll/runtime/shm_ring.h). Everything the inspection commands print
+// comes from ObjectStore::Scan/Purge and ShmRing::Inspect, so the validation
+// rules are exactly the ones the runtime applies on load.
 //
 // Usage:
-//   dbll-cachectl list   <dir> [--json]   one line per entry file
-//   dbll-cachectl verify <dir> [--json]   validate all; exit 1 on bad entries
-//   dbll-cachectl purge  <dir> [--json]   delete every cache artifact
-//   dbll-cachectl stats  <dir> [--json]   aggregate counts and sizes
+//   dbll-cachectl list    <dir> [--json]    one line per entry file
+//   dbll-cachectl verify  <dir> [--json]    validate all; exit 1 on bad entries
+//   dbll-cachectl purge   <dir> [--json]    delete every cache artifact
+//   dbll-cachectl stats   <dir> [--json]    aggregate counts, sizes, shm ring
+//   dbll-cachectl export  <dir> <bundle> [--json]
+//                                           pack valid entries into one bundle
+//   dbll-cachectl import  <bundle> <dir> [--json]
+//                                           unpack a bundle (all-or-nothing)
+//   dbll-cachectl prewarm <dir> <manifest.json> [--lib <so>] [--expect-warm]
+//                         [--json]          bulk-compile a SpecKey manifest
 //
-// Exit status: 0 on success (for `verify`: every entry valid), 1 on invalid
-// entries or usage/IO errors. An empty or not-yet-created directory is a
-// valid, empty cache, not an error.
+// The prewarm manifest names kernels exported by a shared library and the
+// parameters to fix (1-based indices, matching dbll_cache_req_setpar and the
+// paper's examples):
+//
+//   { "schema_version": 1,
+//     "lib": "path/to/libprewarm_kernels.so",
+//     "entries": [
+//       { "symbol": "prewarm_saxpy", "int_args": 4, "returns_value": true,
+//         "fix": [ { "index": 4, "value": 64 } ] } ] }
+//
+// Prewarm re-execs itself once with ASLR disabled (the persist fingerprint
+// folds raw virtual addresses), so repeated prewarm runs -- and any fleet
+// process that loads the same library the same way -- agree on fingerprints.
+// `--expect-warm` turns the run into a gate: every entry must be served from
+// the persistent layer with zero Tier-0 compiles.
+//
+// Every --json output carries "schema_version": 2 (bumped when the shm/fleet
+// fields were added).
+//
+// Exit status: 0 on success (for `verify`: every entry valid; for
+// `--expect-warm`: zero compiles), 1 on invalid entries or usage/IO errors.
+// An empty or not-yet-created directory is a valid, empty cache, not an
+// error.
+#include <dlfcn.h>
+#include <sys/personality.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "dbll/runtime/compile_service.h"
 #include "dbll/runtime/object_store.h"
+#include "dbll/runtime/shm_ring.h"
 
 namespace {
 
 using dbll::runtime::ObjectScanEntry;
 using dbll::runtime::ObjectStore;
+using dbll::runtime::ShmRing;
+using dbll::runtime::ShmRingOccupancy;
+
+/// Version stamp of every --json output shape below.
+constexpr int kJsonSchemaVersion = 2;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: dbll-cachectl <list|verify|purge|stats> <dir> [--json]\n");
+  std::fprintf(
+      stderr,
+      "usage: dbll-cachectl <command> ... [--json]\n"
+      "  list    <dir>             one line per entry file\n"
+      "  verify  <dir>             validate all; exit 1 on bad entries\n"
+      "  purge   <dir>             delete every cache artifact\n"
+      "  stats   <dir>             aggregate counts, sizes, shm occupancy\n"
+      "  export  <dir> <bundle>    pack valid entries into a bundle file\n"
+      "  import  <bundle> <dir>    unpack a bundle into a cache dir\n"
+      "  prewarm <dir> <manifest>  bulk-compile a SpecKey manifest\n"
+      "          [--lib <so>] [--expect-warm]\n");
   return 1;
 }
 
@@ -63,7 +111,7 @@ const char* TierLabel(std::uint32_t opt_tier) {
 }
 
 void PrintEntryJson(const ObjectScanEntry& e, bool last) {
-  std::printf("  {\"file\": \"%s\", \"fingerprint\": \"%016" PRIx64
+  std::printf("    {\"file\": \"%s\", \"fingerprint\": \"%016" PRIx64
               "\", \"file_size\": %" PRIu64 ", \"payload_size\": %" PRIu64
               ", \"wrapper\": \"%s\", \"opt_tier\": \"%s\", "
               "\"llvm_version\": \"%s\", "
@@ -96,11 +144,12 @@ int RunScan(const std::string& dir, bool json, bool verify) {
   std::uint64_t invalid = 0;
   for (const ObjectScanEntry& e : *scan) invalid += e.valid ? 0 : 1;
   if (json) {
-    std::printf("[\n");
+    std::printf("{\n  \"schema_version\": %d,\n  \"entries\": [\n",
+                kJsonSchemaVersion);
     for (std::size_t i = 0; i < scan->size(); ++i) {
       PrintEntryJson((*scan)[i], i + 1 == scan->size());
     }
-    std::printf("]\n");
+    std::printf("  ]\n}\n");
   } else {
     for (const ObjectScanEntry& e : *scan) PrintEntryHuman(e);
     std::printf("%zu entr%s, %" PRIu64 " invalid\n", scan->size(),
@@ -116,7 +165,8 @@ int RunPurge(const std::string& dir, bool json) {
     return 1;
   }
   if (json) {
-    std::printf("{\"removed\": %" PRIu64 "}\n", *removed);
+    std::printf("{\"schema_version\": %d, \"removed\": %" PRIu64 "}\n",
+                kJsonSchemaVersion, *removed);
   } else {
     std::printf("purged %" PRIu64 " entr%s from %s\n", *removed,
                 *removed == 1 ? "y" : "ies", dir.c_str());
@@ -157,16 +207,33 @@ int RunStats(const std::string& dir, bool json) {
       ++invalid;
     }
   }
+  // The shm hot-entry ring, read without locking or creating anything. A
+  // missing ring is normal (no fleet process attached yet), not an error:
+  // one call answers "is the fleet cache warm?".
+  auto ring = ShmRing::Inspect(dir);
   if (json) {
-    std::printf("{\"dir\": \"%s\", \"entries\": %zu, \"valid\": %" PRIu64
-                ", \"invalid\": %" PRIu64 ", \"total_bytes\": %" PRIu64
-                ", \"tier0_entries\": %" PRIu64 ", \"tier0_bytes\": %" PRIu64
-                ", \"tier0a_entries\": %" PRIu64 ", \"tier0a_bytes\": %" PRIu64
-                ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\"}\n",
-                JsonEscape(dir).c_str(), scan->size(), valid, invalid,
-                total_bytes, tier0_entries, tier0_bytes, tier0a_entries,
-                tier0a_bytes, JsonEscape(llvm_version).c_str(),
+    std::printf("{\"schema_version\": %d, \"dir\": \"%s\", \"entries\": %zu, "
+                "\"valid\": %" PRIu64 ", \"invalid\": %" PRIu64
+                ", \"total_bytes\": %" PRIu64 ", \"tier0_entries\": %" PRIu64
+                ", \"tier0_bytes\": %" PRIu64 ", \"tier0a_entries\": %" PRIu64
+                ", \"tier0a_bytes\": %" PRIu64
+                ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\"",
+                kJsonSchemaVersion, JsonEscape(dir).c_str(), scan->size(),
+                valid, invalid, total_bytes, tier0_entries, tier0_bytes,
+                tier0a_entries, tier0a_bytes, JsonEscape(llvm_version).c_str(),
                 JsonEscape(target_cpu).c_str());
+    if (ring.has_value()) {
+      std::printf(", \"shm\": {\"present\": true, \"format_version\": %" PRIu32
+                  ", \"slots\": %" PRIu32 ", \"slot_bytes\": %" PRIu64
+                  ", \"used_slots\": %" PRIu32 ", \"payload_bytes\": %" PRIu64
+                  ", \"fleet_hits\": %" PRIu64 ", \"fleet_inserts\": %" PRIu64
+                  ", \"fleet_evictions\": %" PRIu64 "}}\n",
+                  ring->format_version, ring->slot_count, ring->slot_bytes,
+                  ring->used_slots, ring->payload_bytes, ring->fleet_hits,
+                  ring->fleet_inserts, ring->fleet_evictions);
+    } else {
+      std::printf(", \"shm\": {\"present\": false}}\n");
+    }
   } else {
     std::printf("%s: %zu entries (%" PRIu64 " valid, %" PRIu64
                 " invalid), %" PRIu64 " bytes",
@@ -177,6 +244,382 @@ int RunStats(const std::string& dir, bool json) {
                   target_cpu.c_str());
     }
     std::printf("\n");
+    if (ring.has_value()) {
+      std::printf("shm ring: %" PRIu32 "/%" PRIu32 " slots used, %" PRIu64
+                  " payload bytes, fleet hits %" PRIu64 " inserts %" PRIu64
+                  " evictions %" PRIu64 "\n",
+                  ring->used_slots, ring->slot_count, ring->payload_bytes,
+                  ring->fleet_hits, ring->fleet_inserts,
+                  ring->fleet_evictions);
+    } else {
+      std::printf("shm ring: none\n");
+    }
+  }
+  return 0;
+}
+
+int RunExport(const std::string& dir, const std::string& bundle, bool json) {
+  auto exported = ObjectStore::ExportBundle(dir, bundle);
+  if (!exported.has_value()) {
+    std::fprintf(stderr, "error: %s\n", exported.error().Format().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\"schema_version\": %d, \"exported\": %" PRIu64
+                ", \"bundle\": \"%s\"}\n",
+                kJsonSchemaVersion, *exported, JsonEscape(bundle).c_str());
+  } else {
+    std::printf("exported %" PRIu64 " entr%s from %s to %s\n", *exported,
+                *exported == 1 ? "y" : "ies", dir.c_str(), bundle.c_str());
+  }
+  return 0;
+}
+
+int RunImport(const std::string& bundle, const std::string& dir, bool json) {
+  auto imported = ObjectStore::ImportBundle(bundle, dir);
+  if (!imported.has_value()) {
+    std::fprintf(stderr, "error: %s\n", imported.error().Format().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\"schema_version\": %d, \"imported\": %" PRIu64
+                ", \"dir\": \"%s\"}\n",
+                kJsonSchemaVersion, *imported, JsonEscape(dir).c_str());
+  } else {
+    std::printf("imported %" PRIu64 " entr%s from %s into %s\n", *imported,
+                *imported == 1 ? "y" : "ies", bundle.c_str(), dir.c_str());
+  }
+  return 0;
+}
+
+/* --- prewarm: manifest-driven bulk compile --------------------------------
+ *
+ * A deliberately small JSON reader (objects, arrays, strings, integer
+ * numbers, booleans, null) -- enough for the manifest grammar documented at
+ * the top of this file, with no third-party dependency. */
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;  // manifest integers are small; double is exact < 2^53
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const char* key) const {
+    for (const auto& kv : object) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipWs();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return false;  // \uXXXX etc.: not needed by the manifest
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipWs();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// A fixed-parameter value: a JSON number, or a string like "0x1000" for
+/// 64-bit values a double cannot carry exactly.
+bool ReadU64(const JsonValue& v, std::uint64_t* out) {
+  if (v.kind == JsonValue::Kind::kNumber) {
+    *out = static_cast<std::uint64_t>(v.number);
+    return true;
+  }
+  if (v.kind == JsonValue::Kind::kString) {
+    char* end = nullptr;
+    *out = std::strtoull(v.string.c_str(), &end, 0);
+    return end != v.string.c_str() && *end == '\0';
+  }
+  return false;
+}
+
+/// Re-execs once with ASLR disabled so kernel addresses (and every rebased
+/// address the persist fingerprint folds) are identical across prewarm runs
+/// and across the fleet processes that load the same library. No-ops when
+/// ASLR is already off (setarch -R, or the re-execed child itself).
+void EnsureStableAddresses(char** argv) {
+  if (std::getenv("DBLL_CACHECTL_REEXEC") != nullptr) return;
+  const int persona = personality(0xffffffff);
+  if (persona == -1 || (persona & ADDR_NO_RANDOMIZE) != 0) return;
+  if (personality(persona | ADDR_NO_RANDOMIZE) == -1) return;
+  setenv("DBLL_CACHECTL_REEXEC", "1", 1);
+  execv("/proc/self/exe", argv);
+  // exec failed: run anyway; fingerprints are still self-consistent within
+  // this run, repeated runs may just re-compile.
+}
+
+int PrewarmError(const char* what) {
+  std::fprintf(stderr, "dbll-cachectl prewarm: %s\n", what);
+  return 1;
+}
+
+int RunPrewarm(const std::string& dir, const std::string& manifest_path,
+               const std::string& lib_override, bool expect_warm, bool json) {
+  // Slurp + parse the manifest.
+  std::string text;
+  {
+    std::FILE* f = std::fopen(manifest_path.c_str(), "rb");
+    if (f == nullptr) return PrewarmError("cannot open manifest");
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  JsonValue root;
+  if (!JsonParser(text).Parse(&root) ||
+      root.kind != JsonValue::Kind::kObject) {
+    return PrewarmError("manifest is not valid JSON");
+  }
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema != nullptr && schema->kind == JsonValue::Kind::kNumber &&
+      schema->number > 1) {
+    return PrewarmError("manifest schema_version is newer than this tool");
+  }
+  std::string lib = lib_override;
+  if (lib.empty()) {
+    const JsonValue* l = root.Find("lib");
+    if (l != nullptr && l->kind == JsonValue::Kind::kString) lib = l->string;
+  }
+  if (lib.empty()) return PrewarmError("no kernel library (manifest \"lib\" or --lib)");
+  const JsonValue* entries = root.Find("entries");
+  if (entries == nullptr || entries->kind != JsonValue::Kind::kArray ||
+      entries->array.empty()) {
+    return PrewarmError("manifest has no entries");
+  }
+
+  void* handle = dlopen(lib.c_str(), RTLD_NOW);
+  if (handle == nullptr) {
+    std::fprintf(stderr, "dbll-cachectl prewarm: dlopen(%s): %s\n",
+                 lib.c_str(), dlerror());
+    return 1;
+  }
+
+  dbll::runtime::CompileService::Options options;
+  options.persist_dir = dir;
+  options.workers = 2;
+  dbll::runtime::CompileService service(options);
+  if (!service.persist_enabled()) {
+    return PrewarmError("persistent store could not be attached");
+  }
+
+  std::uint64_t ok_entries = 0, failed = 0;
+  for (const JsonValue& e : entries->array) {
+    if (e.kind != JsonValue::Kind::kObject) return PrewarmError("entry is not an object");
+    const JsonValue* symbol = e.Find("symbol");
+    const JsonValue* int_args = e.Find("int_args");
+    if (symbol == nullptr || symbol->kind != JsonValue::Kind::kString ||
+        int_args == nullptr || int_args->kind != JsonValue::Kind::kNumber) {
+      return PrewarmError("entry needs \"symbol\" and \"int_args\"");
+    }
+    void* func = dlsym(handle, symbol->string.c_str());
+    if (func == nullptr) {
+      std::fprintf(stderr, "dbll-cachectl prewarm: dlsym(%s): %s\n",
+                   symbol->string.c_str(), dlerror());
+      ++failed;
+      continue;
+    }
+    const JsonValue* rets = e.Find("returns_value");
+    const bool returns_value =
+        rets == nullptr || rets->kind != JsonValue::Kind::kBool ||
+        rets->boolean;
+
+    dbll::runtime::CompileRequest request;
+    request.address = reinterpret_cast<std::uint64_t>(func);
+    request.signature = dbll::lift::Signature::Ints(
+        static_cast<int>(int_args->number),
+        returns_value ? dbll::lift::RetKind::kInt : dbll::lift::RetKind::kVoid);
+    const JsonValue* fix = e.Find("fix");
+    if (fix != nullptr) {
+      if (fix->kind != JsonValue::Kind::kArray) return PrewarmError("\"fix\" is not an array");
+      for (const JsonValue& f : fix->array) {
+        const JsonValue* index = f.Find("index");
+        const JsonValue* value = f.Find("value");
+        std::uint64_t fixed = 0;
+        if (f.kind != JsonValue::Kind::kObject || index == nullptr ||
+            index->kind != JsonValue::Kind::kNumber || value == nullptr ||
+            !ReadU64(*value, &fixed)) {
+          return PrewarmError("fix entry needs a numeric \"index\" and \"value\"");
+        }
+        // Manifest indices are 1-based, like dbll_cache_req_setpar.
+        request.FixParam(static_cast<int>(index->number) - 1, fixed);
+      }
+    }
+
+    auto compiled = service.CompileSync(request);
+    if (compiled.has_value()) {
+      ++ok_entries;
+    } else {
+      std::fprintf(stderr, "dbll-cachectl prewarm: %s: %s\n",
+                   symbol->string.c_str(),
+                   compiled.error().Format().c_str());
+      ++failed;
+    }
+  }
+  service.WaitIdle();  // settle the persistent write-backs before stats
+  const dbll::runtime::CacheStats stats = service.stats();
+
+  if (json) {
+    std::printf("{\"schema_version\": %d, \"dir\": \"%s\", \"entries\": %zu, "
+                "\"prewarmed\": %" PRIu64 ", \"failed\": %" PRIu64
+                ", \"compiles\": %" PRIu64 ", \"disk_hits\": %" PRIu64
+                ", \"disk_stores\": %" PRIu64 ", \"shm_hits\": %" PRIu64
+                ", \"shm_inserts\": %" PRIu64 "}\n",
+                kJsonSchemaVersion, JsonEscape(dir).c_str(),
+                entries->array.size(), ok_entries, failed, stats.compiles,
+                stats.disk_hits, stats.disk_stores, stats.shm_hits,
+                stats.shm_inserts);
+  } else {
+    std::printf("prewarmed %" PRIu64 "/%zu entr%s into %s (%" PRIu64
+                " compiled, %" PRIu64 " already warm, %" PRIu64 " stored)\n",
+                ok_entries, entries->array.size(),
+                entries->array.size() == 1 ? "y" : "ies", dir.c_str(),
+                stats.compiles, stats.disk_hits, stats.disk_stores);
+  }
+  if (failed != 0) return 1;
+  if (expect_warm && stats.compiles != 0) {
+    std::fprintf(stderr,
+                 "dbll-cachectl prewarm: FAIL: %" PRIu64
+                 " Tier-0 compile(s) ran with --expect-warm\n",
+                 stats.compiles);
+    return 1;
   }
   return 0;
 }
@@ -184,26 +627,49 @@ int RunStats(const std::string& dir, bool json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string command, dir;
-  bool json = false;
+  std::string command;
+  std::vector<std::string> positional;
+  std::string lib_override;
+  bool json = false, expect_warm = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--expect-warm") == 0) {
+      expect_warm = true;
+    } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
+      lib_override = argv[++i];
     } else if (argv[i][0] == '-') {
       return Usage();
     } else if (command.empty()) {
       command = argv[i];
-    } else if (dir.empty()) {
-      dir = argv[i];
     } else {
-      return Usage();
+      positional.push_back(argv[i]);
     }
   }
-  if (command.empty() || dir.empty()) return Usage();
+  if (command.empty() || positional.empty()) return Usage();
 
-  if (command == "list") return RunScan(dir, json, /*verify=*/false);
-  if (command == "verify") return RunScan(dir, json, /*verify=*/true);
-  if (command == "purge") return RunPurge(dir, json);
-  if (command == "stats") return RunStats(dir, json);
+  if (command == "list" && positional.size() == 1) {
+    return RunScan(positional[0], json, /*verify=*/false);
+  }
+  if (command == "verify" && positional.size() == 1) {
+    return RunScan(positional[0], json, /*verify=*/true);
+  }
+  if (command == "purge" && positional.size() == 1) {
+    return RunPurge(positional[0], json);
+  }
+  if (command == "stats" && positional.size() == 1) {
+    return RunStats(positional[0], json);
+  }
+  if (command == "export" && positional.size() == 2) {
+    return RunExport(positional[0], positional[1], json);
+  }
+  if (command == "import" && positional.size() == 2) {
+    return RunImport(positional[0], positional[1], json);
+  }
+  if (command == "prewarm" && positional.size() == 2) {
+    EnsureStableAddresses(argv);
+    return RunPrewarm(positional[0], positional[1], lib_override, expect_warm,
+                      json);
+  }
   return Usage();
 }

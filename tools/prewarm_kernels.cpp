@@ -1,0 +1,29 @@
+// dbll -- kernels for the prewarm smoke (dbll-cachectl prewarm).
+//
+// Built as a *shared library* on purpose: the prewarm workflow is "ship a
+// manifest + the kernel .so, bulk-compile before taking traffic", and the
+// persist fingerprint folds the kernels' virtual addresses -- loading one
+// shared object at an ASLR-disabled base is what makes fingerprints agree
+// between the prewarm run and the serving processes. The whole TU gets the
+// controlled kernel flags (see CMakeLists) so the kernels stay inside the
+// decoder's supported instruction subset.
+
+extern "C" long prewarm_saxpy(long a, long x, long y, long n) {
+  long acc = 0;
+  for (long i = 0; i < n; ++i) {
+    acc += a * (x + i) + y;
+  }
+  return acc;
+}
+
+extern "C" long prewarm_dot3(long a, long b, long n) {
+  long acc = 0;
+  for (long i = 0; i < n; ++i) {
+    acc += (a + i) * (b - i);
+  }
+  return acc;
+}
+
+extern "C" long prewarm_poly(long x, long c0, long c1, long c2) {
+  return c0 + c1 * x + c2 * x * x;
+}

@@ -84,8 +84,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  dbll_cache* cache = dbll_cache_new(1, 16);
-  CHECK(dbll_cache_set_persist_dir(cache, dir) == 0,
+  // The consolidated construction path (dbll_cache_new_v1 +
+  // dbll_cache_configure): this smoke doubles as the C-API example for the
+  // struct-based surface (docs/API.md).
+  dbll_cache_options_v1 copts;
+  std::memset(&copts, 0, sizeof(copts));
+  copts.struct_size = sizeof(copts);
+  copts.apply_mask = DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY;
+  copts.workers = 1;
+  copts.capacity = 16;
+  dbll_cache* cache = dbll_cache_new_v1(&copts);
+  std::memset(&copts, 0, sizeof(copts));
+  copts.struct_size = sizeof(copts);
+  copts.apply_mask = DBLL_CACHE_APPLY_PERSIST;
+  copts.persist_dir = dir;
+  CHECK(dbll_cache_configure(cache, &copts) == 0,
         dbll_cache_last_error(cache));
   CHECK(dbll_cache_persist_enabled(cache) == 1, "persistence not enabled");
 
@@ -107,12 +120,21 @@ int main(int argc, char** argv) {
   dbll_cache_wait_idle(cache);
   dbll_persist_stats persist;
   dbll_cache_persist_stats(cache, &persist);
-  const uint64_t compiles = dbll_cache_stat_compiles(cache);
+  dbll_cache_stats_v1 stats;
+  stats.struct_size = sizeof(stats);
+  CHECK(dbll_cache_get_stats(cache, &stats) == 0, "dbll_cache_get_stats failed");
+  const uint64_t compiles = stats.compiles;
   const uint64_t lift_ns = dbll_obs_value("lift.wall_ns");
+  // The deprecated getters are wrappers over the same snapshot; a drift here
+  // means the compatibility shims broke.
+  CHECK(dbll_cache_stat_compiles(cache) == stats.compiles,
+        "deprecated stat_compiles disagrees with dbll_cache_get_stats");
 
   if (expect_warm) {
     // The acceptance criterion: a warm process start does zero lift/O3/
-    // codegen work -- the object comes straight off disk.
+    // codegen work -- the object comes from the persistent layer (the shm
+    // hot-entry ring when another fleet process already faulted it in, the
+    // disk store otherwise; both count as persist hits).
     CHECK(persist.hits >= 1, "cache.disk_hits == 0 on the warm run");
     CHECK(dbll_obs_value("cache.disk_hits") >= 1,
           "obs registry cache.disk_hits == 0 on the warm run");
@@ -126,9 +148,11 @@ int main(int argc, char** argv) {
 
   std::printf("warm_smoke: OK (%s dir=%s disk_hits=%" PRIu64
               " stores=%" PRIu64 " compiles=%" PRIu64 " lift_ns=%" PRIu64
-              ")\n",
+              " shm_attached=%" PRIu64 " shm_hits=%" PRIu64
+              " shm_inserts=%" PRIu64 ")\n",
               expect_warm ? "warm" : "cold", dir, persist.hits, persist.stores,
-              compiles, lift_ns);
+              compiles, lift_ns, persist.shm_attached, persist.shm_hits,
+              persist.shm_inserts);
   dbll_cache_req_free(req);
   dbll_cache_free(cache);
   return 0;
