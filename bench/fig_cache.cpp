@@ -17,12 +17,20 @@
 // A sixth section measures the static-analysis tentpole (flag liveness,
 // docs/static_analysis.md): Tier-0 lift wall time and pre-O3 IR size with
 // and without flag-liveness pruning, written to BENCH_analysis.json.
+//
+// A seventh section measures crash containment (docs/robustness.md): the
+// per-call cost of the signal-guarded probation dispatcher vs a raw call of
+// the same specialized entry, and -- the gate -- that the steady-state cost
+// after probation re-binds the raw entry is unchanged (within 2%), written
+// to BENCH_containment.json.
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <thread>
 
 #include "dbll/lift/lifter.h"
 #include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/containment.h"
 #include "harness.h"
 
 using namespace dbll;
@@ -44,6 +52,21 @@ double TimeRequestNs(runtime::CompileService& service,
   auto handle = service.Request(request);
   (void)handle.wait();
   return timer.Seconds() * 1e9;
+}
+
+/// Best-of-rounds per-call cost of `fn` on one grid row; the minimum over
+/// rounds filters co-tenant noise on shared hosts (both sides of every
+/// containment comparison are measured the same way).
+double MinCallNs(LineKernel fn, JacobiGrid& grid, int calls, int rounds) {
+  double best = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    Timer timer;
+    for (int i = 0; i < calls; ++i) {
+      fn(&FourPointFlat(), grid.front(), grid.front(), 1);
+    }
+    best = std::min(best, timer.Seconds() * 1e9 / calls);
+  }
+  return best;
 }
 
 }  // namespace
@@ -241,6 +264,88 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- 7: crash-containment probation overhead ------------------------------
+  // (a) Dispatcher cost: the same specialized entry called raw vs through a
+  // never-completing probation stub (every guarded call pays the register
+  // spill + sigsetjmp + guard bookkeeping). (b) The steady-state gate: with
+  // containment on, after N clean calls the slot must re-bind to the raw
+  // entry, so the post-probation hit cost matches the raw cost within 2%.
+  const std::uint64_t spec_entry = handle.target();
+  JacobiGrid contain_grid;
+  const int contain_calls = 2000;
+  const int contain_rounds = 5;
+  const double raw_call_ns =
+      MinCallNs(specialized, contain_grid, contain_calls, contain_rounds);
+
+  auto guard = runtime::ProbationGuard::Create(
+      spec_entry, generic, /*probation_calls=*/1u << 30,
+      runtime::ProbationGuard::Hooks{});
+  double guarded_call_ns = -1.0;
+  double guard_overhead_ns = -1.0;
+  if (guard.has_value()) {
+    guarded_call_ns =
+        MinCallNs(reinterpret_cast<LineKernel>((*guard)->stub_entry()),
+                  contain_grid, contain_calls, contain_rounds);
+    guard_overhead_ns = guarded_call_ns - raw_call_ns;
+  }
+
+  runtime::CompileService::Options contain_options;
+  contain_options.workers = 1;
+  contain_options.containment.enabled = true;
+  contain_options.containment.probation_calls = 8;
+  runtime::CompileService contain_service(contain_options);
+  auto contain_handle = contain_service.Request(LineRequest());
+  const std::uint64_t contain_stub = contain_handle.wait();
+  auto contain_fn = contain_handle.as<LineKernel>();
+  for (std::uint32_t i = 0; i < contain_options.containment.probation_calls;
+       ++i) {
+    contain_fn(&FourPointFlat(), contain_grid.front(), contain_grid.front(), 1);
+  }
+  const bool rebound = contain_handle.target() != contain_stub;
+  // Both sides of the ratio are the raw entry address by construction once
+  // the re-bind happened; min-of-rounds keeps the 2% gate meaningful on a
+  // noisy shared host (one full re-measure on a miss, like fig_tiering).
+  double steady_call_ns = -1.0;
+  double steady_ratio = -1.0;
+  bool steady_ok = false;
+  for (int attempt = 0; attempt < 2 && !steady_ok; ++attempt) {
+    steady_call_ns = MinCallNs(contain_handle.as<LineKernel>(), contain_grid,
+                               contain_calls, contain_rounds);
+    const double raw_again =
+        MinCallNs(specialized, contain_grid, contain_calls, contain_rounds);
+    const double raw_best = std::min(raw_call_ns, raw_again);
+    steady_ratio = raw_best > 0 ? steady_call_ns / raw_best : -1.0;
+    steady_ok = rebound && steady_ratio >= 0 && steady_ratio <= 1.02;
+  }
+  std::printf("containment: raw call %.1f ns, guarded (probation) %.1f ns "
+              "(+%.1f ns), steady-state after re-bind %.1f ns "
+              "(ratio %.3f) %s\n\n",
+              raw_call_ns, guarded_call_ns, guard_overhead_ns, steady_call_ns,
+              steady_ratio,
+              steady_ok ? "(ok, within 2%)"
+                        : "(FAIL: probation cost did not vanish)");
+
+  JsonObject containment_json;
+  containment_json.Put("bench", "fig_cache_containment")
+      .Put("kernel", "stencil_line_flat")
+      .Put("raw_call_ns", raw_call_ns)
+      .Put("guarded_call_ns", guarded_call_ns)
+      .Put("guard_overhead_ns", guard_overhead_ns)
+      .Put("probation_calls",
+           static_cast<std::uint64_t>(contain_options.containment
+                                          .probation_calls))
+      .Put("rebound_to_raw_entry", rebound)
+      .Put("steady_state_call_ns", steady_call_ns)
+      .Put("steady_vs_raw_ratio", steady_ratio)
+      .Put("steady_ok", steady_ok);
+  const char* containment_path = "BENCH_containment.json";
+  if (WriteJsonFile(containment_path, containment_json)) {
+    std::printf("wrote %s\n", containment_path);
+  } else {
+    std::printf("FAILED to write %s\n", containment_path);
+    return 1;
+  }
+
   JsonObject json;
   json.Put("bench", "fig_cache").Put("reps", reps);
   JsonObject uncached;
@@ -291,5 +396,7 @@ int main(int argc, char** argv) {
     std::printf("FAILED to write %s\n", out_path);
     return 1;
   }
-  return speedup >= 100.0 && first_call_generic && analysis_ok ? 0 : 2;
+  return speedup >= 100.0 && first_call_generic && analysis_ok && steady_ok
+             ? 0
+             : 2;
 }

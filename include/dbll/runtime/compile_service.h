@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dbll/runtime/containment.h"
 #include "dbll/runtime/fallback.h"
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/spec_cache.h"
@@ -176,6 +177,15 @@ class CompileService {
     bool shm = true;
     std::uint32_t shm_slots = 64;
     std::uint64_t shm_slot_bytes = 256 * 1024;
+    /// Crash containment (containment.h): when enabled, every install/
+    /// rebind serves its first N calls through a signal-guarded probation
+    /// stub, caught faults demote the slot / quarantine the cached object /
+    /// trip the per-key circuit breaker, and open breakers route repeat
+    /// requests straight to Tier 1/2 without constructing LLVM state.
+    /// Quarantine *enforcement* in the cache stack is always on; this knob
+    /// only controls guarding and the breaker. DBLL_CONTAIN* env overrides
+    /// are applied on top at service construction.
+    ContainmentOptions containment;
 
     /// Applies every DBLL_* environment override in one place -- the single
     /// centralized env-parsing path shared by the C++ constructor and the C
@@ -186,6 +196,7 @@ class CompileService {
     ///   DBLL_CACHE_SHM_SLOTS     -> shm_slots
     ///   DBLL_CACHE_SHM_SLOT_BYTES -> shm_slot_bytes
     ///   DBLL_TIER_*               -> tiering (TieringOptions::ApplyEnv)
+    ///   DBLL_CONTAIN*             -> containment (ContainmentOptions::ApplyEnv)
     /// Called automatically by the CompileService constructor; idempotent.
     Options& ApplyEnv();
   };
@@ -255,6 +266,12 @@ class CompileService {
   /// backs dbll_cache_persist_stats.
   ObjectStoreStats persist_stats() const;
 
+  /// Manually quarantines a cached object's fingerprint (containment.h):
+  /// the record lands in the store's sidecar and the fingerprint is refused
+  /// by disk, ring and bundle paths from now on. Fails when no persistent
+  /// store is attached. Backs dbll_containment_quarantine.
+  Status QuarantineObject(std::uint64_t fingerprint, const std::string& reason);
+
   CacheStats stats() const;
   std::size_t size() const;
 
@@ -321,7 +338,8 @@ class CompileService {
         negative_hits{0}, queue_rejected{0}, lift_ns{0}, opt_ns{0},
         jit_ns{0}, tier1_ns{0}, tier0a_ns{0}, tier0a_compiles{0},
         interim_installs{0}, baseline_installs{0}, promotions{0},
-        promote_failures{0}, deopts{0};
+        promote_failures{0}, deopts{0}, probation_installs{0},
+        probation_clean{0}, probation_faults{0}, quarantined{0};
   };
   /// One deadline-carrying compile currently running on a worker, watched by
   /// the monitor thread.
@@ -404,6 +422,18 @@ class CompileService {
   bool TryDiskLoad(const CompileRequest& request, const SpecKey& key,
                    std::uint64_t fingerprint,
                    const std::shared_ptr<FunctionHandle::Slot>& slot);
+  /// Probation arming (containment.h): when containment is on, wraps a
+  /// freshly compiled/loaded entry in a signal-guarded probation stub and
+  /// returns the stub address to install; otherwise (or when stub emission
+  /// fails) returns `entry` unchanged. The guard's hooks rebind the slot to
+  /// the raw entry after N clean calls, or -- on a caught fault -- demote
+  /// the slot to the generic entry, quarantine `fingerprint`, and trip the
+  /// key's circuit breaker. The guard is parked on the slot for lifetime.
+  std::uint64_t ArmProbation(const std::shared_ptr<FunctionHandle::Slot>& slot,
+                             const SpecKey& key, std::uint64_t fingerprint,
+                             std::uint64_t entry);
+  /// Feeds the per-key circuit breaker (no-op when containment is off).
+  void BreakerOnFault(const SpecKey& key);
 
   Options options_;
   lift::Jit jit_;
@@ -432,6 +462,9 @@ class CompileService {
   /// identical to the pre-tiering service with zero added locking. The full
   /// TieringOptions copy (under mutex_) happens only when this is true.
   std::atomic<bool> tiering_enabled_{false};
+  /// Per-SpecKey circuit breakers; non-null iff Options::containment.enabled
+  /// (immutable after construction, so workers use it without mutex_).
+  std::unique_ptr<BreakerBoard> breaker_;
   std::shared_ptr<AliveToken> alive_;
   Counters counters_;
   Error last_error_;  // most recent failed compile; guarded by mutex_

@@ -1,0 +1,265 @@
+// dbll -- crash containment: probation execution, poisoned-entry
+// quarantine, per-key circuit breakers.
+//
+// The fallback ladder (fallback.h) and the negative cache handle *reported*
+// errors -- an Expected that came back with a diagnosis. This layer handles
+// the failure mode that dominates for binary rewriters in practice: the
+// rewritten code itself faulting at runtime (mis-lifted instruction, stale
+// cached object, guard-stub gap). Three cooperating mechanisms:
+//
+//   * Probation execution (ProbationGuard). Every freshly installed entry
+//     -- Tier-0a baseline, O3 promotion, disk/shm warm load -- serves its
+//     first N calls through a hand-assembled stub that routes into a C++
+//     dispatcher. The dispatcher arms a thread-local sigsetjmp recovery
+//     window (support/crashguard.h) around the real call: a SIGSEGV/SIGILL/
+//     SIGBUS/SIGFPE inside the entry longjmps back, the caller is served
+//     from the Tier-2 fallback entry, and the owning slot is demoted. After
+//     N clean calls the slot re-binds to the raw entry, so the steady-state
+//     hot path (<5ns FunctionHandle::target() budget, docs/tiering.md) is
+//     untouched.
+//   * Poisoned-entry quarantine (Quarantine). A faulting entry's persist
+//     fingerprint is recorded in a flock'd `quarantine.dbq` sidecar next to
+//     the object cache. ObjectStore::Load/Store and ShmRing::Lookup/Insert
+//     refuse quarantined fingerprints and bundle import skips them: one
+//     crash immunizes the whole fleet across restarts. Quarantine
+//     *enforcement* is always on; only probation guarding is opt-in.
+//   * Per-SpecKey circuit breaker (BreakerBoard). Crash, deopt and compile-
+//     failure events feed a breaker per key: closed -> open after K faults
+//     (new requests route straight to Tier 1/2 without constructing any
+//     LLVM state), half-open after a cooldown (exactly one guarded probe),
+//     closed again on a clean probation. This generalizes the PR 3 negative
+//     cache from "deterministic compile failure" to "observed runtime
+//     misbehavior".
+//
+// Call model: probation stubs forward the six System-V integer argument
+// registers and the integer return -- exactly the CompileRequest signature
+// model the service supports. Floating-point argument registers are not
+// preserved across the dispatcher, matching the rest of the runtime.
+//
+// Configuration: CompileService::Options::containment, overridable with
+// DBLL_CONTAIN* environment variables (ContainmentOptions::ApplyEnv).
+// See docs/robustness.md (containment section) for the signal-safety rules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/crashguard.h"
+#include "dbll/support/error.h"
+
+namespace dbll::runtime {
+
+/// Containment knobs (CompileService::Options::containment).
+struct ContainmentOptions {
+  /// Master switch for probation guarding and the circuit breaker. Off by
+  /// default (like tiering): the guard dispatcher costs a couple of ns per
+  /// probation call and embedders must opt into process-wide signal
+  /// handlers. Quarantine *enforcement* (refusing poisoned fingerprints in
+  /// the cache stack) is always on regardless.
+  bool enabled = false;
+  /// Clean calls a fresh install must survive before the slot re-binds to
+  /// the raw entry (0 is clamped to 1).
+  std::uint32_t probation_calls = 8;
+  /// Faults (crash/deopt/compile-failure) that open a key's breaker. The
+  /// default 1 means a single caught crash stops further compiles of that
+  /// key until a cooldown probe succeeds.
+  std::uint32_t breaker_threshold = 1;
+  /// How long an open breaker routes requests straight to fallback before
+  /// letting one half-open probe through.
+  std::uint64_t breaker_cooldown_ms = 250;
+  /// Bound on tracked breaker entries (oldest dropped beyond it).
+  std::uint32_t breaker_capacity = 1024;
+
+  /// Environment overrides: DBLL_CONTAIN (master flag), DBLL_CONTAIN_CALLS,
+  /// DBLL_CONTAIN_BREAKER_K, DBLL_CONTAIN_COOLDOWN_MS.
+  void ApplyEnv();
+  void Clamp();
+};
+
+/// One guarded entry under probation. Created at install time by the
+/// compile service; the stub address is what gets published as the slot's
+/// target. The guard must outlive every possible call through its stub --
+/// the owning slot parks the shared_ptr for its own lifetime.
+class ProbationGuard {
+ public:
+  /// Probation outcome callbacks. Fired at most once each, from whichever
+  /// serving thread completed the transition -- in normal calling context,
+  /// never inside a signal handler. `on_clean` runs after the N-th clean
+  /// call (re-bind the slot to the raw entry); `on_fault` runs after the
+  /// first caught fault (demote, quarantine, trip the breaker).
+  struct Hooks {
+    std::function<void()> on_clean;
+    std::function<void(const support::FaultInfo&)> on_fault;
+  };
+
+  /// Emits the probation stub for `entry`. `fallback_entry` (the Tier-2
+  /// original) serves the caller after a fault. Fails only on code-buffer
+  /// allocation problems.
+  static Expected<std::shared_ptr<ProbationGuard>> Create(
+      std::uint64_t entry, std::uint64_t fallback_entry,
+      std::uint32_t probation_calls, Hooks hooks);
+
+  /// Callable stub address (publish this as the slot target).
+  std::uint64_t stub_entry() const { return stub_entry_; }
+  /// The guarded raw entry (re-bind to this after a clean probation).
+  std::uint64_t entry() const { return entry_; }
+  std::uint64_t fallback_entry() const { return fallback_; }
+
+  bool poisoned() const;
+  /// True once the probation finished clean (on_clean fired).
+  bool completed() const;
+  std::uint64_t clean_calls() const {
+    return clean_.load(std::memory_order_relaxed);
+  }
+  /// Valid once poisoned(): what the handler observed (signo == 0 marks a
+  /// synthetic fault injected via the `exec.probation` site).
+  const support::FaultInfo& fault_info() const { return fault_; }
+
+  /// The dispatcher the stub calls (public for the extern "C" thunk; not
+  /// user API). `args` points at the six saved argument registers.
+  static std::uint64_t Dispatch(ProbationGuard* guard,
+                                const std::uint64_t* args);
+
+ private:
+  ProbationGuard() = default;
+
+  void NoteClean();
+  void HandleFault(const support::FaultInfo& info);
+
+  enum State : std::uint32_t { kProbing = 0, kClean = 1, kPoisoned = 2 };
+
+  CodeBuffer code_;
+  std::uint64_t stub_entry_ = 0;
+  std::uint64_t entry_ = 0;
+  std::uint64_t fallback_ = 0;
+  std::uint32_t probation_calls_ = 1;
+  std::atomic<std::uint32_t> state_{kProbing};
+  std::atomic<std::uint64_t> clean_{0};
+  Hooks hooks_;
+  support::FaultInfo fault_;
+};
+
+/// Circuit-breaker states, the classic three.
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+std::string_view ToString(BreakerState state) noexcept;
+
+/// Per-key circuit breakers over an opaque key blob (the service uses the
+/// SpecKey blob, so breakers survive slot eviction). Thread-safe; bounded.
+class BreakerBoard {
+ public:
+  /// What a new compile request for the key may do.
+  enum class Decision : std::uint8_t {
+    kAllow = 0,  ///< closed (or unknown key): compile normally
+    kProbe = 1,  ///< half-open: this request is the one guarded probe
+    kDeny = 2,   ///< open: route straight to Tier 1/2, no LLVM state
+  };
+
+  BreakerBoard(std::uint32_t threshold, std::uint64_t cooldown_ms,
+               std::uint32_t capacity);
+
+  Decision Check(const std::string& key, std::uint64_t now_ns);
+  /// A crash/deopt/compile-failure was observed for the key.
+  void OnFault(const std::string& key, std::uint64_t now_ns);
+  /// A probation for the key completed clean: close (and reset) its breaker.
+  void OnSuccess(const std::string& key);
+
+  /// Point-in-time state of one key (kClosed for unknown keys).
+  BreakerState StateOf(const std::string& key,
+                       std::uint64_t now_ns) const;
+
+  struct Stats {
+    std::uint64_t opens = 0;    ///< closed/half-open -> open transitions
+    std::uint64_t closes = 0;   ///< half-open -> closed transitions
+    std::uint64_t probes = 0;   ///< half-open probes granted
+    std::uint64_t denials = 0;  ///< requests routed to fallback while open
+    std::uint64_t tracked = 0;  ///< keys currently tracked
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t faults = 0;
+    std::uint64_t opened_ns = 0;
+    bool probing = false;  ///< a half-open probe is in flight
+  };
+
+  std::uint32_t threshold_;
+  std::uint64_t cooldown_ns_;
+  std::uint32_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<std::string> order_;  ///< insertion order, for capacity eviction
+  std::uint64_t opens_ = 0, closes_ = 0, probes_ = 0, denials_ = 0;
+};
+
+/// The poisoned-fingerprint set, backed by a flock'd text sidecar
+/// (`quarantine.dbq`) in the cache directory. Construction loads the
+/// sidecar; Add appends under the cache-wide lock and updates the in-memory
+/// set, so enforcement in this process is immediate and peers pick the
+/// record up on their next (re)start or Refresh(). Every method degrades on
+/// I/O trouble (a lost sidecar can cost protection, never correctness).
+class Quarantine {
+ public:
+  struct Record {
+    std::uint64_t fingerprint = 0;
+    std::string reason;
+  };
+
+  /// Loads `dir`'s sidecar (missing file = empty set). An empty dir makes
+  /// an inert instance (Contains always false, Add a no-op error).
+  explicit Quarantine(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Membership test; the cache stack's veto. O(1), cheap when empty.
+  bool Contains(std::uint64_t fingerprint) const;
+
+  /// Records the fingerprint (idempotent). Guarded by the `objcache.
+  /// quarantine` fault site; on injected or real I/O failure the in-memory
+  /// set is still updated (this process stays protected) and the error is
+  /// reported.
+  Status Add(std::uint64_t fingerprint, const std::string& reason);
+
+  /// Re-reads the sidecar, merging records quarantined by other processes.
+  Status Refresh();
+
+  std::vector<Record> List() const;
+  std::uint64_t size() const;
+
+  /// Count of vetoes served from this set (bumped by callers via
+  /// NoteBlocked so one counter covers disk, ring and bundle paths).
+  std::uint64_t blocked() const {
+    return blocked_.load(std::memory_order_relaxed);
+  }
+  void NoteBlocked();
+
+  /// Sidecar file name inside a cache directory ("quarantine.dbq").
+  static const char* FileName();
+
+  /// Offline read of a directory's quarantine records (dbll-cachectl).
+  static Expected<std::vector<Record>> ReadDir(const std::string& dir);
+
+  /// Deletes the sidecar; returns how many records it held.
+  static Expected<std::uint64_t> Clear(const std::string& dir);
+
+ private:
+  Status MergeFromDisk();  // caller holds mutex_
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::string> entries_;
+  std::atomic<std::uint64_t> count_{0};  ///< == entries_.size(), lock-free
+  std::atomic<std::uint64_t> blocked_{0};
+};
+
+}  // namespace dbll::runtime

@@ -49,6 +49,8 @@
 
 namespace dbll::runtime {
 
+class Quarantine;  // containment.h: the poisoned-fingerprint sidecar
+
 /// One decoded cache entry: the relocatable object plus the metadata needed
 /// to re-install it into the JIT without any IR.
 struct ObjectEntry {
@@ -86,6 +88,10 @@ struct ObjectStoreStats {
   std::uint64_t shm_inserts = 0;
   std::uint64_t shm_evictions = 0;
   std::uint64_t shm_errors = 0;
+  /// Poisoned-entry quarantine (containment.h); enforcement is always on.
+  std::uint64_t quarantined = 0;          ///< fingerprints this store poisoned
+  std::uint64_t quarantine_entries = 0;   ///< records in the loaded sidecar
+  std::uint64_t quarantine_blocked = 0;   ///< loads/stores/inserts vetoed
 };
 
 /// Result of validating one on-disk entry (dbll-cachectl's unit of output).
@@ -131,6 +137,19 @@ class ObjectStore {
   /// The attached shm ring, or nullptr when Options::shm is off or the
   /// attach failed (tooling/tests; stats() carries the same counters).
   ShmRing* shm_ring() const { return ring_.get(); }
+
+  /// The poisoned-fingerprint set this store enforces (containment.h).
+  /// Non-null once constructed with a directory; nullptr on a bad-config
+  /// store. Loaded from the `quarantine.dbq` sidecar at construction.
+  Quarantine* quarantine() const { return quarantine_.get(); }
+
+  /// Poisons a fingerprint: records it in the sidecar, deletes its entry
+  /// file, and scrubs its shm-ring slot, in that veto-tightening order.
+  /// Subsequent Load/Store/Insert calls (here and, after their next start
+  /// or Refresh, in every peer) refuse it. Degrades on I/O trouble -- the
+  /// in-memory veto of *this* process always takes effect.
+  Status QuarantineFingerprint(std::uint64_t fingerprint,
+                               const std::string& reason);
 
   /// Looks the fingerprint up -- shm ring first (lock-free), then disk; a
   /// disk hit is written back into the ring so the next process on this box
@@ -190,9 +209,10 @@ class ObjectStore {
   Options options_;
   Status init_;
   std::unique_ptr<ShmRing> ring_;
+  std::shared_ptr<Quarantine> quarantine_;
   mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
       evictions_{0}, corrupt_dropped_{0}, errors_{0}, load_ns_{0},
-      store_ns_{0};
+      store_ns_{0}, quarantined_{0};
 };
 
 /// Stable on-disk fingerprint of one compile request: FNV-1a over the

@@ -38,12 +38,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dbll/support/error.h"
 
 namespace dbll::runtime {
+
+class Quarantine;  // containment.h: the poisoned-fingerprint veto
 
 /// Per-process counters of one attached ring (all monotonic).
 struct ShmRingStats {
@@ -57,6 +60,7 @@ struct ShmRingStats {
   std::uint64_t reinit = 0;     ///< attach re-initialized an unusable ring
   std::uint64_t lookup_ns = 0;  ///< wall time inside Lookup
   std::uint64_t insert_ns = 0;  ///< wall time inside Insert
+  std::uint64_t quarantine_blocked = 0;  ///< lookups/inserts vetoed as poisoned
 };
 
 /// Fleet-wide view of a ring file (header + slot scan), as read at one
@@ -115,6 +119,18 @@ class ShmRing {
   bool Insert(std::uint64_t fingerprint, const std::uint8_t* data,
               std::size_t size);
 
+  /// Wires the poisoned-fingerprint veto (containment.h): once set, Lookup
+  /// refuses to serve -- and Insert refuses to publish -- a quarantined
+  /// fingerprint, *before* touching any slot. Set once right after
+  /// construction (the ObjectStore does this), before concurrent use.
+  void SetQuarantine(std::shared_ptr<Quarantine> quarantine);
+
+  /// Scrubs the slot holding `fingerprint`, if any, under the writer flock
+  /// (seqlock write of an empty slot). Peers that already copied the
+  /// payload keep it -- this stops *future* lookups fleet-wide. True when a
+  /// slot was cleared.
+  bool Invalidate(std::uint64_t fingerprint);
+
   ShmRingStats stats() const;
 
   /// Point-in-time fleet view of the attached ring.
@@ -155,10 +171,11 @@ class ShmRing {
   std::uint32_t slot_count_ = 0;
   std::uint64_t slot_bytes_ = 0;
   std::uint64_t slot_stride_ = 0;
+  std::shared_ptr<Quarantine> quarantine_;
 
   mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, inserts_{0},
       evictions_{0}, too_big_{0}, stale_reclaimed_{0}, errors_{0}, reinit_{0},
-      lookup_ns_{0}, insert_ns_{0};
+      lookup_ns_{0}, insert_ns_{0}, quarantine_blocked_{0};
 };
 
 }  // namespace dbll::runtime

@@ -83,6 +83,19 @@ struct CacheStats {
   std::uint64_t promotions = 0;         ///< baseline -> O3 swaps completed
   std::uint64_t promote_failures = 0;   ///< promotions that kept the baseline
   std::uint64_t deopts = 0;             ///< guard-triggered demotions
+  // Crash containment (containment.h). Mirrored process-wide in the obs
+  // registry as containment.*.
+  std::uint64_t probation_installs = 0;  ///< entries armed with a guard stub
+  std::uint64_t probation_clean = 0;     ///< probations that re-bound the raw
+                                         ///< entry after N clean calls
+  std::uint64_t probation_faults = 0;    ///< caught faults (caller served
+                                         ///< Tier 2, slot demoted)
+  std::uint64_t quarantined = 0;         ///< fingerprints poisoned by faults
+  std::uint64_t breaker_opens = 0;       ///< per-key breakers tripped open
+  std::uint64_t breaker_closes = 0;      ///< breakers closed by a clean probe
+  std::uint64_t breaker_probes = 0;      ///< half-open probe compiles granted
+  std::uint64_t breaker_denials = 0;     ///< requests routed straight to
+                                         ///< Tier 1/2 by an open breaker
   StageTimes stage_total;
 };
 

@@ -1,0 +1,106 @@
+// dbll -- signal-guarded execution frames (the crash-containment primitive).
+//
+// Rewritten code is hostile-by-construction: a mis-lifted instruction, a
+// stale cached object, or a guard-stub gap shows up not as a reported Error
+// but as a synchronous hardware fault (SIGSEGV/SIGILL/SIGBUS/SIGFPE) in the
+// middle of a specialized entry. This layer turns that fault back into a
+// value the runtime can act on: a thread arms a GuardFrame around the
+// suspect call, and a process-wide chained signal handler converts a fault
+// inside the guarded window into a `siglongjmp` back to the arming site with
+// a FaultInfo describing what happened. Faults outside any armed frame are
+// forwarded to whatever handler was installed before ours (sanitizers,
+// crash reporters, the default action) -- the guard never widens the set of
+// survivable crashes beyond the windows that explicitly opted in.
+//
+// Signal-safety rules (see docs/robustness.md, "containment" section):
+//   * The handler touches only the current thread's top GuardFrame (plain
+//     thread-local pointer chain), one process-global fault counter, and the
+//     previously installed sigaction it chains to. No locks, no allocation,
+//     no streams, no runtime callbacks.
+//   * Recovery work (demotion, quarantine, metrics) happens *after* the
+//     longjmp, in normal calling context, never inside the handler.
+//   * Handlers run on a per-thread alternate stack (sigaltstack), installed
+//     lazily the first time a thread arms a frame, so a stack-overflow
+//     SIGSEGV inside a guarded window is still recoverable.
+//
+// Guarded windows must not hold locks or own resources that the skipped
+// unwind would leak: `siglongjmp` does not run destructors of the guarded
+// callee's frames. The intended (and only supported) use is around calls
+// into flat rewritten machine code, which owns nothing.
+#pragma once
+
+#include <csetjmp>
+#include <csignal>
+#include <cstdint>
+
+namespace dbll::support {
+
+/// What the signal handler observed for a caught fault.
+struct FaultInfo {
+  int signo = 0;               ///< SIGSEGV, SIGILL, SIGBUS or SIGFPE
+  std::uint64_t fault_addr = 0;  ///< si_addr: the faulting data/code address
+  std::uint64_t fault_pc = 0;    ///< instruction pointer at the fault
+};
+
+/// Returns a stable name ("SIGSEGV"...) for a guarded signal number.
+const char* GuardSignalName(int signo);
+
+/// Installs the process-wide chained handlers for the four guarded signals.
+/// Idempotent and thread-safe; the first caller wins, later calls are
+/// no-ops. Returns false when sigaction itself failed (the guard then
+/// behaves as if no frame were ever armed -- callers simply lose recovery,
+/// not correctness). Called automatically by GuardFrame's constructor.
+bool InstallCrashGuard();
+
+/// True once InstallCrashGuard has succeeded in this process.
+bool CrashGuardInstalled();
+
+/// Process-wide count of faults recovered via an armed frame (monotonic).
+std::uint64_t CrashGuardRecoveredFaults();
+
+/// One guarded window on the current thread. Frames nest (LIFO per thread);
+/// the innermost *armed* frame catches. Usage:
+///
+///   GuardFrame frame;
+///   if (sigsetjmp(frame.jump_buffer(), 1) == 0) {
+///     frame.Arm();
+///     result = CallSuspectCode();
+///     frame.Disarm();
+///   } else {
+///     // frame.fault() says what happened; the callee never returned.
+///   }
+///
+/// `sigsetjmp` must be called from the frame's owning function (its jump
+/// target dies with that activation record), which is why arming is split
+/// out instead of done in the constructor. A frame that is never armed is
+/// inert. Not copyable, not movable, must be stack-allocated.
+class GuardFrame {
+ public:
+  GuardFrame();
+  ~GuardFrame();
+  GuardFrame(const GuardFrame&) = delete;
+  GuardFrame& operator=(const GuardFrame&) = delete;
+
+  sigjmp_buf& jump_buffer() { return jump_buffer_; }
+
+  /// Makes this frame the recovery target for faults on this thread. Only
+  /// valid after sigsetjmp has filled jump_buffer().
+  void Arm() { armed_ = 1; }
+  /// Ends the guarded window (also done by the handler before jumping, so a
+  /// caught fault cannot re-enter a dead jump buffer).
+  void Disarm() { armed_ = 0; }
+  bool armed() const { return armed_ != 0; }
+
+  /// Valid after the sigsetjmp returned nonzero.
+  const FaultInfo& fault() const { return fault_; }
+
+ private:
+  friend struct GuardFrameAccess;  // the signal handler's window into frames
+
+  sigjmp_buf jump_buffer_;
+  FaultInfo fault_;
+  GuardFrame* prev_ = nullptr;       ///< next-outer frame on this thread
+  volatile sig_atomic_t armed_ = 0;
+};
+
+}  // namespace dbll::support

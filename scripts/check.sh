@@ -38,6 +38,10 @@ DBLL_BENCH_ITERS=10 DBLL_BENCH_REPS=3 sh scripts/run_experiments.sh "$BUILD" 10 
 # callable served by the DBrew tier -- and cleanly Tier-0 without the fault.
 "$BUILD/tools/fault_smoke"
 DBLL_FAULT=jit.compile:kJit:0 "$BUILD/tools/fault_smoke"
+# Third mode (docs/robustness.md, containment): a synthetic fault on the
+# first probation call must be caught, the caller served correctly, and the
+# slot demoted -- all inside one process that exits 0.
+DBLL_CONTAIN=1 DBLL_FAULT=exec.probation:kInternal:0 "$BUILD/tools/fault_smoke"
 echo "dbll: fault-injection smoke passed"
 # Warm-start smoke (docs/runtime_cache.md): two runs of the same binary over
 # one persistent cache directory. The first compiles and persists; the second
@@ -67,7 +71,7 @@ rm -rf "$FLEET_DIR" "$FLEET_IMPORT" "$FLEET_BUNDLE"
 "$BUILD/tools/dbll-cachectl" import "$FLEET_BUNDLE" "$FLEET_IMPORT"
 "$BUILD/tools/dbll-cachectl" verify "$FLEET_IMPORT"
 "$BUILD/tools/dbll-cachectl" stats "$FLEET_IMPORT" --json |
-  grep -q '"schema_version": 2'
+  grep -q '"schema_version": 3'
 FLEET_PIDS=""
 for i in 1 2 3 4; do
   "$BUILD/tools/warm_smoke" "$FLEET_IMPORT" --expect-warm &
@@ -99,6 +103,23 @@ EOF
   --expect-warm
 rm -rf "$PREWARM_DIR" "$PREWARM_MANIFEST"
 echo "dbll: prewarm gate passed (second pass fully warm)"
+# Crash-containment gate (docs/robustness.md, containment section): a
+# fault-injection-poisoned kernel must be survived with the correct Tier-2
+# answer, its fingerprint quarantined and its breaker opened; a process
+# restart over the same directory must never reload the quarantined object;
+# and a failed sidecar write must not cost in-process protection. The
+# cachectl subcommand must see -- and be able to clear -- the record.
+CONTAIN_DIR="$BUILD/contain_smoke_cache"
+CONTAIN_DIR2="$BUILD/contain_smoke_cache2"
+rm -rf "$CONTAIN_DIR" "$CONTAIN_DIR2"
+"$BUILD/tools/contain_smoke" "$CONTAIN_DIR" --poison
+"$BUILD/tools/contain_smoke" "$CONTAIN_DIR" --expect-quarantined
+"$BUILD/tools/dbll-cachectl" quarantine "$CONTAIN_DIR" --json |
+  grep -q '"fingerprint"'
+"$BUILD/tools/contain_smoke" "$CONTAIN_DIR2" --sidecar-fault
+"$BUILD/tools/dbll-cachectl" quarantine "$CONTAIN_DIR" --clear
+rm -rf "$CONTAIN_DIR" "$CONTAIN_DIR2"
+echo "dbll: crash-containment gate passed (poison, restart, sidecar legs)"
 # Fleet bench smoke: shm hit must be measurably cheaper than a disk hit, and
 # a 4-service restart from a bundle must do zero Tier-0 compiles
 # (BENCH_fleet.json records the medians; nonzero exit on a missed gate).
@@ -115,15 +136,20 @@ DBLL_BENCH_REPS=5 "$BUILD/bench/fig_tiering" --smoke ||
   DBLL_BENCH_REPS=5 "$BUILD/bench/fig_tiering" --smoke
 [ "$(grep -o '"promoted": true' BENCH_tiering.json | wc -l)" -eq 2 ]
 echo "dbll: tiering smoke passed (BENCH_tiering.json written)"
-# Sanitized robustness pass: the decoder fuzz and the fallback/fault tests
-# under ASan+UBSan (any sanitizer report aborts, failing the run).
-# detect_leaks=0: the obs Registry/Tracer are intentional leaky singletons.
+# Sanitized robustness pass: the decoder fuzz and the fallback/fault/
+# containment tests under ASan+UBSan (any sanitizer report aborts, failing
+# the run). detect_leaks=0: the obs Registry/Tracer are intentional leaky
+# singletons. handle_segv=0 (and friends) for the containment test: the
+# crash guard must own the guarded signals -- ASan's own fatal-signal
+# interceptor would otherwise report the *recovered* probation faults.
 ASAN_BUILD="${BUILD}-asan"
 cmake -B "$ASAN_BUILD" -S . -DDBLL_SANITIZE=ON \
   -DDBLL_BUILD_BENCHMARKS=OFF -DDBLL_BUILD_EXAMPLES=OFF
 cmake --build "$ASAN_BUILD" -j "$(nproc)" \
-  --target decoder_fuzz_test fallback_test
+  --target decoder_fuzz_test fallback_test containment_test
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/decoder_fuzz_test"
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/fallback_test"
-echo "dbll: sanitized fuzz + fallback tests passed"
+ASAN_OPTIONS=detect_leaks=0:handle_segv=0:handle_sigbus=0:handle_sigill=0:handle_sigfpe=0:allow_user_segv_handler=1 \
+  "$ASAN_BUILD/tests/containment_test"
+echo "dbll: sanitized fuzz + fallback + containment tests passed"
 echo "dbll: build, tier-1 tests, benchmark and robustness smoke all passed"

@@ -9,6 +9,8 @@
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/containment.h"
+#include "dbll/support/crashguard.h"
 #include "dbll/support/fault.h"
 
 struct dbll_rewriter {
@@ -208,6 +210,19 @@ dbll_cache* dbll_cache_new_v1(const dbll_cache_options_v1* opts) {
         options.shm_slot_bytes = opts->shm_slot_bytes;
       }
     }
+    if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_CONTAIN,
+                         contain_cooldown_ms)) {
+      options.containment.enabled = opts->contain_enabled != 0;
+      if (opts->contain_calls != 0) {
+        options.containment.probation_calls = opts->contain_calls;
+      }
+      if (opts->contain_breaker_k != 0) {
+        options.containment.breaker_threshold = opts->contain_breaker_k;
+      }
+      if (opts->contain_cooldown_ms != 0) {
+        options.containment.breaker_cooldown_ms = opts->contain_cooldown_ms;
+      }
+    }
   }
   return new dbll_cache(options);
 }
@@ -221,7 +236,8 @@ int dbll_cache_configure(dbll_cache* c, const dbll_cache_options_v1* opts) {
   // Construction-only knobs: fail before applying anything so the call is
   // all-or-nothing with respect to its own mask.
   if (opts->apply_mask &
-      (DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY)) {
+      (DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY |
+       DBLL_CACHE_APPLY_CONTAIN)) {
     return -1;
   }
   if (DBLL_OPT_PRESENT(opts, DBLL_CACHE_APPLY_DEADLINE, deadline_ms)) {
@@ -376,6 +392,14 @@ int dbll_cache_get_stats(dbll_cache* c, dbll_cache_stats_v1* out) {
   full.shm_inserts = s.shm_inserts;
   full.shm_evictions = s.shm_evictions;
   full.shm_errors = s.shm_errors;
+  full.probation_installs = s.probation_installs;
+  full.probation_clean = s.probation_clean;
+  full.probation_faults = s.probation_faults;
+  full.quarantined = s.quarantined;
+  full.breaker_opens = s.breaker_opens;
+  full.breaker_closes = s.breaker_closes;
+  full.breaker_probes = s.breaker_probes;
+  full.breaker_denials = s.breaker_denials;
 
   // Copy exactly the prefix both sides know; zero the tail the caller
   // declared but this library predates.
@@ -509,6 +533,35 @@ void dbll_cache_persist_stats(dbll_cache* c, dbll_persist_stats* out) {
   out->shm_inserts = stats.shm_inserts;
   out->shm_evictions = stats.shm_evictions;
   out->shm_errors = stats.shm_errors;
+}
+
+/* --- dbll_containment_*: crash containment --------------------------------- */
+
+uint64_t dbll_containment_recovered_faults(void) {
+  return dbll::support::CrashGuardRecoveredFaults();
+}
+
+int dbll_containment_quarantine(dbll_cache* c, uint64_t fingerprint,
+                                const char* reason) {
+  if (c == nullptr) return -1;
+  const dbll::Status status = c->impl.QuarantineObject(
+      fingerprint, reason != nullptr ? std::string(reason) : std::string());
+  c->last_error = status.ok() ? std::string() : status.error().Format();
+  return status.ok() ? 0 : 1;
+}
+
+int64_t dbll_containment_quarantine_count(const char* dir) {
+  if (dir == nullptr) return -1;
+  auto records = dbll::runtime::Quarantine::ReadDir(dir);
+  if (!records.has_value()) return -1;
+  return static_cast<int64_t>(records->size());
+}
+
+int64_t dbll_containment_quarantine_clear(const char* dir) {
+  if (dir == nullptr) return -1;
+  auto cleared = dbll::runtime::Quarantine::Clear(dir);
+  if (!cleared.has_value()) return -1;
+  return static_cast<int64_t>(*cleared);
 }
 
 /* --- dbll_analyze_*: static lift-eligibility audit ------------------------- */

@@ -179,6 +179,10 @@ struct FunctionHandle::Slot {
   /// before the slot is published and never mutated afterwards, so the
   /// lock-free read in FunctionHandle::target() is safe.
   std::shared_ptr<TierProfile> profile;
+  /// Probation guards armed on this slot (containment.h). A published stub
+  /// address stays callable as long as a handle might jump through it, so
+  /// every guard is parked here for the slot's lifetime. Guarded by `mutex`.
+  std::vector<std::shared_ptr<ProbationGuard>> guards;
 
   mutable std::mutex mutex;
   std::condition_variable cv;
@@ -341,6 +345,7 @@ CompileService::Options& CompileService::Options::ApplyEnv() {
       static_cast<std::uint32_t>(env::U64("DBLL_CACHE_SHM_SLOTS", shm_slots));
   shm_slot_bytes = env::U64("DBLL_CACHE_SHM_SLOT_BYTES", shm_slot_bytes);
   tiering.ApplyEnv();
+  containment.ApplyEnv();
   return *this;
 }
 
@@ -352,6 +357,16 @@ CompileService::CompileService(Options options) : options_(options) {
   // CompileService too, so C and C++ embedders share one env grammar).
   options_.ApplyEnv();
   tiering_enabled_.store(options_.tiering.enabled, std::memory_order_release);
+  options_.containment.Clamp();
+  if (options_.containment.enabled) {
+    // Opting into containment installs the process-wide crash-guard signal
+    // handlers once, up front -- never lazily from a serving thread.
+    support::InstallCrashGuard();
+    breaker_ = std::make_unique<BreakerBoard>(
+        options_.containment.breaker_threshold,
+        options_.containment.breaker_cooldown_ms,
+        options_.containment.breaker_capacity);
+  }
   alive_ = std::make_shared<AliveToken>();
   alive_->svc = this;
   // Resolve the persistent store: explicit option first, DBLL_CACHE_DIR
@@ -466,6 +481,32 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
     }
   }
 
+  // Per-key circuit breaker (containment.h): an open breaker routes the
+  // request straight to the fallback ladder -- no disk probe, no tiering,
+  // no LLVM state of any kind is constructed for a key that keeps faulting.
+  // A half-open breaker admits exactly this request as its guarded probe
+  // (the probation guard armed at install time reports the verdict back).
+  bool breaker_denied = false;
+  Error breaker_error;
+  if (breaker_ != nullptr) {
+    const std::string breaker_key(key.blob().begin(), key.blob().end());
+    switch (breaker_->Check(breaker_key, NowNs())) {
+      case BreakerBoard::Decision::kAllow:
+        break;
+      case BreakerBoard::Decision::kProbe:
+        break;  // proceed normally; probation guards this install
+      case BreakerBoard::Decision::kDeny:
+        breaker_denied = true;
+        tiered = false;
+        breaker_error = Error(
+            ErrorKind::kUnsupported,
+            "circuit breaker open after repeated faults for this key; "
+            "serving the fallback tier without recompiling",
+            request.address);
+        break;
+    }
+  }
+
   // Persistent-store probe: a warm hit installs the finished object on this
   // thread -- no queue, no worker, no LLVM -- and publishes the slot. The
   // probe targets the *full* request's object; a hit means the expensive
@@ -474,7 +515,7 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
   std::uint64_t fingerprint = 0;
   bool persist = false;
   std::uint64_t baseline_fingerprint = 0;
-  if (std::shared_ptr<ObjectStore> st = store()) {
+  if (std::shared_ptr<ObjectStore> st = breaker_denied ? nullptr : store()) {
     fingerprint = PersistFingerprint(key, request.address);
     persist = true;
     if (TryDiskLoad(request, key, fingerprint, slot)) {
@@ -511,7 +552,7 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
           alive->svc->EnqueuePromotion(s, promote_request,
                                        promote_fingerprint, promote_persist);
         },
-        [alive, weak_slot] {
+        [alive, weak_slot, deopt_key = key] {
           std::shared_ptr<FunctionHandle::Slot> s = weak_slot.lock();
           if (!s || !s->profile) return;
           DBLL_TRACE_SPAN("tiering.deopt");
@@ -528,6 +569,9 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
             if (alive->svc != nullptr) {
               alive->svc->counters_.deopts.fetch_add(
                   1, std::memory_order_relaxed);
+              // A deopt is a fault event for the breaker: specialized code
+              // misbehaved (assumption violated), even if it never crashed.
+              alive->svc->BreakerOnFault(deopt_key);
             }
           } else {
             s->profile->OnDemoted();
@@ -599,7 +643,13 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
     job.fingerprint = fingerprint;
     job.persist = persist;
     auto negative = negative_.find(job.key);
-    if (negative != negative_.end()) {
+    if (breaker_denied) {
+      // Ride the negative-cache rail: the worker skips Tier 0 and lands in
+      // the Tier-1/2 degradation chain with the breaker verdict as the root
+      // error (the breaker's own denial counter was bumped by Check).
+      job.skip_tier0 = true;
+      job.negative_error = std::move(breaker_error);
+    } else if (negative != negative_.end()) {
       job.skip_tier0 = true;
       job.negative_error = negative->second;
       counters_.negative_hits.fetch_add(1, std::memory_order_relaxed);
@@ -645,8 +695,11 @@ bool CompileService::TryDiskLoad(
     return false;
   }
 
+  // Warm loads are exactly the entries probation exists for: the object may
+  // have been compiled against a layout that no longer holds.
+  const std::uint64_t serve = ArmProbation(slot, key, fingerprint, *installed);
   slot->Finish(slot->generation.load(std::memory_order_relaxed),
-               FunctionHandle::State::kSpecialized, Tier::kLlvm, *installed,
+               FunctionHandle::State::kSpecialized, Tier::kLlvm, serve,
                {}, StageTimes{});
   CacheMetrics::Get().installs.Add(1);
 
@@ -669,6 +722,102 @@ bool CompileService::TryDiskLoad(
   entry_count_.fetch_add(1, std::memory_order_relaxed);
   EvictIfNeeded();
   return true;
+}
+
+std::uint64_t CompileService::ArmProbation(
+    const std::shared_ptr<FunctionHandle::Slot>& slot, const SpecKey& key,
+    std::uint64_t fingerprint, std::uint64_t entry) {
+  if (breaker_ == nullptr || entry == 0 || slot->generic == 0 ||
+      entry == slot->generic) {
+    return entry;  // containment off, or nothing (new) to guard
+  }
+
+  // The stub address is not known until Create() returns, but the hooks are
+  // baked in before; the holder closes the loop. Written before the stub is
+  // published, read only by calls going through the published stub.
+  auto stub_holder = std::make_shared<std::uint64_t>(0);
+  std::weak_ptr<FunctionHandle::Slot> weak_slot = slot;
+  std::shared_ptr<AliveToken> alive = alive_;
+  const std::string breaker_key(key.blob().begin(), key.blob().end());
+
+  ProbationGuard::Hooks hooks;
+  hooks.on_clean = [alive, weak_slot, breaker_key, entry, stub_holder] {
+    // N clean calls: re-bind the raw entry so the steady-state hot path
+    // stops paying the dispatcher. CAS, not a store -- a promotion/deopt
+    // that swapped the target while we probed stays authoritative.
+    if (std::shared_ptr<FunctionHandle::Slot> s = weak_slot.lock()) {
+      std::uint64_t expected = *stub_holder;
+      s->target.compare_exchange_strong(expected, entry,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> alive_lock(alive->mutex);
+    if (alive->svc == nullptr) return;
+    alive->svc->counters_.probation_clean.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    if (alive->svc->breaker_ != nullptr) {
+      alive->svc->breaker_->OnSuccess(breaker_key);
+    }
+  };
+  hooks.on_fault = [alive, weak_slot, breaker_key,
+                    fingerprint](const support::FaultInfo& info) {
+    // Runs in normal calling context on the thread that caught the fault
+    // (the handler only longjmp'd); the caller is already being served from
+    // the Tier-2 fallback entry. Demote first -- every *other* thread must
+    // stop reaching the poisoned entry as soon as possible.
+    Error fault_error(
+        ErrorKind::kInternal,
+        std::string("probation caught ") +
+            (info.signo != 0 ? support::GuardSignalName(info.signo)
+                             : "an injected fault") +
+            " in freshly installed code; demoted to the generic entry",
+        info.fault_pc);
+    if (std::shared_ptr<FunctionHandle::Slot> s = weak_slot.lock()) {
+      s->Rebind(Tier::kGeneric, s->generic, StageTimes{}, &fault_error);
+      // Crashing code disqualifies the whole ladder for this slot: no
+      // promotion may ever reinstall a sibling of the poisoned entry.
+      if (s->profile) s->profile->Abandon();
+    }
+    std::lock_guard<std::mutex> alive_lock(alive->mutex);
+    CompileService* svc = alive->svc;
+    if (svc == nullptr) return;
+    svc->counters_.probation_faults.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(svc->mutex_);
+      svc->last_error_ = fault_error;
+    }
+    if (fingerprint != 0) {
+      if (std::shared_ptr<ObjectStore> st = svc->store()) {
+        (void)st->QuarantineFingerprint(fingerprint, fault_error.message());
+        svc->counters_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (svc->breaker_ != nullptr) {
+      svc->breaker_->OnFault(breaker_key, NowNs());
+    }
+  };
+
+  auto guard = ProbationGuard::Create(entry, slot->generic,
+                                      options_.containment.probation_calls,
+                                      std::move(hooks));
+  if (!guard.has_value()) {
+    // Stub emission failed (code-buffer exhaustion): serve unguarded rather
+    // than not at all -- containment degrades, the install never does.
+    return entry;
+  }
+  *stub_holder = (*guard)->stub_entry();
+  {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->guards.push_back(*guard);
+  }
+  counters_.probation_installs.fetch_add(1, std::memory_order_relaxed);
+  return (*guard)->stub_entry();
+}
+
+void CompileService::BreakerOnFault(const SpecKey& key) {
+  if (breaker_ == nullptr) return;
+  breaker_->OnFault(std::string(key.blob().begin(), key.blob().end()),
+                    NowNs());
 }
 
 Expected<std::uint64_t> CompileService::CompileSync(
@@ -756,6 +905,24 @@ ObjectStoreStats CompileService::persist_stats() const {
   return st != nullptr ? st->stats() : ObjectStoreStats{};
 }
 
+Status CompileService::QuarantineObject(std::uint64_t fingerprint,
+                                        const std::string& reason) {
+  if (fingerprint == 0) {
+    return Error(ErrorKind::kUnsupported, "cannot quarantine fingerprint 0");
+  }
+  std::shared_ptr<ObjectStore> st = store();
+  if (st == nullptr || !st->init_status().ok()) {
+    return Error(
+        ErrorKind::kUnsupported,
+        "quarantine needs a persistent store (dbll_cache_set_persist_dir)");
+  }
+  Status status = st->QuarantineFingerprint(fingerprint, reason);
+  if (status.ok()) {
+    counters_.quarantined.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
 CacheStats CompileService::stats() const {
   const auto get = [](const std::atomic<std::uint64_t>& v) {
     return v.load(std::memory_order_relaxed);
@@ -785,6 +952,19 @@ CacheStats CompileService::stats() const {
   s.promotions = get(counters_.promotions);
   s.promote_failures = get(counters_.promote_failures);
   s.deopts = get(counters_.deopts);
+  s.probation_installs = get(counters_.probation_installs);
+  s.probation_clean = get(counters_.probation_clean);
+  s.probation_faults = get(counters_.probation_faults);
+  s.quarantined = get(counters_.quarantined);
+  if (breaker_ != nullptr) {
+    // The board is the authority on its own transitions (an OnFault call
+    // does not tell the caller whether it tripped the breaker).
+    const BreakerBoard::Stats breaker = breaker_->stats();
+    s.breaker_opens = breaker.opens;
+    s.breaker_closes = breaker.closes;
+    s.breaker_probes = breaker.probes;
+    s.breaker_denials = breaker.denials;
+  }
   // The disk view belongs to the *current* store; redirecting the cache with
   // set_persist_dir starts these from zero again (documented).
   const ObjectStoreStats disk = persist_stats();
@@ -1015,10 +1195,14 @@ void CompileService::CompileBaseline(Job& job) {
         tier1_code_.push_back(std::move(tier1->rewriter));
       }
       // Same ordering discipline as the classic install below: phase first,
-      // publication second.
+      // publication second. The seed is a fresh install like any other, so
+      // it serves its first calls under probation too (no fingerprint: the
+      // interim rewrite is never a persisted object).
       profile->OnBaselineInstalled(seed);
+      const std::uint64_t guarded_seed =
+          ArmProbation(job.slot, job.key, 0, seed);
       if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
-                           Tier::kBaseline, seed, {}, seed_times)) {
+                           Tier::kBaseline, guarded_seed, {}, seed_times)) {
         interim = true;
         counters_.interim_installs.fetch_add(1, std::memory_order_relaxed);
         counters_.baseline_installs.fetch_add(1, std::memory_order_relaxed);
@@ -1112,6 +1296,15 @@ void CompileService::CompileBaseline(Job& job) {
     }
   }
 
+  // One probation guard covers both install shapes below: the baseline body
+  // is new code either way (freshly compiled or warm-loaded from disk), and
+  // `job.fingerprint` is the baseline object's -- a caught fault quarantines
+  // exactly the entry that produced it (including one stored moments later:
+  // QuarantineFingerprint deletes the file and Store refuses the poisoned
+  // fingerprint).
+  serve = ArmProbation(job.slot, job.key, job.persist ? job.fingerprint : 0,
+                       serve);
+
   {
     DBLL_TRACE_SPAN("cache.install");
     const std::uint64_t install_start_ns = NowNs();
@@ -1196,7 +1389,12 @@ void CompileService::CompilePromote(Job& job) {
         }
       }
     }
-    if (job.slot->Rebind(Tier::kLlvm, serve, attempt, nullptr)) {
+    // The profile remembers the *raw* entry (probation is a property of one
+    // install, not of the code): a re-promotion after a deopt re-arms its
+    // own guard around the saved entry in EnqueuePromotion.
+    const std::uint64_t armed = ArmProbation(
+        job.slot, job.key, job.persist ? job.fingerprint : 0, serve);
+    if (job.slot->Rebind(Tier::kLlvm, armed, attempt, nullptr)) {
       profile->OnPromoted(serve);
       counters_.promotions.fetch_add(1, std::memory_order_relaxed);
       tm.promotions.Add(1);
@@ -1230,6 +1428,7 @@ void CompileService::CompilePromote(Job& job) {
       job.slot->target.load(std::memory_order_acquire);
   job.slot->Rebind(current_tier, current_target, StageTimes{}, &failure);
   profile->OnPromoteFailed(IsDeterministic(failure.kind()));
+  BreakerOnFault(job.key);
 }
 
 void CompileService::EnqueuePromotion(
@@ -1241,7 +1440,11 @@ void CompileService::EnqueuePromotion(
   // swap it back in with no compile at all.
   if (const std::uint64_t saved = profile->optimized_entry()) {
     DBLL_TRACE_SPAN("tiering.promote");
-    if (slot->Rebind(Tier::kLlvm, saved, StageTimes{}, nullptr)) {
+    // The code already exists, but this slot just deopted out of it -- the
+    // re-install earns a fresh probation window like any other rebind.
+    const std::uint64_t armed =
+        ArmProbation(slot, SpecKey(request), persist ? fingerprint : 0, saved);
+    if (slot->Rebind(Tier::kLlvm, armed, StageTimes{}, nullptr)) {
       profile->OnPromoted(saved);
       counters_.promotions.fetch_add(1, std::memory_order_relaxed);
       TierMetrics::Get().promotions.Add(1);
@@ -1432,8 +1635,10 @@ void CompileService::CompileOne(Job& job) {
     {
       DBLL_TRACE_SPAN("cache.install");
       const std::uint64_t install_start_ns = NowNs();
+      const std::uint64_t serve = ArmProbation(
+          job.slot, job.key, job.persist ? job.fingerprint : 0, entry);
       if (job.slot->Finish(gen, FunctionHandle::State::kSpecialized,
-                           Tier::kLlvm, entry, std::move(chain), times)) {
+                           Tier::kLlvm, serve, std::move(chain), times)) {
         metrics.installs.Add(1);
         metrics.install_ns.Record(NowNs() - install_start_ns);
       }
@@ -1448,6 +1653,10 @@ void CompileService::CompileOne(Job& job) {
     return;
   }
 
+  // A genuine Tier-0 failure feeds the breaker (a skip_tier0 job never ran
+  // Tier 0 here -- re-counting a remembered failure or a breaker denial
+  // would hold the breaker open forever under constant traffic).
+  if (!job.skip_tier0) BreakerOnFault(job.key);
   Degrade(job.slot, gen, request, std::move(chain), times);
 }
 

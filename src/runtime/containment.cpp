@@ -1,0 +1,507 @@
+// dbll -- crash containment (see include/dbll/runtime/containment.h for the
+// model; docs/robustness.md for the signal-safety rules).
+#include "dbll/runtime/containment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <sstream>
+
+#include "dbll/obs/obs.h"
+#include "dbll/support/fault.h"
+#include "dbll/support/file_io.h"
+#include "env_util.h"
+
+namespace dbll::runtime {
+
+namespace {
+
+const char kQuarantineFile[] = "quarantine.dbq";
+const char kQuarantineMagic[] = "DBLLQ1";
+const char kLockName[] = ".lock";
+constexpr std::size_t kMaxQuarantineRecords = 65536;
+constexpr std::size_t kMaxReasonLen = 256;
+
+std::uint64_t NowNs() { return obs::Tracer::NowNs(); }
+
+/// `containment.*` counters (obs registry); leaky singleton like the other
+/// runtime metric bundles so resolution happens once.
+struct ContainmentMetrics {
+  obs::Counter& probation_installs;
+  obs::Counter& probation_clean;
+  obs::Counter& probation_faults;
+  obs::Counter& breaker_opens;
+  obs::Counter& breaker_closes;
+  obs::Counter& breaker_denials;
+  obs::Counter& quarantined;
+  obs::Counter& quarantine_blocked;
+
+  static ContainmentMetrics& Get() {
+    static ContainmentMetrics* instance = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return new ContainmentMetrics{
+          r.GetCounter("containment.probation_installs"),
+          r.GetCounter("containment.probation_clean"),
+          r.GetCounter("containment.probation_faults"),
+          r.GetCounter("containment.breaker_opens"),
+          r.GetCounter("containment.breaker_closes"),
+          r.GetCounter("containment.breaker_denials"),
+          r.GetCounter("containment.quarantined"),
+          r.GetCounter("containment.quarantine_blocked")};
+    }();
+    return *instance;
+  }
+};
+
+/// The raw call model: six System-V integer argument registers in, integer
+/// (or void) return in rax -- the same signature surface CompileRequest
+/// supports.
+using RawFn = std::uint64_t (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                                std::uint64_t, std::uint64_t, std::uint64_t);
+
+std::uint64_t CallRaw(std::uint64_t entry, const std::uint64_t* args) {
+  return reinterpret_cast<RawFn>(entry)(args[0], args[1], args[2], args[3],
+                                        args[4], args[5]);
+}
+
+void Emit(std::vector<std::uint8_t>& out,
+          std::initializer_list<std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void EmitImm64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+/// extern "C" thunk: gives the stub a plain, stable symbol to movabs.
+extern "C" std::uint64_t dbll_probation_dispatch(void* guard,
+                                                 const std::uint64_t* args) {
+  return ProbationGuard::Dispatch(static_cast<ProbationGuard*>(guard), args);
+}
+
+void ContainmentOptions::ApplyEnv() {
+  enabled = env::Flag("DBLL_CONTAIN", enabled);
+  probation_calls = static_cast<std::uint32_t>(
+      env::U64("DBLL_CONTAIN_CALLS", probation_calls));
+  breaker_threshold = static_cast<std::uint32_t>(
+      env::U64("DBLL_CONTAIN_BREAKER_K", breaker_threshold));
+  breaker_cooldown_ms =
+      env::U64("DBLL_CONTAIN_COOLDOWN_MS", breaker_cooldown_ms);
+  Clamp();
+}
+
+void ContainmentOptions::Clamp() {
+  probation_calls = std::max<std::uint32_t>(1, probation_calls);
+  breaker_threshold = std::max<std::uint32_t>(1, breaker_threshold);
+  breaker_capacity = std::max<std::uint32_t>(16, breaker_capacity);
+}
+
+// --- ProbationGuard ---------------------------------------------------------
+
+Expected<std::shared_ptr<ProbationGuard>> ProbationGuard::Create(
+    std::uint64_t entry, std::uint64_t fallback_entry,
+    std::uint32_t probation_calls, Hooks hooks) {
+  if (entry == 0 || fallback_entry == 0) {
+    return Error(ErrorKind::kInternal, "probation guard needs two entries");
+  }
+  auto guard = std::shared_ptr<ProbationGuard>(new ProbationGuard());
+  guard->entry_ = entry;
+  guard->fallback_ = fallback_entry;
+  guard->probation_calls_ = std::max<std::uint32_t>(1, probation_calls);
+  guard->hooks_ = std::move(hooks);
+
+  // Stub: spill the six integer argument registers to the stack, hand the
+  // dispatcher (guard, &args[0]) and return whatever it returns. Stack
+  // stays 16-byte aligned at the call (entry rsp%16==8, push rbp -> 0,
+  // sub 0x30 -> 0).
+  //   push rbp                55
+  //   mov  rbp, rsp           48 89 E5
+  //   sub  rsp, 0x30          48 83 EC 30
+  //   mov  [rsp+0x00], rdi    48 89 3C 24
+  //   mov  [rsp+0x08], rsi    48 89 74 24 08
+  //   mov  [rsp+0x10], rdx    48 89 54 24 10
+  //   mov  [rsp+0x18], rcx    48 89 4C 24 18
+  //   mov  [rsp+0x20], r8     4C 89 44 24 20
+  //   mov  [rsp+0x28], r9     4C 89 4C 24 28
+  //   mov  rsi, rsp           48 89 E6
+  //   movabs rdi, guard       48 BF imm64
+  //   movabs rax, dispatch    48 B8 imm64
+  //   call rax                FF D0
+  //   leave                   C9
+  //   ret                     C3
+  std::vector<std::uint8_t> code;
+  code.reserve(64);
+  Emit(code, {0x55});
+  Emit(code, {0x48, 0x89, 0xE5});
+  Emit(code, {0x48, 0x83, 0xEC, 0x30});
+  Emit(code, {0x48, 0x89, 0x3C, 0x24});
+  Emit(code, {0x48, 0x89, 0x74, 0x24, 0x08});
+  Emit(code, {0x48, 0x89, 0x54, 0x24, 0x10});
+  Emit(code, {0x48, 0x89, 0x4C, 0x24, 0x18});
+  Emit(code, {0x4C, 0x89, 0x44, 0x24, 0x20});
+  Emit(code, {0x4C, 0x89, 0x4C, 0x24, 0x28});
+  Emit(code, {0x48, 0x89, 0xE6});
+  Emit(code, {0x48, 0xBF});
+  EmitImm64(code, reinterpret_cast<std::uint64_t>(guard.get()));
+  Emit(code, {0x48, 0xB8});
+  EmitImm64(code, reinterpret_cast<std::uint64_t>(&dbll_probation_dispatch));
+  Emit(code, {0xFF, 0xD0});
+  Emit(code, {0xC9});
+  Emit(code, {0xC3});
+
+  DBLL_TRY(CodeBuffer buffer, CodeBuffer::Allocate(code.size()));
+  DBLL_TRY(std::uint8_t * base,
+           buffer.Append(std::span<const std::uint8_t>(code)));
+  DBLL_TRY_STATUS(buffer.Seal());
+  guard->stub_entry_ = reinterpret_cast<std::uint64_t>(base);
+  guard->code_ = std::move(buffer);
+  ContainmentMetrics::Get().probation_installs.Add(1);
+  return guard;
+}
+
+bool ProbationGuard::poisoned() const {
+  return state_.load(std::memory_order_acquire) == kPoisoned;
+}
+
+bool ProbationGuard::completed() const {
+  return state_.load(std::memory_order_acquire) == kClean;
+}
+
+void ProbationGuard::NoteClean() {
+  const std::uint64_t n = clean_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != probation_calls_) return;
+  std::uint32_t expected = kProbing;
+  if (!state_.compare_exchange_strong(expected, kClean,
+                                      std::memory_order_acq_rel)) {
+    return;  // a racing fault (or a duplicate crossing) won
+  }
+  ContainmentMetrics::Get().probation_clean.Add(1);
+  if (hooks_.on_clean) hooks_.on_clean();
+}
+
+void ProbationGuard::HandleFault(const support::FaultInfo& info) {
+  // exchange: exactly one thread observes the transition into kPoisoned and
+  // runs the recovery hook, no matter how many threads fault concurrently
+  // or what state the probation was in.
+  const std::uint32_t prev =
+      state_.exchange(kPoisoned, std::memory_order_acq_rel);
+  if (prev == kPoisoned) return;
+  fault_ = info;
+  ContainmentMetrics::Get().probation_faults.Add(1);
+  if (hooks_.on_fault) hooks_.on_fault(fault_);
+}
+
+std::uint64_t ProbationGuard::Dispatch(ProbationGuard* guard,
+                                       const std::uint64_t* args) {
+  if (guard->state_.load(std::memory_order_acquire) == kPoisoned) {
+    return CallRaw(guard->fallback_, args);
+  }
+  // Synthetic fault (robustness suite): behaves exactly like a caught
+  // signal -- demotion, quarantine, breaker -- without raising one, so the
+  // containment plumbing is testable under any sanitizer.
+  if (fault::AnyArmed()) {
+    if (auto injected = fault::Hit("exec.probation")) {
+      support::FaultInfo info;
+      info.signo = 0;
+      info.fault_pc = guard->entry_;
+      guard->HandleFault(info);
+      return CallRaw(guard->fallback_, args);
+    }
+  }
+  support::GuardFrame frame;
+  if (sigsetjmp(frame.jump_buffer(), 1) == 0) {
+    frame.Arm();
+    const std::uint64_t result = CallRaw(guard->entry_, args);
+    frame.Disarm();
+    guard->NoteClean();
+    return result;
+  }
+  // The entry faulted and never returned; recovery work happens here, in
+  // normal calling context (the handler only longjmp'd).
+  guard->HandleFault(frame.fault());
+  return CallRaw(guard->fallback_, args);
+}
+
+// --- BreakerBoard -----------------------------------------------------------
+
+std::string_view ToString(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+BreakerBoard::BreakerBoard(std::uint32_t threshold, std::uint64_t cooldown_ms,
+                           std::uint32_t capacity)
+    : threshold_(std::max<std::uint32_t>(1, threshold)),
+      cooldown_ns_(cooldown_ms * 1'000'000ull),
+      capacity_(std::max<std::uint32_t>(16, capacity)) {}
+
+BreakerBoard::Decision BreakerBoard::Check(const std::string& key,
+                                           std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Decision::kAllow;
+  Entry& e = it->second;
+  switch (e.state) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (now_ns - e.opened_ns < cooldown_ns_) {
+        ++denials_;
+        ContainmentMetrics::Get().breaker_denials.Add(1);
+        return Decision::kDeny;
+      }
+      e.state = BreakerState::kHalfOpen;
+      e.probing = true;
+      ++probes_;
+      return Decision::kProbe;
+    case BreakerState::kHalfOpen:
+      if (!e.probing) {
+        e.probing = true;
+        ++probes_;
+        return Decision::kProbe;
+      }
+      ++denials_;
+      ContainmentMetrics::Get().breaker_denials.Add(1);
+      return Decision::kDeny;
+  }
+  return Decision::kAllow;
+}
+
+void BreakerBoard::OnFault(const std::string& key, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_ && !order_.empty()) {
+      entries_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+    it = entries_.emplace(key, Entry{}).first;
+    order_.push_back(key);
+  }
+  Entry& e = it->second;
+  ++e.faults;
+  e.probing = false;
+  if (e.state != BreakerState::kOpen && e.faults >= threshold_) {
+    e.state = BreakerState::kOpen;
+    ++opens_;
+    ContainmentMetrics::Get().breaker_opens.Add(1);
+  }
+  if (e.state == BreakerState::kOpen) e.opened_ns = now_ns;
+}
+
+void BreakerBoard::OnSuccess(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  const bool was_tripped = e.state != BreakerState::kClosed;
+  e.state = BreakerState::kClosed;
+  e.faults = 0;
+  e.probing = false;
+  if (was_tripped) {
+    ++closes_;
+    ContainmentMetrics::Get().breaker_closes.Add(1);
+  }
+}
+
+BreakerState BreakerBoard::StateOf(const std::string& key,
+                                   std::uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return BreakerState::kClosed;
+  const Entry& e = it->second;
+  if (e.state == BreakerState::kOpen && now_ns - e.opened_ns >= cooldown_ns_) {
+    return BreakerState::kHalfOpen;  // would probe on the next Check
+  }
+  return e.state;
+}
+
+BreakerBoard::Stats BreakerBoard::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.opens = opens_;
+  s.closes = closes_;
+  s.probes = probes_;
+  s.denials = denials_;
+  s.tracked = entries_.size();
+  return s;
+}
+
+// --- Quarantine -------------------------------------------------------------
+
+namespace {
+
+/// Parses sidecar text into records. Tolerates trailing garbage per line
+/// (reason is everything after the tab); unknown/corrupt lines are skipped,
+/// never fatal -- a hostile sidecar can cost protection, not correctness.
+std::vector<Quarantine::Record> ParseQuarantine(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<Quarantine::Record> records;
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line) && records.size() < kMaxQuarantineRecords) {
+    if (first) {
+      first = false;
+      if (line == kQuarantineMagic) continue;  // header line
+    }
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const unsigned long long fp = std::strtoull(line.c_str(), &end, 16);
+    if (end == line.c_str() || fp == 0) continue;
+    Quarantine::Record record;
+    record.fingerprint = static_cast<std::uint64_t>(fp);
+    const std::size_t tab = line.find('\t');
+    if (tab != std::string::npos) {
+      record.reason = line.substr(tab + 1, kMaxReasonLen);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string QuarantinePath(const std::string& dir) {
+  return dir + "/" + kQuarantineFile;
+}
+
+std::string FormatQuarantine(
+    const std::unordered_map<std::uint64_t, std::string>& entries) {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(entries.size());
+  for (const auto& [fp, reason] : entries) fps.push_back(fp);
+  std::sort(fps.begin(), fps.end());
+  std::string out = kQuarantineMagic;
+  out += '\n';
+  char buf[32];
+  for (const std::uint64_t fp : fps) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    out += buf;
+    out += '\t';
+    out += entries.at(fp);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* Quarantine::FileName() { return kQuarantineFile; }
+
+Quarantine::Quarantine(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)MergeFromDisk();  // missing sidecar is simply an empty set
+}
+
+bool Quarantine::Contains(std::uint64_t fingerprint) const {
+  if (count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(fingerprint) != entries_.end();
+}
+
+void Quarantine::NoteBlocked() {
+  blocked_.fetch_add(1, std::memory_order_relaxed);
+  ContainmentMetrics::Get().quarantine_blocked.Add(1);
+}
+
+Status Quarantine::MergeFromDisk() {
+  auto bytes = support::ReadFileBytes(QuarantinePath(dir_));
+  if (!bytes) return Status::Ok();  // no sidecar yet
+  for (auto& record : ParseQuarantine(*bytes)) {
+    entries_.emplace(record.fingerprint, std::move(record.reason));
+  }
+  count_.store(entries_.size(), std::memory_order_release);
+  return Status::Ok();
+}
+
+Status Quarantine::Add(std::uint64_t fingerprint, const std::string& reason) {
+  if (dir_.empty()) {
+    return Error(ErrorKind::kBadConfig, "quarantine: no cache directory");
+  }
+  if (fingerprint == 0) {
+    return Error(ErrorKind::kBadConfig, "quarantine: zero fingerprint");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The in-memory set is updated unconditionally: even when the sidecar
+  // write below fails (disk full, injected fault), *this* process must
+  // keep refusing the fingerprint.
+  entries_.emplace(fingerprint,
+                   reason.substr(0, std::min(reason.size(), kMaxReasonLen)));
+  count_.store(entries_.size(), std::memory_order_release);
+  ContainmentMetrics::Get().quarantined.Add(1);
+  DBLL_FAULT_POINT("objcache.quarantine");
+  if (!support::EnsureDir(dir_).ok()) {
+    return Error(ErrorKind::kIo, "quarantine: cannot create cache dir");
+  }
+  support::FileLock dirlock(dir_ + "/" + kLockName);
+  if (!dirlock.ok()) {
+    return Error(ErrorKind::kIo, "quarantine: cannot take cache lock");
+  }
+  DBLL_TRY_STATUS(MergeFromDisk());  // merge concurrent peers before rewrite
+  const std::string text = FormatQuarantine(entries_);
+  return support::WriteFileAtomic(QuarantinePath(dir_), text.data(),
+                                  text.size());
+}
+
+Status Quarantine::Refresh() {
+  if (dir_.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MergeFromDisk();
+}
+
+std::vector<Quarantine::Record> Quarantine::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Record> records;
+  records.reserve(entries_.size());
+  for (const auto& [fp, reason] : entries_) {
+    records.push_back(Record{fp, reason});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return records;
+}
+
+std::uint64_t Quarantine::size() const {
+  return count_.load(std::memory_order_acquire);
+}
+
+Expected<std::vector<Quarantine::Record>> Quarantine::ReadDir(
+    const std::string& dir) {
+  if (dir.empty()) {
+    return Error(ErrorKind::kBadConfig, "quarantine: empty directory");
+  }
+  auto bytes = support::ReadFileBytes(QuarantinePath(dir));
+  if (!bytes) return std::vector<Record>{};  // no sidecar = empty set
+  std::vector<Record> records = ParseQuarantine(*bytes);
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return records;
+}
+
+Expected<std::uint64_t> Quarantine::Clear(const std::string& dir) {
+  if (dir.empty()) {
+    return Error(ErrorKind::kBadConfig, "quarantine: empty directory");
+  }
+  auto bytes = support::ReadFileBytes(QuarantinePath(dir));
+  const std::uint64_t count =
+      bytes ? ParseQuarantine(*bytes).size() : 0;
+  support::FileLock dirlock(dir + "/" + kLockName);
+  DBLL_TRY_STATUS(support::RemoveFile(QuarantinePath(dir)));
+  return count;
+}
+
+}  // namespace dbll::runtime

@@ -10,6 +10,7 @@
 
 #include "dbll/lift/lifter.h"
 #include "dbll/obs/obs.h"
+#include "dbll/runtime/containment.h"
 #include "dbll/support/fault.h"
 #include "dbll/support/file_io.h"
 
@@ -271,6 +272,23 @@ ObjectStore::ObjectStore(Options options) : options_(std::move(options)) {
                          options_.shm_slot_bytes},
         ToolchainFingerprint());
   }
+  if (init_.ok()) {
+    // Quarantine enforcement is unconditional: the sidecar (if any) loads
+    // here and every lookup ladder rung below consults it first.
+    quarantine_ = std::make_shared<Quarantine>(options_.dir);
+    if (ring_ != nullptr) ring_->SetQuarantine(quarantine_);
+  }
+}
+
+Status ObjectStore::QuarantineFingerprint(std::uint64_t fingerprint,
+                                          const std::string& reason) {
+  if (!init_.ok()) return init_.error();
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  // Scrub the fast rungs first so no peer can re-serve the object while the
+  // sidecar write is still in flight, then make the record durable.
+  if (ring_ != nullptr) (void)ring_->Invalidate(fingerprint);
+  (void)support::RemoveFile(options_.dir + "/" + EntryFileName(fingerprint));
+  return quarantine_->Add(fingerprint, reason);
 }
 
 bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
@@ -279,6 +297,14 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
   const std::uint64_t t0 = NowNs();
   bool hit = false;
   const std::string path = options_.dir + "/" + EntryFileName(fingerprint);
+  // Rung 0: the quarantine veto, *before* the ring or the disk can serve a
+  // hit. A poisoned fingerprint is a hard miss on every rung.
+  if (quarantine_ != nullptr && quarantine_->Contains(fingerprint)) {
+    quarantine_->NoteBlocked();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ObjcacheMetrics::Get().disk_misses.Add(1);
+    return false;
+  }
   // Rung 1 of the lookup ladder: the shared-memory hot-entry ring. The slot
   // payload is a full serialized entry, so it passes the exact same
   // validation as a disk read; anything off falls through to disk. A shm
@@ -369,6 +395,12 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
 
 void ObjectStore::Store(const ObjectEntry& entry) {
   if (!init_.ok()) return;
+  // A quarantined fingerprint is never re-published -- not to disk, not to
+  // the ring -- no matter who recompiled it.
+  if (quarantine_ != nullptr && quarantine_->Contains(entry.fingerprint)) {
+    quarantine_->NoteBlocked();
+    return;
+  }
   DBLL_TRACE_SPAN("jit.objcache.store");
   const std::uint64_t t0 = NowNs();
   // Serialize once; the identical bytes go to the disk file and the shm
@@ -477,6 +509,13 @@ ObjectStoreStats ObjectStore::stats() const {
     s.shm_evictions = rs.evictions;
     s.shm_errors = rs.errors;
   }
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  if (quarantine_ != nullptr) {
+    s.quarantine_entries = quarantine_->size();
+    // One counter covers every rung: disk, ring and store vetoes all report
+    // through the shared Quarantine::NoteBlocked.
+    s.quarantine_blocked = quarantine_->blocked();
+  }
   return s;
 }
 
@@ -544,6 +583,7 @@ Expected<std::uint64_t> ObjectStore::Purge(const std::string& dir) {
     const bool is_entry = ParseEntryFileName(name, &fp);
     const bool is_meta = name == kManifestName || name == kLockName ||
                          name == ShmRing::RingFileName() ||
+                         name == Quarantine::FileName() ||
                          name.find(".tmp.") != std::string::npos;
     if (!is_entry && !is_meta) continue;
     if (support::RemoveFile(dir + "/" + name).ok() && is_entry) ++removed;
@@ -642,8 +682,15 @@ Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
     (void)body.Skip(size);  // bounds already checked above
   }
   DBLL_TRY_STATUS(support::EnsureDir(dir));
+  // The target directory's quarantine vetoes bundle entries too: a fleet
+  // that poisoned a fingerprint must not get it back via a stale bundle.
+  Quarantine quarantine(dir);
   std::uint64_t imported = 0;
   for (const Pending& p : pending) {
+    if (quarantine.Contains(p.fingerprint)) {
+      quarantine.NoteBlocked();
+      continue;
+    }
     // Publish the original bytes verbatim: export -> import round-trips are
     // byte-identical, so fingerprints and checksums keep holding.
     if (support::WriteFileAtomic(dir + "/" + EntryFileName(p.fingerprint),

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "dbll/obs/obs.h"
+#include "dbll/runtime/containment.h"
 #include "dbll/support/fault.h"
 #include "dbll/support/file_io.h"
 
@@ -311,6 +312,13 @@ bool ShmRing::Lookup(std::uint64_t fingerprint,
       ShmMetrics::Get().errors.Add(1);
       break;
     }
+    // Quarantine veto *before* any slot is read: a poisoned fingerprint
+    // must never leave the ring, even if a peer managed to insert it.
+    if (quarantine_ && quarantine_->Contains(fingerprint)) {
+      quarantine_->NoteBlocked();
+      quarantine_blocked_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     for (std::uint32_t i = 0; i < slot_count_ && !hit; ++i) {
       Slot* slot = SlotAt(i);
       if (slot->fingerprint.load(std::memory_order_relaxed) != fingerprint) {
@@ -373,6 +381,12 @@ bool ShmRing::Insert(std::uint64_t fingerprint, const std::uint8_t* data,
     if (fault::AnyArmed() && fault::Hit("objcache.shm")) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       ShmMetrics::Get().errors.Add(1);
+      break;
+    }
+    // A quarantined fingerprint is never re-published into shared memory.
+    if (quarantine_ && quarantine_->Contains(fingerprint)) {
+      quarantine_->NoteBlocked();
+      quarantine_blocked_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     if (size > slot_bytes_) {
@@ -476,7 +490,45 @@ ShmRingStats ShmRing::stats() const {
   s.reinit = reinit_.load(std::memory_order_relaxed);
   s.lookup_ns = lookup_ns_.load(std::memory_order_relaxed);
   s.insert_ns = insert_ns_.load(std::memory_order_relaxed);
+  s.quarantine_blocked =
+      quarantine_blocked_.load(std::memory_order_relaxed);
   return s;
+}
+
+void ShmRing::SetQuarantine(std::shared_ptr<Quarantine> quarantine) {
+  quarantine_ = std::move(quarantine);
+}
+
+bool ShmRing::Invalidate(std::uint64_t fingerprint) {
+  if (!attached() || fingerprint == 0) return false;
+  if (::flock(fd_, LOCK_EX) != 0) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    ShmMetrics::Get().errors.Add(1);
+    return false;
+  }
+  bool cleared = false;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    Slot* slot = SlotAt(i);
+    if (slot->fingerprint.load(std::memory_order_relaxed) != fingerprint) {
+      continue;
+    }
+    // Seqlock write of an empty slot, same protocol as Insert: readers
+    // mid-copy fail their sequence recheck and miss.
+    const std::uint32_t begin =
+        slot->seq.load(std::memory_order_relaxed) | 1u;
+    slot->seq.store(begin, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot->writer_pid = static_cast<std::uint32_t>(::getpid());
+    slot->fingerprint.store(0, std::memory_order_relaxed);
+    slot->payload_size.store(0, std::memory_order_relaxed);
+    slot->payload_fnv.store(0, std::memory_order_relaxed);
+    slot->last_used.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot->seq.store(begin + 1, std::memory_order_release);
+    cleared = true;
+  }
+  ::flock(fd_, LOCK_UN);
+  return cleared;
 }
 
 ShmRingOccupancy ShmRing::occupancy() const {

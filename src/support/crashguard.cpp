@@ -1,0 +1,227 @@
+// dbll -- signal-guarded execution frames (see
+// include/dbll/support/crashguard.h for the model and the signal-safety
+// rules).
+#include "dbll/support/crashguard.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <signal.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+
+namespace dbll::support {
+
+namespace {
+
+/// The four synchronous faults rewritten code can raise. Order defines the
+/// index into the saved-handler table.
+constexpr int kGuardSignals[] = {SIGSEGV, SIGILL, SIGBUS, SIGFPE};
+constexpr int kGuardSignalCount = 4;
+
+int SignalIndex(int signo) {
+  for (int i = 0; i < kGuardSignalCount; ++i) {
+    if (kGuardSignals[i] == signo) return i;
+  }
+  return -1;
+}
+
+/// Handlers that were installed before ours (sanitizer runtimes, embedder
+/// crash reporters). Written once under the install lock, read by the
+/// handler; never modified afterwards.
+struct sigaction g_old_actions[kGuardSignalCount];
+
+std::atomic<bool> g_installed{false};
+std::atomic<std::uint64_t> g_recovered{0};
+
+/// Innermost frame of the current thread (faults are synchronous, so the
+/// faulting thread is the one whose chain we walk).
+thread_local GuardFrame* t_top_frame = nullptr;
+
+/// Per-thread alternate signal stack, created the first time this thread
+/// arms a frame so a stack-overflow SIGSEGV is still catchable. If another
+/// runtime (e.g. ASan) already installed one, it is kept.
+struct AltStack {
+  void* memory = nullptr;
+  bool owned = false;
+  bool checked = false;
+
+  ~AltStack() {
+    if (owned) {
+      stack_t ss{};
+      ss.ss_flags = SS_DISABLE;
+      ::sigaltstack(&ss, nullptr);
+      std::free(memory);
+    }
+  }
+};
+
+thread_local AltStack t_alt_stack;
+
+void EnsureAltStack() {
+  if (t_alt_stack.checked) return;
+  t_alt_stack.checked = true;
+  stack_t current{};
+  if (::sigaltstack(nullptr, &current) == 0 &&
+      (current.ss_flags & SS_DISABLE) == 0) {
+    return;  // a foreign alternate stack is already in effect; keep it
+  }
+  const std::size_t size =
+      std::max<std::size_t>(static_cast<std::size_t>(SIGSTKSZ), 64 * 1024);
+  void* mem = std::malloc(size);
+  if (mem == nullptr) return;  // degraded: no altstack, plain faults still work
+  stack_t ss{};
+  ss.ss_sp = mem;
+  ss.ss_size = size;
+  ss.ss_flags = 0;
+  if (::sigaltstack(&ss, nullptr) != 0) {
+    std::free(mem);
+    return;
+  }
+  t_alt_stack.memory = mem;
+  t_alt_stack.owned = true;
+}
+
+std::uint64_t FaultPc(void* ucontext_raw) {
+#if defined(__x86_64__)
+  if (ucontext_raw != nullptr) {
+    const auto* uc = static_cast<const ucontext_t*>(ucontext_raw);
+    return static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  }
+#else
+  (void)ucontext_raw;
+#endif
+  return 0;
+}
+
+}  // namespace
+
+/// The handler's window into GuardFrame internals (friend of GuardFrame).
+struct GuardFrameAccess {
+  /// Async-signal-safe: touches only the thread-local frame chain, one
+  /// lock-free atomic, and the jump buffer of the frame it recovers into.
+  static void Handle(int signo, siginfo_t* info, void* ucontext_raw) {
+    for (GuardFrame* frame = t_top_frame; frame != nullptr;
+         frame = frame->prev_) {
+      if (frame->armed_ == 0) continue;
+      frame->armed_ = 0;  // a dead jump buffer must never be re-entered
+      frame->fault_.signo = signo;
+      frame->fault_.fault_addr =
+          info != nullptr
+              ? reinterpret_cast<std::uint64_t>(info->si_addr)
+              : 0;
+      frame->fault_.fault_pc = FaultPc(ucontext_raw);
+      g_recovered.fetch_add(1, std::memory_order_relaxed);
+      siglongjmp(frame->jump_buffer_, 1);
+    }
+
+    // No armed frame: this fault is not ours. Chain to whoever was
+    // installed before us so sanitizers/crash reporters keep working.
+    const int index = SignalIndex(signo);
+    const struct sigaction* old =
+        index >= 0 ? &g_old_actions[index] : nullptr;
+    if (old != nullptr && (old->sa_flags & SA_SIGINFO) != 0 &&
+        old->sa_sigaction != nullptr) {
+      old->sa_sigaction(signo, info, ucontext_raw);
+      return;
+    }
+    if (old != nullptr && (old->sa_flags & SA_SIGINFO) == 0) {
+      if (old->sa_handler == SIG_IGN) return;
+      if (old->sa_handler != SIG_DFL && old->sa_handler != nullptr) {
+        old->sa_handler(signo);
+        return;
+      }
+    }
+    // Default action: reinstate it and re-raise. The signal is blocked
+    // while we run, so it delivers (and terminates) on handler return.
+    struct sigaction dfl{};
+    dfl.sa_handler = SIG_DFL;
+    ::sigemptyset(&dfl.sa_mask);
+    ::sigaction(signo, &dfl, nullptr);
+    ::raise(signo);
+  }
+};
+
+namespace {
+
+void GuardHandler(int signo, siginfo_t* info, void* ucontext_raw) {
+  GuardFrameAccess::Handle(signo, info, ucontext_raw);
+}
+
+}  // namespace
+
+const char* GuardSignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGILL: return "SIGILL";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    default: return "signal";
+  }
+}
+
+bool InstallCrashGuard() {
+  // The install itself is rare and may lock; the handler never does.
+  static std::atomic<bool> g_install_done{false};
+  static std::atomic<bool> g_install_ok{false};
+  if (g_install_done.load(std::memory_order_acquire)) {
+    return g_install_ok.load(std::memory_order_relaxed);
+  }
+  static std::atomic_flag installing = ATOMIC_FLAG_INIT;
+  if (installing.test_and_set()) {
+    // Lost the race; spin until the winner published its result.
+    while (!g_install_done.load(std::memory_order_acquire)) {
+    }
+    return g_install_ok.load(std::memory_order_relaxed);
+  }
+  bool ok = true;
+  for (int i = 0; i < kGuardSignalCount; ++i) {
+    struct sigaction action{};
+    action.sa_sigaction = &GuardHandler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    if (::sigaction(kGuardSignals[i], &action, &g_old_actions[i]) != 0) {
+      ok = false;
+    }
+  }
+  g_install_ok.store(ok, std::memory_order_relaxed);
+  g_installed.store(ok, std::memory_order_relaxed);
+  g_install_done.store(true, std::memory_order_release);
+  return ok;
+}
+
+bool CrashGuardInstalled() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CrashGuardRecoveredFaults() {
+  return g_recovered.load(std::memory_order_relaxed);
+}
+
+GuardFrame::GuardFrame() {
+  InstallCrashGuard();
+  EnsureAltStack();
+  prev_ = t_top_frame;
+  t_top_frame = this;
+}
+
+GuardFrame::~GuardFrame() {
+  armed_ = 0;
+  // Frames are strictly stack-ordered per thread, but tolerate an
+  // out-of-order teardown by unlinking from wherever we are in the chain.
+  if (t_top_frame == this) {
+    t_top_frame = prev_;
+    return;
+  }
+  for (GuardFrame* f = t_top_frame; f != nullptr; f = f->prev_) {
+    if (f->prev_ == this) {
+      f->prev_ = prev_;
+      return;
+    }
+  }
+}
+
+}  // namespace dbll::support

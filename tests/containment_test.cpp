@@ -1,0 +1,485 @@
+// dbll tests -- crash containment (containment.h + support/crashguard.h):
+// signal-guarded frames around deliberately-faulting hand-assembled entries,
+// probation execution (catch -> Tier-2 answer -> demotion), the per-key
+// circuit breaker's open/half-open/close cycle, poisoned-fingerprint
+// quarantine persistence across a CompileService restart, and an 8-thread
+// fault storm through one guard. The real-signal tests raise genuine
+// SIGSEGV/SIGILL inside guarded windows; scripts/check.sh re-runs this
+// binary under ASan with handle_segv=0 so the crash guard (not the
+// sanitizer) owns the guarded signals. Service-level tests use the
+// synthetic `exec.probation` fault site, which exercises the identical
+// demote/quarantine/breaker plumbing without raising a signal.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus.h"
+#include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/containment.h"
+#include "dbll/runtime/object_store.h"
+#include "dbll/support/code_buffer.h"
+#include "dbll/support/crashguard.h"
+#include "dbll/support/fault.h"
+
+namespace dbll::runtime {
+namespace {
+
+using IntFn2 = long (*)(long, long);
+
+/// The Tier-2 stand-in a poisoned probation must serve the caller from.
+extern "C" long contain_fallback(long a, long b) { return a * 100 + b; }
+
+/// Hand-assembles a tiny entry from raw bytes and leaks the buffer (tests
+/// only; the entries must stay callable for the process lifetime because
+/// guards park no ownership of them).
+std::uint64_t AssembleEntry(std::initializer_list<std::uint8_t> bytes) {
+  auto* buffer = new CodeBuffer();
+  auto allocated = CodeBuffer::Allocate(bytes.size());
+  EXPECT_TRUE(allocated.has_value());
+  *buffer = std::move(allocated.value());
+  auto base = buffer->Append(std::vector<std::uint8_t>(bytes));
+  EXPECT_TRUE(base.has_value());
+  EXPECT_TRUE(buffer->Seal().ok());
+  return reinterpret_cast<std::uint64_t>(*base);
+}
+
+/// lea rax, [rdi+rsi]; ret -- a well-behaved 2-arg entry.
+std::uint64_t AddEntry() {
+  return AssembleEntry({0x48, 0x8D, 0x04, 0x37, 0xC3});
+}
+
+/// ud2 -- faults with SIGILL at its own first byte.
+std::uint64_t Ud2Entry() { return AssembleEntry({0x0F, 0x0B}); }
+
+/// mov qword [0], 42; ret -- faults with SIGSEGV on the null write.
+std::uint64_t NullWriteEntry() {
+  return AssembleEntry({0x48, 0xC7, 0x04, 0x25, 0x00, 0x00, 0x00, 0x00, 0x2A,
+                        0x00, 0x00, 0x00, 0xC3});
+}
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::DisarmAll(); }
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+// --- GuardFrame: the signal-recovery primitive ------------------------------
+
+TEST_F(ContainmentTest, GuardFrameCatchesSigillFromHandAssembledEntry) {
+  ASSERT_TRUE(support::InstallCrashGuard());
+  ASSERT_TRUE(support::CrashGuardInstalled());
+  const std::uint64_t before = support::CrashGuardRecoveredFaults();
+  const std::uint64_t entry = Ud2Entry();
+
+  bool caught = false;
+  support::GuardFrame frame;
+  if (sigsetjmp(frame.jump_buffer(), 1) == 0) {
+    frame.Arm();
+    reinterpret_cast<void (*)()>(entry)();
+    frame.Disarm();
+  } else {
+    caught = true;
+  }
+  ASSERT_TRUE(caught) << "ud2 returned?";
+  EXPECT_EQ(frame.fault().signo, SIGILL);
+  EXPECT_EQ(frame.fault().fault_pc, entry);  // the ud2 itself
+  EXPECT_EQ(support::CrashGuardRecoveredFaults(), before + 1);
+}
+
+TEST_F(ContainmentTest, GuardFrameCatchesSegvAndInnerFrameWins) {
+  ASSERT_TRUE(support::InstallCrashGuard());
+  const std::uint64_t entry = NullWriteEntry();
+
+  // Nested frames: the fault must land in the innermost *armed* frame; the
+  // outer frame stays live and usable afterwards.
+  int outer_hits = 0, inner_hits = 0;
+  support::GuardFrame outer;
+  if (sigsetjmp(outer.jump_buffer(), 1) == 0) {
+    outer.Arm();
+    support::GuardFrame inner;
+    if (sigsetjmp(inner.jump_buffer(), 1) == 0) {
+      inner.Arm();
+      reinterpret_cast<void (*)()>(entry)();
+      inner.Disarm();
+    } else {
+      ++inner_hits;
+      EXPECT_EQ(inner.fault().signo, SIGSEGV);
+      EXPECT_EQ(inner.fault().fault_addr, 0u);  // the null write
+    }
+    outer.Disarm();
+  } else {
+    ++outer_hits;
+  }
+  EXPECT_EQ(inner_hits, 1);
+  EXPECT_EQ(outer_hits, 0);
+}
+
+TEST_F(ContainmentTest, GuardSignalNamesAreStable) {
+  EXPECT_STREQ(support::GuardSignalName(SIGSEGV), "SIGSEGV");
+  EXPECT_STREQ(support::GuardSignalName(SIGILL), "SIGILL");
+  EXPECT_STREQ(support::GuardSignalName(SIGBUS), "SIGBUS");
+  EXPECT_STREQ(support::GuardSignalName(SIGFPE), "SIGFPE");
+}
+
+// --- ProbationGuard ---------------------------------------------------------
+
+TEST_F(ContainmentTest, CleanProbationFiresOnCleanExactlyOnceThenKeepsServing) {
+  std::atomic<int> clean_fired{0};
+  std::atomic<int> fault_fired{0};
+  ProbationGuard::Hooks hooks;
+  hooks.on_clean = [&] { clean_fired.fetch_add(1); };
+  hooks.on_fault = [&](const support::FaultInfo&) { fault_fired.fetch_add(1); };
+  auto guard = ProbationGuard::Create(AddEntry(), /*fallback_entry=*/
+                                      reinterpret_cast<std::uint64_t>(
+                                          &contain_fallback),
+                                      /*probation_calls=*/3, std::move(hooks));
+  ASSERT_TRUE(guard.has_value()) << guard.error().Format();
+
+  auto fn = reinterpret_cast<IntFn2>((*guard)->stub_entry());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fn(40, 2), 42);  // guarded while probing, raw after
+  }
+  EXPECT_EQ(clean_fired.load(), 1);
+  EXPECT_EQ(fault_fired.load(), 0);
+  EXPECT_TRUE((*guard)->completed());
+  EXPECT_FALSE((*guard)->poisoned());
+  EXPECT_GE((*guard)->clean_calls(), 3u);
+}
+
+TEST_F(ContainmentTest, FaultingEntryIsCaughtAndServedFromTier2) {
+  std::atomic<int> fault_fired{0};
+  support::FaultInfo seen;
+  ProbationGuard::Hooks hooks;
+  hooks.on_fault = [&](const support::FaultInfo& info) {
+    fault_fired.fetch_add(1);
+    seen = info;
+  };
+  const std::uint64_t entry = Ud2Entry();
+  auto guard = ProbationGuard::Create(
+      entry, reinterpret_cast<std::uint64_t>(&contain_fallback), 8,
+      std::move(hooks));
+  ASSERT_TRUE(guard.has_value()) << guard.error().Format();
+
+  // First call: the SIGILL is caught inside the guarded window and the
+  // caller is served the Tier-2 answer. Later calls skip the dead entry.
+  auto fn = reinterpret_cast<IntFn2>((*guard)->stub_entry());
+  EXPECT_EQ(fn(4, 2), contain_fallback(4, 2));
+  EXPECT_EQ(fault_fired.load(), 1);
+  EXPECT_TRUE((*guard)->poisoned());
+  EXPECT_EQ(seen.signo, SIGILL);
+  EXPECT_EQ(seen.fault_pc, entry);
+  EXPECT_EQ(fn(7, 9), contain_fallback(7, 9));
+  EXPECT_EQ(fault_fired.load(), 1);  // recovery ran exactly once
+}
+
+TEST_F(ContainmentTest, SegvEntryIsCaughtToo) {
+  ProbationGuard::Hooks hooks;
+  auto guard = ProbationGuard::Create(
+      NullWriteEntry(), reinterpret_cast<std::uint64_t>(&contain_fallback), 1,
+      std::move(hooks));
+  ASSERT_TRUE(guard.has_value());
+  auto fn = reinterpret_cast<IntFn2>((*guard)->stub_entry());
+  EXPECT_EQ(fn(1, 2), contain_fallback(1, 2));
+  EXPECT_TRUE((*guard)->poisoned());
+  EXPECT_EQ((*guard)->fault_info().signo, SIGSEGV);
+}
+
+TEST_F(ContainmentTest, SyntheticProbationFaultNeedsNoSignal) {
+  std::atomic<int> fault_fired{0};
+  ProbationGuard::Hooks hooks;
+  hooks.on_fault = [&](const support::FaultInfo& info) {
+    fault_fired.fetch_add(1);
+    EXPECT_EQ(info.signo, 0);  // marks the injected (synthetic) fault
+  };
+  auto guard = ProbationGuard::Create(
+      AddEntry(), reinterpret_cast<std::uint64_t>(&contain_fallback), 8,
+      std::move(hooks));
+  ASSERT_TRUE(guard.has_value());
+  fault::Arm("exec.probation", {ErrorKind::kInternal});
+  auto fn = reinterpret_cast<IntFn2>((*guard)->stub_entry());
+  EXPECT_EQ(fn(4, 2), contain_fallback(4, 2));  // entry never ran
+  EXPECT_EQ(fault_fired.load(), 1);
+  EXPECT_TRUE((*guard)->poisoned());
+}
+
+TEST_F(ContainmentTest, EightThreadFaultStormRecoversExactlyOnce) {
+  // 8 threads hammer one guard whose entry always faults. Every caller on
+  // every thread must get the Tier-2 answer; the recovery hook must run
+  // exactly once; nothing may crash. (check.sh re-runs this under ASan.)
+  std::atomic<int> fault_fired{0};
+  ProbationGuard::Hooks hooks;
+  hooks.on_fault = [&](const support::FaultInfo&) { fault_fired.fetch_add(1); };
+  auto guard = ProbationGuard::Create(
+      Ud2Entry(), reinterpret_cast<std::uint64_t>(&contain_fallback),
+      /*probation_calls=*/1000000, std::move(hooks));
+  ASSERT_TRUE(guard.has_value());
+  auto fn = reinterpret_cast<IntFn2>((*guard)->stub_entry());
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 200;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const long a = t * 1000 + i;
+        if (fn(a, 7) != contain_fallback(a, 7)) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(fault_fired.load(), 1);
+  EXPECT_TRUE((*guard)->poisoned());
+}
+
+// --- BreakerBoard -----------------------------------------------------------
+
+constexpr std::uint64_t kMs = 1'000'000ull;  // ns per ms, for fake clocks
+
+TEST_F(ContainmentTest, BreakerOpensHalfOpensAndCloses) {
+  BreakerBoard board(/*threshold=*/2, /*cooldown_ms=*/10, /*capacity=*/16);
+  const std::string key = "spec-key";
+
+  // Closed: unknown keys and sub-threshold faults allow compiles.
+  EXPECT_EQ(board.Check(key, 0), BreakerBoard::Decision::kAllow);
+  board.OnFault(key, 1 * kMs);
+  EXPECT_EQ(board.StateOf(key, 1 * kMs), BreakerState::kClosed);
+  EXPECT_EQ(board.Check(key, 1 * kMs), BreakerBoard::Decision::kAllow);
+
+  // Threshold fault: open. Inside the cooldown everything is denied.
+  board.OnFault(key, 2 * kMs);
+  EXPECT_EQ(board.StateOf(key, 2 * kMs), BreakerState::kOpen);
+  EXPECT_EQ(board.Check(key, 3 * kMs), BreakerBoard::Decision::kDeny);
+  EXPECT_EQ(board.Check(key, 11 * kMs), BreakerBoard::Decision::kDeny);
+
+  // Cooldown elapsed: exactly one half-open probe; concurrent requests are
+  // still denied while the probe is in flight.
+  EXPECT_EQ(board.Check(key, 12 * kMs), BreakerBoard::Decision::kProbe);
+  EXPECT_EQ(board.StateOf(key, 12 * kMs), BreakerState::kHalfOpen);
+  EXPECT_EQ(board.Check(key, 12 * kMs), BreakerBoard::Decision::kDeny);
+
+  // Clean probation: closed again, fault count reset.
+  board.OnSuccess(key);
+  EXPECT_EQ(board.StateOf(key, 13 * kMs), BreakerState::kClosed);
+  EXPECT_EQ(board.Check(key, 13 * kMs), BreakerBoard::Decision::kAllow);
+  board.OnFault(key, 14 * kMs);  // one fault < threshold after the reset
+  EXPECT_EQ(board.Check(key, 14 * kMs), BreakerBoard::Decision::kAllow);
+
+  const BreakerBoard::Stats stats = board.stats();
+  EXPECT_EQ(stats.opens, 1u);
+  EXPECT_EQ(stats.closes, 1u);
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.denials, 3u);
+  EXPECT_EQ(stats.tracked, 1u);
+}
+
+TEST_F(ContainmentTest, FailedProbeReopensImmediately) {
+  BreakerBoard board(1, 10, 16);
+  const std::string key = "k";
+  board.OnFault(key, 0);
+  EXPECT_EQ(board.Check(key, 11 * kMs), BreakerBoard::Decision::kProbe);
+  board.OnFault(key, 12 * kMs);  // the probe crashed too
+  EXPECT_EQ(board.StateOf(key, 12 * kMs), BreakerState::kOpen);
+  // The re-open restarts the cooldown from the probe fault.
+  EXPECT_EQ(board.Check(key, 13 * kMs), BreakerBoard::Decision::kDeny);
+  EXPECT_EQ(board.Check(key, 23 * kMs), BreakerBoard::Decision::kProbe);
+  EXPECT_EQ(board.stats().opens, 2u);
+}
+
+TEST_F(ContainmentTest, BreakerCapacityEvictsOldestTrackedKey) {
+  BreakerBoard board(1, 10, /*capacity=*/16);  // 16 is the clamped minimum
+  for (int i = 0; i < 20; ++i) {
+    board.OnFault("key-" + std::to_string(i), 0);
+  }
+  EXPECT_EQ(board.stats().tracked, 16u);
+  // The oldest keys were dropped: their breakers read closed again.
+  EXPECT_EQ(board.StateOf("key-0", 0), BreakerState::kClosed);
+  EXPECT_EQ(board.StateOf("key-19", 0), BreakerState::kOpen);
+}
+
+// --- Quarantine -------------------------------------------------------------
+
+class QuarantineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAll();
+    char tmpl[] = "/tmp/dbll_containment_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    (void)ObjectStore::Purge(dir_);
+    (void)Quarantine::Clear(dir_);
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(QuarantineTest, AddPersistsAcrossInstancesAndIsIdempotent) {
+  {
+    Quarantine q(dir_);
+    EXPECT_FALSE(q.Contains(0x1111));
+    ASSERT_TRUE(q.Add(0x1111, "bad apple").ok());
+    ASSERT_TRUE(q.Add(0x1111, "bad apple").ok());  // idempotent
+    ASSERT_TRUE(q.Add(0x2222, "worse apple").ok());
+    EXPECT_TRUE(q.Contains(0x1111));
+    EXPECT_EQ(q.size(), 2u);
+  }
+  Quarantine reloaded(dir_);  // a peer restart picks the sidecar up
+  EXPECT_TRUE(reloaded.Contains(0x1111));
+  EXPECT_TRUE(reloaded.Contains(0x2222));
+  EXPECT_EQ(reloaded.size(), 2u);
+  const std::vector<Quarantine::Record> records = reloaded.List();
+  ASSERT_EQ(records.size(), 2u);
+
+  auto read = Quarantine::ReadDir(dir_);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->size(), 2u);
+  auto cleared = Quarantine::Clear(dir_);
+  ASSERT_TRUE(cleared.has_value());
+  EXPECT_EQ(*cleared, 2u);
+  EXPECT_FALSE(Quarantine(dir_).Contains(0x1111));
+}
+
+TEST_F(QuarantineTest, RefreshMergesPeerRecords) {
+  Quarantine mine(dir_);
+  ASSERT_TRUE(mine.Add(0xaaaa, "local").ok());
+  Quarantine peer(dir_);  // another process over the same directory
+  ASSERT_TRUE(peer.Add(0xbbbb, "remote").ok());
+  EXPECT_FALSE(mine.Contains(0xbbbb));  // not yet seen
+  ASSERT_TRUE(mine.Refresh().ok());
+  EXPECT_TRUE(mine.Contains(0xbbbb));
+  EXPECT_TRUE(mine.Contains(0xaaaa));  // merge, not replace
+}
+
+TEST_F(QuarantineTest, InjectedSidecarFaultKeepsInProcessProtection) {
+  Quarantine q(dir_);
+  fault::Arm("objcache.quarantine", {ErrorKind::kIo});
+  const Status added = q.Add(0x3333, "doomed write");
+  EXPECT_FALSE(added.ok());        // the I/O failure is reported...
+  EXPECT_TRUE(q.Contains(0x3333));  // ...but this process stays protected
+  fault::DisarmAll();
+  EXPECT_FALSE(Quarantine(dir_).Contains(0x3333));  // sidecar never written
+}
+
+// --- CompileService integration ---------------------------------------------
+
+CompileRequest ArithRequest() {
+  CompileRequest request(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                         lift::Signature::Ints(2));
+  request.FixParam(0, 5);
+  return request;
+}
+
+TEST_F(QuarantineTest, ServiceProbationFaultDemotesAndServesTier2) {
+  CompileService::Options options;
+  options.containment.enabled = true;
+  CompileService service(options);
+
+  fault::Arm("exec.probation", {ErrorKind::kInternal});
+  FunctionHandle handle = service.Request(ArithRequest());
+  handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kLlvm);  // compiled fine; probation pending
+
+  // First call through the armed stub takes the synthetic fault: the caller
+  // is served by the generic (Tier-2) entry, which reads both *real*
+  // arguments, and the slot demotes.
+  auto fn = handle.as<IntFn2>();
+  EXPECT_EQ(fn(5, 7), c_arith_mix(5, 7));
+  EXPECT_EQ(handle.tier(), Tier::kGeneric);
+  EXPECT_EQ(handle.error().kind(), ErrorKind::kInternal);
+
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.probation_installs, 1u);
+  EXPECT_EQ(stats.probation_faults, 1u);
+  EXPECT_EQ(stats.probation_clean, 0u);
+}
+
+TEST_F(QuarantineTest, ServiceCleanProbationRebindsToRawEntry) {
+  CompileService::Options options;
+  options.containment.enabled = true;
+  options.containment.probation_calls = 4;
+  CompileService service(options);
+
+  FunctionHandle handle = service.Request(ArithRequest());
+  const std::uint64_t stub = handle.wait();
+  ASSERT_EQ(handle.tier(), Tier::kLlvm);
+  auto fn = handle.as<IntFn2>();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fn(100, 7), c_arith_mix(5, 7));  // param 0 burned in
+  }
+  // After N clean calls the slot re-bound to the raw entry: the published
+  // target changed and the guard reports completion.
+  EXPECT_NE(handle.target(), stub);
+  EXPECT_EQ(handle.tier(), Tier::kLlvm);
+  EXPECT_EQ(reinterpret_cast<IntFn2>(handle.target())(100, 7),
+            c_arith_mix(5, 7));
+  const CacheStats stats = service.stats();
+  EXPECT_EQ(stats.probation_clean, 1u);
+  EXPECT_EQ(stats.probation_faults, 0u);
+}
+
+TEST_F(QuarantineTest, QuarantinePersistsAcrossServiceRestart) {
+  CompileService::Options options;
+  options.containment.enabled = true;
+  options.persist_dir = dir_;
+  const long expected = c_arith_mix(5, 7);
+  {
+    CompileService first(options);
+    ASSERT_TRUE(first.persist_enabled());
+    fault::Arm("exec.probation", {ErrorKind::kInternal});
+    FunctionHandle handle = first.Request(ArithRequest());
+    handle.wait();
+    first.WaitIdle();  // settle the write-back before poisoning it
+    auto fn = handle.as<IntFn2>();
+    EXPECT_EQ(fn(5, 7), expected);  // fault caught, Tier-2 answer
+    const CacheStats stats = first.stats();
+    EXPECT_EQ(stats.probation_faults, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+    fault::DisarmAll();
+  }
+  ASSERT_GE(Quarantine(dir_).size(), 1u);
+
+  // Same process, so the persist fingerprint is identical: the restarted
+  // service must refuse the poisoned object (no disk hit, no re-store) and
+  // recompile instead -- this time surviving its (unfaulted) probation.
+  CompileService second(options);
+  FunctionHandle handle = second.Request(ArithRequest());
+  handle.wait();
+  EXPECT_EQ(handle.tier(), Tier::kLlvm);
+  EXPECT_EQ(handle.as<IntFn2>()(100, 7), expected);
+  second.WaitIdle();
+  const CacheStats stats = second.stats();
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.compiles, 1u);
+  const ObjectStoreStats persist = second.persist_stats();
+  EXPECT_EQ(persist.hits, 0u);
+  EXPECT_EQ(persist.stores, 0u);  // the poisoned fingerprint stays banned
+  EXPECT_GE(persist.quarantine_blocked, 1u);
+  EXPECT_GE(persist.quarantine_entries, 1u);
+}
+
+TEST_F(QuarantineTest, ManualQuarantineBansAFingerprint) {
+  CompileService::Options options;
+  options.persist_dir = dir_;
+  CompileService service(options);
+  ASSERT_TRUE(service.persist_enabled());
+  const Status missing = service.QuarantineObject(0, "no fingerprint");
+  EXPECT_FALSE(missing.ok());
+  ASSERT_TRUE(service.QuarantineObject(0x9999, "operator ban").ok());
+  EXPECT_TRUE(Quarantine(dir_).Contains(0x9999));
+  EXPECT_EQ(service.stats().quarantined, 1u);
+}
+
+}  // namespace
+}  // namespace dbll::runtime

@@ -3,7 +3,9 @@
 // two processes), racing attach, crashed-writer and crashed-initializer
 // recovery, format-version refusal, toolchain-fingerprint reinitialization,
 // LRU eviction under a full ring, torn/corrupt slot rejection, injected
-// `objcache.shm` faults, and the ObjectStore/CompileService integration (a
+// `objcache.shm` faults, the poisoned-fingerprint quarantine veto (a
+// quarantined fp must never leave the ring, the disk, or a bundle), and the
+// ObjectStore/CompileService integration (a
 // shm hit must never touch disk; a disk hit must repopulate the ring). The
 // ring serves opaque validated bytes, so most tests use arbitrary payloads;
 // only the service-level tests need real compiled objects.
@@ -21,6 +23,7 @@
 #include "corpus.h"
 #include "dbll/lift/lifter.h"
 #include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/containment.h"
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/shm_ring.h"
 #include "dbll/support/fault.h"
@@ -421,6 +424,73 @@ TEST_F(ShmRingTest, RingRejectsEntryWhoseBytesFailFullValidation) {
   const ObjectStoreStats stats = store.stats();
   EXPECT_EQ(stats.errors, 1u);
   EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(ShmRingTest, QuarantinedFingerprintNeverLeavesRingOrDisk) {
+  // Hostile scenario: a legacy/compromised peer published a poisoned object
+  // into *both* layers -- a valid entry file on disk and a checksum-clean
+  // ring slot -- before this process learned of the quarantine. The lookup
+  // ladder must consult the quarantine before serving either layer.
+  constexpr std::uint64_t kPoisoned = 0xdeadf00d;
+  const ObjectEntry poisoned = FakeEntry(kPoisoned);
+  {
+    ObjectStore::Options peer_options;
+    peer_options.dir = dir_;
+    peer_options.shm = true;
+    ObjectStore peer(peer_options);
+    ASSERT_TRUE(peer.init_status().ok());
+    peer.Store(poisoned);  // write-through: disk + ring, no quarantine yet
+    ASSERT_EQ(peer.stats().shm_inserts, 1u);
+  }
+  // The quarantine record arrives via the sidecar (another process's Add),
+  // not through this store's QuarantineFingerprint -- so the entry file and
+  // the ring slot both still exist and would validate cleanly.
+  ASSERT_TRUE(Quarantine(dir_).Add(kPoisoned, "test poison").ok());
+  ASSERT_TRUE(
+      support::FileSize(dir_ + "/" + ObjectStore::EntryFileName(kPoisoned))
+          .has_value());
+
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  ObjectStore store(options);
+  ASSERT_TRUE(store.init_status().ok());
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(kPoisoned, &loaded));  // rung 0: the veto
+  ObjectStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.shm_hits, 0u);
+  EXPECT_GE(stats.quarantine_blocked, 1u);
+  EXPECT_EQ(stats.quarantine_entries, 1u);
+
+  // The ring alone (below the store) refuses the fingerprint in both
+  // directions, and a re-store of the poisoned object is swallowed.
+  ASSERT_NE(store.shm_ring(), nullptr);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(store.shm_ring()->Lookup(kPoisoned, &out));
+  EXPECT_FALSE(store.shm_ring()->Insert(kPoisoned, poisoned.object.data(),
+                                        poisoned.object.size()));
+  EXPECT_GE(store.shm_ring()->stats().quarantine_blocked, 2u);
+  store.Store(poisoned);
+  EXPECT_EQ(store.stats().stores, 0u);
+
+  // Bundle import skips quarantined fingerprints too: shipping a warm cache
+  // must not resurrect a poisoned object on the receiving box.
+  const std::string bundle = dir_ + "/poison.dbbundle";
+  auto exported = ObjectStore::ExportBundle(dir_, bundle);
+  ASSERT_TRUE(exported.has_value()) << exported.error().Format();
+  char import_tmpl[] = "/tmp/dbll_shmring_import_XXXXXX";
+  ASSERT_NE(::mkdtemp(import_tmpl), nullptr);
+  const std::string import_dir = import_tmpl;
+  ASSERT_TRUE(Quarantine(import_dir).Add(kPoisoned, "test poison").ok());
+  auto imported = ObjectStore::ImportBundle(bundle, import_dir);
+  ASSERT_TRUE(imported.has_value()) << imported.error().Format();
+  EXPECT_EQ(*imported, 0u);
+  EXPECT_FALSE(support::FileSize(import_dir + "/" +
+                                 ObjectStore::EntryFileName(kPoisoned))
+                   .has_value());
+  (void)ObjectStore::Purge(import_dir);
+  ::rmdir(import_tmpl);
 }
 
 // --- CompileService integration (two services, one box) ---------------------

@@ -1,0 +1,269 @@
+// dbll -- crash-containment smoke binary for scripts/check.sh.
+//
+// Drives the full containment story (docs/robustness.md) across *processes*,
+// through the C API, against one cache directory:
+//
+//   contain_smoke <cache-dir> --poison
+//       Containment on, `exec.probation` armed: the freshly compiled kernel
+//       faults on its first probation call. The process must survive, the
+//       caller must get the correct answer from the Tier-2 fallback, the
+//       slot must demote, the fingerprint must land in the quarantine
+//       sidecar, and the key's circuit breaker must open -- a follow-up
+//       request for the same key (after eviction) is denied straight to
+//       Tier 1 without touching LLVM.
+//
+//   contain_smoke <cache-dir> --expect-quarantined
+//       Fresh process, same directory, no faults armed: the quarantined
+//       object must never be reloaded (zero persist hits, the kernel is
+//       recompiled) and the re-persist of the poisoned fingerprint must be
+//       vetoed by the loaded sidecar.
+//
+//   contain_smoke <cache-dir> --sidecar-fault
+//       Fresh directory; `exec.probation` AND `objcache.quarantine` armed:
+//       the sidecar write itself fails, but the in-process quarantine veto
+//       must still hold (the fingerprint is refused on the next store even
+//       though quarantine.dbq never materialized).
+//
+// The persistent fingerprint folds raw virtual addresses, so the poison and
+// restart legs need the same layout in both runs; like warm_smoke, the
+// binary sets personality(ADDR_NO_RANDOMIZE) and re-execs once if needed.
+#include <sys/personality.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "dbll/dbrew/capi.h"
+
+// The specialization targets, compiled in this TU for the controlled kernel
+// flags (see CMakeLists). contain_other exists only to evict contain_kernel's
+// slot from a capacity-1 cache so a re-request must pass the breaker again.
+extern "C" long contain_kernel(long left, long mid, long right, long w) {
+  long acc = 0;
+  for (long i = 0; i < w; ++i) {
+    acc += left + 2 * mid + right + i;
+  }
+  return acc;
+}
+
+extern "C" long contain_other(long a, long b, long c, long w) {
+  long acc = 0;
+  for (long i = 0; i < w; ++i) {
+    acc += a * 3 + b - c + i;
+  }
+  return acc;
+}
+
+typedef long (*KernelFn)(long, long, long, long);
+
+#define CHECK(cond, what)                                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "contain_smoke: FAIL: %s\n", what);      \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+namespace {
+
+void EnsureStableAddresses(char** argv) {
+  if (std::getenv("DBLL_CONTAIN_SMOKE_REEXEC") != nullptr) return;
+  const int persona = personality(0xffffffff);
+  if (persona == -1 || (persona & ADDR_NO_RANDOMIZE) != 0) return;
+  if (personality(persona | ADDR_NO_RANDOMIZE) == -1) return;
+  setenv("DBLL_CONTAIN_SMOKE_REEXEC", "1", 1);
+  execv("/proc/self/exe", argv);
+  // exec failed: run anyway; the restart leg may miss and report visibly.
+}
+
+/// Containment-enabled cache over `dir`: 1 worker, capacity 1 (so a second
+/// request evicts the first slot), breaker threshold 1 with a cooldown long
+/// enough that an opened breaker stays open for the whole smoke run.
+dbll_cache* MakeCache(const char* dir, uint32_t breaker_k) {
+  dbll_cache_options_v1 o;
+  std::memset(&o, 0, sizeof(o));
+  o.struct_size = sizeof(o);
+  o.apply_mask = DBLL_CACHE_APPLY_WORKERS | DBLL_CACHE_APPLY_CAPACITY |
+                 DBLL_CACHE_APPLY_CONTAIN;
+  o.workers = 1;
+  o.capacity = 1;
+  o.contain_enabled = 1;
+  o.contain_breaker_k = breaker_k;
+  o.contain_cooldown_ms = 600000;  // longer than any smoke run
+  dbll_cache* cache = dbll_cache_new_v1(&o);
+  if (cache == nullptr) return nullptr;
+  std::memset(&o, 0, sizeof(o));
+  o.struct_size = sizeof(o);
+  o.apply_mask = DBLL_CACHE_APPLY_PERSIST;
+  o.persist_dir = dir;
+  if (dbll_cache_configure(cache, &o) != 0) {
+    std::fprintf(stderr, "contain_smoke: persist: %s\n",
+                 dbll_cache_last_error(cache));
+    dbll_cache_free(cache);
+    return nullptr;
+  }
+  return cache;
+}
+
+dbll_cache_req* RequestKernel(dbll_cache* cache, void* kernel, long w) {
+  dbll_cache_req* req = dbll_cache_request(cache, kernel, 4,
+                                           /*returns_value=*/1);
+  dbll_cache_req_setpar(req, 4, w);
+  return req;
+}
+
+}  // namespace
+
+static int RunPoison(const char* dir, bool sidecar_fault) {
+  // Arm the faults programmatically (same registry as DBLL_FAULT). With
+  // --sidecar-fault the breaker threshold is raised so an open breaker does
+  // not mask the in-process quarantine veto we are trying to observe.
+  CHECK(dbll_fault_arm("exec.probation", "kInternal", 0) == 0,
+        "could not arm exec.probation");
+  if (sidecar_fault) {
+    CHECK(dbll_fault_arm("objcache.quarantine", "kIo", 0) == 0,
+          "could not arm objcache.quarantine");
+  }
+  dbll_cache* cache = MakeCache(dir, sidecar_fault ? 100 : 1);
+  CHECK(cache != nullptr, "cache construction failed");
+
+  dbll_cache_req* req =
+      RequestKernel(cache, reinterpret_cast<void*>(&contain_kernel), 5);
+  auto fn = reinterpret_cast<KernelFn>(dbll_cache_wait(req));
+  CHECK(fn != nullptr, "null callable");
+  CHECK(dbll_handle_tier(req) == 0, "poison leg did not compile at Tier 0");
+  dbll_cache_wait_idle(cache);  // settle the persist write-back first
+
+  // First call through the probation stub: the guard catches the injected
+  // fault and serves the caller from the Tier-2 entry, which reads the real
+  // w argument -- so pass the full argument set and expect the right answer.
+  const long expected = contain_kernel(10, 20, 30, 5);
+  const long got = fn(10, 20, 30, 5);
+  CHECK(got == expected, "caller saw a wrong value across the caught fault");
+  CHECK(dbll_fault_fire_count("exec.probation") >= 1,
+        "armed probation fault never fired");
+  CHECK(dbll_handle_tier(req) == 2, "slot did not demote to Tier 2");
+
+  dbll_cache_stats_v1 stats;
+  stats.struct_size = sizeof(stats);
+  CHECK(dbll_cache_get_stats(cache, &stats) == 0, "get_stats failed");
+  CHECK(stats.probation_faults >= 1, "probation_faults did not tick");
+  CHECK(stats.quarantined >= 1, "fingerprint was not quarantined");
+
+  const int64_t sidecar = dbll_containment_quarantine_count(dir);
+  if (sidecar_fault) {
+    CHECK(dbll_fault_fire_count("objcache.quarantine") >= 1,
+          "armed sidecar fault never fired");
+    CHECK(sidecar == 0, "sidecar materialized despite the injected failure");
+  } else {
+    CHECK(sidecar >= 1, "quarantine sidecar has no record");
+    CHECK(stats.breaker_opens >= 1, "circuit breaker did not open");
+  }
+
+  // Evict the poisoned slot (capacity 1), then re-request the same key with
+  // no faults armed: the breaker must deny it straight to Tier 1 (default
+  // leg), or -- with the breaker defanged in the sidecar-fault leg -- the
+  // in-memory quarantine must veto the reload/re-store so the kernel is
+  // recompiled instead of served from the poisoned object.
+  dbll_fault_disarm_all();
+  dbll_cache_req* other =
+      RequestKernel(cache, reinterpret_cast<void*>(&contain_other), 3);
+  CHECK(dbll_cache_wait(other) != nullptr, "eviction request failed");
+  dbll_cache_wait_idle(cache);
+
+  dbll_cache_req* again =
+      RequestKernel(cache, reinterpret_cast<void*>(&contain_kernel), 5);
+  auto fn2 = reinterpret_cast<KernelFn>(dbll_cache_wait(again));
+  CHECK(fn2 != nullptr, "re-request returned no callable");
+  const int tier2 = dbll_handle_tier(again);
+  CHECK(fn2(10, 20, 30, 0) == expected,  // w burned in on tiers 0 and 1
+        "re-requested callable returned a wrong value");
+  dbll_cache_wait_idle(cache);
+  CHECK(dbll_cache_get_stats(cache, &stats) == 0, "get_stats failed");
+  if (sidecar_fault) {
+    CHECK(tier2 == 0, "re-request was not recompiled at Tier 0");
+    CHECK(dbll_obs_value("containment.quarantine_blocked") >= 1,
+          "in-process quarantine veto never fired");
+  } else {
+    CHECK(tier2 == 1, "open breaker did not deny straight to Tier 1");
+    CHECK(stats.breaker_denials >= 1, "breaker_denials did not tick");
+  }
+
+  std::printf("contain_smoke: OK (%s dir=%s faults=%" PRIu64
+              " quarantined=%" PRIu64 " opens=%" PRIu64 " denials=%" PRIu64
+              " sidecar=%" PRId64 ")\n",
+              sidecar_fault ? "sidecar-fault" : "poison", dir,
+              stats.probation_faults, stats.quarantined, stats.breaker_opens,
+              stats.breaker_denials, sidecar);
+  dbll_cache_req_free(req);
+  dbll_cache_req_free(other);
+  dbll_cache_req_free(again);
+  dbll_cache_free(cache);
+  return 0;
+}
+
+static int RunRestart(const char* dir) {
+  CHECK(dbll_containment_quarantine_count(dir) >= 1,
+        "restart leg found no quarantine record");
+  dbll_cache* cache = MakeCache(dir, 1);
+  CHECK(cache != nullptr, "cache construction failed");
+
+  dbll_cache_req* req =
+      RequestKernel(cache, reinterpret_cast<void*>(&contain_kernel), 5);
+  auto fn = reinterpret_cast<KernelFn>(dbll_cache_wait(req));
+  CHECK(fn != nullptr, "null callable");
+  CHECK(dbll_handle_tier(req) == 0, "restart leg did not recompile at Tier 0");
+  const long expected = contain_kernel(10, 20, 30, 5);
+  CHECK(fn(10, 20, 30, 0) == expected, "recompiled callable wrong value");
+  dbll_cache_wait_idle(cache);
+
+  // The acceptance criterion: the quarantined object is never reloaded. The
+  // poison run deleted its entry file and the sidecar vetoes both the load
+  // ladder and the re-persist of the freshly compiled twin.
+  dbll_persist_stats persist;
+  dbll_cache_persist_stats(cache, &persist);
+  dbll_cache_stats_v1 stats;
+  stats.struct_size = sizeof(stats);
+  CHECK(dbll_cache_get_stats(cache, &stats) == 0, "get_stats failed");
+  CHECK(persist.hits == 0, "quarantined object served from the cache");
+  CHECK(persist.stores == 0, "poisoned fingerprint was re-persisted");
+  CHECK(stats.compiles == 1, "restart leg did not recompile");
+  CHECK(dbll_obs_value("containment.quarantine_blocked") >= 1,
+        "store veto of the quarantined fingerprint never fired");
+
+  std::printf("contain_smoke: OK (restart dir=%s hits=%" PRIu64
+              " stores=%" PRIu64 " compiles=%" PRIu64 " blocked=%" PRIu64
+              ")\n",
+              dir, persist.hits, persist.stores, stats.compiles,
+              dbll_obs_value("containment.quarantine_blocked"));
+  dbll_cache_req_free(req);
+  dbll_cache_free(cache);
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  EnsureStableAddresses(argv);
+
+  const char* dir = nullptr;
+  const char* mode = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      mode = argv[i];
+    } else if (dir == nullptr) {
+      dir = argv[i];
+    }
+  }
+  if (dir == nullptr || mode == nullptr) {
+    std::fprintf(stderr,
+                 "usage: contain_smoke <cache-dir> "
+                 "(--poison | --expect-quarantined | --sidecar-fault)\n");
+    return 1;
+  }
+  if (std::strcmp(mode, "--poison") == 0) return RunPoison(dir, false);
+  if (std::strcmp(mode, "--sidecar-fault") == 0) return RunPoison(dir, true);
+  if (std::strcmp(mode, "--expect-quarantined") == 0) return RunRestart(dir);
+  std::fprintf(stderr, "contain_smoke: unknown mode %s\n", mode);
+  return 1;
+}

@@ -15,6 +15,9 @@
 //                                           unpack a bundle (all-or-nothing)
 //   dbll-cachectl prewarm <dir> <manifest.json> [--lib <so>] [--expect-warm]
 //                         [--json]          bulk-compile a SpecKey manifest
+//   dbll-cachectl quarantine <dir> [--clear] [--json]
+//                                           list (or delete) the poisoned-
+//                                           fingerprint records (quarantine.dbq)
 //
 // The prewarm manifest names kernels exported by a shared library and the
 // parameters to fix (1-based indices, matching dbll_cache_req_setpar and the
@@ -32,8 +35,8 @@
 // `--expect-warm` turns the run into a gate: every entry must be served from
 // the persistent layer with zero Tier-0 compiles.
 //
-// Every --json output carries "schema_version": 2 (bumped when the shm/fleet
-// fields were added).
+// Every --json output carries "schema_version": 3 (2 added the shm/fleet
+// fields; 3 added the quarantine command and stats fields).
 //
 // Exit status: 0 on success (for `verify`: every entry valid; for
 // `--expect-warm`: zero compiles), 1 on invalid entries or usage/IO errors.
@@ -52,6 +55,7 @@
 #include <vector>
 
 #include "dbll/runtime/compile_service.h"
+#include "dbll/runtime/containment.h"
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/shm_ring.h"
 
@@ -59,11 +63,13 @@ namespace {
 
 using dbll::runtime::ObjectScanEntry;
 using dbll::runtime::ObjectStore;
+using dbll::runtime::Quarantine;
 using dbll::runtime::ShmRing;
 using dbll::runtime::ShmRingOccupancy;
 
-/// Version stamp of every --json output shape below.
-constexpr int kJsonSchemaVersion = 2;
+/// Version stamp of every --json output shape below (3: quarantine command
+/// and the "quarantine" stats object).
+constexpr int kJsonSchemaVersion = 3;
 
 int Usage() {
   std::fprintf(
@@ -76,7 +82,9 @@ int Usage() {
       "  export  <dir> <bundle>    pack valid entries into a bundle file\n"
       "  import  <bundle> <dir>    unpack a bundle into a cache dir\n"
       "  prewarm <dir> <manifest>  bulk-compile a SpecKey manifest\n"
-      "          [--lib <so>] [--expect-warm]\n");
+      "          [--lib <so>] [--expect-warm]\n"
+      "  quarantine <dir> [--clear] list or delete poisoned-fingerprint "
+      "records\n");
   return 1;
 }
 
@@ -211,17 +219,23 @@ int RunStats(const std::string& dir, bool json) {
   // missing ring is normal (no fleet process attached yet), not an error:
   // one call answers "is the fleet cache warm?".
   auto ring = ShmRing::Inspect(dir);
+  // Quarantine records count as cache state too: a non-empty sidecar means
+  // some fingerprints will never be served (-1: sidecar exists but unreadable).
+  auto quarantine = Quarantine::ReadDir(dir);
+  const long long quarantine_records =
+      quarantine.has_value() ? static_cast<long long>(quarantine->size()) : -1;
   if (json) {
     std::printf("{\"schema_version\": %d, \"dir\": \"%s\", \"entries\": %zu, "
                 "\"valid\": %" PRIu64 ", \"invalid\": %" PRIu64
                 ", \"total_bytes\": %" PRIu64 ", \"tier0_entries\": %" PRIu64
                 ", \"tier0_bytes\": %" PRIu64 ", \"tier0a_entries\": %" PRIu64
                 ", \"tier0a_bytes\": %" PRIu64
-                ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\"",
+                ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\""
+                ", \"quarantine_records\": %lld",
                 kJsonSchemaVersion, JsonEscape(dir).c_str(), scan->size(),
                 valid, invalid, total_bytes, tier0_entries, tier0_bytes,
                 tier0a_entries, tier0a_bytes, JsonEscape(llvm_version).c_str(),
-                JsonEscape(target_cpu).c_str());
+                JsonEscape(target_cpu).c_str(), quarantine_records);
     if (ring.has_value()) {
       std::printf(", \"shm\": {\"present\": true, \"format_version\": %" PRIu32
                   ", \"slots\": %" PRIu32 ", \"slot_bytes\": %" PRIu64
@@ -254,6 +268,52 @@ int RunStats(const std::string& dir, bool json) {
     } else {
       std::printf("shm ring: none\n");
     }
+    if (quarantine_records != 0) {
+      std::printf("quarantine: %lld record%s\n", quarantine_records,
+                  quarantine_records == 1 ? "" : "s");
+    }
+  }
+  return 0;
+}
+
+int RunQuarantine(const std::string& dir, bool clear, bool json) {
+  if (clear) {
+    auto cleared = Quarantine::Clear(dir);
+    if (!cleared.has_value()) {
+      std::fprintf(stderr, "error: %s\n", cleared.error().Format().c_str());
+      return 1;
+    }
+    if (json) {
+      std::printf("{\"schema_version\": %d, \"cleared\": %" PRIu64 "}\n",
+                  kJsonSchemaVersion, *cleared);
+    } else {
+      std::printf("cleared %" PRIu64 " quarantine record%s from %s\n",
+                  *cleared, *cleared == 1 ? "" : "s", dir.c_str());
+    }
+    return 0;
+  }
+  auto records = Quarantine::ReadDir(dir);
+  if (!records.has_value()) {
+    std::fprintf(stderr, "error: %s\n", records.error().Format().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("{\n  \"schema_version\": %d,\n  \"records\": [\n",
+                kJsonSchemaVersion);
+    for (std::size_t i = 0; i < records->size(); ++i) {
+      const Quarantine::Record& r = (*records)[i];
+      std::printf("    {\"fingerprint\": \"%016" PRIx64
+                  "\", \"reason\": \"%s\"}%s\n",
+                  r.fingerprint, JsonEscape(r.reason).c_str(),
+                  i + 1 == records->size() ? "" : ",");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    for (const Quarantine::Record& r : *records) {
+      std::printf("%016" PRIx64 "  %s\n", r.fingerprint, r.reason.c_str());
+    }
+    std::printf("%zu quarantine record%s\n", records->size(),
+                records->size() == 1 ? "" : "s");
   }
   return 0;
 }
@@ -630,12 +690,14 @@ int main(int argc, char** argv) {
   std::string command;
   std::vector<std::string> positional;
   std::string lib_override;
-  bool json = false, expect_warm = false;
+  bool json = false, expect_warm = false, clear = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--expect-warm") == 0) {
       expect_warm = true;
+    } else if (std::strcmp(argv[i], "--clear") == 0) {
+      clear = true;
     } else if (std::strcmp(argv[i], "--lib") == 0 && i + 1 < argc) {
       lib_override = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -670,6 +732,9 @@ int main(int argc, char** argv) {
     EnsureStableAddresses(argv);
     return RunPrewarm(positional[0], positional[1], lib_override, expect_warm,
                       json);
+  }
+  if (command == "quarantine" && positional.size() == 1) {
+    return RunQuarantine(positional[0], clear, json);
   }
   return Usage();
 }

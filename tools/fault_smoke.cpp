@@ -9,6 +9,16 @@
 // Tier-1 (plain DBrew) fallback: a working callable, dbll_handle_tier == 1,
 // and fallback.tier1_serve == 1. Without DBLL_FAULT it asserts the Tier-0
 // path instead, so the same binary smokes both sides of the degradation.
+//
+// A third mode covers crash containment (docs/robustness.md):
+//
+//   DBLL_CONTAIN=1 DBLL_FAULT=exec.probation:kInternal:0 fault_smoke
+//
+// compiles at Tier 0 as usual, but the first call through the probation
+// stub takes a synthetic fault inside the guarded window: the caller must
+// still get the right answer (served from the Tier-2 fallback entry, so the
+// call passes real arguments), the slot must demote to tier 2, and
+// containment.probation_faults must tick.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +49,10 @@ typedef long (*Stencil3Fn)(long, long, long, long);
 
 int main() {
   const char* fault_env = std::getenv("DBLL_FAULT");
-  const int expect_tier = (fault_env != nullptr && *fault_env != '\0') ? 1 : 0;
+  const bool probation_mode =
+      fault_env != nullptr && std::strstr(fault_env, "exec.probation") != nullptr;
+  const int expect_tier =
+      (fault_env != nullptr && *fault_env != '\0' && !probation_mode) ? 1 : 0;
 
   dbll_cache* cache = dbll_cache_new(1, 16);
   dbll_cache_req* req =
@@ -51,12 +64,24 @@ int main() {
   auto fn = reinterpret_cast<Stencil3Fn>(dbll_cache_wait(req));
   CHECK(fn != nullptr, "null callable");
   const long expected = stencil3(10, 20, 30, 3);
-  const long got = fn(10, 20, 30, 0);  // w is burned in; pass garbage
+  // In probation mode the first call faults inside the guard and is served
+  // by the Tier-2 fallback, which reads the *real* w argument -- so pass the
+  // full argument set instead of relying on the burned-in w.
+  const long got = probation_mode ? fn(10, 20, 30, 3) : fn(10, 20, 30, 0);
   CHECK(got == expected, "specialized callable returned a wrong value");
 
   CHECK(tier == expect_tier, "unexpected serving tier");
   const uint64_t tier1_serves = dbll_obs_value("fallback.tier1_serve");
-  if (expect_tier == 1) {
+  if (probation_mode) {
+    CHECK(dbll_fault_fire_count("exec.probation") >= 1,
+          "armed probation fault never fired");
+    CHECK(dbll_obs_value("containment.probation_faults") >= 1,
+          "containment.probation_faults did not tick");
+    CHECK(dbll_handle_tier(req) == 2,
+          "slot did not demote to tier 2 after the caught fault");
+    CHECK(dbll_containment_recovered_faults() == 0,
+          "synthetic fault must not count as a recovered hardware fault");
+  } else if (expect_tier == 1) {
     CHECK(tier1_serves == 1, "fallback.tier1_serve != 1");
     CHECK(dbll_fault_fire_count("jit.compile") >= 1,
           "armed fault never fired");
