@@ -14,9 +14,12 @@
 // request, breakeven call count) for scripts/check.sh and CI trending.
 // `--smoke` (or DBLL_BENCH_REPS) shrinks the repetition counts.
 //
-// A sixth section measures the static-analysis tentpole (flag liveness,
-// docs/static_analysis.md): Tier-0 lift wall time and pre-O3 IR size with
-// and without flag-liveness pruning, written to BENCH_analysis.json.
+// A sixth section measures the static-analysis tentpole (flag liveness and
+// value ranges, docs/static_analysis.md): Tier-0 lift wall time and pre-O3
+// IR size with and without flag-liveness pruning, the wall-time cost of the
+// value-range pass on the same kernel, and the eligibility delta on a dense
+// switch (lifts with ranges, rejected without), written to
+// BENCH_analysis.json.
 //
 // A seventh section measures crash containment (docs/robustness.md): the
 // per-call cost of the signal-guarded probation dispatcher vs a raw call of
@@ -38,6 +41,22 @@ using namespace dbll::bench;
 using namespace dbll::stencil;
 
 namespace {
+
+// Same dense-switch shape as the corpus's c_switch_dispatch: the compiler
+// emits a jump table, so the function is lift-eligible only with the
+// value-range pass resolving the indirect dispatch.
+__attribute__((noinline)) long BenchSwitchDispatch(long a, long b) {
+  switch (a & 7) {
+    case 0: return b + 1;
+    case 1: return b * 3;
+    case 2: return b - a;
+    case 3: return b ^ a;
+    case 4: return b << 2;
+    case 5: return b & 0x5555;
+    case 6: return -b;
+    default: return a + b;
+  }
+}
 
 runtime::CompileRequest LineRequest() {
   runtime::CompileRequest request(
@@ -247,6 +266,43 @@ int main(int argc, char** argv) {
               analysis_ok ? "(ok, pruning reduces IR)"
                           : "(FAIL: no IR reduction)");
 
+  // Value ranges: pass cost on the same kernel (no indirect jumps, so the
+  // delta is pure analysis wall time), plus the eligibility delta on the
+  // dense switch -- lifts with ranges on, rejected with ranges off.
+  lift::LiftConfig ranges_on;
+  ranges_on.value_ranges = true;
+  lift::LiftConfig ranges_off;
+  ranges_off.value_ranges = false;
+  std::vector<double> ranges_on_ns;
+  std::vector<double> ranges_off_ns;
+  for (int i = 0; i < reps; ++i) {
+    lift::Lifter lifter_ranges_on(ranges_on);
+    Timer on_timer;
+    (void)lifter_ranges_on.Lift(line_entry, KernelSignature());
+    ranges_on_ns.push_back(on_timer.Seconds() * 1e9);
+    lift::Lifter lifter_ranges_off(ranges_off);
+    Timer off_timer;
+    (void)lifter_ranges_off.Lift(line_entry, KernelSignature());
+    ranges_off_ns.push_back(off_timer.Seconds() * 1e9);
+  }
+  const std::uint64_t switch_entry =
+      reinterpret_cast<std::uint64_t>(&BenchSwitchDispatch);
+  const lift::Signature switch_sig = lift::Signature::Ints(2);
+  lift::Lifter switch_lifter_on(ranges_on);
+  auto switch_on = switch_lifter_on.Lift(switch_entry, switch_sig);
+  lift::Lifter switch_lifter_off(ranges_off);
+  auto switch_off = switch_lifter_off.Lift(switch_entry, switch_sig);
+  const bool ranges_ok = switch_on.has_value() && !switch_off.has_value();
+  const std::size_t switch_ir =
+      switch_on.has_value() ? switch_on->IrInstructionCount() : 0;
+  std::printf("value ranges: lift median %.0f ns (on) vs %.0f ns (off); "
+              "switch dispatch %s with ranges (%zu IR instrs), %s without %s\n",
+              Median(ranges_on_ns), Median(ranges_off_ns),
+              switch_on.has_value() ? "lifts" : "REJECTED", switch_ir,
+              switch_off.has_value() ? "LIFTS" : "rejected",
+              ranges_ok ? "(ok)" : "(FAIL)");
+  analysis_ok = analysis_ok && ranges_ok;
+
   JsonObject analysis_json;
   analysis_json.Put("kernel", "stencil_line_flat")
       .Put("ir_instrs_unpruned", static_cast<std::uint64_t>(ir_unpruned))
@@ -254,6 +310,11 @@ int main(int argc, char** argv) {
       .Put("ir_reduction_pct", ir_reduction_pct)
       .Put("lift_median_ns_flag_liveness_on", Median(lift_on_ns))
       .Put("lift_median_ns_flag_liveness_off", Median(lift_off_ns))
+      .Put("lift_median_ns_ranges_on", Median(ranges_on_ns))
+      .Put("lift_median_ns_ranges_off", Median(ranges_off_ns))
+      .Put("switch_ir_instrs", static_cast<std::uint64_t>(switch_ir))
+      .Put("switch_lifts_with_ranges", switch_on.has_value())
+      .Put("switch_rejected_without_ranges", !switch_off.has_value())
       .Put("reps", static_cast<std::uint64_t>(lift_on_ns.size()))
       .Put("pruning_ok", analysis_ok);
   const char* analysis_path = "BENCH_analysis.json";

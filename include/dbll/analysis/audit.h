@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "dbll/analysis/ranges.h"
 #include "dbll/x86/cfg.h"
 
 namespace dbll::analysis {
@@ -61,6 +62,16 @@ struct AuditOptions {
   /// LiftConfig::lift_calls is set, so a bad callee dooms the lift).
   bool follow_calls = true;
   int max_call_depth = 16;
+  /// Run the value-range analysis and resolve register-indirect jumps
+  /// against proven jump tables (docs/static_analysis.md): a resolved site
+  /// downgrades from kFatal to an informational diagnostic and its targets
+  /// become real CFG edges. In-process audits only (AuditFunction); buffer
+  /// audits never read table memory and keep the fatal classification.
+  /// Mirrors LiftConfig::value_ranges (both default on) so the audit verdict
+  /// matches what the lifter can actually lift.
+  bool value_ranges = true;
+  /// Step budget forwarded to the range analysis.
+  std::size_t range_budget = RangeOptions{}.budget;
 };
 
 /// Audits the function at `entry` in the current process image.

@@ -155,8 +155,9 @@ DataflowResult Solve(Direction direction, const Graph& graph,
                      const std::vector<Transfer>& transfer, LocSet boundary);
 
 /// Dense-index view of an x86::Cfg: blocks numbered in address order, with
-/// the adjacency lists derived from branch_target/fall_through (successors)
-/// and BasicBlock::predecessors (predecessors).
+/// the adjacency lists derived from branch_target/fall_through plus any
+/// resolved jump-table targets (successors) and BasicBlock::predecessors
+/// (predecessors).
 struct CfgIndex {
   std::vector<const x86::BasicBlock*> blocks;
   std::unordered_map<std::uint64_t, int> block_of;  ///< start address -> index

@@ -1,0 +1,236 @@
+// dbll -- forward value-range dataflow over decoded x86 CFGs.
+//
+// Tracks, for each of the 16 general-purpose registers, an unsigned interval
+// [lo, hi] plus a known-bits pair (mask, value) -- the product lattice of
+// LLVM's ConstantRange and KnownBits, collapsed to what the rewriting
+// pipeline needs (ROADMAP item 2, docs/static_analysis.md "Value-range
+// analysis"). The analysis is forward, per-instruction, with conditional-edge
+// refinement from the cmp/test feeding each jcc, widening on loop heads, and
+// a per-function step budget; every shortcut degrades to top, never to an
+// unsound bound.
+//
+// Three consumers spend the results (paper Sec. VIII lifts two of its own
+// documented limitations with them):
+//   1. the lifter annotates loads with !range metadata and folds
+//      provably-constant addresses (src/lift/function_lifter.cpp),
+//   2. the specializer chases proven pointer slots between fixed memory
+//      regions so nested-pointer structs specialize at Tier 0
+//      (FindPointerLinks, src/runtime/compile_service.cpp),
+//   3. the audit gate resolves range-bounded indirect jumps against detected
+//      jump tables, turning kIndirectJump fatals into real CFG edges
+//      (ResolveJumpTables / BuildRangeResolvedCfg).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dbll/support/error.h"
+#include "dbll/x86/cfg.h"
+#include "dbll/x86/insn.h"
+
+namespace dbll::analysis {
+
+/// Abstract value of one 64-bit register: the intersection of an unsigned
+/// interval [lo, hi] (inclusive) and a known-bits constraint (every concrete
+/// value v satisfies (v & known_mask) == known_val). Top is [0, ~0] with no
+/// known bits; there is no explicit bottom -- unreachable states simply stay
+/// out of the join.
+struct ValueRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = ~0ull;
+  std::uint64_t known_mask = 0;
+  std::uint64_t known_val = 0;
+
+  static constexpr ValueRange Top() { return ValueRange{}; }
+  static constexpr ValueRange Constant(std::uint64_t value) {
+    return ValueRange{value, value, ~0ull, value};
+  }
+  static constexpr ValueRange Bounded(std::uint64_t lo, std::uint64_t hi) {
+    return ValueRange{lo, hi, 0, 0};
+  }
+
+  bool IsTop() const { return lo == 0 && hi == ~0ull && known_mask == 0; }
+  bool IsConstant() const { return lo == hi; }
+  std::uint64_t ConstantValue() const { return lo; }
+  /// Whether the concrete value `v` is admitted by both constraints.
+  bool Contains(std::uint64_t v) const {
+    return v >= lo && v <= hi && (v & known_mask) == known_val;
+  }
+  /// Number of admitted interval values (saturating at ~0ull for top-like
+  /// ranges); used to budget jump-table scans.
+  std::uint64_t IntervalSize() const {
+    return hi - lo == ~0ull ? ~0ull : hi - lo + 1;
+  }
+
+  bool operator==(const ValueRange&) const = default;
+};
+
+/// Least upper bound of two reachable states.
+ValueRange Join(const ValueRange& a, const ValueRange& b);
+/// Widening operator applied on loop heads after repeated visits: any bound
+/// still moving is pushed straight to its extreme so the fixpoint is reached
+/// in O(1) further passes per location.
+ValueRange Widen(const ValueRange& previous, const ValueRange& next);
+/// Intersection (conditional-edge refinement); if the constraints are
+/// contradictory the edge is infeasible and the narrower operand wins --
+/// callers only use the result on edges the program can take, so any
+/// non-empty sound superset is acceptable.
+ValueRange Meet(const ValueRange& a, const ValueRange& b);
+
+// Interval/known-bits transfer helpers, exposed for the unit-test vectors in
+// tests/analysis_test.cpp. All operate on full 64-bit values; callers clamp
+// to the operand width afterwards (TruncateToWidth).
+ValueRange RangeAdd(const ValueRange& a, const ValueRange& b);
+ValueRange RangeSub(const ValueRange& a, const ValueRange& b);
+ValueRange RangeAnd(const ValueRange& a, const ValueRange& b);
+ValueRange RangeOr(const ValueRange& a, const ValueRange& b);
+ValueRange RangeXor(const ValueRange& a, const ValueRange& b);
+ValueRange RangeMul(const ValueRange& a, const ValueRange& b);
+ValueRange RangeShl(const ValueRange& a, const ValueRange& amount);
+ValueRange RangeShr(const ValueRange& a, const ValueRange& amount);
+/// Zero-extending truncation to `width` bytes (1/2/4/8): models the x86
+/// rule that 32-bit destinations zero the upper half, and bounds the result
+/// of narrow loads.
+ValueRange TruncateToWidth(const ValueRange& a, int width);
+/// Refine `reg` with the constraint `reg <cond> constant` taken from a
+/// cmp-immediate + jcc pair. Signed conditions only refine when the range
+/// proves the sign is unambiguous; everything else returns `reg` unchanged.
+ValueRange RefineByCondition(const ValueRange& reg, x86::Cond cond,
+                             std::uint64_t constant);
+
+/// A memory interval the analysis may treat as constant *and read during
+/// analysis*. The soundness contract is exactly the DBrew SetMemRange one
+/// (paper Sec. V): the caller asserts the bytes do not change between
+/// analysis and every execution of the derived code; the runtime guards
+/// staleness with the Tier-1 memcmp check (src/runtime/fallback.cpp).
+struct ConstRegion {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+
+  bool ContainsRange(std::uint64_t addr, std::uint64_t len) const {
+    return addr >= base && len <= size && addr - base <= size - len;
+  }
+};
+
+struct RangeOptions {
+  /// Upper bound on instruction transfer steps (visits x block lengths)
+  /// before the analysis gives up and reports all-top. Keeps loopy CFGs
+  /// O(budget) regardless of lattice height.
+  std::size_t budget = 1u << 17;
+  /// Entry-state seeds: GP register index -> abstract value on function
+  /// entry. The specializer seeds fixed arguments here.
+  std::vector<std::pair<int, ValueRange>> entry_values;
+  /// Memory the analysis may read through (see ConstRegion contract).
+  std::vector<ConstRegion> const_regions;
+};
+
+/// Fixpoint result: per-instruction "before" states for the GP file, plus
+/// the value ranges of loaded values for the lifter's !range annotations.
+class FunctionRanges {
+ public:
+  using GpState = std::array<ValueRange, x86::kGpRegCount>;
+
+  /// Abstract GP state immediately before the instruction at `address`
+  /// executes. Unknown addresses (or an over-budget analysis) yield all-top.
+  const GpState& Before(std::uint64_t address) const;
+  /// Range of `gp_index` immediately before `address`.
+  const ValueRange& BeforeReg(std::uint64_t address, int gp_index) const {
+    return Before(address)[static_cast<std::size_t>(gp_index)];
+  }
+  /// Range of the value produced by the memory load at `address` (kMov /
+  /// kMovzx from memory into a GP register); top when unknown or not a
+  /// tracked load.
+  const ValueRange& LoadRange(std::uint64_t address) const;
+
+  /// False when the step budget was exhausted (every query returns top).
+  bool converged() const { return converged_; }
+  /// Transfer steps actually executed (budget telemetry and tests).
+  std::size_t steps() const { return steps_; }
+
+ private:
+  friend FunctionRanges ComputeRanges(const x86::Cfg&, const RangeOptions&);
+
+  std::map<std::uint64_t, GpState> before_;
+  std::map<std::uint64_t, ValueRange> loads_;
+  bool converged_ = false;
+  std::size_t steps_ = 0;
+};
+
+/// Runs the forward fixpoint over `cfg`. Never fails: an exhausted budget or
+/// unmodeled instruction degrades the affected state to top.
+FunctionRanges ComputeRanges(const x86::Cfg& cfg,
+                             const RangeOptions& options = {});
+
+/// One resolved jump-table dispatch site.
+struct JumpTable {
+  std::uint64_t site = 0;        ///< address of the indirect jmp
+  std::uint64_t table_base = 0;  ///< first table entry read
+  int entry_size = 0;            ///< 4 (pc-relative i32) or 8 (absolute u64)
+  bool relative = false;         ///< entries are i32 offsets from table_base
+  std::vector<std::uint64_t> targets;  ///< sorted, deduplicated
+};
+
+/// Pattern-matches every unresolved register-indirect jmp in `cfg` against
+/// the two jump-table idioms the compilers we rewrite emit --
+///   lea rbase,[rip+tbl]; movsxd rt,[rbase+idx*4]; add rt,rbase; jmp rt
+/// (PIC, i32 entries relative to the table) and the absolute form
+///   mov rt,[rbase+idx*8]; jmp rt   /   jmp [rbase+idx*8]
+/// -- and accepts a site only when the ranges prove the table base is a
+/// singleton constant and the index interval is bounded (<= max_entries).
+/// Table entries are then read from process memory: callers must only pass
+/// CFGs whose proven table addresses are mapped (true for in-process code
+/// and for the .rodata of the image under rewrite; the ConstRegion contract
+/// covers mutation).
+std::vector<JumpTable> ResolveJumpTables(const x86::Cfg& cfg,
+                                         const FunctionRanges& ranges,
+                                         std::size_t max_entries = 512);
+
+/// A CFG whose jump tables have been resolved into real edges, together with
+/// the analysis artifacts the consumers reuse.
+struct RangeResolvedCfg {
+  x86::Cfg cfg;
+  FunctionRanges ranges;
+  std::vector<JumpTable> tables;
+  /// True when at least one indirect jmp remains without proven targets
+  /// (such a CFG is incomplete: the audit gate keeps it kFatal).
+  bool unresolved_indirect = false;
+};
+
+/// Two-phase driver: optimistic decode tolerating indirect jmps, range
+/// fixpoint, jump-table resolution, then a rebuild that follows the proven
+/// targets (iterated until no new table resolves, max 4 rounds). With
+/// `options.resolve_jump_tables == false` in spirit -- i.e. when callers
+/// want the plain behavior -- use x86::BuildCfg directly instead.
+Expected<RangeResolvedCfg> BuildRangeResolvedCfg(
+    std::uint64_t entry, const x86::CfgOptions& cfg_options = {},
+    const RangeOptions& range_options = {});
+
+/// One fixed memory region participating in specialization, with its bytes
+/// snapshotted at request time (SpecAction kConstMem / kConstRange).
+struct FixedRegion {
+  std::uint64_t address = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+/// An 8-byte slot inside one fixed region whose snapshotted value provably
+/// addresses the interior of another fixed region: regions[src].bytes at
+/// [src_offset, src_offset+8) holds dst_address where
+/// dst_address == regions[dst].address + dst_offset. This is the
+/// "address provably inside a FixedMemRange" proof the specializer uses to
+/// chase one level of pointer indirection (docs/static_analysis.md).
+struct PointerLink {
+  int src_region = 0;
+  std::uint64_t src_offset = 0;
+  int dst_region = 0;
+  std::uint64_t dst_offset = 0;
+};
+
+/// Scans every 8-byte-aligned slot of every region for values landing inside
+/// a (possibly different) region. Pure function of the snapshots; sorted by
+/// (src_region, src_offset).
+std::vector<PointerLink> FindPointerLinks(std::span<const FixedRegion> regions);
+
+}  // namespace dbll::analysis

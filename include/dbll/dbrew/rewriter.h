@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "dbll/support/code_buffer.h"
@@ -84,6 +85,19 @@ class Rewriter {
   void SetMemRange(const void* start, const void* end) {
     SetMemRange(reinterpret_cast<std::uint64_t>(start),
                 reinterpret_cast<std::uint64_t>(end));
+  }
+
+  /// The fixed ranges declared so far, in declaration order. The value-range
+  /// analysis (analysis::RangeOptions::const_regions) and the lint tooling
+  /// seed their constant-memory model from exactly these spans, keeping the
+  /// "assumed constant" contract in one place.
+  std::span<const FixedMemRange> fixed_ranges() const { return fixed_ranges_; }
+  /// True when [address, address+size) lies inside one declared fixed range.
+  bool InFixedRange(std::uint64_t address, std::size_t size) const {
+    for (const FixedMemRange& range : fixed_ranges_) {
+      if (range.Contains(address, size)) return true;
+    }
+    return false;
   }
 
   RewriterConfig& config() { return config_; }

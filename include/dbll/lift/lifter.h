@@ -89,6 +89,15 @@ struct LiftConfig {
   /// the dynamic flag cache (D2), shrinking the pre-O3 module the optimizer
   /// has to chew through.
   bool flag_liveness = true;
+  /// Run the value-range dataflow (src/analysis/ranges.cpp) before lifting:
+  /// loads gain !range metadata, provably-constant addresses fold onto the
+  /// memory-rebase global, and register-indirect jumps whose jump table the
+  /// analysis proves are lifted as real switches instead of failing the
+  /// decode (docs/static_analysis.md, "Value-range analysis").
+  bool value_ranges = true;
+  /// Instruction-step budget of the range fixpoint per lifted function;
+  /// exceeding it degrades every range to top (sound, just unhelpful).
+  std::uint32_t range_budget = 1u << 17;
 };
 
 /// Stable 64-bit fingerprint over every semantic field of a LiftConfig.
@@ -122,9 +131,40 @@ class LiftedFunction {
   /// Sec. IV: fixes pointer parameter `index` to the contents of
   /// [data, data+size): the bytes are copied into the module as a global
   /// constant and the parameter is redirected to it. Nested pointers inside
-  /// the region are not followed (the paper's documented limitation).
+  /// the region are not followed by *this* entry point (the paper's
+  /// documented limitation); SpecializeConstMemGraph lifts it.
   Status SpecializeParamToConstMem(int index, const void* data,
                                    std::size_t size);
+
+  /// One fixed memory region of a specialization request, with the pointer
+  /// slots the value-range analysis proved to address other fixed regions
+  /// (analysis::FindPointerLinks).
+  struct ConstMemRegion {
+    /// Public wrapper argument carrying the region's address, or -1 for a
+    /// region only reachable through another region's pointer slot.
+    int param_index = -1;
+    std::uint64_t address = 0;
+    std::vector<std::uint8_t> bytes;
+    /// Proven 8-byte pointer slots: byte offset in this region ->
+    /// (region index in the graph, byte offset inside that region).
+    struct Link {
+      std::uint64_t offset = 0;
+      int target_region = 0;
+      std::uint64_t target_offset = 0;
+    };
+    std::vector<Link> links;
+  };
+
+  /// Closes the paper's nested-pointer limitation (Sec. VIII): materializes
+  /// every region as a module-private constant global, splices each proven
+  /// pointer slot as `ptrtoint(target global) + offset` into the enclosing
+  /// initializer, and fixes the argument-carrying regions like
+  /// SpecializeParamToConstMem. The optimizer then constant-folds loads
+  /// through the pointer chain, so structures like PtrSortedStencil
+  /// specialize at Tier 0. Soundness contract is the DBrew SetMemRange one:
+  /// every region's live bytes must still equal the snapshot whenever the
+  /// derived code runs (the runtime re-checks with memcmp at dispatch).
+  Status SpecializeConstMemGraph(const std::vector<ConstMemRegion>& regions);
 
   /// Runs the optimization pipeline and compiles via the JIT; returns the
   /// native entry point. The LiftedFunction is consumed.

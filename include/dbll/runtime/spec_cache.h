@@ -24,15 +24,21 @@ namespace dbll::runtime {
 
 /// One IR-level specialization step, applied in request order.
 struct SpecAction {
-  enum class Kind : std::uint8_t { kParam, kConstMem };
+  enum class Kind : std::uint8_t { kParam, kConstMem, kConstRange };
   Kind kind = Kind::kParam;
-  int index = 0;                    ///< public parameter index (0-based)
+  /// Public parameter index (0-based); -1 for kConstRange, which is not
+  /// bound to any parameter.
+  int index = 0;
   std::uint64_t value = 0;          ///< kParam: the fixed value
-  std::vector<std::uint8_t> bytes;  ///< kConstMem: region contents (copied)
-  /// kConstMem: the live source address the bytes were copied from. Not part
-  /// of the cache key (the *contents* are what the key hashes); kept so the
-  /// Tier-1 DBrew fallback (fallback.h) can re-express the fixation as a
-  /// SetParam + SetMemRange on the original region.
+  /// kConstMem / kConstRange: region contents (copied at request time).
+  std::vector<std::uint8_t> bytes;
+  /// The live source address the bytes were copied from. For kConstMem it is
+  /// not part of the cache key (the *contents* are what the key hashes);
+  /// kept so the Tier-1 DBrew fallback (fallback.h) can re-express the
+  /// fixation as a SetParam + SetMemRange on the original region. For
+  /// kConstRange it *is* hashed: an unanchored region is identified by its
+  /// address, and the pointer-link proofs (analysis::FindPointerLinks) that
+  /// let the specializer chase into it depend on the absolute addresses.
   std::uint64_t mem_addr = 0;
 };
 
@@ -65,6 +71,14 @@ struct CompileRequest {
   /// Fixes pointer parameter `index` to the contents of [data, data+size)
   /// (LiftedFunction::SpecializeParamToConstMem). The bytes are copied now.
   CompileRequest& FixConstMem(int index, const void* data, std::size_t size);
+
+  /// Declares [data, data+size) fixed without binding it to a parameter.
+  /// When a FixConstMem region holds a pointer that provably lands inside
+  /// this range (analysis::FindPointerLinks), the Tier-0 specializer chases
+  /// the indirection (LiftedFunction::SpecializeConstMemGraph); the Tier-1
+  /// fallback pins it with dbrew SetMemRange. The bytes are copied now and
+  /// must stay live-identical whenever the derived code runs.
+  CompileRequest& AddConstRange(const void* data, std::size_t size);
 };
 
 /// Value-type cache key. Equality compares the full serialized request (no

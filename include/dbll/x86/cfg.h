@@ -4,7 +4,9 @@
 // point. Direct jumps and conditional jumps are followed; a jump into the
 // middle of an existing block splits that block, so every decoded instruction
 // belongs to exactly one block (the paper's de-duplication guarantee).
-// Indirect jumps are rejected, calls are recorded but not followed.
+// Indirect jumps are rejected by default (tolerated, or followed through
+// proven jump-table targets, via CfgOptions), calls are recorded but not
+// followed.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +30,17 @@ struct BasicBlock {
   std::uint64_t branch_target = 0;
   /// Address of the fall-through successor (0 when none, e.g. after ret/jmp).
   std::uint64_t fall_through = 0;
+  /// Proven successor set of a register-indirect jmp terminator (jump-table
+  /// dispatch resolved by the value-range analysis, docs/static_analysis.md).
+  /// Sorted and deduplicated; empty for every other terminator and for an
+  /// unresolved indirect jump decoded under
+  /// CfgOptions::allow_indirect_jumps.
+  std::vector<std::uint64_t> indirect_targets;
+
+  bool HasIndirectJump() const {
+    return !instrs.empty() && instrs.back().mnemonic == Mnemonic::kJmp &&
+           instrs.back().op_count != 0 && !instrs.back().ops[0].is_imm();
+  }
   /// Start addresses of every predecessor block, including the implicit
   /// fall-through edge created when a jump target splits a block mid-stream.
   /// Deduplicated (a jcc whose target equals its fall-through contributes one
@@ -60,6 +73,18 @@ struct CfgOptions {
   /// Upper bound on decoded instructions; exceeds -> kResourceLimit. Guards
   /// against running off into non-code bytes.
   std::size_t max_instructions = 100000;
+  /// Tolerate register-indirect jmp terminators instead of failing the
+  /// decode with kUnsupported. The block ends with no successors; the
+  /// value-range analysis (src/analysis/ranges.cpp) uses this for its first,
+  /// optimistic decode pass before jump-table resolution. Consumers that do
+  /// not resolve the targets must treat such a CFG as incomplete.
+  bool allow_indirect_jumps = false;
+  /// Proven jump-table targets keyed by the address of the indirect jmp
+  /// instruction. When a site is found here its targets are followed like
+  /// direct-branch successors and recorded in BasicBlock::indirect_targets.
+  /// Not owned; must outlive the BuildCfg call.
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>* resolved_jumps =
+      nullptr;
 };
 
 /// Decodes the function whose first instruction lives at `entry` in the

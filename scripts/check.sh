@@ -14,6 +14,13 @@ ctest --test-dir "$BUILD" --output-on-failure
 # stay Tier-0 lift-eligible -- dbll-lint exits nonzero on any fatal verdict.
 "$BUILD/tools/dbll-lint" --all-corpus
 echo "dbll: lift-eligibility lint passed"
+# Value-range frontier gate (docs/static_analysis.md): --ranges audits the
+# corpus with and without the range pass and exits nonzero if the eligible
+# frontier shrinks; the grep pins the jump-table win -- switch_dispatch must
+# flip from rejected to eligible.
+"$BUILD/tools/dbll-lint" --ranges | tee "$BUILD/ranges_frontier.txt"
+grep -Eq 'switch_dispatch +1 +no -> yes' "$BUILD/ranges_frontier.txt"
+echo "dbll: value-range frontier gate passed"
 # clang-tidy (bugprone/performance/concurrency, config in .clang-tidy) over
 # the analysis subsystem; skipped where the tool is not installed.
 if command -v clang-tidy > /dev/null 2>&1; then
@@ -146,10 +153,14 @@ ASAN_BUILD="${BUILD}-asan"
 cmake -B "$ASAN_BUILD" -S . -DDBLL_SANITIZE=ON \
   -DDBLL_BUILD_BENCHMARKS=OFF -DDBLL_BUILD_EXAMPLES=OFF
 cmake --build "$ASAN_BUILD" -j "$(nproc)" \
-  --target decoder_fuzz_test fallback_test containment_test
+  --target decoder_fuzz_test fallback_test containment_test analysis_test
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/decoder_fuzz_test"
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/fallback_test"
 ASAN_OPTIONS=detect_leaks=0:handle_segv=0:handle_sigbus=0:handle_sigill=0:handle_sigfpe=0:allow_user_segv_handler=1 \
   "$ASAN_BUILD/tests/containment_test"
-echo "dbll: sanitized fuzz + fallback + containment tests passed"
+# Value-range legs: the lattice/fixpoint/jump-table tests read live process
+# memory through raw pointers, the classic place for a subtle OOB.
+ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/analysis_test" \
+  --gtest_filter='RangeLatticeTest.*:RangeAnalysisTest.*:JumpTableTest.*:FindPointerLinksTest.*:RangeLiftTest.*'
+echo "dbll: sanitized fuzz + fallback + containment + ranges tests passed"
 echo "dbll: build, tier-1 tests, benchmark and robustness smoke all passed"

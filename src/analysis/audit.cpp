@@ -1,5 +1,6 @@
 #include "dbll/analysis/audit.h"
 
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <set>
@@ -105,15 +106,28 @@ AuditReport AuditImpl(
     worklist.pop_front();
     if (!visited.insert(address).second) continue;
 
+    const std::size_t first_new = report.diagnostics.size();
     Expected<x86::Cfg> cfg = build(address);
-    if (!cfg) {
+    if (cfg) {
+      AuditCfg(*cfg, report);
+      if (options.follow_calls && depth + 1 < options.max_call_depth) {
+        for (std::uint64_t target : cfg->call_targets) {
+          if (reachable(target)) worklist.emplace_back(target, depth + 1);
+        }
+      }
+    } else {
       report.diagnostics.push_back(FromError(cfg.error()));
-      continue;
     }
-    AuditCfg(*cfg, report);
-    if (options.follow_calls && depth + 1 < options.max_call_depth) {
-      for (std::uint64_t target : cfg->call_targets) {
-        if (reachable(target)) worklist.emplace_back(target, depth + 1);
+    // Attribute findings inside transitively audited callees to the deepest
+    // function that actually contains them, so lint output names the code to
+    // fix instead of only the root entry point.
+    if (depth > 0) {
+      char context[64];
+      std::snprintf(context, sizeof(context),
+                    " [in callee 0x%llx, call depth %d]",
+                    static_cast<unsigned long long>(address), depth);
+      for (std::size_t i = first_new; i < report.diagnostics.size(); ++i) {
+        report.diagnostics[i].message += context;
       }
     }
   }
@@ -178,6 +192,23 @@ const Diagnostic* AuditReport::first_fatal() const {
 
 void AuditCfg(const x86::Cfg& cfg, AuditReport& report) {
   for (const auto& [start, block] : cfg.blocks) {
+    // Indirect jmp terminators only appear in CFGs built with
+    // allow_indirect_jumps (the range-resolved path); the plain decode fails
+    // before reaching here. Resolved sites are informational, the rest stay
+    // exactly as fatal as the old decode error.
+    if (block.HasIndirectJump()) {
+      if (!block.indirect_targets.empty()) {
+        Add(report, block.terminator().address, Severity::kInfo,
+            DiagKind::kIndirectJump,
+            "indirect jump resolved via jump table (" +
+                std::to_string(block.indirect_targets.size()) + " targets)");
+      } else {
+        Add(report, block.terminator().address, Severity::kFatal,
+            DiagKind::kIndirectJump,
+            "indirect jump (" + x86::PrintOperand(block.terminator().ops[0]) +
+                ") is not a provable jump-table dispatch");
+      }
+    }
     for (const x86::Instr& instr : block.instrs) {
       if (!LifterSupports(instr.mnemonic)) {
         Add(report, instr.address, Severity::kFatal,
@@ -209,6 +240,19 @@ void AuditCfg(const x86::Cfg& cfg, AuditReport& report) {
 }
 
 AuditReport AuditFunction(std::uint64_t entry, const AuditOptions& options) {
+  if (options.value_ranges) {
+    RangeOptions range_options;
+    range_options.budget = options.range_budget;
+    return AuditImpl(
+        entry, options,
+        [&options, &range_options](
+            std::uint64_t address) -> Expected<x86::Cfg> {
+          DBLL_TRY(RangeResolvedCfg resolved,
+                   BuildRangeResolvedCfg(address, options.cfg, range_options));
+          return std::move(resolved.cfg);
+        },
+        [](std::uint64_t) { return true; });
+  }
   return AuditImpl(
       entry, options,
       [&options](std::uint64_t address) {

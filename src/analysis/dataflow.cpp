@@ -113,6 +113,12 @@ CfgIndex::CfgIndex(const x86::Cfg& cfg) {
         block.fall_through != block.branch_target) {
       graph.succs[i].push_back(block_of.at(block.fall_through));
     }
+    for (std::uint64_t target : block.indirect_targets) {
+      const int succ = block_of.at(target);
+      bool present = false;
+      for (int existing : graph.succs[i]) present = present || existing == succ;
+      if (!present) graph.succs[i].push_back(succ);
+    }
     for (std::uint64_t pred : block.predecessors) {
       graph.preds[i].push_back(block_of.at(pred));
     }

@@ -1,0 +1,990 @@
+#include "dbll/analysis/ranges.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <deque>
+#include <set>
+
+#include "dbll/analysis/liveness.h"
+#include "dbll/obs/obs.h"
+
+namespace dbll::analysis {
+namespace {
+
+using x86::Cond;
+using x86::Instr;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+using x86::RegClass;
+
+/// Counters resolved once (same pattern as AuditMetrics): the registry
+/// lookup takes a lock, the Add() is atomic.
+struct RangeMetrics {
+  obs::Counter& computed;
+  obs::Counter& over_budget;
+  obs::Counter& tables_resolved;
+
+  static RangeMetrics& Get() {
+    static RangeMetrics metrics{
+        obs::Registry::Default().GetCounter("analysis.ranges"),
+        obs::Registry::Default().GetCounter("analysis.ranges_over_budget"),
+        obs::Registry::Default().GetCounter("analysis.jump_tables"),
+    };
+    return metrics;
+  }
+};
+
+constexpr std::uint64_t kSignBit63 = 1ull << 63;
+
+/// Smallest all-ones mask covering `v` (0 -> 0). Bounds or/xor results.
+std::uint64_t MaskCover(std::uint64_t v) {
+  if (v == 0) return 0;
+  return ~0ull >> (64 - std::bit_width(v));
+}
+
+std::uint64_t WidthMask(int width) {
+  return width >= 8 ? ~0ull : (1ull << (8 * width)) - 1;
+}
+
+/// Drops interval/known-bits inconsistencies conservatively: the struct
+/// invariants only require each constraint to be individually sound.
+ValueRange Normalize(ValueRange r) {
+  r.known_val &= r.known_mask;
+  if (r.known_mask == ~0ull) {
+    r.lo = r.known_val;
+    r.hi = r.known_val;
+  }
+  if (r.lo == r.hi) {
+    r.known_mask = ~0ull;
+    r.known_val = r.lo;
+  }
+  return r;
+}
+
+}  // namespace
+
+ValueRange Join(const ValueRange& a, const ValueRange& b) {
+  ValueRange r;
+  r.lo = std::min(a.lo, b.lo);
+  r.hi = std::max(a.hi, b.hi);
+  r.known_mask = a.known_mask & b.known_mask & ~(a.known_val ^ b.known_val);
+  r.known_val = a.known_val & r.known_mask;
+  return Normalize(r);
+}
+
+ValueRange Widen(const ValueRange& previous, const ValueRange& next) {
+  ValueRange r = next;
+  if (next.lo < previous.lo) r.lo = 0;
+  if (next.hi > previous.hi) r.hi = ~0ull;
+  // Known bits form a finite descending chain (64 levels), so the plain join
+  // already terminates; no extra widening needed.
+  return Normalize(r);
+}
+
+ValueRange Meet(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = a;
+  r.lo = std::max(a.lo, b.lo);
+  r.hi = std::min(a.hi, b.hi);
+  if (r.lo > r.hi) return a;  // contradictory refinement: keep the base
+  if ((a.known_val ^ b.known_val) & a.known_mask & b.known_mask) return a;
+  r.known_mask = a.known_mask | b.known_mask;
+  r.known_val = (a.known_val | b.known_val) & r.known_mask;
+  return Normalize(r);
+}
+
+ValueRange RangeAdd(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::Top();
+  const std::uint64_t lo = a.lo + b.lo;
+  const std::uint64_t hi = a.hi + b.hi;
+  // Wrap-free iff neither bound addition overflows.
+  if (lo >= a.lo && hi >= a.hi) {
+    r.lo = lo;
+    r.hi = hi;
+  }
+  // Low bits stay known as long as every lower carry is determined.
+  const int low = std::countr_one(a.known_mask & b.known_mask);
+  if (low > 0) {
+    r.known_mask = low >= 64 ? ~0ull : (1ull << low) - 1;
+    r.known_val = (a.known_val + b.known_val) & r.known_mask;
+  }
+  return Normalize(r);
+}
+
+ValueRange RangeSub(const ValueRange& a, const ValueRange& b) {
+  ValueRange r = ValueRange::Top();
+  if (a.lo >= b.hi) {  // no bound underflows
+    r.lo = a.lo - b.hi;
+    r.hi = a.hi - b.lo;
+  }
+  const int low = std::countr_one(a.known_mask & b.known_mask);
+  if (low > 0) {
+    r.known_mask = low >= 64 ? ~0ull : (1ull << low) - 1;
+    r.known_val = (a.known_val - b.known_val) & r.known_mask;
+  }
+  return Normalize(r);
+}
+
+ValueRange RangeAnd(const ValueRange& a, const ValueRange& b) {
+  ValueRange r;
+  const std::uint64_t zero = (a.known_mask & ~a.known_val) |
+                             (b.known_mask & ~b.known_val);
+  const std::uint64_t one = (a.known_mask & a.known_val) &
+                            (b.known_mask & b.known_val);
+  r.known_mask = zero | one;
+  r.known_val = one;
+  r.lo = one;  // bits proven one give a floor
+  r.hi = std::min(a.hi, b.hi);
+  if (r.lo > r.hi) r.lo = 0;  // constraints came from different sources
+  return Normalize(r);
+}
+
+ValueRange RangeOr(const ValueRange& a, const ValueRange& b) {
+  ValueRange r;
+  const std::uint64_t one = (a.known_mask & a.known_val) |
+                            (b.known_mask & b.known_val);
+  const std::uint64_t zero = (a.known_mask & ~a.known_val) &
+                             (b.known_mask & ~b.known_val);
+  r.known_mask = zero | one;
+  r.known_val = one;
+  r.lo = std::max({a.lo, b.lo, one});
+  r.hi = MaskCover(std::max(a.hi, b.hi));
+  if (r.lo > r.hi) r.lo = 0;
+  return Normalize(r);
+}
+
+ValueRange RangeXor(const ValueRange& a, const ValueRange& b) {
+  ValueRange r;
+  r.known_mask = a.known_mask & b.known_mask;
+  r.known_val = (a.known_val ^ b.known_val) & r.known_mask;
+  r.lo = 0;
+  r.hi = MaskCover(std::max(a.hi, b.hi));
+  return Normalize(r);
+}
+
+ValueRange RangeMul(const ValueRange& a, const ValueRange& b) {
+  if (a.IsConstant() && b.IsConstant()) {
+    return ValueRange::Constant(a.ConstantValue() * b.ConstantValue());
+  }
+  const unsigned __int128 hi =
+      static_cast<unsigned __int128>(a.hi) * b.hi;
+  if (hi > ~0ull) return ValueRange::Top();
+  return Normalize(ValueRange::Bounded(a.lo * b.lo, static_cast<std::uint64_t>(hi)));
+}
+
+ValueRange RangeShl(const ValueRange& a, const ValueRange& amount) {
+  if (!amount.IsConstant()) return ValueRange::Top();
+  const std::uint64_t c = amount.ConstantValue();
+  if (c == 0) return a;
+  if (c >= 64) return ValueRange::Top();
+  ValueRange r = ValueRange::Top();
+  if (a.hi <= (~0ull >> c)) {  // no bit shifts out
+    r.lo = a.lo << c;
+    r.hi = a.hi << c;
+  }
+  r.known_mask = (a.known_mask << c) | ((1ull << c) - 1);
+  r.known_val = a.known_val << c;
+  return Normalize(r);
+}
+
+ValueRange RangeShr(const ValueRange& a, const ValueRange& amount) {
+  if (!amount.IsConstant()) return ValueRange::Top();
+  const std::uint64_t c = amount.ConstantValue();
+  if (c == 0) return a;
+  if (c >= 64) return ValueRange::Constant(0);
+  ValueRange r;
+  r.lo = a.lo >> c;
+  r.hi = a.hi >> c;
+  r.known_mask = (a.known_mask >> c) | ~(~0ull >> c);
+  r.known_val = a.known_val >> c;
+  return Normalize(r);
+}
+
+ValueRange TruncateToWidth(const ValueRange& a, int width) {
+  if (width >= 8) return a;
+  const std::uint64_t mask = WidthMask(width);
+  ValueRange r;
+  r.known_mask = a.known_mask & mask;
+  r.known_val = a.known_val & mask;
+  if (a.hi <= mask) {
+    r.lo = a.lo;
+    r.hi = a.hi;
+  } else {
+    r.lo = 0;
+    r.hi = mask;
+  }
+  return Normalize(r);
+}
+
+ValueRange RefineByCondition(const ValueRange& reg, Cond cond,
+                             std::uint64_t constant) {
+  ValueRange r = reg;
+  switch (cond) {
+    case Cond::kE:
+      return Meet(reg, ValueRange::Constant(constant));
+    case Cond::kNe:
+      if (reg.lo == constant && reg.lo < reg.hi) r.lo = reg.lo + 1;
+      if (reg.hi == constant && reg.lo < reg.hi) r.hi = reg.hi - 1;
+      break;
+    case Cond::kB:  // unsigned <
+      if (constant == 0) return reg;  // infeasible edge
+      r.hi = std::min(reg.hi, constant - 1);
+      break;
+    case Cond::kBe:  // unsigned <=
+      r.hi = std::min(reg.hi, constant);
+      break;
+    case Cond::kA:  // unsigned >
+      if (constant == ~0ull) return reg;
+      r.lo = std::max(reg.lo, constant + 1);
+      break;
+    case Cond::kAe:  // unsigned >=
+      r.lo = std::max(reg.lo, constant);
+      break;
+    // Signed conditions refine only where the unsigned picture is
+    // unambiguous: a non-negative comparand either pins the value into
+    // [0, 2^63) (>=/>) or requires a proven-non-negative register (<,<=).
+    case Cond::kGe:  // signed >=
+      if (constant >= kSignBit63) return reg;
+      r.lo = std::max(reg.lo, constant);
+      r.hi = std::min(reg.hi, kSignBit63 - 1);
+      break;
+    case Cond::kG:  // signed >
+      if (constant + 1 >= kSignBit63) return reg;
+      r.lo = std::max(reg.lo, constant + 1);
+      r.hi = std::min(reg.hi, kSignBit63 - 1);
+      break;
+    case Cond::kL:  // signed <
+      if (constant == 0 || constant >= kSignBit63 || reg.hi >= kSignBit63) {
+        return reg;
+      }
+      r.hi = std::min(reg.hi, constant - 1);
+      break;
+    case Cond::kLe:  // signed <=
+      if (constant >= kSignBit63 || reg.hi >= kSignBit63) return reg;
+      r.hi = std::min(reg.hi, constant);
+      break;
+    default:  // flag conditions with no interval meaning (kO, kS, kP, ...)
+      return reg;
+  }
+  if (r.lo > r.hi) return reg;  // infeasible edge: keep the sound superset
+  return Normalize(r);
+}
+
+namespace {
+
+using GpState = FunctionRanges::GpState;
+
+GpState TopState() { return GpState{}; }
+
+bool IsGp(Reg reg) { return reg.cls == RegClass::kGp; }
+
+/// Reads a register operand of `width` bytes as a zero-extended value.
+ValueRange RegRead(const GpState& state, Reg reg, int width) {
+  if (!IsGp(reg)) return ValueRange::Top();
+  return TruncateToWidth(state[reg.index], width);
+}
+
+/// Abstract effective address of a memory operand. RIP-relative operands
+/// were resolved by the decoder into Instr::target.
+ValueRange AddrRange(const GpState& state, const Instr& instr,
+                     const MemOperand& mem) {
+  if (mem.segment != x86::Segment::kNone) return ValueRange::Top();
+  if (mem.base == x86::kRip) return ValueRange::Constant(instr.target);
+  ValueRange addr = ValueRange::Constant(
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp)));
+  if (mem.base.valid()) {
+    if (!IsGp(mem.base)) return ValueRange::Top();
+    addr = RangeAdd(addr, state[mem.base.index]);
+  }
+  if (mem.index.valid()) {
+    if (!IsGp(mem.index)) return ValueRange::Top();
+    addr = RangeAdd(addr, RangeMul(state[mem.index.index],
+                                   ValueRange::Constant(mem.scale)));
+  }
+  return addr;
+}
+
+/// Reads `size` bytes of process memory at `addr` zero-extended to 64 bits.
+std::uint64_t ReadMemory(std::uint64_t addr, int size) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, reinterpret_cast<const void*>(addr),
+              static_cast<std::size_t>(size));
+  return value;
+}
+
+/// Value produced by a `size`-byte zero-extending load whose address has the
+/// given abstract value. Reads through declared-constant regions when the
+/// address is a proven singleton.
+ValueRange LoadValue(const ValueRange& addr, int size,
+                     const RangeOptions& options) {
+  if (size != 1 && size != 2 && size != 4 && size != 8) {
+    return ValueRange::Top();
+  }
+  if (addr.IsConstant()) {
+    for (const ConstRegion& region : options.const_regions) {
+      if (region.ContainsRange(addr.ConstantValue(),
+                               static_cast<std::uint64_t>(size))) {
+        return ValueRange::Constant(ReadMemory(addr.ConstantValue(), size));
+      }
+    }
+  }
+  return size < 8 ? ValueRange::Bounded(0, WidthMask(size))
+                  : ValueRange::Top();
+}
+
+std::uint64_t SignExtend(std::uint64_t value, int width) {
+  const int shift = 64 - 8 * width;
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(value << shift) >> shift);
+}
+
+/// Writes `value` into the GP destination `op`, honoring the x86 width
+/// rules: 8-byte writes replace, 4-byte writes zero-extend, narrower writes
+/// merge with unmodeled upper bits (degraded to top).
+void WriteGp(GpState& state, const Operand& op, ValueRange value) {
+  if (!op.is_reg() || !IsGp(op.reg)) return;
+  if (op.size == 8) {
+    state[op.reg.index] = value;
+  } else if (op.size == 4) {
+    state[op.reg.index] = TruncateToWidth(value, 4);
+  } else {
+    state[op.reg.index] = ValueRange::Top();
+  }
+}
+
+void ClobberGp(GpState& state, int index) {
+  state[static_cast<std::size_t>(index)] = ValueRange::Top();
+}
+
+/// SysV caller-saved GP registers (no red-zone modeling: a call makes no
+/// promise about them).
+void ClobberCallerSaved(GpState& state) {
+  for (int index : {0, 1, 2, 6, 7, 8, 9, 10, 11}) ClobberGp(state, index);
+}
+
+/// Reads an operand of its access width as a zero-extended 64-bit value.
+ValueRange OperandRange(const GpState& state, const Instr& instr,
+                        const Operand& op, const RangeOptions& options) {
+  switch (op.kind) {
+    case x86::OpKind::kImm:
+      return ValueRange::Constant(static_cast<std::uint64_t>(op.imm) &
+                                  WidthMask(op.size));
+    case x86::OpKind::kReg:
+      if (op.high8) return ValueRange::Bounded(0, 0xff);
+      return RegRead(state, op.reg, op.size);
+    case x86::OpKind::kMem:
+      return LoadValue(AddrRange(state, instr, op.mem), op.size, options);
+    default:
+      return ValueRange::Top();
+  }
+}
+
+/// One-instruction abstract step. `loads` (optional) records the value range
+/// of tracked memory loads for the lifter's !range annotations.
+void TransferInstr(GpState& state, const Instr& instr,
+                   const RangeOptions& options,
+                   std::map<std::uint64_t, ValueRange>* loads) {
+  const Operand& dst = instr.ops[0];
+  const Operand& src = instr.ops[1];
+  auto record_load = [&](const ValueRange& value) {
+    if (loads == nullptr || !src.is_mem() || value.IsTop()) return;
+    (*loads)[instr.address] = value;
+  };
+  switch (instr.mnemonic) {
+    case Mnemonic::kMov: {
+      if (!dst.is_reg()) return;  // store: no GP effect
+      ValueRange value = OperandRange(state, instr, src, options);
+      record_load(value);
+      WriteGp(state, dst, value);
+      return;
+    }
+    case Mnemonic::kMovzx: {
+      ValueRange value = OperandRange(state, instr, src, options);
+      record_load(value);
+      WriteGp(state, dst, value);
+      return;
+    }
+    case Mnemonic::kMovsx:
+    case Mnemonic::kMovsxd: {
+      ValueRange value = OperandRange(state, instr, src, options);
+      if (value.IsConstant()) {
+        value = ValueRange::Constant(
+            SignExtend(value.ConstantValue(), src.size));
+      } else if (value.hi < (1ull << (8 * src.size - 1))) {
+        // Sign bit provably clear: sign- and zero-extension agree.
+      } else {
+        value = ValueRange::Top();
+      }
+      record_load(value);
+      WriteGp(state, dst, value);
+      return;
+    }
+    case Mnemonic::kLea:
+      WriteGp(state, dst, AddrRange(state, instr, src.mem));
+      return;
+    case Mnemonic::kAdd:
+      WriteGp(state, dst,
+              RangeAdd(OperandRange(state, instr, dst, options),
+                       OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kSub:
+      WriteGp(state, dst,
+              RangeSub(OperandRange(state, instr, dst, options),
+                       OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kInc:
+      WriteGp(state, dst, RangeAdd(OperandRange(state, instr, dst, options),
+                                   ValueRange::Constant(1)));
+      return;
+    case Mnemonic::kDec:
+      WriteGp(state, dst, RangeSub(OperandRange(state, instr, dst, options),
+                                   ValueRange::Constant(1)));
+      return;
+    case Mnemonic::kAnd:
+      WriteGp(state, dst,
+              RangeAnd(OperandRange(state, instr, dst, options),
+                       OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kOr:
+      WriteGp(state, dst,
+              RangeOr(OperandRange(state, instr, dst, options),
+                      OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kXor:
+      if (dst.is_reg() && src.is_reg() && dst.reg == src.reg &&
+          dst.size >= 4 && !dst.high8) {
+        WriteGp(state, dst, ValueRange::Constant(0));
+        return;
+      }
+      WriteGp(state, dst,
+              RangeXor(OperandRange(state, instr, dst, options),
+                       OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kShl:
+      WriteGp(state, dst,
+              TruncateToWidth(
+                  RangeShl(OperandRange(state, instr, dst, options),
+                           OperandRange(state, instr, src, options)),
+                  dst.size));
+      return;
+    case Mnemonic::kShr:
+      WriteGp(state, dst,
+              RangeShr(OperandRange(state, instr, dst, options),
+                       OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kSar: {
+      const ValueRange value = OperandRange(state, instr, dst, options);
+      if (value.hi < (1ull << (8 * dst.size - 1))) {
+        // Non-negative within the operand width: sar behaves like shr.
+        WriteGp(state, dst,
+                RangeShr(value, OperandRange(state, instr, src, options)));
+      } else {
+        WriteGp(state, dst, ValueRange::Top());
+      }
+      return;
+    }
+    case Mnemonic::kImul: {
+      // 2-op: dst *= src; 3-op: dst = src * imm.
+      const Operand& lhs = instr.op_count == 3 ? src : dst;
+      const Operand& rhs = instr.op_count == 3 ? instr.ops[2] : src;
+      WriteGp(state, dst,
+              TruncateToWidth(
+                  RangeMul(OperandRange(state, instr, lhs, options),
+                           OperandRange(state, instr, rhs, options)),
+                  dst.size));
+      return;
+    }
+    case Mnemonic::kNeg:
+      WriteGp(state, dst,
+              RangeSub(ValueRange::Constant(0),
+                       OperandRange(state, instr, dst, options)));
+      return;
+    case Mnemonic::kNot: {
+      const ValueRange value = OperandRange(state, instr, dst, options);
+      ValueRange inverted = ValueRange::Top();
+      inverted.known_mask = value.known_mask;
+      inverted.known_val = ~value.known_val & value.known_mask;
+      WriteGp(state, dst, TruncateToWidth(inverted, dst.size));
+      return;
+    }
+    case Mnemonic::kXchg:
+      if (dst.is_reg() && src.is_reg() && IsGp(dst.reg) && IsGp(src.reg) &&
+          dst.size == 8) {
+        std::swap(state[dst.reg.index], state[src.reg.index]);
+      } else {
+        if (dst.is_reg() && IsGp(dst.reg)) ClobberGp(state, dst.reg.index);
+        if (src.is_reg() && IsGp(src.reg)) ClobberGp(state, src.reg.index);
+      }
+      return;
+    case Mnemonic::kCmovcc:
+      WriteGp(state, dst,
+              Join(OperandRange(state, instr, dst, options),
+                   OperandRange(state, instr, src, options)));
+      return;
+    case Mnemonic::kCdqe: {
+      const ValueRange rax = state[0];
+      if (rax.hi <= 0x7fffffffull) return;  // eax non-negative: no change
+      ClobberGp(state, 0);
+      return;
+    }
+    case Mnemonic::kCall:
+      ClobberCallerSaved(state);
+      return;
+    case Mnemonic::kCmp:
+    case Mnemonic::kTest:
+    case Mnemonic::kNop:
+    case Mnemonic::kEndbr64:
+    case Mnemonic::kJmp:
+    case Mnemonic::kJcc:
+    case Mnemonic::kRet:
+    case Mnemonic::kUd2:
+    case Mnemonic::kStc:
+    case Mnemonic::kClc:
+    case Mnemonic::kLfence:
+    case Mnemonic::kMfence:
+    case Mnemonic::kSfence:
+      return;  // flags only / no GP effect
+    default: {
+      // Fall back to the liveness effect summary: everything written (or
+      // everything, when the summary itself is conservative) goes to top.
+      const InstrEffects effects = EffectsOf(instr);
+      if (!effects.known) {
+        state = TopState();
+        return;
+      }
+      const LocSet written = effects.defs | effects.kills;
+      for (int i = 0; i < x86::kGpRegCount; ++i) {
+        if (written.TestGp(i)) ClobberGp(state, i);
+      }
+      return;
+    }
+  }
+}
+
+/// The cmp/test instruction whose flags the block terminator consumes, i.e.
+/// the last flag-writing instruction of the block -- or null when that
+/// instruction is not a usable comparison.
+const Instr* EdgeComparison(const x86::BasicBlock& block) {
+  if (block.instrs.empty()) return nullptr;
+  for (auto it = block.instrs.rbegin(); it != block.instrs.rend(); ++it) {
+    if (it->IsBlockTerminator()) continue;
+    const x86::FlagEffects effects = x86::FlagEffectsOf(it->mnemonic);
+    if (effects.written == x86::kFlagNone &&
+        effects.undefined == x86::kFlagNone) {
+      continue;
+    }
+    if (it->mnemonic == Mnemonic::kCmp || it->mnemonic == Mnemonic::kTest) {
+      return &*it;
+    }
+    return nullptr;  // flags come from something we do not model
+  }
+  return nullptr;
+}
+
+/// Refines `state` along the CFG edge `block` -> `successor` using the
+/// comparison feeding the terminating jcc.
+GpState RefineEdge(GpState state, const x86::BasicBlock& block,
+                   std::uint64_t successor) {
+  if (block.instrs.empty()) return state;
+  const Instr& term = block.instrs.back();
+  if (term.mnemonic != Mnemonic::kJcc) return state;
+  if (block.branch_target == block.fall_through) return state;
+  const Instr* cmp = EdgeComparison(block);
+  if (cmp == nullptr) return state;
+
+  Cond cond = term.cond;
+  if (successor == block.fall_through) {
+    cond = x86::Invert(cond);
+  } else if (successor != block.branch_target) {
+    return state;
+  }
+
+  const Operand& lhs = cmp->ops[0];
+  if (!lhs.is_reg() || !IsGp(lhs.reg) || lhs.high8) return state;
+  const int width = lhs.size;
+  ValueRange& reg = state[lhs.reg.index];
+
+  if (cmp->mnemonic == Mnemonic::kTest) {
+    // test reg,reg: ZF <=> reg's low width bytes are zero.
+    if (!cmp->ops[1].is_reg() || cmp->ops[1].reg != lhs.reg) return state;
+    if (width != 8 && reg.hi > WidthMask(width)) return state;
+    if (cond == Cond::kE) {
+      reg = Meet(reg, ValueRange::Constant(0));
+    } else if (cond == Cond::kNe && reg.lo == 0 && reg.hi > 0) {
+      reg.lo = 1;
+      reg = Normalize(reg);
+    }
+    return state;
+  }
+
+  // cmp reg, constant (immediate, or register proven constant).
+  std::uint64_t constant = 0;
+  const Operand& rhs = cmp->ops[1];
+  if (rhs.is_imm()) {
+    constant = static_cast<std::uint64_t>(rhs.imm);
+    if (width < 8) constant &= WidthMask(width);
+  } else if (rhs.is_reg() && IsGp(rhs.reg) && !rhs.high8) {
+    const ValueRange rv = RegRead(state, rhs.reg, width);
+    if (!rv.IsConstant()) return state;
+    constant = rv.ConstantValue();
+  } else {
+    return state;
+  }
+  // Sub-64-bit comparisons only refine when the tracked 64-bit value fits
+  // the compared width, so the narrow and wide comparisons agree.
+  if (width < 8 && reg.hi > WidthMask(width)) return state;
+  if (width < 8 && constant > WidthMask(width)) return state;
+  reg = RefineByCondition(reg, cond, constant);
+  return state;
+}
+
+GpState JoinStates(const GpState& a, const GpState& b) {
+  GpState r;
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = Join(a[i], b[i]);
+  return r;
+}
+
+}  // namespace
+
+const GpState& FunctionRanges::Before(std::uint64_t address) const {
+  static const GpState kTop{};
+  auto it = before_.find(address);
+  return it != before_.end() ? it->second : kTop;
+}
+
+const ValueRange& FunctionRanges::LoadRange(std::uint64_t address) const {
+  static const ValueRange kTop{};
+  auto it = loads_.find(address);
+  return it != loads_.end() ? it->second : kTop;
+}
+
+FunctionRanges ComputeRanges(const x86::Cfg& cfg,
+                             const RangeOptions& options) {
+  DBLL_TRACE_SPAN("analysis.ranges");
+  FunctionRanges result;
+  RangeMetrics::Get().computed.Add(1);
+
+  CfgIndex index(cfg);
+  const std::size_t n = index.blocks.size();
+  if (n == 0) return result;
+
+  GpState entry_state = TopState();
+  for (const auto& [reg, value] : options.entry_values) {
+    if (reg >= 0 && reg < x86::kGpRegCount) {
+      entry_state[static_cast<std::size_t>(reg)] = value;
+    }
+  }
+
+  constexpr int kWidenThreshold = 4;
+  std::vector<GpState> out(n);
+  std::vector<GpState> in(n);
+  std::vector<char> visited(n, 0);
+  std::vector<int> visits(n, 0);
+  std::size_t steps = 0;
+  bool over_budget = false;
+
+  // Optimistic reachability: only predecessors that have produced an
+  // out-state participate in the join, so loop bodies see the narrow
+  // entry-seeded state on the first pass instead of top.
+  auto JoinPreds = [&](int b) -> GpState {
+    const x86::BasicBlock& block = *index.blocks[static_cast<std::size_t>(b)];
+    bool seeded = b == index.graph.entry;
+    GpState state = seeded ? entry_state : TopState();
+    for (int p : index.graph.preds[static_cast<std::size_t>(b)]) {
+      if (!visited[static_cast<std::size_t>(p)]) continue;
+      GpState refined =
+          RefineEdge(out[static_cast<std::size_t>(p)],
+                     *index.blocks[static_cast<std::size_t>(p)], block.start);
+      state = seeded ? JoinStates(state, refined) : std::move(refined);
+      seeded = true;
+    }
+    return state;
+  };
+
+  std::deque<int> worklist{index.graph.entry};
+  std::vector<char> queued(n, 0);
+  queued[static_cast<std::size_t>(index.graph.entry)] = 1;
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(b)] = 0;
+
+    GpState block_in = JoinPreds(b);
+    if (++visits[static_cast<std::size_t>(b)] > kWidenThreshold &&
+        visited[static_cast<std::size_t>(b)]) {
+      for (std::size_t i = 0; i < block_in.size(); ++i) {
+        block_in[i] = Widen(in[static_cast<std::size_t>(b)][i], block_in[i]);
+      }
+    }
+
+    const x86::BasicBlock& block = *index.blocks[static_cast<std::size_t>(b)];
+    steps += block.instrs.size();
+    if (steps > options.budget) {
+      over_budget = true;
+      break;
+    }
+    GpState state = block_in;
+    for (const Instr& instr : block.instrs) {
+      TransferInstr(state, instr, options, nullptr);
+    }
+
+    const bool first = !visited[static_cast<std::size_t>(b)];
+    visited[static_cast<std::size_t>(b)] = 1;
+    in[static_cast<std::size_t>(b)] = block_in;
+    if (first || state != out[static_cast<std::size_t>(b)]) {
+      out[static_cast<std::size_t>(b)] = state;
+      for (int s : index.graph.succs[static_cast<std::size_t>(b)]) {
+        if (!queued[static_cast<std::size_t>(s)]) {
+          queued[static_cast<std::size_t>(s)] = 1;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+
+  result.steps_ = steps;
+  if (over_budget) {
+    RangeMetrics::Get().over_budget.Add(1);
+    return result;  // converged_ stays false: every query reports top
+  }
+
+  // Recording pass: replay each reachable block once, storing the state
+  // before every instruction and the value ranges of tracked loads.
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!visited[b]) continue;
+    GpState state = in[b];
+    for (const Instr& instr : index.blocks[b]->instrs) {
+      result.before_.emplace(instr.address, state);
+      TransferInstr(state, instr, options, &result.loads_);
+    }
+  }
+  result.converged_ = true;
+  return result;
+}
+
+namespace {
+
+/// Finds the last instruction writing GP register `reg` strictly before
+/// index `before` in the block; -1 when none.
+int LastWriteTo(const x86::BasicBlock& block, int before, Reg reg) {
+  for (int i = before - 1; i >= 0; --i) {
+    const Instr& instr = block.instrs[static_cast<std::size_t>(i)];
+    const InstrEffects effects = EffectsOf(instr);
+    if (!effects.known || (effects.defs | effects.kills)
+                              .ContainsAll(LocSet::FromReg(reg))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+struct TableShape {
+  std::uint64_t entry_base = 0;  ///< address of entry 0 (index scaled from 0)
+  ValueRange index;              ///< proven index interval
+  int entry_size = 0;
+  bool relative = false;
+  std::uint64_t relative_base = 0;  ///< added to i32 entries
+};
+
+/// Extracts a singleton base + bounded index from a table memory operand.
+bool MatchTableOperand(const GpState& state, const Instr& instr,
+                       const MemOperand& mem, int entry_size,
+                       TableShape& shape) {
+  if (mem.segment != x86::Segment::kNone) return false;
+  if (!mem.index.valid() || !IsGp(mem.index) || mem.scale != entry_size) {
+    return false;
+  }
+  ValueRange base = ValueRange::Constant(
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp)));
+  if (mem.base.valid()) {
+    if (mem.base == x86::kRip) {
+      base = ValueRange::Constant(instr.target);
+    } else if (IsGp(mem.base)) {
+      base = RangeAdd(base, state[mem.base.index]);
+    } else {
+      return false;
+    }
+  }
+  if (!base.IsConstant()) return false;
+  const ValueRange idx = state[mem.index.index];
+  if (idx.IsTop() || idx.hi == ~0ull) return false;
+  shape.entry_base = base.ConstantValue();
+  shape.index = idx;
+  shape.entry_size = entry_size;
+  return true;
+}
+
+/// Matches the jump-table dispatch feeding `jmp` (the terminator of
+/// `block`). Returns true and fills `shape` when the ranges prove both the
+/// table base and the index bound.
+bool MatchDispatch(const x86::BasicBlock& block, const FunctionRanges& ranges,
+                   TableShape& shape) {
+  const Instr& jmp = block.instrs.back();
+  const int jmp_index = static_cast<int>(block.instrs.size()) - 1;
+
+  // Form 1: jmp [base + idx*8] -- absolute table addressed directly.
+  if (jmp.ops[0].is_mem()) {
+    return MatchTableOperand(ranges.Before(jmp.address), jmp, jmp.ops[0].mem,
+                             8, shape);
+  }
+  if (!jmp.ops[0].is_reg() || !IsGp(jmp.ops[0].reg)) return false;
+  const Reg rt = jmp.ops[0].reg;
+
+  const int w1 = LastWriteTo(block, jmp_index, rt);
+  if (w1 < 0) return false;
+  const Instr& def = block.instrs[static_cast<std::size_t>(w1)];
+
+  // Form 2: mov rt, [base + idx*8]; jmp rt -- absolute table.
+  if (def.mnemonic == Mnemonic::kMov && def.ops[0].is_reg() &&
+      def.ops[0].reg == rt && def.ops[0].size == 8 && def.ops[1].is_mem() &&
+      def.ops[1].size == 8) {
+    return MatchTableOperand(ranges.Before(def.address), def, def.ops[1].mem,
+                             8, shape);
+  }
+
+  // Form 3 (GCC/clang PIC): lea rbase,[rip+tbl]; movsxd rt,[rbase+idx*4];
+  // add rt,rbase; jmp rt -- i32 entries relative to the table base.
+  if (def.mnemonic != Mnemonic::kAdd || !def.ops[0].is_reg() ||
+      def.ops[0].reg != rt || def.ops[0].size != 8 || !def.ops[1].is_reg() ||
+      !IsGp(def.ops[1].reg)) {
+    return false;
+  }
+  const ValueRange rbase = ranges.Before(def.address)[def.ops[1].reg.index];
+  if (!rbase.IsConstant()) return false;
+
+  const int w2 = LastWriteTo(block, w1, rt);
+  if (w2 < 0) return false;
+  const Instr& load = block.instrs[static_cast<std::size_t>(w2)];
+  if (load.mnemonic != Mnemonic::kMovsxd || !load.ops[0].is_reg() ||
+      load.ops[0].reg != rt || !load.ops[1].is_mem() ||
+      load.ops[1].size != 4) {
+    return false;
+  }
+  if (!MatchTableOperand(ranges.Before(load.address), load, load.ops[1].mem,
+                         4, shape)) {
+    return false;
+  }
+  shape.relative = true;
+  shape.relative_base = rbase.ConstantValue();
+  return true;
+}
+
+}  // namespace
+
+std::vector<JumpTable> ResolveJumpTables(const x86::Cfg& cfg,
+                                         const FunctionRanges& ranges,
+                                         std::size_t max_entries) {
+  std::vector<JumpTable> tables;
+  if (!ranges.converged()) return tables;
+  for (const auto& [start, block] : cfg.blocks) {
+    if (!block.HasIndirectJump() || !block.indirect_targets.empty()) continue;
+    TableShape shape;
+    if (!MatchDispatch(block, ranges, shape)) continue;
+    if (shape.index.IntervalSize() > max_entries) continue;
+
+    JumpTable table;
+    table.site = block.instrs.back().address;
+    table.entry_size = shape.entry_size;
+    table.relative = shape.relative;
+    table.table_base = shape.entry_base +
+                       shape.index.lo * static_cast<std::uint64_t>(shape.entry_size);
+    std::set<std::uint64_t> targets;
+    bool ok = true;
+    for (std::uint64_t i = shape.index.lo; i <= shape.index.hi; ++i) {
+      if (!shape.index.Contains(i)) continue;  // known-bits may punch holes
+      const std::uint64_t slot =
+          shape.entry_base + i * static_cast<std::uint64_t>(shape.entry_size);
+      std::uint64_t target;
+      if (shape.relative) {
+        target = shape.relative_base +
+                 SignExtend(ReadMemory(slot, 4), 4);
+      } else {
+        target = ReadMemory(slot, 8);
+      }
+      if (target == 0) {
+        ok = false;
+        break;
+      }
+      targets.insert(target);
+    }
+    if (!ok || targets.empty()) continue;
+    table.targets.assign(targets.begin(), targets.end());
+    tables.push_back(std::move(table));
+  }
+  RangeMetrics::Get().tables_resolved.Add(tables.size());
+  return tables;
+}
+
+Expected<RangeResolvedCfg> BuildRangeResolvedCfg(
+    std::uint64_t entry, const x86::CfgOptions& cfg_options,
+    const RangeOptions& range_options) {
+  DBLL_TRACE_SPAN("analysis.ranges_cfg");
+  x86::CfgOptions tolerant = cfg_options;
+  tolerant.allow_indirect_jumps = true;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> resolved;
+  tolerant.resolved_jumps = &resolved;
+
+  RangeResolvedCfg result;
+  DBLL_TRY(result.cfg, x86::BuildCfg(entry, tolerant));
+
+  // Resolve-and-rebuild rounds: a resolved table can expose more code which
+  // can contain further tables. Bounded; real functions need one round.
+  for (int round = 0; round < 4; ++round) {
+    result.ranges = ComputeRanges(result.cfg, range_options);
+    std::vector<JumpTable> found =
+        ResolveJumpTables(result.cfg, result.ranges);
+    if (found.empty()) break;
+    for (const JumpTable& table : found) {
+      resolved[table.site] = table.targets;
+    }
+    Expected<x86::Cfg> rebuilt = x86::BuildCfg(entry, tolerant);
+    if (!rebuilt) {
+      // A proven target failed to decode: drop this round's resolutions and
+      // keep the last good CFG (the site stays unresolved and fatal).
+      for (const JumpTable& table : found) resolved.erase(table.site);
+      break;
+    }
+    result.cfg = std::move(*rebuilt);
+    result.ranges = ComputeRanges(result.cfg, range_options);
+    for (JumpTable& table : found) result.tables.push_back(std::move(table));
+  }
+
+  for (const auto& [start, block] : result.cfg.blocks) {
+    if (block.HasIndirectJump() && block.indirect_targets.empty()) {
+      result.unresolved_indirect = true;
+    }
+  }
+  return result;
+}
+
+std::vector<PointerLink> FindPointerLinks(
+    std::span<const FixedRegion> regions) {
+  std::vector<PointerLink> links;
+  for (std::size_t src = 0; src < regions.size(); ++src) {
+    const FixedRegion& region = regions[src];
+    if (region.bytes.size() < 8) continue;
+    for (std::uint64_t offset = 0; offset + 8 <= region.bytes.size();
+         offset += 8) {
+      std::uint64_t value = 0;
+      std::memcpy(&value, region.bytes.data() + offset, 8);
+      if (value == 0) continue;
+      for (std::size_t dst = 0; dst < regions.size(); ++dst) {
+        const FixedRegion& target = regions[dst];
+        if (target.bytes.empty()) continue;
+        if (value < target.address ||
+            value >= target.address + target.bytes.size()) {
+          continue;
+        }
+        links.push_back(PointerLink{static_cast<int>(src), offset,
+                                    static_cast<int>(dst),
+                                    value - target.address});
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace dbll::analysis

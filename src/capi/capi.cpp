@@ -571,14 +571,16 @@ int64_t dbll_containment_quarantine_clear(const char* dir) {
 /// same thread audits again.
 static thread_local std::string g_analyze_last_error;
 
-int dbll_analyze_function(void* func, int* worst_severity) {
+int dbll_analyze_function_ex(void* func, int flags, int* worst_severity) {
   if (worst_severity != nullptr) *worst_severity = DBLL_ANALYZE_INFO;
   if (func == nullptr) {
     g_analyze_last_error = "dbll_analyze_function: func is NULL";
     return -1;
   }
+  dbll::analysis::AuditOptions options;
+  if (flags & DBLL_ANALYZE_NO_RANGES) options.value_ranges = false;
   const dbll::analysis::AuditReport report = dbll::analysis::AuditFunction(
-      reinterpret_cast<std::uint64_t>(func), dbll::analysis::AuditOptions{});
+      reinterpret_cast<std::uint64_t>(func), options);
   if (worst_severity != nullptr) {
     *worst_severity = static_cast<int>(report.worst());
   }
@@ -589,6 +591,10 @@ int dbll_analyze_function(void* func, int* worst_severity) {
                 fatal->message
           : std::string();
   return static_cast<int>(report.diagnostics.size());
+}
+
+int dbll_analyze_function(void* func, int* worst_severity) {
+  return dbll_analyze_function_ex(func, 0, worst_severity);
 }
 
 const char* dbll_analyze_last_error(void) {

@@ -16,6 +16,7 @@
 #include <llvm/Support/raw_ostream.h>
 
 #include "dbll/analysis/liveness.h"
+#include "dbll/analysis/ranges.h"
 #include "dbll/x86/cfg.h"
 #include "dbll/x86/insn.h"
 #include "dbll/x86/printer.h"
@@ -96,12 +97,14 @@ class ModuleLifter;
 class BodyLifter {
  public:
   BodyLifter(ModuleLifter& parent, L::Function* fn, const x86::Cfg& cfg,
-             int call_depth, const analysis::Liveness* liveness)
+             int call_depth, const analysis::Liveness* liveness,
+             const analysis::FunctionRanges* ranges)
       : parent_(parent),
         fn_(fn),
         cfg_(cfg),
         call_depth_(call_depth),
-        liveness_(liveness) {}
+        liveness_(liveness),
+        ranges_(ranges) {}
 
   Status Run();
 
@@ -209,6 +212,10 @@ class BodyLifter {
   Expected<L::Value*> ReadInt(const Instr& instr, const Operand& op);
   /// Integer write to a reg/mem operand with x86 merge semantics.
   Status WriteInt(const Instr& instr, const Operand& op, L::Value* value);
+  /// Attaches !range metadata to a lifted load when the value-range pass
+  /// bounded the loaded value.
+  void AnnotateLoadRange(L::LoadInst* load, const Instr& instr,
+                         unsigned bytes);
   /// Builds an i8* (or segment address space) pointer for a memory operand.
   Expected<L::Value*> BuildPointer(const Instr& instr, const MemOperand& mem);
   /// Typed pointer for a load/store of `type`.
@@ -232,6 +239,9 @@ class BodyLifter {
 
   // Instruction lifting -----------------------------------------------------
   Status LiftBlock(const x86::BasicBlock& block, BlockInfo& info);
+  /// Lifts a range-resolved jump-table dispatch as a switch over the
+  /// computed target address (docs/static_analysis.md).
+  Status LiftIndirectJump(const x86::BasicBlock& block, const Instr& last);
   Status LiftInstr(const Instr& instr, bool* terminated);
   Status LiftIntAlu(const Instr& instr);
   Status LiftShift(const Instr& instr);
@@ -268,6 +278,9 @@ class BodyLifter {
   int call_depth_;
   /// Flag-liveness solution for cfg_ (null when pruning is disabled).
   const analysis::Liveness* liveness_;
+  /// Value-range solution for cfg_ (null when LiftConfig::value_ranges is
+  /// off). Feeds !range load annotations and constant-address folding.
+  const analysis::FunctionRanges* ranges_;
 
   BlockInfo setup_;  ///< synthetic entry: arguments + virtual stack
   std::map<std::uint64_t, BlockInfo> blocks_;
@@ -419,6 +432,27 @@ Expected<L::Value*> BodyLifter::BuildPointer(const Instr& instr,
         static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp)));
   }
 
+  // Register-based addresses the value-range analysis proved constant fold
+  // onto the same membase global as immediate absolute addresses, so alias
+  // analysis sees one global object instead of an opaque inttoptr
+  // (docs/static_analysis.md, consumer 1).
+  if (ranges_ != nullptr) {
+    std::uint64_t address =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp));
+    bool constant = true;
+    if (mem.base.valid()) {
+      const analysis::ValueRange& r =
+          ranges_->BeforeReg(instr.address, mem.base.index);
+      if (r.IsConstant()) address += r.lo; else constant = false;
+    }
+    if (constant && mem.index.valid()) {
+      const analysis::ValueRange& r =
+          ranges_->BeforeReg(instr.address, mem.index.index);
+      if (r.IsConstant()) address += r.lo * mem.scale; else constant = false;
+    }
+    if (constant) return parent_.MemBasePointer(address);
+  }
+
   if (!config().use_gep) {
     // Ablation D3: integer arithmetic + inttoptr.
     L::Value* addr = CI(I64(), static_cast<std::uint64_t>(
@@ -486,12 +520,36 @@ Expected<L::Value*> BodyLifter::ReadInt(const Instr& instr,
     }
     case x86::OpKind::kMem: {
       DBLL_TRY(L::Value * ptr, TypedPointer(instr, op.mem, type));
-      return static_cast<L::Value*>(b().CreateAlignedLoad(
-          type, ptr, L::Align(1), config().volatile_memory));
+      L::LoadInst* load = b().CreateAlignedLoad(type, ptr, L::Align(1),
+                                                config().volatile_memory);
+      AnnotateLoadRange(load, instr, op.size);
+      return static_cast<L::Value*>(load);
     }
     default:
       return Error(ErrorKind::kLift, "cannot read operand", instr.address);
   }
+}
+
+void BodyLifter::AnnotateLoadRange(L::LoadInst* load, const Instr& instr,
+                                   unsigned bytes) {
+  if (ranges_ == nullptr) return;
+  const analysis::ValueRange& range = ranges_->LoadRange(instr.address);
+  if (range.IsTop()) return;
+  const unsigned bits = bytes * 8;
+  const std::uint64_t width_mask =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  // The recorded range describes the zero-extended 64-bit value; it only
+  // maps onto the iN load when it fits the load width, and a full interval
+  // carries no information LLVM's half-open [lo, hi+1) encoding can hold.
+  if (range.hi > width_mask) return;
+  if (range.lo == 0 && range.hi == width_mask) return;
+  L::Metadata* ops[2] = {
+      L::ConstantAsMetadata::get(
+          L::cast<L::ConstantInt>(CI(load->getType(), range.lo))),
+      L::ConstantAsMetadata::get(
+          L::cast<L::ConstantInt>(CI(load->getType(), range.hi + 1))),
+  };
+  load->setMetadata(L::LLVMContext::MD_range, L::MDNode::get(ctx(), ops));
 }
 
 Status BodyLifter::WriteInt(const Instr& instr, const Operand& op,
@@ -2186,7 +2244,11 @@ Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
                        blocks_.at(block.fall_through).bb);
     }
   } else if (last.mnemonic == Mnemonic::kJmp) {
-    b().CreateBr(blocks_.at(block.branch_target).bb);
+    if (!block.indirect_targets.empty()) {
+      DBLL_TRY_STATUS(LiftIndirectJump(block, last));
+    } else {
+      b().CreateBr(blocks_.at(block.branch_target).bb);
+    }
   } else if (block.fall_through != 0) {
     b().CreateBr(blocks_.at(block.fall_through).bb);
   } else {
@@ -2194,6 +2256,29 @@ Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
                  block.start);
   }
   info.lifted = true;
+  return Status::Ok();
+}
+
+Status BodyLifter::LiftIndirectJump(const x86::BasicBlock& block,
+                                    const Instr& last) {
+  // The value-range pass proved `last` a jump-table dispatch and the CFG
+  // carries its complete target set, so the computed address can only hit
+  // one of the case labels; the default is genuinely unreachable.
+  DBLL_TRY(L::Value * target, ReadInt(last, last.ops[0]));
+  if (target->getType() != I64()) target = b().CreateZExt(target, I64());
+  char name[32];
+  std::snprintf(name, sizeof(name), "jt_default_%llx",
+                static_cast<unsigned long long>(last.address));
+  L::BasicBlock* unreachable_bb = L::BasicBlock::Create(ctx(), name, fn_);
+  L::SwitchInst* sw = b().CreateSwitch(
+      target, unreachable_bb,
+      static_cast<unsigned>(block.indirect_targets.size()));
+  for (std::uint64_t addr : block.indirect_targets) {
+    sw->addCase(L::cast<L::ConstantInt>(CI(I64(), addr)),
+                blocks_.at(addr).bb);
+  }
+  b().SetInsertPoint(unreachable_bb);
+  b().CreateUnreachable();
   return Status::Ok();
 }
 
@@ -2296,7 +2381,15 @@ Status BodyLifter::FillPhis() {
         edges.push_back(Edge{&pred, block.fall_through});
       }
     } else if (last.mnemonic == Mnemonic::kJmp) {
-      edges.push_back(Edge{&pred, block.branch_target});
+      if (!block.indirect_targets.empty()) {
+        // Deduplicated by CFG construction: one switch case (and thus one
+        // phi edge) per distinct jump-table target.
+        for (std::uint64_t target : block.indirect_targets) {
+          edges.push_back(Edge{&pred, target});
+        }
+      } else {
+        edges.push_back(Edge{&pred, block.branch_target});
+      }
     } else if (block.fall_through != 0 && !last.IsBlockTerminator()) {
       edges.push_back(Edge{&pred, block.fall_through});
     }
@@ -2553,20 +2646,50 @@ Expected<L::Function*> ModuleLifter::LiftBodies(std::uint64_t entry_address) {
 
     x86::CfgOptions cfg_options;
     cfg_options.max_instructions = config().max_instructions;
-    auto cfg = x86::BuildCfg(address, cfg_options);
-    if (!cfg) {
-      return Error(ErrorKind::kLift,
-                   "cannot decode function: " + cfg.error().Format(), address);
+    x86::Cfg cfg;
+    analysis::FunctionRanges ranges;
+    const analysis::FunctionRanges* ranges_ptr = nullptr;
+    if (config().value_ranges) {
+      // Range-resolved decode: proven jump tables become real CFG edges and
+      // the fixpoint result feeds !range annotations and address folding. An
+      // unresolved indirect jmp keeps the historical error text so the
+      // negative cache classifies it exactly like the plain decode failure.
+      analysis::RangeOptions range_options;
+      range_options.budget = config().range_budget;
+      auto resolved =
+          analysis::BuildRangeResolvedCfg(address, cfg_options, range_options);
+      if (!resolved) {
+        return Error(ErrorKind::kLift,
+                     "cannot decode function: " + resolved.error().Format(),
+                     address);
+      }
+      if (resolved.value().unresolved_indirect) {
+        return Error(ErrorKind::kLift,
+                     "cannot decode function: indirect jumps are not "
+                     "supported (no provable jump table)",
+                     address);
+      }
+      cfg = std::move(resolved.value().cfg);
+      ranges = std::move(resolved.value().ranges);
+      ranges_ptr = &ranges;
+    } else {
+      auto plain = x86::BuildCfg(address, cfg_options);
+      if (!plain) {
+        return Error(ErrorKind::kLift,
+                     "cannot decode function: " + plain.error().Format(),
+                     address);
+      }
+      cfg = std::move(plain.value());
     }
     // Static flag liveness feeds the per-instruction pruning in the body
     // lifter; null disables it (every flag permanently live).
     analysis::Liveness liveness;
     const analysis::Liveness* liveness_ptr = nullptr;
     if (config().flag_liveness) {
-      liveness = analysis::ComputeLiveness(*cfg);
+      liveness = analysis::ComputeLiveness(cfg);
       liveness_ptr = &liveness;
     }
-    BodyLifter body(*this, fn, *cfg, depth, liveness_ptr);
+    BodyLifter body(*this, fn, cfg, depth, liveness_ptr, ranges_ptr);
     DBLL_TRY_STATUS(body.Run());
   }
   return root;

@@ -5,6 +5,7 @@
 #include <llvm/Support/Host.h>
 #include <llvm/Support/raw_ostream.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cinttypes>
 
@@ -152,6 +153,114 @@ Status LiftedFunction::SpecializeParamToConstMem(int index, const void* data,
   return Status::Ok();
 }
 
+Status LiftedFunction::SpecializeConstMemGraph(
+    const std::vector<ConstMemRegion>& regions) {
+  DBLL_TRACE_SPAN("lift.specialize");
+  ModuleBundle& bundle = impl_->bundle;
+  if (bundle.optimized) {
+    return Error(ErrorKind::kBadConfig,
+                 "cannot specialize after optimization");
+  }
+  if (regions.empty()) {
+    return Error(ErrorKind::kBadConfig, "const-mem graph has no regions");
+  }
+  llvm::LLVMContext& ctx = *bundle.context;
+  llvm::Type* i64 = llvm::Type::getInt64Ty(ctx);
+  llvm::Type* i8 = llvm::Type::getInt8Ty(ctx);
+
+  // Validate every region and lay it out as a packed struct alternating raw
+  // byte runs with i64 pointer slots, so the byte image of the global equals
+  // the snapshot with the proven slots rewritten to module-local addresses.
+  struct Layout {
+    std::vector<ConstMemRegion::Link> links;  // sorted by offset
+    llvm::StructType* type = nullptr;
+  };
+  std::vector<Layout> layouts(regions.size());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const ConstMemRegion& region = regions[r];
+    if (region.bytes.empty()) {
+      return Error(ErrorKind::kBadConfig, "const-mem region has no bytes");
+    }
+    Layout& layout = layouts[r];
+    layout.links = region.links;
+    std::sort(layout.links.begin(), layout.links.end(),
+              [](const ConstMemRegion::Link& a, const ConstMemRegion::Link& b) {
+                return a.offset < b.offset;
+              });
+    std::vector<llvm::Type*> fields;
+    std::uint64_t cursor = 0;
+    for (const ConstMemRegion::Link& link : layout.links) {
+      if (link.offset < cursor || link.offset + 8 > region.bytes.size()) {
+        return Error(ErrorKind::kBadConfig,
+                     "pointer slot outside region or overlapping");
+      }
+      if (link.target_region < 0 ||
+          static_cast<std::size_t>(link.target_region) >= regions.size()) {
+        return Error(ErrorKind::kBadConfig, "pointer slot target out of range");
+      }
+      const auto& target = regions[static_cast<std::size_t>(link.target_region)];
+      if (link.target_offset >= target.bytes.size()) {
+        return Error(ErrorKind::kBadConfig,
+                     "pointer slot targets past the end of its region");
+      }
+      if (link.offset > cursor) {
+        fields.push_back(llvm::ArrayType::get(i8, link.offset - cursor));
+      }
+      fields.push_back(i64);
+      cursor = link.offset + 8;
+    }
+    if (cursor < region.bytes.size()) {
+      fields.push_back(llvm::ArrayType::get(i8, region.bytes.size() - cursor));
+    }
+    layout.type = llvm::StructType::get(ctx, fields, /*isPacked=*/true);
+  }
+
+  // Create every global first (initializers may reference each other, even
+  // cyclically), then fill the initializers, then fix the argument slots.
+  std::vector<llvm::GlobalVariable*> globals(regions.size());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    globals[r] = new llvm::GlobalVariable(
+        *bundle.module, layouts[r].type, /*isConstant=*/true,
+        llvm::GlobalValue::PrivateLinkage, nullptr,
+        bundle.wrapper_name + "_constmem" + std::to_string(r));
+    globals[r]->setAlignment(llvm::Align(16));
+  }
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const ConstMemRegion& region = regions[r];
+    const Layout& layout = layouts[r];
+    std::vector<llvm::Constant*> values;
+    std::uint64_t cursor = 0;
+    auto append_run = [&](std::uint64_t end) {
+      if (end > cursor) {
+        values.push_back(llvm::ConstantDataArray::get(
+            ctx, llvm::ArrayRef<std::uint8_t>(region.bytes.data() + cursor,
+                                              end - cursor)));
+      }
+    };
+    for (const ConstMemRegion::Link& link : layout.links) {
+      append_run(link.offset);
+      llvm::Constant* target = llvm::ConstantExpr::getPtrToInt(
+          globals[static_cast<std::size_t>(link.target_region)], i64);
+      if (link.target_offset != 0) {
+        target = llvm::ConstantExpr::getAdd(
+            target, llvm::ConstantInt::get(i64, link.target_offset));
+      }
+      values.push_back(target);
+      cursor = link.offset + 8;
+    }
+    append_run(region.bytes.size());
+    globals[r]->setInitializer(llvm::ConstantStruct::get(layout.type, values));
+  }
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    if (regions[r].param_index < 0) continue;
+    DBLL_TRY(auto slot, FindWrapperSlot(bundle, regions[r].param_index));
+    auto [call, position] = slot;
+    llvm::IRBuilder<> builder(call);
+    call->setArgOperand(position, builder.CreatePtrToInt(globals[r], i64));
+  }
+  return Status::Ok();
+}
+
 Status LiftedFunction::Optimize() { return RunPipeline(impl_->bundle); }
 
 Expected<std::string> LiftedFunction::OptimizeAndGetIr() {
@@ -209,6 +318,8 @@ std::uint64_t Fingerprint(const LiftConfig& config) {
   mix(config.volatile_memory);
   mix(config.vectorize_hint);
   mix(config.flag_liveness);
+  mix(config.value_ranges);
+  mix(config.range_budget);
   return hash;
 }
 

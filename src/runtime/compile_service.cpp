@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "dbll/analysis/audit.h"
+#include "dbll/analysis/ranges.h"
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/support/fault.h"
@@ -1075,6 +1076,62 @@ void CompileService::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Applies the memory fixations of a request. When the snapshots hold
+/// pointer slots that provably address other fixed regions
+/// (analysis::FindPointerLinks), every region -- parameter-bound kConstMem
+/// and unanchored kConstRange alike -- is specialized as one linked graph so
+/// the optimizer can chase the indirection at Tier 0
+/// (docs/static_analysis.md). Without links this degenerates to the flat
+/// per-parameter path; a link-free kConstRange has no Tier-0 effect (the
+/// Tier-1 fallback still pins it with SetMemRange).
+Status SpecializeMemory(lift::LiftedFunction& lifted,
+                        const std::vector<SpecAction>& specs) {
+  std::vector<const SpecAction*> mem;
+  for (const SpecAction& spec : specs) {
+    if (spec.kind != SpecAction::Kind::kParam) mem.push_back(&spec);
+  }
+  if (mem.empty()) return Status::Ok();
+
+  std::vector<analysis::FixedRegion> regions;
+  regions.reserve(mem.size());
+  for (const SpecAction* spec : mem) {
+    regions.push_back(analysis::FixedRegion{
+        spec->mem_addr, std::span<const std::uint8_t>(spec->bytes)});
+  }
+  const std::vector<analysis::PointerLink> links =
+      analysis::FindPointerLinks(regions);
+
+  if (links.empty()) {
+    for (const SpecAction* spec : mem) {
+      if (spec->kind != SpecAction::Kind::kConstMem) continue;
+      DBLL_TRY_STATUS(lifted.SpecializeParamToConstMem(
+          spec->index, spec->bytes.data(), spec->bytes.size()));
+    }
+    return Status::Ok();
+  }
+
+  std::vector<lift::LiftedFunction::ConstMemRegion> graph;
+  graph.reserve(mem.size());
+  for (const SpecAction* spec : mem) {
+    lift::LiftedFunction::ConstMemRegion region;
+    region.param_index =
+        spec->kind == SpecAction::Kind::kConstMem ? spec->index : -1;
+    region.address = spec->mem_addr;
+    region.bytes = spec->bytes;
+    graph.push_back(std::move(region));
+  }
+  for (const analysis::PointerLink& link : links) {
+    graph[static_cast<std::size_t>(link.src_region)].links.push_back(
+        lift::LiftedFunction::ConstMemRegion::Link{
+            link.src_offset, link.dst_region, link.dst_offset});
+  }
+  return lifted.SpecializeConstMemGraph(graph);
+}
+
+}  // namespace
+
 Error CompileService::TryTier0(const CompileRequest& request,
                                StageTimes& times, std::uint64_t* entry,
                                const std::string& cache_tag,
@@ -1089,18 +1146,14 @@ Error CompileService::TryTier0(const CompileRequest& request,
   if (!lifted.has_value()) {
     failure = std::move(lifted).error();
   } else {
+    Status status = Status::Ok();
     for (const SpecAction& spec : request.specs) {
-      Status status =
-          spec.kind == SpecAction::Kind::kParam
-              ? lifted->SpecializeParam(spec.index, spec.value)
-              : lifted->SpecializeParamToConstMem(spec.index,
-                                                  spec.bytes.data(),
-                                                  spec.bytes.size());
-      if (!status.ok()) {
-        failure = status.error();
-        break;
-      }
+      if (spec.kind != SpecAction::Kind::kParam) continue;
+      status = lifted->SpecializeParam(spec.index, spec.value);
+      if (!status.ok()) break;
     }
+    if (status.ok()) status = SpecializeMemory(*lifted, request.specs);
+    if (!status.ok()) failure = status.error();
   }
   times.lift_ns += NowNs() - t0;
 
@@ -1508,6 +1561,12 @@ void CompileService::CompileOne(Job& job) {
     audit_options.cfg.max_instructions = request.config.max_instructions;
     audit_options.follow_calls = request.config.lift_calls;
     audit_options.max_call_depth = request.config.max_call_depth;
+    // Mirror the lifter's range-analysis knobs so the audit verdict matches
+    // what the lift will actually attempt: a jump table the lifter would
+    // resolve must not be reported as a fatal indirect jump here (and vice
+    // versa with the knob off).
+    audit_options.value_ranges = request.config.value_ranges;
+    audit_options.range_budget = request.config.range_budget;
     const analysis::AuditReport report =
         analysis::AuditFunction(request.address, audit_options);
     if (const analysis::Diagnostic* fatal = report.first_fatal()) {

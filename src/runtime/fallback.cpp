@@ -71,6 +71,24 @@ Expected<Tier1Result> Tier1Rewrite(const CompileRequest& request) {
   DBLL_TRACE_SPAN("fallback.tier1");
   auto rewriter = std::make_unique<dbrew::Rewriter>(request.address);
   for (const SpecAction& spec : request.specs) {
+    if (spec.kind == SpecAction::Kind::kConstRange) {
+      // Not bound to a parameter: the region only constrains the
+      // meta-emulator's memory model. Same staleness contract as kConstMem.
+      if (spec.mem_addr == 0) {
+        return Error(ErrorKind::kUnsupported,
+                     "const-range specialization carries no live source "
+                     "address; cannot degrade to a DBrew rewrite");
+      }
+      if (std::memcmp(reinterpret_cast<const void*>(spec.mem_addr),
+                      spec.bytes.data(), spec.bytes.size()) != 0) {
+        return Error(ErrorKind::kUnsupported,
+                     "const-range region changed since the request was made; "
+                     "refusing a stale DBrew specialization",
+                     spec.mem_addr);
+      }
+      rewriter->SetMemRange(spec.mem_addr, spec.mem_addr + spec.bytes.size());
+      continue;
+    }
     DBLL_TRY(int gp_index, GpParamIndex(request.signature, spec.index));
     if (spec.kind == SpecAction::Kind::kParam) {
       rewriter->SetParam(gp_index, spec.value);

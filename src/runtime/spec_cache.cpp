@@ -26,6 +26,18 @@ CompileRequest& CompileRequest::FixConstMem(int index, const void* data,
   return *this;
 }
 
+CompileRequest& CompileRequest::AddConstRange(const void* data,
+                                              std::size_t size) {
+  SpecAction action;
+  action.kind = SpecAction::Kind::kConstRange;
+  action.index = -1;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  action.bytes.assign(bytes, bytes + size);
+  action.mem_addr = reinterpret_cast<std::uint64_t>(data);
+  specs.push_back(std::move(action));
+  return *this;
+}
+
 namespace {
 
 void Append64(std::vector<std::uint8_t>& blob, std::uint64_t value) {
@@ -64,6 +76,11 @@ SpecKey::SpecKey(const CompileRequest& request) {
     if (spec.kind == SpecAction::Kind::kParam) {
       Append64(blob_, spec.value);
     } else {
+      // Unanchored ranges are identified by their address (see SpecAction);
+      // parameter-bound regions by contents alone.
+      if (spec.kind == SpecAction::Kind::kConstRange) {
+        Append64(blob_, spec.mem_addr);
+      }
       Append64(blob_, spec.bytes.size());
       blob_.insert(blob_.end(), spec.bytes.begin(), spec.bytes.end());
     }

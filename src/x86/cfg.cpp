@@ -71,6 +71,24 @@ Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
         switch (instr.mnemonic) {
           case Mnemonic::kJmp:
             if (instr.op_count != 0 && !instr.ops[0].is_imm()) {
+              const std::vector<std::uint64_t>* resolved = nullptr;
+              if (options.resolved_jumps != nullptr) {
+                auto it = options.resolved_jumps->find(address);
+                if (it != options.resolved_jumps->end()) resolved = &it->second;
+              }
+              if (resolved != nullptr) {
+                for (std::uint64_t target : *resolved) {
+                  if (!source.Contains(target)) {
+                    return Error(ErrorKind::kUnsupported,
+                                 "jump-table target outside of function buffer",
+                                 address);
+                  }
+                  leaders.insert(target);
+                  worklist.push_back(target);
+                }
+                break;
+              }
+              if (options.allow_indirect_jumps) break;
               return Error(ErrorKind::kUnsupported,
                            "indirect jumps are not supported", address);
             }
@@ -138,7 +156,18 @@ Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
       block.instrs.push_back(instr);
       if (instr.IsBlockTerminator()) {
         if (instr.mnemonic == Mnemonic::kJmp) {
-          block.branch_target = instr.target;
+          if (instr.op_count != 0 && !instr.ops[0].is_imm()) {
+            if (options.resolved_jumps != nullptr) {
+              auto resolved_it = options.resolved_jumps->find(instr.address);
+              if (resolved_it != options.resolved_jumps->end()) {
+                std::set<std::uint64_t> unique(resolved_it->second.begin(),
+                                               resolved_it->second.end());
+                block.indirect_targets.assign(unique.begin(), unique.end());
+              }
+            }
+          } else {
+            block.branch_target = instr.target;
+          }
         } else if (instr.mnemonic == Mnemonic::kJcc) {
           block.branch_target = instr.target;
           block.fall_through = instr.end();
@@ -161,11 +190,13 @@ Expected<Cfg> BuildImpl(const ByteSource& source, std::uint64_t entry,
   // introduces -- gets mirrored as a predecessor, so backward dataflow can
   // walk the graph against the edge direction.
   for (const auto& [start, block] : cfg.blocks) {
-    if (block.branch_target != 0) {
-      cfg.blocks.at(block.branch_target).predecessors.push_back(start);
-    }
-    if (block.fall_through != 0 && block.fall_through != block.branch_target) {
-      cfg.blocks.at(block.fall_through).predecessors.push_back(start);
+    std::set<std::uint64_t> succs;
+    if (block.branch_target != 0) succs.insert(block.branch_target);
+    if (block.fall_through != 0) succs.insert(block.fall_through);
+    succs.insert(block.indirect_targets.begin(),
+                 block.indirect_targets.end());
+    for (std::uint64_t succ : succs) {
+      cfg.blocks.at(succ).predecessors.push_back(start);
     }
   }
 

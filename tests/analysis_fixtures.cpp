@@ -13,4 +13,10 @@ volatile AfFn af_indirect_target = &af_double;
 // indirect call.
 long af_indirect_call(long x) { return af_indirect_target(x + 1) + 1; }
 
+// noinline + the trailing add keep this a plain direct call, so the fatal is
+// only reachable through the transitive callee audit.
+__attribute__((noinline)) long af_calls_bad(long x) {
+  return af_indirect_call(x) + 3;
+}
+
 }  // extern "C"

@@ -22,4 +22,8 @@ extern volatile AfFn af_indirect_target;
 /// Calls through af_indirect_target: statically not lift-eligible.
 long af_indirect_call(long x);
 
+/// Directly calls af_indirect_call: the fatal sits one call level down, so
+/// the transitive audit must annotate the diagnostic with the callee chain.
+long af_calls_bad(long x);
+
 }  // extern "C"

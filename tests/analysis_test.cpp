@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <vector>
 
@@ -15,12 +16,14 @@
 #include "dbll/analysis/audit.h"
 #include "dbll/analysis/dataflow.h"
 #include "dbll/analysis/liveness.h"
+#include "dbll/analysis/ranges.h"
 #include "dbll/dbrew/capi.h"
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/lift/lifter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
 #include "dbll/stencil/stencil.h"
+#include "dbll/support/code_buffer.h"
 #include "dbll/x86/decoder.h"
 #include "dbrew/emitter.h"  // internal: emitter-level prune unit tests
 
@@ -231,6 +234,274 @@ TEST(LivenessTest, UnknownAddressIsConservative) {
   EXPECT_EQ(live.LiveFlagsIn(0xdead), x86::kFlagAll);
 }
 
+// --- Value-range lattice -----------------------------------------------------
+
+TEST(RangeLatticeTest, JoinCombinesIntervalsAndKnownBits) {
+  EXPECT_EQ(Join(ValueRange::Constant(4), ValueRange::Constant(4)),
+            ValueRange::Constant(4));
+  EXPECT_EQ(Join(ValueRange::Bounded(1, 3), ValueRange::Bounded(5, 9)),
+            ValueRange::Bounded(1, 9));
+  EXPECT_TRUE(Join(ValueRange::Top(), ValueRange::Constant(4)).IsTop());
+  // 4 and 6 agree on every bit except bit 1: the join keeps that knowledge,
+  // so the interval [4,6] does not admit 5 (bit 0 is known zero).
+  const ValueRange j = Join(ValueRange::Constant(4), ValueRange::Constant(6));
+  EXPECT_EQ(j.lo, 4u);
+  EXPECT_EQ(j.hi, 6u);
+  EXPECT_TRUE(j.Contains(4));
+  EXPECT_FALSE(j.Contains(5));
+  EXPECT_TRUE(j.Contains(6));
+}
+
+TEST(RangeLatticeTest, WidenPushesMovingBoundsToExtremes) {
+  // A still-growing upper bound goes straight to the top of the interval.
+  EXPECT_TRUE(
+      Widen(ValueRange::Bounded(0, 10), ValueRange::Bounded(0, 11)).IsTop());
+  EXPECT_EQ(Widen(ValueRange::Bounded(5, 10), ValueRange::Bounded(3, 10)),
+            ValueRange::Bounded(0, 10));
+  // A stable state is a fixpoint of widening.
+  EXPECT_EQ(Widen(ValueRange::Bounded(5, 10), ValueRange::Bounded(5, 10)),
+            ValueRange::Bounded(5, 10));
+}
+
+TEST(RangeLatticeTest, MeetIntersectsAndSurvivesContradiction) {
+  EXPECT_EQ(Meet(ValueRange::Bounded(0, 100), ValueRange::Bounded(50, 200)),
+            ValueRange::Bounded(50, 100));
+  EXPECT_EQ(Meet(ValueRange::Top(), ValueRange::Constant(7)),
+            ValueRange::Constant(7));
+  // Contradictory constraints (infeasible edge): keep the sound base operand.
+  EXPECT_EQ(Meet(ValueRange::Bounded(0, 10), ValueRange::Bounded(20, 30)),
+            ValueRange::Bounded(0, 10));
+}
+
+TEST(RangeLatticeTest, TransferVectors) {
+  EXPECT_EQ(RangeAdd(ValueRange::Constant(5), ValueRange::Constant(7)),
+            ValueRange::Constant(12));
+  EXPECT_EQ(RangeAdd(ValueRange::Bounded(0, 10), ValueRange::Constant(100)),
+            ValueRange::Bounded(100, 110));
+  // A possibly-wrapping addition degrades the interval to top.
+  EXPECT_TRUE(
+      RangeAdd(ValueRange::Bounded(~0ull - 1, ~0ull), ValueRange::Constant(2))
+          .IsTop());
+  EXPECT_EQ(RangeSub(ValueRange::Bounded(10, 20), ValueRange::Bounded(1, 5)),
+            ValueRange::Bounded(5, 19));
+  EXPECT_EQ(RangeXor(ValueRange::Constant(0xf0), ValueRange::Constant(0x0f)),
+            ValueRange::Constant(0xff));
+  EXPECT_EQ(RangeMul(ValueRange::Bounded(0, 3), ValueRange::Constant(8)),
+            ValueRange::Bounded(0, 24));
+  EXPECT_EQ(RangeShr(ValueRange::Constant(0x100), ValueRange::Constant(4)),
+            ValueRange::Constant(0x10));
+}
+
+TEST(RangeLatticeTest, AndOrShlTrackKnownBits) {
+  // and with a constant mask bounds the interval and proves the high bits.
+  const ValueRange masked = RangeAnd(ValueRange::Top(), ValueRange::Constant(7));
+  EXPECT_EQ(masked.lo, 0u);
+  EXPECT_EQ(masked.hi, 7u);
+  EXPECT_EQ(masked.IntervalSize(), 8u);
+  EXPECT_FALSE(masked.Contains(8));
+
+  // or with a constant proves the set bit and gives a floor.
+  const ValueRange ored = RangeOr(ValueRange::Bounded(0, 4),
+                                  ValueRange::Constant(8));
+  EXPECT_TRUE(ored.Contains(8));
+  EXPECT_TRUE(ored.Contains(12));
+  EXPECT_FALSE(ored.Contains(4));
+
+  // shl scales the interval and proves the shifted-in zeros.
+  const ValueRange shifted = RangeShl(ValueRange::Bounded(0, 3),
+                                      ValueRange::Constant(3));
+  EXPECT_EQ(shifted.lo, 0u);
+  EXPECT_EQ(shifted.hi, 24u);
+  EXPECT_TRUE(shifted.Contains(8));
+  EXPECT_FALSE(shifted.Contains(9));  // low three bits are known zero
+}
+
+TEST(RangeLatticeTest, TruncateToWidthModelsNarrowWrites) {
+  EXPECT_EQ(TruncateToWidth(ValueRange::Bounded(0, 10), 4),
+            ValueRange::Bounded(0, 10));
+  // An overflowing interval collapses to the width, but the surviving known
+  // low bits still pin the value.
+  const ValueRange t = TruncateToWidth(ValueRange::Constant(0x1ff), 1);
+  EXPECT_EQ(t.lo, 0u);
+  EXPECT_EQ(t.hi, 0xffu);
+  EXPECT_TRUE(t.Contains(0xff));
+  EXPECT_FALSE(t.Contains(0xfe));
+}
+
+TEST(RangeLatticeTest, RefineByConditionEdges) {
+  EXPECT_EQ(RefineByCondition(ValueRange::Top(), x86::Cond::kE, 42),
+            ValueRange::Constant(42));
+  EXPECT_EQ(RefineByCondition(ValueRange::Top(), x86::Cond::kB, 16),
+            ValueRange::Bounded(0, 15));
+  EXPECT_EQ(RefineByCondition(ValueRange::Bounded(0, 100), x86::Cond::kA, 50),
+            ValueRange::Bounded(51, 100));
+  EXPECT_EQ(RefineByCondition(ValueRange::Bounded(5, 10), x86::Cond::kNe, 5),
+            ValueRange::Bounded(6, 10));
+  // Signed < cannot refine a register whose sign is unknown.
+  EXPECT_TRUE(
+      RefineByCondition(ValueRange::Top(), x86::Cond::kL, 10).IsTop());
+  // Signed >= 0 pins the value into the non-negative half.
+  const ValueRange ge = RefineByCondition(ValueRange::Top(), x86::Cond::kGe, 0);
+  EXPECT_EQ(ge.lo, 0u);
+  EXPECT_EQ(ge.hi, (1ull << 63) - 1);
+  // An infeasible refinement keeps the sound base range.
+  EXPECT_EQ(RefineByCondition(ValueRange::Bounded(0, 5), x86::Cond::kAe, 10),
+            ValueRange::Bounded(0, 5));
+}
+
+// --- Value-range dataflow over CFGs ------------------------------------------
+
+FunctionRanges RangesOf(const std::vector<std::uint8_t>& code,
+                        const RangeOptions& options = {}) {
+  auto cfg = x86::BuildCfgFromBuffer(code, 0x1000, 0x1000);
+  EXPECT_TRUE(cfg.has_value()) << cfg.error().Format();
+  return ComputeRanges(*cfg, options);
+}
+
+TEST(RangeAnalysisTest, AndBoundsRegister) {
+  //   1000: 83 e7 07   and edi, 7
+  //   1003: c3         ret
+  const FunctionRanges ranges = RangesOf({0x83, 0xe7, 0x07, 0xc3});
+  EXPECT_TRUE(ranges.converged());
+  EXPECT_GT(ranges.steps(), 0u);
+  const ValueRange& rdi = ranges.BeforeReg(0x1003, 7);
+  EXPECT_EQ(rdi.lo, 0u);
+  EXPECT_EQ(rdi.hi, 7u);
+  EXPECT_FALSE(rdi.Contains(8));
+  // Entry state: nothing is known about rdi before the and executes.
+  EXPECT_TRUE(ranges.BeforeReg(0x1000, 7).IsTop());
+}
+
+TEST(RangeAnalysisTest, ComparisonRefinesBothEdges) {
+  //   1000: 48 83 ff 0a   cmp rdi, 10
+  //   1004: 72 03         jb  1009
+  //   1006: 48 31 ff      xor rdi, rdi
+  //   1009: c3            ret
+  const FunctionRanges ranges = RangesOf(
+      {0x48, 0x83, 0xff, 0x0a, 0x72, 0x03, 0x48, 0x31, 0xff, 0xc3});
+  EXPECT_TRUE(ranges.converged());
+  // Fall-through edge (jb not taken): rdi >= 10.
+  EXPECT_EQ(ranges.BeforeReg(0x1006, 7).lo, 10u);
+  // Join point: Constant(0) from the xor path joined with [0,9] from the
+  // taken edge.
+  EXPECT_EQ(ranges.BeforeReg(0x1009, 7).lo, 0u);
+  EXPECT_EQ(ranges.BeforeReg(0x1009, 7).hi, 9u);
+}
+
+TEST(RangeAnalysisTest, ExhaustedBudgetDegradesToTop) {
+  RangeOptions options;
+  options.budget = 1;
+  const FunctionRanges ranges = RangesOf({0x83, 0xe7, 0x07, 0xc3}, options);
+  EXPECT_FALSE(ranges.converged());
+  EXPECT_TRUE(ranges.BeforeReg(0x1003, 7).IsTop());
+}
+
+TEST(RangeAnalysisTest, EntrySeedsPropagate) {
+  // Seeding rdi (the specializer's fixed-argument hook) flows through.
+  RangeOptions options;
+  options.entry_values.emplace_back(7, ValueRange::Constant(12));
+  const FunctionRanges ranges = RangesOf({0x83, 0xe7, 0x07, 0xc3}, options);
+  const ValueRange& rdi = ranges.BeforeReg(0x1003, 7);
+  EXPECT_EQ(rdi, ValueRange::Constant(12 & 7));
+}
+
+// --- Jump-table resolution ---------------------------------------------------
+
+// Dispatch targets for the hand-assembled switch; filled from the encoded
+// buffer before the analysis runs. File-scope so the table address encodes
+// into a movabs immediate without lifetime concerns.
+alignas(8) std::uint64_t g_jump_table[4];
+
+TEST(JumpTableTest, ResolvesHandAssembledAbsoluteTable) {
+  // Hand-assembled absolute-table switch (the second dispatch form):
+  //   and edi, 3
+  //   movabs rcx, &g_jump_table
+  //   mov rax, [rcx + rdi*8]
+  //   jmp rax
+  // t_k: mov eax, <11*(k+1)> ; ret        (k = 0..3, 6 bytes each)
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint64_t entry = reinterpret_cast<std::uint64_t>(buffer->data());
+  std::vector<std::uint8_t> code = {0x83, 0xe7, 0x03};           // and edi,3
+  code.push_back(0x48);                                          // movabs rcx
+  code.push_back(0xb9);
+  const std::uint64_t table_addr =
+      reinterpret_cast<std::uint64_t>(&g_jump_table[0]);
+  for (int i = 0; i < 8; ++i) {
+    code.push_back(static_cast<std::uint8_t>(table_addr >> (8 * i)));
+  }
+  code.insert(code.end(), {0x48, 0x8b, 0x04, 0xf9});             // mov rax,[rcx+rdi*8]
+  code.insert(code.end(), {0xff, 0xe0});                         // jmp rax
+  const std::uint64_t jmp_site = entry + code.size() - 2;
+  for (int k = 0; k < 4; ++k) {
+    g_jump_table[k] = entry + code.size();
+    const std::uint32_t value = 11u * static_cast<std::uint32_t>(k + 1);
+    code.push_back(0xb8);                                        // mov eax, imm32
+    for (int i = 0; i < 4; ++i) {
+      code.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+    code.push_back(0xc3);                                        // ret
+  }
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  ASSERT_TRUE(buffer->Seal().ok());
+
+  auto resolved = BuildRangeResolvedCfg(entry);
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Format();
+  EXPECT_FALSE(resolved->unresolved_indirect);
+  ASSERT_EQ(resolved->tables.size(), 1u);
+  const JumpTable& table = resolved->tables[0];
+  EXPECT_EQ(table.site, jmp_site);
+  EXPECT_EQ(table.entry_size, 8);
+  EXPECT_FALSE(table.relative);
+  EXPECT_EQ(table.table_base, table_addr);
+  ASSERT_EQ(table.targets.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(table.targets[static_cast<std::size_t>(k)], g_jump_table[k]);
+  }
+  // The resolved CFG carries the targets as real edges on the dispatch block.
+  const x86::BasicBlock& dispatch = resolved->cfg.entry_block();
+  EXPECT_TRUE(dispatch.HasIndirectJump());
+  EXPECT_EQ(dispatch.indirect_targets.size(), 4u);
+
+  // End to end: the default-config lifter resolves the same table and the
+  // JITed switch agrees with the native code on every index class.
+  static lift::Jit jit;
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(entry, lift::Signature::Ints(1));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(jit);
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto native = reinterpret_cast<long (*)(long)>(entry);
+  auto jitted = reinterpret_cast<long (*)(long)>(*compiled);
+  for (long a = -9; a <= 9; ++a) {
+    EXPECT_EQ(jitted(a), native(a)) << "a=" << a;
+  }
+}
+
+// --- Pointer links between fixed regions -------------------------------------
+
+TEST(FindPointerLinksTest, FindsCrossRegionSlots) {
+  alignas(8) std::uint8_t inner[24] = {1, 2, 3};
+  alignas(8) std::uint8_t outer[16] = {};
+  const std::uint64_t target = reinterpret_cast<std::uint64_t>(inner) + 8;
+  std::memcpy(outer + 8, &target, 8);
+
+  const FixedRegion regions[] = {
+      {reinterpret_cast<std::uint64_t>(outer), outer},
+      {reinterpret_cast<std::uint64_t>(inner), inner},
+  };
+  const std::vector<PointerLink> links = FindPointerLinks(regions);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].src_region, 0);
+  EXPECT_EQ(links[0].src_offset, 8u);
+  EXPECT_EQ(links[0].dst_region, 1);
+  EXPECT_EQ(links[0].dst_offset, 8u);
+
+  // Without the pointer slot there is nothing to chase.
+  std::memset(outer, 0, sizeof(outer));
+  EXPECT_TRUE(FindPointerLinks(regions).empty());
+}
+
 // --- Auditor -----------------------------------------------------------------
 
 TEST(AuditTest, CorpusIsLiftEligible) {
@@ -262,6 +533,46 @@ TEST(AuditTest, IndirectJumpBufferIsFatal) {
   EXPECT_FALSE(report.lift_eligible());
   ASSERT_FALSE(report.diagnostics.empty());
   EXPECT_EQ(report.diagnostics[0].kind, DiagKind::kIndirectJump);
+}
+
+TEST(AuditTest, SwitchDispatchResolvesJumpTable) {
+  // Default options run the value-range analysis: the compiler-generated
+  // jump table of c_switch_dispatch resolves, so the function is eligible
+  // and the dispatch site is reported informationally.
+  const AuditReport report =
+      AuditFunction(Addr(reinterpret_cast<const void*>(&c_switch_dispatch)));
+  EXPECT_TRUE(report.lift_eligible());
+  bool resolved = false;
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (diag.kind == DiagKind::kIndirectJump &&
+        diag.severity == Severity::kInfo) {
+      resolved = true;
+      EXPECT_NE(diag.message.find("jump table"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(resolved);
+}
+
+TEST(AuditTest, SwitchDispatchFatalWithoutRanges) {
+  AuditOptions options;
+  options.value_ranges = false;
+  const AuditReport report = AuditFunction(
+      Addr(reinterpret_cast<const void*>(&c_switch_dispatch)), options);
+  EXPECT_FALSE(report.lift_eligible());
+  ASSERT_NE(report.first_fatal(), nullptr);
+  EXPECT_EQ(report.first_fatal()->kind, DiagKind::kIndirectJump);
+}
+
+TEST(AuditTest, TransitiveFatalNamesDeepestCallee) {
+  const AuditReport report =
+      AuditFunction(Addr(reinterpret_cast<const void*>(&af_calls_bad)));
+  EXPECT_FALSE(report.lift_eligible());
+  ASSERT_NE(report.first_fatal(), nullptr);
+  EXPECT_EQ(report.first_fatal()->kind, DiagKind::kIndirectCall);
+  // The diagnostic names the offending callee and its depth in the chain.
+  EXPECT_NE(report.first_fatal()->message.find("in callee"), std::string::npos);
+  EXPECT_NE(report.first_fatal()->message.find("call depth 1"),
+            std::string::npos);
 }
 
 TEST(AuditTest, ResourceLimitSurfacesAsFatal) {
@@ -486,6 +797,41 @@ TEST(FlagPruneTest, DifferentialEquivalenceStencilLine) {
   EXPECT_EQ(out_p, out_u);
 }
 
+// --- Range-resolved lifting --------------------------------------------------
+
+TEST(RangeLiftTest, SwitchDispatchTier0Equivalence) {
+  // c_switch_dispatch is deliberately NOT in kIntCorpus (the DBrew identity
+  // sweeps cannot rewrite its indirect jmp), so its Tier-0 equivalence is
+  // checked here: the default-config lifter must resolve the compiler's
+  // jump table and the JITed switch must agree with the native code.
+  lift::Lifter lifter;
+  auto lifted = lifter.Lift(Addr(reinterpret_cast<const void*>(
+                                &c_switch_dispatch)),
+                            lift::Signature::Ints(2));
+  ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
+  auto compiled = lifted->Compile(SharedJit());
+  ASSERT_TRUE(compiled.has_value()) << compiled.error().Format();
+  auto fn = reinterpret_cast<long (*)(long, long)>(*compiled);
+  const long bs[] = {0, 1, -1, 17, -12345, INT32_MAX, INT32_MIN};
+  for (long a = -16; a <= 16; ++a) {  // covers every case label twice
+    for (long b : bs) {
+      EXPECT_EQ(fn(a, b), c_switch_dispatch(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RangeLiftTest, RangesOffRejectsSwitchDispatch) {
+  lift::LiftConfig config;
+  config.value_ranges = false;
+  lift::Lifter lifter(config);
+  auto lifted = lifter.Lift(Addr(reinterpret_cast<const void*>(
+                                &c_switch_dispatch)),
+                            lift::Signature::Ints(2));
+  ASSERT_FALSE(lifted.has_value());
+  // The error keeps the "indirect jump" phrasing the negative cache keys on.
+  EXPECT_NE(lifted.error().Format().find("indirect jump"), std::string::npos);
+}
+
 // --- DBrew dead-store pruning ------------------------------------------------
 
 TEST(DbrewPruneTest, DeletesOverwrittenConstantStore) {
@@ -573,6 +919,23 @@ TEST(CApiTest, AnalyzeFunctionReportsSeverity) {
   EXPECT_GE(clean, 0);
   EXPECT_LT(worst, DBLL_ANALYZE_FATAL);
   EXPECT_EQ(dbll_analyze_last_error()[0], '\0');
+}
+
+TEST(CApiTest, AnalyzeFunctionRangesFlag) {
+  // Default flags: the jump table of c_switch_dispatch resolves.
+  int worst = -1;
+  EXPECT_GE(dbll_analyze_function_ex(
+                reinterpret_cast<void*>(&c_switch_dispatch), 0, &worst),
+            1);
+  EXPECT_LT(worst, DBLL_ANALYZE_FATAL);
+  // DBLL_ANALYZE_NO_RANGES restores the pre-ranges verdict: fatal.
+  worst = -1;
+  EXPECT_GE(dbll_analyze_function_ex(
+                reinterpret_cast<void*>(&c_switch_dispatch),
+                DBLL_ANALYZE_NO_RANGES, &worst),
+            1);
+  EXPECT_EQ(worst, DBLL_ANALYZE_FATAL);
+  EXPECT_NE(dbll_analyze_last_error()[0], '\0');
 }
 
 TEST(CApiTest, AnalyzeFunctionNullIsAnError) {

@@ -115,6 +115,22 @@ NOINLINE long c_loop_fib(long n) {
   return a;
 }
 
+// Dense switch: GCC emits a PIC jump table (lea tbl(%rip); movslq; add; jmp
+// *%rax), the shape the value-range analysis resolves into real CFG edges
+// (docs/static_analysis.md). The `& 7` mask is what bounds the index.
+NOINLINE long c_switch_dispatch(long a, long b) {
+  switch (a & 7) {
+    case 0: return b + 1;
+    case 1: return b * 3;
+    case 2: return b - a;
+    case 3: return b ^ a;
+    case 4: return b << 2;
+    case 5: return b & 0x5555;
+    case 6: return -b;
+    default: return a + b;
+  }
+}
+
 NOINLINE long c_gcd(long a, long b) {
   while (b != 0) {
     long t = a % b;

@@ -40,6 +40,7 @@ long c_nested_loops(long n, long m);
 long c_early_return(long a, long b);
 long c_short_circuit(long a, long b);
 long c_loop_to_entry(long n);
+long c_switch_dispatch(long a, long b);
 
 // Memory.
 long c_array_sum(const long* data, long count);

@@ -653,3 +653,65 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BranchyDifferentialTest,
 
 }  // namespace
 }  // namespace dbll
+
+// --- Nested-pointer stencil specialization -----------------------------------
+//
+// The paper's documented IR-level limitation: "nested pointers will not be
+// marked as constant" -- a FixConstMem snapshot of PtrSortedStencil used to
+// leave the `groups` load opaque. The pointer-link proofs (value-range
+// analysis, docs/static_analysis.md) chase the indirection, so Tier 0 now
+// specializes through it. Differential check plus a mutation probe that the
+// constants were truly baked.
+
+#include <cmath>
+
+#include "dbll/runtime/compile_service.h"
+#include "dbll/stencil/stencil.h"
+
+namespace dbll {
+namespace {
+
+TEST(PtrStencilSpecializationTest, Tier0BakesNestedPointerConstants) {
+  // Mutable copies of the 4-point stencil: baking is proven by mutating them
+  // after the compile and observing unchanged kernel output.
+  stencil::SortedGroup groups[1] = {stencil::FourPointSortedPtr().groups[0]};
+  stencil::PtrSortedStencil desc{1, groups};
+
+  runtime::CompileService service;
+  runtime::CompileRequest request(
+      reinterpret_cast<std::uint64_t>(&stencil::stencil_apply_sorted_ptr),
+      lift::Signature::Ints(4, lift::RetKind::kVoid));
+  request.FixConstMem(0, &desc, sizeof(desc));
+  request.AddConstRange(groups, sizeof(groups));
+  runtime::FunctionHandle handle = service.Request(request);
+  handle.wait();
+  ASSERT_EQ(handle.tier(), runtime::Tier::kLlvm) << handle.error().Format();
+  auto specialized = handle.as<stencil::ElementKernel>();
+
+  // The element kernels hard-code the kMatrixSize row stride, so the grids
+  // must use the default size.
+  stencil::JacobiGrid reference;
+  stencil::JacobiGrid specialized_grid;
+  reference.RunElement(reinterpret_cast<stencil::ElementKernel>(
+                           &stencil::stencil_apply_sorted_ptr),
+                       &desc, 2);
+  specialized_grid.RunElement(specialized, &desc, 2);
+  ASSERT_TRUE(std::isfinite(reference.Checksum()));
+  EXPECT_EQ(specialized_grid.MaxDifference(reference), 0.0);
+  EXPECT_EQ(specialized_grid.Checksum(), reference.Checksum());
+
+  // Wreck the live descriptor and group array: the specialized kernel must
+  // keep computing with the snapshotted constants. If the nested pointer had
+  // not been chased, the baked descriptor would still reference the live
+  // group array and the zeroed factor would change the result.
+  groups[0].factor = 0.0;
+  groups[0].point_count = 0;
+  desc.group_count = 0;
+  desc.groups = nullptr;
+  stencil::JacobiGrid after_mutation;
+  after_mutation.RunElement(specialized, &desc, 2);
+  EXPECT_EQ(after_mutation.MaxDifference(reference), 0.0);
+}
+
+}  // namespace
+}  // namespace dbll

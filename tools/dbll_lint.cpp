@@ -7,8 +7,17 @@
 //   dbll-lint <elf-file> <function-symbol>   audit a function from an ELF
 //   dbll-lint --corpus <name>                audit one built-in corpus entry
 //   dbll-lint --all-corpus                   audit every corpus entry
+//   dbll-lint --ranges                       value-range frontier report
 //
 // Options: --no-follow-calls (audit only the entry function).
+//
+// --ranges audits every corpus entry twice -- value-range analysis off and
+// on -- and prints one row per function: resolved jump-table count and the
+// eligibility transition ("no -> yes" is the Tier-0 frontier the analysis
+// unlocks, docs/static_analysis.md). Fails (exit 1) when any function is
+// eligible without ranges but not with them: the analysis must only ever
+// grow the frontier. scripts/check.sh gates on this and on switch_dispatch
+// crossing the frontier.
 //
 // Exit status: 0 when nothing fatal was found, 1 on at least one kFatal
 // diagnostic (or a usage/IO error). scripts/check.sh runs --all-corpus and
@@ -30,7 +39,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dbll-lint <elf-file> <function> [--no-follow-calls]\n"
                "       dbll-lint --corpus <name> [--no-follow-calls]\n"
-               "       dbll-lint --all-corpus [--no-follow-calls]\n");
+               "       dbll-lint --all-corpus [--no-follow-calls]\n"
+               "       dbll-lint --ranges [--no-follow-calls]\n");
   return 1;
 }
 
@@ -88,13 +98,64 @@ std::vector<NamedFn> CorpusEntries() {
                        reinterpret_cast<std::uint64_t>(
                            dbll_tests::kVecCorpus[i].fn)});
   }
+  // Not in kIntCorpus: the DBrew identity sweeps cannot rewrite an indirect
+  // jump. The auditor resolves its jump table via the value-range analysis,
+  // which is exactly the frontier move --ranges demonstrates.
+  entries.push_back({"switch_dispatch",
+                     reinterpret_cast<std::uint64_t>(&c_switch_dispatch)});
   return entries;
+}
+
+/// --ranges: audits every corpus entry with the value-range analysis off and
+/// on, prints the per-function jump-table and eligibility transition, and
+/// enforces that the Tier-0 frontier never shrinks.
+int RangesReport(dbll::analysis::AuditOptions options) {
+  int eligible_off = 0;
+  int eligible_on = 0;
+  int regressions = 0;
+  const std::vector<NamedFn> entries = CorpusEntries();
+  std::printf("%-24s %7s  %s\n", "function", "tables", "lift-eligible");
+  for (const NamedFn& fn : entries) {
+    options.value_ranges = false;
+    const dbll::analysis::AuditReport off =
+        dbll::analysis::AuditFunction(fn.entry, options);
+    options.value_ranges = true;
+    const dbll::analysis::AuditReport on =
+        dbll::analysis::AuditFunction(fn.entry, options);
+    // Resolved dispatch sites are the kInfo kIndirectJump diagnostics of the
+    // ranges-on report (audit.cpp classifies exactly those two ways).
+    int tables = 0;
+    for (const auto& diag : on.diagnostics) {
+      if (diag.kind == dbll::analysis::DiagKind::kIndirectJump &&
+          diag.severity == dbll::analysis::Severity::kInfo) {
+        ++tables;
+      }
+    }
+    eligible_off += off.lift_eligible() ? 1 : 0;
+    eligible_on += on.lift_eligible() ? 1 : 0;
+    if (off.lift_eligible() && !on.lift_eligible()) ++regressions;
+    std::printf("%-24s %7d  %s -> %s\n", fn.name, tables,
+                off.lift_eligible() ? "yes" : "no",
+                on.lift_eligible() ? "yes" : "no");
+  }
+  std::printf("\nranges frontier: %d -> %d of %zu lift-eligible (delta %+d)\n",
+              eligible_off, eligible_on, entries.size(),
+              eligible_on - eligible_off);
+  if (regressions != 0) {
+    std::fprintf(stderr,
+                 "error: %d function%s lost lift-eligibility with the "
+                 "value-range analysis on (frontier must never shrink)\n",
+                 regressions, regressions == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool all_corpus = false;
+  bool ranges_report = false;
   std::string corpus_name;
   std::string elf_path;
   std::string symbol_name;
@@ -106,6 +167,8 @@ int main(int argc, char** argv) {
       options.follow_calls = false;
     } else if (std::strcmp(argv[i], "--all-corpus") == 0) {
       all_corpus = true;
+    } else if (std::strcmp(argv[i], "--ranges") == 0) {
+      ranges_report = true;
     } else if (std::strcmp(argv[i], "--corpus") == 0) {
       if (i + 1 >= argc) return Usage();
       corpus_name = argv[++i];
@@ -114,6 +177,13 @@ int main(int argc, char** argv) {
     } else {
       positional.push_back(argv[i]);
     }
+  }
+
+  if (ranges_report) {
+    if (!positional.empty() || !corpus_name.empty() || all_corpus) {
+      return Usage();
+    }
+    return RangesReport(options);
   }
 
   if (all_corpus) {
