@@ -89,8 +89,14 @@ ValueRange RangeAnd(const ValueRange& a, const ValueRange& b);
 ValueRange RangeOr(const ValueRange& a, const ValueRange& b);
 ValueRange RangeXor(const ValueRange& a, const ValueRange& b);
 ValueRange RangeMul(const ValueRange& a, const ValueRange& b);
-ValueRange RangeShl(const ValueRange& a, const ValueRange& amount);
-ValueRange RangeShr(const ValueRange& a, const ValueRange& amount);
+/// Shifts model the hardware count masking of a `width`-byte (1/2/4/8)
+/// destination: the count is taken modulo 64 for 8-byte operands and modulo
+/// 32 for everything narrower, exactly like the silicon (`shr eax, 33`
+/// shifts by 1, it does not clear the register).
+ValueRange RangeShl(const ValueRange& a, const ValueRange& amount,
+                    int width = 8);
+ValueRange RangeShr(const ValueRange& a, const ValueRange& amount,
+                    int width = 8);
 /// Zero-extending truncation to `width` bytes (1/2/4/8): models the x86
 /// rule that 32-bit destinations zero the upper half, and bounds the result
 /// of narrow loads.
@@ -180,12 +186,15 @@ struct JumpTable {
 ///   mov rt,[rbase+idx*8]; jmp rt   /   jmp [rbase+idx*8]
 /// -- and accepts a site only when the ranges prove the table base is a
 /// singleton constant and the index interval is bounded (<= max_entries).
-/// Table entries are then read from process memory: callers must only pass
-/// CFGs whose proven table addresses are mapped (true for in-process code
-/// and for the .rodata of the image under rewrite; the ConstRegion contract
-/// covers mutation).
+/// Table entries are read from process memory, so a site additionally
+/// resolves only when the full scanned range lies inside a declared
+/// `options.const_regions` entry (caller-asserted constancy) or inside a
+/// read-only mapping of this process (.rodata of the image under rewrite,
+/// sealed code buffers): the bytes are then both mapped and unable to change
+/// behind the derived code's back. Writable tables stay unresolved.
 std::vector<JumpTable> ResolveJumpTables(const x86::Cfg& cfg,
                                          const FunctionRanges& ranges,
+                                         const RangeOptions& options = {},
                                          std::size_t max_entries = 512);
 
 /// A CFG whose jump tables have been resolved into real edges, together with

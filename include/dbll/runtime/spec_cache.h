@@ -3,16 +3,20 @@
 // A compiled specialization is fully determined by
 //   (target address, public signature, LiftConfig, ordered specializations),
 // where a specialization is either a parameter fixation (index, value) or a
-// constant-memory fixation (index, region *contents*). Two requests with the
-// same key are interchangeable, so the compile service memoizes on it: the
-// repeated case degenerates to a hash lookup instead of a multi-millisecond
-// lift -> O3 -> JIT run (paper Sec. V: rewriting time must be amortized over
-// the calls of the specialized function).
+// constant-memory fixation (index, region address + *contents*). Two
+// requests with the same key are interchangeable, so the compile service
+// memoizes on it: the repeated case degenerates to a hash lookup instead of
+// a multi-millisecond lift -> O3 -> JIT run (paper Sec. V: rewriting time
+// must be amortized over the calls of the specialized function).
 //
 // Constant-memory regions are *copied* at request time: the key hashes the
 // bytes, matching the semantic contract that the region is constant for the
 // lifetime of the specialized code. If the caller later changes the region
 // and requests again, the content hash differs and a fresh compile runs.
+// The region's source address is hashed too: the pointer-link proofs
+// (analysis::FindPointerLinks) that SpecializeConstMemGraph bakes into
+// Tier-0 code depend on absolute addresses, so a byte-identical region at a
+// relocated address must not alias a cached compile.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +36,13 @@ struct SpecAction {
   std::uint64_t value = 0;          ///< kParam: the fixed value
   /// kConstMem / kConstRange: region contents (copied at request time).
   std::vector<std::uint8_t> bytes;
-  /// The live source address the bytes were copied from. For kConstMem it is
-  /// not part of the cache key (the *contents* are what the key hashes);
-  /// kept so the Tier-1 DBrew fallback (fallback.h) can re-express the
-  /// fixation as a SetParam + SetMemRange on the original region. For
-  /// kConstRange it *is* hashed: an unanchored region is identified by its
-  /// address, and the pointer-link proofs (analysis::FindPointerLinks) that
-  /// let the specializer chase into it depend on the absolute addresses.
+  /// The live source address the bytes were copied from. Part of the cache
+  /// key for both memory kinds: the pointer-link proofs
+  /// (analysis::FindPointerLinks) that let the specializer chase between
+  /// regions depend on the absolute addresses, so relocated but
+  /// byte-identical regions must hash differently. Also lets the Tier-1
+  /// DBrew fallback (fallback.h) re-express the fixation as a SetParam +
+  /// SetMemRange on the original region.
   std::uint64_t mem_addr = 0;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "dbll/analysis/liveness.h"
 #include "dbll/obs/obs.h"
@@ -174,11 +177,20 @@ ValueRange RangeMul(const ValueRange& a, const ValueRange& b) {
   return Normalize(ValueRange::Bounded(a.lo * b.lo, static_cast<std::uint64_t>(hi)));
 }
 
-ValueRange RangeShl(const ValueRange& a, const ValueRange& amount) {
+namespace {
+/// Hardware shift-count masking: 8-byte operands take the count modulo 64,
+/// narrower ones modulo 32 (the decoder only clamps immediates to 0x3f, so
+/// `shr eax, 33` reaches us with count 33 but shifts by 1).
+std::uint64_t MaskShiftCount(std::uint64_t count, int width) {
+  return count & (width == 8 ? 63u : 31u);
+}
+}  // namespace
+
+ValueRange RangeShl(const ValueRange& a, const ValueRange& amount,
+                    int width) {
   if (!amount.IsConstant()) return ValueRange::Top();
-  const std::uint64_t c = amount.ConstantValue();
+  const std::uint64_t c = MaskShiftCount(amount.ConstantValue(), width);
   if (c == 0) return a;
-  if (c >= 64) return ValueRange::Top();
   ValueRange r = ValueRange::Top();
   if (a.hi <= (~0ull >> c)) {  // no bit shifts out
     r.lo = a.lo << c;
@@ -189,11 +201,11 @@ ValueRange RangeShl(const ValueRange& a, const ValueRange& amount) {
   return Normalize(r);
 }
 
-ValueRange RangeShr(const ValueRange& a, const ValueRange& amount) {
+ValueRange RangeShr(const ValueRange& a, const ValueRange& amount,
+                    int width) {
   if (!amount.IsConstant()) return ValueRange::Top();
-  const std::uint64_t c = amount.ConstantValue();
+  const std::uint64_t c = MaskShiftCount(amount.ConstantValue(), width);
   if (c == 0) return a;
-  if (c >= 64) return ValueRange::Constant(0);
   ValueRange r;
   r.lo = a.lo >> c;
   r.hi = a.hi >> c;
@@ -466,20 +478,21 @@ void TransferInstr(GpState& state, const Instr& instr,
       WriteGp(state, dst,
               TruncateToWidth(
                   RangeShl(OperandRange(state, instr, dst, options),
-                           OperandRange(state, instr, src, options)),
+                           OperandRange(state, instr, src, options), dst.size),
                   dst.size));
       return;
     case Mnemonic::kShr:
       WriteGp(state, dst,
               RangeShr(OperandRange(state, instr, dst, options),
-                       OperandRange(state, instr, src, options)));
+                       OperandRange(state, instr, src, options), dst.size));
       return;
     case Mnemonic::kSar: {
       const ValueRange value = OperandRange(state, instr, dst, options);
       if (value.hi < (1ull << (8 * dst.size - 1))) {
         // Non-negative within the operand width: sar behaves like shr.
         WriteGp(state, dst,
-                RangeShr(value, OperandRange(state, instr, src, options)));
+                RangeShr(value, OperandRange(state, instr, src, options),
+                         dst.size));
       } else {
         WriteGp(state, dst, ValueRange::Top());
       }
@@ -583,6 +596,30 @@ const Instr* EdgeComparison(const x86::BasicBlock& block) {
   return nullptr;
 }
 
+/// True when any instruction strictly between `cmp` and the block terminator
+/// (all of which are non-flag-writers, or EdgeComparison would have rejected
+/// the block) writes GP register `reg`. The comparison then constrained a
+/// value the end-of-block state no longer holds, so edge refinement must not
+/// touch it: for `cmp rax, 5; mov rax, rbx; jb L` the [0,4] bound belongs to
+/// the old rax, not to rbx's value.
+bool ClobberedAfterComparison(const x86::BasicBlock& block, const Instr* cmp,
+                              Reg reg) {
+  const LocSet loc = LocSet::FromReg(reg);
+  bool after = false;
+  for (const Instr& instr : block.instrs) {
+    if (&instr == cmp) {
+      after = true;
+      continue;
+    }
+    if (!after || instr.IsBlockTerminator()) continue;
+    const InstrEffects effects = EffectsOf(instr);
+    if (!effects.known || (effects.defs | effects.kills).Intersects(loc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Refines `state` along the CFG edge `block` -> `successor` using the
 /// comparison feeding the terminating jcc.
 GpState RefineEdge(GpState state, const x86::BasicBlock& block,
@@ -603,6 +640,7 @@ GpState RefineEdge(GpState state, const x86::BasicBlock& block,
 
   const Operand& lhs = cmp->ops[0];
   if (!lhs.is_reg() || !IsGp(lhs.reg) || lhs.high8) return state;
+  if (ClobberedAfterComparison(block, cmp, lhs.reg)) return state;
   const int width = lhs.size;
   ValueRange& reg = state[lhs.reg.index];
 
@@ -626,6 +664,9 @@ GpState RefineEdge(GpState state, const x86::BasicBlock& block,
     constant = static_cast<std::uint64_t>(rhs.imm);
     if (width < 8) constant &= WidthMask(width);
   } else if (rhs.is_reg() && IsGp(rhs.reg) && !rhs.high8) {
+    // The comparand register is read from the end-of-block state too, so it
+    // must be equally unclobbered since the comparison.
+    if (ClobberedAfterComparison(block, cmp, rhs.reg)) return state;
     const ValueRange rv = RegRead(state, rhs.reg, width);
     if (!rv.IsConstant()) return state;
     constant = rv.ConstantValue();
@@ -788,6 +829,47 @@ struct TableShape {
   std::uint64_t relative_base = 0;  ///< added to i32 entries
 };
 
+/// Readable, non-writable address ranges of this process, snapshotted from
+/// /proc/self/maps. Contiguous mappings are merged so a table spanning two
+/// adjacent read-only segments still qualifies. Used to prove that jump-table
+/// bytes are both mapped (reading them cannot fault the compiler thread) and
+/// immutable (the resolved target set cannot go stale behind the lifted
+/// switch). An unreadable maps file yields an empty set: only declared
+/// ConstRegions resolve then.
+class ReadOnlyMappings {
+ public:
+  ReadOnlyMappings() {
+    std::FILE* maps = std::fopen("/proc/self/maps", "re");
+    if (maps == nullptr) return;
+    char line[512];
+    while (std::fgets(line, sizeof(line), maps) != nullptr) {
+      unsigned long long start = 0;
+      unsigned long long end = 0;
+      char perms[8] = {};
+      if (std::sscanf(line, "%llx-%llx %7s", &start, &end, perms) != 3) {
+        continue;
+      }
+      if (perms[0] != 'r' || perms[1] == 'w') continue;
+      if (!ranges_.empty() && ranges_.back().second == start) {
+        ranges_.back().second = end;
+      } else {
+        ranges_.emplace_back(start, end);
+      }
+    }
+    std::fclose(maps);
+  }
+
+  bool Contains(std::uint64_t addr, std::uint64_t len) const {
+    for (const auto& [start, end] : ranges_) {
+      if (addr >= start && addr < end && len <= end - addr) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_;
+};
+
 /// Extracts a singleton base + bounded index from a table memory operand.
 bool MatchTableOperand(const GpState& state, const Instr& instr,
                        const MemOperand& mem, int entry_size,
@@ -875,14 +957,35 @@ bool MatchDispatch(const x86::BasicBlock& block, const FunctionRanges& ranges,
 
 std::vector<JumpTable> ResolveJumpTables(const x86::Cfg& cfg,
                                          const FunctionRanges& ranges,
+                                         const RangeOptions& options,
                                          std::size_t max_entries) {
   std::vector<JumpTable> tables;
   if (!ranges.converged()) return tables;
+  // Parsed lazily, at most once per call: most CFGs have no dispatch site.
+  std::optional<ReadOnlyMappings> ro_mappings;
+  auto provably_constant = [&](std::uint64_t addr, std::uint64_t len) {
+    for (const ConstRegion& region : options.const_regions) {
+      if (region.ContainsRange(addr, len)) return true;
+    }
+    if (!ro_mappings) ro_mappings.emplace();
+    return ro_mappings->Contains(addr, len);
+  };
   for (const auto& [start, block] : cfg.blocks) {
     if (!block.HasIndirectJump() || !block.indirect_targets.empty()) continue;
     TableShape shape;
     if (!MatchDispatch(block, ranges, shape)) continue;
     if (shape.index.IntervalSize() > max_entries) continue;
+
+    // The scan below reads table memory, and LiftIndirectJump treats the
+    // resolved target set as exhaustive: only accept a table whose full
+    // scanned byte range provably cannot change -- a declared ConstRegion or
+    // a read-only mapping. A writable (or unmapped) table stays unresolved
+    // and the site keeps its fatal classification.
+    const auto size = static_cast<std::uint64_t>(shape.entry_size);
+    const std::uint64_t first_slot = shape.entry_base + shape.index.lo * size;
+    const std::uint64_t scan_len = shape.index.IntervalSize() * size;
+    if (first_slot + scan_len < first_slot) continue;  // wrapped range
+    if (!provably_constant(first_slot, scan_len)) continue;
 
     JumpTable table;
     table.site = block.instrs.back().address;
@@ -934,7 +1037,7 @@ Expected<RangeResolvedCfg> BuildRangeResolvedCfg(
   for (int round = 0; round < 4; ++round) {
     result.ranges = ComputeRanges(result.cfg, range_options);
     std::vector<JumpTable> found =
-        ResolveJumpTables(result.cfg, result.ranges);
+        ResolveJumpTables(result.cfg, result.ranges, range_options);
     if (found.empty()) break;
     for (const JumpTable& table : found) {
       resolved[table.site] = table.targets;

@@ -2261,9 +2261,13 @@ Status BodyLifter::LiftBlock(const x86::BasicBlock& block, BlockInfo& info) {
 
 Status BodyLifter::LiftIndirectJump(const x86::BasicBlock& block,
                                     const Instr& last) {
-  // The value-range pass proved `last` a jump-table dispatch and the CFG
-  // carries its complete target set, so the computed address can only hit
-  // one of the case labels; the default is genuinely unreachable.
+  // The value-range pass proved `last` a jump-table dispatch against
+  // immutable (read-only mapped or ConstRegion-declared) table memory, so
+  // the computed address can only hit one of the case labels. The default is
+  // still lowered to a trap rather than bare `unreachable`: if the constancy
+  // contract is ever violated, the stale dispatch faults deterministically
+  // -- the crashguard probation window (src/runtime/containment.cpp) then
+  // demotes to the original entry -- instead of executing undefined IR.
   DBLL_TRY(L::Value * target, ReadInt(last, last.ops[0]));
   if (target->getType() != I64()) target = b().CreateZExt(target, I64());
   char name[32];
@@ -2278,6 +2282,7 @@ Status BodyLifter::LiftIndirectJump(const x86::BasicBlock& block,
                 blocks_.at(addr).bb);
   }
   b().SetInsertPoint(unreachable_bb);
+  b().CreateIntrinsic(L::Intrinsic::trap, {}, {});
   b().CreateUnreachable();
   return Status::Ok();
 }

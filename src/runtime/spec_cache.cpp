@@ -76,11 +76,12 @@ SpecKey::SpecKey(const CompileRequest& request) {
     if (spec.kind == SpecAction::Kind::kParam) {
       Append64(blob_, spec.value);
     } else {
-      // Unanchored ranges are identified by their address (see SpecAction);
-      // parameter-bound regions by contents alone.
-      if (spec.kind == SpecAction::Kind::kConstRange) {
-        Append64(blob_, spec.mem_addr);
-      }
+      // Every memory fixation is identified by address *and* contents: the
+      // bytes feed flat constant folding, while the absolute addresses decide
+      // the pointer-link graph (analysis::FindPointerLinks) that
+      // SpecializeConstMemGraph bakes into Tier-0 code -- byte-identical
+      // regions at different addresses are not interchangeable.
+      Append64(blob_, spec.mem_addr);
       Append64(blob_, spec.bytes.size());
       blob_.insert(blob_.end(), spec.bytes.begin(), spec.bytes.end());
     }

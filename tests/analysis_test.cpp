@@ -316,6 +316,21 @@ TEST(RangeLatticeTest, AndOrShlTrackKnownBits) {
   EXPECT_FALSE(shifted.Contains(9));  // low three bits are known zero
 }
 
+TEST(RangeLatticeTest, ShiftCountsMaskLikeHardware) {
+  // 64-bit operands take the count modulo 64: shr rax, 65 shifts by 1.
+  EXPECT_EQ(RangeShr(ValueRange::Constant(0x100), ValueRange::Constant(65)),
+            ValueRange::Constant(0x80));
+  // Narrower operands mask with 31: shr eax, 33 shifts by 1 (the decoder
+  // only clamps immediates to 0x3f), it does not clear the register.
+  EXPECT_EQ(RangeShr(ValueRange::Constant(0x100), ValueRange::Constant(33), 4),
+            ValueRange::Constant(0x80));
+  EXPECT_EQ(RangeShl(ValueRange::Constant(1), ValueRange::Constant(33), 4),
+            ValueRange::Constant(2));
+  // Count 32 on a 32-bit operand masks to 0: a no-op, not a clear.
+  EXPECT_EQ(RangeShr(ValueRange::Bounded(4, 8), ValueRange::Constant(32), 4),
+            ValueRange::Bounded(4, 8));
+}
+
 TEST(RangeLatticeTest, TruncateToWidthModelsNarrowWrites) {
   EXPECT_EQ(TruncateToWidth(ValueRange::Bounded(0, 10), 4),
             ValueRange::Bounded(0, 10));
@@ -388,6 +403,51 @@ TEST(RangeAnalysisTest, ComparisonRefinesBothEdges) {
   EXPECT_EQ(ranges.BeforeReg(0x1009, 7).hi, 9u);
 }
 
+TEST(RangeAnalysisTest, NarrowShiftMasksCountInDecodedCode) {
+  //   1000: b8 00 01 00 00   mov eax, 0x100
+  //   1005: c1 e8 21         shr eax, 33   (hardware shifts by 33 & 31 == 1)
+  //   1008: c3               ret
+  const FunctionRanges ranges =
+      RangesOf({0xb8, 0x00, 0x01, 0x00, 0x00, 0xc1, 0xe8, 0x21, 0xc3});
+  EXPECT_TRUE(ranges.converged());
+  EXPECT_EQ(ranges.BeforeReg(0x1008, 0), ValueRange::Constant(0x80));
+}
+
+TEST(RangeAnalysisTest, RefinementSkipsClobberedCompareOperand) {
+  // The cmp constrained the *old* rax; the mov replaces it with rbx (top)
+  // before the jcc, so neither edge may refine the new value.
+  //   1000: 48 83 f8 05   cmp rax, 5
+  //   1004: 48 89 d8      mov rax, rbx
+  //   1007: 72 04         jb  100d
+  //   1009: 48 31 c0      xor rax, rax
+  //   100c: c3            ret
+  //   100d: c3            ret
+  const FunctionRanges ranges =
+      RangesOf({0x48, 0x83, 0xf8, 0x05, 0x48, 0x89, 0xd8, 0x72, 0x04, 0x48,
+                0x31, 0xc0, 0xc3, 0xc3});
+  EXPECT_TRUE(ranges.converged());
+  EXPECT_TRUE(ranges.BeforeReg(0x100d, 0).IsTop());  // taken edge: no [0,4]
+  EXPECT_TRUE(ranges.BeforeReg(0x1009, 0).IsTop());  // fall-through either
+}
+
+TEST(RangeAnalysisTest, RefinementSkipsClobberedComparand) {
+  // rcx is rewritten to a constant between the cmp and the jcc: the compare
+  // did not test rax against 99, so the edge must not refine rax with it.
+  //   1000: 48 39 c8               cmp rax, rcx
+  //   1003: 48 c7 c1 63 00 00 00   mov rcx, 99
+  //   100a: 72 04                  jb  1010
+  //   100c: 48 31 c0               xor rax, rax
+  //   100f: c3                     ret
+  //   1010: c3                     ret
+  const FunctionRanges ranges =
+      RangesOf({0x48, 0x39, 0xc8, 0x48, 0xc7, 0xc1, 0x63, 0x00, 0x00, 0x00,
+                0x72, 0x04, 0x48, 0x31, 0xc0, 0xc3, 0xc3});
+  EXPECT_TRUE(ranges.converged());
+  EXPECT_TRUE(ranges.BeforeReg(0x1010, 0).IsTop());
+  // The clobbering mov itself still propagates normally.
+  EXPECT_EQ(ranges.BeforeReg(0x1010, 1), ValueRange::Constant(99));
+}
+
 TEST(RangeAnalysisTest, ExhaustedBudgetDegradesToTop) {
   RangeOptions options;
   options.budget = 1;
@@ -407,40 +467,65 @@ TEST(RangeAnalysisTest, EntrySeedsPropagate) {
 
 // --- Jump-table resolution ---------------------------------------------------
 
-// Dispatch targets for the hand-assembled switch; filled from the encoded
-// buffer before the analysis runs. File-scope so the table address encodes
-// into a movabs immediate without lifetime concerns.
+// Dispatch targets for the writable-table negative test; filled from the
+// encoded buffer before the analysis runs. File-scope (.bss, writable) so
+// the table address encodes into a movabs immediate without lifetime
+// concerns.
 alignas(8) std::uint64_t g_jump_table[4];
 
-TEST(JumpTableTest, ResolvesHandAssembledAbsoluteTable) {
-  // Hand-assembled absolute-table switch (the second dispatch form):
-  //   and edi, 3
-  //   movabs rcx, &g_jump_table
-  //   mov rax, [rcx + rdi*8]
-  //   jmp rax
-  // t_k: mov eax, <11*(k+1)> ; ret        (k = 0..3, 6 bytes each)
-  auto buffer = CodeBuffer::Allocate(4096);
-  ASSERT_TRUE(buffer.has_value());
-  const std::uint64_t entry = reinterpret_cast<std::uint64_t>(buffer->data());
+// Assembles the absolute-table switch used by the jump-table tests
+// (the second dispatch form):
+//   and edi, 3
+//   movabs rcx, table_addr
+//   mov rax, [rcx + rdi*8]
+//   jmp rax
+// t_k: mov eax, <11*(k+1)> ; ret        (k = 0..3, 6 bytes each)
+// Reports the indirect-jmp site and the four case-label addresses, both
+// relative to `entry`.
+std::vector<std::uint8_t> AssembleSwitch(std::uint64_t entry,
+                                         std::uint64_t table_addr,
+                                         std::uint64_t* jmp_site,
+                                         std::uint64_t targets[4]) {
   std::vector<std::uint8_t> code = {0x83, 0xe7, 0x03};           // and edi,3
   code.push_back(0x48);                                          // movabs rcx
   code.push_back(0xb9);
-  const std::uint64_t table_addr =
-      reinterpret_cast<std::uint64_t>(&g_jump_table[0]);
   for (int i = 0; i < 8; ++i) {
     code.push_back(static_cast<std::uint8_t>(table_addr >> (8 * i)));
   }
   code.insert(code.end(), {0x48, 0x8b, 0x04, 0xf9});             // mov rax,[rcx+rdi*8]
   code.insert(code.end(), {0xff, 0xe0});                         // jmp rax
-  const std::uint64_t jmp_site = entry + code.size() - 2;
+  *jmp_site = entry + code.size() - 2;
   for (int k = 0; k < 4; ++k) {
-    g_jump_table[k] = entry + code.size();
+    targets[k] = entry + code.size();
     const std::uint32_t value = 11u * static_cast<std::uint32_t>(k + 1);
     code.push_back(0xb8);                                        // mov eax, imm32
     for (int i = 0; i < 4; ++i) {
       code.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
     }
     code.push_back(0xc3);                                        // ret
+  }
+  return code;
+}
+
+TEST(JumpTableTest, ResolvesHandAssembledAbsoluteTable) {
+  // The table lives inside the sealed (read+exec) buffer, 8-aligned past the
+  // code, so it satisfies the resolver's read-only-mapping requirement
+  // exactly like a compiler-emitted .rodata table does.
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint64_t entry = reinterpret_cast<std::uint64_t>(buffer->data());
+  constexpr std::uint64_t kTableOffset = 48;
+  const std::uint64_t table_addr = entry + kTableOffset;
+  std::uint64_t jmp_site = 0;
+  std::uint64_t targets[4] = {};
+  std::vector<std::uint8_t> code =
+      AssembleSwitch(entry, table_addr, &jmp_site, targets);
+  ASSERT_LE(code.size(), kTableOffset);
+  code.resize(kTableOffset, 0xcc);  // int3 padding, never reached
+  for (int k = 0; k < 4; ++k) {
+    for (int i = 0; i < 8; ++i) {
+      code.push_back(static_cast<std::uint8_t>(targets[k] >> (8 * i)));
+    }
   }
   ASSERT_TRUE(buffer->Append(code).has_value());
   ASSERT_TRUE(buffer->Seal().ok());
@@ -456,7 +541,7 @@ TEST(JumpTableTest, ResolvesHandAssembledAbsoluteTable) {
   EXPECT_EQ(table.table_base, table_addr);
   ASSERT_EQ(table.targets.size(), 4u);
   for (int k = 0; k < 4; ++k) {
-    EXPECT_EQ(table.targets[static_cast<std::size_t>(k)], g_jump_table[k]);
+    EXPECT_EQ(table.targets[static_cast<std::size_t>(k)], targets[k]);
   }
   // The resolved CFG carries the targets as real edges on the dispatch block.
   const x86::BasicBlock& dispatch = resolved->cfg.entry_block();
@@ -476,6 +561,41 @@ TEST(JumpTableTest, ResolvesHandAssembledAbsoluteTable) {
   for (long a = -9; a <= 9; ++a) {
     EXPECT_EQ(jitted(a), native(a)) << "a=" << a;
   }
+}
+
+TEST(JumpTableTest, WritableTableRequiresDeclaredConstRegion) {
+  // Same dispatch shape, but the table lives in writable .bss: its bytes
+  // could change between analysis and execution, so the resolver must refuse
+  // it -- the lifted switch would otherwise bake a stale, exhaustive target
+  // set -- unless the caller declares the region constant (the DBrew
+  // SetMemRange contract).
+  auto buffer = CodeBuffer::Allocate(4096);
+  ASSERT_TRUE(buffer.has_value());
+  const std::uint64_t entry = reinterpret_cast<std::uint64_t>(buffer->data());
+  const std::uint64_t table_addr =
+      reinterpret_cast<std::uint64_t>(&g_jump_table[0]);
+  std::uint64_t jmp_site = 0;
+  std::uint64_t targets[4] = {};
+  const std::vector<std::uint8_t> code =
+      AssembleSwitch(entry, table_addr, &jmp_site, targets);
+  for (int k = 0; k < 4; ++k) g_jump_table[k] = targets[k];
+  ASSERT_TRUE(buffer->Append(code).has_value());
+  ASSERT_TRUE(buffer->Seal().ok());
+
+  auto unresolved = BuildRangeResolvedCfg(entry);
+  ASSERT_TRUE(unresolved.has_value()) << unresolved.error().Format();
+  EXPECT_TRUE(unresolved->unresolved_indirect);
+  EXPECT_TRUE(unresolved->tables.empty());
+
+  RangeOptions options;
+  options.const_regions.push_back(
+      ConstRegion{table_addr, sizeof(g_jump_table)});
+  auto resolved = BuildRangeResolvedCfg(entry, {}, options);
+  ASSERT_TRUE(resolved.has_value()) << resolved.error().Format();
+  EXPECT_FALSE(resolved->unresolved_indirect);
+  ASSERT_EQ(resolved->tables.size(), 1u);
+  EXPECT_EQ(resolved->tables[0].site, jmp_site);
+  EXPECT_EQ(resolved->tables[0].targets.size(), 4u);
 }
 
 // --- Pointer links between fixed regions -------------------------------------
