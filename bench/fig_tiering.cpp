@@ -44,6 +44,18 @@ namespace {
 constexpr long kSpmvRows = 256;
 using SpmvFn = void (*)(const CsrMatrix*, const double*, double*, long);
 
+/// Element-wise comparison with the harness's relative tolerance: the
+/// promoted Tier-0 kernel targets the host's best ISA level
+/// (docs/codegen.md), where fast-math lets mul+add contract to FMA --
+/// bit equality with the natively-built generic kernel is not the contract.
+bool AlmostEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!ChecksumOk(a[i], b[i])) return false;
+  }
+  return true;
+}
+
 runtime::CompileService::Options Untiered() {
   runtime::CompileService::Options options;
   options.workers = 1;
@@ -195,7 +207,7 @@ int main(int argc, char** argv) {
     stencil_line_flat(&FourPointFlat(), grid.front(), ref.data(), 1);
     reinterpret_cast<LineKernel>(entry)(&FourPointFlat(), grid.front(),
                                         got.data(), 1);
-    return ref == got;
+    return AlmostEqual(ref, got);
   };
 
   CsrBuilder builder = CsrBuilder::Banded(kSpmvRows, {-16, -1, 0, 1, 16});
@@ -222,7 +234,7 @@ int main(int argc, char** argv) {
     std::vector<double> got(static_cast<std::size_t>(kSpmvRows), 0.0);
     spmv_full(&matrix, x.data(), ref.data(), kSpmvRows);
     reinterpret_cast<SpmvFn>(entry)(&matrix, x.data(), got.data(), kSpmvRows);
-    return ref == got;
+    return AlmostEqual(ref, got);
   };
 
   JsonObject json;
@@ -438,7 +450,7 @@ int main(int argc, char** argv) {
     std::vector<double> got(static_cast<std::size_t>(kSpmvRows), 0.0);
     spmv_full(&matrix, x.data(), ref.data(), wrong_rows);
     handle.as<SpmvFn>()(&matrix, x.data(), got.data(), wrong_rows);
-    const bool mismatch_correct = ref == got;
+    const bool mismatch_correct = AlmostEqual(ref, got);
 
     // Let the next profile samples observe the guard hit and commit the
     // demotion to the generic entry.

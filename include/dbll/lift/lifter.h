@@ -98,6 +98,20 @@ struct LiftConfig {
   /// Instruction-step budget of the range fixpoint per lifted function;
   /// exceeding it degrades every range to top (sound, just unhelpful).
   std::uint32_t range_budget = 1u << 17;
+  /// ISA ladder level code is generated for (support/cpu_features.h):
+  /// 0 = baseline (SSE2), 1 = avx2, 2 = avx512. Negative means "auto": the
+  /// Lifter constructor and the compile service resolve it to the host's
+  /// effective level (masked by DBLL_JIT_ISA), so every key actually cached
+  /// carries a concrete level. Levels above the effective one are clamped
+  /// down -- the JIT never emits code the host cannot run.
+  int isa_level = -1;
+  /// Per-request vectorization width: when nonzero, lifted loop back-edges
+  /// carry llvm.loop.vectorize.width (alongside the enable hint), forcing
+  /// the vectorizer to that VF regardless of its cost model -- the
+  /// race-free replacement for flipping the process-global
+  /// -force-vector-width cl::opt (paper Sec. VI-B). 0 leaves the cost
+  /// model in charge.
+  std::uint32_t vector_width = 0;
 };
 
 /// Stable 64-bit fingerprint over every semantic field of a LiftConfig.
@@ -252,6 +266,15 @@ class Lifter {
 /// change in either invalidates every cached object (object_store.h).
 const std::string& LlvmVersionString();
 const std::string& JitTargetCpu();
+
+/// Per-ISA-level toolchain stamp: the base CPU plus the level's subtarget
+/// feature string (support/cpu_features.h), e.g. "x86-64" for baseline or
+/// "x86-64+avx,+avx2,...". Persisted entries are stamped with the level they
+/// were compiled for, so one shared cache directory holds coexisting
+/// variants and each host validates an entry against the stamp its own
+/// toolchain would produce for that level. Includes DBLL_JIT_FEATURES
+/// extras (re-read per call).
+std::string JitTargetCpuFor(int isa_level);
 
 /// Takes (removes and returns) the object buffer captured under `tag` by the
 /// most recent Compile() of a SetCacheTag()ed module; empty when nothing was

@@ -64,6 +64,15 @@ struct ObjectEntry {
   /// already separates the tiers because the SpecKey folds the LiftConfig
   /// (opt level + pass preset) in.
   std::uint32_t opt_tier = 0;
+  /// ISA ladder level the object was compiled for (support/cpu_features.h:
+  /// 0 = baseline, 1 = avx2, 2 = avx512). Unlike opt_tier this one is
+  /// *load-bearing*: a host whose effective level is lower than the entry's
+  /// must treat it as a clean miss -- installing it would fault on the
+  /// first AVX instruction. The fingerprint separates levels too (the
+  /// LiftConfig fingerprint folds isa_level in, and the persist fingerprint
+  /// mixes the per-level cpu+features stamp), so coexisting variants of one
+  /// kernel share a cache directory without aliasing.
+  std::uint32_t isa_level = 0;
   std::vector<std::uint8_t> object;  ///< the emitted relocatable object file
 };
 
@@ -92,6 +101,11 @@ struct ObjectStoreStats {
   std::uint64_t quarantined = 0;          ///< fingerprints this store poisoned
   std::uint64_t quarantine_entries = 0;   ///< records in the loaded sidecar
   std::uint64_t quarantine_blocked = 0;   ///< loads/stores/inserts vetoed
+  /// Valid entries refused because they target a higher ISA level than this
+  /// host's effective one (support/cpu_features.h). A refusal is a clean
+  /// miss: the file is kept (another host in the fleet can run it), nothing
+  /// is installed.
+  std::uint64_t isa_refused = 0;
 };
 
 /// Result of validating one on-disk entry (dbll-cachectl's unit of output).
@@ -104,6 +118,7 @@ struct ObjectScanEntry {
   std::string llvm_version;
   std::string target_cpu;
   std::uint32_t opt_tier = 0;    ///< 0 = full O3, 1 = Tier-0a baseline
+  std::uint32_t isa_level = 0;   ///< ISA ladder level (0/1/2)
   bool valid = false;
   std::string detail;            ///< why validation failed ("" when valid)
 };
@@ -198,9 +213,14 @@ class ObjectStore {
   /// Unpacks a bundle into `dir`, re-validating the bundle checksum and
   /// every contained entry; entry files are published byte-identical to
   /// what ExportBundle read. Returns the number of entries imported; a
-  /// bundle that fails validation imports nothing.
-  static Expected<std::uint64_t> ImportBundle(const std::string& path,
-                                              const std::string& dir);
+  /// bundle that fails validation imports nothing. Entries targeting an ISA
+  /// level above this host's effective one (hardware masked by
+  /// DBLL_JIT_ISA) are skipped -- they could never load here -- and counted
+  /// into *skipped_isa when non-null, so tooling reports them instead of
+  /// silently dropping them.
+  static Expected<std::uint64_t> ImportBundle(
+      const std::string& path, const std::string& dir,
+      std::uint64_t* skipped_isa = nullptr);
 
  private:
   void TouchManifest(std::uint64_t fingerprint);
@@ -212,7 +232,7 @@ class ObjectStore {
   std::shared_ptr<Quarantine> quarantine_;
   mutable std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
       evictions_{0}, corrupt_dropped_{0}, errors_{0}, load_ns_{0},
-      store_ns_{0}, quarantined_{0};
+      store_ns_{0}, quarantined_{0}, isa_refused_{0};
 };
 
 /// Stable on-disk fingerprint of one compile request: FNV-1a over the
@@ -220,6 +240,15 @@ class ObjectStore {
 /// LLVM version string, and the JIT target CPU. See the file comment for the
 /// invalidation rules this encodes.
 std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address);
+
+/// Per-ISA-level variant: mixes the level's cpu+features stamp
+/// (lift::JitTargetCpuFor, including DBLL_JIT_FEATURES extras) instead of
+/// the base CPU, so coexisting variants of one request hash to distinct
+/// entries. The two-argument form equals isa_level 0 only while the request
+/// config itself is baseline (the SpecKey blob folds isa_level in either
+/// way).
+std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address,
+                                 int isa_level);
 
 /// FNV-1a over the LLVM version string and the JIT target CPU: the stamp the
 /// shm ring header carries so processes built against different toolchains

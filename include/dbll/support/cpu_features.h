@@ -1,0 +1,119 @@
+// dbll -- host CPU feature detection and the ISA-level ladder.
+//
+// The JIT historically pinned its target to plain "x86-64" (SSE2 baseline),
+// so Tier-0 kernels left AVX2/AVX-512 hardware idle. This header detects
+// what the host actually supports (cpuid + xgetbv, because the OS must
+// enable YMM/ZMM state before AVX is usable) and collapses the feature set
+// into a small *ordered* ladder of ISA levels:
+//
+//   baseline (0)  <  avx2 (1)  <  avx512 (2)
+//
+// The ladder -- not the raw feature bitmap -- is the unit of
+// multi-versioning everywhere else: LiftConfig carries an isa_level, the
+// pass pipeline and the ORC compiler select a per-level TargetMachine, and
+// the persistent object cache fingerprints each level separately so one
+// shared cache directory holds coexisting variants and each host installs
+// the best one it can run (docs/codegen.md).
+//
+// Level semantics (deliberately coarse, matching the x86-64-v3/v4
+// micro-architecture levels):
+//   baseline  x86-64 + SSE2 -- what every host speaks, and the only level
+//             the DBrew-reconsumed paths (Tier-0a interim seed, Tier-1
+//             rewrite, guard stubs) are allowed to see: the decoder only
+//             understands non-VEX encodings.
+//   avx2      requires SSE4.2, AVX, AVX2, FMA, BMI1, BMI2, POPCNT, LZCNT
+//             (~x86-64-v3).
+//   avx512    avx2 plus AVX-512F and AVX-512VL (~x86-64-v4 core).
+//
+// Environment overrides:
+//   DBLL_JIT_ISA=baseline|avx2|avx512   mask the effective level DOWN.
+//       The override can never raise the level above what the host
+//       supports -- emitting AVX on a non-AVX host would fault.
+//   DBLL_JIT_FEATURES=+feat,-feat,...   extra LLVM feature tokens appended
+//       to every level's feature string (power-user escape hatch; tokens
+//       are folded into the per-level persist fingerprint).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dbll::support {
+
+/// Ordered ISA ladder. Numeric values are part of the persistent cache
+/// format (object_store.h serializes the level per entry) -- never renumber.
+enum class IsaLevel : std::uint8_t {
+  kBaseline = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Highest level the ladder defines (for iteration).
+inline constexpr int kMaxIsaLevel = static_cast<int>(IsaLevel::kAvx512);
+
+/// Raw cpuid/xgetbv material, separated from the decode so tests can feed
+/// synthetic snapshots (hostile vectors, partial XCR0 masks) without
+/// depending on the machine they run on.
+struct CpuidSnapshot {
+  std::uint32_t leaf1_ecx = 0;  ///< cpuid(1).ecx: sse3/ssse3/sse4/avx/fma...
+  std::uint32_t leaf7_ebx = 0;  ///< cpuid(7,0).ebx: avx2/bmi/avx512...
+  std::uint32_t ext1_ecx = 0;   ///< cpuid(0x80000001).ecx: lzcnt (ABM)
+  std::uint64_t xcr0 = 0;       ///< xgetbv(0); only read when OSXSAVE is set
+};
+
+/// Decoded feature booleans. Only the features the ladder cares about; the
+/// raw snapshot is available for anything finer-grained.
+struct CpuFeatures {
+  bool sse3 = false;
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512vl = false;
+  bool bmi1 = false;
+  bool bmi2 = false;
+  bool popcnt = false;
+  bool lzcnt = false;
+};
+
+/// Pure decode of a snapshot, including the xgetbv OS-support gate: the AVX
+/// family is reported only when OSXSAVE is set and XCR0 enables XMM+YMM
+/// state (bits 1|2); AVX-512 additionally requires the opmask/ZMM state
+/// bits (5|6|7). A kernel that context-switches no ZMM state must not make
+/// us emit ZMM code.
+CpuFeatures DecodeCpuFeatures(const CpuidSnapshot& snapshot);
+
+/// Collapses decoded features into the highest ladder level they satisfy.
+IsaLevel LevelFromFeatures(const CpuFeatures& features);
+
+/// Decoded features of this host (real cpuid/xgetbv; cached after the first
+/// call). All-false on non-x86-64 builds.
+const CpuFeatures& HostCpuFeatures();
+
+/// Ladder level of this host (cached). kBaseline on non-x86-64 builds.
+IsaLevel HostIsaLevel();
+
+/// Host level masked down by DBLL_JIT_ISA (re-read on every call so tests
+/// can setenv between assertions). An unparseable value is ignored; the
+/// override can only lower the level, never raise it above the host's.
+IsaLevel EffectiveIsaLevel();
+
+/// Resolves a LiftConfig-style requested level: negative means "auto"
+/// (EffectiveIsaLevel); anything else is clamped into [0, effective].
+IsaLevel ResolveIsaLevel(int requested);
+
+/// "baseline" / "avx2" / "avx512".
+const char* IsaLevelName(IsaLevel level);
+
+/// Parses an IsaLevel name (also accepts the numeric strings "0"/"1"/"2").
+/// Returns false and leaves `out` untouched on anything else.
+bool ParseIsaLevel(const std::string& text, IsaLevel* out);
+
+/// LLVM subtarget feature string for a ladder level, e.g.
+/// "+avx,+avx2,+fma,..." -- empty for baseline (generic x86-64 is SSE2).
+/// DBLL_JIT_FEATURES extras are appended verbatim to every level.
+std::string IsaFeatureString(IsaLevel level);
+
+}  // namespace dbll::support

@@ -78,7 +78,7 @@ rm -rf "$FLEET_DIR" "$FLEET_IMPORT" "$FLEET_BUNDLE"
 "$BUILD/tools/dbll-cachectl" import "$FLEET_BUNDLE" "$FLEET_IMPORT"
 "$BUILD/tools/dbll-cachectl" verify "$FLEET_IMPORT"
 "$BUILD/tools/dbll-cachectl" stats "$FLEET_IMPORT" --json |
-  grep -q '"schema_version": 3'
+  grep -q '"schema_version": 4'
 FLEET_PIDS=""
 for i in 1 2 3 4; do
   "$BUILD/tools/warm_smoke" "$FLEET_IMPORT" --expect-warm &
@@ -143,6 +143,16 @@ DBLL_BENCH_REPS=5 "$BUILD/bench/fig_tiering" --smoke ||
   DBLL_BENCH_REPS=5 "$BUILD/bench/fig_tiering" --smoke
 [ "$(grep -o '"promoted": true' BENCH_tiering.json | wc -l)" -eq 2 ]
 echo "dbll: tiering smoke passed (BENCH_tiering.json written)"
+# ISA multi-versioning gate (docs/codegen.md): one variant of the lifted
+# line kernel per ladder level the host supports, plus an auto-dispatch row.
+# On an AVX2-or-better host the host-best variant must beat the baseline-ISA
+# variant by >= 1.2x on the compute-bound hot band (same retry policy as the
+# tiering smoke: the gate is a timing ratio on a shared host). The forced
+# DBLL_JIT_ISA=baseline leg pins the mask-down path: only the baseline row
+# may run, the speedup gate is vacuous, and the run must still exit 0.
+"$BUILD/bench/fig_vectorize" --smoke || "$BUILD/bench/fig_vectorize" --smoke
+DBLL_JIT_ISA=baseline "$BUILD/bench/fig_vectorize" --smoke > /dev/null
+echo "dbll: ISA multi-versioning smoke passed (BENCH_vectorize.json written)"
 # Sanitized robustness pass: the decoder fuzz and the fallback/fault/
 # containment tests under ASan+UBSan (any sanitizer report aborts, failing
 # the run). detect_leaks=0: the obs Registry/Tracer are intentional leaky
@@ -153,7 +163,8 @@ ASAN_BUILD="${BUILD}-asan"
 cmake -B "$ASAN_BUILD" -S . -DDBLL_SANITIZE=ON \
   -DDBLL_BUILD_BENCHMARKS=OFF -DDBLL_BUILD_EXAMPLES=OFF
 cmake --build "$ASAN_BUILD" -j "$(nproc)" \
-  --target decoder_fuzz_test fallback_test containment_test analysis_test
+  --target decoder_fuzz_test fallback_test containment_test analysis_test \
+  cpu_features_test object_store_test
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/decoder_fuzz_test"
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/fallback_test"
 ASAN_OPTIONS=detect_leaks=0:handle_segv=0:handle_sigbus=0:handle_sigill=0:handle_sigfpe=0:allow_user_segv_handler=1 \
@@ -162,5 +173,11 @@ ASAN_OPTIONS=detect_leaks=0:handle_segv=0:handle_sigbus=0:handle_sigill=0:handle
 # memory through raw pointers, the classic place for a subtle OOB.
 ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/analysis_test" \
   --gtest_filter='RangeLatticeTest.*:RangeAnalysisTest.*:JumpTableTest.*:FindPointerLinksTest.*:RangeLiftTest.*'
-echo "dbll: sanitized fuzz + fallback + containment + ranges tests passed"
+# ISA legs: the cpuid decode is pure bit-twiddling over synthetic snapshots
+# and the hostile object-store paths shuffle raw entry bytes -- both are
+# exactly where an off-by-one hides.
+ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/cpu_features_test"
+ASAN_OPTIONS=detect_leaks=0 "$ASAN_BUILD/tests/object_store_test" \
+  --gtest_filter='ObjectStoreTest.*Isa*:ObjectStoreTest.ImportSkips*'
+echo "dbll: sanitized fuzz + fallback + containment + ranges + ISA tests passed"
 echo "dbll: build, tier-1 tests, benchmark and robustness smoke all passed"

@@ -10,6 +10,7 @@
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/compile_service.h"
 #include "dbll/runtime/containment.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/crashguard.h"
 #include "dbll/support/fault.h"
 
@@ -533,6 +534,15 @@ void dbll_cache_persist_stats(dbll_cache* c, dbll_persist_stats* out) {
   out->shm_inserts = stats.shm_inserts;
   out->shm_evictions = stats.shm_evictions;
   out->shm_errors = stats.shm_errors;
+}
+
+int dbll_jit_isa_level(void) {
+  return static_cast<int>(dbll::support::EffectiveIsaLevel());
+}
+
+uint64_t dbll_cache_stat_isa_refused(dbll_cache* c) {
+  if (c == nullptr) return 0;
+  return c->impl.persist_stats().isa_refused;
 }
 
 /* --- dbll_containment_*: crash containment --------------------------------- */

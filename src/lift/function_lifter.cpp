@@ -36,6 +36,28 @@ using x86::RegClass;
 
 namespace L = llvm;
 
+// Attaches llvm.loop.vectorize.enable (and, when width > 0, a pinned
+// llvm.loop.vectorize.width) to a loop latch terminator. The enable hint
+// overrides the vectorizer's cost model; the width additionally forces the
+// VF -- the per-request form of the paper's -force-vector-width experiment.
+void SetVectorizeLoopMetadata(L::LLVMContext& c, L::Instruction* latch,
+                              std::uint32_t width) {
+  L::SmallVector<L::Metadata*, 3> ops = {nullptr};
+  ops.push_back(L::MDNode::get(
+      c, {L::MDString::get(c, "llvm.loop.vectorize.enable"),
+          L::ConstantAsMetadata::get(
+              L::ConstantInt::getTrue(L::Type::getInt1Ty(c)))}));
+  if (width > 0) {
+    ops.push_back(L::MDNode::get(
+        c, {L::MDString::get(c, "llvm.loop.vectorize.width"),
+            L::ConstantAsMetadata::get(
+                L::ConstantInt::get(L::Type::getInt32Ty(c), width))}));
+  }
+  L::MDNode* loop_id = L::MDNode::getDistinct(c, ops);
+  loop_id->replaceOperandWith(0, loop_id);
+  latch->setMetadata(L::LLVMContext::MD_loop, loop_id);
+}
+
 // Facet indices (paper Fig. 4). The first entry of each family is the
 // canonical bitwise representation that always exists.
 enum GpFacet {
@@ -2493,24 +2515,19 @@ Status BodyLifter::Run() {
 
   DBLL_TRY_STATUS(FillPhis());
 
-  if (config().vectorize_hint) {
+  if (config().vectorize_hint || config().vector_width > 0) {
     // Mark every back edge (branch to a block at a lower address) with
     // llvm.loop.vectorize.enable, overriding the vectorizer's cost model
-    // (paper Sec. VIII / the -force-vector-width=2 experiment).
+    // (paper Sec. VIII / the -force-vector-width=2 experiment). A nonzero
+    // config().vector_width additionally pins the VF -- the per-request
+    // replacement for the process-global -force-vector-width cl::opt.
     for (const auto& [address, block] : cfg_.blocks) {
       const bool backwards =
           (block.branch_target != 0 && block.branch_target <= address);
       if (!backwards) continue;
       L::Instruction* term = blocks_.at(address).bb->getTerminator();
       if (term == nullptr) continue;
-      L::LLVMContext& c = ctx();
-      L::MDNode* enable = L::MDNode::get(
-          c, {L::MDString::get(c, "llvm.loop.vectorize.enable"),
-              L::ConstantAsMetadata::get(
-                  L::ConstantInt::getTrue(L::Type::getInt1Ty(c)))});
-      L::MDNode* loop_id = L::MDNode::getDistinct(c, {nullptr, enable});
-      loop_id->replaceOperandWith(0, loop_id);
-      term->setMetadata(L::LLVMContext::MD_loop, loop_id);
+      SetVectorizeLoopMetadata(ctx(), term, config().vector_width);
     }
   }
   return Status::Ok();
@@ -2763,13 +2780,7 @@ Status ModuleLifter::BuildLineWrapper(L::Function* internal, long stride,
   // Ask the vectorizer to ignore its cost model for this loop: the lifted
   // body is typed IR, which is exactly the meta-information the paper found
   // missing at the binary level (Sec. VI-B / VIII).
-  L::MDNode* enable = L::MDNode::get(
-      ctx(), {L::MDString::get(ctx(), "llvm.loop.vectorize.enable"),
-              L::ConstantAsMetadata::get(
-                  L::ConstantInt::getTrue(L::Type::getInt1Ty(ctx())))});
-  L::MDNode* loop_id = L::MDNode::getDistinct(ctx(), {nullptr, enable});
-  loop_id->replaceOperandWith(0, loop_id);
-  latch->setMetadata(L::LLVMContext::MD_loop, loop_id);
+  SetVectorizeLoopMetadata(ctx(), latch, config().vector_width);
 
   builder_.SetInsertPoint(exit);
   builder_.CreateRetVoid();

@@ -13,13 +13,17 @@
 #include <llvm/ExecutionEngine/Orc/CompileUtils.h>
 #include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
 #include <llvm/ExecutionEngine/Orc/LLJIT.h>
+#include <llvm/IR/Constants.h>
+#include <llvm/IR/Module.h>
 #include <llvm/Support/Host.h>
 #include <llvm/Support/MemoryBuffer.h>
 #include <llvm/Support/TargetSelect.h>
+#include <llvm/Target/TargetMachine.h>
 
 #include <mutex>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
 #include "jit_internal.h"
 
@@ -29,7 +33,77 @@ namespace {
 /// Paper's -mno-avx environment (see the Jit constructor): generic x86-64,
 /// SSE2 baseline, no VEX. Also a persistent-cache fingerprint component.
 constexpr char kTargetCpu[] = "x86-64";
+
+int ClampIsaLevel(int isa_level) {
+  if (isa_level < 0) return 0;
+  if (isa_level > support::kMaxIsaLevel) return support::kMaxIsaLevel;
+  return isa_level;
+}
+
+/// ORC IR compiler that keeps one TargetMachine per ISA ladder level and
+/// picks the one named by the module's "dbll.isa" flag. The baseline is the
+/// default (a module without the flag compiles exactly like the old single-
+/// TM compiler); higher levels are created lazily on first use. Codegen is
+/// serialized under one mutex -- TargetMachine is not thread-safe, and the
+/// previous TMOwningSimpleCompiler shared a single machine anyway.
+class MultiIsaCompiler : public llvm::orc::IRCompileLayer::IRCompiler {
+ public:
+  MultiIsaCompiler(const llvm::TargetOptions& options,
+                   llvm::ObjectCache* cache)
+      : IRCompiler(llvm::orc::irManglingOptionsFromTargetOptions(options)),
+        cache_(cache) {}
+
+  llvm::Expected<std::unique_ptr<llvm::MemoryBuffer>> operator()(
+      llvm::Module& module) override {
+    int level = 0;
+    if (llvm::Metadata* md = module.getModuleFlag(kIsaModuleFlag)) {
+      if (auto* ci = llvm::mdconst::dyn_extract<llvm::ConstantInt>(md)) {
+        level = static_cast<int>(ci->getSExtValue());
+      }
+    }
+    level = ClampIsaLevel(level);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<llvm::TargetMachine>& tm = tms_[level];
+    if (tm == nullptr) {
+      auto created = CreateIsaTargetMachine(level);
+      if (!created) return created.takeError();
+      tm = std::move(*created);
+    }
+    return llvm::orc::SimpleCompiler(*tm, cache_)(module);
+  }
+
+ private:
+  llvm::ObjectCache* cache_;
+  std::mutex mutex_;
+  std::unique_ptr<llvm::TargetMachine> tms_[support::kMaxIsaLevel + 1];
+};
 }  // namespace
+
+llvm::Expected<std::unique_ptr<llvm::TargetMachine>> CreateIsaTargetMachine(
+    int isa_level) {
+  EnsureLlvmInit();
+  llvm::orc::JITTargetMachineBuilder jtmb(
+      llvm::Triple(llvm::sys::getProcessTriple()));
+  jtmb.setCPU(kTargetCpu);
+  const std::string features = support::IsaFeatureString(
+      static_cast<support::IsaLevel>(ClampIsaLevel(isa_level)));
+  std::size_t pos = 0;
+  while (pos < features.size()) {
+    std::size_t comma = features.find(',', pos);
+    if (comma == std::string::npos) comma = features.size();
+    std::string token = features.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token[0] == '+') {
+      jtmb.getFeatures().AddFeature(token.substr(1), true);
+    } else if (token[0] == '-') {
+      jtmb.getFeatures().AddFeature(token.substr(1), false);
+    } else {
+      jtmb.getFeatures().AddFeature(token, true);
+    }
+  }
+  return jtmb.createTargetMachine();
+}
 
 const std::string& LlvmVersionString() {
   static const std::string version = LLVM_VERSION_STRING;
@@ -39,6 +113,13 @@ const std::string& LlvmVersionString() {
 const std::string& JitTargetCpu() {
   static const std::string cpu = kTargetCpu;
   return cpu;
+}
+
+std::string JitTargetCpuFor(int isa_level) {
+  const std::string features = support::IsaFeatureString(
+      static_cast<support::IsaLevel>(ClampIsaLevel(isa_level)));
+  if (features.empty()) return JitTargetCpu();
+  return JitTargetCpu() + "+" + features;
 }
 
 void EnsureLlvmInit() {
@@ -80,10 +161,12 @@ std::vector<std::uint8_t> CaptureObjectCache::Take(
 
 Jit::Jit() : impl_(std::make_unique<Impl>()) {
   EnsureLlvmInit();
-  // Match the paper's -mno-avx environment: the lifter (and the DBrew
-  // decoder, which may re-consume JIT output) supports the SSE subset only,
-  // so the JIT must not emit VEX-encoded code. The generic x86-64 target
-  // (SSE2 baseline) guarantees that.
+  // The *default* target stays the paper's -mno-avx environment: generic
+  // x86-64 (SSE2 baseline), so the DBrew decoder -- which may re-consume
+  // JIT output on the Tier-0a/Tier-1 paths -- never sees VEX encodings.
+  // Modules that RunPipeline stamped with a higher "dbll.isa" level are
+  // compiled by the MultiIsaCompiler with that level's TargetMachine
+  // (docs/codegen.md); such modules are never fed back into DBrew.
   llvm::orc::JITTargetMachineBuilder jtmb(
       llvm::Triple(llvm::sys::getProcessTriple()));
   jtmb.setCPU(kTargetCpu);
@@ -91,16 +174,14 @@ Jit::Jit() : impl_(std::make_unique<Impl>()) {
   auto jit =
       llvm::orc::LLJITBuilder()
           .setJITTargetMachineBuilder(std::move(jtmb))
-          // Same compiler LLJIT would build by default, with the capture
-          // cache attached so tagged modules leave a persistable object.
+          // Per-ISA-level SimpleCompilers with the capture cache attached so
+          // tagged modules leave a persistable object.
           .setCompileFunctionCreator(
               [capture](llvm::orc::JITTargetMachineBuilder jtmb2)
                   -> llvm::Expected<std::unique_ptr<
                       llvm::orc::IRCompileLayer::IRCompiler>> {
-                auto tm = jtmb2.createTargetMachine();
-                if (!tm) return tm.takeError();
-                return std::make_unique<llvm::orc::TMOwningSimpleCompiler>(
-                    std::move(*tm), capture);
+                return std::make_unique<MultiIsaCompiler>(jtmb2.getOptions(),
+                                                          capture);
               })
           .create();
   if (!jit) {

@@ -13,12 +13,31 @@
 
 #include "lift_internal.h"
 
+namespace llvm {
+class TargetMachine;
+}  // namespace llvm
+
 namespace dbll::lift {
 
 /// Module-identifier prefix marking a module whose emitted object should be
 /// captured (LiftedFunction::SetCacheTag). Modules without it pass through
 /// the compiler uncaptured, so plain Compile() users pay nothing.
 inline constexpr char kCaptureTagPrefix[] = "dbll-obj:";
+
+/// Module flag carrying the LiftConfig isa_level (an i32). RunPipeline
+/// stamps it (together with per-function target-cpu/target-features
+/// attributes); the ORC multi-ISA compiler reads it back to pick the
+/// matching per-level TargetMachine at codegen time. A module without the
+/// flag compiles at baseline.
+inline constexpr char kIsaModuleFlag[] = "dbll.isa";
+
+/// Creates a TargetMachine for one ISA ladder level: base CPU "x86-64" plus
+/// the level's subtarget feature string (support/cpu_features.h, including
+/// DBLL_JIT_FEATURES extras). Shared by the ORC compiler (codegen subtarget)
+/// and the pass pipeline (so per-function TTI reports real vector widths to
+/// the loop vectorizer). Out-of-range levels are clamped into the ladder.
+llvm::Expected<std::unique_ptr<llvm::TargetMachine>> CreateIsaTargetMachine(
+    int isa_level);
 
 /// llvm::ObjectCache that *captures* emitted objects instead of serving
 /// them: notifyObjectCompiled files the buffer of tagged modules under the

@@ -10,6 +10,7 @@
 #include <cinttypes>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
 #include "jit_internal.h"
 #include "lift_internal.h"
@@ -320,10 +321,18 @@ std::uint64_t Fingerprint(const LiftConfig& config) {
   mix(config.flag_liveness);
   mix(config.value_ranges);
   mix(config.range_budget);
+  mix(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(config.isa_level)));
+  mix(config.vector_width);
   return hash;
 }
 
 Lifter::Lifter(LiftConfig config) : config_(std::move(config)) {
+  // Resolve "auto" to a concrete ladder level (and clamp requests above the
+  // host's effective level) so everything downstream -- fingerprints,
+  // per-level TargetMachines, persisted entries -- sees a stable value.
+  config_.isa_level =
+      static_cast<int>(support::ResolveIsaLevel(config_.isa_level));
   EnsureLlvmInit();
 }
 Lifter::~Lifter() = default;

@@ -5,33 +5,50 @@
 //
 // Pipeline setup (PassBuilder construction, analysis registration, building
 // the pass sequence) is hoisted into a per-thread cache keyed by
-// (opt_level, preset): the runtime compile service's cache-miss path and the
-// repetition benches optimize many modules with the same configuration, and
-// must not pay the setup for each one. Analysis caches are dropped after
-// every run so no analysis result can dangle into a destroyed module.
+// (opt_level, preset, isa_level): the runtime compile service's cache-miss
+// path and the repetition benches optimize many modules with the same
+// configuration, and must not pay the setup for each one. Analysis caches
+// are dropped after every run so no analysis result can dangle into a
+// destroyed module.
+//
+// ISA threading (docs/codegen.md): each pipeline owns the TargetMachine of
+// its ladder level (support/cpu_features.h) and hands it to the PassBuilder,
+// so per-function TargetTransformInfo reports the level's real vector
+// widths to the loop/SLP vectorizers. RunPipeline stamps every defined
+// function with matching target-cpu/target-features attributes (the
+// subtarget key both TTI and codegen resolve against) and records the level
+// in the "dbll.isa" module flag for the ORC multi-ISA compiler. Stamping
+// happens here -- the single choke point before optimization -- so
+// late-created specialization wrappers are covered too and the inliner
+// never refuses a callee over mismatched feature sets.
 #include <llvm/IR/Verifier.h>
 #include <llvm/Passes/PassBuilder.h>
 #include <llvm/Support/CommandLine.h>
 #include <llvm/Support/raw_ostream.h>
+#include <llvm/Target/TargetMachine.h>
 
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "dbll/obs/obs.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
+#include "jit_internal.h"
 #include "lift_internal.h"
 
 namespace dbll::lift {
 
 namespace {
 
-/// One reusable (PassBuilder + analysis managers + pass sequence) combo for a
-/// fixed (opt_level, preset). Not thread-safe; cached thread_local.
+/// One reusable (TargetMachine + PassBuilder + analysis managers + pass
+/// sequence) combo for a fixed (opt_level, preset, isa_level). Not
+/// thread-safe; cached thread_local.
 class ReusablePipeline {
  public:
-  ReusablePipeline(int opt_level, const std::string& preset) {
+  ReusablePipeline(int opt_level, const std::string& preset, int isa_level) {
     namespace L = llvm;
     L::OptimizationLevel level;
     switch (opt_level) {
@@ -47,7 +64,18 @@ class ReusablePipeline {
       tuning.SLPVectorization = false;
     }
 
-    pb_ = std::make_unique<L::PassBuilder>(nullptr, tuning);
+    // The pipeline owns the ladder level's TargetMachine: with it, the
+    // PassBuilder registers a real TargetIRAnalysis and the vectorizers see
+    // the level's actual register widths instead of the base x86-64 guess.
+    auto tm = CreateIsaTargetMachine(isa_level);
+    if (!tm) {
+      setup_error_ = "cannot create ISA target machine: " +
+                     L::toString(tm.takeError());
+      return;
+    }
+    tm_ = std::move(*tm);
+
+    pb_ = std::make_unique<L::PassBuilder>(tm_.get(), tuning);
     pb_->registerModuleAnalyses(mam_);
     pb_->registerCGSCCAnalyses(cgam_);
     pb_->registerFunctionAnalyses(fam_);
@@ -104,6 +132,10 @@ class ReusablePipeline {
   }
 
  private:
+  // Declared before the managers/PassBuilder: registered analyses hold the
+  // raw TargetMachine pointer, so the machine must outlive (and be destroyed
+  // after) everything that references it.
+  std::unique_ptr<llvm::TargetMachine> tm_;
   llvm::LoopAnalysisManager lam_;
   llvm::FunctionAnalysisManager fam_;
   llvm::CGSCCAnalysisManager cgam_;
@@ -132,6 +164,27 @@ Status VerifyGate(llvm::Module& module, ErrorKind kind, const char* stage) {
   return Status::Ok();
 }
 
+/// Stamps the bundle's concrete ISA level onto the module: target-cpu /
+/// target-features function attributes on every definition (the subtarget
+/// key per-function TTI and codegen resolve), plus the "dbll.isa" module
+/// flag the ORC compiler dispatches on. Covering *all* definitions matters:
+/// the inliner's areInlineCompatible refuses callees whose feature set
+/// exceeds the caller's, which would silently disable the always-inline
+/// specialization wrappers.
+void ApplyIsaAttributes(llvm::Module& module, int isa_level) {
+  const std::string features = support::IsaFeatureString(
+      static_cast<support::IsaLevel>(isa_level));
+  for (llvm::Function& fn : module) {
+    if (fn.isDeclaration()) continue;
+    fn.addFnAttr("target-cpu", JitTargetCpu());
+    if (!features.empty()) fn.addFnAttr("target-features", features);
+  }
+  if (module.getModuleFlag(kIsaModuleFlag) == nullptr) {
+    module.addModuleFlag(llvm::Module::Error, kIsaModuleFlag,
+                         static_cast<std::uint32_t>(isa_level));
+  }
+}
+
 }  // namespace
 
 Status RunPipeline(ModuleBundle& bundle) {
@@ -140,21 +193,31 @@ Status RunPipeline(ModuleBundle& bundle) {
   DBLL_FAULT_POINT("opt.pipeline");
   const std::uint64_t start_ns = obs::Tracer::NowNs();
 
+  // Normally already concrete (the Lifter constructor resolves "auto"), but
+  // hand-built bundles get the same host-clamped resolution here.
+  int isa_level = bundle.config.isa_level;
+  if (isa_level < 0 || isa_level > support::kMaxIsaLevel) {
+    isa_level = static_cast<int>(support::ResolveIsaLevel(isa_level));
+  }
+  ApplyIsaAttributes(*bundle.module, isa_level);
+
   DBLL_TRY_STATUS(VerifyGate(*bundle.module, ErrorKind::kLift,
                              "after lift/specialization (pre-optimization)"));
 
   // thread_local keeps the compile service's workers lock-free here; the
-  // handful of (level, preset) combos in use bounds the cache size.
-  thread_local std::map<std::pair<int, std::string>,
+  // handful of (level, preset, isa) combos in use bounds the cache size.
+  thread_local std::map<std::tuple<int, std::string, int>,
                         std::unique_ptr<ReusablePipeline>>
       pipelines;
-  auto key = std::make_pair(bundle.config.opt_level, bundle.config.pass_preset);
+  auto key = std::make_tuple(bundle.config.opt_level,
+                             bundle.config.pass_preset, isa_level);
   std::unique_ptr<ReusablePipeline>& slot = pipelines[key];
   if (slot == nullptr) {
-    // One-time per (thread, level, preset): PassBuilder + analysis setup.
+    // One-time per (thread, level, preset, isa): PassBuilder + TM + analysis
+    // setup.
     DBLL_TRACE_SPAN("optimize.setup");
-    slot = std::make_unique<ReusablePipeline>(bundle.config.opt_level,
-                                              bundle.config.pass_preset);
+    slot = std::make_unique<ReusablePipeline>(
+        bundle.config.opt_level, bundle.config.pass_preset, isa_level);
   }
   {
     DBLL_TRACE_SPAN("optimize.run");

@@ -15,6 +15,7 @@
 #include "dbll/analysis/ranges.h"
 #include "dbll/dbrew/rewriter.h"
 #include "dbll/obs/obs.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
 #include "env_util.h"
 
@@ -427,7 +428,14 @@ std::shared_ptr<ObjectStore> CompileService::store() const {
   return store_;
 }
 
-FunctionHandle CompileService::Request(const CompileRequest& request) {
+FunctionHandle CompileService::Request(const CompileRequest& raw_request) {
+  // Resolve the ISA level ("auto" / out-of-ladder -> host effective level,
+  // docs/codegen.md) before the key is formed: every cache dimension below
+  // (shard key, persist fingerprint, shm ring) must see a concrete level so
+  // a given host always maps the same request to the same variant.
+  CompileRequest request = raw_request;
+  request.config.isa_level =
+      static_cast<int>(support::ResolveIsaLevel(request.config.isa_level));
   SpecKey key(request);
   const std::size_t shard_index =
       static_cast<std::size_t>(key.hash()) % kShardCount;
@@ -476,6 +484,11 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
     baseline = request;
     baseline.config.opt_level = tiering.baseline_opt_level;
     baseline.config.pass_preset = "tier0a";
+    // The Tier-0a interim seed is produced by DBrew rewriting and later
+    // re-consumed by the decoder, which only speaks the non-VEX subset:
+    // the baseline tier is pinned to the baseline ISA level regardless of
+    // what the host supports (docs/codegen.md).
+    baseline.config.isa_level = 0;
     if (lift::Fingerprint(baseline.config) ==
         lift::Fingerprint(request.config)) {
       tiered = false;
@@ -517,14 +530,30 @@ FunctionHandle CompileService::Request(const CompileRequest& request) {
   bool persist = false;
   std::uint64_t baseline_fingerprint = 0;
   if (std::shared_ptr<ObjectStore> st = breaker_denied ? nullptr : store()) {
-    fingerprint = PersistFingerprint(key, request.address);
+    fingerprint =
+        PersistFingerprint(key, request.address, request.config.isa_level);
     persist = true;
-    if (TryDiskLoad(request, key, fingerprint, slot)) {
-      return FunctionHandle(slot);
+    // Install-time ISA dispatch (docs/codegen.md): probe the best variant
+    // the host supports first, then walk the ladder down. A lower-level
+    // variant persisted by a weaker fleet member is still correct on this
+    // host, and installing it beats recompiling from scratch. Whatever
+    // level hits is published under *this* request's key, so the handle
+    // serves it transparently.
+    for (int level = request.config.isa_level; level >= 0; --level) {
+      std::uint64_t level_fingerprint = fingerprint;
+      if (level != request.config.isa_level) {
+        CompileRequest variant = request;
+        variant.config.isa_level = level;
+        level_fingerprint =
+            PersistFingerprint(SpecKey(variant), request.address, level);
+      }
+      if (TryDiskLoad(request, key, level_fingerprint, slot)) {
+        return FunctionHandle(slot);
+      }
     }
     if (tiered) {
       baseline_fingerprint =
-          PersistFingerprint(SpecKey(baseline), request.address);
+          PersistFingerprint(SpecKey(baseline), request.address, 0);
     }
   }
 
@@ -1394,6 +1423,8 @@ void CompileService::CompileBaseline(Job& job) {
   if (!from_disk && job.persist && !captured.object.empty()) {
     captured.fingerprint = job.fingerprint;
     captured.opt_tier = 1;
+    captured.isa_level =
+        static_cast<std::uint32_t>(job.request.config.isa_level);
     if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
   }
 }
@@ -1458,6 +1489,8 @@ void CompileService::CompilePromote(Job& job) {
     if (job.persist && !captured.object.empty()) {
       captured.fingerprint = job.fingerprint;
       captured.opt_tier = 0;
+      captured.isa_level =
+          static_cast<std::uint32_t>(job.request.config.isa_level);
       if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
     }
     return;
@@ -1707,6 +1740,8 @@ void CompileService::CompileOne(Job& job) {
     // process and must never delay this one's swap.
     if (job.persist && !captured.object.empty()) {
       captured.fingerprint = job.fingerprint;
+      captured.isa_level =
+          static_cast<std::uint32_t>(job.request.config.isa_level);
       if (std::shared_ptr<ObjectStore> st = store()) st->Store(captured);
     }
     return;

@@ -11,6 +11,7 @@
 #include "dbll/lift/lifter.h"
 #include "dbll/obs/obs.h"
 #include "dbll/runtime/containment.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
 #include "dbll/support/file_io.h"
 
@@ -30,6 +31,7 @@ using support::FileLock;
 ///   membase_symbol  u32 len + bytes
 ///   membase_value   u64
 ///   opt_tier        u32  (0 = full O3, 1 = Tier-0a baseline; v2+)
+///   isa_level       u32  (ISA ladder level, support/cpu_features.h; v3+)
 ///   payload_size    u64
 ///   payload_fnv     u64  (FNV-1a over the payload bytes)
 ///   payload         payload_size bytes
@@ -38,10 +40,12 @@ using support::FileLock;
 /// "corrupt", which the loader treats as a miss and deletes.
 ///
 /// v1 -> v2 added the opt_tier field for the tiering engine (tiering.h).
-/// Old v1 entries fail the version check and are dropped on load -- a
-/// one-time cold start, never a wrong object.
+/// v2 -> v3 added the isa_level field for multi-versioned codegen; the
+/// per-entry target_cpu stamp became the per-level cpu+features string
+/// (lift::JitTargetCpuFor). Old-version entries fail the version check and
+/// are dropped on load -- a one-time cold start, never a wrong object.
 constexpr char kMagic[8] = {'D', 'B', 'L', 'L', 'O', 'B', 'J', '1'};
-constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kFormatVersion = 3;
 constexpr std::uint32_t kMaxStringLen = 4096;
 constexpr std::uint64_t kMaxPayload = 1ull << 30;
 /// Window of target-function code bytes folded into the fingerprint. Large
@@ -141,6 +145,7 @@ std::vector<std::uint8_t> Serialize(const ObjectEntry& entry,
   PutStr(out, entry.membase_symbol);
   PutU64(out, entry.membase_value);
   PutU32(out, entry.opt_tier);
+  PutU32(out, entry.isa_level);
   PutU64(out, entry.object.size());
   PutU64(out, Fnv1aBytes(entry.object.data(), entry.object.size()));
   out.insert(out.end(), entry.object.begin(), entry.object.end());
@@ -169,8 +174,15 @@ bool Deserialize(const std::vector<std::uint8_t>& bytes, ObjectEntry* out,
       !body.ReadStr(target_cpu) || !body.ReadStr(&out->wrapper_name) ||
       !body.ReadStr(&out->membase_symbol) ||
       !body.ReadU64(&out->membase_value) || !body.ReadU32(&out->opt_tier) ||
-      !body.ReadU64(&payload_size) || !body.ReadU64(&payload_fnv)) {
+      !body.ReadU32(&out->isa_level) || !body.ReadU64(&payload_size) ||
+      !body.ReadU64(&payload_fnv)) {
     *detail = "truncated header";
+    return false;
+  }
+  if (out->isa_level > static_cast<std::uint32_t>(support::kMaxIsaLevel)) {
+    // A level outside the ladder can only come from a hostile or corrupted
+    // file; no host could ever validate or run it.
+    *detail = "implausible isa level";
     return false;
   }
   if (payload_size > kMaxPayload || body.remaining() != payload_size) {
@@ -236,6 +248,7 @@ struct ObjcacheMetrics {
   obs::Counter& disk_errors;
   obs::Counter& disk_load_ns;
   obs::Counter& disk_store_ns;
+  obs::Counter& disk_isa_refused;
 
   static ObjcacheMetrics& Get() {
     static ObjcacheMetrics* instance = [] {
@@ -244,7 +257,8 @@ struct ObjcacheMetrics {
           r.GetCounter("cache.disk_hits"),   r.GetCounter("cache.disk_misses"),
           r.GetCounter("cache.disk_stores"), r.GetCounter("cache.disk_evictions"),
           r.GetCounter("cache.disk_errors"), r.GetCounter("cache.disk_load_ns"),
-          r.GetCounter("cache.disk_store_ns")};
+          r.GetCounter("cache.disk_store_ns"),
+          r.GetCounter("cache.disk_isa_refused")};
     }();
     return *instance;
   }
@@ -310,16 +324,30 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
   // validation as a disk read; anything off falls through to disk. A shm
   // hit skips the manifest touch -- recency there only steers *disk*
   // eviction, and the entry is demonstrably hot in the ring.
+  const auto effective_isa =
+      static_cast<std::uint32_t>(support::EffectiveIsaLevel());
   if (ring_ != nullptr) {
     std::vector<std::uint8_t> shm_bytes;
     if (ring_->Lookup(fingerprint, &shm_bytes)) {
       std::string llvm_version, target_cpu, detail;
       ObjectEntry entry;
-      if (Deserialize(shm_bytes, &entry, &llvm_version, &target_cpu,
+      const bool entry_ok =
+          Deserialize(shm_bytes, &entry, &llvm_version, &target_cpu,
                       &detail) &&
           entry.fingerprint == fingerprint &&
           llvm_version == lift::LlvmVersionString() &&
-          target_cpu == lift::JitTargetCpu()) {
+          target_cpu == lift::JitTargetCpuFor(static_cast<int>(entry.isa_level));
+      if (entry_ok && entry.isa_level > effective_isa) {
+        // A peer on this box published a variant this process cannot run
+        // (it is masked lower via DBLL_JIT_ISA, or the ring file moved
+        // hosts). Clean miss, nothing installed, slot left for the peers.
+        isa_refused_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        ObjcacheMetrics::Get().disk_misses.Add(1);
+        ObjcacheMetrics::Get().disk_isa_refused.Add(1);
+        return false;
+      }
+      if (entry_ok) {
         *out = std::move(entry);
         hits_.fetch_add(1, std::memory_order_relaxed);
         const std::uint64_t elapsed = NowNs() - t0;
@@ -363,13 +391,27 @@ bool ObjectStore::Load(std::uint64_t fingerprint, ObjectEntry* out) {
       break;
     }
     if (llvm_version != lift::LlvmVersionString() ||
-        target_cpu != lift::JitTargetCpu()) {
+        target_cpu !=
+            lift::JitTargetCpuFor(static_cast<int>(entry.isa_level))) {
       // A different toolchain wrote this entry. It is a *valid* file that a
       // matching toolchain could still use -- but under fingerprint keying
       // (which folds in the version) it is unreachable garbage: delete it.
       (void)support::RemoveFile(path);
       corrupt_dropped_.fetch_add(1, std::memory_order_relaxed);
       ObjcacheMetrics::Get().disk_errors.Add(1);
+      break;
+    }
+    if (entry.isa_level > effective_isa) {
+      // Valid entry for a better ISA than this host effectively has
+      // (weaker hardware, or masked down via DBLL_JIT_ISA). Installing it
+      // would fault on the first wide instruction, so it is a clean miss --
+      // but unlike toolchain garbage the file is KEPT: the variant is
+      // reachable for every capable host sharing the directory, and the
+      // capable host's own dispatch probes it under a different
+      // per-level fingerprint anyway. Not written through to the ring
+      // either: this process cannot vouch for code it cannot run.
+      isa_refused_.fetch_add(1, std::memory_order_relaxed);
+      ObjcacheMetrics::Get().disk_isa_refused.Add(1);
       break;
     }
     *out = std::move(entry);
@@ -405,8 +447,13 @@ void ObjectStore::Store(const ObjectEntry& entry) {
   const std::uint64_t t0 = NowNs();
   // Serialize once; the identical bytes go to the disk file and the shm
   // ring, so a ring hit and a disk hit are byte-equivalent by construction.
+  // The CPU stamp is the entry's *level* stamp (cpu + feature string): a
+  // reader validates it against what its own toolchain would emit for that
+  // level, so a feature-string drift (e.g. different DBLL_JIT_FEATURES)
+  // invalidates instead of mis-serving.
   const std::vector<std::uint8_t> bytes =
-      Serialize(entry, lift::LlvmVersionString(), lift::JitTargetCpu());
+      Serialize(entry, lift::LlvmVersionString(),
+                lift::JitTargetCpuFor(static_cast<int>(entry.isa_level)));
   Status status = support::WriteFileAtomic(
       options_.dir + "/" + EntryFileName(entry.fingerprint), bytes.data(),
       bytes.size());
@@ -509,6 +556,7 @@ ObjectStoreStats ObjectStore::stats() const {
     s.shm_evictions = rs.evictions;
     s.shm_errors = rs.errors;
   }
+  s.isa_refused = isa_refused_.load(std::memory_order_relaxed);
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   if (quarantine_ != nullptr) {
     s.quarantine_entries = quarantine_->size();
@@ -556,6 +604,7 @@ Expected<std::vector<ObjectScanEntry>> ObjectStore::Scan(
       scan.payload_size = entry.object.size();
       scan.wrapper_name = entry.wrapper_name;
       scan.opt_tier = entry.opt_tier;
+      scan.isa_level = entry.isa_level;
       if (entry.fingerprint != name_fp) {
         scan.detail = "fingerprint does not match file name";
       } else {
@@ -631,7 +680,9 @@ Expected<std::uint64_t> ObjectStore::ExportBundle(const std::string& dir,
 }
 
 Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
-                                                  const std::string& dir) {
+                                                  const std::string& dir,
+                                                  std::uint64_t* skipped_isa) {
+  if (skipped_isa != nullptr) *skipped_isa = 0;
   DBLL_TRY(std::vector<std::uint8_t> bytes, support::ReadFileBytes(path));
   if (bytes.size() < sizeof(kBundleMagic) + 4 + 4 + 8 ||
       std::memcmp(bytes.data(), kBundleMagic, sizeof(kBundleMagic)) != 0) {
@@ -658,6 +709,7 @@ Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
   // a half-warm cache that masks the problem).
   struct Pending {
     std::uint64_t fingerprint;
+    std::uint32_t isa_level;
     const std::uint8_t* data;
     std::uint64_t size;
   };
@@ -678,15 +730,23 @@ Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
                    "invalid entry " + std::to_string(i) + " in bundle: " +
                        detail);
     }
-    pending.push_back({entry.fingerprint, data, size});
+    pending.push_back({entry.fingerprint, entry.isa_level, data, size});
     (void)body.Skip(size);  // bounds already checked above
   }
   DBLL_TRY_STATUS(support::EnsureDir(dir));
   // The target directory's quarantine vetoes bundle entries too: a fleet
   // that poisoned a fingerprint must not get it back via a stale bundle.
   Quarantine quarantine(dir);
+  const auto effective_isa =
+      static_cast<std::uint32_t>(support::EffectiveIsaLevel());
   std::uint64_t imported = 0;
   for (const Pending& p : pending) {
+    if (p.isa_level > effective_isa) {
+      // A mixed-fleet bundle legitimately carries variants this host cannot
+      // run; they are counted (not an error) so tooling can report them.
+      if (skipped_isa != nullptr) ++(*skipped_isa);
+      continue;
+    }
     if (quarantine.Contains(p.fingerprint)) {
       quarantine.NoteBlocked();
       continue;
@@ -702,7 +762,10 @@ Expected<std::uint64_t> ObjectStore::ImportBundle(const std::string& path,
   return imported;
 }
 
-std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
+namespace {
+std::uint64_t PersistFingerprintWithCpu(const SpecKey& key,
+                                        std::uint64_t address,
+                                        const std::string& cpu) {
   std::uint64_t hash = Fnv1aBytes(key.blob().data(), key.blob().size());
   // Window of the target's machine code: a recompiled/patched function must
   // change the fingerprint even at an identical address. SafeReadMemory
@@ -713,12 +776,22 @@ std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
   hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(&n), sizeof(n), hash);
   hash = Fnv1aBytes(code, read, hash);
   const std::string& llvm_version = lift::LlvmVersionString();
-  const std::string& cpu = lift::JitTargetCpu();
   hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(llvm_version.data()),
                     llvm_version.size(), hash);
   hash = Fnv1aBytes(reinterpret_cast<const std::uint8_t*>(cpu.data()),
                     cpu.size(), hash);
   return hash;
+}
+}  // namespace
+
+std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address) {
+  return PersistFingerprintWithCpu(key, address, lift::JitTargetCpu());
+}
+
+std::uint64_t PersistFingerprint(const SpecKey& key, std::uint64_t address,
+                                 int isa_level) {
+  return PersistFingerprintWithCpu(key, address,
+                                   lift::JitTargetCpuFor(isa_level));
 }
 
 std::uint64_t ToolchainFingerprint() {

@@ -1,0 +1,193 @@
+// dbll -- cpuid/xgetbv host detection behind the ISA ladder (cpu_features.h).
+#include "dbll/support/cpu_features.h"
+
+#include <cstdlib>
+
+namespace dbll::support {
+
+namespace {
+
+// cpuid(1).ecx bits (Intel SDM Vol. 2A, Table 3-10).
+constexpr std::uint32_t kLeaf1EcxSse3 = 1u << 0;
+constexpr std::uint32_t kLeaf1EcxSsse3 = 1u << 9;
+constexpr std::uint32_t kLeaf1EcxFma = 1u << 12;
+constexpr std::uint32_t kLeaf1EcxSse41 = 1u << 19;
+constexpr std::uint32_t kLeaf1EcxSse42 = 1u << 20;
+constexpr std::uint32_t kLeaf1EcxPopcnt = 1u << 23;
+constexpr std::uint32_t kLeaf1EcxOsxsave = 1u << 27;
+constexpr std::uint32_t kLeaf1EcxAvx = 1u << 28;
+
+// cpuid(7,0).ebx bits.
+constexpr std::uint32_t kLeaf7EbxBmi1 = 1u << 3;
+constexpr std::uint32_t kLeaf7EbxAvx2 = 1u << 5;
+constexpr std::uint32_t kLeaf7EbxBmi2 = 1u << 8;
+constexpr std::uint32_t kLeaf7EbxAvx512f = 1u << 16;
+constexpr std::uint32_t kLeaf7EbxAvx512vl = 1u << 31;
+
+// cpuid(0x80000001).ecx bit 5: LZCNT (AMD calls the group ABM).
+constexpr std::uint32_t kExt1EcxLzcnt = 1u << 5;
+
+// XCR0 state-component bits. AVX needs the OS to save XMM+YMM state;
+// AVX-512 additionally needs opmask + ZMM_Hi256 + Hi16_ZMM.
+constexpr std::uint64_t kXcr0AvxMask = 0x6;     // SSE | YMM
+constexpr std::uint64_t kXcr0Avx512Mask = 0xE0; // opmask | ZMM_Hi256 | Hi16_ZMM
+
+#if defined(__x86_64__)
+void Cpuid(std::uint32_t leaf, std::uint32_t subleaf, std::uint32_t out[4]) {
+  __asm__ __volatile__("cpuid"
+                       : "=a"(out[0]), "=b"(out[1]), "=c"(out[2]), "=d"(out[3])
+                       : "a"(leaf), "c"(subleaf));
+}
+
+std::uint64_t Xgetbv0() {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0u));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+CpuidSnapshot ReadHostSnapshot() {
+  CpuidSnapshot snapshot;
+  std::uint32_t regs[4] = {0, 0, 0, 0};
+  Cpuid(0, 0, regs);
+  const std::uint32_t max_leaf = regs[0];
+  if (max_leaf >= 1) {
+    Cpuid(1, 0, regs);
+    snapshot.leaf1_ecx = regs[2];
+  }
+  if (max_leaf >= 7) {
+    Cpuid(7, 0, regs);
+    snapshot.leaf7_ebx = regs[1];
+  }
+  Cpuid(0x80000000u, 0, regs);
+  if (regs[0] >= 0x80000001u) {
+    Cpuid(0x80000001u, 0, regs);
+    snapshot.ext1_ecx = regs[2];
+  }
+  // xgetbv is only architecturally defined once OSXSAVE says the OS turned
+  // XSAVE on; executing it earlier would #UD.
+  if (snapshot.leaf1_ecx & kLeaf1EcxOsxsave) snapshot.xcr0 = Xgetbv0();
+  return snapshot;
+}
+#else
+CpuidSnapshot ReadHostSnapshot() { return {}; }
+#endif
+
+}  // namespace
+
+CpuFeatures DecodeCpuFeatures(const CpuidSnapshot& snapshot) {
+  CpuFeatures f;
+  f.sse3 = (snapshot.leaf1_ecx & kLeaf1EcxSse3) != 0;
+  f.ssse3 = (snapshot.leaf1_ecx & kLeaf1EcxSsse3) != 0;
+  f.sse41 = (snapshot.leaf1_ecx & kLeaf1EcxSse41) != 0;
+  f.sse42 = (snapshot.leaf1_ecx & kLeaf1EcxSse42) != 0;
+  f.popcnt = (snapshot.leaf1_ecx & kLeaf1EcxPopcnt) != 0;
+  f.bmi1 = (snapshot.leaf7_ebx & kLeaf7EbxBmi1) != 0;
+  f.bmi2 = (snapshot.leaf7_ebx & kLeaf7EbxBmi2) != 0;
+  f.lzcnt = (snapshot.ext1_ecx & kExt1EcxLzcnt) != 0;
+
+  // The whole AVX family is gated on the OS actually context-switching the
+  // wide register state: OSXSAVE set and XCR0 enabling XMM+YMM.
+  const bool osxsave = (snapshot.leaf1_ecx & kLeaf1EcxOsxsave) != 0;
+  const bool ymm_ok =
+      osxsave && (snapshot.xcr0 & kXcr0AvxMask) == kXcr0AvxMask;
+  const bool zmm_ok =
+      ymm_ok && (snapshot.xcr0 & kXcr0Avx512Mask) == kXcr0Avx512Mask;
+  f.avx = ymm_ok && (snapshot.leaf1_ecx & kLeaf1EcxAvx) != 0;
+  f.fma = f.avx && (snapshot.leaf1_ecx & kLeaf1EcxFma) != 0;
+  f.avx2 = f.avx && (snapshot.leaf7_ebx & kLeaf7EbxAvx2) != 0;
+  f.avx512f = zmm_ok && (snapshot.leaf7_ebx & kLeaf7EbxAvx512f) != 0;
+  f.avx512vl = f.avx512f && (snapshot.leaf7_ebx & kLeaf7EbxAvx512vl) != 0;
+  return f;
+}
+
+IsaLevel LevelFromFeatures(const CpuFeatures& f) {
+  const bool v3 = f.sse42 && f.avx && f.avx2 && f.fma && f.bmi1 && f.bmi2 &&
+                  f.popcnt && f.lzcnt;
+  if (!v3) return IsaLevel::kBaseline;
+  if (f.avx512f && f.avx512vl) return IsaLevel::kAvx512;
+  return IsaLevel::kAvx2;
+}
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = DecodeCpuFeatures(ReadHostSnapshot());
+  return features;
+}
+
+IsaLevel HostIsaLevel() {
+  static const IsaLevel level = LevelFromFeatures(HostCpuFeatures());
+  return level;
+}
+
+IsaLevel EffectiveIsaLevel() {
+  IsaLevel level = HostIsaLevel();
+  // Re-read per call (not cached): tests and operators mask with setenv at
+  // runtime, and a stale cache would silently ignore them.
+  if (const char* env = std::getenv("DBLL_JIT_ISA")) {
+    IsaLevel forced;
+    if (ParseIsaLevel(env, &forced) && forced < level) level = forced;
+  }
+  return level;
+}
+
+IsaLevel ResolveIsaLevel(int requested) {
+  const IsaLevel effective = EffectiveIsaLevel();
+  if (requested < 0) return effective;
+  if (requested > static_cast<int>(effective)) return effective;
+  return static_cast<IsaLevel>(requested);
+}
+
+const char* IsaLevelName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kBaseline:
+      return "baseline";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "baseline";
+}
+
+bool ParseIsaLevel(const std::string& text, IsaLevel* out) {
+  if (text == "baseline" || text == "0") {
+    *out = IsaLevel::kBaseline;
+    return true;
+  }
+  if (text == "avx2" || text == "1") {
+    *out = IsaLevel::kAvx2;
+    return true;
+  }
+  if (text == "avx512" || text == "2") {
+    *out = IsaLevel::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+std::string IsaFeatureString(IsaLevel level) {
+  std::string features;
+  switch (level) {
+    case IsaLevel::kBaseline:
+      break;  // generic x86-64: SSE2, no extras
+    case IsaLevel::kAvx2:
+      features =
+          "+sse3,+ssse3,+sse4.1,+sse4.2,+popcnt,+lzcnt,+bmi,+bmi2,+avx,"
+          "+avx2,+fma";
+      break;
+    case IsaLevel::kAvx512:
+      features =
+          "+sse3,+ssse3,+sse4.1,+sse4.2,+popcnt,+lzcnt,+bmi,+bmi2,+avx,"
+          "+avx2,+fma,+avx512f,+avx512vl";
+      break;
+  }
+  if (const char* extra = std::getenv("DBLL_JIT_FEATURES")) {
+    if (*extra != '\0') {
+      if (!features.empty()) features += ',';
+      features += extra;
+    }
+  }
+  return features;
+}
+
+}  // namespace dbll::support

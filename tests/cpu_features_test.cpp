@@ -1,0 +1,279 @@
+// Tests for the ISA ladder (include/dbll/support/cpu_features.h): synthetic
+// cpuid/xgetbv decode vectors, the XCR0 OS-enable gating, level collapse,
+// the DBLL_JIT_ISA / DBLL_JIT_FEATURES environment overrides, and the
+// config-fingerprint separation the multi-versioned cache relies on.
+#include "dbll/support/cpu_features.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dbll/lift/lifter.h"
+
+namespace dbll::support {
+namespace {
+
+// cpuid bit positions, duplicated from the implementation on purpose: a
+// transposed bit in cpu_features.cpp must fail here, not be mirrored.
+constexpr std::uint32_t kEcxSse3 = 1u << 0;
+constexpr std::uint32_t kEcxSsse3 = 1u << 9;
+constexpr std::uint32_t kEcxFma = 1u << 12;
+constexpr std::uint32_t kEcxSse41 = 1u << 19;
+constexpr std::uint32_t kEcxSse42 = 1u << 20;
+constexpr std::uint32_t kEcxPopcnt = 1u << 23;
+constexpr std::uint32_t kEcxOsxsave = 1u << 27;
+constexpr std::uint32_t kEcxAvx = 1u << 28;
+constexpr std::uint32_t kEbxBmi1 = 1u << 3;
+constexpr std::uint32_t kEbxAvx2 = 1u << 5;
+constexpr std::uint32_t kEbxBmi2 = 1u << 8;
+constexpr std::uint32_t kEbxAvx512f = 1u << 16;
+constexpr std::uint32_t kEbxAvx512vl = 1u << 31;
+constexpr std::uint32_t kExtLzcnt = 1u << 5;
+
+/// A fully-featured x86-64-v3 snapshot with YMM state OS-enabled.
+CpuidSnapshot V3Snapshot() {
+  CpuidSnapshot s;
+  s.leaf1_ecx = kEcxSse3 | kEcxSsse3 | kEcxFma | kEcxSse41 | kEcxSse42 |
+                kEcxPopcnt | kEcxOsxsave | kEcxAvx;
+  s.leaf7_ebx = kEbxBmi1 | kEbxAvx2 | kEbxBmi2;
+  s.ext1_ecx = kExtLzcnt;
+  s.xcr0 = 0x7;  // x87 | SSE | YMM
+  return s;
+}
+
+/// V3 plus AVX-512F/VL with full ZMM state enabled.
+CpuidSnapshot V4Snapshot() {
+  CpuidSnapshot s = V3Snapshot();
+  s.leaf7_ebx |= kEbxAvx512f | kEbxAvx512vl;
+  s.xcr0 = 0xE7;  // + opmask | ZMM_Hi256 | Hi16_ZMM
+  return s;
+}
+
+/// Scoped environment override that restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(CpuFeaturesTest, EmptySnapshotDecodesToNothing) {
+  const CpuFeatures f = DecodeCpuFeatures(CpuidSnapshot{});
+  EXPECT_FALSE(f.sse3);
+  EXPECT_FALSE(f.sse42);
+  EXPECT_FALSE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_FALSE(f.fma);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_FALSE(f.lzcnt);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kBaseline);
+}
+
+TEST(CpuFeaturesTest, V3SnapshotDecodesToAvx2Level) {
+  const CpuFeatures f = DecodeCpuFeatures(V3Snapshot());
+  EXPECT_TRUE(f.sse3);
+  EXPECT_TRUE(f.ssse3);
+  EXPECT_TRUE(f.sse41);
+  EXPECT_TRUE(f.sse42);
+  EXPECT_TRUE(f.avx);
+  EXPECT_TRUE(f.avx2);
+  EXPECT_TRUE(f.fma);
+  EXPECT_TRUE(f.bmi1);
+  EXPECT_TRUE(f.bmi2);
+  EXPECT_TRUE(f.popcnt);
+  EXPECT_TRUE(f.lzcnt);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kAvx2);
+}
+
+TEST(CpuFeaturesTest, V4SnapshotDecodesToAvx512Level) {
+  const CpuFeatures f = DecodeCpuFeatures(V4Snapshot());
+  EXPECT_TRUE(f.avx512f);
+  EXPECT_TRUE(f.avx512vl);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kAvx512);
+}
+
+TEST(CpuFeaturesTest, AvxRequiresOsxsave) {
+  // The CPU advertises AVX but the OS never enabled XSAVE: executing a VEX
+  // instruction would fault, so the decode must not report AVX.
+  CpuidSnapshot s = V3Snapshot();
+  s.leaf1_ecx &= ~kEcxOsxsave;
+  const CpuFeatures f = DecodeCpuFeatures(s);
+  EXPECT_FALSE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_FALSE(f.fma);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kBaseline);
+  // Non-AVX features survive.
+  EXPECT_TRUE(f.sse42);
+  EXPECT_TRUE(f.popcnt);
+}
+
+TEST(CpuFeaturesTest, AvxRequiresYmmStateInXcr0) {
+  // OSXSAVE is on but XCR0 only enables x87+SSE: the kernel does not
+  // context-switch YMM state.
+  CpuidSnapshot s = V3Snapshot();
+  s.xcr0 = 0x3;
+  const CpuFeatures f = DecodeCpuFeatures(s);
+  EXPECT_FALSE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kBaseline);
+}
+
+TEST(CpuFeaturesTest, Avx512RequiresZmmStateInXcr0) {
+  // AVX-512 cpuid bits with only YMM state enabled: AVX2 is usable,
+  // AVX-512 is not (ZMM/opmask state would be lost on context switch).
+  CpuidSnapshot s = V4Snapshot();
+  s.xcr0 = 0x7;
+  const CpuFeatures f = DecodeCpuFeatures(s);
+  EXPECT_TRUE(f.avx2);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_FALSE(f.avx512vl);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kAvx2);
+}
+
+TEST(CpuFeaturesTest, Avx512vlRequiresAvx512f) {
+  CpuidSnapshot s = V4Snapshot();
+  s.leaf7_ebx &= ~kEbxAvx512f;
+  const CpuFeatures f = DecodeCpuFeatures(s);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_FALSE(f.avx512vl);
+  EXPECT_EQ(LevelFromFeatures(f), IsaLevel::kAvx2);
+}
+
+TEST(CpuFeaturesTest, FmaRequiresAvx) {
+  CpuidSnapshot s;
+  s.leaf1_ecx = kEcxFma;  // FMA bit without AVX/OSXSAVE
+  EXPECT_FALSE(DecodeCpuFeatures(s).fma);
+}
+
+TEST(CpuFeaturesTest, MissingAnyV3FeatureDropsToBaseline) {
+  // The ladder is deliberately coarse: losing any single v3 member (here
+  // BMI2) drops the whole level to baseline.
+  CpuidSnapshot s = V3Snapshot();
+  s.leaf7_ebx &= ~kEbxBmi2;
+  EXPECT_EQ(LevelFromFeatures(DecodeCpuFeatures(s)), IsaLevel::kBaseline);
+}
+
+TEST(CpuFeaturesTest, LadderIsMonotone) {
+  EXPECT_LT(static_cast<int>(IsaLevel::kBaseline),
+            static_cast<int>(IsaLevel::kAvx2));
+  EXPECT_LT(static_cast<int>(IsaLevel::kAvx2),
+            static_cast<int>(IsaLevel::kAvx512));
+  EXPECT_EQ(kMaxIsaLevel, static_cast<int>(IsaLevel::kAvx512));
+}
+
+TEST(CpuFeaturesTest, ParseAndNameRoundTrip) {
+  for (int i = 0; i <= kMaxIsaLevel; ++i) {
+    const IsaLevel level = static_cast<IsaLevel>(i);
+    IsaLevel parsed;
+    ASSERT_TRUE(ParseIsaLevel(IsaLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+    ASSERT_TRUE(ParseIsaLevel(std::to_string(i), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  IsaLevel out = IsaLevel::kAvx2;
+  EXPECT_FALSE(ParseIsaLevel("", &out));
+  EXPECT_FALSE(ParseIsaLevel("AVX2", &out));
+  EXPECT_FALSE(ParseIsaLevel("3", &out));
+  EXPECT_FALSE(ParseIsaLevel("native", &out));
+  EXPECT_EQ(out, IsaLevel::kAvx2);  // untouched on failure
+}
+
+TEST(CpuFeaturesTest, EffectiveLevelNeverExceedsHost) {
+  ScopedEnv env("DBLL_JIT_ISA", nullptr);
+  EXPECT_EQ(EffectiveIsaLevel(), HostIsaLevel());
+  // Forcing *up* must not work: avx512 requested, host-capped result.
+  ScopedEnv force("DBLL_JIT_ISA", "avx512");
+  EXPECT_LE(static_cast<int>(EffectiveIsaLevel()),
+            static_cast<int>(HostIsaLevel()));
+}
+
+TEST(CpuFeaturesTest, JitIsaEnvMasksDown) {
+  ScopedEnv env("DBLL_JIT_ISA", "baseline");
+  EXPECT_EQ(EffectiveIsaLevel(), IsaLevel::kBaseline);
+  // Re-read per call: flipping the variable takes effect immediately.
+  ::setenv("DBLL_JIT_ISA", "avx2", 1);
+  const IsaLevel expected =
+      HostIsaLevel() < IsaLevel::kAvx2 ? HostIsaLevel() : IsaLevel::kAvx2;
+  EXPECT_EQ(EffectiveIsaLevel(), expected);
+}
+
+TEST(CpuFeaturesTest, UnparseableJitIsaEnvIsIgnored) {
+  ScopedEnv env("DBLL_JIT_ISA", "turbo-mode");
+  EXPECT_EQ(EffectiveIsaLevel(), HostIsaLevel());
+}
+
+TEST(CpuFeaturesTest, ResolveIsaLevelClampsIntoLadder) {
+  ScopedEnv env("DBLL_JIT_ISA", nullptr);
+  const IsaLevel effective = EffectiveIsaLevel();
+  EXPECT_EQ(ResolveIsaLevel(-1), effective);        // auto
+  EXPECT_EQ(ResolveIsaLevel(99), effective);        // clamped down
+  EXPECT_EQ(ResolveIsaLevel(0), IsaLevel::kBaseline);  // explicit is kept
+}
+
+TEST(CpuFeaturesTest, ResolveRespectsEnvMask) {
+  ScopedEnv env("DBLL_JIT_ISA", "baseline");
+  EXPECT_EQ(ResolveIsaLevel(-1), IsaLevel::kBaseline);
+  EXPECT_EQ(ResolveIsaLevel(kMaxIsaLevel), IsaLevel::kBaseline);
+}
+
+TEST(CpuFeaturesTest, FeatureStringsPerLevel) {
+  ScopedEnv env("DBLL_JIT_FEATURES", nullptr);
+  EXPECT_EQ(IsaFeatureString(IsaLevel::kBaseline), "");
+  const std::string avx2 = IsaFeatureString(IsaLevel::kAvx2);
+  EXPECT_NE(avx2.find("+avx2"), std::string::npos);
+  EXPECT_NE(avx2.find("+fma"), std::string::npos);
+  EXPECT_EQ(avx2.find("avx512"), std::string::npos);
+  const std::string avx512 = IsaFeatureString(IsaLevel::kAvx512);
+  EXPECT_NE(avx512.find("+avx512f"), std::string::npos);
+  EXPECT_NE(avx512.find("+avx512vl"), std::string::npos);
+}
+
+TEST(CpuFeaturesTest, JitFeaturesEnvAppendsToEveryLevel) {
+  ScopedEnv env("DBLL_JIT_FEATURES", "+prfchw");
+  // Baseline has no level features: the extras stand alone, no leading comma.
+  EXPECT_EQ(IsaFeatureString(IsaLevel::kBaseline), "+prfchw");
+  const std::string avx2 = IsaFeatureString(IsaLevel::kAvx2);
+  EXPECT_NE(avx2.find(",+prfchw"), std::string::npos);
+}
+
+TEST(CpuFeaturesTest, LiftConfigFingerprintSeparatesLevels) {
+  // The multi-versioned cache hangs off this property: two configs that
+  // differ only in isa_level (or vector_width) must never alias.
+  lift::LiftConfig a;
+  a.isa_level = 0;
+  lift::LiftConfig b = a;
+  b.isa_level = 1;
+  lift::LiftConfig c = a;
+  c.isa_level = 2;
+  EXPECT_NE(lift::Fingerprint(a), lift::Fingerprint(b));
+  EXPECT_NE(lift::Fingerprint(b), lift::Fingerprint(c));
+  EXPECT_NE(lift::Fingerprint(a), lift::Fingerprint(c));
+  lift::LiftConfig w = a;
+  w.vector_width = 4;
+  EXPECT_NE(lift::Fingerprint(a), lift::Fingerprint(w));
+}
+
+}  // namespace
+}  // namespace dbll::support

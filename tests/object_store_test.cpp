@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "dbll/runtime/compile_service.h"
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/shm_ring.h"
+#include "dbll/support/cpu_features.h"
 #include "dbll/support/fault.h"
 #include "dbll/support/file_io.h"
 
@@ -45,12 +47,14 @@ class ObjectStoreTest : public ::testing::Test {
   }
 
   static ObjectEntry FakeEntry(std::uint64_t fingerprint,
-                               std::size_t payload = 64) {
+                               std::size_t payload = 64,
+                               std::uint32_t isa_level = 0) {
     ObjectEntry entry;
     entry.fingerprint = fingerprint;
     entry.wrapper_name = "wrapper";
     entry.membase_symbol = "membase";
     entry.membase_value = 0x1000;
+    entry.isa_level = isa_level;
     entry.object.assign(payload, static_cast<std::uint8_t>(fingerprint));
     return entry;
   }
@@ -322,6 +326,149 @@ TEST_F(ObjectStoreTest, PurgeRemovesTheRingButKeepsBundles) {
   EXPECT_FALSE(support::FileSize(ring).has_value());
   // Bundles are deployment artifacts, not cache state: purge leaves them.
   EXPECT_TRUE(support::FileSize(bundle).has_value());
+  ::unlink(bundle.c_str());
+}
+
+// --- ISA multi-versioning: the mixed-fleet contract -------------------------
+
+/// Scoped DBLL_JIT_ISA override, restored on exit so later tests (and other
+/// suites in this binary) see the real host level again.
+class ScopedIsaMask {
+ public:
+  explicit ScopedIsaMask(const char* level) {
+    if (const char* old = std::getenv("DBLL_JIT_ISA")) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv("DBLL_JIT_ISA", level, 1);
+  }
+  ~ScopedIsaMask() {
+    if (had_old_) {
+      ::setenv("DBLL_JIT_ISA", old_.c_str(), 1);
+    } else {
+      ::unsetenv("DBLL_JIT_ISA");
+    }
+  }
+
+ private:
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST_F(ObjectStoreTest, HigherIsaEntryIsACleanMissOnMaskedHost) {
+  // A capable fleet peer published an avx2 variant into the shared
+  // directory. A host masked down to baseline must refuse it -- installing
+  // it would fault -- but as a *clean* miss: the file stays for the peers,
+  // and nothing is counted as corruption.
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x5151, 64, /*isa_level=*/1));
+
+  {
+    ScopedIsaMask mask("baseline");
+    ObjectEntry loaded;
+    EXPECT_FALSE(store.Load(0x5151, &loaded));
+    EXPECT_EQ(store.stats().isa_refused, 1u);
+    EXPECT_EQ(store.stats().corrupt_dropped, 0u);
+    EXPECT_TRUE(support::FileSize(EntryPath(0x5151)).has_value());
+  }
+
+  // Unmasked, the same entry loads on any host that really has avx2.
+  if (support::EffectiveIsaLevel() >= support::IsaLevel::kAvx2) {
+    ObjectEntry loaded;
+    EXPECT_TRUE(store.Load(0x5151, &loaded));
+    EXPECT_EQ(loaded.isa_level, 1u);
+  }
+}
+
+TEST_F(ObjectStoreTest, ShmRingRefusesHigherIsaEntriesToo) {
+  // Store() writes through to the shm hot-entry ring, so a masked process
+  // sharing the box must get the same refusal on the shared-memory rung --
+  // it cannot vouch for code it cannot run.
+  ObjectStore::Options options;
+  options.dir = dir_;
+  options.shm = true;
+  ObjectStore store(options);
+  store.Store(FakeEntry(0x6161, 64, /*isa_level=*/1));
+
+  ScopedIsaMask mask("baseline");
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0x6161, &loaded));
+  EXPECT_GE(store.stats().isa_refused, 1u);
+  // Refused at the ring or on disk -- either way the file survives.
+  EXPECT_TRUE(support::FileSize(EntryPath(0x6161)).has_value());
+}
+
+TEST_F(ObjectStoreTest, ImplausibleIsaLevelIsCorruption) {
+  // A level outside the ladder can only come from a hostile or corrupted
+  // file: no host could validate it, so it is dropped, not kept.
+  ASSERT_TRUE(ObjectStore::WriteEntry(dir_,
+                                      FakeEntry(0x7171, 64, /*isa_level=*/9),
+                                      lift::LlvmVersionString(),
+                                      lift::JitTargetCpuFor(0))
+                  .ok());
+  ObjectStore store = MakeStore();
+  ObjectEntry loaded;
+  EXPECT_FALSE(store.Load(0x7171, &loaded));
+  EXPECT_EQ(store.stats().isa_refused, 0u);
+  EXPECT_EQ(store.stats().corrupt_dropped, 1u);
+  EXPECT_FALSE(support::FileSize(EntryPath(0x7171)).has_value());
+}
+
+TEST_F(ObjectStoreTest, PersistFingerprintSeparatesIsaLevels) {
+  // Coexisting variants of one request must hash to distinct files, and the
+  // mapping must be deterministic -- that is what lets one shared cache
+  // directory serve a mixed fleet without aliasing.
+  CompileRequest request(reinterpret_cast<std::uint64_t>(&c_arith_mix),
+                         lift::Signature::Ints(2));
+  const SpecKey key(request);
+  const std::uint64_t base = PersistFingerprint(key, request.address, 0);
+  const std::uint64_t avx2 = PersistFingerprint(key, request.address, 1);
+  const std::uint64_t avx512 = PersistFingerprint(key, request.address, 2);
+  EXPECT_NE(base, avx2);
+  EXPECT_NE(avx2, avx512);
+  EXPECT_NE(base, avx512);
+  EXPECT_EQ(avx2, PersistFingerprint(key, request.address, 1));
+}
+
+TEST_F(ObjectStoreTest, ImportSkipsEntriesAboveTheHostLevel) {
+  // A mixed-fleet bundle carries a baseline and an avx2 variant. Importing
+  // on a baseline-masked host installs only what that host can run and
+  // reports the rest as skipped (not an error, not silent).
+  ObjectStore store = MakeStore();
+  store.Store(FakeEntry(0x8181, 64, /*isa_level=*/0));
+  store.Store(FakeEntry(0x9191, 64, /*isa_level=*/1));
+  const std::string bundle = dir_ + "/mixed.dbbundle";
+  auto exported = ObjectStore::ExportBundle(dir_, bundle);
+  ASSERT_TRUE(exported.has_value()) << exported.error().Format();
+  EXPECT_EQ(*exported, 2u);
+
+  char tmpl[] = "/tmp/dbll_objstore_import_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string other = tmpl;
+  {
+    ScopedIsaMask mask("baseline");
+    std::uint64_t skipped_isa = 0;
+    auto imported = ObjectStore::ImportBundle(bundle, other, &skipped_isa);
+    ASSERT_TRUE(imported.has_value()) << imported.error().Format();
+    EXPECT_EQ(*imported, 1u);
+    EXPECT_EQ(skipped_isa, 1u);
+    EXPECT_TRUE(support::FileSize(
+                    other + "/" + ObjectStore::EntryFileName(0x8181))
+                    .has_value());
+    EXPECT_FALSE(support::FileSize(
+                     other + "/" + ObjectStore::EntryFileName(0x9191))
+                     .has_value());
+  }
+  // Unmasked on a capable host the same bundle imports completely.
+  if (support::EffectiveIsaLevel() >= support::IsaLevel::kAvx2) {
+    std::uint64_t skipped_isa = 0;
+    auto imported = ObjectStore::ImportBundle(bundle, other, &skipped_isa);
+    ASSERT_TRUE(imported.has_value());
+    EXPECT_EQ(*imported, 2u);
+    EXPECT_EQ(skipped_isa, 0u);
+  }
+  (void)ObjectStore::Purge(other);
+  ::rmdir(other.c_str());
   ::unlink(bundle.c_str());
 }
 

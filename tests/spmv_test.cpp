@@ -126,7 +126,14 @@ TEST(SpmvSpecializeTest, LifterFixesFullProduct) {
   static const CsrMatrix m = builder.Finish();
 
   static lift::Jit jit;
-  lift::Lifter lifter;
+  // Pinned to the baseline ISA level: the EXPECT_EQ below asserts *bit*
+  // equality against the natively-built reference, which only holds where
+  // the backend has no FMA -- on an AVX2+ target the default fast-math
+  // flags let mul+add contract to vfmadd (single rounding). Per-level
+  // numerics are covered by bench/fig_vectorize's tolerance checksums.
+  lift::LiftConfig baseline_config;
+  baseline_config.isa_level = 0;
+  lift::Lifter lifter(baseline_config);
   auto lifted = lifter.Lift(reinterpret_cast<std::uint64_t>(&spmv_full),
                             lift::Signature::Ints(4, lift::RetKind::kVoid));
   ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();
@@ -156,7 +163,10 @@ TEST(SpmvSpecializeTest, DbrewPlusLlvmOnFullProduct) {
   ASSERT_TRUE(rewritten.has_value()) << rewritten.error().Format();
 
   static lift::Jit jit;
-  lift::Lifter lifter;
+  // Baseline-pinned for the same bit-equality reason as LifterFixesFullProduct.
+  lift::LiftConfig baseline_config;
+  baseline_config.isa_level = 0;
+  lift::Lifter lifter(baseline_config);
   auto lifted = lifter.Lift(*rewritten,
                             lift::Signature::Ints(4, lift::RetKind::kVoid));
   ASSERT_TRUE(lifted.has_value()) << lifted.error().Format();

@@ -35,8 +35,10 @@
 // `--expect-warm` turns the run into a gate: every entry must be served from
 // the persistent layer with zero Tier-0 compiles.
 //
-// Every --json output carries "schema_version": 3 (2 added the shm/fleet
-// fields; 3 added the quarantine command and stats fields).
+// Every --json output carries "schema_version": 4 (2 added the shm/fleet
+// fields; 3 added the quarantine command and stats fields; 4 added the
+// per-entry "isa" label, the per-ISA-level stats breakdown plus "host_isa",
+// and the import "skipped_isa" count).
 //
 // Exit status: 0 on success (for `verify`: every entry valid; for
 // `--expect-warm`: zero compiles), 1 on invalid entries or usage/IO errors.
@@ -58,6 +60,7 @@
 #include "dbll/runtime/containment.h"
 #include "dbll/runtime/object_store.h"
 #include "dbll/runtime/shm_ring.h"
+#include "dbll/support/cpu_features.h"
 
 namespace {
 
@@ -67,9 +70,9 @@ using dbll::runtime::Quarantine;
 using dbll::runtime::ShmRing;
 using dbll::runtime::ShmRingOccupancy;
 
-/// Version stamp of every --json output shape below (3: quarantine command
-/// and the "quarantine" stats object).
-constexpr int kJsonSchemaVersion = 3;
+/// Version stamp of every --json output shape below (4: per-entry ISA label,
+/// per-level stats breakdown, import skipped_isa).
+constexpr int kJsonSchemaVersion = 4;
 
 int Usage() {
   std::fprintf(
@@ -118,25 +121,38 @@ const char* TierLabel(std::uint32_t opt_tier) {
   return opt_tier == 1 ? "tier0a" : "tier0";
 }
 
+/// Entry ISA ladder level as its canonical name (docs/codegen.md). Levels
+/// above the ladder this tool knows would have failed Scan validation, but
+/// clamp defensively anyway.
+const char* IsaLabel(std::uint32_t isa_level) {
+  const int clamped = isa_level > static_cast<std::uint32_t>(
+                                      dbll::support::kMaxIsaLevel)
+                          ? dbll::support::kMaxIsaLevel
+                          : static_cast<int>(isa_level);
+  return dbll::support::IsaLevelName(
+      static_cast<dbll::support::IsaLevel>(clamped));
+}
+
 void PrintEntryJson(const ObjectScanEntry& e, bool last) {
   std::printf("    {\"file\": \"%s\", \"fingerprint\": \"%016" PRIx64
               "\", \"file_size\": %" PRIu64 ", \"payload_size\": %" PRIu64
-              ", \"wrapper\": \"%s\", \"opt_tier\": \"%s\", "
+              ", \"wrapper\": \"%s\", \"opt_tier\": \"%s\", \"isa\": \"%s\", "
               "\"llvm_version\": \"%s\", "
               "\"target_cpu\": \"%s\", \"valid\": %s, \"detail\": \"%s\"}%s\n",
               JsonEscape(e.file).c_str(), e.fingerprint, e.file_size,
               e.payload_size, JsonEscape(e.wrapper_name).c_str(),
-              TierLabel(e.opt_tier), JsonEscape(e.llvm_version).c_str(),
+              TierLabel(e.opt_tier), IsaLabel(e.isa_level),
+              JsonEscape(e.llvm_version).c_str(),
               JsonEscape(e.target_cpu).c_str(), e.valid ? "true" : "false",
               JsonEscape(e.detail).c_str(), last ? "" : ",");
 }
 
 void PrintEntryHuman(const ObjectScanEntry& e) {
   if (e.valid) {
-    std::printf("%-20s %8" PRIu64 " B  %-24s %-6s llvm %s/%s  ok\n",
+    std::printf("%-20s %8" PRIu64 " B  %-24s %-6s %-8s llvm %s/%s  ok\n",
                 e.file.c_str(), e.file_size, e.wrapper_name.c_str(),
-                TierLabel(e.opt_tier), e.llvm_version.c_str(),
-                e.target_cpu.c_str());
+                TierLabel(e.opt_tier), IsaLabel(e.isa_level),
+                e.llvm_version.c_str(), e.target_cpu.c_str());
   } else {
     std::printf("%-20s %8" PRIu64 " B  INVALID: %s\n", e.file.c_str(),
                 e.file_size, e.detail.c_str());
@@ -195,6 +211,11 @@ int RunStats(const std::string& dir, bool json) {
   // been promoted.
   std::uint64_t tier0_entries = 0, tier0a_entries = 0;
   std::uint64_t tier0_bytes = 0, tier0a_bytes = 0;
+  // Per-ISA-ladder-level breakdown of the valid entries: one shared fleet
+  // directory deliberately holds coexisting variants of the same
+  // specialization (docs/codegen.md), so the split answers "which hosts is
+  // this cache warm for?".
+  std::uint64_t isa_entries[dbll::support::kMaxIsaLevel + 1] = {};
   std::string llvm_version, target_cpu;  // of the first valid entry
   for (const ObjectScanEntry& e : *scan) {
     total_bytes += e.file_size;
@@ -211,6 +232,11 @@ int RunStats(const std::string& dir, bool json) {
         ++tier0_entries;
         tier0_bytes += e.file_size;
       }
+      const std::uint32_t level =
+          e.isa_level > static_cast<std::uint32_t>(dbll::support::kMaxIsaLevel)
+              ? static_cast<std::uint32_t>(dbll::support::kMaxIsaLevel)
+              : e.isa_level;
+      ++isa_entries[level];
     } else {
       ++invalid;
     }
@@ -230,11 +256,16 @@ int RunStats(const std::string& dir, bool json) {
                 ", \"total_bytes\": %" PRIu64 ", \"tier0_entries\": %" PRIu64
                 ", \"tier0_bytes\": %" PRIu64 ", \"tier0a_entries\": %" PRIu64
                 ", \"tier0a_bytes\": %" PRIu64
+                ", \"isa\": {\"baseline\": %" PRIu64 ", \"avx2\": %" PRIu64
+                ", \"avx512\": %" PRIu64 "}, \"host_isa\": \"%s\""
                 ", \"llvm_version\": \"%s\", \"target_cpu\": \"%s\""
                 ", \"quarantine_records\": %lld",
                 kJsonSchemaVersion, JsonEscape(dir).c_str(), scan->size(),
                 valid, invalid, total_bytes, tier0_entries, tier0_bytes,
-                tier0a_entries, tier0a_bytes, JsonEscape(llvm_version).c_str(),
+                tier0a_entries, tier0a_bytes, isa_entries[0], isa_entries[1],
+                isa_entries[2],
+                dbll::support::IsaLevelName(dbll::support::EffectiveIsaLevel()),
+                JsonEscape(llvm_version).c_str(),
                 JsonEscape(target_cpu).c_str(), quarantine_records);
     if (ring.has_value()) {
       std::printf(", \"shm\": {\"present\": true, \"format_version\": %" PRIu32
@@ -258,6 +289,11 @@ int RunStats(const std::string& dir, bool json) {
                   target_cpu.c_str());
     }
     std::printf("\n");
+    std::printf("isa: %" PRIu64 " baseline, %" PRIu64 " avx2, %" PRIu64
+                " avx512 (host dispatches at %s)\n",
+                isa_entries[0], isa_entries[1], isa_entries[2],
+                dbll::support::IsaLevelName(
+                    dbll::support::EffectiveIsaLevel()));
     if (ring.has_value()) {
       std::printf("shm ring: %" PRIu32 "/%" PRIu32 " slots used, %" PRIu64
                   " payload bytes, fleet hits %" PRIu64 " inserts %" PRIu64
@@ -336,18 +372,27 @@ int RunExport(const std::string& dir, const std::string& bundle, bool json) {
 }
 
 int RunImport(const std::string& bundle, const std::string& dir, bool json) {
-  auto imported = ObjectStore::ImportBundle(bundle, dir);
+  std::uint64_t skipped_isa = 0;
+  auto imported = ObjectStore::ImportBundle(bundle, dir, &skipped_isa);
   if (!imported.has_value()) {
     std::fprintf(stderr, "error: %s\n", imported.error().Format().c_str());
     return 1;
   }
   if (json) {
     std::printf("{\"schema_version\": %d, \"imported\": %" PRIu64
-                ", \"dir\": \"%s\"}\n",
-                kJsonSchemaVersion, *imported, JsonEscape(dir).c_str());
+                ", \"skipped_isa\": %" PRIu64 ", \"dir\": \"%s\"}\n",
+                kJsonSchemaVersion, *imported, skipped_isa,
+                JsonEscape(dir).c_str());
   } else {
     std::printf("imported %" PRIu64 " entr%s from %s into %s\n", *imported,
                 *imported == 1 ? "y" : "ies", bundle.c_str(), dir.c_str());
+    if (skipped_isa != 0) {
+      std::printf("skipped %" PRIu64
+                  " entr%s needing a higher ISA level than this host's %s\n",
+                  skipped_isa, skipped_isa == 1 ? "y" : "ies",
+                  dbll::support::IsaLevelName(
+                      dbll::support::EffectiveIsaLevel()));
+    }
   }
   return 0;
 }
